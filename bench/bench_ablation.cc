@@ -1,0 +1,193 @@
+// Ablations of the design choices DESIGN.md calls out:
+//
+//  A1 — optional-merge mechanism OFF: optional decorations of a shared
+//       core append as choices instead of fusing. Shows grammar bloat,
+//       LL(1) conflict growth, and loss of combined-clause parsing.
+//  A2 — FIRST-set pruning OFF in the runtime engine: pure ordered-choice
+//       backtracking. Same language, measurably more wasted attempts.
+//  A3 — canonical composition order vs a requires-valid but clause-
+//       scrambled order: merge still converges; cost is comparable.
+
+#include <algorithm>
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "sqlpl/grammar/analysis.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+// Recomposes a dialect with explicit composer options (the facade always
+// uses the defaults).
+Result<Grammar> ComposeWith(const DialectSpec& spec,
+                            const CompositionOptions& options) {
+  SqlProductLine line;
+  SQLPL_ASSIGN_OR_RETURN(CompositionSequence sequence,
+                         line.ResolveSequence(spec));
+  std::vector<Grammar> grammars;
+  for (const std::string& feature : sequence.features()) {
+    auto it = spec.counts.find(feature);
+    int count = it != spec.counts.end() ? it->second
+                                        : Cardinality::kUnbounded;
+    SQLPL_ASSIGN_OR_RETURN(Grammar grammar,
+                           line.catalog().GrammarFor(feature, count));
+    grammars.push_back(std::move(grammar));
+  }
+  GrammarComposer composer(options);
+  SQLPL_ASSIGN_OR_RETURN(Grammar composed, composer.ComposeAll(grammars));
+  composed.set_name(spec.name);
+  composed.set_start_symbol(spec.start_symbol);
+  return composed;
+}
+
+// --- A1: optional merge on/off ---
+
+void BM_A1_OptionalMerge(benchmark::State& state, bool disable_merge) {
+  DialectSpec spec = CoreQueryDialect();
+  CompositionOptions options;
+  options.disable_optional_merge = disable_merge;
+  Result<Grammar> probe = ComposeWith(spec, options);
+  if (!probe.ok()) {
+    state.SkipWithError(probe.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    Result<Grammar> grammar = ComposeWith(spec, options);
+    benchmark::DoNotOptimize(grammar);
+  }
+  state.counters["alternatives"] =
+      static_cast<double>(probe->NumAlternatives());
+  Result<GrammarAnalysis> analysis = GrammarAnalysis::Analyze(*probe);
+  state.counters["ll1_conflicts"] =
+      analysis.ok() ? static_cast<double>(analysis->conflicts().size()) : -1;
+  // Can the result still parse a statement combining optional clauses?
+  Result<LlParser> parser = ParserBuilder().Build(*probe);
+  bool combined =
+      parser.ok() &&
+      parser->Accepts("SELECT dept, COUNT(*) FROM emp WHERE dept = 'R' "
+                      "GROUP BY dept HAVING COUNT(*) > 1 ORDER BY dept");
+  state.counters["parses_combined_clauses"] = combined ? 1 : 0;
+}
+
+// --- A2: FIRST pruning on/off ---
+
+void BM_A2_FirstPruning(benchmark::State& state, bool disable_pruning) {
+  SqlProductLine line;
+  Result<Grammar> grammar = line.ComposeGrammar(FullFoundationDialect());
+  if (!grammar.ok()) {
+    state.SkipWithError(grammar.status().ToString().c_str());
+    return;
+  }
+  Result<LlParser> parser = ParserBuilder()
+                                .set_disable_first_pruning(disable_pruning)
+                                .Build(*grammar);
+  if (!parser.ok()) {
+    state.SkipWithError(parser.status().ToString().c_str());
+    return;
+  }
+  const char* workload[] = {
+      "SELECT e.name, d.title FROM emp e JOIN dept d ON e.did = d.id "
+      "WHERE e.salary BETWEEN 100 AND 200 ORDER BY e.name",
+      "UPDATE accounts SET balance = balance - 10 WHERE id = 7",
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(30))",
+      "SELECT CASE WHEN a > 0 THEN 'p' ELSE 'n' END FROM t",
+  };
+  for (const char* sql : workload) {
+    if (!parser->Accepts(sql)) {
+      state.SkipWithError("workload rejected");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    for (const char* sql : workload) {
+      Result<ParseNode> tree = parser->ParseText(sql);
+      benchmark::DoNotOptimize(tree);
+    }
+  }
+}
+
+// --- A3: composition order ---
+
+void BM_A3_CompositionOrder(benchmark::State& state, bool scramble) {
+  SqlProductLine line;
+  DialectSpec spec = CoreQueryDialect();
+  Result<CompositionSequence> sequence = line.ResolveSequence(spec);
+  if (!sequence.ok()) {
+    state.SkipWithError(sequence.status().ToString().c_str());
+    return;
+  }
+  std::vector<std::string> order = sequence->features();
+  if (scramble) {
+    // Move the optional clause features to the end, reversed — still
+    // requires-valid (dependencies stay in front), but clause order is
+    // scrambled relative to SQL clause order.
+    std::vector<std::string> clauses = {"OrderBy", "Having", "GroupBy",
+                                        "Where"};
+    std::vector<std::string> rest;
+    for (const std::string& feature : order) {
+      if (std::find(clauses.begin(), clauses.end(), feature) ==
+          clauses.end()) {
+        rest.push_back(feature);
+      }
+    }
+    rest.insert(rest.end(), clauses.begin(), clauses.end());
+    order = std::move(rest);
+  }
+  std::vector<Grammar> grammars;
+  for (const std::string& feature : order) {
+    Result<Grammar> grammar = line.catalog().GrammarFor(feature);
+    if (!grammar.ok()) {
+      state.SkipWithError(grammar.status().ToString().c_str());
+      return;
+    }
+    grammars.push_back(std::move(grammar).value());
+  }
+  size_t alternatives = 0;
+  for (auto _ : state) {
+    GrammarComposer composer;
+    Result<Grammar> composed = composer.ComposeAll(grammars);
+    if (!composed.ok()) {
+      state.SkipWithError(composed.status().ToString().c_str());
+      return;
+    }
+    alternatives = composed->NumAlternatives();
+    benchmark::DoNotOptimize(composed);
+  }
+  state.counters["alternatives"] = static_cast<double>(alternatives);
+}
+
+}  // namespace
+}  // namespace sqlpl
+
+int main(int argc, char** argv) {
+  using namespace sqlpl;
+  benchmark::RegisterBenchmark("BM_A1_OptionalMerge/on",
+                               [](benchmark::State& state) {
+                                 BM_A1_OptionalMerge(state, false);
+                               });
+  benchmark::RegisterBenchmark("BM_A1_OptionalMerge/off",
+                               [](benchmark::State& state) {
+                                 BM_A1_OptionalMerge(state, true);
+                               });
+  benchmark::RegisterBenchmark("BM_A2_FirstPruning/on",
+                               [](benchmark::State& state) {
+                                 BM_A2_FirstPruning(state, false);
+                               });
+  benchmark::RegisterBenchmark("BM_A2_FirstPruning/off",
+                               [](benchmark::State& state) {
+                                 BM_A2_FirstPruning(state, true);
+                               });
+  benchmark::RegisterBenchmark("BM_A3_CompositionOrder/canonical",
+                               [](benchmark::State& state) {
+                                 BM_A3_CompositionOrder(state, false);
+                               });
+  benchmark::RegisterBenchmark("BM_A3_CompositionOrder/scrambled",
+                               [](benchmark::State& state) {
+                                 BM_A3_CompositionOrder(state, true);
+                               });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E5/E10: cost of the paper's grammar-composition step — per preset
+// dialect, and scaling with the number of composed features.
+
+#include <benchmark/benchmark.h>
+
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+// Composes a preset dialect's sub-grammars end to end (sequence
+// resolution + token-file merge + production-rule composition).
+void BM_ComposePresetDialect(benchmark::State& state,
+                             const DialectSpec& spec) {
+  SqlProductLine line;
+  size_t productions = 0;
+  for (auto _ : state) {
+    Result<Grammar> grammar = line.ComposeGrammar(spec);
+    if (!grammar.ok()) state.SkipWithError(grammar.status().ToString().c_str());
+    productions = grammar->NumProductions();
+    benchmark::DoNotOptimize(grammar);
+  }
+  state.counters["features"] = static_cast<double>(spec.features.size());
+  state.counters["productions"] = static_cast<double>(productions);
+}
+
+// Composes the first N modules of the full catalog (in canonical order) —
+// the scaling curve of composition time vs feature count.
+void BM_ComposeFirstNFeatures(benchmark::State& state) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  std::vector<std::string> all = catalog.ModuleNames();
+  size_t n = static_cast<size_t>(state.range(0));
+  if (n > all.size()) n = all.size();
+
+  // Pre-parse the sub-grammars; this benchmark isolates composition.
+  std::vector<Grammar> grammars;
+  for (size_t i = 0; i < n; ++i) {
+    Result<Grammar> grammar = catalog.GrammarFor(all[i]);
+    if (!grammar.ok()) {
+      state.SkipWithError(grammar.status().ToString().c_str());
+      return;
+    }
+    grammars.push_back(std::move(grammar).value());
+  }
+
+  for (auto _ : state) {
+    GrammarComposer composer;
+    Result<Grammar> composed = composer.ComposeAll(grammars);
+    if (!composed.ok()) state.SkipWithError(composed.status().ToString().c_str());
+    benchmark::DoNotOptimize(composed);
+  }
+  state.counters["features"] = static_cast<double>(n);
+}
+
+// Isolates one pairwise Compose step on the paper's §3.2 example shapes.
+void BM_ComposeSingleStep(benchmark::State& state) {
+  SqlProductLine line;
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  Grammar base = *catalog.GrammarFor("ValueExpressions");
+  Grammar ext = *catalog.GrammarFor("NumericExpressions");
+  for (auto _ : state) {
+    GrammarComposer composer;
+    Result<Grammar> composed = composer.Compose(base, ext);
+    benchmark::DoNotOptimize(composed);
+  }
+}
+
+// Sub-grammar DSL parsing (the "read the feature's grammar file" step).
+void BM_ParseModuleGrammarText(benchmark::State& state) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  std::vector<std::string> names = catalog.ModuleNames();
+  for (auto _ : state) {
+    for (const std::string& name : names) {
+      Result<Grammar> grammar = catalog.GrammarFor(name);
+      benchmark::DoNotOptimize(grammar);
+    }
+  }
+  state.counters["modules"] = static_cast<double>(names.size());
+}
+
+}  // namespace
+}  // namespace sqlpl
+
+int main(int argc, char** argv) {
+  using sqlpl::AllPresetDialects;
+  using sqlpl::DialectSpec;
+  for (const DialectSpec& spec : AllPresetDialects()) {
+    benchmark::RegisterBenchmark(
+        ("BM_ComposePresetDialect/" + spec.name).c_str(),
+        [spec](benchmark::State& state) {
+          sqlpl::BM_ComposePresetDialect(state, spec);
+        });
+  }
+  benchmark::RegisterBenchmark("BM_ComposeFirstNFeatures",
+                               sqlpl::BM_ComposeFirstNFeatures)
+      ->Arg(5)
+      ->Arg(10)
+      ->Arg(20)
+      ->Arg(40)
+      ->Arg(60);
+  benchmark::RegisterBenchmark("BM_ComposeSingleStep",
+                               sqlpl::BM_ComposeSingleStep);
+  benchmark::RegisterBenchmark("BM_ParseModuleGrammarText",
+                               sqlpl::BM_ParseModuleGrammarText);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E3: feature-model operations over the SQL:2003 Foundation decomposition
+// (40+ diagrams, 500+ features) — validation, normalization, counting.
+
+#include <benchmark/benchmark.h>
+
+#include "sqlpl/feature/configuration.h"
+#include "sqlpl/sql/foundation_model.h"
+
+namespace sqlpl {
+namespace {
+
+void BM_ModelValidate(benchmark::State& state) {
+  const FeatureModel& model = SqlFoundationModel();
+  for (auto _ : state) {
+    DiagnosticCollector diagnostics;
+    Status status = model.Validate(&diagnostics);
+    benchmark::DoNotOptimize(status);
+  }
+  state.counters["diagrams"] = static_cast<double>(model.NumDiagrams());
+  state.counters["features"] = static_cast<double>(model.TotalFeatures());
+}
+
+void BM_ConfigurationValidate(benchmark::State& state) {
+  const FeatureDiagram& diagram =
+      *SqlFoundationModel().Find(kQuerySpecificationDiagram);
+  Configuration config(diagram.name());
+  config.Select("QuerySpecification");
+  config.Select("SelectList");
+  config.SelectWithCount("SelectSublist", 1);
+  config.Select("DerivedColumn");
+  config.Select("TableExpression");
+  for (auto _ : state) {
+    DiagnosticCollector diagnostics;
+    Status status = config.Validate(diagram, &diagnostics);
+    benchmark::DoNotOptimize(status);
+  }
+}
+
+void BM_ConfigurationNormalize(benchmark::State& state) {
+  const FeatureDiagram& diagram =
+      *SqlFoundationModel().Find(kQuerySpecificationDiagram);
+  for (auto _ : state) {
+    Configuration config(diagram.name());
+    config.Select("As");
+    size_t added = config.Normalize(diagram);
+    benchmark::DoNotOptimize(added);
+  }
+}
+
+void BM_CountConfigurationsFigure2(benchmark::State& state) {
+  const FeatureDiagram& diagram =
+      *SqlFoundationModel().Find(kTableExpressionDiagram);
+  uint64_t count = 0;
+  for (auto _ : state) {
+    count = diagram.CountConfigurations();
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["configurations"] = static_cast<double>(count);
+}
+
+void BM_CountConfigurationsAllSmallDiagrams(benchmark::State& state) {
+  // Sum valid configuration counts over all diagrams small enough to
+  // enumerate quickly (< 20 features).
+  const FeatureModel& model = SqlFoundationModel();
+  uint64_t total = 0;
+  for (auto _ : state) {
+    total = 0;
+    for (const FeatureDiagram& diagram : model.diagrams()) {
+      if (diagram.NumFeatures() < 20) {
+        total += diagram.CountConfigurations();
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["total_configurations"] = static_cast<double>(total);
+}
+
+BENCHMARK(BM_ModelValidate);
+BENCHMARK(BM_ConfigurationValidate);
+BENCHMARK(BM_ConfigurationNormalize);
+BENCHMARK(BM_CountConfigurationsFigure2);
+BENCHMARK(BM_CountConfigurationsAllSmallDiagrams);
+
+}  // namespace
+}  // namespace sqlpl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// E7/E10: cost of turning a composed grammar into a parser — the step the
+// paper delegates to ANTLR — for the runtime engine (validate + analyze +
+// lexer tables) and for the C++ source generator.
+
+#include <benchmark/benchmark.h>
+
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+void BM_BuildRuntimeParser(benchmark::State& state, const DialectSpec& spec) {
+  SqlProductLine line;
+  Result<Grammar> grammar = line.ComposeGrammar(spec);
+  if (!grammar.ok()) {
+    state.SkipWithError(grammar.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    Result<LlParser> parser = ParserBuilder().Build(*grammar);
+    if (!parser.ok()) state.SkipWithError(parser.status().ToString().c_str());
+    benchmark::DoNotOptimize(parser);
+  }
+  state.counters["productions"] =
+      static_cast<double>(grammar->NumProductions());
+  state.counters["tokens"] = static_cast<double>(grammar->tokens().size());
+}
+
+void BM_GenerateCppSource(benchmark::State& state, const DialectSpec& spec) {
+  SqlProductLine line;
+  Result<Grammar> grammar = line.ComposeGrammar(spec);
+  if (!grammar.ok()) {
+    state.SkipWithError(grammar.status().ToString().c_str());
+    return;
+  }
+  size_t bytes = 0;
+  for (auto _ : state) {
+    Result<GeneratedParser> generated = GenerateCppParser(*grammar);
+    if (!generated.ok()) state.SkipWithError(generated.status().ToString().c_str());
+    bytes = generated->code.size();
+    benchmark::DoNotOptimize(generated);
+  }
+  state.counters["generated_bytes"] = static_cast<double>(bytes);
+}
+
+void BM_EndToEndSelectFeaturesToParser(benchmark::State& state,
+                                       const DialectSpec& spec) {
+  // The paper's full workflow: selection -> sequence -> composition ->
+  // generation, from scratch each iteration.
+  for (auto _ : state) {
+    SqlProductLine line;
+    Result<LlParser> parser = line.BuildParser(spec);
+    if (!parser.ok()) state.SkipWithError(parser.status().ToString().c_str());
+    benchmark::DoNotOptimize(parser);
+  }
+}
+
+}  // namespace
+}  // namespace sqlpl
+
+int main(int argc, char** argv) {
+  using sqlpl::AllPresetDialects;
+  using sqlpl::DialectSpec;
+  for (const DialectSpec& spec : AllPresetDialects()) {
+    benchmark::RegisterBenchmark(
+        ("BM_BuildRuntimeParser/" + spec.name).c_str(),
+        [spec](benchmark::State& state) {
+          sqlpl::BM_BuildRuntimeParser(state, spec);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_GenerateCppSource/" + spec.name).c_str(),
+        [spec](benchmark::State& state) {
+          sqlpl::BM_GenerateCppSource(state, spec);
+        });
+  }
+  for (const DialectSpec& spec :
+       {sqlpl::WorkedExampleDialect(), sqlpl::FullFoundationDialect()}) {
+    benchmark::RegisterBenchmark(
+        ("BM_EndToEndSelectFeaturesToParser/" + spec.name).c_str(),
+        [spec](benchmark::State& state) {
+          sqlpl::BM_EndToEndSelectFeaturesToParser(state, spec);
+        });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

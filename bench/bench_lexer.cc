@@ -1,0 +1,74 @@
+// Lexing throughput with tailored vs full token sets: a smaller composed
+// token file means fewer reserved words to test per lexeme.
+
+#include <benchmark/benchmark.h>
+
+#include "sqlpl/baseline/monolithic_parser.h"
+#include "sqlpl/lexer/lexer.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+std::string SampleSql() {
+  std::string out;
+  for (int i = 0; i < 50; ++i) {
+    out += "SELECT col" + std::to_string(i) +
+           " FROM readings WHERE col" + std::to_string(i) +
+           " > " + std::to_string(i * 10) + " AND tag = 'probe'\n";
+  }
+  return out;
+}
+
+void BM_LexWithDialectTokens(benchmark::State& state,
+                             const DialectSpec& spec) {
+  SqlProductLine line;
+  Result<Grammar> grammar = line.ComposeGrammar(spec);
+  if (!grammar.ok()) {
+    state.SkipWithError(grammar.status().ToString().c_str());
+    return;
+  }
+  Lexer lexer(grammar->tokens());
+  std::string sql = SampleSql();
+  for (auto _ : state) {
+    Result<std::vector<Token>> tokens = lexer.Tokenize(sql);
+    if (!tokens.ok()) state.SkipWithError(tokens.status().ToString().c_str());
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sql.size()));
+  state.counters["keywords"] = static_cast<double>(lexer.NumKeywords());
+}
+
+void BM_LexWithMonolithicTokens(benchmark::State& state) {
+  Lexer lexer(MonolithicTokenSet());
+  std::string sql = SampleSql();
+  for (auto _ : state) {
+    Result<std::vector<Token>> tokens = lexer.Tokenize(sql);
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sql.size()));
+  state.counters["keywords"] = static_cast<double>(lexer.NumKeywords());
+}
+
+}  // namespace
+}  // namespace sqlpl
+
+int main(int argc, char** argv) {
+  using namespace sqlpl;
+  for (const DialectSpec& spec :
+       {EmbeddedMinimalDialect(), TinySqlDialect(), CoreQueryDialect(),
+        FullFoundationDialect()}) {
+    benchmark::RegisterBenchmark(
+        ("BM_LexWithDialectTokens/" + spec.name).c_str(),
+        [spec](benchmark::State& state) {
+          BM_LexWithDialectTokens(state, spec);
+        });
+  }
+  benchmark::RegisterBenchmark("BM_LexWithMonolithicTokens",
+                               BM_LexWithMonolithicTokens);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

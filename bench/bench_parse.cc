@@ -1,0 +1,219 @@
+// E9: parse throughput — tailored composed parsers vs the full composed
+// grammar vs the hand-written monolithic baseline, on workloads shaped
+// like the paper's motivating domains.
+
+#include <numeric>
+
+#include <benchmark/benchmark.h>
+
+#include "sqlpl/baseline/monolithic_parser.h"
+#include "sqlpl/sql/dialects.h"
+#include "sqlpl/testing/workload_generator.h"
+
+namespace sqlpl {
+namespace {
+
+// Selection-projection workload every dialect accepts.
+const std::vector<std::string>& CommonWorkload() {
+  static const auto& workload = *new std::vector<std::string>{
+      "SELECT a FROM t",
+      "SELECT col1 FROM readings WHERE col1 = 10",
+      "SELECT temp FROM sensors WHERE temp > 90",
+      "SELECT id FROM accounts WHERE balance = 100",
+      "SELECT pressure FROM station WHERE sensor = 'p7'",
+  };
+  return workload;
+}
+
+// Analytics-shaped workload (core query features).
+const std::vector<std::string>& AnalyticsWorkload() {
+  static const auto& workload = *new std::vector<std::string>{
+      "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 3",
+      "SELECT region, SUM(amount) FROM sales WHERE yr = 2003 "
+      "GROUP BY region ORDER BY region DESC",
+      "SELECT AVG(salary), MIN(salary), MAX(salary) FROM emp "
+      "WHERE dept = 'R' AND hired > 1999",
+      "SELECT a + b * c FROM t WHERE x = 1 OR y = 2 AND NOT z = 3",
+  };
+  return workload;
+}
+
+// Full-language workload: joins, subqueries, DML, DDL.
+const std::vector<std::string>& MixedWorkload() {
+  static const auto& workload = *new std::vector<std::string>{
+      "SELECT e.name, d.title FROM emp e JOIN dept d ON e.did = d.id "
+      "WHERE e.salary BETWEEN 100 AND 200",
+      "SELECT a FROM t WHERE a IN (SELECT b FROM u WHERE u.x IS NOT NULL)",
+      "INSERT INTO audit (op, who) VALUES ('upd', 'alice'), ('del', 'bob')",
+      "UPDATE accounts SET balance = balance - 10 WHERE id = 7",
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(30) NOT NULL)",
+      "SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY 1",
+      "SELECT CASE WHEN a > 0 THEN 'p' ELSE 'n' END FROM t",
+  };
+  return workload;
+}
+
+size_t TotalBytes(const std::vector<std::string>& workload) {
+  return std::accumulate(workload.begin(), workload.end(), size_t{0},
+                         [](size_t acc, const std::string& s) {
+                           return acc + s.size();
+                         });
+}
+
+void BM_ComposedParser(benchmark::State& state, const DialectSpec& spec,
+                       const std::vector<std::string>& workload) {
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(spec);
+  if (!parser.ok()) {
+    state.SkipWithError(parser.status().ToString().c_str());
+    return;
+  }
+  // Sanity: the workload must parse, otherwise numbers are meaningless.
+  for (const std::string& sql : workload) {
+    if (!parser->Accepts(sql)) {
+      state.SkipWithError(("workload statement rejected: " + sql).c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    for (const std::string& sql : workload) {
+      Result<ParseNode> tree = parser->ParseText(sql);
+      benchmark::DoNotOptimize(tree);
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(TotalBytes(workload)));
+  state.counters["statements"] = static_cast<double>(workload.size());
+}
+
+void BM_MonolithicBaseline(benchmark::State& state,
+                           const std::vector<std::string>& workload) {
+  MonolithicSqlParser parser;
+  for (const std::string& sql : workload) {
+    if (!parser.Accepts(sql)) {
+      state.SkipWithError(("workload statement rejected: " + sql).c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    for (const std::string& sql : workload) {
+      Result<ParseNode> tree = parser.Parse(sql);
+      benchmark::DoNotOptimize(tree);
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(TotalBytes(workload)));
+  state.counters["statements"] = static_cast<double>(workload.size());
+}
+
+// Generated-workload scaling: statement complexity (select-list width,
+// WHERE depth, optional clauses) vs parse cost, on the CoreQuery dialect
+// and the baseline.
+void BM_GeneratedWorkload(benchmark::State& state, bool use_baseline) {
+  int complexity = static_cast<int>(state.range(0));
+  WorkloadGenerator generator(42);
+  std::vector<std::string> workload = generator.Batch(50, complexity);
+
+  SqlProductLine line;
+  Result<LlParser> composed = line.BuildParser(CoreQueryDialect());
+  if (!composed.ok()) {
+    state.SkipWithError(composed.status().ToString().c_str());
+    return;
+  }
+  MonolithicSqlParser baseline;
+
+  for (auto _ : state) {
+    for (const std::string& sql : workload) {
+      if (use_baseline) {
+        Result<ParseNode> tree = baseline.Parse(sql);
+        benchmark::DoNotOptimize(tree);
+      } else {
+        Result<ParseNode> tree = composed->ParseText(sql);
+        benchmark::DoNotOptimize(tree);
+      }
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(TotalBytes(workload)));
+  state.counters["complexity"] = complexity;
+}
+
+// Rejection speed: how fast out-of-dialect statements are refused (error
+// paths matter on constrained devices).
+void BM_TailoredRejection(benchmark::State& state) {
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(EmbeddedMinimalDialect());
+  if (!parser.ok()) {
+    state.SkipWithError(parser.status().ToString().c_str());
+    return;
+  }
+  const std::vector<std::string>& workload = MixedWorkload();
+  for (auto _ : state) {
+    for (const std::string& sql : workload) {
+      bool accepted = parser->Accepts(sql);
+      benchmark::DoNotOptimize(accepted);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqlpl
+
+int main(int argc, char** argv) {
+  using namespace sqlpl;
+
+  struct Entry {
+    const char* name;
+    DialectSpec spec;
+    const std::vector<std::string>* workload;
+  };
+  const std::vector<Entry> entries = {
+      {"common/EmbeddedMinimal", EmbeddedMinimalDialect(), &CommonWorkload()},
+      {"common/TinySQL", TinySqlDialect(), &CommonWorkload()},
+      {"common/SCQL", ScqlDialect(), &CommonWorkload()},
+      {"common/CoreQuery", CoreQueryDialect(), &CommonWorkload()},
+      {"common/FullFoundation", FullFoundationDialect(), &CommonWorkload()},
+      {"analytics/CoreQuery", CoreQueryDialect(), &AnalyticsWorkload()},
+      {"analytics/FullFoundation", FullFoundationDialect(),
+       &AnalyticsWorkload()},
+      {"mixed/FullFoundation", FullFoundationDialect(), &MixedWorkload()},
+  };
+  for (const Entry& entry : entries) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_ComposedParser/") + entry.name).c_str(),
+        [entry](benchmark::State& state) {
+          BM_ComposedParser(state, entry.spec, *entry.workload);
+        });
+  }
+  benchmark::RegisterBenchmark(
+      "BM_MonolithicBaseline/common", [](benchmark::State& state) {
+        BM_MonolithicBaseline(state, CommonWorkload());
+      });
+  benchmark::RegisterBenchmark(
+      "BM_MonolithicBaseline/analytics", [](benchmark::State& state) {
+        BM_MonolithicBaseline(state, AnalyticsWorkload());
+      });
+  benchmark::RegisterBenchmark(
+      "BM_MonolithicBaseline/mixed", [](benchmark::State& state) {
+        BM_MonolithicBaseline(state, MixedWorkload());
+      });
+  benchmark::RegisterBenchmark("BM_TailoredRejection/mixed",
+                               BM_TailoredRejection);
+  benchmark::RegisterBenchmark("BM_GeneratedWorkload/composed",
+                               [](benchmark::State& state) {
+                                 BM_GeneratedWorkload(state, false);
+                               })
+      ->Arg(0)
+      ->Arg(1)
+      ->Arg(2)
+      ->Arg(3);
+  benchmark::RegisterBenchmark("BM_GeneratedWorkload/baseline",
+                               [](benchmark::State& state) {
+                                 BM_GeneratedWorkload(state, true);
+                               })
+      ->Arg(0)
+      ->Arg(3);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

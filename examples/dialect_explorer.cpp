@@ -1,0 +1,121 @@
+// The "user interface presenting various SQL statements and their
+// features" the paper's §5 describes as work in progress: list diagrams
+// and composable features, select features on the command line, compose a
+// parser, and parse statements from stdin.
+//
+// Usage:
+//   dialect_explorer --list                     list diagrams + features
+//   dialect_explorer --modules                  list composable modules
+//   dialect_explorer --preset TinySQL           use a preset dialect
+//   dialect_explorer Feature1 Feature2 ...      compose these features
+//                                               (closed under requires)
+//   ... then type one SQL statement per line on stdin.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sqlpl/feature/render.h"
+#include "sqlpl/semantics/pretty_printer.h"
+#include "sqlpl/sql/dialects.h"
+#include "sqlpl/sql/foundation_model.h"
+
+namespace {
+
+int ListDiagrams() {
+  const sqlpl::FeatureModel& model = sqlpl::SqlFoundationModel();
+  std::printf("%zu diagrams, %zu features\n\n", model.NumDiagrams(),
+              model.TotalFeatures());
+  for (const sqlpl::FeatureDiagram& diagram : model.diagrams()) {
+    std::printf("%s\n", sqlpl::RenderInventory(diagram).c_str());
+  }
+  return 0;
+}
+
+int ListModules() {
+  const sqlpl::SqlFeatureCatalog& catalog =
+      sqlpl::SqlFeatureCatalog::Instance();
+  std::printf("%zu composable feature modules (canonical order):\n\n",
+              catalog.size());
+  for (const sqlpl::SqlFeatureModule& module : catalog.modules()) {
+    std::printf("  %-22s %s\n", module.name.c_str(),
+                module.description.c_str());
+    if (!module.requires_features.empty()) {
+      std::printf("  %-22s requires:", "");
+      for (const std::string& required : module.requires_features) {
+        std::printf(" %s", required.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sqlpl;
+
+  if (argc > 1 && std::strcmp(argv[1], "--list") == 0) return ListDiagrams();
+  if (argc > 1 && std::strcmp(argv[1], "--modules") == 0) {
+    return ListModules();
+  }
+
+  DialectSpec spec;
+  if (argc > 2 && std::strcmp(argv[1], "--preset") == 0) {
+    for (const DialectSpec& preset : AllPresetDialects()) {
+      if (preset.name == argv[2]) spec = preset;
+    }
+    if (spec.features.empty()) {
+      std::printf("unknown preset '%s'; presets are:\n", argv[2]);
+      for (const DialectSpec& preset : AllPresetDialects()) {
+        std::printf("  %s\n", preset.name.c_str());
+      }
+      return 1;
+    }
+  } else if (argc > 1) {
+    spec.name = "custom";
+    for (int i = 1; i < argc; ++i) spec.features.emplace_back(argv[i]);
+    // Close the user's selection under requires so partial selections
+    // still compose.
+    Result<std::vector<std::string>> closed =
+        SqlFeatureCatalog::Instance().RequiredClosure(spec.features);
+    if (!closed.ok()) {
+      std::printf("error: %s\n", closed.status().ToString().c_str());
+      return 1;
+    }
+    spec.features = *closed;
+  } else {
+    spec = CoreQueryDialect();
+  }
+
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(spec);
+  if (!parser.ok()) {
+    std::printf("cannot build dialect '%s': %s\n", spec.name.c_str(),
+                parser.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("dialect '%s': %zu features -> %zu productions, %zu tokens\n",
+              spec.name.c_str(), spec.features.size(),
+              parser->grammar().NumProductions(),
+              parser->grammar().tokens().size());
+  std::printf("composition trace (%zu steps); enter SQL, one statement "
+              "per line:\n",
+              line.last_trace().size());
+
+  std::string sql;
+  while (std::getline(std::cin, sql)) {
+    if (sql.empty()) continue;
+    Result<ParseNode> tree = parser->ParseText(sql);
+    if (!tree.ok()) {
+      std::printf("reject: %s\n", tree.status().message().c_str());
+      continue;
+    }
+    std::printf("ok: %s\n", PrintSql(*tree).c_str());
+    std::printf("%s", tree->ToTreeString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// SCQL-style smart-card dialect (ISO 7816-7, paper §2.1): a restricted
+// SELECT/INSERT/UPDATE/DELETE plus table, view and privilege definition.
+// Demonstrates semantic-action layers on top of the composed parser: a
+// card-resident catalog validates every admitted statement.
+
+#include <cstdio>
+
+#include "sqlpl/semantics/validator.h"
+#include "sqlpl/sql/dialects.h"
+
+int main() {
+  using namespace sqlpl;
+
+  SqlProductLine line;
+  DialectSpec spec = ScqlDialect();
+  Result<LlParser> parser = line.BuildParser(spec);
+  if (!parser.ok()) {
+    std::printf("build error: %s\n", parser.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("SCQL parser: %zu productions, %zu tokens\n\n",
+              parser->grammar().NumProductions(),
+              parser->grammar().tokens().size());
+
+  // The card's fixed file system (its "database").
+  DbCatalog card;
+  (void)card.AddTable("accounts", {"id", "owner", "balance"});
+  (void)card.AddTable("log", {"seq", "op", "amount"});
+
+  const char* commands[] = {
+      "SELECT balance FROM accounts WHERE id = 7",
+      "UPDATE accounts SET balance = balance - 10 WHERE id = 7",
+      "INSERT INTO log (op, amount) VALUES ('debit', 10)",
+      "DELETE FROM log WHERE seq = 1",
+      "CREATE TABLE limits (id INTEGER, daily DECIMAL(9, 2))",
+      "GRANT SELECT ON accounts TO PUBLIC",
+      // Semantically invalid: unknown table / column.
+      "SELECT balance FROM vault",
+      "SELECT pin FROM accounts",
+      // Syntactically out of profile.
+      "SELECT a FROM accounts ORDER BY a",
+      "COMMIT WORK",
+  };
+
+  for (const char* sql : commands) {
+    Result<ParseNode> tree = parser->ParseText(sql);
+    if (!tree.ok()) {
+      std::printf("SW 6A80  %s\n         syntax: %s\n", sql,
+                  tree.status().message().c_str());
+      continue;
+    }
+    DiagnosticCollector diagnostics;
+    Status semantic = ValidateAgainstCatalog(
+        card, spec.features, *tree, &diagnostics);
+    if (!semantic.ok()) {
+      std::printf("SW 6A82  %s\n", sql);
+      for (const Diagnostic& diagnostic : diagnostics.diagnostics()) {
+        std::printf("         %s\n", diagnostic.ToString().c_str());
+      }
+      continue;
+    }
+    std::printf("SW 9000  %s\n", sql);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// TinySQL for sensor networks (TinyDB): composes the acquisitional
+// query dialect of the paper's §2.1 — single table in FROM, no aliases,
+// aggregation, and the SAMPLE PERIOD / EPOCH DURATION extension features
+// — then runs a small "sensor network base station" that admits or
+// refuses incoming queries and inspects the acquisitional parameters.
+
+#include <cstdio>
+
+#include "sqlpl/semantics/ast_builder.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace {
+
+// Extracts the sample period (ticks) from a parsed acquisitional query,
+// or 0 if the clause is absent.
+long SamplePeriodOf(const sqlpl::ParseNode& tree) {
+  const sqlpl::ParseNode* clause = tree.FindFirst("sample_period_clause");
+  if (clause == nullptr) return 0;
+  for (const sqlpl::ParseNode* leaf : clause->FindAll("NUMBER")) {
+    return std::strtol(leaf->token().text.c_str(), nullptr, 10);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sqlpl;
+
+  SqlProductLine line;
+  DialectSpec spec = TinySqlDialect();
+  Result<LlParser> parser = line.BuildParser(spec);
+  if (!parser.ok()) {
+    std::printf("build error: %s\n", parser.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("TinySQL parser: %zu productions, %zu tokens "
+              "(vs %zu features selected)\n\n",
+              parser->grammar().NumProductions(),
+              parser->grammar().tokens().size(), spec.features.size());
+
+  const char* incoming[] = {
+      // Canonical TinyDB acquisitional queries.
+      "SELECT nodeid, light, temp FROM sensors SAMPLE PERIOD 2048",
+      "SELECT COUNT(*) FROM sensors WHERE light > 400 EPOCH DURATION 1024",
+      "SELECT AVG(volume) FROM sensors WHERE floor = 6 GROUP BY roomno "
+      "HAVING AVG(volume) > 10",
+      "SELECT nodeid FROM sensors SAMPLE PERIOD 1024 FOR 30",
+      // Queries a full SQL engine would take but a mote must refuse.
+      "SELECT s.light FROM sensors s",          // aliases excluded
+      "SELECT a FROM sensors, buffer",          // single-table FROM
+      "SELECT light FROM sensors ORDER BY light",  // no ORDER BY on motes
+      "INSERT INTO sensors VALUES (1)",         // no DML
+  };
+
+  for (const char* sql : incoming) {
+    Result<ParseNode> tree = parser->ParseText(sql);
+    if (!tree.ok()) {
+      std::printf("refused  %s\n         %s\n", sql,
+                  tree.status().message().c_str());
+      continue;
+    }
+    std::printf("admitted %s\n", sql);
+    long period = SamplePeriodOf(*tree);
+    if (period > 0) {
+      std::printf("         sample period: %ld ticks\n", period);
+    }
+    Result<SelectStatement> statement = BuildSelectStatement(*tree);
+    if (statement.ok()) {
+      std::printf("         projects %zu column(s) from '%s'\n",
+                  statement->items.size(),
+                  statement->from.empty() ? "?"
+                                          : statement->from[0].name.c_str());
+    }
+  }
+  return 0;
+}

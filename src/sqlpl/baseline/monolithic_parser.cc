@@ -1,0 +1,1123 @@
+#include "sqlpl/baseline/monolithic_parser.h"
+
+namespace sqlpl {
+
+namespace {
+
+TokenSet BuildMonolithicTokenSet() {
+  TokenSet tokens;
+  static constexpr const char* kKeywords[] = {
+      "SELECT",   "DISTINCT",  "ALL",        "AS",        "FROM",
+      "WHERE",    "GROUP",     "BY",         "HAVING",    "WINDOW",
+      "ORDER",    "ASC",       "DESC",       "NULLS",     "FIRST",
+      "LAST",     "AND",       "OR",         "NOT",       "BETWEEN",
+      "IN",       "LIKE",      "ESCAPE",     "IS",        "NULL",
+      "EXISTS",   "SOME",      "ANY",        "UNION",     "EXCEPT",
+      "INTERSECT","JOIN",      "INNER",      "LEFT",      "RIGHT",
+      "FULL",     "OUTER",     "CROSS",      "NATURAL",   "ON",
+      "USING",    "INSERT",    "INTO",       "VALUES",    "DEFAULT",
+      "UPDATE",   "SET",       "DELETE",     "MERGE",     "MATCHED",
+      "WHEN",     "THEN",      "ELSE",       "END",       "CASE",
+      "NULLIF",   "COALESCE",  "CAST",       "CREATE",    "TABLE",
+      "VIEW",     "SCHEMA",    "DOMAIN",     "SEQUENCE",  "TRIGGER",
+      "DROP",     "ALTER",     "ADD",        "COLUMN",    "CONSTRAINT",
+      "PRIMARY",  "KEY",       "FOREIGN",    "UNIQUE",    "CHECK",
+      "REFERENCES","CASCADE",  "RESTRICT",   "GLOBAL",    "LOCAL",
+      "TEMPORARY","RECURSIVE", "WITH",       "OPTION",    "AUTHORIZATION",
+      "GRANT",    "REVOKE",    "TO",         "PRIVILEGES","PUBLIC",
+      "USAGE",    "EXECUTE",   "COMMIT",     "ROLLBACK",  "WORK",
+      "SAVEPOINT","START",     "TRANSACTION","ISOLATION", "LEVEL",
+      "READ",     "UNCOMMITTED","COMMITTED", "REPEATABLE","SERIALIZABLE",
+      "ONLY",     "WRITE",     "DECLARE",    "CURSOR",    "OPEN",
+      "CLOSE",    "FETCH",     "NEXT",       "PRIOR",     "ABSOLUTE",
+      "RELATIVE", "SCROLL",    "SENSITIVE",  "INSENSITIVE","ASENSITIVE",
+      "COUNT",    "SUM",       "AVG",        "MIN",       "MAX",
+      "EVERY",    "INTEGER",   "INT",        "SMALLINT",  "BIGINT",
+      "NUMERIC",  "DECIMAL",   "DEC",        "FLOAT",     "REAL",
+      "DOUBLE",   "PRECISION", "CHARACTER",  "CHAR",      "VARCHAR",
+      "VARYING",  "DATE",      "TIME",       "TIMESTAMP", "BOOLEAN",
+      "CLOB",     "BLOB",      "SUBSTRING",  "UPPER",     "LOWER",
+      "TRIM",     "POSITION",  "CHAR_LENGTH","EXTRACT",   "YEAR",
+      "MONTH",    "DAY",       "HOUR",       "MINUTE",    "SECOND",
+      "CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP",
+      "FOR",      "EACH",      "ROW",        "STATEMENT", "BEFORE",
+      "AFTER",    "OF",        "ROWS",       "RANGE",     "PARTITION",
+      "UNBOUNDED","PRECEDING", "FOLLOWING",  "CURRENT",   "TRUE",
+      "FALSE",    "UNKNOWN",   "INCREMENT",  "MAXVALUE",  "MINVALUE",
+      "CYCLE",    "NO",        "ACTION",     "ROLE",      "ZONE",
+  };
+  for (const char* keyword : kKeywords) {
+    tokens.AddOrDie(TokenDef::Keyword(keyword));
+  }
+  static constexpr const char* kPuncts[] = {
+      ",", "(", ")", ".", "*", "=", "<>", "<=", ">=", "<", ">",
+      "+", "-", "/", "||",
+  };
+  for (const char* punct : kPuncts) {
+    const char* name = "";
+    switch (punct[0]) {
+      case ',': name = "COMMA"; break;
+      case '(': name = "LPAREN"; break;
+      case ')': name = "RPAREN"; break;
+      case '.': name = "DOT"; break;
+      case '*': name = "ASTERISK"; break;
+      case '=': name = "EQ"; break;
+      case '<':
+        name = (punct[1] == '>') ? "NEQ" : (punct[1] == '=') ? "LE" : "LT";
+        break;
+      case '>': name = (punct[1] == '=') ? "GE" : "GT"; break;
+      case '+': name = "PLUS"; break;
+      case '-': name = "MINUS"; break;
+      case '/': name = "SLASH"; break;
+      case '|': name = "CONCAT"; break;
+    }
+    tokens.AddOrDie(TokenDef::Punct(name, punct));
+  }
+  tokens.AddOrDie(TokenDef::Identifier());
+  tokens.AddOrDie(TokenDef::Number());
+  tokens.AddOrDie(TokenDef::String());
+  return tokens;
+}
+
+// Recursive-descent machinery over a token stream. Matches the dialect
+// language by hand; every Parse* method either consumes and returns a
+// node or fails having restored the cursor.
+class Cursor {
+ public:
+  explicit Cursor(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  const std::string& PeekType() const { return tokens_[pos_].type; }
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool At(std::string_view type) const { return tokens_[pos_].type == type; }
+
+  bool Eat(std::string_view type, ParseNode* parent) {
+    if (!At(type)) return false;
+    parent->AddChild(ParseNode::Leaf(tokens_[pos_]));
+    ++pos_;
+    return true;
+  }
+
+  size_t Save() const { return pos_; }
+  void Restore(size_t pos) { pos_ = pos; }
+  bool AtEnd() const { return tokens_[pos_].type == "$"; }
+  const Token& Current() const { return tokens_[pos_]; }
+
+ private:
+  const std::vector<Token>& tokens_;
+  size_t pos_ = 0;
+};
+
+class Rd {
+ public:
+  explicit Rd(Cursor* cursor) : c_(*cursor) {}
+
+  bool ParseStatement(ParseNode* out) {
+    ParseNode node = ParseNode::Rule("sql_statement");
+    if (ParseQueryStatement(&node) || ParseInsert(&node) ||
+        ParseUpdate(&node) || ParseDelete(&node) || ParseCreate(&node) ||
+        ParseDrop(&node) || ParseAlter(&node) || ParseGrantRevoke(&node) ||
+        ParseTransaction(&node) || ParseCursorStatement(&node)) {
+      *out = std::move(node);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  // ---- queries ----
+  bool ParseQueryStatement(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("query_statement");
+    if (!ParseQueryExpression(&node)) return Fail(save);
+    if (c_.At("ORDER")) {
+      ParseNode order = ParseNode::Rule("order_by_clause");
+      c_.Eat("ORDER", &order);
+      if (!c_.Eat("BY", &order)) return Fail(save);
+      if (!ParseSortList(&order)) return Fail(save);
+      node.AddChild(std::move(order));
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseSortList(ParseNode* parent) {
+    do {
+      ParseNode sort = ParseNode::Rule("sort_specification");
+      if (!ParseValueExpr(&sort)) return false;
+      if (c_.At("ASC") || c_.At("DESC")) {
+        c_.Eat(c_.PeekType(), &sort);
+      }
+      if (c_.At("NULLS")) {
+        c_.Eat("NULLS", &sort);
+        if (!c_.Eat("FIRST", &sort) && !c_.Eat("LAST", &sort)) return false;
+      }
+      parent->AddChild(std::move(sort));
+    } while (c_.Eat("COMMA", parent));
+    return true;
+  }
+
+  bool ParseQueryExpression(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("query_expression");
+    if (!ParseQueryPrimary(&node)) return Fail(save);
+    while (c_.At("UNION") || c_.At("EXCEPT") || c_.At("INTERSECT")) {
+      c_.Eat(c_.PeekType(), &node);
+      if (c_.At("ALL") || c_.At("DISTINCT")) c_.Eat(c_.PeekType(), &node);
+      if (!ParseQueryPrimary(&node)) return Fail(save);
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseQueryPrimary(ParseNode* parent) {
+    size_t save = c_.Save();
+    if (c_.At("LPAREN")) {
+      ParseNode node = ParseNode::Rule("query_primary");
+      c_.Eat("LPAREN", &node);
+      if (ParseQueryExpression(&node) && c_.Eat("RPAREN", &node)) {
+        parent->AddChild(std::move(node));
+        return true;
+      }
+      c_.Restore(save);
+    }
+    return ParseQuerySpecification(parent);
+  }
+
+  bool ParseQuerySpecification(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("query_specification");
+    if (!c_.Eat("SELECT", &node)) return Fail(save);
+    if (c_.At("DISTINCT") || c_.At("ALL")) c_.Eat(c_.PeekType(), &node);
+    if (!ParseSelectList(&node)) return Fail(save);
+    if (!ParseTableExpression(&node)) return Fail(save);
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseSelectList(ParseNode* parent) {
+    ParseNode node = ParseNode::Rule("select_list");
+    if (c_.Eat("ASTERISK", &node)) {
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    do {
+      ParseNode item = ParseNode::Rule("derived_column");
+      if (!ParseValueExpr(&item)) return false;
+      if (c_.At("AS")) {
+        c_.Eat("AS", &item);
+        if (!c_.Eat("IDENTIFIER", &item)) return false;
+      } else if (c_.At("IDENTIFIER")) {
+        c_.Eat("IDENTIFIER", &item);
+      }
+      node.AddChild(std::move(item));
+    } while (c_.Eat("COMMA", &node));
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseTableExpression(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("table_expression");
+    if (!c_.Eat("FROM", &node)) return Fail(save);
+    if (!ParseTableReference(&node)) return Fail(save);
+    while (c_.Eat("COMMA", &node)) {
+      if (!ParseTableReference(&node)) return Fail(save);
+    }
+    if (c_.At("WHERE")) {
+      ParseNode where = ParseNode::Rule("where_clause");
+      c_.Eat("WHERE", &where);
+      if (!ParseSearchCondition(&where)) return Fail(save);
+      node.AddChild(std::move(where));
+    }
+    if (c_.At("GROUP")) {
+      ParseNode group = ParseNode::Rule("group_by_clause");
+      c_.Eat("GROUP", &group);
+      if (!c_.Eat("BY", &group)) return Fail(save);
+      do {
+        if (!ParseValueExpr(&group)) return Fail(save);
+      } while (c_.Eat("COMMA", &group));
+      node.AddChild(std::move(group));
+    }
+    if (c_.At("HAVING")) {
+      ParseNode having = ParseNode::Rule("having_clause");
+      c_.Eat("HAVING", &having);
+      if (!ParseSearchCondition(&having)) return Fail(save);
+      node.AddChild(std::move(having));
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseTableReference(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("table_reference");
+    if (!ParseTablePrimary(&node)) return Fail(save);
+    while (c_.At("JOIN") || c_.At("INNER") || c_.At("LEFT") ||
+           c_.At("RIGHT") || c_.At("FULL") || c_.At("CROSS") ||
+           c_.At("NATURAL")) {
+      ParseNode join = ParseNode::Rule("joined_table");
+      if (c_.Eat("CROSS", &join)) {
+        if (!c_.Eat("JOIN", &join) || !ParseTablePrimary(&join)) {
+          return Fail(save);
+        }
+      } else {
+        c_.Eat("NATURAL", &join);
+        if (c_.At("INNER")) c_.Eat("INNER", &join);
+        if (c_.At("LEFT") || c_.At("RIGHT") || c_.At("FULL")) {
+          c_.Eat(c_.PeekType(), &join);
+          c_.Eat("OUTER", &join);
+        }
+        if (!c_.Eat("JOIN", &join) || !ParseTablePrimary(&join)) {
+          return Fail(save);
+        }
+        if (c_.Eat("ON", &join)) {
+          if (!ParseSearchCondition(&join)) return Fail(save);
+        } else if (c_.Eat("USING", &join)) {
+          if (!c_.Eat("LPAREN", &join)) return Fail(save);
+          do {
+            if (!c_.Eat("IDENTIFIER", &join)) return Fail(save);
+          } while (c_.Eat("COMMA", &join));
+          if (!c_.Eat("RPAREN", &join)) return Fail(save);
+        }
+      }
+      node.AddChild(std::move(join));
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseTablePrimary(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("table_primary");
+    if (c_.At("LPAREN")) {
+      // derived table
+      c_.Eat("LPAREN", &node);
+      if (!ParseQueryExpression(&node) || !c_.Eat("RPAREN", &node)) {
+        return Fail(save);
+      }
+      c_.Eat("AS", &node);
+      if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (!ParseIdentifierChain(&node)) return Fail(save);
+    if (c_.At("AS")) {
+      c_.Eat("AS", &node);
+      if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+    } else if (c_.At("IDENTIFIER")) {
+      c_.Eat("IDENTIFIER", &node);
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseIdentifierChain(ParseNode* parent) {
+    ParseNode node = ParseNode::Rule("identifier_chain");
+    if (!c_.Eat("IDENTIFIER", &node)) return false;
+    while (c_.At("DOT")) {
+      c_.Eat("DOT", &node);
+      if (!c_.Eat("IDENTIFIER", &node)) return false;
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  // ---- conditions ----
+  bool ParseSearchCondition(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("search_condition");
+    if (!ParseBooleanTerm(&node)) return Fail(save);
+    while (c_.Eat("OR", &node)) {
+      if (!ParseBooleanTerm(&node)) return Fail(save);
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseBooleanTerm(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("boolean_term");
+    if (!ParseBooleanFactor(&node)) return Fail(save);
+    while (c_.Eat("AND", &node)) {
+      if (!ParseBooleanFactor(&node)) return Fail(save);
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseBooleanFactor(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("boolean_factor");
+    c_.Eat("NOT", &node);
+    if (ParsePredicate(&node)) {
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("LPAREN", &node) && ParseSearchCondition(&node) &&
+        c_.Eat("RPAREN", &node)) {
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    return Fail(save);
+  }
+
+  bool ParsePredicate(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("predicate");
+    if (c_.At("EXISTS")) {
+      c_.Eat("EXISTS", &node);
+      if (!c_.Eat("LPAREN", &node) || !ParseQueryExpression(&node) ||
+          !c_.Eat("RPAREN", &node)) {
+        return Fail(save);
+      }
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (!ParseValueExpr(&node)) return Fail(save);
+    if (c_.At("EQ") || c_.At("NEQ") || c_.At("LT") || c_.At("GT") ||
+        c_.At("LE") || c_.At("GE")) {
+      c_.Eat(c_.PeekType(), &node);
+      if (c_.At("ALL") || c_.At("SOME") || c_.At("ANY")) {
+        c_.Eat(c_.PeekType(), &node);
+        if (!c_.Eat("LPAREN", &node) || !ParseQueryExpression(&node) ||
+            !c_.Eat("RPAREN", &node)) {
+          return Fail(save);
+        }
+      } else if (!ParseValueExpr(&node)) {
+        return Fail(save);
+      }
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    c_.Eat("NOT", &node);
+    if (c_.Eat("BETWEEN", &node)) {
+      if (!ParseValueExpr(&node) || !c_.Eat("AND", &node) ||
+          !ParseValueExpr(&node)) {
+        return Fail(save);
+      }
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("IN", &node)) {
+      if (!c_.Eat("LPAREN", &node)) return Fail(save);
+      size_t inner = c_.Save();
+      if (ParseQueryExpression(&node)) {
+        if (!c_.Eat("RPAREN", &node)) return Fail(save);
+      } else {
+        c_.Restore(inner);
+        do {
+          if (!ParseValueExpr(&node)) return Fail(save);
+        } while (c_.Eat("COMMA", &node));
+        if (!c_.Eat("RPAREN", &node)) return Fail(save);
+      }
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("LIKE", &node)) {
+      if (!ParseValueExpr(&node)) return Fail(save);
+      if (c_.Eat("ESCAPE", &node)) {
+        if (!ParseValueExpr(&node)) return Fail(save);
+      }
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("IS", &node)) {
+      c_.Eat("NOT", &node);
+      if (!c_.Eat("NULL", &node)) return Fail(save);
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    return Fail(save);
+  }
+
+  // ---- value expressions ----
+  bool ParseValueExpr(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("value_expression");
+    if (!ParseTerm(&node)) return Fail(save);
+    while (c_.At("PLUS") || c_.At("MINUS") || c_.At("CONCAT")) {
+      c_.Eat(c_.PeekType(), &node);
+      if (!ParseTerm(&node)) return Fail(save);
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseTerm(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("term");
+    if (!ParseFactor(&node)) return Fail(save);
+    while (c_.At("ASTERISK") || c_.At("SLASH")) {
+      c_.Eat(c_.PeekType(), &node);
+      if (!ParseFactor(&node)) return Fail(save);
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseFactor(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("factor");
+    if (c_.At("PLUS") || c_.At("MINUS")) c_.Eat(c_.PeekType(), &node);
+    if (!ParsePrimary(&node)) return Fail(save);
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParsePrimary(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("value_primary");
+
+    // Aggregates.
+    if (c_.At("COUNT") || c_.At("SUM") || c_.At("AVG") || c_.At("MIN") ||
+        c_.At("MAX") || c_.At("EVERY")) {
+      c_.Eat(c_.PeekType(), &node);
+      if (!c_.Eat("LPAREN", &node)) return Fail(save);
+      if (!c_.Eat("ASTERISK", &node)) {
+        if (c_.At("DISTINCT") || c_.At("ALL")) c_.Eat(c_.PeekType(), &node);
+        if (!ParseValueExpr(&node)) return Fail(save);
+      }
+      if (!c_.Eat("RPAREN", &node)) return Fail(save);
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    // CASE / NULLIF / COALESCE / CAST.
+    if (c_.At("CASE")) {
+      if (!ParseCase(&node)) return Fail(save);
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("NULLIF", &node) || c_.At("COALESCE")) {
+      c_.Eat("COALESCE", &node);
+      if (!c_.Eat("LPAREN", &node)) return Fail(save);
+      do {
+        if (!ParseValueExpr(&node)) return Fail(save);
+      } while (c_.Eat("COMMA", &node));
+      if (!c_.Eat("RPAREN", &node)) return Fail(save);
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("CAST", &node)) {
+      if (!c_.Eat("LPAREN", &node) || !ParseValueExpr(&node) ||
+          !c_.Eat("AS", &node) || !ParseDataType(&node) ||
+          !c_.Eat("RPAREN", &node)) {
+        return Fail(save);
+      }
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    // String / datetime functions.
+    if (c_.At("SUBSTRING") || c_.At("UPPER") || c_.At("LOWER") ||
+        c_.At("TRIM") || c_.At("CHAR_LENGTH") || c_.At("POSITION") ||
+        c_.At("EXTRACT")) {
+      std::string fn = c_.PeekType();
+      c_.Eat(fn, &node);
+      if (!c_.Eat("LPAREN", &node)) return Fail(save);
+      if (fn == "EXTRACT") {
+        if (!(c_.Eat("YEAR", &node) || c_.Eat("MONTH", &node) ||
+              c_.Eat("DAY", &node) || c_.Eat("HOUR", &node) ||
+              c_.Eat("MINUTE", &node) || c_.Eat("SECOND", &node))) {
+          return Fail(save);
+        }
+        if (!c_.Eat("FROM", &node) || !ParseValueExpr(&node)) {
+          return Fail(save);
+        }
+      } else {
+        if (!ParseValueExpr(&node)) return Fail(save);
+        if (fn == "SUBSTRING") {
+          if (!c_.Eat("FROM", &node) || !ParseValueExpr(&node)) {
+            return Fail(save);
+          }
+          if (c_.Eat("FOR", &node)) {
+            if (!ParseValueExpr(&node)) return Fail(save);
+          }
+        } else if (fn == "POSITION") {
+          if (!c_.Eat("IN", &node) || !ParseValueExpr(&node)) {
+            return Fail(save);
+          }
+        }
+      }
+      if (!c_.Eat("RPAREN", &node)) return Fail(save);
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("CURRENT_DATE", &node) || c_.Eat("CURRENT_TIME", &node) ||
+        c_.Eat("CURRENT_TIMESTAMP", &node)) {
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    // Literals.
+    if (c_.Eat("NUMBER", &node) || c_.Eat("STRING", &node) ||
+        c_.Eat("NULL", &node) || c_.Eat("TRUE", &node) ||
+        c_.Eat("FALSE", &node) || c_.Eat("UNKNOWN", &node)) {
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    // Parenthesized expression or scalar subquery.
+    if (c_.At("LPAREN")) {
+      size_t inner = c_.Save();
+      c_.Eat("LPAREN", &node);
+      if (ParseValueExpr(&node) && c_.Eat("RPAREN", &node)) {
+        parent->AddChild(std::move(node));
+        return true;
+      }
+      c_.Restore(inner);
+      c_.Eat("LPAREN", &node);
+      if (ParseQueryExpression(&node) && c_.Eat("RPAREN", &node)) {
+        parent->AddChild(std::move(node));
+        return true;
+      }
+      return Fail(save);
+    }
+    // Column reference or routine invocation.
+    if (ParseIdentifierChain(&node)) {
+      if (c_.At("LPAREN")) {
+        c_.Eat("LPAREN", &node);
+        if (!c_.At("RPAREN")) {
+          do {
+            if (!ParseValueExpr(&node)) return Fail(save);
+          } while (c_.Eat("COMMA", &node));
+        }
+        if (!c_.Eat("RPAREN", &node)) return Fail(save);
+      }
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    return Fail(save);
+  }
+
+  bool ParseCase(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("case_expression");
+    if (!c_.Eat("CASE", &node)) return Fail(save);
+    bool searched = c_.At("WHEN");
+    if (!searched) {
+      if (!ParseValueExpr(&node)) return Fail(save);
+    }
+    bool any = false;
+    while (c_.Eat("WHEN", &node)) {
+      if (searched) {
+        if (!ParseSearchCondition(&node)) return Fail(save);
+      } else {
+        if (!ParseValueExpr(&node)) return Fail(save);
+      }
+      if (!c_.Eat("THEN", &node) || !ParseValueExpr(&node)) {
+        return Fail(save);
+      }
+      any = true;
+    }
+    if (!any) return Fail(save);
+    if (c_.Eat("ELSE", &node)) {
+      if (!ParseValueExpr(&node)) return Fail(save);
+    }
+    if (!c_.Eat("END", &node)) return Fail(save);
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseDataType(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("data_type");
+    auto paren_number = [&](bool two_allowed) {
+      if (!c_.At("LPAREN")) return true;
+      c_.Eat("LPAREN", &node);
+      if (!c_.Eat("NUMBER", &node)) return false;
+      if (two_allowed && c_.Eat("COMMA", &node)) {
+        if (!c_.Eat("NUMBER", &node)) return false;
+      }
+      return c_.Eat("RPAREN", &node);
+    };
+    if (c_.Eat("INTEGER", &node) || c_.Eat("INT", &node) ||
+        c_.Eat("SMALLINT", &node) || c_.Eat("BIGINT", &node) ||
+        c_.Eat("REAL", &node) || c_.Eat("DATE", &node) ||
+        c_.Eat("BOOLEAN", &node) || c_.Eat("CLOB", &node) ||
+        c_.Eat("BLOB", &node)) {
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("DOUBLE", &node)) {
+      if (!c_.Eat("PRECISION", &node)) return Fail(save);
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("NUMERIC", &node) || c_.Eat("DECIMAL", &node) ||
+        c_.Eat("DEC", &node)) {
+      if (!paren_number(true)) return Fail(save);
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("FLOAT", &node) || c_.Eat("VARCHAR", &node) ||
+        c_.Eat("TIMESTAMP", &node) || c_.Eat("TIME", &node)) {
+      if (!paren_number(false)) return Fail(save);
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("CHARACTER", &node) || c_.Eat("CHAR", &node)) {
+      c_.Eat("VARYING", &node);
+      if (!paren_number(false)) return Fail(save);
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    return Fail(save);
+  }
+
+  // ---- DML ----
+  bool ParseInsert(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("insert_statement");
+    if (!c_.Eat("INSERT", &node)) return Fail(save);
+    if (!c_.Eat("INTO", &node) || !ParseIdentifierChain(&node)) {
+      return Fail(save);
+    }
+    if (c_.Eat("LPAREN", &node)) {
+      do {
+        if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+      } while (c_.Eat("COMMA", &node));
+      if (!c_.Eat("RPAREN", &node)) return Fail(save);
+    }
+    if (c_.Eat("DEFAULT", &node)) {
+      if (!c_.Eat("VALUES", &node)) return Fail(save);
+    } else if (c_.Eat("VALUES", &node)) {
+      do {
+        if (!c_.Eat("LPAREN", &node)) return Fail(save);
+        do {
+          if (!ParseValueExpr(&node)) return Fail(save);
+        } while (c_.Eat("COMMA", &node));
+        if (!c_.Eat("RPAREN", &node)) return Fail(save);
+      } while (c_.Eat("COMMA", &node));
+    } else if (!ParseQueryExpression(&node)) {
+      return Fail(save);
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseUpdate(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("update_statement");
+    if (!c_.Eat("UPDATE", &node)) return Fail(save);
+    if (!ParseIdentifierChain(&node) || !c_.Eat("SET", &node)) {
+      return Fail(save);
+    }
+    do {
+      if (!ParseIdentifierChain(&node) || !c_.Eat("EQ", &node)) {
+        return Fail(save);
+      }
+      if (!c_.Eat("DEFAULT", &node) && !ParseValueExpr(&node)) {
+        return Fail(save);
+      }
+    } while (c_.Eat("COMMA", &node));
+    if (c_.Eat("WHERE", &node)) {
+      if (!ParseSearchCondition(&node)) return Fail(save);
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseDelete(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("delete_statement");
+    if (!c_.Eat("DELETE", &node)) return Fail(save);
+    if (!c_.Eat("FROM", &node) || !ParseIdentifierChain(&node)) {
+      return Fail(save);
+    }
+    if (c_.Eat("WHERE", &node)) {
+      if (!ParseSearchCondition(&node)) return Fail(save);
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  // ---- DDL ----
+  bool ParseCreate(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("create_statement");
+    if (!c_.Eat("CREATE", &node)) return Fail(save);
+    if (c_.Eat("GLOBAL", &node) || c_.Eat("LOCAL", &node)) {
+      if (!c_.Eat("TEMPORARY", &node)) return Fail(save);
+    }
+    if (c_.Eat("TABLE", &node)) {
+      if (!ParseIdentifierChain(&node) || !c_.Eat("LPAREN", &node)) {
+        return Fail(save);
+      }
+      do {
+        if (!ParseTableElement(&node)) return Fail(save);
+      } while (c_.Eat("COMMA", &node));
+      if (!c_.Eat("RPAREN", &node)) return Fail(save);
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    c_.Eat("RECURSIVE", &node);
+    if (c_.Eat("VIEW", &node)) {
+      if (!ParseIdentifierChain(&node)) return Fail(save);
+      if (c_.Eat("LPAREN", &node)) {
+        do {
+          if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+        } while (c_.Eat("COMMA", &node));
+        if (!c_.Eat("RPAREN", &node)) return Fail(save);
+      }
+      if (!c_.Eat("AS", &node) || !ParseQueryExpression(&node)) {
+        return Fail(save);
+      }
+      if (c_.Eat("WITH", &node)) {
+        if (!c_.Eat("CHECK", &node) || !c_.Eat("OPTION", &node)) {
+          return Fail(save);
+        }
+      }
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("SCHEMA", &node)) {
+      if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+      if (c_.Eat("AUTHORIZATION", &node)) {
+        if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+      }
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("SEQUENCE", &node)) {
+      if (!ParseIdentifierChain(&node)) return Fail(save);
+      while (true) {
+        if (c_.Eat("START", &node)) {
+          if (!c_.Eat("WITH", &node) || !c_.Eat("NUMBER", &node)) {
+            return Fail(save);
+          }
+        } else if (c_.Eat("INCREMENT", &node)) {
+          if (!c_.Eat("BY", &node) || !c_.Eat("NUMBER", &node)) {
+            return Fail(save);
+          }
+        } else if (c_.Eat("MAXVALUE", &node) || c_.Eat("MINVALUE", &node)) {
+          if (!c_.Eat("NUMBER", &node)) return Fail(save);
+        } else if (c_.Eat("NO", &node)) {
+          if (!c_.Eat("CYCLE", &node)) return Fail(save);
+        } else if (c_.Eat("CYCLE", &node)) {
+        } else {
+          break;
+        }
+      }
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    return Fail(save);
+  }
+
+  bool ParseTableElement(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("table_element");
+    // Table constraint?
+    if (c_.At("CONSTRAINT") || c_.At("UNIQUE") || c_.At("PRIMARY") ||
+        c_.At("FOREIGN") || c_.At("CHECK")) {
+      if (c_.Eat("CONSTRAINT", &node)) {
+        if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+      }
+      if (c_.Eat("UNIQUE", &node) || c_.At("PRIMARY")) {
+        if (c_.Eat("PRIMARY", &node)) {
+          if (!c_.Eat("KEY", &node)) return Fail(save);
+        }
+        if (!c_.Eat("LPAREN", &node)) return Fail(save);
+        do {
+          if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+        } while (c_.Eat("COMMA", &node));
+        if (!c_.Eat("RPAREN", &node)) return Fail(save);
+      } else if (c_.Eat("FOREIGN", &node)) {
+        if (!c_.Eat("KEY", &node) || !c_.Eat("LPAREN", &node)) {
+          return Fail(save);
+        }
+        do {
+          if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+        } while (c_.Eat("COMMA", &node));
+        if (!c_.Eat("RPAREN", &node) || !ParseReferences(&node)) {
+          return Fail(save);
+        }
+      } else if (c_.Eat("CHECK", &node)) {
+        if (!c_.Eat("LPAREN", &node) || !ParseSearchCondition(&node) ||
+            !c_.Eat("RPAREN", &node)) {
+          return Fail(save);
+        }
+      }
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    // Column definition.
+    if (!c_.Eat("IDENTIFIER", &node) || !ParseDataType(&node)) {
+      return Fail(save);
+    }
+    if (c_.Eat("DEFAULT", &node)) {
+      if (!ParseValueExpr(&node)) return Fail(save);
+    }
+    while (true) {
+      if (c_.Eat("NOT", &node)) {
+        if (!c_.Eat("NULL", &node)) return Fail(save);
+      } else if (c_.Eat("UNIQUE", &node)) {
+      } else if (c_.Eat("PRIMARY", &node)) {
+        if (!c_.Eat("KEY", &node)) return Fail(save);
+      } else if (c_.At("REFERENCES")) {
+        if (!ParseReferences(&node)) return Fail(save);
+      } else {
+        break;
+      }
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseReferences(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("references_specification");
+    if (!c_.Eat("REFERENCES", &node) || !ParseIdentifierChain(&node)) {
+      return Fail(save);
+    }
+    if (c_.Eat("LPAREN", &node)) {
+      do {
+        if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+      } while (c_.Eat("COMMA", &node));
+      if (!c_.Eat("RPAREN", &node)) return Fail(save);
+    }
+    while (c_.Eat("ON", &node)) {
+      if (!c_.Eat("UPDATE", &node) && !c_.Eat("DELETE", &node)) {
+        return Fail(save);
+      }
+      if (c_.Eat("CASCADE", &node) || c_.Eat("RESTRICT", &node)) {
+      } else if (c_.Eat("SET", &node)) {
+        if (!c_.Eat("NULL", &node) && !c_.Eat("DEFAULT", &node)) {
+          return Fail(save);
+        }
+      } else if (c_.Eat("NO", &node)) {
+        if (!c_.Eat("ACTION", &node)) return Fail(save);
+      } else {
+        return Fail(save);
+      }
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseDrop(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("drop_statement");
+    if (!c_.Eat("DROP", &node)) return Fail(save);
+    if (!(c_.Eat("TABLE", &node) || c_.Eat("VIEW", &node) ||
+          c_.Eat("SCHEMA", &node) || c_.Eat("SEQUENCE", &node))) {
+      return Fail(save);
+    }
+    if (!ParseIdentifierChain(&node)) return Fail(save);
+    if (c_.Eat("CASCADE", &node) || c_.Eat("RESTRICT", &node)) {
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseAlter(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("alter_table_statement");
+    if (!c_.Eat("ALTER", &node)) return Fail(save);
+    if (!c_.Eat("TABLE", &node) || !ParseIdentifierChain(&node)) {
+      return Fail(save);
+    }
+    if (c_.Eat("ADD", &node)) {
+      c_.Eat("COLUMN", &node);
+      if (!ParseTableElement(&node)) return Fail(save);
+    } else if (c_.Eat("DROP", &node)) {
+      c_.Eat("COLUMN", &node);
+      if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+      if (c_.Eat("CASCADE", &node) || c_.Eat("RESTRICT", &node)) {
+      }
+    } else if (c_.Eat("ALTER", &node)) {
+      c_.Eat("COLUMN", &node);
+      if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+      if (c_.Eat("SET", &node)) {
+        if (!c_.Eat("DEFAULT", &node) || !ParseValueExpr(&node)) {
+          return Fail(save);
+        }
+      } else if (c_.Eat("DROP", &node)) {
+        if (!c_.Eat("DEFAULT", &node)) return Fail(save);
+      } else {
+        return Fail(save);
+      }
+    } else {
+      return Fail(save);
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  // ---- access control, transactions, cursors ----
+  bool ParseGrantRevoke(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("grant_statement");
+    bool revoke = c_.At("REVOKE");
+    if (!c_.Eat("GRANT", &node) && !c_.Eat("REVOKE", &node)) {
+      return Fail(save);
+    }
+    if (revoke && c_.Eat("GRANT", &node)) {
+      if (!c_.Eat("OPTION", &node) || !c_.Eat("FOR", &node)) {
+        return Fail(save);
+      }
+    }
+    if (c_.Eat("ALL", &node)) {
+      if (!c_.Eat("PRIVILEGES", &node)) return Fail(save);
+    } else {
+      do {
+        if (!(c_.Eat("SELECT", &node) || c_.Eat("INSERT", &node) ||
+              c_.Eat("UPDATE", &node) || c_.Eat("DELETE", &node) ||
+              c_.Eat("REFERENCES", &node) || c_.Eat("USAGE", &node) ||
+              c_.Eat("TRIGGER", &node))) {
+          return Fail(save);
+        }
+      } while (c_.Eat("COMMA", &node));
+    }
+    if (!c_.Eat("ON", &node)) return Fail(save);
+    c_.Eat("TABLE", &node);
+    if (!ParseIdentifierChain(&node)) return Fail(save);
+    if (!(revoke ? c_.Eat("FROM", &node) : c_.Eat("TO", &node))) {
+      return Fail(save);
+    }
+    do {
+      if (!c_.Eat("PUBLIC", &node) && !c_.Eat("IDENTIFIER", &node)) {
+        return Fail(save);
+      }
+    } while (c_.Eat("COMMA", &node));
+    if (!revoke && c_.Eat("WITH", &node)) {
+      if (!c_.Eat("GRANT", &node) || !c_.Eat("OPTION", &node)) {
+        return Fail(save);
+      }
+    }
+    if (revoke && (c_.Eat("CASCADE", &node) || c_.Eat("RESTRICT", &node))) {
+    }
+    parent->AddChild(std::move(node));
+    return true;
+  }
+
+  bool ParseTransaction(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("transaction_statement");
+    if (c_.Eat("COMMIT", &node)) {
+      c_.Eat("WORK", &node);
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("ROLLBACK", &node)) {
+      c_.Eat("WORK", &node);
+      if (c_.Eat("TO", &node)) {
+        if (!c_.Eat("SAVEPOINT", &node) || !c_.Eat("IDENTIFIER", &node)) {
+          return Fail(save);
+        }
+      }
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("SAVEPOINT", &node)) {
+      if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.At("START") || c_.At("SET")) {
+      bool is_start = c_.At("START");
+      c_.Eat(c_.PeekType(), &node);
+      if (!c_.Eat("TRANSACTION", &node)) return Fail(save);
+      bool need_mode = !is_start;
+      bool first = true;
+      while (first || c_.Eat("COMMA", &node)) {
+        size_t mode_save = c_.Save();
+        if (c_.Eat("ISOLATION", &node)) {
+          if (!c_.Eat("LEVEL", &node)) return Fail(save);
+          if (c_.Eat("READ", &node)) {
+            if (!c_.Eat("UNCOMMITTED", &node) &&
+                !c_.Eat("COMMITTED", &node)) {
+              return Fail(save);
+            }
+          } else if (c_.Eat("REPEATABLE", &node)) {
+            if (!c_.Eat("READ", &node)) return Fail(save);
+          } else if (!c_.Eat("SERIALIZABLE", &node)) {
+            return Fail(save);
+          }
+        } else if (c_.Eat("READ", &node)) {
+          if (!c_.Eat("ONLY", &node) && !c_.Eat("WRITE", &node)) {
+            return Fail(save);
+          }
+        } else {
+          c_.Restore(mode_save);
+          if (!first || need_mode) return Fail(save);
+          break;
+        }
+        first = false;
+      }
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    return Fail(save);
+  }
+
+  bool ParseCursorStatement(ParseNode* parent) {
+    size_t save = c_.Save();
+    ParseNode node = ParseNode::Rule("cursor_statement");
+    if (c_.Eat("DECLARE", &node)) {
+      if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+      if (c_.Eat("SENSITIVE", &node) || c_.Eat("INSENSITIVE", &node) ||
+          c_.Eat("ASENSITIVE", &node)) {
+      }
+      c_.Eat("SCROLL", &node);
+      if (!c_.Eat("CURSOR", &node) || !c_.Eat("FOR", &node) ||
+          !ParseQueryExpression(&node)) {
+        return Fail(save);
+      }
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("OPEN", &node) || c_.Eat("CLOSE", &node)) {
+      if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    if (c_.Eat("FETCH", &node)) {
+      if (c_.Eat("NEXT", &node) || c_.Eat("PRIOR", &node) ||
+          c_.Eat("FIRST", &node) || c_.Eat("LAST", &node)) {
+        if (!c_.Eat("FROM", &node)) return Fail(save);
+      } else if (c_.Eat("ABSOLUTE", &node) || c_.Eat("RELATIVE", &node)) {
+        if (!c_.Eat("NUMBER", &node) || !c_.Eat("FROM", &node)) {
+          return Fail(save);
+        }
+      }
+      if (!c_.Eat("IDENTIFIER", &node)) return Fail(save);
+      parent->AddChild(std::move(node));
+      return true;
+    }
+    return Fail(save);
+  }
+
+  bool Fail(size_t save) {
+    c_.Restore(save);
+    return false;
+  }
+
+  Cursor& c_;
+};
+
+}  // namespace
+
+const TokenSet& MonolithicTokenSet() {
+  static const TokenSet& tokens = *new TokenSet(BuildMonolithicTokenSet());
+  return tokens;
+}
+
+MonolithicSqlParser::MonolithicSqlParser() : lexer_(MonolithicTokenSet()) {}
+
+Result<ParseNode> MonolithicSqlParser::Parse(std::string_view sql) const {
+  SQLPL_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer_.Tokenize(sql));
+  Cursor cursor(tokens);
+  Rd parser(&cursor);
+  ParseNode root = ParseNode::Rule("sql_statement");
+  if (!parser.ParseStatement(&root) || !cursor.AtEnd()) {
+    const Token& at = cursor.Current();
+    return Status::ParseError("monolithic parser: syntax error at " +
+                              at.location.ToString() + " near '" + at.text +
+                              "'");
+  }
+  return root;
+}
+
+bool MonolithicSqlParser::Accepts(std::string_view sql) const {
+  return Parse(sql).ok();
+}
+
+}  // namespace sqlpl

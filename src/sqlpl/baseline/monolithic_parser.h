@@ -1,0 +1,42 @@
+#ifndef SQLPL_BASELINE_MONOLITHIC_PARSER_H_
+#define SQLPL_BASELINE_MONOLITHIC_PARSER_H_
+
+#include <string_view>
+
+#include "sqlpl/lexer/lexer.h"
+#include "sqlpl/parser/parse_tree.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// A conventional hand-written recursive-descent parser covering the same
+/// SQL Foundation subset as the FullFoundation dialect — the "one big
+/// general parser" the paper argues embedded systems should not have to
+/// carry. It is written against a fixed, hard-coded token set and grammar
+/// (no composition, no feature selection) and serves as the baseline for
+/// the footprint and throughput benchmarks.
+class MonolithicSqlParser {
+ public:
+  MonolithicSqlParser();
+
+  /// Parses one SQL statement, producing a CST comparable to the
+  /// composed parsers' output.
+  Result<ParseNode> Parse(std::string_view sql) const;
+
+  bool Accepts(std::string_view sql) const;
+
+  const Lexer& lexer() const { return lexer_; }
+  /// Number of reserved keywords in the fixed token set.
+  size_t NumKeywords() const { return lexer_.NumKeywords(); }
+
+ private:
+  Lexer lexer_;
+};
+
+/// The fixed token set of the monolithic parser (exposed for benchmarks
+/// comparing token-set sizes across dialects).
+const TokenSet& MonolithicTokenSet();
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_BASELINE_MONOLITHIC_PARSER_H_

@@ -1,0 +1,47 @@
+#ifndef SQLPL_CODEGEN_CPP_CODEGEN_H_
+#define SQLPL_CODEGEN_CPP_CODEGEN_H_
+
+#include <string>
+
+#include "sqlpl/grammar/grammar.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// Options for the C++ parser generator.
+struct CodegenOptions {
+  /// Class name of the generated parser; derived from the grammar name
+  /// when empty (e.g. "Core+Where" -> "CoreWhereParser").
+  std::string class_name;
+  /// Namespace the generated code lives in.
+  std::string namespace_name = "sqlpl_gen";
+};
+
+/// Output of the generator: one self-contained header-only C++ file.
+struct GeneratedParser {
+  /// Suggested file name, e.g. "core_where_parser.h".
+  std::string file_name;
+  /// Complete file contents.
+  std::string code;
+};
+
+/// Emits a standalone recursive-descent C++ parser for `grammar` — the
+/// counterpart of the ANTLR-generated parser in the paper's prototype.
+/// The generated class consumes a pre-lexed token stream (type/text
+/// pairs, `$`-terminated), exposes one `Parse_<rule>()` method per
+/// nonterminal plus `Parse()` for the start symbol, and resolves
+/// alternatives by ordered choice with backtracking, mirroring the
+/// runtime engine's semantics. The file depends only on the standard
+/// library.
+///
+/// Fails if the grammar does not validate or is left-recursive.
+Result<GeneratedParser> GenerateCppParser(const Grammar& grammar,
+                                          const CodegenOptions& options = {});
+
+/// Sanitizes an arbitrary grammar name into a C++ identifier in
+/// UpperCamelCase ("Core+Where" -> "CoreWhere").
+std::string SanitizeClassName(const std::string& grammar_name);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_CODEGEN_CPP_CODEGEN_H_

@@ -1,0 +1,361 @@
+#include "sqlpl/compose/composer.h"
+
+#include "sqlpl/compose/token_composer.h"
+
+namespace sqlpl {
+
+const char* CompositionActionToString(CompositionAction action) {
+  switch (action) {
+    case CompositionAction::kAddedProduction:
+      return "added";
+    case CompositionAction::kReplacedAlternative:
+      return "replaced";
+    case CompositionAction::kRetainedAlternative:
+      return "retained";
+    case CompositionAction::kAppendedAlternative:
+      return "appended";
+    case CompositionAction::kMergedComplexList:
+      return "merged-complex-list";
+    case CompositionAction::kMergedOptionals:
+      return "merged-optionals";
+    case CompositionAction::kRemovedProduction:
+      return "removed";
+  }
+  return "unknown";
+}
+
+std::string CompositionStep::ToString() const {
+  std::string out = CompositionActionToString(action);
+  out += ' ';
+  out += nonterminal;
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+bool IsComplexList(const Expr& expr, Expr* element) {
+  // Shape: Seq(X, rest) where rest is Star(Seq(SEP, X)) or Opt(Seq(SEP, X)).
+  std::vector<Expr> flat = expr.FlattenSequence();
+  if (flat.size() != 2) return false;
+  const Expr& head = flat[0];
+  const Expr& tail = flat[1];
+  if (!tail.is_repetition() && !tail.is_optional()) return false;
+  std::vector<Expr> tail_elems = tail.child().FlattenSequence();
+  if (tail_elems.size() != 2) return false;
+  if (!tail_elems[0].is_token()) return false;  // the separator
+  if (!(tail_elems[1] == head)) return false;
+  if (element != nullptr) *element = head;
+  return true;
+}
+
+bool IsOptionalExtensionOf(const Expr& newer, const Expr& older) {
+  std::vector<Expr> new_flat = newer.FlattenSequence();
+  std::vector<Expr> old_flat = older.FlattenSequence();
+  // Greedily match old elements in order; every unmatched new element
+  // must be optional (or a repetition, which also derives epsilon).
+  size_t oi = 0;
+  for (const Expr& element : new_flat) {
+    if (oi < old_flat.size() && element == old_flat[oi]) {
+      ++oi;
+      continue;
+    }
+    if (!element.is_optional() && !element.is_repetition()) return false;
+  }
+  return oi == old_flat.size() && new_flat.size() > old_flat.size();
+}
+
+namespace {
+
+// True if `element` can derive epsilon purely structurally (optional or
+// repetition node) — the "decoration" elements of an alternative.
+bool IsDecoration(const Expr& element) {
+  return element.is_optional() || element.is_repetition();
+}
+
+// The non-decoration elements of a flattened alternative.
+std::vector<Expr> CoreOf(const std::vector<Expr>& flat) {
+  std::vector<Expr> core;
+  for (const Expr& element : flat) {
+    if (!IsDecoration(element)) core.push_back(element);
+  }
+  return core;
+}
+
+bool ContainsElement(const std::vector<Expr>& haystack, const Expr& needle) {
+  for (const Expr& element : haystack) {
+    if (element == needle) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace {
+
+// Splits a flattened alternative into the decoration runs between core
+// elements: for N core elements the result has N+1 segments, where
+// segment k holds the decorations before core element k (and segment N
+// the trailing ones).
+std::vector<std::vector<Expr>> DecorationSegments(
+    const std::vector<Expr>& flat) {
+  std::vector<std::vector<Expr>> segments(1);
+  for (const Expr& element : flat) {
+    if (IsDecoration(element)) {
+      segments.back().push_back(element);
+    } else {
+      segments.emplace_back();
+    }
+  }
+  return segments;
+}
+
+}  // namespace
+
+std::optional<Expr> MergeOptionalDecorations(const Expr& a, const Expr& b) {
+  std::vector<Expr> fa = a.FlattenSequence();
+  std::vector<Expr> fb = b.FlattenSequence();
+  std::vector<Expr> core = CoreOf(fa);
+  if (core.empty() || core != CoreOf(fb)) return std::nullopt;
+
+  std::vector<std::vector<Expr>> seg_a = DecorationSegments(fa);
+  std::vector<std::vector<Expr>> seg_b = DecorationSegments(fb);
+
+  // Per segment: a's decorations keep their order; b's novel decorations
+  // follow them (the optional specification composes after what is
+  // already there).
+  std::vector<Expr> merged;
+  for (size_t k = 0; k < seg_a.size(); ++k) {
+    for (const Expr& element : seg_a[k]) merged.push_back(element);
+    for (const Expr& element : seg_b[k]) {
+      if (!ContainsElement(fa, element)) merged.push_back(element);
+    }
+    if (k < core.size()) merged.push_back(core[k]);
+  }
+  return Expr::Seq(std::move(merged));
+}
+
+Result<Grammar> GrammarComposer::Compose(
+    const Grammar& base, const Grammar& extension,
+    const std::vector<std::string>& removals) {
+  trace_.clear();
+  Grammar composed = base;
+
+  if (composed.name().empty()) {
+    composed.set_name(extension.name());
+  } else if (!extension.name().empty()) {
+    composed.set_name(composed.name() + "+" + extension.name());
+  }
+
+  // Token files compose first so rule composition sees a closed token set.
+  SQLPL_ASSIGN_OR_RETURN(
+      TokenSet merged_tokens,
+      ComposeTokenSets(composed.tokens(), extension.tokens()));
+  *composed.mutable_tokens() = std::move(merged_tokens);
+
+  for (const Production& extension_production : extension.productions()) {
+    Production* existing = composed.FindMutable(extension_production.lhs());
+    if (existing == nullptr) {
+      SQLPL_RETURN_IF_ERROR(composed.AddProduction(extension_production));
+      trace_.push_back({CompositionAction::kAddedProduction,
+                        extension_production.lhs(),
+                        extension_production.ToString()});
+      continue;
+    }
+    for (const Alternative& alt : extension_production.alternatives()) {
+      SQLPL_RETURN_IF_ERROR(ComposeAlternative(existing, alt));
+    }
+  }
+
+  for (const std::string& lhs : removals) {
+    Status status = composed.RemoveProduction(lhs);
+    if (!status.ok()) {
+      return Status::CompositionError("removal of '" + lhs +
+                                      "' failed: " + status.message());
+    }
+    trace_.push_back({CompositionAction::kRemovedProduction, lhs, ""});
+  }
+
+  if (composed.start_symbol().empty()) {
+    composed.set_start_symbol(extension.start_symbol());
+  }
+  return composed;
+}
+
+Status GrammarComposer::ComposeAlternative(Production* production,
+                                           const Alternative& alt) {
+  std::vector<Alternative>* alternatives = production->mutable_alternatives();
+
+  // Identical rules compose to themselves — checked against *all*
+  // existing alternatives before any containment rule fires, so that
+  // composing `NO CYCLE` into `CYCLE | NO CYCLE` does not replace the
+  // contained `CYCLE` and duplicate the identical alternative.
+  for (const Alternative& old : *alternatives) {
+    if (old.body == alt.body) {
+      trace_.push_back({CompositionAction::kRetainedAlternative,
+                        production->lhs(),
+                        "identical: " + alt.body.ToString()});
+      return Status::OK();
+    }
+  }
+
+  for (size_t i = 0; i < alternatives->size(); ++i) {
+    Alternative& old = (*alternatives)[i];
+    if (ExprContains(alt.body, old.body)) {
+      // New contains old -> replace old with new.
+      Expr list_element;
+      bool complex_list = IsComplexList(alt.body, &list_element) &&
+                          old.body == list_element;
+      trace_.push_back({complex_list
+                            ? CompositionAction::kMergedComplexList
+                            : CompositionAction::kReplacedAlternative,
+                        production->lhs(),
+                        old.body.ToString() + "  ->  " +
+                            alt.body.ToString()});
+      old.body = alt.body;
+      if (!alt.label.empty()) old.label = alt.label;
+      return Status::OK();
+    }
+    if (ExprContains(old.body, alt.body)) {
+      // New contained in old -> retain old. Under the strict ordering of
+      // the paper, an optional specification must be composed *after* its
+      // non-optional core, so hitting the core afterwards is an error.
+      if (options_.strict_optional_order &&
+          IsOptionalExtensionOf(old.body, alt.body)) {
+        return Status::CompositionError(
+            "optional specification '" + old.body.ToString() +
+            "' for '" + production->lhs() +
+            "' must be composed after its non-optional core '" +
+            alt.body.ToString() + "'");
+      }
+      trace_.push_back({CompositionAction::kRetainedAlternative,
+                        production->lhs(),
+                        "kept " + old.body.ToString() + " over " +
+                            alt.body.ToString()});
+      return Status::OK();
+    }
+  }
+
+  // Optional-merge mechanism: two optional decorations of one core fuse
+  // into a single alternative rather than exploding into choices.
+  if (!options_.disable_optional_merge) {
+    for (size_t i = 0; i < alternatives->size(); ++i) {
+      Alternative& old = (*alternatives)[i];
+      std::optional<Expr> merged =
+          MergeOptionalDecorations(old.body, alt.body);
+      if (merged.has_value()) {
+        trace_.push_back({CompositionAction::kMergedOptionals,
+                          production->lhs(),
+                          old.body.ToString() + "  (+)  " +
+                              alt.body.ToString() + "  ->  " +
+                              merged->ToString()});
+        old.body = std::move(*merged);
+        return Status::OK();
+      }
+    }
+  }
+
+  // New and old defer -> append as choice.
+  trace_.push_back({CompositionAction::kAppendedAlternative,
+                    production->lhs(), alt.body.ToString()});
+  alternatives->push_back(alt);
+  return Status::OK();
+}
+
+namespace {
+
+// Recursive worker for ResolveImports; `resolving` holds the names on the
+// current DFS path for cycle detection.
+Result<Grammar> ResolveImportsImpl(const Grammar& grammar,
+                                   const GrammarLoader& loader,
+                                   std::vector<std::string>* resolving) {
+  if (grammar.imports().empty()) return grammar;
+
+  for (const std::string& name : *resolving) {
+    if (name == grammar.name()) {
+      std::string cycle;
+      for (const std::string& n : *resolving) {
+        if (!cycle.empty()) cycle += " -> ";
+        cycle += n;
+      }
+      return Status::CompositionError("import cycle: " + cycle + " -> " +
+                                      grammar.name());
+    }
+  }
+  resolving->push_back(grammar.name());
+
+  // Compose the (recursively resolved) imports as the base, in order.
+  GrammarComposer composer;
+  Grammar base;
+  bool have_base = false;
+  for (const std::string& import : grammar.imports()) {
+    Result<Grammar> loaded = loader(import);
+    if (!loaded.ok()) {
+      resolving->pop_back();
+      return Status::CompositionError("cannot import '" + import +
+                                      "' into '" + grammar.name() +
+                                      "': " + loaded.status().message());
+    }
+    Result<Grammar> resolved =
+        ResolveImportsImpl(*loaded, loader, resolving);
+    if (!resolved.ok()) {
+      resolving->pop_back();
+      return resolved.status();
+    }
+    if (!have_base) {
+      base = std::move(resolved).value();
+      have_base = true;
+    } else {
+      Result<Grammar> merged = composer.Compose(base, *resolved);
+      if (!merged.ok()) {
+        resolving->pop_back();
+        return merged.status();
+      }
+      base = std::move(merged).value();
+    }
+  }
+  resolving->pop_back();
+
+  // The importing grammar refines the imported base.
+  Grammar top = grammar;
+  // Strip imports (they are resolved now) before composing so the result
+  // is import-free.
+  Grammar stripped(top.name());
+  stripped.set_start_symbol(top.start_symbol());
+  *stripped.mutable_tokens() = top.tokens();
+  for (const Production& production : top.productions()) {
+    SQLPL_RETURN_IF_ERROR(stripped.AddProduction(production));
+  }
+  SQLPL_ASSIGN_OR_RETURN(Grammar result, composer.Compose(base, stripped));
+  result.set_name(grammar.name());
+  if (!grammar.start_symbol().empty()) {
+    result.set_start_symbol(grammar.start_symbol());
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<Grammar> ResolveImports(const Grammar& grammar,
+                               const GrammarLoader& loader) {
+  std::vector<std::string> resolving;
+  return ResolveImportsImpl(grammar, loader, &resolving);
+}
+
+Result<Grammar> GrammarComposer::ComposeAll(
+    const std::vector<Grammar>& grammars) {
+  if (grammars.empty()) {
+    return Status::InvalidArgument("ComposeAll requires at least one grammar");
+  }
+  Grammar composed = grammars.front();
+  std::vector<CompositionStep> full_trace;
+  for (size_t i = 1; i < grammars.size(); ++i) {
+    SQLPL_ASSIGN_OR_RETURN(composed, Compose(composed, grammars[i]));
+    full_trace.insert(full_trace.end(), trace_.begin(), trace_.end());
+  }
+  trace_ = std::move(full_trace);
+  return composed;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,134 @@
+#ifndef SQLPL_COMPOSE_COMPOSER_H_
+#define SQLPL_COMPOSE_COMPOSER_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sqlpl/grammar/grammar.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// What one composition step did to the evolving grammar. Mirrors the
+/// three cases of the paper's §3.2 plus additions/removals.
+enum class CompositionAction {
+  /// The extension defined a nonterminal the base lacked.
+  kAddedProduction,
+  /// New production contains the old one -> old replaced by new
+  /// (paper: "in composing A: BC with A: B, B is replaced with BC").
+  kReplacedAlternative,
+  /// New production is contained in the old one -> old retained
+  /// (paper: "in composing A: B with A: BC, BC is retained").
+  kRetainedAlternative,
+  /// New and old differ -> appended as choices
+  /// (paper: "composing A: B with A: C gives A : B | C").
+  kAppendedAlternative,
+  /// The replacement merged a sublist into a complex list
+  /// (`A: B` + `A: B [, B]...`).
+  kMergedComplexList,
+  /// Two optional specifications over the same non-optional core merged
+  /// into one alternative (`A: B [C]` + `A: B [D]` -> `A: B [C] [D]`) —
+  /// the paper's "composition of optional nonterminals".
+  kMergedOptionals,
+  /// A production was removed by an extension's removal directive.
+  kRemovedProduction,
+};
+
+const char* CompositionActionToString(CompositionAction action);
+
+/// One entry of the composition trace.
+struct CompositionStep {
+  CompositionAction action;
+  std::string nonterminal;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Options controlling `GrammarComposer`.
+struct CompositionOptions {
+  /// Enforce the paper's ordering restriction for optional specifications:
+  /// "A: B and A: B[C] ... can be composed in that order only". When true,
+  /// composing an alternative that is the optional-free core of an existing
+  /// richer alternative fails instead of being silently retained.
+  bool strict_optional_order = false;
+  /// Ablation knob: skip the optional-merge mechanism, so optional
+  /// decorations of a shared core append as choices instead of fusing.
+  /// Produces larger, conflict-ridden grammars that cannot parse
+  /// combined-clause statements — see bench_ablation.
+  bool disable_optional_merge = false;
+};
+
+/// Composes feature sub-grammars into one LL(k) grammar following the
+/// production-rule composition mechanisms of §3.2 of the paper. The
+/// composer is stateless between `Compose` calls except for the trace of
+/// the most recent call.
+class GrammarComposer {
+ public:
+  explicit GrammarComposer(CompositionOptions options = {})
+      : options_(options) {}
+
+  /// Composes `extension` into `base` and returns the result; neither
+  /// input is modified. Token files are composed alongside the rules
+  /// (conflicting token definitions fail). `removals` optionally names
+  /// nonterminals the extension removes from the base (the paper's
+  /// "mechanisms of adding, removing and modifying the production rules").
+  Result<Grammar> Compose(const Grammar& base, const Grammar& extension,
+                          const std::vector<std::string>& removals = {});
+
+  /// Left-fold of `Compose` over `grammars`; requires at least one input.
+  /// The first grammar is the base (the paper composes the base feature's
+  /// grammar first, then each extension in composition-sequence order).
+  Result<Grammar> ComposeAll(const std::vector<Grammar>& grammars);
+
+  /// Trace of the most recent `Compose`/`ComposeAll` call.
+  const std::vector<CompositionStep>& trace() const { return trace_; }
+
+ private:
+  // Composes one extension alternative into an existing production,
+  // applying replace / retain / append.
+  Status ComposeAlternative(Production* production, const Alternative& alt);
+
+  CompositionOptions options_;
+  std::vector<CompositionStep> trace_;
+};
+
+/// True if `expr` has the paper's "complex list" shape
+/// `<X> [ <sep> <X> ... ]` — i.e. `Seq(X, Star(Seq(SEP, X)))` (or the
+/// optional variant) — and `element` receives `X` when non-null.
+bool IsComplexList(const Expr& expr, Expr* element = nullptr);
+
+/// True if replacing flat alternative `older` by `newer` only *adds*
+/// optional elements around the old elements (the paper's "optional
+/// specification" refinement, e.g. `B` -> `B [C]` or `[C] B`).
+bool IsOptionalExtensionOf(const Expr& newer, const Expr& older);
+
+/// Resolves a grammar by name for import resolution.
+using GrammarLoader = std::function<Result<Grammar>(const std::string&)>;
+
+/// Resolves the `import` declarations of `grammar` (Bali-style grammar
+/// reuse: "A Bali grammar can import definitions for nonterminals from
+/// other grammars"). Each imported grammar is loaded through `loader`,
+/// recursively resolved, and composed as a base beneath `grammar` (in
+/// declaration order), so the importing grammar's rules refine the
+/// imported ones under the usual composition mechanisms. Import cycles
+/// and unknown names are composition errors. The result carries no
+/// unresolved imports.
+Result<Grammar> ResolveImports(const Grammar& grammar,
+                               const GrammarLoader& loader);
+
+/// Attempts the optional-merge mechanism: if `a` and `b` are both
+/// optional decorations of the same non-optional core (e.g.
+/// `from_clause [ where_clause ]` and `from_clause [ group_by_clause ]`),
+/// returns the interleaved merge that keeps every optional element of
+/// both, with `b`'s new optionals slotted at their positions relative to
+/// the shared core (`from_clause [ where_clause ] [ group_by_clause ]`).
+/// Returns nullopt when the cores differ or either input has no optional
+/// decoration to merge.
+std::optional<Expr> MergeOptionalDecorations(const Expr& a, const Expr& b);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_COMPOSE_COMPOSER_H_

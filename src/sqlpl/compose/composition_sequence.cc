@@ -1,0 +1,116 @@
+#include "sqlpl/compose/composition_sequence.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sqlpl {
+
+Result<CompositionSequence> CompositionSequence::Resolve(
+    const std::vector<std::string>& selected,
+    const std::map<std::string, std::vector<std::string>>& requires_map,
+    const std::map<std::string, std::vector<std::string>>& excludes_map) {
+  std::set<std::string> selected_set(selected.begin(), selected.end());
+
+  // Excludes: symmetric rejection.
+  for (const std::string& feature : selected) {
+    auto it = excludes_map.find(feature);
+    if (it == excludes_map.end()) continue;
+    for (const std::string& excluded : it->second) {
+      if (selected_set.contains(excluded)) {
+        return Status::ConfigurationError("feature '" + feature +
+                                          "' excludes co-selected feature '" +
+                                          excluded + "'");
+      }
+    }
+  }
+
+  // Requires: presence.
+  for (const std::string& feature : selected) {
+    auto it = requires_map.find(feature);
+    if (it == requires_map.end()) continue;
+    for (const std::string& required : it->second) {
+      if (!selected_set.contains(required)) {
+        return Status::ConfigurationError(
+            "feature '" + feature + "' requires feature '" + required +
+            "', which is not selected");
+      }
+    }
+  }
+
+  // Stable topological order: repeatedly emit the first not-yet-emitted
+  // feature whose requirements are all emitted. Preserves input order
+  // among unconstrained features.
+  std::vector<std::string> order;
+  std::set<std::string> emitted;
+  std::vector<std::string> pending = selected;
+  // Drop duplicates while preserving first occurrence.
+  {
+    std::set<std::string> seen;
+    std::vector<std::string> unique;
+    for (std::string& f : pending) {
+      if (seen.insert(f).second) unique.push_back(std::move(f));
+    }
+    pending = std::move(unique);
+  }
+
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      const std::string& feature = *it;
+      bool ready = true;
+      auto rit = requires_map.find(feature);
+      if (rit != requires_map.end()) {
+        for (const std::string& required : rit->second) {
+          if (!emitted.contains(required)) {
+            ready = false;
+            break;
+          }
+        }
+      }
+      if (ready) {
+        emitted.insert(feature);
+        order.push_back(feature);
+        it = pending.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!progressed) {
+      std::string cycle;
+      for (const std::string& f : pending) {
+        if (!cycle.empty()) cycle += ", ";
+        cycle += f;
+      }
+      return Status::ConfigurationError(
+          "cyclic requires constraints among features: " + cycle);
+    }
+  }
+
+  CompositionSequence sequence;
+  sequence.features_ = std::move(order);
+  return sequence;
+}
+
+CompositionSequence CompositionSequence::FromOrdered(
+    std::vector<std::string> features) {
+  CompositionSequence sequence;
+  sequence.features_ = std::move(features);
+  return sequence;
+}
+
+bool CompositionSequence::Contains(const std::string& feature) const {
+  return std::find(features_.begin(), features_.end(), feature) !=
+         features_.end();
+}
+
+std::string CompositionSequence::ToString() const {
+  std::string out;
+  for (const std::string& f : features_) {
+    if (!out.empty()) out += ' ';
+    out += f;
+  }
+  return out;
+}
+
+}  // namespace sqlpl

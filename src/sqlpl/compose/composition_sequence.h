@@ -1,0 +1,51 @@
+#ifndef SQLPL_COMPOSE_COMPOSITION_SEQUENCE_H_
+#define SQLPL_COMPOSE_COMPOSITION_SEQUENCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// "A feature may require other features for correct composition. Such
+/// feature constraints are expressed as requires or excludes conditions
+/// on features. We use the notion of composition sequence that indicates
+/// how various features are included or excluded." (§3.2)
+///
+/// `CompositionSequence::Resolve` turns an unordered feature selection
+/// plus requires/excludes constraints into the order in which the
+/// features' sub-grammars must be composed: every required feature is
+/// composed before its dependents, mutually exclusive features reject the
+/// selection, and the input order is preserved where constraints permit
+/// (so optional specifications land after their non-optional cores).
+class CompositionSequence {
+ public:
+  /// Computes a composition order for `selected`.
+  ///
+  /// `requires[f]` lists features that must be present *and* composed
+  /// before `f`; a missing requirement is a configuration error.
+  /// `excludes[f]` lists features that must not be co-selected with `f`
+  /// (symmetric). Cyclic requirements are a configuration error.
+  static Result<CompositionSequence> Resolve(
+      const std::vector<std::string>& selected,
+      const std::map<std::string, std::vector<std::string>>& requires_map,
+      const std::map<std::string, std::vector<std::string>>& excludes_map);
+
+  /// Sequence usable without constraints (keeps the given order).
+  static CompositionSequence FromOrdered(std::vector<std::string> features);
+
+  const std::vector<std::string>& features() const { return features_; }
+  bool Contains(const std::string& feature) const;
+
+  /// Space-separated feature names, in composition order.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> features_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_COMPOSE_COMPOSITION_SEQUENCE_H_

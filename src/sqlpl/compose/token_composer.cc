@@ -1,0 +1,26 @@
+#include "sqlpl/compose/token_composer.h"
+
+namespace sqlpl {
+
+Result<TokenSet> ComposeTokenSets(const TokenSet& base,
+                                  const TokenSet& extension) {
+  TokenSet composed = base;
+  for (const TokenDef& def : extension.ToVector()) {
+    Status status = composed.Add(def);
+    if (!status.ok()) {
+      return Status::CompositionError("token files conflict: " +
+                                      status.message());
+    }
+  }
+  return composed;
+}
+
+Result<TokenSet> ComposeAllTokenSets(const std::vector<TokenSet>& sets) {
+  TokenSet composed;
+  for (const TokenSet& set : sets) {
+    SQLPL_ASSIGN_OR_RETURN(composed, ComposeTokenSets(composed, set));
+  }
+  return composed;
+}
+
+}  // namespace sqlpl

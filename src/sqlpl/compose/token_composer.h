@@ -1,0 +1,21 @@
+#ifndef SQLPL_COMPOSE_TOKEN_COMPOSER_H_
+#define SQLPL_COMPOSE_TOKEN_COMPOSER_H_
+
+#include "sqlpl/grammar/token_set.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// Composes two token files into one, mirroring the paper's
+/// "corresponding token files are composed to a single token file".
+/// Identical definitions merge; a name bound to two different patterns is
+/// a composition error.
+Result<TokenSet> ComposeTokenSets(const TokenSet& base,
+                                  const TokenSet& extension);
+
+/// Left-fold of `ComposeTokenSets` over any number of sets.
+Result<TokenSet> ComposeAllTokenSets(const std::vector<TokenSet>& sets);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_COMPOSE_TOKEN_COMPOSER_H_

@@ -1,0 +1,189 @@
+#include "sqlpl/feature/configuration.h"
+
+namespace sqlpl {
+
+void Configuration::Select(const std::string& feature) {
+  selected_.insert(feature);
+}
+
+void Configuration::SelectWithCount(const std::string& feature, int count) {
+  selected_.insert(feature);
+  counts_[feature] = count;
+}
+
+void Configuration::Deselect(const std::string& feature) {
+  selected_.erase(feature);
+  counts_.erase(feature);
+}
+
+bool Configuration::IsSelected(const std::string& feature) const {
+  return selected_.contains(feature);
+}
+
+int Configuration::CountOf(const std::string& feature) const {
+  if (!IsSelected(feature)) return 0;
+  auto it = counts_.find(feature);
+  return it == counts_.end() ? 1 : it->second;
+}
+
+size_t Configuration::Normalize(const FeatureDiagram& diagram) {
+  size_t added = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Root concept.
+    if (!diagram.empty() &&
+        !selected_.contains(diagram.NameOf(diagram.root()))) {
+      selected_.insert(diagram.NameOf(diagram.root()));
+      ++added;
+      changed = true;
+    }
+    // Ancestors and mandatory children of everything selected.
+    std::vector<std::string> to_add;
+    for (const std::string& name : selected_) {
+      FeatureDiagram::NodeId node = diagram.Find(name);
+      if (node == FeatureDiagram::kInvalidNode) continue;
+      FeatureDiagram::NodeId parent = diagram.ParentOf(node);
+      if (parent != FeatureDiagram::kInvalidNode &&
+          !selected_.contains(diagram.NameOf(parent))) {
+        to_add.push_back(diagram.NameOf(parent));
+      }
+      // Mandatory children apply only under AND grouping; OR/alternative
+      // groups are explicit user choices.
+      if (diagram.GroupOf(node) == GroupKind::kAnd) {
+        for (FeatureDiagram::NodeId child : diagram.ChildrenOf(node)) {
+          if (diagram.VariabilityOf(child) ==
+                  FeatureVariability::kMandatory &&
+              !selected_.contains(diagram.NameOf(child))) {
+            to_add.push_back(diagram.NameOf(child));
+          }
+        }
+      }
+    }
+    for (const std::string& name : to_add) {
+      if (selected_.insert(name).second) {
+        ++added;
+        changed = true;
+      }
+    }
+  }
+  return added;
+}
+
+Status Configuration::Validate(const FeatureDiagram& diagram,
+                               DiagnosticCollector* diagnostics) const {
+  const size_t initial_errors = diagnostics->error_count();
+
+  for (const std::string& name : selected_) {
+    if (!diagram.Contains(name)) {
+      diagnostics->AddError({}, "selected feature '" + name +
+                                    "' does not exist in diagram '" +
+                                    diagram.name() + "'");
+    }
+  }
+
+  if (!diagram.empty()) {
+    const std::string& root_name = diagram.NameOf(diagram.root());
+    if (!selected_.contains(root_name)) {
+      diagnostics->AddError({}, "concept feature '" + root_name +
+                                    "' must be selected");
+    }
+  }
+
+  for (const std::string& name : selected_) {
+    FeatureDiagram::NodeId node = diagram.Find(name);
+    if (node == FeatureDiagram::kInvalidNode) continue;
+
+    // Parent must be selected.
+    FeatureDiagram::NodeId parent = diagram.ParentOf(node);
+    if (parent != FeatureDiagram::kInvalidNode &&
+        !selected_.contains(diagram.NameOf(parent))) {
+      diagnostics->AddError({}, "feature '" + name +
+                                    "' selected without its parent '" +
+                                    diagram.NameOf(parent) + "'");
+    }
+
+    // Cardinality.
+    const Cardinality& cardinality = diagram.CardinalityOf(node);
+    int count = CountOf(name);
+    if (!cardinality.Allows(count)) {
+      diagnostics->AddError(
+          {}, "feature '" + name + "' selected with count " +
+                  std::to_string(count) + " outside cardinality " +
+                  (cardinality.ToString().empty() ? "[1..1]"
+                                                  : cardinality.ToString()));
+    }
+
+    // Group semantics over the children of each selected feature.
+    const std::vector<FeatureDiagram::NodeId>& children =
+        diagram.ChildrenOf(node);
+    size_t selected_children = 0;
+    for (FeatureDiagram::NodeId child : children) {
+      if (selected_.contains(diagram.NameOf(child))) ++selected_children;
+    }
+    switch (diagram.GroupOf(node)) {
+      case GroupKind::kAnd:
+        for (FeatureDiagram::NodeId child : children) {
+          if (diagram.VariabilityOf(child) ==
+                  FeatureVariability::kMandatory &&
+              !selected_.contains(diagram.NameOf(child))) {
+            diagnostics->AddError(
+                {}, "mandatory feature '" + diagram.NameOf(child) +
+                        "' missing under selected '" + name + "'");
+          }
+        }
+        break;
+      case GroupKind::kAlternative:
+        if (selected_children != 1) {
+          diagnostics->AddError(
+              {}, "alternative group under '" + name + "' needs exactly one "
+                      "selected child, got " +
+                      std::to_string(selected_children));
+        }
+        break;
+      case GroupKind::kOr:
+        if (selected_children == 0) {
+          diagnostics->AddError({}, "OR group under '" + name +
+                                        "' needs at least one selected child");
+        }
+        break;
+    }
+  }
+
+  // Cross-tree constraints.
+  for (const FeatureConstraint& constraint : diagram.constraints()) {
+    bool has_from = selected_.contains(constraint.from);
+    bool has_to = selected_.contains(constraint.to);
+    if (constraint.kind == ConstraintKind::kRequires && has_from && !has_to) {
+      diagnostics->AddError({}, "constraint violated: " +
+                                    constraint.ToString());
+    }
+    if (constraint.kind == ConstraintKind::kExcludes && has_from && has_to) {
+      diagnostics->AddError({}, "constraint violated: " +
+                                    constraint.ToString());
+    }
+  }
+
+  if (diagnostics->error_count() > initial_errors) {
+    return Status::ConfigurationError(
+        "feature instance description is invalid for diagram '" +
+        diagram.name() + "'");
+  }
+  return Status::OK();
+}
+
+std::string Configuration::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const std::string& name : selected_) {
+    if (!first) out += ", ";
+    first = false;
+    out += name;
+    int count = CountOf(name);
+    if (count != 1) out += "[" + std::to_string(count) + "]";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,76 @@
+#ifndef SQLPL_FEATURE_CONFIGURATION_H_
+#define SQLPL_FEATURE_CONFIGURATION_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sqlpl/feature/feature_diagram.h"
+#include "sqlpl/util/diagnostics.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// A feature instance description (paper §2.2): a concrete selection of
+/// features from one feature diagram, "obtained by including the concept
+/// node of the feature diagram and traversing the diagram from the
+/// concept". Cloned features (non-default cardinality) may carry an
+/// instance count, e.g. `Select Sublist` with cardinality 1 in the §3.2
+/// worked example.
+class Configuration {
+ public:
+  Configuration() = default;
+  /// Creates a configuration for the named diagram with only its concept
+  /// (root) selected.
+  explicit Configuration(std::string diagram_name)
+      : diagram_name_(std::move(diagram_name)) {}
+
+  const std::string& diagram_name() const { return diagram_name_; }
+
+  /// Selects a feature (idempotent).
+  void Select(const std::string& feature);
+  /// Selects a cloned feature with an instance count.
+  void SelectWithCount(const std::string& feature, int count);
+  void Deselect(const std::string& feature);
+
+  bool IsSelected(const std::string& feature) const;
+  /// Instance count of a selected feature (1 unless set), 0 if unselected.
+  int CountOf(const std::string& feature) const;
+
+  const std::set<std::string>& selected() const { return selected_; }
+  size_t size() const { return selected_.size(); }
+
+  /// Adds every feature that the current selection implies: the root
+  /// concept, all ancestors of selected features, and the mandatory-child
+  /// closure of everything selected. Returns the number of features added.
+  /// Group choices (OR / alternative) are never made automatically.
+  size_t Normalize(const FeatureDiagram& diagram);
+
+  /// Checks this instance description against diagram semantics:
+  ///  - every selected feature exists in the diagram,
+  ///  - the root concept is selected,
+  ///  - parents of selected features are selected,
+  ///  - mandatory children of selected features are selected,
+  ///  - alternative groups have exactly one selected child,
+  ///  - OR groups have at least one selected child,
+  ///  - instance counts satisfy cardinalities,
+  ///  - cross-tree requires/excludes hold.
+  Status Validate(const FeatureDiagram& diagram,
+                  DiagnosticCollector* diagnostics) const;
+
+  /// Sorted "feature" / "feature[n]" list, e.g. the paper's
+  /// `{Query Specification, Select List, Select Sublist[1], ...}`.
+  std::string ToString() const;
+
+  bool operator==(const Configuration&) const = default;
+
+ private:
+  std::string diagram_name_;
+  std::set<std::string> selected_;
+  std::map<std::string, int> counts_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_FEATURE_CONFIGURATION_H_

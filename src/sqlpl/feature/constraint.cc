@@ -1,0 +1,19 @@
+#include "sqlpl/feature/constraint.h"
+
+namespace sqlpl {
+
+const char* ConstraintKindToString(ConstraintKind kind) {
+  switch (kind) {
+    case ConstraintKind::kRequires:
+      return "requires";
+    case ConstraintKind::kExcludes:
+      return "excludes";
+  }
+  return "unknown";
+}
+
+std::string FeatureConstraint::ToString() const {
+  return from + " " + ConstraintKindToString(kind) + " " + to;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,41 @@
+#ifndef SQLPL_FEATURE_CONSTRAINT_H_
+#define SQLPL_FEATURE_CONSTRAINT_H_
+
+#include <string>
+
+namespace sqlpl {
+
+/// Kind of a cross-tree feature constraint (paper §3.2: "Such features
+/// constraints are expressed as requires or excludes conditions on
+/// features").
+enum class ConstraintKind {
+  /// Selecting `from` forces `to` to be selected.
+  kRequires,
+  /// Selecting `from` forbids selecting `to` (symmetric).
+  kExcludes,
+};
+
+const char* ConstraintKindToString(ConstraintKind kind);
+
+/// A cross-tree constraint between two features, identified by name.
+struct FeatureConstraint {
+  ConstraintKind kind = ConstraintKind::kRequires;
+  std::string from;
+  std::string to;
+
+  static FeatureConstraint Requires(std::string from, std::string to) {
+    return {ConstraintKind::kRequires, std::move(from), std::move(to)};
+  }
+  static FeatureConstraint Excludes(std::string from, std::string to) {
+    return {ConstraintKind::kExcludes, std::move(from), std::move(to)};
+  }
+
+  bool operator==(const FeatureConstraint&) const = default;
+
+  /// "A requires B" / "A excludes B".
+  std::string ToString() const;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_FEATURE_CONSTRAINT_H_

@@ -1,0 +1,273 @@
+#include "sqlpl/feature/feature_diagram.h"
+
+#include <functional>
+#include <set>
+
+namespace sqlpl {
+
+const char* FeatureVariabilityToString(FeatureVariability variability) {
+  switch (variability) {
+    case FeatureVariability::kMandatory:
+      return "mandatory";
+    case FeatureVariability::kOptional:
+      return "optional";
+  }
+  return "unknown";
+}
+
+const char* GroupKindToString(GroupKind kind) {
+  switch (kind) {
+    case GroupKind::kAnd:
+      return "and";
+    case GroupKind::kOr:
+      return "or";
+    case GroupKind::kAlternative:
+      return "alternative";
+  }
+  return "unknown";
+}
+
+std::string Cardinality::ToString() const {
+  if (IsDefault()) return "";
+  std::string out = "[" + std::to_string(min) + "..";
+  out += (max == kUnbounded) ? "*" : std::to_string(max);
+  out += "]";
+  return out;
+}
+
+FeatureDiagram::FeatureDiagram(std::string concept_name)
+    : name_(concept_name) {
+  Node root;
+  root.name = std::move(concept_name);
+  by_name_.emplace(root.name, 0);
+  nodes_.push_back(std::move(root));
+}
+
+FeatureDiagram::NodeId FeatureDiagram::AddChild(NodeId parent,
+                                                std::string name,
+                                                FeatureVariability variability,
+                                                Cardinality cardinality) {
+  if (parent >= nodes_.size() || by_name_.contains(name)) {
+    return kInvalidNode;
+  }
+  NodeId id = nodes_.size();
+  Node node;
+  node.name = std::move(name);
+  node.variability = variability;
+  node.cardinality = cardinality;
+  node.parent = parent;
+  by_name_.emplace(node.name, id);
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+FeatureDiagram::NodeId FeatureDiagram::AddMandatory(NodeId parent,
+                                                    std::string name,
+                                                    Cardinality cardinality) {
+  return AddChild(parent, std::move(name), FeatureVariability::kMandatory,
+                  cardinality);
+}
+
+FeatureDiagram::NodeId FeatureDiagram::AddOptional(NodeId parent,
+                                                   std::string name,
+                                                   Cardinality cardinality) {
+  return AddChild(parent, std::move(name), FeatureVariability::kOptional,
+                  cardinality);
+}
+
+void FeatureDiagram::SetGroup(NodeId node, GroupKind kind) {
+  if (node < nodes_.size()) nodes_[node].group = kind;
+}
+
+void FeatureDiagram::AddConstraint(FeatureConstraint constraint) {
+  constraints_.push_back(std::move(constraint));
+}
+
+FeatureDiagram::NodeId FeatureDiagram::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidNode : it->second;
+}
+
+bool FeatureDiagram::Contains(const std::string& name) const {
+  return by_name_.contains(name);
+}
+
+const std::string& FeatureDiagram::NameOf(NodeId node) const {
+  return nodes_[node].name;
+}
+
+FeatureVariability FeatureDiagram::VariabilityOf(NodeId node) const {
+  return nodes_[node].variability;
+}
+
+GroupKind FeatureDiagram::GroupOf(NodeId node) const {
+  return nodes_[node].group;
+}
+
+const Cardinality& FeatureDiagram::CardinalityOf(NodeId node) const {
+  return nodes_[node].cardinality;
+}
+
+FeatureDiagram::NodeId FeatureDiagram::ParentOf(NodeId node) const {
+  return nodes_[node].parent;
+}
+
+const std::vector<FeatureDiagram::NodeId>& FeatureDiagram::ChildrenOf(
+    NodeId node) const {
+  return nodes_[node].children;
+}
+
+std::vector<std::string> FeatureDiagram::FeatureNames() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  if (nodes_.empty()) return out;
+  std::vector<NodeId> stack = {root()};
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    out.push_back(nodes_[id].name);
+    const std::vector<NodeId>& children = nodes_[id].children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+Status FeatureDiagram::Validate(DiagnosticCollector* diagnostics) const {
+  const size_t initial_errors = diagnostics->error_count();
+  if (nodes_.empty()) {
+    diagnostics->AddError({}, "feature diagram '" + name_ + "' is empty");
+    return Status::ConfigurationError("empty feature diagram");
+  }
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    if (node.group != GroupKind::kAnd && node.children.size() < 2) {
+      diagnostics->AddWarning(
+          {}, "feature '" + node.name + "' in diagram '" + name_ +
+                  "' declares an " + GroupKindToString(node.group) +
+                  " group with fewer than two children");
+    }
+    if (node.cardinality.min > node.cardinality.max) {
+      diagnostics->AddError({}, "feature '" + node.name +
+                                    "' has inverted cardinality bounds");
+    }
+  }
+  for (const FeatureConstraint& constraint : constraints_) {
+    if (!Contains(constraint.from)) {
+      diagnostics->AddError({}, "constraint references unknown feature '" +
+                                    constraint.from + "'");
+    }
+    if (!Contains(constraint.to)) {
+      diagnostics->AddError({}, "constraint references unknown feature '" +
+                                    constraint.to + "'");
+    }
+  }
+  if (diagnostics->error_count() > initial_errors) {
+    return Status::ConfigurationError("feature diagram '" + name_ +
+                                      "' failed validation");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Enumerates selections of `diagram` rooted at `node` (assumed selected),
+// invoking `yield` with each complete selection set built in `current`.
+// Used only by CountConfigurations; exponential by nature.
+void EnumerateNode(const FeatureDiagram& diagram, FeatureDiagram::NodeId node,
+                   std::set<std::string>* current,
+                   const std::function<void()>& yield);
+
+// Enumerates all admissible child subsets of `node` (whose selection is
+// already in `current`), then calls `yield`.
+void EnumerateChildren(const FeatureDiagram& diagram,
+                       FeatureDiagram::NodeId node,
+                       std::set<std::string>* current,
+                       const std::function<void()>& yield) {
+  const std::vector<FeatureDiagram::NodeId>& children =
+      diagram.ChildrenOf(node);
+  switch (diagram.GroupOf(node)) {
+    case GroupKind::kAnd: {
+      // Recurse child-by-child; optional children fork on include/skip.
+      std::function<void(size_t)> step = [&](size_t index) {
+        if (index == children.size()) {
+          yield();
+          return;
+        }
+        FeatureDiagram::NodeId child = children[index];
+        auto include = [&]() {
+          EnumerateNode(diagram, child, current,
+                        [&]() { step(index + 1); });
+        };
+        if (diagram.VariabilityOf(child) == FeatureVariability::kMandatory) {
+          include();
+        } else {
+          include();
+          step(index + 1);  // skip the optional child
+        }
+      };
+      step(0);
+      return;
+    }
+    case GroupKind::kAlternative: {
+      for (FeatureDiagram::NodeId child : children) {
+        EnumerateNode(diagram, child, current, yield);
+      }
+      return;
+    }
+    case GroupKind::kOr: {
+      // Every non-empty subset of children.
+      std::function<void(size_t, size_t)> step = [&](size_t index,
+                                                     size_t taken) {
+        if (index == children.size()) {
+          if (taken > 0) yield();
+          return;
+        }
+        EnumerateNode(diagram, children[index], current,
+                      [&]() { step(index + 1, taken + 1); });
+        step(index + 1, taken);
+      };
+      step(0, 0);
+      return;
+    }
+  }
+}
+
+void EnumerateNode(const FeatureDiagram& diagram, FeatureDiagram::NodeId node,
+                   std::set<std::string>* current,
+                   const std::function<void()>& yield) {
+  current->insert(diagram.NameOf(node));
+  EnumerateChildren(diagram, node, current, yield);
+  current->erase(diagram.NameOf(node));
+}
+
+bool SatisfiesConstraints(const FeatureDiagram& diagram,
+                          const std::set<std::string>& selection) {
+  for (const FeatureConstraint& constraint : diagram.constraints()) {
+    bool has_from = selection.contains(constraint.from);
+    bool has_to = selection.contains(constraint.to);
+    if (constraint.kind == ConstraintKind::kRequires && has_from && !has_to) {
+      return false;
+    }
+    if (constraint.kind == ConstraintKind::kExcludes && has_from && has_to) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t FeatureDiagram::CountConfigurations() const {
+  if (nodes_.empty()) return 0;
+  uint64_t count = 0;
+  std::set<std::string> current;
+  EnumerateNode(*this, root(), &current, [&]() {
+    if (SatisfiesConstraints(*this, current)) ++count;
+  });
+  return count;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,136 @@
+#ifndef SQLPL_FEATURE_FEATURE_DIAGRAM_H_
+#define SQLPL_FEATURE_FEATURE_DIAGRAM_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sqlpl/feature/constraint.h"
+#include "sqlpl/util/diagnostics.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// Whether a feature is required or optional relative to its parent.
+enum class FeatureVariability {
+  kMandatory,
+  kOptional,
+};
+
+/// How the children of a feature relate to each other (FODA feature-
+/// diagram semantics): AND — each child governed by its own variability;
+/// OR — at least one child must be selected when the parent is; XOR
+/// ("alternative") — exactly one child must be selected when the parent is.
+enum class GroupKind {
+  kAnd,
+  kOr,
+  kAlternative,
+};
+
+const char* FeatureVariabilityToString(FeatureVariability variability);
+const char* GroupKindToString(GroupKind kind);
+
+/// Instance-count bounds for cloned features, e.g. the paper's Figure 1
+/// `Select Sublist [1..*]`. `kUnbounded` denotes `*`.
+struct Cardinality {
+  static constexpr int kUnbounded = std::numeric_limits<int>::max();
+
+  int min = 1;
+  int max = 1;
+
+  static Cardinality Exactly(int n) { return {n, n}; }
+  static Cardinality AtLeast(int n) { return {n, kUnbounded}; }
+
+  bool IsDefault() const { return min == 1 && max == 1; }
+  bool Allows(int count) const { return count >= min && count <= max; }
+
+  bool operator==(const Cardinality&) const = default;
+
+  /// "[1..*]"-style rendering; empty for the default [1..1].
+  std::string ToString() const;
+};
+
+/// A feature diagram: a tree of named features with FODA variability,
+/// grouping, cloning cardinalities, and cross-tree requires/excludes
+/// constraints. Feature names are unique within a diagram. The paper's
+/// Figures 1 and 2 are instances of this type (see `sqlpl/sql`).
+class FeatureDiagram {
+ public:
+  using NodeId = size_t;
+  static constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+  FeatureDiagram() = default;
+  /// Creates a diagram whose root concept is named `concept_name`.
+  explicit FeatureDiagram(std::string concept_name);
+
+  const std::string& name() const { return name_; }
+  NodeId root() const { return 0; }
+  bool empty() const { return nodes_.empty(); }
+  /// Total number of features including the root concept. The paper's
+  /// "more than 500 features" counts nodes of all 40 diagrams this way.
+  size_t NumFeatures() const { return nodes_.size(); }
+
+  /// Adds a child feature under `parent`. Fails (returns `kInvalidNode`
+  /// and records nothing) if the name is already used in this diagram.
+  NodeId AddChild(NodeId parent, std::string name,
+                  FeatureVariability variability,
+                  Cardinality cardinality = {});
+  NodeId AddMandatory(NodeId parent, std::string name,
+                      Cardinality cardinality = {});
+  NodeId AddOptional(NodeId parent, std::string name,
+                     Cardinality cardinality = {});
+
+  /// Sets how the children of `node` are grouped (default `kAnd`).
+  void SetGroup(NodeId node, GroupKind kind);
+
+  /// Adds a cross-tree constraint between two features of this diagram.
+  void AddConstraint(FeatureConstraint constraint);
+  const std::vector<FeatureConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  NodeId Find(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  const std::string& NameOf(NodeId node) const;
+  FeatureVariability VariabilityOf(NodeId node) const;
+  GroupKind GroupOf(NodeId node) const;
+  const Cardinality& CardinalityOf(NodeId node) const;
+  NodeId ParentOf(NodeId node) const;  // kInvalidNode for the root
+  const std::vector<NodeId>& ChildrenOf(NodeId node) const;
+  bool IsLeaf(NodeId node) const { return ChildrenOf(node).empty(); }
+
+  /// All feature names in pre-order (root first).
+  std::vector<std::string> FeatureNames() const;
+
+  /// Structural checks: non-empty, OR/XOR groups have >= 2 children
+  /// (warning), constraints reference existing features (error).
+  Status Validate(DiagnosticCollector* diagnostics) const;
+
+  /// Number of distinct valid feature-instance descriptions of this
+  /// diagram, ignoring cardinalities (each cloned feature counted once)
+  /// but honoring variability, groups, and cross-tree constraints.
+  /// Exponential in diagram size; intended for tests and reporting.
+  uint64_t CountConfigurations() const;
+
+ private:
+  struct Node {
+    std::string name;
+    FeatureVariability variability = FeatureVariability::kMandatory;
+    GroupKind group = GroupKind::kAnd;
+    Cardinality cardinality;
+    NodeId parent = kInvalidNode;
+    std::vector<NodeId> children;
+  };
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::map<std::string, NodeId> by_name_;
+  std::vector<FeatureConstraint> constraints_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_FEATURE_FEATURE_DIAGRAM_H_

@@ -1,0 +1,92 @@
+#include "sqlpl/feature/feature_model.h"
+
+namespace sqlpl {
+
+Status FeatureModel::AddDiagram(FeatureDiagram diagram) {
+  if (index_.contains(diagram.name())) {
+    return Status::AlreadyExists("feature model '" + name_ +
+                                 "' already has a diagram named '" +
+                                 diagram.name() + "'");
+  }
+  index_.emplace(diagram.name(), diagrams_.size());
+  diagrams_.push_back(std::move(diagram));
+  return Status::OK();
+}
+
+const FeatureDiagram* FeatureModel::Find(
+    const std::string& diagram_name) const {
+  auto it = index_.find(diagram_name);
+  return it == index_.end() ? nullptr : &diagrams_[it->second];
+}
+
+bool FeatureModel::Contains(const std::string& diagram_name) const {
+  return index_.contains(diagram_name);
+}
+
+size_t FeatureModel::TotalFeatures() const {
+  size_t total = 0;
+  for (const FeatureDiagram& diagram : diagrams_) {
+    total += diagram.NumFeatures();
+  }
+  return total;
+}
+
+std::vector<std::string> FeatureModel::DiagramNames() const {
+  std::vector<std::string> out;
+  out.reserve(diagrams_.size());
+  for (const FeatureDiagram& diagram : diagrams_) {
+    out.push_back(diagram.name());
+  }
+  return out;
+}
+
+const FeatureDiagram* FeatureModel::FindDiagramOfFeature(
+    const std::string& feature, bool* ambiguous) const {
+  const FeatureDiagram* found = nullptr;
+  if (ambiguous != nullptr) *ambiguous = false;
+  for (const FeatureDiagram& diagram : diagrams_) {
+    if (diagram.Contains(feature)) {
+      if (found != nullptr) {
+        if (ambiguous != nullptr) *ambiguous = true;
+        return nullptr;
+      }
+      found = &diagram;
+    }
+  }
+  return found;
+}
+
+void FeatureModel::AddConstraint(FeatureConstraint constraint) {
+  constraints_.push_back(std::move(constraint));
+}
+
+Status FeatureModel::Validate(DiagnosticCollector* diagnostics) const {
+  const size_t initial_errors = diagnostics->error_count();
+  for (const FeatureDiagram& diagram : diagrams_) {
+    // Collect all diagnostics; the summary status is computed below.
+    (void)diagram.Validate(diagnostics);
+  }
+  for (const FeatureConstraint& constraint : constraints_) {
+    bool from_known = false;
+    bool to_known = false;
+    for (const FeatureDiagram& diagram : diagrams_) {
+      if (diagram.Contains(constraint.from)) from_known = true;
+      if (diagram.Contains(constraint.to)) to_known = true;
+    }
+    if (!from_known) {
+      diagnostics->AddError({}, "model constraint references unknown "
+                                "feature '" + constraint.from + "'");
+    }
+    if (!to_known) {
+      diagnostics->AddError({}, "model constraint references unknown "
+                                "feature '" + constraint.to + "'");
+    }
+  }
+  if (diagnostics->error_count() > initial_errors) {
+    return Status::ConfigurationError("feature model '" + name_ +
+                                      "' failed validation");
+  }
+  return Status::OK();
+}
+
+}  // namespace sqlpl

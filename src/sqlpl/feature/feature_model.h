@@ -1,0 +1,65 @@
+#ifndef SQLPL_FEATURE_FEATURE_MODEL_H_
+#define SQLPL_FEATURE_FEATURE_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sqlpl/feature/feature_diagram.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// A feature model: a named collection of feature diagrams plus
+/// model-level constraints that may span diagrams. The paper's
+/// decomposition of SQL Foundation is one `FeatureModel` holding 40
+/// diagrams with more than 500 features (§3.1); see
+/// `sqlpl/sql/foundation_model.h` for that instance.
+class FeatureModel {
+ public:
+  FeatureModel() = default;
+  explicit FeatureModel(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Adds a diagram; fails on duplicate diagram names.
+  Status AddDiagram(FeatureDiagram diagram);
+
+  const FeatureDiagram* Find(const std::string& diagram_name) const;
+  bool Contains(const std::string& diagram_name) const;
+
+  const std::vector<FeatureDiagram>& diagrams() const { return diagrams_; }
+  size_t NumDiagrams() const { return diagrams_.size(); }
+
+  /// Sum of `NumFeatures()` over all diagrams — the paper's
+  /// "more than 500 features" metric.
+  size_t TotalFeatures() const;
+
+  /// Names of all diagrams, in insertion order.
+  std::vector<std::string> DiagramNames() const;
+
+  /// Locates the diagram containing a feature name; nullptr if the name
+  /// is unknown or ambiguous across diagrams (`ambiguous` reports which).
+  const FeatureDiagram* FindDiagramOfFeature(const std::string& feature,
+                                             bool* ambiguous = nullptr) const;
+
+  /// Adds a constraint between features of any diagrams in this model.
+  void AddConstraint(FeatureConstraint constraint);
+  const std::vector<FeatureConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// Validates every diagram and every model-level constraint.
+  Status Validate(DiagnosticCollector* diagnostics) const;
+
+ private:
+  std::string name_;
+  std::vector<FeatureDiagram> diagrams_;
+  std::map<std::string, size_t> index_;
+  std::vector<FeatureConstraint> constraints_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_FEATURE_FEATURE_MODEL_H_

@@ -1,0 +1,150 @@
+#include "sqlpl/feature/render.h"
+
+namespace sqlpl {
+
+namespace {
+
+std::string NodeLabel(const FeatureDiagram& diagram,
+                      FeatureDiagram::NodeId node) {
+  std::string label = diagram.NameOf(node);
+  std::string card = diagram.CardinalityOf(node).ToString();
+  if (!card.empty()) {
+    label += ' ';
+    label += card;
+  }
+  return label;
+}
+
+std::string GroupSuffix(const FeatureDiagram& diagram,
+                        FeatureDiagram::NodeId node) {
+  switch (diagram.GroupOf(node)) {
+    case GroupKind::kAnd:
+      return "";
+    case GroupKind::kAlternative:
+      return "  <1-1>";
+    case GroupKind::kOr:
+      return "  <1-*>";
+  }
+  return "";
+}
+
+void RenderNode(const FeatureDiagram& diagram, FeatureDiagram::NodeId node,
+                const std::string& prefix, bool last, bool is_root,
+                std::string* out) {
+  if (is_root) {
+    *out += NodeLabel(diagram, node);
+    *out += GroupSuffix(diagram, node);
+    *out += '\n';
+  } else {
+    *out += prefix;
+    *out += last ? "`-- " : "|-- ";
+    *out += (diagram.VariabilityOf(node) == FeatureVariability::kMandatory)
+                ? "[x] "
+                : "(o) ";
+    *out += NodeLabel(diagram, node);
+    *out += GroupSuffix(diagram, node);
+    *out += '\n';
+  }
+  const std::vector<FeatureDiagram::NodeId>& children =
+      diagram.ChildrenOf(node);
+  for (size_t i = 0; i < children.size(); ++i) {
+    std::string child_prefix =
+        is_root ? "" : prefix + (last ? "    " : "|   ");
+    RenderNode(diagram, children[i], child_prefix, i + 1 == children.size(),
+               /*is_root=*/false, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderAsciiTree(const FeatureDiagram& diagram) {
+  std::string out;
+  if (diagram.empty()) return out;
+  RenderNode(diagram, diagram.root(), "", /*last=*/true, /*is_root=*/true,
+             &out);
+  if (!diagram.constraints().empty()) {
+    out += "constraints:\n";
+    for (const FeatureConstraint& constraint : diagram.constraints()) {
+      out += "  " + constraint.ToString() + "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderDot(const FeatureDiagram& diagram) {
+  std::string out = "digraph \"" + diagram.name() + "\" {\n";
+  out += "  node [shape=box];\n";
+  for (FeatureDiagram::NodeId id = 0; id < diagram.NumFeatures(); ++id) {
+    std::string label = NodeLabel(diagram, id);
+    switch (diagram.GroupOf(id)) {
+      case GroupKind::kAlternative:
+        label += "\\n<alternative>";
+        break;
+      case GroupKind::kOr:
+        label += "\\n<or>";
+        break;
+      case GroupKind::kAnd:
+        break;
+    }
+    out += "  n" + std::to_string(id) + " [label=\"" + label + "\"];\n";
+  }
+  for (FeatureDiagram::NodeId id = 0; id < diagram.NumFeatures(); ++id) {
+    for (FeatureDiagram::NodeId child : diagram.ChildrenOf(id)) {
+      const char* head =
+          (diagram.VariabilityOf(child) == FeatureVariability::kMandatory)
+              ? "dot"
+              : "odot";
+      out += "  n" + std::to_string(id) + " -> n" + std::to_string(child) +
+             " [arrowhead=" + head + "];\n";
+    }
+  }
+  for (const FeatureConstraint& constraint : diagram.constraints()) {
+    FeatureDiagram::NodeId from = diagram.Find(constraint.from);
+    FeatureDiagram::NodeId to = diagram.Find(constraint.to);
+    if (from == FeatureDiagram::kInvalidNode ||
+        to == FeatureDiagram::kInvalidNode) {
+      continue;
+    }
+    out += "  n" + std::to_string(from) + " -> n" + std::to_string(to) +
+           " [style=dashed, label=\"" +
+           std::string(ConstraintKindToString(constraint.kind)) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+void RenderInventoryNode(const FeatureDiagram& diagram,
+                         FeatureDiagram::NodeId node, size_t depth,
+                         std::string* out) {
+  out->append(depth * 2, ' ');
+  *out += diagram.NameOf(node);
+  *out += "  (";
+  *out += FeatureVariabilityToString(diagram.VariabilityOf(node));
+  if (diagram.GroupOf(node) != GroupKind::kAnd) {
+    *out += ", ";
+    *out += GroupKindToString(diagram.GroupOf(node));
+    *out += "-group";
+  }
+  std::string card = diagram.CardinalityOf(node).ToString();
+  if (!card.empty()) {
+    *out += ", ";
+    *out += card;
+  }
+  *out += ")\n";
+  for (FeatureDiagram::NodeId child : diagram.ChildrenOf(node)) {
+    RenderInventoryNode(diagram, child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderInventory(const FeatureDiagram& diagram) {
+  std::string out;
+  if (diagram.empty()) return out;
+  RenderInventoryNode(diagram, diagram.root(), 0, &out);
+  return out;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,28 @@
+#ifndef SQLPL_FEATURE_RENDER_H_
+#define SQLPL_FEATURE_RENDER_H_
+
+#include <string>
+
+#include "sqlpl/feature/feature_diagram.h"
+
+namespace sqlpl {
+
+/// Renders a feature diagram as an ASCII tree. Notation: `[x]` marks a
+/// mandatory feature, `(o)` an optional one; `<1-1>`/`<1-*>` introduce an
+/// alternative / OR group; cloning cardinalities append `[m..n]`. Used by
+/// `examples/paper_figures` to regenerate Figures 1 and 2 of the paper.
+std::string RenderAsciiTree(const FeatureDiagram& diagram);
+
+/// Renders a feature diagram in Graphviz DOT. Mandatory features get a
+/// filled dot edge head, optional features a hollow one (modeled with
+/// `arrowhead=dot/odot`); OR and alternative groups are annotated on the
+/// parent node.
+std::string RenderDot(const FeatureDiagram& diagram);
+
+/// One-line-per-feature inventory: indentation shows depth, columns show
+/// variability, group and cardinality. Handy for model reports.
+std::string RenderInventory(const FeatureDiagram& diagram);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_FEATURE_RENDER_H_

@@ -1,0 +1,335 @@
+#include "sqlpl/feature/text_format.h"
+
+#include "sqlpl/util/source_location.h"
+#include "sqlpl/util/strings.h"
+
+namespace sqlpl {
+
+namespace {
+
+enum class FTokKind {
+  kIdent,
+  kLBrace,    // {
+  kRBrace,    // }
+  kQuestion,  // ?
+  kLBracket,  // [
+  kRBracket,  // ]
+  kDotDot,    // ..
+  kStar,      // *
+  kNumber,
+  kSemi,  // ;
+  kEnd,
+};
+
+struct FTok {
+  FTokKind kind = FTokKind::kEnd;
+  std::string text;
+  SourceLocation loc;
+};
+
+Result<std::vector<FTok>> TokenizeFeatureDsl(std::string_view text,
+                                             std::string_view source_name) {
+  std::vector<FTok> out;
+  size_t pos = 0;
+  size_t line = 1;
+  size_t column = 1;
+  auto advance = [&]() {
+    if (text[pos] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    ++pos;
+  };
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '/' && pos + 1 < text.size() && text[pos + 1] == '/') {
+      while (pos < text.size() && text[pos] != '\n') advance();
+      continue;
+    }
+    SourceLocation loc{line, column, pos};
+    if (IsIdentStart(c)) {
+      size_t start = pos;
+      while (pos < text.size() && IsIdentCont(text[pos])) advance();
+      out.push_back(
+          {FTokKind::kIdent, std::string(text.substr(start, pos - start)),
+           loc});
+      continue;
+    }
+    if (c >= '0' && c <= '9') {
+      size_t start = pos;
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+        advance();
+      }
+      out.push_back(
+          {FTokKind::kNumber, std::string(text.substr(start, pos - start)),
+           loc});
+      continue;
+    }
+    if (c == '.' && pos + 1 < text.size() && text[pos + 1] == '.') {
+      advance();
+      advance();
+      out.push_back({FTokKind::kDotDot, "..", loc});
+      continue;
+    }
+    FTokKind kind;
+    switch (c) {
+      case '{': kind = FTokKind::kLBrace; break;
+      case '}': kind = FTokKind::kRBrace; break;
+      case '?': kind = FTokKind::kQuestion; break;
+      case '[': kind = FTokKind::kLBracket; break;
+      case ']': kind = FTokKind::kRBracket; break;
+      case '*': kind = FTokKind::kStar; break;
+      case ';': kind = FTokKind::kSemi; break;
+      default:
+        return Status::ParseError(std::string(source_name) + ":" +
+                                  loc.ToString() +
+                                  ": unexpected character '" +
+                                  std::string(1, c) + "' in feature DSL");
+    }
+    out.push_back({kind, std::string(1, c), loc});
+    advance();
+  }
+  out.push_back({FTokKind::kEnd, "", {line, column, pos}});
+  return out;
+}
+
+class FeatureDslParser {
+ public:
+  FeatureDslParser(std::vector<FTok> toks, std::string_view source_name)
+      : toks_(std::move(toks)), source_name_(source_name) {}
+
+  Result<FeatureDiagram> ParseDiagram() {
+    SQLPL_ASSIGN_OR_RETURN(FeatureDiagram diagram, ParseDiagramBlock());
+    SQLPL_RETURN_IF_ERROR(ParseConstraints(&diagram));
+    if (Peek().kind != FTokKind::kEnd) {
+      return Error("trailing input after feature diagram");
+    }
+    return diagram;
+  }
+
+  Result<FeatureModel> ParseModel() {
+    FeatureModel model;
+    while (Peek().kind != FTokKind::kEnd) {
+      SQLPL_ASSIGN_OR_RETURN(FeatureDiagram diagram, ParseDiagramBlock());
+      SQLPL_RETURN_IF_ERROR(ParseConstraints(&diagram));
+      SQLPL_RETURN_IF_ERROR(model.AddDiagram(std::move(diagram)));
+    }
+    return model;
+  }
+
+ private:
+  const FTok& Peek() const { return toks_[pos_]; }
+  const FTok& PeekAhead(size_t n) const {
+    size_t i = pos_ + n;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const FTok& Next() { return toks_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(std::string(source_name_) + ":" +
+                              Peek().loc.ToString() + ": " + message);
+  }
+
+  Result<FeatureDiagram> ParseDiagramBlock() {
+    if (!(Peek().kind == FTokKind::kIdent && Peek().text == "diagram")) {
+      return Error("expected 'diagram'");
+    }
+    Next();
+    if (Peek().kind != FTokKind::kIdent) {
+      return Error("expected diagram name");
+    }
+    FeatureDiagram diagram(Next().text);
+    // Optional group keyword for the root's children.
+    SQLPL_RETURN_IF_ERROR(ParseGroupAndChildren(&diagram, diagram.root()));
+    return diagram;
+  }
+
+  // Parses the optional group keyword and the braced child list of `node`.
+  Status ParseGroupAndChildren(FeatureDiagram* diagram,
+                               FeatureDiagram::NodeId node) {
+    if (Peek().kind == FTokKind::kIdent &&
+        (Peek().text == "or" || Peek().text == "alternative" ||
+         Peek().text == "alt" || Peek().text == "and")) {
+      const std::string& g = Next().text;
+      if (g == "or") {
+        diagram->SetGroup(node, GroupKind::kOr);
+      } else if (g == "and") {
+        diagram->SetGroup(node, GroupKind::kAnd);
+      } else {
+        diagram->SetGroup(node, GroupKind::kAlternative);
+      }
+    }
+    if (Peek().kind != FTokKind::kLBrace) return Status::OK();
+    Next();  // consume '{'
+    while (Peek().kind != FTokKind::kRBrace) {
+      if (Peek().kind == FTokKind::kEnd) {
+        return Error("unterminated feature block");
+      }
+      SQLPL_RETURN_IF_ERROR(ParseFeature(diagram, node));
+    }
+    Next();  // consume '}'
+    return Status::OK();
+  }
+
+  // NAME '?'? ('[' m '..' (n|'*') ']')? group? ('{' children '}')?
+  Status ParseFeature(FeatureDiagram* diagram,
+                      FeatureDiagram::NodeId parent) {
+    if (Peek().kind != FTokKind::kIdent) {
+      return Error("expected feature name, got '" + Peek().text + "'");
+    }
+    std::string name = Next().text;
+    FeatureVariability variability = FeatureVariability::kMandatory;
+    if (Peek().kind == FTokKind::kQuestion) {
+      Next();
+      variability = FeatureVariability::kOptional;
+    }
+    Cardinality cardinality;
+    if (Peek().kind == FTokKind::kLBracket) {
+      Next();
+      if (Peek().kind != FTokKind::kNumber) {
+        return Error("expected lower cardinality bound");
+      }
+      cardinality.min = std::stoi(Next().text);
+      if (Peek().kind != FTokKind::kDotDot) {
+        return Error("expected '..' in cardinality");
+      }
+      Next();
+      if (Peek().kind == FTokKind::kStar) {
+        Next();
+        cardinality.max = Cardinality::kUnbounded;
+      } else if (Peek().kind == FTokKind::kNumber) {
+        cardinality.max = std::stoi(Next().text);
+      } else {
+        return Error("expected upper cardinality bound or '*'");
+      }
+      if (Peek().kind != FTokKind::kRBracket) {
+        return Error("expected ']' after cardinality");
+      }
+      Next();
+    }
+    FeatureDiagram::NodeId node =
+        diagram->AddChild(parent, name, variability, cardinality);
+    if (node == FeatureDiagram::kInvalidNode) {
+      return Error("duplicate feature name '" + name + "' in diagram '" +
+                   diagram->name() + "'");
+    }
+    return ParseGroupAndChildren(diagram, node);
+  }
+
+  // `A requires B ;` / `A excludes B ;` lines following the block.
+  Status ParseConstraints(FeatureDiagram* diagram) {
+    while (Peek().kind == FTokKind::kIdent &&
+           (PeekAhead(1).kind == FTokKind::kIdent &&
+            (PeekAhead(1).text == "requires" ||
+             PeekAhead(1).text == "excludes"))) {
+      std::string from = Next().text;
+      std::string kind = Next().text;
+      if (Peek().kind != FTokKind::kIdent) {
+        return Error("expected feature name after '" + kind + "'");
+      }
+      std::string to = Next().text;
+      if (Peek().kind != FTokKind::kSemi) {
+        return Error("expected ';' after constraint");
+      }
+      Next();
+      diagram->AddConstraint(kind == "requires"
+                                 ? FeatureConstraint::Requires(from, to)
+                                 : FeatureConstraint::Excludes(from, to));
+    }
+    return Status::OK();
+  }
+
+  std::vector<FTok> toks_;
+  std::string_view source_name_;
+  size_t pos_ = 0;
+};
+
+void WriteFeatureNode(const FeatureDiagram& diagram,
+                      FeatureDiagram::NodeId node, size_t depth,
+                      std::string* out) {
+  out->append(depth * 2, ' ');
+  *out += diagram.NameOf(node);
+  if (diagram.VariabilityOf(node) == FeatureVariability::kOptional) {
+    *out += '?';
+  }
+  std::string card = diagram.CardinalityOf(node).ToString();
+  if (!card.empty()) {
+    *out += ' ';
+    *out += card;
+  }
+  switch (diagram.GroupOf(node)) {
+    case GroupKind::kOr:
+      *out += " or";
+      break;
+    case GroupKind::kAlternative:
+      *out += " alternative";
+      break;
+    case GroupKind::kAnd:
+      break;
+  }
+  const std::vector<FeatureDiagram::NodeId>& children =
+      diagram.ChildrenOf(node);
+  if (children.empty()) {
+    *out += '\n';
+    return;
+  }
+  *out += " {\n";
+  for (FeatureDiagram::NodeId child : children) {
+    WriteFeatureNode(diagram, child, depth + 1, out);
+  }
+  out->append(depth * 2, ' ');
+  *out += "}\n";
+}
+
+}  // namespace
+
+Result<FeatureDiagram> ParseFeatureDiagramText(std::string_view text,
+                                               std::string_view source_name) {
+  SQLPL_ASSIGN_OR_RETURN(std::vector<FTok> toks,
+                         TokenizeFeatureDsl(text, source_name));
+  FeatureDslParser parser(std::move(toks), source_name);
+  return parser.ParseDiagram();
+}
+
+Result<FeatureModel> ParseFeatureModelText(std::string_view text,
+                                           std::string_view source_name) {
+  SQLPL_ASSIGN_OR_RETURN(std::vector<FTok> toks,
+                         TokenizeFeatureDsl(text, source_name));
+  FeatureDslParser parser(std::move(toks), source_name);
+  return parser.ParseModel();
+}
+
+std::string WriteFeatureDiagramText(const FeatureDiagram& diagram) {
+  std::string out = "diagram " + diagram.name();
+  if (diagram.empty()) {
+    out += " {\n}\n";
+    return out;
+  }
+  switch (diagram.GroupOf(diagram.root())) {
+    case GroupKind::kOr:
+      out += " or";
+      break;
+    case GroupKind::kAlternative:
+      out += " alternative";
+      break;
+    case GroupKind::kAnd:
+      break;
+  }
+  out += " {\n";
+  for (FeatureDiagram::NodeId child : diagram.ChildrenOf(diagram.root())) {
+    WriteFeatureNode(diagram, child, 1, &out);
+  }
+  out += "}\n";
+  for (const FeatureConstraint& constraint : diagram.constraints()) {
+    out += constraint.ToString() + ";\n";
+  }
+  return out;
+}
+
+}  // namespace sqlpl

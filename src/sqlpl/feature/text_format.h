@@ -1,0 +1,49 @@
+#ifndef SQLPL_FEATURE_TEXT_FORMAT_H_
+#define SQLPL_FEATURE_TEXT_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "sqlpl/feature/feature_diagram.h"
+#include "sqlpl/feature/feature_model.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// Parses the feature-diagram DSL:
+///
+/// ```
+/// diagram QuerySpecification {
+///   SetQuantifier? alternative {
+///     ALL
+///     DISTINCT
+///   }
+///   SelectList {
+///     SelectSublist [1..*] or {
+///       DerivedColumn { As? }
+///       Asterisk
+///     }
+///   }
+/// }
+/// SetQuantifier requires SelectList;
+/// ```
+///
+/// A feature is `NAME` with optional `?` (optional feature), `[m..n]` or
+/// `[m..*]` cloning cardinality, a group keyword (`or` / `alternative` /
+/// `and`) applying to its children, and a braced child list. Cross-tree
+/// `A requires B;` / `A excludes B;` constraints follow the diagram.
+/// Comments: `//` to end of line.
+Result<FeatureDiagram> ParseFeatureDiagramText(
+    std::string_view text, std::string_view source_name = "<string>");
+
+/// Parses a document holding several `diagram` blocks into a model.
+Result<FeatureModel> ParseFeatureModelText(
+    std::string_view text, std::string_view source_name = "<string>");
+
+/// Renders a diagram in the DSL accepted by `ParseFeatureDiagramText`
+/// (round-trip safe for names without whitespace).
+std::string WriteFeatureDiagramText(const FeatureDiagram& diagram);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_FEATURE_TEXT_FORMAT_H_

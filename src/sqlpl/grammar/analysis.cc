@@ -1,0 +1,386 @@
+#include "sqlpl/grammar/analysis.h"
+
+#include <algorithm>
+
+namespace sqlpl {
+
+namespace {
+
+// Inserts `src` into `dst`; returns true if `dst` grew.
+bool UnionInto(std::set<std::string>* dst, const std::set<std::string>& src) {
+  size_t before = dst->size();
+  dst->insert(src.begin(), src.end());
+  return dst->size() != before;
+}
+
+std::string JoinTokens(const std::set<std::string>& tokens) {
+  std::string out;
+  for (const std::string& t : tokens) {
+    if (!out.empty()) out += ", ";
+    out += t;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Ll1Conflict::ToString() const {
+  return nonterminal + ": " + description + " (on {" + JoinTokens(tokens) +
+         "})";
+}
+
+Result<GrammarAnalysis> GrammarAnalysis::Analyze(const Grammar& grammar) {
+  // Check that every referenced nonterminal resolves; the fixpoints below
+  // assume closed references.
+  for (const Production& production : grammar.productions()) {
+    for (const Alternative& alt : production.alternatives()) {
+      std::vector<std::string> nts;
+      alt.body.CollectNonterminals(&nts);
+      for (const std::string& nt : nts) {
+        if (!grammar.HasProduction(nt)) {
+          return Status::FailedPrecondition(
+              "cannot analyze grammar '" + grammar.name() +
+              "': undefined nonterminal '" + nt + "' referenced from '" +
+              production.lhs() + "'");
+        }
+      }
+    }
+  }
+
+  GrammarAnalysis analysis;
+  analysis.ComputeNullable(grammar);
+  analysis.ComputeFirst(grammar);
+  analysis.ComputeFollow(grammar);
+  analysis.DetectLeftRecursion(grammar);
+  analysis.DetectConflicts(grammar);
+  return analysis;
+}
+
+bool GrammarAnalysis::IsNullable(const std::string& nonterminal) const {
+  auto it = nullable_.find(nonterminal);
+  return it != nullable_.end() && it->second;
+}
+
+bool GrammarAnalysis::ExprNullable(const Expr& expr) const {
+  switch (expr.kind()) {
+    case ExprKind::kToken:
+      return false;
+    case ExprKind::kNonterminal:
+      return IsNullable(expr.symbol());
+    case ExprKind::kSequence:
+      return std::all_of(
+          expr.children().begin(), expr.children().end(),
+          [this](const Expr& c) { return ExprNullable(c); });
+    case ExprKind::kChoice:
+      return std::any_of(
+          expr.children().begin(), expr.children().end(),
+          [this](const Expr& c) { return ExprNullable(c); });
+    case ExprKind::kOptional:
+    case ExprKind::kRepetition:
+      return true;
+  }
+  return false;
+}
+
+const std::set<std::string>& GrammarAnalysis::First(
+    const std::string& nonterminal) const {
+  auto it = first_.find(nonterminal);
+  return it == first_.end() ? empty_set_ : it->second;
+}
+
+std::set<std::string> GrammarAnalysis::FirstOf(const Expr& expr) const {
+  std::set<std::string> out;
+  switch (expr.kind()) {
+    case ExprKind::kToken:
+      out.insert(expr.symbol());
+      break;
+    case ExprKind::kNonterminal: {
+      const std::set<std::string>& f = First(expr.symbol());
+      out.insert(f.begin(), f.end());
+      break;
+    }
+    case ExprKind::kSequence:
+      for (const Expr& child : expr.children()) {
+        std::set<std::string> f = FirstOf(child);
+        out.insert(f.begin(), f.end());
+        if (!ExprNullable(child)) break;
+      }
+      break;
+    case ExprKind::kChoice:
+      for (const Expr& child : expr.children()) {
+        std::set<std::string> f = FirstOf(child);
+        out.insert(f.begin(), f.end());
+      }
+      break;
+    case ExprKind::kOptional:
+    case ExprKind::kRepetition: {
+      std::set<std::string> f = FirstOf(expr.child());
+      out.insert(f.begin(), f.end());
+      break;
+    }
+  }
+  return out;
+}
+
+const std::set<std::string>& GrammarAnalysis::Follow(
+    const std::string& nonterminal) const {
+  auto it = follow_.find(nonterminal);
+  return it == follow_.end() ? empty_set_ : it->second;
+}
+
+void GrammarAnalysis::ComputeNullable(const Grammar& grammar) {
+  for (const Production& p : grammar.productions()) nullable_[p.lhs()] = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Production& p : grammar.productions()) {
+      if (nullable_[p.lhs()]) continue;
+      for (const Alternative& alt : p.alternatives()) {
+        if (ExprNullable(alt.body)) {
+          nullable_[p.lhs()] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void GrammarAnalysis::ComputeFirst(const Grammar& grammar) {
+  for (const Production& p : grammar.productions()) first_[p.lhs()];
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Production& p : grammar.productions()) {
+      for (const Alternative& alt : p.alternatives()) {
+        if (UnionInto(&first_[p.lhs()], FirstOf(alt.body))) changed = true;
+      }
+    }
+  }
+}
+
+void GrammarAnalysis::ComputeFollow(const Grammar& grammar) {
+  for (const Production& p : grammar.productions()) follow_[p.lhs()];
+  if (!grammar.start_symbol().empty()) {
+    follow_[grammar.start_symbol()].insert(kEndOfInputToken);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Production& p : grammar.productions()) {
+      const std::set<std::string>& lhs_follow = follow_[p.lhs()];
+      for (const Alternative& alt : p.alternatives()) {
+        if (VisitFollow(alt.body, lhs_follow)) changed = true;
+      }
+    }
+  }
+}
+
+bool GrammarAnalysis::VisitFollow(const Expr& expr,
+                                  const std::set<std::string>& ctx) {
+  switch (expr.kind()) {
+    case ExprKind::kToken:
+      return false;
+    case ExprKind::kNonterminal:
+      return UnionInto(&follow_[expr.symbol()], ctx);
+    case ExprKind::kSequence: {
+      bool changed = false;
+      const std::vector<Expr>& kids = expr.children();
+      for (size_t i = 0; i < kids.size(); ++i) {
+        // Follow context of kids[i]: FIRST of the remaining suffix, plus
+        // `ctx` if the suffix is nullable.
+        std::set<std::string> child_ctx;
+        bool suffix_nullable = true;
+        for (size_t j = i + 1; j < kids.size(); ++j) {
+          std::set<std::string> f = FirstOf(kids[j]);
+          child_ctx.insert(f.begin(), f.end());
+          if (!ExprNullable(kids[j])) {
+            suffix_nullable = false;
+            break;
+          }
+        }
+        if (suffix_nullable) child_ctx.insert(ctx.begin(), ctx.end());
+        if (VisitFollow(kids[i], child_ctx)) changed = true;
+      }
+      return changed;
+    }
+    case ExprKind::kChoice: {
+      bool changed = false;
+      for (const Expr& child : expr.children()) {
+        if (VisitFollow(child, ctx)) changed = true;
+      }
+      return changed;
+    }
+    case ExprKind::kOptional:
+      return VisitFollow(expr.child(), ctx);
+    case ExprKind::kRepetition: {
+      // The repetition body can be followed by another iteration of
+      // itself or by whatever follows the repetition.
+      std::set<std::string> child_ctx = FirstOf(expr.child());
+      child_ctx.insert(ctx.begin(), ctx.end());
+      return VisitFollow(expr.child(), child_ctx);
+    }
+  }
+  return false;
+}
+
+void GrammarAnalysis::DetectLeftRecursion(const Grammar& grammar) {
+  // left_edges[A] = nonterminals that can appear leftmost in a derivation
+  // step from A (taking nullable prefixes into account).
+  std::map<std::string, std::set<std::string>> left_edges;
+
+  // Collects the possible leftmost nonterminals of `expr`.
+  auto collect = [&](const Expr& expr, std::set<std::string>* out,
+                     auto&& self) -> void {
+    switch (expr.kind()) {
+      case ExprKind::kToken:
+        return;
+      case ExprKind::kNonterminal:
+        out->insert(expr.symbol());
+        return;
+      case ExprKind::kSequence:
+        for (const Expr& child : expr.children()) {
+          self(child, out, self);
+          if (!ExprNullable(child)) return;
+        }
+        return;
+      case ExprKind::kChoice:
+        for (const Expr& child : expr.children()) self(child, out, self);
+        return;
+      case ExprKind::kOptional:
+      case ExprKind::kRepetition:
+        self(expr.child(), out, self);
+        return;
+    }
+  };
+
+  for (const Production& p : grammar.productions()) {
+    std::set<std::string>& edges = left_edges[p.lhs()];
+    for (const Alternative& alt : p.alternatives()) {
+      collect(alt.body, &edges, collect);
+    }
+  }
+
+  // A is left-recursive iff A is reachable from A over left edges.
+  for (const auto& [start, _] : left_edges) {
+    std::set<std::string> seen;
+    std::vector<std::string> work(left_edges[start].begin(),
+                                  left_edges[start].end());
+    bool recursive = false;
+    while (!work.empty()) {
+      std::string current = std::move(work.back());
+      work.pop_back();
+      if (current == start) {
+        recursive = true;
+        break;
+      }
+      if (!seen.insert(current).second) continue;
+      auto it = left_edges.find(current);
+      if (it == left_edges.end()) continue;
+      work.insert(work.end(), it->second.begin(), it->second.end());
+    }
+    if (recursive) left_recursive_.push_back(start);
+  }
+}
+
+void GrammarAnalysis::DetectConflicts(const Grammar& grammar) {
+  for (const Production& p : grammar.productions()) {
+    // Alternative-vs-alternative conflicts.
+    const std::vector<Alternative>& alts = p.alternatives();
+    for (size_t i = 0; i < alts.size(); ++i) {
+      std::set<std::string> predict_i = FirstOf(alts[i].body);
+      if (ExprNullable(alts[i].body)) {
+        const std::set<std::string>& f = Follow(p.lhs());
+        predict_i.insert(f.begin(), f.end());
+      }
+      for (size_t j = i + 1; j < alts.size(); ++j) {
+        std::set<std::string> predict_j = FirstOf(alts[j].body);
+        if (ExprNullable(alts[j].body)) {
+          const std::set<std::string>& f = Follow(p.lhs());
+          predict_j.insert(f.begin(), f.end());
+        }
+        std::set<std::string> overlap;
+        std::set_intersection(predict_i.begin(), predict_i.end(),
+                              predict_j.begin(), predict_j.end(),
+                              std::inserter(overlap, overlap.begin()));
+        if (!overlap.empty()) {
+          conflicts_.push_back(
+              {p.lhs(),
+               "alternatives " + std::to_string(i + 1) + " and " +
+                   std::to_string(j + 1) + " overlap",
+               std::move(overlap)});
+        }
+      }
+    }
+    // Optional / repetition conflicts inside each alternative.
+    for (const Alternative& alt : alts) {
+      VisitConflicts(p.lhs(), alt.body, Follow(p.lhs()));
+    }
+  }
+}
+
+void GrammarAnalysis::VisitConflicts(const std::string& lhs, const Expr& expr,
+                                     const std::set<std::string>& ctx) {
+  switch (expr.kind()) {
+    case ExprKind::kToken:
+    case ExprKind::kNonterminal:
+      return;
+    case ExprKind::kSequence: {
+      const std::vector<Expr>& kids = expr.children();
+      for (size_t i = 0; i < kids.size(); ++i) {
+        std::set<std::string> child_ctx;
+        bool suffix_nullable = true;
+        for (size_t j = i + 1; j < kids.size(); ++j) {
+          std::set<std::string> f = FirstOf(kids[j]);
+          child_ctx.insert(f.begin(), f.end());
+          if (!ExprNullable(kids[j])) {
+            suffix_nullable = false;
+            break;
+          }
+        }
+        if (suffix_nullable) child_ctx.insert(ctx.begin(), ctx.end());
+        VisitConflicts(lhs, kids[i], child_ctx);
+      }
+      return;
+    }
+    case ExprKind::kChoice: {
+      const std::vector<Expr>& kids = expr.children();
+      for (size_t i = 0; i < kids.size(); ++i) {
+        for (size_t j = i + 1; j < kids.size(); ++j) {
+          std::set<std::string> fi = FirstOf(kids[i]);
+          std::set<std::string> fj = FirstOf(kids[j]);
+          std::set<std::string> overlap;
+          std::set_intersection(fi.begin(), fi.end(), fj.begin(), fj.end(),
+                                std::inserter(overlap, overlap.begin()));
+          if (!overlap.empty()) {
+            conflicts_.push_back({lhs, "nested choice branches overlap",
+                                  std::move(overlap)});
+          }
+        }
+      }
+      for (const Expr& child : kids) VisitConflicts(lhs, child, ctx);
+      return;
+    }
+    case ExprKind::kOptional:
+    case ExprKind::kRepetition: {
+      std::set<std::string> first = FirstOf(expr.child());
+      std::set<std::string> overlap;
+      std::set_intersection(first.begin(), first.end(), ctx.begin(),
+                            ctx.end(), std::inserter(overlap, overlap.begin()));
+      if (!overlap.empty()) {
+        conflicts_.push_back(
+            {lhs,
+             expr.is_optional()
+                 ? "optional body overlaps its follow context"
+                 : "repetition body overlaps its follow context",
+             std::move(overlap)});
+      }
+      std::set<std::string> child_ctx = ctx;
+      if (expr.is_repetition()) child_ctx.insert(first.begin(), first.end());
+      VisitConflicts(lhs, expr.child(), child_ctx);
+      return;
+    }
+  }
+}
+
+}  // namespace sqlpl

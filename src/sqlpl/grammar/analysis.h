@@ -1,0 +1,93 @@
+#ifndef SQLPL_GRAMMAR_ANALYSIS_H_
+#define SQLPL_GRAMMAR_ANALYSIS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sqlpl/grammar/grammar.h"
+
+namespace sqlpl {
+
+/// Pseudo-token denoting end of input in FOLLOW sets.
+inline constexpr const char* kEndOfInputToken = "$";
+
+/// A place where a single token of lookahead cannot decide how to proceed
+/// — either two alternatives of a production overlap, or an optional /
+/// repetition overlaps with what may follow it. The runtime parser
+/// resolves such spots with ordered choice plus bounded backtracking
+/// (ANTLR-style syntactic predicates); the analysis reports them so that
+/// grammar authors can see where LL(1) is insufficient.
+struct Ll1Conflict {
+  std::string nonterminal;
+  std::string description;
+  std::set<std::string> tokens;
+
+  std::string ToString() const;
+};
+
+/// Classic predictive-parsing analysis (nullable / FIRST / FOLLOW, left
+/// recursion, LL(1) conflicts) over the expression-tree grammar IR.
+/// Computed once per composed grammar and shared by the runtime parser
+/// and the code generator.
+class GrammarAnalysis {
+ public:
+  /// Runs the fixpoint computations. The grammar must be structurally
+  /// valid (`Grammar::Validate`); undefined nonterminals yield
+  /// `kFailedPrecondition`.
+  static Result<GrammarAnalysis> Analyze(const Grammar& grammar);
+
+  /// True if the nonterminal derives the empty string.
+  bool IsNullable(const std::string& nonterminal) const;
+  /// True if `expr` can derive the empty string.
+  bool ExprNullable(const Expr& expr) const;
+
+  /// FIRST set of a nonterminal: token names that can begin its
+  /// derivations.
+  const std::set<std::string>& First(const std::string& nonterminal) const;
+  /// FIRST set of an arbitrary expression in this grammar's context.
+  std::set<std::string> FirstOf(const Expr& expr) const;
+
+  /// FOLLOW set of a nonterminal (may contain `kEndOfInputToken`).
+  const std::set<std::string>& Follow(const std::string& nonterminal) const;
+
+  /// Nonterminals participating in a left-recursive cycle. LL parsing
+  /// requires this to be empty.
+  const std::vector<std::string>& left_recursive() const {
+    return left_recursive_;
+  }
+  bool HasLeftRecursion() const { return !left_recursive_.empty(); }
+
+  /// All detected LL(1) prediction conflicts.
+  const std::vector<Ll1Conflict>& conflicts() const { return conflicts_; }
+
+ private:
+  GrammarAnalysis() = default;
+
+  void ComputeNullable(const Grammar& grammar);
+  void ComputeFirst(const Grammar& grammar);
+  void ComputeFollow(const Grammar& grammar);
+  void DetectLeftRecursion(const Grammar& grammar);
+  void DetectConflicts(const Grammar& grammar);
+
+  // Adds FOLLOW contributions of `expr` given the concrete set of tokens
+  // that can follow it; returns true if any FOLLOW set changed.
+  bool VisitFollow(const Expr& expr, const std::set<std::string>& ctx);
+
+  // Walks `expr` recording optional/repetition/choice conflicts; `ctx` is
+  // the concrete follow context of `expr` within production `lhs`.
+  void VisitConflicts(const std::string& lhs, const Expr& expr,
+                      const std::set<std::string>& ctx);
+
+  std::map<std::string, bool> nullable_;
+  std::map<std::string, std::set<std::string>> first_;
+  std::map<std::string, std::set<std::string>> follow_;
+  std::vector<std::string> left_recursive_;
+  std::vector<Ll1Conflict> conflicts_;
+  std::set<std::string> empty_set_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_GRAMMAR_ANALYSIS_H_

@@ -1,0 +1,163 @@
+#include "sqlpl/grammar/expr.h"
+
+namespace sqlpl {
+
+const char* ExprKindToString(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kToken:
+      return "token";
+    case ExprKind::kNonterminal:
+      return "nonterminal";
+    case ExprKind::kSequence:
+      return "sequence";
+    case ExprKind::kChoice:
+      return "choice";
+    case ExprKind::kOptional:
+      return "optional";
+    case ExprKind::kRepetition:
+      return "repetition";
+  }
+  return "unknown";
+}
+
+Expr Expr::Tok(std::string token_name) {
+  return Expr(ExprKind::kToken, std::move(token_name), {});
+}
+
+Expr Expr::NT(std::string nonterminal_name) {
+  return Expr(ExprKind::kNonterminal, std::move(nonterminal_name), {});
+}
+
+Expr Expr::Seq(std::vector<Expr> children) {
+  if (children.size() == 1) return std::move(children.front());
+  return Expr(ExprKind::kSequence, "", std::move(children));
+}
+
+Expr Expr::Seq(std::initializer_list<Expr> children) {
+  return Seq(std::vector<Expr>(children));
+}
+
+Expr Expr::Alt(std::vector<Expr> children) {
+  if (children.size() == 1) return std::move(children.front());
+  return Expr(ExprKind::kChoice, "", std::move(children));
+}
+
+Expr Expr::Alt(std::initializer_list<Expr> children) {
+  return Alt(std::vector<Expr>(children));
+}
+
+Expr Expr::Opt(Expr child) {
+  return Expr(ExprKind::kOptional, "", {std::move(child)});
+}
+
+Expr Expr::Star(Expr child) {
+  return Expr(ExprKind::kRepetition, "", {std::move(child)});
+}
+
+Expr Expr::Plus(Expr child) {
+  Expr star = Star(child);
+  return Seq({std::move(child), std::move(star)});
+}
+
+bool Expr::operator==(const Expr& other) const {
+  return kind_ == other.kind_ && symbol_ == other.symbol_ &&
+         children_ == other.children_;
+}
+
+namespace {
+
+// Renders `expr`, parenthesizing choices when they appear inside a
+// surrounding sequence so that the output re-parses unambiguously.
+void AppendExpr(const Expr& expr, bool parenthesize_choice,
+                std::string* out) {
+  switch (expr.kind()) {
+    case ExprKind::kToken:
+    case ExprKind::kNonterminal:
+      *out += expr.symbol();
+      return;
+    case ExprKind::kSequence: {
+      if (expr.children().empty()) {
+        *out += "/*empty*/";
+        return;
+      }
+      for (size_t i = 0; i < expr.children().size(); ++i) {
+        if (i > 0) *out += ' ';
+        AppendExpr(expr.children()[i], /*parenthesize_choice=*/true, out);
+      }
+      return;
+    }
+    case ExprKind::kChoice: {
+      if (parenthesize_choice) *out += "( ";
+      for (size_t i = 0; i < expr.children().size(); ++i) {
+        if (i > 0) *out += " | ";
+        AppendExpr(expr.children()[i], /*parenthesize_choice=*/false, out);
+      }
+      if (parenthesize_choice) *out += " )";
+      return;
+    }
+    case ExprKind::kOptional:
+      *out += "[ ";
+      AppendExpr(expr.child(), /*parenthesize_choice=*/false, out);
+      *out += " ]";
+      return;
+    case ExprKind::kRepetition:
+      *out += "( ";
+      AppendExpr(expr.child(), /*parenthesize_choice=*/false, out);
+      *out += " )*";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  std::string out;
+  AppendExpr(*this, /*parenthesize_choice=*/false, &out);
+  return out;
+}
+
+std::vector<Expr> Expr::FlattenSequence() const {
+  std::vector<Expr> out;
+  if (is_sequence()) {
+    for (const Expr& child : children_) {
+      std::vector<Expr> nested = child.FlattenSequence();
+      out.insert(out.end(), nested.begin(), nested.end());
+    }
+  } else {
+    out.push_back(*this);
+  }
+  return out;
+}
+
+void Expr::CollectNonterminals(std::vector<std::string>* out) const {
+  if (is_nonterminal()) out->push_back(symbol_);
+  for (const Expr& child : children_) child.CollectNonterminals(out);
+}
+
+void Expr::CollectTokens(std::vector<std::string>* out) const {
+  if (is_token()) out->push_back(symbol_);
+  for (const Expr& child : children_) child.CollectTokens(out);
+}
+
+bool SequenceContains(const std::vector<Expr>& haystack,
+                      const std::vector<Expr>& needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  for (size_t start = 0; start + needle.size() <= haystack.size(); ++start) {
+    bool match = true;
+    for (size_t i = 0; i < needle.size(); ++i) {
+      if (!(haystack[start + i] == needle[i])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+bool ExprContains(const Expr& outer, const Expr& inner) {
+  return SequenceContains(outer.FlattenSequence(), inner.FlattenSequence());
+}
+
+}  // namespace sqlpl

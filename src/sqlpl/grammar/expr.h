@@ -1,0 +1,122 @@
+#ifndef SQLPL_GRAMMAR_EXPR_H_
+#define SQLPL_GRAMMAR_EXPR_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "sqlpl/grammar/symbol.h"
+
+namespace sqlpl {
+
+/// Node kind of a right-hand-side grammar expression.
+enum class ExprKind {
+  /// Reference to a terminal token, e.g. `SELECT`, `COMMA`, `IDENTIFIER`.
+  kToken,
+  /// Reference to a nonterminal, e.g. `table_expression`.
+  kNonterminal,
+  /// Ordered concatenation of children. An empty sequence is epsilon.
+  kSequence,
+  /// Alternatives (`a | b | c`).
+  kChoice,
+  /// Optional occurrence (`[ x ]` in SQL BNF, `x?` in ANTLR notation).
+  kOptional,
+  /// Zero-or-more repetition (`x*`). The paper's "complex list"
+  /// `<NT> [ <comma> <NT> ... ]` is `Seq(NT, Star(Seq(COMMA, NT)))`.
+  kRepetition,
+};
+
+const char* ExprKindToString(ExprKind kind);
+
+/// A right-hand-side expression of a production rule: an immutable value
+/// tree of tokens, nonterminal references, sequences, choices, optionals
+/// and repetitions.
+///
+/// `Expr` is a plain value type (copyable, comparable); the composer
+/// rewrites productions by building new trees rather than mutating shared
+/// state, which keeps composition steps independent and easy to trace.
+class Expr {
+ public:
+  /// Epsilon (the empty sequence).
+  Expr() : kind_(ExprKind::kSequence) {}
+
+  /// Terminal reference.
+  static Expr Tok(std::string token_name);
+  /// Nonterminal reference.
+  static Expr NT(std::string nonterminal_name);
+  /// Sequence of children. A single-child sequence collapses to the child.
+  static Expr Seq(std::vector<Expr> children);
+  static Expr Seq(std::initializer_list<Expr> children);
+  /// Choice among children. A single-child choice collapses to the child.
+  static Expr Alt(std::vector<Expr> children);
+  static Expr Alt(std::initializer_list<Expr> children);
+  /// Optional occurrence of `child`.
+  static Expr Opt(Expr child);
+  /// Zero-or-more repetition of `child`.
+  static Expr Star(Expr child);
+  /// One-or-more repetition, lowered to `Seq(child, Star(child))`.
+  static Expr Plus(Expr child);
+  /// Epsilon.
+  static Expr Epsilon() { return Expr(); }
+
+  ExprKind kind() const { return kind_; }
+  /// Symbol name; only meaningful for kToken / kNonterminal nodes.
+  const std::string& symbol() const { return symbol_; }
+  const std::vector<Expr>& children() const { return children_; }
+  /// The single child of an optional/repetition node.
+  const Expr& child() const { return children_.front(); }
+
+  bool is_token() const { return kind_ == ExprKind::kToken; }
+  bool is_nonterminal() const { return kind_ == ExprKind::kNonterminal; }
+  bool is_sequence() const { return kind_ == ExprKind::kSequence; }
+  bool is_choice() const { return kind_ == ExprKind::kChoice; }
+  bool is_optional() const { return kind_ == ExprKind::kOptional; }
+  bool is_repetition() const { return kind_ == ExprKind::kRepetition; }
+  /// True for an empty sequence.
+  bool is_epsilon() const {
+    return kind_ == ExprKind::kSequence && children_.empty();
+  }
+
+  /// Structural equality.
+  bool operator==(const Expr& other) const;
+
+  /// Renders in the grammar DSL notation, e.g.
+  /// `SELECT [ set_quantifier ] select_list`.
+  std::string ToString() const;
+
+  /// Flattens this expression into its top-level sequence elements:
+  /// a sequence yields its children (recursively flattening nested
+  /// sequences); any other node yields itself as a single element.
+  std::vector<Expr> FlattenSequence() const;
+
+  /// Collects the names of all nonterminals / tokens referenced anywhere
+  /// in this tree (appended to the output vectors, duplicates preserved).
+  void CollectNonterminals(std::vector<std::string>* out) const;
+  void CollectTokens(std::vector<std::string>* out) const;
+
+ private:
+  Expr(ExprKind kind, std::string symbol, std::vector<Expr> children)
+      : kind_(kind), symbol_(std::move(symbol)),
+        children_(std::move(children)) {}
+
+  ExprKind kind_;
+  std::string symbol_;
+  std::vector<Expr> children_;
+};
+
+/// True if the element list `needle` occurs as a contiguous subsequence of
+/// the element list `haystack` (structural equality per element). This is
+/// the containment test behind the paper's composition rule for
+/// productions with the same nonterminal: "if the new production contains
+/// the old one, the old production is replaced" (e.g. `B` is contained in
+/// `B C`).
+bool SequenceContains(const std::vector<Expr>& haystack,
+                      const std::vector<Expr>& needle);
+
+/// Convenience wrapper: flattens both expressions and applies
+/// `SequenceContains(outer, inner)`.
+bool ExprContains(const Expr& outer, const Expr& inner);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_GRAMMAR_EXPR_H_

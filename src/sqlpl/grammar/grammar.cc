@@ -1,0 +1,171 @@
+#include "sqlpl/grammar/grammar.h"
+
+#include <set>
+
+namespace sqlpl {
+
+Status Grammar::AddProduction(Production production) {
+  if (index_.contains(production.lhs())) {
+    return Status::AlreadyExists("production for '" + production.lhs() +
+                                 "' already exists in grammar '" + name_ +
+                                 "'");
+  }
+  index_.emplace(production.lhs(), productions_.size());
+  productions_.push_back(std::move(production));
+  return Status::OK();
+}
+
+void Grammar::AddRule(const std::string& lhs, Expr body, std::string label) {
+  Production* existing = FindMutable(lhs);
+  if (existing == nullptr) {
+    Production production(lhs);
+    production.AddAlternative(std::move(body), std::move(label));
+    index_.emplace(lhs, productions_.size());
+    productions_.push_back(std::move(production));
+    return;
+  }
+  if (!existing->HasAlternative(body)) {
+    existing->AddAlternative(std::move(body), std::move(label));
+  }
+}
+
+Status Grammar::ReplaceProduction(Production production) {
+  auto it = index_.find(production.lhs());
+  if (it == index_.end()) {
+    return Status::NotFound("no production for '" + production.lhs() +
+                            "' in grammar '" + name_ + "'");
+  }
+  productions_[it->second] = std::move(production);
+  return Status::OK();
+}
+
+Status Grammar::RemoveProduction(const std::string& lhs) {
+  auto it = index_.find(lhs);
+  if (it == index_.end()) {
+    return Status::NotFound("no production for '" + lhs + "' in grammar '" +
+                            name_ + "'");
+  }
+  size_t removed = it->second;
+  productions_.erase(productions_.begin() + static_cast<ptrdiff_t>(removed));
+  index_.erase(it);
+  for (auto& [name, idx] : index_) {
+    if (idx > removed) --idx;
+  }
+  return Status::OK();
+}
+
+bool Grammar::HasProduction(const std::string& lhs) const {
+  return index_.contains(lhs);
+}
+
+const Production* Grammar::Find(const std::string& lhs) const {
+  auto it = index_.find(lhs);
+  return it == index_.end() ? nullptr : &productions_[it->second];
+}
+
+Production* Grammar::FindMutable(const std::string& lhs) {
+  auto it = index_.find(lhs);
+  return it == index_.end() ? nullptr : &productions_[it->second];
+}
+
+std::vector<std::string> Grammar::NonterminalNames() const {
+  std::vector<std::string> out;
+  out.reserve(productions_.size());
+  for (const Production& p : productions_) out.push_back(p.lhs());
+  return out;
+}
+
+size_t Grammar::NumAlternatives() const {
+  size_t n = 0;
+  for (const Production& p : productions_) n += p.alternatives().size();
+  return n;
+}
+
+Status Grammar::Validate(DiagnosticCollector* diagnostics) const {
+  const size_t initial_errors = diagnostics->error_count();
+
+  if (start_symbol_.empty()) {
+    diagnostics->AddError({}, "grammar '" + name_ + "' has no start symbol");
+  } else if (!HasProduction(start_symbol_)) {
+    diagnostics->AddError({}, "start symbol '" + start_symbol_ +
+                                  "' has no production in grammar '" + name_ +
+                                  "'");
+  }
+
+  // Resolve every referenced nonterminal and token.
+  for (const Production& production : productions_) {
+    for (const Alternative& alt : production.alternatives()) {
+      std::vector<std::string> nts;
+      std::vector<std::string> toks;
+      alt.body.CollectNonterminals(&nts);
+      alt.body.CollectTokens(&toks);
+      for (const std::string& nt : nts) {
+        if (!HasProduction(nt)) {
+          diagnostics->AddError(
+              {}, "undefined nonterminal '" + nt + "' referenced from '" +
+                      production.lhs() + "'");
+        }
+      }
+      for (const std::string& tok : toks) {
+        if (!tokens_.Contains(tok)) {
+          diagnostics->AddError({}, "undefined token '" + tok +
+                                        "' referenced from '" +
+                                        production.lhs() + "'");
+        }
+      }
+    }
+  }
+
+  // Reachability from the start symbol (warning only: sub-grammars often
+  // carry helper rules whose callers arrive during composition).
+  if (!start_symbol_.empty() && HasProduction(start_symbol_)) {
+    std::set<std::string> reachable;
+    std::vector<std::string> work = {start_symbol_};
+    while (!work.empty()) {
+      std::string current = std::move(work.back());
+      work.pop_back();
+      if (!reachable.insert(current).second) continue;
+      const Production* production = Find(current);
+      if (production == nullptr) continue;
+      for (const Alternative& alt : production->alternatives()) {
+        std::vector<std::string> nts;
+        alt.body.CollectNonterminals(&nts);
+        for (std::string& nt : nts) work.push_back(std::move(nt));
+      }
+    }
+    for (const Production& production : productions_) {
+      if (!reachable.contains(production.lhs())) {
+        diagnostics->AddWarning({}, "production '" + production.lhs() +
+                                        "' unreachable from start symbol '" +
+                                        start_symbol_ + "'");
+      }
+    }
+  }
+
+  if (diagnostics->error_count() > initial_errors) {
+    return Status::ParseError("grammar '" + name_ + "' failed validation");
+  }
+  return Status::OK();
+}
+
+std::string Grammar::ToString() const {
+  std::string out = "grammar " + name_ + ";\n";
+  if (!start_symbol_.empty()) out += "start " + start_symbol_ + ";\n";
+  for (const std::string& import : imports_) {
+    out += "import " + import + ";\n";
+  }
+  if (!tokens_.empty()) {
+    out += "tokens {\n";
+    for (const TokenDef& def : tokens_.ToVector()) {
+      out += "  " + def.ToString() + "\n";
+    }
+    out += "}\n";
+  }
+  for (const Production& production : productions_) {
+    out += production.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,95 @@
+#ifndef SQLPL_GRAMMAR_GRAMMAR_H_
+#define SQLPL_GRAMMAR_GRAMMAR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sqlpl/grammar/production.h"
+#include "sqlpl/grammar/token_set.h"
+#include "sqlpl/util/diagnostics.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// An LL(k) context-free grammar: a named collection of production rules
+/// with a start symbol and the token set the rules reference. Sub-grammars
+/// (one per feature) and composed grammars are both represented by this
+/// type; composition never needs a distinct "extension grammar" class.
+class Grammar {
+ public:
+  Grammar() = default;
+  explicit Grammar(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::string& start_symbol() const { return start_symbol_; }
+  void set_start_symbol(std::string start) { start_symbol_ = std::move(start); }
+
+  const TokenSet& tokens() const { return tokens_; }
+  TokenSet* mutable_tokens() { return &tokens_; }
+
+  /// Names of grammars this grammar imports (Bali: "A Bali grammar can
+  /// import definitions for nonterminals from other grammars"). Imports
+  /// are resolved by `ResolveImports` before the grammar is used.
+  const std::vector<std::string>& imports() const { return imports_; }
+  void AddImport(std::string name) { imports_.push_back(std::move(name)); }
+
+  const std::vector<Production>& productions() const { return productions_; }
+
+  /// Adds a whole production. Fails with `kAlreadyExists` if a production
+  /// for the same nonterminal exists (use `AddRule` to extend one).
+  Status AddProduction(Production production);
+
+  /// Adds `body` as an alternative of `lhs`, creating the production if
+  /// needed. Structurally identical duplicates are ignored.
+  void AddRule(const std::string& lhs, Expr body, std::string label = "");
+
+  /// Replaces the production for `lhs`; fails if absent.
+  Status ReplaceProduction(Production production);
+
+  /// Removes the production for `lhs`; fails if absent.
+  Status RemoveProduction(const std::string& lhs);
+
+  bool HasProduction(const std::string& lhs) const;
+  /// Returns the production for `lhs`, or nullptr.
+  const Production* Find(const std::string& lhs) const;
+  Production* FindMutable(const std::string& lhs);
+
+  /// Names of all defined nonterminals, in definition order.
+  std::vector<std::string> NonterminalNames() const;
+
+  size_t NumProductions() const { return productions_.size(); }
+  /// Total number of alternatives across all productions — the paper's
+  /// rough measure of grammar size.
+  size_t NumAlternatives() const;
+
+  /// Structural well-formedness checks: a start symbol is set and defined,
+  /// every referenced nonterminal has a production, every referenced token
+  /// is in the token set, and every production is reachable from the start
+  /// symbol (unreachable ones are warnings). Returns a parse/validation
+  /// error if `diagnostics` collected any error.
+  Status Validate(DiagnosticCollector* diagnostics) const;
+
+  /// Renders the grammar DSL (`grammar N; start s; tokens {...} rules...`).
+  std::string ToString() const;
+
+  bool operator==(const Grammar& other) const {
+    return name_ == other.name_ && start_symbol_ == other.start_symbol_ &&
+           tokens_ == other.tokens_ && imports_ == other.imports_ &&
+           productions_ == other.productions_;
+  }
+
+ private:
+  std::string name_;
+  std::string start_symbol_;
+  TokenSet tokens_;
+  std::vector<std::string> imports_;
+  std::vector<Production> productions_;
+  std::map<std::string, size_t> index_;  // lhs -> index into productions_
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_GRAMMAR_GRAMMAR_H_

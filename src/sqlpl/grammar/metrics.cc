@@ -1,0 +1,94 @@
+#include "sqlpl/grammar/metrics.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sqlpl {
+
+namespace {
+
+size_t ExprNodes(const Expr& expr) {
+  size_t nodes = 1;
+  for (const Expr& child : expr.children()) nodes += ExprNodes(child);
+  return nodes;
+}
+
+size_t ExprDepth(const Expr& expr) {
+  size_t deepest = 0;
+  for (const Expr& child : expr.children()) {
+    deepest = std::max(deepest, ExprDepth(child));
+  }
+  return deepest + 1;
+}
+
+size_t ExprBytes(const Expr& expr) {
+  size_t bytes = sizeof(Expr) + expr.symbol().capacity();
+  for (const Expr& child : expr.children()) bytes += ExprBytes(child);
+  return bytes;
+}
+
+size_t CountReachable(const Grammar& grammar) {
+  if (grammar.start_symbol().empty() ||
+      !grammar.HasProduction(grammar.start_symbol())) {
+    return 0;
+  }
+  std::set<std::string> reachable;
+  std::vector<std::string> work = {grammar.start_symbol()};
+  while (!work.empty()) {
+    std::string current = std::move(work.back());
+    work.pop_back();
+    if (!reachable.insert(current).second) continue;
+    const Production* production = grammar.Find(current);
+    if (production == nullptr) continue;
+    for (const Alternative& alt : production->alternatives()) {
+      std::vector<std::string> refs;
+      alt.body.CollectNonterminals(&refs);
+      for (std::string& ref : refs) work.push_back(std::move(ref));
+    }
+  }
+  return reachable.size();
+}
+
+}  // namespace
+
+GrammarMetrics ComputeGrammarMetrics(const Grammar& grammar) {
+  GrammarMetrics metrics;
+  metrics.num_productions = grammar.NumProductions();
+  metrics.num_tokens = grammar.tokens().size();
+  metrics.num_keywords = grammar.tokens().KeywordTexts().size();
+  metrics.num_reachable = CountReachable(grammar);
+
+  for (const Production& production : grammar.productions()) {
+    metrics.num_alternatives += production.alternatives().size();
+    metrics.max_alternatives = std::max(metrics.max_alternatives,
+                                        production.alternatives().size());
+    metrics.approx_bytes += sizeof(Production) + production.lhs().capacity();
+    for (const Alternative& alt : production.alternatives()) {
+      metrics.num_expr_nodes += ExprNodes(alt.body);
+      metrics.max_expr_depth =
+          std::max(metrics.max_expr_depth, ExprDepth(alt.body));
+      metrics.approx_bytes += ExprBytes(alt.body) + alt.label.capacity();
+    }
+  }
+  for (const TokenDef& def : grammar.tokens().ToVector()) {
+    metrics.approx_bytes +=
+        sizeof(TokenDef) + def.name.capacity() + def.text.capacity();
+  }
+  return metrics;
+}
+
+std::string GrammarMetrics::ToString() const {
+  std::string out;
+  out += "productions=" + std::to_string(num_productions);
+  out += " alternatives=" + std::to_string(num_alternatives);
+  out += " expr_nodes=" + std::to_string(num_expr_nodes);
+  out += " max_alternatives=" + std::to_string(max_alternatives);
+  out += " max_depth=" + std::to_string(max_expr_depth);
+  out += " reachable=" + std::to_string(num_reachable);
+  out += " tokens=" + std::to_string(num_tokens);
+  out += " keywords=" + std::to_string(num_keywords);
+  out += " approx_bytes=" + std::to_string(approx_bytes);
+  return out;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,41 @@
+#ifndef SQLPL_GRAMMAR_METRICS_H_
+#define SQLPL_GRAMMAR_METRICS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "sqlpl/grammar/grammar.h"
+
+namespace sqlpl {
+
+/// Size and shape measurements of a grammar — the footprint numbers the
+/// embedded-systems comparison (experiment E8) reports per dialect.
+struct GrammarMetrics {
+  size_t num_productions = 0;
+  size_t num_alternatives = 0;
+  /// Total expression-tree nodes across all alternatives.
+  size_t num_expr_nodes = 0;
+  /// Largest alternative count of any single production (grammar
+  /// "width"; drives worst-case choice-point cost in the LL engine).
+  size_t max_alternatives = 0;
+  /// Deepest right-hand-side expression nesting (grammar "depth").
+  size_t max_expr_depth = 0;
+  /// Productions reachable from the start symbol.
+  size_t num_reachable = 0;
+  size_t num_tokens = 0;
+  size_t num_keywords = 0;
+  /// Approximate in-memory footprint of the grammar IR in bytes
+  /// (node sizes plus string capacities) — relative numbers for
+  /// comparing dialects, not an allocator-exact measurement.
+  size_t approx_bytes = 0;
+
+  /// "productions=32 alternatives=42 ..." one-line rendering.
+  std::string ToString() const;
+};
+
+/// Walks `grammar` computing all metrics in one pass.
+GrammarMetrics ComputeGrammarMetrics(const Grammar& grammar);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_GRAMMAR_METRICS_H_

@@ -1,0 +1,44 @@
+#include "sqlpl/grammar/production.h"
+
+namespace sqlpl {
+
+void Production::AddAlternative(Expr body, std::string label) {
+  if (body.is_choice()) {
+    // Splice a top-level choice into separate alternatives; the label (if
+    // any) attaches to the first branch.
+    bool first = true;
+    for (const Expr& branch : body.children()) {
+      alternatives_.push_back({first ? label : std::string(), branch});
+      first = false;
+    }
+    return;
+  }
+  alternatives_.push_back({std::move(label), std::move(body)});
+}
+
+bool Production::HasAlternative(const Expr& body) const {
+  for (const Alternative& alt : alternatives_) {
+    if (alt.body == body) return true;
+  }
+  return false;
+}
+
+std::string Production::ToString() const {
+  std::string out = lhs_;
+  out += " :";
+  for (size_t i = 0; i < alternatives_.size(); ++i) {
+    if (i > 0) out += " |";
+    const Alternative& alt = alternatives_[i];
+    if (!alt.label.empty()) {
+      out += ' ';
+      out += alt.label;
+      out += " =";
+    }
+    out += ' ';
+    out += alt.body.ToString();
+  }
+  out += " ;";
+  return out;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,60 @@
+#ifndef SQLPL_GRAMMAR_PRODUCTION_H_
+#define SQLPL_GRAMMAR_PRODUCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "sqlpl/grammar/expr.h"
+
+namespace sqlpl {
+
+/// One alternative of a production rule: an optional Bali-style label plus
+/// the right-hand-side expression. Labels name alternatives so that
+/// semantic-action layers and the composer can refer to them.
+struct Alternative {
+  std::string label;
+  Expr body;
+
+  bool operator==(const Alternative&) const = default;
+};
+
+/// A production rule: a left-hand-side nonterminal and an ordered list of
+/// alternatives (`lhs : alt1 | alt2 | ... ;`). The alternative order is
+/// significant — the runtime LL parser tries alternatives in order when
+/// lookahead cannot decide — and the composition rules of the paper
+/// (replace / retain / append) operate on this list.
+class Production {
+ public:
+  Production() = default;
+  explicit Production(std::string lhs) : lhs_(std::move(lhs)) {}
+  Production(std::string lhs, Expr body) : lhs_(std::move(lhs)) {
+    AddAlternative(std::move(body));
+  }
+
+  const std::string& lhs() const { return lhs_; }
+  const std::vector<Alternative>& alternatives() const {
+    return alternatives_;
+  }
+  std::vector<Alternative>* mutable_alternatives() { return &alternatives_; }
+
+  /// Appends an alternative. If `body` is itself a top-level choice, its
+  /// branches become separate alternatives (so `A : B | C` and
+  /// `A : (B | C)` are the same production).
+  void AddAlternative(Expr body, std::string label = "");
+
+  /// True if some alternative equals `body` structurally.
+  bool HasAlternative(const Expr& body) const;
+
+  /// Renders as `lhs : alt1 | alt2 ;` in the grammar DSL.
+  std::string ToString() const;
+
+  bool operator==(const Production&) const = default;
+
+ private:
+  std::string lhs_;
+  std::vector<Alternative> alternatives_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_GRAMMAR_PRODUCTION_H_

@@ -1,0 +1,25 @@
+#include "sqlpl/grammar/symbol.h"
+
+namespace sqlpl {
+
+const char* SymbolKindToString(SymbolKind kind) {
+  switch (kind) {
+    case SymbolKind::kTerminal:
+      return "terminal";
+    case SymbolKind::kNonterminal:
+      return "nonterminal";
+  }
+  return "unknown";
+}
+
+bool LooksLikeTerminalName(const std::string& name) {
+  if (name.empty()) return false;
+  bool has_upper = false;
+  for (char c : name) {
+    if (c >= 'a' && c <= 'z') return false;
+    if (c >= 'A' && c <= 'Z') has_upper = true;
+  }
+  return has_upper;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,42 @@
+#ifndef SQLPL_GRAMMAR_SYMBOL_H_
+#define SQLPL_GRAMMAR_SYMBOL_H_
+
+#include <string>
+
+namespace sqlpl {
+
+/// Whether a grammar symbol is a terminal (token) or a nonterminal
+/// (syntactic variable). Terminology follows the paper's §3: "Terminal
+/// symbols are the elementary symbols of the language ... while the
+/// nonterminal symbols are sets of strings of terminals".
+enum class SymbolKind {
+  kTerminal,
+  kNonterminal,
+};
+
+const char* SymbolKindToString(SymbolKind kind);
+
+/// A named reference to a grammar symbol. Terminals name entries of a
+/// `TokenSet` (conventionally UPPER_CASE); nonterminals name productions
+/// (conventionally lower_case).
+struct Symbol {
+  SymbolKind kind = SymbolKind::kNonterminal;
+  std::string name;
+
+  static Symbol Terminal(std::string name) {
+    return {SymbolKind::kTerminal, std::move(name)};
+  }
+  static Symbol Nonterminal(std::string name) {
+    return {SymbolKind::kNonterminal, std::move(name)};
+  }
+
+  bool operator==(const Symbol&) const = default;
+};
+
+/// Heuristic used by the grammar text format: ALL_CAPS names denote
+/// terminals, anything else a nonterminal.
+bool LooksLikeTerminalName(const std::string& name);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_GRAMMAR_SYMBOL_H_

@@ -1,0 +1,441 @@
+#include "sqlpl/grammar/text_format.h"
+
+#include <array>
+#include <utility>
+
+#include "sqlpl/util/source_location.h"
+#include "sqlpl/util/strings.h"
+
+namespace sqlpl {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// DSL tokenizer
+// ---------------------------------------------------------------------
+
+enum class DslTokKind {
+  kIdent,      // rule or token name
+  kLiteral,    // 'SELECT' or "SELECT"
+  kColon,      // :
+  kSemi,       // ;
+  kPipe,       // |
+  kLBracket,   // [
+  kRBracket,   // ]
+  kLParen,     // (
+  kRParen,     // )
+  kLBrace,     // {
+  kRBrace,     // }
+  kStar,       // *
+  kPlus,       // +
+  kQuestion,   // ?
+  kEquals,     // =
+  kEnd,
+};
+
+struct DslTok {
+  DslTokKind kind = DslTokKind::kEnd;
+  std::string text;
+  SourceLocation loc;
+};
+
+class DslLexer {
+ public:
+  DslLexer(std::string_view text, std::string_view source_name)
+      : text_(text), source_name_(source_name) {}
+
+  Result<std::vector<DslTok>> Tokenize() {
+    std::vector<DslTok> out;
+    while (true) {
+      SkipTrivia();
+      if (pos_ >= text_.size()) break;
+      SourceLocation loc = Here();
+      char c = text_[pos_];
+      if (IsIdentStart(c)) {
+        size_t start = pos_;
+        while (pos_ < text_.size() && IsIdentCont(text_[pos_])) ++pos_;
+        out.push_back({DslTokKind::kIdent,
+                       std::string(text_.substr(start, pos_ - start)), loc});
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        char quote = c;
+        ++pos_;
+        size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != quote) Advance();
+        if (pos_ >= text_.size()) {
+          return Status::ParseError(Where(loc) + ": unterminated literal");
+        }
+        out.push_back({DslTokKind::kLiteral,
+                       std::string(text_.substr(start, pos_ - start)), loc});
+        ++pos_;
+        continue;
+      }
+      DslTokKind kind;
+      switch (c) {
+        case ':': kind = DslTokKind::kColon; break;
+        case ';': kind = DslTokKind::kSemi; break;
+        case '|': kind = DslTokKind::kPipe; break;
+        case '[': kind = DslTokKind::kLBracket; break;
+        case ']': kind = DslTokKind::kRBracket; break;
+        case '(': kind = DslTokKind::kLParen; break;
+        case ')': kind = DslTokKind::kRParen; break;
+        case '{': kind = DslTokKind::kLBrace; break;
+        case '}': kind = DslTokKind::kRBrace; break;
+        case '*': kind = DslTokKind::kStar; break;
+        case '+': kind = DslTokKind::kPlus; break;
+        case '?': kind = DslTokKind::kQuestion; break;
+        case '=': kind = DslTokKind::kEquals; break;
+        default:
+          return Status::ParseError(Where(loc) +
+                                    ": unexpected character '" +
+                                    std::string(1, c) + "'");
+      }
+      out.push_back({kind, std::string(1, c), loc});
+      ++pos_;
+    }
+    out.push_back({DslTokKind::kEnd, "", Here()});
+    return out;
+  }
+
+ private:
+  SourceLocation Here() const { return {line_, column_, pos_}; }
+
+  std::string Where(const SourceLocation& loc) const {
+    return std::string(source_name_) + ":" + loc.ToString();
+  }
+
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void SkipTrivia() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        Advance();
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') Advance();
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        Advance();
+        Advance();
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          Advance();
+        }
+        if (pos_ + 1 < text_.size()) {
+          Advance();
+          Advance();
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::string_view source_name_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+};
+
+// ---------------------------------------------------------------------
+// DSL parser
+// ---------------------------------------------------------------------
+
+class DslParser {
+ public:
+  DslParser(std::vector<DslTok> toks, std::string_view source_name)
+      : toks_(std::move(toks)), source_name_(source_name) {}
+
+  Result<Grammar> ParseGrammar() {
+    Grammar grammar;
+    // Optional header: grammar NAME ;
+    if (PeekIdent("grammar")) {
+      Next();
+      if (Peek().kind != DslTokKind::kIdent) {
+        return Error("expected grammar name after 'grammar'");
+      }
+      grammar.set_name(Next().text);
+      SQLPL_RETURN_IF_ERROR(Expect(DslTokKind::kSemi, "';'"));
+    }
+    while (Peek().kind != DslTokKind::kEnd) {
+      if (PeekIdent("start")) {
+        Next();
+        if (Peek().kind != DslTokKind::kIdent) {
+          return Error("expected start symbol after 'start'");
+        }
+        grammar.set_start_symbol(Next().text);
+        SQLPL_RETURN_IF_ERROR(Expect(DslTokKind::kSemi, "';'"));
+        continue;
+      }
+      if (PeekIdent("import")) {
+        Next();
+        if (Peek().kind != DslTokKind::kIdent) {
+          return Error("expected grammar name after 'import'");
+        }
+        grammar.AddImport(Next().text);
+        SQLPL_RETURN_IF_ERROR(Expect(DslTokKind::kSemi, "';'"));
+        continue;
+      }
+      if (PeekIdent("tokens") && PeekAhead(1).kind == DslTokKind::kLBrace) {
+        Next();
+        Next();
+        while (Peek().kind != DslTokKind::kRBrace) {
+          if (Peek().kind == DslTokKind::kEnd) {
+            return Error("unterminated tokens block");
+          }
+          SQLPL_RETURN_IF_ERROR(ParseTokenDef(grammar.mutable_tokens()));
+        }
+        Next();  // consume '}'
+        continue;
+      }
+      SQLPL_RETURN_IF_ERROR(ParseRule(&grammar));
+    }
+    // Default the start symbol to the first rule.
+    if (grammar.start_symbol().empty() && !grammar.productions().empty()) {
+      grammar.set_start_symbol(grammar.productions().front().lhs());
+    }
+    return grammar;
+  }
+
+  Result<TokenSet> ParseTokenFile() {
+    TokenSet tokens;
+    while (Peek().kind != DslTokKind::kEnd) {
+      SQLPL_RETURN_IF_ERROR(ParseTokenDef(&tokens));
+    }
+    return tokens;
+  }
+
+ private:
+  const DslTok& Peek() const { return toks_[pos_]; }
+  const DslTok& PeekAhead(size_t n) const {
+    size_t i = pos_ + n;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const DslTok& Next() { return toks_[pos_++]; }
+
+  bool PeekIdent(std::string_view text) const {
+    return Peek().kind == DslTokKind::kIdent && Peek().text == text;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(std::string(source_name_) + ":" +
+                              Peek().loc.ToString() + ": " + message);
+  }
+
+  Status Expect(DslTokKind kind, const std::string& what) {
+    if (Peek().kind != kind) {
+      return Error("expected " + what + ", got '" + Peek().text + "'");
+    }
+    Next();
+    return Status::OK();
+  }
+
+  // TOKEN_NAME = keyword "TEXT" ;   |  NAME = punct "," ;
+  // IDENTIFIER = identifier ;       |  NUMBER = number ; STRING = string ;
+  Status ParseTokenDef(TokenSet* tokens) {
+    if (Peek().kind != DslTokKind::kIdent) {
+      return Error("expected token name in tokens block");
+    }
+    std::string name = Next().text;
+    SQLPL_RETURN_IF_ERROR(Expect(DslTokKind::kEquals, "'='"));
+    if (Peek().kind != DslTokKind::kIdent) {
+      return Error("expected token kind (keyword/punct/identifier/number/"
+                   "string) for token '" + name + "'");
+    }
+    std::string kind_name = Next().text;
+    TokenDef def;
+    if (kind_name == "keyword" || kind_name == "punct") {
+      if (Peek().kind != DslTokKind::kLiteral) {
+        return Error("expected quoted text for " + kind_name + " token '" +
+                     name + "'");
+      }
+      std::string text = Next().text;
+      def = (kind_name == "keyword") ? TokenDef::Keyword(name, text)
+                                     : TokenDef::Punct(name, text);
+    } else if (kind_name == "identifier") {
+      def = TokenDef::Identifier(name);
+    } else if (kind_name == "number") {
+      def = TokenDef::Number(name);
+    } else if (kind_name == "string") {
+      def = TokenDef::String(name);
+    } else {
+      return Error("unknown token kind '" + kind_name + "'");
+    }
+    SQLPL_RETURN_IF_ERROR(Expect(DslTokKind::kSemi, "';'"));
+    return tokens->Add(std::move(def));
+  }
+
+  // rule : alternatives ;
+  Status ParseRule(Grammar* grammar) {
+    if (Peek().kind != DslTokKind::kIdent) {
+      return Error("expected rule name, got '" + Peek().text + "'");
+    }
+    std::string lhs = Next().text;
+    SQLPL_RETURN_IF_ERROR(Expect(DslTokKind::kColon, "':'"));
+    while (true) {
+      std::string label;
+      if (Peek().kind == DslTokKind::kIdent &&
+          PeekAhead(1).kind == DslTokKind::kEquals) {
+        label = Next().text;
+        Next();  // consume '='
+      }
+      SQLPL_ASSIGN_OR_RETURN(Expr body, ParseSequence(grammar));
+      grammar->AddRule(lhs, std::move(body), std::move(label));
+      if (Peek().kind == DslTokKind::kPipe) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    return Expect(DslTokKind::kSemi, "';'");
+  }
+
+  // sequence := element*   (stops at | ; ] ) end)
+  Result<Expr> ParseSequence(Grammar* grammar) {
+    std::vector<Expr> elements;
+    while (true) {
+      DslTokKind k = Peek().kind;
+      if (k == DslTokKind::kPipe || k == DslTokKind::kSemi ||
+          k == DslTokKind::kRBracket || k == DslTokKind::kRParen ||
+          k == DslTokKind::kEnd) {
+        break;
+      }
+      SQLPL_ASSIGN_OR_RETURN(Expr element, ParseElement(grammar));
+      elements.push_back(std::move(element));
+    }
+    return Expr::Seq(std::move(elements));
+  }
+
+  // element := primary ('*' | '+' | '?')?
+  Result<Expr> ParseElement(Grammar* grammar) {
+    SQLPL_ASSIGN_OR_RETURN(Expr primary, ParsePrimary(grammar));
+    switch (Peek().kind) {
+      case DslTokKind::kStar:
+        Next();
+        return Expr::Star(std::move(primary));
+      case DslTokKind::kPlus:
+        Next();
+        return Expr::Plus(std::move(primary));
+      case DslTokKind::kQuestion:
+        Next();
+        return Expr::Opt(std::move(primary));
+      default:
+        return primary;
+    }
+  }
+
+  // primary := IDENT | LITERAL | '[' alternatives ']' | '(' alternatives ')'
+  Result<Expr> ParsePrimary(Grammar* grammar) {
+    const DslTok& tok = Peek();
+    switch (tok.kind) {
+      case DslTokKind::kIdent: {
+        std::string name = Next().text;
+        if (LooksLikeTerminalName(name)) return Expr::Tok(std::move(name));
+        return Expr::NT(std::move(name));
+      }
+      case DslTokKind::kLiteral: {
+        std::string text = Next().text;
+        return InternLiteral(text, grammar);
+      }
+      case DslTokKind::kLBracket: {
+        Next();
+        SQLPL_ASSIGN_OR_RETURN(Expr inner, ParseAlternatives(grammar));
+        SQLPL_RETURN_IF_ERROR(Expect(DslTokKind::kRBracket, "']'"));
+        return Expr::Opt(std::move(inner));
+      }
+      case DslTokKind::kLParen: {
+        Next();
+        SQLPL_ASSIGN_OR_RETURN(Expr inner, ParseAlternatives(grammar));
+        SQLPL_RETURN_IF_ERROR(Expect(DslTokKind::kRParen, "')'"));
+        return inner;
+      }
+      default:
+        return Error("expected grammar element, got '" + tok.text + "'");
+    }
+  }
+
+  // alternatives := sequence ('|' sequence)*
+  Result<Expr> ParseAlternatives(Grammar* grammar) {
+    std::vector<Expr> branches;
+    while (true) {
+      SQLPL_ASSIGN_OR_RETURN(Expr branch, ParseSequence(grammar));
+      branches.push_back(std::move(branch));
+      if (Peek().kind == DslTokKind::kPipe) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    return Expr::Alt(std::move(branches));
+  }
+
+  // Auto-registers a token for an inline literal and returns the token ref.
+  Result<Expr> InternLiteral(const std::string& text, Grammar* grammar) {
+    bool alpha = !text.empty() && IsIdentStart(text[0]);
+    if (alpha) {
+      TokenDef def = TokenDef::Keyword(text);
+      std::string name = def.name;
+      SQLPL_RETURN_IF_ERROR(grammar->mutable_tokens()->Add(std::move(def)));
+      return Expr::Tok(std::move(name));
+    }
+    SQLPL_ASSIGN_OR_RETURN(std::string name, PunctTokenName(text));
+    SQLPL_RETURN_IF_ERROR(
+        grammar->mutable_tokens()->Add(TokenDef::Punct(name, text)));
+    return Expr::Tok(std::move(name));
+  }
+
+  std::vector<DslTok> toks_;
+  std::string_view source_name_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Grammar> ParseGrammarText(std::string_view text,
+                                 std::string_view source_name) {
+  DslLexer lexer(text, source_name);
+  SQLPL_ASSIGN_OR_RETURN(std::vector<DslTok> toks, lexer.Tokenize());
+  DslParser parser(std::move(toks), source_name);
+  return parser.ParseGrammar();
+}
+
+Result<TokenSet> ParseTokenFileText(std::string_view text,
+                                    std::string_view source_name) {
+  DslLexer lexer(text, source_name);
+  SQLPL_ASSIGN_OR_RETURN(std::vector<DslTok> toks, lexer.Tokenize());
+  DslParser parser(std::move(toks), source_name);
+  return parser.ParseTokenFile();
+}
+
+Result<std::string> PunctTokenName(std::string_view text) {
+  static constexpr std::array<std::pair<std::string_view, std::string_view>,
+                              24>
+      kNames = {{
+          {",", "COMMA"},     {"(", "LPAREN"},   {")", "RPAREN"},
+          {".", "DOT"},       {"*", "ASTERISK"}, {"=", "EQ"},
+          {"<>", "NEQ"},      {"!=", "BANG_NEQ"},{"<", "LT"},
+          {">", "GT"},        {"<=", "LE"},      {">=", "GE"},
+          {"+", "PLUS"},      {"-", "MINUS"},    {"/", "SLASH"},
+          {";", "SEMI"},      {"||", "CONCAT"},  {"?", "QMARK"},
+          {":", "COLON"},     {"[", "LBRACKET"}, {"]", "RBRACKET"},
+          {"..", "DOTDOT"},   {"%", "PERCENT"},  {"'", "QUOTE"},
+      }};
+  for (const auto& [punct, name] : kNames) {
+    if (punct == text) return std::string(name);
+  }
+  return Status::InvalidArgument("no canonical token name for punctuation '" +
+                                 std::string(text) + "'");
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,47 @@
+#ifndef SQLPL_GRAMMAR_TEXT_FORMAT_H_
+#define SQLPL_GRAMMAR_TEXT_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "sqlpl/grammar/grammar.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// Parses the sub-grammar DSL. The format mirrors the files the paper
+/// keeps per feature — a grammar plus its token file — in one document:
+///
+/// ```
+/// grammar QuerySpecification;
+/// start query_specification;
+/// tokens {
+///   SELECT = keyword "SELECT";
+///   COMMA  = punct ",";
+///   IDENTIFIER = identifier;
+/// }
+/// query_specification
+///   : SELECT [ set_quantifier ] select_list table_expression
+///   ;
+/// set_quantifier : DISTINCT | ALL ;
+/// ```
+///
+/// RHS notation: juxtaposition = sequence, `|` = choice, `[ x ]` = optional
+/// (also `x?`), `( x )` = grouping, `x*` / `x+` = repetition, inline
+/// `'SELECT'` / `','` literals auto-register keyword / punctuation tokens.
+/// `lhs : ;` defines an epsilon rule. Alternatives may carry Bali-style
+/// labels (`label = elements`). Comments: `//` and `/* ... */`.
+Result<Grammar> ParseGrammarText(std::string_view text,
+                                 std::string_view source_name = "<string>");
+
+/// Parses a standalone token file (the body of a `tokens { ... }` block).
+Result<TokenSet> ParseTokenFileText(
+    std::string_view text, std::string_view source_name = "<string>");
+
+/// Canonical token name for a punctuation text, e.g. "," -> "COMMA",
+/// "<=" -> "LE". Fails for unknown punctuation.
+Result<std::string> PunctTokenName(std::string_view text);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_GRAMMAR_TEXT_FORMAT_H_

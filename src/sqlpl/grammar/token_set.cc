@@ -1,0 +1,118 @@
+#include "sqlpl/grammar/token_set.h"
+
+#include <cstdlib>
+
+#include "sqlpl/util/strings.h"
+
+namespace sqlpl {
+
+const char* TokenPatternKindToString(TokenPatternKind kind) {
+  switch (kind) {
+    case TokenPatternKind::kKeyword:
+      return "keyword";
+    case TokenPatternKind::kPunctuation:
+      return "punct";
+    case TokenPatternKind::kIdentifierClass:
+      return "identifier";
+    case TokenPatternKind::kNumberClass:
+      return "number";
+    case TokenPatternKind::kStringClass:
+      return "string";
+  }
+  return "unknown";
+}
+
+TokenDef TokenDef::Keyword(std::string name, std::string text) {
+  return {std::move(name), TokenPatternKind::kKeyword,
+          AsciiStrToUpper(text)};
+}
+
+TokenDef TokenDef::Keyword(std::string text) {
+  std::string upper = AsciiStrToUpper(text);
+  return {upper, TokenPatternKind::kKeyword, upper};
+}
+
+TokenDef TokenDef::Punct(std::string name, std::string text) {
+  return {std::move(name), TokenPatternKind::kPunctuation, std::move(text)};
+}
+
+TokenDef TokenDef::Identifier(std::string name) {
+  return {std::move(name), TokenPatternKind::kIdentifierClass, ""};
+}
+
+TokenDef TokenDef::Number(std::string name) {
+  return {std::move(name), TokenPatternKind::kNumberClass, ""};
+}
+
+TokenDef TokenDef::String(std::string name) {
+  return {std::move(name), TokenPatternKind::kStringClass, ""};
+}
+
+std::string TokenDef::ToString() const {
+  std::string out = name;
+  out += " = ";
+  out += TokenPatternKindToString(kind);
+  if (!text.empty()) {
+    out += " \"";
+    out += text;
+    out += '"';
+  }
+  out += ';';
+  return out;
+}
+
+Status TokenSet::Add(TokenDef def) {
+  auto it = defs_.find(def.name);
+  if (it != defs_.end()) {
+    if (it->second == def) return Status::OK();
+    return Status::AlreadyExists("conflicting definitions for token '" +
+                                 def.name + "': have '" +
+                                 it->second.ToString() + "', adding '" +
+                                 def.ToString() + "'");
+  }
+  defs_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+void TokenSet::AddOrDie(TokenDef def) {
+  Status status = Add(std::move(def));
+  if (!status.ok()) {
+    // Static token tables are program constants; a conflict is a bug.
+    std::abort();
+  }
+}
+
+bool TokenSet::Contains(const std::string& name) const {
+  return defs_.contains(name);
+}
+
+const TokenDef* TokenSet::Find(const std::string& name) const {
+  auto it = defs_.find(name);
+  return it == defs_.end() ? nullptr : &it->second;
+}
+
+std::vector<TokenDef> TokenSet::ToVector() const {
+  std::vector<TokenDef> out;
+  out.reserve(defs_.size());
+  for (const auto& [name, def] : defs_) out.push_back(def);
+  return out;
+}
+
+std::vector<std::string> TokenSet::KeywordTexts() const {
+  std::vector<std::string> out;
+  for (const auto& [name, def] : defs_) {
+    if (def.kind == TokenPatternKind::kKeyword) out.push_back(def.text);
+  }
+  return out;
+}
+
+std::string TokenSet::ToString() const {
+  std::string out;
+  for (const auto& [name, def] : defs_) {
+    out += def.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sqlpl

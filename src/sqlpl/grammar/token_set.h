@@ -1,0 +1,93 @@
+#ifndef SQLPL_GRAMMAR_TOKEN_SET_H_
+#define SQLPL_GRAMMAR_TOKEN_SET_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// How a token's lexeme is recognized.
+enum class TokenPatternKind {
+  /// A case-insensitive reserved word, e.g. `SELECT`.
+  kKeyword,
+  /// A fixed operator or punctuation string, e.g. `<>` or `,`.
+  kPunctuation,
+  /// A regular identifier (`[A-Za-z_][A-Za-z0-9_$]*`) or a delimited
+  /// identifier (`"name"`). At most one identifier-class token per set.
+  kIdentifierClass,
+  /// Numeric literal (integer or decimal with optional exponent).
+  kNumberClass,
+  /// Character string literal (`'...'` with `''` escaping).
+  kStringClass,
+};
+
+const char* TokenPatternKindToString(TokenPatternKind kind);
+
+/// Definition of one terminal: a name (as referenced from grammar
+/// expressions) plus the pattern that recognizes it. The paper keeps "a
+/// file containing various tokens used in the grammar" next to each
+/// sub-grammar; `TokenSet` is the in-memory form of such a file.
+struct TokenDef {
+  std::string name;
+  TokenPatternKind kind = TokenPatternKind::kKeyword;
+  /// Keyword or punctuation text; empty for class tokens.
+  std::string text;
+
+  static TokenDef Keyword(std::string name, std::string text);
+  /// Keyword whose token name equals its text (the common case).
+  static TokenDef Keyword(std::string text);
+  static TokenDef Punct(std::string name, std::string text);
+  static TokenDef Identifier(std::string name = "IDENTIFIER");
+  static TokenDef Number(std::string name = "NUMBER");
+  static TokenDef String(std::string name = "STRING");
+
+  bool operator==(const TokenDef&) const = default;
+
+  /// Renders one token-file line, e.g. `SELECT = keyword "SELECT";`.
+  std::string ToString() const;
+};
+
+/// A named collection of token definitions — the in-memory equivalent of
+/// the paper's per-feature token files. Lookup is by token name;
+/// iteration order is deterministic (sorted by name).
+class TokenSet {
+ public:
+  TokenSet() = default;
+
+  /// Adds a definition. Fails with `kAlreadyExists` if a *different*
+  /// definition with the same name is present; re-adding an identical
+  /// definition is a no-op (token files for related features overlap).
+  Status Add(TokenDef def);
+
+  /// Adds a definition, aborting on conflict. For static tables whose
+  /// consistency is established by tests.
+  void AddOrDie(TokenDef def);
+
+  bool Contains(const std::string& name) const;
+  /// Returns the definition or nullptr.
+  const TokenDef* Find(const std::string& name) const;
+
+  size_t size() const { return defs_.size(); }
+  bool empty() const { return defs_.empty(); }
+
+  /// All definitions, sorted by token name.
+  std::vector<TokenDef> ToVector() const;
+
+  /// All keyword texts (uppercased), sorted — what a lexer must reserve.
+  std::vector<std::string> KeywordTexts() const;
+
+  /// Renders the token-file format (one `ToString()` line per token).
+  std::string ToString() const;
+
+  bool operator==(const TokenSet&) const = default;
+
+ private:
+  std::map<std::string, TokenDef> defs_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_GRAMMAR_TOKEN_SET_H_

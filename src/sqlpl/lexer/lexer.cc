@@ -1,0 +1,242 @@
+#include "sqlpl/lexer/lexer.h"
+
+#include <algorithm>
+
+#include "sqlpl/util/strings.h"
+
+namespace sqlpl {
+
+namespace {
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+bool IsSqlIdentStart(char c) { return IsIdentStart(c); }
+
+bool IsSqlIdentCont(char c) { return IsIdentCont(c) || c == '$'; }
+
+}  // namespace
+
+Lexer::Lexer(const TokenSet& tokens) {
+  for (const TokenDef& def : tokens.ToVector()) {
+    switch (def.kind) {
+      case TokenPatternKind::kKeyword:
+        keywords_[def.text] = def.name;
+        break;
+      case TokenPatternKind::kPunctuation:
+        puncts_.emplace_back(def.text, def.name);
+        break;
+      case TokenPatternKind::kIdentifierClass:
+        identifier_type_ = def.name;
+        break;
+      case TokenPatternKind::kNumberClass:
+        number_type_ = def.name;
+        break;
+      case TokenPatternKind::kStringClass:
+        string_type_ = def.name;
+        break;
+    }
+  }
+  std::sort(puncts_.begin(), puncts_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.size() != b.first.size()) {
+                return a.first.size() > b.first.size();
+              }
+              return a.first < b.first;
+            });
+}
+
+bool Lexer::IsKeyword(std::string_view word) const {
+  return keywords_.contains(AsciiStrToUpper(word));
+}
+
+Result<std::vector<Token>> Lexer::Tokenize(std::string_view sql) const {
+  std::vector<Token> out;
+  size_t pos = 0;
+  size_t line = 1;
+  size_t column = 1;
+
+  auto here = [&]() -> SourceLocation { return {line, column, pos}; };
+  auto advance = [&]() {
+    if (sql[pos] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    ++pos;
+  };
+  auto error_at = [&](const SourceLocation& loc, const std::string& message) {
+    return Status::ParseError("lex error at " + loc.ToString() + ": " +
+                              message);
+  };
+
+  while (pos < sql.size()) {
+    char c = sql[pos];
+
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      advance();
+      continue;
+    }
+    // Line comment `-- ...`.
+    if (c == '-' && pos + 1 < sql.size() && sql[pos + 1] == '-') {
+      while (pos < sql.size() && sql[pos] != '\n') advance();
+      continue;
+    }
+    // Block comment `/* ... */`.
+    if (c == '/' && pos + 1 < sql.size() && sql[pos + 1] == '*') {
+      SourceLocation start = here();
+      advance();
+      advance();
+      while (pos + 1 < sql.size() &&
+             !(sql[pos] == '*' && sql[pos + 1] == '/')) {
+        advance();
+      }
+      if (pos + 1 >= sql.size()) {
+        return error_at(start, "unterminated block comment");
+      }
+      advance();
+      advance();
+      continue;
+    }
+
+    SourceLocation loc = here();
+
+    // Word: keyword or regular identifier.
+    if (IsSqlIdentStart(c)) {
+      size_t start = pos;
+      while (pos < sql.size() && IsSqlIdentCont(sql[pos])) advance();
+      std::string word(sql.substr(start, pos - start));
+      std::string upper = AsciiStrToUpper(word);
+      auto it = keywords_.find(upper);
+      if (it != keywords_.end()) {
+        out.push_back({it->second, std::move(word), loc});
+      } else if (!identifier_type_.empty()) {
+        out.push_back({identifier_type_, std::move(word), loc});
+      } else {
+        return error_at(loc, "word '" + word +
+                                 "' is neither a keyword of this dialect "
+                                 "nor an identifier (dialect has no "
+                                 "identifier token)");
+      }
+      continue;
+    }
+
+    // Delimited identifier `"..."` with `""` escape.
+    if (c == '"') {
+      if (identifier_type_.empty()) {
+        return error_at(loc, "delimited identifiers not allowed: dialect "
+                             "has no identifier token");
+      }
+      advance();
+      std::string text;
+      while (true) {
+        if (pos >= sql.size()) {
+          return error_at(loc, "unterminated delimited identifier");
+        }
+        if (sql[pos] == '"') {
+          if (pos + 1 < sql.size() && sql[pos + 1] == '"') {
+            text += '"';
+            advance();
+            advance();
+            continue;
+          }
+          advance();
+          break;
+        }
+        text += sql[pos];
+        advance();
+      }
+      out.push_back({identifier_type_, std::move(text), loc});
+      continue;
+    }
+
+    // String literal `'...'` with `''` escape.
+    if (c == '\'') {
+      if (string_type_.empty()) {
+        return error_at(loc, "string literals not allowed: dialect has no "
+                             "string token");
+      }
+      advance();
+      std::string text;
+      while (true) {
+        if (pos >= sql.size()) {
+          return error_at(loc, "unterminated string literal");
+        }
+        if (sql[pos] == '\'') {
+          if (pos + 1 < sql.size() && sql[pos + 1] == '\'') {
+            text += '\'';
+            advance();
+            advance();
+            continue;
+          }
+          advance();
+          break;
+        }
+        text += sql[pos];
+        advance();
+      }
+      out.push_back({string_type_, std::move(text), loc});
+      continue;
+    }
+
+    // Numeric literal: 123, 12.5, .5, 1e-3.
+    if (IsDigit(c) || (c == '.' && pos + 1 < sql.size() &&
+                       IsDigit(sql[pos + 1]))) {
+      if (number_type_.empty()) {
+        return error_at(loc, "numeric literals not allowed: dialect has no "
+                             "number token");
+      }
+      size_t start = pos;
+      while (pos < sql.size() && IsDigit(sql[pos])) advance();
+      if (pos < sql.size() && sql[pos] == '.' &&
+          pos + 1 < sql.size() && IsDigit(sql[pos + 1])) {
+        advance();
+        while (pos < sql.size() && IsDigit(sql[pos])) advance();
+      } else if (pos < sql.size() && sql[pos] == '.' &&
+                 !(pos + 1 < sql.size() && sql[pos + 1] == '.')) {
+        // Trailing dot (`12.`) unless part of a `..` range token.
+        advance();
+      }
+      if (pos < sql.size() && (sql[pos] == 'e' || sql[pos] == 'E')) {
+        size_t mark = pos;
+        advance();
+        if (pos < sql.size() && (sql[pos] == '+' || sql[pos] == '-')) {
+          advance();
+        }
+        if (pos < sql.size() && IsDigit(sql[pos])) {
+          while (pos < sql.size() && IsDigit(sql[pos])) advance();
+        } else {
+          // Not an exponent after all (e.g. `1event`): rewind to `e`.
+          column -= pos - mark;
+          pos = mark;
+        }
+      }
+      out.push_back({number_type_, std::string(sql.substr(start, pos - start)),
+                     loc});
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const auto& [text, type] : puncts_) {
+      if (sql.size() - pos >= text.size() &&
+          sql.substr(pos, text.size()) == text) {
+        out.push_back({type, text, loc});
+        for (size_t i = 0; i < text.size(); ++i) advance();
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    return error_at(loc, "character '" + std::string(1, c) +
+                             "' starts no token of this dialect");
+  }
+
+  out.push_back({"$", "", here()});
+  return out;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,55 @@
+#ifndef SQLPL_LEXER_LEXER_H_
+#define SQLPL_LEXER_LEXER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sqlpl/grammar/token_set.h"
+#include "sqlpl/lexer/token.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// A SQL lexer driven entirely by a composed `TokenSet` — the scanner
+/// half of a generated parser. Because the token set is composed from the
+/// selected features' token files, a tailored dialect only reserves the
+/// keywords its features brought along: `EPOCH` is a keyword in a TinySQL
+/// parser but an ordinary identifier in a Core SQL parser.
+///
+/// Lexical conventions follow SQL: keywords are case-insensitive; regular
+/// identifiers are `[A-Za-z_][A-Za-z0-9_$]*`; delimited identifiers are
+/// `"..."` (with `""` escaping); strings are `'...'` (with `''`
+/// escaping); numbers are integer or decimal literals with an optional
+/// exponent; `--` starts a line comment and `/* */` a block comment;
+/// punctuation matches longest-first.
+class Lexer {
+ public:
+  /// Builds the keyword and punctuation tables from `tokens`.
+  explicit Lexer(const TokenSet& tokens);
+
+  /// Tokenizes `sql`, appending an end-of-input token (`type == "$"`).
+  /// Characters and words that no token of the dialect accepts are
+  /// lexing errors that name the offending lexeme and position.
+  Result<std::vector<Token>> Tokenize(std::string_view sql) const;
+
+  /// True if `word` (case-insensitive) is a reserved keyword here.
+  bool IsKeyword(std::string_view word) const;
+
+  size_t NumKeywords() const { return keywords_.size(); }
+  size_t NumPunctuation() const { return puncts_.size(); }
+
+ private:
+  // Uppercased keyword text -> token type name.
+  std::map<std::string, std::string> keywords_;
+  // Punctuation text -> token type name, iterated longest-first.
+  std::vector<std::pair<std::string, std::string>> puncts_;
+  std::string identifier_type_;  // empty if the dialect has none
+  std::string number_type_;
+  std::string string_type_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_LEXER_LEXER_H_

@@ -1,0 +1,18 @@
+#include "sqlpl/lexer/token.h"
+
+namespace sqlpl {
+
+std::string Token::ToString() const {
+  return type + "('" + text + "')@" + location.ToString();
+}
+
+std::string TokensToString(const std::vector<Token>& tokens) {
+  std::string out;
+  for (const Token& token : tokens) {
+    out += token.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,30 @@
+#ifndef SQLPL_LEXER_TOKEN_H_
+#define SQLPL_LEXER_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "sqlpl/util/source_location.h"
+
+namespace sqlpl {
+
+/// One lexed SQL token. `type` is the token name from the dialect's
+/// composed `TokenSet` (e.g. `SELECT`, `COMMA`, `IDENTIFIER`), or the
+/// end-of-input marker `$`.
+struct Token {
+  std::string type;
+  std::string text;
+  SourceLocation location;
+
+  bool operator==(const Token&) const = default;
+
+  /// `SELECT('select')@1:1` style rendering for diagnostics.
+  std::string ToString() const;
+};
+
+/// Renders a token stream one token per line.
+std::string TokensToString(const std::vector<Token>& tokens);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_LEXER_TOKEN_H_

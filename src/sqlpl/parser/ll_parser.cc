@@ -1,0 +1,232 @@
+#include "sqlpl/parser/ll_parser.h"
+
+namespace sqlpl {
+
+namespace {
+
+// Hard recursion bound; composed SQL grammars stay far below this, so
+// hitting it indicates a grammar bug rather than deep input.
+constexpr size_t kMaxParseDepth = 2048;
+
+std::string DescribeToken(const Token& token) {
+  if (token.type == "$") return "end of input";
+  return "'" + token.text + "' (" + token.type + ")";
+}
+
+}  // namespace
+
+LlParser::LlParser(Grammar grammar, GrammarAnalysis analysis, Lexer lexer,
+                   bool prune_with_first_sets)
+    : grammar_(std::move(grammar)), analysis_(std::move(analysis)),
+      lexer_(std::move(lexer)),
+      prune_with_first_sets_(prune_with_first_sets) {
+  for (const Production& production : grammar_.productions()) {
+    for (const Alternative& alt : production.alternatives()) {
+      CachePredict(alt.body);
+    }
+  }
+}
+
+Status LlParser::AttachPredicate(const std::string& nonterminal,
+                                 size_t alt_index,
+                                 SemanticPredicate predicate) {
+  const Production* production = grammar_.Find(nonterminal);
+  if (production == nullptr) {
+    return Status::NotFound("no production '" + nonterminal +
+                            "' to attach a predicate to");
+  }
+  if (alt_index >= production->alternatives().size()) {
+    return Status::OutOfRange(
+        "production '" + nonterminal + "' has " +
+        std::to_string(production->alternatives().size()) +
+        " alternatives; cannot attach predicate to index " +
+        std::to_string(alt_index));
+  }
+  predicates_[{nonterminal, alt_index}] = std::move(predicate);
+  return Status::OK();
+}
+
+void LlParser::CachePredict(const Expr& expr) {
+  predict_.emplace(&expr, Predict{analysis_.ExprNullable(expr),
+                                  analysis_.FirstOf(expr)});
+  for (const Expr& child : expr.children()) CachePredict(child);
+}
+
+Result<ParseNode> LlParser::ParseText(std::string_view sql) const {
+  SQLPL_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer_.Tokenize(sql));
+  return Parse(tokens);
+}
+
+bool LlParser::Accepts(std::string_view sql) const {
+  return ParseText(sql).ok();
+}
+
+Result<ParseNode> LlParser::Parse(const std::vector<Token>& tokens) const {
+  if (tokens.empty() || tokens.back().type != "$") {
+    return Status::InvalidArgument(
+        "token stream must end with the '$' end-of-input token");
+  }
+  ParseContext ctx;
+  ctx.tokens = &tokens;
+
+  size_t pos = 0;
+  std::vector<ParseNode> out;
+  bool ok = MatchNonterminal(grammar_.start_symbol(), &ctx, &pos, &out);
+  if (ok && tokens[pos].type != "$") {
+    // The start symbol matched a prefix; report the leftover token.
+    RecordFailure(&ctx, pos, "$");
+    ok = false;
+  }
+  if (!ok) {
+    const Token& at = tokens[ctx.furthest_pos];
+    std::string expected;
+    for (const std::string& e : ctx.expected) {
+      if (!expected.empty()) expected += ", ";
+      expected += (e == "$") ? "end of input" : e;
+    }
+    return Status::ParseError("syntax error at " + at.location.ToString() +
+                              ": unexpected " + DescribeToken(at) +
+                              "; expected one of {" + expected + "}");
+  }
+  return std::move(out.front());
+}
+
+void LlParser::RecordFailure(ParseContext* ctx, size_t pos,
+                             const std::string& expected_token) const {
+  if (pos > ctx->furthest_pos) {
+    ctx->furthest_pos = pos;
+    ctx->expected.clear();
+  }
+  if (pos == ctx->furthest_pos) ctx->expected.insert(expected_token);
+}
+
+bool LlParser::MatchNonterminal(const std::string& name, ParseContext* ctx,
+                                size_t* pos,
+                                std::vector<ParseNode>* out) const {
+  const Production* production = grammar_.Find(name);
+  if (production == nullptr) return false;  // builder guarantees this
+
+  if (++ctx->depth > kMaxParseDepth) {
+    --ctx->depth;
+    return false;
+  }
+
+  const std::string& lookahead = (*ctx->tokens)[*pos].type;
+  const std::vector<Alternative>& alternatives = production->alternatives();
+  for (size_t alt_index = 0; alt_index < alternatives.size(); ++alt_index) {
+    const Alternative& alt = alternatives[alt_index];
+    // Semantic predicates gate their alternative before anything else.
+    if (!predicates_.empty()) {
+      auto it = predicates_.find({name, alt_index});
+      if (it != predicates_.end() && !it->second(*ctx->tokens, *pos)) {
+        continue;
+      }
+    }
+    // FIRST-set pruning: skip alternatives that cannot start with the
+    // lookahead token (unless they can derive epsilon).
+    if (prune_with_first_sets_) {
+      const Predict& predict = predict_.at(&alt.body);
+      if (!predict.nullable && !predict.first.contains(lookahead)) {
+        for (const std::string& t : predict.first) {
+          RecordFailure(ctx, *pos, t);
+        }
+        continue;
+      }
+    }
+    size_t saved_pos = *pos;
+    ParseNode node = ParseNode::Rule(name);
+    if (MatchExpr(alt.body, ctx, pos, node.mutable_children())) {
+      if (!alt.label.empty()) node.set_label(alt.label);
+      out->push_back(std::move(node));
+      --ctx->depth;
+      return true;
+    }
+    *pos = saved_pos;
+  }
+  --ctx->depth;
+  return false;
+}
+
+bool LlParser::MatchExpr(const Expr& expr, ParseContext* ctx, size_t* pos,
+                         std::vector<ParseNode>* out) const {
+  switch (expr.kind()) {
+    case ExprKind::kToken: {
+      const Token& token = (*ctx->tokens)[*pos];
+      if (token.type == expr.symbol()) {
+        out->push_back(ParseNode::Leaf(token));
+        ++*pos;
+        return true;
+      }
+      RecordFailure(ctx, *pos, expr.symbol());
+      return false;
+    }
+
+    case ExprKind::kNonterminal:
+      return MatchNonterminal(expr.symbol(), ctx, pos, out);
+
+    case ExprKind::kSequence: {
+      size_t saved_pos = *pos;
+      size_t saved_size = out->size();
+      for (const Expr& child : expr.children()) {
+        if (!MatchExpr(child, ctx, pos, out)) {
+          *pos = saved_pos;
+          out->erase(out->begin() + static_cast<ptrdiff_t>(saved_size), out->end());
+          return false;
+        }
+      }
+      return true;
+    }
+
+    case ExprKind::kChoice: {
+      const std::string& lookahead = (*ctx->tokens)[*pos].type;
+      for (const Expr& branch : expr.children()) {
+        if (prune_with_first_sets_) {
+          const Predict& predict = predict_.at(&branch);
+          if (!predict.nullable && !predict.first.contains(lookahead)) {
+            for (const std::string& t : predict.first) {
+              RecordFailure(ctx, *pos, t);
+            }
+            continue;
+          }
+        }
+        size_t saved_pos = *pos;
+        size_t saved_size = out->size();
+        if (MatchExpr(branch, ctx, pos, out)) return true;
+        *pos = saved_pos;
+        out->erase(out->begin() + static_cast<ptrdiff_t>(saved_size), out->end());
+      }
+      return false;
+    }
+
+    case ExprKind::kOptional: {
+      // Greedy: attempt the body; on failure match epsilon.
+      size_t saved_pos = *pos;
+      size_t saved_size = out->size();
+      if (MatchExpr(expr.child(), ctx, pos, out)) return true;
+      *pos = saved_pos;
+      out->erase(out->begin() + static_cast<ptrdiff_t>(saved_size), out->end());
+      return true;
+    }
+
+    case ExprKind::kRepetition: {
+      while (true) {
+        size_t saved_pos = *pos;
+        size_t saved_size = out->size();
+        if (!MatchExpr(expr.child(), ctx, pos, out)) {
+          *pos = saved_pos;
+          out->erase(out->begin() + static_cast<ptrdiff_t>(saved_size), out->end());
+          return true;
+        }
+        if (*pos == saved_pos) {
+          // The body matched without consuming input; stop to guarantee
+          // termination.
+          out->erase(out->begin() + static_cast<ptrdiff_t>(saved_size), out->end());
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,149 @@
+#ifndef SQLPL_PARSER_LL_PARSER_H_
+#define SQLPL_PARSER_LL_PARSER_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sqlpl/grammar/analysis.h"
+#include "sqlpl/grammar/grammar.h"
+#include "sqlpl/lexer/lexer.h"
+#include "sqlpl/parser/parse_tree.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// A semantic predicate (§4 of the paper lists ANTLR's "syntactic and
+/// semantic predicates" among the disambiguation constructs): a callback
+/// gating one alternative of a production. It sees the token stream and
+/// the current position and returns whether the alternative may be
+/// attempted. Predicates must be pure (no side effects) — the engine may
+/// probe and backtrack.
+using SemanticPredicate =
+    std::function<bool(const std::vector<Token>& tokens, size_t pos)>;
+
+/// A runtime LL(k) parser interpreting a composed grammar — the
+/// "generated parser" of the paper, realized as a table-free predictive
+/// recursive-descent engine so that freshly composed grammars parse
+/// without a compile step. Prediction uses the grammar's FIRST/FOLLOW
+/// analysis; where one token of lookahead cannot decide (the analysis'
+/// LL(1) conflicts), alternatives are tried in order with backtracking,
+/// which is the role ANTLR's syntactic predicates play for the authors.
+///
+/// Construct through `ParserBuilder`, which validates the grammar
+/// (undefined symbols, left recursion) before parsing is allowed.
+class LlParser {
+ public:
+  /// Lexes `sql` with the dialect's composed token set and parses it.
+  /// The whole input must be consumed (up to end-of-input).
+  Result<ParseNode> ParseText(std::string_view sql) const;
+
+  /// Parses an already-lexed stream; `tokens` must end with the `$`
+  /// end-of-input token.
+  Result<ParseNode> Parse(const std::vector<Token>& tokens) const;
+
+  /// True iff `sql` is a sentence of this dialect.
+  bool Accepts(std::string_view sql) const;
+
+  const Grammar& grammar() const { return grammar_; }
+  const GrammarAnalysis& analysis() const { return analysis_; }
+  const Lexer& lexer() const { return lexer_; }
+
+  /// Attaches a semantic predicate to alternative `alt_index` of
+  /// `nonterminal`: the alternative is only attempted when the predicate
+  /// holds at the current position. Fails if the production or index
+  /// does not exist.
+  Status AttachPredicate(const std::string& nonterminal, size_t alt_index,
+                         SemanticPredicate predicate);
+  size_t NumPredicates() const { return predicates_.size(); }
+
+  /// The parser owns its grammar and per-node prediction cache; the
+  /// cache holds pointers into the grammar, so the parser is move-only.
+  LlParser(const LlParser&) = delete;
+  LlParser& operator=(const LlParser&) = delete;
+  LlParser(LlParser&&) = default;
+  LlParser& operator=(LlParser&&) = default;
+
+ private:
+  friend class ParserBuilder;
+
+  // Precomputed prediction data for one grammar expression node.
+  struct Predict {
+    bool nullable = false;
+    std::set<std::string> first;
+  };
+
+  LlParser(Grammar grammar, GrammarAnalysis analysis, Lexer lexer,
+           bool prune_with_first_sets);
+
+  // Fills predict_ for `expr` and all of its descendants.
+  void CachePredict(const Expr& expr);
+
+  // Recursive-descent matching. Each Match* either succeeds — consuming
+  // tokens from `*pos` and appending nodes to `out` — or fails leaving
+  // `*pos`/`out` as they were, after recording the furthest failure.
+  struct ParseContext {
+    const std::vector<Token>* tokens = nullptr;
+    // Furthest failure, for error reporting.
+    size_t furthest_pos = 0;
+    std::set<std::string> expected;
+    // Recursion guard.
+    size_t depth = 0;
+  };
+
+  bool MatchExpr(const Expr& expr, ParseContext* ctx, size_t* pos,
+                 std::vector<ParseNode>* out) const;
+  bool MatchNonterminal(const std::string& name, ParseContext* ctx,
+                        size_t* pos, std::vector<ParseNode>* out) const;
+  void RecordFailure(ParseContext* ctx, size_t pos,
+                     const std::string& expected_token) const;
+
+  Grammar grammar_;
+  GrammarAnalysis analysis_;
+  Lexer lexer_;
+  // Prediction cache keyed by expression node. Pointers stay valid under
+  // moves (vector buffers transfer wholesale) — hence move-only above.
+  std::unordered_map<const Expr*, Predict> predict_;
+  // Semantic predicates keyed by (nonterminal, alternative index).
+  std::map<std::pair<std::string, size_t>, SemanticPredicate> predicates_;
+  // When false, alternatives are tried by pure ordered-choice
+  // backtracking without FIRST-set pruning (ablation mode).
+  bool prune_with_first_sets_ = true;
+};
+
+/// Validates and analyzes a grammar, producing an `LlParser`. This is the
+/// step the paper delegates to the ANTLR parser generator.
+class ParserBuilder {
+ public:
+  /// When true, LL(1) prediction conflicts reject the grammar instead of
+  /// falling back to ordered-choice backtracking. Default false.
+  ParserBuilder& set_reject_conflicts(bool reject) {
+    reject_conflicts_ = reject;
+    return *this;
+  }
+
+  /// Ablation knob: when true, the built parser skips FIRST-set pruning
+  /// and relies purely on ordered-choice backtracking. Same language,
+  /// more wasted attempts — see bench_ablation. Default false.
+  ParserBuilder& set_disable_first_pruning(bool disable) {
+    disable_first_pruning_ = disable;
+    return *this;
+  }
+
+  /// Builds a parser for `grammar`: structural validation, FIRST/FOLLOW
+  /// analysis, left-recursion rejection, lexer construction.
+  Result<LlParser> Build(const Grammar& grammar) const;
+
+ private:
+  bool reject_conflicts_ = false;
+  bool disable_first_pruning_ = false;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_PARSER_LL_PARSER_H_

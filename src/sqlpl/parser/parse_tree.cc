@@ -1,0 +1,106 @@
+#include "sqlpl/parser/parse_tree.h"
+
+namespace sqlpl {
+
+ParseNode ParseNode::Rule(std::string nonterminal) {
+  ParseNode node;
+  node.is_leaf_ = false;
+  node.symbol_ = std::move(nonterminal);
+  return node;
+}
+
+ParseNode ParseNode::Leaf(Token token) {
+  ParseNode node;
+  node.is_leaf_ = true;
+  node.symbol_ = token.type;
+  node.token_ = std::move(token);
+  return node;
+}
+
+const ParseNode* ParseNode::FindFirst(const std::string& symbol) const {
+  if (symbol_ == symbol) return this;
+  for (const ParseNode& child : children_) {
+    const ParseNode* found = child.FindFirst(symbol);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+std::vector<const ParseNode*> ParseNode::FindAll(
+    const std::string& symbol) const {
+  std::vector<const ParseNode*> out;
+  std::vector<const ParseNode*> stack = {this};
+  while (!stack.empty()) {
+    const ParseNode* node = stack.back();
+    stack.pop_back();
+    if (node->symbol_ == symbol) out.push_back(node);
+    for (auto it = node->children_.rbegin(); it != node->children_.rend();
+         ++it) {
+      stack.push_back(&*it);
+    }
+  }
+  return out;
+}
+
+std::string ParseNode::TokenText() const {
+  if (is_leaf_) return token_.text;
+  std::string out;
+  for (const ParseNode& child : children_) {
+    std::string piece = child.TokenText();
+    if (piece.empty()) continue;
+    if (!out.empty()) out += ' ';
+    out += piece;
+  }
+  return out;
+}
+
+size_t ParseNode::TreeSize() const {
+  size_t n = 1;
+  for (const ParseNode& child : children_) n += child.TreeSize();
+  return n;
+}
+
+std::string ParseNode::ToSExpr() const {
+  if (is_leaf_) return token_.text.empty() ? symbol_ : token_.text;
+  std::string out = "(" + symbol_;
+  for (const ParseNode& child : children_) {
+    out += ' ';
+    out += child.ToSExpr();
+  }
+  out += ')';
+  return out;
+}
+
+namespace {
+
+void AppendTree(const ParseNode& node, size_t depth, std::string* out) {
+  out->append(depth * 2, ' ');
+  if (node.is_leaf()) {
+    *out += node.symbol();
+    if (!node.token().text.empty()) {
+      *out += " '";
+      *out += node.token().text;
+      *out += '\'';
+    }
+  } else {
+    *out += node.symbol();
+    if (!node.label().empty()) {
+      *out += " #";
+      *out += node.label();
+    }
+  }
+  *out += '\n';
+  for (const ParseNode& child : node.children()) {
+    AppendTree(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ParseNode::ToTreeString() const {
+  std::string out;
+  AppendTree(*this, 0, &out);
+  return out;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,69 @@
+#ifndef SQLPL_PARSER_PARSE_TREE_H_
+#define SQLPL_PARSER_PARSE_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "sqlpl/lexer/token.h"
+
+namespace sqlpl {
+
+/// A concrete-syntax-tree node produced by the runtime LL parser. Rule
+/// nodes carry the nonterminal name (and the matched alternative's label,
+/// if any) and own their children; leaf nodes wrap one token.
+class ParseNode {
+ public:
+  /// Creates a rule node for `nonterminal`.
+  static ParseNode Rule(std::string nonterminal);
+  /// Creates a leaf node for `token`.
+  static ParseNode Leaf(Token token);
+
+  bool is_leaf() const { return is_leaf_; }
+  /// Nonterminal name (rule nodes) or token type (leaves).
+  const std::string& symbol() const { return symbol_; }
+  /// Label of the matched alternative; empty if unlabeled or a leaf.
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  /// The wrapped token; only valid for leaves.
+  const Token& token() const { return token_; }
+
+  const std::vector<ParseNode>& children() const { return children_; }
+  std::vector<ParseNode>* mutable_children() { return &children_; }
+  void AddChild(ParseNode child) { children_.push_back(std::move(child)); }
+  size_t NumChildren() const { return children_.size(); }
+
+  /// Pre-order search for the first descendant (or this node) whose
+  /// symbol equals `symbol`; nullptr if absent.
+  const ParseNode* FindFirst(const std::string& symbol) const;
+
+  /// All descendants (and possibly this node) with the given symbol,
+  /// in pre-order.
+  std::vector<const ParseNode*> FindAll(const std::string& symbol) const;
+
+  /// Concatenates the texts of all leaf tokens below this node, separated
+  /// by single spaces — a cheap "what did this subtree match" view.
+  std::string TokenText() const;
+
+  /// Number of nodes in this subtree (including this node).
+  size_t TreeSize() const;
+
+  /// S-expression rendering: `(query_specification SELECT (select_list ...))`.
+  std::string ToSExpr() const;
+
+  /// Indented multi-line rendering for debugging.
+  std::string ToTreeString() const;
+
+ private:
+  ParseNode() = default;
+
+  bool is_leaf_ = false;
+  std::string symbol_;
+  std::string label_;
+  Token token_;
+  std::vector<ParseNode> children_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_PARSER_PARSE_TREE_H_

@@ -1,0 +1,41 @@
+#include "sqlpl/parser/ll_parser.h"
+
+namespace sqlpl {
+
+Result<LlParser> ParserBuilder::Build(const Grammar& grammar) const {
+  DiagnosticCollector diagnostics;
+  Status valid = grammar.Validate(&diagnostics);
+  if (!valid.ok()) {
+    return Status::ParseError("cannot build parser: " + valid.message() +
+                              "\n" + diagnostics.ToString());
+  }
+
+  SQLPL_ASSIGN_OR_RETURN(GrammarAnalysis analysis,
+                         GrammarAnalysis::Analyze(grammar));
+
+  if (analysis.HasLeftRecursion()) {
+    std::string names;
+    for (const std::string& nt : analysis.left_recursive()) {
+      if (!names.empty()) names += ", ";
+      names += nt;
+    }
+    return Status::ParseError(
+        "grammar '" + grammar.name() +
+        "' is left-recursive (not LL): " + names);
+  }
+
+  if (reject_conflicts_ && !analysis.conflicts().empty()) {
+    std::string report;
+    for (const Ll1Conflict& conflict : analysis.conflicts()) {
+      report += "\n  " + conflict.ToString();
+    }
+    return Status::ParseError("grammar '" + grammar.name() +
+                              "' has LL(1) conflicts:" + report);
+  }
+
+  Lexer lexer(grammar.tokens());
+  return LlParser(grammar, std::move(analysis), std::move(lexer),
+                  /*prune_with_first_sets=*/!disable_first_pruning_);
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,63 @@
+#include "sqlpl/semantics/action_registry.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sqlpl {
+
+void ActionRegistry::Register(std::string feature, std::string rule,
+                              SemanticAction action) {
+  entries_.push_back({std::move(feature), std::move(rule),
+                      std::move(action)});
+}
+
+ActionRegistry ActionRegistry::ForFeatures(
+    const std::vector<std::string>& features) const {
+  std::set<std::string> wanted(features.begin(), features.end());
+  ActionRegistry out;
+  for (const Entry& entry : entries_) {
+    if (wanted.contains(entry.feature)) out.entries_.push_back(entry);
+  }
+  return out;
+}
+
+Status ActionRegistry::Run(const ParseNode& tree,
+                           SemanticContext* context) const {
+  // Pre-order walk; for each rule node run its layered actions in
+  // registration order.
+  std::vector<const ParseNode*> stack = {&tree};
+  while (!stack.empty()) {
+    const ParseNode* node = stack.back();
+    stack.pop_back();
+    if (!node->is_leaf()) {
+      for (const Entry& entry : entries_) {
+        if (entry.rule == node->symbol()) entry.action(*node, context);
+      }
+    }
+    const std::vector<ParseNode>& children = node->children();
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(&*it);
+    }
+  }
+  if (context->diagnostics.has_errors()) {
+    return Status::ConfigurationError("semantic actions reported " +
+                                      std::to_string(
+                                          context->diagnostics.error_count()) +
+                                      " error(s)");
+  }
+  return Status::OK();
+}
+
+size_t ActionRegistry::NumActions() const { return entries_.size(); }
+
+std::vector<std::string> ActionRegistry::Features() const {
+  std::vector<std::string> out;
+  for (const Entry& entry : entries_) {
+    if (std::find(out.begin(), out.end(), entry.feature) == out.end()) {
+      out.push_back(entry.feature);
+    }
+  }
+  return out;
+}
+
+}  // namespace sqlpl

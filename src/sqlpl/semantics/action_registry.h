@@ -1,0 +1,62 @@
+#ifndef SQLPL_SEMANTICS_ACTION_REGISTRY_H_
+#define SQLPL_SEMANTICS_ACTION_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sqlpl/parser/parse_tree.h"
+#include "sqlpl/util/diagnostics.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// Shared state threaded through a semantic-action pass over a parse
+/// tree: diagnostics plus a free-form attribute blackboard the layered
+/// actions communicate through (the FOP analogue of refined fields).
+struct SemanticContext {
+  DiagnosticCollector diagnostics;
+  std::map<std::string, std::string> attributes;
+};
+
+/// One semantic action: invoked for every CST rule node whose symbol it
+/// was registered for.
+using SemanticAction =
+    std::function<void(const ParseNode& node, SemanticContext* context)>;
+
+/// Feature-layered semantic actions over parse trees — the library's
+/// replacement for the paper's Jak/Mixin implementation of semantics.
+/// Each feature contributes actions for the rules its sub-grammar owns;
+/// building a dialect's semantics means *composing the layers of exactly
+/// the selected features*, never editing a monolithic visitor.
+class ActionRegistry {
+ public:
+  /// Registers `action` for CST nodes with rule symbol `rule`, owned by
+  /// `feature`. Multiple actions per rule stack in registration order.
+  void Register(std::string feature, std::string rule, SemanticAction action);
+
+  /// Returns a registry holding only the layers of `features` — the
+  /// semantic counterpart of composing sub-grammars.
+  ActionRegistry ForFeatures(const std::vector<std::string>& features) const;
+
+  /// Runs all matching actions over `tree` in pre-order. Actions report
+  /// problems through `context->diagnostics`; returns a configuration
+  /// error iff any error diagnostic was added.
+  Status Run(const ParseNode& tree, SemanticContext* context) const;
+
+  size_t NumActions() const;
+  std::vector<std::string> Features() const;
+
+ private:
+  struct Entry {
+    std::string feature;
+    std::string rule;
+    SemanticAction action;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SEMANTICS_ACTION_REGISTRY_H_

@@ -1,0 +1,97 @@
+#include "sqlpl/semantics/ast.h"
+
+namespace sqlpl {
+
+AstExpr AstExpr::Column(std::string name) {
+  return {AstExprKind::kColumnRef, std::move(name), {}};
+}
+
+AstExpr AstExpr::Literal(std::string text) {
+  return {AstExprKind::kLiteral, std::move(text), {}};
+}
+
+AstExpr AstExpr::Binary(std::string op, AstExpr lhs, AstExpr rhs) {
+  return {AstExprKind::kBinaryOp, std::move(op),
+          {std::move(lhs), std::move(rhs)}};
+}
+
+AstExpr AstExpr::Unary(std::string op, AstExpr operand) {
+  return {AstExprKind::kUnaryOp, std::move(op), {std::move(operand)}};
+}
+
+AstExpr AstExpr::Call(std::string name, std::vector<AstExpr> args) {
+  return {AstExprKind::kFunctionCall, std::move(name), std::move(args)};
+}
+
+AstExpr AstExpr::Star() { return {AstExprKind::kStar, "*", {}}; }
+
+std::string AstExpr::ToString() const {
+  switch (kind) {
+    case AstExprKind::kColumnRef:
+    case AstExprKind::kLiteral:
+    case AstExprKind::kStar:
+      return value;
+    case AstExprKind::kBinaryOp:
+      return "(" + children[0].ToString() + " " + value + " " +
+             children[1].ToString() + ")";
+    case AstExprKind::kUnaryOp:
+      return "(" + value + " " + children[0].ToString() + ")";
+    case AstExprKind::kFunctionCall: {
+      std::string out = value + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return value;
+}
+
+std::vector<std::string> AstExpr::ReferencedColumns() const {
+  std::vector<std::string> out;
+  if (kind == AstExprKind::kColumnRef) out.push_back(value);
+  for (const AstExpr& child : children) {
+    std::vector<std::string> nested = child.ReferencedColumns();
+    out.insert(out.end(), nested.begin(), nested.end());
+  }
+  return out;
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    const SelectItem& item = items[i];
+    out += item.is_star ? "*" : item.expr.ToString();
+    if (!item.alias.empty()) out += " AS " + item.alias;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].name;
+    if (!from[i].alias.empty()) out += " " + from[i].alias;
+  }
+  if (where.has_value()) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i].ToString();
+    }
+  }
+  if (having.has_value()) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr.ToString();
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  return out;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,86 @@
+#ifndef SQLPL_SEMANTICS_AST_H_
+#define SQLPL_SEMANTICS_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sqlpl {
+
+/// Kind of a typed expression node built from the CST by `AstBuilder`.
+enum class AstExprKind {
+  /// Possibly-qualified column reference; `value` is the dotted name.
+  kColumnRef,
+  /// Literal; `value` is the token text.
+  kLiteral,
+  /// Binary operation; `value` is the operator lexeme ("=", "AND", "+").
+  kBinaryOp,
+  /// Unary operation; `value` is the operator ("NOT", "-").
+  kUnaryOp,
+  /// Function / aggregate call; `value` is the function name.
+  kFunctionCall,
+  /// `*` inside COUNT(*).
+  kStar,
+};
+
+/// A typed scalar or boolean expression. Value-tree, copyable.
+struct AstExpr {
+  AstExprKind kind = AstExprKind::kLiteral;
+  std::string value;
+  std::vector<AstExpr> children;
+
+  static AstExpr Column(std::string name);
+  static AstExpr Literal(std::string text);
+  static AstExpr Binary(std::string op, AstExpr lhs, AstExpr rhs);
+  static AstExpr Unary(std::string op, AstExpr operand);
+  static AstExpr Call(std::string name, std::vector<AstExpr> args);
+  static AstExpr Star();
+
+  bool operator==(const AstExpr&) const = default;
+
+  /// Fully parenthesized rendering, e.g. `(a + (b * c))`.
+  std::string ToString() const;
+
+  /// All column references in this expression (pre-order).
+  std::vector<std::string> ReferencedColumns() const;
+};
+
+/// One entry of a select list.
+struct SelectItem {
+  bool is_star = false;
+  AstExpr expr;
+  std::string alias;  // empty if none
+};
+
+/// One table in the FROM clause.
+struct TableRef {
+  std::string name;
+  std::string alias;  // empty if none
+};
+
+/// One ORDER BY sort key.
+struct OrderItem {
+  AstExpr expr;
+  bool descending = false;
+};
+
+/// Typed representation of a SELECT statement over the query-core
+/// features. Clauses from unselected features are simply absent, which is
+/// exactly the product-line semantics: the AST of a dialect only ever
+/// contains what the dialect's features can parse.
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::optional<AstExpr> where;
+  std::vector<AstExpr> group_by;
+  std::optional<AstExpr> having;
+  std::vector<OrderItem> order_by;
+
+  /// Canonical SQL rendering.
+  std::string ToString() const;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SEMANTICS_AST_H_

@@ -1,0 +1,315 @@
+#include "sqlpl/semantics/ast_builder.h"
+
+namespace sqlpl {
+
+namespace {
+
+// Dotted text of an identifier_chain / column_reference / table_name node.
+std::string ChainText(const ParseNode& node) {
+  std::string out;
+  for (const ParseNode* leaf : node.FindAll("IDENTIFIER")) {
+    if (!out.empty()) out += '.';
+    out += leaf->token().text;
+  }
+  return out;
+}
+
+Result<AstExpr> BuildValue(const ParseNode& node);
+
+// Folds a layered binary-operation node whose children alternate
+// operand / operator-rule / operand / ... into a left-associative tree.
+Result<AstExpr> FoldBinaryLayer(const ParseNode& node) {
+  const std::vector<ParseNode>& kids = node.children();
+  if (kids.empty()) {
+    return Status::Internal("empty expression layer '" + node.symbol() + "'");
+  }
+  SQLPL_ASSIGN_OR_RETURN(AstExpr acc, BuildValue(kids[0]));
+  for (size_t i = 1; i + 1 < kids.size() + 1 && i + 1 <= kids.size();
+       i += 2) {
+    if (i + 1 == kids.size()) {
+      return Status::Internal("dangling operator in '" + node.symbol() +
+                              "'");
+    }
+    // kids[i] is an operator rule node (sign / mul_op / concat_op).
+    std::string op = kids[i].TokenText();
+    SQLPL_ASSIGN_OR_RETURN(AstExpr rhs, BuildValue(kids[i + 1]));
+    acc = AstExpr::Binary(std::move(op), std::move(acc), std::move(rhs));
+  }
+  return acc;
+}
+
+// Generic fallback: a function-call-like AST node named after the rule,
+// with every nested value_expression as an argument.
+Result<AstExpr> BuildGenericCall(const ParseNode& node) {
+  std::vector<AstExpr> args;
+  for (const ParseNode& child : node.children()) {
+    for (const ParseNode* expr : child.FindAll("value_expression")) {
+      SQLPL_ASSIGN_OR_RETURN(AstExpr arg, BuildValue(*expr));
+      args.push_back(std::move(arg));
+      break;  // only the outermost value_expression per child
+    }
+  }
+  return AstExpr::Call(node.symbol(), std::move(args));
+}
+
+Result<AstExpr> BuildValue(const ParseNode& node) {
+  const std::string& symbol = node.symbol();
+
+  if (node.is_leaf()) {
+    if (symbol == "IDENTIFIER") return AstExpr::Column(node.token().text);
+    return AstExpr::Literal(node.token().text);
+  }
+
+  if (symbol == "column_reference" || symbol == "identifier_chain" ||
+      symbol == "table_name") {
+    // RoutineInvocation refines column_reference with a call suffix.
+    const ParseNode* suffix = node.FindFirst("routine_call_suffix");
+    if (suffix != nullptr) {
+      std::vector<AstExpr> args;
+      for (const ParseNode* arg : suffix->FindAll("value_expression")) {
+        SQLPL_ASSIGN_OR_RETURN(AstExpr built, BuildValue(*arg));
+        args.push_back(std::move(built));
+      }
+      return AstExpr::Call(ChainText(node.children().front()),
+                           std::move(args));
+    }
+    return AstExpr::Column(ChainText(node));
+  }
+
+  if (symbol == "unsigned_literal") return AstExpr::Literal(node.TokenText());
+
+  if (symbol == "numeric_value_expression" || symbol == "term") {
+    return FoldBinaryLayer(node);
+  }
+
+  if (symbol == "factor") {
+    // [ sign ] value_primary
+    if (node.NumChildren() == 2) {
+      SQLPL_ASSIGN_OR_RETURN(AstExpr operand,
+                             BuildValue(node.children()[1]));
+      return AstExpr::Unary(node.children()[0].TokenText(),
+                            std::move(operand));
+    }
+    return BuildValue(node.children().front());
+  }
+
+  if (symbol == "value_primary") {
+    // nonparenthesized primary | ( value_expression ) | scalar_subquery
+    if (node.NumChildren() == 3 && node.children()[0].is_leaf()) {
+      return BuildValue(node.children()[1]);  // parenthesized
+    }
+    return BuildValue(node.children().front());
+  }
+
+  if (symbol == "scalar_subquery" || symbol == "subquery") {
+    return AstExpr::Call("SUBQUERY", {});
+  }
+
+  if (symbol == "set_function_specification") {
+    // COUNT ( * ) | general_set_function
+    if (node.NumChildren() >= 1 && !node.children()[0].is_leaf()) {
+      return BuildValue(node.children()[0]);
+    }
+    return AstExpr::Call("COUNT", {AstExpr::Star()});
+  }
+
+  if (symbol == "general_set_function") {
+    std::string name = node.children().front().TokenText();
+    const ParseNode* arg = node.FindFirst("value_expression");
+    std::vector<AstExpr> args;
+    if (arg != nullptr) {
+      SQLPL_ASSIGN_OR_RETURN(AstExpr built, BuildValue(*arg));
+      args.push_back(std::move(built));
+    }
+    return AstExpr::Call(std::move(name), std::move(args));
+  }
+
+  if (symbol == "case_expression" || symbol == "case_specification" ||
+      symbol == "case_abbreviation" || symbol == "simple_case" ||
+      symbol == "searched_case" || symbol == "cast_specification" ||
+      symbol == "string_value_function" ||
+      symbol == "datetime_value_function") {
+    return BuildGenericCall(node);
+  }
+
+  // Pass-through layers (value_expression, nonparenthesized..., etc.).
+  if (node.NumChildren() == 1) return BuildValue(node.children().front());
+  if (node.NumChildren() >= 2) return FoldBinaryLayer(node);
+  return AstExpr::Literal(node.TokenText());
+}
+
+Result<AstExpr> BuildCondition(const ParseNode& node) {
+  const std::string& symbol = node.symbol();
+
+  if (symbol == "search_condition" || symbol == "boolean_term") {
+    // operand ( OR/AND operand )*
+    const std::vector<ParseNode>& kids = node.children();
+    SQLPL_ASSIGN_OR_RETURN(AstExpr acc, BuildCondition(kids[0]));
+    for (size_t i = 1; i + 1 < kids.size(); i += 2) {
+      std::string op = kids[i].token().text;
+      SQLPL_ASSIGN_OR_RETURN(AstExpr rhs, BuildCondition(kids[i + 1]));
+      acc = AstExpr::Binary(std::move(op), std::move(acc), std::move(rhs));
+    }
+    return acc;
+  }
+
+  if (symbol == "boolean_factor") {
+    if (node.NumChildren() == 2) {
+      SQLPL_ASSIGN_OR_RETURN(AstExpr operand,
+                             BuildCondition(node.children()[1]));
+      return AstExpr::Unary("NOT", std::move(operand));
+    }
+    return BuildCondition(node.children().front());
+  }
+
+  if (symbol == "boolean_primary") {
+    if (node.NumChildren() == 3 && node.children()[0].is_leaf()) {
+      return BuildCondition(node.children()[1]);  // parenthesized
+    }
+    return BuildCondition(node.children().front());
+  }
+
+  if (symbol == "predicate") {
+    return BuildCondition(node.children().front());
+  }
+
+  if (symbol == "comparison_predicate") {
+    SQLPL_ASSIGN_OR_RETURN(AstExpr lhs, BuildValue(node.children()[0]));
+    std::string op = node.children()[1].TokenText();
+    SQLPL_ASSIGN_OR_RETURN(AstExpr rhs, BuildValue(node.children()[2]));
+    return AstExpr::Binary(std::move(op), std::move(lhs), std::move(rhs));
+  }
+
+  // Remaining predicate kinds (BETWEEN / IN / LIKE / IS NULL / EXISTS /
+  // quantified): a call named after the predicate rule whose arguments
+  // are the operand expressions.
+  std::vector<AstExpr> args;
+  for (const ParseNode& child : node.children()) {
+    if (child.is_leaf()) continue;
+    if (child.symbol() == "row_value_predicand" ||
+        child.symbol() == "value_expression") {
+      SQLPL_ASSIGN_OR_RETURN(AstExpr arg, BuildValue(child));
+      args.push_back(std::move(arg));
+    } else {
+      for (const ParseNode* expr : child.FindAll("value_expression")) {
+        SQLPL_ASSIGN_OR_RETURN(AstExpr arg, BuildValue(*expr));
+        args.push_back(std::move(arg));
+        break;
+      }
+    }
+  }
+  return AstExpr::Call(symbol, std::move(args));
+}
+
+}  // namespace
+
+Result<AstExpr> BuildValueExpression(const ParseNode& node) {
+  return BuildValue(node);
+}
+
+Result<AstExpr> BuildSearchCondition(const ParseNode& node) {
+  return BuildCondition(node);
+}
+
+Result<SelectStatement> BuildSelectStatement(const ParseNode& root) {
+  const ParseNode* query = root.FindFirst("query_specification");
+  if (query == nullptr) {
+    return Status::InvalidArgument(
+        "parse tree holds no query_specification node");
+  }
+
+  SelectStatement statement;
+
+  const ParseNode* quantifier = query->FindFirst("set_quantifier");
+  if (quantifier != nullptr && quantifier->TokenText() == "DISTINCT") {
+    statement.distinct = true;
+  }
+
+  const ParseNode* select_list = query->FindFirst("select_list");
+  if (select_list == nullptr) {
+    return Status::InvalidArgument("query has no select_list node");
+  }
+  bool star_list = false;
+  for (const ParseNode& child : select_list->children()) {
+    if (child.is_leaf() && child.symbol() == "ASTERISK") star_list = true;
+  }
+  if (star_list) {
+    SelectItem item;
+    item.is_star = true;
+    statement.items.push_back(std::move(item));
+  } else {
+    for (const ParseNode* sublist : select_list->FindAll("select_sublist")) {
+      const ParseNode* derived = sublist->FindFirst("derived_column");
+      if (derived == nullptr) continue;
+      SelectItem item;
+      SQLPL_ASSIGN_OR_RETURN(item.expr,
+                             BuildValue(derived->children().front()));
+      const ParseNode* alias = derived->FindFirst("as_clause");
+      if (alias != nullptr) {
+        const std::vector<const ParseNode*> ids = alias->FindAll("IDENTIFIER");
+        if (!ids.empty()) item.alias = ids.back()->token().text;
+      }
+      statement.items.push_back(std::move(item));
+    }
+  }
+
+  const ParseNode* from = query->FindFirst("from_clause");
+  if (from != nullptr) {
+    for (const ParseNode* primary : from->FindAll("table_primary")) {
+      TableRef ref;
+      const ParseNode* name = primary->FindFirst("table_name");
+      if (name != nullptr) ref.name = ChainText(*name);
+      const ParseNode* correlation = primary->FindFirst("correlation_clause");
+      if (correlation != nullptr) {
+        const std::vector<const ParseNode*> ids =
+            correlation->FindAll("IDENTIFIER");
+        if (!ids.empty()) ref.alias = ids.back()->token().text;
+      }
+      statement.from.push_back(std::move(ref));
+    }
+  }
+
+  const ParseNode* where = query->FindFirst("where_clause");
+  if (where != nullptr) {
+    const ParseNode* condition = where->FindFirst("search_condition");
+    if (condition != nullptr) {
+      SQLPL_ASSIGN_OR_RETURN(AstExpr expr, BuildCondition(*condition));
+      statement.where = std::move(expr);
+    }
+  }
+
+  const ParseNode* group_by = query->FindFirst("group_by_clause");
+  if (group_by != nullptr) {
+    for (const ParseNode* element : group_by->FindAll("column_reference")) {
+      SQLPL_ASSIGN_OR_RETURN(AstExpr expr, BuildValue(*element));
+      statement.group_by.push_back(std::move(expr));
+    }
+  }
+
+  const ParseNode* having = query->FindFirst("having_clause");
+  if (having != nullptr) {
+    const ParseNode* condition = having->FindFirst("search_condition");
+    if (condition != nullptr) {
+      SQLPL_ASSIGN_OR_RETURN(AstExpr expr, BuildCondition(*condition));
+      statement.having = std::move(expr);
+    }
+  }
+
+  // ORDER BY attaches above the query specification.
+  const ParseNode* order_by = root.FindFirst("order_by_clause");
+  if (order_by != nullptr) {
+    for (const ParseNode* sort : order_by->FindAll("sort_specification")) {
+      OrderItem item;
+      SQLPL_ASSIGN_OR_RETURN(item.expr, BuildValue(sort->children().front()));
+      const ParseNode* ordering = sort->FindFirst("ordering_specification");
+      if (ordering != nullptr && ordering->TokenText() == "DESC") {
+        item.descending = true;
+      }
+      statement.order_by.push_back(std::move(item));
+    }
+  }
+
+  return statement;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,29 @@
+#ifndef SQLPL_SEMANTICS_AST_BUILDER_H_
+#define SQLPL_SEMANTICS_AST_BUILDER_H_
+
+#include "sqlpl/parser/parse_tree.h"
+#include "sqlpl/semantics/ast.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// Builds a typed `SelectStatement` from the CST of any dialect whose
+/// features include the query core (QuerySpecification + SelectList +
+/// From). Clauses contributed by unselected features are absent from the
+/// CST and therefore from the AST; clauses from features outside the query
+/// core (joins, windows, set operations) are ignored by this builder.
+///
+/// Fails if the tree holds no `query_specification` node.
+Result<SelectStatement> BuildSelectStatement(const ParseNode& root);
+
+/// Builds a typed expression from a `value_expression` (or deeper) CST
+/// node. Exposed for tests and semantic-action layers.
+Result<AstExpr> BuildValueExpression(const ParseNode& node);
+
+/// Builds a boolean expression from a `search_condition` (or deeper) CST
+/// node.
+Result<AstExpr> BuildSearchCondition(const ParseNode& node);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SEMANTICS_AST_BUILDER_H_

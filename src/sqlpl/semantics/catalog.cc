@@ -1,0 +1,63 @@
+#include "sqlpl/semantics/catalog.h"
+
+#include <algorithm>
+
+#include "sqlpl/util/strings.h"
+
+namespace sqlpl {
+
+Status DbCatalog::AddTable(const std::string& table,
+                           const std::vector<std::string>& columns) {
+  std::string key = AsciiStrToUpper(table);
+  if (tables_.contains(key)) {
+    return Status::AlreadyExists("table '" + table + "' already in catalog");
+  }
+  std::vector<std::string> upper;
+  upper.reserve(columns.size());
+  for (const std::string& column : columns) {
+    upper.push_back(AsciiStrToUpper(column));
+  }
+  tables_.emplace(key, std::move(upper));
+  display_.emplace(std::move(key), table);
+  return Status::OK();
+}
+
+bool DbCatalog::HasTable(const std::string& table) const {
+  return tables_.contains(AsciiStrToUpper(table));
+}
+
+bool DbCatalog::HasColumn(const std::string& table,
+                          const std::string& column) const {
+  auto it = tables_.find(AsciiStrToUpper(table));
+  if (it == tables_.end()) return false;
+  std::string key = AsciiStrToUpper(column);
+  return std::find(it->second.begin(), it->second.end(), key) !=
+         it->second.end();
+}
+
+std::vector<std::string> DbCatalog::TablesWithColumn(
+    const std::string& column) const {
+  std::string key = AsciiStrToUpper(column);
+  std::vector<std::string> out;
+  for (const auto& [table, columns] : tables_) {
+    if (std::find(columns.begin(), columns.end(), key) != columns.end()) {
+      out.push_back(display_.at(table));
+    }
+  }
+  return out;
+}
+
+const std::vector<std::string>* DbCatalog::ColumnsOf(
+    const std::string& table) const {
+  auto it = tables_.find(AsciiStrToUpper(table));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> DbCatalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(display_.size());
+  for (const auto& [key, name] : display_) out.push_back(name);
+  return out;
+}
+
+}  // namespace sqlpl

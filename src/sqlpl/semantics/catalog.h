@@ -1,0 +1,40 @@
+#ifndef SQLPL_SEMANTICS_CATALOG_H_
+#define SQLPL_SEMANTICS_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// A minimal database catalog (schema dictionary) used by the semantic
+/// validator: table names with their column lists. Names compare
+/// case-insensitively, as SQL regular identifiers do.
+class DbCatalog {
+ public:
+  /// Registers a table; fails on duplicate table names.
+  Status AddTable(const std::string& table,
+                  const std::vector<std::string>& columns);
+
+  bool HasTable(const std::string& table) const;
+  /// True if `table` exists and has `column`.
+  bool HasColumn(const std::string& table, const std::string& column) const;
+  /// Tables (any of them) defining `column`.
+  std::vector<std::string> TablesWithColumn(const std::string& column) const;
+
+  const std::vector<std::string>* ColumnsOf(const std::string& table) const;
+  std::vector<std::string> TableNames() const;
+  size_t NumTables() const { return tables_.size(); }
+
+ private:
+  // Uppercased table name -> uppercased column names.
+  std::map<std::string, std::vector<std::string>> tables_;
+  // Uppercased table name -> original spelling (for messages).
+  std::map<std::string, std::string> display_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SEMANTICS_CATALOG_H_

@@ -1,0 +1,85 @@
+#include "sqlpl/semantics/pretty_printer.h"
+
+#include <set>
+
+#include "sqlpl/util/strings.h"
+
+namespace sqlpl {
+
+namespace {
+
+void CollectLeaves(const ParseNode& node, std::vector<const Token*>* out) {
+  if (node.is_leaf()) {
+    out->push_back(&node.token());
+    return;
+  }
+  for (const ParseNode& child : node.children()) CollectLeaves(child, out);
+}
+
+bool IsWordToken(const Token& token) {
+  return !token.text.empty() && IsIdentStart(token.text[0]);
+}
+
+// Lexeme as the printer emits it.
+std::string Lexeme(const Token& token) {
+  if (token.type == "IDENTIFIER") return token.text;
+  if (token.type == "NUMBER") return token.text;
+  if (token.type == "STRING") {
+    std::string out = "'";
+    for (char c : token.text) {
+      out += c;
+      if (c == '\'') out += '\'';  // double the quote
+    }
+    out += "'";
+    return out;
+  }
+  if (IsWordToken(token)) return AsciiStrToUpper(token.text);  // keyword
+  return token.text;  // punctuation
+}
+
+// Words that a following `(` belongs to as a call, so the printer writes
+// `COUNT(*)` and `f(x)` but keeps `WHERE (a = 1)` spaced.
+bool IsCallableWord(const Token& token) {
+  static const std::set<std::string> kFunctions = {
+      "IDENTIFIER", "COUNT",       "SUM",        "AVG",
+      "MIN",        "MAX",         "EVERY",      "STDDEV_POP",
+      "STDDEV_SAMP","VAR_POP",     "VAR_SAMP",   "UPPER",
+      "LOWER",      "TRIM",        "SUBSTRING",  "POSITION",
+      "CHAR_LENGTH","EXTRACT",     "CAST",       "NULLIF",
+      "COALESCE",   "VARCHAR",     "CHAR",       "CHARACTER",
+      "DECIMAL",    "NUMERIC",     "DEC",        "FLOAT",
+      "TIMESTAMP",  "TIME"};
+  return kFunctions.contains(token.type);
+}
+
+bool NoSpaceBefore(const Token& token) {
+  return token.type == "COMMA" || token.type == "RPAREN" ||
+         token.type == "DOT" || token.type == "SEMI";
+}
+
+bool NoSpaceAfter(const Token& token) {
+  return token.type == "LPAREN" || token.type == "DOT";
+}
+
+}  // namespace
+
+std::string PrintSql(const ParseNode& tree) {
+  std::vector<const Token*> leaves;
+  CollectLeaves(tree, &leaves);
+
+  std::string out;
+  bool suppress_space = true;  // no leading space
+  const Token* previous = nullptr;
+  for (const Token* token : leaves) {
+    if (token->type == "$") continue;
+    bool call_paren = token->type == "LPAREN" && previous != nullptr &&
+                      IsCallableWord(*previous);
+    if (!suppress_space && !NoSpaceBefore(*token) && !call_paren) out += ' ';
+    out += Lexeme(*token);
+    suppress_space = NoSpaceAfter(*token);
+    previous = token;
+  }
+  return out;
+}
+
+}  // namespace sqlpl

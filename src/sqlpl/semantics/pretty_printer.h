@@ -1,0 +1,20 @@
+#ifndef SQLPL_SEMANTICS_PRETTY_PRINTER_H_
+#define SQLPL_SEMANTICS_PRETTY_PRINTER_H_
+
+#include <string>
+
+#include "sqlpl/parser/parse_tree.h"
+
+namespace sqlpl {
+
+/// Renders the SQL text a CST matched, with canonical spacing: single
+/// spaces between tokens, no space before `,` `)` `.` or after `(` `.`,
+/// keywords uppercased, string literals re-quoted. Because it works on
+/// the CST it prints any dialect of the product line, and satisfies the
+/// round-trip property parse(print(parse(q))) == parse(q) used by the
+/// property tests.
+std::string PrintSql(const ParseNode& tree);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SEMANTICS_PRETTY_PRINTER_H_

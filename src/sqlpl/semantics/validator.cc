@@ -1,0 +1,151 @@
+#include "sqlpl/semantics/validator.h"
+
+#include "sqlpl/util/strings.h"
+
+namespace sqlpl {
+
+namespace {
+
+std::string ChainText(const ParseNode& node) {
+  std::string out;
+  for (const ParseNode* leaf : node.FindAll("IDENTIFIER")) {
+    if (!out.empty()) out += '.';
+    out += leaf->token().text;
+  }
+  return out;
+}
+
+// Tables (and aliases) named by the FROM clause nearest to `query`.
+struct FromScope {
+  std::vector<std::string> tables;            // real table names
+  std::map<std::string, std::string> alias;   // UPPER(alias) -> table
+};
+
+FromScope ScopeOf(const ParseNode& query) {
+  FromScope scope;
+  const ParseNode* from = query.FindFirst("from_clause");
+  if (from == nullptr) return scope;
+  for (const ParseNode* primary : from->FindAll("table_primary")) {
+    const ParseNode* name = primary->FindFirst("table_name");
+    if (name == nullptr) continue;
+    std::string table = ChainText(*name);
+    const ParseNode* correlation = primary->FindFirst("correlation_clause");
+    if (correlation != nullptr) {
+      std::vector<const ParseNode*> ids = correlation->FindAll("IDENTIFIER");
+      if (!ids.empty()) {
+        scope.alias[AsciiStrToUpper(ids.back()->token().text)] = table;
+      }
+    }
+    scope.tables.push_back(std::move(table));
+  }
+  return scope;
+}
+
+}  // namespace
+
+ActionRegistry MakeCatalogValidator(const DbCatalog& catalog) {
+  ActionRegistry registry;
+
+  // Layer owned by the From feature: every table *referenced* from a FROM
+  // clause must exist. Registered on from_clause (not table_name) so that
+  // defining occurrences — CREATE TABLE / CREATE VIEW targets — are not
+  // treated as references.
+  auto check_table = [&catalog](const ParseNode& name_node,
+                                SemanticContext* context) {
+    std::string table = ChainText(name_node);
+    if (!table.empty() && !catalog.HasTable(table)) {
+      context->diagnostics.AddError(
+          name_node.FindAll("IDENTIFIER").front()->token().location,
+          "unknown table '" + table + "'");
+    }
+  };
+  registry.Register(
+      "From", "from_clause",
+      [check_table](const ParseNode& node, SemanticContext* context) {
+        for (const ParseNode* name : node.FindAll("table_name")) {
+          check_table(*name, context);
+        }
+      });
+  // DML layers: the statement's target table is a reference too.
+  for (const char* rule :
+       {"insert_statement", "update_statement", "delete_statement"}) {
+    std::string feature = rule == std::string("insert_statement")
+                              ? "InsertStatement"
+                          : rule == std::string("update_statement")
+                              ? "UpdateStatement"
+                              : "DeleteStatement";
+    registry.Register(
+        feature, rule,
+        [check_table](const ParseNode& node, SemanticContext* context) {
+          const ParseNode* name = node.FindFirst("table_name");
+          if (name != nullptr) check_table(*name, context);
+        });
+  }
+
+  // Layer owned by the ValueExpressions feature: column references must
+  // resolve against the enclosing FROM scope. Registered on the
+  // query_specification rule so the scope is computed once per query.
+  registry.Register(
+      "ValueExpressions", "query_specification",
+      [&catalog](const ParseNode& query, SemanticContext* context) {
+        FromScope scope = ScopeOf(query);
+        if (scope.tables.empty()) return;
+        for (const ParseNode* ref : query.FindAll("column_reference")) {
+          // Skip references that are actually routine invocations.
+          if (ref->FindFirst("routine_call_suffix") != nullptr) continue;
+          std::vector<const ParseNode*> ids = ref->FindAll("IDENTIFIER");
+          if (ids.empty()) continue;
+          if (ids.size() >= 2) {
+            // qualifier.column
+            std::string qualifier = ids[0]->token().text;
+            std::string column = ids[1]->token().text;
+            std::string table = qualifier;
+            auto alias_it = scope.alias.find(AsciiStrToUpper(qualifier));
+            if (alias_it != scope.alias.end()) table = alias_it->second;
+            if (!catalog.HasTable(table)) {
+              context->diagnostics.AddError(
+                  ids[0]->token().location,
+                  "unknown table or alias '" + qualifier + "'");
+            } else if (!catalog.HasColumn(table, column)) {
+              context->diagnostics.AddError(
+                  ids[1]->token().location,
+                  "table '" + table + "' has no column '" + column + "'");
+            }
+            continue;
+          }
+          // Unqualified column: must exist in some table in scope.
+          const std::string& column = ids[0]->token().text;
+          bool found = false;
+          for (const std::string& table : scope.tables) {
+            if (catalog.HasColumn(table, column)) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            context->diagnostics.AddError(
+                ids[0]->token().location,
+                "column '" + column + "' not found in any table of the "
+                "FROM clause");
+          }
+        }
+      });
+
+  return registry;
+}
+
+Status ValidateAgainstCatalog(const DbCatalog& catalog,
+                              const std::vector<std::string>& features,
+                              const ParseNode& tree,
+                              DiagnosticCollector* diagnostics) {
+  ActionRegistry registry =
+      MakeCatalogValidator(catalog).ForFeatures(features);
+  SemanticContext context;
+  Status status = registry.Run(tree, &context);
+  for (const Diagnostic& diagnostic : context.diagnostics.diagnostics()) {
+    diagnostics->Add(diagnostic);
+  }
+  return status;
+}
+
+}  // namespace sqlpl

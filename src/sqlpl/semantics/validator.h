@@ -1,0 +1,32 @@
+#ifndef SQLPL_SEMANTICS_VALIDATOR_H_
+#define SQLPL_SEMANTICS_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "sqlpl/parser/parse_tree.h"
+#include "sqlpl/semantics/action_registry.h"
+#include "sqlpl/semantics/catalog.h"
+
+namespace sqlpl {
+
+/// Builds the catalog-checking semantic layers: table references must
+/// name catalog tables ("From" layer), column references must resolve in
+/// the tables of the enclosing FROM clause ("ValueExpressions" layer).
+/// The returned registry carries one layer per feature, so a dialect's
+/// validator is `MakeCatalogValidator(catalog).ForFeatures(selected)` —
+/// semantics composed feature-wise, mirroring grammar composition.
+///
+/// The `catalog` reference must outlive the registry.
+ActionRegistry MakeCatalogValidator(const DbCatalog& catalog);
+
+/// Convenience: runs the catalog validator for `features` over `tree`,
+/// returning the diagnostics it produced.
+Status ValidateAgainstCatalog(const DbCatalog& catalog,
+                              const std::vector<std::string>& features,
+                              const ParseNode& tree,
+                              DiagnosticCollector* diagnostics);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SEMANTICS_VALIDATOR_H_

@@ -1,0 +1,283 @@
+#include "sqlpl/sql/classifications.h"
+
+#include "sqlpl/sql/foundation_grammars.h"
+
+namespace sqlpl {
+
+namespace {
+
+struct Classification {
+  const char* feature;
+  StatementClass statement_class;
+  SchemaElement schema_element;
+};
+
+// One row per catalog module. The table is checked for completeness and
+// consistency against the catalog by tests/sql/classifications_test.cc.
+constexpr Classification kClassifications[] = {
+    {"ValueExpressions", StatementClass::kExpression, SchemaElement::kColumn},
+    {"Literals", StatementClass::kExpression, SchemaElement::kNone},
+    {"BooleanLiterals", StatementClass::kExpression, SchemaElement::kNone},
+    {"SelectList", StatementClass::kQuery, SchemaElement::kColumn},
+    {"DerivedColumn", StatementClass::kQuery, SchemaElement::kColumn},
+    {"AsClause", StatementClass::kQuery, SchemaElement::kColumn},
+    {"Asterisk", StatementClass::kQuery, SchemaElement::kColumn},
+    {"From", StatementClass::kQuery, SchemaElement::kTable},
+    {"CorrelationName", StatementClass::kQuery, SchemaElement::kTable},
+    {"TableExpression", StatementClass::kQuery, SchemaElement::kTable},
+    {"QuerySpecification", StatementClass::kQuery, SchemaElement::kTable},
+    {"SetQuantifier", StatementClass::kQuery, SchemaElement::kNone},
+    {"SearchConditions", StatementClass::kExpression, SchemaElement::kNone},
+    {"Where", StatementClass::kQuery, SchemaElement::kNone},
+    {"GroupBy", StatementClass::kQuery, SchemaElement::kColumn},
+    {"Rollup", StatementClass::kQuery, SchemaElement::kColumn},
+    {"Cube", StatementClass::kQuery, SchemaElement::kColumn},
+    {"GroupingSets", StatementClass::kQuery, SchemaElement::kColumn},
+    {"Having", StatementClass::kQuery, SchemaElement::kNone},
+    {"OrderBy", StatementClass::kQuery, SchemaElement::kColumn},
+    {"FetchFirst", StatementClass::kQuery, SchemaElement::kNone},
+    {"Window", StatementClass::kQuery, SchemaElement::kColumn},
+    {"NumericExpressions", StatementClass::kExpression,
+     SchemaElement::kNone},
+    {"Concatenation", StatementClass::kExpression, SchemaElement::kNone},
+    {"StringFunctions", StatementClass::kExpression, SchemaElement::kNone},
+    {"DatetimeFunctions", StatementClass::kExpression, SchemaElement::kNone},
+    {"CaseExpressions", StatementClass::kExpression, SchemaElement::kNone},
+    {"SearchedCase", StatementClass::kExpression, SchemaElement::kNone},
+    {"DataTypes", StatementClass::kExpression, SchemaElement::kColumn},
+    {"CastExpression", StatementClass::kExpression, SchemaElement::kNone},
+    {"SetFunctions", StatementClass::kExpression, SchemaElement::kColumn},
+    {"RoutineInvocation", StatementClass::kExpression, SchemaElement::kNone},
+    {"Subqueries", StatementClass::kQuery, SchemaElement::kTable},
+    {"DerivedTable", StatementClass::kQuery, SchemaElement::kTable},
+    {"BetweenPredicate", StatementClass::kPredicate, SchemaElement::kNone},
+    {"InPredicate", StatementClass::kPredicate, SchemaElement::kNone},
+    {"InSubquery", StatementClass::kPredicate, SchemaElement::kNone},
+    {"LikePredicate", StatementClass::kPredicate, SchemaElement::kNone},
+    {"NullPredicate", StatementClass::kPredicate, SchemaElement::kNone},
+    {"ExistsPredicate", StatementClass::kPredicate, SchemaElement::kNone},
+    {"QuantifiedPredicate", StatementClass::kPredicate,
+     SchemaElement::kNone},
+    {"JoinedTable", StatementClass::kQuery, SchemaElement::kTable},
+    {"NaturalJoin", StatementClass::kQuery, SchemaElement::kTable},
+    {"Union", StatementClass::kQuery, SchemaElement::kNone},
+    {"Except", StatementClass::kQuery, SchemaElement::kNone},
+    {"Intersect", StatementClass::kQuery, SchemaElement::kNone},
+    {"InsertStatement", StatementClass::kDataManipulation,
+     SchemaElement::kTable},
+    {"InsertFromQuery", StatementClass::kDataManipulation,
+     SchemaElement::kTable},
+    {"UpdateStatement", StatementClass::kDataManipulation,
+     SchemaElement::kTable},
+    {"DeleteStatement", StatementClass::kDataManipulation,
+     SchemaElement::kTable},
+    {"MergeStatement", StatementClass::kDataManipulation,
+     SchemaElement::kTable},
+    {"TableDefinition", StatementClass::kDataDefinition,
+     SchemaElement::kTable},
+    {"TableConstraints", StatementClass::kDataDefinition,
+     SchemaElement::kTable},
+    {"ReferentialActions", StatementClass::kDataDefinition,
+     SchemaElement::kTable},
+    {"ViewDefinition", StatementClass::kDataDefinition,
+     SchemaElement::kView},
+    {"AlterTable", StatementClass::kDataDefinition, SchemaElement::kTable},
+    {"DropStatement", StatementClass::kDataDefinition,
+     SchemaElement::kTable},
+    {"SchemaDefinition", StatementClass::kDataDefinition,
+     SchemaElement::kSchema},
+    {"DomainDefinition", StatementClass::kDataDefinition,
+     SchemaElement::kDomain},
+    {"SequenceGenerator", StatementClass::kDataDefinition,
+     SchemaElement::kSequence},
+    {"TriggerDefinition", StatementClass::kDataDefinition,
+     SchemaElement::kTrigger},
+    {"Transactions", StatementClass::kTransaction,
+     SchemaElement::kTransactionState},
+    {"SessionStatements", StatementClass::kSession, SchemaElement::kSession},
+    {"Grant", StatementClass::kDataControl, SchemaElement::kPrivilege},
+    {"Revoke", StatementClass::kDataControl, SchemaElement::kPrivilege},
+    {"Cursors", StatementClass::kCursor, SchemaElement::kCursor},
+    {"SamplePeriod", StatementClass::kExtension, SchemaElement::kNone},
+    {"EpochDuration", StatementClass::kExtension, SchemaElement::kNone},
+    {"WithClause", StatementClass::kQuery, SchemaElement::kTable},
+    {"DatetimeLiterals", StatementClass::kExpression, SchemaElement::kNone},
+    {"IntervalLiterals", StatementClass::kExpression, SchemaElement::kNone},
+    {"OverlapsPredicate", StatementClass::kPredicate, SchemaElement::kNone},
+    {"SimilarPredicate", StatementClass::kPredicate, SchemaElement::kNone},
+    {"DistinctPredicate", StatementClass::kPredicate, SchemaElement::kNone},
+    {"UniquePredicate", StatementClass::kPredicate, SchemaElement::kNone},
+    {"PositionedDml", StatementClass::kDataManipulation,
+     SchemaElement::kCursor},
+    {"FilterClause", StatementClass::kExpression, SchemaElement::kNone},
+    {"WindowFunctions", StatementClass::kExpression, SchemaElement::kColumn},
+    {"RowValueConstructors", StatementClass::kPredicate,
+     SchemaElement::kNone},
+    {"CollateClause", StatementClass::kQuery, SchemaElement::kColumn},
+    {"ReleaseSavepoint", StatementClass::kTransaction,
+     SchemaElement::kTransactionState},
+    {"BetweenSymmetric", StatementClass::kPredicate, SchemaElement::kNone},
+    {"Corresponding", StatementClass::kQuery, SchemaElement::kColumn},
+    {"EmptyGroupingSet", StatementClass::kQuery, SchemaElement::kColumn},
+    {"CallStatement", StatementClass::kDataManipulation,
+     SchemaElement::kNone},
+    {"TruncateTable", StatementClass::kDataManipulation,
+     SchemaElement::kTable},
+};
+
+const Classification* FindClassification(const std::string& feature) {
+  for (const Classification& entry : kClassifications) {
+    if (feature == entry.feature) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* StatementClassToString(StatementClass cls) {
+  switch (cls) {
+    case StatementClass::kQuery:
+      return "query";
+    case StatementClass::kExpression:
+      return "expression";
+    case StatementClass::kPredicate:
+      return "predicate";
+    case StatementClass::kDataManipulation:
+      return "data-manipulation";
+    case StatementClass::kDataDefinition:
+      return "data-definition";
+    case StatementClass::kDataControl:
+      return "data-control";
+    case StatementClass::kTransaction:
+      return "transaction";
+    case StatementClass::kSession:
+      return "session";
+    case StatementClass::kCursor:
+      return "cursor";
+    case StatementClass::kExtension:
+      return "extension";
+  }
+  return "unknown";
+}
+
+const char* SchemaElementToString(SchemaElement element) {
+  switch (element) {
+    case SchemaElement::kTable:
+      return "table";
+    case SchemaElement::kColumn:
+      return "column";
+    case SchemaElement::kView:
+      return "view";
+    case SchemaElement::kSchema:
+      return "schema";
+    case SchemaElement::kDomain:
+      return "domain";
+    case SchemaElement::kSequence:
+      return "sequence";
+    case SchemaElement::kTrigger:
+      return "trigger";
+    case SchemaElement::kPrivilege:
+      return "privilege";
+    case SchemaElement::kCursor:
+      return "cursor";
+    case SchemaElement::kTransactionState:
+      return "transaction-state";
+    case SchemaElement::kSession:
+      return "session";
+    case SchemaElement::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+Result<StatementClass> StatementClassOf(const std::string& feature) {
+  const Classification* entry = FindClassification(feature);
+  if (entry == nullptr) {
+    return Status::NotFound("feature '" + feature + "' is not classified");
+  }
+  return entry->statement_class;
+}
+
+Result<SchemaElement> SchemaElementOf(const std::string& feature) {
+  const Classification* entry = FindClassification(feature);
+  if (entry == nullptr) {
+    return Status::NotFound("feature '" + feature + "' is not classified");
+  }
+  return entry->schema_element;
+}
+
+std::vector<std::string> FeaturesOfClasses(
+    const std::vector<StatementClass>& classes) {
+  std::vector<std::string> out;
+  // Iterate the catalog (not the table) to keep canonical order.
+  for (const SqlFeatureModule& module :
+       SqlFeatureCatalog::Instance().modules()) {
+    const Classification* entry = FindClassification(module.name);
+    if (entry == nullptr) continue;
+    for (StatementClass cls : classes) {
+      if (entry->statement_class == cls) {
+        out.push_back(module.name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> FeaturesOfElements(
+    const std::vector<SchemaElement>& elements) {
+  std::vector<std::string> out;
+  for (const SqlFeatureModule& module :
+       SqlFeatureCatalog::Instance().modules()) {
+    const Classification* entry = FindClassification(module.name);
+    if (entry == nullptr) continue;
+    for (SchemaElement element : elements) {
+      if (entry->schema_element == element) {
+        out.push_back(module.name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<DialectSpec> DialectFromClasses(
+    std::string name, const std::vector<StatementClass>& classes) {
+  DialectSpec spec;
+  spec.name = std::move(name);
+  SQLPL_ASSIGN_OR_RETURN(
+      spec.features,
+      SqlFeatureCatalog::Instance().CompletedClosure(
+          FeaturesOfClasses(classes)));
+  return spec;
+}
+
+Result<DialectSpec> DialectFromElements(
+    std::string name, const std::vector<SchemaElement>& elements) {
+  DialectSpec spec;
+  spec.name = std::move(name);
+  SQLPL_ASSIGN_OR_RETURN(
+      spec.features,
+      SqlFeatureCatalog::Instance().CompletedClosure(
+          FeaturesOfElements(elements)));
+  return spec;
+}
+
+std::map<std::string, std::vector<std::string>> GroupByStatementClass() {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const Classification& entry : kClassifications) {
+    out[StatementClassToString(entry.statement_class)].push_back(
+        entry.feature);
+  }
+  return out;
+}
+
+std::map<std::string, std::vector<std::string>> GroupBySchemaElement() {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const Classification& entry : kClassifications) {
+    out[SchemaElementToString(entry.schema_element)].push_back(entry.feature);
+  }
+  return out;
+}
+
+}  // namespace sqlpl

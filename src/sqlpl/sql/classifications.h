@@ -1,0 +1,102 @@
+#ifndef SQLPL_SQL_CLASSIFICATIONS_H_
+#define SQLPL_SQL_CLASSIFICATIONS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sqlpl/sql/product_line.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// §5 of the paper: "In addition to decomposing SQL by statement classes,
+/// it is possible to classify SQL constructs in different ways, e.g., by
+/// the schema element they operate on. We propose that different
+/// classifications of features lead to the same advantages."
+///
+/// This header provides two orthogonal classifications of the catalog's
+/// feature modules — by statement class (the paper's primary
+/// decomposition) and by the schema element operated on — and a way to
+/// derive dialects from either, demonstrating the claim.
+
+/// Classification of features by SQL statement class (SQL Foundation's
+/// "classification of SQL statements by function").
+enum class StatementClass {
+  /// Query expressions and their clauses.
+  kQuery,
+  /// Scalar/boolean expression machinery shared by many statements.
+  kExpression,
+  /// Predicates of search conditions.
+  kPredicate,
+  /// INSERT / UPDATE / DELETE / MERGE.
+  kDataManipulation,
+  /// CREATE / ALTER / DROP of schema objects.
+  kDataDefinition,
+  /// GRANT / REVOKE.
+  kDataControl,
+  /// Transaction management.
+  kTransaction,
+  /// Session management.
+  kSession,
+  /// Cursor statements.
+  kCursor,
+  /// Non-standard extension features (TinySQL acquisitional clauses).
+  kExtension,
+};
+
+const char* StatementClassToString(StatementClass cls);
+
+/// Classification by the schema element a feature operates on.
+enum class SchemaElement {
+  kTable,
+  kColumn,
+  kView,
+  kSchema,
+  kDomain,
+  kSequence,
+  kTrigger,
+  kPrivilege,
+  kCursor,
+  kTransactionState,
+  kSession,
+  /// Pure language machinery with no schema element (expressions,
+  /// predicates, literals).
+  kNone,
+};
+
+const char* SchemaElementToString(SchemaElement element);
+
+/// Statement class of a catalog feature module; fails for unknown names.
+Result<StatementClass> StatementClassOf(const std::string& feature);
+
+/// Schema element of a catalog feature module; fails for unknown names.
+Result<SchemaElement> SchemaElementOf(const std::string& feature);
+
+/// All catalog features of the given statement classes, in canonical
+/// order (requires-closure NOT applied).
+std::vector<std::string> FeaturesOfClasses(
+    const std::vector<StatementClass>& classes);
+
+/// All catalog features operating on the given schema elements.
+std::vector<std::string> FeaturesOfElements(
+    const std::vector<SchemaElement>& elements);
+
+/// Builds a dialect from statement classes: the features of the classes,
+/// closed under requires. E.g. {kQuery, kExpression, kPredicate} yields a
+/// pure-query dialect without ever naming an individual feature —
+/// "different classifications lead to the same advantages".
+Result<DialectSpec> DialectFromClasses(
+    std::string name, const std::vector<StatementClass>& classes);
+
+/// Same, from schema elements.
+Result<DialectSpec> DialectFromElements(
+    std::string name, const std::vector<SchemaElement>& elements);
+
+/// Grouping of all modules keyed by class / element name, for reports.
+std::map<std::string, std::vector<std::string>> GroupByStatementClass();
+std::map<std::string, std::vector<std::string>> GroupBySchemaElement();
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SQL_CLASSIFICATIONS_H_

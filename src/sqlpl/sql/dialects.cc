@@ -1,0 +1,93 @@
+#include "sqlpl/sql/dialects.h"
+
+#include "sqlpl/sql/foundation_grammars.h"
+
+namespace sqlpl {
+
+DialectSpec WorkedExampleDialect() {
+  DialectSpec spec;
+  spec.name = "WorkedExample";
+  spec.features = {
+      "ValueExpressions", "Literals",      "SelectList",
+      "DerivedColumn",    "From",          "TableExpression",
+      "QuerySpecification", "SetQuantifier", "SearchConditions",
+      "Where",
+  };
+  spec.counts = {{"SelectList", 1}, {"From", 1}};
+  return spec;
+}
+
+DialectSpec CoreQueryDialect() {
+  DialectSpec spec;
+  spec.name = "CoreQuery";
+  spec.features = {
+      "ValueExpressions", "Literals",        "SelectList",
+      "DerivedColumn",    "AsClause",        "Asterisk",
+      "From",             "CorrelationName", "TableExpression",
+      "QuerySpecification", "SetQuantifier", "SearchConditions",
+      "Where",            "GroupBy",         "Having",
+      "OrderBy",          "NumericExpressions", "SetFunctions",
+  };
+  return spec;
+}
+
+DialectSpec FullFoundationDialect() {
+  DialectSpec spec;
+  spec.name = "FullFoundation";
+  spec.features = SqlFeatureCatalog::Instance().ModuleNames();
+  return spec;
+}
+
+DialectSpec TinySqlDialect() {
+  DialectSpec spec;
+  spec.name = "TinySQL";
+  spec.features = {
+      "ValueExpressions", "Literals",     "SelectList",
+      "DerivedColumn",    "Asterisk",     "From",
+      "TableExpression",  "QuerySpecification", "SearchConditions",
+      "Where",            "GroupBy",      "Having",
+      "NumericExpressions", "SetFunctions",
+      "SamplePeriod",     "EpochDuration",
+  };
+  // TinySQL allows only a single table in the FROM clause and no aliases
+  // (no CorrelationName / AsClause features selected).
+  spec.counts = {{"From", 1}};
+  return spec;
+}
+
+DialectSpec ScqlDialect() {
+  DialectSpec spec;
+  spec.name = "SCQL";
+  spec.features = {
+      "ValueExpressions", "Literals",       "SelectList",
+      "DerivedColumn",    "Asterisk",       "From",
+      "TableExpression",  "QuerySpecification", "SearchConditions",
+      "Where",            "NumericExpressions", "InsertStatement",
+      "UpdateStatement",  "DeleteStatement",  "DataTypes",
+      "TableDefinition",  "ViewDefinition",   "Grant",
+  };
+  // Smart-card SELECTs see one table (or view) at a time.
+  spec.counts = {{"From", 1}};
+  return spec;
+}
+
+DialectSpec EmbeddedMinimalDialect() {
+  DialectSpec spec;
+  spec.name = "EmbeddedMinimal";
+  spec.features = {
+      "ValueExpressions", "Literals",       "SelectList",
+      "DerivedColumn",    "From",           "TableExpression",
+      "QuerySpecification", "SearchConditions", "Where",
+      "SetFunctions",
+  };
+  spec.counts = {{"From", 1}};
+  return spec;
+}
+
+std::vector<DialectSpec> AllPresetDialects() {
+  return {WorkedExampleDialect(),  CoreQueryDialect(),
+          FullFoundationDialect(), TinySqlDialect(),
+          ScqlDialect(),           EmbeddedMinimalDialect()};
+}
+
+}  // namespace sqlpl

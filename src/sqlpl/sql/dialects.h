@@ -1,0 +1,46 @@
+#ifndef SQLPL_SQL_DIALECTS_H_
+#define SQLPL_SQL_DIALECTS_H_
+
+#include <vector>
+
+#include "sqlpl/sql/product_line.h"
+
+namespace sqlpl {
+
+/// Preset dialect specifications — the "different SQL dialects" the paper
+/// motivates. Each returns a fresh `DialectSpec` ready for
+/// `SqlProductLine::BuildParser`.
+
+/// The §3.2 worked example: SELECT of a single column from a single table
+/// with optional set quantifier (DISTINCT/ALL) and optional WHERE clause.
+/// Select Sublist and Table Reference cardinalities are pinned to 1.
+DialectSpec WorkedExampleDialect();
+
+/// A practical query core: multi-column select lists, aliases, asterisk,
+/// arithmetic, aggregates, GROUP BY / HAVING / ORDER BY, literals.
+DialectSpec CoreQueryDialect();
+
+/// Every feature in the catalog — the "full" SQL Foundation subset this
+/// product line covers. The baseline monolithic parser accepts the same
+/// language.
+DialectSpec FullFoundationDialect();
+
+/// TinySQL (TinyDB, sensor networks): single table in FROM, no column or
+/// table aliases, aggregation, and the acquisitional SAMPLE PERIOD /
+/// EPOCH DURATION extension clauses.
+DialectSpec TinySqlDialect();
+
+/// SCQL (ISO 7816-7 smart cards): restricted SELECT / INSERT / UPDATE /
+/// DELETE plus table, view and privilege definition.
+DialectSpec ScqlDialect();
+
+/// A minimal selection-projection-aggregation dialect for deeply embedded
+/// devices (the PicoDBMS-style profile of the paper's motivation).
+DialectSpec EmbeddedMinimalDialect();
+
+/// All presets above, for dialect-matrix tests and benchmarks.
+std::vector<DialectSpec> AllPresetDialects();
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SQL_DIALECTS_H_

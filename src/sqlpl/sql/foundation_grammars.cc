@@ -1,0 +1,1401 @@
+#include "sqlpl/sql/foundation_grammars.h"
+
+#include <set>
+
+#include "sqlpl/grammar/text_format.h"
+
+namespace sqlpl {
+
+// The catalog below encodes the SQL:2003 Foundation sub-grammars, one per
+// composable feature, in the grammar DSL. Conventions:
+//  - inline 'KEYWORD' and ',' literals auto-register keyword/punctuation
+//    tokens in the module's token file;
+//  - IDENTIFIER / NUMBER / STRING class tokens are declared in tokens{}
+//    blocks where used;
+//  - base modules define degenerate "layer" rules (e.g.
+//    `numeric_value_expression : term ; term : factor ;`) that richer
+//    feature modules replace via the containment rule, so that ordered
+//    alternatives never hide longer matches behind shorter ones;
+//  - identical rules repeated across modules (e.g. `where_clause`)
+//    compose to themselves, which keeps modules self-contained.
+
+SqlFeatureCatalog::SqlFeatureCatalog() {
+  // -------------------------------------------------------------------
+  // Value expression core
+  // -------------------------------------------------------------------
+  Register({
+      .name = "ValueExpressions",
+      .description = "Scalar value expression core: column references and "
+                     "the degenerate precedence tower later features refine",
+      .grammar_text = R"(
+grammar ValueExpressions;
+tokens { IDENTIFIER = identifier; }
+value_expression : numeric_value_expression ;
+numeric_value_expression : term ;
+term : factor ;
+factor : value_primary ;
+value_primary : nonparenthesized_value_primary ;
+nonparenthesized_value_primary : column_reference ;
+column_reference : identifier_chain ;
+identifier_chain : IDENTIFIER ( '.' IDENTIFIER )* ;
+)",
+  });
+
+  Register({
+      .name = "Literals",
+      .description = "Unsigned numeric, character string and NULL literals",
+      .grammar_text = R"(
+grammar Literals;
+tokens { NUMBER = number; STRING = string; }
+nonparenthesized_value_primary : unsigned_literal ;
+unsigned_literal : NUMBER | STRING | 'NULL' ;
+)",
+      .requires_features = {"ValueExpressions"},
+  });
+
+  Register({
+      .name = "BooleanLiterals",
+      .description = "TRUE / FALSE / UNKNOWN literals",
+      .grammar_text = R"(
+grammar BooleanLiterals;
+unsigned_literal : 'TRUE' | 'FALSE' | 'UNKNOWN' ;
+)",
+      .requires_features = {"Literals"},
+  });
+
+  // -------------------------------------------------------------------
+  // SELECT statement skeleton (Figure 1 features)
+  // -------------------------------------------------------------------
+  Register({
+      .name = "SelectList",
+      .description = "Select list; the multi-instance variant is the "
+                     "Select Sublist [1..*] complex list of Figure 1",
+      .grammar_text = R"(
+grammar SelectList;
+select_list : select_sublist ;
+)",
+      .multi_grammar_text = R"(
+grammar SelectList;
+select_list : select_sublist ( ',' select_sublist )* ;
+)",
+  });
+
+  Register({
+      .name = "DerivedColumn",
+      .description = "Derived column: a value expression in the select list",
+      .grammar_text = R"(
+grammar DerivedColumn;
+select_sublist : derived_column ;
+derived_column : value_expression ;
+)",
+      .requires_features = {"SelectList", "ValueExpressions"},
+  });
+
+  Register({
+      .name = "AsClause",
+      .description = "Column alias ([AS] name) on derived columns "
+                     "(the 'AS' feature of Figure 1)",
+      .grammar_text = R"(
+grammar AsClause;
+tokens { IDENTIFIER = identifier; }
+derived_column : value_expression [ as_clause ] ;
+as_clause : [ 'AS' ] IDENTIFIER ;
+)",
+      .requires_features = {"DerivedColumn"},
+  });
+
+  Register({
+      .name = "Asterisk",
+      .description = "SELECT * (the 'Asterisk' feature of Figure 1)",
+      .grammar_text = R"(
+grammar Asterisk;
+select_list : '*' ;
+)",
+      .requires_features = {"SelectList"},
+  });
+
+  Register({
+      .name = "From",
+      .description = "FROM clause; the multi-instance variant allows a "
+                     "table reference list",
+      .grammar_text = R"(
+grammar From;
+from_clause : 'FROM' table_reference ;
+table_reference : table_primary ;
+table_primary : table_name ;
+table_name : identifier_chain ;
+)",
+      .multi_grammar_text = R"(
+grammar From;
+from_clause : 'FROM' table_reference ( ',' table_reference )* ;
+table_reference : table_primary ;
+table_primary : table_name ;
+table_name : identifier_chain ;
+)",
+      .requires_features = {"ValueExpressions"},
+  });
+
+  Register({
+      .name = "CorrelationName",
+      .description = "Table alias ([AS] name) on table primaries — absent "
+                     "in TinySQL, which forbids aliases",
+      .grammar_text = R"(
+grammar CorrelationName;
+tokens { IDENTIFIER = identifier; }
+table_primary : table_name [ correlation_clause ] ;
+correlation_clause : [ 'AS' ] IDENTIFIER ;
+)",
+      .requires_features = {"From"},
+  });
+
+  Register({
+      .name = "TableExpression",
+      .description = "Table expression skeleton (Figure 2 root)",
+      .grammar_text = R"(
+grammar TableExpression;
+table_expression : from_clause ;
+)",
+      .requires_features = {"From"},
+  });
+
+  Register({
+      .name = "QuerySpecification",
+      .description = "SELECT statement skeleton (Figure 1 root) plus the "
+                     "degenerate query-expression tower",
+      .grammar_text = R"(
+grammar QuerySpecification;
+start sql_statement;
+sql_statement : query_statement ;
+query_statement : query_expression ;
+query_expression : query_primary ;
+query_primary : query_specification ;
+query_specification : 'SELECT' select_list table_expression ;
+)",
+      .requires_features = {"SelectList", "TableExpression"},
+  });
+
+  Register({
+      .name = "SetQuantifier",
+      .description = "DISTINCT / ALL on SELECT (Figure 1's Set Quantifier)",
+      .grammar_text = R"(
+grammar SetQuantifier;
+query_specification : 'SELECT' [ set_quantifier ] select_list table_expression ;
+set_quantifier : 'DISTINCT' | 'ALL' ;
+)",
+      .requires_features = {"QuerySpecification"},
+  });
+
+  // -------------------------------------------------------------------
+  // Search conditions and table-expression clauses (Figure 2 features)
+  // -------------------------------------------------------------------
+  Register({
+      .name = "SearchConditions",
+      .description = "Boolean search-condition tower (OR/AND/NOT, "
+                     "parentheses) and the comparison predicate",
+      .grammar_text = R"(
+grammar SearchConditions;
+search_condition : boolean_term ( 'OR' boolean_term )* ;
+boolean_term : boolean_factor ( 'AND' boolean_factor )* ;
+boolean_factor : [ 'NOT' ] boolean_primary ;
+boolean_primary : predicate | '(' search_condition ')' ;
+predicate : comparison_predicate ;
+comparison_predicate : row_value_predicand comp_op row_value_predicand ;
+comp_op : '=' | '<>' | '<=' | '>=' | '<' | '>' ;
+row_value_predicand : value_expression ;
+)",
+      .requires_features = {"ValueExpressions"},
+  });
+
+  Register({
+      .name = "Where",
+      .description = "WHERE clause (Figure 2)",
+      .grammar_text = R"(
+grammar Where;
+table_expression : from_clause [ where_clause ] ;
+where_clause : 'WHERE' search_condition ;
+)",
+      .requires_features = {"TableExpression", "SearchConditions"},
+  });
+
+  Register({
+      .name = "GroupBy",
+      .description = "GROUP BY clause (Figure 2)",
+      .grammar_text = R"(
+grammar GroupBy;
+table_expression : from_clause [ group_by_clause ] ;
+group_by_clause : 'GROUP' 'BY' grouping_element_list ;
+grouping_element_list : grouping_element ( ',' grouping_element )* ;
+grouping_element : ordinary_grouping_set ;
+ordinary_grouping_set : column_reference ;
+)",
+      .requires_features = {"TableExpression", "ValueExpressions"},
+  });
+
+  Register({
+      .name = "Rollup",
+      .description = "ROLLUP grouping sets (OLAP)",
+      .grammar_text = R"(
+grammar Rollup;
+ordinary_grouping_set : 'ROLLUP' '(' column_reference_list ')' ;
+column_reference_list : column_reference ( ',' column_reference )* ;
+)",
+      .requires_features = {"GroupBy"},
+  });
+
+  Register({
+      .name = "Cube",
+      .description = "CUBE grouping sets (OLAP)",
+      .grammar_text = R"(
+grammar Cube;
+ordinary_grouping_set : 'CUBE' '(' column_reference_list ')' ;
+column_reference_list : column_reference ( ',' column_reference )* ;
+)",
+      .requires_features = {"GroupBy"},
+  });
+
+  Register({
+      .name = "GroupingSets",
+      .description = "GROUPING SETS grouping (OLAP)",
+      .grammar_text = R"(
+grammar GroupingSets;
+ordinary_grouping_set : 'GROUPING' 'SETS' '(' grouping_element_list ')' ;
+)",
+      .requires_features = {"GroupBy"},
+  });
+
+  Register({
+      .name = "Having",
+      .description = "HAVING clause (Figure 2); requires GROUP BY in this "
+                     "product line (modeled as a requires constraint)",
+      .grammar_text = R"(
+grammar Having;
+table_expression : from_clause [ having_clause ] ;
+having_clause : 'HAVING' search_condition ;
+)",
+      .requires_features = {"GroupBy", "SearchConditions"},
+  });
+
+  Register({
+      .name = "OrderBy",
+      .description = "ORDER BY with ASC/DESC and NULLS FIRST/LAST",
+      .grammar_text = R"(
+grammar OrderBy;
+query_statement : query_expression [ order_by_clause ] ;
+order_by_clause : 'ORDER' 'BY' sort_specification_list ;
+sort_specification_list : sort_specification ( ',' sort_specification )* ;
+sort_specification : value_expression [ ordering_specification ] [ null_ordering ] ;
+ordering_specification : 'ASC' | 'DESC' ;
+null_ordering : 'NULLS' 'FIRST' | 'NULLS' 'LAST' ;
+)",
+      .requires_features = {"QuerySpecification", "ValueExpressions"},
+  });
+
+  Register({
+      .name = "FetchFirst",
+      .description = "FETCH FIRST n ROWS ONLY result limiting",
+      .grammar_text = R"(
+grammar FetchFirst;
+tokens { NUMBER = number; }
+query_statement : query_expression [ fetch_first_clause ] ;
+fetch_first_clause : 'FETCH' 'FIRST' NUMBER 'ROWS' 'ONLY' ;
+)",
+      .requires_features = {"QuerySpecification"},
+  });
+
+  Register({
+      .name = "Window",
+      .description = "WINDOW clause with partition / order / frame "
+                     "(Figure 2's Window feature)",
+      .grammar_text = R"(
+grammar Window;
+tokens { IDENTIFIER = identifier; NUMBER = number; }
+table_expression : from_clause [ window_clause ] ;
+window_clause : 'WINDOW' window_definition ( ',' window_definition )* ;
+window_definition : IDENTIFIER 'AS' '(' window_specification ')' ;
+window_specification : [ window_partition_clause ] [ window_order_clause ] [ window_frame_clause ] ;
+window_partition_clause : 'PARTITION' 'BY' column_reference_list ;
+window_order_clause : 'ORDER' 'BY' sort_specification_list ;
+window_frame_clause : frame_units frame_extent ;
+frame_units : 'ROWS' | 'RANGE' ;
+frame_extent : frame_between | frame_start ;
+frame_between : 'BETWEEN' frame_bound 'AND' frame_bound ;
+frame_start : frame_bound ;
+frame_bound : 'UNBOUNDED' 'PRECEDING' | 'UNBOUNDED' 'FOLLOWING' | 'CURRENT' 'ROW' | NUMBER 'PRECEDING' | NUMBER 'FOLLOWING' ;
+column_reference_list : column_reference ( ',' column_reference )* ;
+)",
+      .requires_features = {"TableExpression", "OrderBy"},
+  });
+
+  // -------------------------------------------------------------------
+  // Richer value expressions
+  // -------------------------------------------------------------------
+  Register({
+      .name = "NumericExpressions",
+      .description = "Arithmetic (+ - * /), signed factors, parentheses",
+      .grammar_text = R"(
+grammar NumericExpressions;
+numeric_value_expression : term ( sign term )* ;
+term : factor ( mul_op factor )* ;
+factor : [ sign ] value_primary ;
+sign : '+' | '-' ;
+mul_op : '*' | '/' ;
+value_primary : '(' value_expression ')' ;
+)",
+      .requires_features = {"ValueExpressions"},
+  });
+
+  Register({
+      .name = "Concatenation",
+      .description = "String concatenation (||), merged into the term layer",
+      .grammar_text = R"(
+grammar Concatenation;
+term : factor ( concat_op factor )* ;
+concat_op : '||' ;
+)",
+      .requires_features = {"ValueExpressions"},
+  });
+
+  Register({
+      .name = "StringFunctions",
+      .description = "SUBSTRING, UPPER, LOWER, TRIM, CHAR_LENGTH, POSITION",
+      .grammar_text = R"(
+grammar StringFunctions;
+nonparenthesized_value_primary : string_value_function ;
+string_value_function
+  : 'SUBSTRING' '(' value_expression 'FROM' value_expression [ 'FOR' value_expression ] ')'
+  | 'UPPER' '(' value_expression ')'
+  | 'LOWER' '(' value_expression ')'
+  | 'TRIM' '(' value_expression ')'
+  | 'CHAR_LENGTH' '(' value_expression ')'
+  | 'POSITION' '(' value_expression 'IN' value_expression ')'
+  ;
+)",
+      .requires_features = {"ValueExpressions"},
+  });
+
+  Register({
+      .name = "DatetimeFunctions",
+      .description = "CURRENT_DATE/TIME/TIMESTAMP and EXTRACT",
+      .grammar_text = R"(
+grammar DatetimeFunctions;
+nonparenthesized_value_primary : datetime_value_function ;
+datetime_value_function
+  : 'CURRENT_DATE'
+  | 'CURRENT_TIME'
+  | 'CURRENT_TIMESTAMP'
+  | 'EXTRACT' '(' extract_field 'FROM' value_expression ')'
+  ;
+extract_field : 'YEAR' | 'MONTH' | 'DAY' | 'HOUR' | 'MINUTE' | 'SECOND' ;
+)",
+      .requires_features = {"ValueExpressions"},
+  });
+
+  Register({
+      .name = "CaseExpressions",
+      .description = "Simple CASE, NULLIF and COALESCE abbreviations",
+      .grammar_text = R"(
+grammar CaseExpressions;
+nonparenthesized_value_primary : case_expression ;
+case_expression : case_abbreviation | case_specification ;
+case_abbreviation
+  : 'NULLIF' '(' value_expression ',' value_expression ')'
+  | 'COALESCE' '(' value_expression ( ',' value_expression )* ')'
+  ;
+case_specification : simple_case ;
+simple_case : 'CASE' value_expression simple_when_clause ( simple_when_clause )* [ else_clause ] 'END' ;
+simple_when_clause : 'WHEN' value_expression 'THEN' value_expression ;
+else_clause : 'ELSE' value_expression ;
+)",
+      .requires_features = {"ValueExpressions"},
+  });
+
+  Register({
+      .name = "SearchedCase",
+      .description = "Searched CASE (WHEN <search condition> THEN ...)",
+      .grammar_text = R"(
+grammar SearchedCase;
+case_specification : searched_case ;
+searched_case : 'CASE' searched_when_clause ( searched_when_clause )* [ else_clause ] 'END' ;
+searched_when_clause : 'WHEN' search_condition 'THEN' value_expression ;
+else_clause : 'ELSE' value_expression ;
+)",
+      .requires_features = {"CaseExpressions", "SearchConditions"},
+  });
+
+  Register({
+      .name = "DataTypes",
+      .description = "SQL Foundation data types (numeric, character, "
+                     "datetime, boolean, LOB)",
+      .grammar_text = R"(
+grammar DataTypes;
+tokens { NUMBER = number; }
+data_type : numeric_type | character_type | datetime_type | boolean_type | lob_type ;
+numeric_type
+  : 'INTEGER' | 'INT' | 'SMALLINT' | 'BIGINT'
+  | exact_numeric_type
+  | approximate_numeric_type
+  ;
+exact_numeric_type : dec_name [ '(' NUMBER [ ',' NUMBER ] ')' ] ;
+dec_name : 'NUMERIC' | 'DECIMAL' | 'DEC' ;
+approximate_numeric_type : 'FLOAT' [ '(' NUMBER ')' ] | 'REAL' | 'DOUBLE' 'PRECISION' ;
+character_type : char_name [ '(' NUMBER ')' ] ;
+char_name : 'CHARACTER' 'VARYING' | 'CHARACTER' | 'CHAR' 'VARYING' | 'CHAR' | 'VARCHAR' ;
+datetime_type : 'DATE' | 'TIMESTAMP' [ '(' NUMBER ')' ] | 'TIME' ;
+boolean_type : 'BOOLEAN' ;
+lob_type : 'CLOB' | 'BLOB' ;
+)",
+  });
+
+  Register({
+      .name = "CastExpression",
+      .description = "CAST (expr AS type)",
+      .grammar_text = R"(
+grammar CastExpression;
+nonparenthesized_value_primary : cast_specification ;
+cast_specification : 'CAST' '(' cast_operand 'AS' data_type ')' ;
+cast_operand : value_expression ;
+)",
+      .requires_features = {"ValueExpressions", "DataTypes"},
+  });
+
+  Register({
+      .name = "SetFunctions",
+      .description = "Aggregate functions (COUNT/SUM/AVG/MIN/MAX/...) with "
+                     "optional DISTINCT/ALL",
+      .grammar_text = R"(
+grammar SetFunctions;
+nonparenthesized_value_primary : set_function_specification ;
+set_function_specification : 'COUNT' '(' '*' ')' | general_set_function ;
+general_set_function : set_function_type '(' [ set_quantifier ] value_expression ')' ;
+set_function_type
+  : 'AVG' | 'MAX' | 'MIN' | 'SUM' | 'COUNT' | 'EVERY'
+  | 'STDDEV_POP' | 'STDDEV_SAMP' | 'VAR_POP' | 'VAR_SAMP'
+  ;
+set_quantifier : 'DISTINCT' | 'ALL' ;
+)",
+      .requires_features = {"ValueExpressions"},
+  });
+
+  Register({
+      .name = "RoutineInvocation",
+      .description = "Function-call suffix on identifier chains "
+                     "(user-defined routine invocation)",
+      .grammar_text = R"(
+grammar RoutineInvocation;
+column_reference : identifier_chain [ routine_call_suffix ] ;
+routine_call_suffix : '(' [ sql_argument_list ] ')' ;
+sql_argument_list : value_expression ( ',' value_expression )* ;
+)",
+      .requires_features = {"ValueExpressions"},
+  });
+
+  // -------------------------------------------------------------------
+  // Subqueries and predicates
+  // -------------------------------------------------------------------
+  Register({
+      .name = "Subqueries",
+      .description = "Scalar and table subqueries",
+      .grammar_text = R"(
+grammar Subqueries;
+value_primary : scalar_subquery ;
+scalar_subquery : subquery ;
+subquery : '(' query_expression ')' ;
+table_subquery : subquery ;
+)",
+      .requires_features = {"QuerySpecification", "ValueExpressions"},
+  });
+
+  Register({
+      .name = "DerivedTable",
+      .description = "Subquery in the FROM clause (derived table with "
+                     "mandatory correlation name)",
+      .grammar_text = R"(
+grammar DerivedTable;
+table_primary : derived_table correlation_clause ;
+derived_table : table_subquery ;
+)",
+      .requires_features = {"Subqueries", "From", "CorrelationName"},
+  });
+
+  Register({
+      .name = "BetweenPredicate",
+      .description = "x [NOT] BETWEEN a AND b",
+      .grammar_text = R"(
+grammar BetweenPredicate;
+predicate : between_predicate ;
+between_predicate : row_value_predicand [ 'NOT' ] 'BETWEEN' row_value_predicand 'AND' row_value_predicand ;
+)",
+      .requires_features = {"SearchConditions"},
+  });
+
+  Register({
+      .name = "InPredicate",
+      .description = "x [NOT] IN (value list)",
+      .grammar_text = R"(
+grammar InPredicate;
+predicate : in_predicate ;
+in_predicate : row_value_predicand [ 'NOT' ] 'IN' in_predicate_value ;
+in_predicate_value : '(' in_value_list ')' ;
+in_value_list : value_expression ( ',' value_expression )* ;
+)",
+      .requires_features = {"SearchConditions"},
+  });
+
+  Register({
+      .name = "InSubquery",
+      .description = "x [NOT] IN (subquery)",
+      .grammar_text = R"(
+grammar InSubquery;
+in_predicate_value : table_subquery ;
+)",
+      .requires_features = {"InPredicate", "Subqueries"},
+  });
+
+  Register({
+      .name = "LikePredicate",
+      .description = "x [NOT] LIKE pattern [ESCAPE e]",
+      .grammar_text = R"(
+grammar LikePredicate;
+predicate : like_predicate ;
+like_predicate : row_value_predicand [ 'NOT' ] 'LIKE' value_expression [ 'ESCAPE' value_expression ] ;
+)",
+      .requires_features = {"SearchConditions"},
+  });
+
+  Register({
+      .name = "NullPredicate",
+      .description = "x IS [NOT] NULL",
+      .grammar_text = R"(
+grammar NullPredicate;
+predicate : null_predicate ;
+null_predicate : row_value_predicand 'IS' [ 'NOT' ] 'NULL' ;
+)",
+      .requires_features = {"SearchConditions"},
+  });
+
+  Register({
+      .name = "ExistsPredicate",
+      .description = "EXISTS (subquery)",
+      .grammar_text = R"(
+grammar ExistsPredicate;
+predicate : exists_predicate ;
+exists_predicate : 'EXISTS' table_subquery ;
+)",
+      .requires_features = {"SearchConditions", "Subqueries"},
+  });
+
+  Register({
+      .name = "QuantifiedPredicate",
+      .description = "x op ALL/SOME/ANY (subquery)",
+      .grammar_text = R"(
+grammar QuantifiedPredicate;
+predicate : quantified_comparison_predicate ;
+quantified_comparison_predicate : row_value_predicand comp_op quantifier table_subquery ;
+quantifier : 'ALL' | 'SOME' | 'ANY' ;
+)",
+      .requires_features = {"SearchConditions", "Subqueries"},
+  });
+
+  // -------------------------------------------------------------------
+  // Joins and set operations
+  // -------------------------------------------------------------------
+  Register({
+      .name = "JoinedTable",
+      .description = "Qualified joins (INNER/LEFT/RIGHT/FULL [OUTER]) with "
+                     "ON / USING, plus CROSS JOIN",
+      .grammar_text = R"(
+grammar JoinedTable;
+tokens { IDENTIFIER = identifier; }
+table_reference : table_primary ( joined_table )* ;
+joined_table : qualified_join | cross_join ;
+qualified_join : [ join_type ] 'JOIN' table_primary join_specification ;
+cross_join : 'CROSS' 'JOIN' table_primary ;
+join_type : 'INNER' | outer_join_type [ 'OUTER' ] ;
+outer_join_type : 'LEFT' | 'RIGHT' | 'FULL' ;
+join_specification : join_condition | named_columns_join ;
+join_condition : 'ON' search_condition ;
+named_columns_join : 'USING' '(' join_column_list ')' ;
+join_column_list : IDENTIFIER ( ',' IDENTIFIER )* ;
+)",
+      .requires_features = {"From", "SearchConditions"},
+  });
+
+  Register({
+      .name = "NaturalJoin",
+      .description = "NATURAL [join type] JOIN",
+      .grammar_text = R"(
+grammar NaturalJoin;
+joined_table : natural_join ;
+natural_join : 'NATURAL' [ join_type ] 'JOIN' table_primary ;
+)",
+      .requires_features = {"JoinedTable"},
+  });
+
+  Register({
+      .name = "Union",
+      .description = "UNION [ALL|DISTINCT] set operation and parenthesized "
+                     "query primaries",
+      .grammar_text = R"(
+grammar Union;
+query_expression : query_primary ( set_operator query_primary )* ;
+set_operator : 'UNION' [ set_quantifier ] ;
+set_quantifier : 'DISTINCT' | 'ALL' ;
+query_primary : '(' query_expression ')' ;
+)",
+      .requires_features = {"QuerySpecification"},
+  });
+
+  Register({
+      .name = "Except",
+      .description = "EXCEPT [ALL|DISTINCT] set operation",
+      .grammar_text = R"(
+grammar Except;
+query_expression : query_primary ( set_operator query_primary )* ;
+set_operator : 'EXCEPT' [ set_quantifier ] ;
+set_quantifier : 'DISTINCT' | 'ALL' ;
+query_primary : '(' query_expression ')' ;
+)",
+      .requires_features = {"QuerySpecification"},
+  });
+
+  Register({
+      .name = "Intersect",
+      .description = "INTERSECT [ALL|DISTINCT] set operation",
+      .grammar_text = R"(
+grammar Intersect;
+query_expression : query_primary ( set_operator query_primary )* ;
+set_operator : 'INTERSECT' [ set_quantifier ] ;
+set_quantifier : 'DISTINCT' | 'ALL' ;
+query_primary : '(' query_expression ')' ;
+)",
+      .requires_features = {"QuerySpecification"},
+  });
+
+  // -------------------------------------------------------------------
+  // Data manipulation statements
+  // -------------------------------------------------------------------
+  Register({
+      .name = "InsertStatement",
+      .description = "INSERT INTO ... VALUES / DEFAULT VALUES",
+      .grammar_text = R"(
+grammar InsertStatement;
+tokens { IDENTIFIER = identifier; }
+sql_statement : insert_statement ;
+insert_statement : 'INSERT' 'INTO' table_name insert_columns_and_source ;
+insert_columns_and_source
+  : [ '(' column_name_list ')' ] values_clause
+  | 'DEFAULT' 'VALUES'
+  ;
+values_clause : 'VALUES' row_value_list ;
+row_value_list : row_value_constructor ( ',' row_value_constructor )* ;
+row_value_constructor : '(' value_expression ( ',' value_expression )* ')' ;
+column_name_list : IDENTIFIER ( ',' IDENTIFIER )* ;
+)",
+      .requires_features = {"From", "ValueExpressions"},
+  });
+
+  Register({
+      .name = "InsertFromQuery",
+      .description = "INSERT INTO ... <query expression>",
+      .grammar_text = R"(
+grammar InsertFromQuery;
+insert_columns_and_source : [ '(' column_name_list ')' ] query_expression ;
+)",
+      .requires_features = {"InsertStatement", "QuerySpecification"},
+  });
+
+  Register({
+      .name = "UpdateStatement",
+      .description = "UPDATE ... SET ... [WHERE ...]",
+      .grammar_text = R"(
+grammar UpdateStatement;
+sql_statement : update_statement ;
+update_statement : 'UPDATE' table_name 'SET' set_clause_list [ where_clause ] ;
+set_clause_list : set_clause ( ',' set_clause )* ;
+set_clause : column_reference '=' update_source ;
+update_source : value_expression | 'DEFAULT' ;
+where_clause : 'WHERE' search_condition ;
+)",
+      .requires_features = {"From", "SearchConditions"},
+  });
+
+  Register({
+      .name = "DeleteStatement",
+      .description = "DELETE FROM ... [WHERE ...]",
+      .grammar_text = R"(
+grammar DeleteStatement;
+sql_statement : delete_statement ;
+delete_statement : 'DELETE' 'FROM' table_name [ where_clause ] ;
+where_clause : 'WHERE' search_condition ;
+)",
+      .requires_features = {"From", "SearchConditions"},
+  });
+
+  Register({
+      .name = "MergeStatement",
+      .description = "MERGE INTO ... USING ... WHEN [NOT] MATCHED",
+      .grammar_text = R"(
+grammar MergeStatement;
+sql_statement : merge_statement ;
+merge_statement : 'MERGE' 'INTO' table_name [ correlation_clause ] 'USING' table_reference 'ON' search_condition merge_operation_specification ;
+merge_operation_specification : merge_when_clause ( merge_when_clause )* ;
+merge_when_clause : merge_when_matched_clause | merge_when_not_matched_clause ;
+merge_when_matched_clause : 'WHEN' 'MATCHED' 'THEN' 'UPDATE' 'SET' set_clause_list ;
+merge_when_not_matched_clause : 'WHEN' 'NOT' 'MATCHED' 'THEN' 'INSERT' [ '(' column_name_list ')' ] values_clause ;
+)",
+      .requires_features = {"UpdateStatement", "InsertStatement",
+                            "CorrelationName"},
+  });
+
+  // -------------------------------------------------------------------
+  // Data definition statements
+  // -------------------------------------------------------------------
+  Register({
+      .name = "TableDefinition",
+      .description = "CREATE [TEMPORARY] TABLE with column definitions and "
+                     "column constraints",
+      .grammar_text = R"(
+grammar TableDefinition;
+tokens { IDENTIFIER = identifier; }
+sql_statement : table_definition ;
+table_definition : 'CREATE' [ table_scope ] 'TABLE' table_name '(' table_element ( ',' table_element )* ')' ;
+table_scope : global_or_local 'TEMPORARY' ;
+global_or_local : 'GLOBAL' | 'LOCAL' ;
+table_element : column_definition ;
+column_definition : IDENTIFIER data_type [ default_clause ] ( column_constraint )* ;
+default_clause : 'DEFAULT' value_expression ;
+column_constraint : 'NOT' 'NULL' | 'UNIQUE' | 'PRIMARY' 'KEY' | references_specification ;
+references_specification : 'REFERENCES' table_name [ '(' column_name_list ')' ] ;
+column_name_list : IDENTIFIER ( ',' IDENTIFIER )* ;
+)",
+      .requires_features = {"From", "DataTypes", "ValueExpressions"},
+  });
+
+  Register({
+      .name = "TableConstraints",
+      .description = "Table-level UNIQUE / PRIMARY KEY / FOREIGN KEY / "
+                     "CHECK constraints",
+      .grammar_text = R"(
+grammar TableConstraints;
+tokens { IDENTIFIER = identifier; }
+table_element : table_constraint_definition ;
+table_constraint_definition : [ constraint_name_definition ] table_constraint ;
+constraint_name_definition : 'CONSTRAINT' IDENTIFIER ;
+table_constraint : unique_constraint | referential_constraint | check_constraint ;
+unique_constraint : 'UNIQUE' '(' column_name_list ')' | 'PRIMARY' 'KEY' '(' column_name_list ')' ;
+referential_constraint : 'FOREIGN' 'KEY' '(' column_name_list ')' references_specification ;
+check_constraint : 'CHECK' '(' search_condition ')' ;
+)",
+      .requires_features = {"TableDefinition", "SearchConditions"},
+  });
+
+  Register({
+      .name = "ReferentialActions",
+      .description = "ON UPDATE / ON DELETE referential actions",
+      .grammar_text = R"(
+grammar ReferentialActions;
+references_specification : 'REFERENCES' table_name [ '(' column_name_list ')' ] ( referential_action_clause )* ;
+referential_action_clause : 'ON' update_or_delete referential_action ;
+update_or_delete : 'UPDATE' | 'DELETE' ;
+referential_action : 'CASCADE' | 'SET' 'NULL' | 'SET' 'DEFAULT' | 'RESTRICT' | 'NO' 'ACTION' ;
+)",
+      .requires_features = {"TableDefinition"},
+  });
+
+  Register({
+      .name = "ViewDefinition",
+      .description = "CREATE [RECURSIVE] VIEW ... AS query "
+                     "[WITH CHECK OPTION]",
+      .grammar_text = R"(
+grammar ViewDefinition;
+tokens { IDENTIFIER = identifier; }
+sql_statement : view_definition ;
+view_definition : 'CREATE' [ 'RECURSIVE' ] 'VIEW' table_name [ '(' column_name_list ')' ] 'AS' query_expression [ with_check_option ] ;
+with_check_option : 'WITH' 'CHECK' 'OPTION' ;
+column_name_list : IDENTIFIER ( ',' IDENTIFIER )* ;
+)",
+      .requires_features = {"From", "QuerySpecification"},
+  });
+
+  Register({
+      .name = "AlterTable",
+      .description = "ALTER TABLE add/drop/alter column, add constraint",
+      .grammar_text = R"(
+grammar AlterTable;
+tokens { IDENTIFIER = identifier; }
+sql_statement : alter_table_statement ;
+alter_table_statement : 'ALTER' 'TABLE' table_name alter_table_action ;
+alter_table_action
+  : add_column_definition
+  | drop_column_definition
+  | alter_column_definition
+  | add_table_constraint_definition
+  ;
+add_column_definition : 'ADD' [ 'COLUMN' ] column_definition ;
+drop_column_definition : 'DROP' [ 'COLUMN' ] IDENTIFIER [ drop_behavior ] ;
+alter_column_definition : 'ALTER' [ 'COLUMN' ] IDENTIFIER alter_column_action ;
+alter_column_action : 'SET' default_clause | 'DROP' 'DEFAULT' ;
+add_table_constraint_definition : 'ADD' table_constraint_definition ;
+drop_behavior : 'CASCADE' | 'RESTRICT' ;
+)",
+      .requires_features = {"TableDefinition", "TableConstraints"},
+  });
+
+  Register({
+      .name = "DropStatement",
+      .description = "DROP TABLE / VIEW [CASCADE|RESTRICT]",
+      .grammar_text = R"(
+grammar DropStatement;
+sql_statement : drop_statement ;
+drop_statement : 'DROP' drop_object table_name [ drop_behavior ] ;
+drop_object : 'TABLE' | 'VIEW' ;
+drop_behavior : 'CASCADE' | 'RESTRICT' ;
+)",
+      .requires_features = {"From"},
+  });
+
+  Register({
+      .name = "SchemaDefinition",
+      .description = "CREATE SCHEMA [AUTHORIZATION]",
+      .grammar_text = R"(
+grammar SchemaDefinition;
+tokens { IDENTIFIER = identifier; }
+sql_statement : schema_definition ;
+schema_definition : 'CREATE' 'SCHEMA' IDENTIFIER [ 'AUTHORIZATION' IDENTIFIER ] ;
+)",
+  });
+
+  Register({
+      .name = "DomainDefinition",
+      .description = "CREATE DOMAIN ... AS type [DEFAULT ...]",
+      .grammar_text = R"(
+grammar DomainDefinition;
+tokens { IDENTIFIER = identifier; }
+sql_statement : domain_definition ;
+domain_definition : 'CREATE' 'DOMAIN' IDENTIFIER [ 'AS' ] data_type [ default_clause ] ;
+default_clause : 'DEFAULT' value_expression ;
+)",
+      .requires_features = {"DataTypes", "ValueExpressions"},
+  });
+
+  Register({
+      .name = "SequenceGenerator",
+      .description = "CREATE SEQUENCE with generator options",
+      .grammar_text = R"(
+grammar SequenceGenerator;
+tokens { NUMBER = number; }
+sql_statement : sequence_generator_definition ;
+sequence_generator_definition : 'CREATE' 'SEQUENCE' table_name ( sequence_generator_option )* ;
+sequence_generator_option
+  : 'START' 'WITH' NUMBER
+  | 'INCREMENT' 'BY' NUMBER
+  | 'MAXVALUE' NUMBER
+  | 'MINVALUE' NUMBER
+  | 'CYCLE'
+  | 'NO' 'CYCLE'
+  ;
+)",
+      .requires_features = {"From"},
+  });
+
+  Register({
+      .name = "TriggerDefinition",
+      .description = "CREATE TRIGGER BEFORE/AFTER event with a triggered "
+                     "SQL statement",
+      .grammar_text = R"(
+grammar TriggerDefinition;
+tokens { IDENTIFIER = identifier; }
+sql_statement : trigger_definition ;
+trigger_definition : 'CREATE' 'TRIGGER' IDENTIFIER trigger_action_time trigger_event 'ON' table_name [ for_each_clause ] triggered_action ;
+trigger_action_time : 'BEFORE' | 'AFTER' ;
+trigger_event : 'INSERT' | 'DELETE' | 'UPDATE' [ 'OF' column_name_list ] ;
+for_each_clause : 'FOR' 'EACH' row_or_statement ;
+row_or_statement : 'ROW' | 'STATEMENT' ;
+triggered_action : sql_statement ;
+column_name_list : IDENTIFIER ( ',' IDENTIFIER )* ;
+)",
+      .requires_features = {"From"},
+  });
+
+  // -------------------------------------------------------------------
+  // Transactions, sessions, access control, cursors
+  // -------------------------------------------------------------------
+  Register({
+      .name = "Transactions",
+      .description = "COMMIT / ROLLBACK / SAVEPOINT / START TRANSACTION / "
+                     "SET TRANSACTION with isolation levels",
+      .grammar_text = R"(
+grammar Transactions;
+tokens { IDENTIFIER = identifier; }
+sql_statement : transaction_statement ;
+transaction_statement
+  : commit_statement
+  | rollback_statement
+  | savepoint_statement
+  | start_transaction_statement
+  | set_transaction_statement
+  ;
+commit_statement : 'COMMIT' [ 'WORK' ] ;
+rollback_statement : 'ROLLBACK' [ 'WORK' ] [ savepoint_clause ] ;
+savepoint_clause : 'TO' 'SAVEPOINT' IDENTIFIER ;
+savepoint_statement : 'SAVEPOINT' IDENTIFIER ;
+start_transaction_statement : 'START' 'TRANSACTION' [ transaction_mode_list ] ;
+set_transaction_statement : 'SET' 'TRANSACTION' transaction_mode_list ;
+transaction_mode_list : transaction_mode ( ',' transaction_mode )* ;
+transaction_mode : isolation_level | 'READ' 'ONLY' | 'READ' 'WRITE' ;
+isolation_level : 'ISOLATION' 'LEVEL' level_of_isolation ;
+level_of_isolation : 'READ' 'UNCOMMITTED' | 'READ' 'COMMITTED' | 'REPEATABLE' 'READ' | 'SERIALIZABLE' ;
+)",
+  });
+
+  Register({
+      .name = "SessionStatements",
+      .description = "SET SCHEMA / SET ROLE / SET TIME ZONE",
+      .grammar_text = R"(
+grammar SessionStatements;
+tokens { IDENTIFIER = identifier; STRING = string; }
+sql_statement : session_statement ;
+session_statement : set_schema_statement | set_role_statement | set_time_zone_statement ;
+set_schema_statement : 'SET' 'SCHEMA' IDENTIFIER ;
+set_role_statement : 'SET' 'ROLE' IDENTIFIER ;
+set_time_zone_statement : 'SET' 'TIME' 'ZONE' set_time_zone_value ;
+set_time_zone_value : 'LOCAL' | STRING ;
+)",
+  });
+
+  Register({
+      .name = "Grant",
+      .description = "GRANT privileges ON table TO grantees "
+                     "[WITH GRANT OPTION]",
+      .grammar_text = R"(
+grammar Grant;
+tokens { IDENTIFIER = identifier; }
+sql_statement : grant_statement ;
+grant_statement : 'GRANT' privileges 'ON' [ 'TABLE' ] table_name 'TO' grantee_list [ grant_option ] ;
+grant_option : 'WITH' 'GRANT' 'OPTION' ;
+privileges : 'ALL' 'PRIVILEGES' | privilege_list ;
+privilege_list : privilege ( ',' privilege )* ;
+privilege : 'SELECT' | 'INSERT' | 'UPDATE' | 'DELETE' | 'REFERENCES' | 'USAGE' | 'TRIGGER' ;
+grantee_list : grantee ( ',' grantee )* ;
+grantee : 'PUBLIC' | IDENTIFIER ;
+)",
+      .requires_features = {"From"},
+  });
+
+  Register({
+      .name = "Revoke",
+      .description = "REVOKE [GRANT OPTION FOR] privileges",
+      .grammar_text = R"(
+grammar Revoke;
+sql_statement : revoke_statement ;
+revoke_statement : 'REVOKE' [ grant_option_for ] privileges 'ON' [ 'TABLE' ] table_name 'FROM' grantee_list [ drop_behavior ] ;
+grant_option_for : 'GRANT' 'OPTION' 'FOR' ;
+drop_behavior : 'CASCADE' | 'RESTRICT' ;
+)",
+      .requires_features = {"Grant"},
+  });
+
+  Register({
+      .name = "Cursors",
+      .description = "DECLARE / OPEN / CLOSE / FETCH cursor statements",
+      .grammar_text = R"(
+grammar Cursors;
+tokens { IDENTIFIER = identifier; NUMBER = number; }
+sql_statement : cursor_statement ;
+cursor_statement : declare_cursor | open_statement | close_statement | fetch_statement ;
+declare_cursor : 'DECLARE' IDENTIFIER [ cursor_sensitivity ] [ 'SCROLL' ] 'CURSOR' 'FOR' query_expression ;
+cursor_sensitivity : 'SENSITIVE' | 'INSENSITIVE' | 'ASENSITIVE' ;
+open_statement : 'OPEN' IDENTIFIER ;
+close_statement : 'CLOSE' IDENTIFIER ;
+fetch_statement : 'FETCH' [ fetch_orientation 'FROM' ] IDENTIFIER ;
+fetch_orientation : 'NEXT' | 'PRIOR' | 'FIRST' | 'LAST' | 'ABSOLUTE' NUMBER | 'RELATIVE' NUMBER ;
+)",
+      .requires_features = {"QuerySpecification"},
+  });
+
+  // -------------------------------------------------------------------
+  // SQL:2003 optional / advanced constructs
+  // -------------------------------------------------------------------
+  Register({
+      .name = "WithClause",
+      .description = "WITH [RECURSIVE] common table expressions",
+      .grammar_text = R"(
+grammar WithClause;
+tokens { IDENTIFIER = identifier; }
+query_statement : [ with_clause ] query_expression ;
+with_clause : 'WITH' [ 'RECURSIVE' ] with_list_element ( ',' with_list_element )* ;
+with_list_element : IDENTIFIER [ '(' column_name_list ')' ] 'AS' '(' query_expression ')' ;
+column_name_list : IDENTIFIER ( ',' IDENTIFIER )* ;
+)",
+      .requires_features = {"QuerySpecification"},
+  });
+
+  Register({
+      .name = "DatetimeLiterals",
+      .description = "DATE / TIME / TIMESTAMP '...' literals",
+      .grammar_text = R"(
+grammar DatetimeLiterals;
+tokens { STRING = string; }
+unsigned_literal : datetime_literal ;
+datetime_literal : 'DATE' STRING | 'TIME' STRING | 'TIMESTAMP' STRING ;
+)",
+      .requires_features = {"Literals"},
+  });
+
+  Register({
+      .name = "IntervalLiterals",
+      .description = "INTERVAL '...' <qualifier> literals",
+      .grammar_text = R"(
+grammar IntervalLiterals;
+tokens { STRING = string; }
+unsigned_literal : interval_literal ;
+interval_literal : 'INTERVAL' STRING interval_qualifier ;
+interval_qualifier
+  : 'YEAR' 'TO' 'MONTH'
+  | 'DAY' 'TO' 'SECOND'
+  | 'YEAR' | 'MONTH' | 'DAY' | 'HOUR' | 'MINUTE' | 'SECOND'
+  ;
+)",
+      .requires_features = {"Literals"},
+  });
+
+  Register({
+      .name = "OverlapsPredicate",
+      .description = "x OVERLAPS y period predicate",
+      .grammar_text = R"(
+grammar OverlapsPredicate;
+predicate : overlaps_predicate ;
+overlaps_predicate : row_value_predicand 'OVERLAPS' row_value_predicand ;
+)",
+      .requires_features = {"SearchConditions"},
+  });
+
+  Register({
+      .name = "SimilarPredicate",
+      .description = "x [NOT] SIMILAR TO pattern regular-expression match",
+      .grammar_text = R"(
+grammar SimilarPredicate;
+predicate : similar_predicate ;
+similar_predicate : row_value_predicand [ 'NOT' ] 'SIMILAR' 'TO' value_expression [ 'ESCAPE' value_expression ] ;
+)",
+      .requires_features = {"SearchConditions"},
+  });
+
+  Register({
+      .name = "DistinctPredicate",
+      .description = "x IS [NOT] DISTINCT FROM y",
+      .grammar_text = R"(
+grammar DistinctPredicate;
+predicate : distinct_predicate ;
+distinct_predicate : row_value_predicand 'IS' [ 'NOT' ] 'DISTINCT' 'FROM' row_value_predicand ;
+)",
+      .requires_features = {"SearchConditions"},
+  });
+
+  Register({
+      .name = "UniquePredicate",
+      .description = "UNIQUE (subquery)",
+      .grammar_text = R"(
+grammar UniquePredicate;
+predicate : unique_predicate ;
+unique_predicate : 'UNIQUE' table_subquery ;
+)",
+      .requires_features = {"SearchConditions", "Subqueries"},
+  });
+
+  Register({
+      .name = "PositionedDml",
+      .description = "WHERE CURRENT OF <cursor> positioned update/delete",
+      .grammar_text = R"(
+grammar PositionedDml;
+tokens { IDENTIFIER = identifier; }
+where_clause : 'WHERE' 'CURRENT' 'OF' IDENTIFIER ;
+)",
+      .requires_features = {"Cursors"},
+  });
+
+  Register({
+      .name = "FilterClause",
+      .description = "FILTER (WHERE ...) on aggregate functions",
+      .grammar_text = R"(
+grammar FilterClause;
+general_set_function : set_function_type '(' [ set_quantifier ] value_expression ')' [ filter_clause ] ;
+filter_clause : 'FILTER' '(' 'WHERE' search_condition ')' ;
+)",
+      .requires_features = {"SetFunctions", "SearchConditions"},
+  });
+
+  Register({
+      .name = "WindowFunctions",
+      .description = "RANK / DENSE_RANK / ROW_NUMBER ... OVER (window)",
+      .grammar_text = R"(
+grammar WindowFunctions;
+nonparenthesized_value_primary : window_function ;
+window_function : window_function_type 'OVER' '(' window_specification ')' ;
+window_function_type : 'RANK' '(' ')' | 'DENSE_RANK' '(' ')' | 'ROW_NUMBER' '(' ')' ;
+)",
+      .requires_features = {"ValueExpressions", "Window"},
+  });
+
+  Register({
+      .name = "RowValueConstructors",
+      .description = "Row value constructors in predicates, e.g. "
+                     "(a, b) = (1, 2)",
+      .grammar_text = R"(
+grammar RowValueConstructors;
+row_value_predicand : row_value_constructor ;
+row_value_constructor : '(' value_expression ( ',' value_expression )* ')' ;
+)",
+      .requires_features = {"SearchConditions"},
+  });
+
+  Register({
+      .name = "CollateClause",
+      .description = "COLLATE on sort specifications",
+      .grammar_text = R"(
+grammar CollateClause;
+sort_specification : value_expression [ collate_clause ] ;
+collate_clause : 'COLLATE' identifier_chain ;
+)",
+      .requires_features = {"OrderBy"},
+  });
+
+  Register({
+      .name = "BetweenSymmetric",
+      .description = "SYMMETRIC / ASYMMETRIC on BETWEEN predicates",
+      .grammar_text = R"(
+grammar BetweenSymmetric;
+between_predicate : row_value_predicand [ 'NOT' ] 'BETWEEN' [ symmetric_specification ] row_value_predicand 'AND' row_value_predicand ;
+symmetric_specification : 'SYMMETRIC' | 'ASYMMETRIC' ;
+)",
+      .requires_features = {"BetweenPredicate"},
+  });
+
+  Register({
+      .name = "Corresponding",
+      .description = "CORRESPONDING [BY (columns)] on set operations",
+      .grammar_text = R"(
+grammar Corresponding;
+tokens { IDENTIFIER = identifier; }
+set_operator : 'UNION' [ set_quantifier ] [ corresponding_spec ] ;
+corresponding_spec : 'CORRESPONDING' [ 'BY' '(' column_name_list ')' ] ;
+column_name_list : IDENTIFIER ( ',' IDENTIFIER )* ;
+set_quantifier : 'DISTINCT' | 'ALL' ;
+)",
+      .requires_features = {"Union"},
+  });
+
+  Register({
+      .name = "EmptyGroupingSet",
+      .description = "The empty grouping set `()` (grand total rows)",
+      .grammar_text = R"(
+grammar EmptyGroupingSet;
+ordinary_grouping_set : '(' ')' ;
+)",
+      .requires_features = {"GroupBy"},
+  });
+
+  Register({
+      .name = "CallStatement",
+      .description = "CALL of an SQL-invoked routine",
+      .grammar_text = R"(
+grammar CallStatement;
+sql_statement : call_statement ;
+call_statement : 'CALL' identifier_chain '(' [ sql_argument_list ] ')' ;
+sql_argument_list : value_expression ( ',' value_expression )* ;
+)",
+      .requires_features = {"ValueExpressions"},
+  });
+
+  Register({
+      .name = "TruncateTable",
+      .description = "TRUNCATE TABLE (a SQL:2008 forward-port, included "
+                     "as a future-work extension feature)",
+      .grammar_text = R"(
+grammar TruncateTable;
+sql_statement : truncate_statement ;
+truncate_statement : 'TRUNCATE' 'TABLE' table_name ;
+)",
+      .requires_features = {"From"},
+  });
+
+  Register({
+      .name = "ReleaseSavepoint",
+      .description = "RELEASE SAVEPOINT",
+      .grammar_text = R"(
+grammar ReleaseSavepoint;
+tokens { IDENTIFIER = identifier; }
+transaction_statement : release_savepoint_statement ;
+release_savepoint_statement : 'RELEASE' 'SAVEPOINT' IDENTIFIER ;
+)",
+      .requires_features = {"Transactions"},
+  });
+
+  // -------------------------------------------------------------------
+  // Sensor-network (TinySQL) extension features
+  // -------------------------------------------------------------------
+  Register({
+      .name = "SamplePeriod",
+      .description = "TinySQL acquisitional SAMPLE PERIOD clause "
+                     "(TinyDB sensor networks)",
+      .grammar_text = R"(
+grammar SamplePeriod;
+tokens { NUMBER = number; }
+query_specification : 'SELECT' select_list table_expression [ sample_period_clause ] ;
+sample_period_clause : 'SAMPLE' 'PERIOD' NUMBER [ 'FOR' NUMBER ] ;
+)",
+      .requires_features = {"QuerySpecification"},
+  });
+
+  Register({
+      .name = "EpochDuration",
+      .description = "TinySQL EPOCH DURATION clause (TinyDB sensor "
+                     "networks)",
+      .grammar_text = R"(
+grammar EpochDuration;
+tokens { NUMBER = number; }
+query_specification : 'SELECT' select_list table_expression [ epoch_duration_clause ] ;
+epoch_duration_clause : 'EPOCH' 'DURATION' NUMBER ;
+)",
+      .requires_features = {"QuerySpecification"},
+  });
+}
+
+void SqlFeatureCatalog::Register(SqlFeatureModule module) {
+  index_.emplace(module.name, modules_.size());
+  modules_.push_back(std::move(module));
+}
+
+const SqlFeatureCatalog& SqlFeatureCatalog::Instance() {
+  static const SqlFeatureCatalog& instance = *new SqlFeatureCatalog();
+  return instance;
+}
+
+const SqlFeatureModule* SqlFeatureCatalog::Find(
+    const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &modules_[it->second];
+}
+
+bool SqlFeatureCatalog::Contains(const std::string& name) const {
+  return index_.contains(name);
+}
+
+std::vector<std::string> SqlFeatureCatalog::ModuleNames() const {
+  std::vector<std::string> out;
+  out.reserve(modules_.size());
+  for (const SqlFeatureModule& module : modules_) out.push_back(module.name);
+  return out;
+}
+
+Result<Grammar> SqlFeatureCatalog::GrammarFor(const std::string& feature,
+                                              int count) const {
+  const SqlFeatureModule* module = Find(feature);
+  if (module == nullptr) {
+    return Status::NotFound("no sub-grammar module for feature '" + feature +
+                            "'");
+  }
+  const std::string& text = (count != 1 && !module->multi_grammar_text.empty())
+                                ? module->multi_grammar_text
+                                : module->grammar_text;
+  return ParseGrammarText(text, feature);
+}
+
+std::map<std::string, std::vector<std::string>>
+SqlFeatureCatalog::RequiresMap() const {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const SqlFeatureModule& module : modules_) {
+    if (!module.requires_features.empty()) {
+      out[module.name] = module.requires_features;
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::vector<std::string>>
+SqlFeatureCatalog::ExcludesMap() const {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const SqlFeatureModule& module : modules_) {
+    if (!module.excludes_features.empty()) {
+      out[module.name] = module.excludes_features;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> SqlFeatureCatalog::RequiredClosure(
+    const std::vector<std::string>& features) const {
+  std::set<std::string> closed;
+  std::vector<std::string> work = features;
+  while (!work.empty()) {
+    std::string feature = std::move(work.back());
+    work.pop_back();
+    const SqlFeatureModule* module = Find(feature);
+    if (module == nullptr) {
+      return Status::NotFound("unknown feature '" + feature +
+                              "' in required closure");
+    }
+    if (!closed.insert(feature).second) continue;
+    for (const std::string& required : module->requires_features) {
+      work.push_back(required);
+    }
+  }
+  // Canonical catalog order.
+  std::vector<std::string> out;
+  for (const SqlFeatureModule& module : modules_) {
+    if (closed.contains(module.name)) out.push_back(module.name);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> SqlFeatureCatalog::CompletedClosure(
+    const std::vector<std::string>& features) const {
+  SQLPL_ASSIGN_OR_RETURN(std::vector<std::string> selected,
+                         RequiredClosure(features));
+  // Iterate: collect nonterminals defined vs referenced by the selection;
+  // for each dangling reference add the earliest defining module.
+  for (size_t round = 0; round < modules_.size(); ++round) {
+    std::set<std::string> defined;
+    std::set<std::string> referenced;
+    for (const std::string& feature : selected) {
+      for (int count : {1, 2}) {
+        SQLPL_ASSIGN_OR_RETURN(Grammar grammar, GrammarFor(feature, count));
+        for (const std::string& nt : grammar.NonterminalNames()) {
+          defined.insert(nt);
+        }
+        for (const Production& production : grammar.productions()) {
+          for (const Alternative& alt : production.alternatives()) {
+            std::vector<std::string> refs;
+            alt.body.CollectNonterminals(&refs);
+            referenced.insert(refs.begin(), refs.end());
+          }
+        }
+      }
+    }
+    std::vector<std::string> additions;
+    for (const std::string& ref : referenced) {
+      if (defined.contains(ref)) continue;
+      // Earliest catalog module defining `ref`.
+      bool found = false;
+      for (const SqlFeatureModule& module : modules_) {
+        SQLPL_ASSIGN_OR_RETURN(Grammar grammar, GrammarFor(module.name));
+        if (grammar.HasProduction(ref)) {
+          additions.push_back(module.name);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::ConfigurationError(
+            "no catalog module defines nonterminal '" + ref + "'");
+      }
+    }
+    if (additions.empty()) return selected;
+    std::vector<std::string> next = selected;
+    next.insert(next.end(), additions.begin(), additions.end());
+    SQLPL_ASSIGN_OR_RETURN(selected, RequiredClosure(next));
+  }
+  return Status::Internal("group-choice completion did not converge");
+}
+
+}  // namespace sqlpl

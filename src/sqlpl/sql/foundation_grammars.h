@@ -1,0 +1,87 @@
+#ifndef SQLPL_SQL_FOUNDATION_GRAMMARS_H_
+#define SQLPL_SQL_FOUNDATION_GRAMMARS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sqlpl/grammar/grammar.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// One composable SQL feature: the unit the paper maps to "an LL(k)
+/// sub-grammar plus a token file". A module's grammar text is written in
+/// the grammar DSL (tokens are declared inline or in a `tokens {}`
+/// block). Modules with a cloning cardinality (e.g. `SelectSublist
+/// [1..*]`) carry a second grammar variant used when more than one
+/// instance is configured — the paper's worked example composes the
+/// single-instance variant ("Select Sublist (with cardinality 1)").
+struct SqlFeatureModule {
+  std::string name;
+  std::string description;
+  /// Sub-grammar in DSL form (single-instance variant).
+  std::string grammar_text;
+  /// Multi-instance variant; empty when the feature is not cloned.
+  std::string multi_grammar_text;
+  /// Features that must be selected and composed before this one.
+  std::vector<std::string> requires_features;
+  /// Features that cannot be co-selected with this one.
+  std::vector<std::string> excludes_features;
+};
+
+/// Registry of every SQL Foundation feature that contributes a
+/// sub-grammar. Module order is the canonical composition order: base
+/// constructs first, then clause features in SQL clause order, then
+/// predicates, expressions, statements, and dialect extensions — so that
+/// optional specifications always compose after their non-optional cores
+/// (§3.2's ordering restriction).
+class SqlFeatureCatalog {
+ public:
+  /// The process-wide catalog, built once on first use.
+  static const SqlFeatureCatalog& Instance();
+
+  const SqlFeatureModule* Find(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  /// All modules in canonical composition order.
+  const std::vector<SqlFeatureModule>& modules() const { return modules_; }
+  std::vector<std::string> ModuleNames() const;
+  size_t size() const { return modules_.size(); }
+
+  /// Parses the sub-grammar of `feature`. `count` selects the cloning
+  /// variant: the multi-instance grammar when `count != 1` and the module
+  /// has one, else the base grammar.
+  Result<Grammar> GrammarFor(const std::string& feature, int count = 1) const;
+
+  /// `requires`/`excludes` edges of all modules, keyed by feature name —
+  /// the inputs of `CompositionSequence::Resolve`.
+  std::map<std::string, std::vector<std::string>> RequiresMap() const;
+  std::map<std::string, std::vector<std::string>> ExcludesMap() const;
+
+  /// Expands `features` with every transitively required feature, in
+  /// canonical catalog order. Unknown names fail.
+  Result<std::vector<std::string>> RequiredClosure(
+      const std::vector<std::string>& features) const;
+
+  /// `RequiredClosure` plus group-choice completion: if the closed
+  /// selection still references a nonterminal no selected module defines
+  /// (an OR-group choice point such as `select_sublist`, filled by
+  /// DerivedColumn or Asterisk), the earliest catalog module defining it
+  /// is added and the closure re-run. The result always composes to a
+  /// closed grammar. Fails if some reference has no provider at all.
+  Result<std::vector<std::string>> CompletedClosure(
+      const std::vector<std::string>& features) const;
+
+ private:
+  SqlFeatureCatalog();
+
+  void Register(SqlFeatureModule module);
+
+  std::vector<SqlFeatureModule> modules_;
+  std::map<std::string, size_t> index_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SQL_FOUNDATION_GRAMMARS_H_

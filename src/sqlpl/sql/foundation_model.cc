@@ -1,0 +1,868 @@
+#include "sqlpl/sql/foundation_model.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sqlpl/feature/text_format.h"
+
+namespace sqlpl {
+
+namespace {
+
+// The feature-oriented decomposition of SQL:2003 Foundation, written in
+// the feature-diagram DSL. One `diagram` block per SQL construct,
+// following the classification of SQL statements by function in SQL
+// Foundation (paper §3.1). The `QuerySpecification` and `TableExpression`
+// diagrams reproduce the paper's Figures 1 and 2.
+constexpr const char* kFoundationModelText = R"(
+// ===== Statement classification (SQL Foundation, by function) =====
+diagram SqlStatement {
+  DataManipulationClass? {
+    QueryClass?
+    InsertClass?
+    UpdateClass?
+    DeleteClass?
+    MergeClass?
+  }
+  DataDefinitionClass? {
+    SchemaClass?
+    TableClass?
+    ViewClass?
+    DomainClass?
+    SequenceClass?
+    TriggerClass?
+    AlterClass?
+    DropClass?
+  }
+  DataControlClass? {
+    GrantClass?
+    RevokeClass?
+  }
+  TransactionClass? {
+    CommitClass?
+    RollbackClass?
+    SavepointClass?
+    StartTransactionClass?
+    IsolationLevelClass?
+  }
+  SessionClass? {
+    SetSchemaClass?
+    SetRoleClass?
+    SetTimeZoneClass?
+  }
+  CursorClass? {
+    DeclareCursorClass?
+    OpenClass?
+    CloseClass?
+    FetchClass?
+  }
+}
+
+// ===== Figure 1 of the paper =====
+diagram QuerySpecification {
+  SetQuantifier? alternative {
+    ALL
+    DISTINCT
+  }
+  SelectList {
+    SelectSublist [1..*] or {
+      DerivedColumn {
+        As?
+      }
+      Asterisk
+    }
+  }
+  TableExpression
+}
+
+// ===== Figure 2 of the paper =====
+diagram TableExpression {
+  From
+  Where?
+  GroupBy?
+  Having?
+  Window?
+}
+Having requires GroupBy;
+
+// ===== Query constructs =====
+diagram SelectList {
+  Sublist [1..*] or {
+    DerivedColumnEntry {
+      ColumnExpression
+      AsClause? {
+        AsKeyword?
+        ColumnAlias
+      }
+    }
+    QualifiedAsterisk?
+    AsteriskEntry
+  }
+}
+
+diagram FromClause {
+  TableReference [1..*] {
+    TablePrimary alternative {
+      BaseTable {
+        CorrelationName? {
+          AsKeywordOptional?
+        }
+      }
+      DerivedTableRef {
+        SubqueryBody
+        MandatoryCorrelation
+      }
+      ParenthesizedJoin?
+    }
+    JoinSuffix?
+  }
+}
+
+diagram JoinedTable {
+  JoinKind alternative {
+    QualifiedJoin {
+      JoinType? alternative {
+        InnerJoin
+        LeftJoin
+        RightJoin
+        FullJoin
+      }
+      OuterKeyword?
+      JoinSpecification alternative {
+        OnCondition
+        UsingColumnList
+      }
+    }
+    CrossJoin
+    NaturalJoin {
+      NaturalJoinType?
+    }
+  }
+}
+
+diagram WhereClause {
+  SearchCondition {
+    BooleanTerm {
+      BooleanFactor {
+        NotOperator?
+        BooleanPrimary alternative {
+          PredicateRef
+          ParenthesizedCondition
+        }
+      }
+    }
+    OrOperator?
+    AndOperator?
+  }
+}
+
+diagram GroupByClause {
+  GroupingElementList {
+    GroupingElement [1..*] alternative {
+      OrdinaryGroupingSet
+      RollupList
+      CubeList
+      GroupingSetsSpecification
+      EmptyGroupingSet
+    }
+  }
+  GroupByQuantifier? alternative {
+    GroupByAll
+    GroupByDistinct
+  }
+}
+
+diagram HavingClause {
+  HavingSearchCondition
+}
+
+diagram WindowClause {
+  WindowDefinition [1..*] {
+    WindowName
+    WindowSpecification {
+      ExistingWindowName?
+      PartitionClause {
+        PartitionColumn [1..*]
+      }
+      OrderClause?
+      FrameClause? {
+        FrameUnits alternative {
+          RowsUnits
+          RangeUnits
+        }
+        FrameExtent alternative {
+          FrameStartOnly
+          FrameBetween {
+            FrameLowerBound
+            FrameUpperBound
+          }
+        }
+        FrameExclusion?
+      }
+    }
+  }
+}
+
+diagram OrderByClause {
+  SortSpecification [1..*] {
+    SortKey
+    OrderingSpecification? alternative {
+      Ascending
+      Descending
+    }
+    NullOrdering? alternative {
+      NullsFirst
+      NullsLast
+    }
+  }
+}
+
+diagram QueryExpression {
+  WithClause? {
+    RecursiveWith?
+    WithListElement [1..*]
+  }
+  QueryExpressionBody {
+    SetOperation? or {
+      UnionOp
+      ExceptOp
+      IntersectOp
+    }
+    SetOpQuantifier? alternative {
+      SetOpAll
+      SetOpDistinct
+    }
+    CorrespondingSpec? {
+      CorrespondingColumnList?
+    }
+    ParenthesizedQueryPrimary?
+  }
+}
+
+diagram Subquery {
+  SubqueryKind or {
+    ScalarSubquery
+    RowSubquery
+    TableSubquery
+  }
+}
+
+diagram FetchFirstClause {
+  FetchFirstQuantity? {
+    RowCountValue
+  }
+  RowsKeyword alternative {
+    RowKeywordSingular
+    RowsKeywordPlural
+  }
+}
+
+// ===== Predicates =====
+diagram Predicate or {
+  ComparisonPredicateRef
+  BetweenPredicateRef
+  InPredicateRef
+  LikePredicateRef
+  SimilarPredicateRef
+  NullPredicateRef
+  QuantifiedComparisonRef
+  ExistsPredicateRef
+  UniquePredicateRef
+  MatchPredicateRef
+  OverlapsPredicateRef
+  DistinctPredicateRef
+}
+
+diagram ComparisonPredicate {
+  CompOp alternative {
+    EqualsOp
+    NotEqualsOp
+    LessThanOp
+    GreaterThanOp
+    LessOrEqualsOp
+    GreaterOrEqualsOp
+  }
+}
+
+diagram BetweenPredicate {
+  BetweenNegation?
+  BetweenSymmetry? alternative {
+    SymmetricBetween
+    AsymmetricBetween
+  }
+}
+
+diagram InPredicate {
+  InNegation?
+  InPredicateValue alternative {
+    InValueList {
+      InListElement [1..*]
+    }
+    InSubqueryValue
+  }
+}
+
+diagram LikePredicate {
+  LikeNegation?
+  LikePattern
+  EscapeCharacter?
+}
+
+diagram NullPredicate {
+  NullNegation?
+}
+
+diagram QuantifiedComparisonPredicate {
+  QuantifierKind alternative {
+    AllQuantifier
+    SomeQuantifier
+    AnyQuantifier
+  }
+}
+
+// ===== Value expressions =====
+diagram ValueExpression or {
+  NumericValueExpression
+  StringValueExpression
+  DatetimeValueExpression
+  IntervalValueExpression
+  BooleanValueExpression
+  UserDefinedTypeValueExpression
+  RowValueExpression
+  CollectionValueExpression
+}
+
+diagram NumericExpression {
+  AdditiveOp? or {
+    PlusOp
+    MinusOp
+  }
+  MultiplicativeOp? or {
+    TimesOp
+    DivideOp
+  }
+  SignedFactor?
+  ParenthesizedExpression?
+  NumericPrimary alternative {
+    ColumnReferencePrimary
+    LiteralPrimary
+    FunctionPrimary
+    SubqueryPrimary
+  }
+}
+
+diagram StringExpression {
+  ConcatenationOp?
+  StringFunction? or {
+    SubstringFunction {
+      SubstringFor?
+    }
+    UpperFunction
+    LowerFunction
+    TrimFunction {
+      TrimSpecification? alternative {
+        LeadingTrim
+        TrailingTrim
+        BothTrim
+      }
+    }
+    CharLengthFunction
+    PositionFunction
+    OverlayFunction
+  }
+}
+
+diagram DatetimeExpression {
+  DatetimeFunction or {
+    CurrentDateFunction
+    CurrentTimeFunction
+    CurrentTimestampFunction
+    LocalTimeFunction
+    LocalTimestampFunction
+    ExtractFunction {
+      ExtractField alternative {
+        YearField
+        MonthField
+        DayField
+        HourField
+        MinuteField
+        SecondField
+      }
+    }
+  }
+}
+
+diagram CaseExpression {
+  CaseKind alternative {
+    SimpleCase {
+      SimpleWhenClause [1..*]
+      CaseElseClause?
+    }
+    SearchedCase {
+      SearchedWhenClause [1..*]
+      SearchedElseClause?
+    }
+    NullifAbbreviation
+    CoalesceAbbreviation {
+      CoalesceOperand [2..*]
+    }
+  }
+}
+
+diagram CastSpecification {
+  CastOperand alternative {
+    CastValueExpression
+    CastImplicitNull
+  }
+  CastTargetType
+}
+
+diagram SetFunction {
+  SetFunctionType alternative {
+    CountFunction {
+      CountAsterisk?
+    }
+    SumFunction
+    AvgFunction
+    MinFunction
+    MaxFunction
+    EveryFunction
+    StddevPopFunction
+    StddevSampFunction
+    VarPopFunction
+    VarSampFunction
+  }
+  AggregateQuantifier? alternative {
+    AggregateDistinct
+    AggregateAll
+  }
+  FilterClause?
+}
+
+diagram RoutineInvocation {
+  RoutineName
+  ArgumentList? {
+    SqlArgument [1..*]
+  }
+}
+
+diagram Literal or {
+  UnsignedNumericLiteral {
+    ExactNumericLiteral
+    ApproximateNumericLiteral?
+  }
+  CharacterStringLiteral
+  NationalStringLiteral
+  BinaryStringLiteral
+  DatetimeLiteral? or {
+    DateLiteral
+    TimeLiteral
+    TimestampLiteral
+  }
+  IntervalLiteral
+  BooleanLiteral? or {
+    TrueLiteral
+    FalseLiteral
+    UnknownLiteral
+  }
+  NullLiteral
+}
+
+diagram IdentifierChain {
+  ChainElement [1..*] {
+    RegularIdentifier?
+    DelimitedIdentifier?
+  }
+}
+
+// ===== Data types =====
+diagram DataType or {
+  NumericType {
+    ExactNumeric? or {
+      IntegerType
+      SmallintType
+      BigintType
+      NumericParameterized {
+        NumericPrecision?
+        NumericScale?
+      }
+      DecimalParameterized
+    }
+    ApproximateNumeric? or {
+      FloatType {
+        FloatPrecision?
+      }
+      RealType
+      DoublePrecisionType
+    }
+  }
+  CharacterStringType {
+    CharType?
+    VarcharType?
+    CharLengthParameter?
+  }
+  DatetimeType or {
+    DateType
+    TimeType
+    TimestampType {
+      TimestampPrecision?
+    }
+  }
+  BooleanType
+  LobType? or {
+    ClobType
+    BlobType
+  }
+  CollectionType? or {
+    ArrayType
+    MultisetType
+  }
+}
+
+// ===== Data definition =====
+diagram TableDefinition {
+  TableScope? {
+    GlobalOrLocal alternative {
+      GlobalScope
+      LocalScope
+    }
+    TemporaryKeyword
+  }
+  TableElementList {
+    TableElement [1..*] alternative {
+      ColumnDefinitionElement
+      TableConstraintElement
+      LikeClauseElement
+    }
+  }
+  OnCommitClause? alternative {
+    PreserveRows
+    DeleteRows
+  }
+}
+
+diagram ColumnDefinition {
+  ColumnDataType
+  DefaultClause? {
+    DefaultOption alternative {
+      DefaultLiteral
+      DefaultDatetimeFunction
+      DefaultUser
+      DefaultNull
+    }
+  }
+  IdentityColumn? {
+    GeneratedAlways?
+    GeneratedByDefault?
+  }
+  ColumnConstraint? or {
+    NotNullConstraint
+    UniqueColumnConstraint
+    PrimaryKeyColumnConstraint
+    ReferencesConstraint
+    CheckColumnConstraint
+  }
+  CollateClause?
+}
+
+diagram TableConstraint {
+  ConstraintNameDefinition?
+  ConstraintKind alternative {
+    UniqueConstraint {
+      UniqueColumnList
+    }
+    PrimaryKeyConstraint {
+      PrimaryKeyColumnList
+    }
+    ForeignKeyConstraint {
+      ReferencingColumns
+      ReferencedTable
+      ReferencedColumns?
+      MatchOption? alternative {
+        MatchFull
+        MatchPartial
+        MatchSimple
+      }
+      ReferentialTriggeredAction? {
+        OnUpdateAction? alternative {
+          UpdateCascade
+          UpdateSetNull
+          UpdateSetDefault
+          UpdateRestrict
+          UpdateNoAction
+        }
+        OnDeleteAction? alternative {
+          DeleteCascade
+          DeleteSetNull
+          DeleteSetDefault
+          DeleteRestrict
+          DeleteNoAction
+        }
+      }
+    }
+    CheckConstraint
+  }
+  ConstraintCharacteristics? {
+    Deferrable?
+    InitiallyDeferred?
+  }
+}
+
+diagram ViewDefinition {
+  RecursiveView?
+  ViewColumnList?
+  ViewQueryExpression
+  WithCheckOption? {
+    CheckOptionLevel? alternative {
+      CascadedCheck
+      LocalCheck
+    }
+  }
+}
+
+diagram SchemaDefinition {
+  SchemaName
+  SchemaAuthorization?
+  SchemaCharacterSet?
+  SchemaElement? or {
+    SchemaTableDefinition
+    SchemaViewDefinition
+    SchemaGrantStatement
+  }
+}
+
+diagram DomainDefinition {
+  DomainName
+  DomainDataType
+  DomainDefault?
+  DomainConstraint?
+  DomainCollation?
+}
+
+diagram SequenceGeneratorDefinition {
+  SequenceName
+  SequenceOption? or {
+    StartWithOption
+    IncrementByOption
+    MaxvalueOption
+    MinvalueOption
+    CycleOption alternative {
+      CycleEnabled
+      NoCycle
+    }
+  }
+}
+
+diagram TriggerDefinition {
+  TriggerName
+  TriggerActionTime alternative {
+    BeforeTrigger
+    AfterTrigger
+  }
+  TriggerEvent alternative {
+    InsertEvent
+    DeleteEvent
+    UpdateEvent {
+      UpdateColumnList?
+    }
+  }
+  ReferencingClause? {
+    OldRowAlias?
+    NewRowAlias?
+  }
+  ForEachClause? alternative {
+    ForEachRow
+    ForEachStatement
+  }
+  TriggeredAction
+}
+
+diagram AlterTableStatement {
+  AlterAction alternative {
+    AddColumnAction
+    DropColumnAction {
+      DropColumnBehavior? alternative {
+        DropColumnCascade
+        DropColumnRestrict
+      }
+    }
+    AlterColumnAction {
+      AlterColumnKind alternative {
+        SetColumnDefault
+        DropColumnDefault
+      }
+    }
+    AddConstraintAction
+    DropConstraintAction
+  }
+}
+
+diagram DropStatement {
+  DropObjectKind alternative {
+    DropTable
+    DropView
+    DropSchema
+    DropDomain
+    DropSequence
+    DropTrigger
+  }
+  DropBehavior? alternative {
+    DropCascade
+    DropRestrict
+  }
+}
+
+// ===== Transactions, session, access control, cursors =====
+diagram TransactionStatement {
+  TransactionKind alternative {
+    CommitStatement {
+      CommitWork?
+    }
+    RollbackStatement {
+      RollbackWork?
+      RollbackToSavepoint?
+    }
+    SavepointStatement
+    ReleaseSavepointStatement
+    StartTransactionStatement {
+      TransactionMode? or {
+        IsolationLevelMode alternative {
+          ReadUncommitted
+          ReadCommitted
+          RepeatableRead
+          Serializable
+        }
+        ReadOnlyMode
+        ReadWriteMode
+        DiagnosticsSize
+      }
+    }
+    SetTransactionStatement
+  }
+}
+
+diagram SessionStatement {
+  SessionKind alternative {
+    SetSchemaStatement
+    SetRoleStatement
+    SetTimeZoneStatement {
+      TimeZoneValue alternative {
+        LocalTimeZone
+        IntervalTimeZone
+      }
+    }
+    SetSessionCharacteristics
+  }
+}
+
+diagram GrantStatement {
+  PrivilegeSpecification alternative {
+    AllPrivileges
+    PrivilegeList {
+      Privilege [1..*] or {
+        SelectPrivilege
+        InsertPrivilege
+        UpdatePrivilege
+        DeletePrivilege
+        ReferencesPrivilege
+        UsagePrivilege
+        TriggerPrivilege
+        ExecutePrivilege
+      }
+    }
+  }
+  GranteeList {
+    Grantee [1..*] alternative {
+      PublicGrantee
+      NamedGrantee
+    }
+  }
+  WithGrantOption?
+  GrantedBy?
+}
+
+diagram RevokeStatement {
+  GrantOptionFor?
+  RevokeBehavior alternative {
+    RevokeCascade
+    RevokeRestrict
+  }
+}
+
+diagram CursorStatement {
+  CursorKind alternative {
+    DeclareCursor {
+      CursorSensitivity? alternative {
+        Sensitive
+        Insensitive
+        Asensitive
+      }
+      Scrollable?
+      CursorHoldability?
+      CursorQuery
+    }
+    OpenCursor
+    CloseCursor
+    FetchCursor {
+      FetchOrientation? alternative {
+        FetchNext
+        FetchPrior
+        FetchFirstRow
+        FetchLastRow
+        FetchAbsolute
+        FetchRelative
+      }
+    }
+  }
+}
+
+// ===== Embedded / sensor-network extension features =====
+diagram AcquisitionalQuery {
+  SamplePeriodClause? {
+    SamplePeriodValue
+    SampleForDuration?
+  }
+  EpochDurationClause? {
+    EpochDurationValue
+  }
+  OutputAction? alternative {
+    SignalAction
+    SetSnoozeAction
+  }
+  StorageLifetime?
+}
+SamplePeriodClause excludes EpochDurationClause;
+
+diagram SmartCardProfile {
+  ScqlSelect {
+    ScqlSingleTable
+    ScqlWhere?
+  }
+  ScqlInsert?
+  ScqlUpdate?
+  ScqlDelete?
+  ScqlCreateTable?
+  ScqlCreateView?
+  ScqlGrant?
+}
+)";
+
+}  // namespace
+
+const FeatureModel& SqlFoundationModel() {
+  static const FeatureModel& model = *[] {
+    Result<FeatureModel> parsed =
+        ParseFeatureModelText(kFoundationModelText, "sql_foundation_model");
+    if (!parsed.ok()) {
+      std::cerr << "fatal: SQL Foundation feature model failed to parse: "
+                << parsed.status().ToString() << "\n";
+      std::abort();
+    }
+    auto* model = new FeatureModel(std::move(parsed).value());
+    model->set_name("SQL:2003 Foundation");
+    return model;
+  }();
+  return model;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,26 @@
+#ifndef SQLPL_SQL_FOUNDATION_MODEL_H_
+#define SQLPL_SQL_FOUNDATION_MODEL_H_
+
+#include "sqlpl/feature/feature_model.h"
+
+namespace sqlpl {
+
+/// The feature-oriented decomposition of SQL:2003 Foundation (paper §3.1):
+/// a feature model with 40+ diagrams and 500+ features, organized by the
+/// classification of SQL statements by function (data definition, data
+/// manipulation, data control, transaction, session) plus the query and
+/// value-expression constructs of SQL Foundation. The diagrams
+/// `QuerySpecification` and `TableExpression` reproduce the paper's
+/// Figures 1 and 2 exactly.
+///
+/// The model is built once on first use and lives for the program.
+const FeatureModel& SqlFoundationModel();
+
+/// Names of the two diagrams that reproduce the paper's figures.
+inline constexpr const char* kQuerySpecificationDiagram =
+    "QuerySpecification";
+inline constexpr const char* kTableExpressionDiagram = "TableExpression";
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SQL_FOUNDATION_MODEL_H_

@@ -1,0 +1,84 @@
+#include "sqlpl/sql/product_line.h"
+
+#include <algorithm>
+
+#include "sqlpl/feature/feature_diagram.h"
+#include "sqlpl/sql/foundation_model.h"
+
+namespace sqlpl {
+
+SqlProductLine::SqlProductLine()
+    : model_(SqlFoundationModel()), catalog_(SqlFeatureCatalog::Instance()) {}
+
+Result<CompositionSequence> SqlProductLine::ResolveSequence(
+    const DialectSpec& spec) const {
+  // Canonical order: catalog registration order, which lists base
+  // constructs before the features that refine them (and SQL clauses in
+  // clause order), satisfying the paper's optional-after-core rule.
+  std::map<std::string, size_t> rank;
+  for (size_t i = 0; i < catalog_.modules().size(); ++i) {
+    rank[catalog_.modules()[i].name] = i;
+  }
+  std::vector<std::string> ordered = spec.features;
+  for (const std::string& feature : ordered) {
+    if (!rank.contains(feature)) {
+      return Status::ConfigurationError("dialect '" + spec.name +
+                                        "' selects unknown feature '" +
+                                        feature + "'");
+    }
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [&rank](const std::string& a, const std::string& b) {
+              return rank[a] < rank[b];
+            });
+  return CompositionSequence::Resolve(ordered, catalog_.RequiresMap(),
+                                      catalog_.ExcludesMap());
+}
+
+Result<Grammar> SqlProductLine::ComposeGrammar(const DialectSpec& spec) const {
+  SQLPL_ASSIGN_OR_RETURN(CompositionSequence sequence, ResolveSequence(spec));
+  if (sequence.features().empty()) {
+    return Status::ConfigurationError("dialect '" + spec.name +
+                                      "' selects no features");
+  }
+
+  std::vector<Grammar> grammars;
+  grammars.reserve(sequence.features().size());
+  for (const std::string& feature : sequence.features()) {
+    auto it = spec.counts.find(feature);
+    int count = (it != spec.counts.end()) ? it->second
+                                          : Cardinality::kUnbounded;
+    SQLPL_ASSIGN_OR_RETURN(Grammar grammar,
+                           catalog_.GrammarFor(feature, count));
+    grammars.push_back(std::move(grammar));
+  }
+
+  GrammarComposer composer;
+  SQLPL_ASSIGN_OR_RETURN(Grammar composed, composer.ComposeAll(grammars));
+  trace_ = composer.trace();
+
+  composed.set_name(spec.name.empty() ? "dialect" : spec.name);
+  composed.set_start_symbol(spec.start_symbol);
+
+  DiagnosticCollector diagnostics;
+  Status valid = composed.Validate(&diagnostics);
+  if (!valid.ok()) {
+    return Status::CompositionError(
+        "dialect '" + spec.name + "' composed to an invalid grammar "
+        "(missing required features?): " + diagnostics.ToString());
+  }
+  return composed;
+}
+
+Result<LlParser> SqlProductLine::BuildParser(const DialectSpec& spec) const {
+  SQLPL_ASSIGN_OR_RETURN(Grammar grammar, ComposeGrammar(spec));
+  return ParserBuilder().Build(grammar);
+}
+
+Result<GeneratedParser> SqlProductLine::GenerateParserSource(
+    const DialectSpec& spec) const {
+  SQLPL_ASSIGN_OR_RETURN(Grammar grammar, ComposeGrammar(spec));
+  return GenerateCppParser(grammar);
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,72 @@
+#ifndef SQLPL_SQL_PRODUCT_LINE_H_
+#define SQLPL_SQL_PRODUCT_LINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sqlpl/codegen/cpp_codegen.h"
+#include "sqlpl/compose/composer.h"
+#include "sqlpl/compose/composition_sequence.h"
+#include "sqlpl/feature/feature_model.h"
+#include "sqlpl/parser/ll_parser.h"
+#include "sqlpl/sql/foundation_grammars.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// A feature selection describing one SQL dialect — the facade-level form
+/// of the paper's feature instance description. `features` names catalog
+/// modules; `counts` pins cloning cardinalities (the §3.2 worked example
+/// sets Select Sublist and Table Reference to 1); unset counts default to
+/// unbounded, i.e. the multi-instance grammar variant.
+struct DialectSpec {
+  std::string name;
+  std::vector<std::string> features;
+  std::map<std::string, int> counts;
+  /// Start symbol of the composed grammar.
+  std::string start_symbol = "sql_statement";
+};
+
+/// The SQL:2003 product line: binds the feature model (`sqlpl/sql/
+/// foundation_model.h`), the sub-grammar catalog, the composer, and the
+/// parser builder into the workflow of the paper's §3.2:
+///
+///   1. select features (a `DialectSpec`),
+///   2. resolve the composition sequence (requires/excludes),
+///   3. compose the features' sub-grammars and token files,
+///   4. generate the parser (runtime engine or C++ source).
+class SqlProductLine {
+ public:
+  SqlProductLine();
+
+  const FeatureModel& model() const { return model_; }
+  const SqlFeatureCatalog& catalog() const { return catalog_; }
+
+  /// Orders `spec.features` canonically (catalog order) and checks all
+  /// requires/excludes constraints.
+  Result<CompositionSequence> ResolveSequence(const DialectSpec& spec) const;
+
+  /// Runs steps 2–3: returns the composed, validated grammar for the
+  /// dialect. The composition trace of this call is in `last_trace()`.
+  Result<Grammar> ComposeGrammar(const DialectSpec& spec) const;
+
+  /// Runs the full workflow, returning a ready-to-use runtime parser.
+  Result<LlParser> BuildParser(const DialectSpec& spec) const;
+
+  /// Runs the workflow but emits standalone C++ parser source instead of
+  /// a runtime parser (the ANTLR-generated-code counterpart).
+  Result<GeneratedParser> GenerateParserSource(const DialectSpec& spec) const;
+
+  /// Trace of the most recent `ComposeGrammar`/`BuildParser` call.
+  const std::vector<CompositionStep>& last_trace() const { return trace_; }
+
+ private:
+  const FeatureModel& model_;
+  const SqlFeatureCatalog& catalog_;
+  mutable std::vector<CompositionStep> trace_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SQL_PRODUCT_LINE_H_

@@ -1,0 +1,30 @@
+#ifndef SQLPL_SQL_REPORT_H_
+#define SQLPL_SQL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "sqlpl/sql/product_line.h"
+
+namespace sqlpl {
+
+/// Generates a Markdown report of the whole product line: the feature
+/// model summary (§3.1 headline numbers), the module inventory with
+/// classifications and requires edges, a feature × dialect matrix over
+/// `dialects` (the commonality/variability view of SPLE), and per-dialect
+/// grammar metrics. The report is what the paper's envisioned user
+/// interface would present; `examples/product_line_report` writes it to
+/// disk.
+std::string GenerateProductLineReport(const std::vector<DialectSpec>& dialects);
+
+/// The commonality set: features selected by every dialect in `dialects`.
+std::vector<std::string> CommonFeatures(
+    const std::vector<DialectSpec>& dialects);
+
+/// The variability set: features selected by at least one but not all.
+std::vector<std::string> VariantFeatures(
+    const std::vector<DialectSpec>& dialects);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SQL_REPORT_H_

@@ -1,0 +1,143 @@
+#include "sqlpl/testing/workload_generator.h"
+
+namespace sqlpl {
+
+namespace {
+
+constexpr const char* kColumns[] = {
+    "id",    "name",   "salary", "dept",   "hired", "region",
+    "amount","price",  "qty",    "status", "score", "grp",
+};
+constexpr const char* kTables[] = {
+    "emp", "dept_tbl", "sales", "orders", "items", "readings",
+};
+constexpr const char* kOperators[] = {"+", "-", "*", "/"};
+constexpr const char* kComparators[] = {"=", "<>", "<", ">", "<=", ">="};
+constexpr const char* kAggregates[] = {"COUNT", "SUM", "AVG", "MIN", "MAX"};
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(uint32_t seed) : rng_(seed) {}
+
+int WorkloadGenerator::Range(int lo, int hi) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(rng_);
+}
+
+bool WorkloadGenerator::Chance(int percent) {
+  return Range(1, 100) <= percent;
+}
+
+std::string WorkloadGenerator::Identifier() {
+  return kColumns[static_cast<size_t>(
+      Range(0, static_cast<int>(std::size(kColumns)) - 1))];
+}
+
+std::string WorkloadGenerator::TableName() {
+  return kTables[static_cast<size_t>(
+      Range(0, static_cast<int>(std::size(kTables)) - 1))];
+}
+
+std::string WorkloadGenerator::ValueExpr(int depth) {
+  if (depth <= 0 || Chance(40)) {
+    switch (Range(0, 3)) {
+      case 0:
+        return Identifier();
+      case 1:
+        return std::to_string(Range(0, 9999));
+      case 2:
+        return "'" + Identifier() + "'";
+      default:
+        return Identifier();
+    }
+  }
+  if (Chance(20)) {
+    return "(" + ValueExpr(depth - 1) + ")";
+  }
+  return ValueExpr(depth - 1) + " " +
+         kOperators[static_cast<size_t>(
+             Range(0, static_cast<int>(std::size(kOperators)) - 1))] +
+         " " + ValueExpr(depth - 1);
+}
+
+std::string WorkloadGenerator::Aggregate() {
+  const char* fn = kAggregates[static_cast<size_t>(
+      Range(0, static_cast<int>(std::size(kAggregates)) - 1))];
+  if (fn == std::string("COUNT") && Chance(50)) return "COUNT(*)";
+  return std::string(fn) + "(" + Identifier() + ")";
+}
+
+std::string WorkloadGenerator::Comparison() {
+  return ValueExpr(1) + " " +
+         kComparators[static_cast<size_t>(
+             Range(0, static_cast<int>(std::size(kComparators)) - 1))] +
+         " " + ValueExpr(1);
+}
+
+std::string WorkloadGenerator::Condition(int depth) {
+  if (depth <= 0 || Chance(45)) {
+    std::string predicate = Comparison();
+    if (Chance(10)) return "NOT (" + predicate + ")";
+    return predicate;
+  }
+  std::string lhs = Condition(depth - 1);
+  std::string rhs = Condition(depth - 1);
+  const char* junction = Chance(60) ? "AND" : "OR";
+  if (Chance(25)) return "(" + lhs + " " + junction + " " + rhs + ")";
+  return lhs + " " + junction + " " + rhs;
+}
+
+std::string WorkloadGenerator::SelectStatement(int complexity) {
+  std::string sql = "SELECT ";
+  if (Chance(10 + complexity * 5)) sql += "DISTINCT ";
+
+  bool grouped = complexity >= 1 && Chance(25 + complexity * 10);
+  std::string group_column = Identifier();
+
+  int items = Range(1, 1 + complexity * 2);
+  for (int i = 0; i < items; ++i) {
+    if (i > 0) sql += ", ";
+    if (grouped) {
+      sql += (i == 0) ? group_column : Aggregate();
+    } else if (complexity >= 1 && Chance(20)) {
+      sql += Aggregate();
+      grouped = grouped || true;  // aggregates imply a grouped query shape
+      if (i == 0) group_column.clear();
+    } else {
+      sql += ValueExpr(complexity >= 2 ? 2 : 1);
+      if (Chance(15 + complexity * 5)) sql += " AS a" + std::to_string(i);
+    }
+  }
+
+  int tables = Range(1, complexity >= 2 ? 2 : 1);
+  sql += " FROM ";
+  for (int i = 0; i < tables; ++i) {
+    if (i > 0) sql += ", ";
+    sql += TableName();
+    if (Chance(20 + complexity * 5)) sql += " t" + std::to_string(i);
+  }
+
+  if (Chance(45 + complexity * 10)) {
+    sql += " WHERE " + Condition(complexity >= 1 ? complexity : 0);
+  }
+  if (grouped && !group_column.empty()) {
+    sql += " GROUP BY " + group_column;
+    if (Chance(25 + complexity * 10)) {
+      sql += " HAVING " + Aggregate() + " > " + std::to_string(Range(0, 99));
+    }
+  }
+  if (Chance(20 + complexity * 10)) {
+    sql += " ORDER BY " + Identifier();
+    if (Chance(40)) sql += Chance(50) ? " DESC" : " ASC";
+  }
+  return sql;
+}
+
+std::vector<std::string> WorkloadGenerator::Batch(size_t n, int complexity) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(SelectStatement(complexity));
+  return out;
+}
+
+}  // namespace sqlpl

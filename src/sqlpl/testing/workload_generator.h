@@ -1,0 +1,47 @@
+#ifndef SQLPL_TESTING_WORKLOAD_GENERATOR_H_
+#define SQLPL_TESTING_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace sqlpl {
+
+/// Deterministic random SQL workload generator used by the benchmark
+/// harness and the property tests. Generated statements stay inside the
+/// CoreQuery dialect's language (select lists with arithmetic and
+/// aggregates, multi-table FROM with aliases, WHERE trees, GROUP BY /
+/// HAVING / ORDER BY), which is also a subset of FullFoundation and of
+/// the monolithic baseline — so one batch can drive every parser.
+class WorkloadGenerator {
+ public:
+  /// Same seed ⇒ same statement sequence.
+  explicit WorkloadGenerator(uint32_t seed);
+
+  /// One SELECT statement. `complexity` ≥ 0 scales list lengths, WHERE
+  /// tree depth and the probability of optional clauses: 0 is
+  /// `SELECT c FROM t`-sized, 3 is analytics-shaped, larger keeps
+  /// growing linearly.
+  std::string SelectStatement(int complexity);
+
+  /// `n` statements of the given complexity.
+  std::vector<std::string> Batch(size_t n, int complexity);
+
+ private:
+  std::string Identifier();
+  std::string TableName();
+  std::string ValueExpr(int depth);
+  std::string Aggregate();
+  std::string Comparison();
+  std::string Condition(int depth);
+
+  int Range(int lo, int hi);  // inclusive
+  bool Chance(int percent);
+
+  std::mt19937 rng_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_TESTING_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,57 @@
+#include "sqlpl/util/diagnostics.h"
+
+namespace sqlpl {
+
+const char* SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = SeverityToString(severity);
+  out += " at ";
+  out += location.ToString();
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void DiagnosticCollector::AddNote(SourceLocation loc, std::string message) {
+  Add({Severity::kNote, loc, std::move(message)});
+}
+
+void DiagnosticCollector::AddWarning(SourceLocation loc, std::string message) {
+  Add({Severity::kWarning, loc, std::move(message)});
+}
+
+void DiagnosticCollector::AddError(SourceLocation loc, std::string message) {
+  Add({Severity::kError, loc, std::move(message)});
+}
+
+void DiagnosticCollector::Add(Diagnostic diagnostic) {
+  if (diagnostic.severity == Severity::kError) ++error_count_;
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+std::string DiagnosticCollector::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagnosticCollector::Clear() {
+  diagnostics_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,56 @@
+#ifndef SQLPL_UTIL_DIAGNOSTICS_H_
+#define SQLPL_UTIL_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "sqlpl/util/source_location.h"
+
+namespace sqlpl {
+
+/// Severity of a diagnostic emitted by a lexer, parser, composer, or
+/// configuration validator.
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+const char* SeverityToString(Severity severity);
+
+/// One message tied to a position in some input.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLocation location;
+  std::string message;
+
+  /// "error at 3:7: unexpected token" style rendering.
+  std::string ToString() const;
+};
+
+/// Accumulates diagnostics during a multi-step operation so that callers
+/// can report every problem at once instead of failing on the first.
+class DiagnosticCollector {
+ public:
+  void AddNote(SourceLocation loc, std::string message);
+  void AddWarning(SourceLocation loc, std::string message);
+  void AddError(SourceLocation loc, std::string message);
+  void Add(Diagnostic diagnostic);
+
+  bool has_errors() const { return error_count_ > 0; }
+  size_t error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  /// All diagnostics, one per line.
+  std::string ToString() const;
+
+  void Clear();
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t error_count_ = 0;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_UTIL_DIAGNOSTICS_H_

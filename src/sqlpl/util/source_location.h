@@ -1,0 +1,26 @@
+#ifndef SQLPL_UTIL_SOURCE_LOCATION_H_
+#define SQLPL_UTIL_SOURCE_LOCATION_H_
+
+#include <cstddef>
+#include <string>
+
+namespace sqlpl {
+
+/// A position in an input text (SQL statement, grammar file, feature-model
+/// file). Lines and columns are 1-based; `offset` is the 0-based byte index.
+struct SourceLocation {
+  size_t line = 1;
+  size_t column = 1;
+  size_t offset = 0;
+
+  bool operator==(const SourceLocation&) const = default;
+
+  /// "line:column" — the form used in diagnostics.
+  std::string ToString() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_UTIL_SOURCE_LOCATION_H_

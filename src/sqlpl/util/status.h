@@ -1,0 +1,179 @@
+#ifndef SQLPL_UTIL_STATUS_H_
+#define SQLPL_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sqlpl {
+
+/// Machine-readable classification of an error.
+///
+/// The library does not throw exceptions across API boundaries; fallible
+/// operations return `Status` (or `Result<T>` when they produce a value).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  /// A grammar, token, feature-model, or SQL text failed to parse.
+  kParseError,
+  /// Grammar composition failed (conflicting rules, unsatisfied ordering).
+  kCompositionError,
+  /// A feature configuration violates the feature model.
+  kConfigurationError,
+};
+
+/// Returns the canonical lowercase name of `code` (e.g. "invalid_argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail: a code plus a human-readable
+/// message. `Status::OK()` carries no message and is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status CompositionError(std::string msg) {
+    return Status(StatusCode::kCompositionError, std::move(msg));
+  }
+  static Status ConfigurationError(std::string msg) {
+    return Status(StatusCode::kConfigurationError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type `T` or a non-OK `Status` explaining why the value
+/// could not be produced. Accessing `value()` on an error aborts in debug
+/// builds; callers must check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so functions can `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit so functions can
+  /// `return Status::...;`). Passing an OK status is a programming error
+  /// and is converted to an internal error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; `Status::OK()` when a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok() && "Result::value() called on error Result");
+    return *value_;
+  }
+  T& value() & {
+    assert(ok() && "Result::value() called on error Result");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "Result::value() called on error Result");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK `Status` from an expression to the caller.
+#define SQLPL_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::sqlpl::Status _sqlpl_status = (expr);          \
+    if (!_sqlpl_status.ok()) return _sqlpl_status;   \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error or binding the
+/// value to `lhs`.
+#define SQLPL_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  SQLPL_ASSIGN_OR_RETURN_IMPL_(                         \
+      SQLPL_MACRO_CONCAT_(_sqlpl_result, __LINE__), lhs, rexpr)
+
+#define SQLPL_MACRO_CONCAT_INNER_(x, y) x##y
+#define SQLPL_MACRO_CONCAT_(x, y) SQLPL_MACRO_CONCAT_INNER_(x, y)
+#define SQLPL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr)  \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_UTIL_STATUS_H_

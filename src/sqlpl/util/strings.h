@@ -1,0 +1,45 @@
+#ifndef SQLPL_UTIL_STRINGS_H_
+#define SQLPL_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlpl {
+
+/// ASCII-only case helpers. SQL keywords are case-insensitive, so the lexer
+/// and composer normalize through these rather than locale-dependent APIs.
+char AsciiToUpper(char c);
+char AsciiToLower(char c);
+std::string AsciiStrToUpper(std::string_view s);
+std::string AsciiStrToLower(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool AsciiCaseEqual(std::string_view a, std::string_view b);
+
+/// True if `s` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Splits `s` on `sep`, optionally dropping empty pieces.
+std::vector<std::string> StrSplit(std::string_view s, char sep,
+                                  bool skip_empty = false);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// True if `c` may start / continue a grammar identifier
+/// (`[A-Za-z_][A-Za-z0-9_]*`).
+bool IsIdentStart(char c);
+bool IsIdentCont(char c);
+
+/// Escapes `s` for embedding inside a double-quoted C++ string literal.
+std::string CEscape(std::string_view s);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_UTIL_STRINGS_H_

@@ -1,0 +1,109 @@
+#include "sqlpl/baseline/monolithic_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+class MonolithicTest : public ::testing::Test {
+ protected:
+  MonolithicSqlParser parser_;
+};
+
+TEST_F(MonolithicTest, QueryStatements) {
+  EXPECT_TRUE(parser_.Accepts("SELECT a FROM t"));
+  EXPECT_TRUE(parser_.Accepts("SELECT DISTINCT a, b AS x FROM t u"));
+  EXPECT_TRUE(parser_.Accepts(
+      "SELECT e.name, COUNT(*) FROM emp e JOIN dept d ON e.did = d.id "
+      "WHERE e.salary > 10 GROUP BY e.name HAVING COUNT(*) > 1 "
+      "ORDER BY e.name DESC"));
+  EXPECT_TRUE(parser_.Accepts("SELECT a FROM t UNION ALL SELECT b FROM u"));
+  EXPECT_TRUE(parser_.Accepts("SELECT * FROM (SELECT a FROM t) AS sub"));
+  EXPECT_TRUE(parser_.Accepts(
+      "SELECT a FROM t WHERE EXISTS (SELECT b FROM u WHERE u.x = t.x)"));
+  EXPECT_TRUE(parser_.Accepts("SELECT a FROM t WHERE a BETWEEN 1 AND 2"));
+  EXPECT_TRUE(parser_.Accepts("SELECT a FROM t WHERE a IN (1, 2, 3)"));
+  EXPECT_TRUE(
+      parser_.Accepts("SELECT a FROM t WHERE a IN (SELECT b FROM u)"));
+  EXPECT_TRUE(parser_.Accepts("SELECT a FROM t WHERE a IS NOT NULL"));
+  EXPECT_TRUE(
+      parser_.Accepts("SELECT a FROM t WHERE name LIKE 'a%' ESCAPE '!'"));
+  EXPECT_TRUE(parser_.Accepts(
+      "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t"));
+  EXPECT_TRUE(parser_.Accepts("SELECT CAST(a AS DECIMAL(10, 2)) FROM t"));
+  EXPECT_TRUE(parser_.Accepts("SELECT SUBSTRING(n FROM 1 FOR 2) FROM t"));
+  EXPECT_TRUE(parser_.Accepts("SELECT EXTRACT(YEAR FROM d) FROM t"));
+}
+
+TEST_F(MonolithicTest, DmlStatements) {
+  EXPECT_TRUE(parser_.Accepts("INSERT INTO t (a, b) VALUES (1, 'x')"));
+  EXPECT_TRUE(parser_.Accepts("INSERT INTO t DEFAULT VALUES"));
+  EXPECT_TRUE(parser_.Accepts("INSERT INTO t SELECT a FROM u"));
+  EXPECT_TRUE(parser_.Accepts("UPDATE t SET a = 1, b = DEFAULT WHERE c = 2"));
+  EXPECT_TRUE(parser_.Accepts("DELETE FROM t WHERE a = 1"));
+}
+
+TEST_F(MonolithicTest, DdlStatements) {
+  EXPECT_TRUE(parser_.Accepts(
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, n VARCHAR(10) NOT NULL, "
+      "FOREIGN KEY (id) REFERENCES u (uid) ON DELETE CASCADE)"));
+  EXPECT_TRUE(parser_.Accepts(
+      "CREATE VIEW v (a) AS SELECT a FROM t WITH CHECK OPTION"));
+  EXPECT_TRUE(parser_.Accepts("CREATE SCHEMA s AUTHORIZATION admin"));
+  EXPECT_TRUE(parser_.Accepts(
+      "CREATE SEQUENCE seq START WITH 1 INCREMENT BY 2 NO CYCLE"));
+  EXPECT_TRUE(parser_.Accepts("DROP TABLE t CASCADE"));
+  EXPECT_TRUE(parser_.Accepts("ALTER TABLE t ADD COLUMN c INTEGER"));
+  EXPECT_TRUE(parser_.Accepts("ALTER TABLE t ALTER COLUMN c SET DEFAULT 0"));
+}
+
+TEST_F(MonolithicTest, TransactionAndAccessControl) {
+  EXPECT_TRUE(parser_.Accepts("COMMIT"));
+  EXPECT_TRUE(parser_.Accepts("ROLLBACK WORK TO SAVEPOINT sp"));
+  EXPECT_TRUE(parser_.Accepts(
+      "START TRANSACTION ISOLATION LEVEL SERIALIZABLE, READ ONLY"));
+  EXPECT_TRUE(parser_.Accepts("SET TRANSACTION READ WRITE"));
+  EXPECT_TRUE(parser_.Accepts(
+      "GRANT SELECT, UPDATE ON t TO alice, PUBLIC WITH GRANT OPTION"));
+  EXPECT_TRUE(parser_.Accepts("REVOKE ALL PRIVILEGES ON t FROM bob CASCADE"));
+  EXPECT_TRUE(parser_.Accepts("DECLARE c SCROLL CURSOR FOR SELECT a FROM t"));
+  EXPECT_TRUE(parser_.Accepts("FETCH NEXT FROM c"));
+}
+
+TEST_F(MonolithicTest, RejectsMalformedStatements) {
+  EXPECT_FALSE(parser_.Accepts(""));
+  EXPECT_FALSE(parser_.Accepts("SELECT"));
+  EXPECT_FALSE(parser_.Accepts("SELECT FROM t"));
+  EXPECT_FALSE(parser_.Accepts("SELECT a FROM"));
+  EXPECT_FALSE(parser_.Accepts("SELECT a FROM t WHERE"));
+  EXPECT_FALSE(parser_.Accepts("INSERT t VALUES (1)"));
+  EXPECT_FALSE(parser_.Accepts("UPDATE t a = 1"));
+  EXPECT_FALSE(parser_.Accepts("CREATE TABLE t"));
+  EXPECT_FALSE(parser_.Accepts("GRANT ON t TO x"));
+  EXPECT_FALSE(parser_.Accepts("SELECT a FROM t trailing garbage here ,"));
+}
+
+TEST_F(MonolithicTest, ErrorsCarryLocation) {
+  Result<ParseNode> tree = parser_.Parse("SELECT a FROM t WHERE >");
+  ASSERT_FALSE(tree.ok());
+  EXPECT_NE(tree.status().message().find("syntax error"), std::string::npos);
+}
+
+TEST_F(MonolithicTest, ProducesComparableTrees) {
+  Result<ParseNode> tree = parser_.Parse("SELECT a, b FROM t WHERE a = 1");
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->symbol(), "sql_statement");
+  EXPECT_NE(tree->FindFirst("query_specification"), nullptr);
+  EXPECT_NE(tree->FindFirst("where_clause"), nullptr);
+  EXPECT_GE(tree->TreeSize(), 10u);
+}
+
+TEST_F(MonolithicTest, FixedTokenSetIsLarge) {
+  // The monolithic parser always carries the full keyword set — the
+  // footprint the paper's embedded-systems motivation objects to.
+  EXPECT_GT(parser_.NumKeywords(), 150u);
+  EXPECT_GT(MonolithicTokenSet().size(), 170u);
+}
+
+}  // namespace
+}  // namespace sqlpl

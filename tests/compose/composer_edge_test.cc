@@ -1,0 +1,157 @@
+// Edge cases of the composition mechanisms beyond the paper's examples:
+// labels, epsilon alternatives, traces, and the interaction of rules.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/compose/composer.h"
+#include "sqlpl/grammar/text_format.h"
+
+namespace sqlpl {
+namespace {
+
+Grammar G(const char* text) {
+  Result<Grammar> grammar = ParseGrammarText(text);
+  EXPECT_TRUE(grammar.ok()) << grammar.status();
+  return std::move(grammar).value();
+}
+
+TEST(ComposerEdgeTest, ReplaceCarriesTheNewLabel) {
+  Grammar base = G("a : old = b ;\nb : 'B' ;\nc : 'C' ;");
+  Grammar ext = G("a : renamed = b c ;\nb : 'B' ;\nc : 'C' ;");
+  Result<Grammar> composed = GrammarComposer().Compose(base, ext);
+  ASSERT_TRUE(composed.ok());
+  const Production* a = composed->Find("a");
+  ASSERT_EQ(a->alternatives().size(), 1u);
+  EXPECT_EQ(a->alternatives()[0].label, "renamed");
+}
+
+TEST(ComposerEdgeTest, ReplaceKeepsOldLabelWhenNewHasNone) {
+  Grammar base = G("a : old = b ;\nb : 'B' ;\nc : 'C' ;");
+  Grammar ext = G("a : b c ;\nb : 'B' ;\nc : 'C' ;");
+  Result<Grammar> composed = GrammarComposer().Compose(base, ext);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(composed->Find("a")->alternatives()[0].label, "old");
+}
+
+TEST(ComposerEdgeTest, EpsilonAlternativeContainedInEverything) {
+  // An epsilon rule is contained in any non-empty rule: retain fires.
+  Grammar base = G("a : 'X' ;");
+  Grammar ext = G("a : ;");
+  Result<Grammar> composed = GrammarComposer().Compose(base, ext);
+  ASSERT_TRUE(composed.ok());
+  ASSERT_EQ(composed->Find("a")->alternatives().size(), 1u);
+  EXPECT_EQ(composed->Find("a")->alternatives()[0].body, Expr::Tok("X"));
+}
+
+TEST(ComposerEdgeTest, EpsilonBaseIsReplacedByNonEmptyRule) {
+  Grammar base = G("a : ;");
+  Grammar ext = G("a : 'X' ;");
+  Result<Grammar> composed = GrammarComposer().Compose(base, ext);
+  ASSERT_TRUE(composed.ok());
+  ASSERT_EQ(composed->Find("a")->alternatives().size(), 1u);
+  EXPECT_EQ(composed->Find("a")->alternatives()[0].body, Expr::Tok("X"));
+}
+
+TEST(ComposerEdgeTest, MultiAlternativeExtensionHandledPerAlternative) {
+  Grammar base = G("p : cmp ;\ncmp : 'X' ;");
+  Grammar ext = G("p : cmp | btw | nul ;\ncmp : 'X' ;\nbtw : 'Y' ;\n"
+                  "nul : 'Z' ;");
+  GrammarComposer composer;
+  Result<Grammar> composed = composer.Compose(base, ext);
+  ASSERT_TRUE(composed.ok());
+  // cmp dedupes; btw and nul append.
+  EXPECT_EQ(composed->Find("p")->alternatives().size(), 3u);
+}
+
+TEST(ComposerEdgeTest, TraceStepToStringIsReadable) {
+  GrammarComposer composer;
+  Grammar base = G("a : b ;\nb : 'B' ;\nc : 'C' ;");
+  Grammar ext = G("a : b c ;\nb : 'B' ;\nc : 'C' ;");
+  ASSERT_TRUE(composer.Compose(base, ext).ok());
+  bool saw_replace = false;
+  for (const CompositionStep& step : composer.trace()) {
+    EXPECT_FALSE(step.ToString().empty());
+    if (step.action == CompositionAction::kReplacedAlternative) {
+      saw_replace = true;
+      EXPECT_NE(step.ToString().find("replaced a"), std::string::npos);
+      EXPECT_NE(step.ToString().find("->"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_replace);
+}
+
+TEST(ComposerEdgeTest, ActionNamesAreDistinct) {
+  std::set<std::string> names;
+  for (CompositionAction action :
+       {CompositionAction::kAddedProduction,
+        CompositionAction::kReplacedAlternative,
+        CompositionAction::kRetainedAlternative,
+        CompositionAction::kAppendedAlternative,
+        CompositionAction::kMergedComplexList,
+        CompositionAction::kMergedOptionals,
+        CompositionAction::kRemovedProduction}) {
+    names.insert(CompositionActionToString(action));
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(ComposerEdgeTest, StartSymbolFallsBackToExtension) {
+  Grammar base = G("a : 'A' ;");
+  base.set_start_symbol("");
+  Grammar ext = G("start z;\nz : 'Z' ;");
+  Result<Grammar> composed = GrammarComposer().Compose(base, ext);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(composed->start_symbol(), "z");
+}
+
+TEST(ComposerEdgeTest, RemovalAfterRuleComposition) {
+  Grammar base = G("a : 'A' ;\nlegacy : 'L' ;");
+  Grammar ext = G("a : 'A' 'X' ;");
+  GrammarComposer composer;
+  Result<Grammar> composed = composer.Compose(base, ext, {"legacy"});
+  ASSERT_TRUE(composed.ok());
+  EXPECT_FALSE(composed->HasProduction("legacy"));
+  EXPECT_EQ(composed->Find("a")->alternatives()[0].body,
+            Expr::Seq({Expr::Tok("A"), Expr::Tok("X")}));
+}
+
+TEST(ComposerEdgeTest, MergeRequiresDecorationOnBothSides) {
+  // Same core, no decorations on one side: the containment rules fire
+  // instead of the merge (replace, since new contains old).
+  Grammar base = G("a : b ;\nb : 'B' ;\nw : 'W' ;");
+  Grammar ext = G("a : b [ w ] ;\nb : 'B' ;\nw : 'W' ;");
+  GrammarComposer composer;
+  Result<Grammar> composed = composer.Compose(base, ext);
+  ASSERT_TRUE(composed.ok());
+  bool merged = false;
+  for (const CompositionStep& step : composer.trace()) {
+    if (step.action == CompositionAction::kMergedOptionals) merged = true;
+  }
+  EXPECT_FALSE(merged);
+  EXPECT_EQ(composed->Find("a")->alternatives().size(), 1u);
+}
+
+TEST(ComposerEdgeTest, RepetitionDecorationsMergeLikeOptionals) {
+  Grammar base = G("a : b ( c )* ;\nb : 'B' ;\nc : 'C' ;\nd : 'D' ;");
+  Grammar ext = G("a : b ( d )* ;\nb : 'B' ;\nd : 'D' ;");
+  Result<Grammar> composed = GrammarComposer().Compose(base, ext);
+  ASSERT_TRUE(composed.ok());
+  const Production* a = composed->Find("a");
+  ASSERT_EQ(a->alternatives().size(), 1u);
+  EXPECT_EQ(a->alternatives()[0].body,
+            Expr::Seq({Expr::NT("b"), Expr::Star(Expr::NT("c")),
+                       Expr::Star(Expr::NT("d"))}));
+}
+
+TEST(ComposerEdgeTest, DifferentCoresStillAppend) {
+  Grammar base = G("a : b [ w ] ;\nb : 'B' ;\nw : 'W' ;");
+  Grammar ext = G("a : c [ w ] ;\nc : 'C' ;\nw : 'W' ;");
+  Result<Grammar> composed = GrammarComposer().Compose(base, ext);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(composed->Find("a")->alternatives().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sqlpl

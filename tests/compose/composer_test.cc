@@ -1,0 +1,347 @@
+#include "sqlpl/compose/composer.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/compose/token_composer.h"
+#include "sqlpl/grammar/text_format.h"
+
+namespace sqlpl {
+namespace {
+
+Grammar G(const char* text) {
+  Result<Grammar> grammar = ParseGrammarText(text);
+  EXPECT_TRUE(grammar.ok()) << grammar.status();
+  return std::move(grammar).value();
+}
+
+bool HasAction(const std::vector<CompositionStep>& trace,
+               CompositionAction action) {
+  for (const CompositionStep& step : trace) {
+    if (step.action == action) return true;
+  }
+  return false;
+}
+
+// ---- The paper's §3.2 rules on its own examples ----
+
+// "If the new production contains the old one, then the old production is
+// replaced with the new production, e.g., in composing A: BC with A: B,
+// the production B is replaced with BC."
+TEST(ComposerTest, PaperRuleReplace) {
+  Grammar base = G("a : b ;\nb : 'B' ;\nc : 'C' ;");
+  Grammar ext = G("a : b c ;\nb : 'B' ;\nc : 'C' ;");
+  GrammarComposer composer;
+  Result<Grammar> composed = composer.Compose(base, ext);
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  const Production* a = composed->Find("a");
+  ASSERT_EQ(a->alternatives().size(), 1u);
+  EXPECT_EQ(a->alternatives()[0].body,
+            Expr::Seq({Expr::NT("b"), Expr::NT("c")}));
+  EXPECT_TRUE(
+      HasAction(composer.trace(), CompositionAction::kReplacedAlternative));
+}
+
+// "If the new production is contained in the old one, then the old
+// production is left unmodified, e.g., in composing A: B with A: BC, the
+// production BC is retained."
+TEST(ComposerTest, PaperRuleRetain) {
+  Grammar base = G("a : b c ;\nb : 'B' ;\nc : 'C' ;");
+  Grammar ext = G("a : b ;\nb : 'B' ;");
+  GrammarComposer composer;
+  Result<Grammar> composed = composer.Compose(base, ext);
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  const Production* a = composed->Find("a");
+  ASSERT_EQ(a->alternatives().size(), 1u);
+  EXPECT_EQ(a->alternatives()[0].body,
+            Expr::Seq({Expr::NT("b"), Expr::NT("c")}));
+  EXPECT_TRUE(
+      HasAction(composer.trace(), CompositionAction::kRetainedAlternative));
+}
+
+// "If the new and old production rules defer, then they are appended as
+// choices, e.g., in composing A: B with A: C, productions B and C are
+// appended to obtain A : B | C."
+TEST(ComposerTest, PaperRuleAppend) {
+  Grammar base = G("a : b ;\nb : 'B' ;");
+  Grammar ext = G("a : c ;\nc : 'C' ;");
+  GrammarComposer composer;
+  Result<Grammar> composed = composer.Compose(base, ext);
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  const Production* a = composed->Find("a");
+  ASSERT_EQ(a->alternatives().size(), 2u);
+  EXPECT_EQ(a->alternatives()[0].body, Expr::NT("b"));
+  EXPECT_EQ(a->alternatives()[1].body, Expr::NT("c"));
+  EXPECT_TRUE(
+      HasAction(composer.trace(), CompositionAction::kAppendedAlternative));
+}
+
+// "We compose any optional specification within a production after the
+// corresponding non optional specification. A: B and A: B[C] ... can be
+// composed in that order only."
+TEST(ComposerTest, OptionalSpecificationAfterCore) {
+  Grammar base = G("a : b ;\nb : 'B' ;");
+  Grammar ext = G("a : b [ c ] ;\nb : 'B' ;\nc : 'C' ;");
+  GrammarComposer composer;
+  Result<Grammar> composed = composer.Compose(base, ext);
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  const Production* a = composed->Find("a");
+  ASSERT_EQ(a->alternatives().size(), 1u);
+  EXPECT_EQ(a->alternatives()[0].body,
+            Expr::Seq({Expr::NT("b"), Expr::Opt(Expr::NT("c"))}));
+}
+
+TEST(ComposerTest, PrefixOptionalSpecification) {
+  // A: B then A: [C] B.
+  Grammar base = G("a : b ;\nb : 'B' ;");
+  Grammar ext = G("a : [ c ] b ;\nb : 'B' ;\nc : 'C' ;");
+  Result<Grammar> composed = GrammarComposer().Compose(base, ext);
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  EXPECT_EQ(composed->Find("a")->alternatives()[0].body,
+            Expr::Seq({Expr::Opt(Expr::NT("c")), Expr::NT("b")}));
+}
+
+TEST(ComposerTest, StrictOptionalOrderRejectsReverseOrder) {
+  // Composing the optional specification first and the bare core second
+  // violates "in that order only" under the strict option.
+  Grammar base = G("a : b [ c ] ;\nb : 'B' ;\nc : 'C' ;");
+  Grammar ext = G("a : b ;\nb : 'B' ;");
+  CompositionOptions options;
+  options.strict_optional_order = true;
+  GrammarComposer strict(options);
+  Result<Grammar> composed = strict.Compose(base, ext);
+  EXPECT_FALSE(composed.ok());
+  EXPECT_EQ(composed.status().code(), StatusCode::kCompositionError);
+
+  // The default (lenient) composer retains the richer rule instead.
+  Result<Grammar> lenient = GrammarComposer().Compose(base, ext);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(lenient->Find("a")->alternatives().size(), 1u);
+}
+
+// "if features to be composed contain a sublist and a complex list, e.g.,
+// A: B and A: B [, B] respectively, then these are composed sequentially
+// with the sublist being composed ahead of the complex list."
+TEST(ComposerTest, SublistThenComplexList) {
+  Grammar base = G("a : b ;\nb : 'B' ;");
+  Grammar ext = G("a : b ( ',' b )* ;\nb : 'B' ;");
+  GrammarComposer composer;
+  Result<Grammar> composed = composer.Compose(base, ext);
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  const Production* a = composed->Find("a");
+  ASSERT_EQ(a->alternatives().size(), 1u);
+  EXPECT_TRUE(
+      HasAction(composer.trace(), CompositionAction::kMergedComplexList));
+  // The complex list replaced the sublist.
+  Expr element;
+  EXPECT_TRUE(IsComplexList(a->alternatives()[0].body, &element));
+  EXPECT_EQ(element, Expr::NT("b"));
+}
+
+// Two optional decorations of the same core merge into one alternative.
+TEST(ComposerTest, MergedOptionalDecorations) {
+  Grammar base = G("te : f [ w ] ;\nf : 'F' ;\nw : 'W' ;");
+  Grammar ext = G("te : f [ g ] ;\nf : 'F' ;\ng : 'G' ;");
+  GrammarComposer composer;
+  Result<Grammar> composed = composer.Compose(base, ext);
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  const Production* te = composed->Find("te");
+  ASSERT_EQ(te->alternatives().size(), 1u);
+  EXPECT_EQ(te->alternatives()[0].body,
+            Expr::Seq({Expr::NT("f"), Expr::Opt(Expr::NT("w")),
+                       Expr::Opt(Expr::NT("g"))}));
+  EXPECT_TRUE(
+      HasAction(composer.trace(), CompositionAction::kMergedOptionals));
+}
+
+TEST(ComposerTest, MergeKeepsExistingDecorationOrder) {
+  // Existing decorations keep their position; new ones compose after.
+  Grammar base = G("te : f [ w ] [ g ] ;\nf : 'F' ;\nw : 'W' ;\ng : 'G' ;");
+  Grammar ext = G("te : f [ h ] ;\nf : 'F' ;\nh : 'H' ;");
+  Result<Grammar> composed = GrammarComposer().Compose(base, ext);
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  EXPECT_EQ(composed->Find("te")->alternatives()[0].body,
+            Expr::Seq({Expr::NT("f"), Expr::Opt(Expr::NT("w")),
+                       Expr::Opt(Expr::NT("g")), Expr::Opt(Expr::NT("h"))}));
+}
+
+TEST(ComposerTest, MergeDeduplicatesSharedDecorations) {
+  Grammar base = G("te : f [ w ] ;\nf : 'F' ;\nw : 'W' ;");
+  Grammar ext = G("te : f [ w ] [ g ] ;\nf : 'F' ;\nw : 'W' ;\ng : 'G' ;");
+  Result<Grammar> composed = GrammarComposer().Compose(base, ext);
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  EXPECT_EQ(composed->Find("te")->alternatives()[0].body,
+            Expr::Seq({Expr::NT("f"), Expr::Opt(Expr::NT("w")),
+                       Expr::Opt(Expr::NT("g"))}));
+}
+
+// ---- additions, removals, identity ----
+
+TEST(ComposerTest, NewNonterminalAdded) {
+  Grammar base = G("a : 'A' ;");
+  Grammar ext = G("z : 'Z' ;");
+  GrammarComposer composer;
+  Result<Grammar> composed = composer.Compose(base, ext);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_TRUE(composed->HasProduction("z"));
+  EXPECT_TRUE(
+      HasAction(composer.trace(), CompositionAction::kAddedProduction));
+}
+
+TEST(ComposerTest, IdenticalRulesComposeToThemselves) {
+  Grammar base = G("a : 'A' 'B' ;");
+  Grammar ext = G("a : 'A' 'B' ;");
+  Result<Grammar> composed = GrammarComposer().Compose(base, ext);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(composed->Find("a")->alternatives().size(), 1u);
+}
+
+TEST(ComposerTest, RemovalsDropProductions) {
+  Grammar base = G("a : 'A' ;\nzap : 'Z' ;");
+  Grammar ext = G("b : 'B' ;");
+  GrammarComposer composer;
+  Result<Grammar> composed = composer.Compose(base, ext, {"zap"});
+  ASSERT_TRUE(composed.ok());
+  EXPECT_FALSE(composed->HasProduction("zap"));
+  EXPECT_TRUE(
+      HasAction(composer.trace(), CompositionAction::kRemovedProduction));
+}
+
+TEST(ComposerTest, RemovingMissingRuleFails) {
+  Grammar base = G("a : 'A' ;");
+  Grammar ext = G("b : 'B' ;");
+  Result<Grammar> composed = GrammarComposer().Compose(base, ext, {"nope"});
+  EXPECT_FALSE(composed.ok());
+  EXPECT_EQ(composed.status().code(), StatusCode::kCompositionError);
+}
+
+TEST(ComposerTest, ComposedNameJoinsInputs) {
+  Grammar base = G("grammar Base;\na : 'A' ;");
+  Grammar ext = G("grammar Ext;\na : 'A' 'B' ;");
+  Result<Grammar> composed = GrammarComposer().Compose(base, ext);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(composed->name(), "Base+Ext");
+}
+
+TEST(ComposerTest, ComposeAllFoldsLeftToRight) {
+  std::vector<Grammar> grammars = {
+      G("a : b ;\nb : 'B' ;"),
+      G("a : b [ c ] ;\nb : 'B' ;\nc : 'C' ;"),
+      G("a : b [ d ] ;\nb : 'B' ;\nd : 'D' ;"),
+  };
+  GrammarComposer composer;
+  Result<Grammar> composed = composer.ComposeAll(grammars);
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  EXPECT_EQ(composed->Find("a")->alternatives()[0].body,
+            Expr::Seq({Expr::NT("b"), Expr::Opt(Expr::NT("c")),
+                       Expr::Opt(Expr::NT("d"))}));
+  // Trace accumulates across the fold.
+  EXPECT_GE(composer.trace().size(), 2u);
+}
+
+TEST(ComposerTest, ComposeAllRequiresInput) {
+  EXPECT_FALSE(GrammarComposer().ComposeAll({}).ok());
+}
+
+TEST(ComposerTest, CompositionIsIdempotent) {
+  Grammar base = G("a : b [ c ] | d ;\nb : 'B' ;\nc : 'C' ;\nd : 'D' ;");
+  Result<Grammar> once = GrammarComposer().Compose(base, base);
+  ASSERT_TRUE(once.ok());
+  EXPECT_EQ(once->productions(), base.productions());
+}
+
+// ---- token file composition ----
+
+TEST(TokenComposerTest, MergesDisjointAndIdentical) {
+  TokenSet a;
+  a.AddOrDie(TokenDef::Keyword("SELECT"));
+  a.AddOrDie(TokenDef::Identifier());
+  TokenSet b;
+  b.AddOrDie(TokenDef::Keyword("WHERE"));
+  b.AddOrDie(TokenDef::Identifier());
+  Result<TokenSet> merged = ComposeTokenSets(a, b);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), 3u);
+}
+
+TEST(TokenComposerTest, ConflictIsCompositionError) {
+  TokenSet a;
+  a.AddOrDie(TokenDef::Keyword("X", "XWORD"));
+  TokenSet b;
+  b.AddOrDie(TokenDef::Punct("X", "#"));
+  Result<TokenSet> merged = ComposeTokenSets(a, b);
+  EXPECT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kCompositionError);
+}
+
+TEST(TokenComposerTest, ComposeAllFolds) {
+  TokenSet a;
+  a.AddOrDie(TokenDef::Keyword("A"));
+  TokenSet b;
+  b.AddOrDie(TokenDef::Keyword("B"));
+  TokenSet c;
+  c.AddOrDie(TokenDef::Keyword("C"));
+  Result<TokenSet> merged = ComposeAllTokenSets({a, b, c});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), 3u);
+}
+
+TEST(ComposerTest, ConflictingTokensAbortComposition) {
+  Result<Grammar> base = ParseGrammarText(R"(
+    tokens { X = keyword "XWORD"; }
+    a : X ;
+  )");
+  Result<Grammar> ext = ParseGrammarText(R"(
+    tokens { X = punct "#"; }
+    b : X ;
+  )");
+  ASSERT_TRUE(base.ok() && ext.ok());
+  Result<Grammar> composed = GrammarComposer().Compose(*base, *ext);
+  EXPECT_FALSE(composed.ok());
+}
+
+// ---- helper predicates ----
+
+TEST(IsComplexListTest, RecognizesPaperShape) {
+  Grammar grammar = G("a : b ( ',' b )* ;\nb : 'B' ;");
+  Expr element;
+  EXPECT_TRUE(
+      IsComplexList(grammar.Find("a")->alternatives()[0].body, &element));
+  EXPECT_EQ(element, Expr::NT("b"));
+}
+
+TEST(IsComplexListTest, RecognizesOptionalTailVariant) {
+  Grammar grammar = G("a : b [ ',' b ] ;\nb : 'B' ;");
+  EXPECT_TRUE(IsComplexList(grammar.Find("a")->alternatives()[0].body));
+}
+
+TEST(IsComplexListTest, RejectsMismatchedElement) {
+  Grammar grammar = G("a : b ( ',' c )* ;\nb : 'B' ;\nc : 'C' ;");
+  EXPECT_FALSE(IsComplexList(grammar.Find("a")->alternatives()[0].body));
+}
+
+TEST(IsOptionalExtensionTest, DetectsPureOptionalAdditions) {
+  Expr core = Expr::NT("b");
+  Expr extended = Expr::Seq({Expr::NT("b"), Expr::Opt(Expr::NT("c"))});
+  EXPECT_TRUE(IsOptionalExtensionOf(extended, core));
+  EXPECT_FALSE(IsOptionalExtensionOf(core, extended));
+  Expr mandatory = Expr::Seq({Expr::NT("b"), Expr::NT("c")});
+  EXPECT_FALSE(IsOptionalExtensionOf(mandatory, core));
+}
+
+TEST(MergeOptionalDecorationsTest, NulloptWhenCoresDiffer) {
+  Expr a = Expr::Seq({Expr::NT("x"), Expr::Opt(Expr::NT("w"))});
+  Expr b = Expr::Seq({Expr::NT("y"), Expr::Opt(Expr::NT("g"))});
+  EXPECT_FALSE(MergeOptionalDecorations(a, b).has_value());
+}
+
+TEST(MergeOptionalDecorationsTest, PrefixAndSuffixSegments) {
+  Expr a = Expr::Seq({Expr::Opt(Expr::NT("p")), Expr::NT("x")});
+  Expr b = Expr::Seq({Expr::NT("x"), Expr::Opt(Expr::NT("s"))});
+  std::optional<Expr> merged = MergeOptionalDecorations(a, b);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(*merged, Expr::Seq({Expr::Opt(Expr::NT("p")), Expr::NT("x"),
+                                Expr::Opt(Expr::NT("s"))}));
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,91 @@
+#include "sqlpl/compose/composition_sequence.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+using FeatureList = std::vector<std::string>;
+using EdgeMap = std::map<std::string, std::vector<std::string>>;
+
+TEST(CompositionSequenceTest, NoConstraintsKeepsInputOrder) {
+  Result<CompositionSequence> sequence =
+      CompositionSequence::Resolve({"c", "a", "b"}, {}, {});
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence->features(), (FeatureList{"c", "a", "b"}));
+}
+
+TEST(CompositionSequenceTest, RequiresOrdersDependencyFirst) {
+  EdgeMap requires_map = {{"Having", {"GroupBy"}}};
+  Result<CompositionSequence> sequence = CompositionSequence::Resolve(
+      {"Having", "GroupBy"}, requires_map, {});
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence->features(), (FeatureList{"GroupBy", "Having"}));
+}
+
+TEST(CompositionSequenceTest, MissingRequirementFails) {
+  EdgeMap requires_map = {{"Having", {"GroupBy"}}};
+  Result<CompositionSequence> sequence =
+      CompositionSequence::Resolve({"Having"}, requires_map, {});
+  ASSERT_FALSE(sequence.ok());
+  EXPECT_EQ(sequence.status().code(), StatusCode::kConfigurationError);
+  EXPECT_NE(sequence.status().message().find("GroupBy"), std::string::npos);
+}
+
+TEST(CompositionSequenceTest, ExcludesRejectsCoSelection) {
+  EdgeMap excludes_map = {{"A", {"B"}}};
+  Result<CompositionSequence> sequence =
+      CompositionSequence::Resolve({"A", "B"}, {}, excludes_map);
+  ASSERT_FALSE(sequence.ok());
+  EXPECT_EQ(sequence.status().code(), StatusCode::kConfigurationError);
+}
+
+TEST(CompositionSequenceTest, ExcludesAllowedWhenOtherAbsent) {
+  EdgeMap excludes_map = {{"A", {"B"}}};
+  Result<CompositionSequence> sequence =
+      CompositionSequence::Resolve({"A", "C"}, {}, excludes_map);
+  EXPECT_TRUE(sequence.ok());
+}
+
+TEST(CompositionSequenceTest, TransitiveRequiresChainOrdered) {
+  EdgeMap requires_map = {{"c", {"b"}}, {"b", {"a"}}};
+  Result<CompositionSequence> sequence =
+      CompositionSequence::Resolve({"c", "b", "a"}, requires_map, {});
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence->features(), (FeatureList{"a", "b", "c"}));
+}
+
+TEST(CompositionSequenceTest, CyclicRequiresFails) {
+  EdgeMap requires_map = {{"a", {"b"}}, {"b", {"a"}}};
+  Result<CompositionSequence> sequence =
+      CompositionSequence::Resolve({"a", "b"}, requires_map, {});
+  ASSERT_FALSE(sequence.ok());
+  EXPECT_NE(sequence.status().message().find("cyclic"), std::string::npos);
+}
+
+TEST(CompositionSequenceTest, DuplicatesCollapse) {
+  Result<CompositionSequence> sequence =
+      CompositionSequence::Resolve({"a", "a", "b", "a"}, {}, {});
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence->features(), (FeatureList{"a", "b"}));
+}
+
+TEST(CompositionSequenceTest, StableAmongUnconstrained) {
+  EdgeMap requires_map = {{"z", {"m"}}};
+  Result<CompositionSequence> sequence = CompositionSequence::Resolve(
+      {"z", "x", "m", "y"}, requires_map, {});
+  ASSERT_TRUE(sequence.ok());
+  // x, m, y keep relative order; z floats after m.
+  EXPECT_EQ(sequence->features(), (FeatureList{"x", "m", "y", "z"}));
+}
+
+TEST(CompositionSequenceTest, FromOrderedAndContains) {
+  CompositionSequence sequence =
+      CompositionSequence::FromOrdered({"a", "b"});
+  EXPECT_TRUE(sequence.Contains("a"));
+  EXPECT_FALSE(sequence.Contains("z"));
+  EXPECT_EQ(sequence.ToString(), "a b");
+}
+
+}  // namespace
+}  // namespace sqlpl

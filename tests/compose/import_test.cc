@@ -1,0 +1,180 @@
+// Bali-style grammar imports (paper §2.3: "A Bali grammar can import
+// definitions for nonterminals from other grammars").
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/compose/composer.h"
+#include "sqlpl/grammar/text_format.h"
+#include "sqlpl/parser/ll_parser.h"
+#include "sqlpl/sql/foundation_grammars.h"
+
+namespace sqlpl {
+namespace {
+
+// Loader backed by a map of DSL texts.
+class TextLoader {
+ public:
+  void Add(std::string name, std::string text) {
+    texts_.emplace(std::move(name), std::move(text));
+  }
+
+  GrammarLoader AsLoader() const {
+    return [this](const std::string& name) -> Result<Grammar> {
+      auto it = texts_.find(name);
+      if (it == texts_.end()) {
+        return Status::NotFound("no grammar named '" + name + "'");
+      }
+      return ParseGrammarText(it->second, name);
+    };
+  }
+
+ private:
+  std::map<std::string, std::string> texts_;
+};
+
+TEST(ImportTest, DslParsesImportDeclarations) {
+  Result<Grammar> grammar = ParseGrammarText(R"(
+    grammar Ext;
+    import Base;
+    import Other;
+    x : 'X' ;
+  )");
+  ASSERT_TRUE(grammar.ok()) << grammar.status();
+  EXPECT_EQ(grammar->imports(),
+            (std::vector<std::string>{"Base", "Other"}));
+}
+
+TEST(ImportTest, ImportsRoundTripThroughToString) {
+  Result<Grammar> first = ParseGrammarText(R"(
+    grammar Ext;
+    import Base;
+    x : 'X' ;
+  )");
+  ASSERT_TRUE(first.ok());
+  Result<Grammar> second = ParseGrammarText(first->ToString());
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(*first, *second);
+}
+
+TEST(ImportTest, ImportedDefinitionsBecomeAvailable) {
+  TextLoader loader;
+  loader.Add("Base", R"(
+    grammar Base;
+    start q;
+    tokens { IDENTIFIER = identifier; }
+    q : 'SELECT' column ;
+    column : IDENTIFIER ;
+  )");
+  Result<Grammar> ext = ParseGrammarText(R"(
+    grammar Ext;
+    import Base;
+    q : 'SELECT' column from_part ;
+    from_part : 'FROM' IDENTIFIER ;
+    tokens { IDENTIFIER = identifier; }
+  )");
+  ASSERT_TRUE(ext.ok()) << ext.status();
+  Result<Grammar> resolved = ResolveImports(*ext, loader.AsLoader());
+  ASSERT_TRUE(resolved.ok()) << resolved.status();
+  EXPECT_TRUE(resolved->imports().empty());
+  // The importing rule replaced the base rule (containment), and the
+  // imported `column` definition is present.
+  ASSERT_NE(resolved->Find("q"), nullptr);
+  EXPECT_EQ(resolved->Find("q")->alternatives()[0].body.ToString(),
+            "SELECT column from_part");
+  EXPECT_TRUE(resolved->HasProduction("column"));
+  EXPECT_EQ(resolved->name(), "Ext");
+}
+
+TEST(ImportTest, TransitiveImportsResolve) {
+  TextLoader loader;
+  loader.Add("A", "grammar A;\na : 'A' ;");
+  loader.Add("B", "grammar B;\nimport A;\nb : a 'B' ;");
+  Result<Grammar> c = ParseGrammarText("grammar C;\nimport B;\nc : b 'C' ;");
+  ASSERT_TRUE(c.ok());
+  Result<Grammar> resolved = ResolveImports(*c, loader.AsLoader());
+  ASSERT_TRUE(resolved.ok()) << resolved.status();
+  EXPECT_TRUE(resolved->HasProduction("a"));
+  EXPECT_TRUE(resolved->HasProduction("b"));
+  EXPECT_TRUE(resolved->HasProduction("c"));
+}
+
+TEST(ImportTest, ImportCycleRejected) {
+  TextLoader loader;
+  loader.Add("A", "grammar A;\nimport B;\na : 'A' ;");
+  loader.Add("B", "grammar B;\nimport A;\nb : 'B' ;");
+  Result<Grammar> a = ParseGrammarText("grammar A;\nimport B;\na : 'A' ;");
+  ASSERT_TRUE(a.ok());
+  Result<Grammar> resolved = ResolveImports(*a, loader.AsLoader());
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_EQ(resolved.status().code(), StatusCode::kCompositionError);
+  EXPECT_NE(resolved.status().message().find("cycle"), std::string::npos);
+}
+
+TEST(ImportTest, MissingImportRejected) {
+  TextLoader loader;
+  Result<Grammar> grammar =
+      ParseGrammarText("grammar G;\nimport Nowhere;\ng : 'G' ;");
+  ASSERT_TRUE(grammar.ok());
+  Result<Grammar> resolved = ResolveImports(*grammar, loader.AsLoader());
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_NE(resolved.status().message().find("Nowhere"), std::string::npos);
+}
+
+TEST(ImportTest, NoImportsIsIdentity) {
+  Result<Grammar> grammar = ParseGrammarText("grammar G;\ng : 'G' ;");
+  ASSERT_TRUE(grammar.ok());
+  Result<Grammar> resolved =
+      ResolveImports(*grammar, [](const std::string&) -> Result<Grammar> {
+        return Status::Internal("loader must not be called");
+      });
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, *grammar);
+}
+
+TEST(ImportTest, MultipleImportsComposeInOrder) {
+  TextLoader loader;
+  loader.Add("P1", "grammar P1;\np : 'A' ;");
+  loader.Add("P2", "grammar P2;\np : 'B' ;");
+  Result<Grammar> g =
+      ParseGrammarText("grammar G;\nimport P1;\nimport P2;\ng : p ;");
+  ASSERT_TRUE(g.ok());
+  Result<Grammar> resolved = ResolveImports(*g, loader.AsLoader());
+  ASSERT_TRUE(resolved.ok()) << resolved.status();
+  // P1 and P2's differing rules appended as choices, in import order.
+  const Production* p = resolved->Find("p");
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->alternatives().size(), 2u);
+  EXPECT_EQ(p->alternatives()[0].body, Expr::Tok("A"));
+  EXPECT_EQ(p->alternatives()[1].body, Expr::Tok("B"));
+}
+
+// Imports against the SQL feature catalog: a hand-written extension
+// grammar can import catalog feature modules by name.
+TEST(ImportTest, ImportFromFeatureCatalog) {
+  GrammarLoader catalog_loader =
+      [](const std::string& name) -> Result<Grammar> {
+    return SqlFeatureCatalog::Instance().GrammarFor(name);
+  };
+  Result<Grammar> ext = ParseGrammarText(R"(
+    grammar TinyProbe;
+    start probe;
+    import ValueExpressions;
+    import Literals;
+    probe : 'PROBE' value_expression ;
+  )");
+  ASSERT_TRUE(ext.ok()) << ext.status();
+  Result<Grammar> resolved = ResolveImports(*ext, catalog_loader);
+  ASSERT_TRUE(resolved.ok()) << resolved.status();
+  EXPECT_EQ(resolved->start_symbol(), "probe");
+  EXPECT_TRUE(resolved->HasProduction("value_expression"));
+  Result<LlParser> parser = ParserBuilder().Build(*resolved);
+  ASSERT_TRUE(parser.ok()) << parser.status();
+  EXPECT_TRUE(parser->Accepts("PROBE price"));
+  EXPECT_TRUE(parser->Accepts("PROBE 42"));
+  EXPECT_FALSE(parser->Accepts("PROBE"));
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,178 @@
+#include "sqlpl/feature/configuration.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+// Figure 1 of the paper.
+FeatureDiagram Figure1() {
+  FeatureDiagram diagram("QuerySpecification");
+  FeatureDiagram::NodeId sq = diagram.AddOptional(diagram.root(),
+                                                  "SetQuantifier");
+  diagram.SetGroup(sq, GroupKind::kAlternative);
+  diagram.AddMandatory(sq, "ALL");
+  diagram.AddMandatory(sq, "DISTINCT");
+  FeatureDiagram::NodeId sl = diagram.AddMandatory(diagram.root(),
+                                                   "SelectList");
+  FeatureDiagram::NodeId ss =
+      diagram.AddMandatory(sl, "SelectSublist", Cardinality::AtLeast(1));
+  diagram.SetGroup(ss, GroupKind::kOr);
+  FeatureDiagram::NodeId dc = diagram.AddMandatory(ss, "DerivedColumn");
+  diagram.AddOptional(dc, "As");
+  diagram.AddMandatory(ss, "Asterisk");
+  diagram.AddMandatory(diagram.root(), "TableExpression");
+  return diagram;
+}
+
+Status Validate(const Configuration& config, const FeatureDiagram& diagram) {
+  DiagnosticCollector diagnostics;
+  return config.Validate(diagram, &diagnostics);
+}
+
+TEST(ConfigurationTest, SelectDeselectAndCounts) {
+  Configuration config("QuerySpecification");
+  config.Select("SelectList");
+  EXPECT_TRUE(config.IsSelected("SelectList"));
+  EXPECT_EQ(config.CountOf("SelectList"), 1);
+  EXPECT_EQ(config.CountOf("Missing"), 0);
+  config.SelectWithCount("SelectSublist", 3);
+  EXPECT_EQ(config.CountOf("SelectSublist"), 3);
+  config.Deselect("SelectList");
+  EXPECT_FALSE(config.IsSelected("SelectList"));
+}
+
+TEST(ConfigurationTest, PaperWorkedExampleInstanceIsValid) {
+  // {Query Specification, Select List, Select Sublist (card 1),
+  //  Table Expression} + DerivedColumn choice from the OR group.
+  FeatureDiagram diagram = Figure1();
+  Configuration config("QuerySpecification");
+  config.Select("QuerySpecification");
+  config.Select("SelectList");
+  config.SelectWithCount("SelectSublist", 1);
+  config.Select("DerivedColumn");
+  config.Select("TableExpression");
+  EXPECT_TRUE(Validate(config, diagram).ok());
+}
+
+TEST(ConfigurationTest, MissingMandatoryChildFails) {
+  FeatureDiagram diagram = Figure1();
+  Configuration config("QuerySpecification");
+  config.Select("QuerySpecification");
+  config.Select("SelectList");  // missing SelectSublist etc.
+  EXPECT_FALSE(Validate(config, diagram).ok());
+}
+
+TEST(ConfigurationTest, RootMustBeSelected) {
+  FeatureDiagram diagram = Figure1();
+  Configuration config("QuerySpecification");
+  config.Select("SelectList");
+  EXPECT_FALSE(Validate(config, diagram).ok());
+}
+
+TEST(ConfigurationTest, ParentMustBeSelected) {
+  FeatureDiagram diagram = Figure1();
+  Configuration config("QuerySpecification");
+  config.Select("QuerySpecification");
+  config.Select("As");  // parent DerivedColumn not selected
+  EXPECT_FALSE(Validate(config, diagram).ok());
+}
+
+TEST(ConfigurationTest, AlternativeGroupNeedsExactlyOne) {
+  FeatureDiagram diagram = Figure1();
+  Configuration config("QuerySpecification");
+  config.Select("QuerySpecification");
+  config.Select("SelectList");
+  config.SelectWithCount("SelectSublist", 1);
+  config.Select("DerivedColumn");
+  config.Select("TableExpression");
+  config.Select("SetQuantifier");  // no child chosen yet
+  EXPECT_FALSE(Validate(config, diagram).ok());
+  config.Select("DISTINCT");
+  EXPECT_TRUE(Validate(config, diagram).ok());
+  config.Select("ALL");  // both alternatives -> invalid
+  EXPECT_FALSE(Validate(config, diagram).ok());
+}
+
+TEST(ConfigurationTest, OrGroupNeedsAtLeastOne) {
+  FeatureDiagram diagram = Figure1();
+  Configuration config("QuerySpecification");
+  config.Select("QuerySpecification");
+  config.Select("SelectList");
+  config.SelectWithCount("SelectSublist", 1);
+  config.Select("TableExpression");
+  EXPECT_FALSE(Validate(config, diagram).ok());  // OR group empty
+  config.Select("Asterisk");
+  EXPECT_TRUE(Validate(config, diagram).ok());
+  config.Select("DerivedColumn");  // OR allows both
+  EXPECT_TRUE(Validate(config, diagram).ok());
+}
+
+TEST(ConfigurationTest, CardinalityEnforced) {
+  FeatureDiagram diagram = Figure1();
+  Configuration config("QuerySpecification");
+  config.Select("QuerySpecification");
+  config.Select("SelectList");
+  config.SelectWithCount("SelectSublist", 0);  // below [1..*]
+  config.Select("DerivedColumn");
+  config.Select("TableExpression");
+  EXPECT_FALSE(Validate(config, diagram).ok());
+  config.SelectWithCount("SelectSublist", 7);
+  EXPECT_TRUE(Validate(config, diagram).ok());
+}
+
+TEST(ConfigurationTest, UnknownFeatureFails) {
+  FeatureDiagram diagram = Figure1();
+  Configuration config("QuerySpecification");
+  config.Select("QuerySpecification");
+  config.Select("Bogus");
+  EXPECT_FALSE(Validate(config, diagram).ok());
+}
+
+TEST(ConfigurationTest, CrossTreeConstraintsChecked) {
+  FeatureDiagram diagram("D");
+  diagram.AddOptional(diagram.root(), "A");
+  diagram.AddOptional(diagram.root(), "B");
+  diagram.AddConstraint(FeatureConstraint::Requires("A", "B"));
+  Configuration config("D");
+  config.Select("D");
+  config.Select("A");
+  EXPECT_FALSE(Validate(config, diagram).ok());
+  config.Select("B");
+  EXPECT_TRUE(Validate(config, diagram).ok());
+
+  FeatureDiagram excl("E");
+  excl.AddOptional(excl.root(), "A");
+  excl.AddOptional(excl.root(), "B");
+  excl.AddConstraint(FeatureConstraint::Excludes("A", "B"));
+  Configuration bad("E");
+  bad.Select("E");
+  bad.Select("A");
+  bad.Select("B");
+  EXPECT_FALSE(Validate(bad, excl).ok());
+}
+
+TEST(ConfigurationTest, NormalizeAddsClosure) {
+  FeatureDiagram diagram = Figure1();
+  Configuration config("QuerySpecification");
+  config.Select("As");
+  size_t added = config.Normalize(diagram);
+  EXPECT_GE(added, 4u);
+  EXPECT_TRUE(config.IsSelected("QuerySpecification"));
+  EXPECT_TRUE(config.IsSelected("DerivedColumn"));
+  EXPECT_TRUE(config.IsSelected("SelectSublist"));
+  EXPECT_TRUE(config.IsSelected("SelectList"));
+  EXPECT_TRUE(config.IsSelected("TableExpression"));  // mandatory closure
+  // Normalize never makes group choices: SetQuantifier stays unselected.
+  EXPECT_FALSE(config.IsSelected("SetQuantifier"));
+}
+
+TEST(ConfigurationTest, ToStringShowsCounts) {
+  Configuration config("Q");
+  config.Select("A");
+  config.SelectWithCount("B", 2);
+  EXPECT_EQ(config.ToString(), "{A, B[2]}");
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,148 @@
+#include "sqlpl/feature/feature_diagram.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+// Builds the paper's Figure 2 (Table Expression) diagram.
+FeatureDiagram Figure2() {
+  FeatureDiagram diagram("TableExpression");
+  diagram.AddMandatory(diagram.root(), "From");
+  diagram.AddOptional(diagram.root(), "Where");
+  diagram.AddOptional(diagram.root(), "GroupBy");
+  diagram.AddOptional(diagram.root(), "Having");
+  diagram.AddOptional(diagram.root(), "Window");
+  return diagram;
+}
+
+TEST(CardinalityTest, DefaultsAndRendering) {
+  Cardinality def;
+  EXPECT_TRUE(def.IsDefault());
+  EXPECT_EQ(def.ToString(), "");
+  EXPECT_TRUE(def.Allows(1));
+  EXPECT_FALSE(def.Allows(2));
+
+  Cardinality many = Cardinality::AtLeast(1);
+  EXPECT_EQ(many.ToString(), "[1..*]");
+  EXPECT_TRUE(many.Allows(100));
+  EXPECT_FALSE(many.Allows(0));
+
+  EXPECT_EQ(Cardinality::Exactly(3).ToString(), "[3..3]");
+  EXPECT_EQ((Cardinality{2, 5}).ToString(), "[2..5]");
+}
+
+TEST(FeatureDiagramTest, RootIsConcept) {
+  FeatureDiagram diagram("QuerySpecification");
+  EXPECT_EQ(diagram.NumFeatures(), 1u);
+  EXPECT_EQ(diagram.NameOf(diagram.root()), "QuerySpecification");
+  EXPECT_EQ(diagram.ParentOf(diagram.root()), FeatureDiagram::kInvalidNode);
+}
+
+TEST(FeatureDiagramTest, BuildFigure2) {
+  FeatureDiagram diagram = Figure2();
+  EXPECT_EQ(diagram.NumFeatures(), 6u);
+  FeatureDiagram::NodeId from = diagram.Find("From");
+  ASSERT_NE(from, FeatureDiagram::kInvalidNode);
+  EXPECT_EQ(diagram.VariabilityOf(from), FeatureVariability::kMandatory);
+  EXPECT_EQ(diagram.VariabilityOf(diagram.Find("Where")),
+            FeatureVariability::kOptional);
+  EXPECT_EQ(diagram.ParentOf(from), diagram.root());
+  EXPECT_TRUE(diagram.IsLeaf(from));
+  EXPECT_EQ(diagram.ChildrenOf(diagram.root()).size(), 5u);
+}
+
+TEST(FeatureDiagramTest, DuplicateNameRejected) {
+  FeatureDiagram diagram("D");
+  ASSERT_NE(diagram.AddMandatory(diagram.root(), "X"),
+            FeatureDiagram::kInvalidNode);
+  EXPECT_EQ(diagram.AddMandatory(diagram.root(), "X"),
+            FeatureDiagram::kInvalidNode);
+  EXPECT_EQ(diagram.NumFeatures(), 2u);
+}
+
+TEST(FeatureDiagramTest, FeatureNamesPreOrder) {
+  FeatureDiagram diagram("R");
+  FeatureDiagram::NodeId a = diagram.AddMandatory(diagram.root(), "A");
+  diagram.AddMandatory(a, "A1");
+  diagram.AddOptional(diagram.root(), "B");
+  EXPECT_EQ(diagram.FeatureNames(),
+            (std::vector<std::string>{"R", "A", "A1", "B"}));
+}
+
+TEST(FeatureDiagramTest, ValidateWarnsOnDegenerateGroups) {
+  FeatureDiagram diagram("D");
+  FeatureDiagram::NodeId g = diagram.AddMandatory(diagram.root(), "G");
+  diagram.SetGroup(g, GroupKind::kAlternative);
+  diagram.AddMandatory(g, "OnlyChild");
+  DiagnosticCollector diagnostics;
+  EXPECT_TRUE(diagram.Validate(&diagnostics).ok());
+  EXPECT_NE(diagnostics.ToString().find("fewer than two"),
+            std::string::npos);
+}
+
+TEST(FeatureDiagramTest, ValidateRejectsUnknownConstraintFeature) {
+  FeatureDiagram diagram = Figure2();
+  diagram.AddConstraint(FeatureConstraint::Requires("Having", "Nonexistent"));
+  DiagnosticCollector diagnostics;
+  EXPECT_FALSE(diagram.Validate(&diagnostics).ok());
+}
+
+TEST(FeatureDiagramTest, ConstraintToString) {
+  EXPECT_EQ(FeatureConstraint::Requires("A", "B").ToString(), "A requires B");
+  EXPECT_EQ(FeatureConstraint::Excludes("A", "B").ToString(), "A excludes B");
+}
+
+// --- configuration counting ---
+
+TEST(CountConfigurationsTest, Figure2HasSixteenVariants) {
+  // From mandatory; Where/GroupBy/Having/Window optional -> 2^4 = 16.
+  EXPECT_EQ(Figure2().CountConfigurations(), 16u);
+}
+
+TEST(CountConfigurationsTest, RequiresConstraintPrunes) {
+  FeatureDiagram diagram = Figure2();
+  diagram.AddConstraint(FeatureConstraint::Requires("Having", "GroupBy"));
+  // Having-without-GroupBy configurations (4) are pruned: 16 - 4 = 12.
+  EXPECT_EQ(diagram.CountConfigurations(), 12u);
+}
+
+TEST(CountConfigurationsTest, ExcludesConstraintPrunes) {
+  FeatureDiagram diagram = Figure2();
+  diagram.AddConstraint(FeatureConstraint::Excludes("Where", "Window"));
+  // Where+Window co-selections (4) are pruned.
+  EXPECT_EQ(diagram.CountConfigurations(), 12u);
+}
+
+TEST(CountConfigurationsTest, AlternativeGroupCounts) {
+  FeatureDiagram diagram("D");
+  FeatureDiagram::NodeId g = diagram.AddMandatory(diagram.root(), "G");
+  diagram.SetGroup(g, GroupKind::kAlternative);
+  diagram.AddMandatory(g, "X");
+  diagram.AddMandatory(g, "Y");
+  diagram.AddMandatory(g, "Z");
+  EXPECT_EQ(diagram.CountConfigurations(), 3u);
+}
+
+TEST(CountConfigurationsTest, OrGroupCountsNonEmptySubsets) {
+  FeatureDiagram diagram("D");
+  FeatureDiagram::NodeId g = diagram.AddMandatory(diagram.root(), "G");
+  diagram.SetGroup(g, GroupKind::kOr);
+  diagram.AddMandatory(g, "X");
+  diagram.AddMandatory(g, "Y");
+  diagram.AddMandatory(g, "Z");
+  EXPECT_EQ(diagram.CountConfigurations(), 7u);  // 2^3 - 1
+}
+
+TEST(CountConfigurationsTest, OptionalSubtreeMultiplies) {
+  FeatureDiagram diagram("D");
+  FeatureDiagram::NodeId opt = diagram.AddOptional(diagram.root(), "Opt");
+  diagram.SetGroup(opt, GroupKind::kAlternative);
+  diagram.AddMandatory(opt, "A");
+  diagram.AddMandatory(opt, "B");
+  // skip Opt (1) or take Opt with A or B (2) -> 3.
+  EXPECT_EQ(diagram.CountConfigurations(), 3u);
+}
+
+}  // namespace
+}  // namespace sqlpl

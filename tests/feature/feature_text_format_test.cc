@@ -1,0 +1,161 @@
+#include "sqlpl/feature/text_format.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+constexpr const char* kFigure1Text = R"(
+diagram QuerySpecification {
+  SetQuantifier? alternative {
+    ALL
+    DISTINCT
+  }
+  SelectList {
+    SelectSublist [1..*] or {
+      DerivedColumn { As? }
+      Asterisk
+    }
+  }
+  TableExpression
+}
+)";
+
+TEST(FeatureTextTest, ParsesFigure1) {
+  Result<FeatureDiagram> diagram = ParseFeatureDiagramText(kFigure1Text);
+  ASSERT_TRUE(diagram.ok()) << diagram.status();
+  EXPECT_EQ(diagram->name(), "QuerySpecification");
+  EXPECT_EQ(diagram->NumFeatures(), 10u);
+  FeatureDiagram::NodeId sq = diagram->Find("SetQuantifier");
+  ASSERT_NE(sq, FeatureDiagram::kInvalidNode);
+  EXPECT_EQ(diagram->VariabilityOf(sq), FeatureVariability::kOptional);
+  EXPECT_EQ(diagram->GroupOf(sq), GroupKind::kAlternative);
+  FeatureDiagram::NodeId ss = diagram->Find("SelectSublist");
+  EXPECT_EQ(diagram->GroupOf(ss), GroupKind::kOr);
+  EXPECT_EQ(diagram->CardinalityOf(ss), Cardinality::AtLeast(1));
+  EXPECT_EQ(diagram->VariabilityOf(diagram->Find("As")),
+            FeatureVariability::kOptional);
+}
+
+TEST(FeatureTextTest, ParsesConstraints) {
+  Result<FeatureDiagram> diagram = ParseFeatureDiagramText(R"(
+    diagram D {
+      A?
+      B?
+      C?
+    }
+    A requires B;
+    A excludes C;
+  )");
+  ASSERT_TRUE(diagram.ok()) << diagram.status();
+  ASSERT_EQ(diagram->constraints().size(), 2u);
+  EXPECT_EQ(diagram->constraints()[0],
+            FeatureConstraint::Requires("A", "B"));
+  EXPECT_EQ(diagram->constraints()[1],
+            FeatureConstraint::Excludes("A", "C"));
+}
+
+TEST(FeatureTextTest, BoundedCardinality) {
+  Result<FeatureDiagram> diagram = ParseFeatureDiagramText(R"(
+    diagram D { X [2..5] }
+  )");
+  ASSERT_TRUE(diagram.ok()) << diagram.status();
+  EXPECT_EQ(diagram->CardinalityOf(diagram->Find("X")), (Cardinality{2, 5}));
+}
+
+TEST(FeatureTextTest, DuplicateFeatureNameRejected) {
+  Result<FeatureDiagram> diagram =
+      ParseFeatureDiagramText("diagram D { X X }");
+  EXPECT_FALSE(diagram.ok());
+}
+
+TEST(FeatureTextTest, CommentsIgnored) {
+  Result<FeatureDiagram> diagram = ParseFeatureDiagramText(R"(
+    // heading
+    diagram D {
+      X  // trailing
+    }
+  )");
+  ASSERT_TRUE(diagram.ok()) << diagram.status();
+  EXPECT_EQ(diagram->NumFeatures(), 2u);
+}
+
+TEST(FeatureTextTest, ModelWithMultipleDiagrams) {
+  Result<FeatureModel> model = ParseFeatureModelText(R"(
+    diagram A { X }
+    diagram B { Y? }
+    Y requires Y;
+  )");
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model->NumDiagrams(), 2u);
+  EXPECT_EQ(model->TotalFeatures(), 4u);
+  ASSERT_NE(model->Find("B"), nullptr);
+  EXPECT_EQ(model->Find("B")->constraints().size(), 1u);
+}
+
+TEST(FeatureTextTest, ModelRejectsDuplicateDiagramNames) {
+  Result<FeatureModel> model = ParseFeatureModelText(R"(
+    diagram A { X }
+    diagram A { Y }
+  )");
+  EXPECT_FALSE(model.ok());
+}
+
+TEST(FeatureTextTest, WriteThenReparseRoundTrips) {
+  Result<FeatureDiagram> first = ParseFeatureDiagramText(kFigure1Text);
+  ASSERT_TRUE(first.ok());
+  std::string written = WriteFeatureDiagramText(*first);
+  Result<FeatureDiagram> second = ParseFeatureDiagramText(written);
+  ASSERT_TRUE(second.ok()) << second.status() << "\n" << written;
+  EXPECT_EQ(second->NumFeatures(), first->NumFeatures());
+  EXPECT_EQ(second->FeatureNames(), first->FeatureNames());
+  EXPECT_EQ(second->GroupOf(second->Find("SetQuantifier")),
+            GroupKind::kAlternative);
+  EXPECT_EQ(second->CardinalityOf(second->Find("SelectSublist")),
+            Cardinality::AtLeast(1));
+}
+
+TEST(FeatureTextTest, MalformedInputsRejected) {
+  // Missing diagram keyword.
+  EXPECT_FALSE(ParseFeatureDiagramText("D { X }").ok());
+  // Unterminated block.
+  EXPECT_FALSE(ParseFeatureDiagramText("diagram D { X").ok());
+  // Bad cardinality forms.
+  EXPECT_FALSE(ParseFeatureDiagramText("diagram D { X [..2] }").ok());
+  EXPECT_FALSE(ParseFeatureDiagramText("diagram D { X [1..] }").ok());
+  EXPECT_FALSE(ParseFeatureDiagramText("diagram D { X [1-2] }").ok());
+  // Constraint without semicolon or target.
+  EXPECT_FALSE(
+      ParseFeatureDiagramText("diagram D { A B }\nA requires B").ok());
+  EXPECT_FALSE(
+      ParseFeatureDiagramText("diagram D { A B }\nA requires ;").ok());
+  // Stray character.
+  EXPECT_FALSE(ParseFeatureDiagramText("diagram D { X @ }").ok());
+}
+
+TEST(FeatureTextTest, ErrorsNameTheSourceAndPosition) {
+  Result<FeatureDiagram> diagram =
+      ParseFeatureDiagramText("diagram D { X X }", "mymodel");
+  ASSERT_FALSE(diagram.ok());
+  EXPECT_NE(diagram.status().message().find("mymodel"), std::string::npos);
+}
+
+TEST(FeatureTextTest, FindDiagramOfFeatureReportsAmbiguity) {
+  Result<FeatureModel> model = ParseFeatureModelText(R"(
+    diagram A { Shared }
+    diagram B { Shared }
+    diagram C { Unique }
+  )");
+  ASSERT_TRUE(model.ok());
+  bool ambiguous = false;
+  EXPECT_EQ(model->FindDiagramOfFeature("Shared", &ambiguous), nullptr);
+  EXPECT_TRUE(ambiguous);
+  const FeatureDiagram* diagram =
+      model->FindDiagramOfFeature("Unique", &ambiguous);
+  ASSERT_NE(diagram, nullptr);
+  EXPECT_EQ(diagram->name(), "C");
+  EXPECT_FALSE(ambiguous);
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,77 @@
+#include "sqlpl/feature/render.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/feature/text_format.h"
+
+namespace sqlpl {
+namespace {
+
+FeatureDiagram Fig1() {
+  Result<FeatureDiagram> diagram = ParseFeatureDiagramText(R"(
+    diagram QuerySpecification {
+      SetQuantifier? alternative { ALL DISTINCT }
+      SelectList {
+        SelectSublist [1..*] or {
+          DerivedColumn { As? }
+          Asterisk
+        }
+      }
+      TableExpression
+    }
+  )");
+  EXPECT_TRUE(diagram.ok());
+  return std::move(diagram).value();
+}
+
+TEST(RenderTest, AsciiTreeShowsMarkers) {
+  std::string tree = RenderAsciiTree(Fig1());
+  EXPECT_NE(tree.find("QuerySpecification"), std::string::npos);
+  EXPECT_NE(tree.find("(o) SetQuantifier  <1-1>"), std::string::npos);
+  EXPECT_NE(tree.find("[x] SelectList"), std::string::npos);
+  EXPECT_NE(tree.find("SelectSublist [1..*]  <1-*>"), std::string::npos);
+  EXPECT_NE(tree.find("(o) As"), std::string::npos);
+  // Tree connectors present.
+  EXPECT_NE(tree.find("|--"), std::string::npos);
+  EXPECT_NE(tree.find("`--"), std::string::npos);
+}
+
+TEST(RenderTest, AsciiTreeIncludesConstraints) {
+  FeatureDiagram diagram("D");
+  diagram.AddOptional(diagram.root(), "A");
+  diagram.AddOptional(diagram.root(), "B");
+  diagram.AddConstraint(FeatureConstraint::Requires("A", "B"));
+  std::string tree = RenderAsciiTree(diagram);
+  EXPECT_NE(tree.find("A requires B"), std::string::npos);
+}
+
+TEST(RenderTest, DotOutputWellFormed) {
+  std::string dot = RenderDot(Fig1());
+  EXPECT_EQ(dot.rfind("digraph", 0), 0u);
+  EXPECT_NE(dot.find("arrowhead=dot"), std::string::npos);   // mandatory
+  EXPECT_NE(dot.find("arrowhead=odot"), std::string::npos);  // optional
+  EXPECT_NE(dot.find("<alternative>"), std::string::npos);
+  EXPECT_NE(dot.find("<or>"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(RenderTest, InventoryListsEveryFeatureWithMetadata) {
+  FeatureDiagram diagram = Fig1();
+  std::string inventory = RenderInventory(diagram);
+  for (const std::string& name : diagram.FeatureNames()) {
+    EXPECT_NE(inventory.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(inventory.find("(optional, alternative-group)"),
+            std::string::npos);
+  EXPECT_NE(inventory.find("[1..*]"), std::string::npos);
+}
+
+TEST(RenderTest, EmptyDiagramRendersEmpty) {
+  FeatureDiagram diagram;
+  EXPECT_EQ(RenderAsciiTree(diagram), "");
+  EXPECT_EQ(RenderInventory(diagram), "");
+}
+
+}  // namespace
+}  // namespace sqlpl

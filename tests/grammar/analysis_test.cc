@@ -1,0 +1,176 @@
+#include "sqlpl/grammar/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/grammar/text_format.h"
+
+namespace sqlpl {
+namespace {
+
+Grammar Parse(const char* text) {
+  Result<Grammar> grammar = ParseGrammarText(text);
+  EXPECT_TRUE(grammar.ok()) << grammar.status();
+  return std::move(grammar).value();
+}
+
+GrammarAnalysis Analyze(const char* text) {
+  Result<GrammarAnalysis> analysis = GrammarAnalysis::Analyze(Parse(text));
+  EXPECT_TRUE(analysis.ok()) << analysis.status();
+  return std::move(analysis).value();
+}
+
+TEST(AnalysisTest, NullableComputation) {
+  GrammarAnalysis analysis = Analyze(R"(
+    start s;
+    s : a b ;
+    a : [ 'X' ] ;
+    b : 'Y' ;
+  )");
+  EXPECT_TRUE(analysis.IsNullable("a"));
+  EXPECT_FALSE(analysis.IsNullable("b"));
+  EXPECT_FALSE(analysis.IsNullable("s"));
+}
+
+TEST(AnalysisTest, NullableThroughChain) {
+  GrammarAnalysis analysis = Analyze(R"(
+    start s;
+    s : a ;
+    a : b c ;
+    b : [ 'X' ] ;
+    c : ( 'Y' )* ;
+  )");
+  EXPECT_TRUE(analysis.IsNullable("s"));
+  EXPECT_TRUE(analysis.IsNullable("a"));
+}
+
+TEST(AnalysisTest, FirstSetsPropagateThroughNullablePrefix) {
+  GrammarAnalysis analysis = Analyze(R"(
+    start s;
+    s : a 'Z' ;
+    a : [ 'X' ] ;
+  )");
+  std::set<std::string> first_s = analysis.First("s");
+  EXPECT_TRUE(first_s.contains("X"));
+  EXPECT_TRUE(first_s.contains("Z"));
+}
+
+TEST(AnalysisTest, FollowSetsIncludeEndOfInputForStart) {
+  GrammarAnalysis analysis = Analyze(R"(
+    start s;
+    s : a 'Y' ;
+    a : 'X' ;
+  )");
+  EXPECT_TRUE(analysis.Follow("s").contains(kEndOfInputToken));
+  EXPECT_TRUE(analysis.Follow("a").contains("Y"));
+}
+
+TEST(AnalysisTest, FollowThroughNullableSuffix) {
+  GrammarAnalysis analysis = Analyze(R"(
+    start s;
+    s : a b ;
+    a : 'X' ;
+    b : [ 'Y' ] ;
+  )");
+  // b is nullable, so FOLLOW(a) inherits FOLLOW(s) = {$} plus FIRST(b).
+  EXPECT_TRUE(analysis.Follow("a").contains("Y"));
+  EXPECT_TRUE(analysis.Follow("a").contains(kEndOfInputToken));
+}
+
+TEST(AnalysisTest, FollowOfRepetitionBodyIncludesItsOwnFirst) {
+  GrammarAnalysis analysis = Analyze(R"(
+    start s;
+    s : ( a )* 'Z' ;
+    a : 'X' ;
+  )");
+  EXPECT_TRUE(analysis.Follow("a").contains("X"));
+  EXPECT_TRUE(analysis.Follow("a").contains("Z"));
+}
+
+TEST(AnalysisTest, DirectLeftRecursionDetected) {
+  GrammarAnalysis analysis = Analyze(R"(
+    start e;
+    e : e '+' t | t ;
+    t : 'X' ;
+  )");
+  ASSERT_TRUE(analysis.HasLeftRecursion());
+  EXPECT_EQ(analysis.left_recursive(), (std::vector<std::string>{"e"}));
+}
+
+TEST(AnalysisTest, IndirectLeftRecursionDetected) {
+  GrammarAnalysis analysis = Analyze(R"(
+    start a;
+    a : b 'X' ;
+    b : c ;
+    c : a 'Y' | 'Z' ;
+  )");
+  EXPECT_TRUE(analysis.HasLeftRecursion());
+}
+
+TEST(AnalysisTest, LeftRecursionThroughNullablePrefixDetected) {
+  GrammarAnalysis analysis = Analyze(R"(
+    start a;
+    a : n a 'X' | 'Y' ;
+    n : [ 'W' ] ;
+  )");
+  EXPECT_TRUE(analysis.HasLeftRecursion());
+}
+
+TEST(AnalysisTest, RightRecursionIsNotLeftRecursion) {
+  GrammarAnalysis analysis = Analyze(R"(
+    start list;
+    list : 'X' [ ',' list ] ;
+  )");
+  EXPECT_FALSE(analysis.HasLeftRecursion());
+}
+
+TEST(AnalysisTest, AlternativeOverlapConflictReported) {
+  GrammarAnalysis analysis = Analyze(R"(
+    start s;
+    s : 'X' 'Y' | 'X' 'Z' ;
+  )");
+  ASSERT_FALSE(analysis.conflicts().empty());
+  EXPECT_EQ(analysis.conflicts()[0].nonterminal, "s");
+  EXPECT_TRUE(analysis.conflicts()[0].tokens.contains("X"));
+}
+
+TEST(AnalysisTest, DisjointAlternativesNoConflict) {
+  GrammarAnalysis analysis = Analyze(R"(
+    start s;
+    s : 'X' | 'Y' ;
+  )");
+  EXPECT_TRUE(analysis.conflicts().empty());
+}
+
+TEST(AnalysisTest, OptionalFollowOverlapConflictReported) {
+  GrammarAnalysis analysis = Analyze(R"(
+    start s;
+    s : [ 'X' ] 'X' ;
+  )");
+  ASSERT_FALSE(analysis.conflicts().empty());
+  EXPECT_NE(analysis.conflicts()[0].ToString().find("optional"),
+            std::string::npos);
+}
+
+TEST(AnalysisTest, UndefinedNonterminalFailsPrecondition) {
+  Grammar grammar("G");
+  grammar.set_start_symbol("a");
+  grammar.AddRule("a", Expr::NT("missing"));
+  Result<GrammarAnalysis> analysis = GrammarAnalysis::Analyze(grammar);
+  EXPECT_FALSE(analysis.ok());
+  EXPECT_EQ(analysis.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AnalysisTest, FirstOfExprChoiceUnionsBranches) {
+  GrammarAnalysis analysis = Analyze(R"(
+    start s;
+    s : a ;
+    a : 'X' | 'Y' ;
+  )");
+  std::set<std::string> first =
+      analysis.FirstOf(Expr::Alt({Expr::Tok("X"), Expr::NT("a")}));
+  EXPECT_TRUE(first.contains("X"));
+  EXPECT_TRUE(first.contains("Y"));
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,129 @@
+#include "sqlpl/grammar/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+TEST(ExprTest, FactoriesSetKinds) {
+  EXPECT_TRUE(Expr::Tok("SELECT").is_token());
+  EXPECT_TRUE(Expr::NT("select_list").is_nonterminal());
+  EXPECT_TRUE(Expr::Seq({Expr::Tok("A"), Expr::Tok("B")}).is_sequence());
+  EXPECT_TRUE(Expr::Alt({Expr::Tok("A"), Expr::Tok("B")}).is_choice());
+  EXPECT_TRUE(Expr::Opt(Expr::Tok("A")).is_optional());
+  EXPECT_TRUE(Expr::Star(Expr::Tok("A")).is_repetition());
+  EXPECT_TRUE(Expr::Epsilon().is_epsilon());
+}
+
+TEST(ExprTest, SingletonSequenceAndChoiceCollapse) {
+  EXPECT_TRUE(Expr::Seq({Expr::Tok("A")}).is_token());
+  EXPECT_TRUE(Expr::Alt({Expr::NT("a")}).is_nonterminal());
+}
+
+TEST(ExprTest, PlusLowersToSeqOfStar) {
+  Expr plus = Expr::Plus(Expr::NT("x"));
+  ASSERT_TRUE(plus.is_sequence());
+  ASSERT_EQ(plus.children().size(), 2u);
+  EXPECT_TRUE(plus.children()[0].is_nonterminal());
+  EXPECT_TRUE(plus.children()[1].is_repetition());
+}
+
+TEST(ExprTest, StructuralEquality) {
+  Expr a = Expr::Seq({Expr::Tok("SELECT"), Expr::NT("select_list")});
+  Expr b = Expr::Seq({Expr::Tok("SELECT"), Expr::NT("select_list")});
+  Expr c = Expr::Seq({Expr::Tok("SELECT"), Expr::NT("table_expression")});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(Expr::Opt(Expr::Tok("A")) == Expr::Star(Expr::Tok("A")));
+}
+
+TEST(ExprTest, ToStringNotation) {
+  Expr expr = Expr::Seq({Expr::Tok("SELECT"),
+                         Expr::Opt(Expr::NT("set_quantifier")),
+                         Expr::NT("select_list")});
+  EXPECT_EQ(expr.ToString(), "SELECT [ set_quantifier ] select_list");
+  EXPECT_EQ(Expr::Alt({Expr::Tok("A"), Expr::Tok("B")}).ToString(), "A | B");
+  EXPECT_EQ(Expr::Star(Expr::Tok("A")).ToString(), "( A )*");
+  EXPECT_EQ(Expr::Epsilon().ToString(), "/*empty*/");
+}
+
+TEST(ExprTest, NestedChoiceParenthesizedInsideSequence) {
+  Expr expr = Expr::Seq(
+      {Expr::Tok("A"), Expr::Alt({Expr::Tok("B"), Expr::Tok("C")})});
+  EXPECT_EQ(expr.ToString(), "A ( B | C )");
+}
+
+TEST(ExprTest, FlattenSequenceRecursesNestedSequences) {
+  Expr nested = Expr::Seq(
+      {Expr::Tok("A"),
+       Expr::Seq({Expr::Tok("B"), Expr::Seq({Expr::Tok("C")})})});
+  std::vector<Expr> flat = nested.FlattenSequence();
+  ASSERT_EQ(flat.size(), 3u);
+  EXPECT_EQ(flat[0], Expr::Tok("A"));
+  EXPECT_EQ(flat[2], Expr::Tok("C"));
+}
+
+TEST(ExprTest, FlattenNonSequenceYieldsSelf) {
+  std::vector<Expr> flat = Expr::Opt(Expr::Tok("A")).FlattenSequence();
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_TRUE(flat[0].is_optional());
+}
+
+TEST(ExprTest, CollectSymbols) {
+  Expr expr = Expr::Seq({Expr::Tok("SELECT"),
+                         Expr::Opt(Expr::NT("set_quantifier")),
+                         Expr::Star(Expr::Seq({Expr::Tok("COMMA"),
+                                               Expr::NT("select_sublist")}))});
+  std::vector<std::string> nts;
+  std::vector<std::string> toks;
+  expr.CollectNonterminals(&nts);
+  expr.CollectTokens(&toks);
+  EXPECT_EQ(nts, (std::vector<std::string>{"set_quantifier",
+                                           "select_sublist"}));
+  EXPECT_EQ(toks, (std::vector<std::string>{"SELECT", "COMMA"}));
+}
+
+// --- containment (the paper's composition test) ---
+
+TEST(ExprContainsTest, PrefixContainment) {
+  // Paper: composing A: BC with A: B -> B is contained in BC.
+  Expr bc = Expr::Seq({Expr::NT("b"), Expr::NT("c")});
+  Expr b = Expr::NT("b");
+  EXPECT_TRUE(ExprContains(bc, b));
+  EXPECT_FALSE(ExprContains(b, bc));
+}
+
+TEST(ExprContainsTest, InfixContainment) {
+  Expr abc = Expr::Seq({Expr::NT("a"), Expr::NT("b"), Expr::NT("c")});
+  Expr b = Expr::NT("b");
+  Expr bc = Expr::Seq({Expr::NT("b"), Expr::NT("c")});
+  EXPECT_TRUE(ExprContains(abc, b));
+  EXPECT_TRUE(ExprContains(abc, bc));
+}
+
+TEST(ExprContainsTest, NonContiguousIsNotContained) {
+  Expr axc = Expr::Seq({Expr::NT("a"), Expr::NT("x"), Expr::NT("c")});
+  Expr ac = Expr::Seq({Expr::NT("a"), Expr::NT("c")});
+  EXPECT_FALSE(ExprContains(axc, ac));
+}
+
+TEST(ExprContainsTest, EverythingContainsEpsilon) {
+  EXPECT_TRUE(ExprContains(Expr::NT("a"), Expr::Epsilon()));
+}
+
+TEST(ExprContainsTest, OptionalElementsCompareStructurally) {
+  Expr with_opt = Expr::Seq({Expr::NT("b"), Expr::Opt(Expr::NT("c"))});
+  EXPECT_TRUE(ExprContains(with_opt, Expr::NT("b")));
+  // [c] != c: optional decoration is a distinct element.
+  EXPECT_FALSE(ExprContains(with_opt, Expr::NT("c")));
+  EXPECT_TRUE(ExprContains(with_opt, Expr::Opt(Expr::NT("c"))));
+}
+
+TEST(SequenceContainsTest, EmptyNeedleAlwaysContained) {
+  EXPECT_TRUE(SequenceContains({Expr::NT("a")}, {}));
+  EXPECT_TRUE(SequenceContains({}, {}));
+  EXPECT_FALSE(SequenceContains({}, {Expr::NT("a")}));
+}
+
+}  // namespace
+}  // namespace sqlpl

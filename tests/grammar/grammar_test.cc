@@ -1,0 +1,111 @@
+#include "sqlpl/grammar/grammar.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+Grammar MakeSelectGrammar() {
+  Grammar grammar("Select");
+  grammar.set_start_symbol("query");
+  grammar.mutable_tokens()->AddOrDie(TokenDef::Keyword("SELECT"));
+  grammar.mutable_tokens()->AddOrDie(TokenDef::Identifier());
+  grammar.AddRule("query",
+                  Expr::Seq({Expr::Tok("SELECT"), Expr::NT("column")}));
+  grammar.AddRule("column", Expr::Tok("IDENTIFIER"));
+  return grammar;
+}
+
+TEST(GrammarTest, AddRuleCreatesAndExtends) {
+  Grammar grammar("G");
+  grammar.AddRule("a", Expr::NT("b"));
+  grammar.AddRule("a", Expr::NT("c"));
+  const Production* production = grammar.Find("a");
+  ASSERT_NE(production, nullptr);
+  EXPECT_EQ(production->alternatives().size(), 2u);
+  EXPECT_EQ(grammar.NumProductions(), 1u);
+  EXPECT_EQ(grammar.NumAlternatives(), 2u);
+}
+
+TEST(GrammarTest, AddRuleIgnoresStructuralDuplicates) {
+  Grammar grammar("G");
+  grammar.AddRule("a", Expr::NT("b"));
+  grammar.AddRule("a", Expr::NT("b"));
+  EXPECT_EQ(grammar.Find("a")->alternatives().size(), 1u);
+}
+
+TEST(GrammarTest, AddProductionRejectsDuplicateLhs) {
+  Grammar grammar("G");
+  ASSERT_TRUE(grammar.AddProduction(Production("a", Expr::NT("b"))).ok());
+  Status status = grammar.AddProduction(Production("a", Expr::NT("c")));
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(GrammarTest, ReplaceAndRemove) {
+  Grammar grammar = MakeSelectGrammar();
+  ASSERT_TRUE(
+      grammar.ReplaceProduction(Production("column", Expr::NT("query"))).ok());
+  EXPECT_EQ(grammar.Find("column")->alternatives()[0].body,
+            Expr::NT("query"));
+  ASSERT_TRUE(grammar.RemoveProduction("column").ok());
+  EXPECT_FALSE(grammar.HasProduction("column"));
+  EXPECT_EQ(grammar.RemoveProduction("column").code(), StatusCode::kNotFound);
+  // Index stays consistent after removal.
+  EXPECT_NE(grammar.Find("query"), nullptr);
+}
+
+TEST(GrammarTest, NonterminalNamesInDefinitionOrder) {
+  Grammar grammar = MakeSelectGrammar();
+  EXPECT_EQ(grammar.NonterminalNames(),
+            (std::vector<std::string>{"query", "column"}));
+}
+
+TEST(GrammarValidateTest, ValidGrammarPasses) {
+  Grammar grammar = MakeSelectGrammar();
+  DiagnosticCollector diagnostics;
+  EXPECT_TRUE(grammar.Validate(&diagnostics).ok());
+  EXPECT_FALSE(diagnostics.has_errors());
+}
+
+TEST(GrammarValidateTest, MissingStartSymbolFails) {
+  Grammar grammar("G");
+  grammar.AddRule("a", Expr::Epsilon());
+  DiagnosticCollector diagnostics;
+  EXPECT_FALSE(grammar.Validate(&diagnostics).ok());
+}
+
+TEST(GrammarValidateTest, UndefinedNonterminalFails) {
+  Grammar grammar = MakeSelectGrammar();
+  grammar.AddRule("query", Expr::NT("missing_rule"));
+  DiagnosticCollector diagnostics;
+  EXPECT_FALSE(grammar.Validate(&diagnostics).ok());
+  EXPECT_NE(diagnostics.ToString().find("missing_rule"), std::string::npos);
+}
+
+TEST(GrammarValidateTest, UndefinedTokenFails) {
+  Grammar grammar = MakeSelectGrammar();
+  grammar.AddRule("column", Expr::Tok("UNDECLARED"));
+  DiagnosticCollector diagnostics;
+  EXPECT_FALSE(grammar.Validate(&diagnostics).ok());
+}
+
+TEST(GrammarValidateTest, UnreachableProductionIsOnlyWarning) {
+  Grammar grammar = MakeSelectGrammar();
+  grammar.AddRule("orphan", Expr::Tok("IDENTIFIER"));
+  DiagnosticCollector diagnostics;
+  EXPECT_TRUE(grammar.Validate(&diagnostics).ok());
+  EXPECT_FALSE(diagnostics.has_errors());
+  EXPECT_NE(diagnostics.ToString().find("orphan"), std::string::npos);
+}
+
+TEST(GrammarTest, ToStringRendersDsl) {
+  Grammar grammar = MakeSelectGrammar();
+  std::string text = grammar.ToString();
+  EXPECT_NE(text.find("grammar Select;"), std::string::npos);
+  EXPECT_NE(text.find("start query;"), std::string::npos);
+  EXPECT_NE(text.find("SELECT = keyword \"SELECT\";"), std::string::npos);
+  EXPECT_NE(text.find("query : SELECT column ;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqlpl

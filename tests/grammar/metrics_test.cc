@@ -1,0 +1,62 @@
+#include "sqlpl/grammar/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/grammar/text_format.h"
+
+namespace sqlpl {
+namespace {
+
+TEST(MetricsTest, CountsSmallGrammar) {
+  Result<Grammar> grammar = ParseGrammarText(R"(
+    grammar M;
+    start q;
+    tokens { IDENTIFIER = identifier; }
+    q : 'SELECT' list ;
+    list : IDENTIFIER ( ',' IDENTIFIER )* ;
+    orphan : 'X' ;
+  )");
+  ASSERT_TRUE(grammar.ok()) << grammar.status();
+  GrammarMetrics metrics = ComputeGrammarMetrics(*grammar);
+  EXPECT_EQ(metrics.num_productions, 3u);
+  EXPECT_EQ(metrics.num_alternatives, 3u);
+  EXPECT_EQ(metrics.max_alternatives, 1u);
+  EXPECT_EQ(metrics.num_reachable, 2u);  // orphan unreachable
+  EXPECT_EQ(metrics.num_tokens, 4u);     // SELECT COMMA IDENTIFIER X
+  EXPECT_EQ(metrics.num_keywords, 2u);   // SELECT X
+  // list body: Seq(IDENT, Star(Seq(COMMA, IDENT))) -> depth 4.
+  EXPECT_EQ(metrics.max_expr_depth, 4u);
+  EXPECT_GT(metrics.num_expr_nodes, 5u);
+  EXPECT_GT(metrics.approx_bytes, 100u);
+}
+
+TEST(MetricsTest, WidthTracksLargestProduction) {
+  Result<Grammar> grammar = ParseGrammarText(R"(
+    start p;
+    p : 'A' | 'B' | 'C' | 'D' ;
+  )");
+  ASSERT_TRUE(grammar.ok());
+  EXPECT_EQ(ComputeGrammarMetrics(*grammar).max_alternatives, 4u);
+}
+
+TEST(MetricsTest, EmptyGrammar) {
+  Grammar grammar("Empty");
+  GrammarMetrics metrics = ComputeGrammarMetrics(grammar);
+  EXPECT_EQ(metrics.num_productions, 0u);
+  EXPECT_EQ(metrics.num_reachable, 0u);
+}
+
+TEST(MetricsTest, ToStringMentionsEveryField) {
+  Result<Grammar> grammar = ParseGrammarText("start p;\np : 'A' ;");
+  ASSERT_TRUE(grammar.ok());
+  std::string rendered = ComputeGrammarMetrics(*grammar).ToString();
+  for (const char* key :
+       {"productions=", "alternatives=", "expr_nodes=", "max_alternatives=",
+        "max_depth=", "reachable=", "tokens=", "keywords=",
+        "approx_bytes="}) {
+    EXPECT_NE(rendered.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,52 @@
+#include "sqlpl/grammar/production.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+TEST(ProductionTest, SingleAlternative) {
+  Production production("select_list", Expr::NT("select_sublist"));
+  EXPECT_EQ(production.lhs(), "select_list");
+  ASSERT_EQ(production.alternatives().size(), 1u);
+  EXPECT_EQ(production.ToString(), "select_list : select_sublist ;");
+}
+
+TEST(ProductionTest, TopLevelChoiceSplicesIntoAlternatives) {
+  Production production("set_quantifier");
+  production.AddAlternative(
+      Expr::Alt({Expr::Tok("DISTINCT"), Expr::Tok("ALL")}));
+  ASSERT_EQ(production.alternatives().size(), 2u);
+  EXPECT_EQ(production.ToString(), "set_quantifier : DISTINCT | ALL ;");
+}
+
+TEST(ProductionTest, LabelsAttachToAlternatives) {
+  Production production("predicate");
+  production.AddAlternative(Expr::NT("comparison_predicate"), "cmp");
+  production.AddAlternative(Expr::NT("null_predicate"), "null");
+  EXPECT_EQ(production.alternatives()[0].label, "cmp");
+  EXPECT_EQ(production.alternatives()[1].label, "null");
+  EXPECT_EQ(production.ToString(),
+            "predicate : cmp = comparison_predicate | null = null_predicate ;");
+}
+
+TEST(ProductionTest, HasAlternativeIsStructural) {
+  Production production("a");
+  production.AddAlternative(Expr::Seq({Expr::NT("b"), Expr::NT("c")}));
+  EXPECT_TRUE(production.HasAlternative(
+      Expr::Seq({Expr::NT("b"), Expr::NT("c")})));
+  EXPECT_FALSE(production.HasAlternative(Expr::NT("b")));
+}
+
+TEST(ProductionTest, EqualityIncludesOrder) {
+  Production p1("a");
+  p1.AddAlternative(Expr::NT("b"));
+  p1.AddAlternative(Expr::NT("c"));
+  Production p2("a");
+  p2.AddAlternative(Expr::NT("c"));
+  p2.AddAlternative(Expr::NT("b"));
+  EXPECT_FALSE(p1 == p2);
+}
+
+}  // namespace
+}  // namespace sqlpl

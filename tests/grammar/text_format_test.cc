@@ -1,0 +1,166 @@
+#include "sqlpl/grammar/text_format.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+TEST(GrammarTextTest, ParsesHeaderTokensAndRules) {
+  Result<Grammar> grammar = ParseGrammarText(R"(
+    grammar QuerySpecification;
+    start query_specification;
+    tokens {
+      SELECT = keyword "SELECT";
+      COMMA = punct ",";
+      IDENTIFIER = identifier;
+      NUMBER = number;
+      STRING = string;
+    }
+    query_specification : SELECT select_list ;
+    select_list : IDENTIFIER ;
+  )");
+  ASSERT_TRUE(grammar.ok()) << grammar.status();
+  EXPECT_EQ(grammar->name(), "QuerySpecification");
+  EXPECT_EQ(grammar->start_symbol(), "query_specification");
+  EXPECT_EQ(grammar->tokens().size(), 5u);
+  EXPECT_EQ(grammar->NumProductions(), 2u);
+}
+
+TEST(GrammarTextTest, InlineKeywordLiteralAutoRegistersToken) {
+  Result<Grammar> grammar = ParseGrammarText("q : 'SELECT' 'from' ;");
+  ASSERT_TRUE(grammar.ok()) << grammar.status();
+  EXPECT_TRUE(grammar->tokens().Contains("SELECT"));
+  // Keyword text uppercased regardless of source spelling.
+  const TokenDef* from = grammar->tokens().Find("FROM");
+  ASSERT_NE(from, nullptr);
+  EXPECT_EQ(from->text, "FROM");
+}
+
+TEST(GrammarTextTest, InlinePunctuationUsesCanonicalNames) {
+  Result<Grammar> grammar = ParseGrammarText("q : '(' 'X' ',' ')' '<=' ;");
+  ASSERT_TRUE(grammar.ok()) << grammar.status();
+  EXPECT_TRUE(grammar->tokens().Contains("LPAREN"));
+  EXPECT_TRUE(grammar->tokens().Contains("RPAREN"));
+  EXPECT_TRUE(grammar->tokens().Contains("COMMA"));
+  EXPECT_TRUE(grammar->tokens().Contains("LE"));
+}
+
+TEST(GrammarTextTest, UppercaseIdentIsTokenLowercaseIsNonterminal) {
+  Result<Grammar> grammar = ParseGrammarText(R"(
+    tokens { IDENTIFIER = identifier; }
+    q : IDENTIFIER rest ;
+    rest : IDENTIFIER ;
+  )");
+  ASSERT_TRUE(grammar.ok()) << grammar.status();
+  const Expr& body = grammar->Find("q")->alternatives()[0].body;
+  std::vector<Expr> flat = body.FlattenSequence();
+  ASSERT_EQ(flat.size(), 2u);
+  EXPECT_TRUE(flat[0].is_token());
+  EXPECT_TRUE(flat[1].is_nonterminal());
+}
+
+TEST(GrammarTextTest, OptionalGroupingRepetitionSuffixes) {
+  Result<Grammar> grammar = ParseGrammarText(R"(
+    q : [ 'A' ] ( 'B' | 'C' ) 'D'* 'E'+ 'F'? ;
+  )");
+  ASSERT_TRUE(grammar.ok()) << grammar.status();
+  std::vector<Expr> flat =
+      grammar->Find("q")->alternatives()[0].body.FlattenSequence();
+  ASSERT_EQ(flat.size(), 6u);  // [A] (B|C) D* E E* F?
+  EXPECT_TRUE(flat[0].is_optional());
+  EXPECT_TRUE(flat[1].is_choice());
+  EXPECT_TRUE(flat[2].is_repetition());
+  EXPECT_TRUE(flat[3].is_token());       // E
+  EXPECT_TRUE(flat[4].is_repetition());  // E*
+  EXPECT_TRUE(flat[5].is_optional());    // F?
+}
+
+TEST(GrammarTextTest, MultipleAlternativesWithLabels) {
+  Result<Grammar> grammar = ParseGrammarText(R"(
+    p : cmp = 'X' | nul = 'Y' ;
+  )");
+  ASSERT_TRUE(grammar.ok()) << grammar.status();
+  const Production* production = grammar->Find("p");
+  ASSERT_EQ(production->alternatives().size(), 2u);
+  EXPECT_EQ(production->alternatives()[0].label, "cmp");
+  EXPECT_EQ(production->alternatives()[1].label, "nul");
+}
+
+TEST(GrammarTextTest, EpsilonRule) {
+  Result<Grammar> grammar = ParseGrammarText("opt : ;");
+  ASSERT_TRUE(grammar.ok()) << grammar.status();
+  EXPECT_TRUE(grammar->Find("opt")->alternatives()[0].body.is_epsilon());
+}
+
+TEST(GrammarTextTest, CommentsIgnored) {
+  Result<Grammar> grammar = ParseGrammarText(R"(
+    // line comment
+    q : 'X' /* inline */ 'Y' ; // trailing
+  )");
+  ASSERT_TRUE(grammar.ok()) << grammar.status();
+  EXPECT_EQ(grammar->NumProductions(), 1u);
+}
+
+TEST(GrammarTextTest, StartDefaultsToFirstRule) {
+  Result<Grammar> grammar = ParseGrammarText("a : 'X' ;\nb : 'Y' ;");
+  ASSERT_TRUE(grammar.ok()) << grammar.status();
+  EXPECT_EQ(grammar->start_symbol(), "a");
+}
+
+TEST(GrammarTextTest, ErrorsCarryPositions) {
+  Result<Grammar> grammar = ParseGrammarText("a : 'X' ", "myfile");
+  ASSERT_FALSE(grammar.ok());
+  EXPECT_NE(grammar.status().message().find("myfile"), std::string::npos);
+}
+
+TEST(GrammarTextTest, UnknownPunctuationRejected) {
+  Result<Grammar> grammar = ParseGrammarText("a : '@@' ;");
+  EXPECT_FALSE(grammar.ok());
+}
+
+TEST(GrammarTextTest, UnterminatedLiteralRejected) {
+  Result<Grammar> grammar = ParseGrammarText("a : 'X ;");
+  EXPECT_FALSE(grammar.ok());
+}
+
+TEST(GrammarTextTest, RoundTripThroughToString) {
+  const char* text = R"(
+    grammar Rt;
+    start s;
+    tokens { IDENTIFIER = identifier; }
+    s : 'SELECT' [ q ] IDENTIFIER ( ',' IDENTIFIER )* ;
+    q : 'DISTINCT' | 'ALL' ;
+  )";
+  Result<Grammar> first = ParseGrammarText(text);
+  ASSERT_TRUE(first.ok()) << first.status();
+  Result<Grammar> second = ParseGrammarText(first->ToString());
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(*first, *second);
+}
+
+TEST(TokenFileTest, ParsesStandaloneTokenFile) {
+  Result<TokenSet> tokens = ParseTokenFileText(R"(
+    SELECT = keyword "SELECT";
+    COMMA = punct ",";
+    IDENTIFIER = identifier;
+  )");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  EXPECT_EQ(tokens->size(), 3u);
+}
+
+TEST(TokenFileTest, RejectsUnknownKind) {
+  Result<TokenSet> tokens = ParseTokenFileText("X = wibble;");
+  EXPECT_FALSE(tokens.ok());
+}
+
+TEST(PunctTokenNameTest, KnownAndUnknown) {
+  Result<std::string> comma = PunctTokenName(",");
+  ASSERT_TRUE(comma.ok());
+  EXPECT_EQ(*comma, "COMMA");
+  EXPECT_EQ(*PunctTokenName("<>"), "NEQ");
+  EXPECT_EQ(*PunctTokenName("||"), "CONCAT");
+  EXPECT_FALSE(PunctTokenName("###").ok());
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,76 @@
+#include "sqlpl/grammar/token_set.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+TEST(TokenDefTest, KeywordUppercasesText) {
+  TokenDef def = TokenDef::Keyword("select");
+  EXPECT_EQ(def.name, "SELECT");
+  EXPECT_EQ(def.text, "SELECT");
+  EXPECT_EQ(def.kind, TokenPatternKind::kKeyword);
+}
+
+TEST(TokenDefTest, NamedFactories) {
+  EXPECT_EQ(TokenDef::Punct("COMMA", ",").kind,
+            TokenPatternKind::kPunctuation);
+  EXPECT_EQ(TokenDef::Identifier().name, "IDENTIFIER");
+  EXPECT_EQ(TokenDef::Number().kind, TokenPatternKind::kNumberClass);
+  EXPECT_EQ(TokenDef::String().kind, TokenPatternKind::kStringClass);
+}
+
+TEST(TokenDefTest, ToStringTokenFileLine) {
+  EXPECT_EQ(TokenDef::Keyword("SELECT").ToString(),
+            "SELECT = keyword \"SELECT\";");
+  EXPECT_EQ(TokenDef::Punct("COMMA", ",").ToString(), "COMMA = punct \",\";");
+  EXPECT_EQ(TokenDef::Identifier().ToString(), "IDENTIFIER = identifier;");
+}
+
+TEST(TokenSetTest, AddAndFind) {
+  TokenSet tokens;
+  ASSERT_TRUE(tokens.Add(TokenDef::Keyword("SELECT")).ok());
+  EXPECT_TRUE(tokens.Contains("SELECT"));
+  EXPECT_FALSE(tokens.Contains("FROM"));
+  const TokenDef* def = tokens.Find("SELECT");
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->text, "SELECT");
+  EXPECT_EQ(tokens.size(), 1u);
+}
+
+TEST(TokenSetTest, IdenticalReAddIsNoOp) {
+  TokenSet tokens;
+  ASSERT_TRUE(tokens.Add(TokenDef::Keyword("SELECT")).ok());
+  ASSERT_TRUE(tokens.Add(TokenDef::Keyword("SELECT")).ok());
+  EXPECT_EQ(tokens.size(), 1u);
+}
+
+TEST(TokenSetTest, ConflictingDefinitionRejected) {
+  TokenSet tokens;
+  ASSERT_TRUE(tokens.Add(TokenDef::Keyword("X", "XKEY")).ok());
+  Status status = tokens.Add(TokenDef::Punct("X", "#"));
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TokenSetTest, KeywordTextsSortedAndFiltered) {
+  TokenSet tokens;
+  tokens.AddOrDie(TokenDef::Keyword("WHERE"));
+  tokens.AddOrDie(TokenDef::Keyword("FROM"));
+  tokens.AddOrDie(TokenDef::Punct("COMMA", ","));
+  tokens.AddOrDie(TokenDef::Identifier());
+  EXPECT_EQ(tokens.KeywordTexts(),
+            (std::vector<std::string>{"FROM", "WHERE"}));
+}
+
+TEST(TokenSetTest, ToVectorDeterministicOrder) {
+  TokenSet tokens;
+  tokens.AddOrDie(TokenDef::Keyword("WHERE"));
+  tokens.AddOrDie(TokenDef::Keyword("FROM"));
+  std::vector<TokenDef> v = tokens.ToVector();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0].name, "FROM");
+  EXPECT_EQ(v[1].name, "WHERE");
+}
+
+}  // namespace
+}  // namespace sqlpl

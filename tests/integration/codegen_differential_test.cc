@@ -1,0 +1,140 @@
+// Differential conformance: the generated standalone C++ parser and the
+// runtime LL(k) engine implement the same language. The CoreQuery
+// dialect's generated source is compiled once with the host compiler and
+// driven over an accept/reject corpus; its verdicts must match the
+// runtime engine statement for statement.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+const char* kCorpus[] = {
+    // Statements the CoreQuery dialect accepts...
+    "SELECT a FROM t",
+    "SELECT DISTINCT a, b AS x FROM t, u WHERE a = 1 AND b > 2",
+    "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 3",
+    "SELECT a + b * 2 FROM t ORDER BY a DESC, b",
+    "SELECT * FROM t WHERE NOT (a = 1 OR b = 2)",
+    "SELECT MIN(x), MAX(x) FROM series WHERE x BETWEEN 1 AND 9",
+    // ...and statements it rejects.
+    "SELECT a FROM t JOIN u ON a = b",
+    "INSERT INTO t VALUES (1)",
+    "SELECT a FROM t UNION SELECT b FROM u",
+    "SELECT FROM t",
+    "SELECT a FROM t WHERE",
+    "SELECT a, FROM t",
+};
+
+// "TYPE\ttext" per token, blank line terminates a statement.
+std::string EncodeTokens(const std::vector<Token>& tokens) {
+  std::string out;
+  for (const Token& token : tokens) {
+    if (token.type == "$") break;
+    out += token.type + "\t" + token.text + "\n";
+  }
+  out += "\n";
+  return out;
+}
+
+TEST(CodegenDifferentialTest, GeneratedParserMatchesRuntimeEngine) {
+  if (std::system("g++ --version > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "no g++ available";
+  }
+
+  SqlProductLine line;
+  DialectSpec spec = CoreQueryDialect();
+  Result<LlParser> runtime = line.BuildParser(spec);
+  ASSERT_TRUE(runtime.ok()) << runtime.status();
+  Result<GeneratedParser> generated = line.GenerateParserSource(spec);
+  ASSERT_TRUE(generated.ok()) << generated.status();
+
+  std::string dir = ::testing::TempDir();
+  std::string header_path = dir + "/" + generated->file_name;
+  std::string driver_path = dir + "/diff_driver.cc";
+  std::string bin_path = dir + "/diff_driver_bin";
+  std::string input_path = dir + "/diff_input.txt";
+  std::string output_path = dir + "/diff_output.txt";
+
+  {
+    std::ofstream header(header_path);
+    header << generated->code;
+    std::ofstream driver(driver_path);
+    driver << "#include \"" << generated->file_name << "\"\n";
+    driver << R"(#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+// Reads token streams (TYPE\ttext per line, blank line = end of
+// statement) from argv[1]; prints A or R per statement to stdout.
+int main(int argc, char** argv) {
+  if (argc < 2) return 2;
+  std::ifstream in(argv[1]);
+  std::string line;
+  std::vector<sqlpl_gen::Token> tokens;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      tokens.push_back({"$", ""});
+      sqlpl_gen::CoreQueryParser parser(tokens);
+      std::cout << (parser.Parse() ? 'A' : 'R');
+      tokens.clear();
+      continue;
+    }
+    size_t tab = line.find('\t');
+    tokens.push_back({line.substr(0, tab),
+                      tab == std::string::npos ? "" : line.substr(tab + 1)});
+  }
+  std::cout << "\n";
+  return 0;
+}
+)";
+  }
+
+  std::string compile = "g++ -std=c++20 -I" + dir + " " + driver_path +
+                        " -o " + bin_path + " 2> " + dir + "/diff_errors.txt";
+  ASSERT_EQ(std::system(compile.c_str()), 0)
+      << "generated CoreQuery parser failed to compile";
+
+  // Lex every corpus statement with the dialect's lexer; statements that
+  // do not even lex are compared at the lexing level.
+  std::string expected;
+  std::ofstream input(input_path);
+  std::vector<bool> lexable;
+  for (const char* sql : kCorpus) {
+    Result<std::vector<Token>> tokens =
+        runtime->lexer().Tokenize(sql);
+    if (!tokens.ok()) {
+      // The runtime rejects at lexing; nothing to feed the generated
+      // parser, so skip the statement for both.
+      lexable.push_back(false);
+      EXPECT_FALSE(runtime->Accepts(sql)) << sql;
+      continue;
+    }
+    lexable.push_back(true);
+    input << EncodeTokens(*tokens);
+    expected += runtime->Accepts(sql) ? 'A' : 'R';
+  }
+  input.close();
+
+  ASSERT_EQ(std::system((bin_path + " " + input_path + " > " + output_path)
+                            .c_str()),
+            0);
+  std::ifstream output(output_path);
+  std::string verdicts;
+  std::getline(output, verdicts);
+
+  EXPECT_EQ(verdicts, expected)
+      << "generated parser disagrees with the runtime engine";
+}
+
+}  // namespace
+}  // namespace sqlpl

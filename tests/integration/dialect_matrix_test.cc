@@ -1,0 +1,168 @@
+// E7: "We have created different prototype parsers by composing different
+// features." — a matrix of feature selections, each composed and built
+// into a working parser, plus property-style sweeps over random
+// requires-closed selections.
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+// ---- every preset dialect composes, validates, analyzes, and parses ----
+
+class PresetDialectTest : public ::testing::TestWithParam<DialectSpec> {};
+
+TEST_P(PresetDialectTest, ComposesToValidGrammar) {
+  SqlProductLine line;
+  Result<Grammar> grammar = line.ComposeGrammar(GetParam());
+  ASSERT_TRUE(grammar.ok()) << GetParam().name << ": " << grammar.status();
+  DiagnosticCollector diagnostics;
+  EXPECT_TRUE(grammar->Validate(&diagnostics).ok()) << diagnostics.ToString();
+  EXPECT_EQ(grammar->start_symbol(), "sql_statement");
+}
+
+TEST_P(PresetDialectTest, BuildsWorkingParser) {
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(GetParam());
+  ASSERT_TRUE(parser.ok()) << GetParam().name << ": " << parser.status();
+  EXPECT_FALSE(parser->analysis().HasLeftRecursion());
+  // Every preset includes the query core, so a minimal SELECT parses.
+  EXPECT_TRUE(parser->Accepts("SELECT a FROM t"))
+      << GetParam().name;
+  // And garbage does not.
+  EXPECT_FALSE(parser->Accepts("SELECT SELECT SELECT"));
+  EXPECT_FALSE(parser->Accepts("x"));
+}
+
+TEST_P(PresetDialectTest, GeneratesParserSource) {
+  SqlProductLine line;
+  Result<GeneratedParser> generated = line.GenerateParserSource(GetParam());
+  ASSERT_TRUE(generated.ok()) << GetParam().name << ": "
+                              << generated.status();
+  EXPECT_NE(generated->code.find("Parse_sql_statement"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, PresetDialectTest,
+    ::testing::ValuesIn(AllPresetDialects()),
+    [](const ::testing::TestParamInfo<DialectSpec>& info) {
+      return info.param.name;
+    });
+
+// ---- property sweep: random requires-closed feature selections ----
+
+class RandomSelectionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSelectionTest, ClosedSelectionsAlwaysCompose) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  std::vector<std::string> all = catalog.ModuleNames();
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<size_t> pick(0, all.size() - 1);
+
+  // Seed with the query core, add random features, close under requires.
+  std::set<std::string> selection = {"ValueExpressions", "SelectList",
+                                     "DerivedColumn", "From",
+                                     "TableExpression",
+                                     "QuerySpecification"};
+  size_t extras = 3 + static_cast<size_t>(GetParam()) % 12;
+  for (size_t i = 0; i < extras; ++i) selection.insert(all[pick(rng)]);
+
+  Result<std::vector<std::string>> closed = catalog.RequiredClosure(
+      std::vector<std::string>(selection.begin(), selection.end()));
+  ASSERT_TRUE(closed.ok()) << closed.status();
+
+  DialectSpec spec;
+  spec.name = "random" + std::to_string(GetParam());
+  spec.features = *closed;
+
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(spec);
+  ASSERT_TRUE(parser.ok())
+      << spec.name << " {" << CompositionSequence::FromOrdered(*closed)
+                                 .ToString()
+      << "}: " << parser.status();
+  EXPECT_TRUE(parser->Accepts("SELECT a FROM t")) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSelectionTest,
+                         ::testing::Range(1, 21));
+
+// ---- monotonicity: adding features never loses sentences ----
+
+TEST(DialectMatrixTest, FeatureAdditionPreservesAcceptance) {
+  SqlProductLine line;
+  Result<LlParser> small = line.BuildParser(EmbeddedMinimalDialect());
+  Result<LlParser> core = line.BuildParser(CoreQueryDialect());
+  Result<LlParser> full = line.BuildParser(FullFoundationDialect());
+  ASSERT_TRUE(small.ok() && core.ok() && full.ok());
+  const char* corpus[] = {
+      "SELECT name FROM patients",
+      "SELECT COUNT(*) FROM visits WHERE doctor = 'smith'",
+      "SELECT MIN(dose) FROM prescriptions WHERE amount = 5",
+  };
+  for (const char* sql : corpus) {
+    EXPECT_TRUE(small->Accepts(sql)) << sql;
+    EXPECT_TRUE(core->Accepts(sql)) << sql;
+    EXPECT_TRUE(full->Accepts(sql)) << sql;
+  }
+}
+
+// ---- constraint violations rejected at the facade ----
+
+TEST(DialectMatrixTest, MissingRequirementRejected) {
+  DialectSpec spec;
+  spec.name = "broken";
+  spec.features = {"Where"};  // Where requires TableExpression et al.
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(spec);
+  ASSERT_FALSE(parser.ok());
+  EXPECT_EQ(parser.status().code(), StatusCode::kConfigurationError);
+}
+
+TEST(DialectMatrixTest, UnknownFeatureRejected) {
+  DialectSpec spec;
+  spec.name = "unknown";
+  spec.features = {"NotAFeature"};
+  SqlProductLine line;
+  EXPECT_FALSE(line.BuildParser(spec).ok());
+}
+
+TEST(DialectMatrixTest, EmptySelectionRejected) {
+  DialectSpec spec;
+  spec.name = "empty";
+  SqlProductLine line;
+  EXPECT_FALSE(line.ComposeGrammar(spec).ok());
+}
+
+// ---- user-specified feature order does not change the result ----
+
+TEST(DialectMatrixTest, SelectionOrderIrrelevant) {
+  DialectSpec forward = WorkedExampleDialect();
+  DialectSpec backward = forward;
+  std::reverse(backward.features.begin(), backward.features.end());
+  SqlProductLine line;
+  Result<Grammar> a = line.ComposeGrammar(forward);
+  Result<Grammar> b = line.ComposeGrammar(backward);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->productions(), b->productions());
+  EXPECT_TRUE(a->tokens() == b->tokens());
+}
+
+// ---- composing a dialect twice is deterministic ----
+
+TEST(DialectMatrixTest, CompositionIsDeterministic) {
+  SqlProductLine line;
+  Result<Grammar> a = line.ComposeGrammar(TinySqlDialect());
+  Result<Grammar> b = line.ComposeGrammar(TinySqlDialect());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(*a == *b);
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,162 @@
+// Product-line coherence property over the paper's Figure 2: every
+// feature-instance description of the Table Expression diagram that the
+// feature model accepts composes into a working parser whose accepted
+// language matches the selection exactly — and every description the
+// model rejects is also rejected by the composition pipeline (the
+// Having-without-GroupBy configurations).
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/feature/configuration.h"
+#include "sqlpl/sql/dialects.h"
+#include "sqlpl/sql/foundation_model.h"
+
+namespace sqlpl {
+namespace {
+
+// One subset of Figure 2's optional features.
+struct Fig2Selection {
+  bool where = false;
+  bool group_by = false;
+  bool having = false;
+  bool window = false;
+
+  std::string Name() const {
+    std::string out = "sel";
+    if (where) out += "_where";
+    if (group_by) out += "_groupby";
+    if (having) out += "_having";
+    if (window) out += "_window";
+    return out;
+  }
+};
+
+std::vector<Fig2Selection> AllSelections() {
+  std::vector<Fig2Selection> out;
+  for (int mask = 0; mask < 16; ++mask) {
+    out.push_back({(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0,
+                   (mask & 8) != 0});
+  }
+  return out;
+}
+
+class Fig2ConfigurationTest
+    : public ::testing::TestWithParam<Fig2Selection> {};
+
+TEST_P(Fig2ConfigurationTest, ModelValidityMatchesCompositionValidity) {
+  const Fig2Selection& selection = GetParam();
+
+  // 1. Feature-model side: validate the instance description.
+  const FeatureDiagram& diagram =
+      *SqlFoundationModel().Find(kTableExpressionDiagram);
+  Configuration config(diagram.name());
+  config.Select("TableExpression");
+  config.Select("From");
+  if (selection.where) config.Select("Where");
+  if (selection.group_by) config.Select("GroupBy");
+  if (selection.having) config.Select("Having");
+  if (selection.window) config.Select("Window");
+  DiagnosticCollector diagnostics;
+  bool model_valid = config.Validate(diagram, &diagnostics).ok();
+
+  // 2. Composition side: map the selection to catalog features and
+  //    resolve the composition sequence.
+  DialectSpec spec;
+  spec.name = selection.Name();
+  spec.features = {"ValueExpressions", "Literals",   "SelectList",
+                   "DerivedColumn",    "From",       "TableExpression",
+                   "QuerySpecification"};
+  if (selection.where || selection.having) {
+    spec.features.push_back("SearchConditions");
+  }
+  if (selection.where) spec.features.push_back("Where");
+  if (selection.group_by) spec.features.push_back("GroupBy");
+  if (selection.having) spec.features.push_back("Having");
+  if (selection.window) {
+    spec.features.push_back("OrderBy");
+    spec.features.push_back("Window");
+  }
+
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(spec);
+
+  // The only model-invalid selections are Having without GroupBy, and
+  // the catalog's requires edge mirrors the diagram's constraint.
+  EXPECT_EQ(model_valid, parser.ok())
+      << spec.name << ": model and composition disagree ("
+      << (parser.ok() ? "composed" : parser.status().ToString()) << ")";
+  if (!model_valid) {
+    EXPECT_TRUE(selection.having && !selection.group_by) << spec.name;
+    return;
+  }
+
+  // 3. Language side: the parser accepts exactly the selected clauses.
+  ASSERT_TRUE(parser.ok());
+  EXPECT_TRUE(parser->Accepts("SELECT a FROM t")) << spec.name;
+  EXPECT_EQ(parser->Accepts("SELECT a FROM t WHERE a = 1"),
+            selection.where)
+      << spec.name;
+  EXPECT_EQ(parser->Accepts("SELECT a FROM t GROUP BY a"),
+            selection.group_by)
+      << spec.name;
+  if (selection.group_by) {
+    EXPECT_EQ(parser->Accepts("SELECT a FROM t GROUP BY a HAVING b = 1"),
+              selection.having)
+        << spec.name;
+  }
+  EXPECT_EQ(parser->Accepts(
+                "SELECT a FROM t WINDOW w AS (PARTITION BY a)"),
+            selection.window)
+      << spec.name;
+
+  // Combined clauses parse whenever all involved features are selected.
+  if (selection.where && selection.group_by) {
+    EXPECT_TRUE(
+        parser->Accepts("SELECT a FROM t WHERE a = 1 GROUP BY a"))
+        << spec.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSubsets, Fig2ConfigurationTest,
+    ::testing::ValuesIn(AllSelections()),
+    [](const ::testing::TestParamInfo<Fig2Selection>& info) {
+      return info.param.Name();
+    });
+
+// The diagram's configuration count equals the number of subsets the
+// pipeline accepts: 12 of 16 (Having requires GroupBy).
+TEST(Fig2ConfigurationCountTest, EnumerationMatchesPipeline) {
+  const FeatureDiagram& diagram =
+      *SqlFoundationModel().Find(kTableExpressionDiagram);
+  uint64_t model_count = diagram.CountConfigurations();
+  size_t pipeline_count = 0;
+  SqlProductLine line;
+  for (const Fig2Selection& selection : AllSelections()) {
+    DialectSpec spec;
+    spec.name = selection.Name();
+    spec.features = {"ValueExpressions", "Literals",   "SelectList",
+                     "DerivedColumn",    "From",       "TableExpression",
+                     "QuerySpecification"};
+    if (selection.where || selection.having) {
+      spec.features.push_back("SearchConditions");
+    }
+    if (selection.where) spec.features.push_back("Where");
+    if (selection.group_by) spec.features.push_back("GroupBy");
+    if (selection.having) spec.features.push_back("Having");
+    if (selection.window) {
+      spec.features.push_back("OrderBy");
+      spec.features.push_back("Window");
+    }
+    if (line.ComposeGrammar(spec).ok()) ++pipeline_count;
+  }
+  EXPECT_EQ(model_count, pipeline_count);
+  EXPECT_EQ(pipeline_count, 12u);
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,218 @@
+// Integration corpus: the FullFoundation composed parser and the
+// hand-written monolithic baseline must agree on a realistic statement
+// corpus — they implement the same language by different construction.
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/baseline/monolithic_parser.h"
+#include "sqlpl/semantics/pretty_printer.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+const char* kAcceptCorpus[] = {
+    // queries
+    "SELECT a FROM t",
+    "SELECT * FROM t",
+    "SELECT DISTINCT a, b FROM t",
+    "SELECT a AS x, b y FROM t",
+    "SELECT t.a, u.b FROM t, u WHERE t.id = u.id",
+    "SELECT a FROM t WHERE a = 1 AND b <> 2 OR NOT c < 3",
+    "SELECT a FROM t WHERE (a = 1 OR b = 2) AND c >= 3",
+    "SELECT a FROM t WHERE a BETWEEN 1 AND 10",
+    "SELECT a FROM t WHERE a NOT BETWEEN 1 AND 10",
+    "SELECT a FROM t WHERE a IN (1, 2, 3)",
+    "SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)",
+    "SELECT a FROM t WHERE name LIKE 'sm%'",
+    "SELECT a FROM t WHERE name NOT LIKE '%x_' ESCAPE '!'",
+    "SELECT a FROM t WHERE b IS NULL",
+    "SELECT a FROM t WHERE b IS NOT NULL",
+    "SELECT a FROM t WHERE EXISTS (SELECT b FROM u)",
+    "SELECT a FROM t WHERE a > ALL (SELECT b FROM u)",
+    "SELECT a FROM t WHERE a = ANY (SELECT b FROM u)",
+    "SELECT COUNT(*), SUM(a), AVG(b), MIN(c), MAX(d) FROM t",
+    "SELECT COUNT(DISTINCT a) FROM t",
+    "SELECT dept, COUNT(*) FROM emp GROUP BY dept",
+    "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 5",
+    "SELECT a FROM t ORDER BY a",
+    "SELECT a FROM t ORDER BY a DESC, b ASC",
+    "SELECT a FROM t ORDER BY a NULLS LAST",
+    "SELECT e.n FROM emp e JOIN dept d ON e.d = d.id",
+    "SELECT a FROM t INNER JOIN u ON t.x = u.x",
+    "SELECT a FROM t LEFT OUTER JOIN u ON t.x = u.x",
+    "SELECT a FROM t RIGHT JOIN u ON t.x = u.x",
+    "SELECT a FROM t FULL OUTER JOIN u ON t.x = u.x",
+    "SELECT a FROM t CROSS JOIN u",
+    "SELECT a FROM t NATURAL JOIN u",
+    "SELECT a FROM t JOIN u USING (x, y)",
+    "SELECT a FROM (SELECT a FROM t) AS sub",
+    "SELECT a FROM t UNION SELECT b FROM u",
+    "SELECT a FROM t UNION ALL SELECT b FROM u",
+    "SELECT a FROM t EXCEPT SELECT b FROM u",
+    "SELECT a FROM t INTERSECT DISTINCT SELECT b FROM u",
+    "SELECT a + b * c - d / e FROM t",
+    "SELECT -a, +b FROM t",
+    "SELECT (a + b) * 2 FROM t",
+    "SELECT a || b FROM t",
+    "SELECT UPPER(name), LOWER(name), TRIM(name) FROM t",
+    "SELECT SUBSTRING(name FROM 2 FOR 3) FROM t",
+    "SELECT POSITION('x' IN name) FROM t",
+    "SELECT CHAR_LENGTH(name) FROM t",
+    "SELECT CURRENT_DATE, CURRENT_TIME, CURRENT_TIMESTAMP FROM t",
+    "SELECT EXTRACT(YEAR FROM hired) FROM emp",
+    "SELECT CASE a WHEN 1 THEN 'one' ELSE 'many' END FROM t",
+    "SELECT CASE WHEN a > 0 THEN 'pos' WHEN a < 0 THEN 'neg' END FROM t",
+    "SELECT NULLIF(a, 0), COALESCE(a, b, 0) FROM t",
+    "SELECT CAST(a AS INTEGER) FROM t",
+    "SELECT CAST(a AS DECIMAL(10, 2)) FROM t",
+    "SELECT a FROM t WHERE b = 'it''s'",
+    // DML
+    "INSERT INTO t VALUES (1, 2)",
+    "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
+    "INSERT INTO t DEFAULT VALUES",
+    "INSERT INTO t SELECT a FROM u",
+    "UPDATE t SET a = 1",
+    "UPDATE t SET a = a + 1, b = DEFAULT WHERE c = 0",
+    "DELETE FROM t",
+    "DELETE FROM t WHERE a = 1",
+    // DDL
+    "CREATE TABLE t (a INTEGER)",
+    "CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR(20) UNIQUE)",
+    "CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER REFERENCES u (x))",
+    "CREATE TABLE t (a INTEGER, CONSTRAINT pk PRIMARY KEY (a))",
+    "CREATE TABLE t (a INTEGER, CHECK (a > 0))",
+    "CREATE GLOBAL TEMPORARY TABLE tmp (a INTEGER)",
+    "CREATE VIEW v AS SELECT a FROM t",
+    "CREATE RECURSIVE VIEW v (a) AS SELECT a FROM t WITH CHECK OPTION",
+    "CREATE SCHEMA warehouse AUTHORIZATION admin",
+    "CREATE SEQUENCE seq START WITH 1 INCREMENT BY 1 MAXVALUE 100",
+    "DROP TABLE t",
+    "DROP VIEW v CASCADE",
+    "ALTER TABLE t ADD COLUMN c INTEGER",
+    "ALTER TABLE t DROP COLUMN c RESTRICT",
+    "ALTER TABLE t ALTER COLUMN c SET DEFAULT 0",
+    // transactions / access control / cursors
+    "COMMIT",
+    "COMMIT WORK",
+    "ROLLBACK",
+    "ROLLBACK WORK TO SAVEPOINT sp1",
+    "SAVEPOINT sp1",
+    "START TRANSACTION ISOLATION LEVEL REPEATABLE READ",
+    "SET TRANSACTION READ ONLY",
+    "GRANT SELECT ON t TO PUBLIC",
+    "GRANT SELECT, UPDATE ON TABLE t TO alice WITH GRANT OPTION",
+    "REVOKE SELECT ON t FROM bob",
+    "REVOKE GRANT OPTION FOR SELECT ON t FROM bob CASCADE",
+    "DECLARE c CURSOR FOR SELECT a FROM t",
+    "DECLARE c INSENSITIVE SCROLL CURSOR FOR SELECT a FROM t",
+    "OPEN c",
+    "CLOSE c",
+    "FETCH NEXT FROM c",
+    "FETCH c",
+    // wider sweep
+    "SELECT ALL a FROM t",
+    "SELECT a FROM t u",
+    "SELECT MIN(a), MAX(b) FROM t WHERE c <> 0",
+    "SELECT a FROM t WHERE a < b AND NOT (c > d OR e <= f)",
+    "SELECT COUNT(DISTINCT a), COUNT(ALL b) FROM t",
+    "SELECT a FROM t LEFT JOIN u ON t.x = u.x",
+    "SELECT a FROM (SELECT b FROM u) AS s WHERE a = 1",
+    "SELECT -1, +2, -a FROM t",
+    "SELECT a / b - c FROM t",
+    "SELECT TRIM(name) FROM t",
+    "SELECT LOWER(UPPER(name)) FROM t",
+    "SELECT CASE a WHEN 1 THEN 'x' WHEN 2 THEN 'y' END FROM t",
+    "SELECT a FROM t WHERE b NOT IN (1)",
+    "INSERT INTO t VALUES (1, 'a', 2.5)",
+    "UPDATE t SET a = DEFAULT",
+    "CREATE TABLE t (a CHAR(3), b NUMERIC(10, 2), c DOUBLE PRECISION, "
+    "d DATE)",
+    "CREATE TABLE t (a INTEGER DEFAULT 0 NOT NULL UNIQUE)",
+    "CREATE TABLE t (a INTEGER REFERENCES u (x) ON UPDATE SET NULL "
+    "ON DELETE NO ACTION)",
+    "CREATE LOCAL TEMPORARY TABLE tmp (a INTEGER)",
+    "CREATE VIEW v AS SELECT a FROM t WITH CHECK OPTION",
+    "ALTER TABLE t ADD CONSTRAINT ck CHECK (a > 0)",
+    "ALTER TABLE t ALTER c DROP DEFAULT",
+    "ROLLBACK WORK",
+    "START TRANSACTION READ WRITE",
+    "SET TRANSACTION ISOLATION LEVEL READ UNCOMMITTED",
+    "GRANT USAGE ON TABLE t TO r1",
+    "REVOKE UPDATE ON t FROM PUBLIC RESTRICT",
+    "DECLARE c ASENSITIVE CURSOR FOR SELECT a FROM t",
+    "FETCH ABSOLUTE 5 FROM c",
+};
+
+const char* kRejectCorpus[] = {
+    "",
+    "SELECT",
+    "SELECT FROM t",
+    "SELECT a FROM",
+    "SELECT a WHERE b",
+    "SELECT a FROM t WHERE",
+    "SELECT a FROM t GROUP BY",
+    "SELECT a FROM t HAVING",
+    "SELECT a, FROM t",
+    "SELECT a FROM t ORDER",
+    "INSERT INTO VALUES (1)",
+    "UPDATE SET a = 1",
+    "DELETE t",
+    "CREATE t (a INTEGER)",
+    "CREATE TABLE t ()",
+    "GRANT ON t TO x",
+    "SELECT a FROM t )",
+    "SELECT a FROM t WHERE a = ",
+    "SELECT a FROM t extra garbage , (",
+};
+
+class FullCorpusTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SqlProductLine line;
+    Result<LlParser> parser = line.BuildParser(FullFoundationDialect());
+    ASSERT_TRUE(parser.ok()) << parser.status();
+    composed_ = new LlParser(std::move(parser).value());
+    baseline_ = new MonolithicSqlParser();
+  }
+  static LlParser* composed_;
+  static MonolithicSqlParser* baseline_;
+};
+LlParser* FullCorpusTest::composed_ = nullptr;
+MonolithicSqlParser* FullCorpusTest::baseline_ = nullptr;
+
+TEST_F(FullCorpusTest, ComposedParserAcceptsCorpus) {
+  for (const char* sql : kAcceptCorpus) {
+    Result<ParseNode> tree = composed_->ParseText(sql);
+    EXPECT_TRUE(tree.ok()) << sql << "\n  " << tree.status();
+  }
+}
+
+TEST_F(FullCorpusTest, BaselineAcceptsCorpus) {
+  for (const char* sql : kAcceptCorpus) {
+    Result<ParseNode> tree = baseline_->Parse(sql);
+    EXPECT_TRUE(tree.ok()) << sql << "\n  " << tree.status();
+  }
+}
+
+TEST_F(FullCorpusTest, BothRejectMalformedStatements) {
+  for (const char* sql : kRejectCorpus) {
+    EXPECT_FALSE(composed_->Accepts(sql)) << "composed accepted: " << sql;
+    EXPECT_FALSE(baseline_->Accepts(sql)) << "baseline accepted: " << sql;
+  }
+}
+
+TEST_F(FullCorpusTest, PrintReparseRoundTripsAcrossCorpus) {
+  for (const char* sql : kAcceptCorpus) {
+    Result<ParseNode> first = composed_->ParseText(sql);
+    ASSERT_TRUE(first.ok()) << sql;
+    std::string printed = PrintSql(*first);
+    Result<ParseNode> second = composed_->ParseText(printed);
+    ASSERT_TRUE(second.ok()) << sql << " -> " << printed << "\n  "
+                             << second.status();
+    EXPECT_EQ(PrintSql(*second), printed) << sql;
+  }
+}
+
+}  // namespace
+}  // namespace sqlpl

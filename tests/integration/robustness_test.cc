@@ -1,0 +1,165 @@
+// Failure injection and robustness sweeps: deterministic mutations of
+// valid statements must never crash, must keep positions sane, and the
+// composed parser and the monolithic baseline must both stay total
+// (accept or reject, never hang or abort). Also: composing every catalog
+// module into the full grammar a second time is a no-op (composition
+// idempotence at catalog scale).
+
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/baseline/monolithic_parser.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+const char* kSeedStatements[] = {
+    "SELECT a, b FROM t WHERE a = 1 AND b > 2 ORDER BY a",
+    "INSERT INTO t (a, b) VALUES (1, 'x')",
+    "CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(30) NOT NULL)",
+    "SELECT COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 3",
+    "UPDATE t SET a = a + 1 WHERE b IN (SELECT c FROM u)",
+};
+
+// Deterministic single-character mutations: delete, duplicate, replace
+// with a character drawn from SQL-ish alphabet.
+std::vector<std::string> Mutations(const std::string& seed, int variants,
+                                   uint32_t rng_seed) {
+  static constexpr char kAlphabet[] =
+      "abcXYZ019(),.*='\"<>+-/| \t\n;_";
+  std::mt19937 rng(rng_seed);
+  std::uniform_int_distribution<size_t> pos(0, seed.size() - 1);
+  std::uniform_int_distribution<size_t> alpha(0, sizeof(kAlphabet) - 2);
+  std::uniform_int_distribution<int> kind(0, 2);
+  std::vector<std::string> out;
+  for (int i = 0; i < variants; ++i) {
+    std::string mutated = seed;
+    size_t at = pos(rng);
+    switch (kind(rng)) {
+      case 0:
+        mutated.erase(at, 1);
+        break;
+      case 1:
+        mutated.insert(at, 1, mutated[at]);
+        break;
+      default:
+        mutated[at] = kAlphabet[alpha(rng)];
+        break;
+    }
+    out.push_back(std::move(mutated));
+  }
+  return out;
+}
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SqlProductLine line;
+    Result<LlParser> parser = line.BuildParser(FullFoundationDialect());
+    ASSERT_TRUE(parser.ok()) << parser.status();
+    composed_ = new LlParser(std::move(parser).value());
+    baseline_ = new MonolithicSqlParser();
+  }
+  static LlParser* composed_;
+  static MonolithicSqlParser* baseline_;
+};
+LlParser* RobustnessTest::composed_ = nullptr;
+MonolithicSqlParser* RobustnessTest::baseline_ = nullptr;
+
+TEST_F(RobustnessTest, MutatedStatementsNeverCrashComposedParser) {
+  uint32_t seed = 1;
+  for (const char* statement : kSeedStatements) {
+    for (const std::string& mutated : Mutations(statement, 60, seed++)) {
+      Result<ParseNode> tree = composed_->ParseText(mutated);
+      if (!tree.ok()) {
+        // Errors must carry a message and a position.
+        EXPECT_FALSE(tree.status().message().empty()) << mutated;
+      }
+    }
+  }
+}
+
+TEST_F(RobustnessTest, MutatedStatementsNeverCrashBaseline) {
+  uint32_t seed = 100;
+  for (const char* statement : kSeedStatements) {
+    for (const std::string& mutated : Mutations(statement, 60, seed++)) {
+      Result<ParseNode> tree = baseline_->Parse(mutated);
+      (void)tree;
+    }
+  }
+}
+
+TEST_F(RobustnessTest, PathologicalInputsRejectQuickly) {
+  // Unbalanced parens, keyword stutters, very long identifier chains.
+  std::string deep_parens(200, '(');
+  EXPECT_FALSE(composed_->Accepts("SELECT a FROM t WHERE " + deep_parens));
+  std::string stutter = "SELECT";
+  for (int i = 0; i < 50; ++i) stutter += " SELECT";
+  EXPECT_FALSE(composed_->Accepts(stutter));
+  std::string chain = "SELECT a";
+  for (int i = 0; i < 300; ++i) chain += ".a";
+  chain += " FROM t";
+  EXPECT_TRUE(composed_->Accepts(chain));
+}
+
+TEST_F(RobustnessTest, NestedSubqueriesWithinDepthBound) {
+  std::string sql = "SELECT a FROM t WHERE a IN ";
+  const int depth = 40;
+  for (int i = 0; i < depth; ++i) {
+    sql += "(SELECT a FROM t WHERE a IN ";
+  }
+  sql += "(1)";
+  for (int i = 0; i < depth; ++i) sql += ")";
+  EXPECT_TRUE(composed_->Accepts(sql));
+}
+
+TEST_F(RobustnessTest, LongSelectListsScaleLinearly) {
+  std::string sql = "SELECT c0";
+  for (int i = 1; i < 500; ++i) sql += ", c" + std::to_string(i);
+  sql += " FROM t";
+  EXPECT_TRUE(composed_->Accepts(sql));
+  EXPECT_TRUE(baseline_->Accepts(sql));
+}
+
+// Catalog-scale idempotence: re-composing any module into the full
+// composed grammar changes nothing (every rule it contributes is already
+// there, so replace/retain/dedupe leave the grammar fixed).
+class CatalogIdempotenceTest
+    : public ::testing::TestWithParam<std::string> {
+ protected:
+  static const Grammar& FullGrammar() {
+    static const Grammar& grammar = *[] {
+      SqlProductLine line;
+      Result<Grammar> composed =
+          line.ComposeGrammar(FullFoundationDialect());
+      EXPECT_TRUE(composed.ok()) << composed.status();
+      return new Grammar(std::move(composed).value());
+    }();
+    return grammar;
+  }
+};
+
+TEST_P(CatalogIdempotenceTest, RecomposingModuleIsNoOp) {
+  const Grammar& full = FullGrammar();
+  Result<Grammar> module =
+      SqlFeatureCatalog::Instance().GrammarFor(GetParam());
+  ASSERT_TRUE(module.ok()) << module.status();
+  GrammarComposer composer;
+  Result<Grammar> recomposed = composer.Compose(full, *module);
+  ASSERT_TRUE(recomposed.ok()) << recomposed.status();
+  EXPECT_EQ(recomposed->productions(), full.productions()) << GetParam();
+  EXPECT_TRUE(recomposed->tokens() == full.tokens()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModules, CatalogIdempotenceTest,
+    ::testing::ValuesIn(SqlFeatureCatalog::Instance().ModuleNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace sqlpl

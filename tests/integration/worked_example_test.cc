@@ -1,0 +1,143 @@
+// E4: the paper's §3.2 worked example, end to end.
+//
+// "Suppose that we want to create a parser for the SELECT statement ...
+// Specifically we want to implement a feature instance description of
+// {Query Specification, Select List, Select Sublist (with cardinality 1),
+// Table Expression} with the Table Expression feature instance
+// description {Table Expression, From, Table Reference (with cardinality
+// 1)} ... composing the sub-grammars for the Query Specification feature
+// ..., the optional Set Quantifier feature ... and the optional Where
+// feature ... gives a grammar which can essentially parse a SELECT
+// statement with a single column from a single table with optional set
+// quantifier (DISTINCT or ALL) and optional where clause."
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+class WorkedExampleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    line_ = new SqlProductLine();
+    Result<LlParser> parser = line_->BuildParser(WorkedExampleDialect());
+    ASSERT_TRUE(parser.ok()) << parser.status();
+    parser_ = new LlParser(std::move(parser).value());
+  }
+  static SqlProductLine* line_;
+  static LlParser* parser_;
+};
+SqlProductLine* WorkedExampleTest::line_ = nullptr;
+LlParser* WorkedExampleTest::parser_ = nullptr;
+
+TEST_F(WorkedExampleTest, AcceptsTheDescribedLanguage) {
+  // Single column from a single table.
+  EXPECT_TRUE(parser_->Accepts("SELECT name FROM employees"));
+  // With optional set quantifier, both alternatives.
+  EXPECT_TRUE(parser_->Accepts("SELECT DISTINCT name FROM employees"));
+  EXPECT_TRUE(parser_->Accepts("SELECT ALL name FROM employees"));
+  // With optional where clause.
+  EXPECT_TRUE(
+      parser_->Accepts("SELECT name FROM employees WHERE dept = 'R'"));
+  // All options together.
+  EXPECT_TRUE(parser_->Accepts(
+      "SELECT DISTINCT name FROM employees WHERE salary > 100 AND dept = 'R'"));
+}
+
+TEST_F(WorkedExampleTest, RejectsUnselectedFeatures) {
+  // Cardinality 1 on Select Sublist: no column lists.
+  EXPECT_FALSE(parser_->Accepts("SELECT a, b FROM t"));
+  // Cardinality 1 on Table Reference: no table lists.
+  EXPECT_FALSE(parser_->Accepts("SELECT a FROM t, u"));
+  // Features not in the instance description.
+  EXPECT_FALSE(parser_->Accepts("SELECT * FROM t"));
+  EXPECT_FALSE(parser_->Accepts("SELECT a AS x FROM t"));
+  EXPECT_FALSE(parser_->Accepts("SELECT a FROM t GROUP BY a"));
+  EXPECT_FALSE(parser_->Accepts("SELECT a FROM t ORDER BY a"));
+  EXPECT_FALSE(parser_->Accepts("INSERT INTO t VALUES (1)"));
+}
+
+TEST_F(WorkedExampleTest, CompositionSequencePutsCoresFirst) {
+  Result<CompositionSequence> sequence =
+      line_->ResolveSequence(WorkedExampleDialect());
+  ASSERT_TRUE(sequence.ok()) << sequence.status();
+  const std::vector<std::string>& order = sequence->features();
+  auto position = [&](const std::string& f) {
+    return std::find(order.begin(), order.end(), f) - order.begin();
+  };
+  // The base features compose before the optional extensions.
+  EXPECT_LT(position("QuerySpecification"), position("SetQuantifier"));
+  EXPECT_LT(position("TableExpression"), position("Where"));
+  EXPECT_LT(position("SelectList"), position("QuerySpecification"));
+}
+
+TEST_F(WorkedExampleTest, TraceShowsThePaperMechanisms) {
+  Result<Grammar> composed = line_->ComposeGrammar(WorkedExampleDialect());
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  bool saw_add = false;
+  bool saw_optional_mechanism = false;
+  for (const CompositionStep& step : line_->last_trace()) {
+    if (step.action == CompositionAction::kAddedProduction) saw_add = true;
+    if (step.action == CompositionAction::kMergedOptionals ||
+        step.action == CompositionAction::kReplacedAlternative) {
+      saw_optional_mechanism = true;
+    }
+  }
+  EXPECT_TRUE(saw_add);
+  EXPECT_TRUE(saw_optional_mechanism);
+}
+
+TEST_F(WorkedExampleTest, ComposedRulesMatchThePaper) {
+  Result<Grammar> composed = line_->ComposeGrammar(WorkedExampleDialect());
+  ASSERT_TRUE(composed.ok());
+  // query_specification : SELECT [ set_quantifier ] select_list
+  //                       table_expression ;
+  const Production* query = composed->Find("query_specification");
+  ASSERT_NE(query, nullptr);
+  ASSERT_EQ(query->alternatives().size(), 1u);
+  EXPECT_EQ(query->alternatives()[0].body.ToString(),
+            "SELECT [ set_quantifier ] select_list table_expression");
+  // table_expression : from_clause [ where_clause ] ;
+  const Production* table = composed->Find("table_expression");
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->alternatives()[0].body.ToString(),
+            "from_clause [ where_clause ]");
+  // set_quantifier : DISTINCT | ALL ;
+  const Production* quantifier = composed->Find("set_quantifier");
+  ASSERT_NE(quantifier, nullptr);
+  EXPECT_EQ(quantifier->alternatives().size(), 2u);
+  // Single-instance select list and from clause (cardinality 1).
+  EXPECT_EQ(composed->Find("select_list")->alternatives()[0].body.ToString(),
+            "select_sublist");
+  EXPECT_EQ(composed->Find("from_clause")->alternatives()[0].body.ToString(),
+            "FROM table_reference");
+}
+
+TEST_F(WorkedExampleTest, TokenFileComposedAlongside) {
+  Result<Grammar> composed = line_->ComposeGrammar(WorkedExampleDialect());
+  ASSERT_TRUE(composed.ok());
+  const TokenSet& tokens = composed->tokens();
+  EXPECT_TRUE(tokens.Contains("SELECT"));
+  EXPECT_TRUE(tokens.Contains("DISTINCT"));
+  EXPECT_TRUE(tokens.Contains("ALL"));
+  EXPECT_TRUE(tokens.Contains("WHERE"));
+  EXPECT_TRUE(tokens.Contains("IDENTIFIER"));
+  // No tokens leak in from unselected features.
+  EXPECT_FALSE(tokens.Contains("GROUP"));
+  EXPECT_FALSE(tokens.Contains("COMMA"));
+  EXPECT_FALSE(tokens.Contains("JOIN"));
+}
+
+TEST_F(WorkedExampleTest, GeneratedParserSourceForTheExample) {
+  Result<GeneratedParser> generated =
+      line_->GenerateParserSource(WorkedExampleDialect());
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  EXPECT_NE(generated->code.find("Parse_query_specification"),
+            std::string::npos);
+  EXPECT_NE(generated->code.find("Parse_where_clause"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,80 @@
+// Generated-workload properties: every statement the workload generator
+// produces parses in the CoreQuery dialect, in FullFoundation, and in the
+// monolithic baseline; and pretty-printing is stable over the batch.
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/baseline/monolithic_parser.h"
+#include "sqlpl/semantics/pretty_printer.h"
+#include "sqlpl/sql/dialects.h"
+#include "sqlpl/testing/workload_generator.h"
+
+namespace sqlpl {
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    SqlProductLine line;
+    Result<LlParser> core = line.BuildParser(CoreQueryDialect());
+    ASSERT_TRUE(core.ok()) << core.status();
+    core_ = new LlParser(std::move(core).value());
+    Result<LlParser> full = line.BuildParser(FullFoundationDialect());
+    ASSERT_TRUE(full.ok()) << full.status();
+    full_ = new LlParser(std::move(full).value());
+    baseline_ = new MonolithicSqlParser();
+  }
+  static LlParser* core_;
+  static LlParser* full_;
+  static MonolithicSqlParser* baseline_;
+};
+LlParser* WorkloadTest::core_ = nullptr;
+LlParser* WorkloadTest::full_ = nullptr;
+MonolithicSqlParser* WorkloadTest::baseline_ = nullptr;
+
+TEST_P(WorkloadTest, GeneratedStatementsParseEverywhere) {
+  WorkloadGenerator generator(static_cast<uint32_t>(GetParam()));
+  for (int complexity = 0; complexity <= 3; ++complexity) {
+    for (const std::string& sql : generator.Batch(25, complexity)) {
+      EXPECT_TRUE(core_->Accepts(sql)) << "CoreQuery rejected: " << sql;
+      EXPECT_TRUE(full_->Accepts(sql)) << "Full rejected: " << sql;
+      EXPECT_TRUE(baseline_->Accepts(sql)) << "baseline rejected: " << sql;
+    }
+  }
+}
+
+TEST_P(WorkloadTest, PrintingIsStableOverGeneratedBatch) {
+  WorkloadGenerator generator(static_cast<uint32_t>(GetParam()) + 1000);
+  for (const std::string& sql : generator.Batch(30, 2)) {
+    Result<ParseNode> first = core_->ParseText(sql);
+    ASSERT_TRUE(first.ok()) << sql;
+    std::string printed = PrintSql(*first);
+    Result<ParseNode> second = core_->ParseText(printed);
+    ASSERT_TRUE(second.ok()) << sql << " -> " << printed;
+    EXPECT_EQ(PrintSql(*second), printed) << sql;
+  }
+}
+
+TEST_P(WorkloadTest, GenerationIsDeterministic) {
+  WorkloadGenerator a(static_cast<uint32_t>(GetParam()));
+  WorkloadGenerator b(static_cast<uint32_t>(GetParam()));
+  EXPECT_EQ(a.Batch(10, 2), b.Batch(10, 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadTest, ::testing::Range(1, 6));
+
+TEST(WorkloadGeneratorTest, ComplexityGrowsStatements) {
+  WorkloadGenerator generator(7);
+  size_t simple_total = 0;
+  size_t complex_total = 0;
+  for (const std::string& sql : generator.Batch(50, 0)) {
+    simple_total += sql.size();
+  }
+  for (const std::string& sql : generator.Batch(50, 3)) {
+    complex_total += sql.size();
+  }
+  EXPECT_LT(simple_total, complex_total);
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,176 @@
+#include "sqlpl/lexer/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+TokenSet SmallTokens() {
+  TokenSet tokens;
+  tokens.AddOrDie(TokenDef::Keyword("SELECT"));
+  tokens.AddOrDie(TokenDef::Keyword("FROM"));
+  tokens.AddOrDie(TokenDef::Keyword("WHERE"));
+  tokens.AddOrDie(TokenDef::Punct("COMMA", ","));
+  tokens.AddOrDie(TokenDef::Punct("LT", "<"));
+  tokens.AddOrDie(TokenDef::Punct("LE", "<="));
+  tokens.AddOrDie(TokenDef::Punct("NEQ", "<>"));
+  tokens.AddOrDie(TokenDef::Identifier());
+  tokens.AddOrDie(TokenDef::Number());
+  tokens.AddOrDie(TokenDef::String());
+  return tokens;
+}
+
+std::vector<std::string> Types(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  for (const Token& token : tokens) out.push_back(token.type);
+  return out;
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  Lexer lexer(SmallTokens());
+  Result<std::vector<Token>> tokens = lexer.Tokenize("select SeLeCt SELECT");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  EXPECT_EQ(Types(*tokens),
+            (std::vector<std::string>{"SELECT", "SELECT", "SELECT", "$"}));
+  EXPECT_EQ((*tokens)[0].text, "select");  // original spelling kept
+}
+
+TEST(LexerTest, IdentifiersVsKeywords) {
+  Lexer lexer(SmallTokens());
+  Result<std::vector<Token>> tokens = lexer.Tokenize("select name");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Types(*tokens),
+            (std::vector<std::string>{"SELECT", "IDENTIFIER", "$"}));
+  EXPECT_TRUE(lexer.IsKeyword("FROM"));
+  EXPECT_TRUE(lexer.IsKeyword("from"));
+  EXPECT_FALSE(lexer.IsKeyword("name"));
+}
+
+TEST(LexerTest, DelimitedIdentifiersWithEscapes) {
+  Lexer lexer(SmallTokens());
+  Result<std::vector<Token>> tokens =
+      lexer.Tokenize(R"("select" "we""ird")");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  // Delimited identifiers are never keywords.
+  EXPECT_EQ((*tokens)[0].type, "IDENTIFIER");
+  EXPECT_EQ((*tokens)[0].text, "select");
+  EXPECT_EQ((*tokens)[1].text, "we\"ird");
+}
+
+TEST(LexerTest, StringLiteralsWithQuoteEscape) {
+  Lexer lexer(SmallTokens());
+  Result<std::vector<Token>> tokens = lexer.Tokenize("'o''brien' ''");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  EXPECT_EQ((*tokens)[0].type, "STRING");
+  EXPECT_EQ((*tokens)[0].text, "o'brien");
+  EXPECT_EQ((*tokens)[1].text, "");
+}
+
+TEST(LexerTest, NumericLiteralForms) {
+  Lexer lexer(SmallTokens());
+  Result<std::vector<Token>> tokens =
+      lexer.Tokenize("1 123 1.5 .5 2e10 3.25E-2");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  std::vector<std::string> texts;
+  for (const Token& token : *tokens) {
+    if (token.type == "NUMBER") texts.push_back(token.text);
+  }
+  EXPECT_EQ(texts, (std::vector<std::string>{"1", "123", "1.5", ".5", "2e10",
+                                             "3.25E-2"}));
+}
+
+TEST(LexerTest, PunctuationLongestMatchFirst) {
+  Lexer lexer(SmallTokens());
+  Result<std::vector<Token>> tokens = lexer.Tokenize("<= <> < ,");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Types(*tokens),
+            (std::vector<std::string>{"LE", "NEQ", "LT", "COMMA", "$"}));
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  Lexer lexer(SmallTokens());
+  Result<std::vector<Token>> tokens = lexer.Tokenize(R"(
+    select -- line comment with , tokens
+    /* block
+       comment */ name
+  )");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  EXPECT_EQ(Types(*tokens),
+            (std::vector<std::string>{"SELECT", "IDENTIFIER", "$"}));
+}
+
+TEST(LexerTest, UnterminatedCommentAndLiteralsFail) {
+  Lexer lexer(SmallTokens());
+  EXPECT_FALSE(lexer.Tokenize("/* unterminated").ok());
+  EXPECT_FALSE(lexer.Tokenize("'unterminated").ok());
+  EXPECT_FALSE(lexer.Tokenize("\"unterminated").ok());
+}
+
+TEST(LexerTest, PositionsAreOneBased) {
+  Lexer lexer(SmallTokens());
+  Result<std::vector<Token>> tokens = lexer.Tokenize("select\n  name");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].location.line, 1u);
+  EXPECT_EQ((*tokens)[0].location.column, 1u);
+  EXPECT_EQ((*tokens)[1].location.line, 2u);
+  EXPECT_EQ((*tokens)[1].location.column, 3u);
+}
+
+TEST(LexerTest, UnknownPunctuationRejectedWithPosition) {
+  Lexer lexer(SmallTokens());
+  Result<std::vector<Token>> tokens = lexer.Tokenize("select ; x");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("1:8"), std::string::npos);
+}
+
+// A dialect without an identifier token treats unknown words as errors —
+// the tailored-lexer behaviour the product line relies on.
+TEST(LexerTest, DialectWithoutIdentifierRejectsWords) {
+  TokenSet tokens;
+  tokens.AddOrDie(TokenDef::Keyword("COMMIT"));
+  Lexer lexer(tokens);
+  EXPECT_TRUE(lexer.Tokenize("COMMIT").ok());
+  EXPECT_FALSE(lexer.Tokenize("COMMIT work").ok());
+}
+
+TEST(LexerTest, DialectWithoutNumbersOrStringsRejectsThem) {
+  TokenSet tokens;
+  tokens.AddOrDie(TokenDef::Keyword("X"));
+  tokens.AddOrDie(TokenDef::Identifier());
+  Lexer lexer(tokens);
+  EXPECT_FALSE(lexer.Tokenize("42").ok());
+  EXPECT_FALSE(lexer.Tokenize("'s'").ok());
+}
+
+TEST(LexerTest, KeywordOnlyReservedIfInTokenSet) {
+  // EPOCH is a TinySQL keyword; in a dialect without it, it lexes as a
+  // plain identifier.
+  Lexer lexer(SmallTokens());
+  Result<std::vector<Token>> tokens = lexer.Tokenize("epoch");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, "IDENTIFIER");
+}
+
+TEST(LexerTest, EmptyInputYieldsOnlyEnd) {
+  Lexer lexer(SmallTokens());
+  Result<std::vector<Token>> tokens = lexer.Tokenize("   \n\t ");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Types(*tokens), (std::vector<std::string>{"$"}));
+}
+
+TEST(LexerTest, IdentifierWithDollarAndDigits) {
+  Lexer lexer(SmallTokens());
+  Result<std::vector<Token>> tokens = lexer.Tokenize("col1 a$b _x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Types(*tokens),
+            (std::vector<std::string>{"IDENTIFIER", "IDENTIFIER",
+                                      "IDENTIFIER", "$"}));
+}
+
+TEST(TokenTest, ToStringFormat) {
+  Token token{"SELECT", "select", {2, 5, 10}};
+  EXPECT_EQ(token.ToString(), "SELECT('select')@2:5");
+}
+
+}  // namespace
+}  // namespace sqlpl

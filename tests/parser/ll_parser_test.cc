@@ -1,0 +1,199 @@
+#include "sqlpl/parser/ll_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/grammar/text_format.h"
+
+namespace sqlpl {
+namespace {
+
+LlParser Build(const char* text) {
+  Result<Grammar> grammar = ParseGrammarText(text);
+  EXPECT_TRUE(grammar.ok()) << grammar.status();
+  Result<LlParser> parser = ParserBuilder().Build(*grammar);
+  EXPECT_TRUE(parser.ok()) << parser.status();
+  return std::move(parser).value();
+}
+
+TEST(LlParserTest, MatchesSimpleSequence) {
+  LlParser parser = Build(R"(
+    tokens { IDENTIFIER = identifier; }
+    start q;
+    q : 'SELECT' IDENTIFIER 'FROM' IDENTIFIER ;
+  )");
+  EXPECT_TRUE(parser.Accepts("SELECT a FROM t"));
+  EXPECT_FALSE(parser.Accepts("SELECT a"));
+  EXPECT_FALSE(parser.Accepts("FROM t"));
+}
+
+TEST(LlParserTest, ChoicePicksByFirstSet) {
+  LlParser parser = Build(R"(
+    start s;
+    s : 'A' 'X' | 'B' 'Y' ;
+  )");
+  EXPECT_TRUE(parser.Accepts("A X"));
+  EXPECT_TRUE(parser.Accepts("B Y"));
+  EXPECT_FALSE(parser.Accepts("A Y"));
+}
+
+TEST(LlParserTest, BacktracksAcrossSharedPrefixAlternatives) {
+  // Not LL(1): both alternatives start with A.
+  LlParser parser = Build(R"(
+    start s;
+    s : 'A' 'X' | 'A' 'Y' ;
+  )");
+  EXPECT_TRUE(parser.Accepts("A X"));
+  EXPECT_TRUE(parser.Accepts("A Y"));
+  EXPECT_FALSE(parser.Accepts("A Z"));
+}
+
+TEST(LlParserTest, OptionalGreedyButSafe) {
+  LlParser parser = Build(R"(
+    start s;
+    s : [ 'A' ] 'B' ;
+  )");
+  EXPECT_TRUE(parser.Accepts("A B"));
+  EXPECT_TRUE(parser.Accepts("B"));
+  EXPECT_FALSE(parser.Accepts("A"));
+}
+
+TEST(LlParserTest, RepetitionMatchesZeroOrMore) {
+  LlParser parser = Build(R"(
+    tokens { IDENTIFIER = identifier; }
+    start s;
+    s : IDENTIFIER ( ',' IDENTIFIER )* ;
+  )");
+  EXPECT_TRUE(parser.Accepts("a"));
+  EXPECT_TRUE(parser.Accepts("a, b, c"));
+  EXPECT_FALSE(parser.Accepts("a, b,"));
+  EXPECT_FALSE(parser.Accepts(", a"));
+}
+
+TEST(LlParserTest, NullableRepetitionBodyTerminates) {
+  // The body can match epsilon; the engine must not loop forever.
+  LlParser parser = Build(R"(
+    start s;
+    s : ( [ 'A' ] )* 'B' ;
+  )");
+  EXPECT_TRUE(parser.Accepts("B"));
+  EXPECT_TRUE(parser.Accepts("A B"));
+}
+
+TEST(LlParserTest, RecursiveNesting) {
+  LlParser parser = Build(R"(
+    tokens { IDENTIFIER = identifier; }
+    start e;
+    e : t ( '+' t )* ;
+    t : IDENTIFIER | '(' e ')' ;
+  )");
+  EXPECT_TRUE(parser.Accepts("a + (b + c) + d"));
+  EXPECT_TRUE(parser.Accepts("((a))"));
+  EXPECT_FALSE(parser.Accepts("(a"));
+  EXPECT_FALSE(parser.Accepts("a +"));
+}
+
+TEST(LlParserTest, TreeShapeHasRuleNodesAndLeaves) {
+  LlParser parser = Build(R"(
+    tokens { IDENTIFIER = identifier; }
+    start q;
+    q : 'SELECT' list ;
+    list : IDENTIFIER ( ',' IDENTIFIER )* ;
+  )");
+  Result<ParseNode> tree = parser.ParseText("SELECT a, b");
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->symbol(), "q");
+  const ParseNode* list = tree->FindFirst("list");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->NumChildren(), 3u);  // a , b
+  EXPECT_EQ(tree->TokenText(), "SELECT a , b");
+}
+
+TEST(LlParserTest, LabelsAttachToMatchedAlternative) {
+  LlParser parser = Build(R"(
+    start s;
+    s : ka = 'A' | kb = 'B' ;
+  )");
+  Result<ParseNode> tree = parser.ParseText("B");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->label(), "kb");
+}
+
+TEST(LlParserTest, LeftoverInputIsError) {
+  LlParser parser = Build("start s;\ns : 'A' ;");
+  Result<ParseNode> tree = parser.ParseText("A A");
+  ASSERT_FALSE(tree.ok());
+  EXPECT_NE(tree.status().message().find("unexpected"), std::string::npos);
+}
+
+TEST(LlParserTest, ErrorMessageNamesExpectedTokens) {
+  LlParser parser = Build(R"(
+    tokens { IDENTIFIER = identifier; }
+    start q;
+    q : 'SELECT' IDENTIFIER 'FROM' IDENTIFIER ;
+  )");
+  Result<ParseNode> tree = parser.ParseText("SELECT a WHERE");
+  ASSERT_FALSE(tree.ok());
+  // WHERE is not even a token of this dialect -> lex error; use a word.
+  tree = parser.ParseText("SELECT a b");
+  ASSERT_FALSE(tree.ok());
+  EXPECT_NE(tree.status().message().find("FROM"), std::string::npos);
+  EXPECT_NE(tree.status().message().find("1:10"), std::string::npos);
+}
+
+TEST(LlParserTest, EmptyInputAgainstNullableStart) {
+  LlParser parser = Build("start s;\ns : [ 'A' ] ;");
+  EXPECT_TRUE(parser.Accepts(""));
+  EXPECT_TRUE(parser.Accepts("A"));
+}
+
+TEST(LlParserTest, ParseRequiresEndMarker) {
+  LlParser parser = Build("start s;\ns : 'A' ;");
+  std::vector<Token> tokens = {{"A", "A", {}}};  // no "$"
+  EXPECT_FALSE(parser.Parse(tokens).ok());
+}
+
+TEST(ParserBuilderTest, RejectsLeftRecursion) {
+  Result<Grammar> grammar = ParseGrammarText(R"(
+    start e;
+    e : e '+' 'X' | 'X' ;
+  )");
+  ASSERT_TRUE(grammar.ok());
+  Result<LlParser> parser = ParserBuilder().Build(*grammar);
+  ASSERT_FALSE(parser.ok());
+  EXPECT_NE(parser.status().message().find("left-recursive"),
+            std::string::npos);
+}
+
+TEST(ParserBuilderTest, RejectsInvalidGrammar) {
+  Result<Grammar> grammar = ParseGrammarText("start s;\ns : missing ;");
+  ASSERT_TRUE(grammar.ok());
+  EXPECT_FALSE(ParserBuilder().Build(*grammar).ok());
+}
+
+TEST(ParserBuilderTest, RejectConflictsOption) {
+  Result<Grammar> grammar = ParseGrammarText(R"(
+    start s;
+    s : 'A' 'X' | 'A' 'Y' ;
+  )");
+  ASSERT_TRUE(grammar.ok());
+  EXPECT_TRUE(ParserBuilder().Build(*grammar).ok());
+  Result<LlParser> strict =
+      ParserBuilder().set_reject_conflicts(true).Build(*grammar);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("conflicts"), std::string::npos);
+}
+
+TEST(LlParserTest, DeepNestingWithinDepthBound) {
+  LlParser parser = Build(R"(
+    start e;
+    e : '(' e ')' | 'X' ;
+  )");
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "( ";
+  deep += "X";
+  for (int i = 0; i < 200; ++i) deep += " )";
+  EXPECT_TRUE(parser.Accepts(deep));
+}
+
+}  // namespace
+}  // namespace sqlpl

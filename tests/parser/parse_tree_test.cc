@@ -1,0 +1,76 @@
+#include "sqlpl/parser/parse_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+ParseNode SampleTree() {
+  // (query SELECT (list (col 'a') , (col 'b')))
+  ParseNode query = ParseNode::Rule("query");
+  query.AddChild(ParseNode::Leaf({"SELECT", "SELECT", {}}));
+  ParseNode list = ParseNode::Rule("list");
+  ParseNode col_a = ParseNode::Rule("col");
+  col_a.AddChild(ParseNode::Leaf({"IDENTIFIER", "a", {}}));
+  list.AddChild(std::move(col_a));
+  list.AddChild(ParseNode::Leaf({"COMMA", ",", {}}));
+  ParseNode col_b = ParseNode::Rule("col");
+  col_b.AddChild(ParseNode::Leaf({"IDENTIFIER", "b", {}}));
+  list.AddChild(std::move(col_b));
+  query.AddChild(std::move(list));
+  return query;
+}
+
+TEST(ParseTreeTest, LeafAndRuleBasics) {
+  ParseNode leaf = ParseNode::Leaf({"SELECT", "select", {1, 1, 0}});
+  EXPECT_TRUE(leaf.is_leaf());
+  EXPECT_EQ(leaf.symbol(), "SELECT");
+  EXPECT_EQ(leaf.token().text, "select");
+
+  ParseNode rule = ParseNode::Rule("query");
+  EXPECT_FALSE(rule.is_leaf());
+  EXPECT_EQ(rule.NumChildren(), 0u);
+  rule.set_label("main");
+  EXPECT_EQ(rule.label(), "main");
+}
+
+TEST(ParseTreeTest, FindFirstPreOrder) {
+  ParseNode tree = SampleTree();
+  const ParseNode* col = tree.FindFirst("col");
+  ASSERT_NE(col, nullptr);
+  EXPECT_EQ(col->TokenText(), "a");
+  EXPECT_EQ(tree.FindFirst("missing"), nullptr);
+  EXPECT_EQ(tree.FindFirst("query"), &tree);
+}
+
+TEST(ParseTreeTest, FindAllInPreOrder) {
+  ParseNode tree = SampleTree();
+  std::vector<const ParseNode*> cols = tree.FindAll("col");
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0]->TokenText(), "a");
+  EXPECT_EQ(cols[1]->TokenText(), "b");
+  EXPECT_EQ(tree.FindAll("IDENTIFIER").size(), 2u);
+}
+
+TEST(ParseTreeTest, TokenTextJoinsLeaves) {
+  EXPECT_EQ(SampleTree().TokenText(), "SELECT a , b");
+}
+
+TEST(ParseTreeTest, TreeSizeCountsAllNodes) {
+  // query + SELECT + list + col + a + COMMA + col + b = 8
+  EXPECT_EQ(SampleTree().TreeSize(), 8u);
+}
+
+TEST(ParseTreeTest, ToSExpr) {
+  EXPECT_EQ(SampleTree().ToSExpr(), "(query SELECT (list (col a) , (col b)))");
+}
+
+TEST(ParseTreeTest, ToTreeStringIndents) {
+  std::string rendered = SampleTree().ToTreeString();
+  EXPECT_NE(rendered.find("query\n"), std::string::npos);
+  EXPECT_NE(rendered.find("  SELECT 'SELECT'"), std::string::npos);
+  EXPECT_NE(rendered.find("    col\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,103 @@
+// Semantic predicates — the disambiguation construct §4 of the paper
+// attributes to ANTLR ("syntactic and semantic predicates"). A predicate
+// gates one alternative of a production based on arbitrary lookahead.
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/grammar/text_format.h"
+#include "sqlpl/parser/ll_parser.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+LlParser Build(const char* text) {
+  Result<Grammar> grammar = ParseGrammarText(text);
+  EXPECT_TRUE(grammar.ok()) << grammar.status();
+  Result<LlParser> parser = ParserBuilder().Build(*grammar);
+  EXPECT_TRUE(parser.ok()) << parser.status();
+  return std::move(parser).value();
+}
+
+TEST(PredicateTest, GatesAnAlternative) {
+  // Both alternatives match a bare identifier; the predicate forces the
+  // second unless the identifier is literally "magic".
+  LlParser parser = Build(R"(
+    tokens { IDENTIFIER = identifier; }
+    start s;
+    s : magic = IDENTIFIER 'UP' | plain = IDENTIFIER 'DOWN' ;
+  )");
+  ASSERT_TRUE(parser
+                  .AttachPredicate(
+                      "s", 0,
+                      [](const std::vector<Token>& tokens, size_t pos) {
+                        return tokens[pos].text == "magic";
+                      })
+                  .ok());
+  // "magic UP" passes the predicate and matches alternative 0.
+  Result<ParseNode> up = parser.ParseText("magic UP");
+  ASSERT_TRUE(up.ok()) << up.status();
+  EXPECT_EQ(up->label(), "magic");
+  // "other UP" is blocked by the predicate: alternative 0 never runs and
+  // alternative 1 wants DOWN.
+  EXPECT_FALSE(parser.Accepts("other UP"));
+  EXPECT_TRUE(parser.Accepts("other DOWN"));
+}
+
+TEST(PredicateTest, UnknownTargetsRejected) {
+  LlParser parser = Build("start s;\ns : 'A' ;");
+  SemanticPredicate always = [](const std::vector<Token>&, size_t) {
+    return true;
+  };
+  EXPECT_EQ(parser.AttachPredicate("missing", 0, always).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(parser.AttachPredicate("s", 5, always).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_TRUE(parser.AttachPredicate("s", 0, always).ok());
+  EXPECT_EQ(parser.NumPredicates(), 1u);
+}
+
+TEST(PredicateTest, PredicateCanConsultArbitraryLookahead) {
+  // Disambiguate a / b pairs by the *second* token — beyond LL(1).
+  LlParser parser = Build(R"(
+    tokens { IDENTIFIER = identifier; NUMBER = number; }
+    start s;
+    s : pair = IDENTIFIER IDENTIFIER | single = IDENTIFIER NUMBER ;
+  )");
+  ASSERT_TRUE(parser
+                  .AttachPredicate(
+                      "s", 0,
+                      [](const std::vector<Token>& tokens, size_t pos) {
+                        return pos + 1 < tokens.size() &&
+                               tokens[pos + 1].type == "IDENTIFIER";
+                      })
+                  .ok());
+  Result<ParseNode> pair = parser.ParseText("a b");
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->label(), "pair");
+  Result<ParseNode> single = parser.ParseText("a 1");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->label(), "single");
+}
+
+TEST(PredicateTest, RestrictsAComposedDialect) {
+  // A deployment rule on a composed TinySQL parser: only the `sensors`
+  // table may be queried. Implemented as a semantic predicate on the
+  // (single) table_primary alternative, no grammar change needed.
+  SqlProductLine line;
+  Result<LlParser> built = line.BuildParser(TinySqlDialect());
+  ASSERT_TRUE(built.ok()) << built.status();
+  LlParser parser = std::move(built).value();
+  ASSERT_TRUE(parser
+                  .AttachPredicate(
+                      "table_primary", 0,
+                      [](const std::vector<Token>& tokens, size_t pos) {
+                        return tokens[pos].text == "sensors";
+                      })
+                  .ok());
+  EXPECT_TRUE(parser.Accepts("SELECT light FROM sensors"));
+  EXPECT_FALSE(parser.Accepts("SELECT light FROM flash_log"));
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,104 @@
+#include "sqlpl/semantics/action_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+ParseNode SmallTree() {
+  ParseNode root = ParseNode::Rule("query");
+  ParseNode list = ParseNode::Rule("list");
+  list.AddChild(ParseNode::Leaf({"IDENTIFIER", "a", {}}));
+  root.AddChild(std::move(list));
+  ParseNode where = ParseNode::Rule("where");
+  where.AddChild(ParseNode::Leaf({"IDENTIFIER", "b", {}}));
+  root.AddChild(std::move(where));
+  return root;
+}
+
+TEST(ActionRegistryTest, ActionsRunForMatchingRules) {
+  ActionRegistry registry;
+  int list_hits = 0;
+  int where_hits = 0;
+  registry.Register("FeatA", "list",
+                    [&](const ParseNode&, SemanticContext*) { ++list_hits; });
+  registry.Register("FeatB", "where",
+                    [&](const ParseNode&, SemanticContext*) { ++where_hits; });
+  SemanticContext context;
+  EXPECT_TRUE(registry.Run(SmallTree(), &context).ok());
+  EXPECT_EQ(list_hits, 1);
+  EXPECT_EQ(where_hits, 1);
+}
+
+TEST(ActionRegistryTest, LayersStackInRegistrationOrder) {
+  ActionRegistry registry;
+  std::vector<int> order;
+  registry.Register("A", "list",
+                    [&](const ParseNode&, SemanticContext*) {
+                      order.push_back(1);
+                    });
+  registry.Register("B", "list",
+                    [&](const ParseNode&, SemanticContext*) {
+                      order.push_back(2);
+                    });
+  SemanticContext context;
+  ASSERT_TRUE(registry.Run(SmallTree(), &context).ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ActionRegistryTest, ForFeaturesFiltersLayers) {
+  ActionRegistry registry;
+  int hits = 0;
+  registry.Register("Selected", "list",
+                    [&](const ParseNode&, SemanticContext*) { ++hits; });
+  registry.Register("Unselected", "list",
+                    [&](const ParseNode&, SemanticContext*) { hits += 100; });
+  ActionRegistry filtered = registry.ForFeatures({"Selected"});
+  EXPECT_EQ(filtered.NumActions(), 1u);
+  SemanticContext context;
+  ASSERT_TRUE(filtered.Run(SmallTree(), &context).ok());
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(ActionRegistryTest, ErrorsTurnIntoFailureStatus) {
+  ActionRegistry registry;
+  registry.Register("F", "where",
+                    [](const ParseNode& node, SemanticContext* context) {
+                      context->diagnostics.AddError(
+                          node.children().front().token().location,
+                          "bad where");
+                    });
+  SemanticContext context;
+  Status status = registry.Run(SmallTree(), &context);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(context.diagnostics.error_count(), 1u);
+}
+
+TEST(ActionRegistryTest, AttributesBlackboardSharedAcrossLayers) {
+  ActionRegistry registry;
+  registry.Register("A", "list",
+                    [](const ParseNode&, SemanticContext* context) {
+                      context->attributes["seen_list"] = "yes";
+                    });
+  registry.Register("B", "where",
+                    [](const ParseNode&, SemanticContext* context) {
+                      if (context->attributes.contains("seen_list")) {
+                        context->attributes["both"] = "yes";
+                      }
+                    });
+  SemanticContext context;
+  ASSERT_TRUE(registry.Run(SmallTree(), &context).ok());
+  EXPECT_EQ(context.attributes["both"], "yes");
+}
+
+TEST(ActionRegistryTest, FeaturesListsDistinctOwners) {
+  ActionRegistry registry;
+  registry.Register("A", "x", [](const ParseNode&, SemanticContext*) {});
+  registry.Register("A", "y", [](const ParseNode&, SemanticContext*) {});
+  registry.Register("B", "z", [](const ParseNode&, SemanticContext*) {});
+  EXPECT_EQ(registry.Features(), (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(registry.NumActions(), 3u);
+}
+
+}  // namespace
+}  // namespace sqlpl

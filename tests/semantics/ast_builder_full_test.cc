@@ -1,0 +1,110 @@
+// AST building over the FullFoundation dialect: constructs beyond the
+// query core lower to generic call nodes, and the builder stays total
+// over the corpus.
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/semantics/ast_builder.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+class AstBuilderFullTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SqlProductLine line;
+    Result<LlParser> parser = line.BuildParser(FullFoundationDialect());
+    ASSERT_TRUE(parser.ok()) << parser.status();
+    parser_ = new LlParser(std::move(parser).value());
+  }
+
+  SelectStatement Build(const std::string& sql) {
+    Result<ParseNode> tree = parser_->ParseText(sql);
+    EXPECT_TRUE(tree.ok()) << sql << ": " << tree.status();
+    Result<SelectStatement> statement = BuildSelectStatement(*tree);
+    EXPECT_TRUE(statement.ok()) << sql << ": " << statement.status();
+    return std::move(statement).value();
+  }
+
+  static LlParser* parser_;
+};
+LlParser* AstBuilderFullTest::parser_ = nullptr;
+
+TEST_F(AstBuilderFullTest, CaseExpressionLowersToCall) {
+  SelectStatement statement =
+      Build("SELECT CASE WHEN a > 1 THEN b ELSE c END FROM t");
+  ASSERT_EQ(statement.items.size(), 1u);
+  EXPECT_EQ(statement.items[0].expr.kind, AstExprKind::kFunctionCall);
+  // Arguments include the THEN/ELSE value expressions.
+  EXPECT_GE(statement.items[0].expr.children.size(), 1u);
+}
+
+TEST_F(AstBuilderFullTest, CastLowersToCall) {
+  SelectStatement statement = Build("SELECT CAST(a AS INTEGER) FROM t");
+  EXPECT_EQ(statement.items[0].expr.kind, AstExprKind::kFunctionCall);
+  EXPECT_EQ(statement.items[0].expr.value, "cast_specification");
+  ASSERT_EQ(statement.items[0].expr.children.size(), 1u);
+  EXPECT_EQ(statement.items[0].expr.children[0], AstExpr::Column("a"));
+}
+
+TEST_F(AstBuilderFullTest, StringFunctionLowersToCall) {
+  SelectStatement statement =
+      Build("SELECT SUBSTRING(name FROM 1 FOR 3) FROM t");
+  EXPECT_EQ(statement.items[0].expr.kind, AstExprKind::kFunctionCall);
+  EXPECT_EQ(statement.items[0].expr.children.size(), 3u);
+}
+
+TEST_F(AstBuilderFullTest, RoutineInvocationKeepsName) {
+  SelectStatement statement = Build("SELECT my_func(a, 1) FROM t");
+  EXPECT_EQ(statement.items[0].expr.kind, AstExprKind::kFunctionCall);
+  EXPECT_EQ(statement.items[0].expr.value, "my_func");
+  EXPECT_EQ(statement.items[0].expr.children.size(), 2u);
+}
+
+TEST_F(AstBuilderFullTest, ScalarSubqueryIsOpaqueCall) {
+  SelectStatement statement =
+      Build("SELECT (SELECT MAX(b) FROM u) FROM t");
+  EXPECT_EQ(statement.items[0].expr,
+            AstExpr::Call("SUBQUERY", {}));
+}
+
+TEST_F(AstBuilderFullTest, PredicateLongTailLowersToCalls) {
+  SelectStatement statement =
+      Build("SELECT a FROM t WHERE x BETWEEN 1 AND 2 AND y IS NULL");
+  ASSERT_TRUE(statement.where.has_value());
+  EXPECT_EQ(statement.where->value, "AND");
+  EXPECT_EQ(statement.where->children[0].value, "between_predicate");
+  EXPECT_EQ(statement.where->children[1].value, "null_predicate");
+}
+
+TEST_F(AstBuilderFullTest, BuilderIsTotalOverQueryCorpus) {
+  const char* corpus[] = {
+      "SELECT DISTINCT e.name AS n FROM emp e WHERE e.id IN (1, 2)",
+      "SELECT COALESCE(a, b, 0), NULLIF(x, y) FROM t",
+      "SELECT EXTRACT(YEAR FROM hired) FROM emp ORDER BY 1 ASC",
+      "SELECT COUNT(DISTINCT dept) FROM emp GROUP BY region "
+      "HAVING COUNT(*) > 2",
+      "SELECT a || b, UPPER(c) FROM t WHERE d LIKE 'x%'",
+  };
+  for (const char* sql : corpus) {
+    Result<ParseNode> tree = parser_->ParseText(sql);
+    ASSERT_TRUE(tree.ok()) << sql;
+    Result<SelectStatement> statement = BuildSelectStatement(*tree);
+    EXPECT_TRUE(statement.ok()) << sql << ": " << statement.status();
+    if (statement.ok()) {
+      EXPECT_FALSE(statement->items.empty()) << sql;
+      EXPECT_FALSE(statement->ToString().empty()) << sql;
+    }
+  }
+}
+
+TEST_F(AstBuilderFullTest, OrderByOrdinalIsLiteral) {
+  SelectStatement statement = Build("SELECT a FROM t ORDER BY 1 DESC");
+  ASSERT_EQ(statement.order_by.size(), 1u);
+  EXPECT_EQ(statement.order_by[0].expr, AstExpr::Literal("1"));
+  EXPECT_TRUE(statement.order_by[0].descending);
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,140 @@
+#include "sqlpl/semantics/ast_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+class AstBuilderTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SqlProductLine line;
+    Result<LlParser> parser = line.BuildParser(CoreQueryDialect());
+    ASSERT_TRUE(parser.ok()) << parser.status();
+    parser_ = new LlParser(std::move(parser).value());
+  }
+
+  SelectStatement Build(const std::string& sql) {
+    Result<ParseNode> tree = parser_->ParseText(sql);
+    EXPECT_TRUE(tree.ok()) << sql << ": " << tree.status();
+    Result<SelectStatement> statement = BuildSelectStatement(*tree);
+    EXPECT_TRUE(statement.ok()) << sql << ": " << statement.status();
+    return std::move(statement).value();
+  }
+
+  static LlParser* parser_;
+};
+
+LlParser* AstBuilderTest::parser_ = nullptr;
+
+TEST_F(AstBuilderTest, SimpleSelect) {
+  SelectStatement statement = Build("SELECT name FROM employees");
+  EXPECT_FALSE(statement.distinct);
+  ASSERT_EQ(statement.items.size(), 1u);
+  EXPECT_EQ(statement.items[0].expr, AstExpr::Column("name"));
+  ASSERT_EQ(statement.from.size(), 1u);
+  EXPECT_EQ(statement.from[0].name, "employees");
+  EXPECT_FALSE(statement.where.has_value());
+}
+
+TEST_F(AstBuilderTest, DistinctAndAliases) {
+  SelectStatement statement =
+      Build("SELECT DISTINCT e.name AS n FROM employees AS e");
+  EXPECT_TRUE(statement.distinct);
+  ASSERT_EQ(statement.items.size(), 1u);
+  EXPECT_EQ(statement.items[0].expr, AstExpr::Column("e.name"));
+  EXPECT_EQ(statement.items[0].alias, "n");
+  EXPECT_EQ(statement.from[0].alias, "e");
+}
+
+TEST_F(AstBuilderTest, StarSelectList) {
+  SelectStatement statement = Build("SELECT * FROM t");
+  ASSERT_EQ(statement.items.size(), 1u);
+  EXPECT_TRUE(statement.items[0].is_star);
+}
+
+TEST_F(AstBuilderTest, ArithmeticFoldsLeftAssociative) {
+  SelectStatement statement = Build("SELECT a + b * 2 - c FROM t");
+  ASSERT_EQ(statement.items.size(), 1u);
+  // ((a + (b * 2)) - c)
+  EXPECT_EQ(statement.items[0].expr.ToString(), "((a + (b * 2)) - c)");
+}
+
+TEST_F(AstBuilderTest, ParenthesesOverridePrecedence) {
+  SelectStatement statement = Build("SELECT (a + b) * 2 FROM t");
+  EXPECT_EQ(statement.items[0].expr.ToString(), "((a + b) * 2)");
+}
+
+TEST_F(AstBuilderTest, WhereConditionTree) {
+  SelectStatement statement =
+      Build("SELECT a FROM t WHERE x = 1 AND NOT y < 2 OR z = 3");
+  ASSERT_TRUE(statement.where.has_value());
+  // ((x=1 AND NOT(y<2)) OR z=3)
+  EXPECT_EQ(statement.where->ToString(),
+            "(((x = 1) AND (NOT (y < 2))) OR (z = 3))");
+}
+
+TEST_F(AstBuilderTest, AggregatesBecomeCalls) {
+  SelectStatement statement =
+      Build("SELECT COUNT(*), SUM(salary) FROM emp");
+  ASSERT_EQ(statement.items.size(), 2u);
+  EXPECT_EQ(statement.items[0].expr,
+            AstExpr::Call("COUNT", {AstExpr::Star()}));
+  EXPECT_EQ(statement.items[1].expr.kind, AstExprKind::kFunctionCall);
+  EXPECT_EQ(statement.items[1].expr.value, "SUM");
+}
+
+TEST_F(AstBuilderTest, GroupByHavingOrderBy) {
+  SelectStatement statement = Build(
+      "SELECT dept, COUNT(*) FROM emp GROUP BY dept "
+      "HAVING COUNT(*) > 3 ORDER BY dept DESC, COUNT(*)");
+  ASSERT_EQ(statement.group_by.size(), 1u);
+  EXPECT_EQ(statement.group_by[0], AstExpr::Column("dept"));
+  ASSERT_TRUE(statement.having.has_value());
+  EXPECT_EQ(statement.having->value, ">");
+  ASSERT_EQ(statement.order_by.size(), 2u);
+  EXPECT_TRUE(statement.order_by[0].descending);
+  EXPECT_FALSE(statement.order_by[1].descending);
+}
+
+TEST_F(AstBuilderTest, LiteralsKeepText) {
+  SelectStatement statement = Build("SELECT 'abc', 42 FROM t");
+  EXPECT_EQ(statement.items[0].expr, AstExpr::Literal("abc"));
+  EXPECT_EQ(statement.items[1].expr, AstExpr::Literal("42"));
+}
+
+TEST_F(AstBuilderTest, ReferencedColumnsCollected) {
+  SelectStatement statement = Build("SELECT a + b FROM t WHERE c = 1");
+  EXPECT_EQ(statement.items[0].expr.ReferencedColumns(),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(statement.where->ReferencedColumns(),
+            (std::vector<std::string>{"c"}));
+}
+
+TEST_F(AstBuilderTest, StatementToStringRoundTripsShape) {
+  SelectStatement statement =
+      Build("SELECT DISTINCT a AS x FROM t WHERE a > 1 ORDER BY a DESC");
+  std::string rendered = statement.ToString();
+  EXPECT_NE(rendered.find("SELECT DISTINCT"), std::string::npos);
+  EXPECT_NE(rendered.find("AS x"), std::string::npos);
+  EXPECT_NE(rendered.find("WHERE (a > 1)"), std::string::npos);
+  EXPECT_NE(rendered.find("ORDER BY a DESC"), std::string::npos);
+}
+
+TEST_F(AstBuilderTest, NonQueryTreeFails) {
+  ParseNode not_query = ParseNode::Rule("something_else");
+  EXPECT_FALSE(BuildSelectStatement(not_query).ok());
+}
+
+TEST(AstExprTest, FactoriesAndToString) {
+  AstExpr expr = AstExpr::Binary(
+      "+", AstExpr::Column("a"),
+      AstExpr::Unary("-", AstExpr::Literal("1")));
+  EXPECT_EQ(expr.ToString(), "(a + (- 1))");
+  EXPECT_EQ(AstExpr::Call("F", {AstExpr::Star()}).ToString(), "F(*)");
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,95 @@
+#include "sqlpl/semantics/pretty_printer.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+class PrettyPrinterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SqlProductLine line;
+    Result<LlParser> parser = line.BuildParser(FullFoundationDialect());
+    ASSERT_TRUE(parser.ok()) << parser.status();
+    parser_ = new LlParser(std::move(parser).value());
+  }
+
+  std::string Print(const std::string& sql) {
+    Result<ParseNode> tree = parser_->ParseText(sql);
+    EXPECT_TRUE(tree.ok()) << sql << ": " << tree.status();
+    if (!tree.ok()) return "";
+    return PrintSql(*tree);
+  }
+
+  static LlParser* parser_;
+};
+
+LlParser* PrettyPrinterTest::parser_ = nullptr;
+
+TEST_F(PrettyPrinterTest, CanonicalSpacing) {
+  EXPECT_EQ(Print("select   a ,b from  t"), "SELECT a, b FROM t");
+}
+
+TEST_F(PrettyPrinterTest, KeywordsUppercased) {
+  EXPECT_EQ(Print("select a from t where a = 1"),
+            "SELECT a FROM t WHERE a = 1");
+}
+
+TEST_F(PrettyPrinterTest, ParenthesesTight) {
+  EXPECT_EQ(Print("select count( * ) from t"), "SELECT COUNT(*) FROM t");
+  EXPECT_EQ(Print("select ( a + b ) * 2 from t"),
+            "SELECT (a + b) * 2 FROM t");
+}
+
+TEST_F(PrettyPrinterTest, DotsTight) {
+  EXPECT_EQ(Print("select e . name from emp e"),
+            "SELECT e.name FROM emp e");
+}
+
+TEST_F(PrettyPrinterTest, StringLiteralsRequoted) {
+  EXPECT_EQ(Print("select a from t where b = 'o''brien'"),
+            "SELECT a FROM t WHERE b = 'o''brien'");
+}
+
+TEST_F(PrettyPrinterTest, IdentifierCasePreserved) {
+  EXPECT_EQ(Print("SELECT MyCol FROM MyTable"), "SELECT MyCol FROM MyTable");
+}
+
+// The round-trip property: printing a parse and re-parsing the output
+// yields the same token sequence and an equal tree rendering.
+class RoundTripTest : public PrettyPrinterTest,
+                      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(RoundTripTest, ParsePrintReparse) {
+  Result<ParseNode> first = parser_->ParseText(GetParam());
+  ASSERT_TRUE(first.ok()) << GetParam() << ": " << first.status();
+  std::string printed = PrintSql(*first);
+  Result<ParseNode> second = parser_->ParseText(printed);
+  ASSERT_TRUE(second.ok()) << printed << ": " << second.status();
+  EXPECT_EQ(PrintSql(*second), printed);
+  EXPECT_EQ(second->ToSExpr(), first->ToSExpr()) << printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTripTest,
+    ::testing::Values(
+        "SELECT a FROM t",
+        "SELECT DISTINCT a, b AS x FROM t, u WHERE a = 1 AND b > 2",
+        "SELECT COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 3",
+        "SELECT a FROM t ORDER BY a DESC, b ASC",
+        "SELECT e.name FROM emp e JOIN dept d ON e.did = d.id",
+        "SELECT a FROM t UNION ALL SELECT b FROM u",
+        "INSERT INTO t (a, b) VALUES (1, 'x')",
+        "UPDATE t SET a = a + 1 WHERE b IN (1, 2)",
+        "DELETE FROM t WHERE a IS NOT NULL",
+        "CREATE TABLE t (id INTEGER NOT NULL, name VARCHAR(20))",
+        "COMMIT WORK",
+        "GRANT SELECT ON t TO PUBLIC",
+        "SELECT CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END FROM t",
+        "SELECT CAST(a AS INTEGER) FROM t",
+        "SELECT SUBSTRING(name FROM 1 FOR 3) FROM t"));
+
+}  // namespace
+}  // namespace sqlpl

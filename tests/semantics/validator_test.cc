@@ -1,0 +1,155 @@
+#include "sqlpl/semantics/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/sql/dialects.h"
+#include "sqlpl/sql/product_line.h"
+
+namespace sqlpl {
+namespace {
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SqlProductLine line;
+    Result<LlParser> parser = line.BuildParser(CoreQueryDialect());
+    ASSERT_TRUE(parser.ok()) << parser.status();
+    parser_ = new LlParser(std::move(parser).value());
+  }
+
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.AddTable("employees",
+                                  {"id", "name", "salary", "dept"}).ok());
+    ASSERT_TRUE(catalog_.AddTable("depts", {"id", "title"}).ok());
+  }
+
+  Status Validate(const std::string& sql) {
+    Result<ParseNode> tree = parser_->ParseText(sql);
+    EXPECT_TRUE(tree.ok()) << sql << ": " << tree.status();
+    diagnostics_.Clear();
+    return ValidateAgainstCatalog(catalog_,
+                                  {"From", "ValueExpressions"}, *tree,
+                                  &diagnostics_);
+  }
+
+  DbCatalog catalog_;
+  DiagnosticCollector diagnostics_;
+  static LlParser* parser_;
+};
+
+LlParser* ValidatorTest::parser_ = nullptr;
+
+TEST(DbCatalogTest, TablesAndColumns) {
+  DbCatalog catalog;
+  ASSERT_TRUE(catalog.AddTable("T", {"a", "b"}).ok());
+  EXPECT_TRUE(catalog.HasTable("t"));  // case-insensitive
+  EXPECT_TRUE(catalog.HasColumn("T", "A"));
+  EXPECT_FALSE(catalog.HasColumn("T", "z"));
+  EXPECT_FALSE(catalog.HasColumn("missing", "a"));
+  EXPECT_EQ(catalog.AddTable("t", {}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.TablesWithColumn("b"),
+            (std::vector<std::string>{"T"}));
+  EXPECT_EQ(catalog.NumTables(), 1u);
+}
+
+TEST_F(ValidatorTest, ValidQueryPasses) {
+  EXPECT_TRUE(Validate("SELECT name FROM employees WHERE salary > 10").ok());
+  EXPECT_FALSE(diagnostics_.has_errors());
+}
+
+TEST_F(ValidatorTest, UnknownTableReported) {
+  EXPECT_FALSE(Validate("SELECT name FROM nowhere").ok());
+  EXPECT_NE(diagnostics_.ToString().find("unknown table 'nowhere'"),
+            std::string::npos);
+}
+
+TEST_F(ValidatorTest, UnknownColumnReported) {
+  EXPECT_FALSE(Validate("SELECT bogus FROM employees").ok());
+  EXPECT_NE(diagnostics_.ToString().find("column 'bogus'"),
+            std::string::npos);
+}
+
+TEST_F(ValidatorTest, QualifiedColumnChecksNamedTable) {
+  EXPECT_TRUE(Validate("SELECT employees.name FROM employees").ok());
+  EXPECT_FALSE(Validate("SELECT employees.title FROM employees").ok());
+  EXPECT_NE(diagnostics_.ToString().find("no column 'title'"),
+            std::string::npos);
+}
+
+TEST_F(ValidatorTest, AliasResolvesToTable) {
+  EXPECT_TRUE(Validate("SELECT e.name FROM employees AS e").ok());
+  EXPECT_FALSE(Validate("SELECT x.name FROM employees AS e").ok());
+  EXPECT_NE(diagnostics_.ToString().find("unknown table or alias 'x'"),
+            std::string::npos);
+}
+
+TEST_F(ValidatorTest, UnqualifiedColumnSearchesAllFromTables) {
+  EXPECT_TRUE(Validate("SELECT title FROM employees, depts").ok());
+  EXPECT_FALSE(Validate("SELECT title FROM employees").ok());
+}
+
+TEST_F(ValidatorTest, ColumnsInAllClausesChecked) {
+  EXPECT_FALSE(
+      Validate("SELECT name FROM employees WHERE ghost = 1").ok());
+  EXPECT_FALSE(
+      Validate("SELECT name FROM employees GROUP BY phantom").ok());
+}
+
+TEST_F(ValidatorTest, LayeringDropsChecksOfUnselectedFeatures) {
+  Result<ParseNode> tree = parser_->ParseText("SELECT bogus FROM nowhere");
+  ASSERT_TRUE(tree.ok());
+  // Only the From layer selected: table errors still fire...
+  DiagnosticCollector diagnostics;
+  Status from_only =
+      ValidateAgainstCatalog(catalog_, {"From"}, *tree, &diagnostics);
+  EXPECT_FALSE(from_only.ok());
+  EXPECT_NE(diagnostics.ToString().find("unknown table"), std::string::npos);
+  EXPECT_EQ(diagnostics.ToString().find("bogus"), std::string::npos);
+  // ...no layer selected: nothing fires.
+  DiagnosticCollector none;
+  EXPECT_TRUE(ValidateAgainstCatalog(catalog_, {}, *tree, &none).ok());
+}
+
+TEST_F(ValidatorTest, RegistryReportsItsLayers) {
+  ActionRegistry registry = MakeCatalogValidator(catalog_);
+  std::vector<std::string> features = registry.Features();
+  EXPECT_EQ(features,
+            (std::vector<std::string>{"From", "InsertStatement",
+                                      "UpdateStatement", "DeleteStatement",
+                                      "ValueExpressions"}));
+}
+
+TEST_F(ValidatorTest, DefinitionsAreNotReferences) {
+  // CREATE TABLE defines its table; the validator must not flag it.
+  SqlProductLine line;
+  DialectSpec spec = ScqlDialect();
+  Result<LlParser> parser = line.BuildParser(spec);
+  ASSERT_TRUE(parser.ok()) << parser.status();
+  Result<ParseNode> tree =
+      parser->ParseText("CREATE TABLE brand_new (id INTEGER)");
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  DiagnosticCollector diagnostics;
+  EXPECT_TRUE(ValidateAgainstCatalog(catalog_, spec.features, *tree,
+                                     &diagnostics)
+                  .ok())
+      << diagnostics.ToString();
+}
+
+TEST_F(ValidatorTest, DmlTargetsAreReferences) {
+  SqlProductLine line;
+  DialectSpec spec = ScqlDialect();
+  Result<LlParser> parser = line.BuildParser(spec);
+  ASSERT_TRUE(parser.ok()) << parser.status();
+  Result<ParseNode> tree =
+      parser->ParseText("DELETE FROM nonexistent WHERE id = 1");
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  DiagnosticCollector diagnostics;
+  EXPECT_FALSE(ValidateAgainstCatalog(catalog_, spec.features, *tree,
+                                      &diagnostics)
+                   .ok());
+  EXPECT_NE(diagnostics.ToString().find("unknown table 'nonexistent'"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqlpl

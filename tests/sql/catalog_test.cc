@@ -1,0 +1,185 @@
+#include "sqlpl/sql/foundation_grammars.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/feature/feature_diagram.h"
+#include "sqlpl/grammar/analysis.h"
+
+namespace sqlpl {
+namespace {
+
+TEST(CatalogTest, HasSubstantialModuleCount) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  EXPECT_GE(catalog.size(), 50u);
+}
+
+TEST(CatalogTest, FindAndContains) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  EXPECT_TRUE(catalog.Contains("QuerySpecification"));
+  EXPECT_TRUE(catalog.Contains("Where"));
+  EXPECT_TRUE(catalog.Contains("SamplePeriod"));
+  EXPECT_FALSE(catalog.Contains("NoSuchFeature"));
+  const SqlFeatureModule* where = catalog.Find("Where");
+  ASSERT_NE(where, nullptr);
+  EXPECT_FALSE(where->description.empty());
+}
+
+// Every module's sub-grammar text must parse — these are the paper's
+// per-feature grammar files.
+class ModuleGrammarTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModuleGrammarTest, GrammarTextParses) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  Result<Grammar> grammar = catalog.GrammarFor(GetParam());
+  ASSERT_TRUE(grammar.ok()) << GetParam() << ": " << grammar.status();
+  EXPECT_GE(grammar->NumProductions(), 1u);
+}
+
+TEST_P(ModuleGrammarTest, SingleInstanceVariantParses) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  Result<Grammar> grammar = catalog.GrammarFor(GetParam(), /*count=*/1);
+  ASSERT_TRUE(grammar.ok()) << GetParam() << ": " << grammar.status();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModules, ModuleGrammarTest,
+    ::testing::ValuesIn(SqlFeatureCatalog::Instance().ModuleNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(CatalogTest, ClonedModulesHaveDistinctVariants) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  Result<Grammar> single = catalog.GrammarFor("SelectList", 1);
+  Result<Grammar> multi =
+      catalog.GrammarFor("SelectList", Cardinality::kUnbounded);
+  ASSERT_TRUE(single.ok() && multi.ok());
+  EXPECT_FALSE(*single == *multi);
+  // Multi variant is the complex list of the paper.
+  EXPECT_NE(multi->Find("select_list"), nullptr);
+}
+
+TEST(CatalogTest, UnclonedModulesIgnoreCount) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  Result<Grammar> one = catalog.GrammarFor("Where", 1);
+  Result<Grammar> many = catalog.GrammarFor("Where", 99);
+  ASSERT_TRUE(one.ok() && many.ok());
+  EXPECT_TRUE(*one == *many);
+}
+
+TEST(CatalogTest, UnknownFeatureGrammarFails) {
+  Result<Grammar> grammar =
+      SqlFeatureCatalog::Instance().GrammarFor("Bogus");
+  EXPECT_FALSE(grammar.ok());
+  EXPECT_EQ(grammar.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, RequiresEdgesReferenceKnownModules) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  for (const auto& [feature, required] : catalog.RequiresMap()) {
+    EXPECT_TRUE(catalog.Contains(feature)) << feature;
+    for (const std::string& dependency : required) {
+      EXPECT_TRUE(catalog.Contains(dependency))
+          << feature << " requires unknown " << dependency;
+    }
+  }
+}
+
+TEST(CatalogTest, CanonicalOrderIsTopologicallyConsistent) {
+  // A module's requirements are always registered before the module —
+  // this is what makes catalog order a valid composition sequence.
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  std::map<std::string, size_t> rank;
+  for (size_t i = 0; i < catalog.modules().size(); ++i) {
+    rank[catalog.modules()[i].name] = i;
+  }
+  for (const SqlFeatureModule& module : catalog.modules()) {
+    for (const std::string& dependency : module.requires_features) {
+      EXPECT_LT(rank.at(dependency), rank.at(module.name))
+          << module.name << " requires " << dependency
+          << " which is registered later";
+    }
+  }
+}
+
+TEST(CatalogTest, RequiredClosureExpandsTransitively) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  Result<std::vector<std::string>> closure =
+      catalog.RequiredClosure({"Having"});
+  ASSERT_TRUE(closure.ok());
+  // Having -> GroupBy -> TableExpression -> From -> ValueExpressions, and
+  // SearchConditions.
+  auto contains = [&](const std::string& f) {
+    return std::find(closure->begin(), closure->end(), f) != closure->end();
+  };
+  EXPECT_TRUE(contains("Having"));
+  EXPECT_TRUE(contains("GroupBy"));
+  EXPECT_TRUE(contains("TableExpression"));
+  EXPECT_TRUE(contains("From"));
+  EXPECT_TRUE(contains("ValueExpressions"));
+  EXPECT_TRUE(contains("SearchConditions"));
+}
+
+TEST(CatalogTest, RequiredClosureRejectsUnknownFeature) {
+  EXPECT_FALSE(
+      SqlFeatureCatalog::Instance().RequiredClosure({"Nope"}).ok());
+}
+
+// Each module's sub-grammar must be *internally* consistent: every
+// nonterminal it references is either defined by the module itself, by
+// one of its (transitively) required modules, or by a module that
+// requires *it* (a choice point such as `select_sublist`, which the
+// OR-grouped DerivedColumn / Asterisk features fill in — the feature
+// model, not the catalog, enforces that one of them is selected). This is
+// the property that makes any requires-closed, group-complete selection
+// compose to a closed grammar.
+TEST(CatalogTest, ModuleReferencesResolvedByRequiredClosure) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  // Reverse edges: providers[m] = modules that (transitively) require m.
+  std::map<std::string, std::set<std::string>> providers;
+  for (const SqlFeatureModule& module : catalog.modules()) {
+    Result<std::vector<std::string>> all = catalog.RequiredClosure(
+        {module.name});
+    ASSERT_TRUE(all.ok());
+    for (const std::string& required : *all) {
+      providers[required].insert(module.name);
+    }
+  }
+  for (const SqlFeatureModule& module : catalog.modules()) {
+    Result<std::vector<std::string>> closure =
+        catalog.RequiredClosure({module.name});
+    ASSERT_TRUE(closure.ok()) << module.name;
+    std::set<std::string> visible(closure->begin(), closure->end());
+    visible.insert(providers[module.name].begin(),
+                   providers[module.name].end());
+    std::set<std::string> defined;
+    for (const std::string& feature : visible) {
+      for (int count : {1, Cardinality::kUnbounded}) {
+        Result<Grammar> grammar = catalog.GrammarFor(feature, count);
+        ASSERT_TRUE(grammar.ok()) << feature;
+        for (const std::string& nt : grammar->NonterminalNames()) {
+          defined.insert(nt);
+        }
+      }
+    }
+    Result<Grammar> grammar = catalog.GrammarFor(module.name);
+    ASSERT_TRUE(grammar.ok());
+    for (const Production& production : grammar->productions()) {
+      for (const Alternative& alt : production.alternatives()) {
+        std::vector<std::string> refs;
+        alt.body.CollectNonterminals(&refs);
+        for (const std::string& ref : refs) {
+          EXPECT_TRUE(defined.contains(ref))
+              << "module " << module.name << " references '" << ref
+              << "' which no required module defines";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,125 @@
+// §5 of the paper: "different classifications of features lead to the
+// same advantages" — the catalog can be sliced by statement class or by
+// schema element, and either slicing composes working dialects.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/sql/classifications.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+TEST(ClassificationsTest, EveryCatalogModuleIsClassified) {
+  for (const SqlFeatureModule& module :
+       SqlFeatureCatalog::Instance().modules()) {
+    EXPECT_TRUE(StatementClassOf(module.name).ok())
+        << module.name << " missing from statement-class table";
+    EXPECT_TRUE(SchemaElementOf(module.name).ok())
+        << module.name << " missing from schema-element table";
+  }
+}
+
+TEST(ClassificationsTest, NoStaleClassificationEntries) {
+  // Both groupings only mention modules the catalog actually has.
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  for (const auto& [cls, features] : GroupByStatementClass()) {
+    for (const std::string& feature : features) {
+      EXPECT_TRUE(catalog.Contains(feature))
+          << "classification lists unknown feature " << feature
+          << " under " << cls;
+    }
+  }
+}
+
+TEST(ClassificationsTest, UnknownFeatureFails) {
+  EXPECT_FALSE(StatementClassOf("Nope").ok());
+  EXPECT_FALSE(SchemaElementOf("Nope").ok());
+}
+
+TEST(ClassificationsTest, KnownAssignments) {
+  EXPECT_EQ(*StatementClassOf("Where"), StatementClass::kQuery);
+  EXPECT_EQ(*StatementClassOf("InsertStatement"),
+            StatementClass::kDataManipulation);
+  EXPECT_EQ(*StatementClassOf("Grant"), StatementClass::kDataControl);
+  EXPECT_EQ(*StatementClassOf("SamplePeriod"), StatementClass::kExtension);
+  EXPECT_EQ(*SchemaElementOf("ViewDefinition"), SchemaElement::kView);
+  EXPECT_EQ(*SchemaElementOf("Grant"), SchemaElement::kPrivilege);
+  EXPECT_EQ(*SchemaElementOf("Literals"), SchemaElement::kNone);
+}
+
+TEST(ClassificationsTest, FeaturesOfClassesKeepsCanonicalOrder) {
+  std::vector<std::string> dml =
+      FeaturesOfClasses({StatementClass::kDataManipulation});
+  ASSERT_GE(dml.size(), 5u);
+  // Canonical order: Insert before Update before Delete before Merge.
+  auto pos = [&](const std::string& f) {
+    return std::find(dml.begin(), dml.end(), f) - dml.begin();
+  };
+  EXPECT_LT(pos("InsertStatement"), pos("UpdateStatement"));
+  EXPECT_LT(pos("UpdateStatement"), pos("DeleteStatement"));
+  EXPECT_LT(pos("DeleteStatement"), pos("MergeStatement"));
+}
+
+TEST(ClassificationsTest, QueryClassDialectComposesAndParses) {
+  Result<DialectSpec> spec = DialectFromClasses(
+      "by-class-query", {StatementClass::kQuery, StatementClass::kExpression,
+                         StatementClass::kPredicate});
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(*spec);
+  ASSERT_TRUE(parser.ok()) << parser.status();
+  EXPECT_TRUE(parser->Accepts(
+      "SELECT a, COUNT(*) FROM t JOIN u ON t.x = u.x "
+      "WHERE a BETWEEN 1 AND 2 GROUP BY a ORDER BY a"));
+  // No DML in the query classes.
+  EXPECT_FALSE(parser->Accepts("INSERT INTO t VALUES (1)"));
+  EXPECT_FALSE(parser->Accepts("COMMIT"));
+}
+
+TEST(ClassificationsTest, DmlClassDialectComposesAndParses) {
+  Result<DialectSpec> spec = DialectFromClasses(
+      "by-class-dml",
+      {StatementClass::kDataManipulation, StatementClass::kExpression});
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(*spec);
+  ASSERT_TRUE(parser.ok()) << parser.status();
+  EXPECT_TRUE(parser->Accepts("INSERT INTO t (a) VALUES (1)"));
+  EXPECT_TRUE(parser->Accepts("DELETE FROM t WHERE a = 1"));
+  // The closure pulls in expression machinery but not GROUP BY.
+  EXPECT_FALSE(parser->Accepts("SELECT a FROM t GROUP BY a"));
+}
+
+TEST(ClassificationsTest, SchemaElementDialectComposesAndParses) {
+  // Everything that operates on privileges: GRANT / REVOKE.
+  Result<DialectSpec> spec = DialectFromElements(
+      "by-element-privilege", {SchemaElement::kPrivilege});
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(*spec);
+  ASSERT_TRUE(parser.ok()) << parser.status();
+  EXPECT_TRUE(parser->Accepts("GRANT SELECT ON t TO PUBLIC"));
+  EXPECT_TRUE(parser->Accepts("REVOKE SELECT ON t FROM alice"));
+  EXPECT_FALSE(parser->Accepts("SELECT a FROM t"));
+}
+
+TEST(ClassificationsTest, TwoClassificationsCoverSameCatalog) {
+  // The two groupings partition the same feature set (§5: alternative
+  // classifications of the same features).
+  std::set<std::string> by_class;
+  for (const auto& [cls, features] : GroupByStatementClass()) {
+    by_class.insert(features.begin(), features.end());
+  }
+  std::set<std::string> by_element;
+  for (const auto& [element, features] : GroupBySchemaElement()) {
+    by_element.insert(features.begin(), features.end());
+  }
+  EXPECT_EQ(by_class, by_element);
+  EXPECT_EQ(by_class.size(), SqlFeatureCatalog::Instance().size());
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,98 @@
+// CompletedClosure: requires-closure plus OR-group choice-point
+// completion (the property that makes class/element-sliced dialects
+// compose; see classifications_test.cc for the end-to-end use).
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/sql/dialects.h"
+#include "sqlpl/sql/foundation_grammars.h"
+
+namespace sqlpl {
+namespace {
+
+bool Contains(const std::vector<std::string>& v, const std::string& x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(CompletedClosureTest, FillsSelectSublistChoicePoint) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  // SelectList alone references select_sublist, which only DerivedColumn
+  // or Asterisk define; completion picks the earliest (DerivedColumn).
+  Result<std::vector<std::string>> closed =
+      catalog.CompletedClosure({"SelectList"});
+  ASSERT_TRUE(closed.ok()) << closed.status();
+  EXPECT_TRUE(Contains(*closed, "DerivedColumn"));
+  EXPECT_TRUE(Contains(*closed, "ValueExpressions"));  // its requires
+}
+
+TEST(CompletedClosureTest, AlreadyClosedSelectionsAreUnchanged) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  DialectSpec spec = WorkedExampleDialect();
+  Result<std::vector<std::string>> required =
+      catalog.RequiredClosure(spec.features);
+  Result<std::vector<std::string>> completed =
+      catalog.CompletedClosure(spec.features);
+  ASSERT_TRUE(required.ok() && completed.ok());
+  EXPECT_EQ(*required, *completed);
+}
+
+TEST(CompletedClosureTest, ResultAlwaysComposes) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  SqlProductLine line;
+  // Sparse seeds that are far from closed. Each includes (directly or
+  // via requires) at least one statement-level feature — a dialect with
+  // no statement kinds has no `sql_statement` to start from.
+  const std::vector<std::vector<std::string>> seeds = {
+      {"Having", "QuerySpecification"},
+      {"MergeStatement"},
+      {"Window"},
+      {"InSubquery"},
+      {"AlterTable", "Revoke"},
+      {"PositionedDml", "SamplePeriod"},
+  };
+  for (const std::vector<std::string>& seed : seeds) {
+    Result<std::vector<std::string>> closed =
+        catalog.CompletedClosure(seed);
+    ASSERT_TRUE(closed.ok()) << seed.front() << ": " << closed.status();
+    DialectSpec spec;
+    spec.name = "closure-" + seed.front();
+    spec.features = *closed;
+    Result<Grammar> grammar = line.ComposeGrammar(spec);
+    EXPECT_TRUE(grammar.ok()) << spec.name << ": " << grammar.status();
+  }
+}
+
+TEST(CompletedClosureTest, UnknownFeatureFails) {
+  EXPECT_FALSE(
+      SqlFeatureCatalog::Instance().CompletedClosure({"Bogus"}).ok());
+}
+
+TEST(CompletedClosureTest, OutputIsInCanonicalOrder) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  Result<std::vector<std::string>> closed =
+      catalog.CompletedClosure({"Having", "Where"});
+  ASSERT_TRUE(closed.ok());
+  std::map<std::string, size_t> rank;
+  for (size_t i = 0; i < catalog.modules().size(); ++i) {
+    rank[catalog.modules()[i].name] = i;
+  }
+  for (size_t i = 1; i < closed->size(); ++i) {
+    EXPECT_LT(rank.at((*closed)[i - 1]), rank.at((*closed)[i]));
+  }
+}
+
+TEST(CompletedClosureTest, IsIdempotent) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  Result<std::vector<std::string>> once =
+      catalog.CompletedClosure({"SelectList"});
+  ASSERT_TRUE(once.ok());
+  Result<std::vector<std::string>> twice = catalog.CompletedClosure(*once);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(*once, *twice);
+}
+
+}  // namespace
+}  // namespace sqlpl

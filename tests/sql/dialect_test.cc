@@ -1,0 +1,142 @@
+// E6: scaled-down dialects of the paper's motivation — TinySQL (TinyDB,
+// sensor networks) and SCQL (smart cards) — behave per their references.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+LlParser BuildDialect(const DialectSpec& spec) {
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(spec);
+  EXPECT_TRUE(parser.ok()) << spec.name << ": " << parser.status();
+  return std::move(parser).value();
+}
+
+class TinySqlTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    parser_ = new LlParser(BuildDialect(TinySqlDialect()));
+  }
+  static LlParser* parser_;
+};
+LlParser* TinySqlTest::parser_ = nullptr;
+
+TEST_F(TinySqlTest, AcquisitionalQueriesParse) {
+  // Canonical TinyDB examples.
+  EXPECT_TRUE(parser_->Accepts(
+      "SELECT nodeid, light, temp FROM sensors SAMPLE PERIOD 1024"));
+  EXPECT_TRUE(parser_->Accepts(
+      "SELECT COUNT(*) FROM sensors WHERE light > 400 EPOCH DURATION 2048"));
+  EXPECT_TRUE(parser_->Accepts(
+      "SELECT AVG(volume) FROM sensors WHERE floor = 6 "
+      "GROUP BY roomno HAVING AVG(volume) > 10"));
+  EXPECT_TRUE(parser_->Accepts(
+      "SELECT nodeid FROM sensors SAMPLE PERIOD 2048 FOR 30"));
+}
+
+TEST_F(TinySqlTest, SingleTableInFromClause) {
+  // "single table in FROM clause" (paper §2.1).
+  EXPECT_TRUE(parser_->Accepts("SELECT a FROM sensors"));
+  EXPECT_FALSE(parser_->Accepts("SELECT a FROM sensors, buffer"));
+}
+
+TEST_F(TinySqlTest, NoColumnOrTableAliases) {
+  // "no column alias in SELECT clause" (paper §2.1).
+  EXPECT_FALSE(parser_->Accepts("SELECT light AS l FROM sensors"));
+  EXPECT_FALSE(parser_->Accepts("SELECT s.light FROM sensors s"));
+}
+
+TEST_F(TinySqlTest, FullSqlConstructsRejected) {
+  EXPECT_FALSE(parser_->Accepts("SELECT a FROM t JOIN u ON a = b"));
+  EXPECT_FALSE(parser_->Accepts("SELECT a FROM t ORDER BY a"));
+  EXPECT_FALSE(parser_->Accepts("SELECT a FROM t UNION SELECT b FROM u"));
+  EXPECT_FALSE(parser_->Accepts("INSERT INTO t VALUES (1)"));
+  EXPECT_FALSE(parser_->Accepts("CREATE TABLE t (a INTEGER)"));
+}
+
+TEST_F(TinySqlTest, TinyKeywordsNotReservedElsewhere) {
+  // EPOCH / SAMPLE are TinySQL keywords; the Core dialect lexes them as
+  // identifiers, so the extension does not pollute other dialects.
+  LlParser core = BuildDialect(CoreQueryDialect());
+  EXPECT_TRUE(core.Accepts("SELECT epoch, sample FROM t"));
+  EXPECT_FALSE(core.Accepts("SELECT a FROM t SAMPLE PERIOD 10"));
+}
+
+class ScqlTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    parser_ = new LlParser(BuildDialect(ScqlDialect()));
+  }
+  static LlParser* parser_;
+};
+LlParser* ScqlTest::parser_ = nullptr;
+
+TEST_F(ScqlTest, SmartCardStatementsParse) {
+  EXPECT_TRUE(parser_->Accepts("SELECT * FROM accounts WHERE owner = 'K'"));
+  EXPECT_TRUE(parser_->Accepts("INSERT INTO log (op) VALUES ('debit')"));
+  EXPECT_TRUE(parser_->Accepts(
+      "UPDATE accounts SET balance = balance - 10 WHERE id = 1"));
+  EXPECT_TRUE(parser_->Accepts("DELETE FROM log WHERE op = 'debit'"));
+  EXPECT_TRUE(parser_->Accepts(
+      "CREATE TABLE accounts (id INTEGER NOT NULL, balance DECIMAL(9, 2))"));
+  EXPECT_TRUE(parser_->Accepts(
+      "CREATE VIEW mine AS SELECT balance FROM accounts WHERE id = 1"));
+  EXPECT_TRUE(parser_->Accepts("GRANT SELECT ON accounts TO PUBLIC"));
+}
+
+TEST_F(ScqlTest, OutOfProfileStatementsRejected) {
+  EXPECT_FALSE(parser_->Accepts("SELECT a FROM t ORDER BY a"));
+  EXPECT_FALSE(parser_->Accepts("SELECT a FROM t GROUP BY a"));
+  EXPECT_FALSE(parser_->Accepts("COMMIT WORK"));
+  EXPECT_FALSE(parser_->Accepts("DROP TABLE t"));
+  EXPECT_FALSE(parser_->Accepts("SELECT a FROM t, u"));
+}
+
+class EmbeddedMinimalTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    parser_ = new LlParser(BuildDialect(EmbeddedMinimalDialect()));
+  }
+  static LlParser* parser_;
+};
+LlParser* EmbeddedMinimalTest::parser_ = nullptr;
+
+TEST_F(EmbeddedMinimalTest, SelectionProjectionAggregation) {
+  // PicoDBMS-style profile: select, project, aggregate (paper §1/§2).
+  EXPECT_TRUE(parser_->Accepts("SELECT name FROM patients"));
+  EXPECT_TRUE(parser_->Accepts(
+      "SELECT COUNT(*) FROM visits WHERE doctor = 'smith'"));
+  EXPECT_TRUE(parser_->Accepts("SELECT MIN(dose) FROM prescriptions"));
+}
+
+TEST_F(EmbeddedMinimalTest, EverythingElseRejected) {
+  EXPECT_FALSE(parser_->Accepts("SELECT DISTINCT name FROM patients"));
+  EXPECT_FALSE(parser_->Accepts("SELECT a + b FROM t"));
+  EXPECT_FALSE(parser_->Accepts("SELECT * FROM t"));
+  EXPECT_FALSE(parser_->Accepts("INSERT INTO t VALUES (1)"));
+}
+
+TEST(DialectFootprintTest, TailoredDialectsAreSmallerThanFull) {
+  SqlProductLine line;
+  Result<Grammar> tiny = line.ComposeGrammar(TinySqlDialect());
+  Result<Grammar> full = line.ComposeGrammar(FullFoundationDialect());
+  ASSERT_TRUE(tiny.ok() && full.ok());
+  EXPECT_LT(tiny->NumProductions(), full->NumProductions() / 2);
+  EXPECT_LT(tiny->tokens().size(), full->tokens().size() / 2);
+}
+
+TEST(DialectPresetsTest, AllPresetsAreListedOnce) {
+  std::vector<DialectSpec> presets = AllPresetDialects();
+  EXPECT_EQ(presets.size(), 6u);
+  std::set<std::string> names;
+  for (const DialectSpec& spec : presets) names.insert(spec.name);
+  EXPECT_EQ(names.size(), presets.size());
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,163 @@
+// The optional / advanced SQL:2003 constructs added beyond the paper's
+// worked examples: CTEs, datetime & interval literals, the long tail of
+// predicates, positioned DML.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+class ExtendedFeaturesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SqlProductLine line;
+    Result<LlParser> parser = line.BuildParser(FullFoundationDialect());
+    ASSERT_TRUE(parser.ok()) << parser.status();
+    parser_ = new LlParser(std::move(parser).value());
+  }
+  static LlParser* parser_;
+};
+LlParser* ExtendedFeaturesTest::parser_ = nullptr;
+
+TEST_F(ExtendedFeaturesTest, WithClause) {
+  EXPECT_TRUE(parser_->Accepts(
+      "WITH top_emps AS (SELECT name FROM emp WHERE salary > 100) "
+      "SELECT name FROM top_emps"));
+  EXPECT_TRUE(parser_->Accepts(
+      "WITH RECURSIVE r (n) AS (SELECT seed FROM init) SELECT n FROM r"));
+  EXPECT_TRUE(parser_->Accepts(
+      "WITH a AS (SELECT x FROM t), b AS (SELECT y FROM u) "
+      "SELECT x FROM a ORDER BY x"));
+  EXPECT_FALSE(parser_->Accepts("WITH SELECT a FROM t"));
+}
+
+TEST_F(ExtendedFeaturesTest, DatetimeAndIntervalLiterals) {
+  EXPECT_TRUE(parser_->Accepts("SELECT DATE '2003-01-01' FROM t"));
+  EXPECT_TRUE(parser_->Accepts("SELECT TIME '10:30:00' FROM t"));
+  EXPECT_TRUE(
+      parser_->Accepts("SELECT TIMESTAMP '2003-01-01 10:30:00' FROM t"));
+  EXPECT_TRUE(parser_->Accepts("SELECT INTERVAL '3' DAY FROM t"));
+  EXPECT_TRUE(parser_->Accepts("SELECT INTERVAL '1-6' YEAR TO MONTH FROM t"));
+  EXPECT_TRUE(parser_->Accepts(
+      "SELECT a FROM t WHERE d > DATE '1999-12-31'"));
+  EXPECT_FALSE(parser_->Accepts("SELECT DATE FROM t"));
+}
+
+TEST_F(ExtendedFeaturesTest, PredicateLongTail) {
+  EXPECT_TRUE(parser_->Accepts("SELECT a FROM t WHERE x OVERLAPS y"));
+  EXPECT_TRUE(
+      parser_->Accepts("SELECT a FROM t WHERE name SIMILAR TO 'a(b|c)*'"));
+  EXPECT_TRUE(parser_->Accepts(
+      "SELECT a FROM t WHERE name NOT SIMILAR TO 'x%' ESCAPE '!'"));
+  EXPECT_TRUE(
+      parser_->Accepts("SELECT a FROM t WHERE x IS DISTINCT FROM y"));
+  EXPECT_TRUE(
+      parser_->Accepts("SELECT a FROM t WHERE x IS NOT DISTINCT FROM y"));
+  EXPECT_TRUE(
+      parser_->Accepts("SELECT a FROM t WHERE UNIQUE (SELECT b FROM u)"));
+}
+
+TEST_F(ExtendedFeaturesTest, DistinctPredicateDoesNotBreakNullPredicate) {
+  EXPECT_TRUE(parser_->Accepts("SELECT a FROM t WHERE x IS NULL"));
+  EXPECT_TRUE(parser_->Accepts("SELECT a FROM t WHERE x IS NOT NULL"));
+}
+
+TEST_F(ExtendedFeaturesTest, PositionedDml) {
+  EXPECT_TRUE(
+      parser_->Accepts("UPDATE t SET a = 1 WHERE CURRENT OF my_cursor"));
+  EXPECT_TRUE(parser_->Accepts("DELETE FROM t WHERE CURRENT OF my_cursor"));
+  // The searched variants keep working alongside.
+  EXPECT_TRUE(parser_->Accepts("UPDATE t SET a = 1 WHERE b = 2"));
+  EXPECT_FALSE(parser_->Accepts("DELETE FROM t WHERE CURRENT OF"));
+}
+
+TEST_F(ExtendedFeaturesTest, FilterClauseOnAggregates) {
+  EXPECT_TRUE(parser_->Accepts(
+      "SELECT SUM(amount) FILTER (WHERE region = 'EU') FROM sales"));
+  EXPECT_TRUE(parser_->Accepts("SELECT SUM(amount) FROM sales"));
+  EXPECT_FALSE(parser_->Accepts("SELECT SUM(amount) FILTER FROM sales"));
+}
+
+TEST_F(ExtendedFeaturesTest, WindowFunctions) {
+  EXPECT_TRUE(parser_->Accepts(
+      "SELECT RANK() OVER (PARTITION BY dept ORDER BY salary DESC) FROM emp"));
+  EXPECT_TRUE(parser_->Accepts("SELECT ROW_NUMBER() OVER () FROM t"));
+  EXPECT_FALSE(parser_->Accepts("SELECT RANK() FROM t"));
+}
+
+TEST_F(ExtendedFeaturesTest, RowValueConstructorsInPredicates) {
+  EXPECT_TRUE(parser_->Accepts("SELECT x FROM t WHERE (a, b) = (1, 2)"));
+  EXPECT_TRUE(
+      parser_->Accepts("SELECT x FROM t WHERE (a, b, c) > (1, 2, 3)"));
+  // Plain parenthesized scalars keep working.
+  EXPECT_TRUE(parser_->Accepts("SELECT x FROM t WHERE (a) = (1)"));
+}
+
+TEST_F(ExtendedFeaturesTest, CollateAndReleaseSavepoint) {
+  EXPECT_TRUE(
+      parser_->Accepts("SELECT a FROM t ORDER BY name COLLATE de_DE"));
+  EXPECT_TRUE(parser_->Accepts("RELEASE SAVEPOINT sp1"));
+  EXPECT_FALSE(parser_->Accepts("RELEASE sp1"));
+}
+
+TEST_F(ExtendedFeaturesTest, SymmetricBetween) {
+  EXPECT_TRUE(
+      parser_->Accepts("SELECT a FROM t WHERE x BETWEEN SYMMETRIC 2 AND 1"));
+  EXPECT_TRUE(parser_->Accepts(
+      "SELECT a FROM t WHERE x NOT BETWEEN ASYMMETRIC 1 AND 2"));
+  // Plain BETWEEN keeps working alongside.
+  EXPECT_TRUE(parser_->Accepts("SELECT a FROM t WHERE x BETWEEN 1 AND 2"));
+}
+
+TEST_F(ExtendedFeaturesTest, CorrespondingSetOperations) {
+  EXPECT_TRUE(parser_->Accepts(
+      "SELECT a FROM t UNION CORRESPONDING SELECT a FROM u"));
+  EXPECT_TRUE(parser_->Accepts(
+      "SELECT a, b FROM t UNION ALL CORRESPONDING BY (a) SELECT a, b FROM u"));
+}
+
+TEST_F(ExtendedFeaturesTest, EmptyGroupingSetAndCall) {
+  EXPECT_TRUE(parser_->Accepts("SELECT COUNT(*) FROM t GROUP BY ()"));
+  EXPECT_TRUE(parser_->Accepts("CALL maintenance(1, 'full')"));
+  EXPECT_TRUE(parser_->Accepts("CALL nightly()"));
+  EXPECT_FALSE(parser_->Accepts("CALL"));
+}
+
+TEST_F(ExtendedFeaturesTest, TruncateTable) {
+  EXPECT_TRUE(parser_->Accepts("TRUNCATE TABLE staging"));
+  EXPECT_FALSE(parser_->Accepts("TRUNCATE staging"));
+}
+
+TEST(ExtendedFeaturesDialectTest, CteOnlyWhenSelected) {
+  SqlProductLine line;
+  Result<LlParser> core = line.BuildParser(CoreQueryDialect());
+  ASSERT_TRUE(core.ok());
+  EXPECT_FALSE(core->Accepts(
+      "WITH a AS (SELECT x FROM t) SELECT x FROM a"));
+
+  DialectSpec with_cte = CoreQueryDialect();
+  with_cte.name = "CoreQuery+With";
+  with_cte.features.push_back("WithClause");
+  with_cte.features.push_back("Union");  // parenthesized query primaries
+  Result<LlParser> extended = line.BuildParser(with_cte);
+  ASSERT_TRUE(extended.ok()) << extended.status();
+  EXPECT_TRUE(extended->Accepts(
+      "WITH a AS (SELECT x FROM t) SELECT x FROM a"));
+}
+
+TEST(ExtendedFeaturesDialectTest, PositionedDmlNeedsCursors) {
+  DialectSpec spec;
+  spec.name = "positioned-without-cursors";
+  spec.features = {"PositionedDml"};
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(spec);
+  EXPECT_FALSE(parser.ok());
+  EXPECT_EQ(parser.status().code(), StatusCode::kConfigurationError);
+}
+
+}  // namespace
+}  // namespace sqlpl

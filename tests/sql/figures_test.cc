@@ -1,0 +1,122 @@
+// E1/E2: the paper's Figure 1 (Query Specification) and Figure 2 (Table
+// Expression) feature diagrams, reproduced structurally.
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/feature/render.h"
+#include "sqlpl/sql/foundation_model.h"
+
+namespace sqlpl {
+namespace {
+
+const FeatureDiagram& Figure1() {
+  const FeatureDiagram* diagram =
+      SqlFoundationModel().Find(kQuerySpecificationDiagram);
+  EXPECT_NE(diagram, nullptr);
+  return *diagram;
+}
+
+const FeatureDiagram& Figure2() {
+  const FeatureDiagram* diagram =
+      SqlFoundationModel().Find(kTableExpressionDiagram);
+  EXPECT_NE(diagram, nullptr);
+  return *diagram;
+}
+
+TEST(Figure1Test, RootConceptAndChildren) {
+  const FeatureDiagram& diagram = Figure1();
+  EXPECT_EQ(diagram.NameOf(diagram.root()), "QuerySpecification");
+  // Figure 1's three children: Set Quantifier, Select List,
+  // Table Expression.
+  const std::vector<FeatureDiagram::NodeId>& children =
+      diagram.ChildrenOf(diagram.root());
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_EQ(diagram.NameOf(children[0]), "SetQuantifier");
+  EXPECT_EQ(diagram.NameOf(children[1]), "SelectList");
+  EXPECT_EQ(diagram.NameOf(children[2]), "TableExpression");
+}
+
+TEST(Figure1Test, SetQuantifierIsOptionalAlternativeOfAllDistinct) {
+  const FeatureDiagram& diagram = Figure1();
+  FeatureDiagram::NodeId sq = diagram.Find("SetQuantifier");
+  ASSERT_NE(sq, FeatureDiagram::kInvalidNode);
+  EXPECT_EQ(diagram.VariabilityOf(sq), FeatureVariability::kOptional);
+  EXPECT_EQ(diagram.GroupOf(sq), GroupKind::kAlternative);
+  const std::vector<FeatureDiagram::NodeId>& children = diagram.ChildrenOf(sq);
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(diagram.NameOf(children[0]), "ALL");
+  EXPECT_EQ(diagram.NameOf(children[1]), "DISTINCT");
+}
+
+TEST(Figure1Test, SelectListMandatoryWithClonedSublist) {
+  const FeatureDiagram& diagram = Figure1();
+  FeatureDiagram::NodeId sl = diagram.Find("SelectList");
+  EXPECT_EQ(diagram.VariabilityOf(sl), FeatureVariability::kMandatory);
+  FeatureDiagram::NodeId ss = diagram.Find("SelectSublist");
+  ASSERT_NE(ss, FeatureDiagram::kInvalidNode);
+  EXPECT_EQ(diagram.ParentOf(ss), sl);
+  // Figure 1 annotates Select Sublist with [1..*].
+  EXPECT_EQ(diagram.CardinalityOf(ss), Cardinality::AtLeast(1));
+  EXPECT_EQ(diagram.GroupOf(ss), GroupKind::kOr);
+}
+
+TEST(Figure1Test, DerivedColumnWithOptionalAsAndAsterisk) {
+  const FeatureDiagram& diagram = Figure1();
+  FeatureDiagram::NodeId dc = diagram.Find("DerivedColumn");
+  ASSERT_NE(dc, FeatureDiagram::kInvalidNode);
+  EXPECT_EQ(diagram.ParentOf(dc), diagram.Find("SelectSublist"));
+  FeatureDiagram::NodeId as = diagram.Find("As");
+  ASSERT_NE(as, FeatureDiagram::kInvalidNode);
+  EXPECT_EQ(diagram.ParentOf(as), dc);
+  EXPECT_EQ(diagram.VariabilityOf(as), FeatureVariability::kOptional);
+  FeatureDiagram::NodeId asterisk = diagram.Find("Asterisk");
+  ASSERT_NE(asterisk, FeatureDiagram::kInvalidNode);
+  EXPECT_EQ(diagram.ParentOf(asterisk), diagram.Find("SelectSublist"));
+}
+
+TEST(Figure1Test, TableExpressionMandatoryLeaf) {
+  const FeatureDiagram& diagram = Figure1();
+  FeatureDiagram::NodeId te = diagram.Find("TableExpression");
+  EXPECT_EQ(diagram.VariabilityOf(te), FeatureVariability::kMandatory);
+  EXPECT_TRUE(diagram.IsLeaf(te));
+}
+
+TEST(Figure2Test, FromMandatoryRestOptional) {
+  const FeatureDiagram& diagram = Figure2();
+  EXPECT_EQ(diagram.NameOf(diagram.root()), "TableExpression");
+  const std::vector<FeatureDiagram::NodeId>& children =
+      diagram.ChildrenOf(diagram.root());
+  ASSERT_EQ(children.size(), 5u);
+  EXPECT_EQ(diagram.NameOf(children[0]), "From");
+  EXPECT_EQ(diagram.VariabilityOf(children[0]),
+            FeatureVariability::kMandatory);
+  for (size_t i = 1; i < children.size(); ++i) {
+    EXPECT_EQ(diagram.VariabilityOf(children[i]),
+              FeatureVariability::kOptional)
+        << diagram.NameOf(children[i]);
+  }
+  EXPECT_EQ(diagram.NameOf(children[1]), "Where");
+  EXPECT_EQ(diagram.NameOf(children[2]), "GroupBy");
+  EXPECT_EQ(diagram.NameOf(children[3]), "Having");
+  EXPECT_EQ(diagram.NameOf(children[4]), "Window");
+}
+
+TEST(Figure2Test, HavingRequiresGroupByConstraint) {
+  const FeatureDiagram& diagram = Figure2();
+  ASSERT_EQ(diagram.constraints().size(), 1u);
+  EXPECT_EQ(diagram.constraints()[0],
+            FeatureConstraint::Requires("Having", "GroupBy"));
+}
+
+TEST(FiguresRenderTest, AsciiTreesRegenerate) {
+  std::string fig1 = RenderAsciiTree(Figure1());
+  EXPECT_NE(fig1.find("QuerySpecification"), std::string::npos);
+  EXPECT_NE(fig1.find("SelectSublist [1..*]"), std::string::npos);
+  EXPECT_NE(fig1.find("DISTINCT"), std::string::npos);
+  std::string fig2 = RenderAsciiTree(Figure2());
+  EXPECT_NE(fig2.find("[x] From"), std::string::npos);
+  EXPECT_NE(fig2.find("(o) Window"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqlpl

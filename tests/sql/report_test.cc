@@ -1,0 +1,95 @@
+#include "sqlpl/sql/report.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/grammar/text_format.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+TEST(ReportTest, CommonFeaturesAreInEveryPreset) {
+  std::vector<DialectSpec> dialects = AllPresetDialects();
+  std::vector<std::string> common = CommonFeatures(dialects);
+  // The query core is in every preset dialect.
+  for (const char* feature :
+       {"ValueExpressions", "SelectList", "DerivedColumn", "From",
+        "TableExpression", "QuerySpecification"}) {
+    EXPECT_NE(std::find(common.begin(), common.end(), feature),
+              common.end())
+        << feature;
+  }
+  for (const std::string& feature : common) {
+    for (const DialectSpec& spec : dialects) {
+      EXPECT_NE(std::find(spec.features.begin(), spec.features.end(),
+                          feature),
+                spec.features.end())
+          << feature << " missing from " << spec.name;
+    }
+  }
+}
+
+TEST(ReportTest, VariantFeaturesAreInSomeButNotAll) {
+  std::vector<DialectSpec> dialects = AllPresetDialects();
+  std::vector<std::string> variant = VariantFeatures(dialects);
+  // SamplePeriod only exists in TinySQL (and FullFoundation).
+  EXPECT_NE(std::find(variant.begin(), variant.end(), "SamplePeriod"),
+            variant.end());
+  std::vector<std::string> common = CommonFeatures(dialects);
+  for (const std::string& feature : variant) {
+    EXPECT_EQ(std::find(common.begin(), common.end(), feature),
+              common.end())
+        << feature << " cannot be both common and variant";
+  }
+}
+
+TEST(ReportTest, EmptyDialectListDegradesGracefully) {
+  EXPECT_TRUE(CommonFeatures({}).empty());
+  EXPECT_TRUE(VariantFeatures({}).empty());
+}
+
+TEST(ReportTest, MarkdownReportHasAllSections) {
+  std::string report = GenerateProductLineReport(AllPresetDialects());
+  for (const char* heading :
+       {"# SQL:2003 Product Line Report", "## Feature model",
+        "## Commonality and variability", "## Feature x dialect matrix",
+        "## Composed grammar metrics", "## Module inventory"}) {
+    EXPECT_NE(report.find(heading), std::string::npos) << heading;
+  }
+  // Every preset appears in the matrix header.
+  for (const DialectSpec& spec : AllPresetDialects()) {
+    EXPECT_NE(report.find(spec.name), std::string::npos) << spec.name;
+  }
+  // Every module appears in the inventory.
+  for (const SqlFeatureModule& module :
+       SqlFeatureCatalog::Instance().modules()) {
+    EXPECT_NE(report.find("**" + module.name + "**"), std::string::npos)
+        << module.name;
+  }
+}
+
+// Serialization property: a composed dialect grammar survives the
+// text-format round trip exactly — saving and reloading a generated
+// dialect is lossless.
+class DialectRoundTripTest : public ::testing::TestWithParam<DialectSpec> {};
+
+TEST_P(DialectRoundTripTest, ComposedGrammarTextRoundTrips) {
+  SqlProductLine line;
+  Result<Grammar> composed = line.ComposeGrammar(GetParam());
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  Result<Grammar> reparsed = ParseGrammarText(composed->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_TRUE(*reparsed == *composed) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, DialectRoundTripTest,
+    ::testing::ValuesIn(AllPresetDialects()),
+    [](const ::testing::TestParamInfo<DialectSpec>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace sqlpl

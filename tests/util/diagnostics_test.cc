@@ -1,0 +1,55 @@
+#include "sqlpl/util/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+TEST(DiagnosticsTest, EmptyCollectorHasNoErrors) {
+  DiagnosticCollector collector;
+  EXPECT_FALSE(collector.has_errors());
+  EXPECT_EQ(collector.error_count(), 0u);
+  EXPECT_TRUE(collector.diagnostics().empty());
+}
+
+TEST(DiagnosticsTest, CountsOnlyErrors) {
+  DiagnosticCollector collector;
+  collector.AddNote({1, 1, 0}, "fyi");
+  collector.AddWarning({2, 3, 10}, "careful");
+  EXPECT_FALSE(collector.has_errors());
+  collector.AddError({4, 5, 20}, "boom");
+  EXPECT_TRUE(collector.has_errors());
+  EXPECT_EQ(collector.error_count(), 1u);
+  EXPECT_EQ(collector.diagnostics().size(), 3u);
+}
+
+TEST(DiagnosticsTest, DiagnosticToStringFormat) {
+  Diagnostic diagnostic{Severity::kError, {3, 7, 42}, "unexpected token"};
+  EXPECT_EQ(diagnostic.ToString(), "error at 3:7: unexpected token");
+}
+
+TEST(DiagnosticsTest, CollectorToStringOnePerLine) {
+  DiagnosticCollector collector;
+  collector.AddWarning({1, 1, 0}, "w");
+  collector.AddError({2, 2, 5}, "e");
+  EXPECT_EQ(collector.ToString(),
+            "warning at 1:1: w\n"
+            "error at 2:2: e\n");
+}
+
+TEST(DiagnosticsTest, ClearResets) {
+  DiagnosticCollector collector;
+  collector.AddError({1, 1, 0}, "e");
+  collector.Clear();
+  EXPECT_FALSE(collector.has_errors());
+  EXPECT_TRUE(collector.diagnostics().empty());
+}
+
+TEST(DiagnosticsTest, SourceLocationToString) {
+  SourceLocation loc{12, 34, 100};
+  EXPECT_EQ(loc.ToString(), "12:34");
+  EXPECT_EQ(SourceLocation{}.ToString(), "1:1");
+}
+
+}  // namespace
+}  // namespace sqlpl

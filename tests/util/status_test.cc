@@ -1,0 +1,117 @@
+#include "sqlpl/util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::CompositionError("x").code(),
+            StatusCode::kCompositionError);
+  EXPECT_EQ(Status::ConfigurationError("x").code(),
+            StatusCode::kConfigurationError);
+  EXPECT_EQ(Status::ParseError("boom").message(), "boom");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::ParseError("bad token").ToString(),
+            "parse_error: bad token");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCompositionError),
+               "composition_error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kConfigurationError),
+               "configuration_error");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("missing");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> result = Status::OK();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("hello");
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+namespace helpers {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseReturnIfError(int x) {
+  SQLPL_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+Result<int> UseAssignOrReturn(int x) {
+  SQLPL_ASSIGN_OR_RETURN(int half, Half(x));
+  return half + 1;
+}
+
+}  // namespace helpers
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(helpers::UseReturnIfError(3).ok());
+  EXPECT_EQ(helpers::UseReturnIfError(-1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = helpers::UseAssignOrReturn(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 3);
+  Result<int> err = helpers::UseAssignOrReturn(3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,71 @@
+#include "sqlpl/util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+TEST(StringsTest, AsciiCaseConversion) {
+  EXPECT_EQ(AsciiStrToUpper("Select"), "SELECT");
+  EXPECT_EQ(AsciiStrToLower("SELECT"), "select");
+  EXPECT_EQ(AsciiStrToUpper("a_b1"), "A_B1");
+  EXPECT_EQ(AsciiToUpper('z'), 'Z');
+  EXPECT_EQ(AsciiToUpper('!'), '!');
+  EXPECT_EQ(AsciiToLower('A'), 'a');
+}
+
+TEST(StringsTest, CaseInsensitiveEqual) {
+  EXPECT_TRUE(AsciiCaseEqual("select", "SELECT"));
+  EXPECT_TRUE(AsciiCaseEqual("SeLeCt", "sElEcT"));
+  EXPECT_FALSE(AsciiCaseEqual("select", "selects"));
+  EXPECT_FALSE(AsciiCaseEqual("a", "b"));
+  EXPECT_TRUE(AsciiCaseEqual("", ""));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("query_specification", "query"));
+  EXPECT_FALSE(StartsWith("query", "query_specification"));
+  EXPECT_TRUE(EndsWith("select_list", "_list"));
+  EXPECT_FALSE(EndsWith("list", "select_list"));
+}
+
+TEST(StringsTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x \t\n"), "x");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace(" \n "), "");
+  EXPECT_EQ(StripAsciiWhitespace("a b"), "a b");
+}
+
+TEST(StringsTest, StrSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ',', /*skip_empty=*/true),
+            (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ", "), "");
+  EXPECT_EQ(StrJoin({"only"}, ", "), "only");
+}
+
+TEST(StringsTest, IdentPredicates) {
+  EXPECT_TRUE(IsIdentStart('a'));
+  EXPECT_TRUE(IsIdentStart('_'));
+  EXPECT_FALSE(IsIdentStart('1'));
+  EXPECT_TRUE(IsIdentCont('1'));
+  EXPECT_FALSE(IsIdentCont('-'));
+}
+
+TEST(StringsTest, CEscape) {
+  EXPECT_EQ(CEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(CEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(CEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(CEscape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace sqlpl
