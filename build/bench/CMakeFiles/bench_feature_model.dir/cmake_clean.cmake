@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feature_model.dir/bench_feature_model.cc.o"
+  "CMakeFiles/bench_feature_model.dir/bench_feature_model.cc.o.d"
+  "bench_feature_model"
+  "bench_feature_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feature_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

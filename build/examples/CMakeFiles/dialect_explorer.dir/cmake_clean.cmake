@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialect_explorer.dir/dialect_explorer.cpp.o"
+  "CMakeFiles/dialect_explorer.dir/dialect_explorer.cpp.o.d"
+  "dialect_explorer"
+  "dialect_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialect_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_line_report.dir/product_line_report.cpp.o"
+  "CMakeFiles/product_line_report.dir/product_line_report.cpp.o.d"
+  "product_line_report"
+  "product_line_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_line_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scql_smartcard.dir/scql_smartcard.cpp.o"
+  "CMakeFiles/scql_smartcard.dir/scql_smartcard.cpp.o.d"
+  "scql_smartcard"
+  "scql_smartcard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scql_smartcard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scql_smartcard.
+# This may be replaced when dependencies are built.

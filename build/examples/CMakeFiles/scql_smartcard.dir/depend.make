@@ -1,0 +1,2 @@
+# Empty dependencies file for scql_smartcard.
+# This may be replaced when dependencies are built.

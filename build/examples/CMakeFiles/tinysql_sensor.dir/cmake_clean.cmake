@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tinysql_sensor.dir/tinysql_sensor.cpp.o"
+  "CMakeFiles/tinysql_sensor.dir/tinysql_sensor.cpp.o.d"
+  "tinysql_sensor"
+  "tinysql_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tinysql_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqlpl/baseline/monolithic_parser.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/baseline/monolithic_parser.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/baseline/monolithic_parser.cc.o.d"
+  "/root/repo/src/sqlpl/codegen/cpp_codegen.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/codegen/cpp_codegen.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/codegen/cpp_codegen.cc.o.d"
+  "/root/repo/src/sqlpl/compose/composer.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/compose/composer.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/compose/composer.cc.o.d"
+  "/root/repo/src/sqlpl/compose/composition_sequence.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/compose/composition_sequence.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/compose/composition_sequence.cc.o.d"
+  "/root/repo/src/sqlpl/compose/token_composer.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/compose/token_composer.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/compose/token_composer.cc.o.d"
+  "/root/repo/src/sqlpl/feature/configuration.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/feature/configuration.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/feature/configuration.cc.o.d"
+  "/root/repo/src/sqlpl/feature/constraint.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/feature/constraint.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/feature/constraint.cc.o.d"
+  "/root/repo/src/sqlpl/feature/feature_diagram.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/feature/feature_diagram.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/feature/feature_diagram.cc.o.d"
+  "/root/repo/src/sqlpl/feature/feature_model.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/feature/feature_model.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/feature/feature_model.cc.o.d"
+  "/root/repo/src/sqlpl/feature/render.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/feature/render.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/feature/render.cc.o.d"
+  "/root/repo/src/sqlpl/feature/text_format.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/feature/text_format.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/feature/text_format.cc.o.d"
+  "/root/repo/src/sqlpl/grammar/analysis.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/analysis.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/analysis.cc.o.d"
+  "/root/repo/src/sqlpl/grammar/expr.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/expr.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/expr.cc.o.d"
+  "/root/repo/src/sqlpl/grammar/grammar.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/grammar.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/grammar.cc.o.d"
+  "/root/repo/src/sqlpl/grammar/metrics.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/metrics.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/metrics.cc.o.d"
+  "/root/repo/src/sqlpl/grammar/production.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/production.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/production.cc.o.d"
+  "/root/repo/src/sqlpl/grammar/symbol.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/symbol.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/symbol.cc.o.d"
+  "/root/repo/src/sqlpl/grammar/text_format.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/text_format.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/text_format.cc.o.d"
+  "/root/repo/src/sqlpl/grammar/token_set.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/token_set.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/grammar/token_set.cc.o.d"
+  "/root/repo/src/sqlpl/lexer/lexer.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/lexer/lexer.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/lexer/lexer.cc.o.d"
+  "/root/repo/src/sqlpl/lexer/token.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/lexer/token.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/lexer/token.cc.o.d"
+  "/root/repo/src/sqlpl/parser/ll_parser.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/parser/ll_parser.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/parser/ll_parser.cc.o.d"
+  "/root/repo/src/sqlpl/parser/parse_tree.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/parser/parse_tree.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/parser/parse_tree.cc.o.d"
+  "/root/repo/src/sqlpl/parser/parser_builder.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/parser/parser_builder.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/parser/parser_builder.cc.o.d"
+  "/root/repo/src/sqlpl/semantics/action_registry.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/semantics/action_registry.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/semantics/action_registry.cc.o.d"
+  "/root/repo/src/sqlpl/semantics/ast.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/semantics/ast.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/semantics/ast.cc.o.d"
+  "/root/repo/src/sqlpl/semantics/ast_builder.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/semantics/ast_builder.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/semantics/ast_builder.cc.o.d"
+  "/root/repo/src/sqlpl/semantics/catalog.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/semantics/catalog.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/semantics/catalog.cc.o.d"
+  "/root/repo/src/sqlpl/semantics/pretty_printer.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/semantics/pretty_printer.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/semantics/pretty_printer.cc.o.d"
+  "/root/repo/src/sqlpl/semantics/validator.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/semantics/validator.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/semantics/validator.cc.o.d"
+  "/root/repo/src/sqlpl/sql/classifications.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/sql/classifications.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/sql/classifications.cc.o.d"
+  "/root/repo/src/sqlpl/sql/dialects.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/sql/dialects.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/sql/dialects.cc.o.d"
+  "/root/repo/src/sqlpl/sql/foundation_grammars.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/sql/foundation_grammars.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/sql/foundation_grammars.cc.o.d"
+  "/root/repo/src/sqlpl/sql/foundation_model.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/sql/foundation_model.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/sql/foundation_model.cc.o.d"
+  "/root/repo/src/sqlpl/sql/product_line.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/sql/product_line.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/sql/product_line.cc.o.d"
+  "/root/repo/src/sqlpl/sql/report.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/sql/report.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/sql/report.cc.o.d"
+  "/root/repo/src/sqlpl/testing/workload_generator.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/testing/workload_generator.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/testing/workload_generator.cc.o.d"
+  "/root/repo/src/sqlpl/util/diagnostics.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/util/diagnostics.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/util/diagnostics.cc.o.d"
+  "/root/repo/src/sqlpl/util/status.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/util/status.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/util/status.cc.o.d"
+  "/root/repo/src/sqlpl/util/strings.cc" "src/CMakeFiles/sqlpl.dir/sqlpl/util/strings.cc.o" "gcc" "src/CMakeFiles/sqlpl.dir/sqlpl/util/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

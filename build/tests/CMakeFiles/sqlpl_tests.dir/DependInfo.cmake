@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/monolithic_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/baseline/monolithic_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/baseline/monolithic_test.cc.o.d"
+  "/root/repo/tests/codegen/cpp_codegen_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/codegen/cpp_codegen_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/codegen/cpp_codegen_test.cc.o.d"
+  "/root/repo/tests/compose/composer_edge_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/compose/composer_edge_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/compose/composer_edge_test.cc.o.d"
+  "/root/repo/tests/compose/composer_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/compose/composer_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/compose/composer_test.cc.o.d"
+  "/root/repo/tests/compose/composition_sequence_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/compose/composition_sequence_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/compose/composition_sequence_test.cc.o.d"
+  "/root/repo/tests/compose/import_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/compose/import_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/compose/import_test.cc.o.d"
+  "/root/repo/tests/feature/configuration_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/feature/configuration_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/feature/configuration_test.cc.o.d"
+  "/root/repo/tests/feature/feature_diagram_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/feature/feature_diagram_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/feature/feature_diagram_test.cc.o.d"
+  "/root/repo/tests/feature/feature_text_format_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/feature/feature_text_format_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/feature/feature_text_format_test.cc.o.d"
+  "/root/repo/tests/feature/render_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/feature/render_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/feature/render_test.cc.o.d"
+  "/root/repo/tests/grammar/analysis_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/grammar/analysis_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/grammar/analysis_test.cc.o.d"
+  "/root/repo/tests/grammar/expr_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/grammar/expr_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/grammar/expr_test.cc.o.d"
+  "/root/repo/tests/grammar/grammar_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/grammar/grammar_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/grammar/grammar_test.cc.o.d"
+  "/root/repo/tests/grammar/metrics_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/grammar/metrics_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/grammar/metrics_test.cc.o.d"
+  "/root/repo/tests/grammar/production_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/grammar/production_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/grammar/production_test.cc.o.d"
+  "/root/repo/tests/grammar/text_format_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/grammar/text_format_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/grammar/text_format_test.cc.o.d"
+  "/root/repo/tests/grammar/token_set_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/grammar/token_set_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/grammar/token_set_test.cc.o.d"
+  "/root/repo/tests/integration/codegen_differential_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/integration/codegen_differential_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/integration/codegen_differential_test.cc.o.d"
+  "/root/repo/tests/integration/dialect_matrix_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/integration/dialect_matrix_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/integration/dialect_matrix_test.cc.o.d"
+  "/root/repo/tests/integration/figure_configurations_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/integration/figure_configurations_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/integration/figure_configurations_test.cc.o.d"
+  "/root/repo/tests/integration/full_corpus_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/integration/full_corpus_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/integration/full_corpus_test.cc.o.d"
+  "/root/repo/tests/integration/robustness_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/integration/robustness_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/integration/robustness_test.cc.o.d"
+  "/root/repo/tests/integration/worked_example_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/integration/worked_example_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/integration/worked_example_test.cc.o.d"
+  "/root/repo/tests/integration/workload_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/integration/workload_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/integration/workload_test.cc.o.d"
+  "/root/repo/tests/lexer/lexer_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/lexer/lexer_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/lexer/lexer_test.cc.o.d"
+  "/root/repo/tests/parser/ll_parser_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/parser/ll_parser_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/parser/ll_parser_test.cc.o.d"
+  "/root/repo/tests/parser/parse_tree_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/parser/parse_tree_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/parser/parse_tree_test.cc.o.d"
+  "/root/repo/tests/parser/predicate_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/parser/predicate_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/parser/predicate_test.cc.o.d"
+  "/root/repo/tests/semantics/action_registry_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/semantics/action_registry_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/semantics/action_registry_test.cc.o.d"
+  "/root/repo/tests/semantics/ast_builder_full_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/semantics/ast_builder_full_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/semantics/ast_builder_full_test.cc.o.d"
+  "/root/repo/tests/semantics/ast_builder_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/semantics/ast_builder_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/semantics/ast_builder_test.cc.o.d"
+  "/root/repo/tests/semantics/pretty_printer_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/semantics/pretty_printer_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/semantics/pretty_printer_test.cc.o.d"
+  "/root/repo/tests/semantics/validator_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/semantics/validator_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/semantics/validator_test.cc.o.d"
+  "/root/repo/tests/sql/catalog_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/sql/catalog_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/sql/catalog_test.cc.o.d"
+  "/root/repo/tests/sql/classifications_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/sql/classifications_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/sql/classifications_test.cc.o.d"
+  "/root/repo/tests/sql/completed_closure_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/sql/completed_closure_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/sql/completed_closure_test.cc.o.d"
+  "/root/repo/tests/sql/decomposition_counts_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/sql/decomposition_counts_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/sql/decomposition_counts_test.cc.o.d"
+  "/root/repo/tests/sql/dialect_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/sql/dialect_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/sql/dialect_test.cc.o.d"
+  "/root/repo/tests/sql/extended_features_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/sql/extended_features_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/sql/extended_features_test.cc.o.d"
+  "/root/repo/tests/sql/figures_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/sql/figures_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/sql/figures_test.cc.o.d"
+  "/root/repo/tests/sql/report_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/sql/report_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/sql/report_test.cc.o.d"
+  "/root/repo/tests/util/diagnostics_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/util/diagnostics_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/util/diagnostics_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/strings_test.cc" "tests/CMakeFiles/sqlpl_tests.dir/util/strings_test.cc.o" "gcc" "tests/CMakeFiles/sqlpl_tests.dir/util/strings_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqlpl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
