@@ -1,0 +1,154 @@
+// Service-tier benchmarks: what the fingerprinted parser cache buys.
+//
+//  - BM_ColdBuildParse: every request pays compose + analyze + build
+//    (a fresh DialectService per iteration — guaranteed cache miss).
+//  - BM_CacheHitParse: steady-state service, every request is a cache
+//    hit. The acceptance bar is ≥10× over cold (in practice it is
+//    orders of magnitude).
+//  - BM_CacheHitParse/threads:N and BM_BatchParse: the same warm path
+//    under concurrency — shard contention and ParseBatch overhead.
+//  - BM_FingerprintSpec: the per-request keying cost itself.
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "sqlpl/service/dialect_service.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+const std::vector<std::string>& Workload() {
+  static const auto& workload = *new std::vector<std::string>{
+      "SELECT a FROM t",
+      "SELECT col1 FROM readings WHERE col1 = 10",
+      "SELECT temp FROM sensors WHERE temp > 90",
+      "SELECT id FROM accounts WHERE balance = 100",
+  };
+  return workload;
+}
+
+void BM_ColdBuildParse(benchmark::State& state) {
+  DialectSpec spec = CoreQueryDialect();
+  const std::string& sql = Workload()[0];
+  size_t statements = 0;
+  for (auto _ : state) {
+    // Fresh service: the build cost is inside the timed region, exactly
+    // as a cache-less server would pay it per request.
+    DialectService service;
+    Result<ParseNode> tree = service.Parse(spec, sql);
+    if (!tree.ok()) {
+      state.SkipWithError(tree.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(tree);
+    ++statements;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(statements));
+}
+
+void BM_CacheHitParse(benchmark::State& state) {
+  static DialectService* service = new DialectService();
+  DialectSpec spec = CoreQueryDialect();
+  if (state.thread_index() == 0) {
+    // Warm the cache outside the timed region.
+    Result<std::shared_ptr<const LlParser>> warm = service->GetParser(spec);
+    if (!warm.ok()) {
+      state.SkipWithError(warm.status().ToString().c_str());
+      return;
+    }
+  }
+  const std::vector<std::string>& workload = Workload();
+  size_t i = 0;
+  size_t statements = 0;
+  for (auto _ : state) {
+    Result<ParseNode> tree =
+        service->Parse(spec, workload[i++ % workload.size()]);
+    benchmark::DoNotOptimize(tree);
+    ++statements;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(statements));
+}
+
+void BM_CacheHitMixedDialects(benchmark::State& state) {
+  static DialectService* service = new DialectService();
+  static const auto& dialects = *new std::vector<DialectSpec>{
+      CoreQueryDialect(), TinySqlDialect(), EmbeddedMinimalDialect(),
+      ScqlDialect()};
+  if (state.thread_index() == 0) {
+    for (const DialectSpec& spec : dialects) {
+      Result<std::shared_ptr<const LlParser>> warm = service->GetParser(spec);
+      if (!warm.ok()) {
+        state.SkipWithError(warm.status().ToString().c_str());
+        return;
+      }
+    }
+  }
+  const std::string& sql = Workload()[0];
+  size_t i = static_cast<size_t>(state.thread_index());
+  size_t statements = 0;
+  for (auto _ : state) {
+    Result<ParseNode> tree =
+        service->Parse(dialects[i++ % dialects.size()], sql);
+    benchmark::DoNotOptimize(tree);
+    ++statements;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(statements));
+}
+
+void BM_BatchParse(benchmark::State& state) {
+  size_t batch_size = static_cast<size_t>(state.range(0));
+  DialectServiceOptions options;
+  options.num_threads = 4;
+  DialectService service(options);
+  DialectSpec spec = CoreQueryDialect();
+
+  std::vector<std::string> batch;
+  batch.reserve(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    batch.push_back(Workload()[i % Workload().size()]);
+  }
+  Result<std::shared_ptr<const LlParser>> warm = service.GetParser(spec);
+  if (!warm.ok()) {
+    state.SkipWithError(warm.status().ToString().c_str());
+    return;
+  }
+  size_t statements = 0;
+  for (auto _ : state) {
+    std::vector<Result<ParseNode>> results = service.ParseBatch(spec, batch);
+    benchmark::DoNotOptimize(results);
+    statements += results.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(statements));
+}
+
+void BM_FingerprintSpec(benchmark::State& state) {
+  DialectSpec spec = FullFoundationDialect();
+  for (auto _ : state) {
+    SpecFingerprint fp = FingerprintSpec(spec);
+    benchmark::DoNotOptimize(fp);
+  }
+}
+
+BENCHMARK(BM_ColdBuildParse)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CacheHitParse)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CacheHitParse)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+BENCHMARK(BM_CacheHitMixedDialects)
+    ->Threads(1)
+    ->Threads(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+BENCHMARK(BM_BatchParse)->Arg(16)->Arg(256)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FingerprintSpec)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sqlpl
+
+BENCHMARK_MAIN();

@@ -37,6 +37,21 @@ using SemanticPredicate =
 ///
 /// Construct through `ParserBuilder`, which validates the grammar
 /// (undefined symbols, left recursion) before parsing is allowed.
+///
+/// Thread-safety contract (relied on by the parser service in
+/// sqlpl/service/, which shares one instance across request threads):
+///
+///  - A built `LlParser` is immutable: `ParseText`, `Parse`, and
+///    `Accepts` are `const`, keep all per-parse state in a stack-local
+///    `ParseContext`, and only read the grammar, analysis, lexer,
+///    prediction cache, and predicate map. Any number of threads may
+///    parse on the same instance concurrently.
+///  - `AttachPredicate` is the one mutator. Attach predicates while the
+///    parser is still thread-private (construction/setup); calling it
+///    concurrently with parses is a data race. Predicates themselves
+///    must be pure and thread-safe — they run on parsing threads.
+///  - Moving the parser transfers ownership and is, as usual, not
+///    synchronized.
 class LlParser {
  public:
   /// Lexes `sql` with the dialect's composed token set and parses it.

@@ -1,0 +1,87 @@
+#include "sqlpl/service/dialect_service.h"
+
+#include <chrono>
+
+namespace sqlpl {
+
+namespace {
+
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+DialectService::DialectService(DialectServiceOptions options)
+    : cache_(options.cache_capacity, options.cache_shards),
+      pool_(options.num_threads) {}
+
+Result<std::shared_ptr<const LlParser>> DialectService::GetParser(
+    const DialectSpec& spec) {
+  SpecFingerprint key = FingerprintSpec(spec);
+  return cache_.GetOrBuild(key, [this, &spec]() -> Result<LlParser> {
+    auto start = std::chrono::steady_clock::now();
+    // Trace discarded: the thread-safe build path. Callers who want the
+    // composition trace use SqlProductLine::BuildParser directly.
+    Result<LlParser> built = line_.BuildParser(spec, /*trace_out=*/nullptr);
+    stats_.RecordBuild(ElapsedMicros(start));
+    return built;
+  });
+}
+
+Result<ParseNode> DialectService::Parse(const DialectSpec& spec,
+                                        std::string_view sql) {
+  SQLPL_ASSIGN_OR_RETURN(std::shared_ptr<const LlParser> parser,
+                         GetParser(spec));
+  auto start = std::chrono::steady_clock::now();
+  Result<ParseNode> tree = parser->ParseText(sql);
+  stats_.RecordParse(tree.ok(), ElapsedMicros(start));
+  return tree;
+}
+
+bool DialectService::Accepts(const DialectSpec& spec, std::string_view sql) {
+  return Parse(spec, sql).ok();
+}
+
+std::vector<Result<ParseNode>> DialectService::ParseBatch(
+    const DialectSpec& spec, std::span<const std::string> statements) {
+  stats_.RecordBatch(statements.size());
+
+  Result<std::shared_ptr<const LlParser>> parser = GetParser(spec);
+  if (!parser.ok()) {
+    // The dialect itself is bad: every statement fails the same way.
+    std::vector<Result<ParseNode>> results;
+    results.reserve(statements.size());
+    for (size_t i = 0; i < statements.size(); ++i) {
+      results.emplace_back(parser.status());
+    }
+    return results;
+  }
+
+  std::vector<Result<ParseNode>> results(
+      statements.size(),
+      Result<ParseNode>(Status::Internal("batch slot not filled")));
+  const LlParser& shared = **parser;
+  pool_.ParallelFor(statements.size(), [&](size_t i) {
+    auto start = std::chrono::steady_clock::now();
+    Result<ParseNode> tree = shared.ParseText(statements[i]);
+    stats_.RecordParse(tree.ok(), ElapsedMicros(start));
+    results[i] = std::move(tree);
+  });
+  return results;
+}
+
+ServiceStatsSnapshot DialectService::Stats() const {
+  return stats_.Snapshot(cache_.stats());
+}
+
+std::string DialectService::StatsReport() const {
+  return RenderServiceStats(Stats());
+}
+
+void DialectService::ResetStats() { stats_.Reset(); }
+
+}  // namespace sqlpl

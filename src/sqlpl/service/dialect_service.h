@@ -1,0 +1,87 @@
+#ifndef SQLPL_SERVICE_DIALECT_SERVICE_H_
+#define SQLPL_SERVICE_DIALECT_SERVICE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sqlpl/parser/parse_tree.h"
+#include "sqlpl/service/parser_cache.h"
+#include "sqlpl/service/service_stats.h"
+#include "sqlpl/service/spec_fingerprint.h"
+#include "sqlpl/service/thread_pool.h"
+#include "sqlpl/sql/product_line.h"
+
+namespace sqlpl {
+
+/// Tuning knobs of a `DialectService`.
+struct DialectServiceOptions {
+  /// Total parser-cache entries across all shards.
+  size_t cache_capacity = 64;
+  /// Lock shards in the cache (rounded up to a power of two).
+  size_t cache_shards = 8;
+  /// Worker threads for `ParseBatch`; 0 = hardware concurrency.
+  size_t num_threads = 4;
+};
+
+/// Long-lived, concurrent front-end over `SqlProductLine` — the serving
+/// tier of the product line. Where the library workflow composes and
+/// builds a parser per call, the service treats a validated feature
+/// selection as a canonical artifact: the spec is fingerprinted
+/// (`FingerprintSpec`), the built parser is cached under that key, and
+/// every later request for an equivalent spec — any feature order, any
+/// redundant counts — reuses the same immutable parser instance.
+///
+/// Thread-safety: every public method may be called concurrently from
+/// any number of threads. Shared state is confined to the sharded
+/// `ParserCache` (mutex per shard, single-flight builds) and the atomic
+/// `ServiceStats`; parsing itself runs on immutable `const LlParser`
+/// instances (see the contract in ll_parser.h).
+class DialectService {
+ public:
+  explicit DialectService(DialectServiceOptions options = {});
+
+  DialectService(const DialectService&) = delete;
+  DialectService& operator=(const DialectService&) = delete;
+
+  /// Parses one statement in the dialect of `spec`. Cold path composes
+  /// and builds the dialect's parser (once, even under concurrent
+  /// demand); warm path is a cache lookup plus the parse.
+  Result<ParseNode> Parse(const DialectSpec& spec, std::string_view sql);
+
+  /// True iff `sql` is a sentence of the dialect.
+  bool Accepts(const DialectSpec& spec, std::string_view sql);
+
+  /// Parses `statements` concurrently on the internal pool, preserving
+  /// order: result i corresponds to statements[i]. The parser is
+  /// resolved once for the whole batch.
+  std::vector<Result<ParseNode>> ParseBatch(
+      const DialectSpec& spec, std::span<const std::string> statements);
+
+  /// Resolves (builds or fetches) the parser for `spec` without parsing
+  /// anything — cache warm-up, or direct use of the shared instance.
+  Result<std::shared_ptr<const LlParser>> GetParser(const DialectSpec& spec);
+
+  /// Counters since construction (or the last `ResetStats`).
+  ServiceStatsSnapshot Stats() const;
+  /// `RenderServiceStats(Stats())`.
+  std::string StatsReport() const;
+  /// Resets request/latency counters. Cache counters (hits, builds,
+  /// evictions) are lifetime totals and are not reset.
+  void ResetStats();
+
+  const SqlProductLine& product_line() const { return line_; }
+  const ParserCache& cache() const { return cache_; }
+
+ private:
+  SqlProductLine line_;
+  ParserCache cache_;
+  ServiceStats stats_;
+  ThreadPool pool_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SERVICE_DIALECT_SERVICE_H_

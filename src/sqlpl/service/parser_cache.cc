@@ -1,0 +1,141 @@
+#include "sqlpl/service/parser_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace sqlpl {
+
+ParserCache::ParserCache(size_t capacity, size_t num_shards) {
+  size_t shards = std::bit_ceil(std::max<size_t>(num_shards, 1));
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_mask_ = shards - 1;
+  per_shard_capacity_ = std::max<size_t>(1, capacity / shards);
+}
+
+std::shared_ptr<const LlParser> ParserCache::Lookup(SpecFingerprint key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return nullptr;
+  }
+  ++shard.stats.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->parser;
+}
+
+Result<std::shared_ptr<const LlParser>> ParserCache::GetOrBuild(
+    SpecFingerprint key, const BuildFn& build) {
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      ++shard.stats.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->parser;
+    }
+    ++shard.stats.misses;
+    auto in = shard.inflight.find(key);
+    if (in != shard.inflight.end()) {
+      flight = in->second;
+      ++shard.stats.coalesced_waits;
+    } else {
+      flight = std::make_shared<InFlight>();
+      shard.inflight.emplace(key, flight);
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    std::unique_lock<std::mutex> wait_lock(flight->mu);
+    flight->cv.wait(wait_lock, [&] { return flight->done; });
+    if (flight->parser != nullptr) return flight->parser;
+    return flight->error;
+  }
+
+  // Sole builder for this key: compose outside every lock.
+  Result<LlParser> built = build();
+
+  std::shared_ptr<const LlParser> parser;
+  if (built.ok()) {
+    parser = std::make_shared<const LlParser>(std::move(built).value());
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (parser != nullptr) {
+      ++shard.stats.builds;
+      Insert(shard, key, parser);
+    } else {
+      ++shard.stats.build_failures;
+    }
+    shard.inflight.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> flight_lock(flight->mu);
+    flight->done = true;
+    flight->parser = parser;
+    if (parser == nullptr) flight->error = built.status();
+  }
+  flight->cv.notify_all();
+
+  if (parser != nullptr) return parser;
+  return built.status();
+}
+
+void ParserCache::Insert(Shard& shard, SpecFingerprint key,
+                         std::shared_ptr<const LlParser> parser) {
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // A Clear()+rebuild race can land here; refresh in place.
+    it->second->parser = std::move(parser);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(parser)});
+  shard.index.emplace(key, shard.lru.begin());
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+}
+
+void ParserCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+size_t ParserCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+ParserCacheStats ParserCache::stats() const {
+  ParserCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.builds += shard->stats.builds;
+    total.build_failures += shard->stats.build_failures;
+    total.evictions += shard->stats.evictions;
+    total.coalesced_waits += shard->stats.coalesced_waits;
+  }
+  return total;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,124 @@
+#ifndef SQLPL_SERVICE_PARSER_CACHE_H_
+#define SQLPL_SERVICE_PARSER_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sqlpl/parser/ll_parser.h"
+#include "sqlpl/service/spec_fingerprint.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// Aggregate counters of one `ParserCache`. Snapshot semantics: the
+/// fields are read shard by shard without a global lock, so totals may be
+/// off by in-flight operations — fine for monitoring, not for invariants.
+struct ParserCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t builds = 0;
+  uint64_t build_failures = 0;
+  uint64_t evictions = 0;
+  /// Requests that found a build already in flight and waited for it
+  /// instead of composing the grammar a second time.
+  uint64_t coalesced_waits = 0;
+};
+
+/// Sharded LRU cache mapping `SpecFingerprint` → immutable parser.
+///
+/// Design for the serving path (ROADMAP: heavy concurrent traffic):
+///
+///  - **Sharding.** Keys are distributed over N independently
+///    mutex-guarded shards (N rounded up to a power of two), so parser
+///    lookups from different dialects rarely contend on one lock.
+///  - **Immutable values.** A cached parser is a
+///    `std::shared_ptr<const LlParser>`; `LlParser::Parse` is `const`
+///    and safe for concurrent callers (see ll_parser.h), so the same
+///    instance is handed to every request of that dialect. Eviction
+///    only drops the cache's reference — requests still holding the
+///    pointer finish safely.
+///  - **Single-flight builds.** Composing + analyzing a grammar is
+///    milliseconds, ~10^4× a cache hit. When a cold key is requested by
+///    many threads at once, exactly one runs the builder — the rest wait
+///    on a per-key latch and share the result (or its error). Failures
+///    are not negatively cached: a later request retries the build.
+///  - **LRU per shard.** Capacity is divided evenly across shards; each
+///    shard evicts its own least-recently-used entry, an O(1) splice.
+///
+/// All public methods are thread-safe.
+class ParserCache {
+ public:
+  using BuildFn = std::function<Result<LlParser>()>;
+
+  /// `capacity` is the total entry budget (minimum one per shard).
+  explicit ParserCache(size_t capacity = 64, size_t num_shards = 8);
+
+  ParserCache(const ParserCache&) = delete;
+  ParserCache& operator=(const ParserCache&) = delete;
+
+  /// Returns the cached parser for `key`, or runs `build` (single-flight)
+  /// and caches its result. On build failure every coalesced waiter
+  /// receives the same error status.
+  Result<std::shared_ptr<const LlParser>> GetOrBuild(SpecFingerprint key,
+                                                     const BuildFn& build);
+
+  /// Cache-only probe: returns the parser or nullptr, never builds.
+  std::shared_ptr<const LlParser> Lookup(SpecFingerprint key);
+
+  /// Drops every cached entry (in-flight builds are unaffected and will
+  /// insert their result afterwards).
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+  size_t num_shards() const { return shards_.size(); }
+
+  ParserCacheStats stats() const;
+
+ private:
+  struct Entry {
+    SpecFingerprint key;
+    std::shared_ptr<const LlParser> parser;
+  };
+
+  // A cold build in progress; waiters block on `cv` until `done`.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const LlParser> parser;  // null on failure
+    Status error;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<SpecFingerprint, std::list<Entry>::iterator> index;
+    std::unordered_map<SpecFingerprint, std::shared_ptr<InFlight>> inflight;
+    // Counters are guarded by `mu`, not atomic.
+    ParserCacheStats stats;
+  };
+
+  Shard& ShardFor(SpecFingerprint key) {
+    return *shards_[key.value & shard_mask_];
+  }
+
+  // Inserts under the shard lock, evicting LRU entries over capacity.
+  void Insert(Shard& shard, SpecFingerprint key,
+              std::shared_ptr<const LlParser> parser);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_mask_;
+  size_t per_shard_capacity_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SERVICE_PARSER_CACHE_H_

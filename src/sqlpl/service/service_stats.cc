@@ -1,0 +1,132 @@
+#include "sqlpl/service/service_stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace sqlpl {
+
+namespace {
+
+size_t BucketFor(uint64_t micros) {
+  if (micros <= 1) return 0;
+  size_t b = std::bit_width(micros) - 1;
+  return std::min(b, LatencyHistogram::kNumBuckets - 1);
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(uint64_t micros) {
+  buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t LatencyHistogram::PercentileMicros(double p) const {
+  uint64_t total = TotalCount();
+  if (total == 0) return 0;
+  double target = std::clamp(p, 0.0, 100.0) / 100.0 *
+                  static_cast<double>(total);
+  uint64_t running = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(running) >= target && running > 0) {
+      return uint64_t{1} << (i + 1);  // bucket upper bound
+    }
+  }
+  return uint64_t{1} << kNumBuckets;
+}
+
+double LatencyHistogram::MeanMicros() const {
+  uint64_t total = TotalCount();
+  if (total == 0) return 0;
+  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
+         static_cast<double>(total);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  sum_micros_.store(0, std::memory_order_relaxed);
+}
+
+ServiceStatsSnapshot ServiceStats::Snapshot(
+    const ParserCacheStats& cache) const {
+  ServiceStatsSnapshot s;
+  s.parses = parses_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batch_statements = batch_statements_.load(std::memory_order_relaxed);
+  s.cache = cache;
+  s.parse_p50_micros = parse_latency_.PercentileMicros(50);
+  s.parse_p99_micros = parse_latency_.PercentileMicros(99);
+  s.parse_mean_micros = parse_latency_.MeanMicros();
+  s.build_p50_micros = build_latency_.PercentileMicros(50);
+  s.build_p99_micros = build_latency_.PercentileMicros(99);
+  s.build_mean_micros = build_latency_.MeanMicros();
+  return s;
+}
+
+void ServiceStats::Reset() {
+  parses_.store(0, std::memory_order_relaxed);
+  parse_errors_.store(0, std::memory_order_relaxed);
+  batches_.store(0, std::memory_order_relaxed);
+  batch_statements_.store(0, std::memory_order_relaxed);
+  parse_latency_.Reset();
+  build_latency_.Reset();
+}
+
+std::string RenderServiceStats(const ServiceStatsSnapshot& s) {
+  char line[160];
+  std::string out = "# Dialect service stats\n\n";
+
+  out += "## Requests\n\n";
+  out += "| counter | value |\n|---|---:|\n";
+  auto row = [&](const char* name, uint64_t v) {
+    std::snprintf(line, sizeof(line), "| %s | %llu |\n", name,
+                  static_cast<unsigned long long>(v));
+    out += line;
+  };
+  row("parses ok", s.parses);
+  row("parse errors", s.parse_errors);
+  row("batch calls", s.batches);
+  row("batch statements", s.batch_statements);
+
+  out += "\n## Parser cache\n\n";
+  out += "| counter | value |\n|---|---:|\n";
+  row("hits", s.cache.hits);
+  row("misses", s.cache.misses);
+  row("builds", s.cache.builds);
+  row("build failures", s.cache.build_failures);
+  row("evictions", s.cache.evictions);
+  row("coalesced waits", s.cache.coalesced_waits);
+  uint64_t probes = s.cache.hits + s.cache.misses;
+  std::snprintf(line, sizeof(line), "| hit rate | %.1f%% |\n",
+                probes == 0 ? 0.0
+                            : 100.0 * static_cast<double>(s.cache.hits) /
+                                  static_cast<double>(probes));
+  out += line;
+
+  out += "\n## Latency (µs)\n\n";
+  out += "| path | mean | p50 | p99 |\n|---|---:|---:|---:|\n";
+  std::snprintf(line, sizeof(line), "| parse | %.1f | %llu | %llu |\n",
+                s.parse_mean_micros,
+                static_cast<unsigned long long>(s.parse_p50_micros),
+                static_cast<unsigned long long>(s.parse_p99_micros));
+  out += line;
+  std::snprintf(line, sizeof(line), "| build | %.1f | %llu | %llu |\n",
+                s.build_mean_micros,
+                static_cast<unsigned long long>(s.build_p50_micros),
+                static_cast<unsigned long long>(s.build_p99_micros));
+  out += line;
+  return out;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,96 @@
+#ifndef SQLPL_SERVICE_SERVICE_STATS_H_
+#define SQLPL_SERVICE_SERVICE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "sqlpl/service/parser_cache.h"
+
+namespace sqlpl {
+
+/// Lock-free latency histogram with fixed power-of-two microsecond
+/// buckets: bucket i counts samples in [2^i, 2^(i+1)) µs (bucket 0 also
+/// takes sub-microsecond samples). 32 buckets span 1 µs to ~1.2 h, ample
+/// for parse latencies. Recording is a single relaxed fetch_add, so the
+/// hot parse path never serializes on a stats lock; percentile queries
+/// pay the (small) accuracy cost of bucketing instead.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 32;
+
+  void Record(uint64_t micros);
+
+  uint64_t TotalCount() const;
+  uint64_t TotalMicros() const {
+    return sum_micros_.load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound (µs) of the bucket holding the p-th percentile sample,
+  /// p in [0,100]. Returns 0 when empty.
+  uint64_t PercentileMicros(double p) const;
+
+  double MeanMicros() const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+/// Point-in-time copy of every service counter, safe to read field by
+/// field. Produced by `ServiceStats::Snapshot()`.
+struct ServiceStatsSnapshot {
+  uint64_t parses = 0;
+  uint64_t parse_errors = 0;
+  uint64_t batches = 0;
+  uint64_t batch_statements = 0;
+  ParserCacheStats cache;
+  uint64_t parse_p50_micros = 0;
+  uint64_t parse_p99_micros = 0;
+  double parse_mean_micros = 0;
+  uint64_t build_p50_micros = 0;
+  uint64_t build_p99_micros = 0;
+  double build_mean_micros = 0;
+};
+
+/// Counters of a running `DialectService`. All mutators are atomic
+/// (relaxed order — counters are monitoring data, not synchronization),
+/// so any number of worker threads record concurrently.
+class ServiceStats {
+ public:
+  void RecordParse(bool ok, uint64_t micros) {
+    (ok ? parses_ : parse_errors_).fetch_add(1, std::memory_order_relaxed);
+    parse_latency_.Record(micros);
+  }
+  void RecordBuild(uint64_t micros) { build_latency_.Record(micros); }
+  void RecordBatch(size_t statements) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batch_statements_.fetch_add(statements, std::memory_order_relaxed);
+  }
+
+  /// `cache` contributes the cache half of the snapshot; the service
+  /// passes its own cache's counters.
+  ServiceStatsSnapshot Snapshot(const ParserCacheStats& cache) const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> parses_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batch_statements_{0};
+  LatencyHistogram parse_latency_;
+  LatencyHistogram build_latency_;
+};
+
+/// Renders a snapshot as the same Markdown style as
+/// `GenerateProductLineReport` (sqlpl/sql/report.h) — the service's
+/// monitoring page.
+std::string RenderServiceStats(const ServiceStatsSnapshot& snapshot);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SERVICE_SERVICE_STATS_H_

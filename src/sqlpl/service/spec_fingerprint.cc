@@ -1,0 +1,111 @@
+#include "sqlpl/service/spec_fingerprint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "sqlpl/feature/feature_diagram.h"
+#include "sqlpl/sql/foundation_grammars.h"
+
+namespace sqlpl {
+
+namespace {
+
+// FNV-1a, the 64-bit variant. Stable across platforms (unlike
+// std::hash), which keeps fingerprints comparable between processes —
+// a future distributed cache tier shares keys with this one.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+void HashBytes(uint64_t* h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashString(uint64_t* h, const std::string& s) {
+  // Length-prefix so {"ab","c"} and {"a","bc"} cannot collide.
+  uint64_t len = s.size();
+  HashBytes(h, &len, sizeof(len));
+  HashBytes(h, s.data(), s.size());
+}
+
+void HashInt(uint64_t* h, uint64_t v) { HashBytes(h, &v, sizeof(v)); }
+
+// Catalog-order ranks, built once — the catalog is an immutable
+// process-wide singleton and fingerprinting is on the per-request path.
+const std::unordered_map<std::string, size_t>& CatalogRank() {
+  static const auto& rank = *new std::unordered_map<std::string, size_t>([] {
+    std::unordered_map<std::string, size_t> built;
+    const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+    built.reserve(catalog.modules().size());
+    for (size_t i = 0; i < catalog.modules().size(); ++i) {
+      built.emplace(catalog.modules()[i].name, i);
+    }
+    return built;
+  }());
+  return rank;
+}
+
+}  // namespace
+
+std::string SpecFingerprint::ToString() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+SpecFingerprint FingerprintSpec(const DialectSpec& spec) {
+  const std::unordered_map<std::string, size_t>& rank = CatalogRank();
+
+  // Canonical feature list: catalog order, unknown features after all
+  // known ones in lexicographic order, duplicates dropped. Sorting
+  // (rank, pointer) pairs keeps this copy- and rehash-free — the
+  // fingerprint is on the per-request path of the service.
+  constexpr size_t kUnknownRank = static_cast<size_t>(-1);
+  struct Item {
+    size_t rank;
+    const std::string* name;
+  };
+  std::vector<Item> ordered;
+  ordered.reserve(spec.features.size());
+  for (const std::string& feature : spec.features) {
+    auto it = rank.find(feature);
+    ordered.push_back({it != rank.end() ? it->second : kUnknownRank,
+                       &feature});
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const Item& a, const Item& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return *a.name < *b.name;  // unknown features: lexicographic
+  });
+  ordered.erase(std::unique(ordered.begin(), ordered.end(),
+                            [](const Item& a, const Item& b) {
+                              return *a.name == *b.name;
+                            }),
+                ordered.end());
+
+  uint64_t h = kFnvOffset;
+  HashInt(&h, ordered.size());
+  for (const Item& item : ordered) HashString(&h, *item.name);
+
+  // Counts: only entries that change the build — a selected feature with
+  // a bounded cardinality. `spec.counts` is a std::map, already sorted.
+  for (const auto& [feature, count] : spec.counts) {
+    if (count == Cardinality::kUnbounded) continue;
+    bool selected = std::any_of(
+        ordered.begin(), ordered.end(),
+        [&feature](const Item& item) { return *item.name == feature; });
+    if (!selected) continue;
+    HashString(&h, feature);
+    HashInt(&h, static_cast<uint64_t>(static_cast<int64_t>(count)));
+  }
+
+  HashString(&h, spec.start_symbol);
+  return SpecFingerprint{h};
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,47 @@
+#ifndef SQLPL_SERVICE_SPEC_FINGERPRINT_H_
+#define SQLPL_SERVICE_SPEC_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sqlpl/sql/product_line.h"
+
+namespace sqlpl {
+
+/// Canonical 64-bit fingerprint of a `DialectSpec` — the cache key of the
+/// parser service. Two specs that build the same parser hash equally:
+///
+///  - `features` are canonicalized to catalog composition order and
+///    deduplicated, so `{Where, From}` and `{From, From, Where}` collide;
+///  - `counts` entries for unselected features or with the default
+///    unbounded cardinality are dropped (an explicit `kUnbounded` equals
+///    an absent entry);
+///  - `start_symbol` participates; `name` does NOT — the dialect name
+///    only decorates diagnostics and must not split the cache.
+///
+/// Features unknown to the catalog are kept (appended lexicographically
+/// after known ones) so invalid specs still fingerprint deterministically
+/// and a failed build is attributed to one key.
+struct SpecFingerprint {
+  uint64_t value = 0;
+
+  bool operator==(const SpecFingerprint&) const = default;
+
+  /// Lowercase hex, for logs and reports.
+  std::string ToString() const;
+};
+
+/// Computes the fingerprint. Pure function of `spec` and the process-wide
+/// feature catalog; safe to call concurrently.
+SpecFingerprint FingerprintSpec(const DialectSpec& spec);
+
+}  // namespace sqlpl
+
+template <>
+struct std::hash<sqlpl::SpecFingerprint> {
+  size_t operator()(const sqlpl::SpecFingerprint& fp) const noexcept {
+    return static_cast<size_t>(fp.value);
+  }
+};
+
+#endif  // SQLPL_SERVICE_SPEC_FINGERPRINT_H_

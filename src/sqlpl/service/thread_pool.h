@@ -1,0 +1,55 @@
+#ifndef SQLPL_SERVICE_THREAD_POOL_H_
+#define SQLPL_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sqlpl {
+
+/// Fixed-size worker pool backing `DialectService::ParseBatch`. Plain
+/// mutex + condition-variable work queue: batch parsing hands the pool a
+/// few coarse tasks (whole statements), so queue contention is noise next
+/// to parse cost and a lock-free queue would buy nothing yet.
+///
+/// Tasks must not throw (the library is exception-free across API
+/// boundaries); a throwing task terminates the process.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1; 0 means
+  /// hardware_concurrency).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains nothing: pending tasks are completed before shutdown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all
+  /// complete. The calling thread participates, so a 1-thread pool still
+  /// makes progress even while workers are busy with other batches.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SERVICE_THREAD_POOL_H_

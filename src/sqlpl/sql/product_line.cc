@@ -36,6 +36,12 @@ Result<CompositionSequence> SqlProductLine::ResolveSequence(
 }
 
 Result<Grammar> SqlProductLine::ComposeGrammar(const DialectSpec& spec) const {
+  Result<Grammar> composed = ComposeGrammar(spec, &trace_);
+  return composed;
+}
+
+Result<Grammar> SqlProductLine::ComposeGrammar(
+    const DialectSpec& spec, std::vector<CompositionStep>* trace_out) const {
   SQLPL_ASSIGN_OR_RETURN(CompositionSequence sequence, ResolveSequence(spec));
   if (sequence.features().empty()) {
     return Status::ConfigurationError("dialect '" + spec.name +
@@ -55,7 +61,7 @@ Result<Grammar> SqlProductLine::ComposeGrammar(const DialectSpec& spec) const {
 
   GrammarComposer composer;
   SQLPL_ASSIGN_OR_RETURN(Grammar composed, composer.ComposeAll(grammars));
-  trace_ = composer.trace();
+  if (trace_out != nullptr) *trace_out = composer.trace();
 
   composed.set_name(spec.name.empty() ? "dialect" : spec.name);
   composed.set_start_symbol(spec.start_symbol);
@@ -72,6 +78,12 @@ Result<Grammar> SqlProductLine::ComposeGrammar(const DialectSpec& spec) const {
 
 Result<LlParser> SqlProductLine::BuildParser(const DialectSpec& spec) const {
   SQLPL_ASSIGN_OR_RETURN(Grammar grammar, ComposeGrammar(spec));
+  return ParserBuilder().Build(grammar);
+}
+
+Result<LlParser> SqlProductLine::BuildParser(
+    const DialectSpec& spec, std::vector<CompositionStep>* trace_out) const {
+  SQLPL_ASSIGN_OR_RETURN(Grammar grammar, ComposeGrammar(spec, trace_out));
   return ParserBuilder().Build(grammar);
 }
 

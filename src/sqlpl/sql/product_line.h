@@ -49,21 +49,39 @@ class SqlProductLine {
 
   /// Runs steps 2–3: returns the composed, validated grammar for the
   /// dialect. The composition trace of this call is in `last_trace()`.
+  /// NOT thread-safe (it writes `last_trace()`); concurrent callers use
+  /// the `trace_out` overload below.
   Result<Grammar> ComposeGrammar(const DialectSpec& spec) const;
 
+  /// Thread-safe variant: the trace is written to `*trace_out` (pass
+  /// nullptr to discard it) and `last_trace()` is left untouched, so any
+  /// number of threads may compose concurrently on one instance. This is
+  /// the build path of the parser service (sqlpl/service/).
+  Result<Grammar> ComposeGrammar(const DialectSpec& spec,
+                                 std::vector<CompositionStep>* trace_out) const;
+
   /// Runs the full workflow, returning a ready-to-use runtime parser.
+  /// NOT thread-safe (writes `last_trace()`), like `ComposeGrammar`.
   Result<LlParser> BuildParser(const DialectSpec& spec) const;
+
+  /// Thread-safe variant of `BuildParser`; see the `ComposeGrammar`
+  /// overload for the `trace_out` contract.
+  Result<LlParser> BuildParser(const DialectSpec& spec,
+                               std::vector<CompositionStep>* trace_out) const;
 
   /// Runs the workflow but emits standalone C++ parser source instead of
   /// a runtime parser (the ANTLR-generated-code counterpart).
   Result<GeneratedParser> GenerateParserSource(const DialectSpec& spec) const;
 
-  /// Trace of the most recent `ComposeGrammar`/`BuildParser` call.
+  /// Trace of the most recent single-argument `ComposeGrammar`/
+  /// `BuildParser` call. The `trace_out` overloads do not update this.
   const std::vector<CompositionStep>& last_trace() const { return trace_; }
 
  private:
   const FeatureModel& model_;
   const SqlFeatureCatalog& catalog_;
+  // Convenience state for the legacy single-argument API only — the one
+  // piece of this class that is not safe to share across threads.
   mutable std::vector<CompositionStep> trace_;
 };
 

@@ -1,0 +1,197 @@
+#include "sqlpl/service/parser_cache.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/grammar/text_format.h"
+
+namespace sqlpl {
+namespace {
+
+// A tiny grammar is enough — the cache never looks inside the parser.
+Result<LlParser> BuildToyParser() {
+  Result<Grammar> grammar = ParseGrammarText(R"(
+    tokens { IDENTIFIER = identifier; }
+    start q;
+    q : 'SELECT' IDENTIFIER ;
+  )");
+  if (!grammar.ok()) return grammar.status();
+  return ParserBuilder().Build(*grammar);
+}
+
+SpecFingerprint Key(uint64_t v) { return SpecFingerprint{v}; }
+
+TEST(ParserCacheTest, MissThenHit) {
+  ParserCache cache(/*capacity=*/8, /*num_shards=*/2);
+  int builds = 0;
+  auto build = [&builds]() {
+    ++builds;
+    return BuildToyParser();
+  };
+
+  EXPECT_EQ(cache.Lookup(Key(1)), nullptr);
+  Result<std::shared_ptr<const LlParser>> first =
+      cache.GetOrBuild(Key(1), build);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(builds, 1);
+
+  Result<std::shared_ptr<const LlParser>> second =
+      cache.GetOrBuild(Key(1), build);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(builds, 1) << "hit must not rebuild";
+  EXPECT_EQ(first->get(), second->get()) << "hit returns the same instance";
+
+  ParserCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.misses, 2u);  // Lookup miss + first GetOrBuild
+}
+
+TEST(ParserCacheTest, CapacityRoundsUpToOnePerShard) {
+  ParserCache cache(/*capacity=*/1, /*num_shards=*/4);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  EXPECT_EQ(cache.capacity(), 4u);  // one entry per shard minimum
+}
+
+TEST(ParserCacheTest, EvictsLeastRecentlyUsedWithinShard) {
+  // One shard so LRU order is global and observable.
+  ParserCache cache(/*capacity=*/2, /*num_shards=*/1);
+  auto build = []() { return BuildToyParser(); };
+
+  ASSERT_TRUE(cache.GetOrBuild(Key(1), build).ok());
+  ASSERT_TRUE(cache.GetOrBuild(Key(2), build).ok());
+  // Touch 1 so 2 becomes LRU.
+  EXPECT_NE(cache.Lookup(Key(1)), nullptr);
+  // Inserting 3 evicts 2.
+  ASSERT_TRUE(cache.GetOrBuild(Key(3), build).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup(Key(1)), nullptr);
+  EXPECT_EQ(cache.Lookup(Key(2)), nullptr);
+  EXPECT_NE(cache.Lookup(Key(3)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ParserCacheTest, BuildFailurePropagatesAndIsNotCached) {
+  ParserCache cache(/*capacity=*/4, /*num_shards=*/1);
+  int attempts = 0;
+  auto failing = [&attempts]() -> Result<LlParser> {
+    ++attempts;
+    return Status::CompositionError("boom");
+  };
+
+  Result<std::shared_ptr<const LlParser>> r1 =
+      cache.GetOrBuild(Key(9), failing);
+  EXPECT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kCompositionError);
+  // Not negatively cached: the next request retries.
+  Result<std::shared_ptr<const LlParser>> r2 =
+      cache.GetOrBuild(Key(9), failing);
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().build_failures, 2u);
+}
+
+TEST(ParserCacheTest, ClearEmptiesEveryShard) {
+  ParserCache cache(/*capacity=*/16, /*num_shards=*/4);
+  auto build = []() { return BuildToyParser(); };
+  for (uint64_t k = 0; k < 8; ++k) {
+    ASSERT_TRUE(cache.GetOrBuild(Key(k), build).ok());
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(Key(3)), nullptr);
+}
+
+TEST(ParserCacheTest, SingleFlightBuildsColdKeyOnce) {
+  ParserCache cache(/*capacity=*/8, /*num_shards=*/1);
+  std::atomic<int> builds{0};
+  auto slow_build = [&builds]() {
+    builds.fetch_add(1);
+    // Widen the race window: every thread reaches GetOrBuild while the
+    // first is still composing.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return BuildToyParser();
+  };
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<const LlParser*> seen(kThreads, nullptr);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Result<std::shared_ptr<const LlParser>> r =
+          cache.GetOrBuild(Key(42), slow_build);
+      ASSERT_TRUE(r.ok()) << r.status();
+      seen[t] = r->get();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(builds.load(), 1) << "cold key must compose exactly once";
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_GE(cache.stats().coalesced_waits, 1u);
+}
+
+TEST(ParserCacheTest, SingleFlightFailureReachesEveryWaiter) {
+  ParserCache cache(/*capacity=*/8, /*num_shards=*/1);
+  std::atomic<int> builds{0};
+  auto slow_fail = [&builds]() -> Result<LlParser> {
+    builds.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return Status::CompositionError("cold build failed");
+  };
+
+  constexpr int kThreads = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Result<std::shared_ptr<const LlParser>> r =
+          cache.GetOrBuild(Key(7), slow_fail);
+      if (!r.ok() && r.status().code() == StatusCode::kCompositionError) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), kThreads);
+  EXPECT_EQ(builds.load(), 1);
+}
+
+TEST(ParserCacheTest, ConcurrentMixedKeysStayConsistent) {
+  ParserCache cache(/*capacity=*/4, /*num_shards=*/2);
+  auto build = []() { return BuildToyParser(); };
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        uint64_t key = static_cast<uint64_t>((t + i) % 6);
+        Result<std::shared_ptr<const LlParser>> r =
+            cache.GetOrBuild(Key(key), build);
+        ASSERT_TRUE(r.ok()) << r.status();
+        EXPECT_TRUE((*r)->Accepts("SELECT a"));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_LE(cache.size(), cache.capacity());
+  ParserCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kIterations);
+}
+
+}  // namespace
+}  // namespace sqlpl

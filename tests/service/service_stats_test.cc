@@ -1,0 +1,116 @@
+#include "sqlpl/service/service_stats.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.TotalCount(), 0u);
+  EXPECT_EQ(histogram.PercentileMicros(50), 0u);
+  EXPECT_EQ(histogram.MeanMicros(), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesBracketSamples) {
+  LatencyHistogram histogram;
+  // 99 fast samples (~8 µs) and one slow outlier (~8 ms).
+  for (int i = 0; i < 99; ++i) histogram.Record(8);
+  histogram.Record(8000);
+
+  EXPECT_EQ(histogram.TotalCount(), 100u);
+  // p50 lands in the [8,16) bucket → upper bound 16.
+  EXPECT_EQ(histogram.PercentileMicros(50), 16u);
+  // p99 still in the fast bucket; p100 must cover the outlier.
+  EXPECT_LE(histogram.PercentileMicros(99), 16u);
+  EXPECT_GE(histogram.PercentileMicros(100), 8000u);
+  double mean = histogram.MeanMicros();
+  EXPECT_NEAR(mean, (99.0 * 8 + 8000) / 100, 0.01);
+}
+
+TEST(LatencyHistogramTest, SubMicrosecondSamplesLandInBucketZero) {
+  LatencyHistogram histogram;
+  histogram.Record(0);
+  histogram.Record(1);
+  EXPECT_EQ(histogram.TotalCount(), 2u);
+  EXPECT_EQ(histogram.PercentileMicros(100), 2u);
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram histogram;
+  histogram.Record(100);
+  histogram.Reset();
+  EXPECT_EQ(histogram.TotalCount(), 0u);
+  EXPECT_EQ(histogram.TotalMicros(), 0u);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Record(static_cast<uint64_t>(i % 512));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.TotalCount(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ServiceStatsTest, SnapshotReflectsRecords) {
+  ServiceStats stats;
+  stats.RecordParse(/*ok=*/true, 10);
+  stats.RecordParse(/*ok=*/true, 20);
+  stats.RecordParse(/*ok=*/false, 30);
+  stats.RecordBatch(5);
+  stats.RecordBuild(4000);
+
+  ParserCacheStats cache;
+  cache.hits = 2;
+  cache.misses = 1;
+  ServiceStatsSnapshot s = stats.Snapshot(cache);
+  EXPECT_EQ(s.parses, 2u);
+  EXPECT_EQ(s.parse_errors, 1u);
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_EQ(s.batch_statements, 5u);
+  EXPECT_EQ(s.cache.hits, 2u);
+  EXPECT_GT(s.parse_p50_micros, 0u);
+  EXPECT_GT(s.build_p50_micros, 0u);
+}
+
+TEST(ServiceStatsTest, ResetZeroesRequestCounters) {
+  ServiceStats stats;
+  stats.RecordParse(true, 10);
+  stats.RecordBatch(3);
+  stats.Reset();
+  ServiceStatsSnapshot s = stats.Snapshot(ParserCacheStats{});
+  EXPECT_EQ(s.parses, 0u);
+  EXPECT_EQ(s.batches, 0u);
+  EXPECT_EQ(s.batch_statements, 0u);
+  EXPECT_EQ(s.parse_p50_micros, 0u);
+}
+
+TEST(ServiceStatsTest, RenderContainsEverySection) {
+  ServiceStats stats;
+  stats.RecordParse(true, 12);
+  ParserCacheStats cache;
+  cache.hits = 3;
+  cache.misses = 1;
+  std::string report = RenderServiceStats(stats.Snapshot(cache));
+  EXPECT_NE(report.find("# Dialect service stats"), std::string::npos);
+  EXPECT_NE(report.find("## Requests"), std::string::npos);
+  EXPECT_NE(report.find("## Parser cache"), std::string::npos);
+  EXPECT_NE(report.find("## Latency"), std::string::npos);
+  EXPECT_NE(report.find("| hit rate | 75.0% |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqlpl

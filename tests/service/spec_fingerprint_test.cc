@@ -1,0 +1,104 @@
+#include "sqlpl/service/spec_fingerprint.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/feature/feature_diagram.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+TEST(SpecFingerprintTest, DeterministicForSameSpec) {
+  DialectSpec spec = CoreQueryDialect();
+  EXPECT_EQ(FingerprintSpec(spec), FingerprintSpec(spec));
+}
+
+TEST(SpecFingerprintTest, FeatureOrderDoesNotMatter) {
+  DialectSpec a = CoreQueryDialect();
+  DialectSpec b = a;
+  std::reverse(b.features.begin(), b.features.end());
+  EXPECT_EQ(FingerprintSpec(a), FingerprintSpec(b));
+}
+
+TEST(SpecFingerprintTest, DuplicateFeaturesCollapse) {
+  DialectSpec a = TinySqlDialect();
+  DialectSpec b = a;
+  b.features.push_back(b.features.front());
+  b.features.push_back(b.features.back());
+  EXPECT_EQ(FingerprintSpec(a), FingerprintSpec(b));
+}
+
+TEST(SpecFingerprintTest, NameDoesNotMatter) {
+  DialectSpec a = ScqlDialect();
+  DialectSpec b = a;
+  b.name = "renamed-scql";
+  EXPECT_EQ(FingerprintSpec(a), FingerprintSpec(b));
+}
+
+TEST(SpecFingerprintTest, FeatureSetMatters) {
+  DialectSpec a = WorkedExampleDialect();
+  DialectSpec b = a;
+  b.features.pop_back();
+  EXPECT_NE(FingerprintSpec(a), FingerprintSpec(b));
+}
+
+TEST(SpecFingerprintTest, CountsMatter) {
+  DialectSpec a = WorkedExampleDialect();
+  DialectSpec b = a;
+  // The worked example pins cardinalities to 1; changing one changes the
+  // composed grammar, so the fingerprint must split.
+  ASSERT_FALSE(b.counts.empty());
+  b.counts.begin()->second = 3;
+  EXPECT_NE(FingerprintSpec(a), FingerprintSpec(b));
+}
+
+TEST(SpecFingerprintTest, UnboundedCountEqualsAbsentCount) {
+  DialectSpec a = CoreQueryDialect();
+  DialectSpec b = a;
+  ASSERT_FALSE(b.features.empty());
+  b.counts[b.features.front()] = Cardinality::kUnbounded;
+  EXPECT_EQ(FingerprintSpec(a), FingerprintSpec(b));
+}
+
+TEST(SpecFingerprintTest, CountForUnselectedFeatureIgnored) {
+  DialectSpec a = TinySqlDialect();
+  DialectSpec b = a;
+  b.counts["SomeFeatureNotSelected"] = 2;
+  EXPECT_EQ(FingerprintSpec(a), FingerprintSpec(b));
+}
+
+TEST(SpecFingerprintTest, StartSymbolMatters) {
+  DialectSpec a = CoreQueryDialect();
+  DialectSpec b = a;
+  b.start_symbol = "query_specification";
+  EXPECT_NE(FingerprintSpec(a), FingerprintSpec(b));
+}
+
+TEST(SpecFingerprintTest, PresetDialectsAllDistinct) {
+  std::vector<DialectSpec> presets = AllPresetDialects();
+  for (size_t i = 0; i < presets.size(); ++i) {
+    for (size_t j = i + 1; j < presets.size(); ++j) {
+      EXPECT_NE(FingerprintSpec(presets[i]), FingerprintSpec(presets[j]))
+          << presets[i].name << " vs " << presets[j].name;
+    }
+  }
+}
+
+TEST(SpecFingerprintTest, ToStringIsSixteenHexDigits) {
+  std::string hex = FingerprintSpec(TinySqlDialect()).ToString();
+  EXPECT_EQ(hex.size(), 16u);
+  EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+TEST(SpecFingerprintTest, UnknownFeaturesFingerprintDeterministically) {
+  DialectSpec a;
+  a.features = {"NoSuchFeature", "AlsoMissing"};
+  DialectSpec b;
+  b.features = {"AlsoMissing", "NoSuchFeature"};
+  EXPECT_EQ(FingerprintSpec(a), FingerprintSpec(b));
+}
+
+}  // namespace
+}  // namespace sqlpl
