@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "sqlpl/grammar/analysis.h"
 #include "sqlpl/sql/dialects.h"
 
@@ -187,7 +189,5 @@ int main(int argc, char** argv) {
                                [](benchmark::State& state) {
                                  BM_A3_CompositionOrder(state, true);
                                });
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sqlpl::bench::RunAndExport("ablation", argc, argv);
 }

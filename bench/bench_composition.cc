@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "sqlpl/sql/dialects.h"
 
 namespace sqlpl {
@@ -102,7 +104,5 @@ int main(int argc, char** argv) {
                                sqlpl::BM_ComposeSingleStep);
   benchmark::RegisterBenchmark("BM_ParseModuleGrammarText",
                                sqlpl::BM_ParseModuleGrammarText);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sqlpl::bench::RunAndExport("composition", argc, argv);
 }

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "sqlpl/feature/configuration.h"
 #include "sqlpl/sql/foundation_model.h"
 
@@ -84,4 +86,6 @@ BENCHMARK(BM_CountConfigurationsAllSmallDiagrams);
 }  // namespace
 }  // namespace sqlpl
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sqlpl::bench::RunAndExport("feature_model", argc, argv);
+}

@@ -5,6 +5,9 @@
 // small fraction of the full parser.
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "sqlpl/baseline/monolithic_parser.h"
 #include "sqlpl/grammar/analysis.h"
@@ -32,6 +35,38 @@ void PrintRow(const Row& row) {
               row.conflicts);
 }
 
+// This benchmark reports sizes rather than timings, so it writes its
+// own BENCH_footprint.json instead of going through bench_json.h.
+void WriteFootprintJson(const std::vector<Row>& rows,
+                        const std::vector<std::pair<std::string, size_t>>&
+                            generated_bytes) {
+  std::FILE* file = std::fopen("BENCH_footprint.json", "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_footprint.json\n");
+    return;
+  }
+  std::fprintf(file, "{\"benchmark\":\"footprint\",\"results\":[");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(file,
+                 "%s\n  {\"name\":\"%s\",\"features\":%zu,"
+                 "\"productions\":%zu,\"alternatives\":%zu,\"tokens\":%zu,"
+                 "\"keywords\":%zu,\"approx_bytes\":%zu,\"conflicts\":%zu",
+                 i == 0 ? "" : ",", row.name.c_str(), row.features,
+                 row.productions, row.alternatives, row.tokens,
+                 row.keywords, row.bytes, row.conflicts);
+    for (const auto& [name, bytes] : generated_bytes) {
+      if (name == row.name) {
+        std::fprintf(file, ",\"generated_source_bytes\":%zu", bytes);
+      }
+    }
+    std::fprintf(file, "}");
+  }
+  std::fprintf(file, "\n]}\n");
+  std::fclose(file);
+  std::printf("wrote BENCH_footprint.json (%zu dialects)\n", rows.size());
+}
+
 }  // namespace
 }  // namespace sqlpl
 
@@ -44,6 +79,7 @@ int main() {
               "keywords", "approx_B", "conflicts");
 
   SqlProductLine line;
+  std::vector<Row> rows;
   for (const DialectSpec& spec : AllPresetDialects()) {
     Result<Grammar> grammar = line.ComposeGrammar(spec);
     if (!grammar.ok()) {
@@ -63,6 +99,7 @@ int main() {
     row.bytes = metrics.approx_bytes;
     row.conflicts = analysis.ok() ? analysis->conflicts().size() : 0;
     PrintRow(row);
+    rows.push_back(row);
   }
 
   {
@@ -79,12 +116,15 @@ int main() {
 
   std::printf(
       "\nGenerated C++ parser source size per dialect (bytes):\n");
+  std::vector<std::pair<std::string, size_t>> generated_bytes;
   for (const DialectSpec& spec : AllPresetDialects()) {
     Result<GeneratedParser> generated = line.GenerateParserSource(spec);
     if (generated.ok()) {
       std::printf("  %-18s %9zu\n", spec.name.c_str(),
                   generated->code.size());
+      generated_bytes.emplace_back(spec.name, generated->code.size());
     }
   }
+  WriteFootprintJson(rows, generated_bytes);
   return 0;
 }

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "sqlpl/sql/dialects.h"
 
 namespace sqlpl {
@@ -81,7 +83,5 @@ int main(int argc, char** argv) {
           sqlpl::BM_EndToEndSelectFeaturesToParser(state, spec);
         });
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sqlpl::bench::RunAndExport("generation", argc, argv);
 }

@@ -1,0 +1,177 @@
+// Shared JSON emission for the bench_* executables. Every benchmark
+// binary reports its timings on the console as before and additionally
+// writes machine-readable results to BENCH_<name>.json in the working
+// directory:
+//
+//   {"benchmark":"<name>","results":[
+//     {"name":"BM_X/arg","iterations":N,"ns_per_op":T,
+//      "p50_ns":T50,"p99_ns":T99}, ...]}
+//
+// Google Benchmark reports one aggregate time per (benchmark, arg) run
+// rather than a sample distribution, so for single runs p50_ns and
+// p99_ns equal ns_per_op; with --benchmark_repetitions=K the percentiles
+// are taken over the K repetition means. Benchmarks that error are
+// recorded with "error" set and zero timings.
+
+#ifndef SQLPL_BENCH_BENCH_JSON_H_
+#define SQLPL_BENCH_BENCH_JSON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+namespace sqlpl {
+namespace bench {
+
+struct BenchResult {
+  std::string name;
+  int64_t iterations = 0;
+  double ns_per_op = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+  std::string error;
+};
+
+inline std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline double NsPerOp(const benchmark::BenchmarkReporter::Run& run) {
+  if (run.iterations == 0) return 0;
+  return run.real_accumulated_time * 1e9 /
+         static_cast<double>(run.iterations);
+}
+
+/// Console reporter that also collects per-repetition timings keyed by
+/// benchmark name, for the JSON summary written at exit.
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;  // skip aggregates
+      std::string name = run.benchmark_name();
+      Samples& samples = by_name_[name];
+      if (run.error_occurred) {
+        samples.error = run.error_message.empty() ? "error"
+                                                  : run.error_message;
+        continue;
+      }
+      samples.iterations += run.iterations;
+      samples.ns.push_back(NsPerOp(run));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<BenchResult> Results() const {
+    std::vector<BenchResult> results;
+    results.reserve(by_name_.size());
+    for (const auto& [name, samples] : by_name_) {
+      BenchResult result;
+      result.name = name;
+      result.iterations = samples.iterations;
+      result.error = samples.error;
+      if (!samples.ns.empty()) {
+        std::vector<double> sorted = samples.ns;
+        std::sort(sorted.begin(), sorted.end());
+        double total = 0;
+        for (double v : sorted) total += v;
+        result.ns_per_op = total / static_cast<double>(sorted.size());
+        auto percentile = [&sorted](double p) {
+          size_t index = static_cast<size_t>(p / 100.0 *
+                                             (sorted.size() - 1) + 0.5);
+          return sorted[std::min(index, sorted.size() - 1)];
+        };
+        result.p50_ns = percentile(50);
+        result.p99_ns = percentile(99);
+      }
+      results.push_back(std::move(result));
+    }
+    return results;
+  }
+
+ private:
+  struct Samples {
+    int64_t iterations = 0;
+    std::vector<double> ns;  // ns/op of each repetition
+    std::string error;
+  };
+  // map: deterministic result order regardless of registration order.
+  std::map<std::string, Samples> by_name_;
+};
+
+/// Writes `results` to BENCH_<bench_name>.json. `extra`, when
+/// non-empty, is a raw JSON fragment (`"key":value,...`) spliced into
+/// the top-level object — bench_obs uses it to record the derived
+/// overhead percentage. Returns false (after printing to stderr) if the
+/// file cannot be written.
+inline bool WriteBenchJson(const std::string& bench_name,
+                           const std::vector<BenchResult>& results,
+                           const std::string& extra = "") {
+  std::string path = "BENCH_" + bench_name + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(file, "{\"benchmark\":\"%s\",", JsonEscape(bench_name).c_str());
+  if (!extra.empty()) std::fprintf(file, "%s,", extra.c_str());
+  std::fprintf(file, "\"results\":[");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(file,
+                 "%s\n  {\"name\":\"%s\",\"iterations\":%lld,"
+                 "\"ns_per_op\":%.3f,\"p50_ns\":%.3f,\"p99_ns\":%.3f",
+                 i == 0 ? "" : ",", JsonEscape(r.name).c_str(),
+                 static_cast<long long>(r.iterations), r.ns_per_op,
+                 r.p50_ns, r.p99_ns);
+    if (!r.error.empty()) {
+      std::fprintf(file, ",\"error\":\"%s\"", JsonEscape(r.error).c_str());
+    }
+    std::fprintf(file, "}");
+  }
+  std::fprintf(file, "\n]}\n");
+  std::fclose(file);
+  std::printf("wrote %s (%zu benchmarks)\n", path.c_str(), results.size());
+  return true;
+}
+
+/// Standard tail of every bench main(): run all registered benchmarks
+/// with a collecting reporter, then emit BENCH_<bench_name>.json.
+/// `bench_name` is the target name without the bench_ prefix ("parse",
+/// "service", "obs", ...).
+inline int RunAndExport(const std::string& bench_name, int argc,
+                        char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return WriteBenchJson(bench_name, reporter.Results()) ? 0 : 1;
+}
+
+}  // namespace bench
+}  // namespace sqlpl
+
+#endif  // SQLPL_BENCH_BENCH_JSON_H_

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "sqlpl/baseline/monolithic_parser.h"
 #include "sqlpl/lexer/lexer.h"
 #include "sqlpl/sql/dialects.h"
@@ -68,7 +70,5 @@ int main(int argc, char** argv) {
   }
   benchmark::RegisterBenchmark("BM_LexWithMonolithicTokens",
                                BM_LexWithMonolithicTokens);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sqlpl::bench::RunAndExport("lexer", argc, argv);
 }

@@ -1,0 +1,270 @@
+// Overhead of the observability layer (src/sqlpl/obs/).
+//
+// The acceptance question: with span tracing COMPILED IN but disabled
+// at runtime, how much slower is the service's cache-hit parse path
+// than the equivalent uninstrumented sequence of calls? The baseline
+// (`BM_CacheHitParse/manual`) performs exactly what the pre-obs service
+// hot path did — fingerprint, cache lookup, ParseText, latency record —
+// while `BM_CacheHitParse/service` runs `DialectService::Parse`, whose
+// extra cost is the request/lookup span objects and registry counters.
+// The derived `overhead_pct` lands in BENCH_obs.json; the budget is 5%.
+//
+// The remaining benchmarks price the primitives: a disabled span, an
+// enabled span, counter/histogram updates, and the two exporters.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sqlpl/obs/metrics.h"
+#include "sqlpl/obs/trace.h"
+#include "sqlpl/service/dialect_service.h"
+#include "sqlpl/service/parser_cache.h"
+#include "sqlpl/service/service_stats.h"
+#include "sqlpl/service/spec_fingerprint.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+constexpr const char* kStatement = "SELECT a FROM t";
+
+// Pre-observability hot path: the same work service.Parse does on a
+// cache hit, as direct calls with no span objects at this level.
+void BM_CacheHitParseManual(benchmark::State& state) {
+  obs::Tracing::Enable(false);
+  DialectSpec spec = CoreQueryDialect();
+  ParserCache cache(/*capacity=*/64, /*shards=*/8);
+  SqlProductLine line;
+  Result<std::shared_ptr<const LlParser>> parser = cache.GetOrBuild(
+      FingerprintSpec(spec), [&] { return line.BuildParser(spec); });
+  if (!parser.ok()) {
+    state.SkipWithError(parser.status().ToString().c_str());
+    return;
+  }
+  LatencyHistogram latency;
+  for (auto _ : state) {
+    SpecFingerprint key = FingerprintSpec(spec);
+    Result<std::shared_ptr<const LlParser>> hit = cache.GetOrBuild(
+        key, [&] { return line.BuildParser(spec); });
+    uint64_t start = obs::TraceNowMicros();
+    Result<ParseNode> result = (*hit)->ParseText(kStatement);
+    latency.Record(obs::TraceNowMicros() - start);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+// The instrumented service path, tracing compiled in but disabled.
+void BM_CacheHitParseService(benchmark::State& state) {
+  obs::Tracing::Enable(false);
+  DialectService service;
+  DialectSpec spec = CoreQueryDialect();
+  Result<ParseNode> warm = service.Parse(spec, kStatement);
+  if (!warm.ok()) {
+    state.SkipWithError(warm.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    Result<ParseNode> result = service.Parse(spec, kStatement);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+// Same path with tracing enabled — the cost of actually recording.
+void BM_CacheHitParseTraced(benchmark::State& state) {
+  DialectService service;
+  DialectSpec spec = CoreQueryDialect();
+  Result<ParseNode> warm = service.Parse(spec, kStatement);
+  if (!warm.ok()) {
+    state.SkipWithError(warm.status().ToString().c_str());
+    return;
+  }
+  obs::Tracing::Enable(true);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    Result<ParseNode> result = service.Parse(spec, kStatement);
+    benchmark::DoNotOptimize(result);
+    // Keep the per-thread buffer from saturating (saturated appends
+    // would make later iterations artificially cheap).
+    if (++n % 4096 == 0) {
+      state.PauseTiming();
+      obs::Tracing::Enable(false);
+      obs::Tracer::Global().Reset();
+      obs::Tracing::Enable(true);
+      state.ResumeTiming();
+    }
+  }
+  obs::Tracing::Enable(false);
+  obs::Tracer::Global().Reset();
+}
+
+void BM_DisabledSpan(benchmark::State& state) {
+  obs::Tracing::Enable(false);
+  for (auto _ : state) {
+    SQLPL_TRACE_SPAN("bench.noop", "bench");
+    benchmark::ClobberMemory();
+  }
+}
+
+void BM_EnabledSpan(benchmark::State& state) {
+  obs::Tracing::Enable(true);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    {
+      SQLPL_TRACE_SPAN("bench.span", "bench");
+    }
+    if (++n % 16384 == 0) {
+      state.PauseTiming();
+      obs::Tracing::Enable(false);
+      obs::Tracer::Global().Reset();
+      obs::Tracing::Enable(true);
+      state.ResumeTiming();
+    }
+  }
+  obs::Tracing::Enable(false);
+  obs::Tracer::Global().Reset();
+}
+
+void BM_CounterIncrement(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("sqlpl_bench_total");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  benchmark::DoNotOptimize(counter->Value());
+}
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* histogram = registry.GetHistogram("sqlpl_bench_micros");
+  uint64_t v = 0;
+  for (auto _ : state) {
+    histogram->Record(v++ & 1023);
+  }
+  benchmark::DoNotOptimize(histogram->TotalCount());
+}
+
+void BM_ExportPrometheus(benchmark::State& state) {
+  DialectService service;
+  service.Parse(CoreQueryDialect(), kStatement);
+  for (auto _ : state) {
+    std::string text = service.MetricsPrometheus();
+    benchmark::DoNotOptimize(text);
+  }
+}
+
+void BM_ExportChromeTrace(benchmark::State& state) {
+  obs::Tracer::Global().Reset();
+  obs::Tracing::Enable(true);
+  for (int i = 0; i < 1024; ++i) {
+    SQLPL_TRACE_SPAN("bench.fill", "bench");
+  }
+  obs::Tracing::Enable(false);
+  for (auto _ : state) {
+    std::string json = obs::Tracer::Global().ExportChromeJson();
+    benchmark::DoNotOptimize(json);
+  }
+  obs::Tracer::Global().Reset();
+}
+
+// Drift-immune overhead measurement: the two legs alternate in small
+// batches inside one loop, so slow drift (frequency scaling, competing
+// load) hits both equally; the reported figure is the median of the
+// per-round service/manual ratios. Sequential A-then-B benchmarking
+// (the BM_CacheHitParse pair above) runs the legs seconds apart and its
+// difference is dominated by machine noise at this ~8 µs scale.
+double MeasureCacheHitOverheadPct() {
+  obs::Tracing::Enable(false);
+  DialectSpec spec = CoreQueryDialect();
+
+  ParserCache cache(/*capacity=*/64, /*shards=*/8);
+  SqlProductLine line;
+  LatencyHistogram latency;
+  auto manual_once = [&] {
+    SpecFingerprint key = FingerprintSpec(spec);
+    Result<std::shared_ptr<const LlParser>> hit = cache.GetOrBuild(
+        key, [&] { return line.BuildParser(spec); });
+    uint64_t start = obs::TraceNowMicros();
+    Result<ParseNode> result = (*hit)->ParseText(kStatement);
+    latency.Record(obs::TraceNowMicros() - start);
+    benchmark::DoNotOptimize(result);
+  };
+
+  DialectService service;
+  auto service_once = [&] {
+    Result<ParseNode> result = service.Parse(spec, kStatement);
+    benchmark::DoNotOptimize(result);
+  };
+
+  constexpr int kRounds = 60;
+  constexpr int kBatch = 200;
+  // Warm both paths (parser built, caches hot) before measuring.
+  for (int i = 0; i < kBatch; ++i) {
+    manual_once();
+    service_once();
+  }
+  std::vector<double> ratios;
+  ratios.reserve(kRounds);
+  for (int round = 0; round < kRounds; ++round) {
+    uint64_t manual_start = obs::TraceNowMicros();
+    for (int i = 0; i < kBatch; ++i) manual_once();
+    uint64_t manual_ns = obs::TraceNowMicros() - manual_start;
+    uint64_t service_start = obs::TraceNowMicros();
+    for (int i = 0; i < kBatch; ++i) service_once();
+    uint64_t service_ns = obs::TraceNowMicros() - service_start;
+    if (manual_ns > 0) {
+      ratios.push_back(static_cast<double>(service_ns) /
+                       static_cast<double>(manual_ns));
+    }
+  }
+  if (ratios.empty()) return 0;
+  std::sort(ratios.begin(), ratios.end());
+  double median = ratios[ratios.size() / 2];
+  double pct = (median - 1.0) * 100.0;
+  return pct < 0 ? 0 : pct;
+}
+
+}  // namespace
+}  // namespace sqlpl
+
+int main(int argc, char** argv) {
+  using namespace sqlpl;
+  benchmark::RegisterBenchmark("BM_CacheHitParse/manual",
+                               BM_CacheHitParseManual);
+  benchmark::RegisterBenchmark("BM_CacheHitParse/service",
+                               BM_CacheHitParseService);
+  benchmark::RegisterBenchmark("BM_CacheHitParse/traced",
+                               BM_CacheHitParseTraced);
+  benchmark::RegisterBenchmark("BM_DisabledSpan", BM_DisabledSpan);
+  benchmark::RegisterBenchmark("BM_EnabledSpan", BM_EnabledSpan);
+  benchmark::RegisterBenchmark("BM_CounterIncrement", BM_CounterIncrement);
+  benchmark::RegisterBenchmark("BM_HistogramRecord", BM_HistogramRecord);
+  benchmark::RegisterBenchmark("BM_ExportPrometheus", BM_ExportPrometheus);
+  benchmark::RegisterBenchmark("BM_ExportChromeTrace", BM_ExportChromeTrace);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  // The headline number: relative cost of the instrumented service hot
+  // path over the uninstrumented manual sequence, with tracing compiled
+  // in but runtime-disabled (interleaved paired measurement).
+  std::vector<bench::BenchResult> results = reporter.Results();
+  double pct = MeasureCacheHitOverheadPct();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "\"cache_hit_overhead_pct\":%.2f,"
+                "\"cache_hit_overhead_budget_pct\":5.0",
+                pct);
+  std::printf("cache-hit overhead (tracing compiled in, disabled): "
+              "%.2f%% (budget 5%%)\n", pct);
+  return bench::WriteBenchJson("obs", results, buf) ? 0 : 1;
+}

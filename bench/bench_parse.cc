@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "sqlpl/baseline/monolithic_parser.h"
 #include "sqlpl/sql/dialects.h"
 #include "sqlpl/testing/workload_generator.h"
@@ -213,7 +215,5 @@ int main(int argc, char** argv) {
                                })
       ->Arg(0)
       ->Arg(3);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sqlpl::bench::RunAndExport("parse", argc, argv);
 }

@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "sqlpl/service/dialect_service.h"
 #include "sqlpl/sql/dialects.h"
 
@@ -151,4 +153,6 @@ BENCHMARK(BM_FingerprintSpec)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace sqlpl
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sqlpl::bench::RunAndExport("service", argc, argv);
+}

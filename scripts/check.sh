@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the ThreadSanitizer smoke pass.
+#
+#   scripts/check.sh            # full: build + ctest + TSan tsan-smoke
+#   scripts/check.sh --fast     # tier-1 only (skip the TSan build)
+#
+# Tier-1 (the roadmap gate): configure, build, and run the whole test
+# suite. The TSan pass rebuilds the service/obs test executables with
+# SQLPL_SANITIZE=thread in a separate build tree and runs exactly the
+# tests labeled `tsan-smoke` — the concurrency-sensitive serving and
+# observability suites (see tests/CMakeLists.txt).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== tier-1: build =="
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS"
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "$FAST" == "1" ]]; then
+  echo "== skipping TSan pass (--fast) =="
+  exit 0
+fi
+
+echo "== tsan: build (SQLPL_SANITIZE=thread) =="
+cmake -B build-tsan -S . -D SQLPL_SANITIZE=thread > /dev/null
+cmake --build build-tsan -j "$JOBS" \
+  --target sqlpl_service_tests sqlpl_obs_tests
+
+echo "== tsan: ctest -L tsan-smoke =="
+(cd build-tsan && ctest -L tsan-smoke --output-on-failure -j "$JOBS")
+
+echo "== all checks passed =="

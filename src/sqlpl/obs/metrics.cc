@@ -1,0 +1,340 @@
+#include "sqlpl/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace sqlpl {
+namespace obs {
+
+namespace {
+
+size_t BucketFor(uint64_t value) {
+  if (value <= 1) return 0;
+  size_t b = std::bit_width(value) - 1;
+  return std::min(b, Histogram::kNumBuckets - 1);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+// `name{serialized}` or `name` when label-free; `extra` appends one more
+// label (used for histogram `le`).
+std::string SampleName(const std::string& name, const std::string& serialized,
+                       const std::string& extra = "") {
+  std::string joined = serialized;
+  if (!extra.empty()) {
+    if (!joined.empty()) joined += ",";
+    joined += extra;
+  }
+  if (joined.empty()) return name;
+  return name + "{" + joined + "}";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  uint64_t total = TotalCount();
+  if (total == 0) return 0;
+  double target =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total);
+  uint64_t running = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(running) >= target && running > 0) {
+      if (i == 0) return 1;  // bucket 0 spans [0, 2): largest sample is 1
+      return uint64_t{1} << (i + 1);  // exclusive upper bound of [2^i, 2^(i+1))
+    }
+  }
+  // Unreachable: the running count reaches `total` >= target by the top
+  // bucket. Kept as the saturated top-bucket bound for safety.
+  return uint64_t{1} << kNumBuckets;
+}
+
+double Histogram::Mean() const {
+  uint64_t total = TotalCount();
+  if (total == 0) return 0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(total);
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::string SerializeLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    if (!out.empty()) out += ",";
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  return out;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::Resolve(std::string_view name,
+                                                      Labels labels,
+                                                      std::string_view help,
+                                                      MetricKind kind) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = SerializeLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [family_it, inserted] =
+      families_.try_emplace(std::string(name), Family{kind, std::string(help), {}});
+  Family& family = family_it->second;
+  if (!inserted && family.kind != kind) return nullptr;
+  if (family.help.empty() && !help.empty()) family.help = help;
+  auto [it, fresh] = family.instruments.try_emplace(std::move(key));
+  Instrument& instrument = it->second;
+  if (fresh) {
+    instrument.labels = std::move(labels);
+    switch (kind) {
+      case MetricKind::kCounter:
+        instrument.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        instrument.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        instrument.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  }
+  return &instrument;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, Labels labels,
+                                     std::string_view help) {
+  Instrument* instrument =
+      Resolve(name, std::move(labels), help, MetricKind::kCounter);
+  return instrument == nullptr ? nullptr : instrument->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, Labels labels,
+                                 std::string_view help) {
+  Instrument* instrument =
+      Resolve(name, std::move(labels), help, MetricKind::kGauge);
+  return instrument == nullptr ? nullptr : instrument->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name, Labels labels,
+                                         std::string_view help) {
+  Instrument* instrument =
+      Resolve(name, std::move(labels), help, MetricKind::kHistogram);
+  return instrument == nullptr ? nullptr : instrument->histogram.get();
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    out += KindName(family.kind);
+    out += "\n";
+    for (const auto& [serialized, instrument] : family.instruments) {
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          out += SampleName(name, serialized) + " ";
+          AppendU64(&out, instrument.counter->Value());
+          out += "\n";
+          break;
+        case MetricKind::kGauge: {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(instrument.gauge->Value()));
+          out += SampleName(name, serialized) + " " + buf + "\n";
+          break;
+        }
+        case MetricKind::kHistogram: {
+          const Histogram& h = *instrument.histogram;
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+            cumulative += h.BucketCount(i);
+            std::string le;
+            if (i + 1 == Histogram::kNumBuckets) {
+              le = "le=\"+Inf\"";
+            } else {
+              le = "le=\"";
+              AppendU64(&le, Histogram::BucketLe(i));
+              le += "\"";
+            }
+            out += SampleName(name + "_bucket", serialized, le) + " ";
+            AppendU64(&out, cumulative);
+            out += "\n";
+          }
+          out += SampleName(name + "_sum", serialized) + " ";
+          AppendU64(&out, h.Sum());
+          out += "\n";
+          out += SampleName(name + "_count", serialized) + " ";
+          AppendU64(&out, cumulative);
+          out += "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [serialized, instrument] : family.instruments) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":\"" + JsonEscape(name) + "\",\"type\":\"";
+      out += KindName(family.kind);
+      out += "\",\"labels\":{";
+      bool first_label = true;
+      for (const auto& [key, value] : instrument.labels) {
+        if (!first_label) out += ",";
+        first_label = false;
+        out += "\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+      }
+      out += "}";
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          out += ",\"value\":";
+          AppendU64(&out, instrument.counter->Value());
+          break;
+        case MetricKind::kGauge: {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(instrument.gauge->Value()));
+          out += ",\"value\":";
+          out += buf;
+          break;
+        }
+        case MetricKind::kHistogram: {
+          const Histogram& h = *instrument.histogram;
+          out += ",\"count\":";
+          AppendU64(&out, h.TotalCount());
+          out += ",\"sum\":";
+          AppendU64(&out, h.Sum());
+          out += ",\"p50\":";
+          AppendU64(&out, h.Percentile(50));
+          out += ",\"p99\":";
+          AppendU64(&out, h.Percentile(99));
+          out += ",\"buckets\":[";
+          bool first_bucket = true;
+          for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+            uint64_t count = h.BucketCount(i);
+            if (count == 0) continue;  // sparse: empty buckets are implied
+            if (!first_bucket) out += ",";
+            first_bucket = false;
+            out += "{\"le\":";
+            if (i + 1 == Histogram::kNumBuckets) {
+              out += "\"+Inf\"";
+            } else {
+              AppendU64(&out, Histogram::BucketLe(i));
+            }
+            out += ",\"count\":";
+            AppendU64(&out, count);
+            out += "}";
+          }
+          out += "]";
+          break;
+        }
+      }
+      out += "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, family] : families_) {
+    for (auto& [serialized, instrument] : family.instruments) {
+      if (instrument.counter != nullptr) instrument.counter->Reset();
+      if (instrument.gauge != nullptr) instrument.gauge->Reset();
+      if (instrument.histogram != nullptr) instrument.histogram->Reset();
+    }
+  }
+}
+
+size_t MetricsRegistry::NumFamilies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return families_.size();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked intentionally: worker threads may record metrics during
+  // static destruction of other objects.
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+}  // namespace obs
+}  // namespace sqlpl

@@ -1,0 +1,174 @@
+#ifndef SQLPL_OBS_METRICS_H_
+#define SQLPL_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sqlpl {
+namespace obs {
+
+/// Monotonically increasing event count. All mutators are single relaxed
+/// atomic operations — counters are monitoring data, not synchronization
+/// — so any number of threads record concurrently without a lock.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, entries in a cache). May go up and
+/// down; same lock-free contract as `Counter`.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Lock-free histogram with fixed power-of-two buckets: bucket 0 counts
+/// samples in [0, 2) and bucket i >= 1 counts [2^i, 2^(i+1)). Samples at
+/// or beyond 2^31 saturate into the top bucket. 32 buckets span 1 µs to
+/// ~1.2 h when samples are microseconds — ample for parse latencies.
+/// Recording is a single relaxed fetch_add per bucket plus one for the
+/// sum, so hot paths never serialize on a stats lock; percentile queries
+/// pay the (small) accuracy cost of bucketing instead.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 32;
+
+  void Record(uint64_t value);
+
+  uint64_t TotalCount() const;
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Upper bound of the bucket holding the p-th percentile sample, p in
+  /// [0,100]. Semantics:
+  ///  - empty histogram → 0;
+  ///  - bucket 0 → 1, the largest integer sample the bucket can hold
+  ///    (its range is [0, 2));
+  ///  - bucket i >= 1 → 2^(i+1), the *exclusive* upper bound of
+  ///    [2^i, 2^(i+1)) — the true sample is strictly below the
+  ///    reported value;
+  ///  - the top bucket is saturated: samples >= 2^31 all report 2^32
+  ///    regardless of magnitude.
+  uint64_t Percentile(double p) const;
+
+  double Mean() const;
+
+  void Reset();
+
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive Prometheus-style `le` bound of bucket i (the smallest
+  /// value every sample in the bucket is ≤): 1 for bucket 0, else
+  /// 2^(i+1) - 1. The top bucket is exported as `+Inf` by the registry.
+  static uint64_t BucketLe(size_t i) {
+    return i == 0 ? 1 : (uint64_t{1} << (i + 1)) - 1;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Label key/value pairs attached to one instrument. Order-insensitive:
+/// the registry canonicalizes by sorting on key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Owns named metric families, each holding one instrument per label
+/// set. Lookup/registration takes a mutex; call sites are expected to
+/// resolve their instruments once (construction time) and then mutate
+/// the returned pointer lock-free. Pointers stay valid for the life of
+/// the registry.
+///
+/// Naming convention (docs/OBSERVABILITY.md): snake_case, `sqlpl_`
+/// prefix, `_total` suffix for counters, unit suffix for histograms
+/// (`_micros`).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the instrument. Returns nullptr when `name` is
+  /// already registered as a different kind — a programming error the
+  /// caller should surface, not silently alias.
+  Counter* GetCounter(std::string_view name, Labels labels = {},
+                      std::string_view help = "");
+  Gauge* GetGauge(std::string_view name, Labels labels = {},
+                  std::string_view help = "");
+  Histogram* GetHistogram(std::string_view name, Labels labels = {},
+                          std::string_view help = "");
+
+  /// Prometheus text exposition format (version 0.0.4): `# HELP` /
+  /// `# TYPE` per family, one `name{labels} value` sample line per
+  /// instrument; histograms expand to `_bucket{le=...}`, `_sum`,
+  /// `_count`.
+  std::string ExportPrometheus() const;
+
+  /// The same data as a JSON document:
+  /// {"metrics":[{"name","type","labels",...value fields...}]}.
+  std::string ExportJson() const;
+
+  /// Zeroes every instrument (families and label sets are kept).
+  void ResetAll();
+
+  size_t NumFamilies() const;
+
+  /// Process-wide default registry for components without an obvious
+  /// owner (e.g. free-standing thread pools).
+  static MetricsRegistry& Global();
+
+ private:
+  struct Instrument {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    MetricKind kind;
+    std::string help;
+    // Keyed by the serialized canonical label set for deterministic
+    // export order.
+    std::map<std::string, Instrument> instruments;
+  };
+
+  Instrument* Resolve(std::string_view name, Labels labels,
+                      std::string_view help, MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+/// `k1="v1",k2="v2"` with Prometheus escaping, sorted by key; empty
+/// string for no labels. Exposed for tests and exporters.
+std::string SerializeLabels(const Labels& labels);
+
+}  // namespace obs
+}  // namespace sqlpl
+
+#endif  // SQLPL_OBS_METRICS_H_

@@ -1,0 +1,200 @@
+#include "sqlpl/obs/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace sqlpl {
+namespace obs {
+
+std::atomic<bool> Tracing::enabled_{false};
+
+namespace {
+
+// Cached per-thread buffer pointer: the registration mutex is taken once
+// per thread, every later Append is lock-free.
+thread_local ThreadTraceBuffer* tls_buffer = nullptr;
+// Current span-stack depth of this thread (RAII spans push/pop).
+thread_local uint32_t tls_depth = 0;
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+}  // namespace
+
+uint64_t TraceNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+ThreadTraceBuffer::ThreadTraceBuffer(uint32_t tid, size_t capacity)
+    : tid_(tid), events_(capacity) {}
+
+void ThreadTraceBuffer::Append(TraceEvent event) {
+  // Single writer: only the owning thread appends, so a relaxed read of
+  // our own published size is exact.
+  size_t i = size_.load(std::memory_order_relaxed);
+  if (i >= events_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_[i] = std::move(event);
+  // Release: readers that acquire-load `size_` see the slot's contents.
+  size_.store(i + 1, std::memory_order_release);
+}
+
+void ThreadTraceBuffer::Reset() {
+  size_.store(0, std::memory_order_release);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+Tracer& Tracer::Global() {
+  // Leaked: threads may record during static destruction elsewhere.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+ThreadTraceBuffer& Tracer::CurrentThreadBuffer() {
+  if (tls_buffer != nullptr) return *tls_buffer;
+  auto buffer = std::make_unique<ThreadTraceBuffer>(
+      next_tid_.fetch_add(1, std::memory_order_relaxed),
+      buffer_capacity_.load(std::memory_order_relaxed));
+  tls_buffer = buffer.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::move(buffer));
+  return *tls_buffer;
+}
+
+std::vector<TraceEvent> Tracer::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : buffers_) {
+    size_t n = buffer->size();  // acquire: slots below n are fully written
+    for (size_t i = 0; i < n; ++i) out.push_back(buffer->event(i));
+  }
+  return out;
+}
+
+std::string Tracer::ExportChromeJson() const {
+  std::vector<TraceEvent> events = Collect();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(&out, event.name);
+    out += ",\"cat\":";
+    AppendJsonString(&out, event.category);
+    out += ",\"ph\":\"X\",\"ts\":";
+    AppendU64(&out, event.ts_micros);
+    out += ",\"dur\":";
+    AppendU64(&out, event.dur_micros);
+    out += ",\"pid\":1,\"tid\":";
+    AppendU64(&out, event.tid);
+    out += ",\"args\":{\"depth\":";
+    AppendU64(&out, event.depth);
+    if (!event.detail.empty()) {
+      out += ",\"detail\":";
+      AppendJsonString(&out, event.detail);
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+uint64_t Tracer::TotalDropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->dropped();
+  return total;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buffer : buffers_) buffer->Reset();
+}
+
+void EmitEvent(std::string name, const char* category, uint64_t ts_micros,
+               uint64_t dur_micros, std::string detail) {
+  if (!Tracing::enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.ts_micros = ts_micros;
+  event.dur_micros = dur_micros;
+  event.depth = tls_depth;
+  event.detail = std::move(detail);
+  ThreadTraceBuffer& buffer = Tracer::Global().CurrentThreadBuffer();
+  event.tid = buffer.tid();
+  buffer.Append(std::move(event));
+}
+
+Span::Span(const char* name, const char* category)
+    : active_(Tracing::enabled()), name_(name), category_(category) {
+  if (!active_) return;
+  depth_ = tls_depth++;
+  start_micros_ = TraceNowMicros();
+}
+
+Span::Span(const char* name, const char* category, std::string_view detail)
+    : Span(name, category) {
+  if (active_) detail_ = detail;
+}
+
+void Span::set_detail(std::string detail) {
+  if (active_) detail_ = std::move(detail);
+}
+
+Span::~Span() {
+  if (!active_) return;
+  uint64_t end = TraceNowMicros();
+  --tls_depth;
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.ts_micros = start_micros_;
+  event.dur_micros = end - start_micros_;
+  event.depth = depth_;
+  event.detail = std::move(detail_);
+  ThreadTraceBuffer& buffer = Tracer::Global().CurrentThreadBuffer();
+  event.tid = buffer.tid();
+  buffer.Append(std::move(event));
+}
+
+}  // namespace obs
+}  // namespace sqlpl

@@ -1,0 +1,173 @@
+#ifndef SQLPL_OBS_TRACE_H_
+#define SQLPL_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Compile-time switch: build with -DSQLPL_OBS_TRACING=0 to compile
+/// every SQLPL_TRACE_SPAN site down to nothing (no atomic load, no
+/// object). Default on; the runtime flag (`Tracing::Enable`) then
+/// decides per-process whether spans record.
+#ifndef SQLPL_OBS_TRACING
+#define SQLPL_OBS_TRACING 1
+#endif
+
+namespace sqlpl {
+namespace obs {
+
+/// Process-wide runtime tracing flag. Off by default: a disabled span
+/// costs one relaxed atomic load and two dead stores.
+class Tracing {
+ public:
+  static void Enable(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+/// One completed span, in Chrome `trace_event` terms a "complete" (ph
+/// "X") event: a named interval on one thread.
+struct TraceEvent {
+  std::string name;
+  const char* category = "sqlpl";
+  /// Microseconds since the process trace epoch (first tracer use).
+  uint64_t ts_micros = 0;
+  uint64_t dur_micros = 0;
+  /// Tracer-assigned sequential thread id (stable per thread).
+  uint32_t tid = 0;
+  /// Span-stack depth at open time; 0 = top-level. Redundant with
+  /// ts/dur containment but lets tests validate nesting exactly.
+  uint32_t depth = 0;
+  /// Free-form detail (dialect name, feature name, …), exported as
+  /// args.detail.
+  std::string detail;
+};
+
+/// Per-thread event buffer. Single-writer (the owning thread appends),
+/// multi-reader (exporters snapshot): the writer fills the next slot and
+/// then publishes it with a release store of the size, so readers that
+/// acquire-load the size see fully-written events. No locks on the
+/// record path; when the buffer is full, events are dropped and counted.
+class ThreadTraceBuffer {
+ public:
+  explicit ThreadTraceBuffer(uint32_t tid, size_t capacity);
+
+  void Append(TraceEvent event);
+
+  uint32_t tid() const { return tid_; }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  const TraceEvent& event(size_t i) const { return events_[i]; }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// NOT safe against a concurrent writer; see Tracer::Reset.
+  void Reset();
+
+ private:
+  uint32_t tid_;
+  std::vector<TraceEvent> events_;  // pre-sized; slots written once
+  std::atomic<size_t> size_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// Owns every thread's trace buffer and renders them as Chrome
+/// `trace_event` JSON (load in chrome://tracing or https://ui.perfetto.dev).
+/// Buffers are created lazily on a thread's first recorded span and kept
+/// for the process lifetime (thread exit does not discard events).
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Buffer of the calling thread, creating and registering it on first
+  /// use (the only locking on the record path, paid once per thread).
+  ThreadTraceBuffer& CurrentThreadBuffer();
+
+  /// Snapshot of every event recorded so far, across threads.
+  std::vector<TraceEvent> Collect() const;
+
+  /// `{"traceEvents":[...],"displayTimeUnit":"ms"}` — one "X" event per
+  /// span with pid 1, the tracer-assigned tid, and args {detail, depth}.
+  std::string ExportChromeJson() const;
+
+  /// Total events dropped to full buffers.
+  uint64_t TotalDropped() const;
+
+  /// Discards recorded events (buffers and thread registrations are
+  /// kept). Callers must ensure no thread is concurrently recording —
+  /// this is a test/benchmark convenience, not a serving-path API.
+  void Reset();
+
+  /// Capacity for buffers created after this call (default 32768
+  /// events). Existing buffers keep their size.
+  void set_buffer_capacity(size_t events) { buffer_capacity_ = events; }
+
+ private:
+  Tracer() = default;
+
+  mutable std::mutex mu_;  // guards buffers_ registration/iteration
+  std::vector<std::unique_ptr<ThreadTraceBuffer>> buffers_;
+  std::atomic<uint32_t> next_tid_{1};
+  std::atomic<size_t> buffer_capacity_{32768};
+};
+
+/// Microseconds since the process trace epoch.
+uint64_t TraceNowMicros();
+
+/// Appends a pre-timed complete event for the calling thread (used where
+/// an interval is measured manually, e.g. thread-pool queue wait whose
+/// start was stamped on another thread). No-op when tracing is disabled.
+void EmitEvent(std::string name, const char* category, uint64_t ts_micros,
+               uint64_t dur_micros, std::string detail = "");
+
+/// RAII span: opens on construction, records one complete event on
+/// destruction. Captures the runtime flag at open — a span open when
+/// tracing is toggled stays consistent with itself. Maintains the
+/// thread-local span stack depth used for nesting validation.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "sqlpl");
+  Span(const char* name, const char* category, std::string_view detail);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Replaces the detail string (only has an effect on active spans, so
+  /// building the string may be gated on `active()`).
+  void set_detail(std::string detail);
+  bool active() const { return active_; }
+
+ private:
+  bool active_;
+  const char* name_;
+  const char* category_;
+  std::string detail_;
+  uint64_t start_micros_ = 0;
+  uint32_t depth_ = 0;
+};
+
+}  // namespace obs
+}  // namespace sqlpl
+
+#if SQLPL_OBS_TRACING
+#define SQLPL_OBS_CONCAT_INNER_(a, b) a##b
+#define SQLPL_OBS_CONCAT_(a, b) SQLPL_OBS_CONCAT_INNER_(a, b)
+/// Opens an RAII span for the rest of the enclosing scope. Accepts the
+/// Span constructor argument forms: (name), (name, category),
+/// (name, category, detail).
+#define SQLPL_TRACE_SPAN(...) \
+  ::sqlpl::obs::Span SQLPL_OBS_CONCAT_(sqlpl_obs_span_, __LINE__)(__VA_ARGS__)
+#else
+#define SQLPL_TRACE_SPAN(...) \
+  do {                        \
+  } while (0)
+#endif
+
+#endif  // SQLPL_OBS_TRACE_H_

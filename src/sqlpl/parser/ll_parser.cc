@@ -1,5 +1,7 @@
 #include "sqlpl/parser/ll_parser.h"
 
+#include "sqlpl/obs/trace.h"
+
 namespace sqlpl {
 
 namespace {
@@ -53,8 +55,13 @@ void LlParser::CachePredict(const Expr& expr) {
 }
 
 Result<ParseNode> LlParser::ParseText(std::string_view sql) const {
-  SQLPL_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer_.Tokenize(sql));
-  return Parse(tokens);
+  Result<std::vector<Token>> tokens = [&] {
+    SQLPL_TRACE_SPAN("tokenize", "parse");
+    return lexer_.Tokenize(sql);
+  }();
+  if (!tokens.ok()) return tokens.status();
+  SQLPL_TRACE_SPAN("parse", "parse");
+  return Parse(*tokens);
 }
 
 bool LlParser::Accepts(std::string_view sql) const {

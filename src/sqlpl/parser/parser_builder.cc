@@ -1,3 +1,4 @@
+#include "sqlpl/obs/trace.h"
 #include "sqlpl/parser/ll_parser.h"
 
 namespace sqlpl {
@@ -10,6 +11,7 @@ Result<LlParser> ParserBuilder::Build(const Grammar& grammar) const {
                               "\n" + diagnostics.ToString());
   }
 
+  obs::Span analyze_span("analyze_grammar", "build", grammar.name());
   SQLPL_ASSIGN_OR_RETURN(GrammarAnalysis analysis,
                          GrammarAnalysis::Analyze(grammar));
 

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "sqlpl/obs/trace.h"
+
 namespace sqlpl {
 
 namespace {
@@ -17,10 +19,11 @@ uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
 
 DialectService::DialectService(DialectServiceOptions options)
     : cache_(options.cache_capacity, options.cache_shards),
-      pool_(options.num_threads) {}
+      pool_(options.num_threads, &stats_.registry()) {}
 
 Result<std::shared_ptr<const LlParser>> DialectService::GetParser(
     const DialectSpec& spec) {
+  SQLPL_TRACE_SPAN("get_parser", "service", spec.name);
   SpecFingerprint key = FingerprintSpec(spec);
   return cache_.GetOrBuild(key, [this, &spec]() -> Result<LlParser> {
     auto start = std::chrono::steady_clock::now();
@@ -34,6 +37,7 @@ Result<std::shared_ptr<const LlParser>> DialectService::GetParser(
 
 Result<ParseNode> DialectService::Parse(const DialectSpec& spec,
                                         std::string_view sql) {
+  SQLPL_TRACE_SPAN("request.parse", "service", spec.name);
   SQLPL_ASSIGN_OR_RETURN(std::shared_ptr<const LlParser> parser,
                          GetParser(spec));
   auto start = std::chrono::steady_clock::now();
@@ -48,6 +52,12 @@ bool DialectService::Accepts(const DialectSpec& spec, std::string_view sql) {
 
 std::vector<Result<ParseNode>> DialectService::ParseBatch(
     const DialectSpec& spec, std::span<const std::string> statements) {
+  obs::Span batch_span("request.batch", "service");
+  if (batch_span.active()) {
+    batch_span.set_detail(spec.name + " (" +
+                          std::to_string(statements.size()) +
+                          " statements)");
+  }
   stats_.RecordBatch(statements.size());
 
   Result<std::shared_ptr<const LlParser>> parser = GetParser(spec);
@@ -66,6 +76,7 @@ std::vector<Result<ParseNode>> DialectService::ParseBatch(
       Result<ParseNode>(Status::Internal("batch slot not filled")));
   const LlParser& shared = **parser;
   pool_.ParallelFor(statements.size(), [&](size_t i) {
+    SQLPL_TRACE_SPAN("statement", "service");
     auto start = std::chrono::steady_clock::now();
     Result<ParseNode> tree = shared.ParseText(statements[i]);
     stats_.RecordParse(tree.ok(), ElapsedMicros(start));
@@ -83,5 +94,35 @@ std::string DialectService::StatsReport() const {
 }
 
 void DialectService::ResetStats() { stats_.Reset(); }
+
+void DialectService::SyncCacheMetrics() {
+  ParserCacheStats cache = cache_.stats();
+  obs::MetricsRegistry& registry = stats_.registry();
+  auto set = [&registry](const char* name, const char* help, uint64_t v) {
+    registry.GetGauge(name, {}, help)->Set(static_cast<int64_t>(v));
+  };
+  // Gauges, not counters: their truth lives in the cache shards and is
+  // mirrored here at export time (Set, not Increment).
+  set("sqlpl_cache_hits", "Parser cache hits (lifetime)", cache.hits);
+  set("sqlpl_cache_misses", "Parser cache misses (lifetime)", cache.misses);
+  set("sqlpl_cache_builds", "Parsers built (lifetime)", cache.builds);
+  set("sqlpl_cache_build_failures", "Failed parser builds (lifetime)",
+      cache.build_failures);
+  set("sqlpl_cache_evictions", "LRU evictions (lifetime)", cache.evictions);
+  set("sqlpl_cache_coalesced_waits",
+      "Requests that waited on a single-flight build (lifetime)",
+      cache.coalesced_waits);
+  set("sqlpl_cache_entries", "Parsers currently cached", cache_.size());
+}
+
+std::string DialectService::MetricsPrometheus() {
+  SyncCacheMetrics();
+  return stats_.registry().ExportPrometheus();
+}
+
+std::string DialectService::MetricsJson() {
+  SyncCacheMetrics();
+  return stats_.registry().ExportJson();
+}
 
 }  // namespace sqlpl

@@ -72,10 +72,26 @@ class DialectService {
   /// evictions) are lifetime totals and are not reset.
   void ResetStats();
 
+  /// The service's metrics registry: request counters and latency
+  /// histograms (`ServiceStats`), pool instruments, and — refreshed on
+  /// each export call below — cache gauges. See docs/OBSERVABILITY.md
+  /// for the metric inventory.
+  obs::MetricsRegistry& metrics() { return stats_.registry(); }
+
+  /// Prometheus text exposition of `metrics()`, with the cache gauges
+  /// synced to the cache's current counters first.
+  std::string MetricsPrometheus();
+  /// The same inventory as JSON.
+  std::string MetricsJson();
+
   const SqlProductLine& product_line() const { return line_; }
   const ParserCache& cache() const { return cache_; }
 
  private:
+  /// Mirrors `cache_.stats()` into gauges on the stats registry so one
+  /// exposition covers requests, latencies, pool, and cache.
+  void SyncCacheMetrics();
+
   SqlProductLine line_;
   ParserCache cache_;
   ServiceStats stats_;

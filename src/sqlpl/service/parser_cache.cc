@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "sqlpl/obs/trace.h"
+
 namespace sqlpl {
 
 ParserCache::ParserCache(size_t capacity, size_t num_shards) {
@@ -34,6 +36,7 @@ Result<std::shared_ptr<const LlParser>> ParserCache::GetOrBuild(
   std::shared_ptr<InFlight> flight;
   bool owner = false;
   {
+    SQLPL_TRACE_SPAN("cache.lookup", "cache");
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
@@ -54,6 +57,7 @@ Result<std::shared_ptr<const LlParser>> ParserCache::GetOrBuild(
   }
 
   if (!owner) {
+    SQLPL_TRACE_SPAN("cache.singleflight_wait", "cache");
     std::unique_lock<std::mutex> wait_lock(flight->mu);
     flight->cv.wait(wait_lock, [&] { return flight->done; });
     if (flight->parser != nullptr) return flight->parser;
@@ -61,7 +65,10 @@ Result<std::shared_ptr<const LlParser>> ParserCache::GetOrBuild(
   }
 
   // Sole builder for this key: compose outside every lock.
-  Result<LlParser> built = build();
+  Result<LlParser> built = [&]() -> Result<LlParser> {
+    SQLPL_TRACE_SPAN("cache.build", "cache");
+    return build();
+  }();
 
   std::shared_ptr<const LlParser> parser;
   if (built.ok()) {

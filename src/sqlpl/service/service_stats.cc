@@ -1,87 +1,46 @@
 #include "sqlpl/service/service_stats.h"
 
-#include <algorithm>
-#include <bit>
-#include <cmath>
 #include <cstdio>
 
 namespace sqlpl {
 
-namespace {
-
-size_t BucketFor(uint64_t micros) {
-  if (micros <= 1) return 0;
-  size_t b = std::bit_width(micros) - 1;
-  return std::min(b, LatencyHistogram::kNumBuckets - 1);
-}
-
-}  // namespace
-
-void LatencyHistogram::Record(uint64_t micros) {
-  buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
-  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
-}
-
-uint64_t LatencyHistogram::TotalCount() const {
-  uint64_t total = 0;
-  for (const auto& bucket : buckets_) {
-    total += bucket.load(std::memory_order_relaxed);
-  }
-  return total;
-}
-
-uint64_t LatencyHistogram::PercentileMicros(double p) const {
-  uint64_t total = TotalCount();
-  if (total == 0) return 0;
-  double target = std::clamp(p, 0.0, 100.0) / 100.0 *
-                  static_cast<double>(total);
-  uint64_t running = 0;
-  for (size_t i = 0; i < kNumBuckets; ++i) {
-    running += buckets_[i].load(std::memory_order_relaxed);
-    if (static_cast<double>(running) >= target && running > 0) {
-      return uint64_t{1} << (i + 1);  // bucket upper bound
-    }
-  }
-  return uint64_t{1} << kNumBuckets;
-}
-
-double LatencyHistogram::MeanMicros() const {
-  uint64_t total = TotalCount();
-  if (total == 0) return 0;
-  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
-         static_cast<double>(total);
-}
-
-void LatencyHistogram::Reset() {
-  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
-  sum_micros_.store(0, std::memory_order_relaxed);
-}
+ServiceStats::ServiceStats()
+    : parses_ok_(registry_.GetCounter("sqlpl_parses_total",
+                                      {{"result", "ok"}},
+                                      "Statements parsed, by outcome")),
+      parses_error_(registry_.GetCounter("sqlpl_parses_total",
+                                         {{"result", "error"}},
+                                         "Statements parsed, by outcome")),
+      batches_(registry_.GetCounter("sqlpl_batches_total", {},
+                                    "ParseBatch calls")),
+      batch_statements_(registry_.GetCounter(
+          "sqlpl_batch_statements_total", {},
+          "Statements submitted through ParseBatch")),
+      parse_latency_(registry_.GetHistogram(
+          "sqlpl_parse_latency_micros", {},
+          "Per-statement parse latency (µs)")),
+      build_latency_(registry_.GetHistogram(
+          "sqlpl_build_latency_micros", {},
+          "Cold-path compose+analyze+build latency (µs)")) {}
 
 ServiceStatsSnapshot ServiceStats::Snapshot(
     const ParserCacheStats& cache) const {
   ServiceStatsSnapshot s;
-  s.parses = parses_.load(std::memory_order_relaxed);
-  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.batch_statements = batch_statements_.load(std::memory_order_relaxed);
+  s.parses = parses_ok_->Value();
+  s.parse_errors = parses_error_->Value();
+  s.batches = batches_->Value();
+  s.batch_statements = batch_statements_->Value();
   s.cache = cache;
-  s.parse_p50_micros = parse_latency_.PercentileMicros(50);
-  s.parse_p99_micros = parse_latency_.PercentileMicros(99);
-  s.parse_mean_micros = parse_latency_.MeanMicros();
-  s.build_p50_micros = build_latency_.PercentileMicros(50);
-  s.build_p99_micros = build_latency_.PercentileMicros(99);
-  s.build_mean_micros = build_latency_.MeanMicros();
+  s.parse_p50_micros = parse_latency_->Percentile(50);
+  s.parse_p99_micros = parse_latency_->Percentile(99);
+  s.parse_mean_micros = parse_latency_->Mean();
+  s.build_p50_micros = build_latency_->Percentile(50);
+  s.build_p99_micros = build_latency_->Percentile(99);
+  s.build_mean_micros = build_latency_->Mean();
   return s;
 }
 
-void ServiceStats::Reset() {
-  parses_.store(0, std::memory_order_relaxed);
-  parse_errors_.store(0, std::memory_order_relaxed);
-  batches_.store(0, std::memory_order_relaxed);
-  batch_statements_.store(0, std::memory_order_relaxed);
-  parse_latency_.Reset();
-  build_latency_.Reset();
-}
+void ServiceStats::Reset() { registry_.ResetAll(); }
 
 std::string RenderServiceStats(const ServiceStatsSnapshot& s) {
   char line[160];

@@ -1,43 +1,33 @@
 #ifndef SQLPL_SERVICE_SERVICE_STATS_H_
 #define SQLPL_SERVICE_SERVICE_STATS_H_
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "sqlpl/obs/metrics.h"
 #include "sqlpl/service/parser_cache.h"
 
 namespace sqlpl {
 
 /// Lock-free latency histogram with fixed power-of-two microsecond
-/// buckets: bucket i counts samples in [2^i, 2^(i+1)) µs (bucket 0 also
-/// takes sub-microsecond samples). 32 buckets span 1 µs to ~1.2 h, ample
-/// for parse latencies. Recording is a single relaxed fetch_add, so the
-/// hot parse path never serializes on a stats lock; percentile queries
-/// pay the (small) accuracy cost of bucketing instead.
-class LatencyHistogram {
+/// buckets — the µs-named view of the general `obs::Histogram`: bucket 0
+/// counts samples in [0, 2) µs and bucket i >= 1 counts
+/// [2^i, 2^(i+1)) µs. 32 buckets span 1 µs to ~1.2 h, ample for parse
+/// latencies. Recording is a single relaxed fetch_add, so the hot parse
+/// path never serializes on a stats lock; percentile queries pay the
+/// (small) accuracy cost of bucketing instead.
+class LatencyHistogram : public obs::Histogram {
  public:
-  static constexpr size_t kNumBuckets = 32;
+  uint64_t TotalMicros() const { return Sum(); }
 
-  void Record(uint64_t micros);
+  /// Bucket upper bound (µs) holding the p-th percentile sample, p in
+  /// [0,100]. Edge semantics (see `obs::Histogram::Percentile`): 0 when
+  /// the histogram is empty; 1 for bucket 0 (sub-2 µs samples); the
+  /// exclusive bound 2^(i+1) for bucket i >= 1; the top bucket saturates
+  /// at 2^32 µs regardless of the true sample magnitude.
+  uint64_t PercentileMicros(double p) const { return Percentile(p); }
 
-  uint64_t TotalCount() const;
-  uint64_t TotalMicros() const {
-    return sum_micros_.load(std::memory_order_relaxed);
-  }
-
-  /// Upper bound (µs) of the bucket holding the p-th percentile sample,
-  /// p in [0,100]. Returns 0 when empty.
-  uint64_t PercentileMicros(double p) const;
-
-  double MeanMicros() const;
-
-  void Reset();
-
- private:
-  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
-  std::atomic<uint64_t> sum_micros_{0};
+  double MeanMicros() const { return Mean(); }
 };
 
 /// Point-in-time copy of every service counter, safe to read field by
@@ -56,19 +46,30 @@ struct ServiceStatsSnapshot {
   double build_mean_micros = 0;
 };
 
-/// Counters of a running `DialectService`. All mutators are atomic
-/// (relaxed order — counters are monitoring data, not synchronization),
-/// so any number of worker threads record concurrently.
+/// Counters of a running `DialectService`, backed by an
+/// `obs::MetricsRegistry` the stats object owns: every record lands in a
+/// registered instrument (`sqlpl_parses_total{result=...}`,
+/// `sqlpl_parse_latency_micros`, …), so the same numbers are available
+/// as this class's snapshot/Markdown view *and* as Prometheus/JSON
+/// exposition through `registry()`. All mutators are single relaxed
+/// atomic operations — counters are monitoring data, not
+/// synchronization — so any number of worker threads record
+/// concurrently.
 class ServiceStats {
  public:
+  ServiceStats();
+
+  ServiceStats(const ServiceStats&) = delete;
+  ServiceStats& operator=(const ServiceStats&) = delete;
+
   void RecordParse(bool ok, uint64_t micros) {
-    (ok ? parses_ : parse_errors_).fetch_add(1, std::memory_order_relaxed);
-    parse_latency_.Record(micros);
+    (ok ? parses_ok_ : parses_error_)->Increment();
+    parse_latency_->Record(micros);
   }
-  void RecordBuild(uint64_t micros) { build_latency_.Record(micros); }
+  void RecordBuild(uint64_t micros) { build_latency_->Record(micros); }
   void RecordBatch(size_t statements) {
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    batch_statements_.fetch_add(statements, std::memory_order_relaxed);
+    batches_->Increment();
+    batch_statements_->Increment(statements);
   }
 
   /// `cache` contributes the cache half of the snapshot; the service
@@ -77,13 +78,20 @@ class ServiceStats {
 
   void Reset();
 
+  /// The backing registry — request counters and latency histograms
+  /// live here; `DialectService` adds cache/pool instruments and exports
+  /// the whole thing.
+  obs::MetricsRegistry& registry() { return registry_; }
+  const obs::MetricsRegistry& registry() const { return registry_; }
+
  private:
-  std::atomic<uint64_t> parses_{0};
-  std::atomic<uint64_t> parse_errors_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> batch_statements_{0};
-  LatencyHistogram parse_latency_;
-  LatencyHistogram build_latency_;
+  obs::MetricsRegistry registry_;
+  obs::Counter* parses_ok_;
+  obs::Counter* parses_error_;
+  obs::Counter* batches_;
+  obs::Counter* batch_statements_;
+  obs::Histogram* parse_latency_;
+  obs::Histogram* build_latency_;
 };
 
 /// Renders a snapshot as the same Markdown style as

@@ -2,39 +2,67 @@
 
 #include <atomic>
 
+#include "sqlpl/obs/trace.h"
+
 namespace sqlpl {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, obs::MetricsRegistry* metrics) {
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
   }
   if (num_threads == 0) num_threads = 1;
+  num_threads_ = num_threads;
+  if (metrics != nullptr) {
+    queue_depth_ = metrics->GetGauge("sqlpl_pool_queue_depth", {},
+                                     "Tasks waiting in the pool queue");
+    tasks_total_ =
+        metrics->GetCounter("sqlpl_pool_tasks_total", {}, "Tasks executed");
+    task_micros_ = metrics->GetHistogram("sqlpl_pool_task_micros", {},
+                                         "Task execution time (µs)");
+    queue_wait_micros_ = metrics->GetHistogram(
+        "sqlpl_pool_queue_wait_micros", {},
+        "Time tasks spent queued before a worker picked them up (µs)");
+  }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
+  // Every caller serializes on the join: whoever arrives first joins the
+  // workers, later callers (including ~ThreadPool after an explicit
+  // Shutdown) find the vector empty and return once the join is done —
+  // no caller returns while workers are still running.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
   for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    if (stopping_) return false;
+    queue_.push_back(Task{std::move(task), obs::TraceNowMicros()});
   }
+  if (queue_depth_ != nullptr) queue_depth_->Add(1);
   cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
+  // Whether per-task timing is wanted at all; tracing state is
+  // re-checked per task (it can toggle at runtime).
+  const bool metered = task_micros_ != nullptr;
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -42,7 +70,23 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (queue_depth_ != nullptr) queue_depth_->Add(-1);
+    const bool timing = metered || obs::Tracing::enabled();
+    uint64_t start = 0;
+    if (timing) {
+      start = obs::TraceNowMicros();
+      uint64_t wait = start - task.enqueue_micros;
+      if (queue_wait_micros_ != nullptr) queue_wait_micros_->Record(wait);
+      // Attributed to the worker's timeline, spanning enqueue → dequeue.
+      obs::EmitEvent("pool.queue_wait", "pool", task.enqueue_micros, wait);
+    }
+    task.fn();
+    if (timing) {
+      if (task_micros_ != nullptr) {
+        task_micros_->Record(obs::TraceNowMicros() - start);
+      }
+      if (tasks_total_ != nullptr) tasks_total_->Increment();
+    }
   }
 }
 
@@ -71,8 +115,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     }
   };
 
-  size_t helpers = std::min(n > 0 ? n - 1 : 0, workers_.size());
-  for (size_t i = 0; i < helpers; ++i) Submit(run_chunk);
+  size_t helpers = std::min(n > 0 ? n - 1 : 0, num_threads_);
+  for (size_t i = 0; i < helpers; ++i) {
+    // A rejected Submit (pool shutting down) just means the caller's
+    // own run_chunk below picks up the iterations.
+    Submit(run_chunk);
+  }
   run_chunk();  // caller participates
 
   std::unique_lock<std::mutex> lock(state->mu);

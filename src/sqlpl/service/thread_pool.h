@@ -3,11 +3,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sqlpl/obs/metrics.h"
 
 namespace sqlpl {
 
@@ -16,38 +19,70 @@ namespace sqlpl {
 /// few coarse tasks (whole statements), so queue contention is noise next
 /// to parse cost and a lock-free queue would buy nothing yet.
 ///
+/// Observability: bind a `MetricsRegistry` to get a queue-depth gauge
+/// (`sqlpl_pool_queue_depth`), task count and latency
+/// (`sqlpl_pool_tasks_total`, `sqlpl_pool_task_micros`), and queue-wait
+/// histogram (`sqlpl_pool_queue_wait_micros`). With tracing enabled
+/// (obs/trace.h), every dequeue additionally emits a `pool.queue_wait`
+/// trace event spanning enqueue → dequeue on the worker's timeline.
+///
 /// Tasks must not throw (the library is exception-free across API
 /// boundaries); a throwing task terminates the process.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (minimum 1; 0 means
-  /// hardware_concurrency).
-  explicit ThreadPool(size_t num_threads);
+  /// hardware_concurrency). `metrics`, when non-null, must outlive the
+  /// pool; pass nullptr for an uninstrumented pool.
+  explicit ThreadPool(size_t num_threads,
+                      obs::MetricsRegistry* metrics = nullptr);
 
-  /// Drains nothing: pending tasks are completed before shutdown.
+  /// Equivalent to `Shutdown()`.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task` for execution on some worker.
-  void Submit(std::function<void()> task);
+  /// Enqueues `task` for execution on some worker. Returns false —
+  /// without running or storing the task — once `Shutdown()` has begun.
+  bool Submit(std::function<void()> task);
+
+  /// Drains the queue and joins the workers: every task enqueued before
+  /// this call runs to completion; tasks submitted after it are
+  /// rejected. Idempotent and callable from any thread (but not from a
+  /// worker task — a worker joining itself deadlocks).
+  void Shutdown();
 
   /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all
   /// complete. The calling thread participates, so a 1-thread pool still
-  /// makes progress even while workers are busy with other batches.
+  /// makes progress even while workers are busy with other batches (and
+  /// a shut-down pool degrades to sequential execution on the caller).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
-  size_t num_threads() const { return workers_.size(); }
+  size_t num_threads() const { return num_threads_; }
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    /// TraceNowMicros() at enqueue, for the queue-wait measurement.
+    uint64_t enqueue_micros = 0;
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool stopping_ = false;
+  // Serializes Shutdown callers; guards workers_ during the join.
+  std::mutex join_mu_;
   std::vector<std::thread> workers_;
+  size_t num_threads_ = 0;
+
+  // Instruments (all nullptr when the pool is uninstrumented).
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Counter* tasks_total_ = nullptr;
+  obs::Histogram* task_micros_ = nullptr;
+  obs::Histogram* queue_wait_micros_ = nullptr;
 };
 
 }  // namespace sqlpl

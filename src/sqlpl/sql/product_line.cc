@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sqlpl/feature/feature_diagram.h"
+#include "sqlpl/obs/trace.h"
 #include "sqlpl/sql/foundation_model.h"
 
 namespace sqlpl {
@@ -42,7 +43,13 @@ Result<Grammar> SqlProductLine::ComposeGrammar(const DialectSpec& spec) const {
 
 Result<Grammar> SqlProductLine::ComposeGrammar(
     const DialectSpec& spec, std::vector<CompositionStep>* trace_out) const {
-  SQLPL_ASSIGN_OR_RETURN(CompositionSequence sequence, ResolveSequence(spec));
+  obs::Span compose_span("compose_grammar", "compose", spec.name);
+  Result<CompositionSequence> resolved = [&] {
+    SQLPL_TRACE_SPAN("resolve_sequence", "compose");
+    return ResolveSequence(spec);
+  }();
+  if (!resolved.ok()) return resolved.status();
+  const CompositionSequence& sequence = *resolved;
   if (sequence.features().empty()) {
     return Status::ConfigurationError("dialect '" + spec.name +
                                       "' selects no features");
@@ -51,6 +58,7 @@ Result<Grammar> SqlProductLine::ComposeGrammar(
   std::vector<Grammar> grammars;
   grammars.reserve(sequence.features().size());
   for (const std::string& feature : sequence.features()) {
+    obs::Span load_span("load_feature_grammar", "compose", feature);
     auto it = spec.counts.find(feature);
     int count = (it != spec.counts.end()) ? it->second
                                           : Cardinality::kUnbounded;
@@ -59,13 +67,31 @@ Result<Grammar> SqlProductLine::ComposeGrammar(
     grammars.push_back(std::move(grammar));
   }
 
+  // Left fold of Compose, one span per composed feature (same semantics
+  // as GrammarComposer::ComposeAll, unrolled so each feature's
+  // composition step is individually visible in the trace).
   GrammarComposer composer;
-  SQLPL_ASSIGN_OR_RETURN(Grammar composed, composer.ComposeAll(grammars));
-  if (trace_out != nullptr) *trace_out = composer.trace();
+  std::vector<CompositionStep> full_trace;
+  Grammar composed = std::move(grammars.front());
+  for (size_t i = 1; i < grammars.size(); ++i) {
+    obs::Span step_span("compose_step", "compose");
+    Result<Grammar> next = composer.Compose(composed, grammars[i]);
+    if (!next.ok()) return next.status();
+    composed = std::move(next).value();
+    full_trace.insert(full_trace.end(), composer.trace().begin(),
+                      composer.trace().end());
+    if (step_span.active()) {
+      step_span.set_detail(sequence.features()[i] + " (" +
+                           std::to_string(composer.trace().size()) +
+                           " composition steps)");
+    }
+  }
+  if (trace_out != nullptr) *trace_out = std::move(full_trace);
 
   composed.set_name(spec.name.empty() ? "dialect" : spec.name);
   composed.set_start_symbol(spec.start_symbol);
 
+  SQLPL_TRACE_SPAN("validate_grammar", "compose");
   DiagnosticCollector diagnostics;
   Status valid = composed.Validate(&diagnostics);
   if (!valid.ok()) {
@@ -83,6 +109,7 @@ Result<LlParser> SqlProductLine::BuildParser(const DialectSpec& spec) const {
 
 Result<LlParser> SqlProductLine::BuildParser(
     const DialectSpec& spec, std::vector<CompositionStep>* trace_out) const {
+  obs::Span build_span("build_parser", "build", spec.name);
   SQLPL_ASSIGN_OR_RETURN(Grammar grammar, ComposeGrammar(spec, trace_out));
   return ParserBuilder().Build(grammar);
 }

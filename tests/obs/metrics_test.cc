@@ -1,0 +1,275 @@
+#include "sqlpl/obs/metrics.h"
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddAndNegative) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-25);
+  EXPECT_EQ(gauge.Value(), -15);
+  gauge.Set(3);
+  EXPECT_EQ(gauge.Value(), 3);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, BucketZeroReportsOne) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  EXPECT_EQ(h.Percentile(100), 1u);
+}
+
+TEST(HistogramTest, TopBucketSaturates) {
+  Histogram h;
+  h.Record(~uint64_t{0});
+  EXPECT_EQ(h.Percentile(50), uint64_t{1} << 32);
+  EXPECT_EQ(h.BucketCount(Histogram::kNumBuckets - 1), 1u);
+}
+
+TEST(HistogramTest, BucketLeBoundsAreInclusive) {
+  EXPECT_EQ(Histogram::BucketLe(0), 1u);   // [0, 2) → all samples ≤ 1
+  EXPECT_EQ(Histogram::BucketLe(1), 3u);   // [2, 4) → ≤ 3
+  EXPECT_EQ(Histogram::BucketLe(4), 31u);  // [16, 32) → ≤ 31
+}
+
+TEST(RegistryTest, SameNameAndLabelsReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("sqlpl_x_total", {{"k", "v"}});
+  Counter* b = registry.GetCounter("sqlpl_x_total", {{"k", "v"}});
+  Counter* c = registry.GetCounter("sqlpl_x_total", {{"k", "w"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(RegistryTest, LabelOrderIsCanonicalized) {
+  MetricsRegistry registry;
+  Counter* a =
+      registry.GetCounter("sqlpl_y_total", {{"a", "1"}, {"b", "2"}});
+  Counter* b =
+      registry.GetCounter("sqlpl_y_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegistryTest, KindMismatchReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("sqlpl_z"), nullptr);
+  EXPECT_EQ(registry.GetGauge("sqlpl_z"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("sqlpl_z"), nullptr);
+}
+
+TEST(RegistryTest, ResetAllZeroesEveryKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(5);
+  registry.GetGauge("g")->Set(7);
+  registry.GetHistogram("h")->Record(9);
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("c")->Value(), 0u);
+  EXPECT_EQ(registry.GetGauge("g")->Value(), 0);
+  EXPECT_EQ(registry.GetHistogram("h")->TotalCount(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Prometheus exposition round-trip: parse the text format back and check
+// it against the live instruments. Accepts the exposition grammar
+//   line    := '# HELP' ... | '# TYPE' name kind | sample
+//   sample  := name ('{' k '="' v '"' (',' k '="' v '"')* '}')? ' ' value
+// and verifies type lines precede their samples, histogram buckets are
+// cumulative, and the parsed values equal the instrument values.
+// ---------------------------------------------------------------------
+
+struct ParsedSample {
+  std::string name;
+  std::string labels;  // raw text between the braces
+  double value = 0;
+};
+
+// Splits one sample line; returns false on any syntax violation.
+bool ParseSampleLine(const std::string& line, ParsedSample* out) {
+  size_t space = line.rfind(' ');
+  if (space == std::string::npos || space + 1 >= line.size()) return false;
+  std::string name_part = line.substr(0, space);
+  try {
+    out->value = std::stod(line.substr(space + 1));
+  } catch (...) {
+    return false;
+  }
+  size_t brace = name_part.find('{');
+  if (brace == std::string::npos) {
+    out->name = name_part;
+    out->labels.clear();
+  } else {
+    if (name_part.back() != '}') return false;
+    out->name = name_part.substr(0, brace);
+    out->labels = name_part.substr(brace + 1,
+                                   name_part.size() - brace - 2);
+    // Label syntax: k="v" pairs, comma separated, values quoted.
+    std::string rest = out->labels;
+    while (!rest.empty()) {
+      size_t eq = rest.find('=');
+      if (eq == std::string::npos || eq + 1 >= rest.size() ||
+          rest[eq + 1] != '"') {
+        return false;
+      }
+      size_t close = rest.find('"', eq + 2);
+      if (close == std::string::npos) return false;
+      if (close + 1 == rest.size()) {
+        rest.clear();
+      } else if (rest[close + 1] == ',') {
+        rest = rest.substr(close + 2);
+      } else {
+        return false;
+      }
+    }
+  }
+  if (out->name.empty()) return false;
+  for (char c : out->name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(RegistryTest, PrometheusExpositionRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("sqlpl_requests_total", {{"result", "ok"}},
+                      "Requests by outcome")->Increment(7);
+  registry.GetCounter("sqlpl_requests_total", {{"result", "error"}})
+      ->Increment(2);
+  registry.GetGauge("sqlpl_depth", {}, "Queue depth")->Set(-4);
+  Histogram* h = registry.GetHistogram("sqlpl_latency_micros", {}, "Latency");
+  h->Record(1);
+  h->Record(9);
+  h->Record(9);
+
+  std::string exposition = registry.ExportPrometheus();
+  std::istringstream lines(exposition);
+  std::string line;
+  std::map<std::string, std::string> declared_type;
+  std::map<std::string, double> samples;  // full sample name → value
+  std::string last_bucket_family;
+  double last_cumulative = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream type_line(line.substr(7));
+      std::string name, kind;
+      type_line >> name >> kind;
+      ASSERT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      declared_type[name] = kind;
+      continue;
+    }
+    ParsedSample sample;
+    ASSERT_TRUE(ParseSampleLine(line, &sample)) << "bad sample line: " << line;
+    // Histogram samples use the family name plus a suffix.
+    std::string family = sample.name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      std::string s(suffix);
+      if (family.size() > s.size() &&
+          family.compare(family.size() - s.size(), s.size(), s) == 0 &&
+          declared_type.contains(family.substr(0, family.size() - s.size()))) {
+        family = family.substr(0, family.size() - s.size());
+      }
+    }
+    ASSERT_TRUE(declared_type.contains(family))
+        << "sample before/without # TYPE: " << line;
+    if (sample.name.size() >= 7 &&
+        sample.name.compare(sample.name.size() - 7, 7, "_bucket") == 0) {
+      // Bucket counts must be cumulative (monotone within one family).
+      if (last_bucket_family != sample.name) {
+        last_bucket_family = sample.name;
+        last_cumulative = 0;
+      }
+      EXPECT_GE(sample.value, last_cumulative) << line;
+      last_cumulative = sample.value;
+      ASSERT_NE(sample.labels.find("le="), std::string::npos) << line;
+    }
+    samples[sample.name + "{" + sample.labels + "}"] = sample.value;
+  }
+
+  // Round-trip: parsed values equal the live instruments.
+  EXPECT_EQ(samples.at("sqlpl_requests_total{result=\"ok\"}"), 7);
+  EXPECT_EQ(samples.at("sqlpl_requests_total{result=\"error\"}"), 2);
+  EXPECT_EQ(samples.at("sqlpl_depth{}"), -4);
+  EXPECT_EQ(samples.at("sqlpl_latency_micros_count{}"), 3);
+  EXPECT_EQ(samples.at("sqlpl_latency_micros_sum{}"), 19);
+  // Cumulative buckets: le="1" holds the 1-µs sample, le="15" all three.
+  EXPECT_EQ(samples.at("sqlpl_latency_micros_bucket{le=\"1\"}"), 1);
+  EXPECT_EQ(samples.at("sqlpl_latency_micros_bucket{le=\"15\"}"), 3);
+  EXPECT_EQ(samples.at("sqlpl_latency_micros_bucket{le=\"+Inf\"}"), 3);
+  // The declared types match the instrument kinds.
+  EXPECT_EQ(declared_type.at("sqlpl_requests_total"), "counter");
+  EXPECT_EQ(declared_type.at("sqlpl_depth"), "gauge");
+  EXPECT_EQ(declared_type.at("sqlpl_latency_micros"), "histogram");
+}
+
+TEST(RegistryTest, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("sqlpl_esc_total", {{"q", "say \"hi\"\nnow\\"}})
+      ->Increment();
+  std::string exposition = registry.ExportPrometheus();
+  EXPECT_NE(
+      exposition.find("sqlpl_esc_total{q=\"say \\\"hi\\\"\\nnow\\\\\"} 1"),
+      std::string::npos)
+      << exposition;
+}
+
+TEST(RegistryTest, JsonExportContainsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("sqlpl_a_total", {{"k", "v"}})->Increment(3);
+  registry.GetGauge("sqlpl_b")->Set(9);
+  Histogram* h = registry.GetHistogram("sqlpl_c_micros");
+  h->Record(5);
+
+  std::string json = registry.ExportJson();
+  EXPECT_NE(json.find("\"name\":\"sqlpl_a_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"labels\":{\"k\":\"v\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sqlpl_b\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sqlpl_c_micros\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1,\"sum\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":8"), std::string::npos);  // [4,8) → bound 8
+}
+
+TEST(SerializeLabelsTest, SortsAndEscapes) {
+  EXPECT_EQ(SerializeLabels({}), "");
+  EXPECT_EQ(SerializeLabels({{"b", "2"}, {"a", "1"}}),
+            "a=\"1\",b=\"2\"");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sqlpl

@@ -1,0 +1,275 @@
+// End-to-end trace of the serving pipeline: ParseBatch over several
+// dialects with tracing on must export structurally valid Chrome
+// trace_event JSON — spans nest, thread ids are distinct, and every
+// build-miss span contains compose/analyze child spans.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/obs/trace.h"
+#include "sqlpl/service/dialect_service.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+using obs::TraceEvent;
+
+// Minimal JSON syntax checker (objects, arrays, strings with escapes,
+// numbers, literals). Returns true iff `text` is one valid JSON value.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// True iff `child` lies within `parent` on the same thread, one level
+// deeper or more. Timestamps are measured monotonically (parent opens
+// before and closes after its children), so containment is inclusive.
+bool Contains(const TraceEvent& parent, const TraceEvent& child) {
+  return parent.tid == child.tid && child.depth > parent.depth &&
+         child.ts_micros >= parent.ts_micros &&
+         child.ts_micros + child.dur_micros <=
+             parent.ts_micros + parent.dur_micros;
+}
+
+std::vector<const TraceEvent*> Named(const std::vector<TraceEvent>& events,
+                                     const std::string& name) {
+  std::vector<const TraceEvent*> out;
+  for (const TraceEvent& event : events) {
+    if (event.name == name) out.push_back(&event);
+  }
+  return out;
+}
+
+TEST(PipelineTraceTest, ParseBatchOverThreeDialectsExportsNestedSpans) {
+  obs::Tracer::Global().Reset();
+  obs::Tracing::Enable(true);
+
+  DialectServiceOptions options;
+  options.num_threads = 4;
+  DialectService service(options);
+
+  const std::vector<DialectSpec> dialects = {
+      CoreQueryDialect(), TinySqlDialect(), EmbeddedMinimalDialect()};
+  std::vector<std::string> batch(64, "SELECT a FROM t");
+  for (const DialectSpec& spec : dialects) {
+    std::vector<Result<ParseNode>> results = service.ParseBatch(spec, batch);
+    for (const Result<ParseNode>& result : results) {
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+    }
+  }
+  // A parse from a second explicit thread guarantees a distinct tid in
+  // the trace regardless of pool scheduling.
+  std::thread side([&] {
+    ASSERT_TRUE(service.Parse(dialects[0], "SELECT a FROM t").ok());
+  });
+  side.join();
+  obs::Tracing::Enable(false);
+
+  // --- the exported JSON is valid Chrome trace_event JSON ---
+  std::string json = obs::Tracer::Global().ExportChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+
+  std::vector<TraceEvent> events = obs::Tracer::Global().Collect();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(obs::Tracer::Global().TotalDropped(), 0u);
+
+  // --- every nested span has an enclosing parent on its thread ---
+  for (const TraceEvent& event : events) {
+    if (event.depth == 0) continue;
+    bool has_parent = std::any_of(
+        events.begin(), events.end(), [&](const TraceEvent& candidate) {
+          return candidate.depth + 1 == event.depth &&
+                 Contains(candidate, event);
+        });
+    EXPECT_TRUE(has_parent) << event.name << " depth " << event.depth
+                            << " tid " << event.tid;
+  }
+
+  // --- thread ids: batch statements + the side thread span several ---
+  std::set<uint32_t> tids;
+  for (const TraceEvent& event : events) tids.insert(event.tid);
+  EXPECT_GE(tids.size(), 2u);
+
+  // --- one batch span per dialect, each a top-level request ---
+  std::vector<const TraceEvent*> batches = Named(events, "request.batch");
+  ASSERT_EQ(batches.size(), dialects.size());
+  for (const TraceEvent* b : batches) EXPECT_EQ(b->depth, 0u);
+
+  // --- each build miss contains compose and analyze child spans ---
+  std::vector<const TraceEvent*> builds = Named(events, "cache.build");
+  ASSERT_EQ(builds.size(), dialects.size());  // one cold build per dialect
+  for (const TraceEvent* build : builds) {
+    auto contained = [&](const std::string& name) {
+      std::vector<const TraceEvent*> candidates = Named(events, name);
+      return std::any_of(candidates.begin(), candidates.end(),
+                         [&](const TraceEvent* c) {
+                           return Contains(*build, *c);
+                         });
+    };
+    EXPECT_TRUE(contained("compose_grammar")) << "build without compose";
+    EXPECT_TRUE(contained("analyze_grammar")) << "build without analyze";
+    EXPECT_TRUE(contained("compose_step")) << "build without feature steps";
+  }
+
+  // --- warm statements hit the cache: lookup + tokenize + parse ---
+  EXPECT_GE(Named(events, "cache.lookup").size(), dialects.size());
+  EXPECT_GE(Named(events, "tokenize").size(), 3 * batch.size());
+  EXPECT_GE(Named(events, "parse").size(), 3 * batch.size());
+  EXPECT_FALSE(Named(events, "statement").empty());
+}
+
+TEST(PipelineTraceTest, TracingOffLeavesPipelineSilent) {
+  obs::Tracer::Global().Reset();
+  obs::Tracing::Enable(false);
+  DialectService service;
+  ASSERT_TRUE(service.Parse(CoreQueryDialect(), "SELECT a FROM t").ok());
+  EXPECT_TRUE(obs::Tracer::Global().Collect().empty());
+}
+
+TEST(PipelineTraceTest, ServiceMetricsExposePipelineCounters) {
+  DialectService service;
+  std::vector<std::string> batch(8, "SELECT a FROM t");
+  service.ParseBatch(CoreQueryDialect(), batch);
+  ASSERT_TRUE(service.Parse(CoreQueryDialect(), "SELECT a FROM t").ok());
+
+  std::string prometheus = service.MetricsPrometheus();
+  EXPECT_NE(prometheus.find("sqlpl_parses_total{result=\"ok\"} 9"),
+            std::string::npos)
+      << prometheus;
+  EXPECT_NE(prometheus.find("sqlpl_cache_builds 1"), std::string::npos);
+  EXPECT_NE(prometheus.find("sqlpl_cache_entries 1"), std::string::npos);
+  EXPECT_NE(prometheus.find("sqlpl_pool_tasks_total"), std::string::npos);
+  EXPECT_NE(prometheus.find("sqlpl_parse_latency_micros_count 9"),
+            std::string::npos);
+
+  std::string json = service.MetricsJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"name\":\"sqlpl_batches_total\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqlpl

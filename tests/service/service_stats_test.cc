@@ -36,7 +36,39 @@ TEST(LatencyHistogramTest, SubMicrosecondSamplesLandInBucketZero) {
   histogram.Record(0);
   histogram.Record(1);
   EXPECT_EQ(histogram.TotalCount(), 2u);
-  EXPECT_EQ(histogram.PercentileMicros(100), 2u);
+  // Bucket 0 spans [0, 2) µs: the reported bound is 1, the largest
+  // integer sample the bucket can hold — not the next bucket's lower
+  // bound of 2.
+  EXPECT_EQ(histogram.PercentileMicros(100), 1u);
+  EXPECT_EQ(histogram.PercentileMicros(0), 1u);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramIsZeroAtEveryPercentile) {
+  LatencyHistogram histogram;
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(histogram.PercentileMicros(p), 0u) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, TopBucketSaturates) {
+  LatencyHistogram histogram;
+  // Far beyond the top bucket's lower bound of 2^31 µs; both samples
+  // land in bucket 31 and report the saturated bound 2^32.
+  histogram.Record(uint64_t{1} << 40);
+  histogram.Record(~uint64_t{0});
+  EXPECT_EQ(histogram.TotalCount(), 2u);
+  EXPECT_EQ(histogram.PercentileMicros(50), uint64_t{1} << 32);
+  EXPECT_EQ(histogram.PercentileMicros(100), uint64_t{1} << 32);
+}
+
+TEST(LatencyHistogramTest, BucketBoundariesArePowersOfTwo) {
+  LatencyHistogram histogram;
+  histogram.Record(8);  // [8, 16)
+  EXPECT_EQ(histogram.PercentileMicros(100), 16u);
+  histogram.Record(15);  // same bucket
+  EXPECT_EQ(histogram.PercentileMicros(100), 16u);
+  histogram.Record(16);  // next bucket [16, 32)
+  EXPECT_EQ(histogram.PercentileMicros(100), 32u);
 }
 
 TEST(LatencyHistogramTest, ResetClears) {
@@ -110,6 +142,81 @@ TEST(ServiceStatsTest, RenderContainsEverySection) {
   EXPECT_NE(report.find("## Parser cache"), std::string::npos);
   EXPECT_NE(report.find("## Latency"), std::string::npos);
   EXPECT_NE(report.find("| hit rate | 75.0% |"), std::string::npos);
+}
+
+// The registry migration must not change the report format: this is the
+// exact pre-migration rendering of a fixed snapshot, byte for byte.
+TEST(ServiceStatsTest, RenderIsByteIdenticalToPreRegistryFormat) {
+  ServiceStatsSnapshot s;
+  s.parses = 42;
+  s.parse_errors = 3;
+  s.batches = 7;
+  s.batch_statements = 112;
+  s.cache.hits = 30;
+  s.cache.misses = 10;
+  s.cache.builds = 9;
+  s.cache.build_failures = 1;
+  s.cache.evictions = 2;
+  s.cache.coalesced_waits = 4;
+  s.parse_p50_micros = 16;
+  s.parse_p99_micros = 64;
+  s.parse_mean_micros = 21.5;
+  s.build_p50_micros = 4096;
+  s.build_p99_micros = 8192;
+  s.build_mean_micros = 4500.25;
+
+  const std::string expected =
+      "# Dialect service stats\n"
+      "\n"
+      "## Requests\n"
+      "\n"
+      "| counter | value |\n"
+      "|---|---:|\n"
+      "| parses ok | 42 |\n"
+      "| parse errors | 3 |\n"
+      "| batch calls | 7 |\n"
+      "| batch statements | 112 |\n"
+      "\n"
+      "## Parser cache\n"
+      "\n"
+      "| counter | value |\n"
+      "|---|---:|\n"
+      "| hits | 30 |\n"
+      "| misses | 10 |\n"
+      "| builds | 9 |\n"
+      "| build failures | 1 |\n"
+      "| evictions | 2 |\n"
+      "| coalesced waits | 4 |\n"
+      "| hit rate | 75.0% |\n"
+      "\n"
+      "## Latency (µs)\n"
+      "\n"
+      "| path | mean | p50 | p99 |\n"
+      "|---|---:|---:|---:|\n"
+      "| parse | 21.5 | 16 | 64 |\n"
+      "| build | 4500.2 | 4096 | 8192 |\n";
+  EXPECT_EQ(RenderServiceStats(s), expected);
+}
+
+TEST(ServiceStatsTest, RecordsLandInBackingRegistry) {
+  ServiceStats stats;
+  stats.RecordParse(true, 10);
+  stats.RecordParse(false, 20);
+  stats.RecordBatch(3);
+  stats.RecordBuild(5000);
+
+  std::string exposition = stats.registry().ExportPrometheus();
+  EXPECT_NE(exposition.find("sqlpl_parses_total{result=\"ok\"} 1"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("sqlpl_parses_total{result=\"error\"} 1"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("sqlpl_batches_total 1"), std::string::npos);
+  EXPECT_NE(exposition.find("sqlpl_batch_statements_total 3"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("sqlpl_parse_latency_micros_count 2"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("sqlpl_build_latency_micros_sum 5000"),
+            std::string::npos);
 }
 
 }  // namespace

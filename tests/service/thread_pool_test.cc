@@ -1,0 +1,126 @@
+#include "sqlpl/service/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/obs/metrics.h"
+
+namespace sqlpl {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsEveryTaskEnqueuedBeforeIt) {
+  // One slow task occupies the single worker while many more queue up;
+  // Shutdown must still run them all before returning.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&ran] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ran.fetch_add(1);
+  }));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 201);
+}
+
+TEST(ThreadPoolTest, DestructionWithEmptyQueueDoesNotHang) {
+  // Workers are parked on the condition variable with nothing queued;
+  // the destructor must wake and join them promptly.
+  ThreadPool pool(8);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejectedCleanly) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<bool> ran{false};
+  EXPECT_FALSE(pool.Submit([&ran] { ran.store(true); }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Shutdown();
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentShutdownCallersAllWaitForTheJoin) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ran.fetch_add(1);
+    });
+  }
+  std::vector<std::thread> closers;
+  for (int i = 0; i < 4; ++i) {
+    closers.emplace_back([&pool, &ran] {
+      pool.Shutdown();
+      // No Shutdown caller may return while tasks are still running.
+      EXPECT_EQ(ran.load(), 50);
+    });
+  }
+  for (std::thread& closer : closers) closer.join();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForAfterShutdownRunsSequentiallyOnCaller) {
+  ThreadPool pool(4);
+  pool.Shutdown();
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> ran{0};
+  pool.ParallelFor(64, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, InstrumentedPoolRecordsTasksAndDrainsQueueDepth) {
+  obs::MetricsRegistry registry;
+  {
+    ThreadPool pool(2, &registry);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    pool.Shutdown();
+    EXPECT_EQ(ran.load(), 32);
+  }
+  EXPECT_EQ(registry.GetCounter("sqlpl_pool_tasks_total")->Value(), 32u);
+  EXPECT_EQ(registry.GetGauge("sqlpl_pool_queue_depth")->Value(), 0);
+  EXPECT_EQ(registry.GetHistogram("sqlpl_pool_task_micros")->TotalCount(),
+            32u);
+}
+
+}  // namespace
+}  // namespace sqlpl
