@@ -9,7 +9,11 @@
 //    under concurrency — shard contention and ParseBatch overhead.
 //  - BM_FingerprintSpec: the per-request keying cost itself.
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -134,6 +138,105 @@ void BM_FingerprintSpec(benchmark::State& state) {
   }
 }
 
+void BM_CacheHitParseWithLifecycle(benchmark::State& state) {
+  // The warm path through the request-lifecycle API with a (far)
+  // deadline and a live cancel token — what every checkpoint costs when
+  // nothing fires. Compare against BM_CacheHitParse (legacy wrappers,
+  // unrestricted control).
+  static DialectService* service = new DialectService();
+  DialectSpec spec = CoreQueryDialect();
+  if (state.thread_index() == 0) {
+    Result<std::shared_ptr<const LlParser>> warm = service->GetParser(spec);
+    if (!warm.ok()) {
+      state.SkipWithError(warm.status().ToString().c_str());
+      return;
+    }
+  }
+  CancelSource source;
+  const std::vector<std::string>& workload = Workload();
+  size_t i = 0;
+  size_t statements = 0;
+  for (auto _ : state) {
+    ParseRequest request;
+    request.spec = &spec;
+    request.sql = workload[i++ % workload.size()];
+    request.deadline = Deadline::After(std::chrono::hours(1));
+    request.cancel = source.token();
+    ParseResponse response = service->Parse(request);
+    benchmark::DoNotOptimize(response);
+    ++statements;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(statements));
+}
+
+// Overload scenario for BENCH_service.json: an 8-thread burst against a
+// 2-slot admission limit, a quarter of the requests carrying a tight
+// deadline. Not a google-benchmark (rates, not latencies): shed_rate is
+// the fraction rejected with resource_exhausted, deadline_miss_rate the
+// fraction that expired at any stage.
+struct OverloadRates {
+  double shed_rate = 0;
+  double deadline_miss_rate = 0;
+};
+
+OverloadRates MeasureOverloadRates() {
+  DialectServiceOptions options;
+  options.max_inflight_requests = 2;
+  options.num_threads = 2;
+  DialectService service(options);
+  DialectSpec spec = CoreQueryDialect();
+  {
+    Result<std::shared_ptr<const LlParser>> warm = service.GetParser(spec);
+    if (!warm.ok()) return {};
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 400;
+  const std::vector<std::string>& workload = Workload();
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> deadline_missed{0};
+  std::atomic<uint64_t> attempted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        ParseRequest request;
+        request.spec = &spec;
+        request.sql = workload[static_cast<size_t>(i) % workload.size()];
+        if (i % 4 == 0) {
+          request.deadline =
+              Deadline::After(std::chrono::microseconds(20));
+        }
+        ParseResponse response = service.Parse(request);
+        attempted.fetch_add(1);
+        switch (response.status().code()) {
+          case StatusCode::kResourceExhausted:
+            shed.fetch_add(1);
+            break;
+          case StatusCode::kDeadlineExceeded:
+            deadline_missed.fetch_add(1);
+            break;
+          default:
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  OverloadRates rates;
+  uint64_t total = attempted.load();
+  if (total > 0) {
+    rates.shed_rate = static_cast<double>(shed.load()) /
+                      static_cast<double>(total);
+    rates.deadline_miss_rate =
+        static_cast<double>(deadline_missed.load()) /
+        static_cast<double>(total);
+  }
+  return rates;
+}
+
 BENCHMARK(BM_ColdBuildParse)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_CacheHitParse)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_CacheHitParse)
@@ -149,10 +252,26 @@ BENCHMARK(BM_CacheHitMixedDialects)
     ->UseRealTime();
 BENCHMARK(BM_BatchParse)->Arg(16)->Arg(256)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_FingerprintSpec)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CacheHitParseWithLifecycle)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace sqlpl
 
 int main(int argc, char** argv) {
-  return sqlpl::bench::RunAndExport("service", argc, argv);
+  using namespace sqlpl;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  OverloadRates rates = MeasureOverloadRates();
+  char buf[120];
+  std::snprintf(buf, sizeof(buf),
+                "\"shed_rate\":%.4f,\"deadline_miss_rate\":%.4f",
+                rates.shed_rate, rates.deadline_miss_rate);
+  std::printf("overload burst (8 threads, 2 slots): shed_rate=%.1f%% "
+              "deadline_miss_rate=%.1f%%\n",
+              rates.shed_rate * 100.0, rates.deadline_miss_rate * 100.0);
+  return bench::WriteBenchJson("service", reporter.Results(), buf) ? 0 : 1;
 }

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the ThreadSanitizer smoke pass.
+# Tier-1 verification plus the sanitizer passes.
 #
-#   scripts/check.sh            # full: build + ctest + TSan tsan-smoke
-#   scripts/check.sh --fast     # tier-1 only (skip the TSan build)
+#   scripts/check.sh            # full: build + ctest + TSan + ASan passes
+#   scripts/check.sh --fast     # tier-1 only (skip the sanitizer builds)
 #
 # Tier-1 (the roadmap gate): configure, build, and run the whole test
 # suite. The TSan pass rebuilds the service/obs test executables with
 # SQLPL_SANITIZE=thread in a separate build tree and runs exactly the
 # tests labeled `tsan-smoke` — the concurrency-sensitive serving and
-# observability suites (see tests/CMakeLists.txt).
+# observability suites (see tests/CMakeLists.txt). The ASan pass builds
+# a third tree with SQLPL_SANITIZE=address AND SQLPL_FAULT_INJECT=ON and
+# runs the `service` label: the fault-injection suite (which skips in
+# normal builds) exercises the retry/shed/deadline paths there under
+# AddressSanitizer (docs/ROBUSTNESS.md).
 
 set -euo pipefail
 
@@ -26,7 +30,7 @@ echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j "$JOBS")
 
 if [[ "$FAST" == "1" ]]; then
-  echo "== skipping TSan pass (--fast) =="
+  echo "== skipping sanitizer passes (--fast) =="
   exit 0
 fi
 
@@ -37,5 +41,13 @@ cmake --build build-tsan -j "$JOBS" \
 
 echo "== tsan: ctest -L tsan-smoke =="
 (cd build-tsan && ctest -L tsan-smoke --output-on-failure -j "$JOBS")
+
+echo "== asan: build (SQLPL_SANITIZE=address, SQLPL_FAULT_INJECT=ON) =="
+cmake -B build-asan -S . -D SQLPL_SANITIZE=address \
+  -D SQLPL_FAULT_INJECT=ON > /dev/null
+cmake --build build-asan -j "$JOBS" --target sqlpl_service_tests
+
+echo "== asan: ctest -L service =="
+(cd build-asan && ctest -L service --output-on-failure -j "$JOBS")
 
 echo "== all checks passed =="

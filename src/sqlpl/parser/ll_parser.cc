@@ -55,13 +55,22 @@ void LlParser::CachePredict(const Expr& expr) {
 }
 
 Result<ParseNode> LlParser::ParseText(std::string_view sql) const {
+  static const RequestControl kUnrestricted;
+  return ParseText(sql, kUnrestricted);
+}
+
+Result<ParseNode> LlParser::ParseText(std::string_view sql,
+                                      const RequestControl& control) const {
+  if (!control.unrestricted()) {
+    SQLPL_RETURN_IF_ERROR(control.Check("parse"));
+  }
   Result<std::vector<Token>> tokens = [&] {
     SQLPL_TRACE_SPAN("tokenize", "parse");
     return lexer_.Tokenize(sql);
   }();
   if (!tokens.ok()) return tokens.status();
   SQLPL_TRACE_SPAN("parse", "parse");
-  return Parse(*tokens);
+  return Parse(*tokens, control);
 }
 
 bool LlParser::Accepts(std::string_view sql) const {
@@ -69,16 +78,29 @@ bool LlParser::Accepts(std::string_view sql) const {
 }
 
 Result<ParseNode> LlParser::Parse(const std::vector<Token>& tokens) const {
+  static const RequestControl kUnrestricted;
+  return Parse(tokens, kUnrestricted);
+}
+
+Result<ParseNode> LlParser::Parse(const std::vector<Token>& tokens,
+                                  const RequestControl& control) const {
   if (tokens.empty() || tokens.back().type != "$") {
     return Status::InvalidArgument(
         "token stream must end with the '$' end-of-input token");
   }
   ParseContext ctx;
   ctx.tokens = &tokens;
+  if (!control.unrestricted()) {
+    SQLPL_RETURN_IF_ERROR(control.Check("parse"));
+    ctx.control = &control;
+  }
 
   size_t pos = 0;
   std::vector<ParseNode> out;
   bool ok = MatchNonterminal(grammar_.start_symbol(), &ctx, &pos, &out);
+  // A lifecycle abort outranks whatever partial syntax failure the
+  // unwinding left behind.
+  if (!ctx.aborted.ok()) return ctx.aborted;
   if (ok && tokens[pos].type != "$") {
     // The start symbol matched a prefix; report the leftover token.
     RecordFailure(&ctx, pos, "$");
@@ -107,9 +129,28 @@ void LlParser::RecordFailure(ParseContext* ctx, size_t pos,
   if (pos == ctx->furthest_pos) ctx->expected.insert(expected_token);
 }
 
+bool LlParser::LifecycleOk(ParseContext* ctx) const {
+  if (!ctx->aborted.ok()) return false;
+  if (ctx->control->cancel.cancelled()) {
+    ctx->aborted = Status::Cancelled("parse cancelled by caller");
+    return false;
+  }
+  // The deadline needs a clock read; amortize it over the stride.
+  if (--ctx->checks_until_deadline == 0) {
+    ctx->checks_until_deadline = kLifecycleCheckStride;
+    if (ctx->control->deadline.expired()) {
+      ctx->aborted =
+          Status::DeadlineExceeded("parse abandoned: deadline exceeded");
+      return false;
+    }
+  }
+  return true;
+}
+
 bool LlParser::MatchNonterminal(const std::string& name, ParseContext* ctx,
                                 size_t* pos,
                                 std::vector<ParseNode>* out) const {
+  if (ctx->control != nullptr && !LifecycleOk(ctx)) return false;
   const Production* production = grammar_.Find(name);
   if (production == nullptr) return false;  // builder guarantees this
 
@@ -217,6 +258,10 @@ bool LlParser::MatchExpr(const Expr& expr, ParseContext* ctx, size_t* pos,
 
     case ExprKind::kRepetition: {
       while (true) {
+        // Token-only repetition bodies never pass through
+        // MatchNonterminal, so long list tails need their own
+        // checkpoint.
+        if (ctx->control != nullptr && !LifecycleOk(ctx)) return false;
         size_t saved_pos = *pos;
         size_t saved_size = out->size();
         if (!MatchExpr(expr.child(), ctx, pos, out)) {

@@ -14,6 +14,7 @@
 #include "sqlpl/grammar/grammar.h"
 #include "sqlpl/lexer/lexer.h"
 #include "sqlpl/parser/parse_tree.h"
+#include "sqlpl/util/cancellation.h"
 #include "sqlpl/util/status.h"
 
 namespace sqlpl {
@@ -62,6 +63,24 @@ class LlParser {
   /// end-of-input token.
   Result<ParseNode> Parse(const std::vector<Token>& tokens) const;
 
+  /// Lifecycle-aware overloads (the serving path): the parse loops hit
+  /// cooperative checkpoints — the cancel token on every nonterminal
+  /// entry and repetition iteration (one relaxed atomic load), the
+  /// deadline every `kLifecycleCheckStride`-th checkpoint (amortizing
+  /// the clock read). A triggered checkpoint unwinds promptly and the
+  /// parse returns `kCancelled` / `kDeadlineExceeded`. With a
+  /// default-constructed (unrestricted) control the overloads cost one
+  /// extra branch per checkpoint. Tokenizing is not checkpointed — it
+  /// is a single linear scan.
+  Result<ParseNode> ParseText(std::string_view sql,
+                              const RequestControl& control) const;
+  Result<ParseNode> Parse(const std::vector<Token>& tokens,
+                          const RequestControl& control) const;
+
+  /// Checkpoints between deadline (clock-read) checks; cancellation is
+  /// checked at every checkpoint.
+  static constexpr size_t kLifecycleCheckStride = 16;
+
   /// True iff `sql` is a sentence of this dialect.
   bool Accepts(std::string_view sql) const;
 
@@ -109,7 +128,17 @@ class LlParser {
     std::set<std::string> expected;
     // Recursion guard.
     size_t depth = 0;
+    // Lifecycle: null for the unrestricted overloads. Once `aborted` is
+    // non-OK every Match* returns false immediately and the parse
+    // surfaces `aborted` instead of a syntax error.
+    const RequestControl* control = nullptr;
+    size_t checks_until_deadline = kLifecycleCheckStride;
+    Status aborted;
   };
+
+  // False when the parse must stop (cancelled / past deadline); records
+  // the reason in `ctx->aborted` on first detection.
+  bool LifecycleOk(ParseContext* ctx) const;
 
   bool MatchExpr(const Expr& expr, ParseContext* ctx, size_t* pos,
                  std::vector<ParseNode>* out) const;

@@ -1,8 +1,10 @@
 #include "sqlpl/service/dialect_service.h"
 
 #include <chrono>
+#include <unordered_map>
 
 #include "sqlpl/obs/trace.h"
+#include "sqlpl/service/fault_injector.h"
 
 namespace sqlpl {
 
@@ -17,71 +19,310 @@ uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+DialectService::AdmissionSlot::AdmissionSlot(DialectService* service)
+    : service_(service), admitted_(true) {
+  size_t limit = service_->options_.max_inflight_requests;
+  size_t prev = service_->inflight_requests_.fetch_add(
+      1, std::memory_order_acq_rel);
+  if (limit != 0 && prev >= limit) {
+    service_->inflight_requests_.fetch_sub(1, std::memory_order_acq_rel);
+    admitted_ = false;
+  }
+}
+
+DialectService::AdmissionSlot::~AdmissionSlot() {
+  if (admitted_) {
+    service_->inflight_requests_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
 DialectService::DialectService(DialectServiceOptions options)
-    : cache_(options.cache_capacity, options.cache_shards),
-      pool_(options.num_threads, &stats_.registry()) {}
+    : options_(options),
+      cache_(options.cache_capacity, options.cache_shards),
+      pool_(ThreadPoolOptions{options.num_threads, options.max_queue_depth,
+                              options.overflow},
+            &stats_.registry()) {}
+
+Result<std::shared_ptr<const LlParser>> DialectService::GetParser(
+    const DialectSpec& spec, const RequestControl& control,
+    CacheDisposition* disposition) {
+  SQLPL_TRACE_SPAN("get_parser", "service", spec.name);
+  SpecFingerprint key = FingerprintSpec(spec);
+  ParserCache::GetOptions get_options;
+  get_options.control = control;
+  get_options.max_build_attempts = options_.max_build_attempts;
+  get_options.retry_backoff = options_.build_retry_backoff;
+  return cache_.GetOrBuild(
+      key,
+      [this, &spec]() -> Result<LlParser> {
+        // Chaos hook: no-op unless built with SQLPL_FAULT_INJECT and a
+        // test armed a fault (docs/ROBUSTNESS.md).
+        Status injected = FaultInjector::Global().OnBuildStart();
+        if (!injected.ok()) return injected;
+        auto start = std::chrono::steady_clock::now();
+        // Trace discarded: the thread-safe build path. Callers who want
+        // the composition trace use SqlProductLine::BuildParser
+        // directly.
+        Result<LlParser> built = line_.BuildParser(spec, /*trace_out=*/nullptr);
+        stats_.RecordBuild(ElapsedMicros(start));
+        return built;
+      },
+      get_options, disposition);
+}
 
 Result<std::shared_ptr<const LlParser>> DialectService::GetParser(
     const DialectSpec& spec) {
-  SQLPL_TRACE_SPAN("get_parser", "service", spec.name);
-  SpecFingerprint key = FingerprintSpec(spec);
-  return cache_.GetOrBuild(key, [this, &spec]() -> Result<LlParser> {
-    auto start = std::chrono::steady_clock::now();
-    // Trace discarded: the thread-safe build path. Callers who want the
-    // composition trace use SqlProductLine::BuildParser directly.
-    Result<LlParser> built = line_.BuildParser(spec, /*trace_out=*/nullptr);
-    stats_.RecordBuild(ElapsedMicros(start));
-    return built;
+  return GetParser(spec, RequestControl{});
+}
+
+bool DialectService::Admit(const RequestControl& control,
+                           const AdmissionSlot& slot,
+                           ParseResponse* response) {
+  if (control.cancel.cancelled()) {
+    stats_.RecordCancellation();
+    response->result = Status::Cancelled("request cancelled before admission");
+    return false;
+  }
+  if (control.deadline.expired()) {
+    stats_.RecordDeadlineMiss(ServiceStats::DeadlineStage::kAdmission);
+    response->result =
+        Status::DeadlineExceeded("request deadline expired at admission");
+    return false;
+  }
+  if (!slot.admitted()) {
+    stats_.RecordShed();
+    response->result = Status::ResourceExhausted(
+        "service at max_inflight_requests (" +
+        std::to_string(options_.max_inflight_requests) + "); request shed");
+    return false;
+  }
+  return true;
+}
+
+ParseResponse DialectService::Execute(
+    const ParseRequest& request, const LlParser& parser,
+    CacheDisposition disposition,
+    std::chrono::steady_clock::time_point admitted_at, bool queue_stage) {
+  ParseResponse response;
+  response.cache_disposition = disposition;
+  RequestControl control{request.deadline, request.cancel};
+
+  // The mid-queue gate: the request was admitted in time, but its turn
+  // (batch scheduling, cache resolution) may have come up too late.
+  if (!control.unrestricted()) {
+    Status pre = control.Check("statement");
+    if (!pre.ok()) {
+      if (pre.code() == StatusCode::kCancelled) {
+        stats_.RecordCancellation();
+      } else {
+        stats_.RecordDeadlineMiss(queue_stage
+                                      ? ServiceStats::DeadlineStage::kQueue
+                                      : ServiceStats::DeadlineStage::kAdmission);
+      }
+      response.result = pre;
+      response.total_micros = ElapsedMicros(admitted_at);
+      return response;
+    }
+  }
+
+  auto parse_start = std::chrono::steady_clock::now();
+  Result<ParseNode> tree = parser.ParseText(request.sql, control);
+  uint64_t parse_micros = ElapsedMicros(parse_start);
+
+  if (tree.ok()) {
+    stats_.RecordParse(true, parse_micros);
+    response.result = request.want_tree
+                          ? std::move(tree)
+                          : Result<ParseNode>(ParseNode::Rule(
+                                parser.grammar().start_symbol()));
+  } else {
+    // Lifecycle aborts are not parse errors: they say nothing about the
+    // SQL and are counted under their own metrics.
+    switch (tree.status().code()) {
+      case StatusCode::kCancelled:
+        stats_.RecordCancellation();
+        break;
+      case StatusCode::kDeadlineExceeded:
+        stats_.RecordDeadlineMiss(ServiceStats::DeadlineStage::kParse);
+        break;
+      default:
+        stats_.RecordParse(false, parse_micros);
+        break;
+    }
+    response.result = std::move(tree);
+  }
+  response.parse_micros = parse_micros;
+  response.total_micros = ElapsedMicros(admitted_at);
+  return response;
+}
+
+ParseResponse DialectService::Parse(const ParseRequest& request) {
+  SQLPL_TRACE_SPAN("request.parse", "service",
+                   request.spec != nullptr ? request.spec->name : "");
+  auto start = std::chrono::steady_clock::now();
+  ParseResponse response;
+  if (request.spec == nullptr) {
+    response.result =
+        Status::InvalidArgument("ParseRequest::spec must not be null");
+    return response;
+  }
+
+  RequestControl control{request.deadline, request.cancel};
+  AdmissionSlot slot(this);
+  if (!Admit(control, slot, &response)) {
+    response.total_micros = ElapsedMicros(start);
+    return response;
+  }
+
+  CacheDisposition disposition = CacheDisposition::kUnresolved;
+  Result<std::shared_ptr<const LlParser>> parser =
+      GetParser(*request.spec, control, &disposition);
+  if (!parser.ok()) {
+    // A deadline/cancel hit during resolution (coalesced wait) surfaces
+    // here; count it under the queue/cancel metrics like any other
+    // pre-parse lifecycle failure.
+    switch (parser.status().code()) {
+      case StatusCode::kCancelled:
+        stats_.RecordCancellation();
+        break;
+      case StatusCode::kDeadlineExceeded:
+        stats_.RecordDeadlineMiss(ServiceStats::DeadlineStage::kQueue);
+        break;
+      default:
+        break;  // build failure: visible as sqlpl_cache_build_failures
+    }
+    response.result = parser.status();
+    response.cache_disposition = disposition;
+    response.total_micros = ElapsedMicros(start);
+    return response;
+  }
+  return Execute(request, **parser, disposition, start,
+                 /*queue_stage=*/true);
+}
+
+std::vector<ParseResponse> DialectService::ParseBatch(
+    std::span<const ParseRequest> requests) {
+  obs::Span batch_span("request.batch", "service");
+  if (batch_span.active()) {
+    batch_span.set_detail(std::to_string(requests.size()) + " requests");
+  }
+  stats_.RecordBatch(requests.size());
+  auto start = std::chrono::steady_clock::now();
+
+  std::vector<ParseResponse> responses(requests.size());
+
+  // Admission charges the whole batch as one request: shedding is an
+  // all-or-nothing decision made before any per-statement work.
+  AdmissionSlot slot(this);
+  if (!slot.admitted()) {
+    stats_.RecordShed();
+    for (ParseResponse& response : responses) {
+      response.result = Status::ResourceExhausted(
+          "service at max_inflight_requests (" +
+          std::to_string(options_.max_inflight_requests) + "); batch shed");
+      response.total_micros = ElapsedMicros(start);
+    }
+    return responses;
+  }
+
+  // Resolve each distinct dialect once for the whole batch (mixed
+  // dialects interleave freely; equivalent specs collide on the
+  // fingerprint). Requests that are already expired or cancelled don't
+  // force a cold build — unless a live request needs the same parser.
+  struct Resolution {
+    Result<std::shared_ptr<const LlParser>> parser;
+    CacheDisposition disposition = CacheDisposition::kUnresolved;
+  };
+  std::unordered_map<uint64_t, Resolution> resolutions;
+  std::vector<uint64_t> fingerprint_of(requests.size(), 0);
+  std::vector<char> resolved(requests.size(), 0);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ParseRequest& request = requests[i];
+    if (request.spec == nullptr) continue;
+    RequestControl control{request.deadline, request.cancel};
+    if (!control.Check("batch resolution").ok()) continue;
+    SpecFingerprint key = FingerprintSpec(*request.spec);
+    fingerprint_of[i] = key.value;
+    resolved[i] = 1;
+    if (resolutions.contains(key.value)) continue;
+    Resolution resolution{
+        Result<std::shared_ptr<const LlParser>>(
+            Status::Internal("resolution not filled")),
+        CacheDisposition::kUnresolved};
+    resolution.parser = GetParser(*request.spec, control,
+                                  &resolution.disposition);
+    resolutions.emplace(key.value, std::move(resolution));
+  }
+
+  // `resolutions` is read-only from here on — safe to share across the
+  // pool workers.
+  pool_.ParallelFor(requests.size(), [&](size_t i) {
+    const ParseRequest& request = requests[i];
+    if (request.spec == nullptr) {
+      responses[i].result =
+          Status::InvalidArgument("ParseRequest::spec must not be null");
+      responses[i].total_micros = ElapsedMicros(start);
+      return;
+    }
+    SQLPL_TRACE_SPAN("statement", "service");
+    auto it = resolved[i] ? resolutions.find(fingerprint_of[i])
+                          : resolutions.end();
+    if (it == resolutions.end() || !it->second.parser.ok()) {
+      // Either the request was dead at resolution time (Execute-style
+      // accounting below) or the build failed (propagate its status).
+      RequestControl control{request.deadline, request.cancel};
+      Status pre = control.Check("statement");
+      if (!pre.ok()) {
+        if (pre.code() == StatusCode::kCancelled) {
+          stats_.RecordCancellation();
+        } else {
+          stats_.RecordDeadlineMiss(ServiceStats::DeadlineStage::kQueue);
+        }
+        responses[i].result = pre;
+      } else if (it != resolutions.end()) {
+        responses[i].result = it->second.parser.status();
+      } else {
+        responses[i].result = Status::Internal("batch slot not resolved");
+      }
+      responses[i].total_micros = ElapsedMicros(start);
+      return;
+    }
+    responses[i] = Execute(request, *it->second.parser.value(),
+                           it->second.disposition, start,
+                           /*queue_stage=*/true);
   });
+  return responses;
 }
 
 Result<ParseNode> DialectService::Parse(const DialectSpec& spec,
                                         std::string_view sql) {
-  SQLPL_TRACE_SPAN("request.parse", "service", spec.name);
-  SQLPL_ASSIGN_OR_RETURN(std::shared_ptr<const LlParser> parser,
-                         GetParser(spec));
-  auto start = std::chrono::steady_clock::now();
-  Result<ParseNode> tree = parser->ParseText(sql);
-  stats_.RecordParse(tree.ok(), ElapsedMicros(start));
-  return tree;
+  ParseRequest request;
+  request.spec = &spec;
+  request.sql = sql;
+  return std::move(Parse(request).result);
 }
 
 bool DialectService::Accepts(const DialectSpec& spec, std::string_view sql) {
-  return Parse(spec, sql).ok();
+  ParseRequest request;
+  request.spec = &spec;
+  request.sql = sql;
+  request.want_tree = false;
+  return Parse(request).ok();
 }
 
 std::vector<Result<ParseNode>> DialectService::ParseBatch(
     const DialectSpec& spec, std::span<const std::string> statements) {
-  obs::Span batch_span("request.batch", "service");
-  if (batch_span.active()) {
-    batch_span.set_detail(spec.name + " (" +
-                          std::to_string(statements.size()) +
-                          " statements)");
+  std::vector<ParseRequest> requests(statements.size());
+  for (size_t i = 0; i < statements.size(); ++i) {
+    requests[i].spec = &spec;
+    requests[i].sql = statements[i];
   }
-  stats_.RecordBatch(statements.size());
-
-  Result<std::shared_ptr<const LlParser>> parser = GetParser(spec);
-  if (!parser.ok()) {
-    // The dialect itself is bad: every statement fails the same way.
-    std::vector<Result<ParseNode>> results;
-    results.reserve(statements.size());
-    for (size_t i = 0; i < statements.size(); ++i) {
-      results.emplace_back(parser.status());
-    }
-    return results;
+  std::vector<ParseResponse> responses = ParseBatch(requests);
+  std::vector<Result<ParseNode>> results;
+  results.reserve(responses.size());
+  for (ParseResponse& response : responses) {
+    results.push_back(std::move(response.result));
   }
-
-  std::vector<Result<ParseNode>> results(
-      statements.size(),
-      Result<ParseNode>(Status::Internal("batch slot not filled")));
-  const LlParser& shared = **parser;
-  pool_.ParallelFor(statements.size(), [&](size_t i) {
-    SQLPL_TRACE_SPAN("statement", "service");
-    auto start = std::chrono::steady_clock::now();
-    Result<ParseNode> tree = shared.ParseText(statements[i]);
-    stats_.RecordParse(tree.ok(), ElapsedMicros(start));
-    results[i] = std::move(tree);
-  });
   return results;
 }
 
@@ -108,6 +349,9 @@ void DialectService::SyncCacheMetrics() {
   set("sqlpl_cache_builds", "Parsers built (lifetime)", cache.builds);
   set("sqlpl_cache_build_failures", "Failed parser builds (lifetime)",
       cache.build_failures);
+  set("sqlpl_cache_build_retries",
+      "Transient build failures retried by single-flight owners (lifetime)",
+      cache.build_retries);
   set("sqlpl_cache_evictions", "LRU evictions (lifetime)", cache.evictions);
   set("sqlpl_cache_coalesced_waits",
       "Requests that waited on a single-flight build (lifetime)",

@@ -1,6 +1,8 @@
 #ifndef SQLPL_SERVICE_DIALECT_SERVICE_H_
 #define SQLPL_SERVICE_DIALECT_SERVICE_H_
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <span>
 #include <string>
@@ -13,6 +15,7 @@
 #include "sqlpl/service/spec_fingerprint.h"
 #include "sqlpl/service/thread_pool.h"
 #include "sqlpl/sql/product_line.h"
+#include "sqlpl/util/cancellation.h"
 
 namespace sqlpl {
 
@@ -24,6 +27,61 @@ struct DialectServiceOptions {
   size_t cache_shards = 8;
   /// Worker threads for `ParseBatch`; 0 = hardware concurrency.
   size_t num_threads = 4;
+  /// Admission control: requests (single parses or whole batches)
+  /// allowed inside the service concurrently; one over the limit is
+  /// shed with `kResourceExhausted`. 0 = unlimited (legacy behavior).
+  size_t max_inflight_requests = 0;
+  /// Bound on the internal pool's queue (0 = unbounded) and the policy
+  /// when it fills. `ParseBatch` helper fan-out never blocks, so the
+  /// policy matters to direct pool users; admission control above is
+  /// the service-level shed valve.
+  size_t max_queue_depth = 0;
+  OverflowPolicy overflow = OverflowPolicy::kReject;
+  /// Cold-build retry for *transient* failures (see
+  /// `ParserCache::IsTransientBuildFailure`): total attempts per
+  /// single-flight build, with exponential backoff from
+  /// `build_retry_backoff`. 1 = no retry.
+  int max_build_attempts = 2;
+  std::chrono::microseconds build_retry_backoff{500};
+};
+
+/// One parse under the request-lifecycle API: what to parse (`spec` +
+/// `sql`) and how long the service may work on it (`deadline`,
+/// `cancel`). The spec is borrowed, not owned — it must outlive the
+/// call (batch callers keep their specs alongside the request array).
+struct ParseRequest {
+  /// Required. Dialect to parse in; resolved per request, so one batch
+  /// may mix dialects freely.
+  const DialectSpec* spec = nullptr;
+  std::string_view sql;
+  /// Absolute give-up point. Checked at admission, again when a batch
+  /// statement's turn comes up, and cooperatively inside the parse
+  /// loops. Default: never.
+  Deadline deadline;
+  /// Caller-side abandonment. Default: non-cancellable.
+  CancelToken cancel;
+  /// When false the caller only wants accept/reject + status: the
+  /// response's tree is left empty. (The parse still runs in full —
+  /// acceptance *is* the parse — but the tree is not returned.)
+  bool want_tree = true;
+};
+
+/// Outcome of one `ParseRequest`: the tree (or the lifecycle/syntax
+/// error), where the parser came from, and timing.
+struct ParseResponse {
+  Result<ParseNode> result{Status::Internal("response not filled")};
+  /// How the dialect's parser was obtained (hit / built / coalesced),
+  /// or `kUnresolved` when the request never got one (shed, expired,
+  /// cancelled, build failure).
+  CacheDisposition cache_disposition = CacheDisposition::kUnresolved;
+  /// Parse time proper (lex + match), excluding parser resolution.
+  uint64_t parse_micros = 0;
+  /// Admission → response, including cache resolution and (for batch
+  /// statements) time spent waiting for a worker.
+  uint64_t total_micros = 0;
+
+  bool ok() const { return result.ok(); }
+  const Status& status() const { return result.status(); }
 };
 
 /// Long-lived, concurrent front-end over `SqlProductLine` — the serving
@@ -34,11 +92,32 @@ struct DialectServiceOptions {
 /// every later request for an equivalent spec — any feature order, any
 /// redundant counts — reuses the same immutable parser instance.
 ///
+/// ## Request lifecycle (v2)
+///
+/// `ParseRequest`/`ParseResponse` are the primary API. Every request
+/// passes three gates, each with a first-class status code and metric
+/// (docs/ROBUSTNESS.md):
+///
+///   1. **Admission** — already-cancelled → `kCancelled`; expired
+///      deadline → `kDeadlineExceeded`; `max_inflight_requests`
+///      reached → `kResourceExhausted` (load shedding).
+///   2. **Resolution** — the cache lookup / single-flight build, with
+///      deadline-bounded coalesced waits and transient-failure retry.
+///   3. **Execution** — batch statements re-check the lifecycle when
+///      their turn comes up; the parse loops hit cooperative
+///      cancellation/deadline checkpoints (`LlParser`).
+///
+/// The positional `Parse`/`Accepts`/`ParseBatch`/`GetParser` forms are
+/// **legacy** thin wrappers over the request API (kept for source
+/// compatibility and for callers that genuinely want unbounded
+/// best-effort behavior).
+///
 /// Thread-safety: every public method may be called concurrently from
 /// any number of threads. Shared state is confined to the sharded
-/// `ParserCache` (mutex per shard, single-flight builds) and the atomic
-/// `ServiceStats`; parsing itself runs on immutable `const LlParser`
-/// instances (see the contract in ll_parser.h).
+/// `ParserCache` (mutex per shard, single-flight builds), the atomic
+/// `ServiceStats`, and the admission counter; parsing itself runs on
+/// immutable `const LlParser` instances (see the contract in
+/// ll_parser.h).
 class DialectService {
  public:
   explicit DialectService(DialectServiceOptions options = {});
@@ -46,22 +125,38 @@ class DialectService {
   DialectService(const DialectService&) = delete;
   DialectService& operator=(const DialectService&) = delete;
 
-  /// Parses one statement in the dialect of `spec`. Cold path composes
-  /// and builds the dialect's parser (once, even under concurrent
-  /// demand); warm path is a cache lookup plus the parse.
+  /// Parses one statement under the full request lifecycle.
+  ParseResponse Parse(const ParseRequest& request);
+
+  /// Parses a batch of independent requests concurrently on the
+  /// internal pool, preserving order (response i ↔ requests[i]). Each
+  /// request resolves its own dialect's parser — batches may mix
+  /// dialects — with one resolution per distinct fingerprint per batch.
+  /// Admission control charges the batch as one request; per-request
+  /// deadlines/cancellation still apply statement by statement.
+  std::vector<ParseResponse> ParseBatch(std::span<const ParseRequest> requests);
+
+  /// Resolves (builds or fetches) the parser for `spec` under
+  /// `control`, reporting how through `disposition` (optional) —
+  /// cache warm-up, or direct use of the shared instance.
+  Result<std::shared_ptr<const LlParser>> GetParser(
+      const DialectSpec& spec, const RequestControl& control,
+      CacheDisposition* disposition = nullptr);
+
+  /// Legacy positional form of `Parse`: no deadline, no cancellation,
+  /// no admission control bypass — equivalent to a `ParseRequest` with
+  /// default lifecycle fields.
   Result<ParseNode> Parse(const DialectSpec& spec, std::string_view sql);
 
-  /// True iff `sql` is a sentence of the dialect.
+  /// Legacy: true iff `sql` is a sentence of the dialect.
   bool Accepts(const DialectSpec& spec, std::string_view sql);
 
-  /// Parses `statements` concurrently on the internal pool, preserving
-  /// order: result i corresponds to statements[i]. The parser is
-  /// resolved once for the whole batch.
+  /// Legacy positional form of `ParseBatch`: one dialect for the whole
+  /// batch, no lifecycle fields.
   std::vector<Result<ParseNode>> ParseBatch(
       const DialectSpec& spec, std::span<const std::string> statements);
 
-  /// Resolves (builds or fetches) the parser for `spec` without parsing
-  /// anything — cache warm-up, or direct use of the shared instance.
+  /// Legacy unrestricted form of `GetParser`.
   Result<std::shared_ptr<const LlParser>> GetParser(const DialectSpec& spec);
 
   /// Counters since construction (or the last `ResetStats`).
@@ -73,9 +168,10 @@ class DialectService {
   void ResetStats();
 
   /// The service's metrics registry: request counters and latency
-  /// histograms (`ServiceStats`), pool instruments, and — refreshed on
-  /// each export call below — cache gauges. See docs/OBSERVABILITY.md
-  /// for the metric inventory.
+  /// histograms (`ServiceStats`), lifecycle counters (sheds, deadline
+  /// misses, cancellations), pool instruments, and — refreshed on each
+  /// export call below — cache gauges. See docs/OBSERVABILITY.md for
+  /// the metric inventory.
   obs::MetricsRegistry& metrics() { return stats_.registry(); }
 
   /// Prometheus text exposition of `metrics()`, with the cache gauges
@@ -86,16 +182,49 @@ class DialectService {
 
   const SqlProductLine& product_line() const { return line_; }
   const ParserCache& cache() const { return cache_; }
+  const DialectServiceOptions& options() const { return options_; }
 
  private:
+  /// RAII admission slot; `admitted()` false means the service is at
+  /// `max_inflight_requests` and the request must be shed.
+  class AdmissionSlot {
+   public:
+    explicit AdmissionSlot(DialectService* service);
+    ~AdmissionSlot();
+    AdmissionSlot(const AdmissionSlot&) = delete;
+    AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+    bool admitted() const { return admitted_; }
+
+   private:
+    DialectService* service_;
+    bool admitted_;
+  };
+
+  /// Admission gate shared by Parse and ParseBatch: fills `response`
+  /// and returns false when the request must be rejected (cancelled /
+  /// expired / shed). `slot` must outlive the request's execution.
+  bool Admit(const RequestControl& control, const AdmissionSlot& slot,
+             ParseResponse* response);
+
+  /// Executes one admitted request against `parser` (checkpointed
+  /// parse, stats, response assembly). `queue_stage` selects which
+  /// deadline-miss stage a pre-parse expiry counts under.
+  ParseResponse Execute(const ParseRequest& request,
+                        const LlParser& parser,
+                        CacheDisposition disposition,
+                        std::chrono::steady_clock::time_point admitted_at,
+                        bool queue_stage);
+
   /// Mirrors `cache_.stats()` into gauges on the stats registry so one
   /// exposition covers requests, latencies, pool, and cache.
   void SyncCacheMetrics();
 
+  DialectServiceOptions options_;
   SqlProductLine line_;
   ParserCache cache_;
   ServiceStats stats_;
   ThreadPool pool_;
+  std::atomic<size_t> inflight_requests_{0};
 };
 
 }  // namespace sqlpl

@@ -1,0 +1,57 @@
+#include "sqlpl/service/fault_injector.h"
+
+#if SQLPL_FAULT_INJECT
+
+#include <thread>
+
+namespace sqlpl {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector& injector = *new FaultInjector();
+  return injector;
+}
+
+void FaultInjector::FailBuilds(int n, Status error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_count_ = n;
+  fail_status_ = std::move(error);
+}
+
+void FaultInjector::SetBuildDelay(std::chrono::microseconds delay) {
+  std::lock_guard<std::mutex> lock(mu_);
+  build_delay_ = delay;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_count_ = 0;
+  fail_status_ = Status::OK();
+  build_delay_ = std::chrono::microseconds{0};
+  injected_failures_ = 0;
+}
+
+Status FaultInjector::OnBuildStart() {
+  std::chrono::microseconds delay{0};
+  Status injected = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    delay = build_delay_;
+    if (fail_count_ > 0) {
+      --fail_count_;
+      ++injected_failures_;
+      injected = fail_status_;
+    }
+  }
+  // Sleep outside the lock so concurrent builds overlap naturally.
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  return injected;
+}
+
+uint64_t FaultInjector::injected_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_failures_;
+}
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_FAULT_INJECT

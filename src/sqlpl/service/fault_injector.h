@@ -1,0 +1,88 @@
+#ifndef SQLPL_SERVICE_FAULT_INJECTOR_H_
+#define SQLPL_SERVICE_FAULT_INJECTOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "sqlpl/util/status.h"
+
+/// Compile-time switch: build with -DSQLPL_FAULT_INJECT=ON (CMake
+/// option) to compile the fault-injection hooks in. Default off: the
+/// class below degenerates to inline no-ops and the hook call sites
+/// cost nothing. Production builds therefore cannot be fault-injected
+/// by accident; robustness tests (tests/service/fault_injection_test.cc,
+/// run by scripts/check.sh in the ASan tree) turn it on.
+#ifndef SQLPL_FAULT_INJECT
+#define SQLPL_FAULT_INJECT 0
+#endif
+
+namespace sqlpl {
+
+#if SQLPL_FAULT_INJECT
+
+/// Test-only chaos hook for the serving path (docs/ROBUSTNESS.md).
+/// Faults are armed by tests and consumed by the cold-build path in
+/// `DialectService::GetParser`: the next `fail_count` builds return the
+/// armed status instead of composing, and every build first sleeps
+/// `build_delay` (latency injection, e.g. to widen race/deadline
+/// windows deterministically).
+///
+/// Thread-safe; state is process-global (`Global()`) because the hook
+/// sits below code that doesn't know which test owns the service.
+/// Tests must `Reset()` in teardown.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Arms the next `n` builds to fail with `error` (consumed
+  /// first-come-first-served across threads).
+  void FailBuilds(int n, Status error);
+
+  /// Every subsequent build sleeps this long before running (or before
+  /// failing, when armed). Zero disables.
+  void SetBuildDelay(std::chrono::microseconds delay);
+
+  /// Disarms everything. Counters survive until the next `Reset`.
+  void Reset();
+
+  /// The build-path hook: sleeps the armed delay, then either consumes
+  /// one armed failure (returning its status) or returns OK.
+  Status OnBuildStart();
+
+  /// Failures injected since the last `Reset` — lets tests assert the
+  /// fault actually fired.
+  uint64_t injected_failures() const;
+
+ private:
+  FaultInjector() = default;
+
+  mutable std::mutex mu_;
+  int fail_count_ = 0;
+  Status fail_status_;
+  std::chrono::microseconds build_delay_{0};
+  uint64_t injected_failures_ = 0;
+};
+
+#else  // !SQLPL_FAULT_INJECT
+
+/// No-op stub compiled when fault injection is off: same interface,
+/// zero state, every call inlines away.
+class FaultInjector {
+ public:
+  static FaultInjector& Global() {
+    static FaultInjector injector;
+    return injector;
+  }
+  void FailBuilds(int, Status) {}
+  void SetBuildDelay(std::chrono::microseconds) {}
+  void Reset() {}
+  Status OnBuildStart() { return Status::OK(); }
+  uint64_t injected_failures() const { return 0; }
+};
+
+#endif  // SQLPL_FAULT_INJECT
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SERVICE_FAULT_INJECTOR_H_

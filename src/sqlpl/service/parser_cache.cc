@@ -2,10 +2,31 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
+#include <thread>
 
 #include "sqlpl/obs/trace.h"
 
 namespace sqlpl {
+
+const char* CacheDispositionToString(CacheDisposition disposition) {
+  switch (disposition) {
+    case CacheDisposition::kUnresolved:
+      return "unresolved";
+    case CacheDisposition::kHit:
+      return "hit";
+    case CacheDisposition::kBuilt:
+      return "built";
+    case CacheDisposition::kCoalesced:
+      return "coalesced";
+  }
+  return "unknown";
+}
+
+bool ParserCache::IsTransientBuildFailure(const Status& status) {
+  return status.code() == StatusCode::kInternal ||
+         status.code() == StatusCode::kResourceExhausted;
+}
 
 ParserCache::ParserCache(size_t capacity, size_t num_shards) {
   size_t shards = std::bit_ceil(std::max<size_t>(num_shards, 1));
@@ -32,6 +53,14 @@ std::shared_ptr<const LlParser> ParserCache::Lookup(SpecFingerprint key) {
 
 Result<std::shared_ptr<const LlParser>> ParserCache::GetOrBuild(
     SpecFingerprint key, const BuildFn& build) {
+  static const GetOptions kDefault;
+  return GetOrBuild(key, build, kDefault, nullptr);
+}
+
+Result<std::shared_ptr<const LlParser>> ParserCache::GetOrBuild(
+    SpecFingerprint key, const BuildFn& build, const GetOptions& options,
+    CacheDisposition* disposition) {
+  if (disposition != nullptr) *disposition = CacheDisposition::kUnresolved;
   Shard& shard = ShardFor(key);
   std::shared_ptr<InFlight> flight;
   bool owner = false;
@@ -42,6 +71,7 @@ Result<std::shared_ptr<const LlParser>> ParserCache::GetOrBuild(
     if (it != shard.index.end()) {
       ++shard.stats.hits;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      if (disposition != nullptr) *disposition = CacheDisposition::kHit;
       return it->second->parser;
     }
     ++shard.stats.misses;
@@ -59,16 +89,56 @@ Result<std::shared_ptr<const LlParser>> ParserCache::GetOrBuild(
   if (!owner) {
     SQLPL_TRACE_SPAN("cache.singleflight_wait", "cache");
     std::unique_lock<std::mutex> wait_lock(flight->mu);
-    flight->cv.wait(wait_lock, [&] { return flight->done; });
-    if (flight->parser != nullptr) return flight->parser;
+    if (options.control.unrestricted()) {
+      flight->cv.wait(wait_lock, [&] { return flight->done; });
+    } else {
+      // The cv is only notified on completion, so a cancel request has
+      // nothing to wake us; poll on a short period (bounded by the
+      // deadline). Abandoning the wait does not abandon the build — the
+      // owner finishes and caches for everyone else.
+      while (!flight->done) {
+        SQLPL_RETURN_IF_ERROR(
+            options.control.Check("coalesced parser build wait"));
+        auto wake = Deadline::Clock::now() + std::chrono::milliseconds(5);
+        if (!options.control.deadline.is_never()) {
+          wake = std::min(wake, options.control.deadline.time());
+        }
+        flight->cv.wait_until(wait_lock, wake);
+      }
+    }
+    if (flight->parser != nullptr) {
+      if (disposition != nullptr) *disposition = CacheDisposition::kCoalesced;
+      return flight->parser;
+    }
     return flight->error;
   }
 
-  // Sole builder for this key: compose outside every lock.
-  Result<LlParser> built = [&]() -> Result<LlParser> {
+  // Sole builder for this key: compose outside every lock, retrying
+  // transient failures with exponential backoff so one blip (an
+  // injected fault, an exhausted resource) doesn't fail every coalesced
+  // waiter. Deterministic spec errors are returned immediately.
+  auto run_build = [&]() -> Result<LlParser> {
     SQLPL_TRACE_SPAN("cache.build", "cache");
     return build();
-  }();
+  };
+  uint64_t failed_attempts = 0;
+  uint64_t retries = 0;
+  Result<LlParser> built = run_build();
+  while (!built.ok()) {
+    ++failed_attempts;
+    if (static_cast<int>(retries) + 1 >= options.max_build_attempts) break;
+    if (!IsTransientBuildFailure(built.status())) break;
+    if (!options.control.Check("parser build retry").ok()) break;
+    auto backoff = options.retry_backoff * (int64_t{1} << retries);
+    if (!options.control.deadline.is_never()) {
+      backoff = std::min(
+          backoff, std::chrono::duration_cast<std::chrono::microseconds>(
+                       options.control.deadline.remaining()));
+    }
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    ++retries;
+    built = run_build();
+  }
 
   std::shared_ptr<const LlParser> parser;
   if (built.ok()) {
@@ -76,11 +146,11 @@ Result<std::shared_ptr<const LlParser>> ParserCache::GetOrBuild(
   }
   {
     std::lock_guard<std::mutex> lock(shard.mu);
+    shard.stats.build_failures += failed_attempts;
+    shard.stats.build_retries += retries;
     if (parser != nullptr) {
       ++shard.stats.builds;
       Insert(shard, key, parser);
-    } else {
-      ++shard.stats.build_failures;
     }
     shard.inflight.erase(key);
   }
@@ -92,7 +162,10 @@ Result<std::shared_ptr<const LlParser>> ParserCache::GetOrBuild(
   }
   flight->cv.notify_all();
 
-  if (parser != nullptr) return parser;
+  if (parser != nullptr) {
+    if (disposition != nullptr) *disposition = CacheDisposition::kBuilt;
+    return parser;
+  }
   return built.status();
 }
 
@@ -141,6 +214,7 @@ ParserCacheStats ParserCache::stats() const {
     total.build_failures += shard->stats.build_failures;
     total.evictions += shard->stats.evictions;
     total.coalesced_waits += shard->stats.coalesced_waits;
+    total.build_retries += shard->stats.build_retries;
   }
   return total;
 }

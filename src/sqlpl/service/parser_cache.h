@@ -12,9 +12,27 @@
 
 #include "sqlpl/parser/ll_parser.h"
 #include "sqlpl/service/spec_fingerprint.h"
+#include "sqlpl/util/cancellation.h"
 #include "sqlpl/util/status.h"
 
 namespace sqlpl {
+
+/// How a request obtained (or failed to obtain) its parser — surfaced
+/// per request in `ParseResponse::cache_disposition`.
+enum class CacheDisposition {
+  /// Nothing resolved: admission rejected the request before the cache,
+  /// or the build failed.
+  kUnresolved = 0,
+  /// Warm path: the parser was already cached.
+  kHit,
+  /// This request ran the single-flight build.
+  kBuilt,
+  /// A concurrent request was already building; this one waited and
+  /// shared the result.
+  kCoalesced,
+};
+
+const char* CacheDispositionToString(CacheDisposition disposition);
 
 /// Aggregate counters of one `ParserCache`. Snapshot semantics: the
 /// fields are read shard by shard without a global lock, so totals may be
@@ -28,6 +46,9 @@ struct ParserCacheStats {
   /// Requests that found a build already in flight and waited for it
   /// instead of composing the grammar a second time.
   uint64_t coalesced_waits = 0;
+  /// Transient build failures retried by the single-flight owner
+  /// (counted per retry attempt, successful or not).
+  uint64_t build_retries = 0;
 };
 
 /// Sharded LRU cache mapping `SpecFingerprint` → immutable parser.
@@ -56,6 +77,23 @@ class ParserCache {
  public:
   using BuildFn = std::function<Result<LlParser>()>;
 
+  /// Per-call lifecycle and retry knobs for `GetOrBuild`.
+  struct GetOptions {
+    /// Deadline/cancellation honored while *waiting* on a coalesced
+    /// single-flight build (the wait returns `kDeadlineExceeded` /
+    /// `kCancelled`; the build itself keeps running and still caches
+    /// its result for other requests). The single-flight *owner* runs
+    /// its build to completion regardless — abandoning a nearly-done
+    /// compose would waste it for every waiter.
+    RequestControl control;
+    /// Total build attempts for transient failures (see
+    /// `IsTransientBuildFailure`); 1 = no retry. Retries back off
+    /// exponentially from `retry_backoff`, never sleeping past the
+    /// control's deadline.
+    int max_build_attempts = 1;
+    std::chrono::microseconds retry_backoff{500};
+  };
+
   /// `capacity` is the total entry budget (minimum one per shard).
   explicit ParserCache(size_t capacity = 64, size_t num_shards = 8);
 
@@ -67,6 +105,20 @@ class ParserCache {
   /// receives the same error status.
   Result<std::shared_ptr<const LlParser>> GetOrBuild(SpecFingerprint key,
                                                      const BuildFn& build);
+
+  /// Lifecycle-aware form: honors `options.control` on coalesced waits,
+  /// retries transient build failures per `options`, and reports how
+  /// the parser was obtained through `disposition` (optional). Failures
+  /// are never cached (no negative entries), so one transient fault —
+  /// injected or real — cannot poison the key.
+  Result<std::shared_ptr<const LlParser>> GetOrBuild(
+      SpecFingerprint key, const BuildFn& build, const GetOptions& options,
+      CacheDisposition* disposition = nullptr);
+
+  /// Build errors worth retrying: infrastructure faults (`kInternal`,
+  /// `kResourceExhausted`) rather than deterministic spec errors
+  /// (configuration/composition), which would fail identically again.
+  static bool IsTransientBuildFailure(const Status& status);
 
   /// Cache-only probe: returns the parser or nullptr, never builds.
   std::shared_ptr<const LlParser> Lookup(SpecFingerprint key);

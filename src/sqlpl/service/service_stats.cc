@@ -16,6 +16,22 @@ ServiceStats::ServiceStats()
       batch_statements_(registry_.GetCounter(
           "sqlpl_batch_statements_total", {},
           "Statements submitted through ParseBatch")),
+      requests_shed_(registry_.GetCounter(
+          "sqlpl_requests_shed_total", {},
+          "Requests rejected with resource_exhausted by admission "
+          "control")),
+      deadline_miss_admission_(registry_.GetCounter(
+          "sqlpl_deadline_misses_total", {{"stage", "admission"}},
+          "Requests whose deadline expired, by detection stage")),
+      deadline_miss_queue_(registry_.GetCounter(
+          "sqlpl_deadline_misses_total", {{"stage", "queue"}},
+          "Requests whose deadline expired, by detection stage")),
+      deadline_miss_parse_(registry_.GetCounter(
+          "sqlpl_deadline_misses_total", {{"stage", "parse"}},
+          "Requests whose deadline expired, by detection stage")),
+      cancellations_(registry_.GetCounter(
+          "sqlpl_cancellations_total", {},
+          "Requests abandoned via their CancelToken")),
       parse_latency_(registry_.GetHistogram(
           "sqlpl_parse_latency_micros", {},
           "Per-statement parse latency (µs)")),
@@ -30,6 +46,11 @@ ServiceStatsSnapshot ServiceStats::Snapshot(
   s.parse_errors = parses_error_->Value();
   s.batches = batches_->Value();
   s.batch_statements = batch_statements_->Value();
+  s.requests_shed = requests_shed_->Value();
+  s.deadline_misses_admission = deadline_miss_admission_->Value();
+  s.deadline_misses_queue = deadline_miss_queue_->Value();
+  s.deadline_misses_parse = deadline_miss_parse_->Value();
+  s.cancellations = cancellations_->Value();
   s.cache = cache;
   s.parse_p50_micros = parse_latency_->Percentile(50);
   s.parse_p99_micros = parse_latency_->Percentile(99);

@@ -37,6 +37,14 @@ struct ServiceStatsSnapshot {
   uint64_t parse_errors = 0;
   uint64_t batches = 0;
   uint64_t batch_statements = 0;
+  /// Request-lifecycle counters (docs/ROBUSTNESS.md). Not rendered by
+  /// `RenderServiceStats` (whose format is frozen); the same numbers
+  /// are in the Prometheus/JSON exports.
+  uint64_t requests_shed = 0;
+  uint64_t deadline_misses_admission = 0;
+  uint64_t deadline_misses_queue = 0;
+  uint64_t deadline_misses_parse = 0;
+  uint64_t cancellations = 0;
   ParserCacheStats cache;
   uint64_t parse_p50_micros = 0;
   uint64_t parse_p99_micros = 0;
@@ -72,6 +80,27 @@ class ServiceStats {
     batch_statements_->Increment(statements);
   }
 
+  /// Request-lifecycle events. `stage` of a deadline miss is where the
+  /// expiry was detected: admission (before any work), queue (a batch
+  /// statement's turn came up too late), or parse (a checkpoint inside
+  /// the parse loops fired).
+  enum class DeadlineStage { kAdmission, kQueue, kParse };
+  void RecordShed() { requests_shed_->Increment(); }
+  void RecordDeadlineMiss(DeadlineStage stage) {
+    switch (stage) {
+      case DeadlineStage::kAdmission:
+        deadline_miss_admission_->Increment();
+        break;
+      case DeadlineStage::kQueue:
+        deadline_miss_queue_->Increment();
+        break;
+      case DeadlineStage::kParse:
+        deadline_miss_parse_->Increment();
+        break;
+    }
+  }
+  void RecordCancellation() { cancellations_->Increment(); }
+
   /// `cache` contributes the cache half of the snapshot; the service
   /// passes its own cache's counters.
   ServiceStatsSnapshot Snapshot(const ParserCacheStats& cache) const;
@@ -90,6 +119,11 @@ class ServiceStats {
   obs::Counter* parses_error_;
   obs::Counter* batches_;
   obs::Counter* batch_statements_;
+  obs::Counter* requests_shed_;
+  obs::Counter* deadline_miss_admission_;
+  obs::Counter* deadline_miss_queue_;
+  obs::Counter* deadline_miss_parse_;
+  obs::Counter* cancellations_;
   obs::Histogram* parse_latency_;
   obs::Histogram* build_latency_;
 };

@@ -6,7 +6,10 @@
 
 namespace sqlpl {
 
-ThreadPool::ThreadPool(size_t num_threads, obs::MetricsRegistry* metrics) {
+ThreadPool::ThreadPool(ThreadPoolOptions options,
+                       obs::MetricsRegistry* metrics)
+    : options_(options) {
+  size_t num_threads = options.num_threads;
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
   }
@@ -17,6 +20,15 @@ ThreadPool::ThreadPool(size_t num_threads, obs::MetricsRegistry* metrics) {
                                      "Tasks waiting in the pool queue");
     tasks_total_ =
         metrics->GetCounter("sqlpl_pool_tasks_total", {}, "Tasks executed");
+    sheds_total_ = metrics->GetCounter(
+        "sqlpl_pool_sheds_total", {},
+        "Tasks rejected because the bounded queue was full (kReject)");
+    deadline_drops_submit_ = metrics->GetCounter(
+        "sqlpl_pool_deadline_drops_total", {{"stage", "submit"}},
+        "Tasks dropped for an expired deadline, by detection stage");
+    deadline_drops_queue_ = metrics->GetCounter(
+        "sqlpl_pool_deadline_drops_total", {{"stage", "queue"}},
+        "Tasks dropped for an expired deadline, by detection stage");
     task_micros_ = metrics->GetHistogram("sqlpl_pool_task_micros", {},
                                          "Task execution time (µs)");
     queue_wait_micros_ = metrics->GetHistogram(
@@ -29,6 +41,11 @@ ThreadPool::ThreadPool(size_t num_threads, obs::MetricsRegistry* metrics) {
   }
 }
 
+ThreadPool::ThreadPool(size_t num_threads, obs::MetricsRegistry* metrics)
+    : ThreadPool(ThreadPoolOptions{num_threads, /*max_queue_depth=*/0,
+                                   OverflowPolicy::kReject},
+                 metrics) {}
+
 ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Shutdown() {
@@ -37,6 +54,7 @@ void ThreadPool::Shutdown() {
     stopping_ = true;
   }
   cv_.notify_all();
+  space_cv_.notify_all();
   // Every caller serializes on the join: whoever arrives first joins the
   // workers, later callers (including ~ThreadPool after an explicit
   // Shutdown) find the vector empty and return once the join is done —
@@ -46,15 +64,71 @@ void ThreadPool::Shutdown() {
   workers_.clear();
 }
 
-bool ThreadPool::Submit(std::function<void()> task) {
+Status ThreadPool::TrySubmitLocked(Task task) {
+  if (stopping_) {
+    return Status::FailedPrecondition("thread pool is shutting down");
+  }
+  if (options_.max_queue_depth != 0 &&
+      queue_.size() >= options_.max_queue_depth) {
+    return Status::ResourceExhausted(
+        "thread pool queue full (" +
+        std::to_string(options_.max_queue_depth) + " tasks)");
+  }
+  queue_.push_back(std::move(task));
+  return Status::OK();
+}
+
+Status ThreadPool::Submit(std::function<void()> task, Deadline deadline,
+                          std::function<void()> on_expired) {
+  if (deadline.expired()) {
+    // Admission-time check: the task never enters the queue.
+    if (deadline_drops_submit_ != nullptr) {
+      deadline_drops_submit_->Increment();
+    }
+    return Status::DeadlineExceeded("task deadline expired before submit");
+  }
+  Task t{std::move(task), std::move(on_expired), deadline,
+         obs::TraceNowMicros()};
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) return false;
-    queue_.push_back(Task{std::move(task), obs::TraceNowMicros()});
+    std::unique_lock<std::mutex> lock(mu_);
+    if (options_.overflow == OverflowPolicy::kBlock &&
+        options_.max_queue_depth != 0) {
+      // Backpressure: park until a slot frees or the pool stops. The
+      // submitter's own deadline also bounds the park.
+      while (!stopping_ && queue_.size() >= options_.max_queue_depth) {
+        if (t.deadline.is_never()) {
+          space_cv_.wait(lock);
+        } else {
+          if (space_cv_.wait_until(lock, t.deadline.time()) ==
+              std::cv_status::timeout &&
+              queue_.size() >= options_.max_queue_depth && !stopping_) {
+            if (deadline_drops_submit_ != nullptr) {
+              deadline_drops_submit_->Increment();
+            }
+            return Status::DeadlineExceeded(
+                "task deadline expired while waiting for queue space");
+          }
+        }
+      }
+    }
+    Status submitted = TrySubmitLocked(std::move(t));
+    if (!submitted.ok()) {
+      // Only direct submissions count as sheds — ParallelFor helper
+      // rejections are benign (the caller runs those iterations itself).
+      if (submitted.code() == StatusCode::kResourceExhausted &&
+          sheds_total_ != nullptr) {
+        sheds_total_->Increment();
+      }
+      return submitted;
+    }
   }
   if (queue_depth_ != nullptr) queue_depth_->Add(1);
   cv_.notify_one();
-  return true;
+  return Status::OK();
+}
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  return Submit(std::move(task), Deadline::Never()).ok();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -70,7 +144,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    space_cv_.notify_one();
     if (queue_depth_ != nullptr) queue_depth_->Add(-1);
+    // Queue-wait deadline check before the task starts: work whose
+    // deadline lapsed while queued is pure waste — drop it.
+    if (task.deadline.expired()) {
+      if (deadline_drops_queue_ != nullptr) {
+        deadline_drops_queue_->Increment();
+      }
+      if (task.on_expired) task.on_expired();
+      continue;
+    }
     const bool timing = metered || obs::Tracing::enabled();
     uint64_t start = 0;
     if (timing) {
@@ -117,9 +201,20 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
   size_t helpers = std::min(n > 0 ? n - 1 : 0, num_threads_);
   for (size_t i = 0; i < helpers; ++i) {
-    // A rejected Submit (pool shutting down) just means the caller's
-    // own run_chunk below picks up the iterations.
-    Submit(run_chunk);
+    // Helpers are best-effort: a rejected submit (pool shutting down or
+    // bounded queue full) just means the caller's own run_chunk below
+    // picks up the iterations. Never block here — backpressure on a
+    // helper would stall the batch it is meant to speed up.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!TrySubmitLocked(
+            Task{run_chunk, nullptr, Deadline::Never(),
+                 obs::TraceNowMicros()})
+             .ok()) {
+      break;
+    }
+    lock.unlock();
+    if (queue_depth_ != nullptr) queue_depth_->Add(1);
+    cv_.notify_one();
   }
   run_chunk();  // caller participates
 

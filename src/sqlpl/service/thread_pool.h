@@ -11,28 +11,63 @@
 #include <vector>
 
 #include "sqlpl/obs/metrics.h"
+#include "sqlpl/util/cancellation.h"
+#include "sqlpl/util/status.h"
 
 namespace sqlpl {
+
+/// What `Submit` does when the bounded queue is full.
+enum class OverflowPolicy {
+  /// Fail fast with `kResourceExhausted` (load shedding) — the serving
+  /// default: callers get an honest signal instead of silent latency.
+  kReject,
+  /// Block the submitter until a slot frees (backpressure). A blocked
+  /// submitter still fails cleanly when the pool shuts down.
+  kBlock,
+};
+
+/// Tuning knobs of a `ThreadPool`.
+struct ThreadPoolOptions {
+  /// Worker threads (minimum 1; 0 means hardware_concurrency).
+  size_t num_threads = 4;
+  /// Maximum queued (not yet running) tasks; 0 = unbounded, preserving
+  /// the pre-lifecycle behavior.
+  size_t max_queue_depth = 0;
+  OverflowPolicy overflow = OverflowPolicy::kReject;
+};
 
 /// Fixed-size worker pool backing `DialectService::ParseBatch`. Plain
 /// mutex + condition-variable work queue: batch parsing hands the pool a
 /// few coarse tasks (whole statements), so queue contention is noise next
 /// to parse cost and a lock-free queue would buy nothing yet.
 ///
+/// Request-lifecycle v2 additions (docs/ROBUSTNESS.md):
+///  - a bounded queue (`max_queue_depth`) with a load-shedding policy —
+///    `kReject` sheds with `kResourceExhausted`, `kBlock` applies
+///    backpressure;
+///  - per-task deadlines: an expired deadline is rejected at submit
+///    without enqueueing, and re-checked when a worker dequeues the
+///    task — a task that waited out its deadline in the queue is
+///    dropped (its `on_expired` callback runs instead of the task).
+///
 /// Observability: bind a `MetricsRegistry` to get a queue-depth gauge
 /// (`sqlpl_pool_queue_depth`), task count and latency
-/// (`sqlpl_pool_tasks_total`, `sqlpl_pool_task_micros`), and queue-wait
-/// histogram (`sqlpl_pool_queue_wait_micros`). With tracing enabled
-/// (obs/trace.h), every dequeue additionally emits a `pool.queue_wait`
-/// trace event spanning enqueue → dequeue on the worker's timeline.
+/// (`sqlpl_pool_tasks_total`, `sqlpl_pool_task_micros`), queue-wait
+/// histogram (`sqlpl_pool_queue_wait_micros`), shed counter
+/// (`sqlpl_pool_sheds_total`), and deadline-drop counters
+/// (`sqlpl_pool_deadline_drops_total{stage="submit"|"queue"}`). With
+/// tracing enabled (obs/trace.h), every dequeue additionally emits a
+/// `pool.queue_wait` trace event spanning enqueue → dequeue.
 ///
 /// Tasks must not throw (the library is exception-free across API
 /// boundaries); a throwing task terminates the process.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (minimum 1; 0 means
-  /// hardware_concurrency). `metrics`, when non-null, must outlive the
-  /// pool; pass nullptr for an uninstrumented pool.
+  explicit ThreadPool(ThreadPoolOptions options,
+                      obs::MetricsRegistry* metrics = nullptr);
+
+  /// Legacy positional form: unbounded queue, `kReject` (moot without a
+  /// bound). `metrics`, when non-null, must outlive the pool.
   explicit ThreadPool(size_t num_threads,
                       obs::MetricsRegistry* metrics = nullptr);
 
@@ -42,45 +77,73 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task` for execution on some worker. Returns false —
-  /// without running or storing the task — once `Shutdown()` has begun.
+  /// Enqueues `task` under the request lifecycle. Returns:
+  ///  - `kFailedPrecondition` once `Shutdown()` has begun (also wakes
+  ///    `kBlock` submitters parked on a full queue);
+  ///  - `kDeadlineExceeded` when `deadline` has already passed — the
+  ///    task is not enqueued and will never run;
+  ///  - `kResourceExhausted` when the queue is full under `kReject`;
+  ///  - OK otherwise. If the deadline then expires while the task is
+  ///    still queued, the worker drops it and runs `on_expired`
+  ///    (when provided) instead.
+  Status Submit(std::function<void()> task, Deadline deadline,
+                std::function<void()> on_expired = nullptr);
+
+  /// Legacy positional form: no deadline. Returns false — without
+  /// running or storing the task — iff the lifecycle form would fail
+  /// (shutdown or a full `kReject` queue).
   bool Submit(std::function<void()> task);
 
   /// Drains the queue and joins the workers: every task enqueued before
-  /// this call runs to completion; tasks submitted after it are
-  /// rejected. Idempotent and callable from any thread (but not from a
-  /// worker task — a worker joining itself deadlocks).
+  /// this call runs to completion (deadline-dropped tasks excepted);
+  /// tasks submitted after it are rejected. Idempotent and callable
+  /// from any thread (but not from a worker task — a worker joining
+  /// itself deadlocks).
   void Shutdown();
 
   /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all
   /// complete. The calling thread participates, so a 1-thread pool still
   /// makes progress even while workers are busy with other batches (and
   /// a shut-down pool degrades to sequential execution on the caller).
+  /// Helper submission never blocks: with a full `kBlock` queue the
+  /// caller simply runs more of the iterations itself.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return num_threads_; }
+  size_t max_queue_depth() const { return options_.max_queue_depth; }
 
  private:
   struct Task {
     std::function<void()> fn;
+    std::function<void()> on_expired;
+    Deadline deadline;
     /// TraceNowMicros() at enqueue, for the queue-wait measurement.
     uint64_t enqueue_micros = 0;
   };
+
+  /// Never blocks: used by ParallelFor helpers regardless of policy.
+  Status TrySubmitLocked(Task task);
 
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable cv_;
+  /// Signals a freed slot to `kBlock` submitters.
+  std::condition_variable space_cv_;
   std::deque<Task> queue_;
   bool stopping_ = false;
   // Serializes Shutdown callers; guards workers_ during the join.
   std::mutex join_mu_;
   std::vector<std::thread> workers_;
   size_t num_threads_ = 0;
+  ThreadPoolOptions options_;
 
   // Instruments (all nullptr when the pool is uninstrumented).
   obs::Gauge* queue_depth_ = nullptr;
   obs::Counter* tasks_total_ = nullptr;
+  obs::Counter* sheds_total_ = nullptr;
+  obs::Counter* deadline_drops_submit_ = nullptr;
+  obs::Counter* deadline_drops_queue_ = nullptr;
   obs::Histogram* task_micros_ = nullptr;
   obs::Histogram* queue_wait_micros_ = nullptr;
 };

@@ -1,0 +1,16 @@
+#include "sqlpl/util/cancellation.h"
+
+namespace sqlpl {
+
+Status RequestControl::Check(const char* what) const {
+  if (cancel.cancelled()) {
+    return Status::Cancelled(std::string(what) + " cancelled by caller");
+  }
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded(std::string(what) +
+                                    " abandoned: deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,124 @@
+#ifndef SQLPL_UTIL_CANCELLATION_H_
+#define SQLPL_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// A point in time after which a request is no longer worth serving.
+/// Value type, cheap to copy; the default-constructed deadline never
+/// expires, so code paths that don't care pay one comparison.
+///
+/// Deadlines are absolute (`steady_clock`), not durations: a deadline
+/// threaded through queueing, cache resolution, and parsing keeps one
+/// meaning the whole way down — "done by T" — instead of restarting a
+/// budget at every layer.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() : when_(Clock::time_point::max()) {}
+
+  static Deadline Never() { return Deadline(); }
+  static Deadline At(Clock::time_point when) { return Deadline(when); }
+  /// Expires `budget` from now. A zero or negative budget is already
+  /// expired — useful in tests and for "fail fast" probes.
+  static Deadline After(Clock::duration budget) {
+    return Deadline(Clock::now() + budget);
+  }
+
+  bool is_never() const { return when_ == Clock::time_point::max(); }
+  /// One clock read unless `is_never()` (then no clock read at all).
+  bool expired() const { return !is_never() && Clock::now() >= when_; }
+
+  /// Time left; zero when expired, `Clock::duration::max()` when never.
+  Clock::duration remaining() const {
+    if (is_never()) return Clock::duration::max();
+    Clock::time_point now = Clock::now();
+    return now >= when_ ? Clock::duration::zero() : when_ - now;
+  }
+
+  Clock::time_point time() const { return when_; }
+
+  /// The sooner of the two (for composing a request deadline with an
+  /// operation-level timeout).
+  static Deadline Earlier(Deadline a, Deadline b) {
+    return a.when_ <= b.when_ ? a : b;
+  }
+
+  bool operator==(const Deadline& other) const {
+    return when_ == other.when_;
+  }
+
+ private:
+  explicit Deadline(Clock::time_point when) : when_(when) {}
+
+  Clock::time_point when_;
+};
+
+/// Read side of a cancellation handshake. Default-constructed tokens
+/// can never be cancelled and carry no allocation; tokens minted by a
+/// `CancelSource` observe that source's flag. Copying a token shares
+/// the flag. Thread-safe: `cancelled()` is one relaxed atomic load.
+class CancelToken {
+ public:
+  /// A token that can never be cancelled.
+  CancelToken() = default;
+
+  bool can_be_cancelled() const { return state_ != nullptr; }
+  bool cancelled() const {
+    return state_ != nullptr && state_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const std::atomic<bool>> state_;
+};
+
+/// Write side: the owner (client connection, test, supervisor) keeps the
+/// source and hands tokens to the work it may later abandon.
+/// Cancellation is level-triggered and one-way — once requested it
+/// cannot be withdrawn.
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancelToken token() const { return CancelToken(state_); }
+  void RequestCancel() { state_->store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return state_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// The per-request lifecycle controls threaded from the service API
+/// down through cache resolution and the parse loops. Default state is
+/// fully unrestricted (never-deadline, non-cancellable token), which
+/// every hot path can detect with two null-ish checks.
+struct RequestControl {
+  Deadline deadline;
+  CancelToken cancel;
+
+  bool unrestricted() const {
+    return deadline.is_never() && !cancel.can_be_cancelled();
+  }
+
+  /// First lifecycle violation, or OK. Cancellation wins over deadline
+  /// expiry (the caller explicitly gave up; report that, not the
+  /// clock). `what` names the operation in the error message.
+  Status Check(const char* what) const;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_UTIL_CANCELLATION_H_

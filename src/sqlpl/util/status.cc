@@ -26,6 +26,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "composition_error";
     case StatusCode::kConfigurationError:
       return "configuration_error";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
   }
   return "unknown";
 }

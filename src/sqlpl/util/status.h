@@ -28,6 +28,14 @@ enum class StatusCode {
   kCompositionError,
   /// A feature configuration violates the feature model.
   kConfigurationError,
+  /// The request's deadline passed before the operation completed (or
+  /// before it started — see docs/ROBUSTNESS.md for the stages).
+  kDeadlineExceeded,
+  /// The caller cancelled the request via its `CancelToken`.
+  kCancelled,
+  /// The service refused the request to protect itself: admission limit
+  /// reached or a bounded queue full. Retrying later may succeed.
+  kResourceExhausted,
 };
 
 /// Returns the canonical lowercase name of `code` (e.g. "invalid_argument").
@@ -78,6 +86,15 @@ class Status {
   }
   static Status ConfigurationError(std::string msg) {
     return Status(StatusCode::kConfigurationError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

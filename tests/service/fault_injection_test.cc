@@ -1,0 +1,108 @@
+// Fault-injected robustness (docs/ROBUSTNESS.md): the chaos hooks are
+// compiled in only under -DSQLPL_FAULT_INJECT=ON (scripts/check.sh runs
+// this suite in such a tree); in a normal build every test here skips.
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/service/dialect_service.h"
+#include "sqlpl/service/fault_injector.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!SQLPL_FAULT_INJECT) {
+      GTEST_SKIP() << "built without SQLPL_FAULT_INJECT";
+    }
+    FaultInjector::Global().Reset();
+  }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, TransientBuildFaultRetriedWithoutPoisoningCache) {
+  FaultInjector::Global().FailBuilds(1, Status::Internal("injected fault"));
+
+  DialectServiceOptions options;
+  options.max_build_attempts = 2;
+  options.build_retry_backoff = std::chrono::microseconds(100);
+  DialectService service(options);
+
+  // The cold build hits the injected fault once; the single-flight
+  // owner retries and the second attempt succeeds.
+  Result<ParseNode> tree =
+      service.Parse(CoreQueryDialect(), "SELECT a FROM t");
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(FaultInjector::Global().injected_failures(), 1u);
+
+  ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.cache.build_failures, 1u);
+  EXPECT_EQ(stats.cache.build_retries, 1u);
+  EXPECT_EQ(stats.cache.builds, 1u);
+
+  // The retry is visible in the exported inventory.
+  std::string prometheus = service.MetricsPrometheus();
+  EXPECT_NE(prometheus.find("sqlpl_cache_build_retries 1"),
+            std::string::npos)
+      << prometheus;
+
+  // No negative cache entry: the next request is a plain hit.
+  ParseRequest warm;
+  DialectSpec spec = CoreQueryDialect();
+  warm.spec = &spec;
+  warm.sql = "SELECT b FROM u";
+  ParseResponse response = service.Parse(warm);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response.cache_disposition, CacheDisposition::kHit);
+  EXPECT_EQ(FaultInjector::Global().injected_failures(), 1u)
+      << "the warm path must not rebuild";
+}
+
+TEST_F(FaultInjectionTest, ExhaustedRetriesSurfaceTheFaultButDoNotCacheIt) {
+  FaultInjector::Global().FailBuilds(5, Status::Internal("injected fault"));
+
+  DialectServiceOptions options;
+  options.max_build_attempts = 2;
+  options.build_retry_backoff = std::chrono::microseconds(100);
+  DialectService service(options);
+
+  Result<ParseNode> tree =
+      service.Parse(CoreQueryDialect(), "SELECT a FROM t");
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(FaultInjector::Global().injected_failures(), 2u)
+      << "both attempts of the budget consumed a fault";
+  EXPECT_EQ(service.Stats().cache.build_failures, 2u);
+
+  // Once the fault clears, the same key builds fine — failure was
+  // never cached.
+  FaultInjector::Global().Reset();
+  Result<ParseNode> recovered =
+      service.Parse(CoreQueryDialect(), "SELECT a FROM t");
+  EXPECT_TRUE(recovered.ok()) << recovered.status();
+}
+
+TEST_F(FaultInjectionTest, InjectedLatencyDelaysTheColdBuildOnly) {
+  FaultInjector::Global().SetBuildDelay(std::chrono::milliseconds(30));
+  DialectService service;
+  DialectSpec spec = TinySqlDialect();
+  ParseRequest request;
+  request.spec = &spec;
+  request.sql = "SELECT light FROM sensors";
+
+  ParseResponse cold = service.Parse(request);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_GE(cold.total_micros, 30'000u) << "cold build carries the delay";
+
+  ParseResponse warm = service.Parse(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.cache_disposition, CacheDisposition::kHit);
+  EXPECT_LT(warm.total_micros, 30'000u) << "warm path skips the hook";
+}
+
+}  // namespace
+}  // namespace sqlpl

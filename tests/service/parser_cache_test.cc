@@ -140,14 +140,23 @@ TEST(ParserCacheTest, SingleFlightBuildsColdKeyOnce) {
 
 TEST(ParserCacheTest, SingleFlightFailureReachesEveryWaiter) {
   ParserCache cache(/*capacity=*/8, /*num_shards=*/1);
+  constexpr int kThreads = 6;
   std::atomic<int> builds{0};
-  auto slow_fail = [&builds]() -> Result<LlParser> {
+  // A failed build is never cached, so a thread that arrives after the
+  // owner finished would legitimately rebuild. Keep the build running
+  // until every other thread is parked on the single-flight latch
+  // (bounded, in case a waiter never shows) so "exactly one build" is
+  // deterministic rather than a sleep race.
+  auto slow_fail = [&builds, &cache]() -> Result<LlParser> {
     builds.fetch_add(1);
-    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (cache.stats().coalesced_waits < kThreads - 1 &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     return Status::CompositionError("cold build failed");
   };
 
-  constexpr int kThreads = 6;
   std::atomic<int> failures{0};
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
@@ -191,6 +200,124 @@ TEST(ParserCacheTest, ConcurrentMixedKeysStayConsistent) {
   ParserCacheStats stats = cache.stats();
   EXPECT_EQ(stats.hits + stats.misses,
             static_cast<uint64_t>(kThreads) * kIterations);
+}
+
+TEST(ParserCacheLifecycleTest, TransientBuildFailureRetriedWithoutPoisoning) {
+  ParserCache cache(/*capacity=*/8, /*num_shards=*/2);
+  int attempts = 0;
+  auto flaky = [&attempts]() -> Result<LlParser> {
+    if (++attempts == 1) return Status::Internal("transient compose fault");
+    return BuildToyParser();
+  };
+  ParserCache::GetOptions options;
+  options.max_build_attempts = 2;
+  options.retry_backoff = std::chrono::microseconds(100);
+
+  CacheDisposition disposition = CacheDisposition::kUnresolved;
+  Result<std::shared_ptr<const LlParser>> built =
+      cache.GetOrBuild(Key(7), flaky, options, &disposition);
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_EQ(attempts, 2) << "one transient failure, one retry";
+  EXPECT_EQ(disposition, CacheDisposition::kBuilt);
+
+  ParserCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.build_failures, 1u);
+  EXPECT_EQ(stats.build_retries, 1u);
+  EXPECT_EQ(stats.builds, 1u) << "only the successful attempt caches";
+
+  // The key is warm, not poisoned: the next request hits.
+  disposition = CacheDisposition::kUnresolved;
+  Result<std::shared_ptr<const LlParser>> again =
+      cache.GetOrBuild(Key(7), flaky, options, &disposition);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(disposition, CacheDisposition::kHit);
+}
+
+TEST(ParserCacheLifecycleTest, PermanentFailureIsNotRetried) {
+  ParserCache cache(/*capacity=*/8, /*num_shards=*/2);
+  int attempts = 0;
+  auto broken = [&attempts]() -> Result<LlParser> {
+    ++attempts;
+    return Status::ConfigurationError("unknown feature");
+  };
+  ParserCache::GetOptions options;
+  options.max_build_attempts = 3;
+
+  Result<std::shared_ptr<const LlParser>> built =
+      cache.GetOrBuild(Key(8), broken, options);
+  EXPECT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kConfigurationError);
+  EXPECT_EQ(attempts, 1) << "deterministic spec errors fail identically";
+  EXPECT_EQ(cache.stats().build_retries, 0u);
+}
+
+TEST(ParserCacheLifecycleTest, SingleAttemptNeverRetriesTransientFailure) {
+  ParserCache cache(/*capacity=*/8, /*num_shards=*/2);
+  int attempts = 0;
+  auto flaky = [&attempts]() -> Result<LlParser> {
+    ++attempts;
+    return Status::Internal("transient");
+  };
+  Result<std::shared_ptr<const LlParser>> built =
+      cache.GetOrBuild(Key(9), flaky, ParserCache::GetOptions{});
+  EXPECT_FALSE(built.ok());
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(ParserCacheLifecycleTest, IsTransientBuildFailureClassifies) {
+  EXPECT_TRUE(ParserCache::IsTransientBuildFailure(Status::Internal("x")));
+  EXPECT_TRUE(
+      ParserCache::IsTransientBuildFailure(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(
+      ParserCache::IsTransientBuildFailure(Status::ConfigurationError("x")));
+  EXPECT_FALSE(
+      ParserCache::IsTransientBuildFailure(Status::CompositionError("x")));
+  EXPECT_FALSE(ParserCache::IsTransientBuildFailure(Status::OK()));
+}
+
+TEST(ParserCacheLifecycleTest, CoalescedWaiterHonorsDeadlineAndCancel) {
+  ParserCache cache(/*capacity=*/8, /*num_shards=*/2);
+  std::atomic<bool> release{false};
+  std::atomic<bool> owner_started{false};
+  auto slow_build = [&]() -> Result<LlParser> {
+    owner_started.store(true);
+    while (!release.load()) std::this_thread::yield();
+    return BuildToyParser();
+  };
+
+  // The owner holds the single-flight latch until released.
+  std::thread owner([&] {
+    Result<std::shared_ptr<const LlParser>> r =
+        cache.GetOrBuild(Key(11), slow_build);
+    EXPECT_TRUE(r.ok()) << r.status();
+  });
+  while (!owner_started.load()) std::this_thread::yield();
+
+  // A deadline-bounded waiter gives up while the build is in flight.
+  ParserCache::GetOptions bounded;
+  bounded.control.deadline = Deadline::After(std::chrono::milliseconds(20));
+  CacheDisposition disposition = CacheDisposition::kUnresolved;
+  Result<std::shared_ptr<const LlParser>> timed_out = cache.GetOrBuild(
+      Key(11), slow_build, bounded, &disposition);
+  EXPECT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+
+  // A cancelled waiter unblocks too.
+  CancelSource source;
+  source.RequestCancel();
+  ParserCache::GetOptions cancelled;
+  cancelled.control.cancel = source.token();
+  Result<std::shared_ptr<const LlParser>> gave_up =
+      cache.GetOrBuild(Key(11), slow_build, cancelled);
+  EXPECT_FALSE(gave_up.ok());
+  EXPECT_EQ(gave_up.status().code(), StatusCode::kCancelled);
+
+  // The abandoned build still completes and caches for everyone else.
+  release.store(true);
+  owner.join();
+  EXPECT_NE(cache.Lookup(Key(11)), nullptr)
+      << "waiter abandonment must not discard the owner's build";
 }
 
 }  // namespace

@@ -1,0 +1,333 @@
+// Request-lifecycle v2 (docs/ROBUSTNESS.md): deadlines, cancellation,
+// and admission control across DialectService, and the cooperative
+// checkpoints inside LlParser's parse loops.
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/grammar/text_format.h"
+#include "sqlpl/parser/ll_parser.h"
+#include "sqlpl/service/dialect_service.h"
+#include "sqlpl/sql/dialects.h"
+#include "sqlpl/util/cancellation.h"
+
+namespace sqlpl {
+namespace {
+
+using namespace std::chrono_literals;
+
+// -------------------------------------------------------------------
+// LlParser checkpoints
+
+LlParser BuildGatedParser(const char* text) {
+  Result<Grammar> grammar = ParseGrammarText(text);
+  EXPECT_TRUE(grammar.ok()) << grammar.status();
+  Result<LlParser> parser = ParserBuilder().Build(*grammar);
+  EXPECT_TRUE(parser.ok()) << parser.status();
+  return std::move(parser).value();
+}
+
+TEST(LlParserLifecycleTest, UnrestrictedControlParsesNormally) {
+  LlParser parser = BuildGatedParser(R"(
+    tokens { IDENTIFIER = identifier; }
+    start s;
+    s : item ( item )* ;
+    item : IDENTIFIER ;
+  )");
+  RequestControl control;
+  Result<ParseNode> tree = parser.ParseText("a b c", control);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+}
+
+TEST(LlParserLifecycleTest, PreCancelledParseNeverStarts) {
+  LlParser parser = BuildGatedParser(R"(
+    start s;
+    s : 'A' ;
+  )");
+  CancelSource source;
+  source.RequestCancel();
+  RequestControl control{Deadline::Never(), source.token()};
+  Result<ParseNode> tree = parser.ParseText("A", control);
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kCancelled);
+}
+
+TEST(LlParserLifecycleTest, CancellationDuringLongParseUnwindsPromptly) {
+  LlParser parser = BuildGatedParser(R"(
+    tokens { IDENTIFIER = identifier; }
+    start s;
+    s : item ( item )* ;
+    item : gated = IDENTIFIER ;
+  )");
+  // The predicate latches the parse mid-flight: it signals the main
+  // thread and parks until released. Predicates run on the parsing
+  // thread, so this is a deterministic "long parse".
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(parser
+                  .AttachPredicate("item", 0,
+                                   [&](const std::vector<Token>&, size_t) {
+                                     started.store(true);
+                                     while (!release.load()) {
+                                       std::this_thread::yield();
+                                     }
+                                     return true;
+                                   })
+                  .ok());
+
+  CancelSource source;
+  RequestControl control{Deadline::Never(), source.token()};
+  Result<ParseNode> tree = Status::Internal("not parsed");
+  std::thread parse_thread([&] {
+    tree = parser.ParseText("a b c d", control);
+  });
+  while (!started.load()) std::this_thread::yield();
+  source.RequestCancel();  // cancel while the parse is genuinely running
+  release.store(true);
+  parse_thread.join();
+
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kCancelled)
+      << tree.status();
+}
+
+TEST(LlParserLifecycleTest, DeadlineExpiringMidParseAbortsAtCheckpoint) {
+  LlParser parser = BuildGatedParser(R"(
+    tokens { IDENTIFIER = identifier; }
+    start s;
+    s : item ( item )* ;
+    item : slow = IDENTIFIER ;
+  )");
+  // Each item costs ~1ms, so 64 items sail past a 5ms deadline long
+  // before the input is consumed.
+  ASSERT_TRUE(parser
+                  .AttachPredicate("item", 0,
+                                   [](const std::vector<Token>&, size_t) {
+                                     std::this_thread::sleep_for(1ms);
+                                     return true;
+                                   })
+                  .ok());
+  std::string sql;
+  for (int i = 0; i < 64; ++i) sql += "ident ";
+
+  RequestControl control{Deadline::After(5ms), CancelToken{}};
+  Result<ParseNode> tree = parser.ParseText(sql, control);
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kDeadlineExceeded)
+      << tree.status();
+}
+
+// -------------------------------------------------------------------
+// DialectService gates
+
+TEST(RequestLifecycleTest, ExpiredDeadlineRejectedAtAdmissionWithoutParsing) {
+  DialectService service;
+  DialectSpec spec = CoreQueryDialect();
+  ParseRequest request;
+  request.spec = &spec;
+  request.sql = "SELECT a FROM t";
+  request.deadline = Deadline::After(-1ms);
+
+  ParseResponse response = service.Parse(request);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(response.cache_disposition, CacheDisposition::kUnresolved);
+
+  ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.deadline_misses_admission, 1u);
+  EXPECT_EQ(stats.parses + stats.parse_errors, 0u)
+      << "the parse must not execute";
+  EXPECT_EQ(stats.cache.builds, 0u)
+      << "a dead request must not trigger a cold build";
+}
+
+TEST(RequestLifecycleTest, PreCancelledRequestRejectedAtAdmission) {
+  DialectService service;
+  DialectSpec spec = CoreQueryDialect();
+  CancelSource source;
+  source.RequestCancel();
+  ParseRequest request;
+  request.spec = &spec;
+  request.sql = "SELECT a FROM t";
+  request.cancel = source.token();
+
+  ParseResponse response = service.Parse(request);
+  EXPECT_EQ(response.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(service.Stats().cancellations, 1u);
+}
+
+TEST(RequestLifecycleTest, ResponseReportsDispositionAndTiming) {
+  DialectService service;
+  DialectSpec spec = TinySqlDialect();
+  ParseRequest request;
+  request.spec = &spec;
+  request.sql = "SELECT light FROM sensors";
+  request.deadline = Deadline::After(5s);
+
+  ParseResponse cold = service.Parse(request);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_EQ(cold.cache_disposition, CacheDisposition::kBuilt);
+  EXPECT_GE(cold.total_micros, cold.parse_micros);
+
+  ParseResponse warm = service.Parse(request);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_EQ(warm.cache_disposition, CacheDisposition::kHit);
+}
+
+TEST(RequestLifecycleTest, WantTreeFalseStillValidatesTheStatement) {
+  DialectService service;
+  DialectSpec spec = CoreQueryDialect();
+  ParseRequest accept;
+  accept.spec = &spec;
+  accept.sql = "SELECT a FROM t";
+  accept.want_tree = false;
+  EXPECT_TRUE(service.Parse(accept).ok());
+
+  ParseRequest reject = accept;
+  reject.sql = "not sql at all";
+  ParseResponse response = service.Parse(reject);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kParseError);
+}
+
+TEST(RequestLifecycleTest, NullSpecIsInvalidArgument) {
+  DialectService service;
+  ParseRequest request;
+  request.sql = "SELECT a FROM t";
+  EXPECT_EQ(service.Parse(request).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RequestLifecycleTest, BatchStatementExpiringBeforeItsTurnCountsAsQueue) {
+  DialectService service;
+  DialectSpec spec = CoreQueryDialect();
+  std::vector<ParseRequest> requests(3);
+  for (ParseRequest& request : requests) {
+    request.spec = &spec;
+    request.sql = "SELECT a FROM t";
+  }
+  requests[1].deadline = Deadline::After(-1ms);  // dead on arrival
+
+  std::vector<ParseResponse> responses = service.ParseBatch(requests);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_TRUE(responses[0].ok()) << responses[0].status();
+  EXPECT_EQ(responses[1].status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(responses[2].ok()) << responses[2].status();
+
+  ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.deadline_misses_queue, 1u);
+  EXPECT_EQ(stats.parses, 2u) << "live statements still parse";
+}
+
+TEST(RequestLifecycleTest, MixedDialectBatchInterleavesDialects) {
+  DialectService service;
+  // The worked-example dialect pins the select list to one column; the
+  // core dialect does not. The same two-column statement interleaved
+  // under both proves per-request resolution inside one batch.
+  DialectSpec narrow = WorkedExampleDialect();
+  DialectSpec wide = CoreQueryDialect();
+  const std::string_view two_columns = "SELECT a, b FROM t";
+  const std::string_view one_column = "SELECT name FROM employees";
+
+  std::vector<ParseRequest> requests(4);
+  requests[0] = {&narrow, two_columns};
+  requests[1] = {&wide, two_columns};
+  requests[2] = {&narrow, one_column};
+  requests[3] = {&wide, one_column};
+
+  std::vector<ParseResponse> responses = service.ParseBatch(requests);
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_FALSE(responses[0].ok())
+      << "narrow dialect must reject two select-list columns";
+  EXPECT_TRUE(responses[1].ok()) << responses[1].status();
+  EXPECT_TRUE(responses[2].ok()) << responses[2].status();
+  EXPECT_TRUE(responses[3].ok()) << responses[3].status();
+
+  // Two distinct dialects, each resolved exactly once for the batch.
+  EXPECT_EQ(service.Stats().cache.builds, 2u);
+}
+
+TEST(RequestLifecycleTest, OverloadShedsWithResourceExhausted) {
+  DialectServiceOptions options;
+  options.max_inflight_requests = 1;
+  options.num_threads = 2;
+  DialectService service(options);
+  DialectSpec spec = CoreQueryDialect();
+
+  // An 8-thread burst against a single admission slot. All threads
+  // start on a shared barrier; each submits one batch big enough that
+  // the burst overlaps, so all but the slot holder(s) are shed.
+  constexpr int kThreads = 8;
+  const std::vector<std::string> statements(256, "SELECT a FROM t");
+  std::atomic<int> ok_batches{0};
+  std::atomic<int> shed_batches{0};
+  std::promise<void> go;
+  std::shared_future<void> barrier = go.get_future().share();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::vector<ParseRequest> requests(statements.size());
+      for (size_t i = 0; i < statements.size(); ++i) {
+        requests[i].spec = &spec;
+        requests[i].sql = statements[i];
+      }
+      barrier.wait();
+      std::vector<ParseResponse> responses = service.ParseBatch(requests);
+      if (responses[0].status().code() == StatusCode::kResourceExhausted) {
+        for (const ParseResponse& response : responses) {
+          EXPECT_EQ(response.status().code(),
+                    StatusCode::kResourceExhausted);
+        }
+        shed_batches.fetch_add(1);
+      } else {
+        for (const ParseResponse& response : responses) {
+          EXPECT_TRUE(response.ok()) << response.status();
+        }
+        ok_batches.fetch_add(1);
+      }
+    });
+  }
+  go.set_value();
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(ok_batches.load() + shed_batches.load(), kThreads);
+  EXPECT_GE(ok_batches.load(), 1) << "someone must get through";
+  EXPECT_GE(shed_batches.load(), 1)
+      << "a burst against one slot must shed, not queue unboundedly";
+  ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.requests_shed,
+            static_cast<uint64_t>(shed_batches.load()));
+
+  // The shed counter is part of the exported inventory.
+  std::string prometheus = service.MetricsPrometheus();
+  EXPECT_NE(prometheus.find("sqlpl_requests_shed_total"), std::string::npos);
+  std::string json = service.MetricsJson();
+  EXPECT_NE(json.find("sqlpl_requests_shed_total"), std::string::npos);
+}
+
+TEST(RequestLifecycleTest, LifecycleCountersAppearInMetricsExport) {
+  DialectService service;
+  DialectSpec spec = CoreQueryDialect();
+  ParseRequest dead;
+  dead.spec = &spec;
+  dead.sql = "SELECT a FROM t";
+  dead.deadline = Deadline::After(-1ms);
+  ASSERT_FALSE(service.Parse(dead).ok());
+
+  std::string prometheus = service.MetricsPrometheus();
+  EXPECT_NE(prometheus.find(
+                "sqlpl_deadline_misses_total{stage=\"admission\"} 1"),
+            std::string::npos)
+      << prometheus;
+  EXPECT_NE(prometheus.find("sqlpl_cancellations_total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqlpl

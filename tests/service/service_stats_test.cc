@@ -219,5 +219,43 @@ TEST(ServiceStatsTest, RecordsLandInBackingRegistry) {
             std::string::npos);
 }
 
+TEST(ServiceStatsTest, LifecycleCountersSnapshotAndExport) {
+  ServiceStats stats;
+  stats.RecordShed();
+  stats.RecordShed();
+  stats.RecordDeadlineMiss(ServiceStats::DeadlineStage::kAdmission);
+  stats.RecordDeadlineMiss(ServiceStats::DeadlineStage::kQueue);
+  stats.RecordDeadlineMiss(ServiceStats::DeadlineStage::kParse);
+  stats.RecordDeadlineMiss(ServiceStats::DeadlineStage::kParse);
+  stats.RecordCancellation();
+
+  ServiceStatsSnapshot s = stats.Snapshot(ParserCacheStats{});
+  EXPECT_EQ(s.requests_shed, 2u);
+  EXPECT_EQ(s.deadline_misses_admission, 1u);
+  EXPECT_EQ(s.deadline_misses_queue, 1u);
+  EXPECT_EQ(s.deadline_misses_parse, 2u);
+  EXPECT_EQ(s.cancellations, 1u);
+
+  std::string exposition = stats.registry().ExportPrometheus();
+  EXPECT_NE(exposition.find("sqlpl_requests_shed_total 2"),
+            std::string::npos);
+  EXPECT_NE(
+      exposition.find("sqlpl_deadline_misses_total{stage=\"admission\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      exposition.find("sqlpl_deadline_misses_total{stage=\"queue\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      exposition.find("sqlpl_deadline_misses_total{stage=\"parse\"} 2"),
+      std::string::npos);
+  EXPECT_NE(exposition.find("sqlpl_cancellations_total 1"),
+            std::string::npos);
+
+  // The frozen Markdown page deliberately does not grow new rows.
+  std::string report = RenderServiceStats(s);
+  EXPECT_EQ(report.find("shed"), std::string::npos);
+  EXPECT_EQ(report.find("deadline"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sqlpl

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -120,6 +121,128 @@ TEST(ThreadPoolTest, InstrumentedPoolRecordsTasksAndDrainsQueueDepth) {
   EXPECT_EQ(registry.GetGauge("sqlpl_pool_queue_depth")->Value(), 0);
   EXPECT_EQ(registry.GetHistogram("sqlpl_pool_task_micros")->TotalCount(),
             32u);
+}
+
+TEST(ThreadPoolLifecycleTest, FullRejectQueueShedsWithResourceExhausted) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool(ThreadPoolOptions{1, /*max_queue_depth=*/2,
+                                    OverflowPolicy::kReject},
+                  &registry);
+  // Block the single worker so queued tasks stay queued.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  ASSERT_TRUE(pool.Submit([gate, &started] {
+    started.set_value();
+    gate.wait();
+  }));
+  started.get_future().wait();
+
+  EXPECT_TRUE(pool.Submit([] {}, Deadline::Never()).ok());
+  EXPECT_TRUE(pool.Submit([] {}, Deadline::Never()).ok());
+  // Queue now holds 2 tasks: the third is shed, not queued.
+  Status shed = pool.Submit([] {}, Deadline::Never());
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(registry.GetCounter("sqlpl_pool_sheds_total")->Value(), 1u);
+
+  release.set_value();
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolLifecycleTest, BlockPolicyAppliesBackpressureInsteadOfShedding) {
+  ThreadPool pool(ThreadPoolOptions{1, /*max_queue_depth=*/1,
+                                    OverflowPolicy::kBlock});
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([gate, &started] {
+    started.set_value();
+    gate.wait();
+  }));
+  started.get_future().wait();
+  ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));  // fills the queue
+
+  // The next submit must block until the worker frees a slot — submit
+  // from a side thread and release the worker once it is parked.
+  std::atomic<bool> submitted{false};
+  std::thread submitter([&] {
+    Status status = pool.Submit([&ran] { ran.fetch_add(1); },
+                                Deadline::Never());
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    submitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(submitted.load());  // still parked on the full queue
+  release.set_value();
+  submitter.join();
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolLifecycleTest, ExpiredDeadlineRejectedAtSubmitWithoutRunning) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool(ThreadPoolOptions{2, 0, OverflowPolicy::kReject},
+                  &registry);
+  std::atomic<bool> ran{false};
+  Status status = pool.Submit([&ran] { ran.store(true); },
+                              Deadline::After(std::chrono::milliseconds(-1)));
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  pool.Shutdown();
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(registry
+                .GetCounter("sqlpl_pool_deadline_drops_total",
+                            {{"stage", "submit"}})
+                ->Value(),
+            1u);
+}
+
+TEST(ThreadPoolLifecycleTest, DeadlineExpiringInQueueDropsTaskAndRunsCallback) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool(ThreadPoolOptions{1, 0, OverflowPolicy::kReject},
+                  &registry);
+  // The single worker is held hostage past the queued task's deadline.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  ASSERT_TRUE(pool.Submit([gate, &started] {
+    started.set_value();
+    gate.wait();
+  }));
+  started.get_future().wait();
+
+  std::atomic<bool> task_ran{false};
+  std::atomic<bool> expired_ran{false};
+  Status status = pool.Submit(
+      [&task_ran] { task_ran.store(true); },
+      Deadline::After(std::chrono::milliseconds(5)),
+      [&expired_ran] { expired_ran.store(true); });
+  ASSERT_TRUE(status.ok()) << status.ToString();  // admitted in time
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.set_value();
+  pool.Shutdown();
+  EXPECT_FALSE(task_ran.load());
+  EXPECT_TRUE(expired_ran.load());
+  EXPECT_EQ(registry
+                .GetCounter("sqlpl_pool_deadline_drops_total",
+                            {{"stage", "queue"}})
+                ->Value(),
+            1u);
+}
+
+TEST(ThreadPoolLifecycleTest, ParallelForHelperRejectionIsNotCountedAsShed) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool(ThreadPoolOptions{2, /*max_queue_depth=*/1,
+                                    OverflowPolicy::kReject},
+                  &registry);
+  constexpr size_t kN = 256;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_EQ(registry.GetCounter("sqlpl_pool_sheds_total")->Value(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,97 @@
+#include "sqlpl/util/cancellation.h"
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.is_never());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining(), Deadline::Clock::duration::max());
+  EXPECT_EQ(deadline, Deadline::Never());
+}
+
+TEST(DeadlineTest, AfterZeroOrNegativeIsExpired) {
+  EXPECT_TRUE(Deadline::After(0ms).expired());
+  EXPECT_TRUE(Deadline::After(-5ms).expired());
+  EXPECT_EQ(Deadline::After(-5ms).remaining(),
+            Deadline::Clock::duration::zero());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotExpiredAndHasRemaining) {
+  Deadline deadline = Deadline::After(1h);
+  EXPECT_FALSE(deadline.is_never());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining(), 59min);
+}
+
+TEST(DeadlineTest, AtUsesAbsoluteTime) {
+  auto when = Deadline::Clock::now() - 1ms;
+  EXPECT_TRUE(Deadline::At(when).expired());
+  EXPECT_EQ(Deadline::At(when).time(), when);
+}
+
+TEST(DeadlineTest, EarlierPicksSoonerAndNeverLoses) {
+  Deadline soon = Deadline::After(1ms);
+  Deadline late = Deadline::After(1h);
+  EXPECT_EQ(Deadline::Earlier(soon, late), soon);
+  EXPECT_EQ(Deadline::Earlier(late, soon), soon);
+  EXPECT_EQ(Deadline::Earlier(soon, Deadline::Never()), soon);
+}
+
+TEST(CancelTokenTest, DefaultTokenCannotBeCancelled) {
+  CancelToken token;
+  EXPECT_FALSE(token.can_be_cancelled());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelSourceTest, TokenObservesCancellation) {
+  CancelSource source;
+  CancelToken token = source.token();
+  EXPECT_TRUE(token.can_be_cancelled());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(source.cancel_requested());
+
+  source.RequestCancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(source.cancel_requested());
+}
+
+TEST(CancelSourceTest, CopiedTokensShareTheFlag) {
+  CancelSource source;
+  CancelToken a = source.token();
+  CancelToken b = a;
+  source.RequestCancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+}
+
+TEST(RequestControlTest, DefaultIsUnrestrictedAndOk) {
+  RequestControl control;
+  EXPECT_TRUE(control.unrestricted());
+  EXPECT_TRUE(control.Check("op").ok());
+}
+
+TEST(RequestControlTest, ExpiredDeadlineFailsCheck) {
+  RequestControl control{Deadline::After(-1ms), CancelToken{}};
+  EXPECT_FALSE(control.unrestricted());
+  Status status = control.Check("parse");
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.message().find("parse"), std::string::npos);
+}
+
+TEST(RequestControlTest, CancellationWinsOverDeadline) {
+  CancelSource source;
+  source.RequestCancel();
+  RequestControl control{Deadline::After(-1ms), source.token()};
+  EXPECT_EQ(control.Check("op").code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace sqlpl

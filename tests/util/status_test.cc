@@ -26,6 +26,11 @@ TEST(StatusTest, FactoriesSetCodeAndMessage) {
             StatusCode::kCompositionError);
   EXPECT_EQ(Status::ConfigurationError("x").code(),
             StatusCode::kConfigurationError);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::ParseError("boom").message(), "boom");
 }
 
@@ -46,6 +51,11 @@ TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
                "composition_error");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kConfigurationError),
                "configuration_error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "cancelled");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "resource_exhausted");
 }
 
 TEST(ResultTest, HoldsValue) {
