@@ -12,6 +12,14 @@
 // p99_ns equal ns_per_op; with --benchmark_repetitions=K the percentiles
 // are taken over the K repetition means. Benchmarks that error are
 // recorded with "error" set and zero timings.
+//
+// Noise control: RunAndExport defaults every binary to 3 repetitions
+// (command-line flags still override), and the JSON records the *best*
+// repetition — minimum ns_per_op, maximum rate counters. Wall-clock
+// benches on shared machines jitter tens of percent run-to-run; the
+// best observed repetition is the classic noise-robust estimate of what
+// the code can do, and it is what scripts/bench_compare.py diffs
+// against the committed baselines.
 
 #ifndef SQLPL_BENCH_BENCH_JSON_H_
 #define SQLPL_BENCH_BENCH_JSON_H_
@@ -33,6 +41,11 @@ struct BenchResult {
   double ns_per_op = 0;
   double p50_ns = 0;
   double p99_ns = 0;
+  /// User counters (already rate-finalized by Google Benchmark), e.g.
+  /// mb_per_s / statements_per_s. Best (maximum) over repetitions.
+  /// Emitted as a "counters" object so scripts/bench_compare.py can
+  /// prefer throughput over raw ns_per_op.
+  std::map<std::string, double> counters;
   std::string error;
 };
 
@@ -80,6 +93,9 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
       }
       samples.iterations += run.iterations;
       samples.ns.push_back(NsPerOp(run));
+      for (const auto& [counter_name, counter] : run.counters) {
+        samples.counters[counter_name].push_back(counter.value);
+      }
     }
     ConsoleReporter::ReportRuns(runs);
   }
@@ -95,9 +111,9 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
       if (!samples.ns.empty()) {
         std::vector<double> sorted = samples.ns;
         std::sort(sorted.begin(), sorted.end());
-        double total = 0;
-        for (double v : sorted) total += v;
-        result.ns_per_op = total / static_cast<double>(sorted.size());
+        // Best repetition: the minimum is the least-interference
+        // estimate on a noisy machine (see file comment).
+        result.ns_per_op = sorted.front();
         auto percentile = [&sorted](double p) {
           size_t index = static_cast<size_t>(p / 100.0 *
                                              (sorted.size() - 1) + 0.5);
@@ -105,6 +121,10 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
         };
         result.p50_ns = percentile(50);
         result.p99_ns = percentile(99);
+      }
+      for (const auto& [counter_name, values] : samples.counters) {
+        result.counters[counter_name] =
+            *std::max_element(values.begin(), values.end());
       }
       results.push_back(std::move(result));
     }
@@ -115,6 +135,7 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
   struct Samples {
     int64_t iterations = 0;
     std::vector<double> ns;  // ns/op of each repetition
+    std::map<std::string, std::vector<double>> counters;
     std::string error;
   };
   // map: deterministic result order regardless of registration order.
@@ -146,6 +167,16 @@ inline bool WriteBenchJson(const std::string& bench_name,
                  i == 0 ? "" : ",", JsonEscape(r.name).c_str(),
                  static_cast<long long>(r.iterations), r.ns_per_op,
                  r.p50_ns, r.p99_ns);
+    if (!r.counters.empty()) {
+      std::fprintf(file, ",\"counters\":{");
+      bool first = true;
+      for (const auto& [counter_name, value] : r.counters) {
+        std::fprintf(file, "%s\"%s\":%.3f", first ? "" : ",",
+                     JsonEscape(counter_name).c_str(), value);
+        first = false;
+      }
+      std::fprintf(file, "}");
+    }
     if (!r.error.empty()) {
       std::fprintf(file, ",\"error\":\"%s\"", JsonEscape(r.error).c_str());
     }
@@ -161,10 +192,27 @@ inline bool WriteBenchJson(const std::string& bench_name,
 /// with a collecting reporter, then emit BENCH_<bench_name>.json.
 /// `bench_name` is the target name without the bench_ prefix ("parse",
 /// "service", "obs", ...).
+/// benchmark::Initialize with the repetition default injected ahead of
+/// the user's arguments: the benchmark library applies flags left to
+/// right, so anything passed on the real command line still wins.
+/// Returns false on unrecognized arguments. Every bench main() (the
+/// RunAndExport ones and the custom mains in bench_service / bench_obs)
+/// goes through here so all BENCH_*.json files are best-of-repetitions.
+inline bool InitBenchmark(int argc, char** argv) {
+  static char kRepetitions[] = "--benchmark_repetitions=3";
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  args.push_back(argv[0]);
+  args.push_back(kRepetitions);
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  return !benchmark::ReportUnrecognizedArguments(args_count, args.data());
+}
+
 inline int RunAndExport(const std::string& bench_name, int argc,
                         char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!InitBenchmark(argc, argv)) return 1;
   JsonCollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

@@ -1,5 +1,8 @@
 // Lexing throughput with tailored vs full token sets: a smaller composed
-// token file means fewer reserved words to test per lexeme.
+// token file means fewer reserved words to test per lexeme. The dialect
+// benchmarks drive the zero-copy fast path (`TokenizeInto` into a reused
+// `TokenStream` — no per-token allocation); `BM_LexLegacyOwningTokens`
+// keeps the owning `Token` conversion path honest for comparison.
 
 #include <benchmark/benchmark.h>
 
@@ -22,8 +25,38 @@ std::string SampleSql() {
   return out;
 }
 
+void SetLexCounters(benchmark::State& state, const std::string& sql,
+                    const Lexer& lexer) {
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sql.size()));
+  state.counters["keywords"] = static_cast<double>(lexer.NumKeywords());
+  state.counters["mb_per_s"] = benchmark::Counter(
+      static_cast<double>(sql.size()) / 1e6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
 void BM_LexWithDialectTokens(benchmark::State& state,
                              const DialectSpec& spec) {
+  SqlProductLine line;
+  Result<Grammar> grammar = line.ComposeGrammar(spec);
+  if (!grammar.ok()) {
+    state.SkipWithError(grammar.status().ToString().c_str());
+    return;
+  }
+  Lexer lexer(grammar->tokens());
+  std::string sql = SampleSql();
+  TokenStream stream;
+  for (auto _ : state) {
+    stream.Clear();
+    Status status = lexer.TokenizeInto(sql, &stream);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+    benchmark::DoNotOptimize(stream.size());
+  }
+  SetLexCounters(state, sql, lexer);
+}
+
+void BM_LexLegacyOwningTokens(benchmark::State& state,
+                              const DialectSpec& spec) {
   SqlProductLine line;
   Result<Grammar> grammar = line.ComposeGrammar(spec);
   if (!grammar.ok()) {
@@ -37,21 +70,20 @@ void BM_LexWithDialectTokens(benchmark::State& state,
     if (!tokens.ok()) state.SkipWithError(tokens.status().ToString().c_str());
     benchmark::DoNotOptimize(tokens);
   }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(sql.size()));
-  state.counters["keywords"] = static_cast<double>(lexer.NumKeywords());
+  SetLexCounters(state, sql, lexer);
 }
 
 void BM_LexWithMonolithicTokens(benchmark::State& state) {
   Lexer lexer(MonolithicTokenSet());
   std::string sql = SampleSql();
+  TokenStream stream;
   for (auto _ : state) {
-    Result<std::vector<Token>> tokens = lexer.Tokenize(sql);
-    benchmark::DoNotOptimize(tokens);
+    stream.Clear();
+    Status status = lexer.TokenizeInto(sql, &stream);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+    benchmark::DoNotOptimize(stream.size());
   }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(sql.size()));
-  state.counters["keywords"] = static_cast<double>(lexer.NumKeywords());
+  SetLexCounters(state, sql, lexer);
 }
 
 }  // namespace
@@ -68,6 +100,10 @@ int main(int argc, char** argv) {
           BM_LexWithDialectTokens(state, spec);
         });
   }
+  benchmark::RegisterBenchmark(
+      "BM_LexLegacyOwningTokens/CoreQuery", [](benchmark::State& state) {
+        BM_LexLegacyOwningTokens(state, CoreQueryDialect());
+      });
   benchmark::RegisterBenchmark("BM_LexWithMonolithicTokens",
                                BM_LexWithMonolithicTokens);
   return sqlpl::bench::RunAndExport("lexer", argc, argv);

@@ -248,8 +248,7 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("BM_ExportPrometheus", BM_ExportPrometheus);
   benchmark::RegisterBenchmark("BM_ExportChromeTrace", BM_ExportChromeTrace);
 
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!bench::InitBenchmark(argc, argv)) return 1;
   bench::JsonCollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

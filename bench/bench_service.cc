@@ -259,8 +259,7 @@ BENCHMARK(BM_CacheHitParseWithLifecycle)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   using namespace sqlpl;
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!bench::InitBenchmark(argc, argv)) return 1;
   bench::JsonCollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Compare freshly-run BENCH_<name>.json files against committed baselines.
+
+Usage:
+    scripts/bench_compare.py CURRENT_DIR [BASELINE_DIR] [--threshold PCT]
+    scripts/bench_compare.py CURRENT_DIR --update [BASELINE_DIR]
+
+CURRENT_DIR holds just-produced BENCH_*.json files (typically the build
+directory after running the bench_* executables); BASELINE_DIR (default:
+repo root) holds the committed baselines. For every benchmark name
+present in both files the script compares throughput and fails (exit 1)
+on a regression larger than the threshold (default 10%).
+
+Per-result metric preference, highest wins:
+    counters.statements_per_s > counters.mb_per_s > ns_per_op
+For the rate counters bigger is better; for ns_per_op smaller is better.
+
+Benchmarks present only on one side are reported but never fail the
+check (benchmarks get added and retired; the committed baseline is
+refreshed with --update whenever an intentional change lands).
+
+Machine noise: wall-clock benchmarks on shared machines jitter tens of
+percent run-to-run, which would drown a 10% threshold. The bench
+binaries therefore default to 3 repetitions and record the *best*
+repetition in their JSON (min ns_per_op / max rate counters — see
+bench/bench_json.h), so both sides of this comparison are
+least-interference estimates. Run the benches with no extra flags when
+producing files for this script, and rerun once before believing a
+marginal failure.
+
+Residual jitter in contention-heavy multi-threaded benchmarks is
+absorbed by an outlier budget: up to --allowed-outliers (default 2)
+regressions between 1x and 2x the threshold are reported but tolerated.
+Anything beyond 2x the threshold, or more outliers than the budget,
+fails — a real pessimization regresses many benchmarks, or one by a
+lot.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+METRIC_PREFERENCE = ("statements_per_s", "mb_per_s")
+
+
+def load_results(path):
+    """Returns {benchmark_name: result_dict} for one BENCH_*.json file."""
+    with open(path) as f:
+        doc = json.load(f)
+    results = {}
+    for result in doc.get("results", []):
+        if result.get("error"):
+            continue  # errored runs carry zero timings; never compare them
+        results[result["name"]] = result
+    return results
+
+
+def pick_metric(result):
+    """Returns (metric_name, value, bigger_is_better) for one result."""
+    counters = result.get("counters", {})
+    for name in METRIC_PREFERENCE:
+        value = counters.get(name, 0)
+        if value > 0:
+            return name, value, True
+    return "ns_per_op", result.get("ns_per_op", 0), False
+
+
+def compare_file(bench, current, baseline, threshold):
+    """Compares one benchmark file.
+
+    Returns (major, minor): formatted strings for regressions beyond
+    2x threshold and between 1x and 2x, respectively.
+    """
+    major = []
+    minor = []
+    shared = sorted(set(current) & set(baseline))
+    only_current = sorted(set(current) - set(baseline))
+    only_baseline = sorted(set(baseline) - set(current))
+    for name in shared:
+        metric, new_value, bigger_better = pick_metric(current[name])
+        base_metric, base_value, _ = pick_metric(baseline[name])
+        if metric != base_metric or base_value <= 0 or new_value <= 0:
+            # Metric sets changed (e.g. counters newly added): only a
+            # like-for-like comparison is meaningful.
+            print(f"  ~ {bench}/{name}: metric changed "
+                  f"({base_metric} -> {metric}), skipped")
+            continue
+        if bigger_better:
+            change = (new_value - base_value) / base_value
+        else:
+            change = (base_value - new_value) / base_value
+        entry = (f"{bench}/{name}: {metric} {base_value:.1f} -> "
+                 f"{new_value:.1f} ({change * 100:+.1f}%)")
+        marker = "ok"
+        if change < -2 * threshold:
+            marker = "REGRESSION"
+            major.append(entry)
+        elif change < -threshold:
+            marker = "outlier"
+            minor.append(entry)
+        print(f"  {marker:>10} {name}: {metric} {base_value:.1f} -> "
+              f"{new_value:.1f} ({change * 100:+.1f}%)")
+    for name in only_current:
+        print(f"  new(no baseline) {name}")
+    for name in only_baseline:
+        print(f"  baseline-only    {name}")
+    return major, minor
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff BENCH_*.json against committed baselines.")
+    parser.add_argument("current_dir",
+                        help="directory with freshly-run BENCH_*.json")
+    parser.add_argument("baseline_dir", nargs="?", default=None,
+                        help="directory with committed baselines "
+                             "(default: repo root)")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="allowed regression in percent (default 10)")
+    parser.add_argument("--allowed-outliers", type=int, default=2,
+                        help="tolerated count of minor regressions "
+                             "(between 1x and 2x threshold; default 2). "
+                             "Contention-heavy multi-threaded benchmarks "
+                             "jitter past the threshold even best-of-N; "
+                             "a real pessimization regresses many "
+                             "benchmarks, or one by a lot.")
+    parser.add_argument("--update", action="store_true",
+                        help="copy current files over the baselines "
+                             "instead of comparing")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_dir = args.baseline_dir or repo_root
+    threshold = args.threshold / 100.0
+
+    names = sorted(f for f in os.listdir(args.current_dir)
+                   if f.startswith("BENCH_") and f.endswith(".json"))
+    if not names:
+        print(f"bench_compare: no BENCH_*.json in {args.current_dir}",
+              file=sys.stderr)
+        return 1
+
+    if args.update:
+        for name in names:
+            src = os.path.join(args.current_dir, name)
+            dst = os.path.join(baseline_dir, name)
+            shutil.copyfile(src, dst)
+            print(f"updated {dst}")
+        return 0
+
+    major = []
+    minor = []
+    for name in names:
+        baseline_path = os.path.join(baseline_dir, name)
+        if not os.path.exists(baseline_path):
+            print(f"{name}: no committed baseline, skipped")
+            continue
+        print(f"{name}:")
+        file_major, file_minor = compare_file(name, load_results(
+            os.path.join(args.current_dir, name)),
+            load_results(baseline_path), threshold)
+        major += file_major
+        minor += file_minor
+
+    if minor:
+        print(f"\nbench_compare: {len(minor)} minor outlier(s) between "
+              f"{args.threshold:.0f}% and {2 * args.threshold:.0f}% "
+              f"({args.allowed_outliers} tolerated):")
+        for entry in minor:
+            print(f"  {entry}")
+    failures = major
+    if len(minor) > args.allowed_outliers:
+        failures = major + minor
+    if failures:
+        print(f"\nbench_compare: {len(failures)} regression(s) beyond "
+              f"{args.threshold:.0f}%:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: no regressions beyond {args.threshold:.0f}% "
+          "threshold (after outlier tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

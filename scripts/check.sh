@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the sanitizer passes.
 #
-#   scripts/check.sh            # full: build + ctest + TSan + ASan passes
-#   scripts/check.sh --fast     # tier-1 only (skip the sanitizer builds)
+#   scripts/check.sh            # full: build + ctest + TSan + ASan +
+#                               # bench-regression passes
+#   scripts/check.sh --fast     # tier-1 only (skip sanitizers + benches)
 #
 # Tier-1 (the roadmap gate): configure, build, and run the whole test
 # suite. The TSan pass rebuilds the service/obs test executables with
@@ -49,5 +50,31 @@ cmake --build build-asan -j "$JOBS" --target sqlpl_service_tests
 
 echo "== asan: ctest -L service =="
 (cd build-asan && ctest -L service --output-on-failure -j "$JOBS")
+
+# Bench regression gate: rerun the throughput benches from the build
+# tree (so the committed BENCH_*.json baselines at the repo root stay
+# untouched) and diff them against those baselines. The benches run
+# with no extra flags: every binary defaults to 3 repetitions and its
+# JSON records the best repetition (bench/bench_json.h), so the gate run
+# and the committed baselines are always like-for-like. Don't pass
+# --benchmark_min_time here — shortened runs systematically
+# under-measure the heavyweight ms-per-iteration benchmarks and trip
+# the gate with false regressions.
+#
+# The threshold here is looser than bench_compare.py's 10% default:
+# this stage runs right after the parallel sanitizer builds and test
+# suites, so the machine is thermally loaded and the contention-heavy
+# multi-threaded benches swing ~20% against idle-captured baselines on
+# identical code. Real pessimizations (a reintroduced per-token
+# allocation costs 3x) clear 40% on many benchmarks at once. For a
+# precise comparison, run the benches and bench_compare.py by hand on
+# an idle machine. Refresh baselines after an intentional perf change:
+#   scripts/bench_compare.py build --update
+echo "== bench: regression check vs committed baselines =="
+for b in bench_lexer bench_parse bench_service; do
+  (cd build && "./bench/$b" > /dev/null)
+done
+python3 "$ROOT/scripts/bench_compare.py" build \
+  --threshold 20 --allowed-outliers 3
 
 echo "== all checks passed =="

@@ -1,0 +1,58 @@
+#include "sqlpl/grammar/symbol_interner.h"
+
+namespace sqlpl {
+
+namespace {
+
+constexpr size_t kInitialCapacity = 64;  // power of two
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+SymbolInterner::SymbolInterner() {
+  Rehash(kInitialCapacity);
+  Intern("$");  // kEndOfInputId == 0 by construction
+}
+
+void SymbolInterner::Rehash(size_t new_capacity) {
+  table_.assign(new_capacity, kInvalidSymbolId);
+  mask_ = new_capacity - 1;
+  for (SymbolId id = 0; id < names_.size(); ++id) {
+    size_t slot = Fnv1a(names_[id]) & mask_;
+    while (table_[slot] != kInvalidSymbolId) slot = (slot + 1) & mask_;
+    table_[slot] = id;
+  }
+}
+
+SymbolId SymbolInterner::Intern(std::string_view name) {
+  // Keep the probe table at most half full.
+  if ((names_.size() + 1) * 2 > table_.size()) Rehash(table_.size() * 2);
+  size_t slot = Fnv1a(name) & mask_;
+  while (table_[slot] != kInvalidSymbolId) {
+    if (names_[table_[slot]] == name) return table_[slot];
+    slot = (slot + 1) & mask_;
+  }
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  table_[slot] = id;
+  return id;
+}
+
+SymbolId SymbolInterner::Find(std::string_view name) const {
+  size_t slot = Fnv1a(name) & mask_;
+  while (table_[slot] != kInvalidSymbolId) {
+    if (names_[table_[slot]] == name) return table_[slot];
+    slot = (slot + 1) & mask_;
+  }
+  return kInvalidSymbolId;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,75 @@
+#ifndef SQLPL_GRAMMAR_SYMBOL_INTERNER_H_
+#define SQLPL_GRAMMAR_SYMBOL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlpl {
+
+/// Dense integer handle for an interned grammar symbol name (token type,
+/// nonterminal, or alternative label). Ids are assigned contiguously from
+/// 0 in interning order, so they index directly into flat per-symbol
+/// tables (compiled productions, FIRST-set pools).
+using SymbolId = uint32_t;
+
+/// Sentinel for "no symbol" / lookup miss. Never a valid id.
+inline constexpr SymbolId kInvalidSymbolId = 0xFFFFFFFFu;
+
+/// Id of the end-of-input pseudo-token `$`. Every interner pre-interns
+/// `$` first, so the id is a compile-time constant across all grammars.
+inline constexpr SymbolId kEndOfInputId = 0;
+
+/// String ↔ dense `SymbolId` bijection for one composed grammar — built
+/// once at `BuildParser` time and shared (read-only) by the lexer, the
+/// parser's compiled dispatch tables, and the arena→`ParseNode`
+/// conversion. Interning the symbol alphabet turns the per-token string
+/// hashing and per-prediction `std::set<std::string>` probes of the old
+/// hot path into integer compares.
+///
+/// Lookup is a flat open-addressing probe (FNV-1a, power-of-two table,
+/// linear probing): `Find` performs no allocation, which is what the
+/// zero-copy tokenize path relies on.
+///
+/// Thread-safety: `Intern` mutates and must stay confined to the build
+/// step; once the owning parser is published, the interner is immutable
+/// and any number of threads may `Find`/`NameOf` concurrently.
+class SymbolInterner {
+ public:
+  SymbolInterner();
+
+  /// Returns the existing id for `name` or assigns the next dense one.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id for `name`, or `kInvalidSymbolId` if never interned.
+  /// Never allocates.
+  SymbolId Find(std::string_view name) const;
+
+  bool Contains(std::string_view name) const {
+    return Find(name) != kInvalidSymbolId;
+  }
+
+  /// The interned spelling of `id`. `id` must be valid (`id < size()`).
+  std::string_view NameOf(SymbolId id) const { return names_[id]; }
+
+  /// Number of interned symbols; valid ids are exactly [0, size()).
+  size_t size() const { return names_.size(); }
+
+ private:
+  void Rehash(size_t new_capacity);
+
+  // Dense id -> spelling. The strings are stable: vector growth moves
+  // the `std::string` objects but not their heap buffers, so
+  // `string_view`s handed out by `NameOf` remain valid for the
+  // interner's lifetime (small-string-optimized names are re-read
+  // through `names_`, never cached across an `Intern`).
+  std::vector<std::string> names_;
+  // Open-addressing probe table of ids; kInvalidSymbolId marks empty.
+  std::vector<SymbolId> table_;
+  size_t mask_ = 0;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_GRAMMAR_SYMBOL_INTERNER_H_

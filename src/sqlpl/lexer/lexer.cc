@@ -14,43 +14,144 @@ bool IsSqlIdentStart(char c) { return IsIdentStart(c); }
 
 bool IsSqlIdentCont(char c) { return IsIdentCont(c) || c == '$'; }
 
+// FNV-1a over the case-folded word. Keyword texts are stored uppercase
+// (SQL convention), so hashing the stored text raw and the probed word
+// folded lands both in the same slot; a non-uppercase stored text simply
+// never matches, which is exactly the legacy map's behavior.
+uint64_t KeywordHashFolded(std::string_view word) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : word) {
+    h ^= static_cast<unsigned char>(AsciiToUpper(c));
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t KeywordHashRaw(std::string_view text) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// stored == upper(word), byte for byte — the legacy comparison
+// (`keywords_.contains(AsciiStrToUpper(word))`) without the temporary.
+bool KeywordEqualsFolded(std::string_view stored, std::string_view word) {
+  if (stored.size() != word.size()) return false;
+  for (size_t i = 0; i < stored.size(); ++i) {
+    if (stored[i] != AsciiToUpper(word[i])) return false;
+  }
+  return true;
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
-Lexer::Lexer(const TokenSet& tokens) {
+Lexer::Lexer(const TokenSet& tokens)
+    : Lexer(tokens, std::make_shared<SymbolInterner>()) {}
+
+Lexer::Lexer(const TokenSet& tokens, std::shared_ptr<SymbolInterner> interner)
+    : interner_(std::move(interner)) {
+  std::vector<std::pair<std::string, SymbolId>> keywords;
   for (const TokenDef& def : tokens.ToVector()) {
+    SymbolId id = interner_->Intern(def.name);
     switch (def.kind) {
       case TokenPatternKind::kKeyword:
-        keywords_[def.text] = def.name;
+        keywords.emplace_back(def.text, id);
         break;
       case TokenPatternKind::kPunctuation:
-        puncts_.emplace_back(def.text, def.name);
+        puncts_.push_back({def.text, id});
         break;
       case TokenPatternKind::kIdentifierClass:
-        identifier_type_ = def.name;
+        identifier_id_ = id;
         break;
       case TokenPatternKind::kNumberClass:
-        number_type_ = def.name;
+        number_id_ = id;
         break;
       case TokenPatternKind::kStringClass:
-        string_type_ = def.name;
+        string_id_ = id;
         break;
     }
   }
+
+  // Keyword probe table, at most half full.
+  keyword_slots_.assign(
+      std::max<size_t>(16, NextPowerOfTwo(keywords.size() * 2 + 1)),
+      kEmptySlot);
+  keyword_mask_ = keyword_slots_.size() - 1;
+  keyword_texts_.reserve(keywords.size());
+  keyword_ids_.reserve(keywords.size());
+  for (auto& [text, id] : keywords) InsertKeyword(text, id);
+
+  // Punctuation: one sorted run per first byte, longest first within the
+  // run (the legacy longest-match-first scan, minus the cross-byte
+  // candidates that could never match).
   std::sort(puncts_.begin(), puncts_.end(),
-            [](const auto& a, const auto& b) {
-              if (a.first.size() != b.first.size()) {
-                return a.first.size() > b.first.size();
+            [](const PunctEntry& a, const PunctEntry& b) {
+              unsigned char fa = a.text.empty() ? 0 : a.text[0];
+              unsigned char fb = b.text.empty() ? 0 : b.text[0];
+              if (fa != fb) return fa < fb;
+              if (a.text.size() != b.text.size()) {
+                return a.text.size() > b.text.size();
               }
-              return a.first < b.first;
+              return a.text < b.text;
             });
+  punct_begin_.fill(0);
+  punct_end_.fill(0);
+  for (size_t i = 0; i < puncts_.size();) {
+    unsigned char first = puncts_[i].text.empty()
+                              ? 0
+                              : static_cast<unsigned char>(puncts_[i].text[0]);
+    size_t j = i;
+    while (j < puncts_.size() &&
+           (puncts_[j].text.empty()
+                ? 0
+                : static_cast<unsigned char>(puncts_[j].text[0])) == first) {
+      ++j;
+    }
+    punct_begin_[first] = static_cast<uint32_t>(i);
+    punct_end_[first] = static_cast<uint32_t>(j);
+    i = j;
+  }
 }
 
-bool Lexer::IsKeyword(std::string_view word) const {
-  return keywords_.contains(AsciiStrToUpper(word));
+void Lexer::InsertKeyword(const std::string& text, SymbolId type) {
+  size_t slot = KeywordHashRaw(text) & keyword_mask_;
+  while (keyword_slots_[slot] != kEmptySlot) {
+    if (keyword_texts_[keyword_slots_[slot]] == text) {
+      // Duplicate keyword text: the later definition wins, matching the
+      // legacy `std::map` insert-assign.
+      keyword_ids_[keyword_slots_[slot]] = type;
+      return;
+    }
+    slot = (slot + 1) & keyword_mask_;
+  }
+  keyword_slots_[slot] = static_cast<uint32_t>(keyword_texts_.size());
+  keyword_texts_.push_back(text);
+  keyword_ids_.push_back(type);
 }
 
-Result<std::vector<Token>> Lexer::Tokenize(std::string_view sql) const {
-  std::vector<Token> out;
+SymbolId Lexer::FindKeyword(std::string_view word) const {
+  size_t slot = KeywordHashFolded(word) & keyword_mask_;
+  while (keyword_slots_[slot] != kEmptySlot) {
+    uint32_t index = keyword_slots_[slot];
+    if (KeywordEqualsFolded(keyword_texts_[index], word)) {
+      return keyword_ids_[index];
+    }
+    slot = (slot + 1) & keyword_mask_;
+  }
+  return kInvalidSymbolId;
+}
+
+Status Lexer::TokenizeInto(std::string_view sql, TokenStream* out) const {
+  std::vector<LexedToken>& tokens = out->tokens();
   size_t pos = 0;
   size_t line = 1;
   size_t column = 1;
@@ -107,15 +208,14 @@ Result<std::vector<Token>> Lexer::Tokenize(std::string_view sql) const {
     if (IsSqlIdentStart(c)) {
       size_t start = pos;
       while (pos < sql.size() && IsSqlIdentCont(sql[pos])) advance();
-      std::string word(sql.substr(start, pos - start));
-      std::string upper = AsciiStrToUpper(word);
-      auto it = keywords_.find(upper);
-      if (it != keywords_.end()) {
-        out.push_back({it->second, std::move(word), loc});
-      } else if (!identifier_type_.empty()) {
-        out.push_back({identifier_type_, std::move(word), loc});
+      std::string_view word = sql.substr(start, pos - start);
+      SymbolId keyword = FindKeyword(word);
+      if (keyword != kInvalidSymbolId) {
+        tokens.push_back({keyword, word, loc});
+      } else if (identifier_id_ != kInvalidSymbolId) {
+        tokens.push_back({identifier_id_, word, loc});
       } else {
-        return error_at(loc, "word '" + word +
+        return error_at(loc, "word '" + std::string(word) +
                                  "' is neither a keyword of this dialect "
                                  "nor an identifier (dialect has no "
                                  "identifier token)");
@@ -125,66 +225,89 @@ Result<std::vector<Token>> Lexer::Tokenize(std::string_view sql) const {
 
     // Delimited identifier `"..."` with `""` escape.
     if (c == '"') {
-      if (identifier_type_.empty()) {
+      if (identifier_id_ == kInvalidSymbolId) {
         return error_at(loc, "delimited identifiers not allowed: dialect "
                              "has no identifier token");
       }
       advance();
-      std::string text;
+      size_t body_start = pos;
+      bool has_escape = false;
+      // First pass: find the closing quote, noting `""` escapes.
       while (true) {
         if (pos >= sql.size()) {
           return error_at(loc, "unterminated delimited identifier");
         }
         if (sql[pos] == '"') {
           if (pos + 1 < sql.size() && sql[pos + 1] == '"') {
-            text += '"';
+            has_escape = true;
             advance();
             advance();
             continue;
           }
-          advance();
           break;
         }
-        text += sql[pos];
         advance();
       }
-      out.push_back({identifier_type_, std::move(text), loc});
+      std::string_view body = sql.substr(body_start, pos - body_start);
+      advance();  // closing quote
+      if (!has_escape) {
+        tokens.push_back({identifier_id_, body, loc});
+      } else {
+        char* dst = out->text_arena().AllocateArray<char>(body.size());
+        size_t n = 0;
+        for (size_t i = 0; i < body.size(); ++i) {
+          dst[n++] = body[i];
+          if (body[i] == '"') ++i;  // collapse ""
+        }
+        tokens.push_back({identifier_id_, std::string_view(dst, n), loc});
+      }
       continue;
     }
 
     // String literal `'...'` with `''` escape.
     if (c == '\'') {
-      if (string_type_.empty()) {
+      if (string_id_ == kInvalidSymbolId) {
         return error_at(loc, "string literals not allowed: dialect has no "
                              "string token");
       }
       advance();
-      std::string text;
+      size_t body_start = pos;
+      bool has_escape = false;
       while (true) {
         if (pos >= sql.size()) {
           return error_at(loc, "unterminated string literal");
         }
         if (sql[pos] == '\'') {
           if (pos + 1 < sql.size() && sql[pos + 1] == '\'') {
-            text += '\'';
+            has_escape = true;
             advance();
             advance();
             continue;
           }
-          advance();
           break;
         }
-        text += sql[pos];
         advance();
       }
-      out.push_back({string_type_, std::move(text), loc});
+      std::string_view body = sql.substr(body_start, pos - body_start);
+      advance();  // closing quote
+      if (!has_escape) {
+        tokens.push_back({string_id_, body, loc});
+      } else {
+        char* dst = out->text_arena().AllocateArray<char>(body.size());
+        size_t n = 0;
+        for (size_t i = 0; i < body.size(); ++i) {
+          dst[n++] = body[i];
+          if (body[i] == '\'') ++i;  // collapse ''
+        }
+        tokens.push_back({string_id_, std::string_view(dst, n), loc});
+      }
       continue;
     }
 
     // Numeric literal: 123, 12.5, .5, 1e-3.
     if (IsDigit(c) || (c == '.' && pos + 1 < sql.size() &&
                        IsDigit(sql[pos + 1]))) {
-      if (number_type_.empty()) {
+      if (number_id_ == kInvalidSymbolId) {
         return error_at(loc, "numeric literals not allowed: dialect has no "
                              "number token");
       }
@@ -213,18 +336,23 @@ Result<std::vector<Token>> Lexer::Tokenize(std::string_view sql) const {
           pos = mark;
         }
       }
-      out.push_back({number_type_, std::string(sql.substr(start, pos - start)),
-                     loc});
+      tokens.push_back({number_id_, sql.substr(start, pos - start), loc});
       continue;
     }
 
-    // Punctuation, longest match first.
+    // Punctuation: probe only the entries starting with this byte,
+    // longest first.
+    unsigned char first = static_cast<unsigned char>(c);
+    uint32_t begin = punct_begin_[first];
+    uint32_t end = punct_end_[first];
     bool matched = false;
-    for (const auto& [text, type] : puncts_) {
-      if (sql.size() - pos >= text.size() &&
-          sql.substr(pos, text.size()) == text) {
-        out.push_back({type, text, loc});
-        for (size_t i = 0; i < text.size(); ++i) advance();
+    for (uint32_t i = begin; i < end; ++i) {
+      const PunctEntry& entry = puncts_[i];
+      if (sql.size() - pos >= entry.text.size() &&
+          sql.compare(pos, entry.text.size(), entry.text) == 0) {
+        tokens.push_back(
+            {entry.type, sql.substr(pos, entry.text.size()), loc});
+        for (size_t k = 0; k < entry.text.size(); ++k) advance();
         matched = true;
         break;
       }
@@ -235,7 +363,19 @@ Result<std::vector<Token>> Lexer::Tokenize(std::string_view sql) const {
                              "' starts no token of this dialect");
   }
 
-  out.push_back({"$", "", here()});
+  tokens.push_back({kEndOfInputId, {}, here()});
+  return Status::OK();
+}
+
+Result<std::vector<Token>> Lexer::Tokenize(std::string_view sql) const {
+  TokenStream stream;
+  SQLPL_RETURN_IF_ERROR(TokenizeInto(sql, &stream));
+  std::vector<Token> out;
+  out.reserve(stream.size());
+  for (const LexedToken& token : stream.tokens()) {
+    out.push_back({std::string(interner_->NameOf(token.type)),
+                   std::string(token.text), token.location});
+  }
   return out;
 }
 

@@ -1,13 +1,16 @@
 #ifndef SQLPL_LEXER_LEXER_H_
 #define SQLPL_LEXER_LEXER_H_
 
-#include <map>
+#include <array>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "sqlpl/grammar/symbol_interner.h"
 #include "sqlpl/grammar/token_set.h"
 #include "sqlpl/lexer/token.h"
+#include "sqlpl/lexer/token_stream.h"
 #include "sqlpl/util/status.h"
 
 namespace sqlpl {
@@ -24,30 +27,89 @@ namespace sqlpl {
 /// escaping); numbers are integer or decimal literals with an optional
 /// exponent; `--` starts a line comment and `/* */` a block comment;
 /// punctuation matches longest-first.
+///
+/// ## Hot path
+///
+/// `TokenizeInto` is the zero-copy fast path: it emits `LexedToken`s
+/// whose `type` is an interned `SymbolId` and whose `text` views the
+/// caller's SQL buffer (escaped literals are unescaped into the stream's
+/// arena). Keyword recognition is a flat case-insensitive hash probe
+/// (no per-word uppercase temporary) and punctuation matching is a
+/// first-byte-indexed table — no allocation per token. The legacy
+/// `Tokenize` (owning `Token`s) is a thin conversion kept for tests,
+/// tooling, and the codegen differential harness.
 class Lexer {
  public:
-  /// Builds the keyword and punctuation tables from `tokens`.
+  /// Builds the keyword and punctuation tables from `tokens`, interning
+  /// the token-type names into a private interner.
   explicit Lexer(const TokenSet& tokens);
 
-  /// Tokenizes `sql`, appending an end-of-input token (`type == "$"`).
-  /// Characters and words that no token of the dialect accepts are
-  /// lexing errors that name the offending lexeme and position.
+  /// Same, but interns into (and shares) `interner` — the form used by
+  /// `ParserBuilder` so lexer and parser agree on one symbol namespace.
+  Lexer(const TokenSet& tokens, std::shared_ptr<SymbolInterner> interner);
+
+  /// Fast path: tokenizes `sql` into `out` (appended after `Clear`),
+  /// ending with the `$` token (`type == kEndOfInputId`). Token texts
+  /// view `sql` — the buffer must outlive the stream's use. Reusing one
+  /// `TokenStream` across calls makes this allocation-free in steady
+  /// state.
+  Status TokenizeInto(std::string_view sql, TokenStream* out) const;
+
+  /// Legacy owning form: tokenizes `sql`, appending an end-of-input
+  /// token (`type == "$"`). Characters and words that no token of the
+  /// dialect accepts are lexing errors that name the offending lexeme
+  /// and position.
   Result<std::vector<Token>> Tokenize(std::string_view sql) const;
 
   /// True if `word` (case-insensitive) is a reserved keyword here.
-  bool IsKeyword(std::string_view word) const;
+  /// Performs no allocation.
+  bool IsKeyword(std::string_view word) const {
+    return FindKeyword(word) != kInvalidSymbolId;
+  }
 
-  size_t NumKeywords() const { return keywords_.size(); }
+  size_t NumKeywords() const { return keyword_texts_.size(); }
   size_t NumPunctuation() const { return puncts_.size(); }
 
+  /// The symbol namespace this lexer emits `SymbolId`s from.
+  const SymbolInterner& interner() const { return *interner_; }
+  std::shared_ptr<const SymbolInterner> shared_interner() const {
+    return interner_;
+  }
+
  private:
-  // Uppercased keyword text -> token type name.
-  std::map<std::string, std::string> keywords_;
-  // Punctuation text -> token type name, iterated longest-first.
-  std::vector<std::pair<std::string, std::string>> puncts_;
-  std::string identifier_type_;  // empty if the dialect has none
-  std::string number_type_;
-  std::string string_type_;
+  struct PunctEntry {
+    std::string text;
+    SymbolId type = kInvalidSymbolId;
+  };
+
+  // Token-type id of `word` if it is a keyword, else kInvalidSymbolId.
+  // Case-insensitive flat hash probe; no allocation.
+  SymbolId FindKeyword(std::string_view word) const;
+
+  void InsertKeyword(const std::string& text, SymbolId type);
+
+  std::shared_ptr<SymbolInterner> interner_;
+
+  // Keyword texts as defined (uppercase by convention) + their type ids,
+  // probed through an open-addressing slot table (index into the
+  // vectors; kEmptySlot marks free). The probe folds the input to upper
+  // case byte-by-byte, so lookup never builds a temporary string.
+  static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+  std::vector<std::string> keyword_texts_;
+  std::vector<SymbolId> keyword_ids_;
+  std::vector<uint32_t> keyword_slots_;
+  size_t keyword_mask_ = 0;
+
+  // Punctuation entries sorted by (first byte, length desc, text);
+  // punct_begin_/punct_end_ bracket each first byte's run, so matching
+  // probes only candidates that can start here, longest first.
+  std::vector<PunctEntry> puncts_;
+  std::array<uint32_t, 256> punct_begin_{};
+  std::array<uint32_t, 256> punct_end_{};
+
+  SymbolId identifier_id_ = kInvalidSymbolId;
+  SymbolId number_id_ = kInvalidSymbolId;
+  SymbolId string_id_ = kInvalidSymbolId;
 };
 
 }  // namespace sqlpl

@@ -3,11 +3,27 @@
 namespace sqlpl {
 
 std::string Token::ToString() const {
-  return type + "('" + text + "')@" + location.ToString();
+  std::string location_str = location.ToString();
+  std::string out;
+  // type + "('" + text + "')@" + location
+  out.reserve(type.size() + text.size() + location_str.size() + 5);
+  out += type;
+  out += "('";
+  out += text;
+  out += "')@";
+  out += location_str;
+  return out;
 }
 
 std::string TokensToString(const std::vector<Token>& tokens) {
   std::string out;
+  size_t total = 0;
+  for (const Token& token : tokens) {
+    // Worst-case location rendering is short; 16 covers "@line:col" for
+    // any realistic input and avoids a second ToString pass.
+    total += token.type.size() + token.text.size() + 5 + 16 + 1;
+  }
+  out.reserve(total);
   for (const Token& token : tokens) {
     out += token.ToString();
     out += '\n';

@@ -1,0 +1,54 @@
+#ifndef SQLPL_LEXER_TOKEN_STREAM_H_
+#define SQLPL_LEXER_TOKEN_STREAM_H_
+
+#include <string_view>
+#include <vector>
+
+#include "sqlpl/grammar/symbol_interner.h"
+#include "sqlpl/util/arena.h"
+#include "sqlpl/util/source_location.h"
+
+namespace sqlpl {
+
+/// One zero-copy lexed token: the interned token-type id plus a
+/// `string_view` of the lexeme. For plain tokens (keywords, identifiers,
+/// numbers, punctuation) the view points into the caller's SQL buffer;
+/// only literals that needed unescaping (`''` / `""`) point into the
+/// owning `TokenStream`'s text arena. Either way, producing one performs
+/// no heap allocation.
+struct LexedToken {
+  SymbolId type = kInvalidSymbolId;
+  std::string_view text;
+  SourceLocation location;
+};
+
+/// A reusable buffer of `LexedToken`s plus the arena backing any
+/// unescaped literal texts. Lifetime rules:
+///
+///  - token `text` views are valid while BOTH the SQL buffer passed to
+///    `Lexer::TokenizeInto` and this stream are alive and un-`Clear`ed;
+///  - `Clear()` keeps the token vector's capacity and the arena's first
+///    chunk, so reusing one stream across statements makes the tokenize
+///    fast path allocation-free in steady state.
+class TokenStream {
+ public:
+  std::vector<LexedToken>& tokens() { return tokens_; }
+  const std::vector<LexedToken>& tokens() const { return tokens_; }
+  Arena& text_arena() { return text_arena_; }
+
+  size_t size() const { return tokens_.size(); }
+  const LexedToken& operator[](size_t i) const { return tokens_[i]; }
+
+  void Clear() {
+    tokens_.clear();
+    text_arena_.Reset();
+  }
+
+ private:
+  std::vector<LexedToken> tokens_;
+  Arena text_arena_;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_LEXER_TOKEN_STREAM_H_

@@ -1,0 +1,26 @@
+#include "sqlpl/parser/arena_tree.h"
+
+namespace sqlpl {
+
+ParseNode ArenaToParseNode(const ArenaNode& node,
+                           const SymbolInterner& interner) {
+  if (node.is_leaf) {
+    Token token;
+    token.type = std::string(interner.NameOf(node.symbol));
+    token.text = std::string(node.token->text);
+    token.location = node.token->location;
+    return ParseNode::Leaf(std::move(token));
+  }
+  ParseNode out = ParseNode::Rule(std::string(interner.NameOf(node.symbol)));
+  if (node.label != kInvalidSymbolId) {
+    out.set_label(std::string(interner.NameOf(node.label)));
+  }
+  std::vector<ParseNode>* children = out.mutable_children();
+  children->reserve(node.num_children);
+  for (uint32_t i = 0; i < node.num_children; ++i) {
+    children->push_back(ArenaToParseNode(*node.children[i], interner));
+  }
+  return out;
+}
+
+}  // namespace sqlpl

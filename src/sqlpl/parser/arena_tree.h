@@ -1,0 +1,56 @@
+#ifndef SQLPL_PARSER_ARENA_TREE_H_
+#define SQLPL_PARSER_ARENA_TREE_H_
+
+#include <string_view>
+
+#include "sqlpl/grammar/symbol_interner.h"
+#include "sqlpl/lexer/token_stream.h"
+#include "sqlpl/parser/parse_tree.h"
+#include "sqlpl/util/arena.h"
+
+namespace sqlpl {
+
+/// The arena the parser bump-allocates tree nodes from. One arena holds
+/// exactly one statement's tree (plus the garbage of backtracked
+/// attempts — bump allocators don't reclaim); `Reset()` between
+/// statements reuses the chunks.
+using ParseArena = Arena;
+
+/// One node of an arena-allocated concrete syntax tree — the parser's
+/// native output. Rule nodes carry the interned nonterminal id, the
+/// matched alternative's label id (or `kInvalidSymbolId`), and a span of
+/// child pointers in the same arena; leaf nodes reference one
+/// `LexedToken` of the stream the statement was tokenized into.
+///
+/// Lifetime: a tree is valid while its `ParseArena`, its `TokenStream`,
+/// and the SQL buffer all live and are not `Reset`/`Clear`ed. Convert
+/// with `ArenaToParseNode` to an owning tree that outlives all three.
+/// Trivially destructible by design (the arena never runs destructors).
+struct ArenaNode {
+  SymbolId symbol = kInvalidSymbolId;
+  SymbolId label = kInvalidSymbolId;
+  uint32_t num_children = 0;
+  bool is_leaf = false;
+  /// Leaf payload; null for rule nodes.
+  const LexedToken* token = nullptr;
+  /// Child pointers in arena storage; null when `num_children == 0`.
+  const ArenaNode* const* children = nullptr;
+
+  size_t TreeSize() const {
+    size_t n = 1;
+    for (uint32_t i = 0; i < num_children; ++i) n += children[i]->TreeSize();
+    return n;
+  }
+};
+
+/// Converts an arena tree to the legacy owning `ParseNode`, resolving
+/// symbol/label ids through `interner`. The public semantics layer
+/// (ast_builder, validator, pretty_printer) consumes the converted tree
+/// unchanged; `ToSExpr()` output is byte-identical to the pre-arena
+/// engine's (pinned by golden_equivalence_test).
+ParseNode ArenaToParseNode(const ArenaNode& node,
+                           const SymbolInterner& interner);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_PARSER_ARENA_TREE_H_

@@ -1,5 +1,8 @@
 #include "sqlpl/parser/ll_parser.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "sqlpl/obs/trace.h"
 
 namespace sqlpl {
@@ -15,18 +18,79 @@ std::string DescribeToken(const Token& token) {
   return "'" + token.text + "' (" + token.type + ")";
 }
 
+std::string DescribeLexedToken(const LexedToken& token,
+                               const SymbolInterner& interner) {
+  if (token.type == kEndOfInputId) return "end of input";
+  return "'" + std::string(token.text) + "' (" +
+         std::string(interner.NameOf(token.type)) + ")";
+}
+
 }  // namespace
 
 LlParser::LlParser(Grammar grammar, GrammarAnalysis analysis, Lexer lexer,
+                   std::shared_ptr<SymbolInterner> interner,
                    bool prune_with_first_sets)
     : grammar_(std::move(grammar)), analysis_(std::move(analysis)),
-      lexer_(std::move(lexer)),
+      lexer_(std::move(lexer)), interner_(std::move(interner)),
       prune_with_first_sets_(prune_with_first_sets) {
+  Compile();
+}
+
+void LlParser::Compile() {
+  productions_.reserve(grammar_.productions().size());
   for (const Production& production : grammar_.productions()) {
+    CompiledProduction compiled;
+    compiled.lhs = interner_->Intern(production.lhs());
+    compiled.alts_begin = static_cast<uint32_t>(alternatives_.size());
     for (const Alternative& alt : production.alternatives()) {
-      CachePredict(alt.body);
+      CompiledAlt compiled_alt;
+      compiled_alt.body = CompileExpr(alt.body);
+      if (!alt.label.empty()) {
+        compiled_alt.label = interner_->Intern(alt.label);
+      }
+      alternatives_.push_back(compiled_alt);
     }
+    compiled.alts_end = static_cast<uint32_t>(alternatives_.size());
+    productions_.push_back(compiled);
   }
+  productions_by_id_.assign(interner_->size(), kNoProduction);
+  for (uint32_t i = 0; i < productions_.size(); ++i) {
+    productions_by_id_[productions_[i].lhs] = i;
+  }
+  start_id_ = interner_->Intern(grammar_.start_symbol());
+}
+
+uint32_t LlParser::CompileExpr(const Expr& expr) {
+  // Children first: their pool indices must exist before this node can
+  // record a contiguous span of them.
+  std::vector<uint32_t> child_indices;
+  child_indices.reserve(expr.children().size());
+  for (const Expr& child : expr.children()) {
+    child_indices.push_back(CompileExpr(child));
+  }
+
+  CompiledExpr compiled;
+  compiled.kind = expr.kind();
+  compiled.nullable = analysis_.ExprNullable(expr);
+  if (expr.is_token() || expr.is_nonterminal()) {
+    compiled.symbol = interner_->Intern(expr.symbol());
+  }
+  compiled.children_begin = static_cast<uint32_t>(child_pool_.size());
+  child_pool_.insert(child_pool_.end(), child_indices.begin(),
+                     child_indices.end());
+  compiled.children_end = static_cast<uint32_t>(child_pool_.size());
+
+  std::vector<SymbolId> first_ids;
+  for (const std::string& name : analysis_.FirstOf(expr)) {
+    first_ids.push_back(interner_->Intern(name));
+  }
+  std::sort(first_ids.begin(), first_ids.end());
+  compiled.first_begin = static_cast<uint32_t>(first_pool_.size());
+  first_pool_.insert(first_pool_.end(), first_ids.begin(), first_ids.end());
+  compiled.first_end = static_cast<uint32_t>(first_pool_.size());
+
+  exprs_.push_back(compiled);
+  return static_cast<uint32_t>(exprs_.size() - 1);
 }
 
 Status LlParser::AttachPredicate(const std::string& nonterminal,
@@ -44,14 +108,9 @@ Status LlParser::AttachPredicate(const std::string& nonterminal,
         " alternatives; cannot attach predicate to index " +
         std::to_string(alt_index));
   }
-  predicates_[{nonterminal, alt_index}] = std::move(predicate);
+  SymbolId id = interner_->Find(nonterminal);
+  predicates_[{id, alt_index}] = std::move(predicate);
   return Status::OK();
-}
-
-void LlParser::CachePredict(const Expr& expr) {
-  predict_.emplace(&expr, Predict{analysis_.ExprNullable(expr),
-                                  analysis_.FirstOf(expr)});
-  for (const Expr& child : expr.children()) CachePredict(child);
 }
 
 Result<ParseNode> LlParser::ParseText(std::string_view sql) const {
@@ -61,20 +120,54 @@ Result<ParseNode> LlParser::ParseText(std::string_view sql) const {
 
 Result<ParseNode> LlParser::ParseText(std::string_view sql,
                                       const RequestControl& control) const {
+  return ParseText(sql, control, nullptr, /*build_tree=*/true);
+}
+
+Result<ParseNode> LlParser::ParseText(std::string_view sql,
+                                      const RequestControl& control,
+                                      ParseStats* stats,
+                                      bool build_tree) const {
   if (!control.unrestricted()) {
     SQLPL_RETURN_IF_ERROR(control.Check("parse"));
   }
-  Result<std::vector<Token>> tokens = [&] {
+  TokenStream stream;
+  Status lexed = [&] {
     SQLPL_TRACE_SPAN("tokenize", "parse");
-    return lexer_.Tokenize(sql);
+    return lexer_.TokenizeInto(sql, &stream);
   }();
-  if (!tokens.ok()) return tokens.status();
+  if (!lexed.ok()) return lexed;
+  if (stats != nullptr) stats->tokens = stream.size() - 1;
   SQLPL_TRACE_SPAN("parse", "parse");
-  return Parse(*tokens, control);
+  ParseArena arena;
+  Result<const ArenaNode*> root =
+      ParseLexed(stream.tokens().data(), stream.size(), &arena, control,
+                 nullptr);
+  if (stats != nullptr) stats->arena_bytes = arena.bytes_used();
+  if (!root.ok()) return root.status();
+  if (!build_tree) return ParseNode::Rule(grammar_.start_symbol());
+  return ArenaToParseNode(**root, *interner_);
+}
+
+Result<const ArenaNode*> LlParser::ParseStream(const TokenStream& stream,
+                                               ParseArena* arena) const {
+  static const RequestControl kUnrestricted;
+  return ParseStream(stream, arena, kUnrestricted);
+}
+
+Result<const ArenaNode*> LlParser::ParseStream(
+    const TokenStream& stream, ParseArena* arena,
+    const RequestControl& control) const {
+  if (stream.size() == 0 || stream.tokens().back().type != kEndOfInputId) {
+    return Status::InvalidArgument(
+        "token stream must end with the '$' end-of-input token");
+  }
+  return ParseLexed(stream.tokens().data(), stream.size(), arena, control,
+                    nullptr);
 }
 
 bool LlParser::Accepts(std::string_view sql) const {
-  return ParseText(sql).ok();
+  static const RequestControl kUnrestricted;
+  return ParseText(sql, kUnrestricted, nullptr, /*build_tree=*/false).ok();
 }
 
 Result<ParseNode> LlParser::Parse(const std::vector<Token>& tokens) const {
@@ -88,45 +181,105 @@ Result<ParseNode> LlParser::Parse(const std::vector<Token>& tokens,
     return Status::InvalidArgument(
         "token stream must end with the '$' end-of-input token");
   }
+  // Legacy entry: re-key the owning tokens into the id space. A type
+  // name the dialect never interned cannot match any token expression;
+  // kInvalidSymbolId keeps it unmatched while the original tokens still
+  // provide the error text.
+  std::vector<LexedToken> lexed;
+  lexed.reserve(tokens.size());
+  for (const Token& token : tokens) {
+    LexedToken lt;
+    lt.type = interner_->Find(token.type);
+    lt.text = token.text;
+    lt.location = token.location;
+    lexed.push_back(lt);
+  }
+  ParseArena arena;
+  Result<const ArenaNode*> root =
+      ParseLexed(lexed.data(), lexed.size(), &arena, control, &tokens);
+  if (!root.ok()) return root.status();
+  return ArenaToParseNode(**root, *interner_);
+}
+
+Result<const ArenaNode*> LlParser::ParseLexed(
+    const LexedToken* tokens, size_t num_tokens, ParseArena* arena,
+    const RequestControl& control,
+    const std::vector<Token>* legacy_tokens) const {
+  (void)num_tokens;  // the terminal `$` bounds every scan
   ParseContext ctx;
-  ctx.tokens = &tokens;
+  ctx.tokens = tokens;
+  ctx.arena = arena;
+  ctx.legacy_tokens = legacy_tokens;
   if (!control.unrestricted()) {
     SQLPL_RETURN_IF_ERROR(control.Check("parse"));
     ctx.control = &control;
   }
+  // Predicates see the owning-token view; materialize it only when some
+  // predicate is attached and the caller didn't already have one.
+  std::vector<Token> materialized;
+  if (!predicates_.empty() && legacy_tokens == nullptr) {
+    materialized.reserve(num_tokens);
+    for (size_t i = 0; i < num_tokens; ++i) {
+      Token token;
+      token.type = std::string(interner_->NameOf(tokens[i].type));
+      token.text = std::string(tokens[i].text);
+      token.location = tokens[i].location;
+      materialized.push_back(std::move(token));
+    }
+    ctx.legacy_tokens = &materialized;
+  }
 
   size_t pos = 0;
-  std::vector<ParseNode> out;
-  bool ok = MatchNonterminal(grammar_.start_symbol(), &ctx, &pos, &out);
+  bool ok = MatchNonterminal(start_id_, &ctx, &pos);
   // A lifecycle abort outranks whatever partial syntax failure the
   // unwinding left behind.
   if (!ctx.aborted.ok()) return ctx.aborted;
-  if (ok && tokens[pos].type != "$") {
+  if (ok && tokens[pos].type != kEndOfInputId) {
     // The start symbol matched a prefix; report the leftover token.
-    RecordFailure(&ctx, pos, "$");
+    RecordFailure(&ctx, pos, kEndOfInputId);
     ok = false;
   }
-  if (!ok) {
-    const Token& at = tokens[ctx.furthest_pos];
-    std::string expected;
-    for (const std::string& e : ctx.expected) {
-      if (!expected.empty()) expected += ", ";
-      expected += (e == "$") ? "end of input" : e;
+  if (!ok) return SyntaxError(ctx);
+  return ctx.scratch.front();
+}
+
+Status LlParser::SyntaxError(const ParseContext& ctx) const {
+  // Expected-set rendering matches the pre-interning engine byte for
+  // byte: names sorted lexicographically, `$` shown as "end of input".
+  std::set<std::string_view> names;
+  for (SymbolId id : ctx.expected) names.insert(interner_->NameOf(id));
+  std::string expected;
+  for (std::string_view name : names) {
+    if (!expected.empty()) expected += ", ";
+    if (name == "$") {
+      expected += "end of input";
+    } else {
+      expected += name;
     }
-    return Status::ParseError("syntax error at " + at.location.ToString() +
-                              ": unexpected " + DescribeToken(at) +
-                              "; expected one of {" + expected + "}");
   }
-  return std::move(out.front());
+  std::string described;
+  SourceLocation location;
+  if (ctx.legacy_tokens != nullptr) {
+    const Token& at = (*ctx.legacy_tokens)[ctx.furthest_pos];
+    described = DescribeToken(at);
+    location = at.location;
+  } else {
+    const LexedToken& at = ctx.tokens[ctx.furthest_pos];
+    described = DescribeLexedToken(at, *interner_);
+    location = at.location;
+  }
+  return Status::ParseError("syntax error at " + location.ToString() +
+                            ": unexpected " + described +
+                            "; expected one of {" + expected + "}");
 }
 
 void LlParser::RecordFailure(ParseContext* ctx, size_t pos,
-                             const std::string& expected_token) const {
+                             SymbolId expected) const {
   if (pos > ctx->furthest_pos) {
     ctx->furthest_pos = pos;
     ctx->expected.clear();
   }
-  if (pos == ctx->furthest_pos) ctx->expected.insert(expected_token);
+  if (pos == ctx->furthest_pos) ctx->expected.insert(expected);
 }
 
 bool LlParser::LifecycleOk(ParseContext* ctx) const {
@@ -147,78 +300,108 @@ bool LlParser::LifecycleOk(ParseContext* ctx) const {
   return true;
 }
 
-bool LlParser::MatchNonterminal(const std::string& name, ParseContext* ctx,
-                                size_t* pos,
-                                std::vector<ParseNode>* out) const {
+bool LlParser::FirstContains(const CompiledExpr& expr,
+                             SymbolId lookahead) const {
+  const SymbolId* begin = first_pool_.data() + expr.first_begin;
+  const SymbolId* end = first_pool_.data() + expr.first_end;
+  return std::binary_search(begin, end, lookahead);
+}
+
+bool LlParser::MatchNonterminal(SymbolId id, ParseContext* ctx,
+                                size_t* pos) const {
   if (ctx->control != nullptr && !LifecycleOk(ctx)) return false;
-  const Production* production = grammar_.Find(name);
-  if (production == nullptr) return false;  // builder guarantees this
+  if (id >= productions_by_id_.size() ||
+      productions_by_id_[id] == kNoProduction) {
+    return false;  // builder guarantees this
+  }
+  const CompiledProduction& production = productions_[productions_by_id_[id]];
 
   if (++ctx->depth > kMaxParseDepth) {
     --ctx->depth;
     return false;
   }
 
-  const std::string& lookahead = (*ctx->tokens)[*pos].type;
-  const std::vector<Alternative>& alternatives = production->alternatives();
-  for (size_t alt_index = 0; alt_index < alternatives.size(); ++alt_index) {
-    const Alternative& alt = alternatives[alt_index];
+  const SymbolId lookahead = ctx->tokens[*pos].type;
+  for (uint32_t a = production.alts_begin; a < production.alts_end; ++a) {
+    const CompiledAlt& alt = alternatives_[a];
     // Semantic predicates gate their alternative before anything else.
     if (!predicates_.empty()) {
-      auto it = predicates_.find({name, alt_index});
-      if (it != predicates_.end() && !it->second(*ctx->tokens, *pos)) {
+      auto it = predicates_.find({id, a - production.alts_begin});
+      if (it != predicates_.end() &&
+          !it->second(*ctx->legacy_tokens, *pos)) {
         continue;
       }
     }
+    const CompiledExpr& body = exprs_[alt.body];
     // FIRST-set pruning: skip alternatives that cannot start with the
     // lookahead token (unless they can derive epsilon).
     if (prune_with_first_sets_) {
-      const Predict& predict = predict_.at(&alt.body);
-      if (!predict.nullable && !predict.first.contains(lookahead)) {
-        for (const std::string& t : predict.first) {
-          RecordFailure(ctx, *pos, t);
+      if (!body.nullable && !FirstContains(body, lookahead)) {
+        for (uint32_t f = body.first_begin; f < body.first_end; ++f) {
+          RecordFailure(ctx, *pos, first_pool_[f]);
         }
         continue;
       }
     }
     size_t saved_pos = *pos;
-    ParseNode node = ParseNode::Rule(name);
-    if (MatchExpr(alt.body, ctx, pos, node.mutable_children())) {
-      if (!alt.label.empty()) node.set_label(alt.label);
-      out->push_back(std::move(node));
+    size_t saved_size = ctx->scratch.size();
+    if (MatchExpr(alt.body, ctx, pos)) {
+      // Pop the children off the scratch stack into an arena span and
+      // push the completed rule node in their place.
+      size_t num_children = ctx->scratch.size() - saved_size;
+      const ArenaNode** children = nullptr;
+      if (num_children > 0) {
+        children = ctx->arena->AllocateArray<const ArenaNode*>(num_children);
+        std::memcpy(children, ctx->scratch.data() + saved_size,
+                    num_children * sizeof(const ArenaNode*));
+      }
+      ArenaNode* node = ctx->arena->New<ArenaNode>();
+      node->symbol = id;
+      node->label = alt.label;
+      node->num_children = static_cast<uint32_t>(num_children);
+      node->is_leaf = false;
+      node->children = children;
+      ctx->scratch.resize(saved_size);
+      ctx->scratch.push_back(node);
       --ctx->depth;
       return true;
     }
     *pos = saved_pos;
+    ctx->scratch.resize(saved_size);
   }
   --ctx->depth;
   return false;
 }
 
-bool LlParser::MatchExpr(const Expr& expr, ParseContext* ctx, size_t* pos,
-                         std::vector<ParseNode>* out) const {
-  switch (expr.kind()) {
+bool LlParser::MatchExpr(uint32_t expr_index, ParseContext* ctx,
+                         size_t* pos) const {
+  const CompiledExpr& expr = exprs_[expr_index];
+  switch (expr.kind) {
     case ExprKind::kToken: {
-      const Token& token = (*ctx->tokens)[*pos];
-      if (token.type == expr.symbol()) {
-        out->push_back(ParseNode::Leaf(token));
+      const LexedToken& token = ctx->tokens[*pos];
+      if (token.type == expr.symbol) {
+        ArenaNode* leaf = ctx->arena->New<ArenaNode>();
+        leaf->symbol = token.type;
+        leaf->is_leaf = true;
+        leaf->token = &token;
+        ctx->scratch.push_back(leaf);
         ++*pos;
         return true;
       }
-      RecordFailure(ctx, *pos, expr.symbol());
+      RecordFailure(ctx, *pos, expr.symbol);
       return false;
     }
 
     case ExprKind::kNonterminal:
-      return MatchNonterminal(expr.symbol(), ctx, pos, out);
+      return MatchNonterminal(expr.symbol, ctx, pos);
 
     case ExprKind::kSequence: {
       size_t saved_pos = *pos;
-      size_t saved_size = out->size();
-      for (const Expr& child : expr.children()) {
-        if (!MatchExpr(child, ctx, pos, out)) {
+      size_t saved_size = ctx->scratch.size();
+      for (uint32_t i = expr.children_begin; i < expr.children_end; ++i) {
+        if (!MatchExpr(child_pool_[i], ctx, pos)) {
           *pos = saved_pos;
-          out->erase(out->begin() + static_cast<ptrdiff_t>(saved_size), out->end());
+          ctx->scratch.resize(saved_size);
           return false;
         }
       }
@@ -226,22 +409,25 @@ bool LlParser::MatchExpr(const Expr& expr, ParseContext* ctx, size_t* pos,
     }
 
     case ExprKind::kChoice: {
-      const std::string& lookahead = (*ctx->tokens)[*pos].type;
-      for (const Expr& branch : expr.children()) {
+      const SymbolId lookahead = ctx->tokens[*pos].type;
+      for (uint32_t i = expr.children_begin; i < expr.children_end; ++i) {
+        const uint32_t branch = child_pool_[i];
+        const CompiledExpr& branch_expr = exprs_[branch];
         if (prune_with_first_sets_) {
-          const Predict& predict = predict_.at(&branch);
-          if (!predict.nullable && !predict.first.contains(lookahead)) {
-            for (const std::string& t : predict.first) {
-              RecordFailure(ctx, *pos, t);
+          if (!branch_expr.nullable &&
+              !FirstContains(branch_expr, lookahead)) {
+            for (uint32_t f = branch_expr.first_begin;
+                 f < branch_expr.first_end; ++f) {
+              RecordFailure(ctx, *pos, first_pool_[f]);
             }
             continue;
           }
         }
         size_t saved_pos = *pos;
-        size_t saved_size = out->size();
-        if (MatchExpr(branch, ctx, pos, out)) return true;
+        size_t saved_size = ctx->scratch.size();
+        if (MatchExpr(branch, ctx, pos)) return true;
         *pos = saved_pos;
-        out->erase(out->begin() + static_cast<ptrdiff_t>(saved_size), out->end());
+        ctx->scratch.resize(saved_size);
       }
       return false;
     }
@@ -249,10 +435,10 @@ bool LlParser::MatchExpr(const Expr& expr, ParseContext* ctx, size_t* pos,
     case ExprKind::kOptional: {
       // Greedy: attempt the body; on failure match epsilon.
       size_t saved_pos = *pos;
-      size_t saved_size = out->size();
-      if (MatchExpr(expr.child(), ctx, pos, out)) return true;
+      size_t saved_size = ctx->scratch.size();
+      if (MatchExpr(child_pool_[expr.children_begin], ctx, pos)) return true;
       *pos = saved_pos;
-      out->erase(out->begin() + static_cast<ptrdiff_t>(saved_size), out->end());
+      ctx->scratch.resize(saved_size);
       return true;
     }
 
@@ -263,16 +449,16 @@ bool LlParser::MatchExpr(const Expr& expr, ParseContext* ctx, size_t* pos,
         // checkpoint.
         if (ctx->control != nullptr && !LifecycleOk(ctx)) return false;
         size_t saved_pos = *pos;
-        size_t saved_size = out->size();
-        if (!MatchExpr(expr.child(), ctx, pos, out)) {
+        size_t saved_size = ctx->scratch.size();
+        if (!MatchExpr(child_pool_[expr.children_begin], ctx, pos)) {
           *pos = saved_pos;
-          out->erase(out->begin() + static_cast<ptrdiff_t>(saved_size), out->end());
+          ctx->scratch.resize(saved_size);
           return true;
         }
         if (*pos == saved_pos) {
           // The body matched without consuming input; stop to guarantee
           // termination.
-          out->erase(out->begin() + static_cast<ptrdiff_t>(saved_size), out->end());
+          ctx->scratch.resize(saved_size);
           return true;
         }
       }

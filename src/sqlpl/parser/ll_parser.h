@@ -1,18 +1,22 @@
 #ifndef SQLPL_PARSER_LL_PARSER_H_
 #define SQLPL_PARSER_LL_PARSER_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "sqlpl/grammar/analysis.h"
 #include "sqlpl/grammar/grammar.h"
+#include "sqlpl/grammar/symbol_interner.h"
 #include "sqlpl/lexer/lexer.h"
+#include "sqlpl/lexer/token_stream.h"
+#include "sqlpl/parser/arena_tree.h"
 #include "sqlpl/parser/parse_tree.h"
 #include "sqlpl/util/cancellation.h"
 #include "sqlpl/util/status.h"
@@ -25,8 +29,22 @@ namespace sqlpl {
 /// the current position and returns whether the alternative may be
 /// attempted. Predicates must be pure (no side effects) — the engine may
 /// probe and backtrack.
+///
+/// Predicates see the legacy owning `Token` form. A parser with
+/// predicates attached materializes that view once per parse; a parser
+/// without predicates never does.
 using SemanticPredicate =
     std::function<bool(const std::vector<Token>& tokens, size_t pos)>;
+
+/// Per-parse statistics surfaced by the stats-taking `ParseText`
+/// overload — the parser service's feed for throughput metrics.
+struct ParseStats {
+  /// Tokens the lexer produced, excluding the end-of-input marker.
+  size_t tokens = 0;
+  /// Bytes of arena storage the parse consumed (nodes, child spans, and
+  /// backtracked garbage).
+  size_t arena_bytes = 0;
+};
 
 /// A runtime LL(k) parser interpreting a composed grammar — the
 /// "generated parser" of the paper, realized as a table-free predictive
@@ -39,14 +57,27 @@ using SemanticPredicate =
 /// Construct through `ParserBuilder`, which validates the grammar
 /// (undefined symbols, left recursion) before parsing is allowed.
 ///
+/// ## Interned hot path
+///
+/// At build time the grammar is compiled into an id space shared with
+/// the lexer: every token type, nonterminal, and alternative label is
+/// interned to a dense `SymbolId`, and the expression tree is flattened
+/// into an index-linked `CompiledExpr` pool whose FIRST sets are sorted
+/// `SymbolId` spans. The parse loop therefore never hashes or compares
+/// strings — lookahead dispatch is an integer binary search, nonterminal
+/// lookup indexes `productions_by_id_` directly, and tree nodes are
+/// bump-allocated `ArenaNode`s referencing the zero-copy token stream.
+/// The string-keyed `ParseNode` API survives as a thin conversion
+/// (`ArenaToParseNode`) at the end of a successful parse.
+///
 /// Thread-safety contract (relied on by the parser service in
 /// sqlpl/service/, which shares one instance across request threads):
 ///
-///  - A built `LlParser` is immutable: `ParseText`, `Parse`, and
-///    `Accepts` are `const`, keep all per-parse state in a stack-local
-///    `ParseContext`, and only read the grammar, analysis, lexer,
-///    prediction cache, and predicate map. Any number of threads may
-///    parse on the same instance concurrently.
+///  - A built `LlParser` is immutable: `ParseText`, `Parse`,
+///    `ParseStream`, and `Accepts` are `const`, keep all per-parse state
+///    in a stack-local `ParseContext`, and only read the grammar,
+///    compiled tables, lexer, and predicate map. Any number of threads
+///    may parse on the same instance concurrently.
 ///  - `AttachPredicate` is the one mutator. Attach predicates while the
 ///    parser is still thread-private (construction/setup); calling it
 ///    concurrently with parses is a data race. Predicates themselves
@@ -77,6 +108,26 @@ class LlParser {
   Result<ParseNode> Parse(const std::vector<Token>& tokens,
                           const RequestControl& control) const;
 
+  /// Serving form: fills `stats` (always, also on failure once lexing
+  /// succeeded) and, when `build_tree` is false, skips the arena-to-
+  /// `ParseNode` conversion and returns a childless stub rule node for
+  /// the start symbol — the accept/reject answer without tree cost.
+  Result<ParseNode> ParseText(std::string_view sql,
+                              const RequestControl& control,
+                              ParseStats* stats, bool build_tree) const;
+
+  /// Native fast path: parses an already-tokenized stream into `arena`
+  /// and returns the root `ArenaNode`. The returned tree lives in
+  /// `arena` and references `stream` (see ArenaNode's lifetime notes).
+  /// Reusing one stream + arena pair across calls (Clear/Reset between
+  /// them) parses in steady state without a single heap allocation in
+  /// lexer or tree construction.
+  Result<const ArenaNode*> ParseStream(const TokenStream& stream,
+                                       ParseArena* arena) const;
+  Result<const ArenaNode*> ParseStream(const TokenStream& stream,
+                                       ParseArena* arena,
+                                       const RequestControl& control) const;
+
   /// Checkpoints between deadline (clock-read) checks; cancellation is
   /// checked at every checkpoint.
   static constexpr size_t kLifecycleCheckStride = 16;
@@ -87,6 +138,8 @@ class LlParser {
   const Grammar& grammar() const { return grammar_; }
   const GrammarAnalysis& analysis() const { return analysis_; }
   const Lexer& lexer() const { return lexer_; }
+  /// The symbol namespace shared by this parser and its lexer.
+  const SymbolInterner& interner() const { return *interner_; }
 
   /// Attaches a semantic predicate to alternative `alt_index` of
   /// `nonterminal`: the alternative is only attempted when the predicate
@@ -96,8 +149,9 @@ class LlParser {
                          SemanticPredicate predicate);
   size_t NumPredicates() const { return predicates_.size(); }
 
-  /// The parser owns its grammar and per-node prediction cache; the
-  /// cache holds pointers into the grammar, so the parser is move-only.
+  /// The parser owns its grammar and compiled dispatch tables. The
+  /// tables are index-linked (no interior pointers), but the parser
+  /// stays move-only: copying a parser is never what callers mean.
   LlParser(const LlParser&) = delete;
   LlParser& operator=(const LlParser&) = delete;
   LlParser(LlParser&&) = default;
@@ -106,26 +160,55 @@ class LlParser {
  private:
   friend class ParserBuilder;
 
-  // Precomputed prediction data for one grammar expression node.
-  struct Predict {
+  // One grammar expression node, flattened: children and FIRST sets are
+  // [begin, end) spans into the shared pools, symbols are interned ids.
+  struct CompiledExpr {
+    ExprKind kind = ExprKind::kSequence;
     bool nullable = false;
-    std::set<std::string> first;
+    SymbolId symbol = kInvalidSymbolId;   // kToken / kNonterminal only
+    uint32_t children_begin = 0;          // span into child_pool_
+    uint32_t children_end = 0;
+    uint32_t first_begin = 0;             // span into first_pool_ (sorted)
+    uint32_t first_end = 0;
   };
 
+  struct CompiledAlt {
+    uint32_t body = 0;                    // index into exprs_
+    SymbolId label = kInvalidSymbolId;
+  };
+
+  struct CompiledProduction {
+    SymbolId lhs = kInvalidSymbolId;
+    uint32_t alts_begin = 0;              // span into alternatives_
+    uint32_t alts_end = 0;
+  };
+
+  static constexpr uint32_t kNoProduction = 0xFFFFFFFFu;
+
   LlParser(Grammar grammar, GrammarAnalysis analysis, Lexer lexer,
+           std::shared_ptr<SymbolInterner> interner,
            bool prune_with_first_sets);
 
-  // Fills predict_ for `expr` and all of its descendants.
-  void CachePredict(const Expr& expr);
+  // Grammar-to-id-space compilation (build time, single-threaded).
+  void Compile();
+  uint32_t CompileExpr(const Expr& expr);
 
-  // Recursive-descent matching. Each Match* either succeeds — consuming
-  // tokens from `*pos` and appending nodes to `out` — or fails leaving
-  // `*pos`/`out` as they were, after recording the furthest failure.
+  // Recursive-descent matching over the compiled tables. Each Match*
+  // either succeeds — consuming tokens from `*pos` and pushing nodes
+  // onto the scratch stack — or fails leaving `*pos` and the stack as
+  // they were, after recording the furthest failure.
   struct ParseContext {
-    const std::vector<Token>* tokens = nullptr;
+    const LexedToken* tokens = nullptr;
+    ParseArena* arena = nullptr;
+    // Legacy token view for predicates and (in the legacy `Parse`
+    // entry) error text; null unless needed.
+    const std::vector<Token>* legacy_tokens = nullptr;
+    // Node stack: a completed nonterminal pops its children off the top
+    // and pushes itself. Backtracking truncates.
+    std::vector<const ArenaNode*> scratch;
     // Furthest failure, for error reporting.
     size_t furthest_pos = 0;
-    std::set<std::string> expected;
+    std::set<SymbolId> expected;
     // Recursion guard.
     size_t depth = 0;
     // Lifecycle: null for the unrestricted overloads. Once `aborted` is
@@ -136,25 +219,42 @@ class LlParser {
     Status aborted;
   };
 
+  // Shared driver under all public entry points: parses `tokens`
+  // (length `num_tokens`, `$`-terminated) into `arena`.
+  Result<const ArenaNode*> ParseLexed(
+      const LexedToken* tokens, size_t num_tokens, ParseArena* arena,
+      const RequestControl& control,
+      const std::vector<Token>* legacy_tokens) const;
+
   // False when the parse must stop (cancelled / past deadline); records
   // the reason in `ctx->aborted` on first detection.
   bool LifecycleOk(ParseContext* ctx) const;
 
-  bool MatchExpr(const Expr& expr, ParseContext* ctx, size_t* pos,
-                 std::vector<ParseNode>* out) const;
-  bool MatchNonterminal(const std::string& name, ParseContext* ctx,
-                        size_t* pos, std::vector<ParseNode>* out) const;
-  void RecordFailure(ParseContext* ctx, size_t pos,
-                     const std::string& expected_token) const;
+  bool MatchExpr(uint32_t expr_index, ParseContext* ctx, size_t* pos) const;
+  bool MatchNonterminal(SymbolId id, ParseContext* ctx, size_t* pos) const;
+  void RecordFailure(ParseContext* ctx, size_t pos, SymbolId expected) const;
+  bool FirstContains(const CompiledExpr& expr, SymbolId lookahead) const;
+  // Renders the legacy-format syntax error from the furthest failure.
+  Status SyntaxError(const ParseContext& ctx) const;
 
   Grammar grammar_;
   GrammarAnalysis analysis_;
   Lexer lexer_;
-  // Prediction cache keyed by expression node. Pointers stay valid under
-  // moves (vector buffers transfer wholesale) — hence move-only above.
-  std::unordered_map<const Expr*, Predict> predict_;
-  // Semantic predicates keyed by (nonterminal, alternative index).
-  std::map<std::pair<std::string, size_t>, SemanticPredicate> predicates_;
+  std::shared_ptr<SymbolInterner> interner_;
+
+  // Compiled dispatch tables (see class comment). All cross-references
+  // are indices, so moving the parser moves the buffers wholesale.
+  std::vector<CompiledExpr> exprs_;
+  std::vector<uint32_t> child_pool_;
+  std::vector<SymbolId> first_pool_;
+  std::vector<CompiledAlt> alternatives_;
+  std::vector<CompiledProduction> productions_;
+  // Nonterminal SymbolId -> index into productions_, or kNoProduction.
+  std::vector<uint32_t> productions_by_id_;
+  SymbolId start_id_ = kInvalidSymbolId;
+
+  // Semantic predicates keyed by (nonterminal id, alternative index).
+  std::map<std::pair<SymbolId, size_t>, SemanticPredicate> predicates_;
   // When false, alternatives are tried by pure ordered-choice
   // backtracking without FIRST-set pruning (ablation mode).
   bool prune_with_first_sets_ = true;
@@ -180,7 +280,8 @@ class ParserBuilder {
   }
 
   /// Builds a parser for `grammar`: structural validation, FIRST/FOLLOW
-  /// analysis, left-recursion rejection, lexer construction.
+  /// analysis, left-recursion rejection, lexer construction, and
+  /// compilation of lexer and grammar into one shared symbol namespace.
   Result<LlParser> Build(const Grammar& grammar) const;
 
  private:

@@ -35,8 +35,13 @@ Result<LlParser> ParserBuilder::Build(const Grammar& grammar) const {
                               "' has LL(1) conflicts:" + report);
   }
 
-  Lexer lexer(grammar.tokens());
+  // One symbol namespace for the whole parser: the lexer interns the
+  // token-type names, the parser compiles nonterminals and labels into
+  // the same table, and cached parsers share it with every request.
+  auto interner = std::make_shared<SymbolInterner>();
+  Lexer lexer(grammar.tokens(), interner);
   return LlParser(grammar, std::move(analysis), std::move(lexer),
+                  std::move(interner),
                   /*prune_with_first_sets=*/!disable_first_pruning_);
 }
 

@@ -126,15 +126,18 @@ ParseResponse DialectService::Execute(
   }
 
   auto parse_start = std::chrono::steady_clock::now();
-  Result<ParseNode> tree = parser.ParseText(request.sql, control);
+  // The stats-taking overload also skips the arena-to-ParseNode
+  // conversion entirely when the caller doesn't want the tree (it
+  // returns the same childless stub this code used to build itself).
+  ParseStats parse_stats;
+  Result<ParseNode> tree = parser.ParseText(
+      request.sql, control, &parse_stats, /*build_tree=*/request.want_tree);
   uint64_t parse_micros = ElapsedMicros(parse_start);
+  stats_.RecordThroughput(parse_stats.tokens, parse_stats.arena_bytes);
 
   if (tree.ok()) {
     stats_.RecordParse(true, parse_micros);
-    response.result = request.want_tree
-                          ? std::move(tree)
-                          : Result<ParseNode>(ParseNode::Rule(
-                                parser.grammar().start_symbol()));
+    response.result = std::move(tree);
   } else {
     // Lifecycle aborts are not parse errors: they say nothing about the
     // SQL and are counted under their own metrics.

@@ -32,6 +32,13 @@ ServiceStats::ServiceStats()
       cancellations_(registry_.GetCounter(
           "sqlpl_cancellations_total", {},
           "Requests abandoned via their CancelToken")),
+      tokens_(registry_.GetCounter(
+          "sqlpl_tokens_total", {},
+          "Tokens lexed by the zero-copy fast path")),
+      arena_bytes_(registry_.GetCounter(
+          "sqlpl_arena_bytes_total", {},
+          "Parse-arena bytes consumed (nodes, child spans, backtrack "
+          "garbage)")),
       parse_latency_(registry_.GetHistogram(
           "sqlpl_parse_latency_micros", {},
           "Per-statement parse latency (µs)")),
@@ -51,6 +58,8 @@ ServiceStatsSnapshot ServiceStats::Snapshot(
   s.deadline_misses_queue = deadline_miss_queue_->Value();
   s.deadline_misses_parse = deadline_miss_parse_->Value();
   s.cancellations = cancellations_->Value();
+  s.tokens = tokens_->Value();
+  s.arena_bytes = arena_bytes_->Value();
   s.cache = cache;
   s.parse_p50_micros = parse_latency_->Percentile(50);
   s.parse_p99_micros = parse_latency_->Percentile(99);

@@ -45,6 +45,12 @@ struct ServiceStatsSnapshot {
   uint64_t deadline_misses_queue = 0;
   uint64_t deadline_misses_parse = 0;
   uint64_t cancellations = 0;
+  /// Throughput feed from the interned hot path: tokens lexed and parse-
+  /// arena bytes consumed by successful and failed parses alike. Like the
+  /// lifecycle counters, exported but not rendered by
+  /// `RenderServiceStats`.
+  uint64_t tokens = 0;
+  uint64_t arena_bytes = 0;
   ParserCacheStats cache;
   uint64_t parse_p50_micros = 0;
   uint64_t parse_p99_micros = 0;
@@ -101,6 +107,15 @@ class ServiceStats {
   }
   void RecordCancellation() { cancellations_->Increment(); }
 
+  /// Per-statement throughput sample from the parser's `ParseStats`:
+  /// tokens the lexer produced and bytes of parse-arena storage used.
+  /// Feeds `sqlpl_tokens_total` / `sqlpl_arena_bytes_total`, from which
+  /// a scraper derives tokens/sec and bytes-per-statement.
+  void RecordThroughput(size_t tokens, size_t arena_bytes) {
+    tokens_->Increment(tokens);
+    arena_bytes_->Increment(arena_bytes);
+  }
+
   /// `cache` contributes the cache half of the snapshot; the service
   /// passes its own cache's counters.
   ServiceStatsSnapshot Snapshot(const ParserCacheStats& cache) const;
@@ -124,6 +139,8 @@ class ServiceStats {
   obs::Counter* deadline_miss_queue_;
   obs::Counter* deadline_miss_parse_;
   obs::Counter* cancellations_;
+  obs::Counter* tokens_;
+  obs::Counter* arena_bytes_;
   obs::Histogram* parse_latency_;
   obs::Histogram* build_latency_;
 };

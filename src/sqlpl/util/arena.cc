@@ -1,0 +1,34 @@
+#include "sqlpl/util/arena.h"
+
+#include <algorithm>
+
+namespace sqlpl {
+
+void Arena::AddChunk(size_t min_bytes) {
+  bytes_used_ += CurrentChunkUsed();
+  size_t size = std::max(next_chunk_bytes_, min_bytes);
+  Chunk chunk;
+  chunk.data = std::make_unique<char[]>(size);
+  chunk.size = size;
+  cursor_ = reinterpret_cast<uintptr_t>(chunk.data.get());
+  limit_ = cursor_ + size;
+  bytes_reserved_ += size;
+  chunks_.push_back(std::move(chunk));
+  next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+}
+
+void Arena::Reset() {
+  if (chunks_.empty()) {
+    bytes_used_ = 0;
+    return;
+  }
+  // Keep only the first chunk; a steady-state consumer re-fills it
+  // without new allocations.
+  chunks_.resize(1);
+  cursor_ = reinterpret_cast<uintptr_t>(chunks_.front().data.get());
+  limit_ = cursor_ + chunks_.front().size;
+  bytes_reserved_ = chunks_.front().size;
+  bytes_used_ = 0;
+}
+
+}  // namespace sqlpl

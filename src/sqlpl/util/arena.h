@@ -1,0 +1,110 @@
+#ifndef SQLPL_UTIL_ARENA_H_
+#define SQLPL_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace sqlpl {
+
+/// Monotonic bump allocator. Allocation is a pointer increment into the
+/// current chunk; nothing is freed until `Reset()` or destruction, which
+/// is exactly the lifetime of a parse: every token text and tree node of
+/// one statement dies together. Objects placed in the arena must be
+/// trivially destructible — destructors are never run.
+///
+/// Chunks grow geometrically from `initial_chunk_bytes` up to
+/// `kMaxChunkBytes`, so a large statement costs O(log n) mallocs instead
+/// of O(nodes). `Reset()` keeps the first chunk, making a reused arena
+/// allocation-free in steady state (the property the zero-alloc tokenize
+/// test pins down).
+///
+/// Not thread-safe; confine an arena to one request/thread.
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 4096;
+  static constexpr size_t kMaxChunkBytes = 256 * 1024;
+
+  explicit Arena(size_t initial_chunk_bytes = kDefaultChunkBytes)
+      : next_chunk_bytes_(initial_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Raw aligned allocation. `align` must be a power of two.
+  void* Allocate(size_t bytes, size_t align) {
+    uintptr_t p = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    if (p + bytes > limit_) {
+      AddChunk(bytes + align);
+      p = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    }
+    cursor_ = p + bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Constructs a `T` in the arena. `T` must be trivially destructible —
+  /// the arena never runs destructors.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    return ::new (Allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Uninitialized array of `n` `T`s (trivially destructible).
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Copies `data[0..len)` into the arena and returns the stable copy.
+  const char* CopyString(const char* data, size_t len) {
+    char* out = AllocateArray<char>(len);
+    std::memcpy(out, data, len);
+    return out;
+  }
+
+  /// Drops every allocation but keeps the first chunk for reuse, so a
+  /// warm arena serves a similarly-sized parse without touching malloc.
+  void Reset();
+
+  /// Bytes handed out since construction / the last `Reset()`.
+  size_t bytes_used() const { return bytes_used_ + CurrentChunkUsed(); }
+  /// Bytes of chunk capacity currently held.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  size_t CurrentChunkUsed() const {
+    return chunks_.empty()
+               ? 0
+               : cursor_ - reinterpret_cast<uintptr_t>(
+                               chunks_.back().data.get());
+  }
+
+  void AddChunk(size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  size_t next_chunk_bytes_;
+  size_t bytes_used_ = 0;      // in full (non-current) chunks
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_UTIL_ARENA_H_

@@ -1,0 +1,93 @@
+#include "sqlpl/grammar/symbol_interner.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace {
+
+TEST(SymbolInternerTest, EndOfInputIsIdZero) {
+  SymbolInterner interner;
+  EXPECT_EQ(interner.Find("$"), kEndOfInputId);
+  EXPECT_EQ(interner.Intern("$"), kEndOfInputId);
+  EXPECT_EQ(interner.NameOf(kEndOfInputId), "$");
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(SymbolInternerTest, InternIsIdempotent) {
+  SymbolInterner interner;
+  SymbolId select = interner.Intern("SELECT");
+  EXPECT_EQ(interner.Intern("SELECT"), select);
+  EXPECT_EQ(interner.Find("SELECT"), select);
+  EXPECT_EQ(interner.size(), 2u);  // "$" plus "SELECT"
+}
+
+TEST(SymbolInternerTest, IdsAreDenseInInsertionOrder) {
+  SymbolInterner interner;
+  EXPECT_EQ(interner.Intern("a"), 1u);
+  EXPECT_EQ(interner.Intern("b"), 2u);
+  EXPECT_EQ(interner.Intern("c"), 3u);
+  EXPECT_EQ(interner.Intern("b"), 2u);  // re-intern doesn't burn an id
+  EXPECT_EQ(interner.size(), 4u);
+}
+
+TEST(SymbolInternerTest, FindMissingReturnsInvalid) {
+  SymbolInterner interner;
+  EXPECT_EQ(interner.Find("nope"), kInvalidSymbolId);
+  EXPECT_FALSE(interner.Contains("nope"));
+  interner.Intern("nope");
+  EXPECT_TRUE(interner.Contains("nope"));
+}
+
+TEST(SymbolInternerTest, IsCaseSensitive) {
+  // The interner itself is an exact-string table; keyword
+  // case-insensitivity is the lexer's concern (folded hash probe), not
+  // the interner's.
+  SymbolInterner interner;
+  SymbolId upper = interner.Intern("SELECT");
+  SymbolId lower = interner.Intern("select");
+  EXPECT_NE(upper, lower);
+  EXPECT_EQ(interner.NameOf(upper), "SELECT");
+  EXPECT_EQ(interner.NameOf(lower), "select");
+}
+
+TEST(SymbolInternerTest, RoundTripSurvivesRehash) {
+  // Push far past the initial capacity so the table rehashes several
+  // times; every earlier id must keep resolving to its exact name.
+  SymbolInterner interner;
+  std::vector<std::string> names;
+  for (int i = 0; i < 2000; ++i) {
+    names.push_back("sym_" + std::to_string(i));
+  }
+  std::vector<SymbolId> ids;
+  for (const std::string& name : names) ids.push_back(interner.Intern(name));
+  ASSERT_EQ(interner.size(), names.size() + 1);
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(interner.NameOf(ids[i]), names[i]);
+    EXPECT_EQ(interner.Find(names[i]), ids[i]);
+    EXPECT_EQ(interner.Intern(names[i]), ids[i]);
+  }
+}
+
+TEST(SymbolInternerTest, CollidingNamesStayDistinct) {
+  // Names crafted to land in a small id space with plenty of near
+  // collisions: single-character and prefix-sharing strings. Exact-match
+  // probing must never conflate them.
+  SymbolInterner interner;
+  std::vector<std::string> names = {"a",  "aa", "aaa", "ab", "ba",
+                                    "b",  "bb", "ab$", "$a", "",
+                                    "a ", " a", "A",   "aA", "Aa"};
+  std::vector<SymbolId> ids;
+  for (const std::string& name : names) ids.push_back(interner.Intern(name));
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(ids[i], ids[j]) << names[i] << " vs " << names[j];
+    }
+    EXPECT_EQ(interner.Find(names[i]), ids[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,102 @@
+// Pins the "zero heap allocations per token" property of the tokenize
+// fast path: once a TokenStream has been warmed (vector capacity grown,
+// arena chunk reserved), re-tokenizing through it must not touch the
+// heap at all.
+//
+// The global operator new/delete overrides below count every allocation
+// in this test binary on a thread-local counter. They are deliberately
+// minimal (malloc + bad_alloc) and only live in this TU.
+
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/lexer/lexer.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace {
+thread_local size_t g_allocations = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sqlpl {
+namespace {
+
+constexpr const char* kSql =
+    "SELECT name, AVG(salary), COUNT(*) FROM emp, dept "
+    "WHERE emp.dept_id = dept.id AND salary > 1000 "
+    "GROUP BY name HAVING COUNT(*) > 2 ORDER BY name DESC";
+
+TEST(LexerAllocTest, WarmedTokenizeFastPathDoesNotAllocate) {
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(CoreQueryDialect());
+  ASSERT_TRUE(parser.ok()) << parser.status();
+  const Lexer& lexer = parser->lexer();
+
+  TokenStream stream;
+  // Warm-up: grows the token vector and the stream arena once.
+  ASSERT_TRUE(lexer.TokenizeInto(kSql, &stream).ok());
+  size_t expected_tokens = stream.size();
+  ASSERT_GT(expected_tokens, 30u);
+
+  for (int round = 0; round < 3; ++round) {
+    stream.Clear();
+    size_t before = g_allocations;
+    ASSERT_TRUE(lexer.TokenizeInto(kSql, &stream).ok());
+    size_t after = g_allocations;
+    EXPECT_EQ(after - before, 0u) << "round " << round;
+    EXPECT_EQ(stream.size(), expected_tokens);
+  }
+}
+
+TEST(LexerAllocTest, EscapedLiteralsUseArenaNotHeap) {
+  // Escaped strings can't be zero-copy views; they are unescaped into
+  // the stream's arena. After warm-up that arena memory is reused, so
+  // even the unescape path stays heap-free.
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(CoreQueryDialect());
+  ASSERT_TRUE(parser.ok()) << parser.status();
+  const Lexer& lexer = parser->lexer();
+  constexpr const char* kEscaped =
+      "SELECT 'o''brien', \"weird\"\"col\" FROM t WHERE x = 'a''b''c'";
+
+  TokenStream stream;
+  ASSERT_TRUE(lexer.TokenizeInto(kEscaped, &stream).ok());
+  for (int round = 0; round < 3; ++round) {
+    stream.Clear();
+    size_t before = g_allocations;
+    ASSERT_TRUE(lexer.TokenizeInto(kEscaped, &stream).ok());
+    EXPECT_EQ(g_allocations - before, 0u) << "round " << round;
+  }
+}
+
+TEST(LexerAllocTest, IsKeywordDoesNotAllocate) {
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(CoreQueryDialect());
+  ASSERT_TRUE(parser.ok()) << parser.status();
+  const Lexer& lexer = parser->lexer();
+
+  size_t before = g_allocations;
+  EXPECT_TRUE(lexer.IsKeyword("select"));
+  EXPECT_TRUE(lexer.IsKeyword("SELECT"));
+  EXPECT_TRUE(lexer.IsKeyword("SeLeCt"));
+  EXPECT_FALSE(lexer.IsKeyword("definitely_not_a_keyword"));
+  EXPECT_EQ(g_allocations - before, 0u);
+}
+
+}  // namespace
+}  // namespace sqlpl
