@@ -1,0 +1,264 @@
+// Network serving-layer benchmarks: what a request costs once it
+// travels the framed wire protocol instead of a function call.
+//
+//  - BM_WireParseFingerprint: steady-state request/response over a real
+//    loopback connection (fingerprint dialect identity, warm cache) —
+//    the per-request wire latency; /threads:N adds concurrent
+//    connections across the server's event loops.
+//  - BM_WirePipelined/depth: the same requests pipelined `depth` deep
+//    before reading replies — what batching buys once frame I/O
+//    overlaps parsing.
+//  - BM_InProcessBaseline: the identical request through
+//    `DialectService::Parse` in-process; the delta against
+//    BM_WireParseFingerprint is the wire tax (framing + syscalls +
+//    scheduling), recorded in BENCH_net.json as `wire_overhead_us`.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json.h"
+
+#include "sqlpl/net/sql_client.h"
+#include "sqlpl/net/sql_server.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+const std::vector<std::string>& Workload() {
+  static const auto& workload = *new std::vector<std::string>{
+      "SELECT a FROM t",
+      "SELECT col1 FROM readings WHERE col1 = 10",
+      "SELECT temp FROM sensors WHERE temp > 90",
+      "SELECT id FROM accounts WHERE balance = 100",
+  };
+  return workload;
+}
+
+/// One server for the whole binary: started once, dialect taught and
+/// cache warmed before any timed region.
+struct NetFixture {
+  DialectService service;
+  net::SqlServer server;
+  uint64_t fingerprint = 0;
+  bool ok = false;
+
+  NetFixture() : server(&service, ServerOptions()) {
+    if (!server.Start().ok()) return;
+    net::SqlClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+    Result<net::WireParseResponse> warm =
+        client.Parse(CoreQueryDialect(), Workload()[0]);
+    if (!warm.ok() || warm->status != StatusCode::kOk) return;
+    fingerprint = warm->fingerprint;
+    ok = true;
+  }
+
+  static net::SqlServerOptions ServerOptions() {
+    net::SqlServerOptions options;
+    options.num_event_loops = 2;
+    options.num_workers = 4;
+    return options;
+  }
+};
+
+NetFixture& Fixture() {
+  static NetFixture* fixture = new NetFixture();
+  return *fixture;
+}
+
+double MicrosBetween(std::chrono::steady_clock::time_point a,
+                     std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+void BM_WireParseFingerprint(benchmark::State& state) {
+  NetFixture& fixture = Fixture();
+  if (!fixture.ok) {
+    state.SkipWithError("server setup failed");
+    return;
+  }
+  net::SqlClient client;
+  if (!client.Connect("127.0.0.1", fixture.server.port()).ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  const std::vector<std::string>& workload = Workload();
+  std::vector<double> latencies_us;
+  latencies_us.reserve(1 << 14);
+  size_t i = 0;
+  size_t requests = 0;
+  for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
+    Result<net::WireParseResponse> response = client.ParseByFingerprint(
+        fixture.fingerprint, workload[i++ % workload.size()]);
+    auto end = std::chrono::steady_clock::now();
+    if (!response.ok() || response->status != StatusCode::kOk) {
+      state.SkipWithError("wire parse failed");
+      return;
+    }
+    benchmark::DoNotOptimize(response);
+    if (latencies_us.size() < latencies_us.capacity()) {
+      latencies_us.push_back(MicrosBetween(start, end));
+    }
+    ++requests;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(requests));
+  state.counters["requests_per_s"] = benchmark::Counter(
+      static_cast<double>(requests), benchmark::Counter::kIsRate);
+  if (!latencies_us.empty()) {
+    // Client-observed wire latency percentiles for BENCH_net.json
+    // (`p50_wire_us` / `p99_wire_us`); ns_per_op tracks the mean.
+    std::sort(latencies_us.begin(), latencies_us.end());
+    auto at = [&](double p) {
+      size_t index = static_cast<size_t>(p / 100.0 *
+                                         (latencies_us.size() - 1) + 0.5);
+      return latencies_us[std::min(index, latencies_us.size() - 1)];
+    };
+    state.counters["p50_wire_us"] = at(50);
+    state.counters["p99_wire_us"] = at(99);
+  }
+}
+
+void BM_WirePipelined(benchmark::State& state) {
+  NetFixture& fixture = Fixture();
+  if (!fixture.ok) {
+    state.SkipWithError("server setup failed");
+    return;
+  }
+  size_t depth = static_cast<size_t>(state.range(0));
+  net::SqlClient client;
+  if (!client.Connect("127.0.0.1", fixture.server.port()).ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  const std::vector<std::string>& workload = Workload();
+  size_t i = 0;
+  size_t requests = 0;
+  for (auto _ : state) {
+    for (size_t d = 0; d < depth; ++d) {
+      net::WireParseRequest request;
+      request.fingerprint = fixture.fingerprint;
+      request.sql = workload[i++ % workload.size()];
+      request.want_tree = false;
+      if (!client.Send(request).ok()) {
+        state.SkipWithError("send failed");
+        return;
+      }
+    }
+    for (size_t d = 0; d < depth; ++d) {
+      Result<net::WireParseResponse> response = client.Receive();
+      if (!response.ok() || response->status != StatusCode::kOk) {
+        state.SkipWithError("pipelined receive failed");
+        return;
+      }
+      benchmark::DoNotOptimize(response);
+    }
+    requests += depth;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(requests));
+  state.counters["requests_per_s"] = benchmark::Counter(
+      static_cast<double>(requests), benchmark::Counter::kIsRate);
+}
+
+void BM_InProcessBaseline(benchmark::State& state) {
+  NetFixture& fixture = Fixture();
+  if (!fixture.ok) {
+    state.SkipWithError("server setup failed");
+    return;
+  }
+  DialectSpec spec = CoreQueryDialect();
+  const std::vector<std::string>& workload = Workload();
+  size_t i = 0;
+  size_t requests = 0;
+  for (auto _ : state) {
+    Result<ParseNode> tree =
+        fixture.service.Parse(spec, workload[i++ % workload.size()]);
+    benchmark::DoNotOptimize(tree);
+    ++requests;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(requests));
+}
+
+BENCHMARK(BM_WireParseFingerprint)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WireParseFingerprint)
+    ->Threads(4)
+    ->Threads(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+BENCHMARK(BM_WirePipelined)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InProcessBaseline)->Unit(benchmark::kMicrosecond);
+
+/// The wire tax measured head to head outside Google Benchmark: the
+/// same `kProbes` requests through the socket and through the service
+/// call, mean microseconds each.
+struct WireOverhead {
+  double wire_us = 0;
+  double in_process_us = 0;
+  double overhead_us() const { return wire_us - in_process_us; }
+};
+
+WireOverhead MeasureWireOverhead() {
+  WireOverhead measured;
+  NetFixture& fixture = Fixture();
+  if (!fixture.ok) return measured;
+  constexpr int kProbes = 2000;
+  const std::vector<std::string>& workload = Workload();
+
+  net::SqlClient client;
+  if (!client.Connect("127.0.0.1", fixture.server.port()).ok()) {
+    return measured;
+  }
+  auto wire_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kProbes; ++i) {
+    Result<net::WireParseResponse> response = client.ParseByFingerprint(
+        fixture.fingerprint,
+        workload[static_cast<size_t>(i) % workload.size()]);
+    if (!response.ok() || response->status != StatusCode::kOk) return measured;
+  }
+  auto wire_end = std::chrono::steady_clock::now();
+
+  DialectSpec spec = CoreQueryDialect();
+  auto direct_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kProbes; ++i) {
+    Result<ParseNode> tree = fixture.service.Parse(
+        spec, workload[static_cast<size_t>(i) % workload.size()]);
+    if (!tree.ok()) return measured;
+  }
+  auto direct_end = std::chrono::steady_clock::now();
+
+  measured.wire_us = MicrosBetween(wire_start, wire_end) / kProbes;
+  measured.in_process_us = MicrosBetween(direct_start, direct_end) / kProbes;
+  return measured;
+}
+
+}  // namespace
+}  // namespace sqlpl
+
+int main(int argc, char** argv) {
+  using namespace sqlpl;
+  if (!bench::InitBenchmark(argc, argv)) return 1;
+  bench::JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  WireOverhead overhead = MeasureWireOverhead();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "\"wire_us\":%.3f,\"in_process_us\":%.3f,"
+                "\"wire_overhead_us\":%.3f",
+                overhead.wire_us, overhead.in_process_us,
+                overhead.overhead_us());
+  std::printf("wire overhead: %.1f µs/request (wire %.1f µs, in-process "
+              "%.1f µs)\n",
+              overhead.overhead_us(), overhead.wire_us,
+              overhead.in_process_us);
+  bool wrote = bench::WriteBenchJson("net", reporter.Results(), buf);
+  Fixture().server.Stop();
+  return wrote ? 0 : 1;
+}

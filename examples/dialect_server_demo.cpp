@@ -1,30 +1,52 @@
-// Dialect server demo: the product line behind a long-lived, concurrent
-// front-end (sqlpl/service/). Simulates a small fleet of clients, each
-// speaking its own SQL dialect, hammering one DialectService:
+// Dialect server demo: the product line behind a real network serving
+// layer (sqlpl/net/). Starts a SqlServer on an ephemeral loopback port,
+// then simulates a small fleet of clients, each speaking its own SQL
+// dialect, hammering it over the framed wire protocol:
 //
+//  - each client's first request ships its dialect spec inline; the
+//    response returns the spec fingerprint, and every later request
+//    carries just those 8 bytes of dialect identity;
 //  - the first request of each dialect composes + builds its parser
-//    (once, even when several clients race for it — single-flight);
-//  - every later request is a cache hit on the fingerprint of the
-//    feature selection, sharing one immutable parser per dialect;
-//  - the service stats report shows hit rate and latency percentiles.
+//    (once, even when several connections race for it — single-flight);
+//    every later request is a cache hit sharing one immutable parser;
+//  - every response carries a server timing breakdown (parse proper,
+//    in-service time, frame turnaround), so the demo can split
+//    client-observed latency into parse vs service vs wire cost;
+//  - the server drains gracefully at the end: in-flight requests
+//    finish, new connections are refused, event loops join.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "sqlpl/net/sql_client.h"
+#include "sqlpl/net/sql_server.h"
 #include "sqlpl/service/dialect_service.h"
 #include "sqlpl/sql/dialects.h"
 
 int main() {
   using namespace sqlpl;
 
-  DialectServiceOptions options;
-  options.cache_capacity = 16;
-  options.cache_shards = 4;
-  options.num_threads = 4;
-  DialectService service(options);
+  DialectServiceOptions service_options;
+  service_options.cache_capacity = 16;
+  service_options.cache_shards = 4;
+  service_options.num_threads = 4;
+  DialectService service(service_options);
+
+  net::SqlServerOptions server_options;
+  server_options.port = 0;  // ephemeral: the OS picks a free loopback port
+  server_options.num_event_loops = 2;
+  server_options.num_workers = 4;
+  net::SqlServer server(&service, server_options);
+  if (Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.message().c_str());
+    return 1;
+  }
+  std::printf("sql server listening on 127.0.0.1:%u\n\n", server.port());
 
   // Each client profile: a dialect plus the statements its devices send.
   struct Client {
@@ -44,45 +66,106 @@ int main() {
       {EmbeddedMinimalDialect(), {"SELECT a FROM t"}},
   };
 
-  // Note the relabeled, reordered CoreQuery spec: same feature set, so
-  // it fingerprints onto the same cache entry — no second build.
-  DialectSpec relabeled = CoreQueryDialect();
-  relabeled.name = "analytics-tenant-42";
-  std::reverse(relabeled.features.begin(), relabeled.features.end());
-
-  std::printf("serving %zu dialects from one process...\n\n", clients.size());
+  // Per-dialect timing, split three ways from each response frame.
+  struct Timing {
+    uint64_t requests = 0;
+    uint64_t wire_us = 0;    // client-observed round trip
+    uint64_t server_us = 0;  // server frame turnaround
+    uint64_t parse_us = 0;   // parse proper
+  };
+  std::vector<Timing> timings(clients.size());
 
   constexpr int kThreads = 8;
   constexpr int kRounds = 50;
-  std::vector<std::thread> workers;
-  workers.reserve(kThreads);
+  std::printf("serving %zu dialects to %d connections x %d rounds...\n\n",
+              clients.size(), kThreads, kRounds);
+
+  // One connection (and one SqlClient) per fleet member; each teaches
+  // the server its dialects once, then goes fingerprint-only.
+  std::vector<Timing> per_thread(kThreads * clients.size());
+  std::vector<std::thread> fleet;
+  fleet.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
-    workers.emplace_back([&, t] {
+    fleet.emplace_back([&, t] {
+      net::SqlClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+      std::vector<uint64_t> fingerprints(clients.size(), 0);
       for (int round = 0; round < kRounds; ++round) {
-        const Client& client = clients[(t + round) % clients.size()];
-        for (const std::string& sql : client.statements) {
-          (void)service.Parse(client.spec, sql);
-        }
-        if (round % 10 == 0) {
-          (void)service.Parse(relabeled, "SELECT a, b FROM t");
+        size_t c = static_cast<size_t>(t + round) % clients.size();
+        const Client& profile = clients[c];
+        for (const std::string& sql : profile.statements) {
+          auto start = std::chrono::steady_clock::now();
+          Result<net::WireParseResponse> response =
+              fingerprints[c] == 0
+                  ? client.Parse(profile.spec, sql)
+                  : client.ParseByFingerprint(fingerprints[c], sql);
+          auto end = std::chrono::steady_clock::now();
+          if (!response.ok()) return;
+          if (response->ok()) fingerprints[c] = response->fingerprint;
+          Timing& timing = per_thread[static_cast<size_t>(t) *
+                                      clients.size() + c];
+          ++timing.requests;
+          timing.wire_us += static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  end - start)
+                  .count());
+          timing.server_us += response->server_micros;
+          timing.parse_us += response->parse_micros;
         }
       }
     });
   }
-  for (std::thread& worker : workers) worker.join();
+  for (std::thread& member : fleet) member.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (size_t c = 0; c < clients.size(); ++c) {
+      const Timing& timing = per_thread[static_cast<size_t>(t) *
+                                        clients.size() + c];
+      timings[c].requests += timing.requests;
+      timings[c].wire_us += timing.wire_us;
+      timings[c].server_us += timing.server_us;
+      timings[c].parse_us += timing.parse_us;
+    }
+  }
 
-  // One request per dialect, printed, to show the tailoring survives.
+  // One request per dialect over a fresh connection, printed, to show
+  // the tailoring survives the wire; then a cross-dialect check.
+  net::SqlClient probe;
+  if (!probe.Connect("127.0.0.1", server.port()).ok()) {
+    std::fprintf(stderr, "probe connect failed\n");
+    return 1;
+  }
   for (const Client& client : clients) {
     const std::string& sql = client.statements.front();
-    Result<ParseNode> tree = service.Parse(client.spec, sql);
+    Result<net::WireParseResponse> response = probe.Parse(client.spec, sql);
     std::printf("%-16s %s  %s\n", client.spec.name.c_str(),
-                tree.ok() ? "OK    " : "reject", sql.c_str());
+                response.ok() && response->ok() ? "OK    " : "reject",
+                sql.c_str());
   }
+  Result<net::WireParseResponse> cross =
+      probe.Parse(clients[1].spec, clients[0].statements[0]);
   std::printf("cross-dialect check: TinySQL query on the SCQL parser -> %s\n",
-              service.Accepts(clients[1].spec, clients[0].statements[0])
-                  ? "accepted (?)"
-                  : "rejected");
+              cross.ok() && cross->ok() ? "accepted (?)" : "rejected");
+
+  std::printf("\ntiming breakdown (mean us/request over the batch):\n");
+  std::printf("%-16s %8s %8s %10s %9s %9s\n", "dialect", "requests",
+              "wire", "turnaround", "parse", "overhead");
+  for (size_t c = 0; c < clients.size(); ++c) {
+    const Timing& timing = timings[c];
+    if (timing.requests == 0) continue;
+    double wire = static_cast<double>(timing.wire_us) / timing.requests;
+    double turnaround =
+        static_cast<double>(timing.server_us) / timing.requests;
+    double parse = static_cast<double>(timing.parse_us) / timing.requests;
+    std::printf("%-16s %8llu %8.1f %10.1f %9.1f %9.1f\n",
+                clients[c].spec.name.c_str(),
+                static_cast<unsigned long long>(timing.requests), wire,
+                turnaround, parse, wire - turnaround);
+  }
 
   std::printf("\n%s", service.StatsReport().c_str());
+
+  std::printf("\ndraining...\n");
+  server.Stop();
+  std::printf("drained: %zu open connections\n", server.open_connections());
   return 0;
 }

@@ -15,9 +15,10 @@ Per-result metric preference, highest wins:
     counters.statements_per_s > counters.mb_per_s > ns_per_op
 For the rate counters bigger is better; for ns_per_op smaller is better.
 
-Benchmarks present only on one side are reported but never fail the
-check (benchmarks get added and retired; the committed baseline is
-refreshed with --update whenever an intentional change lands).
+Benchmarks present only on one side are reported with visible NEW/GONE
+lines but never fail the check (benchmarks get added and retired; the
+committed baseline is refreshed with --update whenever an intentional
+change lands).
 
 Machine noise: wall-clock benchmarks on shared machines jitter tens of
 percent run-to-run, which would drown a 10% threshold. The bench
@@ -102,10 +103,15 @@ def compare_file(bench, current, baseline, threshold):
             minor.append(entry)
         print(f"  {marker:>10} {name}: {metric} {base_value:.1f} -> "
               f"{new_value:.1f} ({change * 100:+.1f}%)")
+    # One-sided benchmarks are loudly visible but never gate pass/fail:
+    # benchmarks get added and retired, and the committed baseline only
+    # catches up at the next --update.
     for name in only_current:
-        print(f"  new(no baseline) {name}")
+        print(f"  {'NEW':>10} {bench}/{name}: no committed baseline "
+              "(informational only; refresh with --update)")
     for name in only_baseline:
-        print(f"  baseline-only    {name}")
+        print(f"  {'GONE':>10} {bench}/{name}: in baseline but not in this "
+              "run (informational only; refresh with --update)")
     return major, minor
 
 
@@ -155,7 +161,8 @@ def main():
     for name in names:
         baseline_path = os.path.join(baseline_dir, name)
         if not os.path.exists(baseline_path):
-            print(f"{name}: no committed baseline, skipped")
+            print(f"{name}: NEW benchmark file, no committed baseline "
+                  "(informational only; commit one with --update)")
             continue
         print(f"{name}:")
         file_major, file_minor = compare_file(name, load_results(

@@ -6,7 +6,7 @@
 #   scripts/check.sh --fast     # tier-1 only (skip sanitizers + benches)
 #
 # Tier-1 (the roadmap gate): configure, build, and run the whole test
-# suite. The TSan pass rebuilds the service/obs test executables with
+# suite. The TSan pass rebuilds the service/obs/net test executables with
 # SQLPL_SANITIZE=thread in a separate build tree and runs exactly the
 # tests labeled `tsan-smoke` — the concurrency-sensitive serving and
 # observability suites (see tests/CMakeLists.txt). The ASan pass builds
@@ -38,7 +38,7 @@ fi
 echo "== tsan: build (SQLPL_SANITIZE=thread) =="
 cmake -B build-tsan -S . -D SQLPL_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target sqlpl_service_tests sqlpl_obs_tests
+  --target sqlpl_service_tests sqlpl_obs_tests sqlpl_net_tests
 
 echo "== tsan: ctest -L tsan-smoke =="
 (cd build-tsan && ctest -L tsan-smoke --output-on-failure -j "$JOBS")
@@ -46,7 +46,8 @@ echo "== tsan: ctest -L tsan-smoke =="
 echo "== asan: build (SQLPL_SANITIZE=address, SQLPL_FAULT_INJECT=ON) =="
 cmake -B build-asan -S . -D SQLPL_SANITIZE=address \
   -D SQLPL_FAULT_INJECT=ON > /dev/null
-cmake --build build-asan -j "$JOBS" --target sqlpl_service_tests
+cmake --build build-asan -j "$JOBS" \
+  --target sqlpl_service_tests sqlpl_net_tests
 
 echo "== asan: ctest -L service =="
 (cd build-asan && ctest -L service --output-on-failure -j "$JOBS")

@@ -1,0 +1,120 @@
+#include "sqlpl/net/http_sideband.h"
+
+#include <sys/socket.h>
+
+#include <cstdio>
+#include <utility>
+
+#include "sqlpl/net/socket_util.h"
+
+namespace sqlpl {
+namespace net {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+void WriteReply(int fd, const HttpReply& reply) {
+  char header[256];
+  int n = std::snprintf(header, sizeof(header),
+                        "HTTP/1.0 %d %s\r\n"
+                        "Content-Type: %s\r\n"
+                        "Content-Length: %zu\r\n"
+                        "Connection: close\r\n"
+                        "\r\n",
+                        reply.status, ReasonPhrase(reply.status),
+                        reply.content_type.c_str(), reply.body.size());
+  if (n <= 0) return;
+  if (!SendAll(fd, header, static_cast<size_t>(n)).ok()) return;
+  (void)SendAll(fd, reply.body.data(), reply.body.size());
+}
+
+}  // namespace
+
+HttpSideband::HttpSideband(Handler handler) : handler_(std::move(handler)) {}
+
+HttpSideband::~HttpSideband() { Stop(); }
+
+Status HttpSideband::Start(const std::string& address, uint16_t port) {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("sideband already started");
+  }
+  Result<int> fd = ListenTcp(address, port, /*backlog=*/16);
+  if (!fd.ok()) return fd.status();
+  Result<uint16_t> bound = LocalPort(*fd);
+  if (!bound.ok()) {
+    CloseFd(*fd);
+    return bound.status();
+  }
+  listen_fd_ = *fd;
+  port_ = *bound;
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpSideband::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Unblocks the accept() in the sideband thread; the fd itself is
+  // closed after the join so it cannot be recycled under the thread.
+  shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpSideband::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      continue;  // EINTR / transient accept failure
+    }
+    ServeOne(fd);
+    CloseFd(fd);
+  }
+}
+
+void HttpSideband::ServeOne(int fd) {
+  // Read until the end of the request headers, bounded in size and
+  // time; the request line is all we use.
+  std::string request;
+  char buf[1024];
+  Deadline read_deadline = Deadline::After(std::chrono::seconds(5));
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 8192) {
+    Result<size_t> n = RecvSome(fd, buf, sizeof(buf), read_deadline);
+    if (!n.ok() || *n == 0) return;
+    request.append(buf, *n);
+  }
+
+  size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) {
+    WriteReply(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+    return;
+  }
+  std::string_view line(request.data(), line_end);
+  if (line.substr(0, 4) != "GET ") {
+    WriteReply(fd, {405, "text/plain; charset=utf-8", "GET only\n"});
+    return;
+  }
+  std::string_view rest = line.substr(4);
+  size_t space = rest.find(' ');
+  std::string_view path = space == std::string_view::npos
+                              ? rest
+                              : rest.substr(0, space);
+  WriteReply(fd, handler_(path));
+}
+
+}  // namespace net
+}  // namespace sqlpl

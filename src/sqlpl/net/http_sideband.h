@@ -1,0 +1,63 @@
+#ifndef SQLPL_NET_HTTP_SIDEBAND_H_
+#define SQLPL_NET_HTTP_SIDEBAND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+namespace net {
+
+/// What a sideband handler returns for one GET.
+struct HttpReply {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// A deliberately tiny HTTP/1.0 server for the operational sideband of
+/// `SqlServer`: `GET /metrics` (Prometheus scrape) and `GET /healthz`
+/// (load-balancer probe). One accept thread, one request per
+/// connection, `Connection: close` — scrapes are rare and small, so
+/// the simplest correct server wins over an event-driven one here.
+/// Anything that is not a well-formed GET gets a 4xx/405 and the
+/// connection is closed either way.
+class HttpSideband {
+ public:
+  using Handler = std::function<HttpReply(std::string_view path)>;
+
+  explicit HttpSideband(Handler handler);
+  ~HttpSideband();
+
+  HttpSideband(const HttpSideband&) = delete;
+  HttpSideband& operator=(const HttpSideband&) = delete;
+
+  /// Binds `address:port` (0 = ephemeral) and starts the accept thread.
+  Status Start(const std::string& address, uint16_t port);
+
+  /// The bound port; 0 before `Start`.
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting and joins the thread. Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeOne(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace net
+}  // namespace sqlpl
+
+#endif  // SQLPL_NET_HTTP_SIDEBAND_H_

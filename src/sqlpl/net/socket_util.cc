@@ -1,0 +1,146 @@
+#include "sqlpl/net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+namespace sqlpl {
+namespace net {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + strerror(errno);
+}
+
+Status FillAddr(const std::string& address, uint16_t port,
+                sockaddr_in* addr) {
+  memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (inet_pton(AF_INET, address.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + address);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int> ListenTcp(const std::string& address, uint16_t port,
+                      int backlog) {
+  sockaddr_in addr;
+  SQLPL_RETURN_IF_ERROR(FillAddr(address, port, &addr));
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::Internal(Errno("socket"));
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Unavailable(Errno("bind"));
+    CloseFd(fd);
+    return status;
+  }
+  if (listen(fd, backlog) != 0) {
+    Status status = Status::Unavailable(Errno("listen"));
+    CloseFd(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::Internal(Errno("getsockname"));
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<int> ConnectTcp(const std::string& address, uint16_t port) {
+  sockaddr_in addr;
+  SQLPL_RETURN_IF_ERROR(FillAddr(address, port, &addr));
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::Internal(Errno("socket"));
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    Status status = Status::Unavailable(Errno("connect"));
+    CloseFd(fd);
+    return status;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::Internal(Errno("fcntl(O_NONBLOCK)"));
+  }
+  return Status::OK();
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  // POSIX leaves the fd state unspecified after EINTR from close;
+  // retrying risks closing a recycled descriptor. Close once.
+  close(fd);
+}
+
+Status SendAll(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    ssize_t n = send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(Errno("send"));
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> RecvSome(int fd, void* buf, size_t size, Deadline deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (!deadline.is_never()) {
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline.remaining());
+      if (remaining <= std::chrono::milliseconds::zero()) {
+        return Status::DeadlineExceeded("recv deadline passed");
+      }
+      // Round up so a sub-millisecond remainder still waits.
+      timeout_ms = static_cast<int>(remaining.count()) + 1;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(Errno("poll"));
+    }
+    if (ready == 0) {
+      return Status::DeadlineExceeded("recv deadline passed");
+    }
+    ssize_t n = recv(fd, buf, size, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::Unavailable(Errno("recv"));
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+}  // namespace net
+}  // namespace sqlpl

@@ -1,0 +1,48 @@
+#ifndef SQLPL_NET_SOCKET_UTIL_H_
+#define SQLPL_NET_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sqlpl/util/cancellation.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+namespace net {
+
+/// Thin POSIX socket helpers shared by the server, the client, and the
+/// HTTP sideband. All functions return `Status`/`Result` instead of
+/// errno; fds are plain ints owned by the caller (the server and client
+/// classes wrap them with RAII at their level).
+
+/// Creates a listening TCP socket bound to `address:port` with
+/// SO_REUSEADDR. `port` 0 binds an ephemeral port — read it back with
+/// `LocalPort`.
+Result<int> ListenTcp(const std::string& address, uint16_t port,
+                      int backlog = 128);
+
+/// The port a bound socket ended up on (resolves ephemeral binds).
+Result<uint16_t> LocalPort(int fd);
+
+/// Blocking TCP connect to `address:port`.
+Result<int> ConnectTcp(const std::string& address, uint16_t port);
+
+Status SetNonBlocking(int fd);
+
+/// EINTR-safe close; tolerates fd < 0.
+void CloseFd(int fd);
+
+/// Blocking-socket send of the whole buffer (EINTR/partial-write safe,
+/// SIGPIPE suppressed). Fails `kUnavailable` when the peer is gone.
+Status SendAll(int fd, const void* data, size_t size);
+
+/// Blocking-socket receive of at least one byte, waiting at most until
+/// `deadline` (poll + recv). Returns 0 on orderly peer shutdown;
+/// `kDeadlineExceeded` when the deadline passes first; `kUnavailable`
+/// on connection errors.
+Result<size_t> RecvSome(int fd, void* buf, size_t size, Deadline deadline);
+
+}  // namespace net
+}  // namespace sqlpl
+
+#endif  // SQLPL_NET_SOCKET_UTIL_H_

@@ -1,0 +1,106 @@
+#include "sqlpl/net/sql_client.h"
+
+#include <utility>
+
+#include "sqlpl/net/socket_util.h"
+
+namespace sqlpl {
+namespace net {
+
+SqlClient::~SqlClient() { Close(); }
+
+Status SqlClient::Connect(const std::string& address, uint16_t port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  Result<int> fd = ConnectTcp(address, port);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  in_.clear();
+  in_off_ = 0;
+  return Status::OK();
+}
+
+void SqlClient::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+  in_.clear();
+  in_off_ = 0;
+}
+
+Result<WireParseResponse> SqlClient::Parse(const DialectSpec& spec,
+                                           std::string_view sql,
+                                           uint32_t deadline_ms,
+                                           bool want_tree, Deadline wait) {
+  WireParseRequest request;
+  request.has_spec = true;
+  request.spec = spec;
+  request.sql = std::string(sql);
+  request.deadline_ms = deadline_ms;
+  request.want_tree = want_tree;
+  return Call(std::move(request), wait);
+}
+
+Result<WireParseResponse> SqlClient::ParseByFingerprint(
+    uint64_t fingerprint, std::string_view sql, uint32_t deadline_ms,
+    bool want_tree, Deadline wait) {
+  WireParseRequest request;
+  request.has_spec = false;
+  request.fingerprint = fingerprint;
+  request.sql = std::string(sql);
+  request.deadline_ms = deadline_ms;
+  request.want_tree = want_tree;
+  return Call(std::move(request), wait);
+}
+
+Status SqlClient::Send(WireParseRequest& request) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  if (request.request_id == 0) request.request_id = next_request_id_++;
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+  return SendAll(fd_, frame.data(), frame.size());
+}
+
+Result<WireParseResponse> SqlClient::Receive(Deadline wait) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  for (;;) {
+    std::span<const uint8_t> unread(in_.data() + in_off_,
+                                    in_.size() - in_off_);
+    Result<size_t> frame_size =
+        CompleteFrameSize(unread, kDefaultMaxFrameBytes);
+    if (!frame_size.ok()) return frame_size.status();
+    if (*frame_size > 0) {
+      WireParseResponse response;
+      Status decoded = DecodeResponsePayload(
+          unread.subspan(kFrameHeaderBytes,
+                         *frame_size - kFrameHeaderBytes),
+          &response);
+      in_off_ += *frame_size;
+      if (in_off_ == in_.size()) {
+        in_.clear();
+        in_off_ = 0;
+      }
+      if (!decoded.ok()) return decoded;
+      return response;
+    }
+    char buf[16 * 1024];
+    Result<size_t> n = RecvSome(fd_, buf, sizeof(buf), wait);
+    if (!n.ok()) return n.status();
+    if (*n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    in_.insert(in_.end(), buf, buf + *n);
+  }
+}
+
+Result<WireParseResponse> SqlClient::Call(WireParseRequest request,
+                                          Deadline wait) {
+  SQLPL_RETURN_IF_ERROR(Send(request));
+  Result<WireParseResponse> response = Receive(wait);
+  if (response.ok() && response->request_id != request.request_id) {
+    return Status::Internal("response for a different request id (pipelined "
+                            "reads must use Send/Receive)");
+  }
+  return response;
+}
+
+}  // namespace net
+}  // namespace sqlpl

@@ -1,0 +1,95 @@
+#ifndef SQLPL_NET_SQL_CLIENT_H_
+#define SQLPL_NET_SQL_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sqlpl/net/wire.h"
+#include "sqlpl/util/cancellation.h"
+
+namespace sqlpl {
+namespace net {
+
+/// Blocking client for the `SqlServer` wire protocol. One TCP
+/// connection, synchronous by default (`Parse` = send one frame, wait
+/// for its response), with explicit `Send`/`Receive` halves for callers
+/// that pipeline several requests before reading replies.
+///
+/// Dialect identity follows the protocol's two forms: `Parse` ships the
+/// spec inline (teaching it to the server), `ParseByFingerprint` sends
+/// the 8-byte fingerprint of a spec the server has already seen. Every
+/// response echoes the dialect fingerprint, so a client can switch
+/// forms after its first call.
+///
+/// Not thread-safe: one `SqlClient` per thread (connections are cheap;
+/// the server multiplexes).
+class SqlClient {
+ public:
+  SqlClient() = default;
+  ~SqlClient();
+
+  SqlClient(const SqlClient&) = delete;
+  SqlClient& operator=(const SqlClient&) = delete;
+
+  /// Movable: a helper can build a connected client and hand it over.
+  SqlClient(SqlClient&& other) noexcept { *this = std::move(other); }
+  SqlClient& operator=(SqlClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+      next_request_id_ = other.next_request_id_;
+      in_ = std::move(other.in_);
+      in_off_ = other.in_off_;
+      other.in_.clear();
+      other.in_off_ = 0;
+    }
+    return *this;
+  }
+
+  Status Connect(const std::string& address, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One synchronous parse with the spec inline. `deadline_ms` is the
+  /// server-side budget carried in the frame (0 = none); the client
+  /// itself waits under `wait` (default: forever) for the reply.
+  Result<WireParseResponse> Parse(const DialectSpec& spec,
+                                  std::string_view sql,
+                                  uint32_t deadline_ms = 0,
+                                  bool want_tree = true,
+                                  Deadline wait = Deadline::Never());
+
+  /// Same, with fingerprint-only dialect identity.
+  Result<WireParseResponse> ParseByFingerprint(uint64_t fingerprint,
+                                               std::string_view sql,
+                                               uint32_t deadline_ms = 0,
+                                               bool want_tree = true,
+                                               Deadline wait =
+                                                   Deadline::Never());
+
+  /// Pipelining half 1: frame and send `request`. A zero `request_id`
+  /// is replaced with an auto-incrementing one (returned via the
+  /// mutable field).
+  Status Send(WireParseRequest& request);
+
+  /// Pipelining half 2: the next response frame off the wire, in server
+  /// completion order — match `request_id` yourself when pipelining.
+  Result<WireParseResponse> Receive(Deadline wait = Deadline::Never());
+
+ private:
+  Result<WireParseResponse> Call(WireParseRequest request, Deadline wait);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::vector<uint8_t> in_;
+  size_t in_off_ = 0;
+};
+
+}  // namespace net
+}  // namespace sqlpl
+
+#endif  // SQLPL_NET_SQL_CLIENT_H_

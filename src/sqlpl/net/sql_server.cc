@@ -1,0 +1,741 @@
+#include "sqlpl/net/sql_server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "sqlpl/net/socket_util.h"
+#include "sqlpl/service/spec_fingerprint.h"
+
+namespace sqlpl {
+namespace net {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+/// Compact the input buffer once this much consumed prefix accumulates.
+constexpr size_t kCompactThreshold = 256 * 1024;
+
+uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+/// Per-connection state. The input side (`in`, `in_off`) belongs to the
+/// connection's event-loop thread exclusively. The output side and the
+/// epoll-interest flags are shared with worker threads and guarded by
+/// `mu`; `fd` is closed only by the loop thread, with writers checking
+/// `closed` under `mu` before touching it.
+struct SqlServer::Connection {
+  int fd = -1;
+  EventLoop* loop = nullptr;
+
+  std::vector<uint8_t> in;
+  size_t in_off = 0;
+
+  std::mutex mu;
+  std::string out;
+  size_t out_off = 0;
+  /// EPOLLOUT currently armed.
+  bool want_out = false;
+  /// EPOLLIN withdrawn: the peer reads too slowly and pending response
+  /// bytes crossed the backpressure threshold.
+  bool paused = false;
+  /// A worker asked the loop thread to disconnect (write-buffer
+  /// overflow or a dead socket discovered mid-flush).
+  bool close_requested = false;
+  bool closed = false;
+};
+
+/// One epoll loop. `conns` is owned by the loop thread; `pending`
+/// carries cross-thread connection handoffs from the acceptor.
+struct SqlServer::EventLoop {
+  size_t index = 0;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  std::mutex mu;
+  std::vector<std::shared_ptr<Connection>> pending;
+};
+
+/// Re-arms the fd's epoll interest from the connection's flags.
+/// EPOLL_CTL_MOD re-checks readiness even in edge-triggered mode, so
+/// re-adding EPOLLIN after a pause immediately redelivers any
+/// kernel-buffered input.
+void SqlServer::UpdateInterestLocked(Connection* conn) {
+  if (conn->closed || conn->fd < 0) return;
+  epoll_event ev{};
+  ev.events = EPOLLET | EPOLLRDHUP;
+  if (!conn->paused) ev.events |= EPOLLIN;
+  if (conn->want_out) ev.events |= EPOLLOUT;
+  ev.data.fd = conn->fd;
+  epoll_ctl(conn->loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+bool SqlServer::FlushLocked(Connection* conn) {
+  while (conn->out_off < conn->out.size()) {
+    ssize_t n = send(conn->fd, conn->out.data() + conn->out_off,
+                     conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_off += static_cast<size_t>(n);
+      bytes_out_->Increment(static_cast<uint64_t>(n));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;
+  }
+  if (conn->out_off == conn->out.size()) {
+    conn->out.clear();
+    conn->out_off = 0;
+  }
+  return true;
+}
+
+size_t SqlServer::PendingOutLocked(const Connection* conn) {
+  return conn->out.size() - conn->out_off;
+}
+
+SqlServer::SqlServer(DialectService* service, SqlServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  if (options_.num_event_loops == 0) options_.num_event_loops = 1;
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  obs::MetricsRegistry& reg = service_->metrics();
+  connections_gauge_ =
+      reg.GetGauge("sqlpl_net_connections", {}, "Open wire connections");
+  connections_total_ = reg.GetCounter("sqlpl_net_connections_total", {},
+                                      "Wire connections accepted");
+  bytes_in_ = reg.GetCounter("sqlpl_net_bytes_total", {{"direction", "in"}},
+                             "Wire bytes moved, by direction");
+  bytes_out_ = reg.GetCounter("sqlpl_net_bytes_total", {{"direction", "out"}},
+                              "Wire bytes moved, by direction");
+  frames_in_ = reg.GetCounter("sqlpl_net_frames_total", {{"direction", "in"}},
+                              "Wire frames moved, by direction");
+  frames_out_ = reg.GetCounter("sqlpl_net_frames_total",
+                               {{"direction", "out"}},
+                               "Wire frames moved, by direction");
+  decode_errors_ = reg.GetCounter("sqlpl_net_frame_decode_errors_total", {},
+                                  "Frames rejected by the wire decoder");
+  draining_refusals_ = reg.GetCounter(
+      "sqlpl_net_draining_refusals_total", {},
+      "Frames refused with unavailable while the server drained");
+  backpressure_pauses_ = reg.GetCounter(
+      "sqlpl_net_backpressure_pauses_total", {},
+      "Times a slow-reading connection had its input paused");
+  overflow_disconnects_ = reg.GetCounter(
+      "sqlpl_net_overflow_disconnects_total", {},
+      "Connections dropped for exceeding the write-buffer limit");
+  // Shared with ServiceStats (same family in the same registry), so
+  // wire-level refusals land in the service snapshot and its Markdown
+  // report.
+  unavailable_total_ = reg.GetCounter(
+      "sqlpl_requests_unavailable_total", {},
+      "Requests refused with unavailable (draining server or "
+      "connection-level failure)");
+  request_latency_ = reg.GetHistogram(
+      "sqlpl_net_request_micros", {},
+      "Wire request turnaround: frame decoded -> response enqueued (µs)");
+}
+
+SqlServer::~SqlServer() { Stop(); }
+
+uint16_t SqlServer::metrics_port() const {
+  return sideband_ ? sideband_->port() : 0;
+}
+
+int64_t SqlServer::open_connections() const {
+  return connections_gauge_->Value();
+}
+
+Status SqlServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition(
+        "SqlServer is single-use: already started");
+  }
+  Result<int> listen = ListenTcp(options_.bind_address, options_.port);
+  if (!listen.ok()) return listen.status();
+  listen_fd_ = *listen;
+  Result<uint16_t> bound = LocalPort(listen_fd_);
+  if (!bound.ok()) return bound.status();
+  port_ = *bound;
+  SQLPL_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+
+  // The worker pool is deliberately uninstrumented: the service's own
+  // pool already feeds the sqlpl_pool_* families in this registry, and
+  // two pools writing one gauge would render both meaningless.
+  ThreadPoolOptions pool_options;
+  pool_options.num_threads = options_.num_workers;
+  workers_ = std::make_unique<ThreadPool>(pool_options);
+
+  loops_.clear();
+  for (size_t i = 0; i < options_.num_event_loops; ++i) {
+    auto loop = std::make_unique<EventLoop>();
+    loop->index = i;
+    loop->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    loop->wake_fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (loop->epoll_fd < 0 || loop->wake_fd < 0) {
+      return Status::Internal("epoll/eventfd creation failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake_fd;
+    epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev);
+    loops_.push_back(std::move(loop));
+  }
+  // Loop 0 owns the acceptor. Level-triggered is right for a listener:
+  // AcceptAll drains the backlog anyway, and a missed edge would
+  // strand connections.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(loops_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+
+  for (auto& loop : loops_) {
+    EventLoop* raw = loop.get();
+    loop->thread = std::thread([this, raw] { RunLoop(raw); });
+  }
+
+  if (options_.enable_metrics_sideband) {
+    sideband_ = std::make_unique<HttpSideband>([this](std::string_view path) {
+      HttpReply reply;
+      if (path == "/healthz") {
+        if (draining()) {
+          reply.status = 503;
+          reply.body = "draining\n";
+        } else {
+          reply.body = "ok\n";
+        }
+      } else if (path == "/metrics") {
+        reply.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        reply.body = service_->MetricsPrometheus();
+      } else {
+        reply.status = 404;
+        reply.body = "not found\n";
+      }
+      return reply;
+    });
+    SQLPL_RETURN_IF_ERROR(
+        sideband_->Start(options_.bind_address, options_.metrics_port));
+  }
+  return Status::OK();
+}
+
+void SqlServer::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!started_.load(std::memory_order_relaxed) ||
+      stop_loops_.load(std::memory_order_relaxed)) {
+    return;
+  }
+
+  // Phase 1: stop taking work. The listener closes (loop 0, on
+  // wakeup), /healthz flips to 503, and every frame decoded from here
+  // on is refused with kUnavailable.
+  draining_.store(true, std::memory_order_relaxed);
+  for (auto& loop : loops_) WakeLoop(loop.get());
+
+  // Phase 2: let already-admitted requests finish under the drain
+  // deadline, then cancel the stragglers through the server-wide
+  // CancelSource (the parse loops hit cooperative checkpoints).
+  {
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    inflight_cv_.wait_for(lock, options_.drain_deadline,
+                          [this] { return inflight_ == 0; });
+    if (inflight_ != 0) {
+      drain_cancel_.RequestCancel();
+      inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+    }
+  }
+  if (workers_) workers_->Shutdown();
+
+  // Phase 3: tear down I/O. Loops flush what they can on the way out,
+  // close their connections, and exit.
+  stop_loops_.store(true, std::memory_order_relaxed);
+  for (auto& loop : loops_) WakeLoop(loop.get());
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+    CloseFd(loop->wake_fd);
+    CloseFd(loop->epoll_fd);
+  }
+  // Loop 0 normally closes the listener when it sees draining_; cover
+  // the case where it never woke (loops are joined, so no race).
+  if (listen_fd_ >= 0) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (sideband_) sideband_->Stop();
+}
+
+void SqlServer::WakeLoop(EventLoop* loop) {
+  uint64_t one = 1;
+  ssize_t ignored = write(loop->wake_fd, &one, sizeof(one));
+  (void)ignored;
+}
+
+void SqlServer::RunLoop(EventLoop* loop) {
+  epoll_event events[64];
+  while (!stop_loops_.load(std::memory_order_relaxed)) {
+    int n = epoll_wait(loop->epoll_fd, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bool woke = false;
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      uint32_t mask = events[i].events;
+      if (fd == loop->wake_fd) {
+        uint64_t drained;
+        while (read(loop->wake_fd, &drained, sizeof(drained)) > 0) {
+        }
+        woke = true;
+        continue;
+      }
+      if (loop->index == 0 && fd == listen_fd_) {
+        AcceptAll(loop);
+        continue;
+      }
+      auto it = loop->conns.find(fd);
+      if (it == loop->conns.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+      if (mask & EPOLLOUT) HandleWritable(loop, conn);
+      if (mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+        HandleReadable(loop, conn);
+      }
+    }
+    if (woke) HandleWakeup(loop);
+  }
+
+  // Exit path: best-effort flush of completed responses, then close
+  // everything this loop owns.
+  std::vector<std::shared_ptr<Connection>> remaining;
+  remaining.reserve(loop->conns.size());
+  for (auto& [fd, conn] : loop->conns) remaining.push_back(conn);
+  for (auto& conn : remaining) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->closed) (void)FlushLocked(conn.get());
+    }
+    CloseConnection(loop, conn);
+  }
+}
+
+void SqlServer::AcceptAll(EventLoop* loop) {
+  for (;;) {
+    int fd = accept4(listen_fd_, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN, or the listener is gone
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      CloseFd(fd);
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    size_t target =
+        next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+    EventLoop* owner = loops_[target].get();
+    conn->loop = owner;
+    connections_total_->Increment();
+    connections_gauge_->Add(1);
+    if (owner == loop) {
+      RegisterConnection(owner, conn);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(owner->mu);
+        owner->pending.push_back(conn);
+      }
+      WakeLoop(owner);
+    }
+  }
+}
+
+void SqlServer::RegisterConnection(EventLoop* loop,
+                                   const std::shared_ptr<Connection>& conn) {
+  loop->conns[conn->fd] = conn;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+  ev.data.fd = conn->fd;
+  epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, conn->fd, &ev);
+}
+
+void SqlServer::HandleWakeup(EventLoop* loop) {
+  // Adopt connections handed over by the acceptor.
+  std::vector<std::shared_ptr<Connection>> adds;
+  {
+    std::lock_guard<std::mutex> lock(loop->mu);
+    adds.swap(loop->pending);
+  }
+  for (auto& conn : adds) RegisterConnection(loop, conn);
+
+  // Draining: loop 0 retires the acceptor.
+  if (loop->index == 0 && draining_.load(std::memory_order_relaxed) &&
+      listen_fd_ >= 0) {
+    epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Worker-requested closes and backpressure resumes.
+  std::vector<std::shared_ptr<Connection>> to_close;
+  std::vector<std::shared_ptr<Connection>> to_resume;
+  for (auto& [fd, conn] : loop->conns) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) continue;
+    if (conn->close_requested) {
+      to_close.push_back(conn);
+    } else if (conn->paused &&
+               PendingOutLocked(conn.get()) <=
+                   options_.write_backpressure_bytes / 2) {
+      conn->paused = false;
+      UpdateInterestLocked(conn.get());
+      to_resume.push_back(conn);
+    }
+  }
+  for (auto& conn : to_close) CloseConnection(loop, conn);
+  // Frames already buffered in user space saw the pause; re-run the
+  // decoder now that the connection may make progress again.
+  for (auto& conn : to_resume) ProcessInput(loop, conn);
+}
+
+void SqlServer::HandleReadable(EventLoop* loop,
+                               const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->closed || conn->close_requested || conn->paused) break;
+    }
+    size_t old_size = conn->in.size();
+    conn->in.resize(old_size + kReadChunk);
+    ssize_t n = recv(conn->fd, conn->in.data() + old_size, kReadChunk, 0);
+    if (n > 0) {
+      conn->in.resize(old_size + static_cast<size_t>(n));
+      bytes_in_->Increment(static_cast<uint64_t>(n));
+      continue;
+    }
+    conn->in.resize(old_size);
+    if (n == 0) {
+      CloseConnection(loop, conn);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(loop, conn);
+    return;
+  }
+  ProcessInput(loop, conn);
+}
+
+void SqlServer::HandleWritable(EventLoop* loop,
+                               const std::shared_ptr<Connection>& conn) {
+  bool resumed = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    if (!FlushLocked(conn.get())) {
+      conn->close_requested = true;
+    } else {
+      size_t pending = PendingOutLocked(conn.get());
+      bool new_want = pending > 0;
+      bool changed = new_want != conn->want_out;
+      conn->want_out = new_want;
+      if (conn->paused && pending <= options_.write_backpressure_bytes / 2) {
+        conn->paused = false;
+        resumed = true;
+        changed = true;
+      }
+      if (changed) UpdateInterestLocked(conn.get());
+    }
+  }
+  bool close_now;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    close_now = conn->close_requested && !conn->closed;
+  }
+  if (close_now) {
+    CloseConnection(loop, conn);
+    return;
+  }
+  if (resumed) ProcessInput(loop, conn);
+}
+
+void SqlServer::ProcessInput(EventLoop* loop,
+                             const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->closed || conn->close_requested || conn->paused) break;
+    }
+    std::span<const uint8_t> unread(conn->in.data() + conn->in_off,
+                                    conn->in.size() - conn->in_off);
+    Result<size_t> frame_size =
+        CompleteFrameSize(unread, options_.max_frame_bytes);
+    if (!frame_size.ok()) {
+      // Oversized declaration: the stream cannot be resynchronized.
+      decode_errors_->Increment();
+      CloseConnection(loop, conn);
+      return;
+    }
+    if (*frame_size == 0) break;  // incomplete: wait for more bytes
+
+    std::span<const uint8_t> payload =
+        unread.subspan(kFrameHeaderBytes, *frame_size - kFrameHeaderBytes);
+    conn->in_off += *frame_size;
+    frames_in_->Increment();
+
+    WireParseRequest request;
+    Status decoded = DecodeRequestPayload(payload, &request);
+    if (!decoded.ok()) {
+      // The frame boundary held, so we can still answer before
+      // disconnecting the (broken) client.
+      decode_errors_->Increment();
+      RefuseFrame(conn, request.request_id, decoded);
+      CloseConnection(loop, conn);
+      return;
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      draining_refusals_->Increment();
+      unavailable_total_->Increment();
+      RefuseFrame(conn, request.request_id,
+                  Status::Unavailable("server is draining"));
+      continue;
+    }
+    DispatchFrame(conn, std::move(request));
+  }
+
+  if (conn->in_off == conn->in.size()) {
+    conn->in.clear();
+    conn->in_off = 0;
+  } else if (conn->in_off > kCompactThreshold) {
+    conn->in.erase(conn->in.begin(),
+                   conn->in.begin() + static_cast<ptrdiff_t>(conn->in_off));
+    conn->in_off = 0;
+  }
+}
+
+void SqlServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                              WireParseRequest request) {
+  // The client's millisecond budget becomes absolute *here*, at frame
+  // receipt, so queueing and cache resolution spend the same budget the
+  // client metered out — not a fresh one per stage.
+  Deadline deadline =
+      request.deadline_ms > 0
+          ? Deadline::After(std::chrono::milliseconds(request.deadline_ms))
+          : Deadline::Never();
+  auto received_at = std::chrono::steady_clock::now();
+
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_;
+  }
+  Status submitted = workers_->Submit(
+      [this, conn, request = std::move(request), deadline, received_at] {
+        HandleRequest(conn, request, deadline, received_at);
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        if (--inflight_ == 0) inflight_cv_.notify_all();
+      },
+      Deadline::Never());
+  if (!submitted.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      if (--inflight_ == 0) inflight_cv_.notify_all();
+    }
+    unavailable_total_->Increment();
+    RefuseFrame(conn, request.request_id,
+                Status::Unavailable("server worker pool is stopping"));
+  }
+}
+
+void SqlServer::HandleRequest(const std::shared_ptr<Connection>& conn,
+                              const WireParseRequest& request,
+                              Deadline deadline,
+                              std::chrono::steady_clock::time_point
+                                  received_at) {
+  // Resolve the dialect: inline specs are fingerprinted and remembered;
+  // fingerprint-only requests must match a spec some client sent
+  // earlier.
+  std::shared_ptr<const DialectSpec> spec;
+  uint64_t fingerprint;
+  if (request.has_spec) {
+    fingerprint = FingerprintSpec(request.spec).value;
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    std::shared_ptr<const DialectSpec>& slot = specs_[fingerprint];
+    if (!slot) slot = std::make_shared<const DialectSpec>(request.spec);
+    spec = slot;
+  } else {
+    fingerprint = request.fingerprint;
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    auto it = specs_.find(fingerprint);
+    if (it != specs_.end()) spec = it->second;
+  }
+
+  WireParseResponse wire;
+  wire.request_id = request.request_id;
+  wire.fingerprint = fingerprint;
+  if (!spec) {
+    wire.status = StatusCode::kNotFound;
+    wire.body = "unknown dialect fingerprint " +
+                SpecFingerprint{fingerprint}.ToString() +
+                " (send the spec inline once first)";
+  } else {
+    ParseRequest service_request;
+    service_request.spec = spec.get();
+    service_request.sql = request.sql;
+    service_request.deadline = deadline;
+    service_request.cancel = drain_cancel_.token();
+    service_request.want_tree = request.want_tree;
+    ParseResponse response = service_->Parse(service_request);
+
+    wire.status = response.status().code();
+    wire.cache_disposition = response.cache_disposition;
+    wire.parse_micros = static_cast<uint32_t>(response.parse_micros);
+    wire.total_micros = static_cast<uint32_t>(response.total_micros);
+    if (response.ok()) {
+      if (request.want_tree) wire.body = response.result.value().ToSExpr();
+    } else {
+      wire.body = response.status().message();
+    }
+  }
+  uint64_t turnaround = MicrosSince(received_at);
+  wire.server_micros = static_cast<uint32_t>(
+      std::min<uint64_t>(turnaround, UINT32_MAX));
+  QueueResponse(conn, wire);
+  request_latency_->Record(turnaround);
+}
+
+void SqlServer::RefuseFrame(const std::shared_ptr<Connection>& conn,
+                            uint64_t request_id, const Status& status) {
+  WireParseResponse wire;
+  wire.request_id = request_id;
+  wire.status = status.code();
+  wire.body = status.message();
+  QueueResponse(conn, wire);
+}
+
+void SqlServer::QueueResponse(const std::shared_ptr<Connection>& conn,
+                              const WireParseResponse& response) {
+  std::string frame;
+  EncodeResponseFrame(response, &frame);
+
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed || conn->close_requested) return;
+    conn->out.append(frame);
+    // Counted at enqueue, before any byte reaches the wire: a client
+    // that has read the whole reply must already see it in the counter.
+    frames_out_->Increment();
+    if (PendingOutLocked(conn.get()) > options_.write_buffer_limit) {
+      // The peer stopped reading entirely; buffering further responses
+      // would trade one slow client for server memory.
+      overflow_disconnects_->Increment();
+      conn->close_requested = true;
+      wake = true;
+    } else if (!FlushLocked(conn.get())) {
+      conn->close_requested = true;
+      wake = true;
+    } else {
+      size_t pending = PendingOutLocked(conn.get());
+      bool changed = false;
+      if (pending > 0 && !conn->want_out) {
+        conn->want_out = true;
+        changed = true;
+      }
+      if (!conn->paused && pending > options_.write_backpressure_bytes) {
+        conn->paused = true;
+        backpressure_pauses_->Increment();
+        changed = true;
+      }
+      if (changed) UpdateInterestLocked(conn.get());
+      // Fully drained while paused: only the loop thread may resume
+      // (it must also re-run the decoder over buffered input).
+      if (conn->paused && pending == 0) wake = true;
+    }
+  }
+  if (wake) WakeLoop(conn->loop);
+}
+
+void SqlServer::CloseConnection(EventLoop* loop,
+                                const std::shared_ptr<Connection>& conn) {
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    fd = conn->fd;
+    conn->fd = -1;
+  }
+  if (fd >= 0) {
+    epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    CloseFd(fd);
+    loop->conns.erase(fd);
+  }
+  connections_gauge_->Add(-1);
+}
+
+// --- SIGTERM -> Stop() ---------------------------------------------
+
+namespace {
+
+std::atomic<SqlServer*> g_sigterm_target{nullptr};
+int g_sigterm_pipe[2] = {-1, -1};
+std::once_flag g_sigterm_once;
+
+// Async-signal-safe: one write to a pre-opened pipe.
+void SigtermSignalHandler(int) {
+  char byte = 1;
+  ssize_t ignored = write(g_sigterm_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+}  // namespace
+
+void SqlServer::InstallSigtermStop(SqlServer* server) {
+  g_sigterm_target.store(server, std::memory_order_relaxed);
+  if (server == nullptr) {
+    signal(SIGTERM, SIG_DFL);
+    return;
+  }
+  std::call_once(g_sigterm_once, [] {
+    if (pipe2(g_sigterm_pipe, O_CLOEXEC) != 0) return;
+    // The drain runs on this watcher thread, never in signal context.
+    // It lives for the rest of the process — SIGTERM ends it anyway.
+    std::thread([] {
+      char byte;
+      for (;;) {
+        ssize_t n = read(g_sigterm_pipe[0], &byte, 1);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) return;
+        if (SqlServer* target =
+                g_sigterm_target.load(std::memory_order_relaxed)) {
+          target->Stop();
+        }
+      }
+    }).detach();
+  });
+  struct sigaction action {};
+  action.sa_handler = SigtermSignalHandler;
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+}  // namespace net
+}  // namespace sqlpl

@@ -1,0 +1,205 @@
+#ifndef SQLPL_NET_SQL_SERVER_H_
+#define SQLPL_NET_SQL_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sqlpl/net/http_sideband.h"
+#include "sqlpl/net/wire.h"
+#include "sqlpl/service/dialect_service.h"
+#include "sqlpl/service/thread_pool.h"
+#include "sqlpl/util/cancellation.h"
+
+namespace sqlpl {
+namespace net {
+
+struct SqlServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back with `port()`.
+  uint16_t port = 0;
+  /// Event-loop (I/O) threads. Loop 0 additionally owns the acceptor.
+  size_t num_event_loops = 2;
+  /// Worker threads running the actual parses, so a slow build or a
+  /// long statement never stalls frame I/O for other connections.
+  size_t num_workers = 4;
+  /// Protocol limit on one frame's payload; a peer declaring more is
+  /// disconnected (see wire.h).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Per-connection write backpressure: above `write_backpressure_bytes`
+  /// of unflushed response bytes the server stops *reading* from that
+  /// connection (so a slow reader throttles its own request stream);
+  /// above `write_buffer_limit` it is forcibly disconnected instead of
+  /// buffering without bound.
+  size_t write_backpressure_bytes = 256 * 1024;
+  size_t write_buffer_limit = 4 * 1024 * 1024;
+  /// Graceful-drain budget of `Stop()`: how long in-flight requests may
+  /// run before the server cancels them via its `CancelSource`.
+  std::chrono::milliseconds drain_deadline{2000};
+  /// HTTP/1.0 sideband serving `GET /metrics` and `GET /healthz`.
+  /// Disabled by default; when enabled, port 0 binds ephemerally (read
+  /// back with `metrics_port()`).
+  bool enable_metrics_sideband = false;
+  uint16_t metrics_port = 0;
+};
+
+/// The network front-end of a `DialectService` (docs/NETWORK.md): a
+/// non-blocking epoll listener speaking the length-prefixed framed
+/// protocol of wire.h.
+///
+/// ## Architecture
+///
+///   - One acceptor (on event loop 0) distributes connections
+///     round-robin over `num_event_loops` epoll loops (edge-triggered).
+///   - Event loops only move bytes and split frames; every decoded
+///     `ParseRequest` frame is handed to a worker pool that runs the
+///     PR 3 request lifecycle (`DialectService::Parse`) and enqueues
+///     the encoded response back on the connection.
+///   - The client's `deadline_ms` budget becomes an absolute `Deadline`
+///     at frame receipt and propagates through admission, cache
+///     resolution, and the parse loops; admission sheds come back as
+///     `kResourceExhausted` frames, lifecycle expiries as
+///     `kDeadlineExceeded`.
+///
+/// ## Graceful drain
+///
+/// `Stop()` (or SIGTERM via `InstallSigtermStop`) flips the server into
+/// draining: the listener closes, `/healthz` turns 503, new frames are
+/// refused with `kUnavailable`, and in-flight requests get
+/// `drain_deadline` to finish before the server-wide `CancelSource`
+/// cancels them. Event-loop and worker threads are joined before
+/// `Stop()` returns.
+///
+/// All per-connection/per-frame instruments (`sqlpl_net_*`) land in the
+/// service's metrics registry, so one `/metrics` exposition covers the
+/// wire, the service, the cache, and the pool.
+class SqlServer {
+ public:
+  /// `service` must outlive the server.
+  SqlServer(DialectService* service, SqlServerOptions options = {});
+  ~SqlServer();
+
+  SqlServer(const SqlServer&) = delete;
+  SqlServer& operator=(const SqlServer&) = delete;
+
+  /// Binds, listens, and starts the event-loop and worker threads.
+  Status Start();
+
+  /// Graceful drain (see class comment). Idempotent; blocks until all
+  /// threads are joined.
+  void Stop();
+
+  /// Installs a process-wide SIGTERM handler that `Stop()`s this
+  /// server (one server per process; passing nullptr uninstalls).
+  /// The handler only sets a flag — the drain itself runs on a
+  /// dedicated thread the flag wakes, keeping the signal context
+  /// async-signal-safe.
+  static void InstallSigtermStop(SqlServer* server);
+
+  /// The bound data port; 0 before `Start`.
+  uint16_t port() const { return port_; }
+  /// The bound sideband port; 0 when the sideband is disabled.
+  uint16_t metrics_port() const;
+
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Currently open data connections (the `sqlpl_net_connections`
+  /// gauge; exposed directly for tests).
+  int64_t open_connections() const;
+
+  const SqlServerOptions& options() const { return options_; }
+
+ private:
+  struct Connection;
+  struct EventLoop;
+
+  void RunLoop(EventLoop* loop);
+  void AcceptAll(EventLoop* loop);
+  void RegisterConnection(EventLoop* loop,
+                          const std::shared_ptr<Connection>& conn);
+  void HandleReadable(EventLoop* loop, const std::shared_ptr<Connection>& conn);
+  void HandleWritable(EventLoop* loop, const std::shared_ptr<Connection>& conn);
+  void ProcessInput(EventLoop* loop, const std::shared_ptr<Connection>& conn);
+  void DispatchFrame(const std::shared_ptr<Connection>& conn,
+                     WireParseRequest request);
+  void HandleRequest(const std::shared_ptr<Connection>& conn,
+                     const WireParseRequest& request, Deadline deadline,
+                     std::chrono::steady_clock::time_point received_at);
+  void QueueResponse(const std::shared_ptr<Connection>& conn,
+                     const WireParseResponse& response);
+  void CloseConnection(EventLoop* loop, const std::shared_ptr<Connection>& conn);
+  void HandleWakeup(EventLoop* loop);
+  void WakeLoop(EventLoop* loop);
+
+  /// Helpers over the connection's `mu`-guarded output side; all three
+  /// require `conn->mu` to be held.
+  static void UpdateInterestLocked(Connection* conn);
+  static size_t PendingOutLocked(const Connection* conn);
+  /// Writes as much pending output as the socket takes right now;
+  /// returns false when the connection is dead.
+  bool FlushLocked(Connection* conn);
+
+  /// Sends `status` as a response frame for `request_id` (the decode
+  /// path's error/refusal answer; does not count as an in-flight
+  /// request).
+  void RefuseFrame(const std::shared_ptr<Connection>& conn,
+                   uint64_t request_id, const Status& status);
+
+  DialectService* service_;
+  SqlServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::unique_ptr<HttpSideband> sideband_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_loops_{false};
+  std::atomic<size_t> next_loop_{0};
+  CancelSource drain_cancel_;
+
+  /// In-flight wire requests (dispatched to a worker, response not yet
+  /// enqueued) — what `Stop()` waits on.
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  size_t inflight_ = 0;
+
+  /// Fingerprint -> spec registry: every inline spec a client sends is
+  /// remembered so later requests can carry the 8-byte fingerprint
+  /// instead.
+  std::mutex specs_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const DialectSpec>> specs_;
+
+  /// Serializes Stop() callers.
+  std::mutex stop_mu_;
+
+  // Instruments, resolved once against service_->metrics().
+  obs::Gauge* connections_gauge_;
+  obs::Counter* connections_total_;
+  obs::Counter* bytes_in_;
+  obs::Counter* bytes_out_;
+  obs::Counter* frames_in_;
+  obs::Counter* frames_out_;
+  obs::Counter* decode_errors_;
+  obs::Counter* draining_refusals_;
+  obs::Counter* backpressure_pauses_;
+  obs::Counter* overflow_disconnects_;
+  obs::Counter* unavailable_total_;
+  obs::Histogram* request_latency_;
+};
+
+}  // namespace net
+}  // namespace sqlpl
+
+#endif  // SQLPL_NET_SQL_SERVER_H_

@@ -1,0 +1,309 @@
+#include "sqlpl/net/wire.h"
+
+#include <cstring>
+
+namespace sqlpl {
+namespace net {
+
+namespace {
+
+// --- little-endian primitive writers -------------------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+// Identifier-sized string: uint16 length prefix.
+void PutStr16(std::string* out, std::string_view s) {
+  PutU16(out, static_cast<uint16_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+// Text-sized string: uint32 length prefix.
+void PutStr32(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+// --- bounds-checked reader -----------------------------------------
+
+/// Cursor over a payload. Every getter fails sticky (`ok()` false) on
+/// underrun instead of reading past the end, so decode functions check
+/// once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return data_[pos_++];
+  }
+  uint16_t U16() {
+    if (!Need(2)) return 0;
+    uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+                 static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  std::string Str16() { return Str(U16()); }
+  std::string Str32() { return Str(U32()); }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  std::string Str(size_t n) {
+    if (!Need(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+constexpr uint8_t kFlagWantTree = 1 << 0;
+constexpr uint8_t kFlagHasSpec = 1 << 1;
+
+// Bound sanity limits on repeated-field counts; a spec with thousands
+// of features is a protocol violation, not a dialect.
+constexpr size_t kMaxSpecEntries = 4096;
+
+void PutSpec(std::string* out, const DialectSpec& spec) {
+  PutStr16(out, spec.name);
+  PutU16(out, static_cast<uint16_t>(spec.features.size()));
+  for (const std::string& feature : spec.features) PutStr16(out, feature);
+  PutU16(out, static_cast<uint16_t>(spec.counts.size()));
+  for (const auto& [feature, count] : spec.counts) {
+    PutStr16(out, feature);
+    PutU32(out, static_cast<uint32_t>(count));
+  }
+  PutStr16(out, spec.start_symbol);
+}
+
+bool ReadSpec(ByteReader* reader, DialectSpec* spec) {
+  spec->name = reader->Str16();
+  size_t n_features = reader->U16();
+  if (n_features > kMaxSpecEntries) return false;
+  spec->features.clear();
+  spec->features.reserve(n_features);
+  for (size_t i = 0; i < n_features && reader->ok(); ++i) {
+    spec->features.push_back(reader->Str16());
+  }
+  size_t n_counts = reader->U16();
+  if (n_counts > kMaxSpecEntries) return false;
+  spec->counts.clear();
+  for (size_t i = 0; i < n_counts && reader->ok(); ++i) {
+    std::string feature = reader->Str16();
+    int count = static_cast<int>(reader->U32());
+    spec->counts[std::move(feature)] = count;
+  }
+  spec->start_symbol = reader->Str16();
+  return reader->ok();
+}
+
+}  // namespace
+
+uint8_t StatusCodeToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 1;
+    case StatusCode::kNotFound: return 2;
+    case StatusCode::kAlreadyExists: return 3;
+    case StatusCode::kFailedPrecondition: return 4;
+    case StatusCode::kOutOfRange: return 5;
+    case StatusCode::kUnimplemented: return 6;
+    case StatusCode::kInternal: return 7;
+    case StatusCode::kParseError: return 8;
+    case StatusCode::kCompositionError: return 9;
+    case StatusCode::kConfigurationError: return 10;
+    case StatusCode::kDeadlineExceeded: return 11;
+    case StatusCode::kCancelled: return 12;
+    case StatusCode::kResourceExhausted: return 13;
+    case StatusCode::kUnavailable: return 14;
+  }
+  return 7;  // kInternal
+}
+
+StatusCode StatusCodeFromWire(uint8_t wire) {
+  switch (wire) {
+    case 0: return StatusCode::kOk;
+    case 1: return StatusCode::kInvalidArgument;
+    case 2: return StatusCode::kNotFound;
+    case 3: return StatusCode::kAlreadyExists;
+    case 4: return StatusCode::kFailedPrecondition;
+    case 5: return StatusCode::kOutOfRange;
+    case 6: return StatusCode::kUnimplemented;
+    case 7: return StatusCode::kInternal;
+    case 8: return StatusCode::kParseError;
+    case 9: return StatusCode::kCompositionError;
+    case 10: return StatusCode::kConfigurationError;
+    case 11: return StatusCode::kDeadlineExceeded;
+    case 12: return StatusCode::kCancelled;
+    case 13: return StatusCode::kResourceExhausted;
+    case 14: return StatusCode::kUnavailable;
+    default: return StatusCode::kInternal;
+  }
+}
+
+void EncodeRequestFrame(const WireParseRequest& request, std::string* out) {
+  std::string payload;
+  payload.reserve(64 + request.sql.size());
+  PutU8(&payload, static_cast<uint8_t>(WireType::kParseRequest));
+  PutU64(&payload, request.request_id);
+  uint8_t flags = 0;
+  if (request.want_tree) flags |= kFlagWantTree;
+  if (request.has_spec) flags |= kFlagHasSpec;
+  PutU8(&payload, flags);
+  PutU32(&payload, request.deadline_ms);
+  PutU64(&payload, request.fingerprint);
+  if (request.has_spec) PutSpec(&payload, request.spec);
+  PutStr32(&payload, request.sql);
+
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+void EncodeResponseFrame(const WireParseResponse& response, std::string* out) {
+  std::string payload;
+  payload.reserve(40 + response.body.size());
+  PutU8(&payload, static_cast<uint8_t>(WireType::kParseResponse));
+  PutU64(&payload, response.request_id);
+  PutU8(&payload, StatusCodeToWire(response.status));
+  PutU8(&payload, static_cast<uint8_t>(response.cache_disposition));
+  PutU32(&payload, response.parse_micros);
+  PutU32(&payload, response.total_micros);
+  PutU32(&payload, response.server_micros);
+  PutU64(&payload, response.fingerprint);
+  PutStr32(&payload, response.body);
+
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+Result<size_t> CompleteFrameSize(std::span<const uint8_t> buffer,
+                                 size_t max_frame_bytes) {
+  if (buffer.size() < kFrameHeaderBytes) return size_t{0};
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(buffer[i]) << (8 * i);
+  }
+  if (payload_len > max_frame_bytes) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload_len) +
+        " bytes exceeds the " + std::to_string(max_frame_bytes) +
+        "-byte frame limit");
+  }
+  size_t total = kFrameHeaderBytes + payload_len;
+  if (buffer.size() < total) return size_t{0};
+  return total;
+}
+
+uint8_t PayloadType(std::span<const uint8_t> payload) {
+  return payload.empty() ? 0 : payload[0];
+}
+
+Status DecodeRequestPayload(std::span<const uint8_t> payload,
+                            WireParseRequest* out) {
+  ByteReader reader(payload);
+  uint8_t type = reader.U8();
+  if (type != static_cast<uint8_t>(WireType::kParseRequest)) {
+    return Status::InvalidArgument("unexpected message type " +
+                                   std::to_string(type) +
+                                   " (want ParseRequest)");
+  }
+  out->request_id = reader.U64();
+  uint8_t flags = reader.U8();
+  out->want_tree = (flags & kFlagWantTree) != 0;
+  out->has_spec = (flags & kFlagHasSpec) != 0;
+  out->deadline_ms = reader.U32();
+  out->fingerprint = reader.U64();
+  if (out->has_spec) {
+    if (!ReadSpec(&reader, &out->spec)) {
+      return Status::InvalidArgument("malformed dialect spec in request");
+    }
+  } else {
+    out->spec = DialectSpec{};
+  }
+  out->sql = reader.Str32();
+  if (!reader.ok()) {
+    return Status::InvalidArgument("truncated ParseRequest payload");
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after ParseRequest");
+  }
+  return Status::OK();
+}
+
+Status DecodeResponsePayload(std::span<const uint8_t> payload,
+                             WireParseResponse* out) {
+  ByteReader reader(payload);
+  uint8_t type = reader.U8();
+  if (type != static_cast<uint8_t>(WireType::kParseResponse)) {
+    return Status::InvalidArgument("unexpected message type " +
+                                   std::to_string(type) +
+                                   " (want ParseResponse)");
+  }
+  out->request_id = reader.U64();
+  out->status = StatusCodeFromWire(reader.U8());
+  uint8_t disposition = reader.U8();
+  out->cache_disposition =
+      disposition <= static_cast<uint8_t>(CacheDisposition::kCoalesced)
+          ? static_cast<CacheDisposition>(disposition)
+          : CacheDisposition::kUnresolved;
+  out->parse_micros = reader.U32();
+  out->total_micros = reader.U32();
+  out->server_micros = reader.U32();
+  out->fingerprint = reader.U64();
+  out->body = reader.Str32();
+  if (!reader.ok()) {
+    return Status::InvalidArgument("truncated ParseResponse payload");
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after ParseResponse");
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace sqlpl

@@ -1,0 +1,113 @@
+#ifndef SQLPL_NET_WIRE_H_
+#define SQLPL_NET_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "sqlpl/service/parser_cache.h"
+#include "sqlpl/sql/product_line.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+namespace net {
+
+/// The framed wire protocol of the network serving layer
+/// (docs/NETWORK.md). Every message is one *frame*:
+///
+///   uint32 LE payload length | payload
+///
+/// and every payload starts with a one-byte message type. All integers
+/// are little-endian; strings are length-prefixed byte sequences
+/// (uint16 for identifiers, uint32 for SQL text and response bodies),
+/// never NUL-terminated. The encoding is version-free by construction:
+/// unknown message types and out-of-range lengths are decode errors,
+/// and the status-code table below is append-only.
+
+/// Upper bound a server or client accepts for one frame's payload.
+/// Anything larger is a protocol violation (the connection is closed),
+/// not an allocation request.
+inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
+
+/// Bytes of the frame header (the uint32 payload length).
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+enum class WireType : uint8_t {
+  kParseRequest = 1,
+  kParseResponse = 2,
+};
+
+/// A client's parse call, decoded. The dialect travels either inline
+/// (`has_spec`, first request for that dialect) or as the 64-bit spec
+/// fingerprint of an earlier inline spec — the server remembers every
+/// spec it has seen, so steady-state requests carry 8 bytes of dialect
+/// identity instead of the whole feature selection.
+struct WireParseRequest {
+  /// Client-chosen, echoed verbatim in the response; lets a client
+  /// pipeline several requests on one connection and match replies.
+  uint64_t request_id = 0;
+  bool want_tree = true;
+  bool has_spec = false;
+  /// Deadline budget in milliseconds, measured from frame receipt at
+  /// the server; 0 = no deadline.
+  uint32_t deadline_ms = 0;
+  /// Dialect identity when `!has_spec` (see `FingerprintSpec`).
+  uint64_t fingerprint = 0;
+  /// Dialect identity when `has_spec`.
+  DialectSpec spec;
+  std::string sql;
+};
+
+struct WireParseResponse {
+  uint64_t request_id = 0;
+  StatusCode status = StatusCode::kOk;
+  CacheDisposition cache_disposition = CacheDisposition::kUnresolved;
+  /// Server timing: parse proper, full in-service time, and the
+  /// server-side frame turnaround (decode -> response enqueued).
+  uint32_t parse_micros = 0;
+  uint32_t total_micros = 0;
+  uint32_t server_micros = 0;
+  /// Fingerprint of the request's dialect — returned for spec-carrying
+  /// requests so the client can switch to fingerprint-only identity.
+  uint64_t fingerprint = 0;
+  /// S-expression of the parse tree on success (empty when the request
+  /// set `want_tree = false`); the error message otherwise.
+  std::string body;
+
+  bool ok() const { return status == StatusCode::kOk; }
+};
+
+/// Stable one-byte wire encoding of `StatusCode`. The table is
+/// append-only — codes never renumber — so old clients read new
+/// servers' frames (unknown values decode as `kInternal`).
+uint8_t StatusCodeToWire(StatusCode code);
+StatusCode StatusCodeFromWire(uint8_t wire);
+
+/// Appends one complete frame (header + payload) to `*out`.
+void EncodeRequestFrame(const WireParseRequest& request, std::string* out);
+void EncodeResponseFrame(const WireParseResponse& response, std::string* out);
+
+/// Inspects the front of a receive buffer. Returns the total size
+/// (header + payload) of the first frame when one is complete, 0 when
+/// more bytes are needed, or `kInvalidArgument` when the declared
+/// payload length exceeds `max_frame_bytes` — the stream is then
+/// unrecoverable and the connection must be closed.
+Result<size_t> CompleteFrameSize(std::span<const uint8_t> buffer,
+                                 size_t max_frame_bytes);
+
+/// Decodes one frame *payload* (header already stripped). Rejects
+/// unknown message types, truncated or oversized fields, and trailing
+/// garbage with `kInvalidArgument`.
+Status DecodeRequestPayload(std::span<const uint8_t> payload,
+                            WireParseRequest* out);
+Status DecodeResponsePayload(std::span<const uint8_t> payload,
+                             WireParseResponse* out);
+
+/// The message type of a complete frame's payload, or 0 when empty.
+uint8_t PayloadType(std::span<const uint8_t> payload);
+
+}  // namespace net
+}  // namespace sqlpl
+
+#endif  // SQLPL_NET_WIRE_H_

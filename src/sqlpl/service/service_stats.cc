@@ -20,6 +20,10 @@ ServiceStats::ServiceStats()
           "sqlpl_requests_shed_total", {},
           "Requests rejected with resource_exhausted by admission "
           "control")),
+      requests_unavailable_(registry_.GetCounter(
+          "sqlpl_requests_unavailable_total", {},
+          "Requests refused with unavailable (draining server or "
+          "connection-level failure)")),
       deadline_miss_admission_(registry_.GetCounter(
           "sqlpl_deadline_misses_total", {{"stage", "admission"}},
           "Requests whose deadline expired, by detection stage")),
@@ -54,6 +58,7 @@ ServiceStatsSnapshot ServiceStats::Snapshot(
   s.batches = batches_->Value();
   s.batch_statements = batch_statements_->Value();
   s.requests_shed = requests_shed_->Value();
+  s.requests_unavailable = requests_unavailable_->Value();
   s.deadline_misses_admission = deadline_miss_admission_->Value();
   s.deadline_misses_queue = deadline_miss_queue_->Value();
   s.deadline_misses_parse = deadline_miss_parse_->Value();
@@ -87,6 +92,12 @@ std::string RenderServiceStats(const ServiceStatsSnapshot& s) {
   row("parse errors", s.parse_errors);
   row("batch calls", s.batches);
   row("batch statements", s.batch_statements);
+  // Appended only when the serving tier actually refused requests, so
+  // the pre-network report (golden-tested byte for byte) is unchanged
+  // for services that never see an unavailable refusal.
+  if (s.requests_unavailable > 0) {
+    row("unavailable", s.requests_unavailable);
+  }
 
   out += "\n## Parser cache\n\n";
   out += "| counter | value |\n|---|---:|\n";

@@ -41,6 +41,13 @@ struct ServiceStatsSnapshot {
   /// `RenderServiceStats` (whose format is frozen); the same numbers
   /// are in the Prometheus/JSON exports.
   uint64_t requests_shed = 0;
+  /// Requests refused with `kUnavailable` — the serving endpoint (e.g.
+  /// a draining network front-end) could not take them at all. Unlike
+  /// the other lifecycle counters this one *is* rendered by
+  /// `RenderServiceStats`, as an extra row appended to the Requests
+  /// table only when nonzero, so the frozen pre-network report lines
+  /// are unchanged.
+  uint64_t requests_unavailable = 0;
   uint64_t deadline_misses_admission = 0;
   uint64_t deadline_misses_queue = 0;
   uint64_t deadline_misses_parse = 0;
@@ -106,6 +113,9 @@ class ServiceStats {
     }
   }
   void RecordCancellation() { cancellations_->Increment(); }
+  /// A request refused with `kUnavailable` (connection-level failure or
+  /// a draining server). Feeds `sqlpl_requests_unavailable_total`.
+  void RecordUnavailable() { requests_unavailable_->Increment(); }
 
   /// Per-statement throughput sample from the parser's `ParseStats`:
   /// tokens the lexer produced and bytes of parse-arena storage used.
@@ -135,6 +145,7 @@ class ServiceStats {
   obs::Counter* batches_;
   obs::Counter* batch_statements_;
   obs::Counter* requests_shed_;
+  obs::Counter* requests_unavailable_;
   obs::Counter* deadline_miss_admission_;
   obs::Counter* deadline_miss_queue_;
   obs::Counter* deadline_miss_parse_;

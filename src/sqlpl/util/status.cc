@@ -32,6 +32,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "cancelled";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -36,6 +36,12 @@ enum class StatusCode {
   /// The service refused the request to protect itself: admission limit
   /// reached or a bounded queue full. Retrying later may succeed.
   kResourceExhausted,
+  /// The serving endpoint cannot take the request at all right now:
+  /// the server is draining for shutdown, the connection is closed or
+  /// broken, or no server is listening. Unlike `kResourceExhausted`
+  /// (a per-request shed on a healthy server), retrying the same
+  /// endpoint is unlikely to help until it comes back.
+  kUnavailable,
 };
 
 /// Returns the canonical lowercase name of `code` (e.g. "invalid_argument").
@@ -95,6 +101,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,364 @@
+// End-to-end tests of the epoll serving layer over real loopback
+// sockets: spec/fingerprint dialect identity, concurrent connections
+// with byte-identical trees, deadline propagation (fault-injected slow
+// build), malformed-frame handling, and the HTTP metrics sideband.
+
+#include "sqlpl/net/sql_server.h"
+
+#include <string.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/net/socket_util.h"
+#include "sqlpl/net/sql_client.h"
+#include "sqlpl/service/fault_injector.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace net {
+namespace {
+
+class SqlServerTest : public ::testing::Test {
+ protected:
+  void StartServer(SqlServerOptions options = {}) {
+    service_ = std::make_unique<DialectService>();
+    server_ = std::make_unique<SqlServer>(service_.get(), options);
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started;
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  SqlClient ConnectedClient() {
+    SqlClient client;
+    Status status = client.Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(status.ok()) << status;
+    return client;
+  }
+
+  std::unique_ptr<DialectService> service_;
+  std::unique_ptr<SqlServer> server_;
+};
+
+TEST_F(SqlServerTest, SpecThenFingerprintMatchesInProcessParse) {
+  StartServer();
+  DialectSpec spec = CoreQueryDialect();
+  const std::string sql = "SELECT a, b FROM t WHERE a = 1";
+
+  // In-process ground truth through the same service.
+  Result<ParseNode> direct = service_->Parse(spec, sql);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+
+  SqlClient client = ConnectedClient();
+  Result<WireParseResponse> first = client.Parse(spec, sql);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_EQ(first->status, StatusCode::kOk) << first->body;
+  EXPECT_EQ(first->body, direct.value().ToSExpr());
+  EXPECT_EQ(first->cache_disposition, CacheDisposition::kHit);
+  ASSERT_NE(first->fingerprint, 0u);
+
+  // Steady state: 8 bytes of dialect identity instead of the spec.
+  Result<WireParseResponse> second =
+      client.ParseByFingerprint(first->fingerprint, sql);
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_EQ(second->status, StatusCode::kOk) << second->body;
+  EXPECT_EQ(second->body, direct.value().ToSExpr());
+  EXPECT_EQ(second->fingerprint, first->fingerprint);
+}
+
+TEST_F(SqlServerTest, UnknownFingerprintIsNotFound) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+  Result<WireParseResponse> response =
+      client.ParseByFingerprint(0x1122334455667788ull, "SELECT 1");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, StatusCode::kNotFound);
+  EXPECT_NE(response->body.find("fingerprint"), std::string::npos);
+}
+
+TEST_F(SqlServerTest, SyntaxErrorTravelsAsParseErrorWithDiagnostics) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+  Result<WireParseResponse> response =
+      client.Parse(CoreQueryDialect(), "SELECT FROM WHERE");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, StatusCode::kParseError);
+  EXPECT_FALSE(response->body.empty());
+  EXPECT_FALSE(response->ok());
+}
+
+TEST_F(SqlServerTest, WantTreeFalseReturnsAcceptanceOnly) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+  Result<WireParseResponse> response = client.Parse(
+      CoreQueryDialect(), "SELECT a FROM t", /*deadline_ms=*/0,
+      /*want_tree=*/false);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, StatusCode::kOk);
+  EXPECT_TRUE(response->body.empty());
+}
+
+TEST_F(SqlServerTest, EightConcurrentConnectionsByteIdenticalTrees) {
+  SqlServerOptions options;
+  options.num_event_loops = 3;
+  options.num_workers = 4;
+  StartServer(options);
+
+  // A mixed-dialect workload with in-process ground truth.
+  struct Case {
+    DialectSpec spec;
+    std::string sql;
+    std::string expected;
+  };
+  std::vector<Case> cases;
+  for (auto& [spec, sql] : std::vector<std::pair<DialectSpec, std::string>>{
+           {CoreQueryDialect(), "SELECT a, b FROM t WHERE a = 1"},
+           {CoreQueryDialect(),
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept"},
+           {WorkedExampleDialect(), "SELECT a FROM t"},
+           {WorkedExampleDialect(), "SELECT DISTINCT a FROM t WHERE b = 2"},
+           {TinySqlDialect(), "SELECT a FROM sensors"},
+           {FullFoundationDialect(), "SELECT a FROM t ORDER BY a"},
+       }) {
+    Result<ParseNode> direct = service_->Parse(spec, sql);
+    ASSERT_TRUE(direct.ok()) << spec.name << ": " << direct.status();
+    cases.push_back({spec, sql, direct.value().ToSExpr()});
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 24;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      SqlClient client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      uint64_t fingerprint_cache[16] = {};
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const Case& c = cases[(t + i) % cases.size()];
+        size_t slot = (t + i) % cases.size();
+        Result<WireParseResponse> response =
+            fingerprint_cache[slot] != 0
+                ? client.ParseByFingerprint(fingerprint_cache[slot], c.sql)
+                : client.Parse(c.spec, c.sql);
+        if (!response.ok() || response->status != StatusCode::kOk) {
+          failures.fetch_add(1);
+          continue;
+        }
+        fingerprint_cache[slot] = response->fingerprint;
+        if (response->body != c.expected) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Frame accounting: every request produced exactly one response.
+  obs::MetricsRegistry& reg = service_->metrics();
+  uint64_t frames_in =
+      reg.GetCounter("sqlpl_net_frames_total", {{"direction", "in"}}, "")
+          ->Value();
+  uint64_t frames_out =
+      reg.GetCounter("sqlpl_net_frames_total", {{"direction", "out"}}, "")
+          ->Value();
+  EXPECT_EQ(frames_in, kClients * kRequestsPerClient);
+  EXPECT_EQ(frames_out, frames_in);
+}
+
+TEST_F(SqlServerTest, PipelinedRequestsAllAnswered) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+  // Teach the server the dialect first.
+  Result<WireParseResponse> warm =
+      client.Parse(CoreQueryDialect(), "SELECT a FROM t");
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  ASSERT_EQ(warm->status, StatusCode::kOk) << warm->body;
+
+  constexpr int kPipelined = 32;
+  std::vector<uint64_t> sent_ids;
+  for (int i = 0; i < kPipelined; ++i) {
+    WireParseRequest request;
+    request.fingerprint = warm->fingerprint;
+    request.sql = "SELECT a FROM t WHERE a = " + std::to_string(i);
+    request.want_tree = false;
+    ASSERT_TRUE(client.Send(request).ok());
+    sent_ids.push_back(request.request_id);
+  }
+  std::vector<bool> answered(kPipelined, false);
+  for (int i = 0; i < kPipelined; ++i) {
+    Result<WireParseResponse> response =
+        client.Receive(Deadline::After(std::chrono::seconds(30)));
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->status, StatusCode::kOk) << response->body;
+    for (int j = 0; j < kPipelined; ++j) {
+      if (sent_ids[j] == response->request_id) {
+        EXPECT_FALSE(answered[j]) << "duplicate response";
+        answered[j] = true;
+      }
+    }
+  }
+  for (int i = 0; i < kPipelined; ++i) {
+    EXPECT_TRUE(answered[i]) << "request " << i << " unanswered";
+  }
+}
+
+TEST_F(SqlServerTest, ClientDeadlineOnSlowBuildReturnsDeadlineExceeded) {
+  if (!SQLPL_FAULT_INJECT) {
+    GTEST_SKIP() << "built without SQLPL_FAULT_INJECT";
+  }
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().SetBuildDelay(std::chrono::milliseconds(50));
+  StartServer();
+  SqlClient client = ConnectedClient();
+
+  // 1 ms of client budget against a 50 ms injected build delay: the
+  // request must come back as a kDeadlineExceeded *frame* — never a
+  // hang, never a connection error.
+  Result<WireParseResponse> response = client.Parse(
+      CoreQueryDialect(), "SELECT a FROM t", /*deadline_ms=*/1,
+      /*want_tree=*/true, Deadline::After(std::chrono::seconds(30)));
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, StatusCode::kDeadlineExceeded)
+      << response->body;
+  EXPECT_FALSE(response->body.empty());
+
+  // The budget was spent, not ignored: a fresh no-deadline request on
+  // the same (now warm or still building) dialect succeeds.
+  Result<WireParseResponse> retry =
+      client.Parse(CoreQueryDialect(), "SELECT a FROM t");
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  EXPECT_EQ(retry->status, StatusCode::kOk) << retry->body;
+}
+
+TEST_F(SqlServerTest, MalformedFrameGetsInvalidArgumentThenDisconnect) {
+  StartServer();
+  Result<int> fd = ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+
+  // A well-framed payload that is not a valid ParseRequest: right type
+  // byte, truncated fields.
+  std::string frame;
+  frame.push_back(5);  // payload length = 5, LE
+  frame.push_back(0);
+  frame.push_back(0);
+  frame.push_back(0);
+  frame.push_back(1);  // WireType::kParseRequest
+  frame.append("\x01\x02\x03\x04", 4);
+  ASSERT_TRUE(SendAll(*fd, frame.data(), frame.size()).ok());
+
+  // The server answers with an error frame, then closes.
+  std::vector<uint8_t> in;
+  char buf[4096];
+  Deadline wait = Deadline::After(std::chrono::seconds(10));
+  for (;;) {
+    Result<size_t> n = RecvSome(*fd, buf, sizeof(buf), wait);
+    ASSERT_TRUE(n.ok()) << n.status();
+    if (*n == 0) break;  // orderly close
+    in.insert(in.end(), buf, buf + *n);
+  }
+  Result<size_t> size = CompleteFrameSize(in, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(size.ok());
+  ASSERT_GT(*size, 0u);
+  WireParseResponse response;
+  ASSERT_TRUE(DecodeResponsePayload(
+                  std::span<const uint8_t>(in).subspan(kFrameHeaderBytes,
+                                                       *size -
+                                                           kFrameHeaderBytes),
+                  &response)
+                  .ok());
+  EXPECT_EQ(response.status, StatusCode::kInvalidArgument);
+  CloseFd(*fd);
+
+  EXPECT_GE(service_->metrics()
+                .GetCounter("sqlpl_net_frame_decode_errors_total", {}, "")
+                ->Value(),
+            1u);
+}
+
+TEST_F(SqlServerTest, OversizeFrameDeclarationDisconnectsWithoutResponse) {
+  StartServer();
+  Result<int> fd = ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+
+  // Header declaring a 16 MiB payload (limit is 1 MiB).
+  uint32_t declared = 16 * 1024 * 1024;
+  char header[4];
+  memcpy(header, &declared, 4);
+  ASSERT_TRUE(SendAll(*fd, header, 4).ok());
+
+  char buf[64];
+  Result<size_t> n =
+      RecvSome(*fd, buf, sizeof(buf), Deadline::After(std::chrono::seconds(10)));
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 0u);  // closed with no bytes in reply
+  CloseFd(*fd);
+}
+
+TEST_F(SqlServerTest, MetricsSidebandServesPrometheusAndHealth) {
+  SqlServerOptions options;
+  options.enable_metrics_sideband = true;
+  StartServer(options);
+  ASSERT_GT(server_->metrics_port(), 0);
+
+  SqlClient client = ConnectedClient();
+  Result<WireParseResponse> response =
+      client.Parse(CoreQueryDialect(), "SELECT a FROM t");
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->status, StatusCode::kOk) << response->body;
+
+  auto http_get = [&](const std::string& target) -> std::string {
+    Result<int> fd = ConnectTcp("127.0.0.1", server_->metrics_port());
+    EXPECT_TRUE(fd.ok()) << fd.status();
+    if (!fd.ok()) return {};
+    std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+    EXPECT_TRUE(SendAll(*fd, request.data(), request.size()).ok());
+    std::string reply;
+    char buf[8192];
+    Deadline wait = Deadline::After(std::chrono::seconds(10));
+    for (;;) {
+      Result<size_t> n = RecvSome(*fd, buf, sizeof(buf), wait);
+      EXPECT_TRUE(n.ok()) << n.status();
+      if (!n.ok() || *n == 0) break;
+      reply.append(buf, *n);
+    }
+    CloseFd(*fd);
+    return reply;
+  };
+
+  std::string health = http_get("/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  std::string metrics = http_get("/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200"), std::string::npos);
+  // One exposition covers the wire, the service, the cache, the pool.
+  EXPECT_NE(metrics.find("sqlpl_net_connections"), std::string::npos);
+  EXPECT_NE(metrics.find("sqlpl_net_frames_total{direction=\"in\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("sqlpl_net_request_micros_bucket"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("sqlpl_parses_total"), std::string::npos);
+  EXPECT_NE(metrics.find("sqlpl_cache_hits"), std::string::npos);
+
+  EXPECT_NE(http_get("/nope").find("HTTP/1.0 404"), std::string::npos);
+}
+
+TEST_F(SqlServerTest, ServerIsSingleUse) {
+  StartServer();
+  EXPECT_EQ(server_->Start().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace sqlpl

@@ -1,0 +1,242 @@
+// Wire-protocol unit tests: encode/decode roundtrips, the stable
+// status-code table, frame splitting, and rejection of malformed
+// frames (truncation, trailing garbage, oversize declarations).
+
+#include "sqlpl/net/wire.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace net {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+/// Strips the frame header, returning the payload span.
+std::span<const uint8_t> Payload(const std::string& frame) {
+  return Bytes(frame).subspan(kFrameHeaderBytes);
+}
+
+TEST(WireTest, RequestRoundtripWithInlineSpec) {
+  WireParseRequest request;
+  request.request_id = 42;
+  request.want_tree = true;
+  request.has_spec = true;
+  request.deadline_ms = 1500;
+  request.spec = TinySqlDialect();
+  request.spec.counts["select_sublist"] = 3;
+  request.sql = "SELECT a FROM t WHERE x = 1";
+
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+
+  Result<size_t> size = CompleteFrameSize(Bytes(frame), kDefaultMaxFrameBytes);
+  ASSERT_TRUE(size.ok());
+  ASSERT_EQ(*size, frame.size());
+
+  WireParseRequest decoded;
+  ASSERT_TRUE(DecodeRequestPayload(Payload(frame), &decoded).ok());
+  EXPECT_EQ(decoded.request_id, 42u);
+  EXPECT_TRUE(decoded.want_tree);
+  EXPECT_TRUE(decoded.has_spec);
+  EXPECT_EQ(decoded.deadline_ms, 1500u);
+  EXPECT_EQ(decoded.spec.name, request.spec.name);
+  EXPECT_EQ(decoded.spec.features, request.spec.features);
+  EXPECT_EQ(decoded.spec.counts, request.spec.counts);
+  EXPECT_EQ(decoded.spec.start_symbol, request.spec.start_symbol);
+  EXPECT_EQ(decoded.sql, request.sql);
+}
+
+TEST(WireTest, RequestRoundtripWithFingerprint) {
+  WireParseRequest request;
+  request.request_id = 7;
+  request.want_tree = false;
+  request.has_spec = false;
+  request.fingerprint = 0xdeadbeefcafef00dull;
+  request.sql = "SELECT 1";
+
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+
+  WireParseRequest decoded;
+  ASSERT_TRUE(DecodeRequestPayload(Payload(frame), &decoded).ok());
+  EXPECT_FALSE(decoded.want_tree);
+  EXPECT_FALSE(decoded.has_spec);
+  EXPECT_EQ(decoded.fingerprint, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(decoded.sql, "SELECT 1");
+  // A fingerprint-only frame carries 8 bytes of dialect identity and no
+  // spec body: it must stay small.
+  EXPECT_LT(frame.size(), 64u);
+}
+
+TEST(WireTest, ResponseRoundtrip) {
+  WireParseResponse response;
+  response.request_id = 99;
+  response.status = StatusCode::kDeadlineExceeded;
+  response.cache_disposition = CacheDisposition::kCoalesced;
+  response.parse_micros = 12;
+  response.total_micros = 345;
+  response.server_micros = 400;
+  response.fingerprint = 0x1234;
+  response.body = "deadline expired before execution";
+
+  std::string frame;
+  EncodeResponseFrame(response, &frame);
+  ASSERT_EQ(PayloadType(Payload(frame)),
+            static_cast<uint8_t>(WireType::kParseResponse));
+
+  WireParseResponse decoded;
+  ASSERT_TRUE(DecodeResponsePayload(Payload(frame), &decoded).ok());
+  EXPECT_EQ(decoded.request_id, 99u);
+  EXPECT_EQ(decoded.status, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(decoded.cache_disposition, CacheDisposition::kCoalesced);
+  EXPECT_EQ(decoded.parse_micros, 12u);
+  EXPECT_EQ(decoded.total_micros, 345u);
+  EXPECT_EQ(decoded.server_micros, 400u);
+  EXPECT_EQ(decoded.fingerprint, 0x1234u);
+  EXPECT_EQ(decoded.body, response.body);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WireTest, StatusCodeTableIsStableAndTotal) {
+  // The wire values are a frozen protocol surface: renumbering breaks
+  // deployed clients. Spot-check the anchors and roundtrip every code.
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kOk), 0);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kDeadlineExceeded), 11);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kResourceExhausted), 13);
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kUnavailable), 14);
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
+    StatusCode code = static_cast<StatusCode>(c);
+    EXPECT_EQ(StatusCodeFromWire(StatusCodeToWire(code)), code);
+  }
+  // Unknown future codes degrade to kInternal instead of UB.
+  EXPECT_EQ(StatusCodeFromWire(200), StatusCode::kInternal);
+}
+
+TEST(WireTest, CompleteFrameSizeSplitsAStream) {
+  WireParseResponse a;
+  a.request_id = 1;
+  a.body = "first";
+  WireParseResponse b;
+  b.request_id = 2;
+  b.body = "second";
+  std::string stream;
+  EncodeResponseFrame(a, &stream);
+  size_t first_size = stream.size();
+  EncodeResponseFrame(b, &stream);
+
+  Result<size_t> size = CompleteFrameSize(Bytes(stream), kDefaultMaxFrameBytes);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, first_size);
+
+  // Every strict prefix of one frame is "incomplete", never an error.
+  for (size_t cut = 0; cut < first_size; ++cut) {
+    Result<size_t> partial = CompleteFrameSize(
+        Bytes(stream).subspan(0, cut), kDefaultMaxFrameBytes);
+    ASSERT_TRUE(partial.ok()) << "cut=" << cut;
+    EXPECT_EQ(*partial, 0u) << "cut=" << cut;
+  }
+}
+
+TEST(WireTest, OversizeDeclarationIsAnError) {
+  // Header declaring a payload over the limit: unrecoverable.
+  std::string header = {'\xff', '\xff', '\xff', '\x7f'};
+  Result<size_t> size = CompleteFrameSize(Bytes(header), kDefaultMaxFrameBytes);
+  ASSERT_FALSE(size.ok());
+  EXPECT_EQ(size.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, TruncatedPayloadsAreRejectedAtEveryCut) {
+  WireParseRequest request;
+  request.request_id = 5;
+  request.has_spec = true;
+  request.spec = WorkedExampleDialect();
+  request.sql = "SELECT a FROM t";
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+  std::span<const uint8_t> payload = Payload(frame);
+
+  WireParseRequest decoded;
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    Status status = DecodeRequestPayload(payload.subspan(0, cut), &decoded);
+    ASSERT_FALSE(status.ok()) << "cut=" << cut;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << "cut=" << cut;
+  }
+  ASSERT_TRUE(DecodeRequestPayload(payload, &decoded).ok());
+}
+
+TEST(WireTest, TrailingGarbageIsRejected) {
+  WireParseRequest request;
+  request.request_id = 6;
+  request.fingerprint = 1;
+  request.sql = "SELECT 1";
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+  frame.push_back('\0');  // goes past the decoded fields
+
+  WireParseRequest decoded;
+  Status status = DecodeRequestPayload(Payload(frame), &decoded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, WrongMessageTypeIsRejected) {
+  WireParseRequest request;
+  request.sql = "SELECT 1";
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+
+  WireParseResponse as_response;
+  Status status = DecodeResponsePayload(Payload(frame), &as_response);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+
+  // And an unknown type byte fails both decoders.
+  std::string bogus = frame;
+  bogus[kFrameHeaderBytes] = '\x77';
+  WireParseRequest as_request;
+  EXPECT_FALSE(DecodeRequestPayload(Payload(bogus), &as_request).ok());
+  EXPECT_FALSE(DecodeResponsePayload(Payload(bogus), &as_response).ok());
+}
+
+TEST(WireTest, EmptyPayloadHasNoType) {
+  EXPECT_EQ(PayloadType({}), 0);
+  WireParseRequest decoded;
+  EXPECT_FALSE(DecodeRequestPayload({}, &decoded).ok());
+}
+
+TEST(WireTest, SpecWithAbsurdEntryCountIsRejected) {
+  // A forged spec frame claiming 65535 features must fail fast on the
+  // entry-count bound, not allocate per claimed entry.
+  WireParseRequest request;
+  request.has_spec = true;
+  request.spec = WorkedExampleDialect();
+  request.sql = "SELECT 1";
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+
+  // The feature count is the u16 right after the spec's name field:
+  // type(1) id(8) flags(1) deadline(4) fingerprint(8) name_len(2)+name.
+  size_t name_len = request.spec.name.size();
+  size_t count_off = kFrameHeaderBytes + 1 + 8 + 1 + 4 + 8 + 2 + name_len;
+  ASSERT_LT(count_off + 1, frame.size());
+  frame[count_off] = '\xff';
+  frame[count_off + 1] = '\xff';
+
+  WireParseRequest decoded;
+  Status status = DecodeRequestPayload(Payload(frame), &decoded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace sqlpl

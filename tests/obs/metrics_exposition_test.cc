@@ -1,0 +1,173 @@
+// Golden tests over the Prometheus text exposition: the scrape format
+// is an external contract (dashboards, alert rules, recording rules
+// parse it), so its shape — HELP/TYPE ordering, label escaping, the
+// histogram _bucket/_sum/_count triplet — is pinned byte for byte
+// here, plus structural invariants over a real service's
+// `MetricsPrometheus()`.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/obs/metrics.h"
+#include "sqlpl/service/dialect_service.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace obs {
+namespace {
+
+TEST(MetricsExpositionTest, CounterAndGaugeGolden) {
+  MetricsRegistry registry;
+  // Two instruments in one counter family, one with a label value
+  // exercising every escape rule (quote, backslash, newline); family
+  // and instrument order in the export is lexicographic, not
+  // registration order.
+  registry.GetGauge("bbb_level", {}, "A level")->Add(-2);
+  registry
+      .GetCounter("aaa_total", {{"dialect", "ti\"ny\\sql\nx"}},
+                  "Counts things")
+      ->Increment(3);
+  registry.GetCounter("aaa_total", {{"dialect", "core"}}, "Counts things")
+      ->Increment(1);
+
+  const std::string kGolden =
+      "# HELP aaa_total Counts things\n"
+      "# TYPE aaa_total counter\n"
+      "aaa_total{dialect=\"core\"} 1\n"
+      "aaa_total{dialect=\"ti\\\"ny\\\\sql\\nx\"} 3\n"
+      "# HELP bbb_level A level\n"
+      "# TYPE bbb_level gauge\n"
+      "bbb_level -2\n";
+  EXPECT_EQ(registry.ExportPrometheus(), kGolden);
+}
+
+TEST(MetricsExpositionTest, HistogramTripletGolden) {
+  MetricsRegistry registry;
+  Histogram* h =
+      registry.GetHistogram("lat_micros", {{"op", "parse"}}, "Latency");
+  h->Record(1);                     // bucket 0 (le="1")
+  h->Record(1000);                  // bucket 9 (le="1023")
+  h->Record(5000000000ull);         // beyond 2^31: the +Inf bucket
+
+  // 32 cumulative buckets with power-of-two bounds, then _sum/_count.
+  std::string golden =
+      "# HELP lat_micros Latency\n"
+      "# TYPE lat_micros histogram\n";
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    uint64_t cumulative = i >= 31 ? 3 : (i >= 9 ? 2 : 1);
+    std::string le =
+        i + 1 == Histogram::kNumBuckets
+            ? "+Inf"
+            : std::to_string(i == 0 ? 1 : (uint64_t{1} << (i + 1)) - 1);
+    golden += "lat_micros_bucket{op=\"parse\",le=\"" + le + "\"} " +
+              std::to_string(cumulative) + "\n";
+  }
+  golden += "lat_micros_sum{op=\"parse\"} 5000001001\n";
+  golden += "lat_micros_count{op=\"parse\"} 3\n";
+  EXPECT_EQ(registry.ExportPrometheus(), golden);
+
+  // Spot-check the literal bounds the loop above derives, so the golden
+  // cannot silently drift with the derivation.
+  EXPECT_NE(golden.find("le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(golden.find("le=\"1023\"} 2\n"), std::string::npos);
+  EXPECT_NE(golden.find("le=\"2147483647\"} 2\n"), std::string::npos);
+  EXPECT_NE(golden.find("le=\"+Inf\"} 3\n"), std::string::npos);
+}
+
+/// Structural invariants over a real service exposition: the format
+/// rules every scraper relies on, independent of which families exist.
+TEST(MetricsExpositionTest, ServiceExpositionIsWellFormed) {
+  DialectService service;
+  ASSERT_TRUE(service.Parse(CoreQueryDialect(), "SELECT a FROM t").ok());
+  ASSERT_FALSE(service.Parse(CoreQueryDialect(), "SELECT FROM").ok());
+  std::string exposition = service.MetricsPrometheus();
+
+  std::istringstream lines(exposition);
+  std::string line;
+  std::string current_family;
+  std::string current_type;
+  bool help_seen = false;
+  int bucket_lines = 0;
+  uint64_t last_cumulative = 0;
+  bool saw_histogram = false;
+
+  auto family_of = [](const std::string& sample) {
+    size_t end = sample.find_first_of("{ ");
+    return sample.substr(0, end);
+  };
+
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0) {
+      help_seen = true;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string name, kind;
+      fields >> name >> kind;
+      EXPECT_TRUE(help_seen) << "# TYPE without preceding # HELP: " << line;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      EXPECT_GT(name, current_family)
+          << "families must be sorted and unique";
+      current_family = name;
+      current_type = kind;
+      help_seen = false;
+      bucket_lines = 0;
+      last_cumulative = 0;
+      continue;
+    }
+
+    // A sample line: name{labels} value
+    std::string name = family_of(line);
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string value = line.substr(space + 1);
+    if (current_type == "histogram") {
+      saw_histogram = true;
+      std::string base = current_family;
+      ASSERT_TRUE(name == base + "_bucket" || name == base + "_sum" ||
+                  name == base + "_count")
+          << line << " not a triplet member of " << base;
+      if (name == base + "_bucket") {
+        ++bucket_lines;
+        uint64_t cumulative = std::stoull(value);
+        EXPECT_GE(cumulative, last_cumulative)
+            << "bucket counts must be cumulative: " << line;
+        last_cumulative = cumulative;
+        if (bucket_lines == static_cast<int>(Histogram::kNumBuckets)) {
+          EXPECT_NE(line.find("le=\"+Inf\""), std::string::npos)
+              << "last bucket must be +Inf: " << line;
+        }
+      } else if (name == base + "_count") {
+        EXPECT_EQ(bucket_lines, static_cast<int>(Histogram::kNumBuckets))
+            << base << " histogram must export exactly 32 buckets";
+        EXPECT_EQ(std::stoull(value), last_cumulative)
+            << base << "_count must equal the +Inf cumulative count";
+        bucket_lines = 0;
+        last_cumulative = 0;
+      }
+    } else {
+      EXPECT_EQ(name, current_family)
+          << "sample outside its family: " << line;
+    }
+  }
+
+  EXPECT_TRUE(saw_histogram) << "service exposition lost its histograms";
+  // The families the dashboards key on.
+  for (const char* required :
+       {"sqlpl_parses_total", "sqlpl_parse_latency_micros",
+        "sqlpl_cache_hits", "sqlpl_pool_queue_depth"}) {
+    EXPECT_NE(exposition.find(required), std::string::npos)
+        << "missing family " << required;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sqlpl

@@ -257,5 +257,26 @@ TEST(ServiceStatsTest, LifecycleCountersSnapshotAndExport) {
   EXPECT_EQ(report.find("deadline"), std::string::npos);
 }
 
+TEST(ServiceStatsTest, UnavailableCountsExportAndRenderOnlyWhenNonzero) {
+  ServiceStats stats;
+  // Zero refusals: the frozen report must not grow the row.
+  ServiceStatsSnapshot s = stats.Snapshot(ParserCacheStats{});
+  EXPECT_EQ(s.requests_unavailable, 0u);
+  EXPECT_EQ(RenderServiceStats(s).find("unavailable"), std::string::npos);
+
+  stats.RecordUnavailable();
+  stats.RecordUnavailable();
+  stats.RecordUnavailable();
+  s = stats.Snapshot(ParserCacheStats{});
+  EXPECT_EQ(s.requests_unavailable, 3u);
+
+  std::string exposition = stats.registry().ExportPrometheus();
+  EXPECT_NE(exposition.find("sqlpl_requests_unavailable_total 3"),
+            std::string::npos);
+
+  std::string report = RenderServiceStats(s);
+  EXPECT_NE(report.find("| unavailable | 3 |"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sqlpl

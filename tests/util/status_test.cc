@@ -31,6 +31,7 @@ TEST(StatusTest, FactoriesSetCodeAndMessage) {
   EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::ParseError("boom").message(), "boom");
 }
 
@@ -56,6 +57,7 @@ TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "cancelled");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
                "resource_exhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "unavailable");
 }
 
 TEST(ResultTest, HoldsValue) {
