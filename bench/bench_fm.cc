@@ -1,0 +1,134 @@
+// Feature-model configurator benchmarks (see docs/CONFIGURATOR.md):
+//
+//  - BM_ValidateValidSpec: the per-request gate every admitted parse
+//    pays — a closed-world linear clause scan, expected microseconds.
+//  - BM_ValidateConflict: the rejection path on a deep require chain —
+//    QuickXplain narrowing included, the worst case a request can pay.
+//  - BM_CompleteSpec: partial-spec auto-completion (propagation +
+//    closure + re-validation), the negotiation path's cost.
+//  - BM_CatalogLookup: fingerprint lookup in the precomputed variant
+//    catalog, expected tens of nanoseconds.
+//  - BM_CountVariants: solver-side variant counting on the paper's
+//    Figure 1 diagram, capped.
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json.h"
+
+#include "sqlpl/fm/configurator.h"
+#include "sqlpl/fm/variant_catalog.h"
+#include "sqlpl/sql/dialects.h"
+#include "sqlpl/sql/foundation_model.h"
+
+namespace sqlpl {
+namespace {
+
+void BM_ValidateValidSpec(benchmark::State& state) {
+  const fm::Configurator& configurator = fm::Configurator::Instance();
+  DialectSpec spec = CoreQueryDialect();
+  size_t validations = 0;
+  for (auto _ : state) {
+    fm::ValidationResult result = configurator.Validate(spec);
+    if (!result.valid) {
+      state.SkipWithError("CoreQuery unexpectedly invalid");
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+    ++validations;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(validations));
+  state.counters["validations_per_s"] = benchmark::Counter(
+      static_cast<double>(validations), benchmark::Counter::kIsRate);
+}
+
+void BM_ValidateConflict(benchmark::State& state) {
+  // The deepest rejection the catalog offers: a rich spec whose single
+  // missing requirement sits behind the full QuickXplain narrowing.
+  const fm::Configurator& configurator = fm::Configurator::Instance();
+  DialectSpec spec = CoreQueryDialect();
+  std::erase(spec.features, "GroupBy");
+  size_t solves = 0;
+  for (auto _ : state) {
+    fm::ValidationResult result = configurator.Validate(spec);
+    if (result.valid || result.conflict.items.size() != 2) {
+      state.SkipWithError("expected the {+Having, -GroupBy} conflict");
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+    ++solves;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(solves));
+}
+
+void BM_CompleteSpec(benchmark::State& state) {
+  const fm::Configurator& configurator = fm::Configurator::Instance();
+  DialectSpec partial;
+  partial.name = "Negotiated";
+  partial.features = {"QuerySpecification", "Where"};
+  size_t completions = 0;
+  for (auto _ : state) {
+    Result<DialectSpec> completed = configurator.Complete(partial);
+    if (!completed.ok()) {
+      state.SkipWithError(completed.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(completed);
+    ++completions;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(completions));
+}
+
+void BM_CatalogLookup(benchmark::State& state) {
+  static const fm::VariantCatalog* catalog = new fm::VariantCatalog(
+      fm::VariantCatalog::BuildDefault(fm::Configurator::Instance()));
+  std::vector<uint64_t> fingerprints;
+  for (const fm::VariantEntry& entry : catalog->entries()) {
+    fingerprints.push_back(entry.fingerprint);
+  }
+  if (fingerprints.empty()) {
+    state.SkipWithError("empty default catalog");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const fm::VariantEntry* entry =
+        catalog->FindByFingerprint(fingerprints[i % fingerprints.size()]);
+    benchmark::DoNotOptimize(entry);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+
+void BM_CountVariants(benchmark::State& state) {
+  const FeatureDiagram* figure1 =
+      SqlFoundationModel().Find(kQuerySpecificationDiagram);
+  if (figure1 == nullptr) {
+    state.SkipWithError("QuerySpecification diagram missing");
+    return;
+  }
+  const uint64_t cap = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    uint64_t count = fm::Configurator::CountDiagramVariants(*figure1, cap);
+    if (count == 0) {
+      state.SkipWithError("diagram counted zero variants");
+      return;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+
+BENCHMARK(BM_ValidateValidSpec)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ValidateConflict)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CompleteSpec)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CatalogLookup)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_CountVariants)->Arg(64)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sqlpl
+
+int main(int argc, char** argv) {
+  return sqlpl::bench::RunAndExport("fm", argc, argv);
+}

@@ -48,6 +48,56 @@ int main() {
   }
   std::printf("sql server listening on 127.0.0.1:%u\n\n", server.port());
 
+  // Negotiation tour (docs/CONFIGURATOR.md): before any SQL flows, a
+  // client can discover the server's variant catalog, have an invalid
+  // spec explained, and auto-complete a partial one.
+  {
+    net::SqlClient negotiator;
+    if (!negotiator.Connect("127.0.0.1", server.port()).ok()) {
+      std::fprintf(stderr, "negotiator connect failed\n");
+      return 1;
+    }
+
+    Result<net::WireCatalogResponse> catalog = negotiator.ListCatalog();
+    if (catalog.ok() && catalog->ok()) {
+      std::printf("variant catalog (%zu entries):\n",
+                  catalog->entries.size());
+      for (const net::WireCatalogEntry& entry : catalog->entries) {
+        std::printf("  %-16s fp=%016llx  %zu features\n", entry.name.c_str(),
+                    static_cast<unsigned long long>(entry.fingerprint),
+                    entry.features.size());
+      }
+    }
+
+    // An invalid spec is refused with its minimal conflict, not a
+    // generic build error: Having without GroupBy.
+    DialectSpec broken = CoreQueryDialect();
+    broken.name = "core-sans-groupby";
+    std::erase(broken.features, "GroupBy");
+    Result<net::WireValidateResponse> verdict =
+        negotiator.ValidateSpec(broken);
+    if (verdict.ok() && !verdict->ok()) {
+      std::printf("validate %-18s -> %s\n", broken.name.c_str(),
+                  verdict->message.c_str());
+    }
+
+    // A partial spec auto-completes to the canonical minimal valid
+    // dialect; its fingerprint is immediately parseable.
+    DialectSpec partial;
+    partial.name = "negotiated";
+    partial.features = {"QuerySpecification", "Where"};
+    Result<net::WireCompleteResponse> completed =
+        negotiator.CompleteSpec(partial);
+    if (completed.ok() && completed->ok() && completed->has_spec) {
+      Result<net::WireParseResponse> first = negotiator.ParseByFingerprint(
+          completed->fingerprint, "SELECT a FROM t WHERE a = b");
+      std::printf("complete %-17s -> %zu features, parse by fingerprint: %s\n",
+                  partial.name.c_str(), completed->spec.features.size(),
+                  first.ok() && first->ok() ? "OK" : "reject");
+    }
+    std::printf("\n");
+  }
+
   // Each client profile: a dialect plus the statements its devices send.
   struct Client {
     DialectSpec spec;

@@ -38,7 +38,8 @@ fi
 echo "== tsan: build (SQLPL_SANITIZE=thread) =="
 cmake -B build-tsan -S . -D SQLPL_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target sqlpl_service_tests sqlpl_obs_tests sqlpl_net_tests
+  --target sqlpl_service_tests sqlpl_obs_tests sqlpl_net_tests \
+           sqlpl_fm_tests
 
 echo "== tsan: ctest -L tsan-smoke =="
 (cd build-tsan && ctest -L tsan-smoke --output-on-failure -j "$JOBS")
@@ -47,7 +48,7 @@ echo "== asan: build (SQLPL_SANITIZE=address, SQLPL_FAULT_INJECT=ON) =="
 cmake -B build-asan -S . -D SQLPL_SANITIZE=address \
   -D SQLPL_FAULT_INJECT=ON > /dev/null
 cmake --build build-asan -j "$JOBS" \
-  --target sqlpl_service_tests sqlpl_net_tests
+  --target sqlpl_service_tests sqlpl_net_tests sqlpl_fm_tests
 
 echo "== asan: ctest -L service =="
 (cd build-asan && ctest -L service --output-on-failure -j "$JOBS")
@@ -72,7 +73,7 @@ echo "== asan: ctest -L service =="
 # an idle machine. Refresh baselines after an intentional perf change:
 #   scripts/bench_compare.py build --update
 echo "== bench: regression check vs committed baselines =="
-for b in bench_lexer bench_parse bench_service; do
+for b in bench_lexer bench_parse bench_service bench_fm; do
   (cd build && "./bench/$b" > /dev/null)
 done
 python3 "$ROOT/scripts/bench_compare.py" build \

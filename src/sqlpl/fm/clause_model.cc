@@ -1,0 +1,139 @@
+#include "sqlpl/fm/clause_model.h"
+
+#include <utility>
+
+namespace sqlpl {
+namespace fm {
+
+size_t ClauseModel::AddVariable(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  size_t var = names_.size();
+  names_.push_back(name);
+  by_name_.emplace(name, var);
+  return var;
+}
+
+size_t ClauseModel::VarOf(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoVar : it->second;
+}
+
+void ClauseModel::AddClause(std::vector<Lit> lits, std::string reason) {
+  clauses_.push_back(Clause{std::move(lits), std::move(reason)});
+}
+
+ClauseModel ClauseModel::FromDiagram(const FeatureDiagram& diagram) {
+  ClauseModel model;
+  if (diagram.empty()) return model;
+
+  // Variables in pre-order, so indices (and hence the solver's
+  // deterministic branching / enumeration order) follow the diagram.
+  for (const std::string& name : diagram.FeatureNames()) {
+    model.AddVariable(name);
+  }
+  auto var = [&](FeatureDiagram::NodeId id) {
+    return model.VarOf(diagram.NameOf(id));
+  };
+
+  size_t root = var(diagram.root());
+  model.AddClause({Pos(root)},
+                  "root concept '" + diagram.NameOf(diagram.root()) +
+                      "' is always selected");
+
+  for (const std::string& name : diagram.FeatureNames()) {
+    FeatureDiagram::NodeId node = diagram.Find(name);
+    size_t p = var(node);
+    const std::vector<FeatureDiagram::NodeId>& children =
+        diagram.ChildrenOf(node);
+    // A selected feature implies its parent, whatever the grouping.
+    for (FeatureDiagram::NodeId child : children) {
+      model.AddClause({Neg(var(child)), Pos(p)},
+                      "'" + diagram.NameOf(child) + "' is a child of '" +
+                          name + "'");
+    }
+    if (children.empty()) continue;
+    switch (diagram.GroupOf(node)) {
+      case GroupKind::kAnd:
+        // Only AND groups honor per-child variability (the oracle's
+        // EnumerateChildren forks solely on optional AND children).
+        for (FeatureDiagram::NodeId child : children) {
+          if (diagram.VariabilityOf(child) == FeatureVariability::kMandatory) {
+            model.AddClause({Neg(p), Pos(var(child))},
+                            "'" + diagram.NameOf(child) +
+                                "' is mandatory under '" + name + "'");
+          }
+        }
+        break;
+      case GroupKind::kOr: {
+        std::vector<Lit> at_least_one = {Neg(p)};
+        for (FeatureDiagram::NodeId child : children) {
+          at_least_one.push_back(Pos(var(child)));
+        }
+        model.AddClause(std::move(at_least_one),
+                        "or group under '" + name +
+                            "' needs at least one child");
+        break;
+      }
+      case GroupKind::kAlternative: {
+        std::vector<Lit> at_least_one = {Neg(p)};
+        for (FeatureDiagram::NodeId child : children) {
+          at_least_one.push_back(Pos(var(child)));
+        }
+        model.AddClause(std::move(at_least_one),
+                        "alternative group under '" + name +
+                            "' needs one child");
+        for (size_t i = 0; i < children.size(); ++i) {
+          for (size_t j = i + 1; j < children.size(); ++j) {
+            model.AddClause(
+                {Neg(var(children[i])), Neg(var(children[j]))},
+                "alternative group under '" + name + "': '" +
+                    diagram.NameOf(children[i]) + "' and '" +
+                    diagram.NameOf(children[j]) + "' are mutually exclusive");
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  for (const FeatureConstraint& constraint : diagram.constraints()) {
+    size_t from = model.VarOf(constraint.from);
+    size_t to = model.VarOf(constraint.to);
+    if (from == kNoVar || to == kNoVar) continue;  // Validate() reports these
+    if (constraint.kind == ConstraintKind::kRequires) {
+      model.AddClause({Neg(from), Pos(to)}, constraint.ToString());
+    } else {
+      model.AddClause({Neg(from), Neg(to)}, constraint.ToString());
+    }
+  }
+  return model;
+}
+
+ClauseModel ClauseModel::FromCatalog(const SqlFeatureCatalog& catalog) {
+  ClauseModel model;
+  // Variables in canonical composition order, matching the order specs
+  // are canonicalized to everywhere else (fingerprints, sequences).
+  for (const SqlFeatureModule& module : catalog.modules()) {
+    model.AddVariable(module.name);
+  }
+  for (const SqlFeatureModule& module : catalog.modules()) {
+    size_t m = model.VarOf(module.name);
+    for (const std::string& required : module.requires_features) {
+      size_t r = model.VarOf(required);
+      if (r == kNoVar) continue;
+      model.AddClause({Neg(m), Pos(r)},
+                      "'" + module.name + "' requires '" + required + "'");
+    }
+    for (const std::string& excluded : module.excludes_features) {
+      size_t x = model.VarOf(excluded);
+      if (x == kNoVar) continue;
+      model.AddClause({Neg(m), Neg(x)},
+                      "'" + module.name + "' excludes '" + excluded + "'");
+    }
+  }
+  return model;
+}
+
+}  // namespace fm
+}  // namespace sqlpl

@@ -1,0 +1,91 @@
+#ifndef SQLPL_FM_CLAUSE_MODEL_H_
+#define SQLPL_FM_CLAUSE_MODEL_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sqlpl/feature/feature_diagram.h"
+#include "sqlpl/sql/foundation_grammars.h"
+
+namespace sqlpl {
+namespace fm {
+
+/// One literal of the configurator's clause form: variable `var` (an
+/// index into a `ClauseModel`'s variable table) asserted positive
+/// (feature selected) or negative (feature deselected).
+struct Lit {
+  size_t var = 0;
+  bool positive = true;
+
+  bool operator==(const Lit&) const = default;
+};
+
+inline Lit Pos(size_t var) { return Lit{var, true}; }
+inline Lit Neg(size_t var) { return Lit{var, false}; }
+
+/// A disjunction of literals plus the human-readable constraint it was
+/// compiled from ("'Having' requires 'GroupBy'", "alternative group
+/// under 'SetQuantifier'"). The provenance string is what conflict
+/// explanations surface to the user, so it is kept on every clause.
+struct Clause {
+  std::vector<Lit> lits;
+  std::string reason;
+};
+
+/// Propositional model of a feature space: named boolean variables (one
+/// per feature) and clauses (the constraints in conjunctive normal
+/// form). Immutable once built; the solver (`sqlpl/fm/solver.h`) reads
+/// it without copying.
+///
+/// Two compilers produce models:
+///
+///   - `FromDiagram` encodes FODA feature-diagram semantics — the exact
+///     semantics of `FeatureDiagram::CountConfigurations()`, so solver
+///     model counts can be checked against that brute-force oracle:
+///       * the root concept is always selected;
+///       * a selected child implies its parent;
+///       * in an AND group, a selected parent implies its mandatory
+///         children (optional children are free);
+///       * in an OR group, a selected parent implies at least one child;
+///       * in an alternative (XOR) group, exactly one child — child
+///         variability is ignored in OR/XOR groups, as in the oracle;
+///       * cross-tree `A requires B` / `A excludes B` constraints.
+///
+///   - `FromCatalog` encodes the SQL feature catalog's module-level
+///     `requires`/`excludes` edges over module names — the constraints
+///     `CompositionSequence::Resolve` enforces at compose time, lifted
+///     into solvable form so a `DialectSpec` can be validated, explained,
+///     and completed *before* any grammar work happens.
+class ClauseModel {
+ public:
+  static constexpr size_t kNoVar = static_cast<size_t>(-1);
+
+  ClauseModel() = default;
+
+  /// Adds (or finds) the variable named `name`; returns its index.
+  size_t AddVariable(const std::string& name);
+
+  /// Index of `name`, or `kNoVar` when unknown.
+  size_t VarOf(const std::string& name) const;
+
+  const std::string& NameOf(size_t var) const { return names_[var]; }
+  size_t NumVars() const { return names_.size(); }
+
+  void AddClause(std::vector<Lit> lits, std::string reason);
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  static ClauseModel FromDiagram(const FeatureDiagram& diagram);
+  static ClauseModel FromCatalog(const SqlFeatureCatalog& catalog);
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, size_t> by_name_;
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace fm
+}  // namespace sqlpl
+
+#endif  // SQLPL_FM_CLAUSE_MODEL_H_

@@ -1,0 +1,225 @@
+#include "sqlpl/fm/configurator.h"
+
+#include <chrono>
+#include <utility>
+
+#include "sqlpl/fm/explain.h"
+
+namespace sqlpl {
+namespace fm {
+namespace {
+
+uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+std::string ConfigConflict::ToString() const {
+  std::string out = "minimal conflict {";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].selected ? '+' : '-';
+    out += items[i].feature;
+  }
+  out += "}";
+  if (!reason.empty()) {
+    out += ": ";
+    out += reason;
+  }
+  return out;
+}
+
+Configurator::Configurator(const SqlFeatureCatalog& catalog,
+                           obs::MetricsRegistry* registry)
+    : catalog_(catalog),
+      model_(ClauseModel::FromCatalog(catalog)),
+      solver_(&model_),
+      registry_(registry) {
+  if (registry_ == nullptr) return;
+  validations_ = registry_->GetCounter(
+      "sqlpl_fm_validations_total", {},
+      "DialectSpec validations run by the feature-model configurator");
+  completions_ = registry_->GetCounter(
+      "sqlpl_fm_completions_total", {},
+      "Partial DialectSpec auto-completions run by the configurator");
+  solve_micros_ = registry_->GetHistogram(
+      "sqlpl_fm_solve_micros", {},
+      "Latency of configurator validations (incl. conflict narrowing)");
+  complete_micros_ = registry_->GetHistogram(
+      "sqlpl_fm_complete_micros", {},
+      "Latency of configurator spec completions");
+}
+
+const Configurator& Configurator::Instance() {
+  static const Configurator* instance =
+      new Configurator(SqlFeatureCatalog::Instance());
+  return *instance;
+}
+
+ConfigConflict Configurator::BuildConflict(const std::vector<Lit>& lits,
+                                           const std::string& fallback) const {
+  ConfigConflict conflict;
+  for (const Lit& lit : lits) {
+    conflict.items.push_back(ConflictItem{model_.NameOf(lit.var),
+                                          lit.positive});
+  }
+  // Re-propagating just the conflict literals pins the clause they
+  // falsify; when even that cannot name a single clause, fall back to
+  // the first violation seen by the caller.
+  const Clause* why = nullptr;
+  std::vector<Value> scratch;
+  solver_.Propagate(lits, &scratch, &why);
+  conflict.reason = why != nullptr ? why->reason : fallback;
+  return conflict;
+}
+
+ValidationResult Configurator::Validate(const DialectSpec& spec) const {
+  auto start = std::chrono::steady_clock::now();
+  if (validations_ != nullptr) validations_->Increment();
+
+  // Closed world: selected features true, every other module false.
+  // Unknown names are skipped — the compose path owns that diagnostic.
+  std::vector<bool> selected(model_.NumVars(), false);
+  std::vector<size_t> selection_order;
+  for (const std::string& feature : spec.features) {
+    size_t var = model_.VarOf(feature);
+    if (var == ClauseModel::kNoVar) continue;
+    if (!selected[var]) {
+      selected[var] = true;
+      selection_order.push_back(var);
+    }
+  }
+
+  // Full assignment means satisfiability is one linear clause scan.
+  const Clause* violated = nullptr;
+  for (const Clause& clause : model_.clauses()) {
+    bool satisfied = false;
+    for (const Lit& lit : clause.lits) {
+      if (selected[lit.var] == lit.positive) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      violated = &clause;
+      break;
+    }
+  }
+
+  ValidationResult result;
+  if (violated == nullptr) {
+    result.valid = true;
+    if (solve_micros_ != nullptr) solve_micros_->Record(MicrosSince(start));
+    return result;
+  }
+
+  // Blame priority: what the user selected (in spec order) before the
+  // implied closed-world deselections (in catalog order), so the
+  // minimal conflict names the user's own choices first.
+  std::vector<Lit> candidates;
+  for (size_t var : selection_order) candidates.push_back(Pos(var));
+  for (size_t var = 0; var < model_.NumVars(); ++var) {
+    if (!selected[var]) candidates.push_back(Neg(var));
+  }
+  result.conflict =
+      BuildConflict(MinimalConflict(solver_, candidates), violated->reason);
+
+  if (registry_ != nullptr) {
+    registry_
+        ->GetCounter("sqlpl_fm_rejections_total",
+                     {{"conflict_size",
+                       std::to_string(result.conflict.items.size())}},
+                     "DialectSpec validations rejected by the configurator, "
+                     "by minimal-conflict size")
+        ->Increment();
+  }
+  if (solve_micros_ != nullptr) solve_micros_->Record(MicrosSince(start));
+  return result;
+}
+
+Status Configurator::ValidateToStatus(const DialectSpec& spec) const {
+  ValidationResult result = Validate(spec);
+  if (result.valid) return Status::OK();
+  return Status::InvalidConfig(result.conflict.ToString());
+}
+
+Result<DialectSpec> Configurator::Complete(const DialectSpec& spec) const {
+  auto start = std::chrono::steady_clock::now();
+  if (completions_ != nullptr) completions_->Increment();
+
+  std::vector<Lit> assumptions;
+  for (const std::string& feature : spec.features) {
+    size_t var = model_.VarOf(feature);
+    if (var == ClauseModel::kNoVar) {
+      return Status::ConfigurationError("unknown feature '" + feature +
+                                        "' in dialect '" + spec.name + "'");
+    }
+    assumptions.push_back(Pos(var));
+  }
+
+  // Propagate forced inclusions/exclusions from the partial selection.
+  std::vector<Value> assignment;
+  const Clause* why = nullptr;
+  if (!solver_.Propagate(assumptions, &assignment, &why)) {
+    ConfigConflict conflict =
+        BuildConflict(MinimalConflict(solver_, assumptions),
+                      why != nullptr ? why->reason : "");
+    return Status::InvalidConfig(conflict.ToString());
+  }
+  std::vector<std::string> forced;
+  for (size_t var = 0; var < assignment.size(); ++var) {
+    if (assignment[var] == Value::kTrue) forced.push_back(model_.NameOf(var));
+  }
+
+  // Close over the catalog's deterministic preference order: transitive
+  // requires plus the earliest module providing each open choice point.
+  SQLPL_ASSIGN_OR_RETURN(std::vector<std::string> closed,
+                         catalog_.CompletedClosure(forced));
+
+  DialectSpec completed;
+  completed.name = spec.name;
+  completed.features = std::move(closed);
+  completed.counts = spec.counts;
+  completed.start_symbol = spec.start_symbol;
+
+  // The closure may add modules beyond what propagation saw; re-check
+  // the finished selection so a contradiction can never escape here.
+  ValidationResult check = Validate(completed);
+  if (!check.valid) {
+    return Status::InvalidConfig(check.conflict.ToString());
+  }
+  if (complete_micros_ != nullptr) {
+    complete_micros_->Record(MicrosSince(start));
+  }
+  return completed;
+}
+
+uint64_t Configurator::CountDiagramVariants(const FeatureDiagram& diagram,
+                                            uint64_t cap) {
+  if (diagram.empty() || cap == 0) return 0;
+  ClauseModel model = ClauseModel::FromDiagram(diagram);
+  Solver solver(&model);
+  return solver.CountModels({}, cap);
+}
+
+std::vector<std::vector<std::string>> Configurator::EnumerateDiagramVariants(
+    const FeatureDiagram& diagram, size_t cap) {
+  std::vector<std::vector<std::string>> variants;
+  if (diagram.empty() || cap == 0) return variants;
+  ClauseModel model = ClauseModel::FromDiagram(diagram);
+  Solver solver(&model);
+  for (const std::vector<size_t>& vars : solver.EnumerateModels({}, cap)) {
+    std::vector<std::string> names;
+    names.reserve(vars.size());
+    for (size_t var : vars) names.push_back(model.NameOf(var));
+    variants.push_back(std::move(names));
+  }
+  return variants;
+}
+
+}  // namespace fm
+}  // namespace sqlpl

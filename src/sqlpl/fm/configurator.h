@@ -1,0 +1,129 @@
+#ifndef SQLPL_FM_CONFIGURATOR_H_
+#define SQLPL_FM_CONFIGURATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sqlpl/fm/clause_model.h"
+#include "sqlpl/fm/solver.h"
+#include "sqlpl/obs/metrics.h"
+#include "sqlpl/sql/product_line.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+namespace fm {
+
+/// One selection named by a conflict explanation: the feature plus
+/// whether the culprit is its selection (`selected`, "you asked for
+/// this") or its absence (the closed-world deselection it clashes with).
+struct ConflictItem {
+  std::string feature;
+  bool selected = true;
+
+  bool operator==(const ConflictItem&) const = default;
+};
+
+/// A preferred minimal conflict: the smallest set of mutually
+/// incompatible selections/deselections, plus the human-readable
+/// constraint provenance ("'Having' requires 'GroupBy'") that refutes
+/// them. Rendered as `minimal conflict {+Having, -GroupBy}: 'Having'
+/// requires 'GroupBy'`.
+struct ConfigConflict {
+  std::vector<ConflictItem> items;
+  std::string reason;
+
+  std::string ToString() const;
+
+  bool operator==(const ConfigConflict&) const = default;
+};
+
+/// Outcome of validating a `DialectSpec`; `conflict` is meaningful only
+/// when `!valid`.
+struct ValidationResult {
+  bool valid = false;
+  ConfigConflict conflict;
+};
+
+/// The feature-model configurator: validates, explains, and completes
+/// `DialectSpec`s against the SQL feature catalog's constraint graph
+/// *before* any grammar composition happens, so invalid configurations
+/// are rejected with a typed `kInvalidConfig` (and a minimal conflict)
+/// instead of surfacing as generic build failures.
+///
+/// Validation is closed-world: the spec's features are selected, every
+/// other catalog module deselected, and the clause form evaluated
+/// linearly — no search on the happy path. Only on violation does the
+/// QuickXplain narrowing run. Feature names unknown to the catalog are
+/// ignored here; the compose path keeps ownership of that diagnostic
+/// (`kConfigurationError`), preserving its behavior.
+///
+/// Thread-safe after construction: all queries are const over immutable
+/// state, and metric updates are atomic.
+class Configurator {
+ public:
+  /// Builds the clause model from `catalog` once. When `registry` is
+  /// non-null, `sqlpl_fm_*` instruments are registered eagerly so the
+  /// families appear in expositions before the first request.
+  explicit Configurator(const SqlFeatureCatalog& catalog,
+                        obs::MetricsRegistry* registry = nullptr);
+
+  Configurator(const Configurator&) = delete;
+  Configurator& operator=(const Configurator&) = delete;
+
+  /// Process-wide configurator over `SqlFeatureCatalog::Instance()`,
+  /// without metrics. Built once on first use.
+  static const Configurator& Instance();
+
+  /// Closed-world validation of `spec` (see class comment).
+  ValidationResult Validate(const DialectSpec& spec) const;
+
+  /// `Validate` folded to a `Status`: OK, or `kInvalidConfig` whose
+  /// message is the conflict's `ToString()`.
+  Status ValidateToStatus(const DialectSpec& spec) const;
+
+  /// Auto-completes a partial spec: treats `spec.features` as positive
+  /// assumptions, propagates every forced inclusion/exclusion, then
+  /// closes the selection over the catalog's deterministic preference
+  /// order (transitive requires plus earliest-module group choices) so
+  /// the result always composes. `counts`, `start_symbol`, and `name`
+  /// carry over. Fails with `kInvalidConfig` when the partial selection
+  /// is already contradictory, or `kConfigurationError` on unknown
+  /// feature names (matching the compose path's diagnostic).
+  Result<DialectSpec> Complete(const DialectSpec& spec) const;
+
+  /// The compiled clause form (for tests and diagnostics).
+  const ClauseModel& model() const { return model_; }
+
+  /// Number of valid configurations of `diagram`, saturating at `cap` —
+  /// the solver-side counterpart of the brute-force
+  /// `FeatureDiagram::CountConfigurations()` oracle.
+  static uint64_t CountDiagramVariants(const FeatureDiagram& diagram,
+                                       uint64_t cap);
+
+  /// The first `cap` valid configurations of `diagram` in canonical
+  /// order, each as the selected feature names (diagram pre-order).
+  static std::vector<std::vector<std::string>> EnumerateDiagramVariants(
+      const FeatureDiagram& diagram, size_t cap);
+
+ private:
+  /// Maps conflict literals back to named items and resolves the
+  /// violated clause's provenance (`fallback` when propagation cannot
+  /// pin a single clause).
+  ConfigConflict BuildConflict(const std::vector<Lit>& lits,
+                               const std::string& fallback) const;
+
+  const SqlFeatureCatalog& catalog_;
+  ClauseModel model_;
+  Solver solver_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Counter* validations_ = nullptr;
+  obs::Counter* completions_ = nullptr;
+  obs::Histogram* solve_micros_ = nullptr;
+  obs::Histogram* complete_micros_ = nullptr;
+};
+
+}  // namespace fm
+}  // namespace sqlpl
+
+#endif  // SQLPL_FM_CONFIGURATOR_H_

@@ -1,0 +1,45 @@
+#include "sqlpl/fm/explain.h"
+
+#include <iterator>
+
+namespace sqlpl {
+namespace fm {
+namespace {
+
+bool Satisfiable(const Solver& solver, const std::vector<Lit>& assumptions) {
+  return solver.Solve(assumptions).sat;
+}
+
+std::vector<Lit> Concat(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+  std::vector<Lit> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+/// QUICKXPLAIN'(B, D, C): a minimal subset X of C such that B ∪ X is
+/// unsatisfiable, given B ∪ C is unsatisfiable. `d_nonempty` signals
+/// that the background grew on the way in (the recursion's ΔD ≠ ∅
+/// shortcut: if the enlarged background is already unsatisfiable, no
+/// literal of C is needed).
+std::vector<Lit> QX(const Solver& solver, const std::vector<Lit>& background,
+                    bool d_nonempty, const std::vector<Lit>& candidates) {
+  if (d_nonempty && !Satisfiable(solver, background)) return {};
+  if (candidates.size() == 1) return candidates;
+  size_t half = candidates.size() / 2;
+  std::vector<Lit> c1(candidates.begin(), candidates.begin() + half);
+  std::vector<Lit> c2(candidates.begin() + half, candidates.end());
+  std::vector<Lit> x2 = QX(solver, Concat(background, c1), !c1.empty(), c2);
+  std::vector<Lit> x1 = QX(solver, Concat(background, x2), !x2.empty(), c1);
+  return Concat(x1, x2);
+}
+
+}  // namespace
+
+std::vector<Lit> MinimalConflict(const Solver& solver,
+                                 const std::vector<Lit>& candidates) {
+  if (candidates.empty() || Satisfiable(solver, candidates)) return {};
+  return QX(solver, {}, false, candidates);
+}
+
+}  // namespace fm
+}  // namespace sqlpl

@@ -1,0 +1,34 @@
+#ifndef SQLPL_FM_EXPLAIN_H_
+#define SQLPL_FM_EXPLAIN_H_
+
+#include <vector>
+
+#include "sqlpl/fm/solver.h"
+
+namespace sqlpl {
+namespace fm {
+
+/// Computes a preferred minimal conflict among `candidates`: the
+/// smallest (subset-minimal) set of assumption literals that is already
+/// unsatisfiable against the solver's clause model, using the
+/// QuickXplain divide-and-conquer scheme (Junker 2004).
+///
+/// "Preferred" means earlier candidates are preferred culprits: when
+/// several minimal conflicts exist, the one found names the
+/// earliest-listed literals. Callers therefore order `candidates` by
+/// blame priority — the configurator puts the user's positive
+/// selections first (in spec order) so explanations point at what the
+/// user actually asked for rather than at implied deselections.
+///
+/// Preconditions: `candidates` as a whole must be unsatisfiable against
+/// `solver`'s model (callers check first); the empty set must be
+/// satisfiable. Returns candidates in their original relative order.
+/// Complexity is O(k log n) solver calls for a conflict of size k among
+/// n candidates — each call a propagation/search over a small model.
+std::vector<Lit> MinimalConflict(const Solver& solver,
+                                 const std::vector<Lit>& candidates);
+
+}  // namespace fm
+}  // namespace sqlpl
+
+#endif  // SQLPL_FM_EXPLAIN_H_

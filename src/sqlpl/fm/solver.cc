@@ -1,0 +1,163 @@
+#include "sqlpl/fm/solver.h"
+
+#include <algorithm>
+
+namespace sqlpl {
+namespace fm {
+namespace {
+
+Value ValueOf(const std::vector<Value>& assignment, Lit lit) {
+  Value v = assignment[lit.var];
+  if (v == Value::kUnassigned) return Value::kUnassigned;
+  bool truth = (v == Value::kTrue) == lit.positive;
+  return truth ? Value::kTrue : Value::kFalse;
+}
+
+bool Assign(std::vector<Value>* assignment, Lit lit) {
+  Value current = ValueOf(*assignment, lit);
+  if (current == Value::kFalse) return false;
+  (*assignment)[lit.var] = lit.positive ? Value::kTrue : Value::kFalse;
+  return true;
+}
+
+/// Unit-propagates `assignment` to a fixed point over `clauses`. Returns
+/// false on a falsified clause, reported through `conflict`.
+bool PropagateFixpoint(const std::vector<Clause>& clauses,
+                       std::vector<Value>* assignment,
+                       const Clause** conflict) {
+  // The clause count is small (a few hundred at most), so a simple
+  // scan-until-stable loop beats the bookkeeping of watched literals.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Clause& clause : clauses) {
+      const Lit* unit = nullptr;
+      bool satisfied = false;
+      size_t unassigned = 0;
+      for (const Lit& lit : clause.lits) {
+        Value v = ValueOf(*assignment, lit);
+        if (v == Value::kTrue) {
+          satisfied = true;
+          break;
+        }
+        if (v == Value::kUnassigned) {
+          ++unassigned;
+          unit = &lit;
+        }
+      }
+      if (satisfied) continue;
+      if (unassigned == 0) {
+        if (conflict != nullptr) *conflict = &clause;
+        return false;
+      }
+      if (unassigned == 1) {
+        Assign(assignment, *unit);
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+size_t LowestUnassigned(const std::vector<Value>& assignment) {
+  for (size_t var = 0; var < assignment.size(); ++var) {
+    if (assignment[var] == Value::kUnassigned) return var;
+  }
+  return assignment.size();
+}
+
+}  // namespace
+
+bool Solver::Propagate(const std::vector<Lit>& assumptions,
+                       std::vector<Value>* assignment,
+                       const Clause** conflict) const {
+  if (conflict != nullptr) *conflict = nullptr;
+  assignment->assign(model_->NumVars(), Value::kUnassigned);
+  for (const Lit& lit : assumptions) {
+    if (!Assign(assignment, lit)) return false;  // contradictory assumptions
+  }
+  return PropagateFixpoint(model_->clauses(), assignment, conflict);
+}
+
+bool Solver::Search(std::vector<Value>* assignment) const {
+  if (!PropagateFixpoint(model_->clauses(), assignment, nullptr)) {
+    return false;
+  }
+  size_t var = LowestUnassigned(*assignment);
+  if (var == assignment->size()) return true;
+  // False first: the found model is the canonical minimal one.
+  for (Value value : {Value::kFalse, Value::kTrue}) {
+    std::vector<Value> branch = *assignment;
+    branch[var] = value;
+    if (Search(&branch)) {
+      *assignment = std::move(branch);
+      return true;
+    }
+  }
+  return false;
+}
+
+SolveOutcome Solver::Solve(const std::vector<Lit>& assumptions) const {
+  SolveOutcome outcome;
+  std::vector<Value> assignment;
+  if (!Propagate(assumptions, &assignment, &outcome.conflict)) {
+    return outcome;
+  }
+  if (!Search(&assignment)) {
+    // Unsatisfiable, but only discovered deep in the search tree — no
+    // single clause to blame at the top level. `conflict` stays null;
+    // explanations (sqlpl/fm/explain.h) narrow the cause instead.
+    return outcome;
+  }
+  outcome.sat = true;
+  outcome.model = std::move(assignment);
+  return outcome;
+}
+
+bool Solver::Walk(
+    std::vector<Value>* assignment,
+    const std::function<bool(const std::vector<Value>&)>& sink) const {
+  if (!PropagateFixpoint(model_->clauses(), assignment, nullptr)) {
+    return true;  // dead branch, keep walking elsewhere
+  }
+  size_t var = LowestUnassigned(*assignment);
+  if (var == assignment->size()) return sink(*assignment);
+  for (Value value : {Value::kFalse, Value::kTrue}) {
+    std::vector<Value> branch = *assignment;
+    branch[var] = value;
+    if (!Walk(&branch, sink)) return false;
+  }
+  return true;
+}
+
+uint64_t Solver::CountModels(const std::vector<Lit>& assumptions,
+                             uint64_t cap) const {
+  std::vector<Value> assignment;
+  if (!Propagate(assumptions, &assignment, nullptr)) return 0;
+  uint64_t count = 0;
+  Walk(&assignment, [&](const std::vector<Value>&) {
+    ++count;
+    return count < cap;
+  });
+  return count;
+}
+
+std::vector<std::vector<size_t>> Solver::EnumerateModels(
+    const std::vector<Lit>& assumptions, size_t cap) const {
+  std::vector<std::vector<size_t>> models;
+  if (cap == 0) return models;
+  std::vector<Value> assignment;
+  if (!Propagate(assumptions, &assignment, nullptr)) return models;
+  Walk(&assignment, [&](const std::vector<Value>& model) {
+    std::vector<size_t> selected;
+    for (size_t var = 0; var < model.size(); ++var) {
+      if (model[var] == Value::kTrue) selected.push_back(var);
+    }
+    models.push_back(std::move(selected));
+    return models.size() < cap;
+  });
+  return models;
+}
+
+}  // namespace fm
+}  // namespace sqlpl

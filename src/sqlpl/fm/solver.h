@@ -1,0 +1,80 @@
+#ifndef SQLPL_FM_SOLVER_H_
+#define SQLPL_FM_SOLVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sqlpl/fm/clause_model.h"
+
+namespace sqlpl {
+namespace fm {
+
+/// Truth value of one variable during search.
+enum class Value : uint8_t { kUnassigned, kTrue, kFalse };
+
+/// Result of a satisfiability query. When `sat`, `model` holds a full
+/// assignment (every variable `kTrue` or `kFalse`). When unsatisfiable,
+/// `conflict` points at a clause of the model falsified on the final
+/// failing propagation — the provenance surfaced in explanations — or is
+/// null when the assumptions contradicted each other directly.
+struct SolveOutcome {
+  bool sat = false;
+  std::vector<Value> model;
+  const Clause* conflict = nullptr;
+};
+
+/// Deterministic DPLL over a `ClauseModel`: unit propagation to a fixed
+/// point plus a small backtracking core. No external SAT dependency —
+/// feature models here are tens to a few hundred variables, where the
+/// naive clause scan is microseconds.
+///
+/// Determinism contract (tests and the completion preference order rely
+/// on it): the search always branches on the lowest-index unassigned
+/// variable and tries `false` first, so the model returned for a
+/// satisfiable query is the canonical minimal one (lexicographically
+/// smallest under false < true, by variable index), and `EnumerateModels`
+/// yields models in that canonical order.
+class Solver {
+ public:
+  /// `model` must outlive the solver.
+  explicit Solver(const ClauseModel* model) : model_(model) {}
+
+  /// Satisfiability under `assumptions` (literals forced before search).
+  SolveOutcome Solve(const std::vector<Lit>& assumptions) const;
+
+  /// Unit propagation only: applies `assumptions`, derives every forced
+  /// literal, and writes the partial assignment to `*assignment`
+  /// (resized to the variable count). Returns false on conflict, with
+  /// `*conflict` (when non-null) set as in `SolveOutcome::conflict`.
+  bool Propagate(const std::vector<Lit>& assumptions,
+                 std::vector<Value>* assignment,
+                 const Clause** conflict = nullptr) const;
+
+  /// Number of full models under `assumptions`, saturating at `cap`
+  /// (the configurable enumeration bound — counting is exponential by
+  /// nature). A return value equal to `cap` means "at least cap".
+  uint64_t CountModels(const std::vector<Lit>& assumptions,
+                       uint64_t cap) const;
+
+  /// The first `cap` models in canonical order, each as the sorted list
+  /// of variables assigned true.
+  std::vector<std::vector<size_t>> EnumerateModels(
+      const std::vector<Lit>& assumptions, size_t cap) const;
+
+  const ClauseModel& model() const { return *model_; }
+
+ private:
+  bool Search(std::vector<Value>* assignment) const;
+  /// Shared counting/enumeration walk; `sink` returns false to stop
+  /// early (cap reached).
+  bool Walk(std::vector<Value>* assignment,
+            const std::function<bool(const std::vector<Value>&)>& sink) const;
+
+  const ClauseModel* model_;
+};
+
+}  // namespace fm
+}  // namespace sqlpl
+
+#endif  // SQLPL_FM_SOLVER_H_

@@ -1,0 +1,51 @@
+#include "sqlpl/fm/variant_catalog.h"
+
+#include <utility>
+
+#include "sqlpl/service/spec_fingerprint.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace fm {
+
+VariantCatalog VariantCatalog::BuildDefault(const Configurator& configurator) {
+  VariantCatalog catalog;
+  for (DialectSpec& preset : AllPresetDialects()) {
+    Result<DialectSpec> canonical = configurator.Complete(preset);
+    if (!canonical.ok()) continue;  // never serve an unbuildable entry
+    catalog.Add(preset.name, std::move(canonical).value());
+  }
+  return catalog;
+}
+
+void VariantCatalog::Add(std::string name, DialectSpec spec) {
+  uint64_t fingerprint = FingerprintSpec(spec).value;
+  auto it = by_fingerprint_.find(fingerprint);
+  if (it != by_fingerprint_.end()) {
+    VariantEntry& entry = entries_[it->second];
+    by_name_.erase(entry.name);
+    entry.name = std::move(name);
+    entry.spec = std::move(spec);
+    by_name_[entry.name] = it->second;
+    return;
+  }
+  size_t index = entries_.size();
+  entries_.push_back(
+      VariantEntry{fingerprint, std::move(name), std::move(spec)});
+  by_fingerprint_[fingerprint] = index;
+  by_name_[entries_[index].name] = index;
+}
+
+const VariantEntry* VariantCatalog::FindByFingerprint(
+    uint64_t fingerprint) const {
+  auto it = by_fingerprint_.find(fingerprint);
+  return it == by_fingerprint_.end() ? nullptr : &entries_[it->second];
+}
+
+const VariantEntry* VariantCatalog::FindByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &entries_[it->second];
+}
+
+}  // namespace fm
+}  // namespace sqlpl

@@ -1,0 +1,59 @@
+#ifndef SQLPL_FM_VARIANT_CATALOG_H_
+#define SQLPL_FM_VARIANT_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sqlpl/fm/configurator.h"
+#include "sqlpl/sql/product_line.h"
+
+namespace sqlpl {
+namespace fm {
+
+/// One precomputed valid variant: the canonical (completed,
+/// catalog-ordered) spec, its service fingerprint, and a human name.
+struct VariantEntry {
+  uint64_t fingerprint = 0;
+  std::string name;
+  DialectSpec spec;
+};
+
+/// Catalog of popular valid variants, precomputed once (typically at
+/// server startup) so clients can discover dialects by name or
+/// fingerprint without shipping a spec — and so the server can preload
+/// its fingerprint registry with known-good configurations. Immutable
+/// after construction; lookups are lock-free.
+class VariantCatalog {
+ public:
+  VariantCatalog() = default;
+
+  /// Builds the default catalog from the preset dialects
+  /// (`sqlpl/sql/dialects.h`), each canonicalized through
+  /// `Configurator::Complete` and validated — an entry that fails either
+  /// step is dropped rather than served.
+  static VariantCatalog BuildDefault(const Configurator& configurator);
+
+  /// Adds `spec` (already canonical) under `name`; replaces an existing
+  /// entry with the same fingerprint.
+  void Add(std::string name, DialectSpec spec);
+
+  const VariantEntry* FindByFingerprint(uint64_t fingerprint) const;
+  const VariantEntry* FindByName(const std::string& name) const;
+
+  /// All entries in insertion (preset) order.
+  const std::vector<VariantEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<VariantEntry> entries_;
+  std::unordered_map<uint64_t, size_t> by_fingerprint_;
+  std::map<std::string, size_t> by_name_;
+};
+
+}  // namespace fm
+}  // namespace sqlpl
+
+#endif  // SQLPL_FM_VARIANT_CATALOG_H_

@@ -52,14 +52,19 @@ Result<WireParseResponse> SqlClient::ParseByFingerprint(
 }
 
 Status SqlClient::Send(WireParseRequest& request) {
-  if (fd_ < 0) return Status::Unavailable("not connected");
   if (request.request_id == 0) request.request_id = next_request_id_++;
   std::string frame;
   EncodeRequestFrame(request, &frame);
+  return SendFrame(frame);
+}
+
+Status SqlClient::SendFrame(const std::string& frame) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
   return SendAll(fd_, frame.data(), frame.size());
 }
 
-Result<WireParseResponse> SqlClient::Receive(Deadline wait) {
+Status SqlClient::ReceivePayload(std::span<const uint8_t>* payload,
+                                 Deadline wait) {
   if (fd_ < 0) return Status::Unavailable("not connected");
   for (;;) {
     std::span<const uint8_t> unread(in_.data() + in_off_,
@@ -68,18 +73,16 @@ Result<WireParseResponse> SqlClient::Receive(Deadline wait) {
         CompleteFrameSize(unread, kDefaultMaxFrameBytes);
     if (!frame_size.ok()) return frame_size.status();
     if (*frame_size > 0) {
-      WireParseResponse response;
-      Status decoded = DecodeResponsePayload(
-          unread.subspan(kFrameHeaderBytes,
-                         *frame_size - kFrameHeaderBytes),
-          &response);
+      *payload = unread.subspan(kFrameHeaderBytes,
+                                *frame_size - kFrameHeaderBytes);
+      // The payload view stays valid: consuming the frame only moves
+      // the offset, the bytes are reclaimed on the *next* receive.
       in_off_ += *frame_size;
-      if (in_off_ == in_.size()) {
-        in_.clear();
-        in_off_ = 0;
-      }
-      if (!decoded.ok()) return decoded;
-      return response;
+      return Status::OK();
+    }
+    if (in_off_ > 0 && in_off_ == in_.size()) {
+      in_.clear();
+      in_off_ = 0;
     }
     char buf[16 * 1024];
     Result<size_t> n = RecvSome(fd_, buf, sizeof(buf), wait);
@@ -89,6 +92,66 @@ Result<WireParseResponse> SqlClient::Receive(Deadline wait) {
     }
     in_.insert(in_.end(), buf, buf + *n);
   }
+}
+
+Result<WireParseResponse> SqlClient::Receive(Deadline wait) {
+  std::span<const uint8_t> payload;
+  SQLPL_RETURN_IF_ERROR(ReceivePayload(&payload, wait));
+  WireParseResponse response;
+  SQLPL_RETURN_IF_ERROR(DecodeResponsePayload(payload, &response));
+  return response;
+}
+
+Result<WireValidateResponse> SqlClient::ValidateSpec(const DialectSpec& spec,
+                                                     Deadline wait) {
+  WireValidateRequest request;
+  request.request_id = next_request_id_++;
+  request.spec = spec;
+  std::string frame;
+  EncodeValidateRequestFrame(request, &frame);
+  SQLPL_RETURN_IF_ERROR(SendFrame(frame));
+  std::span<const uint8_t> payload;
+  SQLPL_RETURN_IF_ERROR(ReceivePayload(&payload, wait));
+  WireValidateResponse response;
+  SQLPL_RETURN_IF_ERROR(DecodeValidateResponsePayload(payload, &response));
+  if (response.request_id != request.request_id) {
+    return Status::Internal("response for a different request id");
+  }
+  return response;
+}
+
+Result<WireCompleteResponse> SqlClient::CompleteSpec(const DialectSpec& spec,
+                                                     Deadline wait) {
+  WireCompleteRequest request;
+  request.request_id = next_request_id_++;
+  request.spec = spec;
+  std::string frame;
+  EncodeCompleteRequestFrame(request, &frame);
+  SQLPL_RETURN_IF_ERROR(SendFrame(frame));
+  std::span<const uint8_t> payload;
+  SQLPL_RETURN_IF_ERROR(ReceivePayload(&payload, wait));
+  WireCompleteResponse response;
+  SQLPL_RETURN_IF_ERROR(DecodeCompleteResponsePayload(payload, &response));
+  if (response.request_id != request.request_id) {
+    return Status::Internal("response for a different request id");
+  }
+  return response;
+}
+
+Result<WireCatalogResponse> SqlClient::ListCatalog(Deadline wait) {
+  WireCatalogRequest request;
+  request.request_id = next_request_id_++;
+  std::string frame;
+  EncodeCatalogRequestFrame(request, &frame);
+  SQLPL_RETURN_IF_ERROR(SendFrame(frame));
+  std::span<const uint8_t> payload;
+  SQLPL_RETURN_IF_ERROR(ReceivePayload(&payload, wait));
+  WireCatalogResponse response;
+  SQLPL_RETURN_IF_ERROR(DecodeCatalogResponsePayload(payload, &response));
+  if (response.request_id != request.request_id) {
+    return Status::Internal("response for a different request id");
+  }
+  return response;
 }
 
 Result<WireParseResponse> SqlClient::Call(WireParseRequest request,

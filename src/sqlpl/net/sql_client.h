@@ -2,6 +2,7 @@
 #define SQLPL_NET_SQL_CLIENT_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -23,6 +24,13 @@ namespace net {
 /// the 8-byte fingerprint of a spec the server has already seen. Every
 /// response echoes the dialect fingerprint, so a client can switch
 /// forms after its first call.
+///
+/// Negotiation (docs/CONFIGURATOR.md): `ValidateSpec` runs the server's
+/// feature-model configurator without parsing anything, `CompleteSpec`
+/// auto-completes a partial spec into a canonical registered one, and
+/// `ListCatalog` fetches the precomputed popular-variant catalog. All
+/// three register the resulting spec server-side, so the follow-up
+/// parse can go fingerprint-only.
 ///
 /// Not thread-safe: one `SqlClient` per thread (connections are cheap;
 /// the server multiplexes).
@@ -80,8 +88,35 @@ class SqlClient {
   /// completion order — match `request_id` yourself when pipelining.
   Result<WireParseResponse> Receive(Deadline wait = Deadline::Never());
 
+  /// Synchronous configurator check of `spec`. A `kInvalidConfig`
+  /// response (still `ok()` at the transport level — inspect
+  /// `response.status`) carries the structured minimal conflict.
+  Result<WireValidateResponse> ValidateSpec(const DialectSpec& spec,
+                                            Deadline wait =
+                                                Deadline::Never());
+
+  /// Synchronous auto-completion of a partial `spec`. On success the
+  /// response holds the canonical completed spec plus its fingerprint,
+  /// already registered server-side for `ParseByFingerprint`.
+  Result<WireCompleteResponse> CompleteSpec(const DialectSpec& spec,
+                                            Deadline wait =
+                                                Deadline::Never());
+
+  /// Fetches the server's precomputed variant catalog (name,
+  /// fingerprint, and feature list per popular variant).
+  Result<WireCatalogResponse> ListCatalog(Deadline wait =
+                                              Deadline::Never());
+
  private:
   Result<WireParseResponse> Call(WireParseRequest request, Deadline wait);
+
+  /// Sends one already-encoded frame (assigning `*request_id` from the
+  /// auto-increment counter first when zero).
+  Status SendFrame(const std::string& frame);
+
+  /// Reads one complete frame payload off the wire into `*payload`
+  /// (valid until the next Receive*/Parse call consumes the buffer).
+  Status ReceivePayload(std::span<const uint8_t>* payload, Deadline wait);
 
   int fd_ = -1;
   uint64_t next_request_id_ = 1;

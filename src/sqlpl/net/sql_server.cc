@@ -33,6 +33,16 @@ uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
           .count());
 }
 
+WireConflict ToWireConflict(const fm::ConfigConflict& conflict) {
+  WireConflict wire;
+  wire.items.reserve(conflict.items.size());
+  for (const fm::ConflictItem& item : conflict.items) {
+    wire.items.push_back(WireConflictItem{item.feature, item.selected});
+  }
+  wire.reason = conflict.reason;
+  return wire;
+}
+
 }  // namespace
 
 /// Per-connection state. The input side (`in`, `in_off`) belongs to the
@@ -167,6 +177,18 @@ Status SqlServer::Start() {
     return Status::FailedPrecondition(
         "SqlServer is single-use: already started");
   }
+  // Precompute the variant catalog and seed the fingerprint registry
+  // with its known-good specs, so a fresh client can ListCatalog and
+  // parse by fingerprint without ever shipping a feature selection.
+  catalog_ = fm::VariantCatalog::BuildDefault(service_->configurator());
+  {
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    for (const fm::VariantEntry& entry : catalog_.entries()) {
+      std::shared_ptr<const DialectSpec>& slot = specs_[entry.fingerprint];
+      if (!slot) slot = std::make_shared<const DialectSpec>(entry.spec);
+    }
+  }
+
   Result<int> listen = ListenTcp(options_.bind_address, options_.port);
   if (!listen.ok()) return listen.status();
   listen_fd_ = *listen;
@@ -502,24 +524,10 @@ void SqlServer::ProcessInput(EventLoop* loop,
     conn->in_off += *frame_size;
     frames_in_->Increment();
 
-    WireParseRequest request;
-    Status decoded = DecodeRequestPayload(payload, &request);
-    if (!decoded.ok()) {
-      // The frame boundary held, so we can still answer before
-      // disconnecting the (broken) client.
-      decode_errors_->Increment();
-      RefuseFrame(conn, request.request_id, decoded);
+    if (!DecodeAndDispatch(conn, payload)) {
       CloseConnection(loop, conn);
       return;
     }
-    if (draining_.load(std::memory_order_relaxed)) {
-      draining_refusals_->Increment();
-      unavailable_total_->Increment();
-      RefuseFrame(conn, request.request_id,
-                  Status::Unavailable("server is draining"));
-      continue;
-    }
-    DispatchFrame(conn, std::move(request));
   }
 
   if (conn->in_off == conn->in.size()) {
@@ -529,6 +537,101 @@ void SqlServer::ProcessInput(EventLoop* loop,
     conn->in.erase(conn->in.begin(),
                    conn->in.begin() + static_cast<ptrdiff_t>(conn->in_off));
     conn->in_off = 0;
+  }
+}
+
+bool SqlServer::DecodeAndDispatch(const std::shared_ptr<Connection>& conn,
+                                  std::span<const uint8_t> payload) {
+  // Refuse frames of any type with the matching response type while
+  // draining, so clients mid-negotiation see a decodable kUnavailable.
+  auto refuse_if_draining = [this, &conn](uint64_t request_id,
+                                          WireType response_type) {
+    if (!draining_.load(std::memory_order_relaxed)) return false;
+    draining_refusals_->Increment();
+    unavailable_total_->Increment();
+    RefuseFrame(conn, request_id, Status::Unavailable("server is draining"),
+                response_type);
+    return true;
+  };
+  auto received_at = std::chrono::steady_clock::now();
+
+  switch (static_cast<WireType>(PayloadType(payload))) {
+    case WireType::kValidateSpecRequest: {
+      WireValidateRequest request;
+      Status decoded = DecodeValidateRequestPayload(payload, &request);
+      if (!decoded.ok()) {
+        decode_errors_->Increment();
+        RefuseFrame(conn, request.request_id, decoded,
+                    WireType::kValidateSpecResponse);
+        return false;
+      }
+      if (refuse_if_draining(request.request_id,
+                             WireType::kValidateSpecResponse)) {
+        return true;
+      }
+      DispatchJob(conn, request.request_id, WireType::kValidateSpecResponse,
+                  [this, conn, request = std::move(request), received_at] {
+                    HandleValidate(conn, request, received_at);
+                  });
+      return true;
+    }
+    case WireType::kCompleteSpecRequest: {
+      WireCompleteRequest request;
+      Status decoded = DecodeCompleteRequestPayload(payload, &request);
+      if (!decoded.ok()) {
+        decode_errors_->Increment();
+        RefuseFrame(conn, request.request_id, decoded,
+                    WireType::kCompleteSpecResponse);
+        return false;
+      }
+      if (refuse_if_draining(request.request_id,
+                             WireType::kCompleteSpecResponse)) {
+        return true;
+      }
+      DispatchJob(conn, request.request_id, WireType::kCompleteSpecResponse,
+                  [this, conn, request = std::move(request), received_at] {
+                    HandleComplete(conn, request, received_at);
+                  });
+      return true;
+    }
+    case WireType::kListCatalogRequest: {
+      WireCatalogRequest request;
+      Status decoded = DecodeCatalogRequestPayload(payload, &request);
+      if (!decoded.ok()) {
+        decode_errors_->Increment();
+        RefuseFrame(conn, request.request_id, decoded,
+                    WireType::kListCatalogResponse);
+        return false;
+      }
+      if (refuse_if_draining(request.request_id,
+                             WireType::kListCatalogResponse)) {
+        return true;
+      }
+      DispatchJob(conn, request.request_id, WireType::kListCatalogResponse,
+                  [this, conn, request, received_at] {
+                    HandleCatalog(conn, request, received_at);
+                  });
+      return true;
+    }
+    default: {
+      // Parse requests and anything unknown go through the parse
+      // decoder — its unexpected-type diagnostic is the protocol's
+      // canonical rejection.
+      WireParseRequest request;
+      Status decoded = DecodeRequestPayload(payload, &request);
+      if (!decoded.ok()) {
+        // The frame boundary held, so we can still answer before
+        // disconnecting the (broken) client.
+        decode_errors_->Increment();
+        RefuseFrame(conn, request.request_id, decoded);
+        return false;
+      }
+      if (refuse_if_draining(request.request_id, WireType::kParseResponse)) {
+        return true;
+      }
+      DispatchFrame(conn, std::move(request));
+      return true;
+    }
   }
 }
 
@@ -542,14 +645,24 @@ void SqlServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
           ? Deadline::After(std::chrono::milliseconds(request.deadline_ms))
           : Deadline::Never();
   auto received_at = std::chrono::steady_clock::now();
+  uint64_t request_id = request.request_id;
+  DispatchJob(conn, request_id, WireType::kParseResponse,
+              [this, conn, request = std::move(request), deadline,
+               received_at] {
+                HandleRequest(conn, request, deadline, received_at);
+              });
+}
 
+void SqlServer::DispatchJob(const std::shared_ptr<Connection>& conn,
+                            uint64_t request_id, WireType refuse_type,
+                            std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     ++inflight_;
   }
   Status submitted = workers_->Submit(
-      [this, conn, request = std::move(request), deadline, received_at] {
-        HandleRequest(conn, request, deadline, received_at);
+      [this, job = std::move(job)] {
+        job();
         std::lock_guard<std::mutex> lock(inflight_mu_);
         if (--inflight_ == 0) inflight_cv_.notify_all();
       },
@@ -560,8 +673,9 @@ void SqlServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
       if (--inflight_ == 0) inflight_cv_.notify_all();
     }
     unavailable_total_->Increment();
-    RefuseFrame(conn, request.request_id,
-                Status::Unavailable("server worker pool is stopping"));
+    RefuseFrame(conn, request_id,
+                Status::Unavailable("server worker pool is stopping"),
+                refuse_type);
   }
 }
 
@@ -576,11 +690,9 @@ void SqlServer::HandleRequest(const std::shared_ptr<Connection>& conn,
   std::shared_ptr<const DialectSpec> spec;
   uint64_t fingerprint;
   if (request.has_spec) {
-    fingerprint = FingerprintSpec(request.spec).value;
+    fingerprint = RegisterSpec(request.spec);
     std::lock_guard<std::mutex> lock(specs_mu_);
-    std::shared_ptr<const DialectSpec>& slot = specs_[fingerprint];
-    if (!slot) slot = std::make_shared<const DialectSpec>(request.spec);
-    spec = slot;
+    spec = specs_[fingerprint];
   } else {
     fingerprint = request.fingerprint;
     std::lock_guard<std::mutex> lock(specs_mu_);
@@ -622,20 +734,127 @@ void SqlServer::HandleRequest(const std::shared_ptr<Connection>& conn,
   request_latency_->Record(turnaround);
 }
 
+void SqlServer::HandleValidate(const std::shared_ptr<Connection>& conn,
+                               const WireValidateRequest& request,
+                               std::chrono::steady_clock::time_point
+                                   received_at) {
+  WireValidateResponse wire;
+  wire.request_id = request.request_id;
+  fm::ValidationResult validation = service_->ValidateSpec(request.spec);
+  if (validation.valid) {
+    // A spec that passed validation is worth remembering: the client's
+    // next step is usually a fingerprint-only parse.
+    wire.fingerprint = RegisterSpec(request.spec);
+  } else {
+    wire.status = StatusCode::kInvalidConfig;
+    wire.conflict = ToWireConflict(validation.conflict);
+    wire.message = validation.conflict.ToString();
+  }
+  std::string frame;
+  EncodeValidateResponseFrame(wire, &frame);
+  QueueFrame(conn, frame);
+  request_latency_->Record(MicrosSince(received_at));
+}
+
+void SqlServer::HandleComplete(const std::shared_ptr<Connection>& conn,
+                               const WireCompleteRequest& request,
+                               std::chrono::steady_clock::time_point
+                                   received_at) {
+  WireCompleteResponse wire;
+  wire.request_id = request.request_id;
+  Result<DialectSpec> completed = service_->CompleteSpec(request.spec);
+  if (completed.ok()) {
+    wire.has_spec = true;
+    wire.spec = *completed;
+    wire.fingerprint = RegisterSpec(wire.spec);
+  } else {
+    wire.status = completed.status().code();
+    wire.message = completed.status().message();
+  }
+  std::string frame;
+  EncodeCompleteResponseFrame(wire, &frame);
+  QueueFrame(conn, frame);
+  request_latency_->Record(MicrosSince(received_at));
+}
+
+void SqlServer::HandleCatalog(const std::shared_ptr<Connection>& conn,
+                              const WireCatalogRequest& request,
+                              std::chrono::steady_clock::time_point
+                                  received_at) {
+  WireCatalogResponse wire;
+  wire.request_id = request.request_id;
+  wire.entries.reserve(catalog_.size());
+  for (const fm::VariantEntry& entry : catalog_.entries()) {
+    WireCatalogEntry out;
+    out.fingerprint = entry.fingerprint;
+    out.name = entry.name;
+    out.features = entry.spec.features;
+    wire.entries.push_back(std::move(out));
+  }
+  std::string frame;
+  EncodeCatalogResponseFrame(wire, &frame);
+  QueueFrame(conn, frame);
+  request_latency_->Record(MicrosSince(received_at));
+}
+
+uint64_t SqlServer::RegisterSpec(const DialectSpec& spec) {
+  uint64_t fingerprint = FingerprintSpec(spec).value;
+  std::lock_guard<std::mutex> lock(specs_mu_);
+  std::shared_ptr<const DialectSpec>& slot = specs_[fingerprint];
+  if (!slot) slot = std::make_shared<const DialectSpec>(spec);
+  return fingerprint;
+}
+
 void SqlServer::RefuseFrame(const std::shared_ptr<Connection>& conn,
-                            uint64_t request_id, const Status& status) {
-  WireParseResponse wire;
-  wire.request_id = request_id;
-  wire.status = status.code();
-  wire.body = status.message();
-  QueueResponse(conn, wire);
+                            uint64_t request_id, const Status& status,
+                            WireType response_type) {
+  std::string frame;
+  switch (response_type) {
+    case WireType::kValidateSpecResponse: {
+      WireValidateResponse wire;
+      wire.request_id = request_id;
+      wire.status = status.code();
+      wire.message = status.message();
+      EncodeValidateResponseFrame(wire, &frame);
+      break;
+    }
+    case WireType::kCompleteSpecResponse: {
+      WireCompleteResponse wire;
+      wire.request_id = request_id;
+      wire.status = status.code();
+      wire.message = status.message();
+      EncodeCompleteResponseFrame(wire, &frame);
+      break;
+    }
+    case WireType::kListCatalogResponse: {
+      WireCatalogResponse wire;
+      wire.request_id = request_id;
+      wire.status = status.code();
+      wire.message = status.message();
+      EncodeCatalogResponseFrame(wire, &frame);
+      break;
+    }
+    default: {
+      WireParseResponse wire;
+      wire.request_id = request_id;
+      wire.status = status.code();
+      wire.body = status.message();
+      EncodeResponseFrame(wire, &frame);
+      break;
+    }
+  }
+  QueueFrame(conn, frame);
 }
 
 void SqlServer::QueueResponse(const std::shared_ptr<Connection>& conn,
                               const WireParseResponse& response) {
   std::string frame;
   EncodeResponseFrame(response, &frame);
+  QueueFrame(conn, frame);
+}
 
+void SqlServer::QueueFrame(const std::shared_ptr<Connection>& conn,
+                           const std::string& frame) {
   bool wake = false;
   {
     std::lock_guard<std::mutex> lock(conn->mu);

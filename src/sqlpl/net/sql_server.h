@@ -5,13 +5,16 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "sqlpl/fm/variant_catalog.h"
 #include "sqlpl/net/http_sideband.h"
 #include "sqlpl/net/wire.h"
 #include "sqlpl/service/dialect_service.h"
@@ -116,6 +119,12 @@ class SqlServer {
   /// gauge; exposed directly for tests).
   int64_t open_connections() const;
 
+  /// The variant catalog served by `ListCatalog` frames. Built at
+  /// `Start()` from the preset dialects; its entries preload the
+  /// fingerprint registry, so clients can parse by a catalog
+  /// fingerprint without ever sending a spec.
+  const fm::VariantCatalog& catalog() const { return catalog_; }
+
   const SqlServerOptions& options() const { return options_; }
 
  private:
@@ -129,13 +138,39 @@ class SqlServer {
   void HandleReadable(EventLoop* loop, const std::shared_ptr<Connection>& conn);
   void HandleWritable(EventLoop* loop, const std::shared_ptr<Connection>& conn);
   void ProcessInput(EventLoop* loop, const std::shared_ptr<Connection>& conn);
+  /// Decodes one frame payload and hands the work to a worker. Returns
+  /// false when the payload was malformed (decode error counted and
+  /// refused; the caller closes the connection).
+  bool DecodeAndDispatch(const std::shared_ptr<Connection>& conn,
+                         std::span<const uint8_t> payload);
   void DispatchFrame(const std::shared_ptr<Connection>& conn,
                      WireParseRequest request);
+  /// Shared worker handoff with in-flight accounting: runs `job` on the
+  /// pool, refusing with `refuse_type` when the pool is stopping.
+  void DispatchJob(const std::shared_ptr<Connection>& conn,
+                   uint64_t request_id, WireType refuse_type,
+                   std::function<void()> job);
   void HandleRequest(const std::shared_ptr<Connection>& conn,
                      const WireParseRequest& request, Deadline deadline,
                      std::chrono::steady_clock::time_point received_at);
+  void HandleValidate(const std::shared_ptr<Connection>& conn,
+                      const WireValidateRequest& request,
+                      std::chrono::steady_clock::time_point received_at);
+  void HandleComplete(const std::shared_ptr<Connection>& conn,
+                      const WireCompleteRequest& request,
+                      std::chrono::steady_clock::time_point received_at);
+  void HandleCatalog(const std::shared_ptr<Connection>& conn,
+                     const WireCatalogRequest& request,
+                     std::chrono::steady_clock::time_point received_at);
+  /// Remembers `spec` under its fingerprint and returns that
+  /// fingerprint, so follow-up requests can go fingerprint-only.
+  uint64_t RegisterSpec(const DialectSpec& spec);
   void QueueResponse(const std::shared_ptr<Connection>& conn,
                      const WireParseResponse& response);
+  /// Enqueues one already-encoded frame on the connection (flush,
+  /// backpressure, overflow policy).
+  void QueueFrame(const std::shared_ptr<Connection>& conn,
+                  const std::string& frame);
   void CloseConnection(EventLoop* loop, const std::shared_ptr<Connection>& conn);
   void HandleWakeup(EventLoop* loop);
   void WakeLoop(EventLoop* loop);
@@ -148,11 +183,13 @@ class SqlServer {
   /// returns false when the connection is dead.
   bool FlushLocked(Connection* conn);
 
-  /// Sends `status` as a response frame for `request_id` (the decode
-  /// path's error/refusal answer; does not count as an in-flight
-  /// request).
+  /// Sends `status` as a response frame of `response_type` for
+  /// `request_id` (the decode path's error/refusal answer; does not
+  /// count as an in-flight request). The response type mirrors the
+  /// refused request's type so the client-side decoder still matches.
   void RefuseFrame(const std::shared_ptr<Connection>& conn,
-                   uint64_t request_id, const Status& status);
+                   uint64_t request_id, const Status& status,
+                   WireType response_type = WireType::kParseResponse);
 
   DialectService* service_;
   SqlServerOptions options_;
@@ -180,6 +217,9 @@ class SqlServer {
   /// instead.
   std::mutex specs_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<const DialectSpec>> specs_;
+
+  /// Precomputed popular-variant catalog (immutable after `Start()`).
+  fm::VariantCatalog catalog_;
 
   /// Serializes Stop() callers.
   std::mutex stop_mu_;

@@ -108,6 +108,10 @@ constexpr uint8_t kFlagHasSpec = 1 << 1;
 // Bound sanity limits on repeated-field counts; a spec with thousands
 // of features is a protocol violation, not a dialect.
 constexpr size_t kMaxSpecEntries = 4096;
+// A minimal conflict can never exceed the catalog size; anything bigger
+// is malformed.
+constexpr size_t kMaxConflictItems = 4096;
+constexpr size_t kMaxCatalogEntries = 1024;
 
 void PutSpec(std::string* out, const DialectSpec& spec) {
   PutStr16(out, spec.name);
@@ -142,6 +146,54 @@ bool ReadSpec(ByteReader* reader, DialectSpec* spec) {
   return reader->ok();
 }
 
+void PutConflict(std::string* out, const WireConflict& conflict) {
+  PutU16(out, static_cast<uint16_t>(conflict.items.size()));
+  for (const WireConflictItem& item : conflict.items) {
+    PutStr16(out, item.feature);
+    PutU8(out, item.selected ? 1 : 0);
+  }
+  PutStr32(out, conflict.reason);
+}
+
+bool ReadConflict(ByteReader* reader, WireConflict* conflict) {
+  size_t n_items = reader->U16();
+  if (n_items > kMaxConflictItems) return false;
+  conflict->items.clear();
+  conflict->items.reserve(n_items);
+  for (size_t i = 0; i < n_items && reader->ok(); ++i) {
+    WireConflictItem item;
+    item.feature = reader->Str16();
+    item.selected = reader->U8() != 0;
+    conflict->items.push_back(std::move(item));
+  }
+  conflict->reason = reader->Str32();
+  return reader->ok();
+}
+
+/// Checks the leading type byte of a payload against `want`.
+Status ExpectType(ByteReader* reader, WireType want, const char* what) {
+  uint8_t type = reader->U8();
+  if (type != static_cast<uint8_t>(want)) {
+    return Status::InvalidArgument("unexpected message type " +
+                                   std::to_string(type) + " (want " + what +
+                                   ")");
+  }
+  return Status::OK();
+}
+
+/// Shared trailer: sticky-fail and trailing-garbage checks.
+Status FinishDecode(const ByteReader& reader, const char* what) {
+  if (!reader.ok()) {
+    return Status::InvalidArgument(std::string("truncated ") + what +
+                                   " payload");
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(std::string("trailing bytes after ") +
+                                   what);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 uint8_t StatusCodeToWire(StatusCode code) {
@@ -161,6 +213,7 @@ uint8_t StatusCodeToWire(StatusCode code) {
     case StatusCode::kCancelled: return 12;
     case StatusCode::kResourceExhausted: return 13;
     case StatusCode::kUnavailable: return 14;
+    case StatusCode::kInvalidConfig: return 15;
   }
   return 7;  // kInternal
 }
@@ -182,6 +235,7 @@ StatusCode StatusCodeFromWire(uint8_t wire) {
     case 12: return StatusCode::kCancelled;
     case 13: return StatusCode::kResourceExhausted;
     case 14: return StatusCode::kUnavailable;
+    case 15: return StatusCode::kInvalidConfig;
     default: return StatusCode::kInternal;
   }
 }
@@ -303,6 +357,199 @@ Status DecodeResponsePayload(std::span<const uint8_t> payload,
     return Status::InvalidArgument("trailing bytes after ParseResponse");
   }
   return Status::OK();
+}
+
+// --- configurator negotiation frames -------------------------------
+
+void EncodeValidateRequestFrame(const WireValidateRequest& request,
+                                std::string* out) {
+  std::string payload;
+  payload.reserve(64);
+  PutU8(&payload, static_cast<uint8_t>(WireType::kValidateSpecRequest));
+  PutU64(&payload, request.request_id);
+  PutSpec(&payload, request.spec);
+
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+Status DecodeValidateRequestPayload(std::span<const uint8_t> payload,
+                                    WireValidateRequest* out) {
+  ByteReader reader(payload);
+  SQLPL_RETURN_IF_ERROR(ExpectType(&reader, WireType::kValidateSpecRequest,
+                                   "ValidateSpecRequest"));
+  out->request_id = reader.U64();
+  if (!ReadSpec(&reader, &out->spec)) {
+    return Status::InvalidArgument("malformed dialect spec in request");
+  }
+  return FinishDecode(reader, "ValidateSpecRequest");
+}
+
+void EncodeValidateResponseFrame(const WireValidateResponse& response,
+                                 std::string* out) {
+  std::string payload;
+  payload.reserve(64 + response.message.size());
+  PutU8(&payload, static_cast<uint8_t>(WireType::kValidateSpecResponse));
+  PutU64(&payload, response.request_id);
+  PutU8(&payload, StatusCodeToWire(response.status));
+  PutU64(&payload, response.fingerprint);
+  PutConflict(&payload, response.conflict);
+  PutStr32(&payload, response.message);
+
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+Status DecodeValidateResponsePayload(std::span<const uint8_t> payload,
+                                     WireValidateResponse* out) {
+  ByteReader reader(payload);
+  SQLPL_RETURN_IF_ERROR(ExpectType(&reader, WireType::kValidateSpecResponse,
+                                   "ValidateSpecResponse"));
+  out->request_id = reader.U64();
+  out->status = StatusCodeFromWire(reader.U8());
+  out->fingerprint = reader.U64();
+  if (!ReadConflict(&reader, &out->conflict)) {
+    return Status::InvalidArgument("malformed conflict in response");
+  }
+  out->message = reader.Str32();
+  return FinishDecode(reader, "ValidateSpecResponse");
+}
+
+void EncodeCompleteRequestFrame(const WireCompleteRequest& request,
+                                std::string* out) {
+  std::string payload;
+  payload.reserve(64);
+  PutU8(&payload, static_cast<uint8_t>(WireType::kCompleteSpecRequest));
+  PutU64(&payload, request.request_id);
+  PutSpec(&payload, request.spec);
+
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+Status DecodeCompleteRequestPayload(std::span<const uint8_t> payload,
+                                    WireCompleteRequest* out) {
+  ByteReader reader(payload);
+  SQLPL_RETURN_IF_ERROR(ExpectType(&reader, WireType::kCompleteSpecRequest,
+                                   "CompleteSpecRequest"));
+  out->request_id = reader.U64();
+  if (!ReadSpec(&reader, &out->spec)) {
+    return Status::InvalidArgument("malformed dialect spec in request");
+  }
+  return FinishDecode(reader, "CompleteSpecRequest");
+}
+
+void EncodeCompleteResponseFrame(const WireCompleteResponse& response,
+                                 std::string* out) {
+  std::string payload;
+  payload.reserve(96 + response.message.size());
+  PutU8(&payload, static_cast<uint8_t>(WireType::kCompleteSpecResponse));
+  PutU64(&payload, response.request_id);
+  PutU8(&payload, StatusCodeToWire(response.status));
+  PutU8(&payload, response.has_spec ? 1 : 0);
+  if (response.has_spec) PutSpec(&payload, response.spec);
+  PutU64(&payload, response.fingerprint);
+  PutConflict(&payload, response.conflict);
+  PutStr32(&payload, response.message);
+
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+Status DecodeCompleteResponsePayload(std::span<const uint8_t> payload,
+                                     WireCompleteResponse* out) {
+  ByteReader reader(payload);
+  SQLPL_RETURN_IF_ERROR(ExpectType(&reader, WireType::kCompleteSpecResponse,
+                                   "CompleteSpecResponse"));
+  out->request_id = reader.U64();
+  out->status = StatusCodeFromWire(reader.U8());
+  out->has_spec = reader.U8() != 0;
+  if (out->has_spec) {
+    if (!ReadSpec(&reader, &out->spec)) {
+      return Status::InvalidArgument("malformed dialect spec in response");
+    }
+  } else {
+    out->spec = DialectSpec{};
+  }
+  out->fingerprint = reader.U64();
+  if (!ReadConflict(&reader, &out->conflict)) {
+    return Status::InvalidArgument("malformed conflict in response");
+  }
+  out->message = reader.Str32();
+  return FinishDecode(reader, "CompleteSpecResponse");
+}
+
+void EncodeCatalogRequestFrame(const WireCatalogRequest& request,
+                               std::string* out) {
+  std::string payload;
+  payload.reserve(16);
+  PutU8(&payload, static_cast<uint8_t>(WireType::kListCatalogRequest));
+  PutU64(&payload, request.request_id);
+
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+Status DecodeCatalogRequestPayload(std::span<const uint8_t> payload,
+                                   WireCatalogRequest* out) {
+  ByteReader reader(payload);
+  SQLPL_RETURN_IF_ERROR(ExpectType(&reader, WireType::kListCatalogRequest,
+                                   "ListCatalogRequest"));
+  out->request_id = reader.U64();
+  return FinishDecode(reader, "ListCatalogRequest");
+}
+
+void EncodeCatalogResponseFrame(const WireCatalogResponse& response,
+                                std::string* out) {
+  std::string payload;
+  payload.reserve(64 + response.entries.size() * 64);
+  PutU8(&payload, static_cast<uint8_t>(WireType::kListCatalogResponse));
+  PutU64(&payload, response.request_id);
+  PutU8(&payload, StatusCodeToWire(response.status));
+  PutU16(&payload, static_cast<uint16_t>(response.entries.size()));
+  for (const WireCatalogEntry& entry : response.entries) {
+    PutU64(&payload, entry.fingerprint);
+    PutStr16(&payload, entry.name);
+    PutU16(&payload, static_cast<uint16_t>(entry.features.size()));
+    for (const std::string& feature : entry.features) {
+      PutStr16(&payload, feature);
+    }
+  }
+  PutStr32(&payload, response.message);
+
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+Status DecodeCatalogResponsePayload(std::span<const uint8_t> payload,
+                                    WireCatalogResponse* out) {
+  ByteReader reader(payload);
+  SQLPL_RETURN_IF_ERROR(ExpectType(&reader, WireType::kListCatalogResponse,
+                                   "ListCatalogResponse"));
+  out->request_id = reader.U64();
+  out->status = StatusCodeFromWire(reader.U8());
+  size_t n_entries = reader.U16();
+  if (n_entries > kMaxCatalogEntries) {
+    return Status::InvalidArgument("catalog entry count exceeds limit");
+  }
+  out->entries.clear();
+  out->entries.reserve(n_entries);
+  for (size_t i = 0; i < n_entries && reader.ok(); ++i) {
+    WireCatalogEntry entry;
+    entry.fingerprint = reader.U64();
+    entry.name = reader.Str16();
+    size_t n_features = reader.U16();
+    if (n_features > kMaxSpecEntries) {
+      return Status::InvalidArgument("catalog entry feature count exceeds limit");
+    }
+    entry.features.reserve(n_features);
+    for (size_t j = 0; j < n_features && reader.ok(); ++j) {
+      entry.features.push_back(reader.Str16());
+    }
+    out->entries.push_back(std::move(entry));
+  }
+  out->message = reader.Str32();
+  return FinishDecode(reader, "ListCatalogResponse");
 }
 
 }  // namespace net

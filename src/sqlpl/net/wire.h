@@ -5,6 +5,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "sqlpl/service/parser_cache.h"
 #include "sqlpl/sql/product_line.h"
@@ -36,6 +37,15 @@ inline constexpr size_t kFrameHeaderBytes = 4;
 enum class WireType : uint8_t {
   kParseRequest = 1,
   kParseResponse = 2,
+  // Configurator negotiation frames (append-only, like the status
+  // table): spec validation, partial-spec completion, and the variant
+  // catalog listing.
+  kValidateSpecRequest = 3,
+  kValidateSpecResponse = 4,
+  kCompleteSpecRequest = 5,
+  kCompleteSpecResponse = 6,
+  kListCatalogRequest = 7,
+  kListCatalogResponse = 8,
 };
 
 /// A client's parse call, decoded. The dialect travels either inline
@@ -78,6 +88,93 @@ struct WireParseResponse {
   bool ok() const { return status == StatusCode::kOk; }
 };
 
+/// One culprit of a conflict explanation: `selected` distinguishes "you
+/// selected this" (+) from "this is deselected/missing" (−). The wire
+/// mirror of `fm::ConflictItem`.
+struct WireConflictItem {
+  std::string feature;
+  bool selected = true;
+
+  bool operator==(const WireConflictItem&) const = default;
+};
+
+/// A minimal conflict as carried by `kInvalidConfig` responses: the
+/// smallest set of mutually incompatible selections plus the violated
+/// constraint's human-readable provenance.
+struct WireConflict {
+  std::vector<WireConflictItem> items;
+  std::string reason;
+
+  bool operator==(const WireConflict&) const = default;
+};
+
+/// Asks the server's configurator whether `spec` is a valid
+/// configuration of the feature model, without parsing anything.
+struct WireValidateRequest {
+  uint64_t request_id = 0;
+  DialectSpec spec;
+};
+
+/// `status` is `kOk` (spec valid; `fingerprint` identifies it for
+/// follow-up `ParseByFingerprint` calls) or `kInvalidConfig`
+/// (`conflict` names the minimal incompatible selection set).
+struct WireValidateResponse {
+  uint64_t request_id = 0;
+  StatusCode status = StatusCode::kOk;
+  uint64_t fingerprint = 0;
+  WireConflict conflict;
+  /// Human-readable rendering of the outcome (empty on success).
+  std::string message;
+
+  bool ok() const { return status == StatusCode::kOk; }
+};
+
+/// Asks the configurator to auto-complete the partial `spec`.
+struct WireCompleteRequest {
+  uint64_t request_id = 0;
+  DialectSpec spec;
+};
+
+/// On `kOk`, `has_spec` is set and `spec` is the completed canonical
+/// selection, registered server-side under `fingerprint`. On
+/// `kInvalidConfig` the partial selection was already contradictory and
+/// `conflict`/`message` explain why.
+struct WireCompleteResponse {
+  uint64_t request_id = 0;
+  StatusCode status = StatusCode::kOk;
+  bool has_spec = false;
+  DialectSpec spec;
+  uint64_t fingerprint = 0;
+  WireConflict conflict;
+  std::string message;
+
+  bool ok() const { return status == StatusCode::kOk; }
+};
+
+/// Asks for the server's precomputed variant catalog.
+struct WireCatalogRequest {
+  uint64_t request_id = 0;
+};
+
+/// One catalog entry: a named, known-valid variant a client can adopt
+/// by fingerprint without ever shipping a spec.
+struct WireCatalogEntry {
+  uint64_t fingerprint = 0;
+  std::string name;
+  std::vector<std::string> features;
+
+  bool operator==(const WireCatalogEntry&) const = default;
+};
+
+struct WireCatalogResponse {
+  uint64_t request_id = 0;
+  StatusCode status = StatusCode::kOk;
+  std::vector<WireCatalogEntry> entries;
+  std::string message;
+
+  bool ok() const { return status == StatusCode::kOk; }
+};
+
 /// Stable one-byte wire encoding of `StatusCode`. The table is
 /// append-only — codes never renumber — so old clients read new
 /// servers' frames (unknown values decode as `kInternal`).
@@ -87,6 +184,18 @@ StatusCode StatusCodeFromWire(uint8_t wire);
 /// Appends one complete frame (header + payload) to `*out`.
 void EncodeRequestFrame(const WireParseRequest& request, std::string* out);
 void EncodeResponseFrame(const WireParseResponse& response, std::string* out);
+void EncodeValidateRequestFrame(const WireValidateRequest& request,
+                                std::string* out);
+void EncodeValidateResponseFrame(const WireValidateResponse& response,
+                                 std::string* out);
+void EncodeCompleteRequestFrame(const WireCompleteRequest& request,
+                                std::string* out);
+void EncodeCompleteResponseFrame(const WireCompleteResponse& response,
+                                 std::string* out);
+void EncodeCatalogRequestFrame(const WireCatalogRequest& request,
+                               std::string* out);
+void EncodeCatalogResponseFrame(const WireCatalogResponse& response,
+                                std::string* out);
 
 /// Inspects the front of a receive buffer. Returns the total size
 /// (header + payload) of the first frame when one is complete, 0 when
@@ -103,6 +212,18 @@ Status DecodeRequestPayload(std::span<const uint8_t> payload,
                             WireParseRequest* out);
 Status DecodeResponsePayload(std::span<const uint8_t> payload,
                              WireParseResponse* out);
+Status DecodeValidateRequestPayload(std::span<const uint8_t> payload,
+                                    WireValidateRequest* out);
+Status DecodeValidateResponsePayload(std::span<const uint8_t> payload,
+                                     WireValidateResponse* out);
+Status DecodeCompleteRequestPayload(std::span<const uint8_t> payload,
+                                    WireCompleteRequest* out);
+Status DecodeCompleteResponsePayload(std::span<const uint8_t> payload,
+                                     WireCompleteResponse* out);
+Status DecodeCatalogRequestPayload(std::span<const uint8_t> payload,
+                                   WireCatalogRequest* out);
+Status DecodeCatalogResponsePayload(std::span<const uint8_t> payload,
+                                    WireCatalogResponse* out);
 
 /// The message type of a complete frame's payload, or 0 when empty.
 uint8_t PayloadType(std::span<const uint8_t> payload);

@@ -39,6 +39,7 @@ DialectService::AdmissionSlot::~AdmissionSlot() {
 DialectService::DialectService(DialectServiceOptions options)
     : options_(options),
       cache_(options.cache_capacity, options.cache_shards),
+      configurator_(line_.catalog(), &stats_.registry()),
       pool_(ThreadPoolOptions{options.num_threads, options.max_queue_depth,
                               options.overflow},
             &stats_.registry()) {}
@@ -47,6 +48,17 @@ Result<std::shared_ptr<const LlParser>> DialectService::GetParser(
     const DialectSpec& spec, const RequestControl& control,
     CacheDisposition* disposition) {
   SQLPL_TRACE_SPAN("get_parser", "service", spec.name);
+  // Constraint gate: an unsatisfiable selection is refused here with a
+  // typed kInvalidConfig and a minimal conflict, before the fingerprint
+  // registry, the cache, and above all the single-flight build ever see
+  // it — invalid configs must not occupy build slots or poison keys.
+  // (Unknown feature names pass through: the compose path owns that
+  // diagnostic and still reports kConfigurationError.)
+  fm::ValidationResult validation = configurator_.Validate(spec);
+  if (!validation.valid) {
+    stats_.RecordInvalidConfig();
+    return Status::InvalidConfig(validation.conflict.ToString());
+  }
   SpecFingerprint key = FingerprintSpec(spec);
   ParserCache::GetOptions get_options;
   get_options.control = control;
@@ -73,6 +85,16 @@ Result<std::shared_ptr<const LlParser>> DialectService::GetParser(
 Result<std::shared_ptr<const LlParser>> DialectService::GetParser(
     const DialectSpec& spec) {
   return GetParser(spec, RequestControl{});
+}
+
+fm::ValidationResult DialectService::ValidateSpec(
+    const DialectSpec& spec) const {
+  return configurator_.Validate(spec);
+}
+
+Result<DialectSpec> DialectService::CompleteSpec(
+    const DialectSpec& spec) const {
+  return configurator_.Complete(spec);
 }
 
 bool DialectService::Admit(const RequestControl& control,

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sqlpl/fm/configurator.h"
 #include "sqlpl/parser/parse_tree.h"
 #include "sqlpl/service/parser_cache.h"
 #include "sqlpl/service/service_stats.h"
@@ -159,6 +160,21 @@ class DialectService {
   /// Legacy unrestricted form of `GetParser`.
   Result<std::shared_ptr<const LlParser>> GetParser(const DialectSpec& spec);
 
+  /// Runs the feature-model configurator on `spec` without parsing
+  /// anything: the same closed-world check every parse request passes
+  /// before admission to the compose path, exposed for negotiation
+  /// (`ValidateSpec` wire frames). On rejection the result carries the
+  /// structured minimal conflict.
+  fm::ValidationResult ValidateSpec(const DialectSpec& spec) const;
+
+  /// Auto-completes a partial spec through the configurator (forced
+  /// inclusions, deterministic group choices); the result is canonical
+  /// and ready to parse with. See `fm::Configurator::Complete`.
+  Result<DialectSpec> CompleteSpec(const DialectSpec& spec) const;
+
+  /// The service's configurator (shared feature-model clause form).
+  const fm::Configurator& configurator() const { return configurator_; }
+
   /// Counters since construction (or the last `ResetStats`).
   ServiceStatsSnapshot Stats() const;
   /// `RenderServiceStats(Stats())`.
@@ -223,6 +239,10 @@ class DialectService {
   SqlProductLine line_;
   ParserCache cache_;
   ServiceStats stats_;
+  /// Declared after stats_: its sqlpl_fm_* instruments register on the
+  /// stats registry at construction so they are visible in expositions
+  /// from the first export on.
+  fm::Configurator configurator_;
   ThreadPool pool_;
   std::atomic<size_t> inflight_requests_{0};
 };

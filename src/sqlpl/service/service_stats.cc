@@ -24,6 +24,10 @@ ServiceStats::ServiceStats()
           "sqlpl_requests_unavailable_total", {},
           "Requests refused with unavailable (draining server or "
           "connection-level failure)")),
+      requests_invalid_config_(registry_.GetCounter(
+          "sqlpl_requests_invalid_config_total", {},
+          "Requests rejected with invalid_config by the feature-model "
+          "configurator, before the compose path")),
       deadline_miss_admission_(registry_.GetCounter(
           "sqlpl_deadline_misses_total", {{"stage", "admission"}},
           "Requests whose deadline expired, by detection stage")),
@@ -59,6 +63,7 @@ ServiceStatsSnapshot ServiceStats::Snapshot(
   s.batch_statements = batch_statements_->Value();
   s.requests_shed = requests_shed_->Value();
   s.requests_unavailable = requests_unavailable_->Value();
+  s.requests_invalid_config = requests_invalid_config_->Value();
   s.deadline_misses_admission = deadline_miss_admission_->Value();
   s.deadline_misses_queue = deadline_miss_queue_->Value();
   s.deadline_misses_parse = deadline_miss_parse_->Value();
@@ -97,6 +102,10 @@ std::string RenderServiceStats(const ServiceStatsSnapshot& s) {
   // for services that never see an unavailable refusal.
   if (s.requests_unavailable > 0) {
     row("unavailable", s.requests_unavailable);
+  }
+  // Same append-only contract as the unavailable row above.
+  if (s.requests_invalid_config > 0) {
+    row("invalid config", s.requests_invalid_config);
   }
 
   out += "\n## Parser cache\n\n";

@@ -48,6 +48,10 @@ struct ServiceStatsSnapshot {
   /// table only when nonzero, so the frozen pre-network report lines
   /// are unchanged.
   uint64_t requests_unavailable = 0;
+  /// Requests rejected with `kInvalidConfig` by the feature-model
+  /// configurator before any compose/build work. Rendered like
+  /// `requests_unavailable`: an extra Requests row, only when nonzero.
+  uint64_t requests_invalid_config = 0;
   uint64_t deadline_misses_admission = 0;
   uint64_t deadline_misses_queue = 0;
   uint64_t deadline_misses_parse = 0;
@@ -116,6 +120,10 @@ class ServiceStats {
   /// A request refused with `kUnavailable` (connection-level failure or
   /// a draining server). Feeds `sqlpl_requests_unavailable_total`.
   void RecordUnavailable() { requests_unavailable_->Increment(); }
+  /// A request rejected with `kInvalidConfig` — the configurator proved
+  /// the spec unsatisfiable before admission to the compose path. Feeds
+  /// `sqlpl_requests_invalid_config_total`.
+  void RecordInvalidConfig() { requests_invalid_config_->Increment(); }
 
   /// Per-statement throughput sample from the parser's `ParseStats`:
   /// tokens the lexer produced and bytes of parse-arena storage used.
@@ -146,6 +154,7 @@ class ServiceStats {
   obs::Counter* batch_statements_;
   obs::Counter* requests_shed_;
   obs::Counter* requests_unavailable_;
+  obs::Counter* requests_invalid_config_;
   obs::Counter* deadline_miss_admission_;
   obs::Counter* deadline_miss_queue_;
   obs::Counter* deadline_miss_parse_;

@@ -34,6 +34,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "resource_exhausted";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kInvalidConfig:
+      return "invalid_config";
   }
   return "unknown";
 }

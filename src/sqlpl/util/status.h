@@ -42,6 +42,15 @@ enum class StatusCode {
   /// (a per-request shed on a healthy server), retrying the same
   /// endpoint is unlikely to help until it comes back.
   kUnavailable,
+  /// The requested feature configuration is unsatisfiable under the
+  /// feature model: the configurator's solver (sqlpl/fm/) proved the
+  /// selection violates a require/exclude or group constraint. The
+  /// message carries a minimal conflict explanation naming the smallest
+  /// set of mutually incompatible selections. Unlike the compose-time
+  /// `kConfigurationError` (unknown feature, cyclic requires found
+  /// during sequencing), this is a typed pre-admission rejection — the
+  /// request never reached a parser build.
+  kInvalidConfig,
 };
 
 /// Returns the canonical lowercase name of `code` (e.g. "invalid_argument").
@@ -104,6 +113,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status InvalidConfig(std::string msg) {
+    return Status(StatusCode::kInvalidConfig, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,62 @@
+// Round-trip property test for the feature-diagram text format over
+// the real foundation model: render -> parse -> render must be
+// byte-identical, and the reparsed diagram structurally equal, for
+// every diagram (all 40+ subtrees, 500+ features) of
+// `SqlFoundationModel()`. This pins the DSL as a faithful interchange
+// format for the configurator's feature space.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/feature/text_format.h"
+#include "sqlpl/sql/foundation_model.h"
+
+namespace sqlpl {
+namespace {
+
+TEST(FoundationRoundTripTest, EveryDiagramRendersParsesAndRerendersIdentically) {
+  const FeatureModel& model = SqlFoundationModel();
+  ASSERT_GT(model.NumDiagrams(), 0u);
+  for (const FeatureDiagram& diagram : model.diagrams()) {
+    SCOPED_TRACE(diagram.name());
+    std::string rendered = WriteFeatureDiagramText(diagram);
+    Result<FeatureDiagram> reparsed =
+        ParseFeatureDiagramText(rendered, diagram.name());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << rendered;
+
+    // Byte-identical second render: the property that makes the text
+    // format safe as a storage/interchange format.
+    EXPECT_EQ(WriteFeatureDiagramText(*reparsed), rendered);
+
+    // Structural equality of the reparse, feature by feature.
+    ASSERT_EQ(reparsed->NumFeatures(), diagram.NumFeatures());
+    EXPECT_EQ(reparsed->FeatureNames(), diagram.FeatureNames());
+    EXPECT_EQ(reparsed->constraints(), diagram.constraints());
+    for (const std::string& name : diagram.FeatureNames()) {
+      FeatureDiagram::NodeId original = diagram.Find(name);
+      FeatureDiagram::NodeId copy = reparsed->Find(name);
+      ASSERT_NE(copy, FeatureDiagram::kInvalidNode) << name;
+      EXPECT_EQ(reparsed->VariabilityOf(copy),
+                diagram.VariabilityOf(original))
+          << name;
+      EXPECT_EQ(reparsed->GroupOf(copy), diagram.GroupOf(original))
+          << name;
+      EXPECT_EQ(reparsed->CardinalityOf(copy),
+                diagram.CardinalityOf(original))
+          << name;
+      EXPECT_EQ(reparsed->ChildrenOf(copy).size(),
+                diagram.ChildrenOf(original).size())
+          << name;
+    }
+    // And the configuration space is untouched: same count on the
+    // (tractably small) diagrams.
+    if (diagram.NumFeatures() <= 12) {
+      EXPECT_EQ(reparsed->CountConfigurations(),
+                diagram.CountConfigurations());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,163 @@
+// Unit tests for the clause-form compilers: FODA diagram semantics
+// (per group type) and the SQL catalog's requires/excludes edges.
+
+#include "sqlpl/fm/clause_model.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/feature/text_format.h"
+
+namespace sqlpl {
+namespace fm {
+namespace {
+
+FeatureDiagram Parse(const char* text) {
+  Result<FeatureDiagram> diagram = ParseFeatureDiagramText(text);
+  EXPECT_TRUE(diagram.ok()) << diagram.status();
+  return std::move(diagram).value();
+}
+
+bool HasClauseWithReason(const ClauseModel& model, const std::string& reason) {
+  return std::any_of(
+      model.clauses().begin(), model.clauses().end(),
+      [&](const Clause& clause) { return clause.reason == reason; });
+}
+
+TEST(ClauseModelTest, VariablesFollowDiagramPreOrder) {
+  FeatureDiagram diagram = Parse(R"(
+    diagram Root {
+      A { A1? }
+      B?
+    }
+  )");
+  ClauseModel model = ClauseModel::FromDiagram(diagram);
+  ASSERT_EQ(model.NumVars(), 4u);
+  EXPECT_EQ(model.NameOf(0), "Root");
+  EXPECT_EQ(model.NameOf(1), "A");
+  EXPECT_EQ(model.NameOf(2), "A1");
+  EXPECT_EQ(model.NameOf(3), "B");
+  EXPECT_EQ(model.VarOf("B"), 3u);
+  EXPECT_EQ(model.VarOf("NotAFeature"), ClauseModel::kNoVar);
+}
+
+TEST(ClauseModelTest, AndGroupEncodesRootChildAndMandatory) {
+  FeatureDiagram diagram = Parse(R"(
+    diagram Root {
+      M
+      O?
+    }
+  )");
+  ClauseModel model = ClauseModel::FromDiagram(diagram);
+  // Root unit clause + 2 child->parent + 1 mandatory.
+  EXPECT_EQ(model.clauses().size(), 4u);
+  EXPECT_TRUE(HasClauseWithReason(
+      model, "root concept 'Root' is always selected"));
+  EXPECT_TRUE(HasClauseWithReason(model, "'M' is a child of 'Root'"));
+  EXPECT_TRUE(HasClauseWithReason(model, "'O' is a child of 'Root'"));
+  EXPECT_TRUE(HasClauseWithReason(model, "'M' is mandatory under 'Root'"));
+  // Optional children contribute no downward implication.
+  EXPECT_FALSE(HasClauseWithReason(model, "'O' is mandatory under 'Root'"));
+}
+
+TEST(ClauseModelTest, OrGroupEncodesAtLeastOne) {
+  FeatureDiagram diagram = Parse(R"(
+    diagram Root {
+      G or {
+        X
+        Y
+      }
+    }
+  )");
+  ClauseModel model = ClauseModel::FromDiagram(diagram);
+  EXPECT_TRUE(HasClauseWithReason(
+      model, "or group under 'G' needs at least one child"));
+  // No pairwise exclusions in an OR group.
+  for (const Clause& clause : model.clauses()) {
+    EXPECT_EQ(clause.reason.find("mutually exclusive"), std::string::npos)
+        << clause.reason;
+  }
+}
+
+TEST(ClauseModelTest, AlternativeGroupEncodesExactlyOne) {
+  FeatureDiagram diagram = Parse(R"(
+    diagram Root {
+      G alternative {
+        X
+        Y
+        Z
+      }
+    }
+  )");
+  ClauseModel model = ClauseModel::FromDiagram(diagram);
+  EXPECT_TRUE(HasClauseWithReason(
+      model, "alternative group under 'G' needs one child"));
+  // 3 children -> 3 pairwise exclusion clauses.
+  size_t exclusions = 0;
+  for (const Clause& clause : model.clauses()) {
+    if (clause.reason.find("mutually exclusive") != std::string::npos) {
+      ++exclusions;
+    }
+  }
+  EXPECT_EQ(exclusions, 3u);
+}
+
+TEST(ClauseModelTest, CrossTreeConstraintsKeepProvenance) {
+  FeatureDiagram diagram = Parse(R"(
+    diagram Root {
+      A?
+      B?
+      C?
+    }
+    A requires B;
+    A excludes C;
+  )");
+  ClauseModel model = ClauseModel::FromDiagram(diagram);
+  EXPECT_TRUE(HasClauseWithReason(
+      model, FeatureConstraint::Requires("A", "B").ToString()));
+  EXPECT_TRUE(HasClauseWithReason(
+      model, FeatureConstraint::Excludes("A", "C").ToString()));
+}
+
+TEST(ClauseModelTest, ConstraintOnUnknownFeatureIsSkipped) {
+  // The oracle skips constraints naming features outside the diagram;
+  // the clause form must agree or counting diverges.
+  FeatureDiagram diagram = Parse(R"(
+    diagram Root {
+      A?
+    }
+    A requires Phantom;
+  )");
+  ClauseModel model = ClauseModel::FromDiagram(diagram);
+  for (const Clause& clause : model.clauses()) {
+    EXPECT_EQ(clause.reason.find("Phantom"), std::string::npos)
+        << clause.reason;
+  }
+}
+
+TEST(ClauseModelTest, FromCatalogUsesCanonicalModuleOrder) {
+  const SqlFeatureCatalog& catalog = SqlFeatureCatalog::Instance();
+  ClauseModel model = ClauseModel::FromCatalog(catalog);
+  std::vector<std::string> names = catalog.ModuleNames();
+  ASSERT_EQ(model.NumVars(), names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(model.NameOf(i), names[i]);
+  }
+}
+
+TEST(ClauseModelTest, FromCatalogEncodesRequiresEdges) {
+  ClauseModel model =
+      ClauseModel::FromCatalog(SqlFeatureCatalog::Instance());
+  EXPECT_TRUE(HasClauseWithReason(model, "'Having' requires 'GroupBy'"));
+  // Every catalog clause is a binary implication.
+  for (const Clause& clause : model.clauses()) {
+    EXPECT_EQ(clause.lits.size(), 2u) << clause.reason;
+  }
+}
+
+}  // namespace
+}  // namespace fm
+}  // namespace sqlpl

@@ -1,0 +1,209 @@
+// Configurator tests: closed-world validation with minimal-conflict
+// explanations over the real SQL catalog, partial-spec auto-completion
+// (deterministic, always composable), variant counting against the
+// oracle, and the fm metrics.
+
+#include "sqlpl/fm/configurator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/obs/metrics.h"
+#include "sqlpl/sql/dialects.h"
+#include "sqlpl/sql/foundation_model.h"
+
+namespace sqlpl {
+namespace fm {
+namespace {
+
+TEST(ConfiguratorTest, AllPresetDialectsAreValid) {
+  const Configurator& configurator = Configurator::Instance();
+  for (const DialectSpec& spec : AllPresetDialects()) {
+    ValidationResult result = configurator.Validate(spec);
+    EXPECT_TRUE(result.valid)
+        << spec.name << ": " << result.conflict.ToString();
+  }
+}
+
+TEST(ConfiguratorTest, HavingWithoutGroupByIsTheMinimalConflict) {
+  // The known unsatisfiable spec of the issue: CoreQuery minus GroupBy
+  // (keeping Having). The explanation must be exactly the pair, not
+  // the whole 17-feature spec.
+  DialectSpec spec = CoreQueryDialect();
+  std::erase(spec.features, "GroupBy");
+
+  ValidationResult result = Configurator::Instance().Validate(spec);
+  ASSERT_FALSE(result.valid);
+  std::vector<ConflictItem> expected = {{"Having", true},
+                                        {"GroupBy", false}};
+  EXPECT_EQ(result.conflict.items, expected);
+  EXPECT_EQ(result.conflict.reason, "'Having' requires 'GroupBy'");
+  EXPECT_EQ(result.conflict.ToString(),
+            "minimal conflict {+Having, -GroupBy}: "
+            "'Having' requires 'GroupBy'");
+}
+
+TEST(ConfiguratorTest, ValidateToStatusFoldsToInvalidConfig) {
+  DialectSpec spec = CoreQueryDialect();
+  std::erase(spec.features, "GroupBy");
+  Status status = Configurator::Instance().ValidateToStatus(spec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidConfig);
+  EXPECT_NE(status.message().find("minimal conflict"), std::string::npos);
+  EXPECT_TRUE(Configurator::Instance()
+                  .ValidateToStatus(CoreQueryDialect())
+                  .ok());
+}
+
+TEST(ConfiguratorTest, UnknownFeaturesAreIgnoredByValidation) {
+  // The compose path owns the unknown-feature diagnostic
+  // (kConfigurationError); validation must not hijack it.
+  DialectSpec spec = CoreQueryDialect();
+  spec.features.push_back("NoSuchFeature");
+  EXPECT_TRUE(Configurator::Instance().Validate(spec).valid);
+}
+
+TEST(ConfiguratorTest, ValidationIsDeterministic) {
+  DialectSpec spec = CoreQueryDialect();
+  std::erase(spec.features, "GroupBy");
+  const Configurator& configurator = Configurator::Instance();
+  ValidationResult first = configurator.Validate(spec);
+  ValidationResult second = configurator.Validate(spec);
+  ASSERT_FALSE(first.valid);
+  EXPECT_EQ(first.conflict, second.conflict);
+}
+
+TEST(ConfiguratorTest, CompleteClosesAPartialSpec) {
+  DialectSpec partial;
+  partial.name = "Negotiated";
+  partial.features = {"QuerySpecification", "Where"};
+
+  const Configurator& configurator = Configurator::Instance();
+  Result<DialectSpec> completed = configurator.Complete(partial);
+  ASSERT_TRUE(completed.ok()) << completed.status();
+  EXPECT_EQ(completed->name, "Negotiated");
+  // The requested features survive, their requirements are pulled in.
+  for (const char* required : {"QuerySpecification", "Where",
+                               "SelectList", "TableExpression"}) {
+    EXPECT_NE(std::find(completed->features.begin(),
+                        completed->features.end(), required),
+              completed->features.end())
+        << "missing " << required;
+  }
+  // The completion is valid — and actually composes into a parser.
+  EXPECT_TRUE(configurator.Validate(*completed).valid);
+  SqlProductLine line;
+  Result<LlParser> parser = line.BuildParser(*completed);
+  EXPECT_TRUE(parser.ok()) << parser.status();
+}
+
+TEST(ConfiguratorTest, CompleteIsDeterministicAndIdempotent) {
+  DialectSpec partial;
+  partial.name = "Negotiated";
+  partial.features = {"QuerySpecification"};
+
+  const Configurator& configurator = Configurator::Instance();
+  Result<DialectSpec> first = configurator.Complete(partial);
+  Result<DialectSpec> second = configurator.Complete(partial);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->features, second->features);
+
+  // Completing a completion is a fixed point.
+  Result<DialectSpec> again = configurator.Complete(*first);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->features, first->features);
+}
+
+TEST(ConfiguratorTest, CompleteCarriesCountsAndStartSymbol) {
+  DialectSpec partial;
+  partial.name = "Negotiated";
+  partial.features = {"QuerySpecification"};
+  partial.counts = {{"From", 1}};
+  partial.start_symbol = "query_specification";
+
+  Result<DialectSpec> completed =
+      Configurator::Instance().Complete(partial);
+  ASSERT_TRUE(completed.ok()) << completed.status();
+  EXPECT_EQ(completed->counts, partial.counts);
+  EXPECT_EQ(completed->start_symbol, "query_specification");
+}
+
+TEST(ConfiguratorTest, CompleteRejectsUnknownFeatures) {
+  DialectSpec partial;
+  partial.name = "Broken";
+  partial.features = {"NoSuchFeature"};
+  Result<DialectSpec> completed =
+      Configurator::Instance().Complete(partial);
+  ASSERT_FALSE(completed.ok());
+  EXPECT_EQ(completed.status().code(), StatusCode::kConfigurationError);
+  EXPECT_NE(completed.status().message().find("NoSuchFeature"),
+            std::string::npos);
+}
+
+TEST(ConfiguratorTest, MetricsRegisterEagerlyAndCountRejections) {
+  obs::MetricsRegistry registry;
+  Configurator configurator(SqlFeatureCatalog::Instance(), &registry);
+  std::string exposition = registry.ExportPrometheus();
+  EXPECT_NE(exposition.find("sqlpl_fm_validations_total"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("sqlpl_fm_completions_total"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("sqlpl_fm_solve_micros"), std::string::npos);
+  EXPECT_NE(exposition.find("sqlpl_fm_complete_micros"),
+            std::string::npos);
+
+  DialectSpec spec = CoreQueryDialect();
+  std::erase(spec.features, "GroupBy");
+  ASSERT_FALSE(configurator.Validate(spec).valid);
+  EXPECT_EQ(registry
+                .GetCounter("sqlpl_fm_rejections_total",
+                            {{"conflict_size", "2"}}, "")
+                ->Value(),
+            1u);
+  EXPECT_EQ(registry.GetCounter("sqlpl_fm_validations_total", {}, "")
+                ->Value(),
+            1u);
+}
+
+TEST(ConfiguratorTest, DiagramVariantCountsMatchOracle) {
+  size_t compared = 0;
+  for (const FeatureDiagram& diagram : SqlFoundationModel().diagrams()) {
+    if (diagram.NumFeatures() > 12) continue;
+    uint64_t oracle = diagram.CountConfigurations();
+    constexpr uint64_t kCap = 1u << 13;
+    EXPECT_EQ(Configurator::CountDiagramVariants(diagram, kCap),
+              std::min(oracle, kCap))
+        << diagram.name();
+    ++compared;
+  }
+  EXPECT_GE(compared, 5u);
+}
+
+TEST(ConfiguratorTest, EnumerateDiagramVariantsRespectsCap) {
+  const FeatureDiagram* figure1 =
+      SqlFoundationModel().Find(kQuerySpecificationDiagram);
+  ASSERT_NE(figure1, nullptr);
+  std::vector<std::vector<std::string>> all =
+      Configurator::EnumerateDiagramVariants(*figure1, 1u << 12);
+  EXPECT_EQ(all.size(), figure1->CountConfigurations());
+  std::vector<std::vector<std::string>> capped =
+      Configurator::EnumerateDiagramVariants(*figure1, 3);
+  ASSERT_EQ(capped.size(), 3u);
+  // The cap returns a prefix of the full canonical enumeration.
+  for (size_t i = 0; i < capped.size(); ++i) {
+    EXPECT_EQ(capped[i], all[i]);
+  }
+  // Every enumerated variant names the root concept.
+  for (const std::vector<std::string>& variant : all) {
+    EXPECT_NE(std::find(variant.begin(), variant.end(),
+                        figure1->name()),
+              variant.end());
+  }
+}
+
+}  // namespace
+}  // namespace fm
+}  // namespace sqlpl

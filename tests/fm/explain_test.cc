@@ -1,0 +1,105 @@
+// QuickXplain tests: subset-minimality, preference order (earlier
+// candidates are preferred culprits), and stability.
+
+#include "sqlpl/fm/explain.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sqlpl {
+namespace fm {
+namespace {
+
+TEST(ExplainTest, EmptyOrSatisfiableCandidatesYieldNoConflict) {
+  ClauseModel model;
+  size_t a = model.AddVariable("A");
+  size_t b = model.AddVariable("B");
+  model.AddClause({Neg(a), Pos(b)}, "'A' requires 'B'");
+  Solver solver(&model);
+  EXPECT_TRUE(MinimalConflict(solver, {}).empty());
+  EXPECT_TRUE(MinimalConflict(solver, {Pos(a), Pos(b)}).empty());
+}
+
+TEST(ExplainTest, FindsTheExactBinaryConflict) {
+  // C and D are innocent bystanders; the minimal conflict must not
+  // name them.
+  ClauseModel model;
+  size_t a = model.AddVariable("A");
+  size_t b = model.AddVariable("B");
+  size_t c = model.AddVariable("C");
+  size_t d = model.AddVariable("D");
+  model.AddClause({Neg(a), Pos(b)}, "'A' requires 'B'");
+  Solver solver(&model);
+
+  std::vector<Lit> conflict =
+      MinimalConflict(solver, {Pos(c), Pos(a), Pos(d), Neg(b)});
+  std::vector<Lit> expected = {Pos(a), Neg(b)};
+  EXPECT_EQ(conflict, expected);
+}
+
+TEST(ExplainTest, ConflictThroughRequireChainIsEndpoints) {
+  // A -> B -> C with C denied: the chain itself is consistent, the
+  // minimal conflict is {+A, -C} (propagation crosses B).
+  ClauseModel model;
+  size_t a = model.AddVariable("A");
+  size_t b = model.AddVariable("B");
+  size_t c = model.AddVariable("C");
+  model.AddClause({Neg(a), Pos(b)}, "'A' requires 'B'");
+  model.AddClause({Neg(b), Pos(c)}, "'B' requires 'C'");
+  Solver solver(&model);
+
+  std::vector<Lit> conflict = MinimalConflict(solver, {Pos(a), Neg(c)});
+  std::vector<Lit> expected = {Pos(a), Neg(c)};
+  EXPECT_EQ(conflict, expected);
+}
+
+TEST(ExplainTest, PrefersEarlierCandidatesAmongSeveralConflicts) {
+  // Two independent conflicts: {+A, -B} and {+C, -D}. With the A pair
+  // listed first it must be the one explained.
+  ClauseModel model;
+  size_t a = model.AddVariable("A");
+  size_t b = model.AddVariable("B");
+  size_t c = model.AddVariable("C");
+  size_t d = model.AddVariable("D");
+  model.AddClause({Neg(a), Pos(b)}, "'A' requires 'B'");
+  model.AddClause({Neg(c), Pos(d)}, "'C' requires 'D'");
+  Solver solver(&model);
+
+  std::vector<Lit> conflict =
+      MinimalConflict(solver, {Pos(a), Neg(b), Pos(c), Neg(d)});
+  std::vector<Lit> expected = {Pos(a), Neg(b)};
+  EXPECT_EQ(conflict, expected);
+
+  std::vector<Lit> flipped =
+      MinimalConflict(solver, {Pos(c), Neg(d), Pos(a), Neg(b)});
+  std::vector<Lit> expected_flipped = {Pos(c), Neg(d)};
+  EXPECT_EQ(flipped, expected_flipped);
+}
+
+TEST(ExplainTest, ConflictKeepsOriginalRelativeOrder) {
+  ClauseModel model;
+  size_t a = model.AddVariable("A");
+  size_t b = model.AddVariable("B");
+  model.AddClause({Neg(a), Neg(b)}, "'A' excludes 'B'");
+  Solver solver(&model);
+
+  std::vector<Lit> conflict = MinimalConflict(solver, {Pos(b), Pos(a)});
+  std::vector<Lit> expected = {Pos(b), Pos(a)};
+  EXPECT_EQ(conflict, expected);
+}
+
+TEST(ExplainTest, SingleContradictoryAssumptionIsItsOwnConflict) {
+  ClauseModel model;
+  size_t a = model.AddVariable("A");
+  model.AddClause({Neg(a)}, "'A' is forbidden");
+  Solver solver(&model);
+
+  std::vector<Lit> conflict = MinimalConflict(solver, {Pos(a)});
+  std::vector<Lit> expected = {Pos(a)};
+  EXPECT_EQ(conflict, expected);
+}
+
+}  // namespace
+}  // namespace fm
+}  // namespace sqlpl

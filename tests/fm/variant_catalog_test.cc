@@ -1,0 +1,74 @@
+// Variant-catalog tests: the default catalog is built from the preset
+// dialects, canonicalized and validated, and addressable by both name
+// and fingerprint.
+
+#include "sqlpl/fm/variant_catalog.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/service/spec_fingerprint.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace fm {
+namespace {
+
+TEST(VariantCatalogTest, BuildDefaultCoversEveryPreset) {
+  VariantCatalog catalog =
+      VariantCatalog::BuildDefault(Configurator::Instance());
+  // All presets are valid configurations, so none may be dropped.
+  std::vector<DialectSpec> presets = AllPresetDialects();
+  ASSERT_EQ(catalog.size(), presets.size());
+  for (const DialectSpec& preset : presets) {
+    EXPECT_NE(catalog.FindByName(preset.name), nullptr)
+        << "missing " << preset.name;
+  }
+}
+
+TEST(VariantCatalogTest, EntriesAreCanonicalAndValidated) {
+  const Configurator& configurator = Configurator::Instance();
+  VariantCatalog catalog = VariantCatalog::BuildDefault(configurator);
+  for (const VariantEntry& entry : catalog.entries()) {
+    EXPECT_TRUE(configurator.Validate(entry.spec).valid) << entry.name;
+    EXPECT_EQ(entry.fingerprint, FingerprintSpec(entry.spec).value)
+        << entry.name;
+    // Canonical means completion is a fixed point.
+    Result<DialectSpec> again = configurator.Complete(entry.spec);
+    ASSERT_TRUE(again.ok()) << entry.name << ": " << again.status();
+    EXPECT_EQ(again->features, entry.spec.features) << entry.name;
+  }
+}
+
+TEST(VariantCatalogTest, LookupByFingerprintAndName) {
+  VariantCatalog catalog =
+      VariantCatalog::BuildDefault(Configurator::Instance());
+  const VariantEntry* core = catalog.FindByName("CoreQuery");
+  ASSERT_NE(core, nullptr);
+  EXPECT_EQ(catalog.FindByFingerprint(core->fingerprint), core);
+  EXPECT_EQ(catalog.FindByName("NoSuchVariant"), nullptr);
+  EXPECT_EQ(catalog.FindByFingerprint(0xdeadbeefdeadbeefull), nullptr);
+}
+
+TEST(VariantCatalogTest, AddReplacesSameFingerprint) {
+  VariantCatalog catalog;
+  DialectSpec spec;
+  spec.name = "One";
+  spec.features = {"ValueExpressions", "Literals"};
+  catalog.Add("first-name", spec);
+  ASSERT_EQ(catalog.size(), 1u);
+  // Same fingerprint (name does not participate), new human name.
+  spec.name = "Two";
+  catalog.Add("second-name", spec);
+  EXPECT_EQ(catalog.size(), 1u);
+  uint64_t fingerprint = FingerprintSpec(spec).value;
+  const VariantEntry* entry = catalog.FindByFingerprint(fingerprint);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->name, "second-name");
+  EXPECT_NE(catalog.FindByName("second-name"), nullptr);
+}
+
+}  // namespace
+}  // namespace fm
+}  // namespace sqlpl

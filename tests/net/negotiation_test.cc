@@ -1,0 +1,247 @@
+// End-to-end dialect negotiation over real loopback sockets: a client
+// validates a spec (receiving the exact minimal conflict on rejection),
+// auto-completes a partial spec, then parses by the returned
+// fingerprint — concurrently from several connections, byte-identical
+// to the in-process service — and discovers dialects via the variant
+// catalog without ever shipping a spec.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/net/sql_client.h"
+#include "sqlpl/net/sql_server.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace net {
+namespace {
+
+class NegotiationTest : public ::testing::Test {
+ protected:
+  void StartServer(SqlServerOptions options = {}) {
+    service_ = std::make_unique<DialectService>();
+    server_ = std::make_unique<SqlServer>(service_.get(), options);
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started;
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  SqlClient ConnectedClient() {
+    SqlClient client;
+    Status status = client.Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(status.ok()) << status;
+    return client;
+  }
+
+  std::unique_ptr<DialectService> service_;
+  std::unique_ptr<SqlServer> server_;
+};
+
+DialectSpec HavingWithoutGroupBy() {
+  DialectSpec spec = CoreQueryDialect();
+  std::erase(spec.features, "GroupBy");
+  return spec;
+}
+
+TEST_F(NegotiationTest, ValidateInvalidSpecReturnsExactMinimalConflict) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+
+  Result<WireValidateResponse> response =
+      client.ValidateSpec(HavingWithoutGroupBy());
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_FALSE(response->ok());
+  EXPECT_EQ(response->status, StatusCode::kInvalidConfig);
+  // The acceptance bar: the *exact* conflict set crosses the wire, not
+  // a generic failure or the whole spec.
+  std::vector<WireConflictItem> expected = {{"Having", true},
+                                            {"GroupBy", false}};
+  EXPECT_EQ(response->conflict.items, expected);
+  EXPECT_EQ(response->conflict.reason, "'Having' requires 'GroupBy'");
+  EXPECT_EQ(response->message,
+            "minimal conflict {+Having, -GroupBy}: "
+            "'Having' requires 'GroupBy'");
+  EXPECT_EQ(response->fingerprint, 0u);
+}
+
+TEST_F(NegotiationTest, ValidateValidSpecRegistersFingerprint) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+
+  Result<WireValidateResponse> response =
+      client.ValidateSpec(CoreQueryDialect());
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->ok()) << response->message;
+  ASSERT_NE(response->fingerprint, 0u);
+
+  // The fingerprint is live immediately: no spec ever re-sent.
+  Result<WireParseResponse> parsed =
+      client.ParseByFingerprint(response->fingerprint, "SELECT a FROM t");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->status, StatusCode::kOk) << parsed->body;
+  EXPECT_EQ(parsed->fingerprint, response->fingerprint);
+}
+
+TEST_F(NegotiationTest, ParseWithInvalidInlineSpecReturnsInvalidConfig) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+
+  Result<WireParseResponse> response =
+      client.Parse(HavingWithoutGroupBy(), "SELECT a FROM t");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, StatusCode::kInvalidConfig);
+  EXPECT_NE(response->body.find("minimal conflict {+Having, -GroupBy}"),
+            std::string::npos)
+      << response->body;
+
+  // The rejection happened before the compose path: nothing was built,
+  // nothing cached, and the service stats row is counted.
+  EXPECT_EQ(service_->Stats().requests_invalid_config, 1u);
+  EXPECT_EQ(service_->cache().stats().builds, 0u);
+}
+
+TEST_F(NegotiationTest,
+       CompletePartialSpecThenParseByFingerprintAcrossConnections) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+
+  DialectSpec partial;
+  partial.name = "Negotiated";
+  partial.features = {"QuerySpecification", "Where"};
+
+  Result<WireCompleteResponse> completed = client.CompleteSpec(partial);
+  ASSERT_TRUE(completed.ok()) << completed.status();
+  ASSERT_TRUE(completed->ok()) << completed->message;
+  ASSERT_TRUE(completed->has_spec);
+  ASSERT_NE(completed->fingerprint, 0u);
+  // The wire spec equals the in-process completion.
+  Result<DialectSpec> in_process = service_->CompleteSpec(partial);
+  ASSERT_TRUE(in_process.ok()) << in_process.status();
+  EXPECT_EQ(completed->spec.features, in_process->features);
+
+  // In-process ground truth for the parse itself. Identifiers only:
+  // the minimal completion includes no numeric-literal feature.
+  const std::string sql = "SELECT a FROM t WHERE a = b";
+  Result<ParseNode> direct = service_->Parse(*in_process, sql);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  const std::string expected_tree = direct.value().ToSExpr();
+
+  // Four concurrent connections parse by the negotiated fingerprint;
+  // every tree must be byte-identical to the in-process one.
+  constexpr int kConnections = 4;
+  constexpr int kParsesEach = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kConnections);
+  for (int i = 0; i < kConnections; ++i) {
+    threads.emplace_back([&, i] {
+      SqlClient worker;
+      Status connected = worker.Connect("127.0.0.1", server_->port());
+      if (!connected.ok()) {
+        failures[i] = connected.ToString();
+        return;
+      }
+      for (int j = 0; j < kParsesEach; ++j) {
+        Result<WireParseResponse> response =
+            worker.ParseByFingerprint(completed->fingerprint, sql);
+        if (!response.ok()) {
+          failures[i] = response.status().ToString();
+          return;
+        }
+        if (response->status != StatusCode::kOk) {
+          failures[i] = response->body;
+          return;
+        }
+        if (response->body != expected_tree) {
+          failures[i] = "tree mismatch: " + response->body;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int i = 0; i < kConnections; ++i) {
+    EXPECT_TRUE(failures[i].empty()) << "connection " << i << ": "
+                                     << failures[i];
+  }
+}
+
+TEST_F(NegotiationTest, CompleteContradictorySpecIsRefusedWithExplanation) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+
+  // Unknown features keep the compose path's diagnostic even over the
+  // negotiation surface.
+  DialectSpec unknown;
+  unknown.name = "Broken";
+  unknown.features = {"NoSuchFeature"};
+  Result<WireCompleteResponse> response = client.CompleteSpec(unknown);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_FALSE(response->ok());
+  EXPECT_EQ(response->status, StatusCode::kConfigurationError);
+  EXPECT_FALSE(response->has_spec);
+  EXPECT_NE(response->message.find("NoSuchFeature"), std::string::npos);
+}
+
+TEST_F(NegotiationTest, ListCatalogNamesThePresetsAndTheirFingerprintsWork) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+
+  Result<WireCatalogResponse> response = client.ListCatalog();
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->ok()) << response->message;
+  ASSERT_EQ(response->entries.size(), server_->catalog().size());
+  ASSERT_GT(response->entries.size(), 0u);
+
+  auto find = [&](const std::string& name) -> const WireCatalogEntry* {
+    for (const WireCatalogEntry& entry : response->entries) {
+      if (entry.name == name) return &entry;
+    }
+    return nullptr;
+  };
+  const WireCatalogEntry* core = find("CoreQuery");
+  ASSERT_NE(core, nullptr);
+  EXPECT_NE(std::find(core->features.begin(), core->features.end(),
+                      "GroupBy"),
+            core->features.end());
+
+  // Catalog fingerprints are preloaded in the spec registry: parse by
+  // one with no prior spec exchange on this connection.
+  Result<WireParseResponse> parsed =
+      client.ParseByFingerprint(core->fingerprint, "SELECT a FROM t");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->status, StatusCode::kOk) << parsed->body;
+}
+
+TEST_F(NegotiationTest, NegotiationFramesAreRefusedWhileDraining) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+  // Prime the connection so it exists before the drain begins.
+  ASSERT_TRUE(client.ValidateSpec(CoreQueryDialect()).ok());
+
+  std::thread stopper([&] { server_->Stop(); });
+  // Poll until the server flips to draining, then negotiate: the typed
+  // refusal must decode as the matching response frame.
+  while (!server_->draining()) {
+    std::this_thread::yield();
+  }
+  Result<WireValidateResponse> refused =
+      client.ValidateSpec(CoreQueryDialect());
+  // Either a typed kUnavailable refusal or a closed connection is
+  // acceptable, depending on how far the drain has progressed.
+  if (refused.ok()) {
+    EXPECT_EQ(refused->status, StatusCode::kUnavailable);
+  } else {
+    EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable)
+        << refused.status();
+  }
+  stopper.join();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace sqlpl

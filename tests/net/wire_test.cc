@@ -113,7 +113,8 @@ TEST(WireTest, StatusCodeTableIsStableAndTotal) {
   EXPECT_EQ(StatusCodeToWire(StatusCode::kDeadlineExceeded), 11);
   EXPECT_EQ(StatusCodeToWire(StatusCode::kResourceExhausted), 13);
   EXPECT_EQ(StatusCodeToWire(StatusCode::kUnavailable), 14);
-  for (int c = 0; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
+  EXPECT_EQ(StatusCodeToWire(StatusCode::kInvalidConfig), 15);
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInvalidConfig); ++c) {
     StatusCode code = static_cast<StatusCode>(c);
     EXPECT_EQ(StatusCodeFromWire(StatusCodeToWire(code)), code);
   }
@@ -235,6 +236,155 @@ TEST(WireTest, SpecWithAbsurdEntryCountIsRejected) {
   Status status = DecodeRequestPayload(Payload(frame), &decoded);
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, ValidateRequestRoundtrip) {
+  WireValidateRequest request;
+  request.request_id = 91;
+  request.spec = CoreQueryDialect();
+  std::string frame;
+  EncodeValidateRequestFrame(request, &frame);
+
+  WireValidateRequest decoded;
+  ASSERT_TRUE(DecodeValidateRequestPayload(Payload(frame), &decoded).ok());
+  EXPECT_EQ(decoded.request_id, 91u);
+  EXPECT_EQ(decoded.spec.name, request.spec.name);
+  EXPECT_EQ(decoded.spec.features, request.spec.features);
+  EXPECT_EQ(decoded.spec.counts, request.spec.counts);
+  EXPECT_EQ(decoded.spec.start_symbol, request.spec.start_symbol);
+}
+
+TEST(WireTest, ValidateResponseRoundtripWithConflict) {
+  WireValidateResponse response;
+  response.request_id = 92;
+  response.status = StatusCode::kInvalidConfig;
+  response.conflict.items = {{"Having", true}, {"GroupBy", false}};
+  response.conflict.reason = "'Having' requires 'GroupBy'";
+  response.message =
+      "minimal conflict {+Having, -GroupBy}: 'Having' requires 'GroupBy'";
+  std::string frame;
+  EncodeValidateResponseFrame(response, &frame);
+
+  WireValidateResponse decoded;
+  ASSERT_TRUE(
+      DecodeValidateResponsePayload(Payload(frame), &decoded).ok());
+  EXPECT_EQ(decoded.request_id, 92u);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status, StatusCode::kInvalidConfig);
+  EXPECT_EQ(decoded.conflict, response.conflict);
+  EXPECT_EQ(decoded.message, response.message);
+}
+
+TEST(WireTest, ValidateResponseRoundtripOnSuccess) {
+  WireValidateResponse response;
+  response.request_id = 93;
+  response.fingerprint = 0xabcdef0123456789ull;
+  std::string frame;
+  EncodeValidateResponseFrame(response, &frame);
+
+  WireValidateResponse decoded;
+  ASSERT_TRUE(
+      DecodeValidateResponsePayload(Payload(frame), &decoded).ok());
+  EXPECT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.fingerprint, response.fingerprint);
+  EXPECT_TRUE(decoded.conflict.items.empty());
+  EXPECT_TRUE(decoded.message.empty());
+}
+
+TEST(WireTest, CompleteRoundtripBothOutcomes) {
+  WireCompleteRequest request;
+  request.request_id = 94;
+  request.spec.name = "Partial";
+  request.spec.features = {"QuerySpecification"};
+  std::string frame;
+  EncodeCompleteRequestFrame(request, &frame);
+  WireCompleteRequest decoded_request;
+  ASSERT_TRUE(
+      DecodeCompleteRequestPayload(Payload(frame), &decoded_request).ok());
+  EXPECT_EQ(decoded_request.spec.features, request.spec.features);
+
+  WireCompleteResponse ok_response;
+  ok_response.request_id = 94;
+  ok_response.has_spec = true;
+  ok_response.spec = TinySqlDialect();
+  ok_response.fingerprint = 17;
+  frame.clear();
+  EncodeCompleteResponseFrame(ok_response, &frame);
+  WireCompleteResponse decoded_ok;
+  ASSERT_TRUE(
+      DecodeCompleteResponsePayload(Payload(frame), &decoded_ok).ok());
+  EXPECT_TRUE(decoded_ok.ok());
+  ASSERT_TRUE(decoded_ok.has_spec);
+  EXPECT_EQ(decoded_ok.spec.features, ok_response.spec.features);
+  EXPECT_EQ(decoded_ok.spec.counts, ok_response.spec.counts);
+  EXPECT_EQ(decoded_ok.fingerprint, 17u);
+
+  WireCompleteResponse bad_response;
+  bad_response.request_id = 95;
+  bad_response.status = StatusCode::kInvalidConfig;
+  bad_response.message = "minimal conflict {+A, -B}";
+  frame.clear();
+  EncodeCompleteResponseFrame(bad_response, &frame);
+  WireCompleteResponse decoded_bad;
+  ASSERT_TRUE(
+      DecodeCompleteResponsePayload(Payload(frame), &decoded_bad).ok());
+  EXPECT_FALSE(decoded_bad.ok());
+  EXPECT_FALSE(decoded_bad.has_spec);
+  EXPECT_EQ(decoded_bad.message, bad_response.message);
+}
+
+TEST(WireTest, CatalogRoundtrip) {
+  WireCatalogRequest request;
+  request.request_id = 96;
+  std::string frame;
+  EncodeCatalogRequestFrame(request, &frame);
+  WireCatalogRequest decoded_request;
+  ASSERT_TRUE(
+      DecodeCatalogRequestPayload(Payload(frame), &decoded_request).ok());
+  EXPECT_EQ(decoded_request.request_id, 96u);
+
+  WireCatalogResponse response;
+  response.request_id = 96;
+  response.entries = {
+      {1, "CoreQuery", {"SelectList", "From", "Where"}},
+      {2, "TinySQL", {"SelectList"}},
+  };
+  frame.clear();
+  EncodeCatalogResponseFrame(response, &frame);
+  WireCatalogResponse decoded;
+  ASSERT_TRUE(DecodeCatalogResponsePayload(Payload(frame), &decoded).ok());
+  EXPECT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.entries, response.entries);
+}
+
+TEST(WireTest, NegotiationFramesRejectTruncationAndTrailingGarbage) {
+  WireValidateResponse response;
+  response.request_id = 97;
+  response.status = StatusCode::kInvalidConfig;
+  response.conflict.items = {{"Having", true}, {"GroupBy", false}};
+  response.conflict.reason = "'Having' requires 'GroupBy'";
+  std::string frame;
+  EncodeValidateResponseFrame(response, &frame);
+  std::span<const uint8_t> payload = Payload(frame);
+
+  WireValidateResponse decoded;
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    Status status =
+        DecodeValidateResponsePayload(payload.subspan(0, cut), &decoded);
+    ASSERT_FALSE(status.ok()) << "cut=" << cut;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << "cut=" << cut;
+  }
+  ASSERT_TRUE(DecodeValidateResponsePayload(payload, &decoded).ok());
+
+  std::string garbage = frame;
+  garbage.push_back('\0');
+  EXPECT_FALSE(
+      DecodeValidateResponsePayload(Payload(garbage), &decoded).ok());
+
+  // Cross-type confusion: a validate frame is not a complete frame.
+  WireCompleteResponse as_complete;
+  EXPECT_FALSE(
+      DecodeCompleteResponsePayload(payload, &as_complete).ok());
 }
 
 }  // namespace

@@ -84,6 +84,13 @@ TEST(MetricsExpositionTest, ServiceExpositionIsWellFormed) {
   DialectService service;
   ASSERT_TRUE(service.Parse(CoreQueryDialect(), "SELECT a FROM t").ok());
   ASSERT_FALSE(service.Parse(CoreQueryDialect(), "SELECT FROM").ok());
+  // An invalid configuration (Having without GroupBy) so the
+  // configurator's labeled rejection counter is populated too.
+  DialectSpec invalid = CoreQueryDialect();
+  std::erase(invalid.features, "GroupBy");
+  Result<ParseNode> rejected = service.Parse(invalid, "SELECT a FROM t");
+  ASSERT_EQ(rejected.status().code(), StatusCode::kInvalidConfig)
+      << rejected.status();
   std::string exposition = service.MetricsPrometheus();
 
   std::istringstream lines(exposition);
@@ -162,7 +169,10 @@ TEST(MetricsExpositionTest, ServiceExpositionIsWellFormed) {
   // The families the dashboards key on.
   for (const char* required :
        {"sqlpl_parses_total", "sqlpl_parse_latency_micros",
-        "sqlpl_cache_hits", "sqlpl_pool_queue_depth"}) {
+        "sqlpl_cache_hits", "sqlpl_pool_queue_depth",
+        "sqlpl_fm_validations_total", "sqlpl_fm_rejections_total",
+        "sqlpl_fm_completions_total", "sqlpl_fm_solve_micros",
+        "sqlpl_requests_invalid_config_total"}) {
     EXPECT_NE(exposition.find(required), std::string::npos)
         << "missing family " << required;
   }

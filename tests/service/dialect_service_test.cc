@@ -71,6 +71,57 @@ TEST(DialectServiceTest, InvalidSpecFailsWithoutPoisoningService) {
   EXPECT_TRUE(service.Accepts(CoreQueryDialect(), "SELECT a FROM t"));
 }
 
+TEST(DialectServiceTest, ConstraintViolatingSpecIsRejectedBeforeBuild) {
+  // Previously a constraint-violating spec surfaced as a generic build
+  // failure; the configurator gate now rejects it with kInvalidConfig
+  // and the minimal conflict before anything is composed or cached.
+  DialectService service;
+  DialectSpec bad = CoreQueryDialect();
+  std::erase(bad.features, "GroupBy");
+
+  Result<ParseNode> r = service.Parse(bad, "SELECT a FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidConfig);
+  EXPECT_NE(r.status().message().find(
+                "minimal conflict {+Having, -GroupBy}"),
+            std::string::npos)
+      << r.status();
+
+  // Rejected pre-admission to the compose path: no build, no failure,
+  // no cache entry — just the invalid-config counter.
+  ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.requests_invalid_config, 1u);
+  EXPECT_EQ(stats.cache.builds, 0u);
+  EXPECT_EQ(stats.cache.build_failures, 0u);
+
+  // The stats page grows its append-only row, and a good dialect still
+  // works afterwards.
+  EXPECT_NE(service.StatsReport().find("| invalid config | 1 |"),
+            std::string::npos);
+  EXPECT_TRUE(service.Accepts(CoreQueryDialect(), "SELECT a FROM t"));
+}
+
+TEST(DialectServiceTest, ValidateAndCompleteSpecDelegateToConfigurator) {
+  DialectService service;
+  fm::ValidationResult valid = service.ValidateSpec(CoreQueryDialect());
+  EXPECT_TRUE(valid.valid) << valid.conflict.ToString();
+
+  DialectSpec bad = CoreQueryDialect();
+  std::erase(bad.features, "GroupBy");
+  fm::ValidationResult invalid = service.ValidateSpec(bad);
+  ASSERT_FALSE(invalid.valid);
+  EXPECT_EQ(invalid.conflict.reason, "'Having' requires 'GroupBy'");
+
+  DialectSpec partial;
+  partial.name = "Negotiated";
+  partial.features = {"QuerySpecification", "Where"};
+  Result<DialectSpec> completed = service.CompleteSpec(partial);
+  ASSERT_TRUE(completed.ok()) << completed.status();
+  EXPECT_TRUE(service.ValidateSpec(*completed).valid);
+  // The completed spec parses through the same service.
+  EXPECT_TRUE(service.Accepts(*completed, "SELECT a FROM t"));
+}
+
 TEST(DialectServiceTest, ParseBatchPreservesOrderAndFlagsErrors) {
   DialectService service;
   std::vector<std::string> statements = {

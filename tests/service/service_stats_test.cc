@@ -278,5 +278,26 @@ TEST(ServiceStatsTest, UnavailableCountsExportAndRenderOnlyWhenNonzero) {
   EXPECT_NE(report.find("| unavailable | 3 |"), std::string::npos);
 }
 
+TEST(ServiceStatsTest, InvalidConfigCountsExportAndRenderOnlyWhenNonzero) {
+  ServiceStats stats;
+  // Zero rejections: the frozen report must not grow the row.
+  ServiceStatsSnapshot s = stats.Snapshot(ParserCacheStats{});
+  EXPECT_EQ(s.requests_invalid_config, 0u);
+  EXPECT_EQ(RenderServiceStats(s).find("invalid config"),
+            std::string::npos);
+
+  stats.RecordInvalidConfig();
+  stats.RecordInvalidConfig();
+  s = stats.Snapshot(ParserCacheStats{});
+  EXPECT_EQ(s.requests_invalid_config, 2u);
+
+  std::string exposition = stats.registry().ExportPrometheus();
+  EXPECT_NE(exposition.find("sqlpl_requests_invalid_config_total 2"),
+            std::string::npos);
+
+  std::string report = RenderServiceStats(s);
+  EXPECT_NE(report.find("| invalid config | 2 |"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sqlpl
