@@ -12,11 +12,18 @@
 //    `DialectService::Parse` in-process; the delta against
 //    BM_WireParseFingerprint is the wire tax (framing + syscalls +
 //    scheduling), recorded in BENCH_net.json as `wire_overhead_us`.
+//
+// Outside Google Benchmark, `MeasureMtCurve` sweeps 1/2/4/8 concurrent
+// client threads (one connection each, closed-loop) and records the
+// aggregate throughput plus client-observed p50/p99 per point in
+// BENCH_net.json as `mt_curve` — the serving layer's scaling shape.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -237,6 +244,108 @@ WireOverhead MeasureWireOverhead() {
   return measured;
 }
 
+/// One point of the client-concurrency sweep: N closed-loop client
+/// threads, aggregate completion rate and merged latency percentiles.
+struct MtPoint {
+  int threads = 0;
+  double items_per_s = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+std::vector<MtPoint> MeasureMtCurve() {
+  std::vector<MtPoint> curve;
+  NetFixture& fixture = Fixture();
+  if (!fixture.ok) return curve;
+  const std::vector<std::string>& workload = Workload();
+  constexpr int kRequestsPerThread = 2000;
+
+  for (int thread_count : {1, 2, 4, 8}) {
+    // Connect every client before the clock starts: the sweep prices
+    // steady-state request flow, not TCP handshakes.
+    std::vector<net::SqlClient> clients(static_cast<size_t>(thread_count));
+    bool connected = true;
+    for (net::SqlClient& client : clients) {
+      if (!client.Connect("127.0.0.1", fixture.server.port()).ok()) {
+        connected = false;
+        break;
+      }
+    }
+    if (!connected) continue;
+
+    std::vector<std::vector<double>> latencies(
+        static_cast<size_t>(thread_count));
+    std::atomic<bool> go{false};
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(thread_count));
+    for (int t = 0; t < thread_count; ++t) {
+      threads.emplace_back([&, t] {
+        net::SqlClient& client = clients[static_cast<size_t>(t)];
+        std::vector<double>& lat = latencies[static_cast<size_t>(t)];
+        lat.reserve(kRequestsPerThread);
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        for (int i = 0; i < kRequestsPerThread; ++i) {
+          auto start = std::chrono::steady_clock::now();
+          Result<net::WireParseResponse> response = client.ParseByFingerprint(
+              fixture.fingerprint,
+              workload[static_cast<size_t>(i) % workload.size()]);
+          auto end = std::chrono::steady_clock::now();
+          if (!response.ok() || response->status != StatusCode::kOk) {
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+          lat.push_back(MicrosBetween(start, end));
+        }
+      });
+    }
+    auto sweep_start = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    for (std::thread& thread : threads) thread.join();
+    auto sweep_end = std::chrono::steady_clock::now();
+    if (failed.load(std::memory_order_relaxed)) continue;
+
+    std::vector<double> merged;
+    merged.reserve(static_cast<size_t>(thread_count) * kRequestsPerThread);
+    for (const std::vector<double>& lat : latencies) {
+      merged.insert(merged.end(), lat.begin(), lat.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    auto at = [&](double p) {
+      size_t index =
+          static_cast<size_t>(p / 100.0 * (merged.size() - 1) + 0.5);
+      return merged[std::min(index, merged.size() - 1)];
+    };
+    double wall_s =
+        MicrosBetween(sweep_start, sweep_end) / 1e6;
+    MtPoint point;
+    point.threads = thread_count;
+    point.items_per_s =
+        wall_s > 0 ? static_cast<double>(merged.size()) / wall_s : 0;
+    point.p50_us = at(50);
+    point.p99_us = at(99);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+std::string MtCurveJson(const std::vector<MtPoint>& curve) {
+  std::string json = "\"mt_curve\":[";
+  for (size_t i = 0; i < curve.size(); ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"threads\":%d,\"items_per_s\":%.1f,"
+                  "\"p50_us\":%.3f,\"p99_us\":%.3f}",
+                  i == 0 ? "" : ",", curve[i].threads, curve[i].items_per_s,
+                  curve[i].p50_us, curve[i].p99_us);
+    json += buf;
+  }
+  json += "]";
+  return json;
+}
+
 }  // namespace
 }  // namespace sqlpl
 
@@ -248,17 +357,25 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   WireOverhead overhead = MeasureWireOverhead();
+  std::vector<MtPoint> curve = MeasureMtCurve();
   char buf[160];
   std::snprintf(buf, sizeof(buf),
                 "\"wire_us\":%.3f,\"in_process_us\":%.3f,"
-                "\"wire_overhead_us\":%.3f",
+                "\"wire_overhead_us\":%.3f,",
                 overhead.wire_us, overhead.in_process_us,
                 overhead.overhead_us());
+  std::string extra = std::string(buf) + MtCurveJson(curve);
   std::printf("wire overhead: %.1f µs/request (wire %.1f µs, in-process "
               "%.1f µs)\n",
               overhead.overhead_us(), overhead.wire_us,
               overhead.in_process_us);
-  bool wrote = bench::WriteBenchJson("net", reporter.Results(), buf);
+  for (const MtPoint& point : curve) {
+    std::printf("mt curve: %d client thread%s -> %.0f items/s "
+                "(p50 %.1f µs, p99 %.1f µs)\n",
+                point.threads, point.threads == 1 ? "" : "s",
+                point.items_per_s, point.p50_us, point.p99_us);
+  }
+  bool wrote = bench::WriteBenchJson("net", reporter.Results(), extra);
   Fixture().server.Stop();
   return wrote ? 0 : 1;
 }

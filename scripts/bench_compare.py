@@ -8,17 +8,31 @@ Usage:
 CURRENT_DIR holds just-produced BENCH_*.json files (typically the build
 directory after running the bench_* executables); BASELINE_DIR (default:
 repo root) holds the committed baselines. For every benchmark name
-present in both files the script compares throughput and fails (exit 1)
-on a regression larger than the threshold (default 10%).
+present in both files the script compares every *shared counter whose
+direction is known from its name* and fails (exit 1) on a regression
+larger than the threshold (default 10%):
 
-Per-result metric preference, highest wins:
-    counters.statements_per_s > counters.mb_per_s > ns_per_op
-For the rate counters bigger is better; for ns_per_op smaller is better.
+    *_per_s / *_per_second  bigger is better (throughput)
+    *_rate                  smaller is better (shed_rate, error rates)
+    *_us / *_ns / *_micros  smaller is better (latency figures)
 
-Benchmarks present only on one side are reported with visible NEW/GONE
-lines but never fail the check (benchmarks get added and retired; the
-committed baseline is refreshed with --update whenever an intentional
-change lands).
+so a benchmark that holds its ns_per_op while its mb_per_s or
+statements_per_s collapses (or its shed_rate climbs) no longer slips
+through. A benchmark with no known-direction counters falls back to
+ns_per_op (smaller is better). Two counter classes are reported but
+never gate:
+
+  - percentile counters (p50_*/p99_*...): distribution tails are
+    noise-dominated run-to-run, especially in the contention-heavy
+    multi-threaded benches — a tail regression that matters shows up in
+    the mean/rate figures too;
+  - counters whose name encodes no direction: only a human knows which
+    way is better.
+
+Benchmarks — and individual counters — present only on one side are
+reported with visible NEW/GONE lines but never fail the check
+(benchmarks and counters get added and retired; the committed baseline
+is refreshed with --update whenever an intentional change lands).
 
 Machine noise: wall-clock benchmarks on shared machines jitter tens of
 percent run-to-run, which would drown a 10% threshold. The bench
@@ -43,7 +57,9 @@ import os
 import shutil
 import sys
 
-METRIC_PREFERENCE = ("statements_per_s", "mb_per_s")
+RATE_SUFFIXES = ("_per_s", "_per_second")          # bigger is better
+COST_SUFFIXES = ("_rate", "_us", "_ns", "_micros")  # smaller is better
+PERCENTILE_PREFIXES = ("p50_", "p90_", "p95_", "p99_")
 
 
 def load_results(path):
@@ -58,14 +74,33 @@ def load_results(path):
     return results
 
 
-def pick_metric(result):
-    """Returns (metric_name, value, bigger_is_better) for one result."""
-    counters = result.get("counters", {})
-    for name in METRIC_PREFERENCE:
-        value = counters.get(name, 0)
-        if value > 0:
-            return name, value, True
-    return "ns_per_op", result.get("ns_per_op", 0), False
+def metric_direction(name):
+    """True = bigger is better, False = smaller, None = unknown."""
+    if name == "ns_per_op":
+        return False
+    if name.endswith(RATE_SUFFIXES):
+        return True
+    if name.endswith(COST_SUFFIXES):
+        return False
+    return None
+
+
+def gating_metrics(result):
+    """[(name, value)] of the counters this result is gated on.
+
+    Every known-direction, non-percentile counter gates; a result with
+    none falls back to ns_per_op so nothing goes entirely unwatched.
+    """
+    out = []
+    for name, value in sorted(result.get("counters", {}).items()):
+        if name.startswith(PERCENTILE_PREFIXES):
+            continue
+        if metric_direction(name) is None:
+            continue
+        out.append((name, value))
+    if not out:
+        out.append(("ns_per_op", result.get("ns_per_op", 0)))
+    return out
 
 
 def compare_file(bench, current, baseline, threshold):
@@ -80,29 +115,51 @@ def compare_file(bench, current, baseline, threshold):
     only_current = sorted(set(current) - set(baseline))
     only_baseline = sorted(set(baseline) - set(current))
     for name in shared:
-        metric, new_value, bigger_better = pick_metric(current[name])
-        base_metric, base_value, _ = pick_metric(baseline[name])
-        if metric != base_metric or base_value <= 0 or new_value <= 0:
-            # Metric sets changed (e.g. counters newly added): only a
-            # like-for-like comparison is meaningful.
-            print(f"  ~ {bench}/{name}: metric changed "
-                  f"({base_metric} -> {metric}), skipped")
-            continue
-        if bigger_better:
-            change = (new_value - base_value) / base_value
-        else:
-            change = (base_value - new_value) / base_value
-        entry = (f"{bench}/{name}: {metric} {base_value:.1f} -> "
-                 f"{new_value:.1f} ({change * 100:+.1f}%)")
-        marker = "ok"
-        if change < -2 * threshold:
-            marker = "REGRESSION"
-            major.append(entry)
-        elif change < -threshold:
-            marker = "outlier"
-            minor.append(entry)
-        print(f"  {marker:>10} {name}: {metric} {base_value:.1f} -> "
-              f"{new_value:.1f} ({change * 100:+.1f}%)")
+        new_metrics = dict(gating_metrics(current[name]))
+        base_metrics = dict(gating_metrics(baseline[name]))
+        for metric in sorted(set(new_metrics) | set(base_metrics)):
+            if metric not in base_metrics:
+                print(f"  {'NEW':>10} {name}: counter {metric} has no "
+                      "baseline (informational only)")
+                continue
+            if metric not in new_metrics:
+                print(f"  {'GONE':>10} {name}: counter {metric} not in "
+                      "this run (informational only)")
+                continue
+            new_value = new_metrics[metric]
+            base_value = base_metrics[metric]
+            if base_value <= 0 or new_value <= 0:
+                # A zero side (e.g. shed_rate 0) has no meaningful
+                # relative change; absolute shifts from zero are visible
+                # in the printed values.
+                print(f"  {'~':>10} {name}: {metric} {base_value:.3f} -> "
+                      f"{new_value:.3f} (zero side, not gated)")
+                continue
+            if metric_direction(metric):
+                change = (new_value - base_value) / base_value
+            else:
+                change = (base_value - new_value) / base_value
+            entry = (f"{bench}/{name}: {metric} {base_value:.1f} -> "
+                     f"{new_value:.1f} ({change * 100:+.1f}%)")
+            marker = "ok"
+            if change < -2 * threshold:
+                marker = "REGRESSION"
+                major.append(entry)
+            elif change < -threshold:
+                marker = "outlier"
+                minor.append(entry)
+            print(f"  {marker:>10} {name}: {metric} {base_value:.1f} -> "
+                  f"{new_value:.1f} ({change * 100:+.1f}%)")
+        # Percentile / direction-less counters: visible, never gating.
+        info = sorted(set(current[name].get("counters", {})) &
+                      set(baseline[name].get("counters", {})))
+        for metric in info:
+            if metric in new_metrics:
+                continue  # gated above
+            new_value = current[name]["counters"][metric]
+            base_value = baseline[name]["counters"][metric]
+            print(f"  {'info':>10} {name}: {metric} {base_value:.1f} -> "
+                  f"{new_value:.1f} (not gated)")
     # One-sided benchmarks are loudly visible but never gate pass/fail:
     # benchmarks get added and retired, and the committed baseline only
     # catches up at the next --update.

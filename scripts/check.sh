@@ -9,7 +9,10 @@
 # suite. The TSan pass rebuilds the service/obs/net test executables with
 # SQLPL_SANITIZE=thread in a separate build tree and runs exactly the
 # tests labeled `tsan-smoke` — the concurrency-sensitive serving and
-# observability suites (see tests/CMakeLists.txt). The ASan pass builds
+# observability suites (see tests/CMakeLists.txt), which since the
+# wire-tracing PR include the flight-recorder rings and the per-loop
+# labeled gauges (tests/obs/flight_recorder_test.cc,
+# tests/net/trace_wire_test.cc). The ASan pass builds
 # a third tree with SQLPL_SANITIZE=address AND SQLPL_FAULT_INJECT=ON and
 # runs the `service` label: the fault-injection suite (which skips in
 # normal builds) exercises the retry/shed/deadline paths there under

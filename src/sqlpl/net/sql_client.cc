@@ -1,11 +1,20 @@
 #include "sqlpl/net/sql_client.h"
 
+#include <atomic>
 #include <utility>
 
 #include "sqlpl/net/socket_util.h"
 
 namespace sqlpl {
 namespace net {
+
+namespace {
+
+// Source of per-client trace seeds. Starts at 1 so a stamped trace_id
+// is never zero (zero = untraced on the wire).
+std::atomic<uint32_t> next_trace_seed{1};
+
+}  // namespace
 
 SqlClient::~SqlClient() { Close(); }
 
@@ -53,6 +62,15 @@ Result<WireParseResponse> SqlClient::ParseByFingerprint(
 
 Status SqlClient::Send(WireParseRequest& request) {
   if (request.request_id == 0) request.request_id = next_request_id_++;
+  if (request.trace.trace_id == 0) {
+    if (trace_seed_ == 0) {
+      trace_seed_ =
+          next_trace_seed.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Seed in the high bits, the request's sequence number in the low:
+    // unique across clients, monotone within one.
+    request.trace.trace_id = (trace_seed_ << 32) | request.request_id;
+  }
   std::string frame;
   EncodeRequestFrame(request, &frame);
   return SendFrame(frame);

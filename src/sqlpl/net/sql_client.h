@@ -50,6 +50,7 @@ class SqlClient {
       fd_ = other.fd_;
       other.fd_ = -1;
       next_request_id_ = other.next_request_id_;
+      trace_seed_ = other.trace_seed_;
       in_ = std::move(other.in_);
       in_off_ = other.in_off_;
       other.in_.clear();
@@ -80,8 +81,11 @@ class SqlClient {
                                                    Deadline::Never());
 
   /// Pipelining half 1: frame and send `request`. A zero `request_id`
-  /// is replaced with an auto-incrementing one (returned via the
-  /// mutable field).
+  /// is replaced with an auto-incrementing one, and a zero
+  /// `trace.trace_id` is auto-stamped with a process-unique id
+  /// (client-seed high bits | sequence low bits) — every request this
+  /// client sends is traceable end-to-end unless the caller stamped its
+  /// own context. Both land back in the mutable `request`.
   Status Send(WireParseRequest& request);
 
   /// Pipelining half 2: the next response frame off the wire, in server
@@ -120,6 +124,9 @@ class SqlClient {
 
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  /// High 32 bits of auto-stamped trace ids; drawn lazily from a
+  /// process-global counter so concurrent clients never collide.
+  uint64_t trace_seed_ = 0;
   std::vector<uint8_t> in_;
   size_t in_off_ = 0;
 };

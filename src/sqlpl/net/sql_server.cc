@@ -11,10 +11,16 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <charconv>
 #include <mutex>
+#include <string>
+#include <system_error>
+#include <thread>
 #include <utility>
 
 #include "sqlpl/net/socket_util.h"
+#include "sqlpl/obs/flight_recorder.h"
+#include "sqlpl/obs/trace.h"
 #include "sqlpl/service/spec_fingerprint.h"
 
 namespace sqlpl {
@@ -81,6 +87,15 @@ struct SqlServer::EventLoop {
   std::unordered_map<int, std::shared_ptr<Connection>> conns;
   std::mutex mu;
   std::vector<std::shared_ptr<Connection>> pending;
+
+  /// Per-loop introspection instruments (`{loop="<index>"}` series),
+  /// resolved at Start() before the loop thread spawns.
+  obs::Counter* busy_micros = nullptr;
+  obs::Counter* idle_micros = nullptr;
+  obs::Counter* wakeups = nullptr;
+  obs::Histogram* epoll_batch = nullptr;
+  obs::Gauge* inflight = nullptr;
+  obs::Gauge* connections = nullptr;
 };
 
 /// Re-arms the fd's epoll interest from the connection's flags.
@@ -160,6 +175,12 @@ SqlServer::SqlServer(DialectService* service, SqlServerOptions options)
   request_latency_ = reg.GetHistogram(
       "sqlpl_net_request_micros", {},
       "Wire request turnaround: frame decoded -> response enqueued (µs)");
+  flight_dumps_slow_ = reg.GetCounter(
+      "sqlpl_net_flight_dumps_total", {{"reason", "slow"}},
+      "Flight-recorder anomaly dumps, by trigger");
+  flight_dumps_error_ = reg.GetCounter(
+      "sqlpl_net_flight_dumps_total", {{"reason", "error"}},
+      "Flight-recorder anomaly dumps, by trigger");
 }
 
 SqlServer::~SqlServer() { Stop(); }
@@ -205,9 +226,29 @@ Status SqlServer::Start() {
   workers_ = std::make_unique<ThreadPool>(pool_options);
 
   loops_.clear();
+  obs::MetricsRegistry& reg = service_->metrics();
   for (size_t i = 0; i < options_.num_event_loops; ++i) {
     auto loop = std::make_unique<EventLoop>();
     loop->index = i;
+    const std::string label = std::to_string(i);
+    loop->busy_micros = reg.GetCounter(
+        "sqlpl_net_loop_busy_micros_total", {{"loop", label}},
+        "Event-loop time spent processing ready events (µs)");
+    loop->idle_micros = reg.GetCounter(
+        "sqlpl_net_loop_idle_micros_total", {{"loop", label}},
+        "Event-loop time spent blocked in epoll_wait (µs)");
+    loop->wakeups = reg.GetCounter(
+        "sqlpl_net_loop_wakeups_total", {{"loop", label}},
+        "Cross-thread eventfd wakeups delivered to the loop");
+    loop->epoll_batch = reg.GetHistogram(
+        "sqlpl_net_loop_epoll_batch", {{"loop", label}},
+        "Ready events returned per epoll_wait call");
+    loop->inflight = reg.GetGauge(
+        "sqlpl_net_loop_inflight", {{"loop", label}},
+        "Requests dispatched by this loop awaiting a response");
+    loop->connections = reg.GetGauge(
+        "sqlpl_net_loop_connections", {{"loop", label}},
+        "Open connections owned by this loop");
     loop->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
     loop->wake_fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
     if (loop->epoll_fd < 0 || loop->wake_fd < 0) {
@@ -245,6 +286,45 @@ Status SqlServer::Start() {
       } else if (path == "/metrics") {
         reply.content_type = "text/plain; version=0.0.4; charset=utf-8";
         reply.body = service_->MetricsPrometheus();
+      } else if (path == "/debug/flight") {
+        // Live snapshot of the always-on flight recorder.
+        reply.content_type = "application/json";
+        reply.body = obs::FlightRecorder::Global().ExportChromeJson();
+      } else if (path == "/debug/flight/last") {
+        std::string dump = LastFlightDump();
+        if (dump.empty()) {
+          reply.status = 404;
+          reply.body = "no anomaly dump yet\n";
+        } else {
+          reply.content_type = "application/json";
+          reply.body = std::move(dump);
+        }
+      } else if (path == "/debug/exemplars") {
+        reply.content_type = "application/json";
+        reply.body = service_->metrics().ExportExemplarsJson();
+      } else if (path == "/trace" || path.rfind("/trace?", 0) == 0) {
+        // Window capture: enable span tracing, hold the window open,
+        // export what arrived. Runs on the single-threaded sideband, so
+        // a capture blocks other sideband requests — never the data
+        // plane.
+        uint64_t ms = 100;
+        size_t q = path.find("ms=");
+        if (q != std::string_view::npos) {
+          std::string_view digits = path.substr(q + 3);
+          uint64_t parsed = 0;
+          auto [ptr, ec] = std::from_chars(
+              digits.data(), digits.data() + digits.size(), parsed);
+          (void)ptr;
+          if (ec == std::errc()) ms = parsed;
+        }
+        ms = std::min<uint64_t>(std::max<uint64_t>(ms, 1), 5000);
+        const uint64_t window_start = obs::TraceNowMicros();
+        const bool was_enabled = obs::Tracing::enabled();
+        obs::Tracing::Enable(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        obs::Tracing::Enable(was_enabled);
+        reply.content_type = "application/json";
+        reply.body = obs::Tracer::Global().ExportChromeJsonSince(window_start);
       } else {
         reply.status = 404;
         reply.body = "not found\n";
@@ -311,11 +391,18 @@ void SqlServer::WakeLoop(EventLoop* loop) {
 void SqlServer::RunLoop(EventLoop* loop) {
   epoll_event events[64];
   while (!stop_loops_.load(std::memory_order_relaxed)) {
+    // Idle = blocked in epoll_wait; busy = everything after it until the
+    // next wait. Together they account for the loop thread's wall time,
+    // so `busy / (busy + idle)` is the loop's utilization.
+    const uint64_t idle_start = obs::TraceNowMicros();
     int n = epoll_wait(loop->epoll_fd, events, 64, -1);
+    const uint64_t busy_start = obs::TraceNowMicros();
+    loop->idle_micros->Increment(busy_start - idle_start);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
+    loop->epoll_batch->Record(static_cast<uint64_t>(n));
     bool woke = false;
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
@@ -325,6 +412,7 @@ void SqlServer::RunLoop(EventLoop* loop) {
         while (read(loop->wake_fd, &drained, sizeof(drained)) > 0) {
         }
         woke = true;
+        loop->wakeups->Increment();
         continue;
       }
       if (loop->index == 0 && fd == listen_fd_) {
@@ -340,6 +428,7 @@ void SqlServer::RunLoop(EventLoop* loop) {
       }
     }
     if (woke) HandleWakeup(loop);
+    loop->busy_micros->Increment(obs::TraceNowMicros() - busy_start);
   }
 
   // Exit path: best-effort flush of completed responses, then close
@@ -394,6 +483,7 @@ void SqlServer::AcceptAll(EventLoop* loop) {
 void SqlServer::RegisterConnection(EventLoop* loop,
                                    const std::shared_ptr<Connection>& conn) {
   loop->conns[conn->fd] = conn;
+  loop->connections->Add(1);
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
   ev.data.fd = conn->fd;
@@ -617,8 +707,11 @@ bool SqlServer::DecodeAndDispatch(const std::shared_ptr<Connection>& conn,
       // Parse requests and anything unknown go through the parse
       // decoder — its unexpected-type diagnostic is the protocol's
       // canonical rejection.
+      const uint64_t received_at_micros = obs::TraceNowMicros();
       WireParseRequest request;
       Status decoded = DecodeRequestPayload(payload, &request);
+      const uint64_t decode_micros =
+          obs::TraceNowMicros() - received_at_micros;
       if (!decoded.ok()) {
         // The frame boundary held, so we can still answer before
         // disconnecting the (broken) client.
@@ -629,14 +722,17 @@ bool SqlServer::DecodeAndDispatch(const std::shared_ptr<Connection>& conn,
       if (refuse_if_draining(request.request_id, WireType::kParseResponse)) {
         return true;
       }
-      DispatchFrame(conn, std::move(request));
+      DispatchFrame(conn, std::move(request), received_at_micros,
+                    decode_micros);
       return true;
     }
   }
 }
 
 void SqlServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
-                              WireParseRequest request) {
+                              WireParseRequest request,
+                              uint64_t received_at_micros,
+                              uint64_t decode_micros) {
   // The client's millisecond budget becomes absolute *here*, at frame
   // receipt, so queueing and cache resolution spend the same budget the
   // client metered out — not a fresh one per stage.
@@ -644,30 +740,34 @@ void SqlServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
       request.deadline_ms > 0
           ? Deadline::After(std::chrono::milliseconds(request.deadline_ms))
           : Deadline::Never();
-  auto received_at = std::chrono::steady_clock::now();
   uint64_t request_id = request.request_id;
   DispatchJob(conn, request_id, WireType::kParseResponse,
               [this, conn, request = std::move(request), deadline,
-               received_at] {
-                HandleRequest(conn, request, deadline, received_at);
+               received_at_micros, decode_micros] {
+                HandleRequest(conn, request, deadline, received_at_micros,
+                              decode_micros);
               });
 }
 
 void SqlServer::DispatchJob(const std::shared_ptr<Connection>& conn,
                             uint64_t request_id, WireType refuse_type,
                             std::function<void()> job) {
+  obs::Gauge* loop_inflight = conn->loop->inflight;
+  loop_inflight->Add(1);
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     ++inflight_;
   }
   Status submitted = workers_->Submit(
-      [this, job = std::move(job)] {
+      [this, loop_inflight, job = std::move(job)] {
         job();
+        loop_inflight->Add(-1);
         std::lock_guard<std::mutex> lock(inflight_mu_);
         if (--inflight_ == 0) inflight_cv_.notify_all();
       },
       Deadline::Never());
   if (!submitted.ok()) {
+    loop_inflight->Add(-1);
     {
       std::lock_guard<std::mutex> lock(inflight_mu_);
       if (--inflight_ == 0) inflight_cv_.notify_all();
@@ -681,9 +781,20 @@ void SqlServer::DispatchJob(const std::shared_ptr<Connection>& conn,
 
 void SqlServer::HandleRequest(const std::shared_ptr<Connection>& conn,
                               const WireParseRequest& request,
-                              Deadline deadline,
-                              std::chrono::steady_clock::time_point
-                                  received_at) {
+                              Deadline deadline, uint64_t received_at_micros,
+                              uint64_t decode_micros) {
+  // Stage clock: every boundary below is a TraceNowMicros() stamp, so
+  // the durations telescope — decode + queue + admission + parse +
+  // render + encode lands on server_micros by construction (modulo the
+  // underflow guards), which is what lets a client trust the breakdown
+  // against the total.
+  const uint64_t handled_at = obs::TraceNowMicros();
+  const uint64_t after_decode = received_at_micros + decode_micros;
+  const uint64_t queue_micros =
+      handled_at > after_decode ? handled_at - after_decode : 0;
+  const uint16_t loop_id = static_cast<uint16_t>(conn->loop->index);
+  const uint64_t trace_id = request.trace.trace_id;
+
   // Resolve the dialect: inline specs are fingerprinted and remembered;
   // fingerprint-only requests must match a spec some client sent
   // earlier.
@@ -703,11 +814,14 @@ void SqlServer::HandleRequest(const std::shared_ptr<Connection>& conn,
   WireParseResponse wire;
   wire.request_id = request.request_id;
   wire.fingerprint = fingerprint;
+  uint64_t parse_micros = 0;
+  uint64_t service_done = handled_at;
   if (!spec) {
     wire.status = StatusCode::kNotFound;
     wire.body = "unknown dialect fingerprint " +
                 SpecFingerprint{fingerprint}.ToString() +
                 " (send the spec inline once first)";
+    service_done = obs::TraceNowMicros();
   } else {
     ParseRequest service_request;
     service_request.spec = spec.get();
@@ -715,23 +829,104 @@ void SqlServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     service_request.deadline = deadline;
     service_request.cancel = drain_cancel_.token();
     service_request.want_tree = request.want_tree;
+    service_request.trace = request.trace;
     ParseResponse response = service_->Parse(service_request);
+    service_done = obs::TraceNowMicros();
+    parse_micros = response.parse_micros;
 
     wire.status = response.status().code();
     wire.cache_disposition = response.cache_disposition;
     wire.parse_micros = static_cast<uint32_t>(response.parse_micros);
     wire.total_micros = static_cast<uint32_t>(response.total_micros);
+    // Render: tree-to-text (or the error message) into the frame body.
     if (response.ok()) {
       if (request.want_tree) wire.body = response.result.value().ToSExpr();
     } else {
       wire.body = response.status().message();
     }
   }
-  uint64_t turnaround = MicrosSince(received_at);
-  wire.server_micros = static_cast<uint32_t>(
-      std::min<uint64_t>(turnaround, UINT32_MAX));
-  QueueResponse(conn, wire);
-  request_latency_->Record(turnaround);
+  const uint64_t render_done = obs::TraceNowMicros();
+
+  // "Admission" covers everything between worker pickup and the parse
+  // proper: spec-registry lookup, service admission, cache resolution,
+  // and (for coalesced requests) the wait on the single-flight build.
+  const uint64_t service_wall =
+      service_done > handled_at ? service_done - handled_at : 0;
+  const uint64_t admission_micros =
+      service_wall > parse_micros ? service_wall - parse_micros : 0;
+  const uint64_t render_micros =
+      render_done > service_done ? render_done - service_done : 0;
+
+  // Encode, two-pass: measure a throwaway encode of the response as it
+  // stands, then stamp the totals (and, for traced requests, the stage
+  // table) and encode the final frame. The measured figure is what the
+  // client sees; the final pass costs the same again but is not part of
+  // the reported turnaround.
+  std::string frame;
+  EncodeResponseFrame(wire, &frame);
+  const uint64_t encode_done = obs::TraceNowMicros();
+  const uint64_t encode_micros =
+      encode_done > render_done ? encode_done - render_done : 0;
+  const uint64_t turnaround =
+      encode_done > received_at_micros ? encode_done - received_at_micros : 0;
+  wire.server_micros =
+      static_cast<uint32_t>(std::min<uint64_t>(turnaround, UINT32_MAX));
+  auto clamp32 = [](uint64_t micros) {
+    return static_cast<uint32_t>(std::min<uint64_t>(micros, UINT32_MAX));
+  };
+  if (request.trace.traced()) {
+    wire.trace_id = trace_id;
+    // kWrite is always 0 in-frame: the flush happens after the frame is
+    // sealed. The flight recorder carries the real write event.
+    wire.stages = {
+        {static_cast<uint8_t>(WireStage::kDecode), clamp32(decode_micros)},
+        {static_cast<uint8_t>(WireStage::kQueue), clamp32(queue_micros)},
+        {static_cast<uint8_t>(WireStage::kAdmission),
+         clamp32(admission_micros)},
+        {static_cast<uint8_t>(WireStage::kParse), clamp32(parse_micros)},
+        {static_cast<uint8_t>(WireStage::kRender), clamp32(render_micros)},
+        {static_cast<uint8_t>(WireStage::kEncode), clamp32(encode_micros)},
+        {static_cast<uint8_t>(WireStage::kWrite), 0},
+    };
+  }
+  frame.clear();
+  EncodeResponseFrame(wire, &frame);
+
+  // Flight-record every stage (always on, traced or not) plus one
+  // enclosing kRequest event; loop_id ties the events back to the
+  // per-loop metric series. The pre-flush stages and the latency
+  // exemplar are recorded *before* the response frame is enqueued, so a
+  // client that scrapes /debug/flight right after its reply finds its
+  // own trace; only the write/request events trail the flush they
+  // measure.
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  const uint8_t status_byte = static_cast<uint8_t>(wire.status);
+  auto record = [&](obs::FlightStage stage, uint64_t start, uint64_t dur) {
+    obs::FlightEvent event;
+    event.trace_id = trace_id;
+    event.request_id = request.request_id;
+    event.ts_micros = start;
+    event.dur_micros = clamp32(dur);
+    event.loop_id = loop_id;
+    event.stage = static_cast<uint8_t>(stage);
+    event.status = status_byte;
+    recorder.Record(event);
+  };
+  record(obs::FlightStage::kDecode, received_at_micros, decode_micros);
+  record(obs::FlightStage::kQueue, after_decode, queue_micros);
+  record(obs::FlightStage::kAdmission, handled_at, admission_micros);
+  record(obs::FlightStage::kParse, handled_at + admission_micros,
+         parse_micros);
+  record(obs::FlightStage::kRender, service_done, render_micros);
+  record(obs::FlightStage::kEncode, render_done, encode_micros);
+  request_latency_->RecordWithExemplar(turnaround, trace_id);
+
+  const uint64_t write_start = obs::TraceNowMicros();
+  QueueFrame(conn, frame);
+  const uint64_t write_done = obs::TraceNowMicros();
+  record(obs::FlightStage::kWrite, write_start, write_done - write_start);
+  record(obs::FlightStage::kRequest, received_at_micros, turnaround);
+  MaybeDumpFlight(wire.status, turnaround);
 }
 
 void SqlServer::HandleValidate(const std::shared_ptr<Connection>& conn,
@@ -909,6 +1104,46 @@ void SqlServer::CloseConnection(EventLoop* loop,
     loop->conns.erase(fd);
   }
   connections_gauge_->Add(-1);
+  loop->connections->Add(-1);
+}
+
+void SqlServer::MaybeDumpFlight(StatusCode status,
+                                uint64_t turnaround_micros) {
+  // "Failure" here means a lifecycle/server failure — a plain parse
+  // error is the client's SQL being wrong, a normal outcome that must
+  // not spam dumps.
+  obs::Counter* trigger = nullptr;
+  if (status != StatusCode::kOk && status != StatusCode::kParseError) {
+    trigger = flight_dumps_error_;
+  } else if (options_.flight_dump_slow_micros > 0 &&
+             turnaround_micros >= options_.flight_dump_slow_micros) {
+    trigger = flight_dumps_slow_;
+  }
+  if (trigger == nullptr) return;
+  const uint64_t now = obs::TraceNowMicros();
+  const uint64_t interval = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          options_.flight_dump_interval)
+          .count());
+  uint64_t last = last_flight_dump_micros_.load(std::memory_order_relaxed);
+  if (last != 0 && now - last < interval) return;
+  // One concurrent anomaly wins the dump; losers return (their events
+  // are in the winner's snapshot anyway).
+  if (!last_flight_dump_micros_.compare_exchange_strong(
+          last, now, std::memory_order_relaxed)) {
+    return;
+  }
+  std::string dump = obs::FlightRecorder::Global().ExportChromeJson();
+  {
+    std::lock_guard<std::mutex> lock(flight_dump_mu_);
+    last_flight_dump_ = std::move(dump);
+  }
+  trigger->Increment();
+}
+
+std::string SqlServer::LastFlightDump() const {
+  std::lock_guard<std::mutex> lock(flight_dump_mu_);
+  return last_flight_dump_;
 }
 
 // --- SIGTERM -> Stop() ---------------------------------------------

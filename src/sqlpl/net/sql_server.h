@@ -46,11 +46,21 @@ struct SqlServerOptions {
   /// Graceful-drain budget of `Stop()`: how long in-flight requests may
   /// run before the server cancels them via its `CancelSource`.
   std::chrono::milliseconds drain_deadline{2000};
-  /// HTTP/1.0 sideband serving `GET /metrics` and `GET /healthz`.
+  /// HTTP/1.0 sideband serving `GET /metrics`, `GET /healthz`, and the
+  /// observability endpoints (`/debug/flight`, `/debug/flight/last`,
+  /// `/debug/exemplars`, `/trace?ms=N` — docs/OBSERVABILITY.md).
   /// Disabled by default; when enabled, port 0 binds ephemerally (read
   /// back with `metrics_port()`).
   bool enable_metrics_sideband = false;
   uint16_t metrics_port = 0;
+  /// Flight-recorder anomaly dumps: a parse request whose server
+  /// turnaround exceeds this many microseconds triggers a dump of the
+  /// recorder (retrievable via `LastFlightDump()` / `GET
+  /// /debug/flight/last`). 0 disables the slow trigger; failed requests
+  /// always trigger. Dumps are rate-limited to one per
+  /// `flight_dump_interval`.
+  uint64_t flight_dump_slow_micros = 0;
+  std::chrono::milliseconds flight_dump_interval{1000};
 };
 
 /// The network front-end of a `DialectService` (docs/NETWORK.md): a
@@ -127,6 +137,11 @@ class SqlServer {
 
   const SqlServerOptions& options() const { return options_; }
 
+  /// The most recent anomaly-triggered flight-recorder dump (Chrome
+  /// trace JSON), or empty when no request has tripped a trigger yet.
+  /// Also served as `GET /debug/flight/last` on the sideband.
+  std::string LastFlightDump() const;
+
  private:
   struct Connection;
   struct EventLoop;
@@ -143,8 +158,12 @@ class SqlServer {
   /// refused; the caller closes the connection).
   bool DecodeAndDispatch(const std::shared_ptr<Connection>& conn,
                          std::span<const uint8_t> payload);
+  /// `received_at_micros`/`decode_micros` are the trace-clock receipt
+  /// stamp and measured frame-decode duration — the first two entries
+  /// of the response's per-stage timing breakdown.
   void DispatchFrame(const std::shared_ptr<Connection>& conn,
-                     WireParseRequest request);
+                     WireParseRequest request, uint64_t received_at_micros,
+                     uint64_t decode_micros);
   /// Shared worker handoff with in-flight accounting: runs `job` on the
   /// pool, refusing with `refuse_type` when the pool is stopping.
   void DispatchJob(const std::shared_ptr<Connection>& conn,
@@ -152,7 +171,11 @@ class SqlServer {
                    std::function<void()> job);
   void HandleRequest(const std::shared_ptr<Connection>& conn,
                      const WireParseRequest& request, Deadline deadline,
-                     std::chrono::steady_clock::time_point received_at);
+                     uint64_t received_at_micros, uint64_t decode_micros);
+  /// Anomaly trigger for the flight recorder: a failed request, or one
+  /// slower than `flight_dump_slow_micros`, snapshots the recorder into
+  /// `last_flight_dump_` (rate-limited by `flight_dump_interval`).
+  void MaybeDumpFlight(StatusCode status, uint64_t turnaround_micros);
   void HandleValidate(const std::shared_ptr<Connection>& conn,
                       const WireValidateRequest& request,
                       std::chrono::steady_clock::time_point received_at);
@@ -237,6 +260,14 @@ class SqlServer {
   obs::Counter* overflow_disconnects_;
   obs::Counter* unavailable_total_;
   obs::Histogram* request_latency_;
+  /// Anomaly-dump counters, split by trigger (`reason="slow"|"error"`).
+  obs::Counter* flight_dumps_slow_;
+  obs::Counter* flight_dumps_error_;
+
+  /// Last anomaly dump + its trace-clock timestamp (the rate limiter).
+  mutable std::mutex flight_dump_mu_;
+  std::string last_flight_dump_;
+  std::atomic<uint64_t> last_flight_dump_micros_{0};
 };
 
 }  // namespace net

@@ -1,5 +1,6 @@
 #include "sqlpl/net/wire.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace sqlpl {
@@ -81,6 +82,15 @@ class ByteReader {
   }
   std::string Str16() { return Str(U16()); }
   std::string Str32() { return Str(U32()); }
+
+  /// Advances past `n` bytes without materializing them (unknown
+  /// extension payloads). Sticky-fails on underrun like the getters.
+  void Skip(size_t n) {
+    if (Need(n)) pos_ += n;
+  }
+
+  /// Bytes not yet consumed.
+  size_t Remaining() const { return ok_ ? data_.size() - pos_ : 0; }
 
  private:
   bool Need(size_t n) {
@@ -170,6 +180,81 @@ bool ReadConflict(ByteReader* reader, WireConflict* conflict) {
   return reader->ok();
 }
 
+// --- parse-frame extension block (wire.h top comment) ---------------
+
+// Extension tags, per direction. Append-only.
+constexpr uint8_t kExtTraceContext = 1;  // request: trace_id, span_id
+constexpr uint8_t kExtTraceEcho = 1;     // response: trace_id
+constexpr uint8_t kExtStageTable = 2;    // response: stage timings
+
+// Appends one `tag | u16 len | body` extension.
+void PutExtension(std::string* out, uint8_t tag, const std::string& body) {
+  PutU8(out, tag);
+  PutU16(out, static_cast<uint16_t>(body.size()));
+  out->append(body);
+}
+
+// Decodes the optional trailing extension block of a ParseRequest.
+// An exhausted reader is the pre-extension format (fine). Known tags
+// tolerate extra appended bytes (a newer peer may have extended them);
+// unknown tags are skipped whole. Returns false on structural
+// malformation; truncation sticky-fails the reader for the caller's
+// shared check.
+bool ReadRequestExtensions(ByteReader* reader, WireParseRequest* out) {
+  if (reader->AtEnd()) return true;
+  size_t n = reader->U8();
+  for (size_t i = 0; i < n && reader->ok(); ++i) {
+    uint8_t tag = reader->U8();
+    size_t len = reader->U16();
+    switch (tag) {
+      case kExtTraceContext:
+        if (len < 16) return false;
+        out->trace.trace_id = reader->U64();
+        out->trace.span_id = reader->U64();
+        reader->Skip(len - 16);
+        break;
+      default:
+        reader->Skip(len);
+    }
+  }
+  return reader->ok();
+}
+
+// ParseResponse counterpart of `ReadRequestExtensions`.
+bool ReadResponseExtensions(ByteReader* reader, WireParseResponse* out) {
+  if (reader->AtEnd()) return true;
+  size_t n = reader->U8();
+  for (size_t i = 0; i < n && reader->ok(); ++i) {
+    uint8_t tag = reader->U8();
+    size_t len = reader->U16();
+    switch (tag) {
+      case kExtTraceEcho:
+        if (len < 8) return false;
+        out->trace_id = reader->U64();
+        reader->Skip(len - 8);
+        break;
+      case kExtStageTable: {
+        if (len < 1) return false;
+        size_t count = reader->U8();
+        if (len < 1 + count * 5) return false;
+        out->stages.clear();
+        out->stages.reserve(count);
+        for (size_t j = 0; j < count && reader->ok(); ++j) {
+          WireStageTiming timing;
+          timing.stage = reader->U8();
+          timing.micros = reader->U32();
+          out->stages.push_back(timing);
+        }
+        reader->Skip(len - 1 - count * 5);
+        break;
+      }
+      default:
+        reader->Skip(len);
+    }
+  }
+  return reader->ok();
+}
+
 /// Checks the leading type byte of a payload against `want`.
 Status ExpectType(ByteReader* reader, WireType want, const char* what) {
   uint8_t type = reader->U8();
@@ -195,6 +280,19 @@ Status FinishDecode(const ByteReader& reader, const char* what) {
 }
 
 }  // namespace
+
+const char* WireStageName(uint8_t stage) {
+  switch (static_cast<WireStage>(stage)) {
+    case WireStage::kDecode: return "decode";
+    case WireStage::kQueue: return "queue";
+    case WireStage::kAdmission: return "admission";
+    case WireStage::kParse: return "parse";
+    case WireStage::kRender: return "render";
+    case WireStage::kEncode: return "encode";
+    case WireStage::kWrite: return "write";
+  }
+  return "unknown";
+}
 
 uint8_t StatusCodeToWire(StatusCode code) {
   switch (code) {
@@ -253,6 +351,15 @@ void EncodeRequestFrame(const WireParseRequest& request, std::string* out) {
   PutU64(&payload, request.fingerprint);
   if (request.has_spec) PutSpec(&payload, request.spec);
   PutStr32(&payload, request.sql);
+  // Untraced requests carry no extension block at all, keeping them
+  // byte-identical to the pre-extension encoding (golden-tested).
+  if (request.trace.traced()) {
+    PutU8(&payload, 1);  // ext_count
+    std::string ext;
+    PutU64(&ext, request.trace.trace_id);
+    PutU64(&ext, request.trace.span_id);
+    PutExtension(&payload, kExtTraceContext, ext);
+  }
 
   PutU32(out, static_cast<uint32_t>(payload.size()));
   out->append(payload);
@@ -270,6 +377,25 @@ void EncodeResponseFrame(const WireParseResponse& response, std::string* out) {
   PutU32(&payload, response.server_micros);
   PutU64(&payload, response.fingerprint);
   PutStr32(&payload, response.body);
+  size_t n_stages = std::min(response.stages.size(), size_t{255});
+  uint8_t ext_count = (response.trace_id != 0 ? 1 : 0) + (n_stages > 0 ? 1 : 0);
+  if (ext_count > 0) {
+    PutU8(&payload, ext_count);
+    if (response.trace_id != 0) {
+      std::string ext;
+      PutU64(&ext, response.trace_id);
+      PutExtension(&payload, kExtTraceEcho, ext);
+    }
+    if (n_stages > 0) {
+      std::string ext;
+      PutU8(&ext, static_cast<uint8_t>(n_stages));
+      for (size_t i = 0; i < n_stages; ++i) {
+        PutU8(&ext, response.stages[i].stage);
+        PutU32(&ext, response.stages[i].micros);
+      }
+      PutExtension(&payload, kExtStageTable, ext);
+    }
+  }
 
   PutU32(out, static_cast<uint32_t>(payload.size()));
   out->append(payload);
@@ -320,6 +446,11 @@ Status DecodeRequestPayload(std::span<const uint8_t> payload,
     out->spec = DialectSpec{};
   }
   out->sql = reader.Str32();
+  out->trace = TraceContext{};
+  if (!ReadRequestExtensions(&reader, out)) {
+    return Status::InvalidArgument(
+        "malformed extension block in ParseRequest");
+  }
   if (!reader.ok()) {
     return Status::InvalidArgument("truncated ParseRequest payload");
   }
@@ -350,6 +481,12 @@ Status DecodeResponsePayload(std::span<const uint8_t> payload,
   out->server_micros = reader.U32();
   out->fingerprint = reader.U64();
   out->body = reader.Str32();
+  out->trace_id = 0;
+  out->stages.clear();
+  if (!ReadResponseExtensions(&reader, out)) {
+    return Status::InvalidArgument(
+        "malformed extension block in ParseResponse");
+  }
   if (!reader.ok()) {
     return Status::InvalidArgument("truncated ParseResponse payload");
   }

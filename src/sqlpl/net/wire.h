@@ -10,6 +10,7 @@
 #include "sqlpl/service/parser_cache.h"
 #include "sqlpl/sql/product_line.h"
 #include "sqlpl/util/status.h"
+#include "sqlpl/util/trace_context.h"
 
 namespace sqlpl {
 namespace net {
@@ -48,6 +49,50 @@ enum class WireType : uint8_t {
   kListCatalogResponse = 8,
 };
 
+/// Parse frames (types 1 and 2) may carry an optional *extension block*
+/// after their legacy fields:
+///
+///   uint8 ext_count | ext_count × (uint8 tag | uint16 len | len bytes)
+///
+/// The block is append-only and self-skipping: a decoder that does not
+/// know a tag skips `len` bytes, and an absent block (payload ending at
+/// the legacy fields) is the pre-extension format, so old frames decode
+/// unchanged and old decoders were already rejecting what they cannot
+/// carry. Known tags, per direction:
+///
+///   request  tag 1: trace context — trace_id u64, span_id u64
+///   response tag 1: trace echo    — trace_id u64
+///   response tag 2: stage table   — count u8, count × (stage u8,
+///                                   micros u32)
+///
+/// Negotiation frames (types 3–8) have no extension block.
+
+/// Stage ids of the response's per-stage timing breakdown, in pipeline
+/// order. The table is append-only (mirrored by `obs::FlightStage`);
+/// decoders keep unknown stage ids rather than reject them.
+enum class WireStage : uint8_t {
+  kDecode = 0,     // frame bytes -> request struct, on the loop thread
+  kQueue = 1,      // dispatch -> worker pickup (pool queue wait)
+  kAdmission = 2,  // admission gate + cache/parser resolution
+  kParse = 3,      // the parse proper
+  kRender = 4,     // parse tree -> S-expression body
+  kEncode = 5,     // response struct -> frame bytes
+  kWrite = 6,      // socket flush; always 0 in-frame (the flush happens
+                   // after the frame is sealed — see docs/NETWORK.md)
+};
+
+/// Stable lowercase stage name; "unknown" for unrecognized ids.
+const char* WireStageName(uint8_t stage);
+
+/// One row of the response stage table. `stage` is the raw wire id so
+/// rows from newer servers survive a round-trip through old clients.
+struct WireStageTiming {
+  uint8_t stage = 0;
+  uint32_t micros = 0;
+
+  bool operator==(const WireStageTiming&) const = default;
+};
+
 /// A client's parse call, decoded. The dialect travels either inline
 /// (`has_spec`, first request for that dialect) or as the 64-bit spec
 /// fingerprint of an earlier inline spec — the server remembers every
@@ -67,6 +112,10 @@ struct WireParseRequest {
   /// Dialect identity when `has_spec`.
   DialectSpec spec;
   std::string sql;
+  /// Client-stamped trace identity (extension tag 1). Zero = untraced;
+  /// the frame then carries no extension block and is byte-identical to
+  /// the pre-extension encoding.
+  TraceContext trace;
 };
 
 struct WireParseResponse {
@@ -84,6 +133,12 @@ struct WireParseResponse {
   /// S-expression of the parse tree on success (empty when the request
   /// set `want_tree = false`); the error message otherwise.
   std::string body;
+  /// Echo of the request's trace_id (extension tag 1); zero when the
+  /// request was untraced.
+  uint64_t trace_id = 0;
+  /// Per-stage timing breakdown (extension tag 2), in pipeline order.
+  /// Empty for untraced requests and from pre-extension servers.
+  std::vector<WireStageTiming> stages;
 
   bool ok() const { return status == StatusCode::kOk; }
 };

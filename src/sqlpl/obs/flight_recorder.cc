@@ -1,0 +1,148 @@
+#include "sqlpl/obs/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace sqlpl {
+namespace obs {
+
+namespace {
+
+// Cached per-thread ring pointer, same shape as the tracer's tls_buffer:
+// the registry mutex is taken once per thread, every later Record only
+// takes the ring's own (uncontended) mutex.
+thread_local FlightRing* tls_ring = nullptr;
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendHex64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  *out += buf;
+}
+
+}  // namespace
+
+const char* FlightStageName(uint8_t stage) {
+  switch (static_cast<FlightStage>(stage)) {
+    case FlightStage::kDecode: return "decode";
+    case FlightStage::kQueue: return "queue";
+    case FlightStage::kAdmission: return "admission";
+    case FlightStage::kParse: return "parse";
+    case FlightStage::kRender: return "render";
+    case FlightStage::kEncode: return "encode";
+    case FlightStage::kWrite: return "write";
+    case FlightStage::kRequest: return "request";
+    case FlightStage::kService: return "service";
+  }
+  return "unknown";
+}
+
+FlightRing::FlightRing(size_t capacity)
+    : events_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRing::Record(const FlightEvent& event) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_[next_] = event;
+    if (++next_ == events_.size()) {
+      next_ = 0;
+      wrapped_ = true;
+    }
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FlightRing::SnapshotInto(std::vector<FlightEvent>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wrapped_) {
+    // Oldest is the slot about to be overwritten.
+    for (size_t i = next_; i < events_.size(); ++i) out->push_back(events_[i]);
+  }
+  for (size_t i = 0; i < next_; ++i) out->push_back(events_[i]);
+}
+
+void FlightRing::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  wrapped_ = false;
+  recorded_.store(0, std::memory_order_relaxed);
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked: threads may record during static destruction elsewhere.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRing& FlightRecorder::CurrentThreadRing() {
+  if (tls_ring != nullptr) return *tls_ring;
+  auto ring = std::make_unique<FlightRing>(
+      ring_capacity_.load(std::memory_order_relaxed));
+  tls_ring = ring.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(std::move(ring));
+  return *tls_ring;
+}
+
+void FlightRecorder::Record(const FlightEvent& event) {
+  CurrentThreadRing().Record(event);
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightEvent> out;
+  for (const auto& ring : rings_) ring->SnapshotInto(&out);
+  return out;
+}
+
+std::string FlightRecorder::ExportChromeJson() const {
+  return FlightEventsToChromeJson(Snapshot());
+}
+
+uint64_t FlightRecorder::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->recorded();
+  return total;
+}
+
+void FlightRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& ring : rings_) ring->Reset();
+}
+
+std::string FlightEventsToChromeJson(const std::vector<FlightEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const FlightEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += FlightStageName(event.stage);
+    // One Chrome "track" per event loop (wire stages carry their loop;
+    // worker-side and in-process events land on track 0).
+    out += "\",\"cat\":\"flight\",\"ph\":\"X\",\"ts\":";
+    AppendU64(&out, event.ts_micros);
+    out += ",\"dur\":";
+    AppendU64(&out, event.dur_micros);
+    out += ",\"pid\":1,\"tid\":";
+    AppendU64(&out, event.loop_id);
+    out += ",\"args\":{\"trace_id\":\"";
+    AppendHex64(&out, event.trace_id);
+    out += "\",\"request_id\":";
+    AppendU64(&out, event.request_id);
+    out += ",\"status\":";
+    AppendU64(&out, event.status);
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sqlpl

@@ -1,0 +1,138 @@
+#ifndef SQLPL_OBS_FLIGHT_RECORDER_H_
+#define SQLPL_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sqlpl {
+namespace obs {
+
+/// Stage identity of one flight-recorder event. Mirrors the wire stage
+/// table (net/wire.h `WireStage`) for the per-request pipeline stages,
+/// plus recorder-only stages for whole-request and in-service events.
+/// The numbering is append-only: dumps are read by external tools.
+enum class FlightStage : uint8_t {
+  kDecode = 0,     // loop thread: frame bytes -> WireParseRequest
+  kQueue = 1,      // dispatch -> worker pickup (pool queue wait)
+  kAdmission = 2,  // admission gate + cache/parser resolution
+  kParse = 3,      // the parse proper (lex + match)
+  kRender = 4,     // arena tree -> S-expression body
+  kEncode = 5,     // response struct -> frame bytes
+  kWrite = 6,      // frame enqueue + synchronous socket flush attempt
+  kRequest = 7,    // whole wire request (decode -> response queued)
+  kService = 8,    // DialectService::Parse (any caller, wire or not)
+};
+
+/// Stable lowercase name of a stage ("decode", "parse", ...); "unknown"
+/// for out-of-range values (forward compatibility with newer dumps).
+const char* FlightStageName(uint8_t stage);
+
+/// One recorded event. POD on purpose: recording must not allocate, and
+/// rings overwrite in place.
+struct FlightEvent {
+  uint64_t trace_id = 0;    // 0 = untraced request
+  uint64_t request_id = 0;  // wire request id (0 for in-process callers)
+  uint64_t ts_micros = 0;   // interval start, TraceNowMicros() epoch
+  uint32_t dur_micros = 0;
+  uint16_t loop_id = 0;  // owning event loop for wire stages; 0 otherwise
+  uint8_t stage = 0;     // FlightStage
+  uint8_t status = 0;    // wire status code of the outcome (0 = ok)
+};
+
+/// Fixed-capacity per-thread ring of recent `FlightEvent`s. Unlike the
+/// PR 2 trace buffers (which stop recording when full — they capture a
+/// session), a flight ring *wraps*: it always holds the newest events,
+/// which is what a post-hoc "what just happened" dump needs.
+///
+/// Concurrency: one writer (the owning thread) and any number of
+/// snapshot readers, synchronized by a per-ring mutex. The single
+/// writer means the lock is uncontended on the record path — an
+/// uncontended lock is a couple of atomic ops, cheap enough for an
+/// always-on recorder — and, unlike a seqlock, it is exact and clean
+/// under ThreadSanitizer. Readers only contend during dumps.
+class FlightRing {
+ public:
+  explicit FlightRing(size_t capacity);
+
+  void Record(const FlightEvent& event);
+
+  /// Appends the ring's events to `*out`, oldest first.
+  void SnapshotInto(std::vector<FlightEvent>* out) const;
+
+  /// Lifetime count of events recorded through this ring (>= capacity
+  /// once wrapped).
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return events_.size(); }
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FlightEvent> events_;  // fixed size; ring storage
+  size_t next_ = 0;                  // next slot to overwrite
+  bool wrapped_ = false;
+  std::atomic<uint64_t> recorded_{0};
+};
+
+/// Process-wide always-on recorder of recent request activity
+/// (docs/OBSERVABILITY.md). Each thread records into its own fixed
+/// ring; a dump stitches every ring into one Chrome trace JSON. The
+/// recorder has no enable flag — its cost is budgeted into the serving
+/// path (bench_obs `flight_overhead_pct`) so the *first* slow request
+/// is already captured, not the first one after someone turns tracing
+/// on.
+class FlightRecorder {
+ public:
+  static FlightRecorder& Global();
+
+  /// Records into the calling thread's ring (created on first use).
+  void Record(const FlightEvent& event);
+
+  /// Every ring's events, oldest-first per ring.
+  std::vector<FlightEvent> Snapshot() const;
+
+  /// Chrome `trace_event` JSON of `Snapshot()`: one "X" event per
+  /// entry, named by stage, with args {trace_id (hex), request_id,
+  /// status, loop}. Loads in chrome://tracing / ui.perfetto.dev.
+  std::string ExportChromeJson() const;
+
+  /// Total events ever recorded, across threads.
+  uint64_t TotalRecorded() const;
+
+  /// Capacity for rings created after this call (default 4096 events
+  /// per thread). Existing rings keep their size.
+  void set_ring_capacity(size_t events) {
+    ring_capacity_.store(events, std::memory_order_relaxed);
+  }
+
+  /// Clears every ring (registrations are kept). Safe against
+  /// concurrent writers — each ring clears under its own mutex — but
+  /// concurrent Records may land before or after the clear.
+  void Reset();
+
+ private:
+  FlightRecorder() = default;
+
+  FlightRing& CurrentThreadRing();
+
+  mutable std::mutex mu_;  // guards rings_ registration/iteration
+  std::vector<std::unique_ptr<FlightRing>> rings_;
+  std::atomic<size_t> ring_capacity_{4096};
+};
+
+/// Renders `events` as Chrome trace JSON (the shared implementation of
+/// `FlightRecorder::ExportChromeJson`, exposed so servers can render a
+/// filtered subset, e.g. one trace id).
+std::string FlightEventsToChromeJson(const std::vector<FlightEvent>& events);
+
+}  // namespace obs
+}  // namespace sqlpl
+
+#endif  // SQLPL_OBS_FLIGHT_RECORDER_H_

@@ -88,6 +88,16 @@ void Histogram::Record(uint64_t value) {
   sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
+void Histogram::RecordWithExemplar(uint64_t value, uint64_t trace_id) {
+  size_t b = BucketFor(value);
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  if (trace_id != 0) {
+    exemplar_trace_[b].store(trace_id, std::memory_order_relaxed);
+    exemplar_value_[b].store(value, std::memory_order_relaxed);
+  }
+}
+
 uint64_t Histogram::TotalCount() const {
   uint64_t total = 0;
   for (const auto& bucket : buckets_) {
@@ -123,6 +133,8 @@ double Histogram::Mean() const {
 
 void Histogram::Reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  for (auto& e : exemplar_trace_) e.store(0, std::memory_order_relaxed);
+  for (auto& e : exemplar_value_) e.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
 }
 
@@ -307,6 +319,52 @@ std::string MetricsRegistry::ExportJson() const {
         }
       }
       out += "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsRegistry::ExportExemplarsJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"exemplars\":[";
+  bool first = true;
+  for (const auto& [name, family] : families_) {
+    if (family.kind != MetricKind::kHistogram) continue;
+    for (const auto& [serialized, instrument] : family.instruments) {
+      const Histogram& h = *instrument.histogram;
+      std::string buckets;
+      bool first_bucket = true;
+      for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+        Histogram::Exemplar exemplar = h.BucketExemplar(i);
+        if (exemplar.trace_id == 0) continue;
+        if (!first_bucket) buckets += ",";
+        first_bucket = false;
+        buckets += "{\"le\":";
+        if (i + 1 == Histogram::kNumBuckets) {
+          buckets += "\"+Inf\"";
+        } else {
+          AppendU64(&buckets, Histogram::BucketLe(i));
+        }
+        buckets += ",\"trace_id\":\"";
+        char hex[24];
+        std::snprintf(hex, sizeof(hex), "%016" PRIx64, exemplar.trace_id);
+        buckets += hex;
+        buckets += "\",\"value\":";
+        AppendU64(&buckets, exemplar.value);
+        buckets += "}";
+      }
+      if (buckets.empty()) continue;  // no exemplars recorded yet
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":\"" + JsonEscape(name) + "\",\"labels\":{";
+      bool first_label = true;
+      for (const auto& [key, value] : instrument.labels) {
+        if (!first_label) out += ",";
+        first_label = false;
+        out += "\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+      }
+      out += "},\"buckets\":[" + buckets + "]}";
     }
   }
   out += "]}";

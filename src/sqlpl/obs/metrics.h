@@ -58,6 +58,25 @@ class Histogram {
 
   void Record(uint64_t value);
 
+  /// Records `value` and, when `trace_id` is nonzero, remembers it as
+  /// the bucket's exemplar: a concrete trace responsible for a sample
+  /// in that latency range, so a tail bucket on a dashboard links to a
+  /// flight-recorder dump. Last-writer-wins with relaxed stores — the
+  /// two exemplar fields may mix writers under contention, which is
+  /// acceptable for a debugging hint (both values are real recorded
+  /// data, just possibly from two different requests).
+  void RecordWithExemplar(uint64_t value, uint64_t trace_id);
+
+  /// One bucket's exemplar, or zero trace_id when none recorded.
+  struct Exemplar {
+    uint64_t trace_id = 0;
+    uint64_t value = 0;
+  };
+  Exemplar BucketExemplar(size_t i) const {
+    return Exemplar{exemplar_trace_[i].load(std::memory_order_relaxed),
+                    exemplar_value_[i].load(std::memory_order_relaxed)};
+  }
+
   uint64_t TotalCount() const;
   uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
 
@@ -89,6 +108,8 @@ class Histogram {
 
  private:
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::array<std::atomic<uint64_t>, kNumBuckets> exemplar_trace_{};
+  std::array<std::atomic<uint64_t>, kNumBuckets> exemplar_value_{};
   std::atomic<uint64_t> sum_{0};
 };
 
@@ -132,6 +153,14 @@ class MetricsRegistry {
   /// The same data as a JSON document:
   /// {"metrics":[{"name","type","labels",...value fields...}]}.
   std::string ExportJson() const;
+
+  /// Histogram exemplars only, as JSON:
+  /// {"exemplars":[{"name","labels",{"le","trace_id","value"}...]}]}.
+  /// Buckets without a recorded exemplar are omitted, as are histograms
+  /// with none at all. Kept out of `ExportPrometheus` on purpose — the
+  /// text exposition shape is golden-tested and exemplars belong to the
+  /// OpenMetrics format, not 0.0.4.
+  std::string ExportExemplarsJson() const;
 
   /// Zeroes every instrument (families and label sets are kept).
   void ResetAll();

@@ -109,10 +109,15 @@ std::vector<TraceEvent> Tracer::Collect() const {
 }
 
 std::string Tracer::ExportChromeJson() const {
+  return ExportChromeJsonSince(0);
+}
+
+std::string Tracer::ExportChromeJsonSince(uint64_t since_ts_micros) const {
   std::vector<TraceEvent> events = Collect();
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& event : events) {
+    if (event.ts_micros < since_ts_micros) continue;
     if (!first) out += ",";
     first = false;
     out += "{\"name\":";

@@ -96,6 +96,12 @@ class Tracer {
   /// span with pid 1, the tracer-assigned tid, and args {detail, depth}.
   std::string ExportChromeJson() const;
 
+  /// Like `ExportChromeJson` but only events whose start is at or after
+  /// `since_ts_micros` (TraceNowMicros epoch). This is how the server's
+  /// `/trace?ms=N` window exports just its capture without Reset() —
+  /// Reset is unsafe against threads still recording.
+  std::string ExportChromeJsonSince(uint64_t since_ts_micros) const;
+
   /// Total events dropped to full buffers.
   uint64_t TotalDropped() const;
 

@@ -1,8 +1,11 @@
 #include "sqlpl/service/dialect_service.h"
 
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <unordered_map>
 
+#include "sqlpl/obs/flight_recorder.h"
 #include "sqlpl/obs/trace.h"
 #include "sqlpl/service/fault_injector.h"
 
@@ -15,6 +18,24 @@ uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
+}
+
+// Always-on flight-recorder event for one in-service request: stamped
+// at completion, backdated by its duration so the dump's timeline lines
+// up with the wire-layer stage events around it.
+void RecordServiceFlightEvent(const TraceContext& trace, uint64_t dur_micros,
+                              StatusCode status) {
+  obs::FlightEvent event;
+  event.trace_id = trace.trace_id;
+  event.request_id = trace.span_id;
+  uint64_t now = obs::TraceNowMicros();
+  event.ts_micros = now > dur_micros ? now - dur_micros : 0;
+  event.dur_micros = dur_micros > UINT32_MAX
+                         ? UINT32_MAX
+                         : static_cast<uint32_t>(dur_micros);
+  event.stage = static_cast<uint8_t>(obs::FlightStage::kService);
+  event.status = static_cast<uint8_t>(status);
+  obs::FlightRecorder::Global().Record(event);
 }
 
 }  // namespace
@@ -127,7 +148,7 @@ ParseResponse DialectService::Execute(
     std::chrono::steady_clock::time_point admitted_at, bool queue_stage) {
   ParseResponse response;
   response.cache_disposition = disposition;
-  RequestControl control{request.deadline, request.cancel};
+  RequestControl control{request.deadline, request.cancel, request.trace};
 
   // The mid-queue gate: the request was admitted in time, but its turn
   // (batch scheduling, cache resolution) may have come up too late.
@@ -158,7 +179,7 @@ ParseResponse DialectService::Execute(
   stats_.RecordThroughput(parse_stats.tokens, parse_stats.arena_bytes);
 
   if (tree.ok()) {
-    stats_.RecordParse(true, parse_micros);
+    stats_.RecordParse(true, parse_micros, request.trace.trace_id);
     response.result = std::move(tree);
   } else {
     // Lifecycle aborts are not parse errors: they say nothing about the
@@ -171,19 +192,28 @@ ParseResponse DialectService::Execute(
         stats_.RecordDeadlineMiss(ServiceStats::DeadlineStage::kParse);
         break;
       default:
-        stats_.RecordParse(false, parse_micros);
+        stats_.RecordParse(false, parse_micros, request.trace.trace_id);
         break;
     }
     response.result = std::move(tree);
   }
   response.parse_micros = parse_micros;
   response.total_micros = ElapsedMicros(admitted_at);
+  RecordServiceFlightEvent(request.trace, response.total_micros,
+                           response.status().code());
   return response;
 }
 
 ParseResponse DialectService::Parse(const ParseRequest& request) {
-  SQLPL_TRACE_SPAN("request.parse", "service",
-                   request.spec != nullptr ? request.spec->name : "");
+  obs::Span request_span("request.parse", "service",
+                         request.spec != nullptr ? request.spec->name : "");
+  if (request_span.active() && request.trace.traced()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), " trace=%016" PRIx64,
+                  request.trace.trace_id);
+    request_span.set_detail(
+        (request.spec != nullptr ? request.spec->name : "") + std::string(buf));
+  }
   auto start = std::chrono::steady_clock::now();
   ParseResponse response;
   if (request.spec == nullptr) {
@@ -192,7 +222,7 @@ ParseResponse DialectService::Parse(const ParseRequest& request) {
     return response;
   }
 
-  RequestControl control{request.deadline, request.cancel};
+  RequestControl control{request.deadline, request.cancel, request.trace};
   AdmissionSlot slot(this);
   if (!Admit(control, slot, &response)) {
     response.total_micros = ElapsedMicros(start);
@@ -264,7 +294,7 @@ std::vector<ParseResponse> DialectService::ParseBatch(
   for (size_t i = 0; i < requests.size(); ++i) {
     const ParseRequest& request = requests[i];
     if (request.spec == nullptr) continue;
-    RequestControl control{request.deadline, request.cancel};
+    RequestControl control{request.deadline, request.cancel, request.trace};
     if (!control.Check("batch resolution").ok()) continue;
     SpecFingerprint key = FingerprintSpec(*request.spec);
     fingerprint_of[i] = key.value;
@@ -295,7 +325,7 @@ std::vector<ParseResponse> DialectService::ParseBatch(
     if (it == resolutions.end() || !it->second.parser.ok()) {
       // Either the request was dead at resolution time (Execute-style
       // accounting below) or the build failed (propagate its status).
-      RequestControl control{request.deadline, request.cancel};
+      RequestControl control{request.deadline, request.cancel, request.trace};
       Status pre = control.Check("statement");
       if (!pre.ok()) {
         if (pre.code() == StatusCode::kCancelled) {

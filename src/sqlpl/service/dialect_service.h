@@ -65,6 +65,10 @@ struct ParseRequest {
   /// response's tree is left empty. (The parse still runs in full —
   /// acceptance *is* the parse — but the tree is not returned.)
   bool want_tree = true;
+  /// Trace identity of the originating request (wire clients stamp it;
+  /// in-process callers may leave it zero = untraced). Attributes the
+  /// request's spans, flight-recorder events, and latency exemplars.
+  TraceContext trace;
 };
 
 /// Outcome of one `ParseRequest`: the tree (or the lifecycle/syntax

@@ -87,9 +87,12 @@ class ServiceStats {
   ServiceStats(const ServiceStats&) = delete;
   ServiceStats& operator=(const ServiceStats&) = delete;
 
-  void RecordParse(bool ok, uint64_t micros) {
+  /// `trace_id`, when nonzero, becomes the latency bucket's exemplar —
+  /// the concrete request a dashboard can link from a tail bucket to a
+  /// flight-recorder dump (docs/OBSERVABILITY.md).
+  void RecordParse(bool ok, uint64_t micros, uint64_t trace_id = 0) {
     (ok ? parses_ok_ : parses_error_)->Increment();
-    parse_latency_->Record(micros);
+    parse_latency_->RecordWithExemplar(micros, trace_id);
   }
   void RecordBuild(uint64_t micros) { build_latency_->Record(micros); }
   void RecordBatch(size_t statements) {

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "sqlpl/util/status.h"
+#include "sqlpl/util/trace_context.h"
 
 namespace sqlpl {
 
@@ -108,6 +109,11 @@ class CancelSource {
 struct RequestControl {
   Deadline deadline;
   CancelToken cancel;
+  /// Who this request is, for observability: carried alongside the
+  /// lifecycle controls so every layer that already receives a
+  /// RequestControl can attribute its spans, flight-recorder events,
+  /// and exemplars to the originating wire request. Zero = untraced.
+  TraceContext trace;
 
   bool unrestricted() const {
     return deadline.is_never() && !cancel.can_be_cancelled();

@@ -1,0 +1,29 @@
+#ifndef SQLPL_UTIL_TRACE_CONTEXT_H_
+#define SQLPL_UTIL_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace sqlpl {
+
+/// Request-scoped trace identity, stamped by the client and threaded
+/// through every layer a request touches (wire frame -> RequestControl
+/// -> service spans -> flight-recorder events -> histogram exemplars).
+/// Zero means "untraced": every consumer treats a zero trace_id as
+/// absence, so untraced requests pay nothing beyond two u64 copies.
+///
+/// `trace_id` names the end-to-end request; `span_id` names the
+/// client-side span that issued it (for clients stitching server-side
+/// events into their own trace tree). The server never interprets
+/// span_id — it only echoes and records it.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool traced() const { return trace_id != 0; }
+
+  bool operator==(const TraceContext&) const = default;
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_UTIL_TRACE_CONTEXT_H_

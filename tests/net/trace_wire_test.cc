@@ -1,0 +1,301 @@
+// End-to-end observability tests over real loopback sockets: the wire
+// trace context and per-stage timing breakdown, per-loop introspection
+// metrics, the flight-recorder sideband endpoints, anomaly dumps, and
+// histogram exemplars.
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/net/socket_util.h"
+#include "sqlpl/net/sql_client.h"
+#include "sqlpl/net/sql_server.h"
+#include "sqlpl/obs/flight_recorder.h"
+#include "sqlpl/service/fault_injector.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace net {
+namespace {
+
+std::string Hex16(uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, value);
+  return std::string(buf, 16);
+}
+
+class TraceWireTest : public ::testing::Test {
+ protected:
+  void StartServer(SqlServerOptions options = {}) {
+    service_ = std::make_unique<DialectService>();
+    server_ = std::make_unique<SqlServer>(service_.get(), options);
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started;
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  SqlClient ConnectedClient() {
+    SqlClient client;
+    Status status = client.Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(status.ok()) << status;
+    return client;
+  }
+
+  std::string HttpGet(const std::string& target) {
+    Result<int> fd = ConnectTcp("127.0.0.1", server_->metrics_port());
+    EXPECT_TRUE(fd.ok()) << fd.status();
+    if (!fd.ok()) return {};
+    std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+    EXPECT_TRUE(SendAll(*fd, request.data(), request.size()).ok());
+    std::string reply;
+    char buf[8192];
+    Deadline wait = Deadline::After(std::chrono::seconds(30));
+    for (;;) {
+      Result<size_t> n = RecvSome(*fd, buf, sizeof(buf), wait);
+      EXPECT_TRUE(n.ok()) << n.status();
+      if (!n.ok() || *n == 0) break;
+      reply.append(buf, *n);
+    }
+    CloseFd(*fd);
+    return reply;
+  }
+
+  /// Re-fetches `target` until `needle` appears (the write/request
+  /// flight events and anomaly dumps land moments *after* the response
+  /// frame is flushed to the client).
+  std::string HttpGetUntil(const std::string& target,
+                           const std::string& needle) {
+    std::string reply;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      reply = HttpGet(target);
+      if (reply.find(needle) != std::string::npos) return reply;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return reply;
+  }
+
+  std::unique_ptr<DialectService> service_;
+  std::unique_ptr<SqlServer> server_;
+};
+
+TEST_F(TraceWireTest, StageBreakdownSumsToServerMicros) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+
+  // The client auto-stamps a trace context; the response must echo the
+  // id and carry the per-stage breakdown.
+  Result<WireParseResponse> response =
+      client.Parse(CoreQueryDialect(), "SELECT a, b FROM t WHERE a = 1");
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->status, StatusCode::kOk) << response->body;
+  EXPECT_NE(response->trace_id, 0u);
+  ASSERT_GE(response->stages.size(), 6u);
+
+  // Every in-frame stage id is distinct and named.
+  std::vector<bool> seen(16, false);
+  uint64_t sum = 0;
+  for (const WireStageTiming& stage : response->stages) {
+    ASSERT_LT(stage.stage, 16u);
+    EXPECT_FALSE(seen[stage.stage]) << "duplicate stage " << int(stage.stage);
+    seen[stage.stage] = true;
+    EXPECT_STRNE(WireStageName(stage.stage), "unknown");
+    sum += stage.micros;
+  }
+  EXPECT_TRUE(seen[static_cast<uint8_t>(WireStage::kDecode)]);
+  EXPECT_TRUE(seen[static_cast<uint8_t>(WireStage::kParse)]);
+  EXPECT_TRUE(seen[static_cast<uint8_t>(WireStage::kEncode)]);
+
+  // The stamps telescope server-side, so the stages must sum to the
+  // reported total within 10% (plus a tiny absolute slack for
+  // microsecond flooring on very fast requests).
+  uint64_t total = response->server_micros;
+  uint64_t slack = std::max<uint64_t>(total / 10, 3);
+  EXPECT_GE(sum + slack, total) << "sum=" << sum << " total=" << total;
+  EXPECT_LE(sum, total + slack) << "sum=" << sum << " total=" << total;
+}
+
+TEST_F(TraceWireTest, CallerStampedTraceContextIsEchoed) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+
+  WireParseRequest request;
+  request.has_spec = true;
+  request.spec = CoreQueryDialect();
+  request.sql = "SELECT a FROM t";
+  request.trace.trace_id = 0xabad1deaf00dcafeull;
+  request.trace.span_id = 17;
+  ASSERT_TRUE(client.Send(request).ok());
+  // Send must not overwrite a caller-stamped context.
+  EXPECT_EQ(request.trace.trace_id, 0xabad1deaf00dcafeull);
+
+  Result<WireParseResponse> response =
+      client.Receive(Deadline::After(std::chrono::seconds(30)));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->trace_id, 0xabad1deaf00dcafeull);
+}
+
+TEST_F(TraceWireTest, DebugFlightServesChromeTraceWithTraceId) {
+  SqlServerOptions options;
+  options.enable_metrics_sideband = true;
+  StartServer(options);
+  ASSERT_GT(server_->metrics_port(), 0);
+
+  SqlClient client = ConnectedClient();
+  Result<WireParseResponse> response =
+      client.Parse(CoreQueryDialect(), "SELECT a FROM t");
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_NE(response->trace_id, 0u);
+
+  std::string flight = HttpGetUntil("/debug/flight", "\"name\":\"request\"");
+  EXPECT_NE(flight.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(flight.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(flight.find("\"ph\":\"X\""), std::string::npos);
+  // The request's own events, attributed by trace id, with the wire
+  // stages present.
+  EXPECT_NE(flight.find(Hex16(response->trace_id)), std::string::npos);
+  EXPECT_NE(flight.find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(flight.find("\"name\":\"request\""), std::string::npos);
+}
+
+TEST_F(TraceWireTest, MetricsExposePerLoopSeries) {
+  SqlServerOptions options;
+  options.enable_metrics_sideband = true;
+  options.num_event_loops = 2;
+  StartServer(options);
+
+  SqlClient client = ConnectedClient();
+  Result<WireParseResponse> response =
+      client.Parse(CoreQueryDialect(), "SELECT a FROM t");
+  ASSERT_TRUE(response.ok()) << response.status();
+
+  std::string metrics = HttpGet("/metrics");
+  for (const char* loop : {"0", "1"}) {
+    for (const char* family :
+         {"sqlpl_net_loop_busy_micros_total", "sqlpl_net_loop_idle_micros_total",
+          "sqlpl_net_loop_wakeups_total", "sqlpl_net_loop_inflight",
+          "sqlpl_net_loop_connections"}) {
+      std::string series = std::string(family) + "{loop=\"" + loop + "\"}";
+      EXPECT_NE(metrics.find(series), std::string::npos) << series;
+    }
+    std::string bucket = std::string("sqlpl_net_loop_epoll_batch_bucket{loop=\"") +
+                         loop + "\"";
+    EXPECT_NE(metrics.find(bucket), std::string::npos) << bucket;
+  }
+}
+
+TEST_F(TraceWireTest, TraceWindowEndpointCapturesLiveSpans) {
+  SqlServerOptions options;
+  options.enable_metrics_sideband = true;
+  StartServer(options);
+
+  // Keep requests flowing while the capture window is open.
+  std::atomic<bool> stop{false};
+  std::thread load([&] {
+    SqlClient client = ConnectedClient();
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)client.Parse(CoreQueryDialect(), "SELECT a FROM t");
+    }
+  });
+  std::string capture = HttpGet("/trace?ms=100");
+  stop.store(true, std::memory_order_relaxed);
+  load.join();
+
+  EXPECT_NE(capture.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(capture.find("\"traceEvents\""), std::string::npos);
+  // The service's request.parse span fired inside the window.
+  EXPECT_NE(capture.find("request.parse"), std::string::npos) << capture;
+}
+
+TEST_F(TraceWireTest, ExemplarsLinkLatencyBucketsToTraceIds) {
+  SqlServerOptions options;
+  options.enable_metrics_sideband = true;
+  StartServer(options);
+
+  SqlClient client = ConnectedClient();
+  Result<WireParseResponse> response =
+      client.Parse(CoreQueryDialect(), "SELECT a FROM t");
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_NE(response->trace_id, 0u);
+
+  std::string exemplars = HttpGet("/debug/exemplars");
+  EXPECT_NE(exemplars.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(exemplars.find("sqlpl_net_request_micros"), std::string::npos);
+  EXPECT_NE(exemplars.find(Hex16(response->trace_id)), std::string::npos);
+}
+
+TEST_F(TraceWireTest, SlowBuildTriggersAnomalyDump) {
+  if (!SQLPL_FAULT_INJECT) {
+    GTEST_SKIP() << "built without SQLPL_FAULT_INJECT";
+  }
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().SetBuildDelay(std::chrono::milliseconds(20));
+  SqlServerOptions options;
+  options.enable_metrics_sideband = true;
+  options.flight_dump_slow_micros = 5000;  // 5 ms << 20 ms injected delay
+  StartServer(options);
+
+  SqlClient client = ConnectedClient();
+  Result<WireParseResponse> response =
+      client.Parse(CoreQueryDialect(), "SELECT a FROM t");
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->status, StatusCode::kOk) << response->body;
+  ASSERT_NE(response->trace_id, 0u);
+  EXPECT_GE(response->server_micros, 5000u);
+
+  // The cold build blew the threshold: the dump must exist, be
+  // structurally valid Chrome JSON, and contain the slow request's
+  // trace id. (The dump lands moments after the response flush.)
+  std::string dump;
+  for (int attempt = 0; attempt < 100 && dump.empty(); ++attempt) {
+    dump = server_->LastFlightDump();
+    if (dump.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_FALSE(dump.empty());
+  EXPECT_EQ(dump.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(dump.find(Hex16(response->trace_id)), std::string::npos);
+  int braces = 0, brackets = 0;
+  for (char c : dump) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+
+  EXPECT_EQ(service_->metrics()
+                .GetCounter("sqlpl_net_flight_dumps_total",
+                            {{"reason", "slow"}}, "")
+                ->Value(),
+            1u);
+
+  // Served over the sideband too.
+  std::string last = HttpGet("/debug/flight/last");
+  EXPECT_NE(last.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(last.find(Hex16(response->trace_id)), std::string::npos);
+
+  // A warm repeat stays under the threshold: no second dump (the first
+  // is also inside the rate-limit interval).
+  Result<WireParseResponse> warm =
+      client.Parse(CoreQueryDialect(), "SELECT a FROM t");
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_EQ(service_->metrics()
+                .GetCounter("sqlpl_net_flight_dumps_total",
+                            {{"reason", "slow"}}, "")
+                ->Value(),
+            1u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace sqlpl

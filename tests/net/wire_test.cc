@@ -5,6 +5,8 @@
 #include "sqlpl/net/wire.h"
 
 #include <cstdint>
+#include <cstring>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -181,12 +183,27 @@ TEST(WireTest, TrailingGarbageIsRejected) {
   request.sql = "SELECT 1";
   std::string frame;
   EncodeRequestFrame(request, &frame);
-  frame.push_back('\0');  // goes past the decoded fields
+  // A lone 0x00 after the legacy fields is a *valid* empty extension
+  // block (see EmptyExtensionBlockIsAccepted); genuine garbage is a
+  // block that declares extensions it doesn't carry.
+  frame.push_back('\x02');  // ext_count = 2, then nothing
 
   WireParseRequest decoded;
   Status status = DecodeRequestPayload(Payload(frame), &decoded);
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+
+  // Bytes dangling *after* a complete extension block are still
+  // trailing garbage.
+  WireParseRequest traced;
+  traced.request_id = 6;
+  traced.fingerprint = 1;
+  traced.sql = "SELECT 1";
+  traced.trace.trace_id = 0x1111;
+  std::string traced_frame;
+  EncodeRequestFrame(traced, &traced_frame);
+  traced_frame.push_back('\0');
+  EXPECT_FALSE(DecodeRequestPayload(Payload(traced_frame), &decoded).ok());
 }
 
 TEST(WireTest, WrongMessageTypeIsRejected) {
@@ -385,6 +402,244 @@ TEST(WireTest, NegotiationFramesRejectTruncationAndTrailingGarbage) {
   WireCompleteResponse as_complete;
   EXPECT_FALSE(
       DecodeCompleteResponsePayload(payload, &as_complete).ok());
+}
+
+// --- Trace-context extension block (wire.h top comment) -------------
+
+TEST(WireExtensionTest, TracedRequestRoundtrip) {
+  WireParseRequest request;
+  request.request_id = 12;
+  request.fingerprint = 0xfeed;
+  request.sql = "SELECT 1";
+  request.trace.trace_id = 0x0123456789abcdefull;
+  request.trace.span_id = 0x42;
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+
+  WireParseRequest decoded;
+  ASSERT_TRUE(DecodeRequestPayload(Payload(frame), &decoded).ok());
+  EXPECT_EQ(decoded.trace, request.trace);
+  EXPECT_EQ(decoded.sql, "SELECT 1");
+}
+
+TEST(WireExtensionTest, UntracedRequestStaysOldFormat) {
+  // Backward compat both ways hinges on this: a request without a trace
+  // context must encode byte-identically to the pre-extension format —
+  // no empty extension block, nothing after the sql field.
+  WireParseRequest request;
+  request.request_id = 12;
+  request.fingerprint = 0xfeed;
+  request.sql = "SELECT 1";
+  std::string untraced;
+  EncodeRequestFrame(request, &untraced);
+
+  request.trace.trace_id = 1;
+  std::string traced;
+  EncodeRequestFrame(request, &traced);
+
+  // ext_count(1) + tag(1) + len(2) + trace_id(8) + span_id(8).
+  EXPECT_EQ(traced.size(), untraced.size() + 20);
+  // Identical payload prefix (only the 4-byte length header and the
+  // appended block differ).
+  EXPECT_EQ(traced.compare(kFrameHeaderBytes,
+                           untraced.size() - kFrameHeaderBytes, untraced,
+                           kFrameHeaderBytes,
+                           untraced.size() - kFrameHeaderBytes),
+            0);
+  // The old-format frame (= the untraced bytes) still decodes, with a
+  // zero trace context.
+  WireParseRequest decoded;
+  decoded.trace.trace_id = 99;  // stale state must be cleared
+  ASSERT_TRUE(DecodeRequestPayload(Payload(untraced), &decoded).ok());
+  EXPECT_FALSE(decoded.trace.traced());
+  EXPECT_EQ(decoded.trace.span_id, 0u);
+}
+
+TEST(WireExtensionTest, GoldenBytesForTracedRequestTail) {
+  // The extension block is a frozen protocol surface. For a traced
+  // request the payload must end with exactly:
+  //   01               ext_count = 1
+  //   01 10 00         tag = trace-context, len = 16 (u16 LE)
+  //   trace_id (u64 LE) span_id (u64 LE)
+  WireParseRequest request;
+  request.request_id = 1;
+  request.fingerprint = 2;
+  request.sql = "X";
+  request.trace.trace_id = 0x1122334455667788ull;
+  request.trace.span_id = 0x99;
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+
+  const uint8_t golden[] = {0x01, 0x01, 0x10, 0x00,
+                            // trace_id, little-endian
+                            0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,
+                            // span_id, little-endian
+                            0x99, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  ASSERT_GE(frame.size(), sizeof(golden));
+  EXPECT_EQ(std::memcmp(frame.data() + frame.size() - sizeof(golden), golden,
+                        sizeof(golden)),
+            0);
+}
+
+TEST(WireExtensionTest, EmptyExtensionBlockIsAccepted) {
+  // A newer peer may send `ext_count = 0` explicitly; that lone 0x00
+  // after the legacy fields is valid (and means: untraced).
+  WireParseRequest request;
+  request.request_id = 6;
+  request.fingerprint = 1;
+  request.sql = "SELECT 1";
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+  frame.push_back('\0');
+  // The declared payload length must cover the extra byte.
+  uint32_t len = static_cast<uint32_t>(frame.size() - kFrameHeaderBytes);
+  std::memcpy(frame.data(), &len, sizeof(len));
+
+  WireParseRequest decoded;
+  ASSERT_TRUE(DecodeRequestPayload(Payload(frame), &decoded).ok());
+  EXPECT_FALSE(decoded.trace.traced());
+}
+
+TEST(WireExtensionTest, UnknownExtensionTagsAreSkipped) {
+  // Forward compat: a frame carrying a future extension (unknown tag)
+  // alongside the trace context decodes fine, trace intact.
+  WireParseRequest request;
+  request.request_id = 6;
+  request.fingerprint = 1;
+  request.sql = "SELECT 1";
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+
+  std::string tail;
+  tail.push_back('\x02');  // ext_count = 2
+  tail.push_back('\x63');  // unknown tag 99
+  tail.push_back('\x03');  // len = 3 (u16 LE)
+  tail.push_back('\x00');
+  tail.append("abc");
+  tail.push_back('\x01');  // trace-context tag
+  tail.push_back('\x10');  // len = 16
+  tail.push_back('\x00');
+  uint64_t trace_id = 0x5555, span_id = 0x7777;
+  tail.append(reinterpret_cast<const char*>(&trace_id), 8);
+  tail.append(reinterpret_cast<const char*>(&span_id), 8);
+  frame.append(tail);
+  uint32_t len = static_cast<uint32_t>(frame.size() - kFrameHeaderBytes);
+  std::memcpy(frame.data(), &len, sizeof(len));
+
+  WireParseRequest decoded;
+  ASSERT_TRUE(DecodeRequestPayload(Payload(frame), &decoded).ok());
+  EXPECT_EQ(decoded.trace.trace_id, 0x5555u);
+  EXPECT_EQ(decoded.trace.span_id, 0x7777u);
+}
+
+TEST(WireExtensionTest, LongerKnownTagToleratesFutureBytes) {
+  // A known tag whose body grew in a future revision: the expected
+  // prefix is parsed, the remainder skipped.
+  WireParseRequest request;
+  request.request_id = 6;
+  request.fingerprint = 1;
+  request.sql = "SELECT 1";
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+
+  frame.push_back('\x01');  // ext_count = 1
+  frame.push_back('\x01');  // trace-context tag
+  frame.push_back('\x18');  // len = 24: 16 known + 8 future
+  frame.push_back('\x00');
+  uint64_t trace_id = 0xabc, span_id = 0xdef, future = 0xffffffffffffffffull;
+  frame.append(reinterpret_cast<const char*>(&trace_id), 8);
+  frame.append(reinterpret_cast<const char*>(&span_id), 8);
+  frame.append(reinterpret_cast<const char*>(&future), 8);
+  uint32_t len = static_cast<uint32_t>(frame.size() - kFrameHeaderBytes);
+  std::memcpy(frame.data(), &len, sizeof(len));
+
+  WireParseRequest decoded;
+  ASSERT_TRUE(DecodeRequestPayload(Payload(frame), &decoded).ok());
+  EXPECT_EQ(decoded.trace.trace_id, 0xabcu);
+  EXPECT_EQ(decoded.trace.span_id, 0xdefu);
+}
+
+TEST(WireExtensionTest, MalformedExtensionBlocksAreRejected) {
+  WireParseRequest request;
+  request.request_id = 6;
+  request.fingerprint = 1;
+  request.sql = "SELECT 1";
+  std::string base;
+  EncodeRequestFrame(request, &base);
+  auto with_tail = [&](std::initializer_list<uint8_t> tail) {
+    std::string frame = base;
+    for (uint8_t b : tail) frame.push_back(static_cast<char>(b));
+    uint32_t len = static_cast<uint32_t>(frame.size() - kFrameHeaderBytes);
+    std::memcpy(frame.data(), &len, sizeof(len));
+    return frame;
+  };
+  WireParseRequest decoded;
+  // Declares one extension, carries none.
+  EXPECT_FALSE(
+      DecodeRequestPayload(Payload(with_tail({0x01})), &decoded).ok());
+  // Extension length overruns the payload.
+  EXPECT_FALSE(DecodeRequestPayload(
+                   Payload(with_tail({0x01, 0x01, 0xff, 0x00})), &decoded)
+                   .ok());
+  // Trace-context body shorter than its 16 known bytes.
+  EXPECT_FALSE(DecodeRequestPayload(
+                   Payload(with_tail({0x01, 0x01, 0x02, 0x00, 0xaa, 0xbb})),
+                   &decoded)
+                   .ok());
+}
+
+TEST(WireExtensionTest, ResponseStageTableRoundtrip) {
+  WireParseResponse response;
+  response.request_id = 31;
+  response.fingerprint = 0x77;
+  response.server_micros = 120;
+  response.trace_id = 0xcafe;
+  response.stages = {
+      {static_cast<uint8_t>(WireStage::kDecode), 2},
+      {static_cast<uint8_t>(WireStage::kQueue), 5},
+      {static_cast<uint8_t>(WireStage::kAdmission), 9},
+      {static_cast<uint8_t>(WireStage::kParse), 80},
+      {static_cast<uint8_t>(WireStage::kRender), 14},
+      {static_cast<uint8_t>(WireStage::kEncode), 10},
+      {static_cast<uint8_t>(WireStage::kWrite), 0},
+  };
+  std::string frame;
+  EncodeResponseFrame(response, &frame);
+
+  WireParseResponse decoded;
+  ASSERT_TRUE(DecodeResponsePayload(Payload(frame), &decoded).ok());
+  EXPECT_EQ(decoded.trace_id, 0xcafeu);
+  EXPECT_EQ(decoded.stages, response.stages);
+
+  // Stage ids have stable names for renderers.
+  EXPECT_STREQ(WireStageName(static_cast<uint8_t>(WireStage::kDecode)),
+               "decode");
+  EXPECT_STREQ(WireStageName(static_cast<uint8_t>(WireStage::kWrite)),
+               "write");
+}
+
+TEST(WireExtensionTest, UntracedResponseStaysOldFormat) {
+  // The server only adds response extensions when the request was
+  // traced; an untraced response must stay byte-identical to the
+  // pre-extension encoding so old clients' trailing-bytes check passes.
+  WireParseResponse response;
+  response.request_id = 31;
+  response.body = "(select)";
+  std::string plain;
+  EncodeResponseFrame(response, &plain);
+
+  response.trace_id = 1;
+  std::string traced;
+  EncodeResponseFrame(response, &traced);
+  // trace-echo ext: ext_count(1) + tag(1) + len(2) + trace_id(8).
+  EXPECT_EQ(traced.size(), plain.size() + 12);
+
+  WireParseResponse decoded;
+  decoded.trace_id = 99;
+  decoded.stages = {{0, 1}};
+  ASSERT_TRUE(DecodeResponsePayload(Payload(plain), &decoded).ok());
+  EXPECT_EQ(decoded.trace_id, 0u);
+  EXPECT_TRUE(decoded.stages.empty());
 }
 
 }  // namespace
