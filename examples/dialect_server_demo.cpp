@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sqlpl/net/sql_client.h"
+#include "sqlpl/net/sql_client_pool.h"
 #include "sqlpl/net/sql_server.h"
 #include "sqlpl/service/dialect_service.h"
 #include "sqlpl/sql/dialects.h"
@@ -36,10 +37,11 @@ int main() {
   service_options.num_threads = 4;
   DialectService service(service_options);
 
-  net::SqlServerOptions server_options;
+  net::ServerOptions server_options;
   server_options.port = 0;  // ephemeral: the OS picks a free loopback port
-  server_options.num_event_loops = 2;
-  server_options.num_workers = 4;
+  server_options.num_loops = 2;  // two shards, each with its own
+                                 // SO_REUSEPORT acceptor and workers
+  server_options.workers_per_shard = 2;
   net::SqlServer server(&service, server_options);
   if (Status started = server.Start(); !started.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
@@ -175,6 +177,53 @@ int main() {
       timings[c].server_us += timing.server_us;
       timings[c].parse_us += timing.parse_us;
     }
+  }
+
+  // The async path: a SqlClientPool keeps a window of requests in
+  // flight across several connections (one per shard, kernel-balanced
+  // by SO_REUSEPORT) with a plain submit/poll loop — the same wire
+  // protocol, none of the per-request round-trip stalls above.
+  {
+    net::SqlClientPoolOptions pool_options;
+    pool_options.num_connections = server_options.num_loops;
+    net::SqlClientPool pool(pool_options);
+    if (!pool.Connect("127.0.0.1", server.port()).ok()) {
+      std::fprintf(stderr, "pool connect failed\n");
+      return 1;
+    }
+    net::SqlClient teacher;
+    uint64_t fingerprint = 0;
+    if (teacher.Connect("127.0.0.1", server.port()).ok()) {
+      Result<net::WireParseResponse> taught =
+          teacher.Parse(CoreQueryDialect(), "SELECT a FROM t");
+      if (taught.ok() && taught->ok()) fingerprint = taught->fingerprint;
+    }
+    constexpr int kPoolRequests = 2000;
+    constexpr size_t kWindow = 64;
+    int submitted = 0, completed = 0;
+    std::vector<net::WireParseResponse> responses;
+    auto start = std::chrono::steady_clock::now();
+    while (completed < kPoolRequests) {
+      while (submitted < kPoolRequests &&
+             pool.outstanding() < kWindow) {
+        net::WireParseRequest request;
+        request.fingerprint = fingerprint;
+        request.sql = "SELECT a, b FROM t WHERE a = 1";
+        request.want_tree = false;
+        if (!pool.Submit(std::move(request)).ok()) break;
+        ++submitted;
+      }
+      responses.clear();
+      if (!pool.Poll(&responses).ok()) break;
+      completed += static_cast<int>(responses.size());
+    }
+    auto end = std::chrono::steady_clock::now();
+    double secs = std::chrono::duration<double>(end - start).count();
+    std::printf(
+        "\npipelined pool: %d requests over %zu connections in %.1f ms "
+        "(%.0f req/s)\n",
+        completed, pool_options.num_connections, secs * 1e3,
+        completed / secs);
   }
 
   // One request per dialect over a fresh connection, printed, to show

@@ -29,6 +29,13 @@ never gate:
   - counters whose name encodes no direction: only a human knows which
     way is better.
 
+One nested structure also gates: BENCH_net.json's `mt_curve` (the
+multi-threaded scaling sweep) is compared point-by-point per thread
+count — items_per_s bigger-better, p50_us/p99_us smaller-better — with
+the same threshold and outlier budget, so the serving layer cannot
+quietly lose its scaling shape while the single-connection benchmarks
+hold.
+
 Benchmarks — and individual counters — present only on one side are
 reported with visible NEW/GONE lines but never fail the check
 (benchmarks and counters get added and retired; the committed baseline
@@ -62,10 +69,14 @@ COST_SUFFIXES = ("_rate", "_us", "_ns", "_micros")  # smaller is better
 PERCENTILE_PREFIXES = ("p50_", "p90_", "p95_", "p99_")
 
 
-def load_results(path):
-    """Returns {benchmark_name: result_dict} for one BENCH_*.json file."""
+def load_doc(path):
+    """The raw JSON document of one BENCH_*.json file."""
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def load_results(doc):
+    """Returns {benchmark_name: result_dict} for one parsed document."""
     results = {}
     for result in doc.get("results", []):
         if result.get("error"):
@@ -172,6 +183,65 @@ def compare_file(bench, current, baseline, threshold):
     return major, minor
 
 
+# The multi-threaded scaling curve (BENCH_net.json `mt_curve`) gates
+# per thread-count point, and — unlike per-benchmark counters — its
+# percentiles gate too: the curve is produced by a fixed closed-loop
+# harness whose latency distribution is the *product* being measured
+# (a p99 collapse at 8 threads IS the scaling regression the curve
+# exists to catch), not a tail statistic of a contended micro-bench.
+MT_CURVE_METRICS = (
+    ("items_per_s", True),   # bigger is better
+    ("p50_us", False),       # smaller is better
+    ("p99_us", False),
+)
+
+
+def compare_mt_curve(bench, current_doc, baseline_doc, threshold):
+    """Gates the nested mt_curve entries, matched by thread count.
+
+    Returns (major, minor), same contract as compare_file.
+    """
+    major = []
+    minor = []
+    current = {p["threads"]: p for p in current_doc.get("mt_curve", [])}
+    baseline = {p["threads"]: p for p in baseline_doc.get("mt_curve", [])}
+    if not current and not baseline:
+        return major, minor
+    for threads in sorted(set(current) | set(baseline)):
+        label = f"mt_curve[threads={threads}]"
+        if threads not in baseline:
+            print(f"  {'NEW':>10} {label}: no committed baseline point "
+                  "(informational only)")
+            continue
+        if threads not in current:
+            print(f"  {'GONE':>10} {label}: baseline point not in this run "
+                  "(informational only)")
+            continue
+        for metric, bigger in MT_CURVE_METRICS:
+            new_value = current[threads].get(metric, 0)
+            base_value = baseline[threads].get(metric, 0)
+            if base_value <= 0 or new_value <= 0:
+                print(f"  {'~':>10} {label}: {metric} {base_value:.3f} -> "
+                      f"{new_value:.3f} (zero side, not gated)")
+                continue
+            if bigger:
+                change = (new_value - base_value) / base_value
+            else:
+                change = (base_value - new_value) / base_value
+            entry = (f"{bench}/{label}: {metric} {base_value:.1f} -> "
+                     f"{new_value:.1f} ({change * 100:+.1f}%)")
+            marker = "ok"
+            if change < -2 * threshold:
+                marker = "REGRESSION"
+                major.append(entry)
+            elif change < -threshold:
+                marker = "outlier"
+                minor.append(entry)
+            print(f"  {marker:>10} {label}: {metric} {base_value:.1f} -> "
+                  f"{new_value:.1f} ({change * 100:+.1f}%)")
+    return major, minor
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff BENCH_*.json against committed baselines.")
@@ -222,11 +292,17 @@ def main():
                   "(informational only; commit one with --update)")
             continue
         print(f"{name}:")
-        file_major, file_minor = compare_file(name, load_results(
-            os.path.join(args.current_dir, name)),
-            load_results(baseline_path), threshold)
+        current_doc = load_doc(os.path.join(args.current_dir, name))
+        baseline_doc = load_doc(baseline_path)
+        file_major, file_minor = compare_file(
+            name, load_results(current_doc), load_results(baseline_doc),
+            threshold)
         major += file_major
         minor += file_minor
+        curve_major, curve_minor = compare_mt_curve(
+            name, current_doc, baseline_doc, threshold)
+        major += curve_major
+        minor += curve_minor
 
     if minor:
         print(f"\nbench_compare: {len(minor)} minor outlier(s) between "

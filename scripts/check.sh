@@ -69,17 +69,24 @@ echo "== asan: ctest -L service =="
 # The threshold here is looser than bench_compare.py's 10% default:
 # this stage runs right after the parallel sanitizer builds and test
 # suites, so the machine is thermally loaded and the contention-heavy
-# multi-threaded benches swing ~20% against idle-captured baselines on
-# identical code. Real pessimizations (a reintroduced per-token
-# allocation costs 3x) clear 40% on many benchmarks at once. For a
-# precise comparison, run the benches and bench_compare.py by hand on
-# an idle machine. Refresh baselines after an intentional perf change:
+# multi-threaded benches swing ~20-22% against idle-captured baselines
+# on identical code (measured: a post-sanitizer rerun of an unchanged
+# tree dipped 5 service/parse benches 20.5-21.7%). Real pessimizations
+# (a reintroduced per-token allocation costs 3x) clear 50% on many
+# benchmarks at once. For a precise comparison, run the benches and
+# bench_compare.py by hand on an idle machine. Refresh baselines after
+# an intentional perf change:
 #   scripts/bench_compare.py build --update
+#
+# bench_net also runs here for its mt_curve: the multi-threaded scaling
+# sweep gates point-by-point per thread count (items_per_s
+# bigger-better, p50/p99 smaller-better — see bench_compare.py), so the
+# sharded runtime cannot quietly lose its scaling shape.
 echo "== bench: regression check vs committed baselines =="
-for b in bench_lexer bench_parse bench_service bench_fm; do
+for b in bench_lexer bench_parse bench_service bench_fm bench_net; do
   (cd build && "./bench/$b" > /dev/null)
 done
 python3 "$ROOT/scripts/bench_compare.py" build \
-  --threshold 20 --allowed-outliers 3
+  --threshold 25 --allowed-outliers 3
 
 echo "== all checks passed =="

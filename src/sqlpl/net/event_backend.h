@@ -1,0 +1,71 @@
+#ifndef SQLPL_NET_EVENT_BACKEND_H_
+#define SQLPL_NET_EVENT_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+namespace net {
+
+/// Which readiness mechanism backs an event loop. The enum is the
+/// public seam of the sharded server (`ServerOptions::backend`): an
+/// io_uring implementation can be added here without touching the
+/// server's loop code or breaking the API again.
+enum class EventBackendKind : uint8_t {
+  kEpoll = 0,
+  // kIoUring = 1,  // reserved; see docs/NETWORK.md "The EventBackend
+  //                // seam" before claiming the value.
+};
+
+/// One readiness notification out of `EventBackend::Wait`. `wake` marks
+/// the backend's internal cross-thread wakeup (no fd of the caller's);
+/// the caller then drains its own pending-work queues.
+struct ReadyEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Peer hangup or socket error folded in with readability — reads
+  /// observe the condition (EOF / errno) exactly as with raw epoll.
+  bool wake = false;
+};
+
+/// Readiness-notification interface of one event loop (one instance per
+/// loop thread; `Wait` is called only by that thread, `Wake` by any).
+///
+/// The contract mirrors what the server needs and nothing more:
+///   - `Add`/`Modify` arm edge-triggered interest for data sockets and
+///     level-triggered interest for listeners (`edge = false`);
+///   - `Wait` blocks until readiness or `Wake`, translating the
+///     backend's native events into `ReadyEvent`s, wakeup included —
+///     the eventfd (or its io_uring equivalent) is an implementation
+///     detail the loop never sees;
+///   - `Wake` is async-signal-unsafe but thread-safe and cheap.
+class EventBackend {
+ public:
+  virtual ~EventBackend() = default;
+
+  virtual Status Init() = 0;
+  virtual Status Add(int fd, bool readable, bool writable, bool edge) = 0;
+  virtual Status Modify(int fd, bool readable, bool writable, bool edge) = 0;
+  virtual void Remove(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` (-1 = forever) and fills `out` with
+  /// ready events. Returns the number filled, 0 on timeout, or -1 on a
+  /// non-EINTR failure (the loop exits).
+  virtual int Wait(std::span<ReadyEvent> out, int timeout_ms) = 0;
+
+  /// Makes a concurrent or future `Wait` return with a `wake` event.
+  virtual void Wake() = 0;
+};
+
+/// Factory for `ServerOptions::backend`. Never returns null for a known
+/// kind; unknown kinds fail `kUnimplemented`.
+Result<std::unique_ptr<EventBackend>> MakeEventBackend(EventBackendKind kind);
+
+}  // namespace net
+}  // namespace sqlpl
+
+#endif  // SQLPL_NET_EVENT_BACKEND_H_

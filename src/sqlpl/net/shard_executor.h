@@ -1,0 +1,114 @@
+#ifndef SQLPL_NET_SHARD_EXECUTOR_H_
+#define SQLPL_NET_SHARD_EXECUTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sqlpl/obs/metrics.h"
+#include "sqlpl/service/thread_pool.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+namespace net {
+
+/// Tuning of a `ShardExecutor` (the sharded server's worker tier).
+struct ShardExecutorOptions {
+  size_t num_shards = 1;
+  size_t workers_per_shard = 1;
+  /// Per-shard queue bound; 0 = unbounded. On a full queue the
+  /// `overflow` policy decides: `kReject` fails the submit with
+  /// `kResourceExhausted` (the server turns that into a decodable
+  /// refusal frame), `kBlock` waits for room.
+  size_t queue_depth = 0;
+  OverflowPolicy overflow = OverflowPolicy::kReject;
+  /// Bounded work stealing: an idle shard's worker takes ONE task from
+  /// the back of a sibling's queue (oldest-first victims, one task per
+  /// theft) instead of sleeping, so a skewed connection distribution
+  /// cannot strand cores while one shard's queue grows.
+  bool enable_stealing = true;
+  /// How long an idle worker dozes between steal scans.
+  std::chrono::microseconds steal_interval{200};
+};
+
+/// Sharded task executor: one bounded FIFO queue per shard, each with
+/// its own workers, plus bounded work stealing between shards. This
+/// replaces the single shared `ThreadPool` of the pre-sharding server —
+/// the shared pool's one mutex was every loop's rendezvous point; here
+/// the common case (loop i submits to shard i) touches only shard i's
+/// lock, and cross-shard traffic exists only when stealing actually
+/// happens.
+///
+/// Thread-safe; `Submit` may be called from any thread. Tasks of one
+/// shard start in FIFO order (stealing may complete them out of order
+/// relative to the victim's own workers — same guarantee a shared pool
+/// gives, which is none).
+class ShardExecutor {
+ public:
+  /// `registry` (optional) receives per-shard instruments:
+  /// `sqlpl_net_shard_tasks_total`, `sqlpl_net_shard_steals_total`,
+  /// `sqlpl_net_shard_rejects_total`, `sqlpl_net_shard_queue_depth`,
+  /// each labelled `{shard="<index>"}`.
+  explicit ShardExecutor(ShardExecutorOptions options,
+                         obs::MetricsRegistry* registry = nullptr);
+  ~ShardExecutor();
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  /// Enqueues `task` on `shard` (modulo the shard count). Fails
+  /// `kResourceExhausted` under `kReject` overflow on a full queue and
+  /// `kUnavailable` after `Shutdown`.
+  Status Submit(size_t shard, std::function<void()> task);
+
+  /// Drains every queue (workers finish what is enqueued; no new
+  /// submits are accepted) and joins all workers. Idempotent.
+  void Shutdown();
+
+  size_t num_shards() const { return shards_.size(); }
+  /// Total tasks stolen across shards since construction (tests).
+  uint64_t steals() const;
+  /// Total tasks executed (run to completion) since construction.
+  uint64_t tasks_completed() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    /// Signalled on pops under `kBlock` overflow so blocked submitters
+    /// retry.
+    std::condition_variable space_cv;
+    std::deque<std::function<void()>> queue;
+    std::vector<std::thread> workers;
+    obs::Counter* tasks_total = nullptr;
+    obs::Counter* steals_total = nullptr;
+    obs::Counter* rejects_total = nullptr;
+    obs::Gauge* depth = nullptr;
+  };
+
+  void WorkerLoop(size_t shard_index);
+  /// Takes one task from the back of some other shard's queue;
+  /// `thief` gets the steal credited. Returns false when every sibling
+  /// is empty.
+  bool TrySteal(size_t thief, std::function<void()>* out);
+
+  ShardExecutorOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;
+};
+
+}  // namespace net
+}  // namespace sqlpl
+
+#endif  // SQLPL_NET_SHARD_EXECUTOR_H_

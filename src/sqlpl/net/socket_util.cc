@@ -35,13 +35,22 @@ Status FillAddr(const std::string& address, uint16_t port,
 }  // namespace
 
 Result<int> ListenTcp(const std::string& address, uint16_t port,
-                      int backlog) {
+                      int backlog, bool reuse_port) {
   sockaddr_in addr;
   SQLPL_RETURN_IF_ERROR(FillAddr(address, port, &addr));
   int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Status::Internal(Errno("socket"));
   int one = 1;
   setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+    // Must be set on every sibling before its bind — including the
+    // first, or later listeners are refused with EADDRINUSE.
+    if (setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      Status status = Status::Internal(Errno("setsockopt(SO_REUSEPORT)"));
+      CloseFd(fd);
+      return status;
+    }
+  }
   if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     Status status = Status::Unavailable(Errno("bind"));
     CloseFd(fd);

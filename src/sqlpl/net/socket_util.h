@@ -17,9 +17,12 @@ namespace net {
 
 /// Creates a listening TCP socket bound to `address:port` with
 /// SO_REUSEADDR. `port` 0 binds an ephemeral port — read it back with
-/// `LocalPort`.
+/// `LocalPort`. With `reuse_port` set the socket is additionally bound
+/// with SO_REUSEPORT, so several listeners can share one port and the
+/// kernel load-balances incoming connections across them — the sharded
+/// server's multi-acceptor mode (one listener per event loop).
 Result<int> ListenTcp(const std::string& address, uint16_t port,
-                      int backlog = 128);
+                      int backlog = 128, bool reuse_port = false);
 
 /// The port a bound socket ended up on (resolves ephemeral binds).
 Result<uint16_t> LocalPort(int fd);

@@ -16,6 +16,10 @@ std::atomic<uint32_t> next_trace_seed{1};
 
 }  // namespace
 
+uint32_t NextClientTraceSeed() {
+  return next_trace_seed.fetch_add(1, std::memory_order_relaxed);
+}
+
 SqlClient::~SqlClient() { Close(); }
 
 Status SqlClient::Connect(const std::string& address, uint16_t port) {
@@ -63,10 +67,7 @@ Result<WireParseResponse> SqlClient::ParseByFingerprint(
 Status SqlClient::Send(WireParseRequest& request) {
   if (request.request_id == 0) request.request_id = next_request_id_++;
   if (request.trace.trace_id == 0) {
-    if (trace_seed_ == 0) {
-      trace_seed_ =
-          next_trace_seed.fetch_add(1, std::memory_order_relaxed);
-    }
+    if (trace_seed_ == 0) trace_seed_ = NextClientTraceSeed();
     // Seed in the high bits, the request's sequence number in the low:
     // unique across clients, monotone within one.
     request.trace.trace_id = (trace_seed_ << 32) | request.request_id;

@@ -14,6 +14,11 @@
 namespace sqlpl {
 namespace net {
 
+/// Draws a process-unique seed for the high 32 bits of auto-stamped
+/// trace ids. Shared by `SqlClient` and `SqlClientPool`, so no two
+/// clients in one process ever stamp colliding ids.
+uint32_t NextClientTraceSeed();
+
 /// Blocking client for the `SqlServer` wire protocol. One TCP
 /// connection, synchronous by default (`Parse` = send one frame, wait
 /// for its response), with explicit `Send`/`Receive` halves for callers

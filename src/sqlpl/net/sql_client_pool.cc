@@ -1,0 +1,157 @@
+#include "sqlpl/net/sql_client_pool.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <utility>
+
+#include "sqlpl/net/socket_util.h"
+#include "sqlpl/net/sql_client.h"
+
+namespace sqlpl {
+namespace net {
+
+SqlClientPool::SqlClientPool(SqlClientPoolOptions options)
+    : options_(options) {
+  if (options_.num_connections == 0) options_.num_connections = 1;
+}
+
+SqlClientPool::~SqlClientPool() { Close(); }
+
+Status SqlClientPool::Connect(const std::string& address, uint16_t port) {
+  if (!conns_.empty()) return Status::FailedPrecondition("already connected");
+  conns_.reserve(options_.num_connections);
+  for (size_t i = 0; i < options_.num_connections; ++i) {
+    Result<int> fd = ConnectTcp(address, port);
+    if (!fd.ok()) {
+      Close();
+      return fd.status();
+    }
+    Conn conn;
+    conn.fd = *fd;
+    conns_.push_back(std::move(conn));
+  }
+  return Status::OK();
+}
+
+void SqlClientPool::Close() {
+  for (Conn& conn : conns_) CloseFd(conn.fd);
+  conns_.clear();
+  outstanding_ = 0;
+}
+
+Result<uint64_t> SqlClientPool::Submit(WireParseRequest request) {
+  if (conns_.empty()) return Status::Unavailable("not connected");
+  if (options_.max_inflight > 0 && outstanding_ >= options_.max_inflight) {
+    return Status::ResourceExhausted("client pool at max_inflight");
+  }
+  if (request.request_id == 0) request.request_id = next_request_id_++;
+  if (request.trace.trace_id == 0) {
+    if (trace_seed_ == 0) trace_seed_ = NextClientTraceSeed();
+    request.trace.trace_id =
+        (trace_seed_ << 32) | (request.request_id & 0xffffffffu);
+  }
+  // Least-outstanding connection keeps the load even when completions
+  // come back unevenly (e.g. one shard runs hot).
+  Conn* target = &conns_[0];
+  for (Conn& conn : conns_) {
+    if (conn.outstanding < target->outstanding) target = &conn;
+  }
+  EncodeRequestFrame(request, &target->out);
+  ++target->outstanding;
+  ++outstanding_;
+  return request.request_id;
+}
+
+Status SqlClientPool::Flush() {
+  if (conns_.empty()) return Status::Unavailable("not connected");
+  for (Conn& conn : conns_) {
+    if (conn.out.empty()) continue;
+    SQLPL_RETURN_IF_ERROR(SendAll(conn.fd, conn.out.data(), conn.out.size()));
+    conn.out.clear();
+  }
+  return Status::OK();
+}
+
+Status SqlClientPool::DrainDecoded(Conn* conn,
+                                   std::vector<WireParseResponse>* out) {
+  for (;;) {
+    std::span<const uint8_t> unread(conn->in.data() + conn->in_off,
+                                    conn->in.size() - conn->in_off);
+    Result<size_t> frame_size =
+        CompleteFrameSize(unread, kDefaultMaxFrameBytes);
+    if (!frame_size.ok()) return frame_size.status();
+    if (*frame_size == 0) break;
+    std::span<const uint8_t> payload =
+        unread.subspan(kFrameHeaderBytes, *frame_size - kFrameHeaderBytes);
+    conn->in_off += *frame_size;
+    WireParseResponse response;
+    SQLPL_RETURN_IF_ERROR(DecodeResponsePayload(payload, &response));
+    out->push_back(std::move(response));
+    if (conn->outstanding > 0) --conn->outstanding;
+    if (outstanding_ > 0) --outstanding_;
+  }
+  if (conn->in_off == conn->in.size()) {
+    conn->in.clear();
+    conn->in_off = 0;
+  }
+  return Status::OK();
+}
+
+Status SqlClientPool::Poll(std::vector<WireParseResponse>* out,
+                           Deadline wait) {
+  if (conns_.empty()) return Status::Unavailable("not connected");
+  if (outstanding_ == 0) {
+    return Status::FailedPrecondition("nothing outstanding to poll for");
+  }
+  SQLPL_RETURN_IF_ERROR(Flush());
+
+  const size_t before = out->size();
+  // Leftovers from the previous read may already complete a frame.
+  for (Conn& conn : conns_) {
+    SQLPL_RETURN_IF_ERROR(DrainDecoded(&conn, out));
+  }
+  while (out->size() == before) {
+    int timeout_ms = -1;
+    if (!wait.is_never()) {
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          wait.remaining());
+      if (remaining <= std::chrono::milliseconds::zero()) {
+        return Status::DeadlineExceeded("poll deadline passed");
+      }
+      timeout_ms = static_cast<int>(remaining.count()) + 1;
+    }
+    std::vector<pollfd> pfds;
+    pfds.reserve(conns_.size());
+    for (const Conn& conn : conns_) {
+      pfds.push_back(pollfd{conn.fd, POLLIN, 0});
+    }
+    int ready = poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("poll failed");
+    }
+    if (ready == 0) return Status::DeadlineExceeded("poll deadline passed");
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Conn& conn = conns_[i];
+      char buf[64 * 1024];
+      ssize_t n = recv(conn.fd, buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
+        return Status::Unavailable("recv failed");
+      }
+      if (n == 0) return Status::Unavailable("server closed the connection");
+      conn.in.insert(conn.in.end(), buf, buf + n);
+      SQLPL_RETURN_IF_ERROR(DrainDecoded(&conn, out));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace sqlpl

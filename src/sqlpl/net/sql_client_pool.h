@@ -1,0 +1,103 @@
+#ifndef SQLPL_NET_SQL_CLIENT_POOL_H_
+#define SQLPL_NET_SQL_CLIENT_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sqlpl/net/wire.h"
+#include "sqlpl/util/cancellation.h"
+
+namespace sqlpl {
+namespace net {
+
+/// Tuning of a `SqlClientPool`.
+struct SqlClientPoolOptions {
+  /// TCP connections the pool opens. Under a `kReusePort` server each
+  /// connection lands (kernel-balanced) on some event loop, so a pool
+  /// with several connections exercises several shards at once.
+  size_t num_connections = 4;
+  /// Submit refuses (`kResourceExhausted`) once this many requests are
+  /// outstanding across the pool (0 = unbounded).
+  size_t max_inflight = 0;
+};
+
+/// Multi-connection asynchronous client for the `SqlServer` wire
+/// protocol: the completion-oriented counterpart of `SqlClient`'s
+/// one-call-at-a-time API.
+///
+///   - `Submit` frames a parse request, corks it into the send buffer
+///     of the least-loaded connection, and returns its request id as a
+///     completion ticket — no syscall, no waiting.
+///   - `Poll` flushes every corked buffer and collects response frames
+///     from all connections until at least one completion is available
+///     (or `wait` expires), so a caller keeps N requests in flight with
+///     a plain submit/poll loop.
+///
+/// Completions arrive in server order per connection and interleaved
+/// across connections — match `request_id` against your tickets.
+///
+/// Not thread-safe: one pool per thread, like `SqlClient` (the
+/// multi-threaded benchmark drives one pool per client thread).
+class SqlClientPool {
+ public:
+  explicit SqlClientPool(SqlClientPoolOptions options = {});
+  ~SqlClientPool();
+
+  SqlClientPool(const SqlClientPool&) = delete;
+  SqlClientPool& operator=(const SqlClientPool&) = delete;
+
+  /// Opens all `num_connections` connections. Fails atomically: on any
+  /// connect error the already-open connections are closed again.
+  Status Connect(const std::string& address, uint16_t port);
+  void Close();
+  bool connected() const { return !conns_.empty(); }
+
+  /// Queues `request` on the connection with the fewest outstanding
+  /// requests and returns the assigned request id. Zero `request_id` /
+  /// `trace.trace_id` fields are auto-stamped exactly like
+  /// `SqlClient::Send`. The frame is only buffered — `Poll` (or
+  /// `Flush`) moves it to the wire.
+  Result<uint64_t> Submit(WireParseRequest request);
+
+  /// Writes every corked send buffer to its socket. `Poll` calls this
+  /// first; explicit use is only needed to push requests out without
+  /// waiting for completions.
+  Status Flush();
+
+  /// Flushes, then waits (bounded by `wait`) until at least one
+  /// response is available, appending ALL currently-decodable responses
+  /// to `*out`. Returns `kDeadlineExceeded` when `wait` expires with
+  /// nothing decoded, and `kFailedPrecondition` when nothing is
+  /// outstanding.
+  Status Poll(std::vector<WireParseResponse>* out,
+              Deadline wait = Deadline::Never());
+
+  /// Requests submitted but not yet returned by `Poll`.
+  size_t outstanding() const { return outstanding_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    /// Corked, already-framed requests awaiting `Flush`.
+    std::string out;
+    /// Receive buffer + consumed-prefix offset.
+    std::vector<uint8_t> in;
+    size_t in_off = 0;
+    size_t outstanding = 0;
+  };
+
+  /// Decodes every complete frame buffered on `conn` into `*out`.
+  Status DrainDecoded(Conn* conn, std::vector<WireParseResponse>* out);
+
+  SqlClientPoolOptions options_;
+  std::vector<Conn> conns_;
+  uint64_t next_request_id_ = 1;
+  uint64_t trace_seed_ = 0;
+  size_t outstanding_ = 0;
+};
+
+}  // namespace net
+}  // namespace sqlpl
+
+#endif  // SQLPL_NET_SQL_CLIENT_POOL_H_

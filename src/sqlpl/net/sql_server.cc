@@ -5,13 +5,13 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <signal.h>
-#include <sys/epoll.h>
-#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <charconv>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <system_error>
@@ -31,6 +31,8 @@ namespace {
 constexpr size_t kReadChunk = 64 * 1024;
 /// Compact the input buffer once this much consumed prefix accumulates.
 constexpr size_t kCompactThreshold = 256 * 1024;
+/// Frames gathered into one writev call.
+constexpr size_t kMaxIov = 64;
 
 uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
   return static_cast<uint64_t>(
@@ -49,13 +51,41 @@ WireConflict ToWireConflict(const fm::ConfigConflict& conflict) {
   return wire;
 }
 
+/// Maps the deprecated option struct onto the sharded configuration:
+/// the old topology (round-robin acceptor, `num_workers` spread across
+/// the loops) with the old knob values carried over.
+ServerOptions FromLegacy(const SqlServerOptions& legacy) {
+  ServerOptions options;
+  options.bind_address = legacy.bind_address;
+  options.port = legacy.port;
+  options.num_loops = legacy.num_event_loops == 0 ? 1 : legacy.num_event_loops;
+  options.acceptor = AcceptorStrategy::kRoundRobin;
+  size_t workers = legacy.num_workers == 0 ? 1 : legacy.num_workers;
+  options.workers_per_shard =
+      (workers + options.num_loops - 1) / options.num_loops;
+  options.max_frame_bytes = legacy.max_frame_bytes;
+  options.write_backpressure_bytes = legacy.write_backpressure_bytes;
+  options.write_buffer_limit = legacy.write_buffer_limit;
+  options.drain_deadline = legacy.drain_deadline;
+  options.enable_metrics_sideband = legacy.enable_metrics_sideband;
+  options.metrics_port = legacy.metrics_port;
+  options.flight_dump_slow_micros = legacy.flight_dump_slow_micros;
+  options.flight_dump_interval = legacy.flight_dump_interval;
+  return options;
+}
+
 }  // namespace
 
 /// Per-connection state. The input side (`in`, `in_off`) belongs to the
 /// connection's event-loop thread exclusively. The output side and the
-/// epoll-interest flags are shared with worker threads and guarded by
-/// `mu`; `fd` is closed only by the loop thread, with writers checking
-/// `closed` under `mu` before touching it.
+/// readiness-interest flags are shared with shard workers and guarded
+/// by `mu`; `fd` is closed only by the loop thread, with writers
+/// checking `closed` under `mu` before touching it.
+///
+/// Output is a deque of encoded frames (plus the flushed-prefix offset
+/// of the front frame), not one flat string: a batch of responses lands
+/// as N deque pushes and leaves as one `writev` — no re-copying frames
+/// into a contiguous buffer just to hand them to the kernel.
 struct SqlServer::Connection {
   int fd = -1;
   EventLoop* loop = nullptr;
@@ -64,12 +94,16 @@ struct SqlServer::Connection {
   size_t in_off = 0;
 
   std::mutex mu;
-  std::string out;
-  size_t out_off = 0;
-  /// EPOLLOUT currently armed.
+  std::deque<std::string> out;
+  /// Bytes of `out.front()` already written.
+  size_t out_front_off = 0;
+  /// Total unflushed bytes across `out` (cached; kept in sync by
+  /// QueueFrames/FlushLocked).
+  size_t out_bytes = 0;
+  /// Writability interest currently armed.
   bool want_out = false;
-  /// EPOLLIN withdrawn: the peer reads too slowly and pending response
-  /// bytes crossed the backpressure threshold.
+  /// Read interest withdrawn: the peer reads too slowly and pending
+  /// response bytes crossed the backpressure threshold.
   bool paused = false;
   /// A worker asked the loop thread to disconnect (write-buffer
   /// overflow or a dead socket discovered mid-flush).
@@ -77,12 +111,16 @@ struct SqlServer::Connection {
   bool closed = false;
 };
 
-/// One epoll loop. `conns` is owned by the loop thread; `pending`
-/// carries cross-thread connection handoffs from the acceptor.
+/// One event loop (= one shard's I/O side). `conns` is owned by the
+/// loop thread; `pending` carries cross-thread connection handoffs from
+/// the round-robin acceptor (unused under `kReusePort`, where every
+/// loop accepts for itself on its own listener).
 struct SqlServer::EventLoop {
   size_t index = 0;
-  int epoll_fd = -1;
-  int wake_fd = -1;
+  std::unique_ptr<EventBackend> backend;
+  /// This loop's listener: every loop has one under `kReusePort`; only
+  /// loop 0 under `kRoundRobin`; -1 otherwise (and after drain).
+  int listen_fd = -1;
   std::thread thread;
   std::unordered_map<int, std::shared_ptr<Connection>> conns;
   std::mutex mu;
@@ -98,48 +136,77 @@ struct SqlServer::EventLoop {
   obs::Gauge* connections = nullptr;
 };
 
-/// Re-arms the fd's epoll interest from the connection's flags.
-/// EPOLL_CTL_MOD re-checks readiness even in edge-triggered mode, so
-/// re-adding EPOLLIN after a pause immediately redelivers any
+/// Everything `RunParseBatch` needs after a response frame is built:
+/// the frame itself plus the identity/timing facts for the write-stage
+/// flight events and the anomaly trigger.
+struct SqlServer::ParseOutcome {
+  std::string frame;
+  uint64_t request_id = 0;
+  uint64_t trace_id = 0;
+  uint64_t received_at_micros = 0;
+  uint64_t turnaround_micros = 0;
+  StatusCode status = StatusCode::kOk;
+};
+
+/// Re-arms the fd's readiness interest from the connection's flags.
+/// `Modify` re-checks readiness even in edge-triggered mode, so
+/// re-adding read interest after a pause immediately redelivers any
 /// kernel-buffered input.
 void SqlServer::UpdateInterestLocked(Connection* conn) {
   if (conn->closed || conn->fd < 0) return;
-  epoll_event ev{};
-  ev.events = EPOLLET | EPOLLRDHUP;
-  if (!conn->paused) ev.events |= EPOLLIN;
-  if (conn->want_out) ev.events |= EPOLLOUT;
-  ev.data.fd = conn->fd;
-  epoll_ctl(conn->loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+  (void)conn->loop->backend->Modify(conn->fd, !conn->paused, conn->want_out,
+                                    /*edge=*/true);
 }
 
 bool SqlServer::FlushLocked(Connection* conn) {
-  while (conn->out_off < conn->out.size()) {
-    ssize_t n = send(conn->fd, conn->out.data() + conn->out_off,
-                     conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+  while (!conn->out.empty()) {
+    iovec iov[kMaxIov];
+    size_t iov_count = 0;
+    for (const std::string& frame : conn->out) {
+      if (iov_count == kMaxIov) break;
+      size_t off = iov_count == 0 ? conn->out_front_off : 0;
+      iov[iov_count].iov_base = const_cast<char*>(frame.data() + off);
+      iov[iov_count].iov_len = frame.size() - off;
+      ++iov_count;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iov_count;
+    ssize_t n = sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      conn->out_off += static_cast<size_t>(n);
       bytes_out_->Increment(static_cast<uint64_t>(n));
+      conn->out_bytes -= static_cast<size_t>(n);
+      size_t remaining = static_cast<size_t>(n);
+      while (remaining > 0) {
+        std::string& front = conn->out.front();
+        size_t avail = front.size() - conn->out_front_off;
+        if (remaining >= avail) {
+          remaining -= avail;
+          conn->out.pop_front();
+          conn->out_front_off = 0;
+        } else {
+          conn->out_front_off += remaining;
+          remaining = 0;
+        }
+      }
       continue;
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     return false;
   }
-  if (conn->out_off == conn->out.size()) {
-    conn->out.clear();
-    conn->out_off = 0;
-  }
   return true;
 }
 
 size_t SqlServer::PendingOutLocked(const Connection* conn) {
-  return conn->out.size() - conn->out_off;
+  return conn->out_bytes;
 }
 
-SqlServer::SqlServer(DialectService* service, SqlServerOptions options)
+SqlServer::SqlServer(DialectService* service, ServerOptions options)
     : service_(service), options_(std::move(options)) {
-  if (options_.num_event_loops == 0) options_.num_event_loops = 1;
-  if (options_.num_workers == 0) options_.num_workers = 1;
+  if (options_.num_loops == 0) options_.num_loops = 1;
+  if (options_.workers_per_shard == 0) options_.workers_per_shard = 1;
+  if (options_.max_batch_frames == 0) options_.max_batch_frames = 1;
   obs::MetricsRegistry& reg = service_->metrics();
   connections_gauge_ =
       reg.GetGauge("sqlpl_net_connections", {}, "Open wire connections");
@@ -183,6 +250,9 @@ SqlServer::SqlServer(DialectService* service, SqlServerOptions options)
       "Flight-recorder anomaly dumps, by trigger");
 }
 
+SqlServer::SqlServer(DialectService* service, const SqlServerOptions& legacy)
+    : SqlServer(service, FromLegacy(legacy)) {}
+
 SqlServer::~SqlServer() { Stop(); }
 
 uint16_t SqlServer::metrics_port() const {
@@ -191,6 +261,11 @@ uint16_t SqlServer::metrics_port() const {
 
 int64_t SqlServer::open_connections() const {
   return connections_gauge_->Value();
+}
+
+int64_t SqlServer::loop_connections(size_t i) const {
+  if (i >= loops_.size() || loops_[i]->connections == nullptr) return 0;
+  return loops_[i]->connections->Value();
 }
 
 Status SqlServer::Start() {
@@ -210,24 +285,17 @@ Status SqlServer::Start() {
     }
   }
 
-  Result<int> listen = ListenTcp(options_.bind_address, options_.port);
-  if (!listen.ok()) return listen.status();
-  listen_fd_ = *listen;
-  Result<uint16_t> bound = LocalPort(listen_fd_);
-  if (!bound.ok()) return bound.status();
-  port_ = *bound;
-  SQLPL_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
-
-  // The worker pool is deliberately uninstrumented: the service's own
-  // pool already feeds the sqlpl_pool_* families in this registry, and
-  // two pools writing one gauge would render both meaningless.
-  ThreadPoolOptions pool_options;
-  pool_options.num_threads = options_.num_workers;
-  workers_ = std::make_unique<ThreadPool>(pool_options);
+  obs::MetricsRegistry& reg = service_->metrics();
+  ShardExecutorOptions shard_options;
+  shard_options.num_shards = options_.num_loops;
+  shard_options.workers_per_shard = options_.workers_per_shard;
+  shard_options.queue_depth = options_.shard_queue_depth;
+  shard_options.overflow = options_.shard_overflow;
+  shard_options.enable_stealing = options_.enable_work_stealing;
+  shards_ = std::make_unique<ShardExecutor>(shard_options, &reg);
 
   loops_.clear();
-  obs::MetricsRegistry& reg = service_->metrics();
-  for (size_t i = 0; i < options_.num_event_loops; ++i) {
+  for (size_t i = 0; i < options_.num_loops; ++i) {
     auto loop = std::make_unique<EventLoop>();
     loop->index = i;
     const std::string label = std::to_string(i);
@@ -236,37 +304,52 @@ Status SqlServer::Start() {
         "Event-loop time spent processing ready events (µs)");
     loop->idle_micros = reg.GetCounter(
         "sqlpl_net_loop_idle_micros_total", {{"loop", label}},
-        "Event-loop time spent blocked in epoll_wait (µs)");
+        "Event-loop time spent blocked waiting for readiness (µs)");
     loop->wakeups = reg.GetCounter(
         "sqlpl_net_loop_wakeups_total", {{"loop", label}},
-        "Cross-thread eventfd wakeups delivered to the loop");
+        "Cross-thread wakeups delivered to the loop");
     loop->epoll_batch = reg.GetHistogram(
         "sqlpl_net_loop_epoll_batch", {{"loop", label}},
-        "Ready events returned per epoll_wait call");
+        "Ready events returned per backend wait call");
     loop->inflight = reg.GetGauge(
         "sqlpl_net_loop_inflight", {{"loop", label}},
-        "Requests dispatched by this loop awaiting a response");
+        "Shard tasks dispatched by this loop awaiting completion");
     loop->connections = reg.GetGauge(
         "sqlpl_net_loop_connections", {{"loop", label}},
         "Open connections owned by this loop");
-    loop->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
-    loop->wake_fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-    if (loop->epoll_fd < 0 || loop->wake_fd < 0) {
-      return Status::Internal("epoll/eventfd creation failed");
-    }
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = loop->wake_fd;
-    epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev);
+    Result<std::unique_ptr<EventBackend>> backend =
+        MakeEventBackend(options_.backend);
+    if (!backend.ok()) return backend.status();
+    loop->backend = std::move(*backend);
+    SQLPL_RETURN_IF_ERROR(loop->backend->Init());
     loops_.push_back(std::move(loop));
   }
-  // Loop 0 owns the acceptor. Level-triggered is right for a listener:
-  // AcceptAll drains the backlog anyway, and a missed edge would
-  // strand connections.
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
-  epoll_ctl(loops_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+
+  // Listeners. Under kReusePort every loop binds its own SO_REUSEPORT
+  // listener to the shared port (the first bind resolves an ephemeral
+  // request); the kernel then distributes connections across acceptors.
+  // Under kRoundRobin loop 0 owns the single listener and hands
+  // connections over, as the pre-sharding server did. Listener
+  // interest is level-triggered: AcceptAll drains the backlog anyway,
+  // and a missed edge would strand connections.
+  const bool reuse_port = options_.acceptor == AcceptorStrategy::kReusePort;
+  size_t num_listeners = reuse_port ? loops_.size() : 1;
+  for (size_t i = 0; i < num_listeners; ++i) {
+    Result<int> listen = ListenTcp(options_.bind_address,
+                                   i == 0 ? options_.port : port_,
+                                   /*backlog=*/128, reuse_port);
+    if (!listen.ok()) return listen.status();
+    loops_[i]->listen_fd = *listen;
+    if (i == 0) {
+      Result<uint16_t> bound = LocalPort(*listen);
+      if (!bound.ok()) return bound.status();
+      port_ = *bound;
+    }
+    SQLPL_RETURN_IF_ERROR(SetNonBlocking(*listen));
+    SQLPL_RETURN_IF_ERROR(loops_[i]->backend->Add(*listen, /*readable=*/true,
+                                                  /*writable=*/false,
+                                                  /*edge=*/false));
+  }
 
   for (auto& loop : loops_) {
     EventLoop* raw = loop.get();
@@ -344,7 +427,7 @@ void SqlServer::Stop() {
     return;
   }
 
-  // Phase 1: stop taking work. The listener closes (loop 0, on
+  // Phase 1: stop taking work. Every loop closes its listener (on
   // wakeup), /healthz flips to 503, and every frame decoded from here
   // on is refused with kUnavailable.
   draining_.store(true, std::memory_order_relaxed);
@@ -362,7 +445,7 @@ void SqlServer::Stop() {
       inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
     }
   }
-  if (workers_) workers_->Shutdown();
+  if (shards_) shards_->Shutdown();
 
   // Phase 3: tear down I/O. Loops flush what they can on the way out,
   // close their connections, and exit.
@@ -370,62 +453,49 @@ void SqlServer::Stop() {
   for (auto& loop : loops_) WakeLoop(loop.get());
   for (auto& loop : loops_) {
     if (loop->thread.joinable()) loop->thread.join();
-    CloseFd(loop->wake_fd);
-    CloseFd(loop->epoll_fd);
   }
-  // Loop 0 normally closes the listener when it sees draining_; cover
-  // the case where it never woke (loops are joined, so no race).
-  if (listen_fd_ >= 0) {
-    CloseFd(listen_fd_);
-    listen_fd_ = -1;
+  // Loops normally close their listeners when they see draining_; cover
+  // the case where one never woke (loops are joined, so no race).
+  for (auto& loop : loops_) {
+    if (loop->listen_fd >= 0) {
+      CloseFd(loop->listen_fd);
+      loop->listen_fd = -1;
+    }
   }
   if (sideband_) sideband_->Stop();
 }
 
-void SqlServer::WakeLoop(EventLoop* loop) {
-  uint64_t one = 1;
-  ssize_t ignored = write(loop->wake_fd, &one, sizeof(one));
-  (void)ignored;
-}
+void SqlServer::WakeLoop(EventLoop* loop) { loop->backend->Wake(); }
 
 void SqlServer::RunLoop(EventLoop* loop) {
-  epoll_event events[64];
+  ReadyEvent events[64];
   while (!stop_loops_.load(std::memory_order_relaxed)) {
-    // Idle = blocked in epoll_wait; busy = everything after it until the
-    // next wait. Together they account for the loop thread's wall time,
-    // so `busy / (busy + idle)` is the loop's utilization.
+    // Idle = blocked in the backend wait; busy = everything after it
+    // until the next wait. Together they account for the loop thread's
+    // wall time, so `busy / (busy + idle)` is the loop's utilization.
     const uint64_t idle_start = obs::TraceNowMicros();
-    int n = epoll_wait(loop->epoll_fd, events, 64, -1);
+    int n = loop->backend->Wait(events, /*timeout_ms=*/-1);
     const uint64_t busy_start = obs::TraceNowMicros();
     loop->idle_micros->Increment(busy_start - idle_start);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
+    if (n < 0) break;
     loop->epoll_batch->Record(static_cast<uint64_t>(n));
     bool woke = false;
     for (int i = 0; i < n; ++i) {
-      int fd = events[i].data.fd;
-      uint32_t mask = events[i].events;
-      if (fd == loop->wake_fd) {
-        uint64_t drained;
-        while (read(loop->wake_fd, &drained, sizeof(drained)) > 0) {
-        }
+      const ReadyEvent& event = events[i];
+      if (event.wake) {
         woke = true;
         loop->wakeups->Increment();
         continue;
       }
-      if (loop->index == 0 && fd == listen_fd_) {
+      if (loop->listen_fd >= 0 && event.fd == loop->listen_fd) {
         AcceptAll(loop);
         continue;
       }
-      auto it = loop->conns.find(fd);
+      auto it = loop->conns.find(event.fd);
       if (it == loop->conns.end()) continue;
       std::shared_ptr<Connection> conn = it->second;
-      if (mask & EPOLLOUT) HandleWritable(loop, conn);
-      if (mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
-        HandleReadable(loop, conn);
-      }
+      if (event.writable) HandleWritable(loop, conn);
+      if (event.readable) HandleReadable(loop, conn);
     }
     if (woke) HandleWakeup(loop);
     loop->busy_micros->Increment(obs::TraceNowMicros() - busy_start);
@@ -447,7 +517,7 @@ void SqlServer::RunLoop(EventLoop* loop) {
 
 void SqlServer::AcceptAll(EventLoop* loop) {
   for (;;) {
-    int fd = accept4(listen_fd_, nullptr, nullptr,
+    int fd = accept4(loop->listen_fd, nullptr, nullptr,
                      SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
@@ -462,12 +532,19 @@ void SqlServer::AcceptAll(EventLoop* loop) {
 
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    connections_total_->Increment();
+    connections_gauge_->Add(1);
+    if (options_.acceptor == AcceptorStrategy::kReusePort) {
+      // The kernel already picked this loop: the connection is local by
+      // construction, no handoff.
+      conn->loop = loop;
+      RegisterConnection(loop, conn);
+      continue;
+    }
     size_t target =
         next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
     EventLoop* owner = loops_[target].get();
     conn->loop = owner;
-    connections_total_->Increment();
-    connections_gauge_->Add(1);
     if (owner == loop) {
       RegisterConnection(owner, conn);
     } else {
@@ -484,14 +561,12 @@ void SqlServer::RegisterConnection(EventLoop* loop,
                                    const std::shared_ptr<Connection>& conn) {
   loop->conns[conn->fd] = conn;
   loop->connections->Add(1);
-  epoll_event ev{};
-  ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
-  ev.data.fd = conn->fd;
-  epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, conn->fd, &ev);
+  (void)loop->backend->Add(conn->fd, /*readable=*/true, /*writable=*/false,
+                           /*edge=*/true);
 }
 
 void SqlServer::HandleWakeup(EventLoop* loop) {
-  // Adopt connections handed over by the acceptor.
+  // Adopt connections handed over by the round-robin acceptor.
   std::vector<std::shared_ptr<Connection>> adds;
   {
     std::lock_guard<std::mutex> lock(loop->mu);
@@ -499,12 +574,11 @@ void SqlServer::HandleWakeup(EventLoop* loop) {
   }
   for (auto& conn : adds) RegisterConnection(loop, conn);
 
-  // Draining: loop 0 retires the acceptor.
-  if (loop->index == 0 && draining_.load(std::memory_order_relaxed) &&
-      listen_fd_ >= 0) {
-    epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
-    CloseFd(listen_fd_);
-    listen_fd_ = -1;
+  // Draining: every loop retires its own listener.
+  if (draining_.load(std::memory_order_relaxed) && loop->listen_fd >= 0) {
+    loop->backend->Remove(loop->listen_fd);
+    CloseFd(loop->listen_fd);
+    loop->listen_fd = -1;
   }
 
   // Worker-requested closes and backpressure resumes.
@@ -592,6 +666,12 @@ void SqlServer::HandleWritable(EventLoop* loop,
 
 void SqlServer::ProcessInput(EventLoop* loop,
                              const std::shared_ptr<Connection>& conn) {
+  // Batched decode: every complete parse frame in the buffer joins the
+  // current batch; the batch ships to the shard as ONE task whenever it
+  // reaches max_batch_frames or the buffer runs dry. A pipelining
+  // client thus pays one handoff per batch, not per request.
+  std::vector<PendingParse> batch;
+  bool close_after = false;
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(conn->mu);
@@ -604,8 +684,8 @@ void SqlServer::ProcessInput(EventLoop* loop,
     if (!frame_size.ok()) {
       // Oversized declaration: the stream cannot be resynchronized.
       decode_errors_->Increment();
-      CloseConnection(loop, conn);
-      return;
+      close_after = true;
+      break;
     }
     if (*frame_size == 0) break;  // incomplete: wait for more bytes
 
@@ -614,10 +694,21 @@ void SqlServer::ProcessInput(EventLoop* loop,
     conn->in_off += *frame_size;
     frames_in_->Increment();
 
-    if (!DecodeAndDispatch(conn, payload)) {
-      CloseConnection(loop, conn);
-      return;
+    if (!DecodeFrame(conn, payload, &batch)) {
+      close_after = true;
+      break;
     }
+    if (batch.size() >= options_.max_batch_frames) {
+      DispatchParseBatch(conn, std::move(batch));
+      batch.clear();
+    }
+  }
+  // Ship what was decoded before any error: earlier pipelined frames
+  // were valid requests and still get answers (pre-batching behavior).
+  if (!batch.empty()) DispatchParseBatch(conn, std::move(batch));
+  if (close_after) {
+    CloseConnection(loop, conn);
+    return;
   }
 
   if (conn->in_off == conn->in.size()) {
@@ -630,8 +721,9 @@ void SqlServer::ProcessInput(EventLoop* loop,
   }
 }
 
-bool SqlServer::DecodeAndDispatch(const std::shared_ptr<Connection>& conn,
-                                  std::span<const uint8_t> payload) {
+bool SqlServer::DecodeFrame(const std::shared_ptr<Connection>& conn,
+                            std::span<const uint8_t> payload,
+                            std::vector<PendingParse>* batch) {
   // Refuse frames of any type with the matching response type while
   // draining, so clients mid-negotiation see a decodable kUnavailable.
   auto refuse_if_draining = [this, &conn](uint64_t request_id,
@@ -708,45 +800,76 @@ bool SqlServer::DecodeAndDispatch(const std::shared_ptr<Connection>& conn,
       // decoder — its unexpected-type diagnostic is the protocol's
       // canonical rejection.
       const uint64_t received_at_micros = obs::TraceNowMicros();
-      WireParseRequest request;
-      Status decoded = DecodeRequestPayload(payload, &request);
-      const uint64_t decode_micros =
-          obs::TraceNowMicros() - received_at_micros;
+      PendingParse item;
+      Status decoded = DecodeRequestPayload(payload, &item.request);
+      item.received_at_micros = received_at_micros;
+      item.decode_micros = obs::TraceNowMicros() - received_at_micros;
       if (!decoded.ok()) {
         // The frame boundary held, so we can still answer before
         // disconnecting the (broken) client.
         decode_errors_->Increment();
-        RefuseFrame(conn, request.request_id, decoded);
+        RefuseFrame(conn, item.request.request_id, decoded);
         return false;
       }
-      if (refuse_if_draining(request.request_id, WireType::kParseResponse)) {
+      if (refuse_if_draining(item.request.request_id,
+                             WireType::kParseResponse)) {
         return true;
       }
-      DispatchFrame(conn, std::move(request), received_at_micros,
-                    decode_micros);
+      // The client's millisecond budget becomes absolute *here*, at
+      // frame receipt, so queueing and cache resolution spend the same
+      // budget the client metered out — not a fresh one per stage.
+      item.deadline =
+          item.request.deadline_ms > 0
+              ? Deadline::After(
+                    std::chrono::milliseconds(item.request.deadline_ms))
+              : Deadline::Never();
+      batch->push_back(std::move(item));
       return true;
     }
   }
 }
 
-void SqlServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
-                              WireParseRequest request,
-                              uint64_t received_at_micros,
-                              uint64_t decode_micros) {
-  // The client's millisecond budget becomes absolute *here*, at frame
-  // receipt, so queueing and cache resolution spend the same budget the
-  // client metered out — not a fresh one per stage.
-  Deadline deadline =
-      request.deadline_ms > 0
-          ? Deadline::After(std::chrono::milliseconds(request.deadline_ms))
-          : Deadline::Never();
-  uint64_t request_id = request.request_id;
-  DispatchJob(conn, request_id, WireType::kParseResponse,
-              [this, conn, request = std::move(request), deadline,
-               received_at_micros, decode_micros] {
-                HandleRequest(conn, request, deadline, received_at_micros,
-                              decode_micros);
-              });
+void SqlServer::DispatchParseBatch(const std::shared_ptr<Connection>& conn,
+                                   std::vector<PendingParse> batch) {
+  if (batch.empty()) return;
+  obs::Gauge* loop_inflight = conn->loop->inflight;
+  loop_inflight->Add(1);
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_;
+  }
+  // Request ids survive outside the task so a refused submit can still
+  // answer every request in the batch.
+  std::vector<uint64_t> request_ids;
+  request_ids.reserve(batch.size());
+  for (const PendingParse& item : batch) {
+    request_ids.push_back(item.request.request_id);
+  }
+  Status submitted = shards_->Submit(
+      conn->loop->index,
+      [this, conn, loop_inflight, batch = std::move(batch)]() mutable {
+        RunParseBatch(conn, batch);
+        loop_inflight->Add(-1);
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        if (--inflight_ == 0) inflight_cv_.notify_all();
+      });
+  if (!submitted.ok()) {
+    loop_inflight->Add(-1);
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      if (--inflight_ == 0) inflight_cv_.notify_all();
+    }
+    // Shard-full sheds keep their kResourceExhausted identity; a
+    // stopping executor reads as unavailable, like the old pool.
+    Status refusal =
+        submitted.code() == StatusCode::kResourceExhausted
+            ? submitted
+            : Status::Unavailable("server worker shard is stopping");
+    for (uint64_t request_id : request_ids) {
+      unavailable_total_->Increment();
+      RefuseFrame(conn, request_id, refusal);
+    }
+  }
 }
 
 void SqlServer::DispatchJob(const std::shared_ptr<Connection>& conn,
@@ -758,14 +881,13 @@ void SqlServer::DispatchJob(const std::shared_ptr<Connection>& conn,
     std::lock_guard<std::mutex> lock(inflight_mu_);
     ++inflight_;
   }
-  Status submitted = workers_->Submit(
-      [this, loop_inflight, job = std::move(job)] {
+  Status submitted = shards_->Submit(
+      conn->loop->index, [this, loop_inflight, job = std::move(job)] {
         job();
         loop_inflight->Add(-1);
         std::lock_guard<std::mutex> lock(inflight_mu_);
         if (--inflight_ == 0) inflight_cv_.notify_all();
-      },
-      Deadline::Never());
+      });
   if (!submitted.ok()) {
     loop_inflight->Add(-1);
     {
@@ -774,22 +896,61 @@ void SqlServer::DispatchJob(const std::shared_ptr<Connection>& conn,
     }
     unavailable_total_->Increment();
     RefuseFrame(conn, request_id,
-                Status::Unavailable("server worker pool is stopping"),
+                submitted.code() == StatusCode::kResourceExhausted
+                    ? submitted
+                    : Status::Unavailable("server worker shard is stopping"),
                 refuse_type);
   }
 }
 
-void SqlServer::HandleRequest(const std::shared_ptr<Connection>& conn,
-                              const WireParseRequest& request,
-                              Deadline deadline, uint64_t received_at_micros,
-                              uint64_t decode_micros) {
+void SqlServer::RunParseBatch(const std::shared_ptr<Connection>& conn,
+                              std::vector<PendingParse>& batch) {
+  std::vector<ParseOutcome> outcomes;
+  outcomes.reserve(batch.size());
+  std::vector<std::string> frames;
+  frames.reserve(batch.size());
+  for (const PendingParse& item : batch) {
+    outcomes.push_back(BuildParseResponse(conn, item));
+    frames.push_back(std::move(outcomes.back().frame));
+  }
+
+  // One lock acquisition, one flush attempt for the whole batch.
+  const uint64_t write_start = obs::TraceNowMicros();
+  QueueFrames(conn, frames);
+  const uint64_t write_done = obs::TraceNowMicros();
+
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  const uint16_t loop_id = static_cast<uint16_t>(conn->loop->index);
+  for (const ParseOutcome& outcome : outcomes) {
+    obs::FlightEvent event;
+    event.trace_id = outcome.trace_id;
+    event.request_id = outcome.request_id;
+    event.loop_id = loop_id;
+    event.status = static_cast<uint8_t>(outcome.status);
+    event.ts_micros = write_start;
+    event.dur_micros = static_cast<uint32_t>(
+        std::min<uint64_t>(write_done - write_start, UINT32_MAX));
+    event.stage = static_cast<uint8_t>(obs::FlightStage::kWrite);
+    recorder.Record(event);
+    event.ts_micros = outcome.received_at_micros;
+    event.dur_micros = static_cast<uint32_t>(
+        std::min<uint64_t>(outcome.turnaround_micros, UINT32_MAX));
+    event.stage = static_cast<uint8_t>(obs::FlightStage::kRequest);
+    recorder.Record(event);
+    MaybeDumpFlight(outcome.status, outcome.turnaround_micros);
+  }
+}
+
+SqlServer::ParseOutcome SqlServer::BuildParseResponse(
+    const std::shared_ptr<Connection>& conn, const PendingParse& item) {
+  const WireParseRequest& request = item.request;
   // Stage clock: every boundary below is a TraceNowMicros() stamp, so
   // the durations telescope — decode + queue + admission + parse +
   // render + encode lands on server_micros by construction (modulo the
   // underflow guards), which is what lets a client trust the breakdown
   // against the total.
   const uint64_t handled_at = obs::TraceNowMicros();
-  const uint64_t after_decode = received_at_micros + decode_micros;
+  const uint64_t after_decode = item.received_at_micros + item.decode_micros;
   const uint64_t queue_micros =
       handled_at > after_decode ? handled_at - after_decode : 0;
   const uint16_t loop_id = static_cast<uint16_t>(conn->loop->index);
@@ -826,9 +987,13 @@ void SqlServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     ParseRequest service_request;
     service_request.spec = spec.get();
     service_request.sql = request.sql;
-    service_request.deadline = deadline;
+    service_request.deadline = item.deadline;
     service_request.cancel = drain_cancel_.token();
     service_request.want_tree = request.want_tree;
+    // The wire's only use of the tree is its S-expression: take the
+    // service's direct-render path, which serializes straight from the
+    // parser's arena tree and never materializes a ParseNode.
+    service_request.render_sexpr = request.want_tree;
     service_request.trace = request.trace;
     ParseResponse response = service_->Parse(service_request);
     service_done = obs::TraceNowMicros();
@@ -838,9 +1003,8 @@ void SqlServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     wire.cache_disposition = response.cache_disposition;
     wire.parse_micros = static_cast<uint32_t>(response.parse_micros);
     wire.total_micros = static_cast<uint32_t>(response.total_micros);
-    // Render: tree-to-text (or the error message) into the frame body.
     if (response.ok()) {
-      if (request.want_tree) wire.body = response.result.value().ToSExpr();
+      if (request.want_tree) wire.body = std::move(response.rendered);
     } else {
       wire.body = response.status().message();
     }
@@ -857,29 +1021,47 @@ void SqlServer::HandleRequest(const std::shared_ptr<Connection>& conn,
   const uint64_t render_micros =
       render_done > service_done ? render_done - service_done : 0;
 
-  // Encode, two-pass: measure a throwaway encode of the response as it
-  // stands, then stamp the totals (and, for traced requests, the stage
-  // table) and encode the final frame. The measured figure is what the
-  // client sees; the final pass costs the same again but is not part of
-  // the reported turnaround.
-  std::string frame;
-  EncodeResponseFrame(wire, &frame);
-  const uint64_t encode_done = obs::TraceNowMicros();
-  const uint64_t encode_micros =
-      encode_done > render_done ? encode_done - render_done : 0;
-  const uint64_t turnaround =
-      encode_done > received_at_micros ? encode_done - received_at_micros : 0;
-  wire.server_micros =
-      static_cast<uint32_t>(std::min<uint64_t>(turnaround, UINT32_MAX));
   auto clamp32 = [](uint64_t micros) {
     return static_cast<uint32_t>(std::min<uint64_t>(micros, UINT32_MAX));
   };
-  if (request.trace.traced()) {
+
+  // Encode. Untraced requests (the steady state) encode ONCE and stamp
+  // the measured turnaround into the sealed frame in place —
+  // server_micros sits at a fixed offset behind fixed-width fields
+  // (kServerMicrosFrameOffset), so the patch cannot shift a byte and
+  // the frame stays byte-identical to the historical two-pass output.
+  // Traced requests keep the two-pass encode: their stage table has to
+  // contain the encode duration itself.
+  ParseOutcome outcome;
+  uint64_t turnaround;
+  if (!request.trace.traced()) {
+    EncodeResponseFrame(wire, &outcome.frame);
+    const uint64_t encode_done = obs::TraceNowMicros();
+    turnaround = encode_done > item.received_at_micros
+                     ? encode_done - item.received_at_micros
+                     : 0;
+    PatchServerMicros(&outcome.frame, 0, clamp32(turnaround));
+    const uint64_t encode_micros =
+        encode_done > render_done ? encode_done - render_done : 0;
+    RecordParseStages(trace_id, request.request_id, loop_id, wire.status,
+                      item.received_at_micros, item.decode_micros,
+                      queue_micros, handled_at, admission_micros, parse_micros,
+                      service_done, render_micros, render_done, encode_micros);
+  } else {
+    std::string throwaway;
+    EncodeResponseFrame(wire, &throwaway);
+    const uint64_t encode_done = obs::TraceNowMicros();
+    const uint64_t encode_micros =
+        encode_done > render_done ? encode_done - render_done : 0;
+    turnaround = encode_done > item.received_at_micros
+                     ? encode_done - item.received_at_micros
+                     : 0;
+    wire.server_micros = clamp32(turnaround);
     wire.trace_id = trace_id;
     // kWrite is always 0 in-frame: the flush happens after the frame is
     // sealed. The flight recorder carries the real write event.
     wire.stages = {
-        {static_cast<uint8_t>(WireStage::kDecode), clamp32(decode_micros)},
+        {static_cast<uint8_t>(WireStage::kDecode), clamp32(item.decode_micros)},
         {static_cast<uint8_t>(WireStage::kQueue), clamp32(queue_micros)},
         {static_cast<uint8_t>(WireStage::kAdmission),
          clamp32(admission_micros)},
@@ -888,23 +1070,46 @@ void SqlServer::HandleRequest(const std::shared_ptr<Connection>& conn,
         {static_cast<uint8_t>(WireStage::kEncode), clamp32(encode_micros)},
         {static_cast<uint8_t>(WireStage::kWrite), 0},
     };
+    EncodeResponseFrame(wire, &outcome.frame);
+    RecordParseStages(trace_id, request.request_id, loop_id, wire.status,
+                      item.received_at_micros, item.decode_micros,
+                      queue_micros, handled_at, admission_micros, parse_micros,
+                      service_done, render_micros, render_done, encode_micros);
   }
-  frame.clear();
-  EncodeResponseFrame(wire, &frame);
+  request_latency_->RecordWithExemplar(turnaround, trace_id);
 
-  // Flight-record every stage (always on, traced or not) plus one
-  // enclosing kRequest event; loop_id ties the events back to the
-  // per-loop metric series. The pre-flush stages and the latency
-  // exemplar are recorded *before* the response frame is enqueued, so a
-  // client that scrapes /debug/flight right after its reply finds its
-  // own trace; only the write/request events trail the flush they
-  // measure.
+  outcome.request_id = request.request_id;
+  outcome.trace_id = trace_id;
+  outcome.received_at_micros = item.received_at_micros;
+  outcome.turnaround_micros = turnaround;
+  outcome.status = wire.status;
+  return outcome;
+}
+
+void SqlServer::RecordParseStages(uint64_t trace_id, uint64_t request_id,
+                                  uint16_t loop_id, StatusCode status,
+                                  uint64_t received_at_micros,
+                                  uint64_t decode_micros, uint64_t queue_micros,
+                                  uint64_t handled_at,
+                                  uint64_t admission_micros,
+                                  uint64_t parse_micros, uint64_t service_done,
+                                  uint64_t render_micros, uint64_t render_done,
+                                  uint64_t encode_micros) {
+  // Flight-record every stage (always on, traced or not); loop_id ties
+  // the events back to the per-loop metric series. The pre-flush stages
+  // are recorded *before* the response frame is enqueued, so a client
+  // that scrapes /debug/flight right after its reply finds its own
+  // trace; only the write/request events trail the flush they measure
+  // (RunParseBatch).
   obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
-  const uint8_t status_byte = static_cast<uint8_t>(wire.status);
+  const uint8_t status_byte = static_cast<uint8_t>(status);
+  auto clamp32 = [](uint64_t micros) {
+    return static_cast<uint32_t>(std::min<uint64_t>(micros, UINT32_MAX));
+  };
   auto record = [&](obs::FlightStage stage, uint64_t start, uint64_t dur) {
     obs::FlightEvent event;
     event.trace_id = trace_id;
-    event.request_id = request.request_id;
+    event.request_id = request_id;
     event.ts_micros = start;
     event.dur_micros = clamp32(dur);
     event.loop_id = loop_id;
@@ -913,20 +1118,13 @@ void SqlServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     recorder.Record(event);
   };
   record(obs::FlightStage::kDecode, received_at_micros, decode_micros);
-  record(obs::FlightStage::kQueue, after_decode, queue_micros);
+  record(obs::FlightStage::kQueue, received_at_micros + decode_micros,
+         queue_micros);
   record(obs::FlightStage::kAdmission, handled_at, admission_micros);
   record(obs::FlightStage::kParse, handled_at + admission_micros,
          parse_micros);
   record(obs::FlightStage::kRender, service_done, render_micros);
   record(obs::FlightStage::kEncode, render_done, encode_micros);
-  request_latency_->RecordWithExemplar(turnaround, trace_id);
-
-  const uint64_t write_start = obs::TraceNowMicros();
-  QueueFrame(conn, frame);
-  const uint64_t write_done = obs::TraceNowMicros();
-  record(obs::FlightStage::kWrite, write_start, write_done - write_start);
-  record(obs::FlightStage::kRequest, received_at_micros, turnaround);
-  MaybeDumpFlight(wire.status, turnaround);
 }
 
 void SqlServer::HandleValidate(const std::shared_ptr<Connection>& conn,
@@ -947,7 +1145,7 @@ void SqlServer::HandleValidate(const std::shared_ptr<Connection>& conn,
   }
   std::string frame;
   EncodeValidateResponseFrame(wire, &frame);
-  QueueFrame(conn, frame);
+  QueueFrame(conn, std::move(frame));
   request_latency_->Record(MicrosSince(received_at));
 }
 
@@ -968,7 +1166,7 @@ void SqlServer::HandleComplete(const std::shared_ptr<Connection>& conn,
   }
   std::string frame;
   EncodeCompleteResponseFrame(wire, &frame);
-  QueueFrame(conn, frame);
+  QueueFrame(conn, std::move(frame));
   request_latency_->Record(MicrosSince(received_at));
 }
 
@@ -988,7 +1186,7 @@ void SqlServer::HandleCatalog(const std::shared_ptr<Connection>& conn,
   }
   std::string frame;
   EncodeCatalogResponseFrame(wire, &frame);
-  QueueFrame(conn, frame);
+  QueueFrame(conn, std::move(frame));
   request_latency_->Record(MicrosSince(received_at));
 }
 
@@ -1038,26 +1236,28 @@ void SqlServer::RefuseFrame(const std::shared_ptr<Connection>& conn,
       break;
     }
   }
-  QueueFrame(conn, frame);
-}
-
-void SqlServer::QueueResponse(const std::shared_ptr<Connection>& conn,
-                              const WireParseResponse& response) {
-  std::string frame;
-  EncodeResponseFrame(response, &frame);
-  QueueFrame(conn, frame);
+  QueueFrame(conn, std::move(frame));
 }
 
 void SqlServer::QueueFrame(const std::shared_ptr<Connection>& conn,
-                           const std::string& frame) {
+                           std::string frame) {
+  QueueFrames(conn, std::span<std::string>(&frame, 1));
+}
+
+void SqlServer::QueueFrames(const std::shared_ptr<Connection>& conn,
+                            std::span<std::string> frames) {
+  if (frames.empty()) return;
   bool wake = false;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     if (conn->closed || conn->close_requested) return;
-    conn->out.append(frame);
+    for (std::string& frame : frames) {
+      conn->out_bytes += frame.size();
+      conn->out.push_back(std::move(frame));
+    }
     // Counted at enqueue, before any byte reaches the wire: a client
     // that has read the whole reply must already see it in the counter.
-    frames_out_->Increment();
+    frames_out_->Increment(frames.size());
     if (PendingOutLocked(conn.get()) > options_.write_buffer_limit) {
       // The peer stopped reading entirely; buffering further responses
       // would trade one slow client for server memory.
@@ -1099,7 +1299,7 @@ void SqlServer::CloseConnection(EventLoop* loop,
     conn->fd = -1;
   }
   if (fd >= 0) {
-    epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    loop->backend->Remove(fd);
     CloseFd(fd);
     loop->conns.erase(fd);
   }

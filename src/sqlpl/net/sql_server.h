@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "sqlpl/fm/variant_catalog.h"
+#include "sqlpl/net/event_backend.h"
 #include "sqlpl/net/http_sideband.h"
+#include "sqlpl/net/shard_executor.h"
 #include "sqlpl/net/wire.h"
 #include "sqlpl/service/dialect_service.h"
 #include "sqlpl/service/thread_pool.h"
@@ -24,25 +26,66 @@
 namespace sqlpl {
 namespace net {
 
-struct SqlServerOptions {
+/// How incoming connections are spread over the event loops.
+enum class AcceptorStrategy : uint8_t {
+  /// One `SO_REUSEPORT` listener per loop: the kernel load-balances
+  /// connections across acceptors, every accept lands on the loop that
+  /// will own the connection, and no cross-thread handoff or shared
+  /// acceptor lock exists on the accept path. The default.
+  kReusePort = 0,
+  /// The pre-sharding topology: a single listener on loop 0 whose
+  /// acceptor hands connections round-robin to the other loops. Kept
+  /// for kernels/filesystems where `SO_REUSEPORT` is unavailable and
+  /// for A/B comparison.
+  kRoundRobin = 1,
+};
+
+/// Configuration of the sharded wire runtime. Replaces the positional
+/// knobs of the legacy `SqlServerOptions` (still accepted through a
+/// deprecated constructor shim — see below).
+struct ServerOptions {
   std::string bind_address = "127.0.0.1";
   /// 0 = ephemeral; read the bound port back with `port()`.
   uint16_t port = 0;
-  /// Event-loop (I/O) threads. Loop 0 additionally owns the acceptor.
-  size_t num_event_loops = 2;
-  /// Worker threads running the actual parses, so a slow build or a
-  /// long statement never stalls frame I/O for other connections.
-  size_t num_workers = 4;
+
+  // --- topology ----------------------------------------------------
+  /// Event loops == shards. Each loop owns its connections, its
+  /// acceptor (under `kReusePort`), and a worker shard.
+  size_t num_loops = 2;
+  AcceptorStrategy acceptor = AcceptorStrategy::kReusePort;
+  /// Readiness mechanism behind every loop (the io_uring seam).
+  EventBackendKind backend = EventBackendKind::kEpoll;
+
+  // --- worker shards -----------------------------------------------
+  /// Workers attached to each loop's shard.
+  size_t workers_per_shard = 2;
+  /// Per-shard task-queue bound (0 = unbounded) and full-queue policy;
+  /// `kReject` refuses the frame with `kResourceExhausted`.
+  size_t shard_queue_depth = 0;
+  OverflowPolicy shard_overflow = OverflowPolicy::kReject;
+  /// Idle shard workers steal one task at a time from sibling queues.
+  bool enable_work_stealing = true;
+
+  // --- framing / batching ------------------------------------------
+  /// Parse frames drained from one connection's readable bytes are
+  /// decoded and dispatched as ONE shard task of up to this many
+  /// requests, and their responses are enqueued in one buffer
+  /// operation — the syscall and handoff amortization that makes
+  /// pipelined clients cheap. 1 disables batching.
+  size_t max_batch_frames = 64;
   /// Protocol limit on one frame's payload; a peer declaring more is
   /// disconnected (see wire.h).
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
-  /// Per-connection write backpressure: above `write_backpressure_bytes`
-  /// of unflushed response bytes the server stops *reading* from that
-  /// connection (so a slow reader throttles its own request stream);
-  /// above `write_buffer_limit` it is forcibly disconnected instead of
-  /// buffering without bound.
+
+  // --- backpressure ------------------------------------------------
+  /// Above `write_backpressure_bytes` of unflushed response bytes the
+  /// server stops *reading* from that connection (a slow reader
+  /// throttles its own request stream); above `write_buffer_limit` it
+  /// is disconnected instead of buffered without bound.
   size_t write_backpressure_bytes = 256 * 1024;
   size_t write_buffer_limit = 4 * 1024 * 1024;
+
+  // --- lifecycle / observability -----------------------------------
   /// Graceful-drain budget of `Stop()`: how long in-flight requests may
   /// run before the server cancels them via its `CancelSource`.
   std::chrono::milliseconds drain_deadline{2000};
@@ -63,18 +106,44 @@ struct SqlServerOptions {
   std::chrono::milliseconds flight_dump_interval{1000};
 };
 
+/// DEPRECATED legacy option struct (pre-sharding API). Maps onto
+/// `ServerOptions` via the shim constructor: `num_event_loops` becomes
+/// `num_loops` (with the round-robin acceptor the old code had) and
+/// `num_workers` is split evenly across the shards. Will be removed one
+/// release after the sharded API ships — migrate to `ServerOptions`.
+struct SqlServerOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;
+  size_t num_event_loops = 2;
+  size_t num_workers = 4;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  size_t write_backpressure_bytes = 256 * 1024;
+  size_t write_buffer_limit = 4 * 1024 * 1024;
+  std::chrono::milliseconds drain_deadline{2000};
+  bool enable_metrics_sideband = false;
+  uint16_t metrics_port = 0;
+  uint64_t flight_dump_slow_micros = 0;
+  std::chrono::milliseconds flight_dump_interval{1000};
+};
+
 /// The network front-end of a `DialectService` (docs/NETWORK.md): a
-/// non-blocking epoll listener speaking the length-prefixed framed
+/// sharded, non-blocking runtime speaking the length-prefixed framed
 /// protocol of wire.h.
 ///
-/// ## Architecture
+/// ## Architecture (sharded runtime)
 ///
-///   - One acceptor (on event loop 0) distributes connections
-///     round-robin over `num_event_loops` epoll loops (edge-triggered).
-///   - Event loops only move bytes and split frames; every decoded
-///     `ParseRequest` frame is handed to a worker pool that runs the
-///     PR 3 request lifecycle (`DialectService::Parse`) and enqueues
-///     the encoded response back on the connection.
+///   - `num_loops` event loops, each behind an `EventBackend` (epoll
+///     today). Under `AcceptorStrategy::kReusePort` every loop owns a
+///     `SO_REUSEPORT` listener on the shared port, so accepted
+///     connections are kernel-balanced and never cross threads.
+///   - Loops drain a readable connection's bytes, split frames, and
+///     decode up to `max_batch_frames` parse requests into ONE task for
+///     the loop's worker shard (`ShardExecutor`); responses come back
+///     as a batch too, enqueued under one lock and flushed with
+///     `writev`.
+///   - Shard workers run the request lifecycle
+///     (`DialectService::Parse`); idle shards steal single tasks from
+///     busy siblings, bounding skew without a shared pool lock.
 ///   - The client's `deadline_ms` budget becomes an absolute `Deadline`
 ///     at frame receipt and propagates through admission, cache
 ///     resolution, and the parse loops; admission sheds come back as
@@ -84,25 +153,30 @@ struct SqlServerOptions {
 /// ## Graceful drain
 ///
 /// `Stop()` (or SIGTERM via `InstallSigtermStop`) flips the server into
-/// draining: the listener closes, `/healthz` turns 503, new frames are
+/// draining: the listeners close, `/healthz` turns 503, new frames are
 /// refused with `kUnavailable`, and in-flight requests get
 /// `drain_deadline` to finish before the server-wide `CancelSource`
-/// cancels them. Event-loop and worker threads are joined before
+/// cancels them. Event-loop and shard-worker threads are joined before
 /// `Stop()` returns.
 ///
-/// All per-connection/per-frame instruments (`sqlpl_net_*`) land in the
-/// service's metrics registry, so one `/metrics` exposition covers the
-/// wire, the service, the cache, and the pool.
+/// All per-connection/per-frame instruments (`sqlpl_net_*`, including
+/// the per-loop `{loop=N}` and per-shard `{shard=N}` series) land in
+/// the service's metrics registry, so one `/metrics` exposition covers
+/// the wire, the service, the cache, and the shards.
 class SqlServer {
  public:
   /// `service` must outlive the server.
-  SqlServer(DialectService* service, SqlServerOptions options = {});
+  SqlServer(DialectService* service, ServerOptions options = {});
+  /// DEPRECATED shim for the pre-sharding API; forwards to the
+  /// `ServerOptions` constructor (see `SqlServerOptions`). Removal note:
+  /// gone one release after the sharded API ships.
+  SqlServer(DialectService* service, const SqlServerOptions& legacy);
   ~SqlServer();
 
   SqlServer(const SqlServer&) = delete;
   SqlServer& operator=(const SqlServer&) = delete;
 
-  /// Binds, listens, and starts the event-loop and worker threads.
+  /// Binds the listener(s), and starts the event loops and shards.
   Status Start();
 
   /// Graceful drain (see class comment). Idempotent; blocks until all
@@ -129,13 +203,20 @@ class SqlServer {
   /// gauge; exposed directly for tests).
   int64_t open_connections() const;
 
+  /// Open connections owned by loop `i` (the per-loop gauge; lets
+  /// tests assert the acceptor actually distributed load).
+  int64_t loop_connections(size_t i) const;
+
+  /// The worker tier (per-shard queue/steal counters; tests).
+  const ShardExecutor* shards() const { return shards_.get(); }
+
   /// The variant catalog served by `ListCatalog` frames. Built at
   /// `Start()` from the preset dialects; its entries preload the
   /// fingerprint registry, so clients can parse by a catalog
   /// fingerprint without ever sending a spec.
   const fm::VariantCatalog& catalog() const { return catalog_; }
 
-  const SqlServerOptions& options() const { return options_; }
+  const ServerOptions& options() const { return options_; }
 
   /// The most recent anomaly-triggered flight-recorder dump (Chrome
   /// trace JSON), or empty when no request has tripped a trigger yet.
@@ -145,6 +226,17 @@ class SqlServer {
  private:
   struct Connection;
   struct EventLoop;
+  /// One decoded parse frame awaiting its shard, with the stage-clock
+  /// stamps taken on the loop thread.
+  struct PendingParse {
+    WireParseRequest request;
+    /// The client's `deadline_ms` budget, made absolute at frame
+    /// receipt.
+    Deadline deadline = Deadline::Never();
+    uint64_t received_at_micros = 0;
+    uint64_t decode_micros = 0;
+  };
+  struct ParseOutcome;
 
   void RunLoop(EventLoop* loop);
   void AcceptAll(EventLoop* loop);
@@ -153,25 +245,39 @@ class SqlServer {
   void HandleReadable(EventLoop* loop, const std::shared_ptr<Connection>& conn);
   void HandleWritable(EventLoop* loop, const std::shared_ptr<Connection>& conn);
   void ProcessInput(EventLoop* loop, const std::shared_ptr<Connection>& conn);
-  /// Decodes one frame payload and hands the work to a worker. Returns
-  /// false when the payload was malformed (decode error counted and
-  /// refused; the caller closes the connection).
-  bool DecodeAndDispatch(const std::shared_ptr<Connection>& conn,
-                         std::span<const uint8_t> payload);
-  /// `received_at_micros`/`decode_micros` are the trace-clock receipt
-  /// stamp and measured frame-decode duration — the first two entries
-  /// of the response's per-stage timing breakdown.
-  void DispatchFrame(const std::shared_ptr<Connection>& conn,
-                     WireParseRequest request, uint64_t received_at_micros,
-                     uint64_t decode_micros);
-  /// Shared worker handoff with in-flight accounting: runs `job` on the
-  /// pool, refusing with `refuse_type` when the pool is stopping.
+  /// Decodes one non-parse frame payload and hands the work to the
+  /// loop's shard; parse frames are appended to `batch` instead (the
+  /// caller dispatches them in groups). Returns false when the payload
+  /// was malformed (decode error counted and refused; the caller closes
+  /// the connection).
+  bool DecodeFrame(const std::shared_ptr<Connection>& conn,
+                   std::span<const uint8_t> payload,
+                   std::vector<PendingParse>* batch);
+  /// Submits one shard task that builds every response of `batch` and
+  /// enqueues them as a unit.
+  void DispatchParseBatch(const std::shared_ptr<Connection>& conn,
+                          std::vector<PendingParse> batch);
+  /// Shared shard handoff with in-flight accounting: runs `job` on the
+  /// connection's shard, refusing with `refuse_type` when the shard
+  /// refuses (stopping or full queue).
   void DispatchJob(const std::shared_ptr<Connection>& conn,
                    uint64_t request_id, WireType refuse_type,
                    std::function<void()> job);
-  void HandleRequest(const std::shared_ptr<Connection>& conn,
-                     const WireParseRequest& request, Deadline deadline,
-                     uint64_t received_at_micros, uint64_t decode_micros);
+  /// Shard-side body of a parse batch: builds every response, enqueues
+  /// the frames as a unit, and flight-records the write stage.
+  void RunParseBatch(const std::shared_ptr<Connection>& conn,
+                     std::vector<PendingParse>& batch);
+  /// Builds (and flight-records) one parse response frame.
+  ParseOutcome BuildParseResponse(const std::shared_ptr<Connection>& conn,
+                                  const PendingParse& item);
+  /// Emits the per-stage flight-recorder events of one parse request.
+  void RecordParseStages(uint64_t trace_id, uint64_t request_id,
+                         uint16_t loop_id, StatusCode status,
+                         uint64_t received_at_micros, uint64_t decode_micros,
+                         uint64_t queue_micros, uint64_t handled_at,
+                         uint64_t admission_micros, uint64_t parse_micros,
+                         uint64_t service_done, uint64_t render_micros,
+                         uint64_t render_done, uint64_t encode_micros);
   /// Anomaly trigger for the flight recorder: a failed request, or one
   /// slower than `flight_dump_slow_micros`, snapshots the recorder into
   /// `last_flight_dump_` (rate-limited by `flight_dump_interval`).
@@ -188,12 +294,12 @@ class SqlServer {
   /// Remembers `spec` under its fingerprint and returns that
   /// fingerprint, so follow-up requests can go fingerprint-only.
   uint64_t RegisterSpec(const DialectSpec& spec);
-  void QueueResponse(const std::shared_ptr<Connection>& conn,
-                     const WireParseResponse& response);
-  /// Enqueues one already-encoded frame on the connection (flush,
-  /// backpressure, overflow policy).
-  void QueueFrame(const std::shared_ptr<Connection>& conn,
-                  const std::string& frame);
+  /// Enqueues already-encoded frames on the connection under one lock
+  /// acquisition (flush, backpressure, overflow policy). `frames` is a
+  /// span so a batch of responses pays the lock/flush path once.
+  void QueueFrames(const std::shared_ptr<Connection>& conn,
+                   std::span<std::string> frames);
+  void QueueFrame(const std::shared_ptr<Connection>& conn, std::string frame);
   void CloseConnection(EventLoop* loop, const std::shared_ptr<Connection>& conn);
   void HandleWakeup(EventLoop* loop);
   void WakeLoop(EventLoop* loop);
@@ -202,8 +308,9 @@ class SqlServer {
   /// require `conn->mu` to be held.
   static void UpdateInterestLocked(Connection* conn);
   static size_t PendingOutLocked(const Connection* conn);
-  /// Writes as much pending output as the socket takes right now;
-  /// returns false when the connection is dead.
+  /// Writes as much pending output as the socket takes right now
+  /// (`writev` over the queued frames); returns false when the
+  /// connection is dead.
   bool FlushLocked(Connection* conn);
 
   /// Sends `status` as a response frame of `response_type` for
@@ -215,22 +322,22 @@ class SqlServer {
                    WireType response_type = WireType::kParseResponse);
 
   DialectService* service_;
-  SqlServerOptions options_;
+  ServerOptions options_;
 
-  int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::vector<std::unique_ptr<EventLoop>> loops_;
-  std::unique_ptr<ThreadPool> workers_;
+  std::unique_ptr<ShardExecutor> shards_;
   std::unique_ptr<HttpSideband> sideband_;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
   std::atomic<bool> stop_loops_{false};
+  /// Round-robin cursor (AcceptorStrategy::kRoundRobin only).
   std::atomic<size_t> next_loop_{0};
   CancelSource drain_cancel_;
 
-  /// In-flight wire requests (dispatched to a worker, response not yet
-  /// enqueued) — what `Stop()` waits on.
+  /// In-flight shard tasks (dispatched, responses not yet enqueued) —
+  /// what `Stop()` waits on. A batch counts once.
   std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
   size_t inflight_ = 0;

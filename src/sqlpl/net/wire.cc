@@ -401,6 +401,16 @@ void EncodeResponseFrame(const WireParseResponse& response, std::string* out) {
   out->append(payload);
 }
 
+void PatchServerMicros(std::string* frame, size_t frame_off,
+                       uint32_t server_micros) {
+  size_t at = frame_off + kServerMicrosFrameOffset;
+  if (at + 4 > frame->size()) return;
+  for (int i = 0; i < 4; ++i) {
+    (*frame)[at + static_cast<size_t>(i)] =
+        static_cast<char>(server_micros >> (8 * i));
+  }
+}
+
 Result<size_t> CompleteFrameSize(std::span<const uint8_t> buffer,
                                  size_t max_frame_bytes) {
   if (buffer.size() < kFrameHeaderBytes) return size_t{0};

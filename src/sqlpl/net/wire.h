@@ -239,6 +239,20 @@ StatusCode StatusCodeFromWire(uint8_t wire);
 /// Appends one complete frame (header + payload) to `*out`.
 void EncodeRequestFrame(const WireParseRequest& request, std::string* out);
 void EncodeResponseFrame(const WireParseResponse& response, std::string* out);
+
+/// Byte offset of `server_micros` within an encoded parse-response
+/// *frame* (header 4 + type 1 + request_id 8 + status 1 + disposition 1
+/// + parse_micros 4 + total_micros 4). Every field before it is
+/// fixed-width, so the offset is a protocol constant; it lets the
+/// server encode a response once and stamp the measured turnaround in
+/// place afterwards, instead of the historical measure-then-re-encode
+/// double pass.
+inline constexpr size_t kServerMicrosFrameOffset = 23;
+
+/// Overwrites `server_micros` in an already-encoded parse-response
+/// frame starting at `frame[frame_off]` (little-endian, in place).
+void PatchServerMicros(std::string* frame, size_t frame_off,
+                       uint32_t server_micros);
 void EncodeValidateRequestFrame(const WireValidateRequest& request,
                                 std::string* out);
 void EncodeValidateResponseFrame(const WireValidateResponse& response,

@@ -23,4 +23,26 @@ ParseNode ArenaToParseNode(const ArenaNode& node,
   return out;
 }
 
+void AppendArenaSExpr(const ArenaNode& node, const SymbolInterner& interner,
+                      std::string* out) {
+  if (node.is_leaf) {
+    // Mirrors ParseNode::ToSExpr leaf handling: the token text, or the
+    // token-type name for text-free tokens.
+    std::string_view text = node.token->text;
+    if (text.empty()) {
+      out->append(interner.NameOf(node.symbol));
+    } else {
+      out->append(text);
+    }
+    return;
+  }
+  out->push_back('(');
+  out->append(interner.NameOf(node.symbol));
+  for (uint32_t i = 0; i < node.num_children; ++i) {
+    out->push_back(' ');
+    AppendArenaSExpr(*node.children[i], interner, out);
+  }
+  out->push_back(')');
+}
+
 }  // namespace sqlpl

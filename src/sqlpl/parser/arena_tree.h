@@ -51,6 +51,15 @@ struct ArenaNode {
 ParseNode ArenaToParseNode(const ArenaNode& node,
                            const SymbolInterner& interner);
 
+/// Appends the S-expression of an arena tree to `*out`, byte-identical
+/// to `ArenaToParseNode(node, interner).ToSExpr()` but without ever
+/// materializing the owning tree — the serving tier's render path for
+/// callers that only want the rendered text (wire `want_tree`
+/// responses). Shares the golden-equivalence guarantee of the
+/// conversion above (tests/parser/golden_equivalence_test.cc).
+void AppendArenaSExpr(const ArenaNode& node, const SymbolInterner& interner,
+                      std::string* out);
+
 }  // namespace sqlpl
 
 #endif  // SQLPL_PARSER_ARENA_TREE_H_

@@ -148,6 +148,31 @@ Result<ParseNode> LlParser::ParseText(std::string_view sql,
   return ArenaToParseNode(**root, *interner_);
 }
 
+Result<ParseNode> LlParser::ParseTextRender(std::string_view sql,
+                                            const RequestControl& control,
+                                            ParseStats* stats,
+                                            std::string* sexpr_out) const {
+  if (!control.unrestricted()) {
+    SQLPL_RETURN_IF_ERROR(control.Check("parse"));
+  }
+  TokenStream stream;
+  Status lexed = [&] {
+    SQLPL_TRACE_SPAN("tokenize", "parse");
+    return lexer_.TokenizeInto(sql, &stream);
+  }();
+  if (!lexed.ok()) return lexed;
+  if (stats != nullptr) stats->tokens = stream.size() - 1;
+  SQLPL_TRACE_SPAN("parse", "parse");
+  ParseArena arena;
+  Result<const ArenaNode*> root =
+      ParseLexed(stream.tokens().data(), stream.size(), &arena, control,
+                 nullptr);
+  if (stats != nullptr) stats->arena_bytes = arena.bytes_used();
+  if (!root.ok()) return root.status();
+  AppendArenaSExpr(**root, *interner_, sexpr_out);
+  return ParseNode::Rule(grammar_.start_symbol());
+}
+
 Result<const ArenaNode*> LlParser::ParseStream(const TokenStream& stream,
                                                ParseArena* arena) const {
   static const RequestControl kUnrestricted;

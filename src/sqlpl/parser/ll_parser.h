@@ -116,6 +116,18 @@ class LlParser {
                               const RequestControl& control,
                               ParseStats* stats, bool build_tree) const;
 
+  /// Serving form with direct rendering: on success appends the parse
+  /// tree's S-expression to `*sexpr_out` straight from the native arena
+  /// tree (`AppendArenaSExpr`) — byte-identical to calling the
+  /// tree-building overload and `ToSExpr()` on its result, but without
+  /// materializing a `ParseNode` — and returns the same childless stub
+  /// as `build_tree = false`. This is the wire server's `want_tree`
+  /// path: the only consumer of the tree there is the response body.
+  Result<ParseNode> ParseTextRender(std::string_view sql,
+                                    const RequestControl& control,
+                                    ParseStats* stats,
+                                    std::string* sexpr_out) const;
+
   /// Native fast path: parses an already-tokenized stream into `arena`
   /// and returns the root `ArenaNode`. The returned tree lives in
   /// `arena` and references `stream` (see ArenaNode's lifetime notes).

@@ -65,6 +65,15 @@ struct ParseRequest {
   /// response's tree is left empty. (The parse still runs in full —
   /// acceptance *is* the parse — but the tree is not returned.)
   bool want_tree = true;
+  /// Serving-tier render mode: when true (and the parse succeeds) the
+  /// response's `rendered` field carries the tree's S-expression,
+  /// produced straight from the parser's native arena tree, and
+  /// `result` holds only the childless acceptance stub — the owning
+  /// `ParseNode` is never materialized. Byte-identical to
+  /// `result.value().ToSExpr()` under `want_tree`, at a fraction of the
+  /// cost; the wire server's `want_tree` responses use this. Takes
+  /// precedence over `want_tree` when both are set.
+  bool render_sexpr = false;
   /// Trace identity of the originating request (wire clients stamp it;
   /// in-process callers may leave it zero = untraced). Attributes the
   /// request's spans, flight-recorder events, and latency exemplars.
@@ -84,6 +93,9 @@ struct ParseResponse {
   /// Admission → response, including cache resolution and (for batch
   /// statements) time spent waiting for a worker.
   uint64_t total_micros = 0;
+  /// The tree's S-expression when the request asked for
+  /// `render_sexpr` and the parse succeeded; empty otherwise.
+  std::string rendered;
 
   bool ok() const { return result.ok(); }
   const Status& status() const { return result.status(); }
@@ -239,6 +251,17 @@ class DialectService {
   /// exposition covers requests, latencies, pool, and cache.
   void SyncCacheMetrics();
 
+  /// True iff `fingerprint` was recorded by `MarkValidated` — i.e. a
+  /// spec with this exact fingerprint already passed the configurator.
+  /// False negatives (full set, eviction-free overflow) merely cost a
+  /// redundant `Validate`; false positives are impossible because the
+  /// set stores the full 64-bit fingerprint value and matches exactly.
+  bool IsValidated(uint64_t fingerprint) const;
+  /// Records a fingerprint whose spec just passed validation. Lock-free
+  /// insert-only open addressing over `validated_`; drops the insert
+  /// (not the request) when the probe window is saturated.
+  void MarkValidated(uint64_t fingerprint);
+
   DialectServiceOptions options_;
   SqlProductLine line_;
   ParserCache cache_;
@@ -249,6 +272,17 @@ class DialectService {
   fm::Configurator configurator_;
   ThreadPool pool_;
   std::atomic<size_t> inflight_requests_{0};
+
+  /// Validated-fingerprint fast path (ISSUE 8 cache-hit fix): specs
+  /// that already passed the configurator are remembered by fingerprint
+  /// so repeat requests — the cache-hit steady state — skip the ~1µs
+  /// `Validate` entirely. Insert-only; sized for far more distinct
+  /// dialects than the parser cache holds.
+  static constexpr size_t kValidatedSlots = 4096;
+  static constexpr size_t kValidatedProbeLimit = 16;
+  std::unique_ptr<std::atomic<uint64_t>[]> validated_;
+  /// `sqlpl_fm_validate_skips_total`: proof the fast path is taken.
+  obs::Counter* validate_skips_ = nullptr;
 };
 
 }  // namespace sqlpl

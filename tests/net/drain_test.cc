@@ -58,7 +58,7 @@ std::string HttpGet(uint16_t port, const std::string& target) {
 
 TEST(DrainTest, AdmittedRequestsCompleteNewFramesRefusedUnavailable) {
   DialectService service;
-  SqlServerOptions options;
+  ServerOptions options;
   options.enable_metrics_sideband = true;
   options.drain_deadline = std::chrono::seconds(10);
   SqlServer server(&service, options);
@@ -147,7 +147,7 @@ TEST(DrainTest, HealthzFlips503WhileDraining) {
   FaultInjector::Global().SetBuildDelay(std::chrono::milliseconds(300));
 
   DialectService service;
-  SqlServerOptions options;
+  ServerOptions options;
   options.enable_metrics_sideband = true;
   options.drain_deadline = std::chrono::seconds(10);
   SqlServer server(&service, options);

@@ -23,7 +23,7 @@ namespace {
 
 class NegotiationTest : public ::testing::Test {
  protected:
-  void StartServer(SqlServerOptions options = {}) {
+  void StartServer(ServerOptions options = {}) {
     service_ = std::make_unique<DialectService>();
     server_ = std::make_unique<SqlServer>(service_.get(), options);
     Status started = server_->Start();

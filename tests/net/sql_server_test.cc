@@ -25,9 +25,19 @@ namespace {
 
 class SqlServerTest : public ::testing::Test {
  protected:
-  void StartServer(SqlServerOptions options = {}) {
+  void StartServer(ServerOptions options = {}) {
     service_ = std::make_unique<DialectService>();
-    server_ = std::make_unique<SqlServer>(service_.get(), options);
+    server_ = std::make_unique<SqlServer>(service_.get(), std::move(options));
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started;
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  /// Exercises the deprecated SqlServerOptions constructor shim (kept
+  /// for one release) — every other test uses ServerOptions.
+  void StartServerLegacy(const SqlServerOptions& legacy) {
+    service_ = std::make_unique<DialectService>();
+    server_ = std::make_unique<SqlServer>(service_.get(), legacy);
     Status started = server_->Start();
     ASSERT_TRUE(started.ok()) << started;
     ASSERT_GT(server_->port(), 0);
@@ -103,9 +113,9 @@ TEST_F(SqlServerTest, WantTreeFalseReturnsAcceptanceOnly) {
 }
 
 TEST_F(SqlServerTest, EightConcurrentConnectionsByteIdenticalTrees) {
-  SqlServerOptions options;
-  options.num_event_loops = 3;
-  options.num_workers = 4;
+  ServerOptions options;
+  options.num_loops = 3;
+  options.workers_per_shard = 2;
   StartServer(options);
 
   // A mixed-dialect workload with in-process ground truth.
@@ -306,7 +316,7 @@ TEST_F(SqlServerTest, OversizeFrameDeclarationDisconnectsWithoutResponse) {
 }
 
 TEST_F(SqlServerTest, MetricsSidebandServesPrometheusAndHealth) {
-  SqlServerOptions options;
+  ServerOptions options;
   options.enable_metrics_sideband = true;
   StartServer(options);
   ASSERT_GT(server_->metrics_port(), 0);
@@ -357,6 +367,24 @@ TEST_F(SqlServerTest, MetricsSidebandServesPrometheusAndHealth) {
 TEST_F(SqlServerTest, ServerIsSingleUse) {
   StartServer();
   EXPECT_EQ(server_->Start().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SqlServerTest, DeprecatedOptionsShimStillServes) {
+  SqlServerOptions legacy;
+  legacy.num_event_loops = 2;
+  legacy.num_workers = 4;
+  StartServerLegacy(legacy);
+  // The shim maps onto the round-robin topology with the workers split
+  // across the loops' shards.
+  EXPECT_EQ(server_->options().acceptor, AcceptorStrategy::kRoundRobin);
+  EXPECT_EQ(server_->options().num_loops, 2u);
+  EXPECT_EQ(server_->options().workers_per_shard, 2u);
+
+  SqlClient client = ConnectedClient();
+  Result<WireParseResponse> response =
+      client.Parse(CoreQueryDialect(), "SELECT a FROM t");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, StatusCode::kOk) << response->body;
 }
 
 }  // namespace

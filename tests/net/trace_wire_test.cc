@@ -33,7 +33,7 @@ std::string Hex16(uint64_t value) {
 
 class TraceWireTest : public ::testing::Test {
  protected:
-  void StartServer(SqlServerOptions options = {}) {
+  void StartServer(ServerOptions options = {}) {
     service_ = std::make_unique<DialectService>();
     server_ = std::make_unique<SqlServer>(service_.get(), options);
     Status started = server_->Start();
@@ -142,7 +142,7 @@ TEST_F(TraceWireTest, CallerStampedTraceContextIsEchoed) {
 }
 
 TEST_F(TraceWireTest, DebugFlightServesChromeTraceWithTraceId) {
-  SqlServerOptions options;
+  ServerOptions options;
   options.enable_metrics_sideband = true;
   StartServer(options);
   ASSERT_GT(server_->metrics_port(), 0);
@@ -165,9 +165,9 @@ TEST_F(TraceWireTest, DebugFlightServesChromeTraceWithTraceId) {
 }
 
 TEST_F(TraceWireTest, MetricsExposePerLoopSeries) {
-  SqlServerOptions options;
+  ServerOptions options;
   options.enable_metrics_sideband = true;
-  options.num_event_loops = 2;
+  options.num_loops = 2;
   StartServer(options);
 
   SqlClient client = ConnectedClient();
@@ -191,7 +191,7 @@ TEST_F(TraceWireTest, MetricsExposePerLoopSeries) {
 }
 
 TEST_F(TraceWireTest, TraceWindowEndpointCapturesLiveSpans) {
-  SqlServerOptions options;
+  ServerOptions options;
   options.enable_metrics_sideband = true;
   StartServer(options);
 
@@ -214,7 +214,7 @@ TEST_F(TraceWireTest, TraceWindowEndpointCapturesLiveSpans) {
 }
 
 TEST_F(TraceWireTest, ExemplarsLinkLatencyBucketsToTraceIds) {
-  SqlServerOptions options;
+  ServerOptions options;
   options.enable_metrics_sideband = true;
   StartServer(options);
 
@@ -236,7 +236,7 @@ TEST_F(TraceWireTest, SlowBuildTriggersAnomalyDump) {
   }
   FaultInjector::Global().Reset();
   FaultInjector::Global().SetBuildDelay(std::chrono::milliseconds(20));
-  SqlServerOptions options;
+  ServerOptions options;
   options.enable_metrics_sideband = true;
   options.flight_dump_slow_micros = 5000;  // 5 ms << 20 ms injected delay
   StartServer(options);

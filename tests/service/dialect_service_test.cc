@@ -232,5 +232,75 @@ TEST(DialectServiceTest, ConcurrentMixedDialectSmoke) {
   EXPECT_GT(stats.cache.hits, stats.cache.builds);
 }
 
+TEST(DialectServiceTest, ValidatedFingerprintSkipsConfiguratorGate) {
+  DialectService service;
+  obs::Counter* skips = service.metrics().GetCounter(
+      "sqlpl_fm_validate_skips_total", {}, "");
+  ASSERT_NE(skips, nullptr);
+  EXPECT_EQ(skips->Value(), 0u);
+
+  DialectSpec spec = CoreQueryDialect();
+  ASSERT_TRUE(service.Parse(spec, "SELECT a FROM t").ok());
+  // First sight of the fingerprint runs the full constraint gate.
+  EXPECT_EQ(skips->Value(), 0u);
+
+  ASSERT_TRUE(service.Parse(spec, "SELECT b FROM u").ok());
+  EXPECT_EQ(skips->Value(), 1u)
+      << "repeat fingerprint must take the validate-skip fast path";
+
+  // Equivalent selections fingerprint identically, so a renamed /
+  // reordered spec rides the same fast path.
+  DialectSpec relabeled = spec;
+  relabeled.name = "core-relabeled";
+  std::reverse(relabeled.features.begin(), relabeled.features.end());
+  ASSERT_TRUE(service.Parse(relabeled, "SELECT a FROM t").ok());
+  EXPECT_EQ(skips->Value(), 2u);
+}
+
+TEST(DialectServiceTest, InvalidSpecsNeverEnterTheValidatedSet) {
+  DialectService service;
+  obs::Counter* skips = service.metrics().GetCounter(
+      "sqlpl_fm_validate_skips_total", {}, "");
+  DialectSpec bad = CoreQueryDialect();
+  std::erase(bad.features, "GroupBy");
+
+  // A constraint-violating spec is refused every time: failed
+  // validation is never marked, so the repeat runs the gate again
+  // rather than skipping into the cache.
+  for (int i = 0; i < 2; ++i) {
+    Result<ParseNode> r = service.Parse(bad, "SELECT a FROM t");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidConfig);
+  }
+  EXPECT_EQ(skips->Value(), 0u);
+}
+
+TEST(DialectServiceTest, RenderSexprMatchesMaterializedTree) {
+  DialectService service;
+  DialectSpec spec = CoreQueryDialect();
+  const std::string sql =
+      "SELECT dept, COUNT(*) FROM emp WHERE x > 1 GROUP BY dept";
+
+  ParseRequest materialize;
+  materialize.spec = &spec;
+  materialize.sql = sql;
+  ParseResponse full = service.Parse(materialize);
+  ASSERT_TRUE(full.ok()) << full.status();
+
+  ParseRequest render;
+  render.spec = &spec;
+  render.sql = sql;
+  render.render_sexpr = true;
+  ParseResponse rendered = service.Parse(render);
+  ASSERT_TRUE(rendered.ok()) << rendered.status();
+  EXPECT_EQ(rendered.rendered, full.result.value().ToSExpr())
+      << "arena-direct render must be byte-identical to ToSExpr()";
+  // The render path returns only the acceptance stub, never the tree.
+  EXPECT_TRUE(rendered.result.value().children().empty());
+
+  // Without render_sexpr the rendered field stays empty.
+  EXPECT_TRUE(full.rendered.empty());
+}
+
 }  // namespace
 }  // namespace sqlpl
