@@ -1,0 +1,285 @@
+// Native-tier benchmarks: what AOT compilation of hot dialects buys.
+//
+//  - BM_InterpretedParse/<dialect> vs BM_NativeParse/<dialect>: the same
+//    rendered-parse workload against a plain service and one whose
+//    fingerprint has been promoted to a dlopen'ed native parser. The
+//    acceptance bar (gated in BENCH_native.json, checked by
+//    scripts/bench_compare.py) is a ≥1.5× statements/s speedup on at
+//    least two dialects.
+//  - BM_LexSwar vs BM_LexScalar: sustained SWAR/SSE2 lexing throughput
+//    on a CoreQuery-style statement stream; the gate is ≥300 MB/s.
+//  - The one-off compile→promote latency of a cold fingerprint is
+//    recorded in the top-level JSON (native_compile_promote_ms).
+//
+// Gates are emitted as {"gates":[{"name","value","min"},...]} so the
+// comparer enforces them as absolute floors, independent of any
+// committed baseline.
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json.h"
+
+#include "sqlpl/lexer/lexer.h"
+#include "sqlpl/lexer/token_stream.h"
+#include "sqlpl/service/dialect_service.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+const char* const kDialects[] = {"CoreQuery", "TinySQL", "SCQL",
+                                 "FullFoundation"};
+
+DialectSpec SpecByName(const std::string& name) {
+  for (const DialectSpec& s : AllPresetDialects()) {
+    if (s.name == name) return s;
+  }
+  return CoreQueryDialect();
+}
+
+// Wide SELECTs: statements big enough that per-request service overhead
+// does not drown the parse itself (the native tier's win is in parse +
+// render, not in admission bookkeeping).
+std::string BigStmt(int cols, int preds) {
+  std::string s = "SELECT ";
+  for (int i = 0; i < cols; ++i) {
+    s += (i ? ", col" : "col") + std::to_string(i);
+  }
+  s += " FROM readings WHERE ";
+  for (int i = 0; i < preds; ++i) {
+    if (i) s += " AND ";
+    s += "col" + std::to_string(i) + " > " + std::to_string(i * 10);
+  }
+  return s;
+}
+
+const std::vector<std::string>& Workload() {
+  static const auto& workload = *new std::vector<std::string>{
+      BigStmt(4, 2),  BigStmt(8, 4),  BigStmt(12, 6),
+      BigStmt(16, 8), BigStmt(20, 10)};
+  return workload;
+}
+
+struct DialectServices {
+  DialectSpec spec;
+  DialectService interpreted;
+  DialectService native;
+  bool promoted = false;
+
+  explicit DialectServices(const std::string& name)
+      : spec(SpecByName(name)),
+        native(
+            [] {
+              DialectServiceOptions options;
+              options.native.hot_threshold = 2;
+              return options;
+            }()) {
+    ParseRequest request;
+    request.spec = &spec;
+    request.sql = Workload().front();
+    request.render_sexpr = true;
+    for (int i = 0; i < 3; ++i) native.Parse(request);
+    native.native_tier().WaitIdle();
+    promoted = native.native_tier().IsPromoted(FingerprintSpec(spec));
+  }
+};
+
+// One promoted service pair per dialect, built (and compiled) once,
+// outside every timed region.
+DialectServices& ServicesFor(const std::string& dialect) {
+  static auto& by_name = *new std::map<std::string, DialectServices*>();
+  DialectServices*& entry = by_name[dialect];
+  if (entry == nullptr) entry = new DialectServices(dialect);
+  return *entry;
+}
+
+void RunParseLoop(benchmark::State& state, DialectService& service,
+                  const DialectSpec& spec) {
+  const std::vector<std::string>& workload = Workload();
+  size_t i = 0;
+  size_t statements = 0;
+  for (auto _ : state) {
+    ParseRequest request;
+    request.spec = &spec;
+    request.sql = workload[i++ % workload.size()];
+    request.render_sexpr = true;
+    ParseResponse response = service.Parse(request);
+    if (!response.ok()) {
+      state.SkipWithError(response.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(response);
+    ++statements;
+  }
+  state.counters["statements_per_s"] = benchmark::Counter(
+      static_cast<double>(statements), benchmark::Counter::kIsRate);
+}
+
+void BM_InterpretedParse(benchmark::State& state, const std::string& dialect) {
+  DialectServices& services = ServicesFor(dialect);
+  RunParseLoop(state, services.interpreted, services.spec);
+}
+
+void BM_NativeParse(benchmark::State& state, const std::string& dialect) {
+  DialectServices& services = ServicesFor(dialect);
+  if (!services.promoted) {
+    state.SkipWithError("fingerprint was not promoted to native");
+    return;
+  }
+  RunParseLoop(state, services.native, services.spec);
+}
+
+// A sustained CoreQuery-style statement stream (~32 KB): long enough
+// that per-call setup amortizes away and the MB/s number reflects the
+// scanner's steady state.
+const std::string& LexInput() {
+  static const auto& input = *new std::string([] {
+    std::string text;
+    for (int i = 0; i < 500; ++i) {
+      std::string n = std::to_string(i);
+      text += "SELECT col" + n + " FROM readings WHERE col" + n + " > " + n +
+              " AND tag = 'probe'\n";
+    }
+    return text;
+  }());
+  return input;
+}
+
+void RunLexLoop(benchmark::State& state, bool scalar) {
+  DialectServices& services = ServicesFor("CoreQuery");
+  const LlParser& parser = *services.interpreted.GetParser(services.spec)
+                                .value();
+  const std::string& input = LexInput();
+  Lexer::SetScalarScanForTesting(scalar);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    thread_local TokenStream stream;
+    stream.Clear();
+    Status status = parser.lexer().TokenizeInto(input, &stream);
+    if (!status.ok()) {
+      Lexer::SetScalarScanForTesting(false);
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(stream);
+    bytes += input.size();
+  }
+  Lexer::SetScalarScanForTesting(false);
+  state.counters["mb_per_s"] = benchmark::Counter(
+      static_cast<double>(bytes) / 1e6, benchmark::Counter::kIsRate);
+}
+
+void BM_LexSwar(benchmark::State& state) { RunLexLoop(state, false); }
+void BM_LexScalar(benchmark::State& state) { RunLexLoop(state, true); }
+
+BENCHMARK_CAPTURE(BM_InterpretedParse, CoreQuery, "CoreQuery")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_NativeParse, CoreQuery, "CoreQuery")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_InterpretedParse, TinySQL, "TinySQL")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_NativeParse, TinySQL, "TinySQL")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_InterpretedParse, SCQL, "SCQL")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_NativeParse, SCQL, "SCQL")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_InterpretedParse, FullFoundation, "FullFoundation")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_NativeParse, FullFoundation, "FullFoundation")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LexSwar)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LexScalar)->Unit(benchmark::kMicrosecond);
+
+// Cold compile→promote latency: a fresh service, traffic to the
+// threshold, then the wall-clock wait until the background worker has
+// compiled, equivalence-gated, and published the native parser.
+double MeasureCompilePromoteMs() {
+  DialectServiceOptions options;
+  options.native.hot_threshold = 2;
+  DialectService service(options);
+  DialectSpec spec = CoreQueryDialect();
+  ParseRequest request;
+  request.spec = &spec;
+  request.sql = Workload().front();
+  request.render_sexpr = true;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 2; ++i) service.Parse(request);
+  service.native_tier().WaitIdle();
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  if (!service.native_tier().IsPromoted(FingerprintSpec(spec))) return -1.0;
+  return ms;
+}
+
+double BestCounter(const std::vector<bench::BenchResult>& results,
+                   const std::string& name, const std::string& counter) {
+  for (const bench::BenchResult& r : results) {
+    if (r.name != name) continue;
+    auto it = r.counters.find(counter);
+    if (it != r.counters.end()) return it->second;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sqlpl
+
+int main(int argc, char** argv) {
+  using namespace sqlpl;
+  if (!bench::InitBenchmark(argc, argv)) return 1;
+  bench::JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::vector<bench::BenchResult> results = reporter.Results();
+
+  // Derived speedups + the ISSUE's acceptance gates. The dialect-count
+  // gate mirrors the requirement as stated (≥1.5× on ≥2 dialects)
+  // rather than gating every dialect individually, so one noisy
+  // repetition on a shared machine cannot flip the build red while the
+  // tier still clearly clears the bar.
+  std::string extra = "\"speedups\":{";
+  int dialects_ok = 0;
+  bool first = true;
+  for (const char* dialect : kDialects) {
+    double interp = BestCounter(
+        results, std::string("BM_InterpretedParse/") + dialect,
+        "statements_per_s");
+    double native = BestCounter(results,
+                                std::string("BM_NativeParse/") + dialect,
+                                "statements_per_s");
+    double speedup = interp > 0 ? native / interp : 0;
+    if (speedup >= 1.5) ++dialects_ok;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%.3f", first ? "" : ",",
+                  dialect, speedup);
+    extra += buf;
+    std::printf("native speedup %-14s %.2fx\n", dialect, speedup);
+    first = false;
+  }
+  double mb_per_s = BestCounter(results, "BM_LexSwar", "mb_per_s");
+  double scalar_mb_per_s = BestCounter(results, "BM_LexScalar", "mb_per_s");
+  double promote_ms = MeasureCompilePromoteMs();
+  std::printf("swar lex %.0f MB/s (scalar %.0f MB/s); compile+promote "
+              "%.0f ms\n",
+              mb_per_s, scalar_mb_per_s, promote_ms);
+
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "},\"native_compile_promote_ms\":%.1f,\"gates\":["
+                "{\"name\":\"native_speedup_dialects_ge_1.5\",\"value\":%d,"
+                "\"min\":2},"
+                "{\"name\":\"swar_corequery_mb_per_s\",\"value\":%.1f,"
+                "\"min\":300}]",
+                promote_ms, dialects_ok, mb_per_s);
+  extra += buf;
+  return bench::WriteBenchJson("native", results, extra) ? 0 : 1;
+}

@@ -56,6 +56,12 @@ regressions between 1x and 2x the threshold are reported but tolerated.
 Anything beyond 2x the threshold, or more outliers than the budget,
 fails — a real pessimization regresses many benchmarks, or one by a
 lot.
+
+Absolute gates: a bench binary may embed acceptance floors in its JSON
+as {"gates":[{"name":..., "value":..., "min":...}, ...]} (BENCH_native
+gates its promoted-vs-interpreted speedup and SWAR lexing MB/s this
+way). Gates are checked on the freshly-run file alone — no baseline
+needed, no relative threshold, no outlier tolerance: value < min fails.
 """
 
 import argparse
@@ -242,6 +248,27 @@ def compare_mt_curve(bench, current_doc, baseline_doc, threshold):
     return major, minor
 
 
+def check_gates(bench, current_doc):
+    """Enforces the file's own absolute acceptance floors.
+
+    Returns formatted failure strings; gates have no noise tolerance —
+    the bench binary already records best-of-repetitions.
+    """
+    failures = []
+    for gate in current_doc.get("gates", []):
+        name = gate.get("name", "?")
+        value = gate.get("value", 0)
+        floor = gate.get("min", 0)
+        if value < floor:
+            marker = "GATE FAIL"
+            failures.append(f"{bench}/gate {name}: {value:g} < required "
+                            f"{floor:g}")
+        else:
+            marker = "gate ok"
+        print(f"  {marker:>10} {name}: {value:g} (min {floor:g})")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff BENCH_*.json against committed baselines.")
@@ -287,12 +314,14 @@ def main():
     minor = []
     for name in names:
         baseline_path = os.path.join(baseline_dir, name)
+        current_doc = load_doc(os.path.join(args.current_dir, name))
         if not os.path.exists(baseline_path):
             print(f"{name}: NEW benchmark file, no committed baseline "
                   "(informational only; commit one with --update)")
+            # Absolute gates still apply: they need no baseline.
+            major += check_gates(name, current_doc)
             continue
         print(f"{name}:")
-        current_doc = load_doc(os.path.join(args.current_dir, name))
         baseline_doc = load_doc(baseline_path)
         file_major, file_minor = compare_file(
             name, load_results(current_doc), load_results(baseline_doc),
@@ -303,6 +332,7 @@ def main():
             name, current_doc, baseline_doc, threshold)
         major += curve_major
         minor += curve_minor
+        major += check_gates(name, current_doc)
 
     if minor:
         print(f"\nbench_compare: {len(minor)} minor outlier(s) between "

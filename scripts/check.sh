@@ -42,7 +42,7 @@ echo "== tsan: build (SQLPL_SANITIZE=thread) =="
 cmake -B build-tsan -S . -D SQLPL_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target sqlpl_service_tests sqlpl_obs_tests sqlpl_net_tests \
-           sqlpl_fm_tests
+           sqlpl_fm_tests sqlpl_codegen_tests
 
 echo "== tsan: ctest -L tsan-smoke =="
 (cd build-tsan && ctest -L tsan-smoke --output-on-failure -j "$JOBS")
@@ -51,10 +51,15 @@ echo "== asan: build (SQLPL_SANITIZE=address, SQLPL_FAULT_INJECT=ON) =="
 cmake -B build-asan -S . -D SQLPL_SANITIZE=address \
   -D SQLPL_FAULT_INJECT=ON > /dev/null
 cmake --build build-asan -j "$JOBS" \
-  --target sqlpl_service_tests sqlpl_net_tests sqlpl_fm_tests
+  --target sqlpl_service_tests sqlpl_net_tests sqlpl_fm_tests \
+           sqlpl_codegen_tests
 
-echo "== asan: ctest -L service =="
-(cd build-asan && ctest -L service --output-on-failure -j "$JOBS")
+echo "== asan: ctest -L 'service|codegen' =="
+# codegen runs under ASan too: the native tier dlopens freshly-compiled
+# parsers and hands their token/result buffers across the ABI boundary —
+# exactly the code that should never touch freed or out-of-bounds
+# memory (docs/NATIVE_TIER.md).
+(cd build-asan && ctest -L 'service|codegen' --output-on-failure -j "$JOBS")
 
 # Bench regression gate: rerun the throughput benches from the build
 # tree (so the committed BENCH_*.json baselines at the repo root stay
@@ -83,7 +88,12 @@ echo "== asan: ctest -L service =="
 # bigger-better, p50/p99 smaller-better — see bench_compare.py), so the
 # sharded runtime cannot quietly lose its scaling shape.
 echo "== bench: regression check vs committed baselines =="
-for b in bench_lexer bench_parse bench_service bench_fm bench_net; do
+# bench_native additionally enforces the native tier's absolute
+# acceptance gates (≥1.5× promoted speedup on ≥2 dialects, ≥300 MB/s
+# SWAR lexing — see docs/NATIVE_TIER.md), which bench_compare.py reads
+# from the "gates" array in BENCH_native.json.
+for b in bench_lexer bench_parse bench_service bench_fm bench_net \
+         bench_native; do
   (cd build && "./bench/$b" > /dev/null)
 done
 python3 "$ROOT/scripts/bench_compare.py" build \

@@ -1,49 +1,573 @@
 #include "sqlpl/codegen/cpp_codegen.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
 #include "sqlpl/grammar/analysis.h"
+#include "sqlpl/parser/ll_parser.h"
 #include "sqlpl/util/strings.h"
 
 namespace sqlpl {
 
 namespace {
 
-// Emits the matcher expression for `expr` as a C++ boolean expression
-// using the combinator helpers of the generated class. `indent` is the
-// current indentation for multi-line argument lists.
-std::string EmitExpr(const Expr& expr, const std::string& indent) {
-  const std::string deeper = indent + "  ";
-  switch (expr.kind()) {
-    case ExprKind::kToken:
-      return "Match(\"" + CEscape(expr.symbol()) + "\")";
-    case ExprKind::kNonterminal:
-      return "Parse_" + expr.symbol() + "()";
-    case ExprKind::kSequence: {
-      if (expr.children().empty()) return "true";
-      std::string out = "Seq({";
-      for (size_t i = 0; i < expr.children().size(); ++i) {
-        if (i > 0) out += ",";
-        out += "\n" + deeper + "[&] { return " +
-               EmitExpr(expr.children()[i], deeper) + "; }";
-      }
-      out += "})";
-      return out;
-    }
-    case ExprKind::kChoice: {
-      std::string out = "Alt({";
-      for (size_t i = 0; i < expr.children().size(); ++i) {
-        if (i > 0) out += ",";
-        out += "\n" + deeper + "[&] { return " +
-               EmitExpr(expr.children()[i], deeper) + "; }";
-      }
-      out += "})";
-      return out;
-    }
-    case ExprKind::kOptional:
-      return "Opt([&] { return " + EmitExpr(expr.child(), deeper) + "; })";
-    case ExprKind::kRepetition:
-      return "Star([&] { return " + EmitExpr(expr.child(), deeper) + "; })";
+// ---------------------------------------------------------------------
+// Shared emitter core
+//
+// Both generator flavors (the standalone header of `GenerateCppParser`
+// and the `.so` source of `GenerateNativeParserSource`) emit the same
+// parser core: a set of `Parse_<rule>(Ctx&, std::size_t&)` functions
+// whose control flow is a statement-level unrolling of the interpreter
+// (LlParser::MatchNonterminal / MatchExpr in ll_parser.cc). Every
+// save/restore, FIRST-set prune, failure recording, and node
+// construction mirrors the interpreter line for line — that is what
+// makes the generated parsers' S-expressions and error messages
+// byte-identical to the engine, the property the native tier's
+// promotion gate relies on. Change ll_parser.cc semantics and this
+// emitter must change in lockstep (the codegen differential test and
+// the native promotion gate both enforce it).
+// ---------------------------------------------------------------------
+
+// State for one emission run: the source grammar artifacts plus the
+// output buffers (FIRST-set arrays are emitted to a separate buffer so
+// they can precede the functions that reference them) and a counter for
+// unique local-variable names.
+struct Emitter {
+  const Grammar* grammar = nullptr;
+  const GrammarAnalysis* analysis = nullptr;
+  const SymbolInterner* interner = nullptr;
+  std::string arrays;    // FIRST-set id arrays
+  std::string fns;       // rule functions
+  int next_id = 0;
+
+  int Fresh() { return next_id++; }
+};
+
+std::string Num(size_t value) { return std::to_string(value); }
+
+// The sorted interned FIRST set of `expr` — exactly the span the
+// interpreter compiles into `first_pool_` (CompileExpr sorts per-expr).
+std::vector<SymbolId> FirstIds(const Emitter& em, const Expr& expr) {
+  std::vector<SymbolId> ids;
+  for (const std::string& name : em.analysis->FirstOf(expr)) {
+    SymbolId id = em.interner->Find(name);
+    if (id != kInvalidSymbolId) ids.push_back(id);
   }
-  return "false";
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// Emits a FIRST-set array definition and returns its name; empty sets
+// return an empty name (the call sites skip the alternative entirely,
+// matching the interpreter's silent prune of a non-nullable expression
+// with an empty FIRST set).
+std::string EmitFirstArray(Emitter* em, const std::vector<SymbolId>& ids) {
+  if (ids.empty()) return "";
+  std::string name = "kFirst" + Num(em->Fresh());
+  em->arrays += "inline constexpr unsigned " + name + "[] = {";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) em->arrays += ", ";
+    em->arrays += Num(ids[i]) + "u";
+  }
+  em->arrays += "};\n";
+  return name;
+}
+
+void EmitExprCode(Emitter* em, const Expr& expr, const std::string& res,
+                  const std::string& indent);
+
+// Emits one pruned attempt — the body shared by choice branches and
+// production alternatives: FIRST-gate the attempt (recording the set on
+// a prune, as the interpreter does), save position and scratch, run
+// `body`, and on failure restore both. `on_success` runs with the saved
+// scratch size available as `ss<k>`; it must set the caller's result.
+void EmitPrunedAttempt(Emitter* em, const Expr& body,
+                       const std::string& lookahead_var,
+                       const std::string& indent,
+                       const std::string& on_success,
+                       const std::string& on_failure) {
+  const bool nullable = em->analysis->ExprNullable(body);
+  std::vector<SymbolId> first = FirstIds(*em, body);
+  std::string first_array = EmitFirstArray(em, first);
+  std::string inner = indent;
+  if (!nullable) {
+    if (first_array.empty()) {
+      // Non-nullable with an empty FIRST set: the interpreter prunes it
+      // silently (binary_search over an empty span) and records nothing.
+      em->fns += indent + "// alternative pruned: empty FIRST set\n";
+      return;
+    }
+    em->fns += indent + "if (FirstHas(" + first_array + ", " +
+               Num(first.size()) + "u, " + lookahead_var + ")) {\n";
+    inner += "  ";
+  }
+  int k = em->Fresh();
+  std::string sp = "sp" + Num(k);
+  std::string ss = "ss" + Num(k);
+  std::string m = "m" + Num(k);
+  em->fns += inner + "const std::size_t " + sp + " = pos;\n";
+  em->fns += inner + "const std::size_t " + ss + " = c.scratch.size();\n";
+  em->fns += inner + "bool " + m + ";\n";
+  EmitExprCode(em, body, m, inner);
+  std::string success = on_success;
+  // The attempt helpers splice in the saved scratch size where needed.
+  size_t at = success.find("$SS");
+  while (at != std::string::npos) {
+    success.replace(at, 3, ss);
+    at = success.find("$SS");
+  }
+  em->fns += inner + "if (" + m + ") {\n";
+  em->fns += inner + "  " + success + "\n";
+  em->fns += inner + "} else {\n";
+  em->fns += inner + "  pos = " + sp + ";\n";
+  em->fns += inner + "  c.scratch.resize(" + ss + ");\n";
+  if (!on_failure.empty()) em->fns += inner + "  " + on_failure + "\n";
+  em->fns += inner + "}\n";
+  if (!nullable) {
+    em->fns += indent + "} else {\n";
+    em->fns += indent + "  RecordAll<TRACK>(c, pos, " + first_array + ", " +
+               Num(first.size()) + "u);\n";
+    em->fns += indent + "}\n";
+  }
+}
+
+// Statement-level emission of one grammar expression: code that sets
+// bool `res`, consuming tokens and pushing nodes on success and leaving
+// `pos`/scratch untouched on failure — the MatchExpr contract.
+void EmitExprCode(Emitter* em, const Expr& expr, const std::string& res,
+                  const std::string& indent) {
+  switch (expr.kind()) {
+    case ExprKind::kToken: {
+      SymbolId id = em->interner->Find(expr.symbol());
+      em->fns += indent + "if (c.toks[pos].type == " + Num(id) +
+                 "u) {  // " + expr.symbol() + "\n";
+      em->fns += indent + "  PushLeaf(c, pos);\n";
+      em->fns += indent + "  ++pos;\n";
+      em->fns += indent + "  " + res + " = true;\n";
+      em->fns += indent + "} else {\n";
+      em->fns += indent + "  RecordFailure<TRACK>(c, pos, " + Num(id) +
+                 "u);\n";
+      em->fns += indent + "  " + res + " = false;\n";
+      em->fns += indent + "}\n";
+      return;
+    }
+
+    case ExprKind::kNonterminal:
+      em->fns += indent + res + " = Parse_" + expr.symbol() +
+                 "<TRACK>(c, pos);\n";
+      return;
+
+    case ExprKind::kSequence: {
+      if (expr.children().empty()) {
+        em->fns += indent + res + " = true;\n";
+        return;
+      }
+      int k = em->Fresh();
+      std::string sp = "sp" + Num(k);
+      std::string ss = "ss" + Num(k);
+      em->fns += indent + "{\n";
+      std::string inner = indent + "  ";
+      em->fns += inner + "const std::size_t " + sp + " = pos;\n";
+      em->fns += inner + "const std::size_t " + ss + " = c.scratch.size();\n";
+      em->fns += inner + res + " = true;\n";
+      for (size_t i = 0; i < expr.children().size(); ++i) {
+        std::string m = "m" + Num(em->Fresh());
+        std::string body_indent = inner;
+        if (i > 0) {
+          em->fns += inner + "if (" + res + ") {\n";
+          body_indent += "  ";
+        }
+        em->fns += body_indent + "bool " + m + ";\n";
+        EmitExprCode(em, expr.children()[i], m, body_indent);
+        em->fns += body_indent + "if (!" + m + ") " + res + " = false;\n";
+        if (i > 0) em->fns += inner + "}\n";
+      }
+      em->fns += inner + "if (!" + res + ") {\n";
+      em->fns += inner + "  pos = " + sp + ";\n";
+      em->fns += inner + "  c.scratch.resize(" + ss + ");\n";
+      em->fns += inner + "}\n";
+      em->fns += indent + "}\n";
+      return;
+    }
+
+    case ExprKind::kChoice: {
+      int k = em->Fresh();
+      std::string la = "la" + Num(k);
+      em->fns += indent + "{\n";
+      std::string inner = indent + "  ";
+      em->fns += inner + res + " = false;\n";
+      em->fns += inner + "const unsigned " + la +
+                 " = c.toks[pos].type;\n";
+      em->fns += inner + "(void)" + la + ";\n";
+      for (const Expr& branch : expr.children()) {
+        em->fns += inner + "if (!" + res + ") {\n";
+        EmitPrunedAttempt(em, branch, la, inner + "  ",
+                          res + " = true;", "");
+        em->fns += inner + "}\n";
+      }
+      em->fns += indent + "}\n";
+      return;
+    }
+
+    case ExprKind::kOptional: {
+      int k = em->Fresh();
+      std::string sp = "sp" + Num(k);
+      std::string ss = "ss" + Num(k);
+      std::string m = "m" + Num(k);
+      em->fns += indent + "{  // optional (greedy)\n";
+      std::string inner = indent + "  ";
+      em->fns += inner + "const std::size_t " + sp + " = pos;\n";
+      em->fns += inner + "const std::size_t " + ss + " = c.scratch.size();\n";
+      em->fns += inner + "bool " + m + ";\n";
+      EmitExprCode(em, expr.child(), m, inner);
+      em->fns += inner + "if (!" + m + ") {\n";
+      em->fns += inner + "  pos = " + sp + ";\n";
+      em->fns += inner + "  c.scratch.resize(" + ss + ");\n";
+      em->fns += inner + "}\n";
+      em->fns += indent + "}\n";
+      em->fns += indent + res + " = true;\n";
+      return;
+    }
+
+    case ExprKind::kRepetition: {
+      int k = em->Fresh();
+      std::string sp = "sp" + Num(k);
+      std::string ss = "ss" + Num(k);
+      std::string m = "m" + Num(k);
+      em->fns += indent + "while (true) {  // repetition\n";
+      std::string inner = indent + "  ";
+      em->fns += inner + "const std::size_t " + sp + " = pos;\n";
+      em->fns += inner + "const std::size_t " + ss + " = c.scratch.size();\n";
+      em->fns += inner + "bool " + m + ";\n";
+      EmitExprCode(em, expr.child(), m, inner);
+      em->fns += inner + "if (!" + m + ") {\n";
+      em->fns += inner + "  pos = " + sp + ";\n";
+      em->fns += inner + "  c.scratch.resize(" + ss + ");\n";
+      em->fns += inner + "  break;\n";
+      em->fns += inner + "}\n";
+      em->fns += inner + "if (pos == " + sp + ") {\n";
+      em->fns += inner + "  // Matched without consuming input; stop to\n";
+      em->fns += inner + "  // guarantee termination.\n";
+      em->fns += inner + "  c.scratch.resize(" + ss + ");\n";
+      em->fns += inner + "  break;\n";
+      em->fns += inner + "}\n";
+      em->fns += indent + "}\n";
+      em->fns += indent + res + " = true;\n";
+      return;
+    }
+  }
+}
+
+// Emits the rule function of one production: depth guard, then each
+// alternative as a pruned attempt that finishes a rule node on success.
+// Templated on TRACK (see RecordFailure) so the hot success path runs
+// free of failure bookkeeping.
+void EmitRuleFunction(Emitter* em, const Production& production) {
+  SymbolId lhs_id = em->interner->Find(production.lhs());
+  em->fns += "/// " + production.ToString() + "\n";
+  em->fns += "template <bool TRACK>\n";
+  em->fns += "inline bool Parse_" + production.lhs() +
+             "(Ctx& c, std::size_t& pos) {\n";
+  em->fns += "  if (++c.depth > kMaxParseDepth) {\n";
+  em->fns += "    --c.depth;\n";
+  em->fns += "    return false;\n";
+  em->fns += "  }\n";
+  em->fns += "  const unsigned la = c.toks[pos].type;\n";
+  em->fns += "  (void)la;\n";
+  for (size_t a = 0; a < production.alternatives().size(); ++a) {
+    const Alternative& alt = production.alternatives()[a];
+    SymbolId label_id = alt.label.empty() ? kInvalidSymbolId
+                                          : em->interner->Find(alt.label);
+    std::string label_expr = label_id == kInvalidSymbolId
+                                 ? "kInvalidSymbol"
+                                 : Num(label_id) + "u";
+    em->fns += "  // alternative " + Num(a) +
+               (alt.label.empty() ? "" : " (" + alt.label + ")") + "\n";
+    em->fns += "  {\n";
+    EmitPrunedAttempt(em, alt.body, "la", "    ",
+                      "FinishNode(c, " + Num(lhs_id) + "u, " + label_expr +
+                          ", $SS);\n      --c.depth;\n      return true;",
+                      "");
+    em->fns += "  }\n";
+  }
+  em->fns += "  --c.depth;\n";
+  em->fns += "  return false;\n";
+  em->fns += "}\n\n";
+}
+
+// Emits the flavor-independent core into `*out`: constants, the symbol
+// name table, node/context types, the interpreter-mirroring helpers,
+// the FIRST arrays, and the rule functions. `token_definition` supplies
+// the `GenToken` type (a struct for the standalone header, an alias of
+// the ABI token for the native flavor).
+void EmitCore(const Grammar& grammar, const GrammarAnalysis& analysis,
+              const SymbolInterner& interner,
+              const std::string& token_definition, std::string* out) {
+  Emitter em;
+  em.grammar = &grammar;
+  em.analysis = &analysis;
+  em.interner = &interner;
+
+  size_t num_symbols = interner.size();
+  *out += "constexpr unsigned kNumSymbols = " + Num(num_symbols) + "u;\n";
+  *out += "constexpr unsigned kInvalidSymbol = 0xFFFFFFFFu;\n";
+  *out += "constexpr std::size_t kMaxParseDepth = 2048;\n";
+  *out += "constexpr std::size_t kExpectedWords = (kNumSymbols + 63) / 64;\n";
+  *out += "\n";
+  *out += "/// Interned symbol names in id order — the engine's\n";
+  *out += "/// SymbolInterner table for this grammar.\n";
+  *out += "inline constexpr std::string_view kSymbolNames[kNumSymbols] = {\n";
+  for (SymbolId id = 0; id < num_symbols; ++id) {
+    *out += "    \"" + CEscape(std::string(interner.NameOf(id))) + "\",\n";
+  }
+  *out += "};\n\n";
+
+  // Ids sorted by name, for the name -> id binary search the standalone
+  // wrapper uses to intern caller token types.
+  std::vector<SymbolId> by_name(num_symbols);
+  std::iota(by_name.begin(), by_name.end(), 0u);
+  std::sort(by_name.begin(), by_name.end(), [&](SymbolId a, SymbolId b) {
+    return interner.NameOf(a) < interner.NameOf(b);
+  });
+  *out += "/// Symbol ids sorted by name (binary-search index).\n";
+  *out += "inline constexpr unsigned kSymbolsByName[kNumSymbols] = {\n    ";
+  for (size_t i = 0; i < by_name.size(); ++i) {
+    if (i > 0) *out += (i % 10 == 0) ? ",\n    " : ", ";
+    *out += Num(by_name[i]) + "u";
+  }
+  *out += "};\n\n";
+
+  *out += token_definition;
+  *out += R"gen(
+/// One name -> id lookup over the embedded symbol table.
+inline unsigned LookupSymbol(std::string_view name) {
+  unsigned lo = 0;
+  unsigned hi = kNumSymbols;
+  while (lo < hi) {
+    unsigned mid = (lo + hi) / 2;
+    if (kSymbolNames[kSymbolsByName[mid]] < name) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < kNumSymbols && kSymbolNames[kSymbolsByName[lo]] == name) {
+    return kSymbolsByName[lo];
+  }
+  return kInvalidSymbol;
+}
+
+/// One parse-tree node in the pooled equivalent of the engine's arena
+/// tree: rule nodes span child indices in `Ctx::children`, leaves
+/// reference a token by stream index. `sexpr_len` carries the exact
+/// rendered size of the node's subtree, maintained incrementally so a
+/// successful parse renders with one exact-size allocation and raw
+/// cursor writes instead of per-node append calls.
+struct GenNode {
+  unsigned symbol;
+  unsigned label;
+  unsigned token;
+  unsigned child_begin;
+  unsigned child_count;
+  unsigned sexpr_len;
+  bool is_leaf;
+};
+
+/// Per-parse state, mirroring the interpreter's ParseContext: node and
+/// child-span pools, the scratch node stack (backtracking truncates),
+/// and the furthest-failure position with its expected-symbol set (a
+/// bitmap here; membership equals the interpreter's std::set).
+struct Ctx {
+  const GenToken* toks = nullptr;
+  std::vector<GenNode> nodes;
+  std::vector<unsigned> children;
+  std::vector<unsigned> scratch;
+  std::size_t furthest = 0;
+  unsigned long long expected[kExpectedWords] = {};
+  std::size_t depth = 0;
+};
+
+/// LlParser::RecordFailure: a failure past the furthest position resets
+/// the expected set; one at the furthest position joins it. Templated
+/// on TRACK so the optimistic pass (see ParseStart) compiles the
+/// bookkeeping out entirely; the TRACK=true re-parse reproduces the
+/// interpreter's furthest-failure state bit for bit.
+template <bool TRACK>
+inline void RecordFailure(Ctx& c, std::size_t pos, unsigned id) {
+  if (!TRACK) return;
+  if (pos > c.furthest) {
+    c.furthest = pos;
+    for (std::size_t w = 0; w < kExpectedWords; ++w) c.expected[w] = 0;
+  }
+  if (pos == c.furthest) {
+    c.expected[id >> 6] |= 1ull << (id & 63u);
+  }
+}
+
+inline bool FirstHas(const unsigned* first, unsigned n, unsigned la) {
+  for (unsigned i = 0; i < n; ++i) {
+    if (first[i] == la) return true;
+  }
+  return false;
+}
+
+template <bool TRACK>
+inline void RecordAll(Ctx& c, std::size_t pos, const unsigned* first,
+                      unsigned n) {
+  if (!TRACK) return;
+  for (unsigned i = 0; i < n; ++i) RecordFailure<TRACK>(c, pos, first[i]);
+}
+
+inline void PushLeaf(Ctx& c, std::size_t pos) {
+  GenNode n;
+  n.symbol = c.toks[pos].type;
+  n.label = kInvalidSymbol;
+  n.token = static_cast<unsigned>(pos);
+  n.child_begin = 0;
+  n.child_count = 0;
+  n.sexpr_len = c.toks[pos].text_len
+                    ? static_cast<unsigned>(c.toks[pos].text_len)
+                    : static_cast<unsigned>(
+                          kSymbolNames[c.toks[pos].type].size());
+  n.is_leaf = true;
+  c.scratch.push_back(static_cast<unsigned>(c.nodes.size()));
+  c.nodes.push_back(n);
+}
+
+/// Pops the children a matched alternative pushed (everything above
+/// `scratch_base`) into a child span and pushes the finished rule node.
+inline void FinishNode(Ctx& c, unsigned symbol, unsigned label,
+                       std::size_t scratch_base) {
+  GenNode n;
+  n.symbol = symbol;
+  n.label = label;
+  n.token = 0;
+  n.child_begin = static_cast<unsigned>(c.children.size());
+  n.child_count = static_cast<unsigned>(c.scratch.size() - scratch_base);
+  n.is_leaf = false;
+  // "(name" + ")" + one " " per child, plus the children themselves.
+  unsigned len = 2u + static_cast<unsigned>(kSymbolNames[symbol].size()) +
+                 n.child_count;
+  for (std::size_t i = scratch_base; i < c.scratch.size(); ++i) {
+    len += c.nodes[c.scratch[i]].sexpr_len;
+  }
+  n.sexpr_len = len;
+  c.children.insert(c.children.end(), c.scratch.begin() + scratch_base,
+                    c.scratch.end());
+  c.scratch.resize(scratch_base);
+  c.scratch.push_back(static_cast<unsigned>(c.nodes.size()));
+  c.nodes.push_back(n);
+}
+
+/// Renders `node` at cursor `p` (the caller sized the buffer from
+/// `sexpr_len`) and returns the cursor past the subtree.
+inline char* RenderSExprTo(const Ctx& c, unsigned node, char* p) {
+  const GenNode& n = c.nodes[node];
+  if (n.is_leaf) {
+    const GenToken& t = c.toks[n.token];
+    if (t.text_len == 0) {
+      std::string_view name = kSymbolNames[n.symbol];
+      std::memcpy(p, name.data(), name.size());
+      return p + name.size();
+    }
+    std::memcpy(p, t.text, static_cast<std::size_t>(t.text_len));
+    return p + t.text_len;
+  }
+  *p++ = '(';
+  std::string_view name = kSymbolNames[n.symbol];
+  std::memcpy(p, name.data(), name.size());
+  p += name.size();
+  for (unsigned i = 0; i < n.child_count; ++i) {
+    *p++ = ' ';
+    p = RenderSExprTo(c, c.children[n.child_begin + i], p);
+  }
+  *p++ = ')';
+  return p;
+}
+
+/// AppendArenaSExpr, byte for byte: leaves render their text (or the
+/// type name when the text is empty), rules render
+/// `(name child child...)`; labels are not rendered. One exact-size
+/// resize (`sexpr_len`), then raw cursor writes.
+inline void RenderSExpr(const Ctx& c, unsigned node, std::string* out) {
+  std::size_t base = out->size();
+  out->resize(base + c.nodes[node].sexpr_len);
+  char* p = RenderSExprTo(c, node, &(*out)[base]);
+  (void)p;
+}
+
+/// The expected-set half of LlParser::SyntaxError: names sorted
+/// lexicographically, `$` shown as "end of input", joined with ", ".
+inline std::string ExpectedList(const Ctx& c) {
+  std::vector<std::string_view> names;
+  for (unsigned id = 0; id < kNumSymbols; ++id) {
+    if (c.expected[id >> 6] & (1ull << (id & 63u))) {
+      names.push_back(kSymbolNames[id]);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  std::string out;
+  for (std::string_view name : names) {
+    if (!out.empty()) out += ", ";
+    if (name == "$") {
+      out += "end of input";
+    } else {
+      out.append(name);
+    }
+  }
+  return out;
+}
+
+)gen";
+
+  // Forward declarations so rule bodies can reference any nonterminal.
+  for (const Production& production : grammar.productions()) {
+    em.fns += "template <bool TRACK>\n";
+    em.fns += "inline bool Parse_" + production.lhs() +
+              "(Ctx& c, std::size_t& pos);\n";
+  }
+  em.fns += "\n";
+  for (const Production& production : grammar.productions()) {
+    EmitRuleFunction(&em, production);
+  }
+
+  // The start-symbol driver: parse, then require end of input exactly
+  // as ParseLexed does (recording `$` as expected on leftover tokens).
+  em.fns += "template <bool TRACK>\n";
+  em.fns += "inline bool ParseStartT(Ctx& c) {\n";
+  em.fns += "  std::size_t pos = 0;\n";
+  em.fns +=
+      "  bool ok = Parse_" + grammar.start_symbol() + "<TRACK>(c, pos);\n";
+  em.fns += "  if (ok && c.toks[pos].type != 0u) {\n";
+  em.fns += "    RecordFailure<TRACK>(c, pos, 0u);\n";
+  em.fns += "    ok = false;\n";
+  em.fns += "  }\n";
+  em.fns += "  return ok;\n";
+  em.fns += "}\n\n";
+  em.fns += "/// Parses the start symbol '" + grammar.start_symbol() +
+            "' and requires all input consumed.\n";
+  em.fns += R"gen(/// Two-pass scheme: the first pass parses with failure
+/// bookkeeping compiled out — the common successful parse pays nothing
+/// for diagnostics. Only on failure does a second, tracking pass re-run
+/// the identical deterministic parse to rebuild the furthest-failure
+/// position and expected set the interpreter would have produced.
+inline bool ParseStart(Ctx& c) {
+  if (ParseStartT<false>(c)) return true;
+  c.nodes.clear();
+  c.children.clear();
+  c.scratch.clear();
+  c.furthest = 0;
+  for (std::size_t w = 0; w < kExpectedWords; ++w) c.expected[w] = 0;
+  c.depth = 0;
+  return ParseStartT<true>(c);
+}
+)gen";
+
+  *out += em.arrays;
+  *out += "\n";
+  *out += em.fns;
 }
 
 std::string ToSnakeCase(const std::string& name) {
@@ -61,7 +585,40 @@ std::string ToSnakeCase(const std::string& name) {
   return out;
 }
 
+// Shared front-door checks: the generators refuse exactly what
+// ParserBuilder refuses, with codegen-flavored messages.
+Status ValidateForCodegen(const Grammar& grammar) {
+  DiagnosticCollector diagnostics;
+  Status valid = grammar.Validate(&diagnostics);
+  if (!valid.ok()) {
+    return Status::InvalidArgument("cannot generate parser: " +
+                                   valid.message() + "\n" +
+                                   diagnostics.ToString());
+  }
+  SQLPL_ASSIGN_OR_RETURN(GrammarAnalysis analysis,
+                         GrammarAnalysis::Analyze(grammar));
+  if (analysis.HasLeftRecursion()) {
+    return Status::InvalidArgument("cannot generate parser: grammar '" +
+                                   grammar.name() + "' is left-recursive");
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+uint64_t SymbolTableHash(const SymbolInterner& interner) {
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  for (SymbolId id = 0; id < interner.size(); ++id) {
+    std::string_view name = interner.NameOf(id);
+    for (char ch : name) {
+      hash ^= static_cast<unsigned char>(ch);
+      hash *= 1099511628211ull;
+    }
+    hash ^= 0xFFu;  // name separator (never a name byte)
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
 
 std::string SanitizeClassName(const std::string& grammar_name) {
   std::string out;
@@ -80,19 +637,11 @@ std::string SanitizeClassName(const std::string& grammar_name) {
 
 Result<GeneratedParser> GenerateCppParser(const Grammar& grammar,
                                           const CodegenOptions& options) {
-  DiagnosticCollector diagnostics;
-  Status valid = grammar.Validate(&diagnostics);
-  if (!valid.ok()) {
-    return Status::InvalidArgument("cannot generate parser: " +
-                                   valid.message() + "\n" +
-                                   diagnostics.ToString());
-  }
-  SQLPL_ASSIGN_OR_RETURN(GrammarAnalysis analysis,
-                         GrammarAnalysis::Analyze(grammar));
-  if (analysis.HasLeftRecursion()) {
-    return Status::InvalidArgument("cannot generate parser: grammar '" +
-                                   grammar.name() + "' is left-recursive");
-  }
+  SQLPL_RETURN_IF_ERROR(ValidateForCodegen(grammar));
+  // Build the real engine for this grammar: its interner is the id
+  // space the generated parser embeds, so both assign identical ids
+  // (lexer token names first, then productions in compile order).
+  SQLPL_ASSIGN_OR_RETURN(LlParser parser, ParserBuilder().Build(grammar));
 
   std::string class_name = options.class_name.empty()
                                ? SanitizeClassName(grammar.name()) + "Parser"
@@ -101,100 +650,301 @@ Result<GeneratedParser> GenerateCppParser(const Grammar& grammar,
 
   std::string code;
   code += "// Generated by sqlpl from grammar '" + grammar.name() + "'.\n";
-  code += "// " + std::to_string(grammar.NumProductions()) +
-          " productions, " + std::to_string(grammar.NumAlternatives()) +
-          " alternatives, " + std::to_string(grammar.tokens().size()) +
-          " tokens. Do not edit.\n";
+  code += "// " + Num(grammar.NumProductions()) + " productions, " +
+          Num(grammar.NumAlternatives()) + " alternatives, " +
+          Num(grammar.tokens().size()) + " tokens, " +
+          Num(parser.interner().size()) + " interned symbols. Do not "
+          "edit.\n";
+  code += "//\n";
+  code += "// The parser mirrors the runtime engine's interned\n";
+  code += "// architecture: symbol-id dispatch, FIRST-set pruning, and\n";
+  code += "// pooled tree construction. sexpr()/error() output is\n";
+  code += "// byte-identical to the engine for the same token stream.\n";
   code += "#ifndef " + guard + "\n#define " + guard + "\n\n";
-  code += "#include <cstddef>\n#include <functional>\n";
-  code += "#include <initializer_list>\n#include <string>\n";
+  code += "#include <algorithm>\n#include <cstddef>\n";
+  code += "#include <cstring>\n";
+  code += "#include <string>\n#include <string_view>\n";
   code += "#include <vector>\n\n";
   code += "namespace " + options.namespace_name + " {\n\n";
-  code += "/// Pre-lexed input token; the stream must end with type \"$\".\n";
-  code += "struct Token {\n  std::string type;\n  std::string text;\n};\n\n";
+  code += "/// Pre-lexed input token; the stream must end with type "
+          "\"$\".\n";
+  code += "struct Token {\n";
+  code += "  std::string type;\n";
+  code += "  std::string text;\n";
+  code += "  std::size_t line = 1;\n";
+  code += "  std::size_t column = 1;\n";
+  code += "};\n\n";
+  code += "namespace gen_detail {\n\n";
+
+  std::string token_definition;
+  token_definition += "/// Id-keyed token view the core parses over.\n";
+  token_definition += "struct GenToken {\n";
+  token_definition += "  unsigned type;\n";
+  token_definition += "  const char* text;\n";
+  token_definition += "  std::size_t text_len;\n";
+  token_definition += "  std::size_t line;\n";
+  token_definition += "  std::size_t column;\n";
+  token_definition += "};\n";
+  EmitCore(grammar, parser.analysis(), parser.interner(), token_definition,
+           &code);
+
+  code += "\n}  // namespace gen_detail\n\n";
   code += "class " + class_name + " {\n public:\n";
   code += "  explicit " + class_name + "(std::vector<Token> tokens)\n";
   code += "      : tokens_(std::move(tokens)) {}\n\n";
   code += "  /// Parses the start symbol '" + grammar.start_symbol() +
           "' and requires all input consumed.\n";
-  code += "  bool Parse() {\n    pos_ = 0;\n";
-  code += "    return Parse_" + grammar.start_symbol() +
-          "() && Peek() == \"$\";\n  }\n\n";
+  code += "  bool Parse() { return Run_(nullptr); }\n\n";
+  code += "  /// S-expression of the last successful parse;\n";
+  code += "  /// byte-identical to the runtime engine's rendering.\n";
+  code += "  const std::string& sexpr() const { return sexpr_; }\n\n";
+  code += "  /// Message of the last failed parse; byte-identical to\n";
+  code += "  /// the runtime engine's syntax error.\n";
+  code += "  const std::string& error() const { return error_; }\n\n";
 
   for (const Production& production : grammar.productions()) {
     code += "  /// " + production.ToString() + "\n";
     code += "  bool Parse_" + production.lhs() + "() {\n";
-    code += "    return Alt({";
-    for (size_t i = 0; i < production.alternatives().size(); ++i) {
-      if (i > 0) code += ",";
-      code += "\n        [&] { return " +
-              EmitExpr(production.alternatives()[i].body, "        ") +
-              "; }";
-    }
-    code += "});\n  }\n\n";
+    code += "    return Run_(&gen_detail::Parse_" + production.lhs() +
+            "<true>);\n  }\n\n";
   }
 
-  code += R"( private:
-  using Fn = std::function<bool()>;
-
-  const std::string& Peek() const { return tokens_[pos_].type; }
-
-  bool Match(const std::string& type) {
-    if (pos_ < tokens_.size() && tokens_[pos_].type == type) {
-      ++pos_;
-      return true;
+  code += R"gen( private:
+  // Runs the full-input start parse (rule == nullptr) or one rule.
+  bool Run_(bool (*rule)(gen_detail::Ctx&, std::size_t&)) {
+    sexpr_.clear();
+    error_.clear();
+    if (tokens_.empty() || tokens_.back().type != "$") {
+      error_ = "token stream must end with the '$' end-of-input token";
+      return false;
     }
-    return false;
-  }
-
-  // All members of the sequence must match; otherwise restore position.
-  bool Seq(std::initializer_list<Fn> fs) {
-    size_t save = pos_;
-    for (const Fn& f : fs) {
-      if (!f()) {
-        pos_ = save;
-        return false;
-      }
+    gen_detail::Ctx c;
+    std::vector<gen_detail::GenToken> toks;
+    toks.reserve(tokens_.size());
+    for (const Token& t : tokens_) {
+      gen_detail::GenToken g;
+      g.type = gen_detail::LookupSymbol(t.type);
+      g.text = t.text.data();
+      g.text_len = t.text.size();
+      g.line = t.line;
+      g.column = t.column;
+      toks.push_back(g);
     }
+    c.toks = toks.data();
+    bool ok;
+    if (rule == nullptr) {
+      ok = gen_detail::ParseStart(c);
+    } else {
+      std::size_t pos = 0;
+      ok = rule(c, pos);
+    }
+    if (!ok) {
+      // The engine's legacy-token error path: the offending token is
+      // described with the caller's original type/text strings.
+      const Token& at = tokens_[c.furthest];
+      std::string described =
+          at.type == "$" ? std::string("end of input")
+                         : "'" + at.text + "' (" + at.type + ")";
+      error_ = "syntax error at " + std::to_string(at.line) + ":" +
+               std::to_string(at.column) + ": unexpected " + described +
+               "; expected one of {" + gen_detail::ExpectedList(c) + "}";
+      return false;
+    }
+    gen_detail::RenderSExpr(c, c.scratch.front(), &sexpr_);
     return true;
-  }
-
-  // Ordered choice with backtracking.
-  bool Alt(std::initializer_list<Fn> fs) {
-    for (const Fn& f : fs) {
-      size_t save = pos_;
-      if (f()) return true;
-      pos_ = save;
-    }
-    return false;
-  }
-
-  bool Opt(const Fn& f) {
-    size_t save = pos_;
-    if (!f()) pos_ = save;
-    return true;
-  }
-
-  bool Star(const Fn& f) {
-    while (true) {
-      size_t save = pos_;
-      if (!f() || pos_ == save) {
-        pos_ = save;
-        return true;
-      }
-    }
   }
 
   std::vector<Token> tokens_;
-  size_t pos_ = 0;
+  std::string sexpr_;
+  std::string error_;
 };
 
-)";
+)gen";
   code += "}  // namespace " + options.namespace_name + "\n\n";
   code += "#endif  // " + guard + "\n";
 
   GeneratedParser out;
   out.file_name = ToSnakeCase(class_name) + ".h";
+  out.code = std::move(code);
+  return out;
+}
+
+Result<GeneratedParser> GenerateNativeParserSource(
+    const LlParser& parser, const NativeCodegenOptions& options) {
+  if (parser.NumPredicates() > 0) {
+    return Status::InvalidArgument(
+        "cannot generate native parser: semantic predicates are host "
+        "callbacks and cannot cross the ABI");
+  }
+  const Grammar& grammar = parser.grammar();
+  std::string class_name = SanitizeClassName(grammar.name());
+  uint64_t symbols_hash = SymbolTableHash(parser.interner());
+
+  std::string code;
+  code += "// Generated by sqlpl native codegen from grammar '" +
+          grammar.name() + "'.\n";
+  code += "// fingerprint 0x";
+  {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      options.grammar_fingerprint));
+    code += buf;
+  }
+  code += ", " + Num(parser.interner().size()) +
+          " symbols. Do not edit.\n";
+  code += "//\n";
+  code += "// Self-contained implementation of the sqlpl native-parser\n";
+  code += "// ABI (sqlpl/codegen/native_abi.h). Compile with\n";
+  code += "//   c++ -std=c++17 -O2 -fPIC -shared -fvisibility=hidden\n";
+  code += "// and dlopen; the only exported symbol is\n";
+  code += "// sqlpl_native_entry_v1.\n";
+  code += R"gen(#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+extern "C" {
+
+typedef struct SqlplNativeTokenV1 {
+  uint32_t type;
+  uint32_t reserved;
+  const char* text;
+  uint64_t text_len;
+  uint64_t line;
+  uint64_t column;
+} SqlplNativeTokenV1;
+
+typedef struct SqlplNativeResultV1 {
+  char* data;
+  uint64_t size;
+} SqlplNativeResultV1;
+
+typedef int (*SqlplNativeParseFn)(const SqlplNativeTokenV1* tokens,
+                                  uint64_t num_tokens, int want_render,
+                                  SqlplNativeResultV1* result);
+typedef void (*SqlplNativeFreeFn)(SqlplNativeResultV1* result);
+
+typedef struct SqlplNativeParserV1 {
+  uint32_t abi_version;
+  uint32_t num_symbols;
+  uint64_t grammar_fingerprint;
+  uint64_t symbol_table_hash;
+  SqlplNativeParseFn parse;
+  SqlplNativeFreeFn free_result;
+} SqlplNativeParserV1;
+
+const SqlplNativeParserV1* sqlpl_native_entry_v1(void);
+
+}  // extern "C"
+
+namespace {
+
+/// The ABI token doubles as the core's token type: the field names the
+/// core reads (type/text/text_len/line/column) are the ABI's.
+using GenToken = ::SqlplNativeTokenV1;
+)gen";
+
+  EmitCore(grammar, parser.analysis(), parser.interner(), "", &code);
+
+  code += R"gen(
+int NativeParse(const SqlplNativeTokenV1* tokens, uint64_t num_tokens,
+                int want_render, SqlplNativeResultV1* result) noexcept {
+  if (result == nullptr) return 2;
+  result->data = nullptr;
+  result->size = 0;
+  if (tokens == nullptr || num_tokens == 0 ||
+      tokens[num_tokens - 1].type != 0u) {
+    return 2;  // malformed stream; the host falls back to the interpreter
+  }
+  try {
+    // Reused per thread: pools keep their capacity across parses, the
+    // same allocation-free steady state the interpreter gets from its
+    // reused arena. (TLS in a dlopen'ed library is fine — glibc uses
+    // dynamic TLS for it.)
+    thread_local Ctx c;
+    c.toks = tokens;
+    c.nodes.clear();
+    c.children.clear();
+    c.scratch.clear();
+    c.furthest = 0;
+    for (std::size_t w = 0; w < kExpectedWords; ++w) c.expected[w] = 0;
+    c.depth = 0;
+    bool ok = ParseStart(c);
+    // The result body is rendered into a per-thread buffer and returned
+    // by pointer: valid until the thread's next NativeParse call, with
+    // NativeFree a no-op marker (the v1 ABI contract only requires that
+    // the host balance every parse with free_result — it does not
+    // promise malloc'd storage). Saves a malloc+copy per parse.
+    thread_local std::string body;
+    body.clear();
+    if (!ok) {
+      // LlParser::SyntaxError, byte for byte.
+      const GenToken& at = c.toks[c.furthest];
+      std::string described;
+      if (at.type == 0u) {
+        described = "end of input";
+      } else if (at.type < kNumSymbols) {
+        described = "'" + std::string(at.text,
+                                      static_cast<std::size_t>(at.text_len)) +
+                    "' (" + std::string(kSymbolNames[at.type]) + ")";
+      } else {
+        return 2;  // id outside the embedded table: host/library mismatch
+      }
+      body = "syntax error at " + std::to_string(at.line) + ":" +
+             std::to_string(at.column) + ": unexpected " + described +
+             "; expected one of {" + ExpectedList(c) + "}";
+    } else if (want_render != 0) {
+      RenderSExpr(c, c.scratch.front(), &body);
+    }
+    result->data = body.empty() ? const_cast<char*>("") : body.data();
+    result->size = body.size();
+    return ok ? 0 : 1;
+  } catch (...) {
+    return 2;  // never let an exception cross the dlopen boundary
+  }
+}
+
+void NativeFree(SqlplNativeResultV1* result) noexcept {
+  // Storage is the calling thread's reusable render buffer (see
+  // NativeParse); releasing is just forgetting the pointer.
+  if (result != nullptr) {
+    result->data = nullptr;
+    result->size = 0;
+  }
+}
+
+}  // namespace
+
+extern "C" __attribute__((visibility("default")))
+const SqlplNativeParserV1* sqlpl_native_entry_v1(void) {
+  static const SqlplNativeParserV1 kEntry = {
+      1u,
+      kNumSymbols,
+)gen";
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "      0x%016llxull,\n",
+                  static_cast<unsigned long long>(
+                      options.grammar_fingerprint));
+    code += buf;
+    std::snprintf(buf, sizeof(buf), "      0x%016llxull,\n",
+                  static_cast<unsigned long long>(symbols_hash));
+    code += buf;
+  }
+  code += R"gen(      &NativeParse,
+      &NativeFree,
+  };
+  return &kEntry;
+}
+)gen";
+
+  GeneratedParser out;
+  out.file_name = ToSnakeCase(class_name) + "_native.cc";
   out.code = std::move(code);
   return out;
 }

@@ -1,12 +1,16 @@
 #ifndef SQLPL_CODEGEN_CPP_CODEGEN_H_
 #define SQLPL_CODEGEN_CPP_CODEGEN_H_
 
+#include <cstdint>
 #include <string>
 
 #include "sqlpl/grammar/grammar.h"
+#include "sqlpl/grammar/symbol_interner.h"
 #include "sqlpl/util/status.h"
 
 namespace sqlpl {
+
+class LlParser;
 
 /// Options for the C++ parser generator.
 struct CodegenOptions {
@@ -17,7 +21,7 @@ struct CodegenOptions {
   std::string namespace_name = "sqlpl_gen";
 };
 
-/// Output of the generator: one self-contained header-only C++ file.
+/// Output of the generator: one self-contained C++ file.
 struct GeneratedParser {
   /// Suggested file name, e.g. "core_where_parser.h".
   std::string file_name;
@@ -26,17 +30,52 @@ struct GeneratedParser {
 };
 
 /// Emits a standalone recursive-descent C++ parser for `grammar` — the
-/// counterpart of the ANTLR-generated parser in the paper's prototype.
-/// The generated class consumes a pre-lexed token stream (type/text
-/// pairs, `$`-terminated), exposes one `Parse_<rule>()` method per
-/// nonterminal plus `Parse()` for the start symbol, and resolves
-/// alternatives by ordered choice with backtracking, mirroring the
-/// runtime engine's semantics. The file depends only on the standard
-/// library.
+/// counterpart of the ANTLR-generated parser in the paper's prototype,
+/// kept in lockstep with the runtime engine's architecture: the grammar's
+/// symbol alphabet is interned into the same dense id table the engine
+/// builds (embedded as a static name array), FIRST-set pruning uses the
+/// same sorted id sets, and a successful parse builds the pooled
+/// equivalent of the engine's arena tree. `Parse()` consumes a pre-lexed
+/// `$`-terminated token stream; afterwards `sexpr()` (on success) and
+/// `error()` (on failure) are byte-identical to the runtime engine's
+/// S-expression rendering and syntax-error message for the same stream.
+/// One `Parse_<rule>()` method per nonterminal parses that rule alone.
+/// The file depends only on the standard library.
 ///
 /// Fails if the grammar does not validate or is left-recursive.
 Result<GeneratedParser> GenerateCppParser(const Grammar& grammar,
                                           const CodegenOptions& options = {});
+
+/// Options for native (.so) parser generation.
+struct NativeCodegenOptions {
+  /// The dialect's `SpecFingerprint` value, embedded in the handle so
+  /// the loader can verify it loaded the library it meant to build.
+  uint64_t grammar_fingerprint = 0;
+};
+
+/// Emits a self-contained C++ translation unit implementing the
+/// `extern "C"` native-parser ABI of sqlpl/codegen/native_abi.h for
+/// `parser`'s grammar: compile it with
+/// `c++ -O2 -fPIC -shared -fvisibility=hidden`, `dlopen` the result,
+/// and resolve `sqlpl_native_entry_v1`. The emitted recursive-descent
+/// parser replicates the interpreter's observable semantics exactly —
+/// FIRST-set pruning, furthest-failure recording, the depth limit, the
+/// S-expression rendering, and the syntax-error format — so its output
+/// is byte-identical to `LlParser::ParseTextRender` on the same token
+/// stream (the property the native tier's promotion gate enforces; see
+/// docs/NATIVE_TIER.md). Symbol ids are taken from `parser`'s interner,
+/// so host-lexed token streams feed the library directly.
+///
+/// Fails if the parser has semantic predicates attached (predicates are
+/// host callbacks and cannot cross the ABI).
+Result<GeneratedParser> GenerateNativeParserSource(
+    const LlParser& parser, const NativeCodegenOptions& options = {});
+
+/// FNV-1a hash over an interner's dense name table, order-sensitive.
+/// Embedded in generated native parsers (`symbol_table_hash`) and
+/// recomputed by the loader to prove that the serving parser and the
+/// shared object agree on the symbol id space.
+uint64_t SymbolTableHash(const SymbolInterner& interner);
 
 /// Sanitizes an arbitrary grammar name into a C++ identifier in
 /// UpperCamelCase ("Core+Where" -> "CoreWhere").

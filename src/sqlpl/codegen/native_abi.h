@@ -1,0 +1,86 @@
+#ifndef SQLPL_CODEGEN_NATIVE_ABI_H_
+#define SQLPL_CODEGEN_NATIVE_ABI_H_
+
+#include <cstdint>
+
+/// The stable `extern "C"` ABI between the serving process and a
+/// dlopen'ed native parser produced by `GenerateNativeParserSource` +
+/// the system C++ compiler (docs/NATIVE_TIER.md).
+///
+/// The generated shared object re-declares these structs verbatim (it
+/// must stay self-contained — it is compiled without the sqlpl source
+/// tree on the include path), so any layout change here is an ABI break
+/// and MUST bump `kNativeAbiVersion`; the loader refuses handles whose
+/// embedded version differs.
+extern "C" {
+
+/// One host-lexed token, mirroring `sqlpl::LexedToken`: the interned
+/// type id (the host's `SymbolInterner` id space — the .so embeds the
+/// same table, verified via `symbol_table_hash`), a borrowed lexeme
+/// view, and the 1-based source position. `reserved` pads `text` to an
+/// 8-byte boundary explicitly so the layout is identical everywhere.
+typedef struct SqlplNativeTokenV1 {
+  uint32_t type;
+  uint32_t reserved;
+  const char* text;
+  uint64_t text_len;
+  uint64_t line;
+  uint64_t column;
+} SqlplNativeTokenV1;
+
+/// Parse output: `data` points at a buffer owned by the shared object
+/// (the S-expression on accept, the syntax-error message on reject) —
+/// a per-thread render buffer the library reuses, so the pointer is
+/// valid only until the *calling thread's* next `parse` through the
+/// same handle. Callers copy out immediately and then clear the struct
+/// with the handle's `free_result` — never the host's `free`. The
+/// reuse is what keeps the hot path allocation-free; see
+/// docs/NATIVE_TIER.md.
+typedef struct SqlplNativeResultV1 {
+  char* data;
+  uint64_t size;
+} SqlplNativeResultV1;
+
+/// Parses `tokens` (length `num_tokens`, `$`-terminated: the last token
+/// has `type == 0`). Returns 0 = accepted (result holds the rendered
+/// S-expression when `want_render` != 0, else an empty buffer), 1 =
+/// syntax error (result holds the engine-byte-identical message), 2 =
+/// internal error (malformed input stream, allocation failure; result
+/// is empty and the caller must fall back to the interpreter).
+typedef int (*SqlplNativeParseFn)(const SqlplNativeTokenV1* tokens,
+                                  uint64_t num_tokens, int want_render,
+                                  SqlplNativeResultV1* result);
+typedef void (*SqlplNativeFreeFn)(SqlplNativeResultV1* result);
+
+/// The handle returned by the library's single exported entry point.
+/// `grammar_fingerprint` is the `SpecFingerprint` the library was
+/// generated for and `symbol_table_hash` covers the embedded symbol
+/// name table (see `sqlpl::SymbolTableHash`); the loader checks both
+/// before the handle may serve.
+typedef struct SqlplNativeParserV1 {
+  uint32_t abi_version;
+  uint32_t num_symbols;
+  uint64_t grammar_fingerprint;
+  uint64_t symbol_table_hash;
+  SqlplNativeParseFn parse;
+  SqlplNativeFreeFn free_result;
+} SqlplNativeParserV1;
+
+}  // extern "C"
+
+namespace sqlpl {
+
+inline constexpr uint32_t kNativeAbiVersion = 1;
+
+/// dlsym name of the entry point: `const SqlplNativeParserV1* (*)(void)`.
+inline constexpr char kNativeEntrySymbol[] = "sqlpl_native_entry_v1";
+using NativeEntryFn = const SqlplNativeParserV1* (*)();
+
+/// `SqlplNativeParseFn` return codes.
+inline constexpr int kNativeParseAccepted = 0;
+inline constexpr int kNativeParseSyntaxError = 1;
+inline constexpr int kNativeParseInternalError = 2;
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_CODEGEN_NATIVE_ABI_H_

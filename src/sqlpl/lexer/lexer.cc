@@ -1,8 +1,14 @@
 #include "sqlpl/lexer/lexer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
 
 #include "sqlpl/util/strings.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 namespace sqlpl {
 
@@ -14,34 +20,276 @@ bool IsSqlIdentStart(char c) { return IsIdentStart(c); }
 
 bool IsSqlIdentCont(char c) { return IsIdentCont(c) || c == '$'; }
 
+bool IsWsChar(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+         c == '\v';
+}
+
+// --- vectorized run scanning ----------------------------------------
+//
+// The lexer's hot loops are runs: identifier/keyword words, digit
+// strings, and whitespace gaps. Each run is classified 16 bytes at a
+// time with SSE2 when the CPU has it (checked once at runtime), 8 bytes
+// at a time with SWAR bit tricks otherwise, with a scalar tail. The
+// scanners only *find the end of the run* — token assembly, location
+// bookkeeping, and every error path stay in the scalar code, which is
+// what keeps the token stream byte-identical to the scalar lexer
+// (pinned by LexerTest.ScalarAndVectorScannersAgree and the bench
+// differential).
+//
+// Ident and digit runs can never contain '\n', so the caller advances
+// `column` by the run length in one add; whitespace runs count their
+// newlines after the end is known.
+
+std::atomic<bool> g_force_scalar_scan{false};
+
+constexpr uint64_t kOnes = 0x0101010101010101ull;
+constexpr uint64_t kHighBits = 0x8080808080808080ull;
+
+// SWAR primitives, valid for bytes < 0x80 (callers bail to scalar when
+// a word has any high bit set — SQL hot paths are ASCII).
+// In-range test: byte b sets its 0x80 flag iff lo <= b <= hi.
+//   b >= lo  <=>  b + (0x80 - lo) >= 0x80   (no cross-byte carry: sum <= 0xFF)
+//   b <= hi  <=>  (hi + 0x80) - b >= 0x80   (no cross-byte borrow)
+uint64_t SwarInRange(uint64_t x, uint8_t lo, uint8_t hi) {
+  uint64_t ge = (x + (0x80u - lo) * kOnes) & kHighBits;
+  uint64_t le = ((hi + 0x80u) * kOnes - x) & kHighBits;
+  return ge & le;
+}
+
+uint64_t SwarIdentContMask(uint64_t x) {
+  // Fold letters to lowercase; '_' (0x5F) folds to 0x7F and '$' to
+  // 0x24, neither lands in 'a'..'z', so the fold can't false-positive.
+  uint64_t letters = SwarInRange(x | (0x20 * kOnes), 'a', 'z');
+  uint64_t digits = SwarInRange(x, '0', '9');
+  uint64_t underscore = SwarInRange(x, '_', '_');
+  uint64_t dollar = SwarInRange(x, '$', '$');
+  return letters | digits | underscore | dollar;
+}
+
+uint64_t SwarWhitespaceMask(uint64_t x) {
+  return SwarInRange(x, '\t', '\r') | SwarInRange(x, ' ', ' ');
+}
+
+#if defined(__SSE2__)
+bool CpuHasSse2() {
+  static const bool has = __builtin_cpu_supports("sse2");
+  return has;
+}
+
+// 16-bit mask with bit i set iff byte i continues an identifier.
+// Signed compares make high-bit bytes negative, so non-ASCII naturally
+// falls out of every class — no pre-guard needed.
+int Sse2IdentContMask(__m128i v) {
+  __m128i lower = _mm_or_si128(v, _mm_set1_epi8(0x20));
+  __m128i letters = _mm_and_si128(
+      _mm_cmpgt_epi8(lower, _mm_set1_epi8('a' - 1)),
+      _mm_cmplt_epi8(lower, _mm_set1_epi8('z' + 1)));
+  __m128i digits = _mm_and_si128(
+      _mm_cmpgt_epi8(v, _mm_set1_epi8('0' - 1)),
+      _mm_cmplt_epi8(v, _mm_set1_epi8('9' + 1)));
+  __m128i special = _mm_or_si128(_mm_cmpeq_epi8(v, _mm_set1_epi8('_')),
+                                 _mm_cmpeq_epi8(v, _mm_set1_epi8('$')));
+  return _mm_movemask_epi8(
+      _mm_or_si128(_mm_or_si128(letters, digits), special));
+}
+
+int Sse2DigitMask(__m128i v) {
+  return _mm_movemask_epi8(
+      _mm_and_si128(_mm_cmpgt_epi8(v, _mm_set1_epi8('0' - 1)),
+                    _mm_cmplt_epi8(v, _mm_set1_epi8('9' + 1))));
+}
+
+int Sse2WhitespaceMask(__m128i v) {
+  __m128i ctrl = _mm_and_si128(
+      _mm_cmpgt_epi8(v, _mm_set1_epi8('\t' - 1)),
+      _mm_cmplt_epi8(v, _mm_set1_epi8('\r' + 1)));
+  return _mm_movemask_epi8(
+      _mm_or_si128(ctrl, _mm_cmpeq_epi8(v, _mm_set1_epi8(' '))));
+}
+#endif  // __SSE2__
+
+// Shared run-scanner skeleton: `pos` must point at (or past) the run's
+// first byte; returns the index of the first byte NOT in the class.
+template <typename ScalarPred, typename SwarMask, typename SseMask>
+size_t ScanRun(std::string_view sql, size_t pos, ScalarPred scalar_pred,
+               SwarMask swar_mask, SseMask sse_mask) {
+  if (!g_force_scalar_scan.load(std::memory_order_relaxed)) {
+#if defined(__SSE2__)
+    if (CpuHasSse2()) {
+      while (pos + 16 <= sql.size()) {
+        __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(sql.data() + pos));
+        int mask = sse_mask(v);
+        if (mask != 0xFFFF) {
+          return pos + static_cast<size_t>(__builtin_ctz(~mask & 0xFFFF));
+        }
+        pos += 16;
+      }
+    }
+#else
+    (void)sse_mask;
+#endif
+    while (pos + 8 <= sql.size()) {
+      uint64_t word;
+      std::memcpy(&word, sql.data() + pos, 8);
+      if ((word & kHighBits) != 0) break;  // non-ASCII: scalar tail owns it
+      uint64_t mask = swar_mask(word);
+      if (mask != kHighBits) {
+        // Little-endian: the first byte out of class is the lowest
+        // clear 0x80 flag.
+        return pos + (static_cast<size_t>(
+                          __builtin_ctzll(~mask & kHighBits)) >>
+                      3);
+      }
+      pos += 8;
+    }
+  }
+  while (pos < sql.size() && scalar_pred(sql[pos])) ++pos;
+  return pos;
+}
+
+size_t ScanIdentRun(std::string_view sql, size_t pos) {
+  return ScanRun(sql, pos, IsSqlIdentCont, SwarIdentContMask,
+#if defined(__SSE2__)
+                 Sse2IdentContMask
+#else
+                 0
+#endif
+  );
+}
+
+size_t ScanDigitRun(std::string_view sql, size_t pos) {
+  return ScanRun(sql, pos, IsDigit, [](uint64_t x) {
+    return SwarInRange(x, '0', '9');
+  },
+#if defined(__SSE2__)
+                 Sse2DigitMask
+#else
+                 0
+#endif
+  );
+}
+
+size_t ScanWhitespaceRun(std::string_view sql, size_t pos) {
+  return ScanRun(sql, pos, IsWsChar, SwarWhitespaceMask,
+#if defined(__SSE2__)
+                 Sse2WhitespaceMask
+#else
+                 0
+#endif
+  );
+}
+
 // FNV-1a over the case-folded word. Keyword texts are stored uppercase
 // (SQL convention), so hashing the stored text raw and the probed word
 // folded lands both in the same slot; a non-uppercase stored text simply
 // never matches, which is exactly the legacy map's behavior.
+// Case-folds one 8-byte chunk to upper, byte-exact with AsciiToUpper:
+// the SWAR fold handles the all-ASCII common case in a handful of ops;
+// chunks with high bits (where SwarInRange's carries could misclassify
+// neighbors) take the scalar fold so non-ASCII keyword texts keep the
+// legacy byte-for-byte semantics.
+uint64_t FoldUpperChunk(uint64_t x) {
+  if ((x & kHighBits) == 0) {
+    uint64_t letters = SwarInRange(x | (0x20 * kOnes), 'a', 'z');
+    return x & ~(letters >> 2);  // clear bit 5 exactly on a-z bytes
+  }
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    uint64_t b = (x >> (i * 8)) & 0xFF;
+    out |= static_cast<uint64_t>(static_cast<unsigned char>(
+               AsciiToUpper(static_cast<char>(b))))
+           << (i * 8);
+  }
+  return out;
+}
+
+uint64_t HashChunk(uint64_t h, uint64_t x) {
+  h ^= x;
+  h *= 0x9E3779B97F4A7C15ull;
+  h ^= h >> 29;
+  return h;
+}
+
+// Loads the sub-8-byte tail of `s` starting at `i`, zero-padded, with
+// two overlapping fixed-size loads (which the compiler inlines; a
+// variable-length memcpy becomes a libc call that dwarfs the work).
+// The overlapped bytes are read twice with the same value, so the OR
+// reconstructs exactly the zero-padded little-endian tail.
+uint64_t LoadTail(std::string_view s, size_t i) {
+  size_t n = s.size() - i;
+  if (n >= 4) {
+    uint32_t a;
+    uint32_t b;
+    std::memcpy(&a, s.data() + i, 4);
+    std::memcpy(&b, s.data() + s.size() - 4, 4);
+    return a | (static_cast<uint64_t>(b) << ((n - 4) * 8));
+  }
+  if (n >= 2) {
+    uint16_t a;
+    uint16_t b;
+    std::memcpy(&a, s.data() + i, 2);
+    std::memcpy(&b, s.data() + s.size() - 2, 2);
+    return a | (static_cast<uint64_t>(b) << ((n - 2) * 8));
+  }
+  if (n == 1) return static_cast<unsigned char>(s[i]);
+  return 0;
+}
+
+// Hash of upper(word), folded 8 bytes at a time. Equals KeywordHashRaw
+// of a stored text exactly when that text is upper(word) — the pair of
+// functions the probe table is built on.
 uint64_t KeywordHashFolded(std::string_view word) {
   uint64_t h = 0xcbf29ce484222325ull;
-  for (char c : word) {
-    h ^= static_cast<unsigned char>(AsciiToUpper(c));
-    h *= 0x100000001b3ull;
+  size_t i = 0;
+  for (; i + 8 <= word.size(); i += 8) {
+    uint64_t x;
+    std::memcpy(&x, word.data() + i, 8);
+    h = HashChunk(h, FoldUpperChunk(x));
   }
+  // Tail and length share one finalize round: a second full HashChunk
+  // would cost another multiply per word on the hot probe path, and
+  // probe-table quality only needs equal-strings-equal-hash plus decent
+  // dispersion, which the single multiply already provides.
+  h ^= FoldUpperChunk(LoadTail(word, i));
+  h ^= static_cast<uint64_t>(word.size()) << 56;
+  h *= 0x9E3779B97F4A7C15ull;
+  h ^= h >> 29;
   return h;
 }
 
 uint64_t KeywordHashRaw(std::string_view text) {
   uint64_t h = 0xcbf29ce484222325ull;
-  for (char c : text) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;
+  size_t i = 0;
+  for (; i + 8 <= text.size(); i += 8) {
+    uint64_t x;
+    std::memcpy(&x, text.data() + i, 8);
+    h = HashChunk(h, x);
   }
+  h ^= LoadTail(text, i);
+  h ^= static_cast<uint64_t>(text.size()) << 56;
+  h *= 0x9E3779B97F4A7C15ull;
+  h ^= h >> 29;
   return h;
 }
 
 // stored == upper(word), byte for byte — the legacy comparison
-// (`keywords_.contains(AsciiStrToUpper(word))`) without the temporary.
+// (`keywords_.contains(AsciiStrToUpper(word))`) without the temporary,
+// folded a chunk at a time.
 bool KeywordEqualsFolded(std::string_view stored, std::string_view word) {
   if (stored.size() != word.size()) return false;
-  for (size_t i = 0; i < stored.size(); ++i) {
-    if (stored[i] != AsciiToUpper(word[i])) return false;
+  size_t i = 0;
+  for (; i + 8 <= word.size(); i += 8) {
+    uint64_t w;
+    uint64_t s;
+    std::memcpy(&w, word.data() + i, 8);
+    std::memcpy(&s, stored.data() + i, 8);
+    if (FoldUpperChunk(w) != s) return false;
+  }
+  if (i < word.size() &&
+      FoldUpperChunk(LoadTail(word, i)) != LoadTail(stored, i)) {
+    return false;
   }
   return true;
 }
@@ -53,6 +301,14 @@ size_t NextPowerOfTwo(size_t n) {
 }
 
 }  // namespace
+
+void Lexer::SetScalarScanForTesting(bool scalar) {
+  g_force_scalar_scan.store(scalar, std::memory_order_relaxed);
+}
+
+bool Lexer::scalar_scan_for_testing() {
+  return g_force_scalar_scan.load(std::memory_order_relaxed);
+}
 
 Lexer::Lexer(const TokenSet& tokens)
     : Lexer(tokens, std::make_shared<SymbolInterner>()) {}
@@ -88,6 +344,7 @@ Lexer::Lexer(const TokenSet& tokens, std::shared_ptr<SymbolInterner> interner)
   keyword_mask_ = keyword_slots_.size() - 1;
   keyword_texts_.reserve(keywords.size());
   keyword_ids_.reserve(keywords.size());
+  kw_filter_.fill(0);
   for (auto& [text, id] : keywords) InsertKeyword(text, id);
 
   // Punctuation: one sorted run per first byte, longest first within the
@@ -123,6 +380,15 @@ Lexer::Lexer(const TokenSet& tokens, std::shared_ptr<SymbolInterner> interner)
 }
 
 void Lexer::InsertKeyword(const std::string& text, SymbolId type) {
+  if (!text.empty()) {
+    uint32_t bit = 1u << (text.size() < 31 ? text.size() : 31);
+    unsigned char first = static_cast<unsigned char>(text[0]);
+    kw_filter_[first] |= bit;
+    // A probe word matches only if it case-folds to the stored text, so
+    // its first byte is `first` or, for letters, the other case.
+    if (first >= 'A' && first <= 'Z') kw_filter_[first + 0x20] |= bit;
+    if (first >= 'a' && first <= 'z') kw_filter_[first - 0x20] |= bit;
+  }
   size_t slot = KeywordHashRaw(text) & keyword_mask_;
   while (keyword_slots_[slot] != kEmptySlot) {
     if (keyword_texts_[keyword_slots_[slot]] == text) {
@@ -139,6 +405,11 @@ void Lexer::InsertKeyword(const std::string& text, SymbolId type) {
 }
 
 SymbolId Lexer::FindKeyword(std::string_view word) const {
+  if (word.empty() ||
+      !(kw_filter_[static_cast<unsigned char>(word[0])] &
+        (1u << (word.size() < 31 ? word.size() : 31)))) {
+    return kInvalidSymbolId;
+  }
   size_t slot = KeywordHashFolded(word) & keyword_mask_;
   while (keyword_slots_[slot] != kEmptySlot) {
     uint32_t index = keyword_slots_[slot];
@@ -166,6 +437,22 @@ Status Lexer::TokenizeInto(std::string_view sql, TokenStream* out) const {
     }
     ++pos;
   };
+  // Settles line/column over sql[pos, end) in one step — the batched
+  // equivalent of calling advance() once per byte.
+  auto advance_over = [&](size_t end) {
+    size_t last_newline = sql.substr(pos, end - pos).rfind('\n');
+    if (last_newline == std::string_view::npos) {
+      column += end - pos;
+    } else {
+      line += static_cast<size_t>(
+          std::count(sql.begin() + static_cast<ptrdiff_t>(pos),
+                     sql.begin() + static_cast<ptrdiff_t>(pos + last_newline),
+                     '\n')) +
+              1;
+      column = end - (pos + last_newline);
+    }
+    pos = end;
+  };
   auto error_at = [&](const SourceLocation& loc, const std::string& message) {
     return Status::ParseError("lex error at " + loc.ToString() + ": " +
                               message);
@@ -174,40 +461,70 @@ Status Lexer::TokenizeInto(std::string_view sql, TokenStream* out) const {
   while (pos < sql.size()) {
     char c = sql[pos];
 
-    // Whitespace.
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
-        c == '\v') {
-      advance();
+    // The single space between two tokens (and the lone newline ending
+    // a statement line) are by far the most common gaps; skip them
+    // without the run-scanner setup.
+    if (c == ' ' && (pos + 1 >= sql.size() || !IsWsChar(sql[pos + 1]))) {
+      ++column;
+      ++pos;
       continue;
     }
-    // Line comment `-- ...`.
+    if (c == '\n' && (pos + 1 >= sql.size() || !IsWsChar(sql[pos + 1]))) {
+      ++line;
+      column = 1;
+      ++pos;
+      continue;
+    }
+    // Whitespace: scan the whole gap vectorized, then settle the
+    // line/column accounting once over the known run.
+    if (IsWsChar(c)) {
+      advance_over(ScanWhitespaceRun(sql, pos));
+      continue;
+    }
+    // Line comment `-- ...`: runs to (not through) the newline, which
+    // the whitespace branch then accounts for.
     if (c == '-' && pos + 1 < sql.size() && sql[pos + 1] == '-') {
-      while (pos < sql.size() && sql[pos] != '\n') advance();
+      const void* nl = std::memchr(sql.data() + pos, '\n', sql.size() - pos);
+      size_t end = nl == nullptr
+                       ? sql.size()
+                       : static_cast<size_t>(static_cast<const char*>(nl) -
+                                             sql.data());
+      column += end - pos;  // comment bytes never include a newline
+      pos = end;
       continue;
     }
     // Block comment `/* ... */`.
     if (c == '/' && pos + 1 < sql.size() && sql[pos + 1] == '*') {
       SourceLocation start = here();
-      advance();
-      advance();
-      while (pos + 1 < sql.size() &&
-             !(sql[pos] == '*' && sql[pos + 1] == '/')) {
-        advance();
+      size_t scan = pos + 2;
+      while (true) {
+        const void* star =
+            std::memchr(sql.data() + scan, '*', sql.size() - scan);
+        if (star == nullptr ||
+            static_cast<size_t>(static_cast<const char*>(star) -
+                                sql.data()) +
+                    1 >=
+                sql.size()) {
+          return error_at(start, "unterminated block comment");
+        }
+        scan = static_cast<size_t>(static_cast<const char*>(star) -
+                                   sql.data());
+        if (sql[scan + 1] == '/') break;
+        ++scan;
       }
-      if (pos + 1 >= sql.size()) {
-        return error_at(start, "unterminated block comment");
-      }
-      advance();
-      advance();
+      advance_over(scan + 2);
       continue;
     }
 
     SourceLocation loc = here();
 
-    // Word: keyword or regular identifier.
+    // Word: keyword or regular identifier. Ident bytes never contain a
+    // newline, so the run advances `column` in one add.
     if (IsSqlIdentStart(c)) {
       size_t start = pos;
-      while (pos < sql.size() && IsSqlIdentCont(sql[pos])) advance();
+      size_t end = ScanIdentRun(sql, pos + 1);
+      column += end - pos;
+      pos = end;
       std::string_view word = sql.substr(start, pos - start);
       SymbolId keyword = FindKeyword(word);
       if (keyword != kInvalidSymbolId) {
@@ -232,21 +549,23 @@ Status Lexer::TokenizeInto(std::string_view sql, TokenStream* out) const {
       advance();
       size_t body_start = pos;
       bool has_escape = false;
-      // First pass: find the closing quote, noting `""` escapes.
+      // First pass: find the closing quote, noting `""` escapes. memchr
+      // jumps quote to quote; advance_over settles line/column for the
+      // skipped body (which may span newlines).
       while (true) {
-        if (pos >= sql.size()) {
+        const void* q = std::memchr(sql.data() + pos, '"', sql.size() - pos);
+        if (q == nullptr) {
           return error_at(loc, "unterminated delimited identifier");
         }
-        if (sql[pos] == '"') {
-          if (pos + 1 < sql.size() && sql[pos + 1] == '"') {
-            has_escape = true;
-            advance();
-            advance();
-            continue;
-          }
-          break;
+        advance_over(
+            static_cast<size_t>(static_cast<const char*>(q) - sql.data()));
+        if (pos + 1 < sql.size() && sql[pos + 1] == '"') {
+          has_escape = true;
+          advance();
+          advance();
+          continue;
         }
-        advance();
+        break;
       }
       std::string_view body = sql.substr(body_start, pos - body_start);
       advance();  // closing quote
@@ -274,19 +593,19 @@ Status Lexer::TokenizeInto(std::string_view sql, TokenStream* out) const {
       size_t body_start = pos;
       bool has_escape = false;
       while (true) {
-        if (pos >= sql.size()) {
+        const void* q = std::memchr(sql.data() + pos, '\'', sql.size() - pos);
+        if (q == nullptr) {
           return error_at(loc, "unterminated string literal");
         }
-        if (sql[pos] == '\'') {
-          if (pos + 1 < sql.size() && sql[pos + 1] == '\'') {
-            has_escape = true;
-            advance();
-            advance();
-            continue;
-          }
-          break;
+        advance_over(
+            static_cast<size_t>(static_cast<const char*>(q) - sql.data()));
+        if (pos + 1 < sql.size() && sql[pos + 1] == '\'') {
+          has_escape = true;
+          advance();
+          advance();
+          continue;
         }
-        advance();
+        break;
       }
       std::string_view body = sql.substr(body_start, pos - body_start);
       advance();  // closing quote
@@ -312,11 +631,15 @@ Status Lexer::TokenizeInto(std::string_view sql, TokenStream* out) const {
                              "number token");
       }
       size_t start = pos;
-      while (pos < sql.size() && IsDigit(sql[pos])) advance();
+      size_t digits_end = ScanDigitRun(sql, pos);
+      column += digits_end - pos;
+      pos = digits_end;
       if (pos < sql.size() && sql[pos] == '.' &&
           pos + 1 < sql.size() && IsDigit(sql[pos + 1])) {
         advance();
-        while (pos < sql.size() && IsDigit(sql[pos])) advance();
+        digits_end = ScanDigitRun(sql, pos);
+        column += digits_end - pos;
+        pos = digits_end;
       } else if (pos < sql.size() && sql[pos] == '.' &&
                  !(pos + 1 < sql.size() && sql[pos + 1] == '.')) {
         // Trailing dot (`12.`) unless part of a `..` range token.
@@ -329,7 +652,9 @@ Status Lexer::TokenizeInto(std::string_view sql, TokenStream* out) const {
           advance();
         }
         if (pos < sql.size() && IsDigit(sql[pos])) {
-          while (pos < sql.size() && IsDigit(sql[pos])) advance();
+          digits_end = ScanDigitRun(sql, pos);
+          column += digits_end - pos;
+          pos = digits_end;
         } else {
           // Not an exponent after all (e.g. `1event`): rewind to `e`.
           column -= pos - mark;
@@ -348,8 +673,12 @@ Status Lexer::TokenizeInto(std::string_view sql, TokenStream* out) const {
     bool matched = false;
     for (uint32_t i = begin; i < end; ++i) {
       const PunctEntry& entry = puncts_[i];
+      // The bucket guarantees the first byte matches, so a one-byte
+      // entry (the common punctuation) matches outright.
       if (sql.size() - pos >= entry.text.size() &&
-          sql.compare(pos, entry.text.size(), entry.text) == 0) {
+          (entry.text.size() == 1 ||
+           std::memcmp(sql.data() + pos + 1, entry.text.data() + 1,
+                       entry.text.size() - 1) == 0)) {
         tokens.push_back(
             {entry.type, sql.substr(pos, entry.text.size()), loc});
         for (size_t k = 0; k < entry.text.size(); ++k) advance();

@@ -70,6 +70,14 @@ class Lexer {
   size_t NumKeywords() const { return keyword_texts_.size(); }
   size_t NumPunctuation() const { return puncts_.size(); }
 
+  /// Testing/benchmark hook: when true, `TokenizeInto` scans runs one
+  /// byte at a time instead of with the SWAR/SSE2 fast path. The two
+  /// scanners must produce byte-identical token streams (pinned by the
+  /// lexer differential test); the hook exists to prove it and to
+  /// measure the speedup. Process-global; not for production use.
+  static void SetScalarScanForTesting(bool scalar);
+  static bool scalar_scan_for_testing();
+
   /// The symbol namespace this lexer emits `SymbolId`s from.
   const SymbolInterner& interner() const { return *interner_; }
   std::shared_ptr<const SymbolInterner> shared_interner() const {
@@ -99,6 +107,12 @@ class Lexer {
   std::vector<SymbolId> keyword_ids_;
   std::vector<uint32_t> keyword_slots_;
   size_t keyword_mask_ = 0;
+
+  // Pre-probe reject filter: kw_filter_[first byte] has bit min(len, 31)
+  // set iff some keyword of that length starts with that byte (both
+  // letter cases are registered at insert). Most identifiers fail this
+  // single load+test, skipping the fold/hash/probe entirely.
+  std::array<uint32_t, 256> kw_filter_{};
 
   // Punctuation entries sorted by (first byte, length desc, text);
   // punct_begin_/punct_end_ bracket each first byte's run, so matching

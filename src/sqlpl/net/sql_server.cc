@@ -51,29 +51,6 @@ WireConflict ToWireConflict(const fm::ConfigConflict& conflict) {
   return wire;
 }
 
-/// Maps the deprecated option struct onto the sharded configuration:
-/// the old topology (round-robin acceptor, `num_workers` spread across
-/// the loops) with the old knob values carried over.
-ServerOptions FromLegacy(const SqlServerOptions& legacy) {
-  ServerOptions options;
-  options.bind_address = legacy.bind_address;
-  options.port = legacy.port;
-  options.num_loops = legacy.num_event_loops == 0 ? 1 : legacy.num_event_loops;
-  options.acceptor = AcceptorStrategy::kRoundRobin;
-  size_t workers = legacy.num_workers == 0 ? 1 : legacy.num_workers;
-  options.workers_per_shard =
-      (workers + options.num_loops - 1) / options.num_loops;
-  options.max_frame_bytes = legacy.max_frame_bytes;
-  options.write_backpressure_bytes = legacy.write_backpressure_bytes;
-  options.write_buffer_limit = legacy.write_buffer_limit;
-  options.drain_deadline = legacy.drain_deadline;
-  options.enable_metrics_sideband = legacy.enable_metrics_sideband;
-  options.metrics_port = legacy.metrics_port;
-  options.flight_dump_slow_micros = legacy.flight_dump_slow_micros;
-  options.flight_dump_interval = legacy.flight_dump_interval;
-  return options;
-}
-
 }  // namespace
 
 /// Per-connection state. The input side (`in`, `in_off`) belongs to the
@@ -249,9 +226,6 @@ SqlServer::SqlServer(DialectService* service, ServerOptions options)
       "sqlpl_net_flight_dumps_total", {{"reason", "error"}},
       "Flight-recorder anomaly dumps, by trigger");
 }
-
-SqlServer::SqlServer(DialectService* service, const SqlServerOptions& legacy)
-    : SqlServer(service, FromLegacy(legacy)) {}
 
 SqlServer::~SqlServer() { Stop(); }
 

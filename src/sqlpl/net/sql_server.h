@@ -40,9 +40,11 @@ enum class AcceptorStrategy : uint8_t {
   kRoundRobin = 1,
 };
 
-/// Configuration of the sharded wire runtime. Replaces the positional
-/// knobs of the legacy `SqlServerOptions` (still accepted through a
-/// deprecated constructor shim — see below).
+/// Configuration of the sharded wire runtime. (The pre-sharding
+/// `SqlServerOptions` struct and its constructor shim were removed one
+/// release after the sharded API shipped, as announced; the old
+/// topology remains expressible — `AcceptorStrategy::kRoundRobin` plus
+/// `num_loops`/`workers_per_shard` — for callers that relied on it.)
 struct ServerOptions {
   std::string bind_address = "127.0.0.1";
   /// 0 = ephemeral; read the bound port back with `port()`.
@@ -106,26 +108,6 @@ struct ServerOptions {
   std::chrono::milliseconds flight_dump_interval{1000};
 };
 
-/// DEPRECATED legacy option struct (pre-sharding API). Maps onto
-/// `ServerOptions` via the shim constructor: `num_event_loops` becomes
-/// `num_loops` (with the round-robin acceptor the old code had) and
-/// `num_workers` is split evenly across the shards. Will be removed one
-/// release after the sharded API ships — migrate to `ServerOptions`.
-struct SqlServerOptions {
-  std::string bind_address = "127.0.0.1";
-  uint16_t port = 0;
-  size_t num_event_loops = 2;
-  size_t num_workers = 4;
-  size_t max_frame_bytes = kDefaultMaxFrameBytes;
-  size_t write_backpressure_bytes = 256 * 1024;
-  size_t write_buffer_limit = 4 * 1024 * 1024;
-  std::chrono::milliseconds drain_deadline{2000};
-  bool enable_metrics_sideband = false;
-  uint16_t metrics_port = 0;
-  uint64_t flight_dump_slow_micros = 0;
-  std::chrono::milliseconds flight_dump_interval{1000};
-};
-
 /// The network front-end of a `DialectService` (docs/NETWORK.md): a
 /// sharded, non-blocking runtime speaking the length-prefixed framed
 /// protocol of wire.h.
@@ -167,10 +149,6 @@ class SqlServer {
  public:
   /// `service` must outlive the server.
   SqlServer(DialectService* service, ServerOptions options = {});
-  /// DEPRECATED shim for the pre-sharding API; forwards to the
-  /// `ServerOptions` constructor (see `SqlServerOptions`). Removal note:
-  /// gone one release after the sharded API ships.
-  SqlServer(DialectService* service, const SqlServerOptions& legacy);
   ~SqlServer();
 
   SqlServer(const SqlServer&) = delete;

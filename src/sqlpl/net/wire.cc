@@ -483,7 +483,7 @@ Status DecodeResponsePayload(std::span<const uint8_t> payload,
   out->status = StatusCodeFromWire(reader.U8());
   uint8_t disposition = reader.U8();
   out->cache_disposition =
-      disposition <= static_cast<uint8_t>(CacheDisposition::kCoalesced)
+      disposition <= static_cast<uint8_t>(CacheDisposition::kNative)
           ? static_cast<CacheDisposition>(disposition)
           : CacheDisposition::kUnresolved;
   out->parse_micros = reader.U32();

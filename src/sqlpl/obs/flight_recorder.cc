@@ -38,6 +38,8 @@ const char* FlightStageName(uint8_t stage) {
     case FlightStage::kWrite: return "write";
     case FlightStage::kRequest: return "request";
     case FlightStage::kService: return "service";
+    case FlightStage::kNativeCompile: return "native_compile";
+    case FlightStage::kNativePromotion: return "native_promotion";
   }
   return "unknown";
 }

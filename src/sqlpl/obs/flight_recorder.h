@@ -25,6 +25,8 @@ enum class FlightStage : uint8_t {
   kWrite = 6,      // frame enqueue + synchronous socket flush attempt
   kRequest = 7,    // whole wire request (decode -> response queued)
   kService = 8,    // DialectService::Parse (any caller, wire or not)
+  kNativeCompile = 9,    // native tier: codegen + toolchain + dlopen
+  kNativePromotion = 10,  // native tier: equivalence gate + publish
 };
 
 /// Stable lowercase name of a stage ("decode", "parse", ...); "unknown"

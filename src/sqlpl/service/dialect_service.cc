@@ -64,6 +64,7 @@ DialectService::DialectService(DialectServiceOptions options)
       pool_(ThreadPoolOptions{options.num_threads, options.max_queue_depth,
                               options.overflow},
             &stats_.registry()),
+      native_tier_(options.native, &stats_.registry()),
       validated_(new std::atomic<uint64_t>[kValidatedSlots]()) {
   validate_skips_ = stats_.registry().GetCounter(
       "sqlpl_fm_validate_skips_total", {},
@@ -104,9 +105,10 @@ void DialectService::MarkValidated(uint64_t fingerprint) {
 
 Result<std::shared_ptr<const LlParser>> DialectService::GetParser(
     const DialectSpec& spec, const RequestControl& control,
-    CacheDisposition* disposition) {
+    CacheDisposition* disposition, SpecFingerprint* fingerprint_out) {
   SQLPL_TRACE_SPAN("get_parser", "service", spec.name);
   SpecFingerprint key = FingerprintSpec(spec);
+  if (fingerprint_out != nullptr) *fingerprint_out = key;
   // Constraint gate: an unsatisfiable selection is refused here with a
   // typed kInvalidConfig and a minimal conflict, before the cache and
   // above all the single-flight build ever see it — invalid configs
@@ -188,8 +190,9 @@ bool DialectService::Admit(const RequestControl& control,
 }
 
 ParseResponse DialectService::Execute(
-    const ParseRequest& request, const LlParser& parser,
-    CacheDisposition disposition,
+    const ParseRequest& request,
+    const std::shared_ptr<const LlParser>& parser,
+    SpecFingerprint fingerprint, CacheDisposition disposition,
     std::chrono::steady_clock::time_point admitted_at, bool queue_stage) {
   ParseResponse response;
   response.cache_disposition = disposition;
@@ -213,6 +216,31 @@ ParseResponse DialectService::Execute(
     }
   }
 
+  // Native tier: a promoted fingerprint answers render-mode requests
+  // from its AOT-compiled library (byte-identical by the promotion
+  // gate); a non-promoted one has its render traffic counted toward the
+  // hot threshold. TryServe failing for any reason — no entry, lexing
+  // error, runtime demotion — falls straight through to the
+  // interpreter: the tier fails closed.
+  if (request.render_sexpr && native_tier_.enabled()) {
+    auto native_start = std::chrono::steady_clock::now();
+    size_t native_tokens = 0;
+    if (native_tier_.TryServe(fingerprint, *parser, request.sql, &response,
+                              &native_tokens)) {
+      uint64_t native_micros = ElapsedMicros(native_start);
+      response.cache_disposition = CacheDisposition::kNative;
+      stats_.RecordThroughput(native_tokens, 0);
+      stats_.RecordParse(response.ok(), native_micros,
+                         request.trace.trace_id);
+      response.parse_micros = native_micros;
+      response.total_micros = ElapsedMicros(admitted_at);
+      RecordServiceFlightEvent(request.trace, response.total_micros,
+                               response.status().code());
+      return response;
+    }
+    native_tier_.RecordTraffic(fingerprint, parser);
+  }
+
   auto parse_start = std::chrono::steady_clock::now();
   // The stats-taking overload also skips the arena-to-ParseNode
   // conversion entirely when the caller doesn't want the tree (it
@@ -221,10 +249,10 @@ ParseResponse DialectService::Execute(
   ParseStats parse_stats;
   Result<ParseNode> tree =
       request.render_sexpr
-          ? parser.ParseTextRender(request.sql, control, &parse_stats,
-                                   &response.rendered)
-          : parser.ParseText(request.sql, control, &parse_stats,
-                             /*build_tree=*/request.want_tree);
+          ? parser->ParseTextRender(request.sql, control, &parse_stats,
+                                    &response.rendered)
+          : parser->ParseText(request.sql, control, &parse_stats,
+                              /*build_tree=*/request.want_tree);
   uint64_t parse_micros = ElapsedMicros(parse_start);
   stats_.RecordThroughput(parse_stats.tokens, parse_stats.arena_bytes);
 
@@ -280,8 +308,9 @@ ParseResponse DialectService::Parse(const ParseRequest& request) {
   }
 
   CacheDisposition disposition = CacheDisposition::kUnresolved;
+  SpecFingerprint fingerprint;
   Result<std::shared_ptr<const LlParser>> parser =
-      GetParser(*request.spec, control, &disposition);
+      GetParser(*request.spec, control, &disposition, &fingerprint);
   if (!parser.ok()) {
     // A deadline/cancel hit during resolution (coalesced wait) surfaces
     // here; count it under the queue/cancel metrics like any other
@@ -301,7 +330,7 @@ ParseResponse DialectService::Parse(const ParseRequest& request) {
     response.total_micros = ElapsedMicros(start);
     return response;
   }
-  return Execute(request, **parser, disposition, start,
+  return Execute(request, *parser, fingerprint, disposition, start,
                  /*queue_stage=*/true);
 }
 
@@ -392,7 +421,8 @@ std::vector<ParseResponse> DialectService::ParseBatch(
       responses[i].total_micros = ElapsedMicros(start);
       return;
     }
-    responses[i] = Execute(request, *it->second.parser.value(),
+    responses[i] = Execute(request, it->second.parser.value(),
+                           SpecFingerprint{fingerprint_of[i]},
                            it->second.disposition, start,
                            /*queue_stage=*/true);
   });

@@ -11,6 +11,7 @@
 
 #include "sqlpl/fm/configurator.h"
 #include "sqlpl/parser/parse_tree.h"
+#include "sqlpl/service/native_tier.h"
 #include "sqlpl/service/parser_cache.h"
 #include "sqlpl/service/service_stats.h"
 #include "sqlpl/service/spec_fingerprint.h"
@@ -44,6 +45,12 @@ struct DialectServiceOptions {
   /// `build_retry_backoff`. 1 = no retry.
   int max_build_attempts = 2;
   std::chrono::microseconds build_retry_backoff{500};
+  /// AOT native-parser tier (service/native_tier.h): off by default
+  /// (`hot_threshold == 0`). When enabled, render-mode parses of hot
+  /// fingerprints are answered by a background-compiled, dlopen'ed,
+  /// equivalence-gated native parser and report
+  /// `CacheDisposition::kNative`.
+  NativeTierOptions native;
 };
 
 /// One parse under the request-lifecycle API: what to parse (`spec` +
@@ -156,9 +163,13 @@ class DialectService {
   /// Resolves (builds or fetches) the parser for `spec` under
   /// `control`, reporting how through `disposition` (optional) —
   /// cache warm-up, or direct use of the shared instance.
+  /// `fingerprint_out` (optional) receives the spec's fingerprint — the
+  /// cache key, computed here anyway — so request paths don't hash the
+  /// spec twice.
   Result<std::shared_ptr<const LlParser>> GetParser(
       const DialectSpec& spec, const RequestControl& control,
-      CacheDisposition* disposition = nullptr);
+      CacheDisposition* disposition = nullptr,
+      SpecFingerprint* fingerprint_out = nullptr);
 
   /// Legacy positional form of `Parse`: no deadline, no cancellation,
   /// no admission control bypass — equivalent to a `ParseRequest` with
@@ -215,6 +226,10 @@ class DialectService {
   const SqlProductLine& product_line() const { return line_; }
   const ParserCache& cache() const { return cache_; }
   const DialectServiceOptions& options() const { return options_; }
+  /// The AOT native-parser tier (inert unless
+  /// `options().native.hot_threshold > 0`). Exposed for tests and
+  /// benchmarks: `WaitIdle` / `IsPromoted` / `stats`.
+  NativeTier& native_tier() { return native_tier_; }
 
  private:
   /// RAII admission slot; `admitted()` false means the service is at
@@ -240,9 +255,14 @@ class DialectService {
 
   /// Executes one admitted request against `parser` (checkpointed
   /// parse, stats, response assembly). `queue_stage` selects which
-  /// deadline-miss stage a pre-parse expiry counts under.
+  /// deadline-miss stage a pre-parse expiry counts under. The parser
+  /// arrives as the cache's shared_ptr (not a reference) and with its
+  /// `fingerprint` so the native tier can count traffic, pin the
+  /// instance for background compilation, and serve promoted
+  /// fingerprints natively.
   ParseResponse Execute(const ParseRequest& request,
-                        const LlParser& parser,
+                        const std::shared_ptr<const LlParser>& parser,
+                        SpecFingerprint fingerprint,
                         CacheDisposition disposition,
                         std::chrono::steady_clock::time_point admitted_at,
                         bool queue_stage);
@@ -271,6 +291,8 @@ class DialectService {
   /// from the first export on.
   fm::Configurator configurator_;
   ThreadPool pool_;
+  /// Declared after stats_: its counters register on the stats registry.
+  NativeTier native_tier_;
   std::atomic<size_t> inflight_requests_{0};
 
   /// Validated-fingerprint fast path (ISSUE 8 cache-hit fix): specs

@@ -1,0 +1,534 @@
+#include "sqlpl/service/native_tier.h"
+
+#include <dlfcn.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "sqlpl/codegen/cpp_codegen.h"
+#include "sqlpl/lexer/token_stream.h"
+#include "sqlpl/obs/flight_recorder.h"
+#include "sqlpl/obs/trace.h"
+#include "sqlpl/parser/parse_tree.h"
+#include "sqlpl/service/dialect_service.h"
+#include "sqlpl/testing/golden_corpus.h"
+#include "sqlpl/util/subprocess.h"
+
+namespace sqlpl {
+
+namespace {
+
+// splitmix64 finisher: SpecFingerprints are already FNV products, but
+// the open-addressing tables index by low bits, so spread them.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+// Flight-recorder event for one background compile/promotion interval,
+// backdated like the service events so dumps line up (the compile
+// itself has no wire trace — trace_id 0 marks tier-initiated work).
+void RecordNativeFlightEvent(obs::FlightStage stage, uint64_t dur_micros,
+                             bool ok) {
+  obs::FlightEvent event;
+  uint64_t now = obs::TraceNowMicros();
+  event.ts_micros = now > dur_micros ? now - dur_micros : 0;
+  event.dur_micros = dur_micros > UINT32_MAX
+                         ? UINT32_MAX
+                         : static_cast<uint32_t>(dur_micros);
+  event.stage = static_cast<uint8_t>(stage);
+  event.status = ok ? 0 : 1;
+  obs::FlightRecorder::Global().Record(event);
+}
+
+uint64_t ElapsedMicrosSince(uint64_t start) {
+  uint64_t now = obs::TraceNowMicros();
+  return now > start ? now - start : 0;
+}
+
+}  // namespace
+
+const char* NativeDemotionReasonName(NativeDemotionReason reason) {
+  switch (reason) {
+    case NativeDemotionReason::kCompileError: return "compile_error";
+    case NativeDemotionReason::kDlopenError: return "dlopen_error";
+    case NativeDemotionReason::kAbiMismatch: return "abi_mismatch";
+    case NativeDemotionReason::kEquivalenceMismatch:
+      return "equivalence_mismatch";
+    case NativeDemotionReason::kRuntimeError: return "runtime_error";
+    case NativeDemotionReason::kUnsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+NativeTier::NativeTier(NativeTierOptions options,
+                       obs::MetricsRegistry* registry)
+    : options_(std::move(options)), registry_(registry) {
+  if (!enabled()) return;
+  traffic_ = std::make_unique<TrafficSlot[]>(kTrafficSlots);
+  poisoned_ = std::make_unique<std::atomic<uint64_t>[]>(kPoisonSlots);
+  for (size_t i = 0; i < kPoisonSlots; ++i) {
+    poisoned_[i].store(0, std::memory_order_relaxed);
+  }
+  if (registry_ != nullptr) {
+    promotions_counter_ = registry_->GetCounter(
+        "sqlpl_native_promotions_total", {},
+        "Fingerprints promoted to the AOT native parser tier");
+    parse_counter_ = registry_->GetCounter(
+        "sqlpl_native_parse_total", {},
+        "Parses answered by a promoted native parser");
+  }
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+NativeTier::~NativeTier() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    worker_.join();
+  }
+  // No caller can be inside TryServe once the owning service is being
+  // destroyed, so this is the one place a library may be unloaded.
+  for (Entry& entry : entries_) {
+    if (entry.dl_handle != nullptr) dlclose(entry.dl_handle);
+  }
+}
+
+obs::Counter* NativeTier::DemotionCounter(NativeDemotionReason reason) {
+  if (registry_ == nullptr) return nullptr;
+  size_t index = static_cast<size_t>(reason);
+  std::lock_guard<std::mutex> lock(demotion_counters_mu_);
+  if (demotion_counters_[index] == nullptr) {
+    demotion_counters_[index] = registry_->GetCounter(
+        "sqlpl_native_demotions_total",
+        {{"reason", NativeDemotionReasonName(reason)}},
+        "Native-tier promotions refused or revoked, by reason");
+  }
+  return demotion_counters_[index];
+}
+
+void NativeTier::Poison(uint64_t fingerprint) {
+  uint64_t h = Mix(fingerprint);
+  for (size_t probe = 0; probe < kPoisonProbeLimit; ++probe) {
+    std::atomic<uint64_t>& slot = poisoned_[(h + probe) & (kPoisonSlots - 1)];
+    uint64_t cur = slot.load(std::memory_order_relaxed);
+    if (cur == fingerprint) return;
+    if (cur == 0) {
+      uint64_t expected = 0;
+      if (slot.compare_exchange_strong(expected, fingerprint,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+      if (expected == fingerprint) return;
+    }
+  }
+  // Probe window full: the fingerprint stays unpoisoned, but it also
+  // never gets another compile attempt (attempted_ is insert-only), so
+  // the only cost is a redundant runtime demotion check.
+}
+
+bool NativeTier::IsPoisoned(SpecFingerprint fingerprint) const {
+  if (!enabled()) return false;
+  uint64_t h = Mix(fingerprint.value);
+  for (size_t probe = 0; probe < kPoisonProbeLimit; ++probe) {
+    uint64_t cur = poisoned_[(h + probe) & (kPoisonSlots - 1)].load(
+        std::memory_order_relaxed);
+    if (cur == fingerprint.value) return true;
+    if (cur == 0) return false;
+  }
+  return false;
+}
+
+bool NativeTier::IsPromoted(SpecFingerprint fingerprint) const {
+  if (!enabled()) return false;
+  for (const Entry& entry : entries_) {
+    if (entry.active.load(std::memory_order_acquire) &&
+        entry.fingerprint.load(std::memory_order_relaxed) ==
+            fingerprint.value) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void NativeTier::Demote(uint64_t fingerprint, NativeDemotionReason reason,
+                        const std::string& detail) {
+  for (Entry& entry : entries_) {
+    if (entry.fingerprint.load(std::memory_order_relaxed) == fingerprint) {
+      entry.active.store(false, std::memory_order_release);
+    }
+  }
+  Poison(fingerprint);
+  demotions_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Counter* counter = DemotionCounter(reason)) counter->Increment();
+  obs::Span span("native_tier.demote", "service",
+                 std::string(NativeDemotionReasonName(reason)) + " " +
+                     FingerprintHex(fingerprint) +
+                     (detail.empty() ? "" : ": " + detail));
+}
+
+void NativeTier::RecordTraffic(SpecFingerprint fingerprint,
+                               const std::shared_ptr<const LlParser>& parser) {
+  if (!enabled() || fingerprint.value == 0 || parser == nullptr) return;
+  uint64_t h = Mix(fingerprint.value);
+  for (size_t probe = 0; probe < kTrafficProbeLimit; ++probe) {
+    TrafficSlot& slot = traffic_[(h + probe) & (kTrafficSlots - 1)];
+    uint64_t cur = slot.fingerprint.load(std::memory_order_relaxed);
+    if (cur == 0) {
+      uint64_t expected = 0;
+      if (!slot.fingerprint.compare_exchange_strong(
+              expected, fingerprint.value, std::memory_order_relaxed)) {
+        if (expected != fingerprint.value) continue;
+      }
+      cur = fingerprint.value;
+    }
+    if (cur != fingerprint.value) continue;
+    uint64_t count = slot.count.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (count != options_.hot_threshold) return;
+    // Crossed the threshold exactly once: queue a compile attempt —
+    // unless the fingerprint already failed one, or the tier is full.
+    if (IsPoisoned(fingerprint)) return;
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) return;
+    if (std::find(attempted_.begin(), attempted_.end(), fingerprint.value) !=
+        attempted_.end()) {
+      return;
+    }
+    if (attempted_.size() >= std::min(options_.max_native, kMaxSlots)) return;
+    attempted_.push_back(fingerprint.value);
+    queue_.push_back(CompileJob{fingerprint, parser});
+    queue_cv_.notify_one();
+    return;
+  }
+  // Traffic table saturated around this hash: the fingerprint simply
+  // is not counted; the interpreter keeps serving it.
+}
+
+void NativeTier::WorkerLoop() {
+  for (;;) {
+    CompileJob job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      worker_busy_ = true;
+    }
+    Compile(job);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      worker_busy_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void NativeTier::WaitIdle() {
+  if (!enabled()) return;
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !worker_busy_; });
+}
+
+void NativeTier::Compile(const CompileJob& job) {
+  uint64_t compile_start = obs::TraceNowMicros();
+  obs::Span span("native_tier.compile", "service",
+                 FingerprintHex(job.fingerprint.value));
+  const LlParser& parser = *job.parser;
+
+  if (parser.NumPredicates() > 0) {
+    // Semantic predicates are host callbacks; they cannot cross the ABI.
+    Demote(job.fingerprint.value, NativeDemotionReason::kUnsupported,
+           "parser has semantic predicates");
+    RecordNativeFlightEvent(obs::FlightStage::kNativeCompile,
+                            ElapsedMicrosSince(compile_start), false);
+    return;
+  }
+
+  NativeCodegenOptions codegen_options;
+  codegen_options.grammar_fingerprint = job.fingerprint.value;
+  Result<GeneratedParser> generated =
+      GenerateNativeParserSource(parser, codegen_options);
+  if (!generated.ok()) {
+    Demote(job.fingerprint.value, NativeDemotionReason::kUnsupported,
+           generated.status().message());
+    RecordNativeFlightEvent(obs::FlightStage::kNativeCompile,
+                            ElapsedMicrosSince(compile_start), false);
+    return;
+  }
+  std::string source = std::move(generated->code);
+  if (options_.transform_source_for_testing) {
+    source = options_.transform_source_for_testing(source);
+  }
+
+  // Sandbox: a private mode-0700 temp dir; the compiler reads exactly
+  // one generated file from it and writes exactly one .so into it.
+  ScopedTempDir workdir;
+  if (!workdir.ok()) {
+    Demote(job.fingerprint.value, NativeDemotionReason::kCompileError,
+           "cannot create compile work dir");
+    RecordNativeFlightEvent(obs::FlightStage::kNativeCompile,
+                            ElapsedMicrosSince(compile_start), false);
+    return;
+  }
+  std::string source_path = workdir.path() + "/" + generated->file_name;
+  std::string so_path = workdir.path() + "/parser.so";
+  Status written = WriteFileContents(source_path, source);
+  if (!written.ok()) {
+    Demote(job.fingerprint.value, NativeDemotionReason::kCompileError,
+           written.message());
+    RecordNativeFlightEvent(obs::FlightStage::kNativeCompile,
+                            ElapsedMicrosSince(compile_start), false);
+    return;
+  }
+
+  std::vector<std::string> argv = {options_.compiler, "-std=c++17", "-O2",
+                                   "-fPIC",           "-shared",
+                                   "-fvisibility=hidden"};
+  argv.insert(argv.end(), options_.extra_cflags.begin(),
+              options_.extra_cflags.end());
+  argv.push_back("-o");
+  argv.push_back(so_path);
+  argv.push_back(source_path);
+  Result<SubprocessResult> compiled = RunSubprocess(argv);
+  if (!compiled.ok() || !compiled->ok()) {
+    Demote(job.fingerprint.value, NativeDemotionReason::kCompileError,
+           compiled.ok() ? compiled->output : compiled.status().message());
+    RecordNativeFlightEvent(obs::FlightStage::kNativeCompile,
+                            ElapsedMicrosSince(compile_start), false);
+    return;
+  }
+
+  void* dl_handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (dl_handle == nullptr) {
+    const char* err = dlerror();
+    Demote(job.fingerprint.value, NativeDemotionReason::kDlopenError,
+           err != nullptr ? err : "dlopen failed");
+    RecordNativeFlightEvent(obs::FlightStage::kNativeCompile,
+                            ElapsedMicrosSince(compile_start), false);
+    return;
+  }
+  auto entry_fn = reinterpret_cast<NativeEntryFn>(
+      dlsym(dl_handle, kNativeEntrySymbol));
+  const SqlplNativeParserV1* handle =
+      entry_fn != nullptr ? entry_fn() : nullptr;
+  if (handle == nullptr) {
+    dlclose(dl_handle);
+    Demote(job.fingerprint.value, NativeDemotionReason::kDlopenError,
+           "entry symbol missing or returned null");
+    RecordNativeFlightEvent(obs::FlightStage::kNativeCompile,
+                            ElapsedMicrosSince(compile_start), false);
+    return;
+  }
+  if (handle->abi_version != kNativeAbiVersion ||
+      handle->grammar_fingerprint != job.fingerprint.value ||
+      handle->num_symbols != parser.interner().size() ||
+      handle->symbol_table_hash != SymbolTableHash(parser.interner()) ||
+      handle->parse == nullptr || handle->free_result == nullptr) {
+    dlclose(dl_handle);
+    Demote(job.fingerprint.value, NativeDemotionReason::kAbiMismatch,
+           "library metadata disagrees with the serving parser");
+    RecordNativeFlightEvent(obs::FlightStage::kNativeCompile,
+                            ElapsedMicrosSince(compile_start), false);
+    return;
+  }
+  RecordNativeFlightEvent(obs::FlightStage::kNativeCompile,
+                          ElapsedMicrosSince(compile_start), true);
+
+  // Promotion gate: the full golden corpus must replay byte-identically
+  // (S-expressions AND error messages) through interpreter and library.
+  uint64_t gate_start = obs::TraceNowMicros();
+  obs::Span gate_span("native_tier.promote", "service",
+                      FingerprintHex(job.fingerprint.value));
+  std::string divergence = EquivalenceGate(parser, *handle);
+  if (!divergence.empty()) {
+    dlclose(dl_handle);
+    Demote(job.fingerprint.value, NativeDemotionReason::kEquivalenceMismatch,
+           divergence);
+    RecordNativeFlightEvent(obs::FlightStage::kNativePromotion,
+                            ElapsedMicrosSince(gate_start), false);
+    return;
+  }
+
+  // Publish. Non-atomic fields first; `active` last with release so a
+  // TryServe that acquires `active == true` sees a complete entry.
+  Entry* slot = nullptr;
+  for (Entry& entry : entries_) {
+    if (entry.fingerprint.load(std::memory_order_relaxed) == 0) {
+      slot = &entry;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    dlclose(dl_handle);
+    Demote(job.fingerprint.value, NativeDemotionReason::kUnsupported,
+           "no free native slot");
+    RecordNativeFlightEvent(obs::FlightStage::kNativePromotion,
+                            ElapsedMicrosSince(gate_start), false);
+    return;
+  }
+  slot->dl_handle = dl_handle;
+  slot->handle = handle;
+  slot->pinned_parser = job.parser;
+  slot->verified_parser.store(job.parser.get(), std::memory_order_relaxed);
+  slot->fingerprint.store(job.fingerprint.value, std::memory_order_relaxed);
+  slot->active.store(true, std::memory_order_release);
+  promotions_.fetch_add(1, std::memory_order_relaxed);
+  if (promotions_counter_ != nullptr) promotions_counter_->Increment();
+  RecordNativeFlightEvent(obs::FlightStage::kNativePromotion,
+                          ElapsedMicrosSince(gate_start), true);
+}
+
+std::string NativeTier::EquivalenceGate(const LlParser& parser,
+                                        const SqlplNativeParserV1& handle) {
+  TokenStream stream;
+  std::vector<SqlplNativeTokenV1> native_tokens;
+  ParseStats stats;
+  for (const GoldenCase& c : GoldenCorpus()) {
+    stream.Clear();
+    // A statement this dialect cannot even lex never reaches the native
+    // parser at serve time (TryServe falls back), so it is out of gate
+    // scope. That is what lets the gate run the FULL corpus against
+    // every dialect: equivalence is a property of identical token
+    // streams, not of the statement's home dialect.
+    if (!parser.lexer().TokenizeInto(c.sql, &stream).ok()) continue;
+    native_tokens.clear();
+    native_tokens.reserve(stream.size());
+    for (const LexedToken& t : stream.tokens()) {
+      native_tokens.push_back(SqlplNativeTokenV1{
+          t.type, 0, t.text.data(), t.text.size(),
+          static_cast<uint64_t>(t.location.line),
+          static_cast<uint64_t>(t.location.column)});
+    }
+
+    std::string want_sexpr;
+    Result<ParseNode> want =
+        parser.ParseTextRender(c.sql, RequestControl{}, &stats, &want_sexpr);
+
+    SqlplNativeResultV1 result{};
+    int rc = handle.parse(native_tokens.data(), native_tokens.size(), 1,
+                          &result);
+    std::string got(result.data != nullptr ? result.data : "", result.size);
+    handle.free_result(&result);
+
+    if (want.ok()) {
+      if (rc != kNativeParseAccepted) {
+        return std::string("case '") + c.sql + "': interpreter accepts, " +
+               "native returns rc=" + std::to_string(rc) + " (" + got + ")";
+      }
+      if (got != want_sexpr) {
+        return std::string("case '") + c.sql + "': S-expression mismatch";
+      }
+    } else {
+      if (rc != kNativeParseSyntaxError) {
+        return std::string("case '") + c.sql + "': interpreter rejects, " +
+               "native returns rc=" + std::to_string(rc);
+      }
+      if (got != want.status().message()) {
+        return std::string("case '") + c.sql + "': error message mismatch";
+      }
+    }
+  }
+  return {};
+}
+
+bool NativeTier::TryServe(SpecFingerprint fingerprint, const LlParser& parser,
+                          std::string_view sql, ParseResponse* response,
+                          size_t* tokens_out) {
+  if (!enabled()) return false;
+  Entry* found = nullptr;
+  for (Entry& entry : entries_) {
+    if (entry.active.load(std::memory_order_acquire) &&
+        entry.fingerprint.load(std::memory_order_relaxed) ==
+            fingerprint.value) {
+      found = &entry;
+      break;
+    }
+  }
+  if (found == nullptr) return false;
+
+  // Parser identity: the cache may rebuild the LlParser after eviction.
+  // A fast pointer compare recognizes the instance the entry last
+  // proved; any other instance is re-proved by symbol-table hash (same
+  // fingerprint => deterministic build => identical interner, so this
+  // is expected to pass — the hash check is the safety net, not the
+  // common path).
+  const LlParser* verified =
+      found->verified_parser.load(std::memory_order_acquire);
+  if (verified != &parser) {
+    if (SymbolTableHash(parser.interner()) !=
+        found->handle->symbol_table_hash) {
+      return false;
+    }
+    found->verified_parser.store(&parser, std::memory_order_release);
+  }
+
+  thread_local TokenStream stream;
+  thread_local std::vector<SqlplNativeTokenV1> native_tokens;
+  stream.Clear();
+  if (!parser.lexer().TokenizeInto(sql, &stream).ok()) {
+    // Lexing errors keep the interpreter's exact diagnostics.
+    return false;
+  }
+  native_tokens.clear();
+  native_tokens.reserve(stream.size());
+  for (const LexedToken& t : stream.tokens()) {
+    native_tokens.push_back(SqlplNativeTokenV1{
+        t.type, 0, t.text.data(), t.text.size(),
+        static_cast<uint64_t>(t.location.line),
+        static_cast<uint64_t>(t.location.column)});
+  }
+
+  SqlplNativeResultV1 result{};
+  int rc = found->handle->parse(native_tokens.data(), native_tokens.size(), 1,
+                                &result);
+  if (rc == kNativeParseAccepted) {
+    response->rendered.assign(result.data, result.size);
+    found->handle->free_result(&result);
+    response->result = ParseNode::Rule(parser.grammar().start_symbol());
+    if (tokens_out != nullptr) *tokens_out = stream.size() - 1;
+    native_parses_.fetch_add(1, std::memory_order_relaxed);
+    if (parse_counter_ != nullptr) parse_counter_->Increment();
+    return true;
+  }
+  if (rc == kNativeParseSyntaxError) {
+    std::string message(result.data != nullptr ? result.data : "",
+                        result.size);
+    found->handle->free_result(&result);
+    response->result = Status::ParseError(std::move(message));
+    if (tokens_out != nullptr) *tokens_out = stream.size() - 1;
+    native_parses_.fetch_add(1, std::memory_order_relaxed);
+    if (parse_counter_ != nullptr) parse_counter_->Increment();
+    return true;
+  }
+  // Internal anomaly (rc == 2 or unknown): fail closed — demote the
+  // fingerprint and let the interpreter answer this and every later
+  // request.
+  if (result.data != nullptr) found->handle->free_result(&result);
+  Demote(fingerprint.value, NativeDemotionReason::kRuntimeError,
+         "native parser reported rc=" + std::to_string(rc));
+  return false;
+}
+
+NativeTierStats NativeTier::stats() const {
+  NativeTierStats out;
+  out.promotions = promotions_.load(std::memory_order_relaxed);
+  out.demotions = demotions_.load(std::memory_order_relaxed);
+  out.native_parses = native_parses_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,219 @@
+#ifndef SQLPL_SERVICE_NATIVE_TIER_H_
+#define SQLPL_SERVICE_NATIVE_TIER_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sqlpl/codegen/native_abi.h"
+#include "sqlpl/obs/metrics.h"
+#include "sqlpl/parser/ll_parser.h"
+#include "sqlpl/service/spec_fingerprint.h"
+
+namespace sqlpl {
+
+struct ParseResponse;
+
+/// Why a fingerprint was demoted (or refused promotion). Every value is
+/// also the `reason` label of `sqlpl_native_demotions_total`.
+enum class NativeDemotionReason {
+  kCompileError = 0,
+  kDlopenError,
+  kAbiMismatch,
+  kEquivalenceMismatch,
+  kRuntimeError,
+  kUnsupported,
+};
+
+const char* NativeDemotionReasonName(NativeDemotionReason reason);
+
+/// Tuning knobs of the native compilation tier.
+struct NativeTierOptions {
+  /// Parses of one fingerprint before its parser is queued for native
+  /// compilation. 0 disables the tier entirely (no thread, no counting).
+  size_t hot_threshold = 0;
+  /// Maximum fingerprints holding a native slot at once (promoted or
+  /// burned by a failed attempt); clamped to the tier's slot array.
+  size_t max_native = 8;
+  /// C++ compiler binary, resolved via PATH.
+  std::string compiler = "c++";
+  /// Extra flags appended to the compile line (tests pass "-O0" to keep
+  /// promotion latency out of their budget).
+  std::vector<std::string> extra_cflags;
+  /// Test seam: rewrites the generated source before it is compiled.
+  /// This is how the test suite produces a deliberately-miscompiled
+  /// library that still builds and loads — the byte-equivalence gate
+  /// must catch it.
+  std::function<std::string(const std::string&)> transform_source_for_testing;
+};
+
+/// Counter snapshot of the tier (all lifetime totals).
+struct NativeTierStats {
+  uint64_t promotions = 0;
+  uint64_t demotions = 0;
+  uint64_t native_parses = 0;
+};
+
+/// Background native-compilation tier: the "generated artifact per
+/// variant" half of the paper, applied to serving. Hot dialect
+/// fingerprints (ranked by per-fingerprint traffic counts) have their
+/// generated parser (`GenerateNativeParserSource`) compiled to a shared
+/// object with the system toolchain inside a private `ScopedTempDir`,
+/// loaded with `dlopen` behind the versioned `extern "C"` ABI of
+/// native_abi.h, and — only after the full golden corpus replays
+/// byte-identically through the interpreter and the library — published
+/// for serving. `DialectService::Execute` then answers render requests
+/// for that fingerprint from the native parser instead of the
+/// interpreter, reporting `CacheDisposition::kNative` on the wire.
+///
+/// ## Fail-closed contract
+///
+/// Every failure leaves the interpreter serving and is counted:
+/// compile/dlopen/ABI/equivalence failures burn the attempt, demote the
+/// fingerprint, and add it to a poisoned set so it is never retried; a
+/// runtime anomaly (ABI return code 2) demotes a live entry the same
+/// way. `sqlpl_native_promotions_total`, `sqlpl_native_demotions_total
+/// {reason}`, and `sqlpl_native_parse_total` prove which tier answered.
+/// See docs/NATIVE_TIER.md for the full lifecycle and failure matrix.
+///
+/// ## Concurrency
+///
+/// `RecordTraffic`/`TryServe` are lock-free on the serving path
+/// (atomic open-addressing traffic table, atomic entry publication with
+/// acquire/release ordering); compilation runs on one background
+/// thread. A published library is never `dlclose`d while the tier is
+/// alive — demotion only clears the `active` flag — so an in-flight
+/// native parse can never race a library unload; handles are released
+/// in the destructor, after the worker is joined and no caller may
+/// serve.
+class NativeTier {
+ public:
+  /// `registry` may be null (counters are then process-local only).
+  explicit NativeTier(NativeTierOptions options,
+                      obs::MetricsRegistry* registry = nullptr);
+  ~NativeTier();
+
+  NativeTier(const NativeTier&) = delete;
+  NativeTier& operator=(const NativeTier&) = delete;
+
+  bool enabled() const { return options_.hot_threshold > 0; }
+
+  /// Counts one parse of `fingerprint`; at `hot_threshold` the parser
+  /// is queued for background compilation (once — later calls are
+  /// no-ops for that fingerprint). The shared_ptr keeps the exact
+  /// serving parser alive for source generation and the equivalence
+  /// gate even if the cache evicts it meanwhile. Parsers with semantic
+  /// predicates are refused (`kUnsupported`) — predicates are host
+  /// callbacks and cannot cross the ABI.
+  void RecordTraffic(SpecFingerprint fingerprint,
+                     const std::shared_ptr<const LlParser>& parser);
+
+  /// Serves one render-mode parse from the promoted native library for
+  /// `fingerprint`, if there is one. On success fills
+  /// `response->result` (accept stub or engine-byte-identical syntax
+  /// error), `response->rendered`, and `tokens_out` (for throughput
+  /// accounting) and returns true. Returns false — caller falls back to
+  /// the interpreter — when there is no active entry, the statement
+  /// does not lex, `parser` disagrees with the library's embedded
+  /// symbol table, or the library reports an internal anomaly (which
+  /// also demotes it with `kRuntimeError`).
+  bool TryServe(SpecFingerprint fingerprint, const LlParser& parser,
+                std::string_view sql, ParseResponse* response,
+                size_t* tokens_out);
+
+  /// True iff `fingerprint` currently has an active native entry.
+  bool IsPromoted(SpecFingerprint fingerprint) const;
+  /// True iff `fingerprint` is poisoned (failed a promotion or was
+  /// demoted) and will never be retried.
+  bool IsPoisoned(SpecFingerprint fingerprint) const;
+
+  /// Blocks until the compile queue is drained and the worker is idle.
+  /// Test synchronization only.
+  void WaitIdle();
+
+  NativeTierStats stats() const;
+
+ private:
+  struct Entry {
+    std::atomic<uint64_t> fingerprint{0};
+    std::atomic<bool> active{false};
+    /// Last parser instance proven to share the library's symbol table;
+    /// compared by address only (never dereferenced), re-proven via
+    /// `SymbolTableHash` whenever the cache hands out a new instance.
+    std::atomic<const LlParser*> verified_parser{nullptr};
+    void* dl_handle = nullptr;
+    const SqlplNativeParserV1* handle = nullptr;
+    /// The parser the entry was gated against; pinned so the library's
+    /// id space always has a live interner behind it.
+    std::shared_ptr<const LlParser> pinned_parser;
+  };
+
+  struct CompileJob {
+    SpecFingerprint fingerprint;
+    std::shared_ptr<const LlParser> parser;
+  };
+
+  /// One slot in the lock-free traffic table.
+  struct TrafficSlot {
+    std::atomic<uint64_t> fingerprint{0};
+    std::atomic<uint64_t> count{0};
+  };
+
+  void WorkerLoop();
+  void Compile(const CompileJob& job);
+  /// Replays the full golden corpus through `parser` and `handle`;
+  /// returns a description of the first divergence, or empty on pass.
+  std::string EquivalenceGate(const LlParser& parser,
+                              const SqlplNativeParserV1& handle);
+  void Demote(uint64_t fingerprint, NativeDemotionReason reason,
+              const std::string& detail);
+  void Poison(uint64_t fingerprint);
+  obs::Counter* DemotionCounter(NativeDemotionReason reason);
+
+  NativeTierOptions options_;
+  obs::MetricsRegistry* registry_;
+
+  static constexpr size_t kMaxSlots = 16;
+  std::array<Entry, kMaxSlots> entries_;
+
+  static constexpr size_t kTrafficSlots = 1024;  // power of two
+  static constexpr size_t kTrafficProbeLimit = 8;
+  std::unique_ptr<TrafficSlot[]> traffic_;
+
+  static constexpr size_t kPoisonSlots = 256;  // power of two
+  static constexpr size_t kPoisonProbeLimit = 16;
+  std::unique_ptr<std::atomic<uint64_t>[]> poisoned_;
+
+  /// Fingerprints already queued or attempted (guarded by queue_mu_):
+  /// each fingerprint gets exactly one compile attempt, ever.
+  std::vector<uint64_t> attempted_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<CompileJob> queue_;
+  bool worker_busy_ = false;
+  bool stopping_ = false;
+  std::thread worker_;
+
+  std::atomic<uint64_t> promotions_{0};
+  std::atomic<uint64_t> demotions_{0};
+  std::atomic<uint64_t> native_parses_{0};
+
+  obs::Counter* promotions_counter_ = nullptr;
+  obs::Counter* parse_counter_ = nullptr;
+  std::mutex demotion_counters_mu_;
+  std::array<obs::Counter*, 6> demotion_counters_{};
+};
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_SERVICE_NATIVE_TIER_H_

@@ -19,6 +19,8 @@ const char* CacheDispositionToString(CacheDisposition disposition) {
       return "built";
     case CacheDisposition::kCoalesced:
       return "coalesced";
+    case CacheDisposition::kNative:
+      return "native";
   }
   return "unknown";
 }

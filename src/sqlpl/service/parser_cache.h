@@ -30,6 +30,10 @@ enum class CacheDisposition {
   /// A concurrent request was already building; this one waited and
   /// shared the result.
   kCoalesced,
+  /// The parse itself was answered by a promoted AOT-compiled native
+  /// parser (service/native_tier.h) instead of the interpreter. The
+  /// parser still resolved through the cache first.
+  kNative,
 };
 
 const char* CacheDispositionToString(CacheDisposition disposition);

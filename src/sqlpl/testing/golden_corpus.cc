@@ -1,0 +1,28 @@
+#include "sqlpl/testing/golden_corpus.h"
+
+namespace sqlpl {
+namespace {
+
+#include "sqlpl/testing/golden_sexpr_corpus.inc"
+
+}  // namespace
+
+std::span<const GoldenCase> GoldenCorpus() { return kGoldenCases; }
+
+std::span<const GoldenCase> GoldenCorpusForDialect(
+    std::string_view dialect) {
+  // The .inc groups cases by dialect, so the slice is one contiguous run.
+  std::span<const GoldenCase> all = GoldenCorpus();
+  size_t begin = all.size();
+  size_t end = all.size();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (dialect == all[i].dialect) {
+      if (begin == all.size()) begin = i;
+      end = i + 1;
+    }
+  }
+  if (begin == all.size()) return {};
+  return all.subspan(begin, end - begin);
+}
+
+}  // namespace sqlpl

@@ -1,0 +1,36 @@
+#ifndef SQLPL_TESTING_GOLDEN_CORPUS_H_
+#define SQLPL_TESTING_GOLDEN_CORPUS_H_
+
+#include <span>
+#include <string_view>
+
+namespace sqlpl {
+
+/// One frozen statement of the golden corpus: a preset dialect name, a
+/// SQL statement it accepts, and the legacy engine's exact ToSExpr()
+/// rendering of the resulting tree.
+struct GoldenCase {
+  const char* dialect;
+  const char* sql;
+  const char* sexpr;
+};
+
+/// The full 5-dialect corpus (golden_sexpr_corpus.inc), frozen from the
+/// pre-interning engine. It pins three independent implementations to
+/// the same bytes: the interned runtime engine
+/// (tests/parser/golden_equivalence_test.cc), generated standalone
+/// parsers (tests/integration/codegen_differential_test.cc), and
+/// dlopen'ed native parsers — the native tier replays the matching
+/// dialect's slice through both engines as its promotion gate
+/// (docs/NATIVE_TIER.md), which is why the corpus lives in the library
+/// and not under tests/.
+std::span<const GoldenCase> GoldenCorpus();
+
+/// The corpus restricted to `dialect` ("CoreQuery", "TinySQL", ...);
+/// empty when the dialect has no golden coverage (the native tier
+/// refuses to promote such parsers — no gate, no promotion).
+std::span<const GoldenCase> GoldenCorpusForDialect(std::string_view dialect);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_TESTING_GOLDEN_CORPUS_H_

@@ -1,0 +1,185 @@
+#include "sqlpl/util/subprocess.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sqlpl {
+
+Result<SubprocessResult> RunSubprocess(const std::vector<std::string>& argv) {
+  if (argv.empty()) {
+    return Status::InvalidArgument("subprocess: empty argv");
+  }
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    return Status::Internal(std::string("subprocess: pipe: ") +
+                                 std::strerror(errno));
+  }
+
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(pipe_fds[0]);
+    close(pipe_fds[1]);
+    return Status::Internal(std::string("subprocess: fork: ") +
+                                 std::strerror(errno));
+  }
+
+  if (pid == 0) {
+    // Child: stdin from /dev/null, stdout+stderr onto the pipe.
+    close(pipe_fds[0]);
+    int devnull = open("/dev/null", O_RDONLY);
+    if (devnull >= 0) {
+      dup2(devnull, STDIN_FILENO);
+      if (devnull != STDIN_FILENO) close(devnull);
+    }
+    dup2(pipe_fds[1], STDOUT_FILENO);
+    dup2(pipe_fds[1], STDERR_FILENO);
+    if (pipe_fds[1] != STDOUT_FILENO && pipe_fds[1] != STDERR_FILENO) {
+      close(pipe_fds[1]);
+    }
+    std::vector<char*> args;
+    args.reserve(argv.size() + 1);
+    for (const std::string& arg : argv) {
+      args.push_back(const_cast<char*>(arg.c_str()));
+    }
+    args.push_back(nullptr);
+    execvp(args[0], args.data());
+    // exec failed; 127 is the shell convention for "command not found".
+    std::fprintf(stderr, "exec %s: %s\n", args[0], std::strerror(errno));
+    _exit(127);
+  }
+
+  // Parent: drain the pipe until the child closes its end.
+  close(pipe_fds[1]);
+  SubprocessResult result;
+  char buffer[4096];
+  for (;;) {
+    ssize_t n = read(pipe_fds[0], buffer, sizeof(buffer));
+    if (n > 0) {
+      result.output.append(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  close(pipe_fds[0]);
+
+  int wait_status = 0;
+  pid_t waited;
+  do {
+    waited = waitpid(pid, &wait_status, 0);
+  } while (waited < 0 && errno == EINTR);
+  if (waited < 0) {
+    return Status::Internal(std::string("subprocess: waitpid: ") +
+                                 std::strerror(errno));
+  }
+  if (WIFEXITED(wait_status)) {
+    result.exit_code = WEXITSTATUS(wait_status);
+  } else if (WIFSIGNALED(wait_status)) {
+    result.exit_code = 128 + WTERMSIG(wait_status);
+  } else {
+    result.exit_code = -1;
+  }
+  return result;
+}
+
+namespace {
+
+// Recursive unlink. Only descends into real directories (never follows
+// symlinks) so a link planted inside the tree cannot redirect the
+// delete outside it.
+void RemoveTree(const std::string& path) {
+  struct stat st;
+  if (lstat(path.c_str(), &st) != 0) return;
+  if (!S_ISDIR(st.st_mode)) {
+    unlink(path.c_str());
+    return;
+  }
+  if (DIR* dir = opendir(path.c_str())) {
+    while (struct dirent* entry = readdir(dir)) {
+      const char* name = entry->d_name;
+      if (std::strcmp(name, ".") == 0 || std::strcmp(name, "..") == 0) {
+        continue;
+      }
+      RemoveTree(path + "/" + name);
+    }
+    closedir(dir);
+  }
+  rmdir(path.c_str());
+}
+
+}  // namespace
+
+ScopedTempDir::ScopedTempDir(const std::string& prefix) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = (base != nullptr && base[0] != '\0')
+                         ? std::string(base)
+                         : std::string("/tmp");
+  if (tmpl.back() != '/') tmpl += '/';
+  tmpl += prefix + "XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (mkdtemp(buf.data()) != nullptr) {
+    path_.assign(buf.data());
+  }
+}
+
+ScopedTempDir::~ScopedTempDir() { Remove(); }
+
+ScopedTempDir::ScopedTempDir(ScopedTempDir&& other) noexcept
+    : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+ScopedTempDir& ScopedTempDir::operator=(ScopedTempDir&& other) noexcept {
+  if (this != &other) {
+    Remove();
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+void ScopedTempDir::Remove() {
+  if (!path_.empty()) {
+    RemoveTree(path_);
+    path_.clear();
+  }
+}
+
+Status WriteFileContents(const std::string& path,
+                         const std::string& content) {
+  int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0) {
+    return Status::Internal("write " + path + ": " +
+                                 std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < content.size()) {
+    ssize_t n =
+        write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status error = Status::Internal("write " + path + ": " +
+                                           std::strerror(errno));
+      close(fd);
+      return error;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (close(fd) != 0) {
+    return Status::Internal("close " + path + ": " +
+                                 std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace sqlpl

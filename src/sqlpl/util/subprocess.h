@@ -1,0 +1,67 @@
+#ifndef SQLPL_UTIL_SUBPROCESS_H_
+#define SQLPL_UTIL_SUBPROCESS_H_
+
+#include <string>
+#include <vector>
+
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+
+/// Result of a finished subprocess: its exit code and captured output.
+/// `exit_code` is the wait status decoded: the code passed to exit() for
+/// a normal exit, or 128 + signal number when the child was killed.
+struct SubprocessResult {
+  int exit_code = -1;
+  /// Combined stdout + stderr of the child (stderr is dup'd onto the
+  /// same pipe, so ordering between the two streams is the kernel's).
+  std::string output;
+
+  bool ok() const { return exit_code == 0; }
+};
+
+/// Runs `argv` (argv[0] is resolved via PATH) with stdin closed and
+/// stdout/stderr captured, and waits for it to finish. No shell is
+/// involved — arguments are passed as-is, so callers never need to
+/// quote. This is the compile-sandbox primitive of the native tier
+/// (docs/NATIVE_TIER.md): the child inherits a scrubbed-by-construction
+/// argument list, not a shell command line.
+///
+/// Fails with InternalError if the process could not be spawned at all
+/// (fork/exec failure); a child that runs and exits non-zero is a
+/// successful `RunSubprocess` whose result has `exit_code != 0`.
+Result<SubprocessResult> RunSubprocess(const std::vector<std::string>& argv);
+
+/// RAII mkdtemp(3) directory: created under $TMPDIR (or /tmp) with mode
+/// 0700 — readable by nobody else, which is what lets the native tier
+/// treat it as a private compile sandbox — and recursively deleted on
+/// destruction. A default-constructed or moved-from instance owns
+/// nothing. Check `ok()` before use: creation can fail (ENOSPC, EROFS).
+class ScopedTempDir {
+ public:
+  /// Creates `<tmp>/<prefix>XXXXXX`.
+  explicit ScopedTempDir(const std::string& prefix = "sqlpl_");
+  ~ScopedTempDir();
+
+  ScopedTempDir(ScopedTempDir&& other) noexcept;
+  ScopedTempDir& operator=(ScopedTempDir&& other) noexcept;
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  bool ok() const { return !path_.empty(); }
+  /// Absolute directory path; empty when creation failed.
+  const std::string& path() const { return path_; }
+
+ private:
+  void Remove();
+
+  std::string path_;
+};
+
+/// Writes `content` to `path`, replacing any existing file. Fails with
+/// InternalError on any I/O error (short write included).
+Status WriteFileContents(const std::string& path, const std::string& content);
+
+}  // namespace sqlpl
+
+#endif  // SQLPL_UTIL_SUBPROCESS_H_

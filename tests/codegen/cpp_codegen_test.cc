@@ -3,10 +3,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "sqlpl/grammar/text_format.h"
+#include "sqlpl/lexer/token.h"
+#include "sqlpl/parser/ll_parser.h"
 #include "sqlpl/sql/dialects.h"
 
 namespace sqlpl {
@@ -25,6 +28,74 @@ Grammar SmallGrammar() {
   return std::move(grammar).value();
 }
 
+// (type, text) pairs usable both as engine `Token`s and as generated-
+// parser tokens (both default the location to 1:1, so error messages
+// agree byte for byte).
+using Toks = std::vector<std::pair<std::string, std::string>>;
+
+std::vector<Token> EngineTokens(const Toks& toks) {
+  std::vector<Token> out;
+  for (const auto& [type, text] : toks) out.push_back({type, text, {}});
+  return out;
+}
+
+// Emits a main() that feeds `toks` to the generated parser and checks
+// Parse()'s verdict plus byte equality of sexpr()/error() against the
+// oracle files the test writes next to the binary.
+std::string EquivalenceMain(const std::string& header,
+                            const std::string& parser_class,
+                            const Toks& good, const Toks& bad) {
+  auto tokens_literal = [](const Toks& toks) {
+    std::string out = "{";
+    for (const auto& [type, text] : toks) {
+      out += "{\"" + type + "\", \"" + text + "\"}, ";
+    }
+    return out + "}";
+  };
+  std::ostringstream main_cc;
+  main_cc << "#include \"" << header << "\"\n";
+  main_cc << R"(#include <cstdio>
+#include <fstream>
+#include <sstream>
+using sqlpl_gen::Token;
+static std::string Slurp(const char* path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+int main(int argc, char** argv) {
+  if (argc != 3) return 2;
+  const std::string want_sexpr = Slurp(argv[1]);
+  const std::string want_error = Slurp(argv[2]);
+)";
+  main_cc << "  std::vector<Token> good = " << tokens_literal(good) << ";\n";
+  main_cc << "  std::vector<Token> bad = " << tokens_literal(bad) << ";\n";
+  main_cc << "  sqlpl_gen::" << parser_class << " good_parser(good);\n";
+  main_cc << "  sqlpl_gen::" << parser_class << " bad_parser(bad);\n";
+  main_cc << R"(  if (!good_parser.Parse()) { std::puts("good rejected"); return 1; }
+  if (good_parser.sexpr() != want_sexpr) {
+    std::printf("sexpr drift:\n  generated: %s\n  engine:    %s\n",
+                good_parser.sexpr().c_str(), want_sexpr.c_str());
+    return 1;
+  }
+  if (bad_parser.Parse()) { std::puts("bad accepted"); return 1; }
+  if (bad_parser.error() != want_error) {
+    std::printf("error drift:\n  generated: %s\n  engine:    %s\n",
+                bad_parser.error().c_str(), want_error.c_str());
+    return 1;
+  }
+  return 0;
+}
+)";
+  return main_cc.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
 TEST(CodegenTest, SanitizeClassName) {
   EXPECT_EQ(SanitizeClassName("Core+Where"), "CoreWhere");
   EXPECT_EQ(SanitizeClassName("tiny sql"), "TinySql");
@@ -40,15 +111,28 @@ TEST(CodegenTest, EmitsOneMethodPerNonterminal) {
   EXPECT_NE(generated->code.find("bool Parse_q()"), std::string::npos);
   EXPECT_NE(generated->code.find("bool Parse_quant()"), std::string::npos);
   EXPECT_NE(generated->code.find("bool Parse_list()"), std::string::npos);
-  // Entry point parses the start symbol to end of input.
-  EXPECT_NE(generated->code.find("return Parse_q() && Peek() == \"$\";"),
+  // Entry point runs the start rule and requires all input consumed.
+  EXPECT_NE(generated->code.find("bool Parse() { return Run_(nullptr); }"),
             std::string::npos);
   // Rule docs embedded.
   EXPECT_NE(generated->code.find("/// quant : DISTINCT | ALL ;"),
             std::string::npos);
 }
 
-TEST(CodegenTest, EmitsCombinatorsPerExprKind) {
+TEST(CodegenTest, EmbedsEngineSymbolTable) {
+  Result<GeneratedParser> generated = GenerateCppParser(SmallGrammar());
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  // The engine's interned id space travels with the parser: a dense
+  // name table ("$" is always id 0) plus the by-name search index.
+  EXPECT_NE(generated->code.find("kSymbolNames"), std::string::npos);
+  EXPECT_NE(generated->code.find("kSymbolsByName"), std::string::npos);
+  EXPECT_NE(generated->code.find("    \"$\",\n"), std::string::npos);
+  // Tree building and rendering mirror the arena-tree runtime.
+  EXPECT_NE(generated->code.find("RenderSExpr"), std::string::npos);
+  EXPECT_NE(generated->code.find("FinishNode"), std::string::npos);
+}
+
+TEST(CodegenTest, EmitsEngineShapedCodePerExprKind) {
   Result<Grammar> grammar = ParseGrammarText(R"(
     grammar Shapes;
     start s;
@@ -58,17 +142,22 @@ TEST(CodegenTest, EmitsCombinatorsPerExprKind) {
   ASSERT_TRUE(grammar.ok());
   Result<GeneratedParser> generated = GenerateCppParser(*grammar);
   ASSERT_TRUE(generated.ok()) << generated.status();
-  // Optional -> Opt, nested choice -> Alt, repetition -> Star,
-  // epsilon rule body -> `true`.
-  EXPECT_NE(generated->code.find("Opt([&]"), std::string::npos);
-  EXPECT_NE(generated->code.find("Star([&]"), std::string::npos);
-  EXPECT_NE(generated->code.find("Alt({"), std::string::npos);
-  EXPECT_NE(generated->code.find("[&] { return true; }"),
+  // Optional and repetition unroll to greedy save/try/restore loops.
+  EXPECT_NE(generated->code.find("{  // optional (greedy)"),
             std::string::npos);
-  // Tokens matched by name.
-  EXPECT_NE(generated->code.find("Match(\"D\")"), std::string::npos);
-  // Nonterminal reference dispatches to the rule method.
-  EXPECT_NE(generated->code.find("Parse_rest()"), std::string::npos);
+  EXPECT_NE(generated->code.find("while (true) {  // repetition"),
+            std::string::npos);
+  // Choice branches are FIRST-pruned like the interpreter, and failures
+  // record the expected set at the furthest position — bookkeeping that
+  // only the TRACK=true diagnostic re-parse pays for.
+  EXPECT_NE(generated->code.find("FirstHas("), std::string::npos);
+  EXPECT_NE(generated->code.find("RecordFailure<TRACK>(c, pos,"),
+            std::string::npos);
+  EXPECT_NE(generated->code.find("if (ParseStartT<false>(c)) return true;"),
+            std::string::npos);
+  // Nonterminal reference dispatches to the rule function.
+  EXPECT_NE(generated->code.find(" = Parse_rest<TRACK>(c, pos);"),
+            std::string::npos);
 }
 
 TEST(CodegenTest, HeaderGuardDerivedFromClassName) {
@@ -111,9 +200,49 @@ TEST(CodegenTest, RejectsLeftRecursion) {
             std::string::npos);
 }
 
-// End-to-end: compile the generated parser with the host compiler and run
-// it against accepting and rejecting inputs. Skipped when no compiler is
-// available in the environment.
+TEST(CodegenTest, SymbolTableHashIsOrderSensitiveAndStable) {
+  Result<LlParser> tiny = ParserBuilder().Build(SmallGrammar());
+  ASSERT_TRUE(tiny.ok());
+  Result<LlParser> tiny2 = ParserBuilder().Build(SmallGrammar());
+  ASSERT_TRUE(tiny2.ok());
+  EXPECT_EQ(SymbolTableHash(tiny->interner()),
+            SymbolTableHash(tiny2->interner()));
+  Result<Grammar> other = ParseGrammarText(R"(
+    grammar Other;
+    start s;
+    s : 'GO' ;
+  )");
+  ASSERT_TRUE(other.ok());
+  Result<LlParser> other_parser = ParserBuilder().Build(*other);
+  ASSERT_TRUE(other_parser.ok());
+  EXPECT_NE(SymbolTableHash(tiny->interner()),
+            SymbolTableHash(other_parser->interner()));
+}
+
+TEST(CodegenTest, NativeSourceEmbedsAbiHandle) {
+  Result<LlParser> parser = ParserBuilder().Build(SmallGrammar());
+  ASSERT_TRUE(parser.ok());
+  NativeCodegenOptions options;
+  options.grammar_fingerprint = 0xfeedbeef;
+  Result<GeneratedParser> generated =
+      GenerateNativeParserSource(*parser, options);
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  EXPECT_EQ(generated->file_name, "tiny_native.cc");
+  // Self-contained ABI declaration + the single exported entry point.
+  EXPECT_NE(generated->code.find("SqlplNativeParserV1"), std::string::npos);
+  EXPECT_NE(generated->code.find("sqlpl_native_entry_v1"),
+            std::string::npos);
+  EXPECT_NE(generated->code.find("0x00000000feedbeefull"),
+            std::string::npos);
+  // It must not depend on the sqlpl tree.
+  EXPECT_EQ(generated->code.find("#include \"sqlpl/"), std::string::npos);
+}
+
+// End-to-end: compile the generated parser with the host compiler and
+// run it against accepting and rejecting inputs, byte-comparing its
+// S-expression and error message against the live engine on the same
+// token stream — the smoke that keeps the generator from silently
+// drifting out of lockstep with ll_parser.cc.
 TEST(CodegenTest, GeneratedParserCompilesAndRuns) {
   if (std::system("g++ --version > /dev/null 2>&1") != 0) {
     GTEST_SKIP() << "no g++ available";
@@ -121,47 +250,50 @@ TEST(CodegenTest, GeneratedParserCompilesAndRuns) {
   Result<GeneratedParser> generated = GenerateCppParser(SmallGrammar());
   ASSERT_TRUE(generated.ok());
 
-  std::string dir = ::testing::TempDir();
-  std::string header_path = dir + "/tiny_parser.h";
-  std::string main_path = dir + "/main.cc";
-  std::string bin_path = dir + "/tiny_parser_bin";
-  {
-    std::ofstream header(header_path);
-    header << generated->code;
-    std::ofstream main(main_path);
-    main << R"(#include "tiny_parser.h"
-#include <cstdio>
-using sqlpl_gen::Token;
-using sqlpl_gen::TinyParser;
-int main() {
   // SELECT DISTINCT a, b FROM t
-  std::vector<Token> good = {{"SELECT", ""}, {"DISTINCT", ""},
-    {"IDENTIFIER", "a"}, {"COMMA", ""}, {"IDENTIFIER", "b"},
-    {"FROM", ""}, {"IDENTIFIER", "t"}, {"$", ""}};
-  if (!TinyParser(good).Parse()) { std::puts("good rejected"); return 1; }
+  Toks good = {{"SELECT", ""}, {"DISTINCT", ""}, {"IDENTIFIER", "a"},
+               {"COMMA", ""},  {"IDENTIFIER", "b"}, {"FROM", ""},
+               {"IDENTIFIER", "t"}, {"$", ""}};
   // SELECT FROM t (missing list)
-  std::vector<Token> bad = {{"SELECT", ""}, {"FROM", ""},
-    {"IDENTIFIER", "t"}, {"$", ""}};
-  if (TinyParser(bad).Parse()) { std::puts("bad accepted"); return 1; }
-  return 0;
-}
-)";
-  }
-  std::string compile = "g++ -std=c++20 -I" + dir + " " + main_path + " -o " +
-                        bin_path + " 2> " + dir + "/compile_errors.txt";
+  Toks bad = {{"SELECT", ""}, {"FROM", ""}, {"IDENTIFIER", "t"}, {"$", ""}};
+
+  // Engine oracle on the identical stream.
+  Result<LlParser> engine = ParserBuilder().Build(SmallGrammar());
+  ASSERT_TRUE(engine.ok());
+  Result<ParseNode> good_tree = engine->Parse(EngineTokens(good));
+  ASSERT_TRUE(good_tree.ok()) << good_tree.status();
+  Result<ParseNode> bad_tree = engine->Parse(EngineTokens(bad));
+  ASSERT_FALSE(bad_tree.ok());
+
+  std::string dir = ::testing::TempDir();
+  std::string bin_path = dir + "/tiny_parser_bin";
+  WriteFile(dir + "/tiny_parser.h", generated->code);
+  WriteFile(dir + "/want_sexpr.txt", good_tree->ToSExpr());
+  WriteFile(dir + "/want_error.txt", bad_tree.status().message());
+  WriteFile(dir + "/main.cc",
+            EquivalenceMain("tiny_parser.h", "TinyParser", good, bad));
+
+  std::string compile = "g++ -std=c++20 -I" + dir + " " + dir +
+                        "/main.cc -o " + bin_path + " 2> " + dir +
+                        "/compile_errors.txt";
   int compiled = std::system(compile.c_str());
   if (compiled != 0) {
     std::ifstream errors(dir + "/compile_errors.txt");
-    std::string line;
-    std::string all;
-    while (std::getline(errors, line)) all += line + "\n";
-    FAIL() << "generated parser failed to compile:\n" << all;
+    std::ostringstream all;
+    all << errors.rdbuf();
+    FAIL() << "generated parser failed to compile:\n" << all.str();
   }
-  EXPECT_EQ(std::system(bin_path.c_str()), 0);
+  std::string run = bin_path + " " + dir + "/want_sexpr.txt " + dir +
+                    "/want_error.txt > " + dir + "/run_out.txt";
+  int ran = std::system(run.c_str());
+  std::ifstream out(dir + "/run_out.txt");
+  std::ostringstream all;
+  all << out.rdbuf();
+  EXPECT_EQ(ran, 0) << all.str();
 }
 
 // Dialect-scale end-to-end: generate the §3.2 worked-example dialect's
-// parser, compile it, and run it against the paper's example language.
+// parser, compile it, and hold it to engine byte-equivalence too.
 TEST(CodegenTest, WorkedExampleDialectSourceCompilesAndRuns) {
   if (std::system("g++ --version > /dev/null 2>&1") != 0) {
     GTEST_SKIP() << "no g++ available";
@@ -171,44 +303,49 @@ TEST(CodegenTest, WorkedExampleDialectSourceCompilesAndRuns) {
       line.GenerateParserSource(WorkedExampleDialect());
   ASSERT_TRUE(generated.ok()) << generated.status();
 
-  std::string dir = ::testing::TempDir();
-  std::string header_path = dir + "/" + generated->file_name;
-  std::string main_path = dir + "/we_main.cc";
-  std::string bin_path = dir + "/we_parser_bin";
-  {
-    std::ofstream header(header_path);
-    header << generated->code;
-    std::ofstream main(main_path);
-    main << "#include \"" << generated->file_name << "\"\n";
-    main << R"(#include <cstdio>
-using sqlpl_gen::Token;
-int main() {
   // SELECT DISTINCT name FROM employees WHERE dept = 'R'
-  std::vector<Token> good = {
-      {"SELECT", ""}, {"DISTINCT", ""}, {"IDENTIFIER", "name"},
-      {"FROM", ""}, {"IDENTIFIER", "employees"}, {"WHERE", ""},
-      {"IDENTIFIER", "dept"}, {"EQ", ""}, {"STRING", "R"}, {"$", ""}};
-  if (!sqlpl_gen::WorkedExampleParser(good).Parse()) {
-    std::puts("good rejected");
-    return 1;
-  }
+  Toks good = {{"SELECT", ""},     {"DISTINCT", ""},
+               {"IDENTIFIER", "name"}, {"FROM", ""},
+               {"IDENTIFIER", "employees"}, {"WHERE", ""},
+               {"IDENTIFIER", "dept"}, {"EQ", "="},
+               {"STRING", "R"},    {"$", ""}};
   // SELECT name name FROM t  (two columns without a list feature)
-  std::vector<Token> bad = {
-      {"SELECT", ""}, {"IDENTIFIER", "a"}, {"IDENTIFIER", "b"},
-      {"FROM", ""}, {"IDENTIFIER", "t"}, {"$", ""}};
-  if (sqlpl_gen::WorkedExampleParser(bad).Parse()) {
-    std::puts("bad accepted");
-    return 1;
+  Toks bad = {{"SELECT", ""}, {"IDENTIFIER", "a"}, {"IDENTIFIER", "b"},
+              {"FROM", ""},   {"IDENTIFIER", "t"}, {"$", ""}};
+
+  Result<LlParser> engine = line.BuildParser(WorkedExampleDialect());
+  ASSERT_TRUE(engine.ok());
+  Result<ParseNode> good_tree = engine->Parse(EngineTokens(good));
+  ASSERT_TRUE(good_tree.ok()) << good_tree.status();
+  Result<ParseNode> bad_tree = engine->Parse(EngineTokens(bad));
+  ASSERT_FALSE(bad_tree.ok());
+
+  std::string dir = ::testing::TempDir();
+  std::string bin_path = dir + "/we_parser_bin";
+  WriteFile(dir + "/" + generated->file_name, generated->code);
+  WriteFile(dir + "/we_want_sexpr.txt", good_tree->ToSExpr());
+  WriteFile(dir + "/we_want_error.txt", bad_tree.status().message());
+  WriteFile(dir + "/we_main.cc",
+            EquivalenceMain(generated->file_name, "WorkedExampleParser",
+                            good, bad));
+
+  std::string compile = "g++ -std=c++20 -I" + dir + " " + dir +
+                        "/we_main.cc -o " + bin_path + " 2> " + dir +
+                        "/we_errors.txt";
+  int compiled = std::system(compile.c_str());
+  if (compiled != 0) {
+    std::ifstream errors(dir + "/we_errors.txt");
+    std::ostringstream all;
+    all << errors.rdbuf();
+    FAIL() << "generated dialect parser failed to compile:\n" << all.str();
   }
-  return 0;
-}
-)";
-  }
-  std::string compile = "g++ -std=c++20 -I" + dir + " " + main_path +
-                        " -o " + bin_path + " 2> " + dir + "/we_errors.txt";
-  ASSERT_EQ(std::system(compile.c_str()), 0)
-      << "generated dialect parser failed to compile";
-  EXPECT_EQ(std::system(bin_path.c_str()), 0);
+  std::string run = bin_path + " " + dir + "/we_want_sexpr.txt " + dir +
+                    "/we_want_error.txt > " + dir + "/we_run_out.txt";
+  int ran = std::system(run.c_str());
+  std::ifstream out(dir + "/we_run_out.txt");
+  std::ostringstream all;
+  all << out.rdbuf();
+  EXPECT_EQ(ran, 0) << all.str();
 }
 
 }  // namespace

@@ -1,0 +1,279 @@
+// End-to-end tests of the AOT native-parser tier (service/native_tier.h)
+// through the real pipeline: traffic counting -> background codegen ->
+// system toolchain -> dlopen -> byte-equivalence promotion gate ->
+// native serving -> demotion/poisoning. Every test drives the public
+// DialectService request API; the only test seam is
+// NativeTierOptions::transform_source_for_testing, which corrupts the
+// generated source *before* the compiler sees it — exactly the class of
+// failure the gate exists to catch.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/service/dialect_service.h"
+#include "sqlpl/sql/dialects.h"
+#include "sqlpl/util/subprocess.h"
+
+namespace sqlpl {
+namespace {
+
+bool ToolchainAvailable() {
+  Result<SubprocessResult> probe = RunSubprocess({"c++", "--version"});
+  return probe.ok() && probe->ok();
+}
+
+#define SKIP_WITHOUT_TOOLCHAIN()                                  \
+  if (!ToolchainAvailable()) {                                    \
+    GTEST_SKIP() << "no c++ toolchain on PATH; native tier would " \
+                    "fail closed (by design) — nothing to test";  \
+  }
+
+DialectServiceOptions TierOptions(size_t hot_threshold) {
+  DialectServiceOptions options;
+  options.native.hot_threshold = hot_threshold;
+  // -O0: promotion latency is toolchain time, not what's under test.
+  options.native.extra_cflags = {"-O0"};
+  return options;
+}
+
+ParseRequest RenderRequest(const DialectSpec& spec, std::string_view sql) {
+  ParseRequest request;
+  request.spec = &spec;
+  request.sql = sql;
+  request.render_sexpr = true;
+  return request;
+}
+
+constexpr char kAcceptSql[] = "SELECT a, b FROM t WHERE a = 1";
+constexpr char kRejectSql[] = "SELECT a FROM t WHERE";
+
+TEST(NativeTierTest, PromotesAfterThresholdAndServesByteIdentically) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  DialectSpec spec = CoreQueryDialect();
+  DialectService service(TierOptions(3));
+  SpecFingerprint fingerprint = FingerprintSpec(spec);
+
+  // Interpreter-truth bytes, captured before any promotion.
+  ParseResponse want_ok = service.Parse(RenderRequest(spec, kAcceptSql));
+  ASSERT_TRUE(want_ok.ok()) << want_ok.status();
+  ASSERT_FALSE(want_ok.rendered.empty());
+  ParseResponse want_err = service.Parse(RenderRequest(spec, kRejectSql));
+  ASSERT_FALSE(want_err.ok());
+  ASSERT_EQ(want_err.status().code(), StatusCode::kParseError);
+
+  EXPECT_FALSE(service.native_tier().IsPromoted(fingerprint));
+  // The two warm-up parses counted; this one crosses hot_threshold = 3.
+  service.Parse(RenderRequest(spec, kAcceptSql));
+  service.native_tier().WaitIdle();
+
+  ASSERT_TRUE(service.native_tier().IsPromoted(fingerprint));
+  EXPECT_EQ(service.native_tier().stats().promotions, 1u);
+  EXPECT_EQ(service.native_tier().stats().demotions, 0u);
+
+  // Accepted statement: same S-expression bytes, native disposition.
+  ParseResponse got_ok = service.Parse(RenderRequest(spec, kAcceptSql));
+  ASSERT_TRUE(got_ok.ok()) << got_ok.status();
+  EXPECT_EQ(got_ok.cache_disposition, CacheDisposition::kNative);
+  EXPECT_EQ(got_ok.rendered, want_ok.rendered);
+
+  // Rejected statement: same error message bytes, still native.
+  ParseResponse got_err = service.Parse(RenderRequest(spec, kRejectSql));
+  ASSERT_FALSE(got_err.ok());
+  EXPECT_EQ(got_err.cache_disposition, CacheDisposition::kNative);
+  EXPECT_EQ(got_err.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(got_err.status().message(), want_err.status().message());
+
+  EXPECT_GE(service.native_tier().stats().native_parses, 2u);
+  // The serving counters are on the service registry.
+  std::string metrics = service.MetricsPrometheus();
+  EXPECT_NE(metrics.find("sqlpl_native_promotions_total"), std::string::npos);
+  EXPECT_NE(metrics.find("sqlpl_native_parse_total"), std::string::npos);
+}
+
+TEST(NativeTierTest, NonRenderRequestsNeverGoNative) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  DialectSpec spec = CoreQueryDialect();
+  DialectService service(TierOptions(2));
+  SpecFingerprint fingerprint = FingerprintSpec(spec);
+
+  // Tree-mode requests do not count toward the threshold and are never
+  // answered natively: the native ABI only carries rendered bytes.
+  ParseRequest tree_request;
+  tree_request.spec = &spec;
+  tree_request.sql = kAcceptSql;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(service.Parse(tree_request).ok());
+  }
+  service.native_tier().WaitIdle();
+  EXPECT_FALSE(service.native_tier().IsPromoted(fingerprint));
+
+  // Render traffic promotes; tree-mode requests still use the
+  // interpreter afterwards.
+  service.Parse(RenderRequest(spec, kAcceptSql));
+  service.Parse(RenderRequest(spec, kAcceptSql));
+  service.native_tier().WaitIdle();
+  ASSERT_TRUE(service.native_tier().IsPromoted(fingerprint));
+  ParseResponse tree_response = service.Parse(tree_request);
+  ASSERT_TRUE(tree_response.ok());
+  EXPECT_NE(tree_response.cache_disposition, CacheDisposition::kNative);
+}
+
+TEST(NativeTierTest, EquivalenceGateRejectsMiscompiledLibraryAndPoisons) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  DialectSpec spec = CoreQueryDialect();
+  DialectServiceOptions options = TierOptions(2);
+  // The "miscompiled" library: builds and loads fine, exports the right
+  // metadata, but renders `[` instead of `(` — every accepted corpus
+  // case diverges by one byte. Only the gate stands between this and
+  // production traffic.
+  options.native.transform_source_for_testing = [](const std::string& src) {
+    std::string out = src;
+    const std::string from = "*p++ = '(';";
+    size_t at = out.find(from);
+    EXPECT_NE(at, std::string::npos) << "render anchor moved";
+    if (at != std::string::npos) out.replace(at, from.size(), "*p++ = '[';");
+    return out;
+  };
+  DialectService service(options);
+  SpecFingerprint fingerprint = FingerprintSpec(spec);
+
+  ParseResponse want = service.Parse(RenderRequest(spec, kAcceptSql));
+  ASSERT_TRUE(want.ok());
+  service.Parse(RenderRequest(spec, kAcceptSql));
+  service.native_tier().WaitIdle();
+
+  // Rejected at the gate: demoted, poisoned, never active.
+  EXPECT_FALSE(service.native_tier().IsPromoted(fingerprint));
+  EXPECT_TRUE(service.native_tier().IsPoisoned(fingerprint));
+  EXPECT_EQ(service.native_tier().stats().promotions, 0u);
+  EXPECT_EQ(service.native_tier().stats().demotions, 1u);
+
+  // Fail closed: the interpreter keeps serving correct bytes, and more
+  // traffic never retries the poisoned fingerprint.
+  for (int i = 0; i < 4; ++i) {
+    ParseResponse response = service.Parse(RenderRequest(spec, kAcceptSql));
+    ASSERT_TRUE(response.ok());
+    EXPECT_NE(response.cache_disposition, CacheDisposition::kNative);
+    EXPECT_EQ(response.rendered, want.rendered);
+  }
+  service.native_tier().WaitIdle();
+  EXPECT_FALSE(service.native_tier().IsPromoted(fingerprint));
+  EXPECT_EQ(service.native_tier().stats().demotions, 1u);
+
+  std::string metrics = service.MetricsPrometheus();
+  EXPECT_NE(metrics.find("sqlpl_native_demotions_total"), std::string::npos);
+  EXPECT_NE(metrics.find("equivalence_mismatch"), std::string::npos);
+}
+
+TEST(NativeTierTest, MissingEntrySymbolFallsBackToInterpreter) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  DialectSpec spec = TinySqlDialect();
+  DialectServiceOptions options = TierOptions(2);
+  // Library compiles but exports the wrong entry name: dlsym fails.
+  options.native.transform_source_for_testing = [](const std::string& src) {
+    std::string out = src;
+    const std::string from = "sqlpl_native_entry_v1";
+    for (size_t at = out.find(from); at != std::string::npos;
+         at = out.find(from, at + 1)) {
+      out.replace(at, from.size(), "sqlpl_native_entry_vX");
+    }
+    return out;
+  };
+  DialectService service(options);
+  SpecFingerprint fingerprint = FingerprintSpec(spec);
+
+  ParseResponse want = service.Parse(RenderRequest(spec, "SELECT x FROM y"));
+  ASSERT_TRUE(want.ok());
+  service.Parse(RenderRequest(spec, "SELECT x FROM y"));
+  service.native_tier().WaitIdle();
+
+  EXPECT_FALSE(service.native_tier().IsPromoted(fingerprint));
+  EXPECT_TRUE(service.native_tier().IsPoisoned(fingerprint));
+  EXPECT_EQ(service.native_tier().stats().demotions, 1u);
+  ParseResponse response = service.Parse(RenderRequest(spec, "SELECT x FROM y"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response.cache_disposition, CacheDisposition::kNative);
+  EXPECT_EQ(response.rendered, want.rendered);
+}
+
+TEST(NativeTierTest, CompileFailureFallsBackToInterpreter) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  DialectSpec spec = TinySqlDialect();
+  DialectServiceOptions options = TierOptions(2);
+  options.native.transform_source_for_testing = [](const std::string& src) {
+    return src + "\nthis is not C++;\n";
+  };
+  DialectService service(options);
+  SpecFingerprint fingerprint = FingerprintSpec(spec);
+
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(service.Parse(RenderRequest(spec, "SELECT x FROM y")).ok());
+  }
+  service.native_tier().WaitIdle();
+  EXPECT_FALSE(service.native_tier().IsPromoted(fingerprint));
+  EXPECT_TRUE(service.native_tier().IsPoisoned(fingerprint));
+  EXPECT_EQ(service.native_tier().stats().demotions, 1u);
+  EXPECT_TRUE(service.Parse(RenderRequest(spec, "SELECT x FROM y")).ok());
+}
+
+TEST(NativeTierTest, DisabledTierNeverCompiles) {
+  DialectSpec spec = CoreQueryDialect();
+  DialectService service;  // default options: hot_threshold = 0
+  SpecFingerprint fingerprint = FingerprintSpec(spec);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(service.Parse(RenderRequest(spec, kAcceptSql)).ok());
+  }
+  service.native_tier().WaitIdle();  // must not hang with no worker
+  EXPECT_FALSE(service.native_tier().IsPromoted(fingerprint));
+  EXPECT_EQ(service.native_tier().stats().promotions, 0u);
+}
+
+// TSan smoke: promotion publishes concurrently with parse traffic on
+// the same fingerprint. Every response must be correct bytes whether it
+// was served by the interpreter (pre-publication) or the library
+// (post-publication) — and the handoff itself must be race-free.
+TEST(NativeTierTest, ConcurrentParsesDuringPromotionStayByteIdentical) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  DialectSpec spec = CoreQueryDialect();
+  DialectService service(TierOptions(4));
+  SpecFingerprint fingerprint = FingerprintSpec(spec);
+
+  ParseResponse want = service.Parse(RenderRequest(spec, kAcceptSql));
+  ASSERT_TRUE(want.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        ParseResponse response = service.Parse(RenderRequest(spec, kAcceptSql));
+        if (!response.ok() || response.rendered != want.rendered) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // The threads themselves generate the promoting traffic.
+  service.native_tier().WaitIdle();
+  for (int spin = 0;
+       spin < 200 && !service.native_tier().IsPromoted(fingerprint); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    service.native_tier().WaitIdle();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(service.native_tier().IsPromoted(fingerprint));
+  ParseResponse after = service.Parse(RenderRequest(spec, kAcceptSql));
+  EXPECT_EQ(after.cache_disposition, CacheDisposition::kNative);
+  EXPECT_EQ(after.rendered, want.rendered);
+}
+
+}  // namespace
+}  // namespace sqlpl

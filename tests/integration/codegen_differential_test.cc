@@ -1,7 +1,8 @@
 // Differential conformance: the generated standalone C++ parser and the
-// runtime LL(k) engine implement the same language. The CoreQuery
-// dialect's generated source is compiled once with the host compiler and
-// driven over an accept/reject corpus; its verdicts must match the
+// runtime LL(k) engine implement the same language — and produce the
+// same bytes. The CoreQuery dialect's generated source is compiled once
+// with the host compiler and driven over an accept/reject corpus; its
+// verdicts, S-expressions, and syntax-error messages must match the
 // runtime engine statement for statement.
 
 #include <cstdio>
@@ -35,12 +36,15 @@ const char* kCorpus[] = {
     "SELECT a, FROM t",
 };
 
-// "TYPE\ttext" per token, blank line terminates a statement.
+// "TYPE\ttext\tline\tcolumn" per token (including the terminating "$",
+// whose real source location matters for end-of-input error messages),
+// blank line terminates a statement.
 std::string EncodeTokens(const std::vector<Token>& tokens) {
   std::string out;
   for (const Token& token : tokens) {
-    if (token.type == "$") break;
-    out += token.type + "\t" + token.text + "\n";
+    out += token.type + "\t" + token.text + "\t" +
+           std::to_string(token.location.line) + "\t" +
+           std::to_string(token.location.column) + "\n";
   }
   out += "\n";
   return out;
@@ -70,12 +74,13 @@ TEST(CodegenDifferentialTest, GeneratedParserMatchesRuntimeEngine) {
     header << generated->code;
     std::ofstream driver(driver_path);
     driver << "#include \"" << generated->file_name << "\"\n";
-    driver << R"(#include <fstream>
+    driver << R"(#include <cstdlib>
+#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
-// Reads token streams (TYPE\ttext per line, blank line = end of
-// statement) from argv[1]; prints A or R per statement to stdout.
+// Reads token streams (TYPE\ttext\tline\tcolumn per line, blank line =
+// end of statement) from argv[1]; prints one line per statement to
+// stdout: "A\t<sexpr>" or "R\t<error>".
 int main(int argc, char** argv) {
   if (argc < 2) return 2;
   std::ifstream in(argv[1]);
@@ -83,17 +88,25 @@ int main(int argc, char** argv) {
   std::vector<sqlpl_gen::Token> tokens;
   while (std::getline(in, line)) {
     if (line.empty()) {
-      tokens.push_back({"$", ""});
       sqlpl_gen::CoreQueryParser parser(tokens);
-      std::cout << (parser.Parse() ? 'A' : 'R');
+      if (parser.Parse()) {
+        std::cout << "A\t" << parser.sexpr() << "\n";
+      } else {
+        std::cout << "R\t" << parser.error() << "\n";
+      }
       tokens.clear();
       continue;
     }
-    size_t tab = line.find('\t');
-    tokens.push_back({line.substr(0, tab),
-                      tab == std::string::npos ? "" : line.substr(tab + 1)});
+    size_t t1 = line.find('\t');
+    size_t t2 = line.find('\t', t1 + 1);
+    size_t t3 = line.find('\t', t2 + 1);
+    sqlpl_gen::Token token;
+    token.type = line.substr(0, t1);
+    token.text = line.substr(t1 + 1, t2 - t1 - 1);
+    token.line = std::strtoull(line.c_str() + t2 + 1, nullptr, 10);
+    token.column = std::strtoull(line.c_str() + t3 + 1, nullptr, 10);
+    tokens.push_back(token);
   }
-  std::cout << "\n";
   return 0;
 }
 )";
@@ -106,22 +119,23 @@ int main(int argc, char** argv) {
 
   // Lex every corpus statement with the dialect's lexer; statements that
   // do not even lex are compared at the lexing level.
-  std::string expected;
+  std::vector<std::string> expected;
   std::ofstream input(input_path);
-  std::vector<bool> lexable;
   for (const char* sql : kCorpus) {
-    Result<std::vector<Token>> tokens =
-        runtime->lexer().Tokenize(sql);
+    Result<std::vector<Token>> tokens = runtime->lexer().Tokenize(sql);
     if (!tokens.ok()) {
       // The runtime rejects at lexing; nothing to feed the generated
       // parser, so skip the statement for both.
-      lexable.push_back(false);
       EXPECT_FALSE(runtime->Accepts(sql)) << sql;
       continue;
     }
-    lexable.push_back(true);
     input << EncodeTokens(*tokens);
-    expected += runtime->Accepts(sql) ? 'A' : 'R';
+    Result<ParseNode> tree = runtime->Parse(*tokens);
+    if (tree.ok()) {
+      expected.push_back("A\t" + tree->ToSExpr());
+    } else {
+      expected.push_back("R\t" + tree.status().message());
+    }
   }
   input.close();
 
@@ -129,11 +143,15 @@ int main(int argc, char** argv) {
                             .c_str()),
             0);
   std::ifstream output(output_path);
-  std::string verdicts;
-  std::getline(output, verdicts);
+  std::vector<std::string> got;
+  std::string out_line;
+  while (std::getline(output, out_line)) got.push_back(out_line);
 
-  EXPECT_EQ(verdicts, expected)
-      << "generated parser disagrees with the runtime engine";
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i])
+        << "generated parser disagrees with the runtime engine";
+  }
 }
 
 }  // namespace

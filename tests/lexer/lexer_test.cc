@@ -172,5 +172,48 @@ TEST(TokenTest, ToStringFormat) {
   EXPECT_EQ(token.ToString(), "SELECT('select')@2:5");
 }
 
+// Differential pin of the SWAR/SSE2 run scanners against the scalar
+// path: same types, same texts, same line/column/offset, byte for byte
+// — including inputs built to straddle the 8- and 16-byte block
+// boundaries, multi-newline whitespace gaps, and non-ASCII bytes (which
+// the vector path must hand to the scalar tail to produce the exact
+// scalar error).
+TEST(LexerTest, ScalarAndVectorScannersAgree) {
+  Lexer lexer(SmallTokens());
+  const std::string cases[] = {
+      "",
+      "select a, b from t where a = 1",
+      "a_very_long_identifier_spanning_many_blocks_0123456789 another1",
+      "x",
+      "1234567890123456789 12.5 .5 1e-3 12. 1event",
+      "  \n\n\t\r\n   spaced\n\nout\n",
+      "a$b _x col1    col2\tcol3\fcol4\vcol5",
+      "ident567890123456",  // 17 bytes: one full SSE block + 1
+      "abcdefgh",           // exactly one SWAR word
+      "'a string literal with spaces' \"a delimited identifier\"",
+      "'esc''aped' \"qu\"\"oted\"",
+      "-- a comment\nselect 1 /* block\ncomment */ x",
+      std::string("sel\xc3\xa9" "ct", 7),  // non-ASCII mid-word
+      "   trailing spaces       ",
+  };
+  for (const std::string& sql : cases) {
+    Lexer::SetScalarScanForTesting(true);
+    Result<std::vector<Token>> scalar = lexer.Tokenize(sql);
+    Lexer::SetScalarScanForTesting(false);
+    Result<std::vector<Token>> vector = lexer.Tokenize(sql);
+    ASSERT_EQ(scalar.ok(), vector.ok()) << sql;
+    if (!scalar.ok()) {
+      EXPECT_EQ(scalar.status().message(), vector.status().message()) << sql;
+      continue;
+    }
+    ASSERT_EQ(scalar->size(), vector->size()) << sql;
+    for (size_t i = 0; i < scalar->size(); ++i) {
+      EXPECT_EQ((*scalar)[i].ToString(), (*vector)[i].ToString()) << sql;
+      EXPECT_EQ((*scalar)[i].location.offset, (*vector)[i].location.offset)
+          << sql;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sqlpl

@@ -33,16 +33,6 @@ class SqlServerTest : public ::testing::Test {
     ASSERT_GT(server_->port(), 0);
   }
 
-  /// Exercises the deprecated SqlServerOptions constructor shim (kept
-  /// for one release) — every other test uses ServerOptions.
-  void StartServerLegacy(const SqlServerOptions& legacy) {
-    service_ = std::make_unique<DialectService>();
-    server_ = std::make_unique<SqlServer>(service_.get(), legacy);
-    Status started = server_->Start();
-    ASSERT_TRUE(started.ok()) << started;
-    ASSERT_GT(server_->port(), 0);
-  }
-
   SqlClient ConnectedClient() {
     SqlClient client;
     Status status = client.Connect("127.0.0.1", server_->port());
@@ -369,13 +359,16 @@ TEST_F(SqlServerTest, ServerIsSingleUse) {
   EXPECT_EQ(server_->Start().code(), StatusCode::kFailedPrecondition);
 }
 
-TEST_F(SqlServerTest, DeprecatedOptionsShimStillServes) {
-  SqlServerOptions legacy;
-  legacy.num_event_loops = 2;
-  legacy.num_workers = 4;
-  StartServerLegacy(legacy);
-  // The shim maps onto the round-robin topology with the workers split
-  // across the loops' shards.
+// The SqlServerOptions shim is gone (removed one release after the
+// sharded API shipped, as its deprecation note announced). Callers that
+// relied on the legacy topology migrate by spelling it out in
+// ServerOptions — this pins that the migration target still serves.
+TEST_F(SqlServerTest, LegacyTopologyExpressedViaServerOptionsServes) {
+  ServerOptions options;
+  options.acceptor = AcceptorStrategy::kRoundRobin;
+  options.num_loops = 2;
+  options.workers_per_shard = 2;  // the old num_workers=4 split across 2
+  StartServer(std::move(options));
   EXPECT_EQ(server_->options().acceptor, AcceptorStrategy::kRoundRobin);
   EXPECT_EQ(server_->options().num_loops, 2u);
   EXPECT_EQ(server_->options().workers_per_shard, 2u);
