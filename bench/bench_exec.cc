@@ -1,0 +1,207 @@
+// Execution-tier benchmarks (docs/EXECUTION.md): what the vectorized
+// batch-at-a-time executor sustains on the deterministic 1M-row suite.
+//
+//  - BM_ScanFilter1M: fused scan+filter feeding a global SUM — the pure
+//    columnar-scan number. Gated in BENCH_exec.json at an absolute
+//    floor of 50M rows/s (scripts/bench_compare.py enforces gates
+//    independently of any committed baseline).
+//  - BM_ScanAggregate1M: scan+filter into a 16-group hash aggregate —
+//    the grouped path with the int64 single-key fast path.
+//  - BM_SortLimit1M: full sort of the filtered scan under a row cap.
+//  - BM_LowerPlan: feature-gated semantic lowering alone (AST → plan),
+//    reported as plans_per_s.
+//  - BM_ExecuteQueryService: the whole in-process service path (parse,
+//    lower, run) per statement on the demo-sized table.
+
+#include <memory>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json.h"
+
+#include "sqlpl/exec/executor.h"
+#include "sqlpl/exec/lowering.h"
+#include "sqlpl/semantics/ast_builder.h"
+#include "sqlpl/service/dialect_service.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+constexpr size_t kRows = 1000000;
+
+exec::TableRegistry* Registry() {
+  static exec::TableRegistry* registry = [] {
+    auto* r = new exec::TableRegistry();
+    exec::RegisterDemoTables(r);
+    (void)r->Register(exec::MakeBenchTable("bench1m", kRows));
+    return r;
+  }();
+  return registry;
+}
+
+LlParser* FullParser() {
+  static LlParser* parser = [] {
+    SqlProductLine line;
+    Result<LlParser> built = line.BuildParser(FullFoundationDialect());
+    if (!built.ok()) return static_cast<LlParser*>(nullptr);
+    return new LlParser(std::move(built).value());
+  }();
+  return parser;
+}
+
+exec::LogicalPlan PlanFor(const std::string& sql) {
+  Result<ParseNode> tree = FullParser()->ParseText(sql);
+  Result<SelectStatement> statement = BuildSelectStatement(*tree);
+  Result<exec::LogicalPlan> plan = exec::LowerSelect(
+      *statement, FullFoundationDialect(), *Registry());
+  return std::move(plan).value();
+}
+
+void BM_ScanFilter1M(benchmark::State& state) {
+  exec::LogicalPlan plan =
+      PlanFor("SELECT SUM(v) FROM bench1m WHERE v < 500000");
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    exec::ExecStats stats;
+    Result<exec::QueryResult> result = exec::ExecutePlan(plan, {}, &stats);
+    if (!result.ok()) {
+      state.SkipWithError(std::string(result.status().message()).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->batches);
+    rows += stats.rows_scanned;
+  }
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(rows), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScanFilter1M);
+
+void BM_ScanAggregate1M(benchmark::State& state) {
+  exec::LogicalPlan plan = PlanFor(
+      "SELECT grp, COUNT(*), SUM(v) FROM bench1m WHERE v < 900000 "
+      "GROUP BY grp");
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    exec::ExecStats stats;
+    Result<exec::QueryResult> result = exec::ExecutePlan(plan, {}, &stats);
+    if (!result.ok()) {
+      state.SkipWithError(std::string(result.status().message()).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->batches);
+    rows += stats.rows_scanned;
+  }
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(rows), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScanAggregate1M);
+
+void BM_SortLimit1M(benchmark::State& state) {
+  Result<ParseNode> tree = FullParser()->ParseText(
+      "SELECT id, v FROM bench1m WHERE v < 100000 ORDER BY v DESC");
+  Result<SelectStatement> statement = BuildSelectStatement(*tree);
+  Result<exec::LogicalPlan> plan =
+      exec::LowerSelect(*statement, FullFoundationDialect(), *Registry(),
+                        exec::LoweringOptions{100});
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    exec::ExecStats stats;
+    Result<exec::QueryResult> result = exec::ExecutePlan(*plan, {}, &stats);
+    if (!result.ok()) {
+      state.SkipWithError(std::string(result.status().message()).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->batches);
+    rows += stats.rows_scanned;
+  }
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(rows), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SortLimit1M);
+
+void BM_LowerPlan(benchmark::State& state) {
+  Result<ParseNode> tree = FullParser()->ParseText(
+      "SELECT grp, COUNT(*), SUM(v), AVG(price) FROM bench1m "
+      "WHERE v < 500000 GROUP BY grp ORDER BY grp");
+  Result<SelectStatement> statement = BuildSelectStatement(*tree);
+  DialectSpec spec = FullFoundationDialect();
+  uint64_t plans = 0;
+  for (auto _ : state) {
+    Result<exec::LogicalPlan> plan =
+        exec::LowerSelect(*statement, spec, *Registry());
+    if (!plan.ok()) {
+      state.SkipWithError(std::string(plan.status().message()).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(plan->root);
+    ++plans;
+  }
+  state.counters["plans_per_s"] = benchmark::Counter(
+      static_cast<double>(plans), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LowerPlan);
+
+void BM_ExecuteQueryService(benchmark::State& state) {
+  static DialectService* service = new DialectService();
+  DialectSpec spec = CoreQueryDialect();
+  uint64_t statements = 0;
+  for (auto _ : state) {
+    ExecuteRequest request;
+    request.spec = &spec;
+    request.sql =
+        "SELECT warehouse, SUM(qty) FROM parts WHERE qty > 5 "
+        "GROUP BY warehouse";
+    ExecuteResponse response = service->ExecuteQuery(request);
+    if (!response.ok()) {
+      state.SkipWithError(std::string(response.status.message()).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(response.result.num_rows);
+    ++statements;
+  }
+  state.counters["statements_per_s"] = benchmark::Counter(
+      static_cast<double>(statements), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExecuteQueryService);
+
+double BestCounter(const std::vector<bench::BenchResult>& results,
+                   const std::string& name, const std::string& counter) {
+  for (const bench::BenchResult& r : results) {
+    if (r.name != name) continue;
+    auto it = r.counters.find(counter);
+    if (it != r.counters.end()) return it->second;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sqlpl
+
+int main(int argc, char** argv) {
+  using namespace sqlpl;
+  if (!bench::InitBenchmark(argc, argv)) return 1;
+  bench::JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::vector<bench::BenchResult> results = reporter.Results();
+  double scan_rows_per_s = BestCounter(results, "BM_ScanFilter1M",
+                                       "rows_per_s");
+  double agg_rows_per_s = BestCounter(results, "BM_ScanAggregate1M",
+                                      "rows_per_s");
+  double plans_per_s = BestCounter(results, "BM_LowerPlan", "plans_per_s");
+  std::printf("scan+filter %.1fM rows/s; scan+aggregate %.1fM rows/s; "
+              "lowering %.0f plans/s\n",
+              scan_rows_per_s / 1e6, agg_rows_per_s / 1e6, plans_per_s);
+
+  // The ISSUE's acceptance floor: ≥50M rows/s on the 1M-row
+  // scan/filter suite, enforced absolutely by bench_compare.py.
+  char gates[160];
+  std::snprintf(gates, sizeof(gates),
+                "\"gates\":[{\"name\":\"exec_scan_filter_rows_per_s\","
+                "\"value\":%.0f,\"min\":50000000}]",
+                scan_rows_per_s);
+  return bench::WriteBenchJson("exec", results, gates) ? 0 : 1;
+}

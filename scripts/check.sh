@@ -42,7 +42,7 @@ echo "== tsan: build (SQLPL_SANITIZE=thread) =="
 cmake -B build-tsan -S . -D SQLPL_SANITIZE=thread > /dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target sqlpl_service_tests sqlpl_obs_tests sqlpl_net_tests \
-           sqlpl_fm_tests sqlpl_codegen_tests
+           sqlpl_fm_tests sqlpl_codegen_tests sqlpl_exec_tests
 
 echo "== tsan: ctest -L tsan-smoke =="
 (cd build-tsan && ctest -L tsan-smoke --output-on-failure -j "$JOBS")
@@ -52,7 +52,7 @@ cmake -B build-asan -S . -D SQLPL_SANITIZE=address \
   -D SQLPL_FAULT_INJECT=ON > /dev/null
 cmake --build build-asan -j "$JOBS" \
   --target sqlpl_service_tests sqlpl_net_tests sqlpl_fm_tests \
-           sqlpl_codegen_tests
+           sqlpl_codegen_tests sqlpl_exec_tests
 
 echo "== asan: ctest -L 'service|codegen' =="
 # codegen runs under ASan too: the native tier dlopens freshly-compiled
@@ -92,8 +92,10 @@ echo "== bench: regression check vs committed baselines =="
 # acceptance gates (≥1.5× promoted speedup on ≥2 dialects, ≥300 MB/s
 # SWAR lexing — see docs/NATIVE_TIER.md), which bench_compare.py reads
 # from the "gates" array in BENCH_native.json.
+# bench_exec's absolute gate (≥50M rows/s fused scan+filter on the
+# 1M-row suite — see docs/EXECUTION.md) rides the same mechanism.
 for b in bench_lexer bench_parse bench_service bench_fm bench_net \
-         bench_native; do
+         bench_native bench_exec; do
   (cd build && "./bench/$b" > /dev/null)
 done
 python3 "$ROOT/scripts/bench_compare.py" build \

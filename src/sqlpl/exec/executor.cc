@@ -1,0 +1,980 @@
+#include "sqlpl/exec/executor.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "sqlpl/service/fault_injector.h"
+
+namespace sqlpl {
+namespace exec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Column views and vectorized expression evaluation
+// ---------------------------------------------------------------------------
+
+/// Borrowed pointer view of one column's rows — lets the evaluator run
+/// directly over the base table's vectors (scan) and over materialized
+/// batches (everything above) with one code path.
+struct ColRef {
+  ColumnType type = ColumnType::kInt64;
+  const int64_t* i64 = nullptr;
+  const double* f64 = nullptr;
+  const std::string* str = nullptr;
+};
+
+struct BatchRef {
+  size_t rows = 0;
+  std::vector<ColRef> cols;
+};
+
+BatchRef RefOfTable(const Table& table, size_t begin, size_t rows) {
+  BatchRef ref;
+  ref.rows = rows;
+  ref.cols.resize(table.num_columns());
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    const Column& column = table.column(i);
+    ref.cols[i].type = column.type;
+    switch (column.type) {
+      case ColumnType::kInt64: ref.cols[i].i64 = column.i64.data() + begin; break;
+      case ColumnType::kDouble: ref.cols[i].f64 = column.f64.data() + begin; break;
+      case ColumnType::kString: ref.cols[i].str = column.str.data() + begin; break;
+    }
+  }
+  return ref;
+}
+
+BatchRef RefOfBatch(const RowBatch& batch) {
+  BatchRef ref;
+  ref.rows = batch.num_rows;
+  ref.cols.resize(batch.columns.size());
+  for (size_t i = 0; i < batch.columns.size(); ++i) {
+    const Column& column = batch.columns[i];
+    ref.cols[i].type = column.type;
+    // Columns the scan pruned are left empty; expressions above never
+    // reference them, so null data pointers are fine.
+    if (column.size() != batch.num_rows) continue;
+    switch (column.type) {
+      case ColumnType::kInt64: ref.cols[i].i64 = column.i64.data(); break;
+      case ColumnType::kDouble: ref.cols[i].f64 = column.f64.data(); break;
+      case ColumnType::kString: ref.cols[i].str = column.str.data(); break;
+    }
+  }
+  return ref;
+}
+
+/// An evaluated vector: one value per input row. Strings are borrowed
+/// (pointers into the table, a batch, or the plan's literal storage) —
+/// only result materialization deep-copies them.
+struct Vec {
+  ColumnType type = ColumnType::kInt64;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<const std::string*> str;
+};
+
+inline double NumericAt(const Vec& vec, size_t i) {
+  return vec.type == ColumnType::kDouble ? vec.f64[i]
+                                         : static_cast<double>(vec.i64[i]);
+}
+
+Status EvalExpr(const PlanExpr& expr, const BatchRef& in, Vec* out) {
+  const size_t n = in.rows;
+  out->type = expr.type;
+  switch (expr.op) {
+    case ExprOp::kColumn: {
+      const ColRef& col = in.cols[expr.column];
+      out->type = col.type;
+      switch (col.type) {
+        case ColumnType::kInt64: out->i64.assign(col.i64, col.i64 + n); break;
+        case ColumnType::kDouble: out->f64.assign(col.f64, col.f64 + n); break;
+        case ColumnType::kString: {
+          out->str.resize(n);
+          for (size_t i = 0; i < n; ++i) out->str[i] = &col.str[i];
+          break;
+        }
+      }
+      return Status::OK();
+    }
+    case ExprOp::kLiteralInt:
+      out->i64.assign(n, expr.i64);
+      return Status::OK();
+    case ExprOp::kLiteralDouble:
+      out->f64.assign(n, expr.f64);
+      return Status::OK();
+    case ExprOp::kLiteralString:
+      // The plan outlives the query; pointing at its literal is safe.
+      out->str.assign(n, &expr.str);
+      return Status::OK();
+    case ExprOp::kNot: {
+      Vec child;
+      SQLPL_RETURN_IF_ERROR(EvalExpr(expr.children[0], in, &child));
+      out->i64.resize(n);
+      for (size_t i = 0; i < n; ++i) out->i64[i] = child.i64[i] == 0 ? 1 : 0;
+      return Status::OK();
+    }
+    case ExprOp::kNeg: {
+      Vec child;
+      SQLPL_RETURN_IF_ERROR(EvalExpr(expr.children[0], in, &child));
+      if (expr.type == ColumnType::kDouble) {
+        out->f64.resize(n);
+        for (size_t i = 0; i < n; ++i) out->f64[i] = -NumericAt(child, i);
+      } else {
+        out->i64.resize(n);
+        for (size_t i = 0; i < n; ++i) out->i64[i] = -child.i64[i];
+      }
+      return Status::OK();
+    }
+    case ExprOp::kAnd:
+    case ExprOp::kOr: {
+      // No short-circuit: both sides evaluate vectorized over the whole
+      // batch (docs/EXECUTION.md documents the division caveat).
+      Vec lhs;
+      Vec rhs;
+      SQLPL_RETURN_IF_ERROR(EvalExpr(expr.children[0], in, &lhs));
+      SQLPL_RETURN_IF_ERROR(EvalExpr(expr.children[1], in, &rhs));
+      out->i64.resize(n);
+      if (expr.op == ExprOp::kAnd) {
+        for (size_t i = 0; i < n; ++i) {
+          out->i64[i] = (lhs.i64[i] != 0 && rhs.i64[i] != 0) ? 1 : 0;
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          out->i64[i] = (lhs.i64[i] != 0 || rhs.i64[i] != 0) ? 1 : 0;
+        }
+      }
+      return Status::OK();
+    }
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe: {
+      Vec lhs;
+      Vec rhs;
+      SQLPL_RETURN_IF_ERROR(EvalExpr(expr.children[0], in, &lhs));
+      SQLPL_RETURN_IF_ERROR(EvalExpr(expr.children[1], in, &rhs));
+      out->i64.resize(n);
+      auto emit = [&](auto cmp) {
+        for (size_t i = 0; i < n; ++i) out->i64[i] = cmp(i) ? 1 : 0;
+      };
+      auto dispatch = [&](auto value) {
+        switch (expr.op) {
+          case ExprOp::kEq: emit([&](size_t i) { return value(i) == 0; }); break;
+          case ExprOp::kNe: emit([&](size_t i) { return value(i) != 0; }); break;
+          case ExprOp::kLt: emit([&](size_t i) { return value(i) < 0; }); break;
+          case ExprOp::kLe: emit([&](size_t i) { return value(i) <= 0; }); break;
+          case ExprOp::kGt: emit([&](size_t i) { return value(i) > 0; }); break;
+          default: emit([&](size_t i) { return value(i) >= 0; }); break;
+        }
+      };
+      if (lhs.type == ColumnType::kString) {
+        dispatch([&](size_t i) { return lhs.str[i]->compare(*rhs.str[i]); });
+      } else if (lhs.type == ColumnType::kInt64 &&
+                 rhs.type == ColumnType::kInt64) {
+        dispatch([&](size_t i) {
+          return lhs.i64[i] < rhs.i64[i] ? -1 : (lhs.i64[i] > rhs.i64[i] ? 1 : 0);
+        });
+      } else {
+        dispatch([&](size_t i) {
+          double a = NumericAt(lhs, i);
+          double b = NumericAt(rhs, i);
+          return a < b ? -1 : (a > b ? 1 : 0);
+        });
+      }
+      return Status::OK();
+    }
+    case ExprOp::kAdd:
+    case ExprOp::kSub:
+    case ExprOp::kMul:
+    case ExprOp::kDiv: {
+      Vec lhs;
+      Vec rhs;
+      SQLPL_RETURN_IF_ERROR(EvalExpr(expr.children[0], in, &lhs));
+      SQLPL_RETURN_IF_ERROR(EvalExpr(expr.children[1], in, &rhs));
+      if (expr.type == ColumnType::kInt64) {
+        out->i64.resize(n);
+        switch (expr.op) {
+          case ExprOp::kAdd:
+            for (size_t i = 0; i < n; ++i) out->i64[i] = lhs.i64[i] + rhs.i64[i];
+            break;
+          case ExprOp::kSub:
+            for (size_t i = 0; i < n; ++i) out->i64[i] = lhs.i64[i] - rhs.i64[i];
+            break;
+          case ExprOp::kMul:
+            for (size_t i = 0; i < n; ++i) out->i64[i] = lhs.i64[i] * rhs.i64[i];
+            break;
+          default:
+            for (size_t i = 0; i < n; ++i) {
+              if (rhs.i64[i] == 0) {
+                return Status::InvalidArgument("division by zero");
+              }
+              out->i64[i] = lhs.i64[i] / rhs.i64[i];
+            }
+            break;
+        }
+      } else {
+        out->f64.resize(n);
+        switch (expr.op) {
+          case ExprOp::kAdd:
+            for (size_t i = 0; i < n; ++i)
+              out->f64[i] = NumericAt(lhs, i) + NumericAt(rhs, i);
+            break;
+          case ExprOp::kSub:
+            for (size_t i = 0; i < n; ++i)
+              out->f64[i] = NumericAt(lhs, i) - NumericAt(rhs, i);
+            break;
+          case ExprOp::kMul:
+            for (size_t i = 0; i < n; ++i)
+              out->f64[i] = NumericAt(lhs, i) * NumericAt(rhs, i);
+            break;
+          default:
+            // IEEE semantics for double division (inf/nan), matching
+            // what any columnar engine does on the fast path.
+            for (size_t i = 0; i < n; ++i)
+              out->f64[i] = NumericAt(lhs, i) / NumericAt(rhs, i);
+            break;
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled plan expression op");
+}
+
+/// Indices of rows whose predicate value is non-zero.
+std::vector<uint32_t> SelectionOf(const Vec& predicate, size_t rows) {
+  std::vector<uint32_t> selection;
+  selection.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    if (predicate.i64[i] != 0) selection.push_back(static_cast<uint32_t>(i));
+  }
+  return selection;
+}
+
+Column GatherColumn(const ColRef& col, const std::vector<uint32_t>& selection) {
+  Column out;
+  out.type = col.type;
+  switch (col.type) {
+    case ColumnType::kInt64:
+      out.i64.resize(selection.size());
+      for (size_t i = 0; i < selection.size(); ++i)
+        out.i64[i] = col.i64[selection[i]];
+      break;
+    case ColumnType::kDouble:
+      out.f64.resize(selection.size());
+      for (size_t i = 0; i < selection.size(); ++i)
+        out.f64[i] = col.f64[selection[i]];
+      break;
+    case ColumnType::kString:
+      out.str.resize(selection.size());
+      for (size_t i = 0; i < selection.size(); ++i)
+        out.str[i] = col.str[selection[i]];
+      break;
+  }
+  return out;
+}
+
+Column CopyColumn(const ColRef& col, size_t rows) {
+  Column out;
+  out.type = col.type;
+  switch (col.type) {
+    case ColumnType::kInt64: out.i64.assign(col.i64, col.i64 + rows); break;
+    case ColumnType::kDouble: out.f64.assign(col.f64, col.f64 + rows); break;
+    case ColumnType::kString: out.str.assign(col.str, col.str + rows); break;
+  }
+  return out;
+}
+
+Column MaterializeVec(Vec&& vec, size_t rows) {
+  Column out;
+  out.type = vec.type;
+  switch (vec.type) {
+    case ColumnType::kInt64: out.i64 = std::move(vec.i64); break;
+    case ColumnType::kDouble: out.f64 = std::move(vec.f64); break;
+    case ColumnType::kString:
+      out.str.reserve(rows);
+      for (size_t i = 0; i < rows; ++i) out.str.push_back(*vec.str[i]);
+      break;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+struct ExecContext {
+  ExecOptions options;
+  ExecStats* stats = nullptr;
+  bool truncated = false;
+};
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  /// Produces the next batch; sets `*done` (and leaves `out` empty) at
+  /// end of stream. A returned batch may have zero rows.
+  virtual Status Next(RowBatch* out, bool* done) = 0;
+};
+
+/// Scan with the WHERE filter fused in: the predicate is evaluated over
+/// the base table's column vectors (zero copies), then only the columns
+/// the rest of the plan references are gathered for the selected rows.
+/// One lifecycle checkpoint and one fault-injection hook per batch.
+class ScanOp : public Operator {
+ public:
+  ScanOp(std::shared_ptr<const Table> table, const PlanExpr* predicate,
+         std::vector<bool> needed, ExecContext* ctx)
+      : table_(std::move(table)),
+        predicate_(predicate),
+        needed_(std::move(needed)),
+        ctx_(ctx) {}
+
+  Status Next(RowBatch* out, bool* done) override {
+    if (pos_ >= table_->num_rows()) {
+      *done = true;
+      return Status::OK();
+    }
+    SQLPL_RETURN_IF_ERROR(ctx_->options.control.Check("executing scan"));
+    FaultInjector::Global().OnExecBatch();
+    const size_t rows = std::min(ctx_->options.batch_rows,
+                                 table_->num_rows() - pos_);
+    BatchRef ref = RefOfTable(*table_, pos_, rows);
+    pos_ += rows;
+    if (ctx_->stats != nullptr) {
+      ctx_->stats->rows_scanned += rows;
+      ctx_->stats->batches += 1;
+    }
+    out->columns.resize(ref.cols.size());
+    if (predicate_ != nullptr) {
+      Vec mask;
+      SQLPL_RETURN_IF_ERROR(EvalExpr(*predicate_, ref, &mask));
+      std::vector<uint32_t> selection = SelectionOf(mask, rows);
+      out->num_rows = selection.size();
+      for (size_t i = 0; i < ref.cols.size(); ++i) {
+        out->columns[i].type = ref.cols[i].type;
+        if (needed_[i]) out->columns[i] = GatherColumn(ref.cols[i], selection);
+      }
+    } else {
+      out->num_rows = rows;
+      for (size_t i = 0; i < ref.cols.size(); ++i) {
+        out->columns[i].type = ref.cols[i].type;
+        if (needed_[i]) out->columns[i] = CopyColumn(ref.cols[i], rows);
+      }
+    }
+    *done = false;
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<const Table> table_;
+  const PlanExpr* predicate_;
+  std::vector<bool> needed_;
+  ExecContext* ctx_;
+  size_t pos_ = 0;
+};
+
+/// Standalone filter — after lowering this only occurs above an
+/// Aggregate node (HAVING), so every input column is populated.
+class FilterOp : public Operator {
+ public:
+  FilterOp(std::unique_ptr<Operator> input, const PlanExpr* predicate,
+           ExecContext* ctx)
+      : input_(std::move(input)), predicate_(predicate), ctx_(ctx) {}
+
+  Status Next(RowBatch* out, bool* done) override {
+    RowBatch in;
+    SQLPL_RETURN_IF_ERROR(input_->Next(&in, done));
+    if (*done) return Status::OK();
+    SQLPL_RETURN_IF_ERROR(ctx_->options.control.Check("executing filter"));
+    BatchRef ref = RefOfBatch(in);
+    Vec mask;
+    SQLPL_RETURN_IF_ERROR(EvalExpr(*predicate_, ref, &mask));
+    std::vector<uint32_t> selection = SelectionOf(mask, in.num_rows);
+    out->num_rows = selection.size();
+    out->columns.resize(ref.cols.size());
+    for (size_t i = 0; i < ref.cols.size(); ++i) {
+      out->columns[i] = GatherColumn(ref.cols[i], selection);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<Operator> input_;
+  const PlanExpr* predicate_;
+  ExecContext* ctx_;
+};
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::unique_ptr<Operator> input, const std::vector<PlanExpr>* exprs,
+            ExecContext* ctx)
+      : input_(std::move(input)), exprs_(exprs), ctx_(ctx) {}
+
+  Status Next(RowBatch* out, bool* done) override {
+    RowBatch in;
+    SQLPL_RETURN_IF_ERROR(input_->Next(&in, done));
+    if (*done) return Status::OK();
+    SQLPL_RETURN_IF_ERROR(ctx_->options.control.Check("executing projection"));
+    BatchRef ref = RefOfBatch(in);
+    out->num_rows = in.num_rows;
+    out->columns.reserve(exprs_->size());
+    for (const PlanExpr& expr : *exprs_) {
+      Vec vec;
+      SQLPL_RETURN_IF_ERROR(EvalExpr(expr, ref, &vec));
+      out->columns.push_back(MaterializeVec(std::move(vec), in.num_rows));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<Operator> input_;
+  const std::vector<PlanExpr>* exprs_;
+  ExecContext* ctx_;
+};
+
+/// Hash aggregation — a pipeline breaker: consumes the whole input on
+/// the first `Next`, then emits one row per group in discovery order.
+/// A single int64 group key takes the fast map; composite and string
+/// keys are encoded into a byte string. With no group columns it is the
+/// global aggregate and emits exactly one row (even over zero input
+/// rows); with no aggregates it deduplicates (SELECT DISTINCT).
+class AggregateOp : public Operator {
+ public:
+  AggregateOp(std::unique_ptr<Operator> input, const PlanNode* node,
+              ExecContext* ctx)
+      : input_(std::move(input)), node_(node), ctx_(ctx) {}
+
+  Status Next(RowBatch* out, bool* done) override {
+    if (!consumed_) {
+      SQLPL_RETURN_IF_ERROR(Consume());
+      consumed_ = true;
+    }
+    if (emit_pos_ >= num_groups_) {
+      *done = true;
+      return Status::OK();
+    }
+    const size_t rows =
+        std::min(ctx_->options.batch_rows, num_groups_ - emit_pos_);
+    std::vector<uint32_t> selection(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      selection[i] = static_cast<uint32_t>(emit_pos_ + i);
+    }
+    out->num_rows = rows;
+    for (const Column& key_col : key_columns_) {
+      ColRef ref;
+      ref.type = key_col.type;
+      switch (key_col.type) {
+        case ColumnType::kInt64: ref.i64 = key_col.i64.data(); break;
+        case ColumnType::kDouble: ref.f64 = key_col.f64.data(); break;
+        case ColumnType::kString: ref.str = key_col.str.data(); break;
+      }
+      out->columns.push_back(GatherColumn(ref, selection));
+    }
+    for (size_t j = 0; j < node_->aggs.size(); ++j) {
+      const AggSpec& agg = node_->aggs[j];
+      Column col;
+      col.type = agg.type;
+      for (size_t i = 0; i < rows; ++i) {
+        const AggState& state = states_[(emit_pos_ + i) * node_->aggs.size() + j];
+        switch (agg.func) {
+          case AggFunc::kCount:
+            col.i64.push_back(state.count);
+            break;
+          case AggFunc::kSum:
+            if (agg.type == ColumnType::kDouble) col.f64.push_back(state.f64);
+            else col.i64.push_back(state.i64);
+            break;
+          case AggFunc::kAvg:
+            col.f64.push_back(state.count > 0
+                                  ? state.f64 / static_cast<double>(state.count)
+                                  : 0.0);
+            break;
+          case AggFunc::kMin:
+          case AggFunc::kMax:
+            switch (agg.type) {
+              case ColumnType::kInt64: col.i64.push_back(state.i64); break;
+              case ColumnType::kDouble: col.f64.push_back(state.f64); break;
+              case ColumnType::kString: col.str.push_back(state.str); break;
+            }
+            break;
+        }
+      }
+      out->columns.push_back(std::move(col));
+    }
+    emit_pos_ += rows;
+    *done = false;
+    return Status::OK();
+  }
+
+ private:
+  struct AggState {
+    int64_t count = 0;
+    int64_t i64 = 0;
+    double f64 = 0;
+    std::string str;
+    bool has = false;
+  };
+
+  size_t AddGroup(const std::vector<Vec>& keys, size_t row) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      Column& col = key_columns_[k];
+      switch (keys[k].type) {
+        case ColumnType::kInt64: col.i64.push_back(keys[k].i64[row]); break;
+        case ColumnType::kDouble: col.f64.push_back(keys[k].f64[row]); break;
+        case ColumnType::kString: col.str.push_back(*keys[k].str[row]); break;
+      }
+    }
+    states_.resize(states_.size() + node_->aggs.size());
+    return num_groups_++;
+  }
+
+  void UpdateGroup(size_t group, const std::vector<Vec>& args, size_t row) {
+    for (size_t j = 0; j < node_->aggs.size(); ++j) {
+      const AggSpec& agg = node_->aggs[j];
+      AggState& state = states_[group * node_->aggs.size() + j];
+      switch (agg.func) {
+        case AggFunc::kCount:
+          state.count += 1;
+          break;
+        case AggFunc::kSum:
+          if (agg.type == ColumnType::kDouble) {
+            state.f64 += NumericAt(args[j], row);
+          } else {
+            state.i64 += args[j].i64[row];
+          }
+          break;
+        case AggFunc::kAvg:
+          state.f64 += NumericAt(args[j], row);
+          state.count += 1;
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax: {
+          const bool want_min = agg.func == AggFunc::kMin;
+          switch (agg.type) {
+            case ColumnType::kInt64: {
+              int64_t value = args[j].i64[row];
+              if (!state.has || (want_min ? value < state.i64
+                                          : value > state.i64)) {
+                state.i64 = value;
+              }
+              break;
+            }
+            case ColumnType::kDouble: {
+              double value = args[j].f64[row];
+              if (!state.has || (want_min ? value < state.f64
+                                          : value > state.f64)) {
+                state.f64 = value;
+              }
+              break;
+            }
+            case ColumnType::kString: {
+              const std::string& value = *args[j].str[row];
+              if (!state.has || (want_min ? value < state.str
+                                          : value > state.str)) {
+                state.str = value;
+              }
+              break;
+            }
+          }
+          state.has = true;
+          break;
+        }
+      }
+    }
+  }
+
+  Status Consume() {
+    key_columns_.resize(node_->group_by.size());
+    for (size_t k = 0; k < node_->group_by.size(); ++k) {
+      key_columns_[k].type = node_->group_by[k].type;
+    }
+    const bool int64_fast_path =
+        node_->group_by.size() == 1 &&
+        node_->group_by[0].type == ColumnType::kInt64;
+    RowBatch in;
+    bool done = false;
+    while (true) {
+      in = RowBatch();
+      SQLPL_RETURN_IF_ERROR(input_->Next(&in, &done));
+      if (done) break;
+      if (in.num_rows == 0) continue;
+      SQLPL_RETURN_IF_ERROR(
+          ctx_->options.control.Check("executing aggregation"));
+      BatchRef ref = RefOfBatch(in);
+      std::vector<Vec> keys(node_->group_by.size());
+      for (size_t k = 0; k < node_->group_by.size(); ++k) {
+        SQLPL_RETURN_IF_ERROR(EvalExpr(node_->group_by[k], ref, &keys[k]));
+      }
+      std::vector<Vec> args(node_->aggs.size());
+      for (size_t j = 0; j < node_->aggs.size(); ++j) {
+        if (!node_->aggs[j].star) {
+          SQLPL_RETURN_IF_ERROR(EvalExpr(node_->aggs[j].arg, ref, &args[j]));
+        }
+      }
+      for (size_t row = 0; row < in.num_rows; ++row) {
+        size_t group;
+        if (node_->group_by.empty()) {
+          if (num_groups_ == 0) (void)AddGroup(keys, row);
+          group = 0;
+        } else if (int64_fast_path) {
+          auto [it, inserted] = int_groups_.try_emplace(keys[0].i64[row], 0);
+          if (inserted) it->second = AddGroup(keys, row);
+          group = it->second;
+        } else {
+          std::string encoded = EncodeKey(keys, row);
+          auto [it, inserted] = byte_groups_.try_emplace(std::move(encoded), 0);
+          if (inserted) it->second = AddGroup(keys, row);
+          group = it->second;
+        }
+        UpdateGroup(group, args, row);
+      }
+    }
+    // Global aggregate over an empty input still produces one row of
+    // zero-valued aggregates (COUNT(*) = 0).
+    if (node_->group_by.empty() && !node_->aggs.empty() && num_groups_ == 0) {
+      states_.resize(node_->aggs.size());
+      num_groups_ = 1;
+    }
+    return Status::OK();
+  }
+
+  static std::string EncodeKey(const std::vector<Vec>& keys, size_t row) {
+    std::string out;
+    for (const Vec& key : keys) {
+      switch (key.type) {
+        case ColumnType::kInt64: {
+          int64_t value = key.i64[row];
+          out.append(reinterpret_cast<const char*>(&value), sizeof(value));
+          break;
+        }
+        case ColumnType::kDouble: {
+          double value = key.f64[row];
+          out.append(reinterpret_cast<const char*>(&value), sizeof(value));
+          break;
+        }
+        case ColumnType::kString:
+          out += *key.str[row];
+          out.push_back('\0');
+          break;
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<Operator> input_;
+  const PlanNode* node_;
+  ExecContext* ctx_;
+  bool consumed_ = false;
+  size_t num_groups_ = 0;
+  size_t emit_pos_ = 0;
+  std::unordered_map<int64_t, size_t> int_groups_;
+  std::unordered_map<std::string, size_t> byte_groups_;
+  std::vector<Column> key_columns_;  // one value per discovered group
+  std::vector<AggState> states_;     // num_groups × num_aggs, row-major
+};
+
+/// Sort — a pipeline breaker: materializes every input batch, stable-
+/// sorts an index permutation over the key columns, and emits gathered
+/// batches.
+class SortOp : public Operator {
+ public:
+  SortOp(std::unique_ptr<Operator> input, const PlanNode* node,
+         ExecContext* ctx)
+      : input_(std::move(input)), node_(node), ctx_(ctx) {}
+
+  Status Next(RowBatch* out, bool* done) override {
+    if (!sorted_) {
+      SQLPL_RETURN_IF_ERROR(Consume());
+      sorted_ = true;
+    }
+    if (emit_pos_ >= order_.size()) {
+      *done = true;
+      return Status::OK();
+    }
+    const size_t rows =
+        std::min(ctx_->options.batch_rows, order_.size() - emit_pos_);
+    std::vector<uint32_t> selection(order_.begin() + emit_pos_,
+                                    order_.begin() + emit_pos_ + rows);
+    out->num_rows = rows;
+    BatchRef ref = RefOfBatch(all_);
+    out->columns.reserve(ref.cols.size());
+    for (const ColRef& col : ref.cols) {
+      out->columns.push_back(GatherColumn(col, selection));
+    }
+    emit_pos_ += rows;
+    *done = false;
+    return Status::OK();
+  }
+
+ private:
+  Status Consume() {
+    RowBatch in;
+    bool done = false;
+    while (true) {
+      in = RowBatch();
+      SQLPL_RETURN_IF_ERROR(input_->Next(&in, &done));
+      if (done) break;
+      if (in.num_rows == 0) continue;
+      SQLPL_RETURN_IF_ERROR(ctx_->options.control.Check("executing sort"));
+      if (all_.columns.empty()) {
+        all_ = std::move(in);
+        continue;
+      }
+      for (size_t i = 0; i < all_.columns.size(); ++i) {
+        Column& dst = all_.columns[i];
+        Column& src = in.columns[i];
+        dst.i64.insert(dst.i64.end(), src.i64.begin(), src.i64.end());
+        dst.f64.insert(dst.f64.end(), src.f64.begin(), src.f64.end());
+        dst.str.insert(dst.str.end(),
+                       std::make_move_iterator(src.str.begin()),
+                       std::make_move_iterator(src.str.end()));
+      }
+      all_.num_rows += in.num_rows;
+    }
+    order_.resize(all_.num_rows);
+    for (size_t i = 0; i < order_.size(); ++i) {
+      order_[i] = static_cast<uint32_t>(i);
+    }
+    std::stable_sort(order_.begin(), order_.end(),
+                     [this](uint32_t a, uint32_t b) { return Less(a, b); });
+    return Status::OK();
+  }
+
+  bool Less(uint32_t a, uint32_t b) const {
+    for (const PlanNode::SortKey& key : node_->keys) {
+      const Column& col = all_.columns[key.output_index];
+      int cmp = 0;
+      switch (col.type) {
+        case ColumnType::kInt64:
+          cmp = col.i64[a] < col.i64[b] ? -1 : (col.i64[a] > col.i64[b] ? 1 : 0);
+          break;
+        case ColumnType::kDouble:
+          cmp = col.f64[a] < col.f64[b] ? -1 : (col.f64[a] > col.f64[b] ? 1 : 0);
+          break;
+        case ColumnType::kString:
+          cmp = col.str[a].compare(col.str[b]);
+          cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+          break;
+      }
+      if (cmp == 0) continue;
+      return key.descending ? cmp > 0 : cmp < 0;
+    }
+    return false;
+  }
+
+  std::unique_ptr<Operator> input_;
+  const PlanNode* node_;
+  ExecContext* ctx_;
+  bool sorted_ = false;
+  RowBatch all_;
+  std::vector<uint32_t> order_;
+  size_t emit_pos_ = 0;
+};
+
+/// Limit with early exit: stops pulling once the cap is reached, then
+/// probes for at most one more non-empty batch to decide `truncated`.
+class LimitOp : public Operator {
+ public:
+  LimitOp(std::unique_ptr<Operator> input, uint64_t limit, ExecContext* ctx)
+      : input_(std::move(input)), remaining_(limit), ctx_(ctx) {}
+
+  Status Next(RowBatch* out, bool* done) override {
+    if (remaining_ == 0) {
+      if (!probed_) {
+        probed_ = true;
+        RowBatch probe;
+        bool input_done = false;
+        while (!input_done) {
+          probe = RowBatch();
+          SQLPL_RETURN_IF_ERROR(input_->Next(&probe, &input_done));
+          if (!input_done && probe.num_rows > 0) {
+            ctx_->truncated = true;
+            break;
+          }
+        }
+      }
+      *done = true;
+      return Status::OK();
+    }
+    SQLPL_RETURN_IF_ERROR(input_->Next(out, done));
+    if (*done) {
+      remaining_ = 0;
+      probed_ = true;
+      return Status::OK();
+    }
+    if (out->num_rows > remaining_) {
+      ctx_->truncated = true;
+      const size_t keep = static_cast<size_t>(remaining_);
+      for (Column& col : out->columns) {
+        if (col.i64.size() > keep) col.i64.resize(keep);
+        if (col.f64.size() > keep) col.f64.resize(keep);
+        if (col.str.size() > keep) col.str.resize(keep);
+      }
+      out->num_rows = keep;
+      remaining_ = 0;
+    } else {
+      remaining_ -= out->num_rows;
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<Operator> input_;
+  uint64_t remaining_;
+  ExecContext* ctx_;
+  bool probed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Plan → operator tree
+// ---------------------------------------------------------------------------
+
+void CollectColumns(const PlanExpr& expr, std::unordered_set<uint32_t>* used) {
+  if (expr.op == ExprOp::kColumn) used->insert(expr.column);
+  for (const PlanExpr& child : expr.children) CollectColumns(child, used);
+}
+
+/// Scan-schema columns referenced by the nodes between the scan and the
+/// first schema change (Project or Aggregate) — everything the scan must
+/// actually gather; the rest stays pruned.
+std::vector<bool> NeededScanColumns(const PlanNode& scan_parent_chain_root,
+                                    size_t table_columns) {
+  std::unordered_set<uint32_t> used;
+  const PlanNode* node = &scan_parent_chain_root;
+  // Walk down to the scan, noting the last Project/Aggregate seen — its
+  // expressions, plus any Filter predicates below it, address the scan
+  // schema.
+  const PlanNode* schema_change = nullptr;
+  std::vector<const PlanNode*> chain;
+  for (const PlanNode* cur = node; cur != nullptr; cur = cur->input.get()) {
+    chain.push_back(cur);
+  }
+  // chain.back() is the scan; find the deepest Project/Aggregate.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if ((*it)->kind == PlanKind::kProject ||
+        (*it)->kind == PlanKind::kAggregate) {
+      schema_change = *it;
+      break;
+    }
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const PlanNode* cur = *it;
+    if (cur->kind == PlanKind::kFilter) {
+      CollectColumns(cur->predicate, &used);
+    }
+    if (cur == schema_change) {
+      for (const PlanExpr& expr : cur->exprs) CollectColumns(expr, &used);
+      for (const PlanExpr& expr : cur->group_by) CollectColumns(expr, &used);
+      for (const AggSpec& agg : cur->aggs) {
+        if (!agg.star) CollectColumns(agg.arg, &used);
+      }
+      break;
+    }
+  }
+  std::vector<bool> needed(table_columns, false);
+  for (uint32_t index : used) {
+    if (index < table_columns) needed[index] = true;
+  }
+  return needed;
+}
+
+std::unique_ptr<Operator> BuildOp(const PlanNode& node, const PlanNode& root,
+                                  ExecContext* ctx) {
+  switch (node.kind) {
+    case PlanKind::kScan:
+      return std::make_unique<ScanOp>(
+          node.table, nullptr,
+          NeededScanColumns(root, node.table->num_columns()), ctx);
+    case PlanKind::kFilter:
+      // WHERE directly above the scan fuses into it; any other filter
+      // (HAVING) runs standalone.
+      if (node.input->kind == PlanKind::kScan) {
+        const PlanNode& scan = *node.input;
+        return std::make_unique<ScanOp>(
+            scan.table, &node.predicate,
+            NeededScanColumns(root, scan.table->num_columns()), ctx);
+      }
+      return std::make_unique<FilterOp>(BuildOp(*node.input, root, ctx),
+                                        &node.predicate, ctx);
+    case PlanKind::kProject:
+      return std::make_unique<ProjectOp>(BuildOp(*node.input, root, ctx),
+                                         &node.exprs, ctx);
+    case PlanKind::kAggregate:
+      return std::make_unique<AggregateOp>(BuildOp(*node.input, root, ctx),
+                                           &node, ctx);
+    case PlanKind::kSort:
+      return std::make_unique<SortOp>(BuildOp(*node.input, root, ctx), &node,
+                                      ctx);
+    case PlanKind::kLimit:
+      return std::make_unique<LimitOp>(BuildOp(*node.input, root, ctx),
+                                       node.limit, ctx);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<int64_t> QueryResult::Int64Column(size_t i) const {
+  std::vector<int64_t> out;
+  for (const RowBatch& batch : batches) {
+    out.insert(out.end(), batch.columns[i].i64.begin(),
+               batch.columns[i].i64.end());
+  }
+  return out;
+}
+
+std::vector<double> QueryResult::DoubleColumn(size_t i) const {
+  std::vector<double> out;
+  for (const RowBatch& batch : batches) {
+    out.insert(out.end(), batch.columns[i].f64.begin(),
+               batch.columns[i].f64.end());
+  }
+  return out;
+}
+
+std::vector<std::string> QueryResult::StringColumn(size_t i) const {
+  std::vector<std::string> out;
+  for (const RowBatch& batch : batches) {
+    out.insert(out.end(), batch.columns[i].str.begin(),
+               batch.columns[i].str.end());
+  }
+  return out;
+}
+
+Result<QueryResult> ExecutePlan(const LogicalPlan& plan,
+                                const ExecOptions& options, ExecStats* stats) {
+  if (plan.root == nullptr) {
+    return Status::InvalidArgument("cannot execute an empty plan");
+  }
+  if (options.batch_rows == 0) {
+    return Status::InvalidArgument("batch_rows must be positive");
+  }
+  ExecContext ctx;
+  ctx.options = options;
+  ctx.stats = stats;
+  std::unique_ptr<Operator> op = BuildOp(*plan.root, *plan.root, &ctx);
+  QueryResult result;
+  result.column_names = plan.column_names;
+  result.column_types = plan.column_types;
+  while (true) {
+    RowBatch batch;
+    bool done = false;
+    SQLPL_RETURN_IF_ERROR(op->Next(&batch, &done));
+    if (done) break;
+    if (batch.num_rows == 0) continue;
+    result.num_rows += batch.num_rows;
+    result.batches.push_back(std::move(batch));
+  }
+  result.truncated = ctx.truncated;
+  if (stats != nullptr) stats->rows_out = result.num_rows;
+  return result;
+}
+
+}  // namespace exec
+}  // namespace sqlpl

@@ -1,0 +1,73 @@
+#ifndef SQLPL_EXEC_EXECUTOR_H_
+#define SQLPL_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sqlpl/exec/plan.h"
+#include "sqlpl/exec/table.h"
+#include "sqlpl/util/cancellation.h"
+
+namespace sqlpl {
+namespace exec {
+
+/// One batch of result rows, columnar: `columns[i]` matches the plan's
+/// output schema position i (column names live on the `QueryResult`).
+struct RowBatch {
+  size_t num_rows = 0;
+  std::vector<Column> columns;
+};
+
+/// The materialized result of `ExecutePlan`: the output schema plus the
+/// row batches exactly as the operators emitted them. Batch boundaries
+/// are an execution artifact (batch size, operator breaks); consumers
+/// that care only about rows use the flattening accessors.
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<ColumnType> column_types;
+  std::vector<RowBatch> batches;
+  uint64_t num_rows = 0;
+  /// True when a Limit node cut rows that the plan would otherwise have
+  /// produced (the wire response's `truncated` byte).
+  bool truncated = false;
+
+  /// Flattened copy of output column `i` across all batches. Type must
+  /// match (asserted in debug builds); test convenience.
+  std::vector<int64_t> Int64Column(size_t i) const;
+  std::vector<double> DoubleColumn(size_t i) const;
+  std::vector<std::string> StringColumn(size_t i) const;
+};
+
+/// Execution counters, for metrics and tests.
+struct ExecStats {
+  uint64_t rows_scanned = 0;   // rows read out of the base table
+  uint64_t batches = 0;        // scan batches processed
+  uint64_t rows_out = 0;       // rows in the result
+};
+
+struct ExecOptions {
+  /// Rows per scan batch — the vectorization granularity and the
+  /// deadline/cancel checkpoint interval.
+  size_t batch_rows = 4096;
+  /// Lifecycle controls; `Check` runs once per batch inside every
+  /// operator loop, so cancellation and deadline expiry interrupt a
+  /// running scan within one batch.
+  RequestControl control;
+};
+
+/// Runs a lowered plan to completion — the vectorized batch-at-a-time
+/// interpreter (docs/EXECUTION.md): the scan walks the table in
+/// `batch_rows` chunks, the WHERE filter is fused into the scan
+/// (predicate evaluated over the table's column vectors, then only the
+/// referenced, selected rows are gathered), and Aggregate/Sort are the
+/// pipeline breakers. Fails with the lifecycle status (`kDeadlineExceeded`
+/// / `kCancelled`) when `options.control` trips mid-query.
+Result<QueryResult> ExecutePlan(const LogicalPlan& plan,
+                                const ExecOptions& options = {},
+                                ExecStats* stats = nullptr);
+
+}  // namespace exec
+}  // namespace sqlpl
+
+#endif  // SQLPL_EXEC_EXECUTOR_H_

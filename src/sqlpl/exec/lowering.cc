@@ -1,0 +1,718 @@
+#include "sqlpl/exec/lowering.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+#include "sqlpl/util/strings.h"
+
+namespace sqlpl {
+namespace exec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Feature gating
+// ---------------------------------------------------------------------------
+
+bool HasFeature(const DialectSpec& spec, const std::string& feature) {
+  return std::find(spec.features.begin(), spec.features.end(), feature) !=
+         spec.features.end();
+}
+
+Status FeatureError(const std::string& clause, const std::string& feature,
+                    const DialectSpec& spec) {
+  return Status::FeatureUnsupported(clause + " requires feature \"" + feature +
+                                    "\", absent from dialect \"" + spec.name +
+                                    "\"");
+}
+
+Status Gate(const DialectSpec& spec, const std::string& clause,
+            const std::string& feature) {
+  if (!HasFeature(spec, feature)) return FeatureError(clause, feature, spec);
+  return Status::OK();
+}
+
+bool IsAggName(const std::string& upper) {
+  return upper == "COUNT" || upper == "SUM" || upper == "AVG" ||
+         upper == "MIN" || upper == "MAX";
+}
+
+bool IsArithmeticOp(const std::string& op) {
+  return op == "+" || op == "-" || op == "*" || op == "/";
+}
+
+/// Walks one expression gating sub-expression features: set functions
+/// (SetFunctions) and arithmetic (NumericExpressions). Clause-level
+/// features are gated by the caller before descending.
+Status GateExpr(const AstExpr& expr, const DialectSpec& spec) {
+  switch (expr.kind) {
+    case AstExprKind::kFunctionCall: {
+      std::string upper = AsciiStrToUpper(expr.value);
+      if (IsAggName(upper)) {
+        SQLPL_RETURN_IF_ERROR(Gate(spec, "set function " + upper,
+                                   "SetFunctions"));
+      }
+      break;
+    }
+    case AstExprKind::kBinaryOp:
+      if (IsArithmeticOp(expr.value)) {
+        SQLPL_RETURN_IF_ERROR(
+            Gate(spec, "numeric expression", "NumericExpressions"));
+      }
+      break;
+    case AstExprKind::kUnaryOp:
+      if (expr.value == "-") {
+        SQLPL_RETURN_IF_ERROR(
+            Gate(spec, "numeric expression", "NumericExpressions"));
+      }
+      break;
+    default:
+      break;
+  }
+  for (const AstExpr& child : expr.children) {
+    SQLPL_RETURN_IF_ERROR(GateExpr(child, spec));
+  }
+  return Status::OK();
+}
+
+/// The clause → feature pre-pass: every gate runs before any name
+/// resolution, so a feature-excluded statement is attributed to its
+/// feature even when it also references unknown tables or columns.
+/// Gate order follows statement order (deterministic golden bytes).
+Status GateStatement(const SelectStatement& stmt, const DialectSpec& spec) {
+  if (stmt.distinct) {
+    SQLPL_RETURN_IF_ERROR(Gate(spec, "DISTINCT quantifier", "SetQuantifier"));
+  }
+  for (const SelectItem& item : stmt.items) {
+    if (item.is_star) {
+      SQLPL_RETURN_IF_ERROR(Gate(spec, "select-list asterisk", "Asterisk"));
+      continue;
+    }
+    if (!item.alias.empty()) {
+      SQLPL_RETURN_IF_ERROR(Gate(spec, "column alias", "AsClause"));
+    }
+    SQLPL_RETURN_IF_ERROR(GateExpr(item.expr, spec));
+  }
+  for (const TableRef& ref : stmt.from) {
+    if (!ref.alias.empty()) {
+      SQLPL_RETURN_IF_ERROR(Gate(spec, "table alias", "CorrelationName"));
+    }
+  }
+  if (stmt.where.has_value()) {
+    SQLPL_RETURN_IF_ERROR(Gate(spec, "WHERE clause", "Where"));
+    SQLPL_RETURN_IF_ERROR(GateExpr(*stmt.where, spec));
+  }
+  if (!stmt.group_by.empty()) {
+    SQLPL_RETURN_IF_ERROR(Gate(spec, "GROUP BY clause", "GroupBy"));
+    for (const AstExpr& expr : stmt.group_by) {
+      SQLPL_RETURN_IF_ERROR(GateExpr(expr, spec));
+    }
+  }
+  if (stmt.having.has_value()) {
+    SQLPL_RETURN_IF_ERROR(Gate(spec, "HAVING clause", "Having"));
+    SQLPL_RETURN_IF_ERROR(GateExpr(*stmt.having, spec));
+  }
+  if (!stmt.order_by.empty()) {
+    SQLPL_RETURN_IF_ERROR(Gate(spec, "ORDER BY clause", "OrderBy"));
+    for (const OrderItem& item : stmt.order_by) {
+      SQLPL_RETURN_IF_ERROR(GateExpr(item.expr, spec));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Expression lowering against the scanned table
+// ---------------------------------------------------------------------------
+
+bool IsNumeric(ColumnType type) {
+  return type == ColumnType::kInt64 || type == ColumnType::kDouble;
+}
+
+struct TableScope {
+  const Table* table = nullptr;
+  std::string alias;  // correlation name, empty if none
+};
+
+Result<PlanExpr> LowerColumnRef(const AstExpr& expr, const TableScope& scope) {
+  std::string name = expr.value;
+  size_t dot = name.rfind('.');
+  if (dot != std::string::npos) {
+    std::string qualifier = AsciiStrToUpper(name.substr(0, dot));
+    if (qualifier != AsciiStrToUpper(scope.table->name()) &&
+        qualifier != AsciiStrToUpper(scope.alias)) {
+      return Status::NotFound("column \"" + name +
+                              "\" does not resolve in table \"" +
+                              scope.table->name() + "\"");
+    }
+    name = name.substr(dot + 1);
+  }
+  int index = scope.table->FindColumn(name);
+  if (index < 0) {
+    return Status::NotFound("column \"" + name + "\" is not a column of "
+                            "table \"" + scope.table->name() + "\"");
+  }
+  const Column& column = scope.table->column(static_cast<size_t>(index));
+  return PlanExpr::Column(static_cast<uint32_t>(index), column.type,
+                          column.name);
+}
+
+/// Types a literal by lexical shape: the AST carries token text with
+/// quotes already stripped, so `42` → int64, `4.25` / `1e6` → double,
+/// anything else → string.
+PlanExpr LowerLiteral(const std::string& text) {
+  if (!text.empty() &&
+      text.find_first_not_of("0123456789") == std::string::npos) {
+    return PlanExpr::Int(std::strtoll(text.c_str(), nullptr, 10));
+  }
+  if (!text.empty() && (std::isdigit(static_cast<unsigned char>(text[0])) ||
+                        text[0] == '.')) {
+    char* end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    if (end != nullptr && *end == '\0') return PlanExpr::Double(value);
+  }
+  return PlanExpr::String(text);
+}
+
+bool IsComparisonOp(const std::string& op) {
+  return op == "=" || op == "<>" || op == "<" || op == "<=" || op == ">" ||
+         op == ">=";
+}
+
+ExprOp ComparisonOpFor(const std::string& op) {
+  if (op == "=") return ExprOp::kEq;
+  if (op == "<>") return ExprOp::kNe;
+  if (op == "<") return ExprOp::kLt;
+  if (op == "<=") return ExprOp::kLe;
+  if (op == ">") return ExprOp::kGt;
+  return ExprOp::kGe;
+}
+
+ExprOp ArithmeticOpFor(const std::string& op) {
+  if (op == "+") return ExprOp::kAdd;
+  if (op == "-") return ExprOp::kSub;
+  if (op == "*") return ExprOp::kMul;
+  return ExprOp::kDiv;
+}
+
+/// Lowers a scalar expression whose column references resolve directly
+/// against the scanned table. Aggregate calls are rejected here — they
+/// are only legal through the grouped-context lowering below.
+Result<PlanExpr> LowerScalar(const AstExpr& expr, const TableScope& scope) {
+  switch (expr.kind) {
+    case AstExprKind::kColumnRef:
+      return LowerColumnRef(expr, scope);
+    case AstExprKind::kLiteral:
+      return LowerLiteral(expr.value);
+    case AstExprKind::kStar:
+      return Status::InvalidArgument(
+          "* is only valid as a whole select item or inside COUNT(*)");
+    case AstExprKind::kFunctionCall: {
+      std::string upper = AsciiStrToUpper(expr.value);
+      if (IsAggName(upper)) {
+        return Status::InvalidArgument(
+            "set function " + upper +
+            " is only allowed in the select list or HAVING clause");
+      }
+      return Status::InvalidArgument("function \"" + expr.value +
+                                     "\" is not executable");
+    }
+    case AstExprKind::kUnaryOp: {
+      PlanExpr operand;
+      SQLPL_ASSIGN_OR_RETURN(operand, LowerScalar(expr.children[0], scope));
+      PlanExpr out;
+      if (expr.value == "NOT") {
+        if (operand.type != ColumnType::kInt64) {
+          return Status::InvalidArgument("NOT requires a boolean operand; got " +
+                                         std::string(ColumnTypeName(operand.type)));
+        }
+        out.op = ExprOp::kNot;
+        out.type = ColumnType::kInt64;
+      } else if (expr.value == "-") {
+        if (!IsNumeric(operand.type)) {
+          return Status::InvalidArgument(
+              "unary - requires a numeric operand; got " +
+              std::string(ColumnTypeName(operand.type)));
+        }
+        out.op = ExprOp::kNeg;
+        out.type = operand.type;
+      } else {
+        return Status::InvalidArgument("unary operator \"" + expr.value +
+                                       "\" is not executable");
+      }
+      out.children.push_back(std::move(operand));
+      return out;
+    }
+    case AstExprKind::kBinaryOp: {
+      PlanExpr lhs;
+      PlanExpr rhs;
+      SQLPL_ASSIGN_OR_RETURN(lhs, LowerScalar(expr.children[0], scope));
+      SQLPL_ASSIGN_OR_RETURN(rhs, LowerScalar(expr.children[1], scope));
+      PlanExpr out;
+      const std::string& op = expr.value;
+      std::string upper = AsciiStrToUpper(op);
+      if (IsComparisonOp(op)) {
+        bool comparable =
+            (IsNumeric(lhs.type) && IsNumeric(rhs.type)) ||
+            (lhs.type == ColumnType::kString && rhs.type == ColumnType::kString);
+        if (!comparable) {
+          return Status::InvalidArgument(
+              "cannot compare " + std::string(ColumnTypeName(lhs.type)) +
+              " with " + std::string(ColumnTypeName(rhs.type)) + " in " +
+              expr.ToString());
+        }
+        out.op = ComparisonOpFor(op);
+        out.type = ColumnType::kInt64;
+      } else if (upper == "AND" || upper == "OR") {
+        if (lhs.type != ColumnType::kInt64 || rhs.type != ColumnType::kInt64) {
+          return Status::InvalidArgument(upper +
+                                         " requires boolean operands in " +
+                                         expr.ToString());
+        }
+        out.op = upper == "AND" ? ExprOp::kAnd : ExprOp::kOr;
+        out.type = ColumnType::kInt64;
+      } else if (IsArithmeticOp(op)) {
+        if (!IsNumeric(lhs.type) || !IsNumeric(rhs.type)) {
+          return Status::InvalidArgument(
+              "arithmetic requires numeric operands in " + expr.ToString());
+        }
+        out.op = ArithmeticOpFor(op);
+        out.type = (lhs.type == ColumnType::kDouble ||
+                    rhs.type == ColumnType::kDouble)
+                       ? ColumnType::kDouble
+                       : ColumnType::kInt64;
+      } else {
+        return Status::InvalidArgument("operator \"" + op +
+                                       "\" is not executable");
+      }
+      out.children.push_back(std::move(lhs));
+      out.children.push_back(std::move(rhs));
+      return out;
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates and the grouped (post-aggregate) scope
+// ---------------------------------------------------------------------------
+
+bool IsAggCall(const AstExpr& expr) {
+  return expr.kind == AstExprKind::kFunctionCall &&
+         IsAggName(AsciiStrToUpper(expr.value));
+}
+
+bool ContainsAggCall(const AstExpr& expr) {
+  if (IsAggCall(expr)) return true;
+  for (const AstExpr& child : expr.children) {
+    if (ContainsAggCall(child)) return true;
+  }
+  return false;
+}
+
+AggFunc AggFuncFor(const std::string& upper) {
+  if (upper == "COUNT") return AggFunc::kCount;
+  if (upper == "SUM") return AggFunc::kSum;
+  if (upper == "AVG") return AggFunc::kAvg;
+  if (upper == "MIN") return AggFunc::kMin;
+  return AggFunc::kMax;
+}
+
+/// Display name of an aggregate, e.g. `COUNT(*)` or `SUM(qty)`.
+std::string AggDisplayName(const AstExpr& call) {
+  std::string out = AsciiStrToUpper(call.value);
+  out += "(";
+  if (!call.children.empty()) {
+    out += call.children[0].kind == AstExprKind::kStar
+               ? "*"
+               : call.children[0].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+/// Lowers one aggregate call into an `AggSpec` (argument lowered against
+/// the scanned table). Nested aggregates and non-numeric SUM/AVG reject.
+Result<AggSpec> LowerAggCall(const AstExpr& call, const TableScope& scope) {
+  std::string upper = AsciiStrToUpper(call.value);
+  AggSpec spec;
+  spec.func = AggFuncFor(upper);
+  if (call.children.empty() ||
+      call.children[0].kind == AstExprKind::kStar) {
+    if (spec.func != AggFunc::kCount) {
+      return Status::InvalidArgument(upper + "(*) is not defined; only "
+                                     "COUNT takes *");
+    }
+    spec.star = true;
+    spec.type = ColumnType::kInt64;
+    return spec;
+  }
+  const AstExpr& arg = call.children[0];
+  if (ContainsAggCall(arg)) {
+    return Status::InvalidArgument("set functions cannot be nested in " +
+                                   AggDisplayName(call));
+  }
+  SQLPL_ASSIGN_OR_RETURN(spec.arg, LowerScalar(arg, scope));
+  switch (spec.func) {
+    case AggFunc::kCount:
+      spec.type = ColumnType::kInt64;
+      break;
+    case AggFunc::kSum:
+      if (!IsNumeric(spec.arg.type)) {
+        return Status::InvalidArgument("SUM requires a numeric argument; " +
+                                       AggDisplayName(call) + " is " +
+                                       ColumnTypeName(spec.arg.type));
+      }
+      spec.type = spec.arg.type;
+      break;
+    case AggFunc::kAvg:
+      if (!IsNumeric(spec.arg.type)) {
+        return Status::InvalidArgument("AVG requires a numeric argument; " +
+                                       AggDisplayName(call) + " is " +
+                                       ColumnTypeName(spec.arg.type));
+      }
+      spec.type = ColumnType::kDouble;
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      spec.type = spec.arg.type;
+      break;
+  }
+  return spec;
+}
+
+/// The grouped lowering context: group expressions lowered against the
+/// table (position i → post-aggregate column i) and the collected
+/// aggregates (position j → post-aggregate column group_count + j).
+struct GroupScope {
+  const TableScope* table = nullptr;
+  std::vector<PlanExpr> group_exprs;        // against the table schema
+  std::vector<std::string> group_renders;   // ToString of each, for matching
+  std::vector<std::string> group_names;     // output display names
+  std::vector<AstExpr> agg_asts;            // one per collected aggregate
+  std::vector<AggSpec> aggs;
+
+  /// Registers `call` if structurally new; returns its agg index.
+  Result<size_t> Collect(const AstExpr& call) {
+    for (size_t i = 0; i < agg_asts.size(); ++i) {
+      if (agg_asts[i] == call) return i;
+    }
+    AggSpec spec;
+    SQLPL_ASSIGN_OR_RETURN(spec, LowerAggCall(call, *table));
+    agg_asts.push_back(call);
+    aggs.push_back(std::move(spec));
+    return agg_asts.size() - 1;
+  }
+};
+
+/// Lowers an expression in grouped context: column references are only
+/// legal when they (or the whole sub-expression) match a GROUP BY
+/// expression, and aggregate calls become post-aggregate columns. The
+/// produced indices address the Aggregate node's output schema
+/// (group columns first, then aggregates).
+Result<PlanExpr> LowerGrouped(const AstExpr& expr, GroupScope* scope) {
+  if (IsAggCall(expr)) {
+    size_t index;
+    SQLPL_ASSIGN_OR_RETURN(index, scope->Collect(expr));
+    const AggSpec& agg = scope->aggs[index];
+    return PlanExpr::Column(
+        static_cast<uint32_t>(scope->group_exprs.size() + index), agg.type,
+        AggDisplayName(expr));
+  }
+  if (!ContainsAggCall(expr)) {
+    // Aggregate-free: it must be a GROUP BY expression (compared by its
+    // lowered, index-resolved rendering, so `t.grp` matches `grp`) or a
+    // constant.
+    PlanExpr lowered;
+    SQLPL_ASSIGN_OR_RETURN(lowered, LowerScalar(expr, *scope->table));
+    std::string render = lowered.ToString();
+    for (size_t i = 0; i < scope->group_renders.size(); ++i) {
+      if (scope->group_renders[i] == render) {
+        return PlanExpr::Column(static_cast<uint32_t>(i), lowered.type,
+                                scope->group_names[i]);
+      }
+    }
+    if (lowered.op == ExprOp::kLiteralInt ||
+        lowered.op == ExprOp::kLiteralDouble ||
+        lowered.op == ExprOp::kLiteralString) {
+      return lowered;
+    }
+    return Status::InvalidArgument("expression " + expr.ToString() +
+                                   " must appear in the GROUP BY clause or "
+                                   "inside a set function");
+  }
+  // Composite over aggregates, e.g. SUM(v) / COUNT(*): recurse and
+  // re-type exactly like the scalar path.
+  if (expr.kind == AstExprKind::kUnaryOp) {
+    PlanExpr operand;
+    SQLPL_ASSIGN_OR_RETURN(operand, LowerGrouped(expr.children[0], scope));
+    PlanExpr out;
+    if (expr.value == "NOT") {
+      out.op = ExprOp::kNot;
+      out.type = ColumnType::kInt64;
+    } else if (expr.value == "-") {
+      out.op = ExprOp::kNeg;
+      out.type = operand.type;
+    } else {
+      return Status::InvalidArgument("unary operator \"" + expr.value +
+                                     "\" is not executable");
+    }
+    out.children.push_back(std::move(operand));
+    return out;
+  }
+  if (expr.kind == AstExprKind::kBinaryOp) {
+    PlanExpr lhs;
+    PlanExpr rhs;
+    SQLPL_ASSIGN_OR_RETURN(lhs, LowerGrouped(expr.children[0], scope));
+    SQLPL_ASSIGN_OR_RETURN(rhs, LowerGrouped(expr.children[1], scope));
+    PlanExpr out;
+    const std::string& op = expr.value;
+    std::string upper = AsciiStrToUpper(op);
+    if (IsComparisonOp(op)) {
+      bool comparable =
+          (IsNumeric(lhs.type) && IsNumeric(rhs.type)) ||
+          (lhs.type == ColumnType::kString && rhs.type == ColumnType::kString);
+      if (!comparable) {
+        return Status::InvalidArgument(
+            "cannot compare " + std::string(ColumnTypeName(lhs.type)) +
+            " with " + std::string(ColumnTypeName(rhs.type)) + " in " +
+            expr.ToString());
+      }
+      out.op = ComparisonOpFor(op);
+      out.type = ColumnType::kInt64;
+    } else if (upper == "AND" || upper == "OR") {
+      out.op = upper == "AND" ? ExprOp::kAnd : ExprOp::kOr;
+      out.type = ColumnType::kInt64;
+    } else if (IsArithmeticOp(op)) {
+      if (!IsNumeric(lhs.type) || !IsNumeric(rhs.type)) {
+        return Status::InvalidArgument(
+            "arithmetic requires numeric operands in " + expr.ToString());
+      }
+      out.op = ArithmeticOpFor(op);
+      out.type =
+          (lhs.type == ColumnType::kDouble || rhs.type == ColumnType::kDouble)
+              ? ColumnType::kDouble
+              : ColumnType::kInt64;
+    } else {
+      return Status::InvalidArgument("operator \"" + op +
+                                     "\" is not executable");
+    }
+    out.children.push_back(std::move(lhs));
+    out.children.push_back(std::move(rhs));
+    return out;
+  }
+  return Status::InvalidArgument("expression " + expr.ToString() +
+                                 " is not executable in grouped context");
+}
+
+/// Output display name of a select item without an alias.
+std::string DerivedName(const AstExpr& expr, const PlanExpr& lowered) {
+  if (expr.kind == AstExprKind::kColumnRef) return lowered.str;
+  if (IsAggCall(expr)) return AggDisplayName(expr);
+  return expr.ToString();
+}
+
+}  // namespace
+
+Result<LogicalPlan> LowerSelect(const SelectStatement& statement,
+                                const DialectSpec& spec,
+                                const TableRegistry& registry,
+                                const LoweringOptions& options) {
+  SQLPL_RETURN_IF_ERROR(GateStatement(statement, spec));
+
+  if (statement.from.empty()) {
+    return Status::InvalidArgument("execution requires a FROM clause");
+  }
+  if (statement.from.size() > 1) {
+    return Status::InvalidArgument(
+        "execution supports exactly one table in FROM; got " +
+        std::to_string(statement.from.size()));
+  }
+  if (statement.items.empty()) {
+    return Status::InvalidArgument("empty select list");
+  }
+  const TableRef& from = statement.from[0];
+  std::shared_ptr<const Table> table = registry.Find(from.name);
+  if (table == nullptr) {
+    return Status::NotFound("table \"" + from.name +
+                            "\" is not registered for execution");
+  }
+  TableScope scope{table.get(), from.alias};
+
+  auto plan = std::make_unique<PlanNode>();
+  plan->kind = PlanKind::kScan;
+  plan->table = table;
+
+  if (statement.where.has_value()) {
+    PlanExpr predicate;
+    SQLPL_ASSIGN_OR_RETURN(predicate, LowerScalar(*statement.where, scope));
+    if (predicate.type != ColumnType::kInt64) {
+      return Status::InvalidArgument("WHERE predicate must be boolean; got " +
+                                     std::string(ColumnTypeName(predicate.type)));
+    }
+    auto filter = std::make_unique<PlanNode>();
+    filter->kind = PlanKind::kFilter;
+    filter->predicate = std::move(predicate);
+    filter->input = std::move(plan);
+    plan = std::move(filter);
+  }
+
+  bool has_aggregates = false;
+  for (const SelectItem& item : statement.items) {
+    if (!item.is_star && ContainsAggCall(item.expr)) has_aggregates = true;
+  }
+  if (statement.having.has_value() && ContainsAggCall(*statement.having)) {
+    has_aggregates = true;
+  }
+  bool grouped = !statement.group_by.empty() || has_aggregates;
+
+  LogicalPlan result;
+  std::vector<PlanExpr> project_exprs;
+
+  if (grouped) {
+    if (statement.having.has_value() && statement.group_by.empty()) {
+      return Status::InvalidArgument(
+          "HAVING without GROUP BY is not executable");
+    }
+    GroupScope group_scope;
+    group_scope.table = &scope;
+    for (const AstExpr& expr : statement.group_by) {
+      PlanExpr lowered;
+      SQLPL_ASSIGN_OR_RETURN(lowered, LowerScalar(expr, scope));
+      group_scope.group_renders.push_back(lowered.ToString());
+      group_scope.group_names.push_back(DerivedName(expr, lowered));
+      group_scope.group_exprs.push_back(std::move(lowered));
+    }
+    // Lower select items and HAVING against the post-aggregate schema;
+    // `Collect` accumulates every distinct aggregate along the way so
+    // the Aggregate node computes them all, including HAVING-only ones.
+    std::vector<std::string> names;
+    for (const SelectItem& item : statement.items) {
+      if (item.is_star) {
+        return Status::InvalidArgument(
+            "SELECT * cannot be combined with GROUP BY or set functions");
+      }
+      PlanExpr lowered;
+      SQLPL_ASSIGN_OR_RETURN(lowered, LowerGrouped(item.expr, &group_scope));
+      names.push_back(item.alias.empty() ? DerivedName(item.expr, lowered)
+                                         : item.alias);
+      project_exprs.push_back(std::move(lowered));
+    }
+    PlanExpr having;
+    bool has_having = statement.having.has_value();
+    if (has_having) {
+      SQLPL_ASSIGN_OR_RETURN(having,
+                             LowerGrouped(*statement.having, &group_scope));
+      if (having.type != ColumnType::kInt64) {
+        return Status::InvalidArgument("HAVING predicate must be boolean");
+      }
+    }
+
+    auto agg = std::make_unique<PlanNode>();
+    agg->kind = PlanKind::kAggregate;
+    agg->group_by = std::move(group_scope.group_exprs);
+    agg->aggs = std::move(group_scope.aggs);
+    agg->input = std::move(plan);
+    plan = std::move(agg);
+
+    if (has_having) {
+      auto filter = std::make_unique<PlanNode>();
+      filter->kind = PlanKind::kFilter;
+      filter->predicate = std::move(having);
+      filter->input = std::move(plan);
+      plan = std::move(filter);
+    }
+    result.column_names = std::move(names);
+  } else {
+    for (const SelectItem& item : statement.items) {
+      if (item.is_star) {
+        for (size_t i = 0; i < table->num_columns(); ++i) {
+          const Column& column = table->column(i);
+          project_exprs.push_back(PlanExpr::Column(static_cast<uint32_t>(i),
+                                                   column.type, column.name));
+          result.column_names.push_back(column.name);
+        }
+        continue;
+      }
+      PlanExpr lowered;
+      SQLPL_ASSIGN_OR_RETURN(lowered, LowerScalar(item.expr, scope));
+      result.column_names.push_back(
+          item.alias.empty() ? DerivedName(item.expr, lowered) : item.alias);
+      project_exprs.push_back(std::move(lowered));
+    }
+  }
+
+  for (const PlanExpr& expr : project_exprs) {
+    result.column_types.push_back(expr.type);
+  }
+  auto project = std::make_unique<PlanNode>();
+  project->kind = PlanKind::kProject;
+  project->exprs = std::move(project_exprs);
+  project->input = std::move(plan);
+  plan = std::move(project);
+
+  if (statement.distinct) {
+    // DISTINCT = re-group the projected rows on every output column; the
+    // Aggregate node's group-key output is exactly the deduplicated row
+    // set, and the output schema is unchanged.
+    auto dedup = std::make_unique<PlanNode>();
+    dedup->kind = PlanKind::kAggregate;
+    for (size_t i = 0; i < result.column_names.size(); ++i) {
+      dedup->group_by.push_back(PlanExpr::Column(static_cast<uint32_t>(i),
+                                                 result.column_types[i],
+                                                 result.column_names[i]));
+    }
+    dedup->input = std::move(plan);
+    plan = std::move(dedup);
+  }
+
+  if (!statement.order_by.empty()) {
+    auto sort = std::make_unique<PlanNode>();
+    sort->kind = PlanKind::kSort;
+    for (const OrderItem& item : statement.order_by) {
+      int output_index = -1;
+      // A sort key resolves positionally against the select list: either
+      // it is structurally one of the select items, or it is a bare name
+      // matching an output column name or alias.
+      for (size_t i = 0; i < statement.items.size(); ++i) {
+        if (!statement.items[i].is_star && statement.items[i].expr == item.expr) {
+          output_index = static_cast<int>(i);
+          break;
+        }
+      }
+      if (output_index < 0 && item.expr.kind == AstExprKind::kColumnRef) {
+        std::string key = AsciiStrToUpper(item.expr.value);
+        for (size_t i = 0; i < result.column_names.size(); ++i) {
+          if (AsciiStrToUpper(result.column_names[i]) == key) {
+            output_index = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      if (output_index < 0) {
+        return Status::InvalidArgument("ORDER BY expression " +
+                                       item.expr.ToString() +
+                                       " does not match any select item");
+      }
+      sort->keys.push_back(PlanNode::SortKey{
+          static_cast<uint32_t>(output_index), item.descending});
+    }
+    sort->input = std::move(plan);
+    plan = std::move(sort);
+  }
+
+  if (options.max_rows > 0) {
+    auto limit = std::make_unique<PlanNode>();
+    limit->kind = PlanKind::kLimit;
+    limit->limit = options.max_rows;
+    limit->input = std::move(plan);
+    plan = std::move(limit);
+  }
+
+  result.root = std::move(plan);
+  return result;
+}
+
+}  // namespace exec
+}  // namespace sqlpl

@@ -1,0 +1,50 @@
+#ifndef SQLPL_EXEC_LOWERING_H_
+#define SQLPL_EXEC_LOWERING_H_
+
+#include <cstdint>
+
+#include "sqlpl/exec/plan.h"
+#include "sqlpl/exec/table.h"
+#include "sqlpl/semantics/ast.h"
+#include "sqlpl/sql/product_line.h"
+
+namespace sqlpl {
+namespace exec {
+
+struct LoweringOptions {
+  /// When > 0, a `Limit` node caps the plan's output (the wire path's
+  /// `max_rows`); the grammar has no LIMIT clause, so this is the only
+  /// source of Limit nodes today.
+  uint64_t max_rows = 0;
+};
+
+/// The feature-keyed semantic lowering pass (the paper's FOP semantic
+/// actions, docs/EXECUTION.md): turns a typed `SelectStatement` into an
+/// executable `LogicalPlan` over `registry`'s columnar tables.
+///
+/// Every clause is gated on `spec`'s feature selection — a plan node is
+/// only lowerable when the dialect's feature set includes the
+/// corresponding clause feature. A statement using a clause outside the
+/// variant fails with `kFeatureUnsupported` and a *feature-attributed*
+/// diagnostic of the exact form
+///
+///   <CLAUSE> requires feature "<Feature>", absent from dialect "<name>"
+///
+/// (golden-tested byte-for-byte in tests/exec/lowering_test.cc). Name
+/// resolution runs against the registry's tables (`kNotFound` for
+/// unknown tables/columns); type checking is structural (`kInvalidArgument`
+/// on e.g. SUM over a string column).
+///
+/// Plan shape: Scan → [Filter] → (Project | Aggregate → [Filter(HAVING)]
+/// → Project) → [Sort] → [Limit]. Expression column indices are always
+/// relative to the node's *input* schema, so the executor never resolves
+/// a name.
+Result<LogicalPlan> LowerSelect(const SelectStatement& statement,
+                                const DialectSpec& spec,
+                                const TableRegistry& registry,
+                                const LoweringOptions& options = {});
+
+}  // namespace exec
+}  // namespace sqlpl
+
+#endif  // SQLPL_EXEC_LOWERING_H_

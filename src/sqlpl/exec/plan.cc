@@ -1,0 +1,175 @@
+#include "sqlpl/exec/plan.h"
+
+#include <cstdio>
+
+namespace sqlpl {
+namespace exec {
+
+const char* ExprOpName(ExprOp op) {
+  switch (op) {
+    case ExprOp::kColumn: return "column";
+    case ExprOp::kLiteralInt: return "int";
+    case ExprOp::kLiteralDouble: return "double";
+    case ExprOp::kLiteralString: return "string";
+    case ExprOp::kEq: return "=";
+    case ExprOp::kNe: return "<>";
+    case ExprOp::kLt: return "<";
+    case ExprOp::kLe: return "<=";
+    case ExprOp::kGt: return ">";
+    case ExprOp::kGe: return ">=";
+    case ExprOp::kAnd: return "AND";
+    case ExprOp::kOr: return "OR";
+    case ExprOp::kNot: return "NOT";
+    case ExprOp::kAdd: return "+";
+    case ExprOp::kSub: return "-";
+    case ExprOp::kMul: return "*";
+    case ExprOp::kDiv: return "/";
+    case ExprOp::kNeg: return "-";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+  }
+  return "?";
+}
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan: return "Scan";
+    case PlanKind::kFilter: return "Filter";
+    case PlanKind::kProject: return "Project";
+    case PlanKind::kAggregate: return "Aggregate";
+    case PlanKind::kSort: return "Sort";
+    case PlanKind::kLimit: return "Limit";
+  }
+  return "?";
+}
+
+PlanExpr PlanExpr::Column(uint32_t index, ColumnType type, std::string name) {
+  PlanExpr expr;
+  expr.op = ExprOp::kColumn;
+  expr.type = type;
+  expr.column = index;
+  expr.str = std::move(name);
+  return expr;
+}
+
+PlanExpr PlanExpr::Int(int64_t value) {
+  PlanExpr expr;
+  expr.op = ExprOp::kLiteralInt;
+  expr.type = ColumnType::kInt64;
+  expr.i64 = value;
+  return expr;
+}
+
+PlanExpr PlanExpr::Double(double value) {
+  PlanExpr expr;
+  expr.op = ExprOp::kLiteralDouble;
+  expr.type = ColumnType::kDouble;
+  expr.f64 = value;
+  return expr;
+}
+
+PlanExpr PlanExpr::String(std::string value) {
+  PlanExpr expr;
+  expr.op = ExprOp::kLiteralString;
+  expr.type = ColumnType::kString;
+  expr.str = std::move(value);
+  return expr;
+}
+
+std::string PlanExpr::ToString() const {
+  switch (op) {
+    case ExprOp::kColumn:
+      return str + "#" + std::to_string(column);
+    case ExprOp::kLiteralInt:
+      return std::to_string(i64);
+    case ExprOp::kLiteralDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", f64);
+      return buf;
+    }
+    case ExprOp::kLiteralString:
+      return "'" + str + "'";
+    case ExprOp::kNot:
+      return "(NOT " + children[0].ToString() + ")";
+    case ExprOp::kNeg:
+      return "(-" + children[0].ToString() + ")";
+    default:
+      return "(" + children[0].ToString() + " " + ExprOpName(op) + " " +
+             children[1].ToString() + ")";
+  }
+}
+
+namespace {
+
+std::string AggToString(const AggSpec& agg) {
+  std::string out = AggFuncName(agg.func);
+  out += "(";
+  out += agg.star ? "*" : agg.arg.ToString();
+  out += ")";
+  return out;
+}
+
+void AppendNode(const PlanNode& node, std::string* out) {
+  *out += PlanKindName(node.kind);
+  *out += "(";
+  switch (node.kind) {
+    case PlanKind::kScan:
+      *out += node.table != nullptr ? node.table->name() : "?";
+      break;
+    case PlanKind::kFilter:
+      *out += node.predicate.ToString();
+      break;
+    case PlanKind::kProject:
+      for (size_t i = 0; i < node.exprs.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += node.exprs[i].ToString();
+      }
+      break;
+    case PlanKind::kAggregate: {
+      *out += "groups=[";
+      for (size_t i = 0; i < node.group_by.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += node.group_by[i].ToString();
+      }
+      *out += "] aggs=[";
+      for (size_t i = 0; i < node.aggs.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += AggToString(node.aggs[i]);
+      }
+      *out += "]";
+      break;
+    }
+    case PlanKind::kSort:
+      for (size_t i = 0; i < node.keys.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += "#" + std::to_string(node.keys[i].output_index) +
+                (node.keys[i].descending ? " desc" : " asc");
+      }
+      break;
+    case PlanKind::kLimit:
+      *out += std::to_string(node.limit);
+      break;
+  }
+  *out += ")\n";
+  if (node.input != nullptr) AppendNode(*node.input, out);
+}
+
+}  // namespace
+
+std::string LogicalPlan::ToString() const {
+  std::string out;
+  if (root != nullptr) AppendNode(*root, &out);
+  return out;
+}
+
+}  // namespace exec
+}  // namespace sqlpl

@@ -1,0 +1,132 @@
+#ifndef SQLPL_EXEC_PLAN_H_
+#define SQLPL_EXEC_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sqlpl/exec/table.h"
+
+namespace sqlpl {
+namespace exec {
+
+/// Operation of one typed plan-expression node. Column references are
+/// resolved to column *indices* during lowering — the executor never
+/// looks names up again.
+enum class ExprOp : uint8_t {
+  kColumn,      // column #`column` of the scanned table
+  kLiteralInt,  // i64
+  kLiteralDouble,
+  kLiteralString,
+  // Comparisons (result kInt64 as 0/1):
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  // Boolean connectives over 0/1 operands:
+  kAnd, kOr, kNot,
+  // Arithmetic:
+  kAdd, kSub, kMul, kDiv,
+  kNeg,
+};
+
+const char* ExprOpName(ExprOp op);
+
+/// A typed scalar/boolean expression over the scanned table's columns.
+/// `type` is the expression's result type (comparisons and connectives
+/// are kInt64 0/1). Value tree, copyable.
+struct PlanExpr {
+  ExprOp op = ExprOp::kLiteralInt;
+  ColumnType type = ColumnType::kInt64;
+  uint32_t column = 0;     // kColumn: index into the scan table
+  int64_t i64 = 0;         // kLiteralInt
+  double f64 = 0;          // kLiteralDouble
+  std::string str;         // kLiteralString; kColumn: display name
+  std::vector<PlanExpr> children;
+
+  static PlanExpr Column(uint32_t index, ColumnType type, std::string name);
+  static PlanExpr Int(int64_t value);
+  static PlanExpr Double(double value);
+  static PlanExpr String(std::string value);
+
+  /// Parenthesized rendering with resolved column indices, e.g.
+  /// `(v#1 < 100)` — the lowering golden-test format.
+  std::string ToString() const;
+};
+
+enum class AggFunc : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc func);
+
+/// One aggregate output of an Aggregate node.
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  /// COUNT(*): no argument expression.
+  bool star = false;
+  PlanExpr arg;
+  /// Result type (kInt64 for COUNT; AVG is always kDouble).
+  ColumnType type = ColumnType::kInt64;
+};
+
+enum class PlanKind : uint8_t {
+  kScan,
+  kFilter,
+  kProject,
+  kAggregate,
+  kSort,
+  kLimit,
+};
+
+const char* PlanKindName(PlanKind kind);
+
+/// One node of the logical plan. A plan is a single-input chain (no
+/// joins yet): Scan at the bottom, then optional Filter, then exactly
+/// one of Project/Aggregate, then optional Sort and Limit — the shape
+/// `LowerSelect` produces and `ExecutePlan` interprets.
+struct PlanNode {
+  PlanKind kind = PlanKind::kScan;
+  std::unique_ptr<PlanNode> input;  // null for kScan
+
+  // kScan
+  std::shared_ptr<const Table> table;
+
+  // kFilter
+  PlanExpr predicate;
+
+  // kProject
+  std::vector<PlanExpr> exprs;
+
+  // kAggregate
+  std::vector<PlanExpr> group_by;
+  std::vector<AggSpec> aggs;
+
+  // kSort: keys are indices into the plan's *output* columns.
+  struct SortKey {
+    uint32_t output_index = 0;
+    bool descending = false;
+  };
+  std::vector<SortKey> keys;
+
+  // kLimit
+  uint64_t limit = 0;
+};
+
+/// A lowered, executable query plan: the node chain plus the output
+/// schema (name and type per produced column, in SELECT-list order).
+struct LogicalPlan {
+  std::unique_ptr<PlanNode> root;
+  std::vector<std::string> column_names;
+  std::vector<ColumnType> column_types;
+
+  /// One line per node, innermost (Scan) last, e.g.
+  ///
+  ///   Limit(10)
+  ///   Sort(#0 asc)
+  ///   Aggregate(groups=[grp#2] aggs=[COUNT(*), SUM(v#1)])
+  ///   Filter((v#1 < 100))
+  ///   Scan(bench)
+  std::string ToString() const;
+};
+
+}  // namespace exec
+}  // namespace sqlpl
+
+#endif  // SQLPL_EXEC_PLAN_H_

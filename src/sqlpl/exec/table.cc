@@ -1,0 +1,190 @@
+#include "sqlpl/exec/table.h"
+
+#include <utility>
+
+#include "sqlpl/util/strings.h"
+
+namespace sqlpl {
+namespace exec {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64: return "int64";
+    case ColumnType::kDouble: return "double";
+    case ColumnType::kString: return "string";
+  }
+  return "unknown";
+}
+
+Status Table::AddColumn(Column column) {
+  if (FindColumn(column.name) >= 0) {
+    return Status::AlreadyExists("table \"" + name_ +
+                                 "\" already has a column \"" + column.name +
+                                 "\"");
+  }
+  if (!columns_.empty() && column.size() != num_rows_) {
+    return Status::InvalidArgument(
+        "column \"" + column.name + "\" has " +
+        std::to_string(column.size()) + " rows; table \"" + name_ +
+        "\" has " + std::to_string(num_rows_));
+  }
+  num_rows_ = column.size();
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Status Table::AddInt64Column(std::string name, std::vector<int64_t> values) {
+  Column column;
+  column.name = std::move(name);
+  column.type = ColumnType::kInt64;
+  column.i64 = std::move(values);
+  return AddColumn(std::move(column));
+}
+
+Status Table::AddDoubleColumn(std::string name, std::vector<double> values) {
+  Column column;
+  column.name = std::move(name);
+  column.type = ColumnType::kDouble;
+  column.f64 = std::move(values);
+  return AddColumn(std::move(column));
+}
+
+Status Table::AddStringColumn(std::string name,
+                              std::vector<std::string> values) {
+  Column column;
+  column.name = std::move(name);
+  column.type = ColumnType::kString;
+  column.str = std::move(values);
+  return AddColumn(std::move(column));
+}
+
+int Table::FindColumn(const std::string& name) const {
+  std::string key = AsciiStrToUpper(name);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (AsciiStrToUpper(columns_[i].name) == key) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Status TableRegistry::Register(std::shared_ptr<const Table> table) {
+  if (table == nullptr || table->name().empty()) {
+    return Status::InvalidArgument("cannot register an unnamed table");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_[AsciiStrToUpper(table->name())] = std::move(table);
+  return Status::OK();
+}
+
+std::shared_ptr<const Table> TableRegistry::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(AsciiStrToUpper(name));
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> TableRegistry::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+size_t TableRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.size();
+}
+
+DbCatalog TableRegistry::Catalog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DbCatalog catalog;
+  for (const auto& [key, table] : tables_) {
+    std::vector<std::string> columns;
+    columns.reserve(table->num_columns());
+    for (size_t i = 0; i < table->num_columns(); ++i) {
+      columns.push_back(table->column(i).name);
+    }
+    // Registration is the only writer and names are unique per map key,
+    // so AddTable cannot fail here.
+    (void)catalog.AddTable(table->name(), columns);
+  }
+  return catalog;
+}
+
+std::shared_ptr<const Table> MakeReadingsTable() {
+  auto table = std::make_shared<Table>("readings");
+  const char* rooms[] = {"lab", "hall", "roof", "cellar"};
+  std::vector<std::string> room;
+  std::vector<int64_t> sensor_id;
+  std::vector<double> temp;
+  std::vector<int64_t> epoch;
+  for (int i = 0; i < 32; ++i) {
+    room.push_back(rooms[i % 4]);
+    sensor_id.push_back(i % 8);
+    temp.push_back(15.0 + (i * 7 % 20) + (i % 3) * 0.25);
+    epoch.push_back(1000 + i * 10);
+  }
+  (void)table->AddStringColumn("room", std::move(room));
+  (void)table->AddInt64Column("sensor_id", std::move(sensor_id));
+  (void)table->AddDoubleColumn("temp", std::move(temp));
+  (void)table->AddInt64Column("epoch", std::move(epoch));
+  return table;
+}
+
+std::shared_ptr<const Table> MakePartsTable() {
+  auto table = std::make_shared<Table>("parts");
+  const char* parts[] = {"bolt", "nut", "screw", "cam", "cog", "gear"};
+  const char* warehouses[] = {"north", "south"};
+  std::vector<std::string> part;
+  std::vector<std::string> warehouse;
+  std::vector<int64_t> qty;
+  std::vector<double> price;
+  for (int i = 0; i < 24; ++i) {
+    part.push_back(parts[i % 6]);
+    warehouse.push_back(warehouses[i % 2]);
+    qty.push_back((i * 13) % 50 + 1);
+    price.push_back(0.5 + (i % 7) * 1.25);
+  }
+  (void)table->AddStringColumn("part", std::move(part));
+  (void)table->AddStringColumn("warehouse", std::move(warehouse));
+  (void)table->AddInt64Column("qty", std::move(qty));
+  (void)table->AddDoubleColumn("price", std::move(price));
+  return table;
+}
+
+void RegisterDemoTables(TableRegistry* registry) {
+  (void)registry->Register(MakeReadingsTable());
+  (void)registry->Register(MakePartsTable());
+}
+
+std::shared_ptr<const Table> MakeBenchTable(const std::string& name,
+                                            size_t rows, uint64_t seed) {
+  auto table = std::make_shared<Table>(name);
+  std::vector<int64_t> id(rows);
+  std::vector<int64_t> v(rows);
+  std::vector<int64_t> grp(rows);
+  std::vector<double> price(rows);
+  uint64_t state = seed != 0 ? seed : 0x9e3779b97f4a7c15ULL;
+  for (size_t i = 0; i < rows; ++i) {
+    // xorshift64: deterministic, fast, and good enough to spread group
+    // keys and filter selectivity.
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    int64_t value = static_cast<int64_t>(state % 1000000);
+    id[i] = static_cast<int64_t>(i);
+    v[i] = value;
+    grp[i] = value % 16;
+    price[i] = static_cast<double>(value) / 100.0;
+  }
+  (void)table->AddInt64Column("id", std::move(id));
+  (void)table->AddInt64Column("v", std::move(v));
+  (void)table->AddInt64Column("grp", std::move(grp));
+  (void)table->AddDoubleColumn("price", std::move(price));
+  return table;
+}
+
+}  // namespace exec
+}  // namespace sqlpl

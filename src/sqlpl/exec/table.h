@@ -1,0 +1,132 @@
+#ifndef SQLPL_EXEC_TABLE_H_
+#define SQLPL_EXEC_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sqlpl/semantics/catalog.h"
+#include "sqlpl/util/status.h"
+
+namespace sqlpl {
+namespace exec {
+
+/// Storage type of one column of an in-memory test table. The wire
+/// encoding of types 9/10 carries this byte verbatim (append-only, like
+/// every wire table — docs/EXECUTION.md).
+enum class ColumnType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+/// Stable lowercase type name ("int64", "double", "string").
+const char* ColumnTypeName(ColumnType type);
+
+/// One typed column vector. Exactly one of the three value vectors is
+/// populated, matching `type`; the executor reads them as spans and
+/// never copies row data out of the table.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<std::string> str;
+
+  size_t size() const {
+    switch (type) {
+      case ColumnType::kInt64: return i64.size();
+      case ColumnType::kDouble: return f64.size();
+      case ColumnType::kString: return str.size();
+    }
+    return 0;
+  }
+};
+
+/// A columnar in-memory table — the execution tier's "registered
+/// collection" (the RocketJoe pattern): immutable once registered, so
+/// any number of concurrent queries scan it without locks.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a column; every column must have the same row count as the
+  /// first (`kInvalidArgument` otherwise), and names must be unique
+  /// within the table (`kAlreadyExists`).
+  Status AddInt64Column(std::string name, std::vector<int64_t> values);
+  Status AddDoubleColumn(std::string name, std::vector<double> values);
+  Status AddStringColumn(std::string name, std::vector<std::string> values);
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Case-insensitive column lookup (SQL regular identifiers); -1 when
+  /// absent.
+  int FindColumn(const std::string& name) const;
+
+ private:
+  Status AddColumn(Column column);
+
+  std::string name_;
+  size_t num_rows_ = 0;
+  std::vector<Column> columns_;
+};
+
+/// Thread-safe name → table registry. Tables register once (fixtures,
+/// test setup, benchmark generators) and are served as shared immutable
+/// snapshots; `Find` during a query pins the table against concurrent
+/// re-registration for the query's lifetime.
+class TableRegistry {
+ public:
+  /// Registers (or replaces) `table` under its own name.
+  Status Register(std::shared_ptr<const Table> table);
+
+  /// The registered table, or nullptr. Case-insensitive.
+  std::shared_ptr<const Table> Find(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+  size_t size() const;
+
+  /// The registry as a semantic-layer `DbCatalog` (table + column
+  /// names), for name resolution through the existing semantics/
+  /// machinery.
+  DbCatalog Catalog() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Uppercased name -> table (original spelling lives in the table).
+  std::map<std::string, std::shared_ptr<const Table>> tables_;
+};
+
+/// The demo fixture set every `DialectService` registers at
+/// construction, so wire clients can execute immediately:
+///
+///   readings(room STRING, sensor_id INT64, temp DOUBLE, epoch INT64)
+///       — 32 rows of sensor data (the TinySQL motivating workload)
+///   parts(part STRING, warehouse STRING, qty INT64, price DOUBLE)
+///       — 24 rows (the classic suppliers-and-parts shape)
+std::shared_ptr<const Table> MakeReadingsTable();
+std::shared_ptr<const Table> MakePartsTable();
+void RegisterDemoTables(TableRegistry* registry);
+
+/// Deterministic benchmark/test table of `rows` rows:
+///
+///   bench(id INT64, v INT64, grp INT64, price DOUBLE)
+///
+/// `id` is 0..rows-1, `v` an xorshift64 pseudo-random value in
+/// [0, 1'000'000), `grp` = v % 16, `price` = v / 100.0. Same `rows` and
+/// `seed` → identical table, so committed benchmark baselines and
+/// golden tests agree across machines.
+std::shared_ptr<const Table> MakeBenchTable(const std::string& name,
+                                            size_t rows, uint64_t seed = 42);
+
+}  // namespace exec
+}  // namespace sqlpl
+
+#endif  // SQLPL_EXEC_TABLE_H_

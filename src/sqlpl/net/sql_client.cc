@@ -173,6 +173,52 @@ Result<WireCatalogResponse> SqlClient::ListCatalog(Deadline wait) {
   return response;
 }
 
+Result<WireExecuteResponse> SqlClient::Execute(const DialectSpec& spec,
+                                               std::string_view sql,
+                                               uint32_t deadline_ms,
+                                               uint64_t max_rows,
+                                               Deadline wait) {
+  WireExecuteRequest request;
+  request.has_spec = true;
+  request.spec = spec;
+  request.sql = std::string(sql);
+  request.deadline_ms = deadline_ms;
+  request.max_rows = max_rows;
+  return CallExecute(std::move(request), wait);
+}
+
+Result<WireExecuteResponse> SqlClient::ExecuteByFingerprint(
+    uint64_t fingerprint, std::string_view sql, uint32_t deadline_ms,
+    uint64_t max_rows, Deadline wait) {
+  WireExecuteRequest request;
+  request.has_spec = false;
+  request.fingerprint = fingerprint;
+  request.sql = std::string(sql);
+  request.deadline_ms = deadline_ms;
+  request.max_rows = max_rows;
+  return CallExecute(std::move(request), wait);
+}
+
+Result<WireExecuteResponse> SqlClient::CallExecute(WireExecuteRequest request,
+                                                   Deadline wait) {
+  if (request.request_id == 0) request.request_id = next_request_id_++;
+  if (request.trace.trace_id == 0) {
+    if (trace_seed_ == 0) trace_seed_ = NextClientTraceSeed();
+    request.trace.trace_id = (trace_seed_ << 32) | request.request_id;
+  }
+  std::string frame;
+  EncodeExecuteRequestFrame(request, &frame);
+  SQLPL_RETURN_IF_ERROR(SendFrame(frame));
+  std::span<const uint8_t> payload;
+  SQLPL_RETURN_IF_ERROR(ReceivePayload(&payload, wait));
+  WireExecuteResponse response;
+  SQLPL_RETURN_IF_ERROR(DecodeExecuteResponsePayload(payload, &response));
+  if (response.request_id != request.request_id) {
+    return Status::Internal("response for a different request id");
+  }
+  return response;
+}
+
 Result<WireParseResponse> SqlClient::Call(WireParseRequest request,
                                           Deadline wait) {
   SQLPL_RETURN_IF_ERROR(Send(request));

@@ -116,7 +116,29 @@ class SqlClient {
   Result<WireCatalogResponse> ListCatalog(Deadline wait =
                                               Deadline::Never());
 
+  /// One synchronous query execution with the spec inline: the server
+  /// parses `sql` under the dialect, lowers it to a logical plan
+  /// (feature-gated — clauses outside the variant come back as
+  /// `kFeatureUnsupported` with the missing feature named), runs it on
+  /// the vectorized executor, and streams the result back as columnar
+  /// row batches. `max_rows` of 0 accepts the server's default cap.
+  Result<WireExecuteResponse> Execute(const DialectSpec& spec,
+                                      std::string_view sql,
+                                      uint32_t deadline_ms = 0,
+                                      uint64_t max_rows = 0,
+                                      Deadline wait = Deadline::Never());
+
+  /// Same, with fingerprint-only dialect identity.
+  Result<WireExecuteResponse> ExecuteByFingerprint(uint64_t fingerprint,
+                                                   std::string_view sql,
+                                                   uint32_t deadline_ms = 0,
+                                                   uint64_t max_rows = 0,
+                                                   Deadline wait =
+                                                       Deadline::Never());
+
  private:
+  Result<WireExecuteResponse> CallExecute(WireExecuteRequest request,
+                                          Deadline wait);
   Result<WireParseResponse> Call(WireParseRequest request, Deadline wait);
 
   /// Sends one already-encoded frame (assigning `*request_id` from the

@@ -34,6 +34,11 @@ constexpr size_t kCompactThreshold = 256 * 1024;
 /// Frames gathered into one writev call.
 constexpr size_t kMaxIov = 64;
 
+/// Result row cap applied when an execute request leaves `max_rows` at
+/// 0: the response must stay under the client's frame limit, so the
+/// server never streams unbounded row data into a single frame.
+constexpr uint64_t kDefaultExecuteRowCap = 16384;
+
 uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -750,6 +755,25 @@ bool SqlServer::DecodeFrame(const std::shared_ptr<Connection>& conn,
                   });
       return true;
     }
+    case WireType::kExecuteRequest: {
+      WireExecuteRequest request;
+      Status decoded = DecodeExecuteRequestPayload(payload, &request);
+      if (!decoded.ok()) {
+        decode_errors_->Increment();
+        RefuseFrame(conn, request.request_id, decoded,
+                    WireType::kExecuteResponse);
+        return false;
+      }
+      if (refuse_if_draining(request.request_id,
+                             WireType::kExecuteResponse)) {
+        return true;
+      }
+      DispatchJob(conn, request.request_id, WireType::kExecuteResponse,
+                  [this, conn, request = std::move(request), received_at] {
+                    HandleExecute(conn, request, received_at);
+                  });
+      return true;
+    }
     case WireType::kListCatalogRequest: {
       WireCatalogRequest request;
       Status decoded = DecodeCatalogRequestPayload(payload, &request);
@@ -1164,6 +1188,131 @@ void SqlServer::HandleCatalog(const std::shared_ptr<Connection>& conn,
   request_latency_->Record(MicrosSince(received_at));
 }
 
+void SqlServer::HandleExecute(const std::shared_ptr<Connection>& conn,
+                              const WireExecuteRequest& request,
+                              std::chrono::steady_clock::time_point
+                                  received_at) {
+  const uint64_t handled_at = obs::TraceNowMicros();
+  // Decode + dispatch + queue wait, folded into one pre-handler stage:
+  // execute frames ride the generic job path, which doesn't stamp a
+  // separate decode boundary the way the parse batch path does.
+  const uint64_t queue_micros = MicrosSince(received_at);
+  auto clamp32 = [](uint64_t micros) {
+    return static_cast<uint32_t>(std::min<uint64_t>(micros, UINT32_MAX));
+  };
+
+  WireExecuteResponse wire;
+  wire.request_id = request.request_id;
+
+  // Resolve the dialect exactly like the parse path: inline specs are
+  // fingerprinted and remembered, fingerprint-only requests must match
+  // a spec some client sent earlier.
+  std::shared_ptr<const DialectSpec> spec;
+  uint64_t fingerprint;
+  if (request.has_spec) {
+    fingerprint = RegisterSpec(request.spec);
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    spec = specs_[fingerprint];
+  } else {
+    fingerprint = request.fingerprint;
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    auto it = specs_.find(fingerprint);
+    if (it != specs_.end()) spec = it->second;
+  }
+  wire.fingerprint = fingerprint;
+
+  uint64_t service_total = 0;
+  if (!spec) {
+    wire.status = StatusCode::kNotFound;
+    wire.message = "unknown dialect fingerprint " +
+                   SpecFingerprint{fingerprint}.ToString() +
+                   " (send the spec inline once first)";
+  } else {
+    ExecuteRequest service_request;
+    service_request.spec = spec.get();
+    service_request.sql = request.sql;
+    // The client's millisecond budget became absolute at frame receipt,
+    // so queue time already spent counts against it.
+    service_request.deadline =
+        request.deadline_ms > 0
+            ? Deadline::At(received_at +
+                           std::chrono::milliseconds(request.deadline_ms))
+            : Deadline::Never();
+    service_request.cancel = drain_cancel_.token();
+    service_request.max_rows =
+        request.max_rows > 0 ? request.max_rows : kDefaultExecuteRowCap;
+    service_request.trace = request.trace;
+    ExecuteResponse response = service_->ExecuteQuery(service_request);
+    service_total = response.total_micros;
+    wire.status = response.status.code();
+    wire.cache_disposition = response.cache_disposition;
+    wire.lower_micros = clamp32(response.lower_micros);
+    wire.exec_micros = clamp32(response.exec_micros);
+    wire.total_micros = clamp32(response.total_micros);
+    if (response.ok()) {
+      wire.num_rows = response.result.num_rows;
+      wire.truncated = response.result.truncated;
+      wire.column_names = std::move(response.result.column_names);
+      wire.column_types = std::move(response.result.column_types);
+      wire.batches = std::move(response.result.batches);
+    } else {
+      wire.message = std::string(response.status.message());
+    }
+  }
+
+  const uint64_t service_done = obs::TraceNowMicros();
+  const uint64_t handler_micros =
+      service_done > handled_at ? service_done - handled_at : 0;
+  const uint64_t lowered_plus_run = wire.lower_micros + wire.exec_micros;
+  // Everything the handler spent outside lowering + running: spec
+  // registry, service admission, parser-cache resolution.
+  const uint64_t admission_micros =
+      service_total > lowered_plus_run ? service_total - lowered_plus_run : 0;
+
+  std::string frame;
+  if (request.trace.traced()) {
+    // Two-pass encode, as in the traced parse path: the stage table
+    // must contain the encode duration itself.
+    wire.trace_id = request.trace.trace_id;
+    std::string throwaway;
+    EncodeExecuteResponseFrame(wire, &throwaway);
+    const uint64_t encode_micros = obs::TraceNowMicros() - service_done;
+    wire.server_micros =
+        clamp32(queue_micros + handler_micros + encode_micros);
+    wire.stages = {
+        {static_cast<uint8_t>(WireStage::kDecode), 0},
+        {static_cast<uint8_t>(WireStage::kQueue), clamp32(queue_micros)},
+        {static_cast<uint8_t>(WireStage::kAdmission),
+         clamp32(admission_micros)},
+        {static_cast<uint8_t>(WireStage::kExec), clamp32(lowered_plus_run)},
+        {static_cast<uint8_t>(WireStage::kEncode), clamp32(encode_micros)},
+        {static_cast<uint8_t>(WireStage::kWrite), 0},
+    };
+    EncodeExecuteResponseFrame(wire, &frame);
+  } else {
+    wire.server_micros = clamp32(queue_micros + handler_micros);
+    EncodeExecuteResponseFrame(wire, &frame);
+  }
+  QueueFrame(conn, std::move(frame));
+
+  const uint64_t turnaround = MicrosSince(received_at);
+  request_latency_->RecordWithExemplar(turnaround, request.trace.trace_id);
+  {
+    // The whole-request flight event, backdated to frame receipt; the
+    // service already recorded the inner kExec event.
+    obs::FlightEvent event;
+    event.trace_id = request.trace.trace_id;
+    event.request_id = request.request_id;
+    event.ts_micros = obs::TraceNowMicros() - turnaround;
+    event.dur_micros = clamp32(turnaround);
+    event.loop_id = static_cast<uint16_t>(conn->loop->index);
+    event.stage = static_cast<uint8_t>(obs::FlightStage::kRequest);
+    event.status = static_cast<uint8_t>(wire.status);
+    obs::FlightRecorder::Global().Record(event);
+  }
+  MaybeDumpFlight(wire.status, turnaround);
+}
+
 uint64_t SqlServer::RegisterSpec(const DialectSpec& spec) {
   uint64_t fingerprint = FingerprintSpec(spec).value;
   std::lock_guard<std::mutex> lock(specs_mu_);
@@ -1191,6 +1340,14 @@ void SqlServer::RefuseFrame(const std::shared_ptr<Connection>& conn,
       wire.status = status.code();
       wire.message = status.message();
       EncodeCompleteResponseFrame(wire, &frame);
+      break;
+    }
+    case WireType::kExecuteResponse: {
+      WireExecuteResponse wire;
+      wire.request_id = request_id;
+      wire.status = status.code();
+      wire.message = status.message();
+      EncodeExecuteResponseFrame(wire, &frame);
       break;
     }
     case WireType::kListCatalogResponse: {

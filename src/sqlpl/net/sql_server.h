@@ -269,6 +269,12 @@ class SqlServer {
   void HandleCatalog(const std::shared_ptr<Connection>& conn,
                      const WireCatalogRequest& request,
                      std::chrono::steady_clock::time_point received_at);
+  /// Runs one execute request end to end on a worker shard: dialect
+  /// resolution, service `ExecuteQuery` (admission, lowering, the
+  /// vectorized run), response encode, flight-recorder request event.
+  void HandleExecute(const std::shared_ptr<Connection>& conn,
+                     const WireExecuteRequest& request,
+                     std::chrono::steady_clock::time_point received_at);
   /// Remembers `spec` under its fingerprint and returns that
   /// fingerprint, so follow-up requests can go fingerprint-only.
   uint64_t RegisterSpec(const DialectSpec& spec);

@@ -290,6 +290,7 @@ const char* WireStageName(uint8_t stage) {
     case WireStage::kRender: return "render";
     case WireStage::kEncode: return "encode";
     case WireStage::kWrite: return "write";
+    case WireStage::kExec: return "exec";
   }
   return "unknown";
 }
@@ -312,6 +313,7 @@ uint8_t StatusCodeToWire(StatusCode code) {
     case StatusCode::kResourceExhausted: return 13;
     case StatusCode::kUnavailable: return 14;
     case StatusCode::kInvalidConfig: return 15;
+    case StatusCode::kFeatureUnsupported: return 16;
   }
   return 7;  // kInternal
 }
@@ -334,6 +336,7 @@ StatusCode StatusCodeFromWire(uint8_t wire) {
     case 13: return StatusCode::kResourceExhausted;
     case 14: return StatusCode::kUnavailable;
     case 15: return StatusCode::kInvalidConfig;
+    case 16: return StatusCode::kFeatureUnsupported;
     default: return StatusCode::kInternal;
   }
 }
@@ -697,6 +700,286 @@ Status DecodeCatalogResponsePayload(std::span<const uint8_t> payload,
   }
   out->message = reader.Str32();
   return FinishDecode(reader, "ListCatalogResponse");
+}
+
+// --- execute frames (types 9 and 10, docs/EXECUTION.md) --------------
+
+namespace {
+
+// Result schemas are select lists, not spec tables; anything past this
+// is malformed.
+constexpr size_t kMaxResultColumns = 256;
+
+bool ReadExecuteRequestExtensions(ByteReader* reader,
+                                  WireExecuteRequest* out) {
+  if (reader->AtEnd()) return true;
+  size_t n = reader->U8();
+  for (size_t i = 0; i < n && reader->ok(); ++i) {
+    uint8_t tag = reader->U8();
+    size_t len = reader->U16();
+    switch (tag) {
+      case kExtTraceContext:
+        if (len < 16) return false;
+        out->trace.trace_id = reader->U64();
+        out->trace.span_id = reader->U64();
+        reader->Skip(len - 16);
+        break;
+      default:
+        reader->Skip(len);
+    }
+  }
+  return reader->ok();
+}
+
+bool ReadExecuteResponseExtensions(ByteReader* reader,
+                                   WireExecuteResponse* out) {
+  if (reader->AtEnd()) return true;
+  size_t n = reader->U8();
+  for (size_t i = 0; i < n && reader->ok(); ++i) {
+    uint8_t tag = reader->U8();
+    size_t len = reader->U16();
+    switch (tag) {
+      case kExtTraceEcho:
+        if (len < 8) return false;
+        out->trace_id = reader->U64();
+        reader->Skip(len - 8);
+        break;
+      case kExtStageTable: {
+        if (len < 1) return false;
+        size_t count = reader->U8();
+        if (len < 1 + count * 5) return false;
+        out->stages.clear();
+        out->stages.reserve(count);
+        for (size_t j = 0; j < count && reader->ok(); ++j) {
+          WireStageTiming timing;
+          timing.stage = reader->U8();
+          timing.micros = reader->U32();
+          out->stages.push_back(timing);
+        }
+        reader->Skip(len - 1 - count * 5);
+        break;
+      }
+      default:
+        reader->Skip(len);
+    }
+  }
+  return reader->ok();
+}
+
+void PutRowBatch(std::string* out, const exec::RowBatch& batch) {
+  PutU32(out, static_cast<uint32_t>(batch.num_rows));
+  for (const exec::Column& column : batch.columns) {
+    switch (column.type) {
+      case exec::ColumnType::kInt64:
+        for (size_t i = 0; i < batch.num_rows; ++i) {
+          PutU64(out, static_cast<uint64_t>(column.i64[i]));
+        }
+        break;
+      case exec::ColumnType::kDouble:
+        for (size_t i = 0; i < batch.num_rows; ++i) {
+          uint64_t bits = 0;
+          std::memcpy(&bits, &column.f64[i], sizeof(bits));
+          PutU64(out, bits);
+        }
+        break;
+      case exec::ColumnType::kString:
+        for (size_t i = 0; i < batch.num_rows; ++i) {
+          PutStr16(out, column.str[i]);
+        }
+        break;
+    }
+  }
+}
+
+bool ReadRowBatch(ByteReader* reader,
+                  const std::vector<exec::ColumnType>& types,
+                  exec::RowBatch* batch) {
+  size_t rows = reader->U32();
+  // Coarse bound: every row costs at least two bytes per column, so a
+  // row count beyond the remaining payload is malformed, not a reason
+  // to preallocate gigabytes.
+  if (rows > reader->Remaining()) return false;
+  batch->num_rows = rows;
+  batch->columns.resize(types.size());
+  for (size_t c = 0; c < types.size(); ++c) {
+    exec::Column& column = batch->columns[c];
+    column.type = types[c];
+    switch (types[c]) {
+      case exec::ColumnType::kInt64:
+        column.i64.resize(rows);
+        for (size_t i = 0; i < rows && reader->ok(); ++i) {
+          column.i64[i] = static_cast<int64_t>(reader->U64());
+        }
+        break;
+      case exec::ColumnType::kDouble:
+        column.f64.resize(rows);
+        for (size_t i = 0; i < rows && reader->ok(); ++i) {
+          uint64_t bits = reader->U64();
+          std::memcpy(&column.f64[i], &bits, sizeof(bits));
+        }
+        break;
+      case exec::ColumnType::kString:
+        column.str.resize(rows);
+        for (size_t i = 0; i < rows && reader->ok(); ++i) {
+          column.str[i] = reader->Str16();
+        }
+        break;
+    }
+  }
+  return reader->ok();
+}
+
+}  // namespace
+
+void EncodeExecuteRequestFrame(const WireExecuteRequest& request,
+                               std::string* out) {
+  std::string payload;
+  payload.reserve(64 + request.sql.size());
+  PutU8(&payload, static_cast<uint8_t>(WireType::kExecuteRequest));
+  PutU64(&payload, request.request_id);
+  uint8_t flags = 0;
+  if (request.has_spec) flags |= kFlagHasSpec;
+  PutU8(&payload, flags);
+  PutU32(&payload, request.deadline_ms);
+  PutU64(&payload, request.fingerprint);
+  if (request.has_spec) PutSpec(&payload, request.spec);
+  PutStr32(&payload, request.sql);
+  PutU64(&payload, request.max_rows);
+  if (request.trace.traced()) {
+    PutU8(&payload, 1);  // ext_count
+    std::string ext;
+    PutU64(&ext, request.trace.trace_id);
+    PutU64(&ext, request.trace.span_id);
+    PutExtension(&payload, kExtTraceContext, ext);
+  }
+
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+Status DecodeExecuteRequestPayload(std::span<const uint8_t> payload,
+                                   WireExecuteRequest* out) {
+  ByteReader reader(payload);
+  SQLPL_RETURN_IF_ERROR(
+      ExpectType(&reader, WireType::kExecuteRequest, "ExecuteRequest"));
+  out->request_id = reader.U64();
+  uint8_t flags = reader.U8();
+  out->has_spec = (flags & kFlagHasSpec) != 0;
+  out->deadline_ms = reader.U32();
+  out->fingerprint = reader.U64();
+  if (out->has_spec) {
+    if (!ReadSpec(&reader, &out->spec)) {
+      return Status::InvalidArgument("malformed dialect spec in request");
+    }
+  } else {
+    out->spec = DialectSpec{};
+  }
+  out->sql = reader.Str32();
+  out->max_rows = reader.U64();
+  out->trace = TraceContext{};
+  if (!ReadExecuteRequestExtensions(&reader, out)) {
+    return Status::InvalidArgument(
+        "malformed extension block in ExecuteRequest");
+  }
+  return FinishDecode(reader, "ExecuteRequest");
+}
+
+void EncodeExecuteResponseFrame(const WireExecuteResponse& response,
+                                std::string* out) {
+  std::string payload;
+  payload.reserve(96 + response.message.size() +
+                  static_cast<size_t>(response.num_rows) * 8);
+  PutU8(&payload, static_cast<uint8_t>(WireType::kExecuteResponse));
+  PutU64(&payload, response.request_id);
+  PutU8(&payload, StatusCodeToWire(response.status));
+  PutU8(&payload, static_cast<uint8_t>(response.cache_disposition));
+  PutU32(&payload, response.lower_micros);
+  PutU32(&payload, response.exec_micros);
+  PutU32(&payload, response.total_micros);
+  PutU32(&payload, response.server_micros);
+  PutU64(&payload, response.fingerprint);
+  PutU64(&payload, response.num_rows);
+  PutU8(&payload, response.truncated ? 1 : 0);
+  PutStr32(&payload, response.message);
+  PutU16(&payload, static_cast<uint16_t>(response.column_names.size()));
+  for (size_t i = 0; i < response.column_names.size(); ++i) {
+    PutStr16(&payload, response.column_names[i]);
+    PutU8(&payload, static_cast<uint8_t>(response.column_types[i]));
+  }
+  PutU32(&payload, static_cast<uint32_t>(response.batches.size()));
+  for (const exec::RowBatch& batch : response.batches) {
+    PutRowBatch(&payload, batch);
+  }
+  size_t n_stages = std::min(response.stages.size(), size_t{255});
+  uint8_t ext_count = (response.trace_id != 0 ? 1 : 0) + (n_stages > 0 ? 1 : 0);
+  if (ext_count > 0) {
+    PutU8(&payload, ext_count);
+    if (response.trace_id != 0) {
+      std::string ext;
+      PutU64(&ext, response.trace_id);
+      PutExtension(&payload, kExtTraceEcho, ext);
+    }
+    if (n_stages > 0) {
+      std::string ext;
+      PutU8(&ext, static_cast<uint8_t>(n_stages));
+      for (size_t i = 0; i < n_stages; ++i) {
+        PutU8(&ext, response.stages[i].stage);
+        PutU32(&ext, response.stages[i].micros);
+      }
+      PutExtension(&payload, kExtStageTable, ext);
+    }
+  }
+
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+Status DecodeExecuteResponsePayload(std::span<const uint8_t> payload,
+                                    WireExecuteResponse* out) {
+  ByteReader reader(payload);
+  SQLPL_RETURN_IF_ERROR(
+      ExpectType(&reader, WireType::kExecuteResponse, "ExecuteResponse"));
+  out->request_id = reader.U64();
+  out->status = StatusCodeFromWire(reader.U8());
+  out->cache_disposition = static_cast<CacheDisposition>(reader.U8());
+  out->lower_micros = reader.U32();
+  out->exec_micros = reader.U32();
+  out->total_micros = reader.U32();
+  out->server_micros = reader.U32();
+  out->fingerprint = reader.U64();
+  out->num_rows = reader.U64();
+  out->truncated = reader.U8() != 0;
+  out->message = reader.Str32();
+  size_t n_cols = reader.U16();
+  if (n_cols > kMaxResultColumns) {
+    return Status::InvalidArgument("result column count exceeds limit");
+  }
+  out->column_names.clear();
+  out->column_types.clear();
+  for (size_t i = 0; i < n_cols && reader.ok(); ++i) {
+    out->column_names.push_back(reader.Str16());
+    out->column_types.push_back(static_cast<exec::ColumnType>(reader.U8()));
+  }
+  size_t n_batches = reader.U32();
+  if (n_batches > reader.Remaining()) {
+    return Status::InvalidArgument("malformed batch table in ExecuteResponse");
+  }
+  out->batches.clear();
+  out->batches.reserve(n_batches);
+  for (size_t i = 0; i < n_batches && reader.ok(); ++i) {
+    exec::RowBatch batch;
+    if (!ReadRowBatch(&reader, out->column_types, &batch)) {
+      return Status::InvalidArgument("malformed row batch in ExecuteResponse");
+    }
+    out->batches.push_back(std::move(batch));
+  }
+  out->trace_id = 0;
+  out->stages.clear();
+  if (!ReadExecuteResponseExtensions(&reader, out)) {
+    return Status::InvalidArgument(
+        "malformed extension block in ExecuteResponse");
+  }
+  return FinishDecode(reader, "ExecuteResponse");
 }
 
 }  // namespace net

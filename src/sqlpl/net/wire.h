@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sqlpl/exec/executor.h"
 #include "sqlpl/service/parser_cache.h"
 #include "sqlpl/sql/product_line.h"
 #include "sqlpl/util/status.h"
@@ -47,6 +48,10 @@ enum class WireType : uint8_t {
   kCompleteSpecResponse = 6,
   kListCatalogRequest = 7,
   kListCatalogResponse = 8,
+  // Execution-tier frames (docs/EXECUTION.md): run a statement against
+  // the server's registered tables and stream back row batches.
+  kExecuteRequest = 9,
+  kExecuteResponse = 10,
 };
 
 /// Parse frames (types 1 and 2) may carry an optional *extension block*
@@ -79,6 +84,7 @@ enum class WireStage : uint8_t {
   kEncode = 5,     // response struct -> frame bytes
   kWrite = 6,      // socket flush; always 0 in-frame (the flush happens
                    // after the frame is sealed — see docs/NETWORK.md)
+  kExec = 7,       // execution tier: lowering + vectorized run
 };
 
 /// Stable lowercase stage name; "unknown" for unrecognized ids.
@@ -138,6 +144,65 @@ struct WireParseResponse {
   uint64_t trace_id = 0;
   /// Per-stage timing breakdown (extension tag 2), in pipeline order.
   /// Empty for untraced requests and from pre-extension servers.
+  std::vector<WireStageTiming> stages;
+
+  bool ok() const { return status == StatusCode::kOk; }
+};
+
+/// A client's execute call (type 9): parse + lower + run `sql` against
+/// the server's registered tables under the named dialect. Dialect
+/// identity travels exactly like in `WireParseRequest`: inline spec on
+/// first use, 64-bit fingerprint afterwards.
+struct WireExecuteRequest {
+  uint64_t request_id = 0;
+  bool has_spec = false;
+  /// Deadline budget in milliseconds from frame receipt; 0 = none.
+  uint32_t deadline_ms = 0;
+  uint64_t fingerprint = 0;
+  DialectSpec spec;
+  std::string sql;
+  /// Result row cap; 0 = server default (the server always caps so the
+  /// response stays under the frame limit).
+  uint64_t max_rows = 0;
+  /// Trace identity (extension tag 1), as in `WireParseRequest`.
+  TraceContext trace;
+};
+
+/// The execute reply (type 10). Row data is columnar per batch,
+/// mirroring the executor's output exactly (`exec::RowBatch`), so an
+/// in-process `ExecuteQuery` result and a decoded wire result compare
+/// byte-for-byte:
+///
+///   u16 ncols × (str16 name, u8 type)          — schema table
+///   u32 nbatches × (u32 nrows, per column:     — row batches
+///       int64/double cells as u64 LE (doubles bit-cast),
+///       string cells as str16)
+///
+/// On error the schema and batch tables are empty and `message` carries
+/// the diagnostic (for `kFeatureUnsupported`, the feature-attributed
+/// text, byte-golden across dialects — docs/EXECUTION.md).
+struct WireExecuteResponse {
+  uint64_t request_id = 0;
+  StatusCode status = StatusCode::kOk;
+  CacheDisposition cache_disposition = CacheDisposition::kUnresolved;
+  /// Server timing: semantic lowering, executor run, full in-service
+  /// time, and the server-side frame turnaround.
+  uint32_t lower_micros = 0;
+  uint32_t exec_micros = 0;
+  uint32_t total_micros = 0;
+  uint32_t server_micros = 0;
+  uint64_t fingerprint = 0;
+  uint64_t num_rows = 0;
+  /// Set when the row cap cut rows the query would have produced.
+  bool truncated = false;
+  /// Error text; empty on success.
+  std::string message;
+  std::vector<std::string> column_names;
+  std::vector<exec::ColumnType> column_types;
+  std::vector<exec::RowBatch> batches;
+  /// Trace echo + stage table (extension tags 1 and 2), as in
+  /// `WireParseResponse`; the stage table gains a `kExec` row.
+  uint64_t trace_id = 0;
   std::vector<WireStageTiming> stages;
 
   bool ok() const { return status == StatusCode::kOk; }
@@ -265,6 +330,10 @@ void EncodeCatalogRequestFrame(const WireCatalogRequest& request,
                                std::string* out);
 void EncodeCatalogResponseFrame(const WireCatalogResponse& response,
                                 std::string* out);
+void EncodeExecuteRequestFrame(const WireExecuteRequest& request,
+                               std::string* out);
+void EncodeExecuteResponseFrame(const WireExecuteResponse& response,
+                                std::string* out);
 
 /// Inspects the front of a receive buffer. Returns the total size
 /// (header + payload) of the first frame when one is complete, 0 when
@@ -293,6 +362,10 @@ Status DecodeCatalogRequestPayload(std::span<const uint8_t> payload,
                                    WireCatalogRequest* out);
 Status DecodeCatalogResponsePayload(std::span<const uint8_t> payload,
                                     WireCatalogResponse* out);
+Status DecodeExecuteRequestPayload(std::span<const uint8_t> payload,
+                                   WireExecuteRequest* out);
+Status DecodeExecuteResponsePayload(std::span<const uint8_t> payload,
+                                    WireExecuteResponse* out);
 
 /// The message type of a complete frame's payload, or 0 when empty.
 uint8_t PayloadType(std::span<const uint8_t> payload);

@@ -40,6 +40,7 @@ const char* FlightStageName(uint8_t stage) {
     case FlightStage::kService: return "service";
     case FlightStage::kNativeCompile: return "native_compile";
     case FlightStage::kNativePromotion: return "native_promotion";
+    case FlightStage::kExec: return "exec";
   }
   return "unknown";
 }

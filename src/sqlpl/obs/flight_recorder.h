@@ -27,6 +27,7 @@ enum class FlightStage : uint8_t {
   kService = 8,    // DialectService::Parse (any caller, wire or not)
   kNativeCompile = 9,    // native tier: codegen + toolchain + dlopen
   kNativePromotion = 10,  // native tier: equivalence gate + publish
+  kExec = 11,      // execution tier: lowering + vectorized run
 };
 
 /// Stable lowercase name of a stage ("decode", "parse", ...); "unknown"

@@ -5,9 +5,12 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "sqlpl/exec/lowering.h"
 #include "sqlpl/obs/flight_recorder.h"
 #include "sqlpl/obs/trace.h"
+#include "sqlpl/semantics/ast_builder.h"
 #include "sqlpl/service/fault_injector.h"
+#include "sqlpl/sql/dialects.h"
 
 namespace sqlpl {
 
@@ -34,6 +37,23 @@ void RecordServiceFlightEvent(const TraceContext& trace, uint64_t dur_micros,
                          ? UINT32_MAX
                          : static_cast<uint32_t>(dur_micros);
   event.stage = static_cast<uint8_t>(obs::FlightStage::kService);
+  event.status = static_cast<uint8_t>(status);
+  obs::FlightRecorder::Global().Record(event);
+}
+
+// The execution-tier counterpart: whole lowering + run interval under
+// FlightStage::kExec.
+void RecordExecFlightEvent(const TraceContext& trace, uint64_t dur_micros,
+                           StatusCode status) {
+  obs::FlightEvent event;
+  event.trace_id = trace.trace_id;
+  event.request_id = trace.span_id;
+  uint64_t now = obs::TraceNowMicros();
+  event.ts_micros = now > dur_micros ? now - dur_micros : 0;
+  event.dur_micros = dur_micros > UINT32_MAX
+                         ? UINT32_MAX
+                         : static_cast<uint32_t>(dur_micros);
+  event.stage = static_cast<uint8_t>(obs::FlightStage::kExec);
   event.status = static_cast<uint8_t>(status);
   obs::FlightRecorder::Global().Record(event);
 }
@@ -70,6 +90,26 @@ DialectService::DialectService(DialectServiceOptions options)
       "sqlpl_fm_validate_skips_total", {},
       "Requests whose spec arrived by an already-validated fingerprint and "
       "skipped the per-request configurator Validate");
+  exec_statements_ = stats_.registry().GetCounter(
+      "sqlpl_exec_statements_total", {},
+      "ExecuteQuery statements received (any outcome)");
+  exec_lowering_failures_ = stats_.registry().GetCounter(
+      "sqlpl_exec_lowering_failures_total", {},
+      "ExecuteQuery statements rejected during semantic lowering "
+      "(feature-unsupported, name resolution, typing)");
+  exec_rows_ = stats_.registry().GetCounter(
+      "sqlpl_exec_rows_total", {},
+      "Result rows produced by the vectorized executor");
+  exec_batches_ = stats_.registry().GetCounter(
+      "sqlpl_exec_batches_total", {},
+      "Scan batches processed by the vectorized executor");
+  exec_lower_micros_ = stats_.registry().GetHistogram(
+      "sqlpl_exec_lower_micros", {},
+      "Parse + AST build + semantic lowering time per ExecuteQuery");
+  exec_run_micros_ = stats_.registry().GetHistogram(
+      "sqlpl_exec_run_micros", {},
+      "Vectorized executor run time per ExecuteQuery");
+  exec::RegisterDemoTables(&tables_);
 }
 
 bool DialectService::IsValidated(uint64_t fingerprint) const {
@@ -332,6 +372,146 @@ ParseResponse DialectService::Parse(const ParseRequest& request) {
   }
   return Execute(request, *parser, fingerprint, disposition, start,
                  /*queue_stage=*/true);
+}
+
+ExecuteResponse DialectService::ExecuteQuery(const ExecuteRequest& request) {
+  obs::Span request_span("request.execute", "service",
+                         request.spec != nullptr ? request.spec->name : "");
+  auto start = std::chrono::steady_clock::now();
+  ExecuteResponse response;
+  if (request.spec == nullptr) {
+    response.status =
+        Status::InvalidArgument("ExecuteRequest::spec must not be null");
+    return response;
+  }
+  exec_statements_->Increment();
+
+  RequestControl control{request.deadline, request.cancel, request.trace};
+  AdmissionSlot slot(this);
+  {
+    // Same three admission gates as Parse; Admit writes into a
+    // ParseResponse, so funnel its outcome through a shim.
+    ParseResponse admission;
+    if (!Admit(control, slot, &admission)) {
+      response.status = admission.status();
+      response.total_micros = ElapsedMicros(start);
+      return response;
+    }
+  }
+
+  CacheDisposition disposition = CacheDisposition::kUnresolved;
+  SpecFingerprint fingerprint;
+  Result<std::shared_ptr<const LlParser>> parser =
+      GetParser(*request.spec, control, &disposition, &fingerprint);
+  if (!parser.ok()) {
+    switch (parser.status().code()) {
+      case StatusCode::kCancelled:
+        stats_.RecordCancellation();
+        break;
+      case StatusCode::kDeadlineExceeded:
+        stats_.RecordDeadlineMiss(ServiceStats::DeadlineStage::kQueue);
+        break;
+      default:
+        break;
+    }
+    response.status = parser.status();
+    response.cache_disposition = disposition;
+    response.total_micros = ElapsedMicros(start);
+    return response;
+  }
+  response.cache_disposition = disposition;
+
+  // --- lowering: parse -> typed AST -> feature-keyed logical plan ---
+  auto lower_start = std::chrono::steady_clock::now();
+  ParseStats parse_stats;
+  Result<ParseNode> tree = (*parser)->ParseText(request.sql, control,
+                                                &parse_stats,
+                                                /*build_tree=*/true);
+  stats_.RecordThroughput(parse_stats.tokens, parse_stats.arena_bytes);
+  if (!tree.ok() && tree.status().code() == StatusCode::kParseError) {
+    // Diagnose-by-refinement: a clause outside the variant never makes
+    // it past the variant's *parser*, so a bare syntax error would hide
+    // the real story. Re-parse under the full-foundation grammar; if
+    // the text is well-formed there, lowering against the ACTIVE spec's
+    // features below produces the feature-attributed rejection.
+    Result<std::shared_ptr<const LlParser>> full =
+        GetParser(FullFoundationDialect(), control);
+    if (full.ok()) {
+      ParseStats refine_stats;
+      Result<ParseNode> refined = (*full)->ParseText(
+          request.sql, control, &refine_stats, /*build_tree=*/true);
+      if (refined.ok()) tree = std::move(refined);
+    }
+  }
+  Result<exec::LogicalPlan> plan{Status::Internal("not lowered")};
+  if (tree.ok()) {
+    Result<SelectStatement> statement = BuildSelectStatement(tree.value());
+    if (statement.ok()) {
+      plan = exec::LowerSelect(statement.value(), *request.spec, tables_,
+                               exec::LoweringOptions{request.max_rows});
+    } else {
+      plan = statement.status();
+    }
+  } else {
+    plan = tree.status();
+  }
+  uint64_t lower_micros = ElapsedMicros(lower_start);
+  exec_lower_micros_->Record(lower_micros);
+  response.lower_micros = lower_micros;
+
+  if (!plan.ok()) {
+    switch (plan.status().code()) {
+      case StatusCode::kCancelled:
+        stats_.RecordCancellation();
+        break;
+      case StatusCode::kDeadlineExceeded:
+        stats_.RecordDeadlineMiss(ServiceStats::DeadlineStage::kParse);
+        break;
+      default:
+        exec_lowering_failures_->Increment();
+        break;
+    }
+    response.status = plan.status();
+    response.total_micros = ElapsedMicros(start);
+    RecordExecFlightEvent(request.trace, response.total_micros,
+                          response.status.code());
+    return response;
+  }
+  response.plan_text = plan->ToString();
+
+  // --- the vectorized run ---
+  auto run_start = std::chrono::steady_clock::now();
+  exec::ExecOptions exec_options;
+  exec_options.control = control;
+  exec::ExecStats exec_stats;
+  Result<exec::QueryResult> result =
+      exec::ExecutePlan(plan.value(), exec_options, &exec_stats);
+  uint64_t run_micros = ElapsedMicros(run_start);
+  exec_run_micros_->Record(run_micros);
+  exec_batches_->Increment(exec_stats.batches);
+  response.exec_micros = run_micros;
+
+  if (result.ok()) {
+    exec_rows_->Increment(exec_stats.rows_out);
+    response.result = std::move(result).value();
+    response.status = Status::OK();
+  } else {
+    switch (result.status().code()) {
+      case StatusCode::kCancelled:
+        stats_.RecordCancellation();
+        break;
+      case StatusCode::kDeadlineExceeded:
+        stats_.RecordDeadlineMiss(ServiceStats::DeadlineStage::kParse);
+        break;
+      default:
+        break;
+    }
+    response.status = result.status();
+  }
+  response.total_micros = ElapsedMicros(start);
+  RecordExecFlightEvent(request.trace, response.total_micros,
+                        response.status.code());
+  return response;
 }
 
 std::vector<ParseResponse> DialectService::ParseBatch(

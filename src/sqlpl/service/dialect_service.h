@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sqlpl/exec/executor.h"
 #include "sqlpl/fm/configurator.h"
 #include "sqlpl/parser/parse_tree.h"
 #include "sqlpl/service/native_tier.h"
@@ -108,6 +109,39 @@ struct ParseResponse {
   const Status& status() const { return result.status(); }
 };
 
+/// One execution under the request-lifecycle API: parse + lower + run
+/// `sql` against the service's registered tables (docs/EXECUTION.md).
+/// Lifecycle fields behave exactly like `ParseRequest`'s.
+struct ExecuteRequest {
+  /// Required; the dialect whose feature selection gates lowering.
+  const DialectSpec* spec = nullptr;
+  std::string_view sql;
+  Deadline deadline;
+  CancelToken cancel;
+  /// Result row cap (a `Limit` plan node); 0 = unlimited.
+  uint64_t max_rows = 0;
+  TraceContext trace;
+};
+
+/// Outcome of one `ExecuteRequest`.
+struct ExecuteResponse {
+  Status status = Status::Internal("response not filled");
+  /// The row batches (valid iff `status.ok()`).
+  exec::QueryResult result;
+  /// Rendered logical plan (`LogicalPlan::ToString`), for inspection
+  /// and tests; empty when lowering failed.
+  std::string plan_text;
+  CacheDisposition cache_disposition = CacheDisposition::kUnresolved;
+  /// Parse + AST build + semantic lowering.
+  uint64_t lower_micros = 0;
+  /// The vectorized run proper.
+  uint64_t exec_micros = 0;
+  /// Admission → response.
+  uint64_t total_micros = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
 /// Long-lived, concurrent front-end over `SqlProductLine` — the serving
 /// tier of the product line. Where the library workflow composes and
 /// builds a parser per call, the service treats a validated feature
@@ -151,6 +185,22 @@ class DialectService {
 
   /// Parses one statement under the full request lifecycle.
   ParseResponse Parse(const ParseRequest& request);
+
+  /// Executes one statement end to end: resolve the dialect's parser
+  /// (same admission/cache/lifecycle gates as `Parse`), parse, lower
+  /// feature-keyed (`exec::LowerSelect`), and run the vectorized
+  /// executor over the registered tables. Statements that use clauses
+  /// outside the dialect's feature selection fail with
+  /// `kFeatureUnsupported` and a feature-attributed diagnostic — even
+  /// when the variant's parser itself rejects the text, the service
+  /// re-parses under the full-foundation grammar to attribute the
+  /// offending clause to its feature (docs/EXECUTION.md).
+  ExecuteResponse ExecuteQuery(const ExecuteRequest& request);
+
+  /// The in-memory tables queries execute against. Pre-registered with
+  /// the demo fixture set (`exec::RegisterDemoTables`); tests and
+  /// benchmarks register their own.
+  exec::TableRegistry& tables() { return tables_; }
 
   /// Parses a batch of independent requests concurrently on the
   /// internal pool, preserving order (response i ↔ requests[i]). Each
@@ -305,6 +355,16 @@ class DialectService {
   std::unique_ptr<std::atomic<uint64_t>[]> validated_;
   /// `sqlpl_fm_validate_skips_total`: proof the fast path is taken.
   obs::Counter* validate_skips_ = nullptr;
+
+  /// Execution tier (docs/EXECUTION.md): the registered tables and the
+  /// sqlpl_exec_* instruments.
+  exec::TableRegistry tables_;
+  obs::Counter* exec_statements_ = nullptr;
+  obs::Counter* exec_lowering_failures_ = nullptr;
+  obs::Counter* exec_rows_ = nullptr;
+  obs::Counter* exec_batches_ = nullptr;
+  obs::Histogram* exec_lower_micros_ = nullptr;
+  obs::Histogram* exec_run_micros_ = nullptr;
 };
 
 }  // namespace sqlpl

@@ -22,11 +22,17 @@ void FaultInjector::SetBuildDelay(std::chrono::microseconds delay) {
   build_delay_ = delay;
 }
 
+void FaultInjector::SetExecBatchDelay(std::chrono::microseconds delay) {
+  std::lock_guard<std::mutex> lock(mu_);
+  exec_batch_delay_ = delay;
+}
+
 void FaultInjector::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   fail_count_ = 0;
   fail_status_ = Status::OK();
   build_delay_ = std::chrono::microseconds{0};
+  exec_batch_delay_ = std::chrono::microseconds{0};
   injected_failures_ = 0;
 }
 
@@ -45,6 +51,15 @@ Status FaultInjector::OnBuildStart() {
   // Sleep outside the lock so concurrent builds overlap naturally.
   if (delay.count() > 0) std::this_thread::sleep_for(delay);
   return injected;
+}
+
+void FaultInjector::OnExecBatch() {
+  std::chrono::microseconds delay{0};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    delay = exec_batch_delay_;
+  }
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
 }
 
 uint64_t FaultInjector::injected_failures() const {

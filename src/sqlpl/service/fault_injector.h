@@ -43,12 +43,22 @@ class FaultInjector {
   /// failing, when armed). Zero disables.
   void SetBuildDelay(std::chrono::microseconds delay);
 
+  /// Every executor batch sleeps this long (injected into the operator
+  /// loop via `OnExecBatch`) — the "slow operator" fault used to widen
+  /// deadline/cancel windows inside a running Scan+Filter (tests/exec/
+  /// exec_fault_injection_test.cc). Zero disables.
+  void SetExecBatchDelay(std::chrono::microseconds delay);
+
   /// Disarms everything. Counters survive until the next `Reset`.
   void Reset();
 
   /// The build-path hook: sleeps the armed delay, then either consumes
   /// one armed failure (returning its status) or returns OK.
   Status OnBuildStart();
+
+  /// The executor hook, called once per batch by the scan loop: sleeps
+  /// the armed exec-batch delay.
+  void OnExecBatch();
 
   /// Failures injected since the last `Reset` — lets tests assert the
   /// fault actually fired.
@@ -61,6 +71,7 @@ class FaultInjector {
   int fail_count_ = 0;
   Status fail_status_;
   std::chrono::microseconds build_delay_{0};
+  std::chrono::microseconds exec_batch_delay_{0};
   uint64_t injected_failures_ = 0;
 };
 
@@ -76,8 +87,10 @@ class FaultInjector {
   }
   void FailBuilds(int, Status) {}
   void SetBuildDelay(std::chrono::microseconds) {}
+  void SetExecBatchDelay(std::chrono::microseconds) {}
   void Reset() {}
   Status OnBuildStart() { return Status::OK(); }
+  void OnExecBatch() {}
   uint64_t injected_failures() const { return 0; }
 };
 

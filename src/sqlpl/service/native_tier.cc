@@ -303,7 +303,13 @@ void NativeTier::Compile(const CompileJob& job) {
   argv.push_back("-o");
   argv.push_back(so_path);
   argv.push_back(source_path);
-  Result<SubprocessResult> compiled = RunSubprocess(argv);
+  // The subprocess dominates the compile span's wall time; a nested
+  // span separates the compiler's own cost from emission + dlopen +
+  // equivalence gating when reading a trace.
+  Result<SubprocessResult> compiled = [&] {
+    obs::Span cc_span("native_tier.cc", "service", options_.compiler);
+    return RunSubprocess(argv);
+  }();
   if (!compiled.ok() || !compiled->ok()) {
     Demote(job.fingerprint.value, NativeDemotionReason::kCompileError,
            compiled.ok() ? compiled->output : compiled.status().message());

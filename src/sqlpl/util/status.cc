@@ -36,6 +36,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "unavailable";
     case StatusCode::kInvalidConfig:
       return "invalid_config";
+    case StatusCode::kFeatureUnsupported:
+      return "feature_unsupported";
   }
   return "unknown";
 }

@@ -51,6 +51,14 @@ enum class StatusCode {
   /// during sequencing), this is a typed pre-admission rejection — the
   /// request never reached a parser build.
   kInvalidConfig,
+  /// The statement parsed, but lowering it to an executable plan needs
+  /// a clause whose feature the active dialect does not include — the
+  /// execution tier's feature-attributed rejection (docs/EXECUTION.md).
+  /// The message names the clause, the missing feature, and the
+  /// dialect, so a client knows exactly which feature to add to its
+  /// spec. Distinct from `kParseError`: the statement is well-formed
+  /// SQL, just outside this variant of the product line.
+  kFeatureUnsupported,
 };
 
 /// Returns the canonical lowercase name of `code` (e.g. "invalid_argument").
@@ -116,6 +124,9 @@ class Status {
   }
   static Status InvalidConfig(std::string msg) {
     return Status(StatusCode::kInvalidConfig, std::move(msg));
+  }
+  static Status FeatureUnsupported(std::string msg) {
+    return Status(StatusCode::kFeatureUnsupported, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,103 @@
+// Fault-injected lifecycle tests for the execution tier: a slow
+// operator (per-batch delay injected into the scan loop) must be
+// interrupted mid-query by deadline expiry and by cross-thread
+// cancellation at the next batch checkpoint. Compiled in only under
+// -DSQLPL_FAULT_INJECT=ON; in a normal build every test here skips.
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "sqlpl/service/dialect_service.h"
+#include "sqlpl/service/fault_injector.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+class ExecFaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!SQLPL_FAULT_INJECT) {
+      GTEST_SKIP() << "built without SQLPL_FAULT_INJECT";
+    }
+    FaultInjector::Global().Reset();
+  }
+  void TearDown() override {
+    if (SQLPL_FAULT_INJECT) FaultInjector::Global().Reset();
+  }
+};
+
+TEST_F(ExecFaultInjectionTest, DeadlineExpiresInsideLongScanFilterLoop) {
+  DialectService service;
+  // 64k rows at the default 4096 rows/batch = 16 checkpoints; 5ms of
+  // injected delay per batch makes the scan take ~80ms unhindered —
+  // far beyond the 20ms deadline, so expiry must fire *inside* the
+  // operator loop, at a batch checkpoint.
+  ASSERT_TRUE(
+      service.tables().Register(exec::MakeBenchTable("slow", 65536)).ok());
+  FaultInjector::Global().SetExecBatchDelay(std::chrono::milliseconds(5));
+
+  DialectSpec spec = CoreQueryDialect();
+  ExecuteRequest request;
+  request.spec = &spec;
+  request.sql = "SELECT SUM(v) FROM slow WHERE v < 900000";
+  request.deadline = Deadline::After(std::chrono::milliseconds(20));
+  auto start = std::chrono::steady_clock::now();
+  ExecuteResponse response = service.ExecuteQuery(request);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded)
+      << response.status;
+  // The whole unhindered scan would take ~80ms; expiry must cut it off
+  // before that (generous bound for loaded CI machines).
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            70);
+  EXPECT_EQ(service.Stats().deadline_misses_parse +
+                service.Stats().deadline_misses_queue +
+                service.Stats().deadline_misses_admission,
+            1u);
+}
+
+TEST_F(ExecFaultInjectionTest, CrossThreadCancelStopsTheOperatorLoop) {
+  DialectService service;
+  ASSERT_TRUE(
+      service.tables().Register(exec::MakeBenchTable("slow", 65536)).ok());
+  FaultInjector::Global().SetExecBatchDelay(std::chrono::milliseconds(5));
+
+  CancelSource source;
+  std::thread canceller([&source] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    source.RequestCancel();
+  });
+
+  DialectSpec spec = CoreQueryDialect();
+  ExecuteRequest request;
+  request.spec = &spec;
+  request.sql = "SELECT grp, COUNT(*) FROM slow GROUP BY grp";
+  request.cancel = source.token();
+  ExecuteResponse response = service.ExecuteQuery(request);
+  canceller.join();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kCancelled)
+      << response.status;
+  EXPECT_EQ(service.Stats().cancellations, 1u);
+}
+
+TEST_F(ExecFaultInjectionTest, UninjuredQueryStillSucceedsAfterReset) {
+  DialectService service;
+  FaultInjector::Global().SetExecBatchDelay(std::chrono::milliseconds(2));
+  FaultInjector::Global().Reset();
+  DialectSpec spec = CoreQueryDialect();
+  ExecuteRequest request;
+  request.spec = &spec;
+  request.sql = "SELECT COUNT(*) FROM parts";
+  ExecuteResponse response = service.ExecuteQuery(request);
+  ASSERT_TRUE(response.ok()) << response.status;
+  EXPECT_EQ(response.result.Int64Column(0)[0], 24);
+}
+
+}  // namespace
+}  // namespace sqlpl

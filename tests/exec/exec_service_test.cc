@@ -1,0 +1,170 @@
+#include "sqlpl/service/dialect_service.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace {
+
+ExecuteResponse Execute(DialectService& service, const DialectSpec& spec,
+                        const std::string& sql, uint64_t max_rows = 0) {
+  ExecuteRequest request;
+  request.spec = &spec;
+  request.sql = sql;
+  request.max_rows = max_rows;
+  return service.ExecuteQuery(request);
+}
+
+TEST(ExecServiceTest, SelectWhereGroupByAggregateEndToEnd) {
+  DialectService service;
+  DialectSpec spec = CoreQueryDialect();
+  ExecuteResponse response = Execute(
+      service, spec,
+      "SELECT warehouse, SUM(qty) FROM parts WHERE qty > 5 "
+      "GROUP BY warehouse ORDER BY warehouse");
+  ASSERT_TRUE(response.ok()) << response.status;
+  EXPECT_EQ(response.result.num_rows, 2u);
+  EXPECT_EQ(response.result.StringColumn(0),
+            (std::vector<std::string>{"north", "south"}));
+  EXPECT_FALSE(response.plan_text.empty());
+  EXPECT_NE(response.plan_text.find("Aggregate"), std::string::npos);
+  // The demo parts table: reference sums computed against the fixture.
+  std::shared_ptr<const exec::Table> parts = exec::MakePartsTable();
+  int64_t north = 0, south = 0;
+  for (size_t i = 0; i < parts->num_rows(); ++i) {
+    if (parts->column(2).i64[i] <= 5) continue;
+    (parts->column(1).str[i] == "north" ? north : south) +=
+        parts->column(2).i64[i];
+  }
+  EXPECT_EQ(response.result.Int64Column(1),
+            (std::vector<int64_t>{north, south}));
+}
+
+TEST(ExecServiceTest, ResultsAgreeAcrossDialectsForSharedStatements) {
+  // A statement inside the intersection of two variants must produce
+  // identical rows whichever dialect executes it.
+  DialectService service;
+  DialectSpec tiny = TinySqlDialect();
+  DialectSpec core = CoreQueryDialect();
+  const std::string sql =
+      "SELECT room, COUNT(*) FROM readings WHERE sensor_id < 4 "
+      "GROUP BY room";
+  ExecuteResponse a = Execute(service, tiny, sql);
+  ExecuteResponse b = Execute(service, core, sql);
+  ASSERT_TRUE(a.ok()) << a.status;
+  ASSERT_TRUE(b.ok()) << b.status;
+  EXPECT_EQ(a.result.num_rows, b.result.num_rows);
+  EXPECT_EQ(a.result.StringColumn(0), b.result.StringColumn(0));
+  EXPECT_EQ(a.result.Int64Column(1), b.result.Int64Column(1));
+}
+
+TEST(ExecServiceTest, FeatureExcludedClauseIsAttributedNotASyntaxError) {
+  // SCQL's parser rejects ORDER BY outright; the service re-parses under
+  // the full foundation and attributes the clause to its feature.
+  DialectService service;
+  DialectSpec spec = ScqlDialect();
+  ExecuteResponse response =
+      Execute(service, spec, "SELECT qty FROM parts ORDER BY qty");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kFeatureUnsupported);
+  EXPECT_EQ(response.status.message(),
+            "ORDER BY clause requires feature \"OrderBy\", absent from "
+            "dialect \"SCQL\"");
+}
+
+TEST(ExecServiceTest, HavingAttributedAcrossHavinglessDialects) {
+  DialectService service;
+  const std::string sql =
+      "SELECT room FROM readings GROUP BY room HAVING COUNT(*) > 3";
+  for (const DialectSpec& spec :
+       {WorkedExampleDialect(), ScqlDialect(), EmbeddedMinimalDialect()}) {
+    ExecuteResponse response = Execute(service, spec, sql);
+    ASSERT_FALSE(response.ok()) << spec.name;
+    EXPECT_EQ(response.status.code(), StatusCode::kFeatureUnsupported)
+        << spec.name << ": " << response.status;
+    EXPECT_EQ(response.status.message(),
+              "GROUP BY clause requires feature \"GroupBy\", absent from "
+              "dialect \"" + spec.name + "\"");
+  }
+}
+
+TEST(ExecServiceTest, GenuineSyntaxErrorKeepsParseIdentity) {
+  DialectService service;
+  DialectSpec spec = CoreQueryDialect();
+  ExecuteResponse response =
+      Execute(service, spec, "SELECT FROM WHERE GROUP");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kParseError);
+}
+
+TEST(ExecServiceTest, NullSpecRejected) {
+  DialectService service;
+  ExecuteRequest request;
+  request.sql = "SELECT qty FROM parts";
+  ExecuteResponse response = service.ExecuteQuery(request);
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExecServiceTest, MaxRowsCapsAndFlagsTruncation) {
+  DialectService service;
+  DialectSpec spec = CoreQueryDialect();
+  ExecuteResponse response =
+      Execute(service, spec, "SELECT qty FROM parts", /*max_rows=*/3);
+  ASSERT_TRUE(response.ok()) << response.status;
+  EXPECT_EQ(response.result.num_rows, 3u);
+  EXPECT_TRUE(response.result.truncated);
+}
+
+TEST(ExecServiceTest, ExpiredDeadlineShortCircuits) {
+  DialectService service;
+  DialectSpec spec = CoreQueryDialect();
+  ExecuteRequest request;
+  request.spec = &spec;
+  request.sql = "SELECT qty FROM parts";
+  request.deadline = Deadline::After(std::chrono::nanoseconds(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ExecuteResponse response = service.ExecuteQuery(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecServiceTest, RegisteredTablesServeNewQueries) {
+  DialectService service;
+  auto table = std::make_shared<exec::Table>("metrics");
+  ASSERT_TRUE(table->AddInt64Column("value", {5, 10, 15}).ok());
+  ASSERT_TRUE(service.tables().Register(table).ok());
+  ExecuteResponse response = Execute(service, CoreQueryDialect(),
+                                     "SELECT SUM(value) FROM metrics");
+  ASSERT_TRUE(response.ok()) << response.status;
+  EXPECT_EQ(response.result.Int64Column(0), (std::vector<int64_t>{30}));
+}
+
+TEST(ExecServiceTest, ConcurrentExecuteQueriesShareOneService) {
+  // TSan target: parser-cache resolution, table registry reads, and
+  // metric updates all run concurrently through one service.
+  DialectService service;
+  DialectSpec core = CoreQueryDialect();
+  DialectSpec tiny = TinySqlDialect();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      const DialectSpec& spec = (t % 2 == 0) ? core : tiny;
+      for (int i = 0; i < 20; ++i) {
+        ExecuteResponse response = Execute(
+            service, spec,
+            "SELECT room, COUNT(*) FROM readings GROUP BY room");
+        EXPECT_TRUE(response.ok()) << response.status;
+        EXPECT_EQ(response.result.num_rows, 4u);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+}  // namespace
+}  // namespace sqlpl

@@ -1,0 +1,246 @@
+// End-to-end tests of the wire execute frames (types 9/10): codec
+// roundtrips, server/client execution byte-identical to the in-process
+// path across dialects, feature-attributed errors over the wire, and
+// the traced stage table with its kExec row.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sqlpl/net/sql_client.h"
+#include "sqlpl/net/sql_server.h"
+#include "sqlpl/net/wire.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace net {
+namespace {
+
+std::span<const uint8_t> FramePayload(const std::string& frame) {
+  return std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(frame.data()) + kFrameHeaderBytes,
+      frame.size() - kFrameHeaderBytes);
+}
+
+TEST(ExecWireCodecTest, RequestRoundTrip) {
+  WireExecuteRequest request;
+  request.request_id = 77;
+  request.has_spec = true;
+  request.spec = TinySqlDialect();
+  request.sql = "SELECT v FROM bench WHERE v < 10";
+  request.deadline_ms = 250;
+  request.max_rows = 123;
+  request.trace.trace_id = 0xabcdef;
+
+  std::string frame;
+  EncodeExecuteRequestFrame(request, &frame);
+  WireExecuteRequest decoded;
+  Status status = DecodeExecuteRequestPayload(FramePayload(frame), &decoded);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(decoded.request_id, 77u);
+  EXPECT_TRUE(decoded.has_spec);
+  EXPECT_EQ(decoded.spec.name, "TinySQL");
+  EXPECT_EQ(decoded.spec.features, request.spec.features);
+  EXPECT_EQ(decoded.sql, request.sql);
+  EXPECT_EQ(decoded.deadline_ms, 250u);
+  EXPECT_EQ(decoded.max_rows, 123u);
+  EXPECT_EQ(decoded.trace.trace_id, 0xabcdefu);
+}
+
+TEST(ExecWireCodecTest, ResponseRoundTripWithRowBatches) {
+  WireExecuteResponse response;
+  response.request_id = 9;
+  response.status = StatusCode::kOk;
+  response.fingerprint = 0x1234;
+  response.num_rows = 3;
+  response.truncated = true;
+  response.lower_micros = 10;
+  response.exec_micros = 20;
+  response.column_names = {"g", "total", "label"};
+  response.column_types = {exec::ColumnType::kInt64, exec::ColumnType::kDouble,
+                           exec::ColumnType::kString};
+  exec::RowBatch batch;
+  batch.num_rows = 3;
+  exec::Column g;
+  g.type = exec::ColumnType::kInt64;
+  g.i64 = {1, 2, 3};
+  exec::Column total;
+  total.type = exec::ColumnType::kDouble;
+  total.f64 = {0.5, -2.25, 1e300};
+  exec::Column label;
+  label.type = exec::ColumnType::kString;
+  label.str = {"a", "", "long string with \x01 bytes"};
+  batch.columns = {g, total, label};
+  response.batches.push_back(batch);
+
+  std::string frame;
+  EncodeExecuteResponseFrame(response, &frame);
+  WireExecuteResponse decoded;
+  Status status = DecodeExecuteResponsePayload(FramePayload(frame), &decoded);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(decoded.num_rows, 3u);
+  EXPECT_TRUE(decoded.truncated);
+  EXPECT_EQ(decoded.column_names, response.column_names);
+  ASSERT_EQ(decoded.batches.size(), 1u);
+  EXPECT_EQ(decoded.batches[0].columns[0].i64, g.i64);
+  EXPECT_EQ(decoded.batches[0].columns[1].f64, total.f64);
+  EXPECT_EQ(decoded.batches[0].columns[2].str, label.str);
+}
+
+TEST(ExecWireCodecTest, TruncatedPayloadIsMalformed) {
+  WireExecuteResponse response;
+  response.request_id = 1;
+  response.column_names = {"a"};
+  response.column_types = {exec::ColumnType::kInt64};
+  exec::RowBatch batch;
+  batch.num_rows = 2;
+  exec::Column a;
+  a.type = exec::ColumnType::kInt64;
+  a.i64 = {1, 2};
+  batch.columns = {a};
+  response.batches.push_back(batch);
+  response.num_rows = 2;
+  std::string frame;
+  EncodeExecuteResponseFrame(response, &frame);
+  std::span<const uint8_t> payload = FramePayload(frame);
+  WireExecuteResponse decoded;
+  Status status =
+      DecodeExecuteResponsePayload(payload.subspan(0, payload.size() - 5),
+                                   &decoded);
+  EXPECT_FALSE(status.ok());
+}
+
+class ExecWireTest : public ::testing::Test {
+ protected:
+  void StartServer() {
+    service_ = std::make_unique<DialectService>();
+    server_ = std::make_unique<SqlServer>(service_.get(), ServerOptions{});
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started;
+  }
+
+  SqlClient ConnectedClient() {
+    SqlClient client;
+    Status status = client.Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(status.ok()) << status;
+    return client;
+  }
+
+  std::unique_ptr<DialectService> service_;
+  std::unique_ptr<SqlServer> server_;
+};
+
+TEST_F(ExecWireTest, WireResultMatchesInProcessByteForByte) {
+  StartServer();
+  const std::string sql =
+      "SELECT warehouse, SUM(qty) FROM parts WHERE qty > 5 "
+      "GROUP BY warehouse ORDER BY warehouse";
+  // The acceptance query must agree between the wire and the in-process
+  // path on *both* preset dialects that can express it.
+  for (const DialectSpec& spec : {CoreQueryDialect(), FullFoundationDialect()}) {
+    ExecuteRequest direct_request;
+    direct_request.spec = &spec;
+    direct_request.sql = sql;
+    ExecuteResponse direct = service_->ExecuteQuery(direct_request);
+    ASSERT_TRUE(direct.ok()) << spec.name << ": " << direct.status;
+
+    SqlClient client = ConnectedClient();
+    Result<WireExecuteResponse> wire = client.Execute(spec, sql);
+    ASSERT_TRUE(wire.ok()) << spec.name << ": " << wire.status();
+    ASSERT_EQ(wire->status, StatusCode::kOk) << wire->message;
+    EXPECT_EQ(wire->num_rows, direct.result.num_rows);
+    EXPECT_EQ(wire->column_names, direct.result.column_names);
+    EXPECT_EQ(wire->column_types, direct.result.column_types);
+    ASSERT_EQ(wire->batches.size(), direct.result.batches.size());
+    for (size_t b = 0; b < wire->batches.size(); ++b) {
+      const exec::RowBatch& got = wire->batches[b];
+      const exec::RowBatch& want = direct.result.batches[b];
+      ASSERT_EQ(got.columns.size(), want.columns.size());
+      for (size_t c = 0; c < got.columns.size(); ++c) {
+        EXPECT_EQ(got.columns[c].i64, want.columns[c].i64) << spec.name;
+        EXPECT_EQ(got.columns[c].f64, want.columns[c].f64) << spec.name;
+        EXPECT_EQ(got.columns[c].str, want.columns[c].str) << spec.name;
+      }
+    }
+  }
+}
+
+TEST_F(ExecWireTest, FingerprintOnlyExecuteAfterInlineSpec) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+  Result<WireExecuteResponse> first =
+      client.Execute(CoreQueryDialect(), "SELECT COUNT(*) FROM parts");
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_EQ(first->status, StatusCode::kOk) << first->message;
+  ASSERT_NE(first->fingerprint, 0u);
+  EXPECT_EQ(first->num_rows, 1u);
+  EXPECT_EQ(first->batches[0].columns[0].i64[0], 24);
+
+  Result<WireExecuteResponse> second = client.ExecuteByFingerprint(
+      first->fingerprint, "SELECT COUNT(*) FROM readings");
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_EQ(second->status, StatusCode::kOk) << second->message;
+  EXPECT_EQ(second->batches[0].columns[0].i64[0], 32);
+}
+
+TEST_F(ExecWireTest, UnknownFingerprintIsNotFound) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+  Result<WireExecuteResponse> response =
+      client.ExecuteByFingerprint(0xdeadbeef, "SELECT COUNT(*) FROM parts");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, StatusCode::kNotFound);
+  EXPECT_NE(response->message.find("fingerprint"), std::string::npos);
+}
+
+TEST_F(ExecWireTest, FeatureAttributedErrorCrossesTheWireVerbatim) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+  Result<WireExecuteResponse> response =
+      client.Execute(ScqlDialect(), "SELECT qty FROM parts ORDER BY qty");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, StatusCode::kFeatureUnsupported);
+  EXPECT_EQ(response->message,
+            "ORDER BY clause requires feature \"OrderBy\", absent from "
+            "dialect \"SCQL\"");
+}
+
+TEST_F(ExecWireTest, ServerDefaultRowCapTruncates) {
+  StartServer();
+  ASSERT_TRUE(
+      service_->tables().Register(exec::MakeBenchTable("big", 20000)).ok());
+  SqlClient client = ConnectedClient();
+  Result<WireExecuteResponse> response =
+      client.Execute(CoreQueryDialect(), "SELECT id FROM big");
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->status, StatusCode::kOk) << response->message;
+  EXPECT_EQ(response->num_rows, 16384u);
+  EXPECT_TRUE(response->truncated);
+}
+
+TEST_F(ExecWireTest, TracedExecuteCarriesStageTableWithExecRow) {
+  StartServer();
+  SqlClient client = ConnectedClient();
+  // The client auto-stamps a trace context on every request, so the
+  // response must echo a trace id and carry the stage table.
+  Result<WireExecuteResponse> response =
+      client.Execute(CoreQueryDialect(),
+                     "SELECT room, COUNT(*) FROM readings GROUP BY room");
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->status, StatusCode::kOk) << response->message;
+  ASSERT_NE(response->trace_id, 0u);
+  bool has_exec_stage = false;
+  for (const WireStageTiming& stage : response->stages) {
+    if (stage.stage == static_cast<uint8_t>(WireStage::kExec)) {
+      has_exec_stage = true;
+    }
+  }
+  EXPECT_TRUE(has_exec_stage);
+  EXPECT_GT(response->server_micros, 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace sqlpl

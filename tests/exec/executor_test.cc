@@ -1,0 +1,251 @@
+#include "sqlpl/exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sqlpl/exec/lowering.h"
+#include "sqlpl/semantics/ast_builder.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace exec {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SqlProductLine line;
+    Result<LlParser> parser = line.BuildParser(FullFoundationDialect());
+    ASSERT_TRUE(parser.ok()) << parser.status();
+    parser_ = new LlParser(std::move(parser).value());
+    registry_ = new TableRegistry();
+    RegisterDemoTables(registry_);
+    bench_ = MakeBenchTable("bench", 100000);
+    ASSERT_TRUE(registry_->Register(bench_).ok());
+  }
+
+  static LogicalPlan Plan(const std::string& sql, uint64_t max_rows = 0) {
+    Result<ParseNode> tree = parser_->ParseText(sql);
+    EXPECT_TRUE(tree.ok()) << sql << ": " << tree.status();
+    Result<SelectStatement> statement = BuildSelectStatement(*tree);
+    EXPECT_TRUE(statement.ok()) << sql << ": " << statement.status();
+    Result<LogicalPlan> plan =
+        LowerSelect(*statement, FullFoundationDialect(), *registry_,
+                    LoweringOptions{max_rows});
+    EXPECT_TRUE(plan.ok()) << sql << ": " << plan.status();
+    return std::move(plan).value();
+  }
+
+  static QueryResult Run(const std::string& sql, uint64_t max_rows = 0,
+                         size_t batch_rows = 4096) {
+    ExecOptions options;
+    options.batch_rows = batch_rows;
+    Result<QueryResult> result = ExecutePlan(Plan(sql, max_rows), options);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status();
+    return std::move(result).value();
+  }
+
+  static LlParser* parser_;
+  static TableRegistry* registry_;
+  static std::shared_ptr<const Table> bench_;
+};
+
+LlParser* ExecutorTest::parser_ = nullptr;
+TableRegistry* ExecutorTest::registry_ = nullptr;
+std::shared_ptr<const Table> ExecutorTest::bench_ = nullptr;
+
+TEST_F(ExecutorTest, ScanFilterProjectMatchesReference) {
+  QueryResult result = Run("SELECT v FROM bench WHERE v < 100000");
+  std::vector<int64_t> expected;
+  for (int64_t v : bench_->column(1).i64) {
+    if (v < 100000) expected.push_back(v);
+  }
+  EXPECT_EQ(result.Int64Column(0), expected);
+  EXPECT_EQ(result.num_rows, expected.size());
+  EXPECT_FALSE(result.truncated);
+}
+
+TEST_F(ExecutorTest, BatchBoundariesDoNotChangeRows) {
+  // A batch size that doesn't divide the table exercises the tail batch.
+  QueryResult small = Run("SELECT v FROM bench WHERE v < 100000", 0, 7);
+  QueryResult big = Run("SELECT v FROM bench WHERE v < 100000", 0, 65536);
+  EXPECT_EQ(small.Int64Column(0), big.Int64Column(0));
+}
+
+TEST_F(ExecutorTest, WhereGroupByAggregateMatchesReference) {
+  QueryResult result = Run(
+      "SELECT grp, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(price) "
+      "FROM bench WHERE v < 500000 GROUP BY grp ORDER BY grp");
+  struct Ref {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+    double price_sum = 0;
+  };
+  std::map<int64_t, Ref> ref;
+  const auto& v = bench_->column(1).i64;
+  const auto& grp = bench_->column(2).i64;
+  const auto& price = bench_->column(3).f64;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] >= 500000) continue;
+    Ref& r = ref[grp[i]];
+    if (r.count == 0) {
+      r.min = r.max = v[i];
+    } else {
+      r.min = std::min(r.min, v[i]);
+      r.max = std::max(r.max, v[i]);
+    }
+    ++r.count;
+    r.sum += v[i];
+    r.price_sum += price[i];
+  }
+  ASSERT_EQ(result.num_rows, ref.size());
+  std::vector<int64_t> keys = result.Int64Column(0);
+  std::vector<int64_t> counts = result.Int64Column(1);
+  std::vector<int64_t> sums = result.Int64Column(2);
+  std::vector<int64_t> mins = result.Int64Column(3);
+  std::vector<int64_t> maxs = result.Int64Column(4);
+  std::vector<double> avgs = result.DoubleColumn(5);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const Ref& r = ref.at(keys[i]);
+    EXPECT_EQ(counts[i], r.count) << "grp " << keys[i];
+    EXPECT_EQ(sums[i], r.sum) << "grp " << keys[i];
+    EXPECT_EQ(mins[i], r.min) << "grp " << keys[i];
+    EXPECT_EQ(maxs[i], r.max) << "grp " << keys[i];
+    EXPECT_NEAR(avgs[i], r.price_sum / r.count, 1e-9) << "grp " << keys[i];
+  }
+  // ORDER BY grp: keys come back sorted.
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_F(ExecutorTest, StringGroupKeysAndFilters) {
+  QueryResult result = Run(
+      "SELECT warehouse, SUM(qty) FROM parts WHERE warehouse = 'north' "
+      "GROUP BY warehouse");
+  ASSERT_EQ(result.num_rows, 1u);
+  EXPECT_EQ(result.StringColumn(0)[0], "north");
+  std::shared_ptr<const Table> parts = MakePartsTable();
+  int64_t expected = 0;
+  for (size_t i = 0; i < parts->num_rows(); ++i) {
+    if (parts->column(1).str[i] == "north") expected += parts->column(2).i64[i];
+  }
+  EXPECT_EQ(result.Int64Column(1)[0], expected);
+}
+
+TEST_F(ExecutorTest, HavingFiltersGroups) {
+  QueryResult all =
+      Run("SELECT room, COUNT(*) FROM readings GROUP BY room");
+  QueryResult filtered = Run(
+      "SELECT room, COUNT(*) FROM readings GROUP BY room "
+      "HAVING COUNT(*) > 100");
+  EXPECT_EQ(all.num_rows, 4u);
+  EXPECT_EQ(filtered.num_rows, 0u);
+}
+
+TEST_F(ExecutorTest, SortDescendingIsOrderedAndStable) {
+  QueryResult result =
+      Run("SELECT part, qty FROM parts ORDER BY qty DESC");
+  std::vector<int64_t> qty = result.Int64Column(1);
+  EXPECT_TRUE(std::is_sorted(qty.rbegin(), qty.rend()));
+  EXPECT_EQ(result.num_rows, 24u);
+}
+
+TEST_F(ExecutorTest, LimitTruncatesAndSaysSo) {
+  QueryResult capped = Run("SELECT id FROM bench", /*max_rows=*/5);
+  EXPECT_EQ(capped.num_rows, 5u);
+  EXPECT_TRUE(capped.truncated);
+  EXPECT_EQ(capped.Int64Column(0), (std::vector<int64_t>{0, 1, 2, 3, 4}));
+
+  QueryResult uncapped = Run("SELECT qty FROM parts", /*max_rows=*/1000);
+  EXPECT_EQ(uncapped.num_rows, 24u);
+  EXPECT_FALSE(uncapped.truncated);
+}
+
+TEST_F(ExecutorTest, DistinctDeduplicates) {
+  QueryResult result = Run("SELECT DISTINCT warehouse FROM parts");
+  std::vector<std::string> values = result.StringColumn(0);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<std::string>{"north", "south"}));
+}
+
+TEST_F(ExecutorTest, GlobalAggregateOverEmptyInputIsOneZeroRow) {
+  QueryResult result =
+      Run("SELECT COUNT(*), SUM(qty) FROM parts WHERE qty > 1000000");
+  ASSERT_EQ(result.num_rows, 1u);
+  EXPECT_EQ(result.Int64Column(0)[0], 0);
+  EXPECT_EQ(result.Int64Column(1)[0], 0);
+}
+
+TEST_F(ExecutorTest, ArithmeticProjection) {
+  QueryResult result = Run("SELECT qty * 2 + 1 FROM parts WHERE qty = 1");
+  ASSERT_GE(result.num_rows, 1u);
+  for (int64_t v : result.Int64Column(0)) EXPECT_EQ(v, 3);
+}
+
+TEST_F(ExecutorTest, IntegerDivisionByZeroFails) {
+  Result<QueryResult> result = ExecutePlan(Plan("SELECT qty / 0 FROM parts"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, ExpiredDeadlineStopsTheScan) {
+  ExecOptions options;
+  options.batch_rows = 64;
+  options.control.deadline = Deadline::After(std::chrono::nanoseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  Result<QueryResult> result =
+      ExecutePlan(Plan("SELECT SUM(v) FROM bench"), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ExecutorTest, CancelledTokenStopsTheScan) {
+  CancelSource source;
+  source.RequestCancel();
+  ExecOptions options;
+  options.control.cancel = source.token();
+  Result<QueryResult> result =
+      ExecutePlan(Plan("SELECT SUM(v) FROM bench"), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(ExecutorTest, ConcurrentQueriesOverOneTableAgree) {
+  // TSan target: many threads scanning + aggregating the same immutable
+  // table through one registry must not race.
+  const std::string sql =
+      "SELECT grp, COUNT(*) FROM bench WHERE v < 250000 GROUP BY grp "
+      "ORDER BY grp";
+  QueryResult expected = Run(sql);
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> rows(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      QueryResult result = Run(sql);
+      rows[t] = result.num_rows;
+      EXPECT_EQ(result.Int64Column(1), expected.Int64Column(1));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (uint64_t r : rows) EXPECT_EQ(r, expected.num_rows);
+}
+
+TEST_F(ExecutorTest, StatsCountScannedRows) {
+  ExecStats stats;
+  Result<QueryResult> result = ExecutePlan(
+      Plan("SELECT COUNT(*) FROM bench WHERE v < 100"), {}, &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(stats.rows_scanned, 100000u);
+  EXPECT_EQ(stats.rows_out, 1u);
+  EXPECT_GT(stats.batches, 0u);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace sqlpl

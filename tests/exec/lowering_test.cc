@@ -1,0 +1,252 @@
+#include "sqlpl/exec/lowering.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sqlpl/semantics/ast_builder.h"
+#include "sqlpl/sql/dialects.h"
+
+namespace sqlpl {
+namespace exec {
+namespace {
+
+// Statements are parsed under the full-foundation grammar (every clause
+// parses), then lowered against the dialect under test: exactly how the
+// service attributes a feature after diagnose-by-refinement, and the
+// only way to reach the lowering gates with clauses the restricted
+// parser would reject as syntax errors.
+class LoweringTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SqlProductLine line;
+    Result<LlParser> parser = line.BuildParser(FullFoundationDialect());
+    ASSERT_TRUE(parser.ok()) << parser.status();
+    parser_ = new LlParser(std::move(parser).value());
+    registry_ = new TableRegistry();
+    RegisterDemoTables(registry_);
+  }
+
+  SelectStatement Build(const std::string& sql) {
+    Result<ParseNode> tree = parser_->ParseText(sql);
+    EXPECT_TRUE(tree.ok()) << sql << ": " << tree.status();
+    Result<SelectStatement> statement = BuildSelectStatement(*tree);
+    EXPECT_TRUE(statement.ok()) << sql << ": " << statement.status();
+    return std::move(statement).value();
+  }
+
+  Result<LogicalPlan> Lower(const std::string& sql, const DialectSpec& spec,
+                            const LoweringOptions& options = {}) {
+    return LowerSelect(Build(sql), spec, *registry_, options);
+  }
+
+  // Asserts byte-for-byte the feature-attributed diagnostic.
+  void ExpectFeatureError(const std::string& sql, const DialectSpec& spec,
+                          const std::string& message) {
+    Result<LogicalPlan> plan = Lower(sql, spec);
+    ASSERT_FALSE(plan.ok()) << sql << " lowered under " << spec.name;
+    EXPECT_EQ(plan.status().code(), StatusCode::kFeatureUnsupported)
+        << plan.status();
+    EXPECT_EQ(plan.status().message(), message);
+  }
+
+  static LlParser* parser_;
+  static TableRegistry* registry_;
+};
+
+LlParser* LoweringTest::parser_ = nullptr;
+TableRegistry* LoweringTest::registry_ = nullptr;
+
+// --- golden feature-attributed errors, across three Having-less presets ---
+
+TEST_F(LoweringTest, HavingAttributedAcrossDialects) {
+  const std::string sql =
+      "SELECT room FROM readings GROUP BY room HAVING COUNT(*) > 3";
+  ExpectFeatureError(
+      sql, WorkedExampleDialect(),
+      "GROUP BY clause requires feature \"GroupBy\", absent from dialect "
+      "\"WorkedExample\"");
+  // SCQL has Where but neither GroupBy nor Having; the first gate in
+  // statement order wins.
+  ExpectFeatureError(
+      sql, ScqlDialect(),
+      "GROUP BY clause requires feature \"GroupBy\", absent from dialect "
+      "\"SCQL\"");
+  ExpectFeatureError(
+      sql, EmbeddedMinimalDialect(),
+      "GROUP BY clause requires feature \"GroupBy\", absent from dialect "
+      "\"EmbeddedMinimal\"");
+}
+
+TEST_F(LoweringTest, HavingAloneAttributedWhenGroupByPresent) {
+  // TinySQL selects GroupBy but the preset keeps Having; use a spec that
+  // has GroupBy without Having to isolate the HAVING gate.
+  DialectSpec spec = CoreQueryDialect();
+  spec.name = "CoreNoHaving";
+  std::erase(spec.features, std::string("Having"));
+  ExpectFeatureError(
+      "SELECT room FROM readings GROUP BY room HAVING COUNT(*) > 3", spec,
+      "HAVING clause requires feature \"Having\", absent from dialect "
+      "\"CoreNoHaving\"");
+}
+
+TEST_F(LoweringTest, OrderByAttributed) {
+  ExpectFeatureError(
+      "SELECT qty FROM parts ORDER BY qty", ScqlDialect(),
+      "ORDER BY clause requires feature \"OrderBy\", absent from dialect "
+      "\"SCQL\"");
+  ExpectFeatureError(
+      "SELECT temp FROM readings ORDER BY temp", EmbeddedMinimalDialect(),
+      "ORDER BY clause requires feature \"OrderBy\", absent from dialect "
+      "\"EmbeddedMinimal\"");
+}
+
+TEST_F(LoweringTest, AsteriskAttributed) {
+  ExpectFeatureError(
+      "SELECT * FROM readings", WorkedExampleDialect(),
+      "select-list asterisk requires feature \"Asterisk\", absent from "
+      "dialect \"WorkedExample\"");
+}
+
+TEST_F(LoweringTest, AliasesAttributed) {
+  ExpectFeatureError(
+      "SELECT qty AS quantity FROM parts", ScqlDialect(),
+      "column alias requires feature \"AsClause\", absent from dialect "
+      "\"SCQL\"");
+  ExpectFeatureError(
+      "SELECT p.qty FROM parts AS p", TinySqlDialect(),
+      "table alias requires feature \"CorrelationName\", absent from "
+      "dialect \"TinySQL\"");
+}
+
+TEST_F(LoweringTest, SetFunctionAndNumericExpressionAttributed) {
+  ExpectFeatureError(
+      "SELECT COUNT(*) FROM parts", ScqlDialect(),
+      "set function COUNT requires feature \"SetFunctions\", absent from "
+      "dialect \"SCQL\"");
+  ExpectFeatureError(
+      "SELECT qty + 1 FROM parts", EmbeddedMinimalDialect(),
+      "numeric expression requires feature \"NumericExpressions\", absent "
+      "from dialect \"EmbeddedMinimal\"");
+}
+
+TEST_F(LoweringTest, DistinctAttributed) {
+  ExpectFeatureError(
+      "SELECT DISTINCT warehouse FROM parts", ScqlDialect(),
+      "DISTINCT quantifier requires feature \"SetQuantifier\", absent from "
+      "dialect \"SCQL\"");
+}
+
+TEST_F(LoweringTest, GatesRunBeforeNameResolution) {
+  // The table doesn't exist, but the feature gate fires first: the
+  // diagnostic names the feature, not the unknown table.
+  ExpectFeatureError(
+      "SELECT x FROM no_such_table ORDER BY x", ScqlDialect(),
+      "ORDER BY clause requires feature \"OrderBy\", absent from dialect "
+      "\"SCQL\"");
+}
+
+// --- plan-shape goldens ---
+
+TEST_F(LoweringTest, ScanFilterProjectPlan) {
+  Result<LogicalPlan> plan =
+      Lower("SELECT qty FROM parts WHERE qty > 10", CoreQueryDialect());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->ToString(),
+            "Project(qty#2)\n"
+            "Filter((qty#2 > 10))\n"
+            "Scan(parts)\n");
+  ASSERT_EQ(plan->column_names.size(), 1u);
+  EXPECT_EQ(plan->column_names[0], "qty");
+  EXPECT_EQ(plan->column_types[0], ColumnType::kInt64);
+}
+
+TEST_F(LoweringTest, AggregatePlanWithHaving) {
+  Result<LogicalPlan> plan = Lower(
+      "SELECT warehouse, SUM(qty) FROM parts GROUP BY warehouse "
+      "HAVING COUNT(*) > 2",
+      CoreQueryDialect());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->ToString(),
+            "Project(warehouse#0, SUM(qty)#1)\n"
+            "Filter((COUNT(*)#2 > 2))\n"
+            "Aggregate(groups=[warehouse#1] aggs=[SUM(qty#2), COUNT(*)])\n"
+            "Scan(parts)\n");
+  EXPECT_EQ(plan->column_names[1], "SUM(qty)");
+}
+
+TEST_F(LoweringTest, OrderByAndMaxRowsPlan) {
+  Result<LogicalPlan> plan =
+      Lower("SELECT part, price FROM parts ORDER BY price DESC",
+            CoreQueryDialect(), LoweringOptions{5});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->ToString(),
+            "Limit(5)\n"
+            "Sort(#1 desc)\n"
+            "Project(part#0, price#3)\n"
+            "Scan(parts)\n");
+}
+
+TEST_F(LoweringTest, DistinctBecomesDedupAggregate) {
+  Result<LogicalPlan> plan =
+      Lower("SELECT DISTINCT warehouse FROM parts", CoreQueryDialect());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->ToString(),
+            "Aggregate(groups=[warehouse#0] aggs=[])\n"
+            "Project(warehouse#1)\n"
+            "Scan(parts)\n");
+}
+
+TEST_F(LoweringTest, StarExpandsToAllColumns) {
+  Result<LogicalPlan> plan = Lower("SELECT * FROM parts", CoreQueryDialect());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->column_names.size(), 4u);
+  EXPECT_EQ(plan->column_names[0], "part");
+  EXPECT_EQ(plan->column_names[3], "price");
+}
+
+// --- resolution and typing errors keep their non-feature identities ---
+
+TEST_F(LoweringTest, UnknownTableIsNotFound) {
+  Result<LogicalPlan> plan =
+      Lower("SELECT x FROM missing", CoreQueryDialect());
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(plan.status().message(),
+            "table \"missing\" is not registered for execution");
+}
+
+TEST_F(LoweringTest, UnknownColumnIsNotFound) {
+  Result<LogicalPlan> plan =
+      Lower("SELECT nope FROM parts", CoreQueryDialect());
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(plan.status().message(),
+            "column \"nope\" is not a column of table \"parts\"");
+}
+
+TEST_F(LoweringTest, SumOverStringIsInvalidArgument) {
+  Result<LogicalPlan> plan =
+      Lower("SELECT SUM(part) FROM parts", CoreQueryDialect());
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LoweringTest, NonGroupedColumnRejected) {
+  Result<LogicalPlan> plan = Lower(
+      "SELECT part, SUM(qty) FROM parts GROUP BY warehouse",
+      CoreQueryDialect());
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LoweringTest, QualifiedColumnMatchesGroupKeyStructurally) {
+  Result<LogicalPlan> plan = Lower(
+      "SELECT p.warehouse, COUNT(*) FROM parts AS p GROUP BY warehouse",
+      CoreQueryDialect());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace sqlpl

@@ -1,0 +1,96 @@
+#include "sqlpl/exec/table.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace sqlpl {
+namespace exec {
+namespace {
+
+TEST(TableTest, ColumnsShareRowCount) {
+  Table table("t");
+  ASSERT_TRUE(table.AddInt64Column("a", {1, 2, 3}).ok());
+  ASSERT_TRUE(table.AddDoubleColumn("b", {0.5, 1.5, 2.5}).ok());
+  Status mismatched = table.AddInt64Column("c", {1, 2});
+  EXPECT_EQ(mismatched.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.num_rows(), 3u);
+  EXPECT_EQ(table.num_columns(), 2u);
+}
+
+TEST(TableTest, DuplicateColumnNameRejected) {
+  Table table("t");
+  ASSERT_TRUE(table.AddInt64Column("a", {1}).ok());
+  Status duplicate = table.AddDoubleColumn("A", {2.0});
+  EXPECT_EQ(duplicate.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, FindColumnIsCaseInsensitive) {
+  Table table("t");
+  ASSERT_TRUE(table.AddInt64Column("Qty", {7}).ok());
+  EXPECT_EQ(table.FindColumn("qty"), 0);
+  EXPECT_EQ(table.FindColumn("QTY"), 0);
+  EXPECT_EQ(table.FindColumn("missing"), -1);
+}
+
+TEST(TableRegistryTest, RegisterAndFindCaseInsensitive) {
+  TableRegistry registry;
+  ASSERT_TRUE(registry.Register(MakePartsTable()).ok());
+  EXPECT_NE(registry.Find("parts"), nullptr);
+  EXPECT_NE(registry.Find("PARTS"), nullptr);
+  EXPECT_EQ(registry.Find("bolts"), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(TableRegistryTest, ReRegisterReplacesButOldSnapshotSurvives) {
+  TableRegistry registry;
+  ASSERT_TRUE(registry.Register(MakePartsTable()).ok());
+  std::shared_ptr<const Table> pinned = registry.Find("parts");
+  auto replacement = std::make_shared<Table>("parts");
+  ASSERT_TRUE(replacement->AddInt64Column("qty", {1}).ok());
+  ASSERT_TRUE(registry.Register(replacement).ok());
+  // The pinned snapshot keeps serving the in-flight query.
+  EXPECT_EQ(pinned->num_rows(), 24u);
+  EXPECT_EQ(registry.Find("parts")->num_rows(), 1u);
+}
+
+TEST(TableRegistryTest, CatalogExposesTablesAndColumns) {
+  TableRegistry registry;
+  RegisterDemoTables(&registry);
+  DbCatalog catalog = registry.Catalog();
+  EXPECT_TRUE(catalog.HasTable("readings"));
+  EXPECT_TRUE(catalog.HasTable("parts"));
+  EXPECT_TRUE(catalog.HasColumn("readings", "temp"));
+  EXPECT_TRUE(catalog.HasColumn("parts", "warehouse"));
+  EXPECT_FALSE(catalog.HasColumn("parts", "temp"));
+}
+
+TEST(TableFixturesTest, DemoTablesHaveDocumentedShape) {
+  std::shared_ptr<const Table> readings = MakeReadingsTable();
+  ASSERT_EQ(readings->num_columns(), 4u);
+  EXPECT_EQ(readings->num_rows(), 32u);
+  EXPECT_EQ(readings->column(0).type, ColumnType::kString);
+  EXPECT_EQ(readings->column(2).type, ColumnType::kDouble);
+
+  std::shared_ptr<const Table> parts = MakePartsTable();
+  ASSERT_EQ(parts->num_columns(), 4u);
+  EXPECT_EQ(parts->num_rows(), 24u);
+}
+
+TEST(TableFixturesTest, BenchTableIsDeterministic) {
+  std::shared_ptr<const Table> a = MakeBenchTable("bench", 1000);
+  std::shared_ptr<const Table> b = MakeBenchTable("bench", 1000);
+  ASSERT_EQ(a->num_rows(), 1000u);
+  const Column& va = a->column(1);
+  const Column& vb = b->column(1);
+  EXPECT_EQ(va.i64, vb.i64);
+  // grp = v % 16, price = v / 100.0 — derived columns stay in lockstep.
+  for (size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a->column(2).i64[i], va.i64[i] % 16);
+    EXPECT_DOUBLE_EQ(a->column(3).f64[i], static_cast<double>(va.i64[i]) / 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace sqlpl
